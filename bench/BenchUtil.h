@@ -1,0 +1,119 @@
+//===- BenchUtil.h - Shared helpers for the figure benches ------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries. Each binary
+/// regenerates one figure of the paper's evaluation (§5) at laptop scale:
+/// the absolute budgets are seconds instead of hours, but the comparisons
+/// and the shapes are like-for-like (see EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_BENCH_BENCHUTIL_H
+#define SYMMERGE_BENCH_BENCHUTIL_H
+
+#include "core/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace symmerge {
+namespace bench {
+
+/// Canonical engine setups used across the figures.
+enum class Setup {
+  Plain,  ///< No merging; the KLEE baseline.
+  SSMAll, ///< Topological order, merge everything.
+  SSMQce, ///< Topological order, QCE-selective merging (§5.4).
+  DSMQce, ///< Coverage-driven with DSM fast-forwarding (§5.3/§5.5).
+};
+
+inline const char *setupName(Setup S) {
+  switch (S) {
+  case Setup::Plain:
+    return "plain";
+  case Setup::SSMAll:
+    return "ssm-all";
+  case Setup::SSMQce:
+    return "ssm-qce";
+  case Setup::DSMQce:
+    return "dsm-qce";
+  }
+  return "?";
+}
+
+inline SymbolicRunner::Config makeConfig(Setup S, double MaxSeconds,
+                                         uint64_t MaxSteps = UINT64_MAX) {
+  SymbolicRunner::Config C;
+  C.Engine.MaxSeconds = MaxSeconds;
+  C.Engine.MaxSteps = MaxSteps;
+  C.Engine.CollectTests = false;
+  C.Seed = 42;
+  switch (S) {
+  case Setup::Plain:
+    C.Merge = SymbolicRunner::MergeMode::None;
+    C.Driving = SymbolicRunner::Strategy::Random;
+    break;
+  case Setup::SSMAll:
+    C.Merge = SymbolicRunner::MergeMode::All;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    break;
+  case Setup::SSMQce:
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    break;
+  case Setup::DSMQce:
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.UseDSM = true;
+    C.Driving = SymbolicRunner::Strategy::Coverage;
+    break;
+  }
+  return C;
+}
+
+/// One measured run of a workload under a setup.
+struct Measurement {
+  RunResult R;
+  double StmtCoverage = 0;
+};
+
+inline Measurement runWorkload(const Module &M, SymbolicRunner::Config C) {
+  SymbolicRunner Runner(M, C);
+  Measurement Out;
+  Out.R = Runner.run();
+  Out.StmtCoverage = Runner.coverage().statementCoverage();
+  return Out;
+}
+
+/// Compiles a workload; exits the process on failure (benches are trusted
+/// internal binaries).
+inline std::unique_ptr<Module> compileOrExit(const char *Name, unsigned N,
+                                             unsigned L) {
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload %s\n", Name);
+    std::exit(1);
+  }
+  CompileResult CR = compileWorkload(*W, N, L);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "workload %s failed to compile\n", Name);
+    std::exit(1);
+  }
+  return std::move(CR.M);
+}
+
+/// The paper's path-count proxy for merged runs (§5.2): completed state
+/// multiplicity. For plain runs this equals the exact path count.
+inline double pathsExplored(const RunResult &R) {
+  return R.Stats.CompletedMultiplicity;
+}
+
+} // namespace bench
+} // namespace symmerge
+
+#endif // SYMMERGE_BENCH_BENCHUTIL_H

@@ -1,0 +1,70 @@
+//===- bench_fig4_path_ratio.cpp - Figure 4 -----------------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 4: "Relative increase in explored paths for DSM + QCE vs.
+/// regular KLEE (1h time budget); each bar represents a COREUTIL."
+///
+/// We give each workload the same wall-clock budget under (a) plain
+/// search-based exploration and (b) DSM + QCE with a coverage-oriented
+/// driving heuristic, then report the path ratio P_dsm / P_plain, using
+/// state multiplicity as the merged-path estimate (§5.2). The paper sizes
+/// inputs so nothing finishes within the budget; we do the same at small
+/// scale (N=3 args, L=6 bytes, ~1.5 s per run).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+using namespace symmerge;
+using namespace symmerge::bench;
+
+int main() {
+  constexpr double BudgetSeconds = 1.5;
+  constexpr unsigned N = 3, L = 6;
+
+  std::printf("== Figure 4: paths explored, DSM+QCE vs plain, equal time "
+              "budget (%.1fs) ==\n",
+              BudgetSeconds);
+  std::printf("%-10s %14s %14s %12s\n", "tool", "plain_paths", "dsm_paths",
+              "ratio");
+
+  std::vector<std::pair<std::string, double>> Ratios;
+  for (const Workload &W : allWorkloads()) {
+    auto M = compileOrExit(W.Name, N, L);
+    Measurement Plain =
+        runWorkload(*M, makeConfig(Setup::Plain, BudgetSeconds));
+    Measurement Dsm =
+        runWorkload(*M, makeConfig(Setup::DSMQce, BudgetSeconds));
+    double P = std::max(1.0, pathsExplored(Plain.R));
+    double D = std::max(1.0, pathsExplored(Dsm.R));
+    double Ratio = D / P;
+    Ratios.push_back({W.Name, Ratio});
+    std::printf("%-10s %14.0f %14.0f %11.2fx%s\n", W.Name, P, D, Ratio,
+                (Plain.R.Stats.Exhausted && Dsm.R.Stats.Exhausted)
+                    ? " (both exhausted)"
+                    : "");
+  }
+
+  std::sort(Ratios.begin(), Ratios.end(),
+            [](const auto &A, const auto &B) { return A.second > B.second; });
+  size_t Above = 0;
+  double LogSum = 0;
+  for (const auto &[Name, R] : Ratios) {
+    Above += R > 1.0;
+    LogSum += std::log10(R);
+  }
+  std::printf("\nSummary: %zu/%zu tools explore more paths with DSM+QCE; "
+              "geomean ratio 10^%.2f.\n",
+              Above, Ratios.size(), LogSum / Ratios.size());
+  std::printf("Paper shape: most bars above 1, several orders of magnitude "
+              "for loop-heavy tools;\na minority of tools regress (14 of "
+              "~80 in the paper).\n");
+  return 0;
+}

@@ -1,0 +1,204 @@
+//===- bench_micro.cpp - Microbenchmarks of the engine substrates -------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark micros for the components whose costs drive the
+/// paper's trade-off: expression interning/folding, solver queries with
+/// and without merge-introduced ite expressions, the state-merge
+/// operation itself, similarity hashing, and the QCE static analysis
+/// (which must be lightweight, §5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QCE.h"
+#include "core/MergePolicy.h"
+#include "core/StateMerge.h"
+#include "solver/Solver.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace symmerge;
+
+//===----------------------------------------------------------------------===
+// Expressions
+//===----------------------------------------------------------------------===
+
+static void BM_ExprInterning(benchmark::State &State) {
+  ExprContext Ctx;
+  ExprRef X = Ctx.mkVar("x", 64);
+  uint64_t K = 0;
+  for (auto _ : State) {
+    ExprRef E = Ctx.mkAdd(X, Ctx.mkConst(K % 64, 64));
+    benchmark::DoNotOptimize(E);
+    ++K;
+  }
+}
+BENCHMARK(BM_ExprInterning);
+
+static void BM_ExprIteFolding(benchmark::State &State) {
+  // The §3.1 merge shape: compare a merged ite-of-constants against a
+  // constant; the factory must fold it without allocating.
+  ExprContext Ctx;
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef Merged = Ctx.mkIte(C, Ctx.mkConst(2, 64), Ctx.mkConst(1, 64));
+  for (auto _ : State) {
+    ExprRef E = Ctx.mkUlt(Merged, Ctx.mkConst(3, 64));
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_ExprIteFolding);
+
+static void BM_ExprEvaluate(benchmark::State &State) {
+  ExprContext Ctx;
+  ExprRef X = Ctx.mkVar("x", 64);
+  ExprRef E = X;
+  for (int I = 0; I < 64; ++I)
+    E = Ctx.mkAdd(Ctx.mkMul(E, Ctx.mkConst(3, 64)), X);
+  VarAssignment A;
+  A.set(X, 7);
+  for (auto _ : State) {
+    ExprEvaluator Eval(A);
+    benchmark::DoNotOptimize(Eval.evaluate(E));
+  }
+}
+BENCHMARK(BM_ExprEvaluate);
+
+//===----------------------------------------------------------------------===
+// Solver queries: plain vs. merged (ite-laden) constraints
+//===----------------------------------------------------------------------===
+
+static void BM_SolverPlainQuery(benchmark::State &State) {
+  ExprContext Ctx;
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  Query Q({Ctx.mkEq(Ctx.mkAdd(X, Y), Ctx.mkConst(1000, 32)),
+           Ctx.mkUlt(X, Ctx.mkConst(10, 32))});
+  for (auto _ : State) {
+    auto S = createCoreSolver(Ctx);
+    benchmark::DoNotOptimize(S->checkSat(Q, nullptr));
+  }
+}
+BENCHMARK(BM_SolverPlainQuery);
+
+static void BM_SolverMergedIteQuery(benchmark::State &State) {
+  // The same constraint but routed through a tower of merge-style ite
+  // expressions over fresh boolean guards: the "queries become more
+  // expensive after merging" effect the paper measures.
+  ExprContext Ctx;
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  ExprRef V = X;
+  for (int I = 0; I < 8; ++I) {
+    ExprRef G = Ctx.mkVar("g" + std::to_string(I), 1);
+    V = Ctx.mkIte(G, Ctx.mkAdd(V, Ctx.mkConst(I + 1, 32)), V);
+  }
+  Query Q({Ctx.mkEq(Ctx.mkAdd(V, Y), Ctx.mkConst(1000, 32)),
+           Ctx.mkUlt(V, Ctx.mkConst(10, 32))});
+  for (auto _ : State) {
+    auto S = createCoreSolver(Ctx);
+    benchmark::DoNotOptimize(S->checkSat(Q, nullptr));
+  }
+}
+BENCHMARK(BM_SolverMergedIteQuery);
+
+static void BM_SolverCachedQuery(benchmark::State &State) {
+  ExprContext Ctx;
+  auto S = createDefaultSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 32);
+  Query Q({Ctx.mkUlt(X, Ctx.mkConst(10, 32))});
+  S->checkSat(Q, nullptr); // Warm the cache.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S->checkSat(Q, nullptr));
+}
+BENCHMARK(BM_SolverCachedQuery);
+
+//===----------------------------------------------------------------------===
+// State merging
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Builds a pair of mergeable states with `NumLocals` scalars, differing
+/// in half of them.
+struct MergeFixture {
+  Module M;
+  std::unique_ptr<ExprContext> Ctx;
+  ExecutionState A, B;
+
+  explicit MergeFixture(int NumLocals) : Ctx(new ExprContext()) {
+    Function *F = M.createFunction("main", Type::intTy(64), true, {});
+    BasicBlock *BB = F->createBlock("entry");
+    Instr H;
+    H.Op = Opcode::Halt;
+    BB->instructions().push_back(H);
+    for (int I = 0; I < NumLocals; ++I)
+      F->addLocal("v" + std::to_string(I), Type::intTy(64));
+
+    auto Init = [&](ExecutionState &S, uint64_t Id, bool Variant) {
+      S.Id = Id;
+      S.Loc = {BB, 0};
+      StackFrame Frame;
+      Frame.F = F;
+      for (int I = 0; I < NumLocals; ++I) {
+        bool Differs = Variant && (I % 2 == 0);
+        Frame.Scalars.push_back(Ctx->mkConst(Differs ? I + 100 : I, 64));
+        Frame.ArrayIds.push_back(-1);
+      }
+      S.Stack.push_back(std::move(Frame));
+    };
+    Init(A, 1, false);
+    Init(B, 2, true);
+    ExprRef G = Ctx->mkVar("g", 1);
+    A.PC = {G};
+    B.PC = {Ctx->mkNot(G)};
+  }
+};
+
+} // namespace
+
+static void BM_StateMerge(benchmark::State &State) {
+  int NumLocals = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    MergeFixture F(NumLocals);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(mergeStates(*F.Ctx, F.A, F.B));
+  }
+}
+BENCHMARK(BM_StateMerge)->Arg(8)->Arg(32)->Arg(128);
+
+static void BM_SimilarityHash(benchmark::State &State) {
+  MergeFixture F(32);
+  auto Policy = createMergeAllPolicy();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Policy->similarityHash(F.A));
+}
+BENCHMARK(BM_SimilarityHash);
+
+//===----------------------------------------------------------------------===
+// QCE static analysis cost (must be lightweight, §5.1)
+//===----------------------------------------------------------------------===
+
+static void BM_QCEAnalysis(benchmark::State &State) {
+  CompileResult CR = compileWorkload(*findWorkload("echo"), 3, 6);
+  ProgramInfo PI(*CR.M);
+  for (auto _ : State) {
+    QCEAnalysis QCE(PI, QCEParams{});
+    benchmark::DoNotOptimize(&QCE);
+  }
+}
+BENCHMARK(BM_QCEAnalysis);
+
+static void BM_ProgramInfoConstruction(benchmark::State &State) {
+  CompileResult CR = compileWorkload(*findWorkload("tsort"), 2, 6);
+  for (auto _ : State) {
+    ProgramInfo PI(*CR.M);
+    benchmark::DoNotOptimize(&PI);
+  }
+}
+BENCHMARK(BM_ProgramInfoConstruction);
+
+BENCHMARK_MAIN();

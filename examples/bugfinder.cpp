@@ -1,0 +1,117 @@
+//===- bugfinder.cpp - Finding injected bugs with merged exploration ---------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Symbolic execution as a bug finder: a small "protocol parser" with two
+/// injected bugs — an assertion violation reachable only through a
+/// specific header sequence, and an out-of-bounds array access on an
+/// unvalidated length field. Shows that QCE-merged exploration finds the
+/// same bugs as plain exploration (merging groups paths, it never prunes
+/// them) while visiting far fewer states, and that every bug report comes
+/// with a concrete, replayable input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/Replay.h"
+#include "lang/Lower.h"
+
+#include <cstdio>
+
+using namespace symmerge;
+
+static const char *Parser = R"(
+// A toy packet format: [magic0 magic1 type len payload...].
+void main() {
+  char pkt[12];
+  make_symbolic(pkt, "pkt");
+
+  if (pkt[0] != 'S' || pkt[1] != 'M') { print('R'); halt(); } // Bad magic.
+
+  char type = pkt[2];
+  int len = pkt[3];
+
+  int checksum = 0;
+  if (type == 1) {
+    // Bug 1: len is trusted; pkt has 12 cells but len can reach 255.
+    for (int i = 0; i < len; i++) {
+      checksum = checksum + pkt[4 + i];
+    }
+  } else {
+    if (type == 2) {
+      // Control frame: fixed 4-byte payload.
+      for (int i = 0; i < 4; i++) { checksum = checksum + pkt[4 + i]; }
+    } else {
+      print('U');
+      halt();
+    }
+  }
+
+  // Bug 2: the "impossible" checksum the developer asserted away.
+  assert(checksum != 510 || type != 2, "checksum collision handled");
+  print(checksum);
+}
+)";
+
+static void report(const char *Label, const Module &M,
+                   SymbolicRunner &Runner, const RunResult &R) {
+  std::printf("%s: %llu states completed, %llu merges, %llu bug reports\n",
+              Label,
+              static_cast<unsigned long long>(R.Stats.CompletedStates),
+              static_cast<unsigned long long>(R.Stats.Merges),
+              static_cast<unsigned long long>(R.bugCount()));
+  for (const TestCase &T : R.Tests) {
+    if (!T.isBug())
+      continue;
+    const char *Kind =
+        T.Kind == TestKind::OutOfBounds ? "out-of-bounds" : "assertion";
+    // Reconstruct the packet bytes from the model for display.
+    std::printf("  %-13s", Kind);
+    std::printf(" pkt = [");
+    for (int I = 0; I < 12; ++I) {
+      uint64_t B = T.Inputs.get(
+          Runner.context().mkVar("pkt[" + std::to_string(I) + "]", 8));
+      std::printf("%s%llu", I ? " " : "", static_cast<unsigned long long>(B));
+    }
+    std::printf("]");
+    ReplayResult RR = replayTest(M, Runner.context(), T);
+    bool Confirmed =
+        (T.Kind == TestKind::OutOfBounds &&
+         RR.K == ReplayResult::Kind::OutOfBounds) ||
+        (T.Kind == TestKind::AssertFailure &&
+         RR.K == ReplayResult::Kind::AssertFailure);
+    std::printf("  replay: %s\n", Confirmed ? "confirmed" : "MISMATCH");
+  }
+}
+
+int main() {
+  CompileResult CR = compileMiniC(Parser);
+  if (!CR.ok()) {
+    for (const Diagnostic &D : CR.Diags)
+      std::fprintf(stderr, "error: %s\n", D.str().c_str());
+    return 1;
+  }
+
+  // Plain exploration.
+  {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 20;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    report("plain    ", *CR.M, Runner, R);
+  }
+  // QCE + DSM exploration finds the same bugs with fewer states.
+  {
+    SymbolicRunner::Config C;
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.UseDSM = true;
+    C.Driving = SymbolicRunner::Strategy::Coverage;
+    C.Engine.MaxSeconds = 20;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    report("dsm+qce  ", *CR.M, Runner, R);
+  }
+  return 0;
+}

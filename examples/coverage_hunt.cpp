@@ -1,0 +1,95 @@
+//===- coverage_hunt.cpp - Coverage-oriented search with and without DSM -----===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Demonstrates §4/§5.5: under a fixed budget with a coverage-oriented
+/// search strategy, static state merging fights the search goal (it must
+/// follow the topological order), while dynamic state merging leaves the
+/// strategy in control and still merges by fast-forwarding lagging
+/// states.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace symmerge;
+
+namespace {
+
+struct Outcome {
+  double Coverage;
+  RunResult R;
+};
+
+Outcome run(const Module &M, SymbolicRunner::MergeMode Mode, bool DSM,
+            SymbolicRunner::Strategy Strat, uint64_t StepBudget) {
+  SymbolicRunner::Config C;
+  C.Merge = Mode;
+  C.UseDSM = DSM;
+  C.Driving = Strat;
+  C.Engine.MaxSteps = StepBudget;
+  C.Engine.MaxSeconds = 30;
+  C.Engine.CollectTests = false;
+  SymbolicRunner Runner(M, C);
+  Outcome O;
+  O.R = Runner.run();
+  O.Coverage = Runner.coverage().statementCoverage();
+  return O;
+}
+
+} // namespace
+
+int main() {
+  // A budget small enough that exploration stays incomplete: the regime
+  // where the search strategy's priorities matter.
+  constexpr uint64_t Budget = 900;
+  const char *Tool = "pr";
+  constexpr unsigned N = 4, L = 8;
+
+  const Workload *W = findWorkload(Tool);
+  CompileResult CR = compileWorkload(*W, N, L);
+  if (!CR.ok())
+    return 1;
+
+  std::printf("== Incomplete exploration of '%s' (N=%u, L=%u), budget %llu "
+              "instructions ==\n\n",
+              Tool, N, L, static_cast<unsigned long long>(Budget));
+  std::printf("%-28s %10s %10s %10s %8s\n", "configuration", "coverage",
+              "paths", "merges", "ff");
+
+  Outcome Plain = run(*CR.M, SymbolicRunner::MergeMode::None, false,
+                      SymbolicRunner::Strategy::Coverage, Budget);
+  Outcome Ssm = run(*CR.M, SymbolicRunner::MergeMode::QCE, false,
+                    SymbolicRunner::Strategy::Topological, Budget);
+  Outcome Dsm = run(*CR.M, SymbolicRunner::MergeMode::QCE, true,
+                    SymbolicRunner::Strategy::Coverage, Budget);
+
+  auto Row = [](const char *Name, const Outcome &O) {
+    std::printf("%-28s %9.1f%% %10.0f %10llu %8llu\n", Name,
+                100 * O.Coverage, O.R.Stats.CompletedMultiplicity,
+                static_cast<unsigned long long>(O.R.Stats.Merges),
+                static_cast<unsigned long long>(
+                    O.R.Stats.FastForwardSelections));
+  };
+  Row("plain + coverage search", Plain);
+  Row("SSM+QCE (topological)", Ssm);
+  Row("DSM+QCE + coverage search", Dsm);
+
+  std::printf("\nExpected shape (paper Figure 8): SSM sacrifices coverage "
+              "to merge;\nDSM keeps roughly the baseline's coverage while "
+              "exploring more paths.\n");
+  if (Dsm.R.Stats.FastForwardSelections) {
+    std::printf("DSM merged %llu of %llu fast-forwarded states (paper "
+                "§5.5: 69%%).\n",
+                static_cast<unsigned long long>(
+                    Dsm.R.Stats.FastForwardMerges),
+                static_cast<unsigned long long>(
+                    Dsm.R.Stats.FastForwardSelections));
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- echo_qce.cpp - The paper's Figure 1 example, end to end ---------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Walks through the paper's running example (§3.1/§3.2): the simplified
+/// echo utility. Shows
+///
+///   1. the QCE annotations — Qt and Qadd per variable at each block — and
+///      the resulting hot sets,
+///   2. how exploration cost compares across no merging, merge-everything,
+///      and QCE-selective merging,
+///   3. the §5.4 "sleep" effect: states whose differing variable is
+///      symbolic still merge under QCE.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QCE.h"
+#include "core/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace symmerge;
+
+static void runMode(const Module &M, const char *Label,
+                    SymbolicRunner::MergeMode Mode,
+                    SymbolicRunner::Strategy Strat) {
+  SymbolicRunner::Config C;
+  C.Merge = Mode;
+  C.Driving = Strat;
+  C.Engine.MaxSeconds = 20;
+  C.Engine.TrackExactPaths = true;
+  SymbolicRunner Runner(M, C);
+  RunResult R = Runner.run();
+  std::printf("  %-12s states=%4llu merges=%3llu solver-queries=%5llu "
+              "paths=%llu wall=%.3fs\n",
+              Label,
+              static_cast<unsigned long long>(R.Stats.CompletedStates),
+              static_cast<unsigned long long>(R.Stats.Merges),
+              static_cast<unsigned long long>(R.Stats.SolverQueries),
+              static_cast<unsigned long long>(R.Stats.ExactPathsCompleted),
+              R.Stats.WallSeconds);
+}
+
+int main() {
+  const Workload *Echo = findWorkload("echo");
+  constexpr unsigned N = 2, L = 4;
+  CompileResult CR = compileWorkload(*Echo, N, L);
+  if (!CR.ok())
+    return 1;
+  const Function *Main = CR.M->mainFunction();
+
+  std::printf("== The paper's echo example (N=%u args x L=%u bytes) ==\n\n",
+              N, L);
+
+  // 1. QCE annotations, as the paper's §3.2 walkthrough computes them.
+  ProgramInfo PI(*CR.M);
+  // The paper's §3.2 walkthrough regime: a mid-range alpha separates the
+  // loop-controlling variable from the once-checked flag. (The paper's
+  // worked example uses alpha=0.5 at kappa=1; the experiments run at
+  // alpha=1e-12, where only query-free variables are cold.)
+  QCEParams Params;
+  Params.Alpha = 0.4;
+  Params.Kappa = 4;
+  QCEAnalysis QCE(PI, Params);
+
+  std::printf("QCE annotations at loop-relevant blocks (alpha=%g, beta=%g, "
+              "kappa=%u):\n",
+              Params.Alpha, Params.Beta, Params.Kappa);
+  int Arg = Main->findLocal("arg");
+  int RVar = Main->findLocal("r");
+  for (const auto &BB : Main->blocks()) {
+    // Report at loop headers — the merge points that matter.
+    if (BB->name().find("head") == std::string::npos)
+      continue;
+    double Qt = QCE.qtAt(BB.get());
+    std::printf("  %-12s Qt=%8.3f  Qadd(arg)=%8.3f%s  Qadd(r)=%8.3f%s\n",
+                BB->name().c_str(), Qt, QCE.qaddAt(BB.get(), Arg),
+                QCE.isHot(BB.get(), Arg, Qt) ? " [hot]" : "      ",
+                QCE.qaddAt(BB.get(), RVar),
+                QCE.isHot(BB.get(), RVar, Qt) ? " [hot]" : "      ");
+  }
+  std::printf("Paper's insight: `arg` (feeds loop bounds and array "
+              "indices) is hot;\n`r` (checked once at the end) is not.\n\n");
+
+  // 2. The merging trade-off on the full program.
+  std::printf("Exhaustive exploration:\n");
+  runMode(*CR.M, "no-merge", SymbolicRunner::MergeMode::None,
+          SymbolicRunner::Strategy::Random);
+  runMode(*CR.M, "merge-all", SymbolicRunner::MergeMode::All,
+          SymbolicRunner::Strategy::Topological);
+  runMode(*CR.M, "qce", SymbolicRunner::MergeMode::QCE,
+          SymbolicRunner::Strategy::Topological);
+  std::printf("\nAll three explore the same feasible paths; they differ in "
+              "how many states\nand solver queries that takes (the paper's "
+              "central trade-off).\n\n");
+
+  // 3. The sleep effect (§5.4): symbolic differences merge under QCE.
+  const Workload *Sleep = findWorkload("sleep");
+  CompileResult SR = compileWorkload(*Sleep, 2, 4);
+  if (!SR.ok())
+    return 1;
+  std::printf("The §5.4 sleep case study (argument parsing sums into a "
+              "live symbolic\nvariable; QCE still merges the parsing "
+              "states):\n");
+  runMode(*SR.M, "no-merge", SymbolicRunner::MergeMode::None,
+          SymbolicRunner::Strategy::Random);
+  runMode(*SR.M, "qce", SymbolicRunner::MergeMode::QCE,
+          SymbolicRunner::Strategy::Topological);
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- DataDependence.cpp - Flow-insensitive influence analysis ------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DataDependence.h"
+
+#include <cassert>
+
+using namespace symmerge;
+
+DataDependence::DataDependence(const Module &M) {
+  // Assign global node ids.
+  int Next = 0;
+  for (const auto &F : M.functions()) {
+    FuncBase[F.get()] = Next;
+    FuncNumLocals[F.get()] = static_cast<int>(F->locals().size());
+    Next += static_cast<int>(F->locals().size());
+  }
+  ReverseEdges.resize(Next);
+
+  // Return-operand locals per function (for call result edges).
+  std::unordered_map<const Function *, std::vector<int>> RetLocals;
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const Instr &I : BB->instructions()) {
+        if (I.Op == Opcode::Ret && I.A.isLocal())
+          RetLocals[F.get()].push_back(I.A.LocalId);
+      }
+    }
+  }
+
+  auto AddOperand = [&](const Function *F, const Operand &Op, int DstNode) {
+    if (Op.isLocal())
+      addEdge(nodeId(F, Op.LocalId), DstNode);
+  };
+
+  for (const auto &FPtr : M.functions()) {
+    const Function *F = FPtr.get();
+    for (const auto &BB : F->blocks()) {
+      for (const Instr &I : BB->instructions()) {
+        switch (I.Op) {
+        case Opcode::BinOp: {
+          int D = nodeId(F, I.Dst);
+          AddOperand(F, I.A, D);
+          AddOperand(F, I.B, D);
+          break;
+        }
+        case Opcode::UnOp:
+        case Opcode::Copy:
+          AddOperand(F, I.A, nodeId(F, I.Dst));
+          break;
+        case Opcode::Load: {
+          int D = nodeId(F, I.Dst);
+          addEdge(nodeId(F, I.ArrayLocal), D);
+          AddOperand(F, I.A, D); // The index shapes the loaded value.
+          break;
+        }
+        case Opcode::Store: {
+          int D = nodeId(F, I.ArrayLocal);
+          AddOperand(F, I.A, D);
+          AddOperand(F, I.B, D);
+          break;
+        }
+        case Opcode::Call: {
+          const Function *Callee = I.Callee;
+          for (unsigned K = 0; K < Callee->numParams(); ++K) {
+            int ParamNode = nodeId(Callee, static_cast<int>(K));
+            const Operand &Arg = I.Args[K];
+            if (!Arg.isLocal())
+              continue;
+            int ArgNode = nodeId(F, Arg.LocalId);
+            addEdge(ArgNode, ParamNode);
+            // By-reference arrays: callee writes flow back to the caller.
+            if (Callee->local(static_cast<int>(K)).Ty.isArray())
+              addEdge(ParamNode, ArgNode);
+          }
+          if (I.Dst >= 0) {
+            int D = nodeId(F, I.Dst);
+            for (int R : RetLocals[Callee])
+              addEdge(nodeId(Callee, R), D);
+          }
+          break;
+        }
+        default:
+          break; // Uses only, or no dataflow.
+        }
+      }
+    }
+  }
+}
+
+void DataDependence::addEdge(int From, int To) {
+  if (From == To)
+    return;
+  ReverseEdges[To].push_back(From);
+}
+
+const std::vector<bool> &DataDependence::influencersOf(const Function *F,
+                                                       int U) const {
+  int Node = nodeId(F, U);
+  auto It = Cache.find(Node);
+  if (It != Cache.end())
+    return It->second;
+
+  // Reverse BFS over the global graph; project onto F's local id space.
+  std::vector<bool> VisitedGlobal(ReverseEdges.size(), false);
+  std::vector<int> Work{Node};
+  VisitedGlobal[Node] = true;
+  while (!Work.empty()) {
+    int Cur = Work.back();
+    Work.pop_back();
+    for (int Pred : ReverseEdges[Cur]) {
+      if (!VisitedGlobal[Pred]) {
+        VisitedGlobal[Pred] = true;
+        Work.push_back(Pred);
+      }
+    }
+  }
+  int Base = FuncBase.at(F);
+  int NumLocals = FuncNumLocals.at(F);
+  std::vector<bool> Result(NumLocals, false);
+  for (int I = 0; I < NumLocals; ++I)
+    Result[I] = VisitedGlobal[Base + I];
+  return Cache.emplace(Node, std::move(Result)).first->second;
+}

@@ -1,0 +1,66 @@
+//===- DataDependence.h - Flow-insensitive influence analysis ---*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence relation (l,v) ◁ (l',e) of the paper (§3.3): "expression
+/// e at location l' may depend on the value of variable v at location l",
+/// approximated path-insensitively. We build a global influence graph over
+/// (function, local) nodes:
+///
+///   - assignments add edges from the operand locals to the destination,
+///   - array loads/stores route through the whole-array node,
+///   - calls connect arguments to parameters (bidirectionally for
+///     by-reference array parameters) and return operands to call results.
+///
+/// A variable v influences a branch at l' iff v is in the reverse-reachable
+/// set of the branch's condition local. QCE instantiates its per-variable
+/// counter c_v from this relation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_ANALYSIS_DATADEPENDENCE_H
+#define SYMMERGE_ANALYSIS_DATADEPENDENCE_H
+
+#include "ir/IR.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+/// Whole-module influence closure over locals.
+class DataDependence {
+public:
+  explicit DataDependence(const Module &M);
+
+  /// True if the value of local \p V in \p F may flow into local \p U
+  /// of the same function (transitively, possibly through calls).
+  bool influences(const Function *F, int V, int U) const {
+    return influencersOf(F, U)[V];
+  }
+
+  /// Bitset (indexed by local id of \p F) of locals whose value may flow
+  /// into local \p U of \p F. Reflexive: U influences itself.
+  const std::vector<bool> &influencersOf(const Function *F, int U) const;
+
+private:
+  int nodeId(const Function *F, int LocalId) const {
+    return FuncBase.at(F) + LocalId;
+  }
+
+  void addEdge(int From, int To);
+
+  std::unordered_map<const Function *, int> FuncBase;
+  std::unordered_map<const Function *, int> FuncNumLocals;
+  std::vector<std::vector<int>> ReverseEdges; // ReverseEdges[v] = {u: u->v}.
+  /// Cache of reverse-reachable sets, keyed by global node id, expressed
+  /// in the *local* id space of the owning function.
+  mutable std::unordered_map<int, std::vector<bool>> Cache;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_ANALYSIS_DATADEPENDENCE_H

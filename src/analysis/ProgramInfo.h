@@ -1,0 +1,53 @@
+//===- ProgramInfo.h - Bundled per-module analyses --------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns and caches the static analyses the engine and QCE consume: CFG
+/// facts, loop forests, the call graph, and the dependence closure. Built
+/// once per module after lowering; the module must not change afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_ANALYSIS_PROGRAMINFO_H
+#define SYMMERGE_ANALYSIS_PROGRAMINFO_H
+
+#include "analysis/DataDependence.h"
+#include "ir/CFG.h"
+#include "ir/CallGraph.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace symmerge {
+
+/// Immutable bundle of static analyses for one module.
+class ProgramInfo {
+public:
+  explicit ProgramInfo(const Module &M) : M(M), CG(M), Dep(M) {
+    for (const auto &F : M.functions()) {
+      auto CFG = std::make_unique<CFGInfo>(*F);
+      Loops.emplace(F.get(), std::make_unique<LoopInfo>(*F, *CFG));
+      CFGs.emplace(F.get(), std::move(CFG));
+    }
+  }
+
+  const Module &module() const { return M; }
+  const CFGInfo &cfg(const Function *F) const { return *CFGs.at(F); }
+  const LoopInfo &loops(const Function *F) const { return *Loops.at(F); }
+  const CallGraph &callGraph() const { return CG; }
+  const DataDependence &dependence() const { return Dep; }
+
+private:
+  const Module &M;
+  CallGraph CG;
+  DataDependence Dep;
+  std::unordered_map<const Function *, std::unique_ptr<CFGInfo>> CFGs;
+  std::unordered_map<const Function *, std::unique_ptr<LoopInfo>> Loops;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_ANALYSIS_PROGRAMINFO_H

@@ -1,0 +1,266 @@
+//===- QCE.cpp - Query Count Estimation implementation ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QCE.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace symmerge;
+
+namespace {
+
+/// Saturation bound: query counts feed threshold comparisons only, so we
+/// clamp instead of overflowing.
+constexpr double MaxCount = 1e30;
+
+double clampCount(double V) { return std::min(V, MaxCount); }
+
+/// A vector of counters (index 0 = Qt; index 1+i = Qadd for local i) plus
+/// scalar coefficients for unresolved loop-header unknowns X_h.
+struct LinearForm {
+  std::vector<double> Const;
+  std::map<const BasicBlock *, double> Coeffs;
+
+  explicit LinearForm(size_t N = 0) : Const(N, 0.0) {}
+
+  void addScaled(const LinearForm &O, double Factor) {
+    assert(Const.size() == O.Const.size() && "form arity mismatch");
+    for (size_t I = 0; I < Const.size(); ++I)
+      Const[I] = clampCount(Const[I] + Factor * O.Const[I]);
+    for (const auto &[H, C] : O.Coeffs) {
+      double &Slot = Coeffs[H];
+      Slot = clampCount(Slot + Factor * C);
+    }
+  }
+
+  /// Removes and returns the coefficient of \p H (0 if absent).
+  double takeCoeff(const BasicBlock *H) {
+    auto It = Coeffs.find(H);
+    if (It == Coeffs.end())
+      return 0.0;
+    double C = It->second;
+    Coeffs.erase(It);
+    return C;
+  }
+};
+
+/// Computes sum_{k<n} c^k with clamping.
+double geometricSum(double C, uint64_t N) {
+  if (N == 0)
+    return 0.0;
+  if (std::abs(C - 1.0) < 1e-12)
+    return clampCount(static_cast<double>(N));
+  double CN = std::pow(C, static_cast<double>(N));
+  if (!std::isfinite(CN) || CN > MaxCount)
+    return MaxCount;
+  return clampCount((1.0 - CN) / (1.0 - C));
+}
+
+double powClamped(double C, uint64_t N) {
+  double CN = std::pow(C, static_cast<double>(N));
+  if (!std::isfinite(CN) || CN > MaxCount)
+    return MaxCount;
+  return CN;
+}
+
+} // namespace
+
+QCEAnalysis::QCEAnalysis(const ProgramInfo &PI, const QCEParams &Params)
+    : PI(PI), Params(Params) {
+  // Bottom-up over call-graph SCCs; recursive SCCs iterate kappa times
+  // starting from zero summaries (bounded recursion, paper §5.1).
+  for (const CallGraph::SCC &C : PI.callGraph().bottomUpSCCs()) {
+    // Seed zero summaries so intra-SCC calls resolve during iteration.
+    for (const Function *F : C.Members) {
+      QCEFunctionInfo &Info = Infos[F];
+      Info.F = F;
+      Info.EntryQt = 0;
+      Info.EntryQadd.assign(F->locals().size(), 0.0);
+    }
+    unsigned Rounds = C.Recursive ? std::max(1u, Params.Kappa) : 1;
+    for (unsigned R = 0; R < Rounds; ++R)
+      for (const Function *F : C.Members)
+        computeFunction(F);
+  }
+}
+
+void QCEAnalysis::computeFunction(const Function *F) {
+  const CFGInfo &CFG = PI.cfg(F);
+  const LoopInfo &LI = PI.loops(F);
+  const DataDependence &Dep = PI.dependence();
+  size_t NumLocals = F->locals().size();
+  size_t Arity = 1 + NumLocals;
+  double Beta = Params.Beta;
+
+  std::vector<LinearForm> Resolved(F->numBlocks(), LinearForm(Arity));
+  std::vector<bool> Done(F->numBlocks(), false);
+  std::map<std::pair<const BasicBlock *, unsigned>, LinearForm> RetForms;
+
+  // Adds the contribution of a query on condition local \p CondLocal
+  // (or an unconditional query if CondLocal < 0) to \p V.
+  auto AddQuery = [&](LinearForm &V, int CondLocal) {
+    V.Const[0] = clampCount(V.Const[0] + 1);
+    if (CondLocal < 0)
+      return;
+    const std::vector<bool> &Inf = Dep.influencersOf(F, CondLocal);
+    for (size_t L = 0; L < NumLocals; ++L)
+      if (Inf[L])
+        V.Const[1 + L] = clampCount(V.Const[1 + L] + 1);
+  };
+
+  // Value flowing along edge From->To: back edges become the unknown X_To.
+  auto EdgeValue = [&](const BasicBlock *From,
+                       const BasicBlock *To) -> LinearForm {
+    if (CFG.isBackEdge(From, To)) {
+      LinearForm V(Arity);
+      V.Coeffs[To] = 1.0;
+      return V;
+    }
+    // Forward edges are processed before their source in reverse RPO.
+    // The only unprocessed targets come from *unreachable* source blocks
+    // (which trail the RPO); their counts are irrelevant, so use zero.
+    if (!Done[To->id()])
+      return LinearForm(Arity);
+    return Resolved[To->id()];
+  };
+
+  // Process blocks in reverse RPO: all forward successors first.
+  const auto &RPO = CFG.rpo();
+  for (size_t Idx = RPO.size(); Idx-- > 0;) {
+    const BasicBlock *BB = RPO[Idx];
+    const auto &Instrs = BB->instructions();
+    LinearForm V(Arity);
+
+    // Terminator.
+    const Instr &T = Instrs.back();
+    switch (T.Op) {
+    case Opcode::Br: {
+      V.addScaled(EdgeValue(BB, T.Target1), Beta);
+      if (T.Target2 != T.Target1)
+        V.addScaled(EdgeValue(BB, T.Target2), Beta);
+      if (T.A.isLocal())
+        AddQuery(V, T.A.LocalId);
+      break;
+    }
+    case Opcode::Jump:
+      V.addScaled(EdgeValue(BB, T.Target1), 1.0);
+      break;
+    case Opcode::Ret:
+    case Opcode::Halt:
+      break; // Local counts stop here.
+    default:
+      assert(false && "block without terminator in QCE");
+    }
+
+    // Non-terminator instructions, backwards.
+    for (size_t I = Instrs.size() - 1; I-- > 0;) {
+      const Instr &Ins = Instrs[I];
+      switch (Ins.Op) {
+      case Opcode::Call: {
+        // The value before adding the callee is the post-call
+        // continuation: exactly the return-site count for the dynamic
+        // interprocedural summation.
+        RetForms.emplace(std::make_pair(BB, static_cast<unsigned>(I)), V);
+        const QCEFunctionInfo &Callee = Infos.at(Ins.Callee);
+        V.Const[0] = clampCount(V.Const[0] + Callee.EntryQt);
+        for (unsigned K = 0; K < Ins.Callee->numParams(); ++K) {
+          const Operand &Arg = Ins.Args[K];
+          if (!Arg.isLocal())
+            continue;
+          double ParamQadd = Callee.EntryQadd[K];
+          if (ParamQadd == 0.0)
+            continue;
+          const std::vector<bool> &Inf = Dep.influencersOf(F, Arg.LocalId);
+          for (size_t L = 0; L < NumLocals; ++L)
+            if (Inf[L])
+              V.Const[1 + L] = clampCount(V.Const[1 + L] + ParamQadd);
+        }
+        break;
+      }
+      case Opcode::Assert:
+      case Opcode::Assume:
+        if (Params.CountAsserts)
+          AddQuery(V, Ins.A.isLocal() ? Ins.A.LocalId : -1);
+        break;
+      case Opcode::Load:
+      case Opcode::Store:
+        // Symbolic offsets trigger solver reasoning; constant offsets are
+        // free.
+        if (Params.CountMemOps && Ins.A.isLocal())
+          AddQuery(V, Ins.A.LocalId);
+        break;
+      default:
+        break;
+      }
+    }
+
+    // Loop-header resolution: eliminate X_BB via bounded unrolling.
+    Loop *L = LI.loopFor(BB);
+    if (L && L->Header == BB) {
+      double C = V.takeCoeff(BB);
+      uint64_t N = L->TripCount.value_or(Params.Kappa);
+      LinearForm A = V; // The X_BB-free part.
+      // Exhausted-loop continuation: mean of the exit targets' values.
+      LinearForm E(Arity);
+      std::vector<const BasicBlock *> SeenTargets;
+      for (const auto &[From, To] : L->Exits) {
+        if (std::find(SeenTargets.begin(), SeenTargets.end(), To) !=
+            SeenTargets.end())
+          continue;
+        SeenTargets.push_back(To);
+        E.addScaled(EdgeValue(From, To), 1.0);
+      }
+      LinearForm X(Arity);
+      X.addScaled(A, geometricSum(C, N));
+      if (!SeenTargets.empty())
+        X.addScaled(E, powClamped(C, N) / SeenTargets.size());
+      V = std::move(X);
+    }
+
+    Resolved[BB->id()] = std::move(V);
+    Done[BB->id()] = true;
+  }
+
+  // Substitute any remaining header unknowns (inner-loop blocks reference
+  // X_h of enclosing headers; resolutions only reference strictly outer
+  // headers, so this terminates).
+  auto Substitute = [&](LinearForm &V) {
+    for (int Guard = 0; Guard < 100 && !V.Coeffs.empty(); ++Guard) {
+      auto [H, C] = *V.Coeffs.begin();
+      V.Coeffs.erase(V.Coeffs.begin());
+      V.addScaled(Resolved[H->id()], C);
+    }
+    assert(V.Coeffs.empty() && "unresolved loop header in QCE form");
+  };
+
+  QCEFunctionInfo &Info = Infos[F];
+  Info.F = F;
+  Info.BlockQt.assign(F->numBlocks(), 0.0);
+  Info.BlockQadd.assign(F->numBlocks(),
+                        std::vector<double>(NumLocals, 0.0));
+  Info.RetSiteQt.clear();
+  Info.RetSiteQadd.clear();
+  for (const auto &BBPtr : F->blocks()) {
+    LinearForm V = Resolved[BBPtr->id()];
+    Substitute(V);
+    Info.BlockQt[BBPtr->id()] = V.Const[0];
+    for (size_t L = 0; L < NumLocals; ++L)
+      Info.BlockQadd[BBPtr->id()][L] = V.Const[1 + L];
+  }
+  for (auto &[Key, Form] : RetForms) {
+    LinearForm V = Form;
+    Substitute(V);
+    Info.RetSiteQt[Key] = V.Const[0];
+    std::vector<double> Qadd(NumLocals, 0.0);
+    for (size_t L = 0; L < NumLocals; ++L)
+      Qadd[L] = V.Const[1 + L];
+    Info.RetSiteQadd[Key] = std::move(Qadd);
+  }
+  Info.EntryQt = Info.BlockQt[F->entry()->id()];
+  Info.EntryQadd = Info.BlockQadd[F->entry()->id()];
+}

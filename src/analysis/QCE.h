@@ -1,0 +1,123 @@
+//===- QCE.h - Query Count Estimation ---------------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query Count Estimation (paper §3): for every location l, statically
+/// estimate
+///
+///   Qt(l)      — expected number of solver queries issued after l, and
+///   Qadd(l,v)  — the additional queries if local v became symbolic at l,
+///
+/// via the recursion q(l,c) of Equation (3): branches contribute c(l,e)
+/// and damp both successors by beta; straight-line code passes through;
+/// halt/return stop the local count.
+///
+/// Loops are handled compositionally instead of by explicit unrolling:
+/// within a loop body, values are *linear forms* over the unknown header
+/// re-entry values X_h. A header with trip count n (statically detected,
+/// else the kappa bound) resolves to
+///
+///   X_h = sum_{k<n} c^k * a  +  c^n * E
+///
+/// where `a` is the X_h-free part of the header's form, c the X_h
+/// coefficient, and E the mean value of the loop's exit targets (the
+/// "exhausted loop falls through to its continuation" convention). On the
+/// paper's Figure-1 example with alpha=0.5, beta=0.6, kappa=1 this
+/// reproduces the published values exactly: Qadd(7,arg) = beta+1 = 1.6,
+/// Qadd(7,r) = beta+2beta^2 = 1.32, Qt(7) = 1+2beta+2beta^2 = 2.92.
+///
+/// Interprocedural counts follow §3.2: per-function local counts are
+/// computed bottom-up over the call graph (recursive SCCs iterated kappa
+/// times from zero); call sites add the callee's entry counts, mapping
+/// caller locals onto parameters through the dependence closure. The
+/// engine completes the global count at run time by summing the return-
+/// site counts of the call stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_ANALYSIS_QCE_H
+#define SYMMERGE_ANALYSIS_QCE_H
+
+#include "analysis/ProgramInfo.h"
+
+#include <map>
+#include <vector>
+
+namespace symmerge {
+
+/// Tunable heuristic parameters (paper §3.2 "Parameters").
+struct QCEParams {
+  /// Hot-variable threshold: v is hot at l iff Qadd(l,v) > Alpha * Qt.
+  /// Alpha = infinity merges everything; Alpha = 0 never merges states
+  /// that differ in any concretely-used variable (paper Figure 7).
+  double Alpha = 1e-3;
+  /// Per-branch feasibility probability (paper found 0.8 by hill climbing).
+  double Beta = 0.8;
+  /// Iteration bound for loops without a static trip count, and the
+  /// iteration count for recursive call-graph SCC summaries.
+  unsigned Kappa = 10;
+  /// Count assert/assume checks as solver queries (paper §3.3 footnote).
+  bool CountAsserts = true;
+  /// Count array accesses as queries (symbolic offsets hit the solver).
+  bool CountMemOps = true;
+  /// Cost multiplier for queries that gain ite expressions through a
+  /// merge (the zeta of Equation (5)). Only the *full* QCE policy of
+  /// Equation (7) uses it; the paper's prototype drops the Qite term,
+  /// which corresponds to Zeta = 1.
+  double Zeta = 2.0;
+};
+
+/// Per-function QCE results. All vectors indexed by block id / local id;
+/// values are at *block entry*. Return sites (call instructions) carry the
+/// exact post-call value used for the dynamic stack summation.
+struct QCEFunctionInfo {
+  const Function *F = nullptr;
+  std::vector<double> BlockQt;
+  std::vector<std::vector<double>> BlockQadd; // [block id][local id].
+  /// Post-call counts keyed by (block, instruction index) of the call.
+  std::map<std::pair<const BasicBlock *, unsigned>, double> RetSiteQt;
+  std::map<std::pair<const BasicBlock *, unsigned>, std::vector<double>>
+      RetSiteQadd;
+  double EntryQt = 0;
+  std::vector<double> EntryQadd;
+};
+
+/// Whole-module query count estimation.
+class QCEAnalysis {
+public:
+  QCEAnalysis(const ProgramInfo &PI, const QCEParams &Params);
+
+  const QCEParams &params() const { return Params; }
+  const QCEFunctionInfo &info(const Function *F) const {
+    return Infos.at(F);
+  }
+
+  /// Qt at the entry of \p BB.
+  double qtAt(const BasicBlock *BB) const {
+    return info(BB->parent()).BlockQt[BB->id()];
+  }
+  /// Qadd for local \p LocalId at the entry of \p BB.
+  double qaddAt(const BasicBlock *BB, int LocalId) const {
+    return info(BB->parent()).BlockQadd[BB->id()][LocalId];
+  }
+
+  /// Hot-variable test of Equation (2): Qadd(l,v) > Alpha * GlobalQt.
+  /// \p GlobalQt is the stack-completed total query count for the state.
+  bool isHot(const BasicBlock *BB, int LocalId, double GlobalQt) const {
+    return qaddAt(BB, LocalId) > Params.Alpha * GlobalQt;
+  }
+
+private:
+  void computeFunction(const Function *F);
+
+  const ProgramInfo &PI;
+  QCEParams Params;
+  std::unordered_map<const Function *, QCEFunctionInfo> Infos;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_ANALYSIS_QCE_H

@@ -1,0 +1,27 @@
+//===- Coverage.cpp - Statement coverage tracking ---------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Coverage.h"
+
+using namespace symmerge;
+
+CoverageTracker::CoverageTracker(const Module &M) : M(M) {
+  for (const auto &F : M.functions()) {
+    TotalBlocks += F->numBlocks();
+    for (const auto &BB : F->blocks())
+      TotalInstrs += BB->instructions().size();
+  }
+}
+
+double CoverageTracker::statementCoverage() const {
+  if (TotalInstrs == 0)
+    return 0.0;
+  size_t CoveredInstrs = 0;
+  for (const auto &[BB, Count] : Counts)
+    CoveredInstrs += BB->instructions().size();
+  return static_cast<double>(CoveredInstrs) /
+         static_cast<double>(TotalInstrs);
+}

@@ -1,0 +1,56 @@
+//===- Coverage.h - Statement coverage tracking -----------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks which basic blocks real states have entered. Statement coverage
+/// is instruction-weighted, matching the paper's coverage-oriented
+/// evaluation (Figure 8). Also records per-block entry counts, which the
+/// coverage-optimized searcher uses to deprioritize deep loop unrolling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_COVERAGE_H
+#define SYMMERGE_CORE_COVERAGE_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace symmerge {
+
+/// Per-run block coverage and entry counts.
+class CoverageTracker {
+public:
+  explicit CoverageTracker(const Module &M);
+
+  void onBlockEntered(const BasicBlock *BB) { ++Counts[BB]; }
+
+  bool covered(const BasicBlock *BB) const { return Counts.count(BB) != 0; }
+
+  uint64_t timesEntered(const BasicBlock *BB) const {
+    auto It = Counts.find(BB);
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  size_t coveredBlocks() const { return Counts.size(); }
+  size_t totalBlocks() const { return TotalBlocks; }
+
+  /// Fraction of instructions that live in covered blocks.
+  double statementCoverage() const;
+
+  void reset() { Counts.clear(); }
+
+private:
+  const Module &M;
+  size_t TotalBlocks = 0;
+  size_t TotalInstrs = 0;
+  std::unordered_map<const BasicBlock *, uint64_t> Counts;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_COVERAGE_H

@@ -1,0 +1,77 @@
+//===- Driver.cpp - One-stop assembly of the engine stack --------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+
+using namespace symmerge;
+
+static std::unique_ptr<Solver> makeSolverStack(ExprContext &Ctx,
+                                               uint64_t ConflictBudget,
+                                               bool UseCache,
+                                               bool UseIndependence,
+                                               bool UseSimplify) {
+  std::unique_ptr<Solver> S = createCoreSolver(Ctx, ConflictBudget);
+  if (UseCache)
+    S = createCachingSolver(Ctx, std::move(S));
+  if (UseSimplify)
+    S = createSimplifyingSolver(Ctx, std::move(S));
+  if (UseIndependence)
+    S = createIndependenceSolver(Ctx, std::move(S));
+  return S;
+}
+
+SymbolicRunner::SymbolicRunner(const Module &M, Config C)
+    : M(M), Cfg(C), PI(M),
+      TheSolver(makeSolverStack(Ctx, C.SolverConflictBudget, C.SolverCache,
+                                C.SolverIndependence, C.SolverSimplify)),
+      Cov(M) {
+  if (Cfg.Merge == MergeMode::QCE || Cfg.Merge == MergeMode::QCEFull ||
+      Cfg.UseDSM)
+    QCEInfo.emplace(PI, Cfg.QCE);
+  switch (Cfg.Merge) {
+  case MergeMode::None:
+    Policy = createMergeNonePolicy();
+    break;
+  case MergeMode::All:
+    Policy = createMergeAllPolicy();
+    break;
+  case MergeMode::QCE:
+    Policy = createQCEPolicy(*QCEInfo);
+    break;
+  case MergeMode::QCEFull:
+    Policy = createQCEFullPolicy(*QCEInfo);
+    break;
+  }
+}
+
+SymbolicRunner::~SymbolicRunner() = default;
+
+std::unique_ptr<Searcher> SymbolicRunner::makeDrivingSearcher() {
+  switch (Cfg.Driving) {
+  case Strategy::DFS:
+    return createDFSSearcher();
+  case Strategy::BFS:
+    return createBFSSearcher();
+  case Strategy::Random:
+    return createRandomSearcher(Cfg.Seed);
+  case Strategy::RandomPath:
+    return createRandomPathSearcher(Cfg.Seed);
+  case Strategy::Coverage:
+    return createCoverageSearcher(PI, Cov, Cfg.Seed);
+  case Strategy::Topological:
+    return createTopologicalSearcher(PI);
+  }
+  return createRandomSearcher(Cfg.Seed);
+}
+
+RunResult SymbolicRunner::run() {
+  Cov.reset();
+  std::unique_ptr<Searcher> Search = makeDrivingSearcher();
+  if (Cfg.UseDSM)
+    Search = createDynamicMergeSearcher(PI, *Policy, std::move(Search));
+  Engine E(Ctx, PI, *TheSolver, *Policy, *Search, Cov, Cfg.Engine);
+  return E.run();
+}

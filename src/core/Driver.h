@@ -1,0 +1,100 @@
+//===- Driver.h - One-stop assembly of the engine stack ---------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SymbolicRunner wires together everything a client needs to symbolically
+/// execute a module: expression context, static analyses, QCE, the solver
+/// stack, a merge policy, and a search strategy. The configurations mirror
+/// the paper's evaluation matrix:
+///
+///   MergeMode::None                      — plain KLEE-style exploration,
+///   MergeMode::All  + SSM (topological)  — complete static merging,
+///   MergeMode::QCE  + SSM                — selective static merging §5.4,
+///   MergeMode::QCE  + UseDSM + coverage  — the paper's headline setup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_DRIVER_H
+#define SYMMERGE_CORE_DRIVER_H
+
+#include "analysis/QCE.h"
+#include "core/Coverage.h"
+#include "core/Engine.h"
+#include "core/MergePolicy.h"
+#include "core/Searcher.h"
+#include "core/TestCase.h"
+#include "solver/Solver.h"
+
+#include <memory>
+#include <optional>
+
+namespace symmerge {
+
+/// Owns the full engine stack for one module and runs it.
+class SymbolicRunner {
+public:
+  enum class MergeMode : uint8_t {
+    None,    ///< Plain exploration.
+    All,     ///< Merge every structurally compatible pair.
+    QCE,     ///< Paper prototype: Equation (1), Qadd hot sets.
+    QCEFull, ///< Full Equation (7) with the zeta-weighted Qite term.
+  };
+  enum class Strategy : uint8_t {
+    DFS,
+    BFS,
+    Random,     ///< Uniform over the worklist.
+    RandomPath, ///< KLEE's default: weight 2^-forkDepth.
+    Coverage,   ///< Biased toward uncovered code.
+    Topological ///< The static-state-merging order.
+  };
+
+  struct Config {
+    MergeMode Merge = MergeMode::None;
+    /// Wrap the driving strategy in dynamic state merging (Algorithm 2).
+    /// Without DSM, merging only happens when states meet by the driving
+    /// strategy's own order — use Strategy::Topological for SSM.
+    bool UseDSM = false;
+    Strategy Driving = Strategy::Random;
+    QCEParams QCE;
+    EngineOptions Engine;
+    uint64_t Seed = 42;
+    /// SAT conflict budget per query (0 = unlimited).
+    uint64_t SolverConflictBudget = 0;
+    /// Solver stack toggles (ablations; all on for production use).
+    bool SolverCache = true;
+    bool SolverIndependence = true;
+    bool SolverSimplify = true;
+  };
+
+  SymbolicRunner(const Module &M, Config C);
+  ~SymbolicRunner();
+
+  /// Runs symbolic execution from main once.
+  RunResult run();
+
+  ExprContext &context() { return Ctx; }
+  const ProgramInfo &programInfo() const { return PI; }
+  const QCEAnalysis *qce() const { return QCEInfo ? &*QCEInfo : nullptr; }
+  const CoverageTracker &coverage() const { return Cov; }
+  Solver &solver() { return *TheSolver; }
+  const Config &config() const { return Cfg; }
+
+private:
+  std::unique_ptr<Searcher> makeDrivingSearcher();
+
+  const Module &M;
+  Config Cfg;
+  ExprContext Ctx;
+  ProgramInfo PI;
+  std::optional<QCEAnalysis> QCEInfo;
+  std::unique_ptr<Solver> TheSolver;
+  std::unique_ptr<MergePolicy> Policy;
+  CoverageTracker Cov;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_DRIVER_H

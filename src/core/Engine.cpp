@@ -1,0 +1,556 @@
+//===- Engine.cpp - The symbolic execution engine ----------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include "core/StateMerge.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace symmerge;
+
+Engine::Engine(ExprContext &Ctx, const ProgramInfo &PI, Solver &TheSolver,
+               MergePolicy &Policy, Searcher &Search,
+               CoverageTracker &Coverage, EngineOptions Opts)
+    : Ctx(Ctx), PI(PI), TheSolver(TheSolver), Policy(Policy), Search(Search),
+      Coverage(Coverage), Opts(Opts) {}
+
+//===----------------------------------------------------------------------===
+// State management
+//===----------------------------------------------------------------------===
+
+ExecutionState *Engine::makeInitialState() {
+  const Function *Main = PI.module().mainFunction();
+  assert(Main && "module has no main function");
+
+  auto S = std::make_unique<ExecutionState>();
+  S->Id = NextStateId++;
+  StackFrame Frame;
+  Frame.F = Main;
+  Frame.Scalars.resize(Main->locals().size(), nullptr);
+  Frame.ArrayIds.assign(Main->locals().size(), -1);
+  for (size_t L = 0; L < Main->locals().size(); ++L) {
+    const Type &Ty = Main->locals()[L].Ty;
+    if (Ty.isArray()) {
+      ArrayObject AO;
+      AO.ElemWidth = Ty.Width;
+      AO.Cells.assign(Ty.ArraySize, Ctx.mkConst(0, Ty.Width));
+      Frame.ArrayIds[L] = static_cast<int>(S->Arrays.size());
+      S->Arrays.push_back(std::move(AO));
+    } else {
+      Frame.Scalars[L] = Ctx.mkConst(0, Ty.Width);
+    }
+  }
+  S->Stack.push_back(std::move(Frame));
+  if (Opts.TrackExactPaths)
+    S->ShadowPaths.push_back({});
+  ExecutionState *Raw = S.get();
+  Owned.emplace(Raw->Id, std::move(S));
+  transferTo(*Raw, Main->entry());
+  return Raw;
+}
+
+ExecutionState *Engine::fork(const ExecutionState &S) {
+  auto Child = std::make_unique<ExecutionState>(S);
+  Child->Id = NextStateId++;
+  ExecutionState *Raw = Child.get();
+  Owned.emplace(Raw->Id, std::move(Child));
+  return Raw;
+}
+
+void Engine::destroy(ExecutionState *S) { Owned.erase(S->Id); }
+
+//===----------------------------------------------------------------------===
+// Operand evaluation
+//===----------------------------------------------------------------------===
+
+ExprRef Engine::evalOperand(const ExecutionState &S,
+                            const Operand &Op) const {
+  switch (Op.K) {
+  case Operand::Kind::Const:
+    return Ctx.mkConst(Op.Value, Op.Width);
+  case Operand::Kind::Local: {
+    ExprRef V = S.frame().Scalars[Op.LocalId];
+    assert(V && "read of array slot as scalar");
+    return V;
+  }
+  case Operand::Kind::None:
+    break;
+  }
+  assert(false && "evaluating a missing operand");
+  return nullptr;
+}
+
+ExprRef Engine::evalIndex(const ExecutionState &S, const Operand &Op) const {
+  return Ctx.mkZExtOrTrunc(evalOperand(S, Op), 64);
+}
+
+//===----------------------------------------------------------------------===
+// Bookkeeping
+//===----------------------------------------------------------------------===
+
+void Engine::transferTo(ExecutionState &S, const BasicBlock *BB) {
+  S.Loc = {BB, 0};
+  Coverage.onBlockEntered(BB);
+  pushHistory(S);
+}
+
+void Engine::pushHistory(ExecutionState &S) {
+  S.History.push_back(Policy.similarityHash(S));
+  while (S.History.size() > Opts.HistoryDelta)
+    S.History.pop_front();
+}
+
+void Engine::addConstraint(ExecutionState &S, ExprRef E) {
+  if (E->isTrue())
+    return;
+  S.PC.push_back(E);
+  if (!Opts.TrackExactPaths)
+    return;
+  // Distribute the constraint over the shadow single-path states,
+  // dropping the paths it renders infeasible (§5.2: "maintaining all the
+  // original single-path states along with the merged states").
+  std::vector<std::vector<ExprRef>> Remaining;
+  for (auto &Path : S.ShadowPaths) {
+    if (TheSolver.mayBeTrue(Query(Path), E)) {
+      Path.push_back(E);
+      Remaining.push_back(std::move(Path));
+    }
+  }
+  S.ShadowPaths = std::move(Remaining);
+}
+
+void Engine::terminateHalted(ExecutionState &S) {
+  S.Status = StateStatus::Halted;
+}
+
+void Engine::emitBugReport(ExecutionState &S, TestKind Kind,
+                           const std::string &Message, ExprRef ExtraCond) {
+  ++Result.Stats.Errors;
+  if (!Opts.CollectTests)
+    return;
+  TestCase T;
+  T.Kind = Kind;
+  T.Message = Message;
+  T.Where = S.Loc;
+  T.Multiplicity = S.Multiplicity;
+  Query Q(S.PC);
+  if (ExtraCond)
+    Q = Q.withConstraint(ExtraCond);
+  if (TheSolver.getModel(Q, T.Inputs))
+    Result.Tests.push_back(std::move(T));
+}
+
+//===----------------------------------------------------------------------===
+// Instruction semantics
+//===----------------------------------------------------------------------===
+
+Engine::StepEnd Engine::executeInstr(ExecutionState &S,
+                                     std::vector<ExecutionState *> &New) {
+  const Instr &I = S.currentInstr();
+  StackFrame &Frame = S.frame();
+  ++S.Steps;
+  ++Result.Stats.Steps;
+
+  switch (I.Op) {
+  case Opcode::BinOp: {
+    Frame.Scalars[I.Dst] =
+        Ctx.mkBinOp(I.SubKind, evalOperand(S, I.A), evalOperand(S, I.B));
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+  case Opcode::UnOp: {
+    ExprRef A = evalOperand(S, I.A);
+    unsigned DstW = Frame.F->local(I.Dst).Ty.Width;
+    ExprRef V = nullptr;
+    switch (I.SubKind) {
+    case ExprKind::Not:
+      V = Ctx.mkNot(A);
+      break;
+    case ExprKind::Neg:
+      V = Ctx.mkNeg(A);
+      break;
+    case ExprKind::ZExt:
+      V = Ctx.mkZExt(A, DstW);
+      break;
+    case ExprKind::SExt:
+      V = Ctx.mkSExt(A, DstW);
+      break;
+    case ExprKind::Trunc:
+      V = Ctx.mkTrunc(A, DstW);
+      break;
+    default:
+      assert(false && "bad unop");
+    }
+    Frame.Scalars[I.Dst] = V;
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+  case Opcode::Copy:
+    Frame.Scalars[I.Dst] = evalOperand(S, I.A);
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+
+  case Opcode::Load: {
+    const ArrayObject &AO = S.Arrays[Frame.ArrayIds[I.ArrayLocal]];
+    uint64_t Size = AO.Cells.size();
+    ExprRef Idx = evalIndex(S, I.A);
+    if (Idx->isConstant()) {
+      uint64_t IV = Idx->constantValue();
+      if (IV >= Size) {
+        emitBugReport(S, TestKind::OutOfBounds,
+                      "array load out of bounds", nullptr);
+        S.Status = StateStatus::Errored;
+        return StepEnd::Boundary;
+      }
+      Frame.Scalars[I.Dst] = AO.Cells[IV];
+      ++S.Loc.Index;
+      return StepEnd::Continue;
+    }
+    ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
+    if (Opts.CheckArrayBounds) {
+      Query Q(S.PC);
+      if (TheSolver.mayBeFalse(Q, InBound)) {
+        emitBugReport(S, TestKind::OutOfBounds,
+                      "array load may be out of bounds", Ctx.mkNot(InBound));
+        if (!TheSolver.mayBeTrue(Q, InBound)) {
+          S.Status = StateStatus::Errored;
+          return StepEnd::Boundary;
+        }
+        addConstraint(S, InBound);
+      }
+    }
+    // Compile the symbolic read into an ite chain over the cells — the
+    // bounded-array reduction of the theory of arrays.
+    ExprRef V = AO.Cells[Size - 1];
+    for (size_t C = Size - 1; C-- > 0;)
+      V = Ctx.mkIte(Ctx.mkEq(Idx, Ctx.mkConst(C, 64)), AO.Cells[C], V);
+    Frame.Scalars[I.Dst] = V;
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+
+  case Opcode::Store: {
+    ArrayObject &AO = S.Arrays[Frame.ArrayIds[I.ArrayLocal]];
+    uint64_t Size = AO.Cells.size();
+    ExprRef Idx = evalIndex(S, I.A);
+    ExprRef Val = evalOperand(S, I.B);
+    if (Idx->isConstant()) {
+      uint64_t IV = Idx->constantValue();
+      if (IV >= Size) {
+        emitBugReport(S, TestKind::OutOfBounds,
+                      "array store out of bounds", nullptr);
+        S.Status = StateStatus::Errored;
+        return StepEnd::Boundary;
+      }
+      AO.Cells[IV] = Val;
+      ++S.Loc.Index;
+      return StepEnd::Continue;
+    }
+    ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
+    if (Opts.CheckArrayBounds) {
+      Query Q(S.PC);
+      if (TheSolver.mayBeFalse(Q, InBound)) {
+        emitBugReport(S, TestKind::OutOfBounds,
+                      "array store may be out of bounds",
+                      Ctx.mkNot(InBound));
+        if (!TheSolver.mayBeTrue(Q, InBound)) {
+          S.Status = StateStatus::Errored;
+          return StepEnd::Boundary;
+        }
+        addConstraint(S, InBound);
+      }
+    }
+    for (size_t C = 0; C < Size; ++C)
+      AO.Cells[C] = Ctx.mkIte(Ctx.mkEq(Idx, Ctx.mkConst(C, 64)), Val,
+                              AO.Cells[C]);
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+
+  case Opcode::Call: {
+    const Function *Callee = I.Callee;
+    StackFrame NF;
+    NF.F = Callee;
+    NF.RetBlock = S.Loc.Block;
+    NF.RetIndex = S.Loc.Index;
+    NF.RetDst = I.Dst;
+    NF.Scalars.resize(Callee->locals().size(), nullptr);
+    NF.ArrayIds.assign(Callee->locals().size(), -1);
+    for (size_t L = 0; L < Callee->locals().size(); ++L) {
+      const Type &Ty = Callee->locals()[L].Ty;
+      if (L < Callee->numParams()) {
+        const Operand &Arg = I.Args[L];
+        if (Ty.isArray()) {
+          NF.ArrayIds[L] = Frame.ArrayIds[Arg.LocalId];
+        } else {
+          NF.Scalars[L] = evalOperand(S, Arg);
+        }
+        continue;
+      }
+      if (Ty.isArray()) {
+        ArrayObject AO;
+        AO.ElemWidth = Ty.Width;
+        AO.Cells.assign(Ty.ArraySize, Ctx.mkConst(0, Ty.Width));
+        NF.ArrayIds[L] = static_cast<int>(S.Arrays.size());
+        S.Arrays.push_back(std::move(AO));
+      } else {
+        NF.Scalars[L] = Ctx.mkConst(0, Ty.Width);
+      }
+    }
+    S.Stack.push_back(std::move(NF));
+    transferTo(S, Callee->entry());
+    return StepEnd::Boundary;
+  }
+
+  case Opcode::Ret: {
+    if (S.Stack.size() == 1) {
+      terminateHalted(S);
+      return StepEnd::Boundary;
+    }
+    ExprRef RetVal = I.A.isNone() ? nullptr : evalOperand(S, I.A);
+    StackFrame Finished = std::move(S.Stack.back());
+    S.Stack.pop_back();
+    if (Finished.RetDst >= 0) {
+      assert(RetVal && "missing return value");
+      S.frame().Scalars[Finished.RetDst] = RetVal;
+    }
+    S.Loc = {Finished.RetBlock, Finished.RetIndex + 1};
+    pushHistory(S);
+    return StepEnd::Boundary;
+  }
+
+  case Opcode::Br: {
+    ExprRef C = evalOperand(S, I.A);
+    if (C->isConstant()) {
+      transferTo(S, C->isTrue() ? I.Target1 : I.Target2);
+      return StepEnd::Boundary;
+    }
+    Query Q(S.PC);
+    bool MayTrue = TheSolver.mayBeTrue(Q, C);
+    bool MayFalse = TheSolver.mayBeFalse(Q, C);
+    if (MayTrue && MayFalse) {
+      ++Result.Stats.Forks;
+      ++S.ForkDepth;
+      ExecutionState *Child = fork(S);
+      addConstraint(S, C);
+      transferTo(S, I.Target1);
+      addConstraint(*Child, Ctx.mkNot(C));
+      transferTo(*Child, I.Target2);
+      New.push_back(Child);
+      return StepEnd::Boundary;
+    }
+    if (MayTrue) {
+      transferTo(S, I.Target1);
+      return StepEnd::Boundary;
+    }
+    if (MayFalse) {
+      transferTo(S, I.Target2);
+      return StepEnd::Boundary;
+    }
+    S.Status = StateStatus::Dead; // Path condition became unsatisfiable.
+    return StepEnd::Boundary;
+  }
+
+  case Opcode::Jump:
+    transferTo(S, I.Target1);
+    return StepEnd::Boundary;
+
+  case Opcode::Assert: {
+    ExprRef C = evalOperand(S, I.A);
+    if (C->isTrue()) {
+      ++S.Loc.Index;
+      return StepEnd::Continue;
+    }
+    if (C->isFalse()) {
+      emitBugReport(S, TestKind::AssertFailure, I.Message, nullptr);
+      S.Status = StateStatus::Errored;
+      return StepEnd::Boundary;
+    }
+    Query Q(S.PC);
+    if (TheSolver.mayBeFalse(Q, C)) {
+      emitBugReport(S, TestKind::AssertFailure, I.Message, Ctx.mkNot(C));
+      if (!TheSolver.mayBeTrue(Q, C)) {
+        S.Status = StateStatus::Errored;
+        return StepEnd::Boundary;
+      }
+      addConstraint(S, C);
+    }
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+
+  case Opcode::Assume: {
+    ExprRef C = evalOperand(S, I.A);
+    if (C->isFalse() || !TheSolver.mayBeTrue(Query(S.PC), C)) {
+      S.Status = StateStatus::Dead;
+      return StepEnd::Boundary;
+    }
+    addConstraint(S, C);
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+
+  case Opcode::Halt:
+    terminateHalted(S);
+    return StepEnd::Boundary;
+
+  case Opcode::MakeSymbolic: {
+    const Type &Ty = Frame.F->local(I.Dst).Ty;
+    int Occurrence = ++S.SymCounts[I.Message];
+    std::string Base = I.Message;
+    if (Occurrence > 1) {
+      std::ostringstream OS;
+      OS << Base << '#' << Occurrence;
+      Base = OS.str();
+    }
+    if (Ty.isArray()) {
+      ArrayObject &AO = S.Arrays[Frame.ArrayIds[I.Dst]];
+      for (size_t C = 0; C < AO.Cells.size(); ++C) {
+        std::ostringstream OS;
+        OS << Base << '[' << C << ']';
+        AO.Cells[C] = Ctx.mkVar(OS.str(), AO.ElemWidth);
+      }
+    } else {
+      Frame.Scalars[I.Dst] = Ctx.mkVar(Base, Ty.Width);
+    }
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+
+  case Opcode::Print:
+    evalOperand(S, I.A); // Output sink; value has no further effect.
+    ++S.Loc.Index;
+    return StepEnd::Continue;
+  }
+  assert(false && "unhandled opcode");
+  return StepEnd::Boundary;
+}
+
+void Engine::executeToBoundary(ExecutionState &S,
+                               std::vector<ExecutionState *> &NewStates) {
+  while (S.Status == StateStatus::Running &&
+         executeInstr(S, NewStates) == StepEnd::Continue) {
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Worklist and merging (Algorithm 1 lines 17-22)
+//===----------------------------------------------------------------------===
+
+void Engine::addToIndexes(ExecutionState *S) {
+  Search.add(S);
+  ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
+}
+
+void Engine::removeFromLocationIndex(ExecutionState *S) {
+  auto Key = std::make_pair(S->Loc.Block, S->Loc.Index);
+  auto It = ByLocation.find(Key);
+  assert(It != ByLocation.end() && "state missing from location index");
+  auto &Vec = It->second;
+  Vec.erase(std::find(Vec.begin(), Vec.end(), S));
+  if (Vec.empty())
+    ByLocation.erase(It);
+}
+
+void Engine::mergeOrAdd(ExecutionState *S) {
+  if (Policy.wantsMerging()) {
+    auto It = ByLocation.find({S->Loc.Block, S->Loc.Index});
+    if (It != ByLocation.end()) {
+      for (ExecutionState *W : It->second) {
+        if (!statesMergeable(*W, *S) || !Policy.similar(*W, *S))
+          continue;
+        // Merge S into W. W's store (and therefore its similarity hash)
+        // changes, so it must be re-registered with the searcher.
+        Search.remove(W);
+        ++Result.Stats.Merges;
+        Result.Stats.MergedItes += mergeStates(Ctx, *W, *S);
+        if (S->FastForwarded || W->FastForwarded)
+          ++Result.Stats.FastForwardMerges;
+        destroy(S);
+        Search.add(W);
+        return;
+      }
+    }
+  }
+  addToIndexes(S);
+}
+
+void Engine::finalize(ExecutionState *S) {
+  if (S->Status == StateStatus::Halted) {
+    ++Result.Stats.CompletedStates;
+    Result.Stats.CompletedMultiplicity += S->Multiplicity;
+    Result.Stats.ExactPathsCompleted += S->ShadowPaths.size();
+    if (Opts.CollectTests && Result.Tests.size() < Opts.MaxTests) {
+      TestCase T;
+      T.Kind = TestKind::Halt;
+      T.Where = S->Loc;
+      T.Multiplicity = S->Multiplicity;
+      if (TheSolver.getModel(Query(S->PC), T.Inputs))
+        Result.Tests.push_back(std::move(T));
+    }
+  }
+  // Errored states already emitted their bug report; Dead states vanish.
+  destroy(S);
+}
+
+RunResult Engine::run() {
+  Timer Wall;
+  SolverQueryStats Baseline = solverStats();
+  Result = RunResult();
+
+  ExecutionState *Init = makeInitialState();
+  addToIndexes(Init);
+
+  std::vector<ExecutionState *> NewStates;
+  while (!Search.empty()) {
+    if (Result.Stats.Steps >= Opts.MaxSteps ||
+        Wall.seconds() >= Opts.MaxSeconds ||
+        Result.Tests.size() >= Opts.MaxTests)
+      break;
+
+    ExecutionState *S = Search.select();
+    removeFromLocationIndex(S);
+
+    NewStates.clear();
+    executeToBoundary(*S, NewStates);
+
+    if (S->Status == StateStatus::Running)
+      mergeOrAdd(S);
+    else
+      finalize(S);
+    for (ExecutionState *N : NewStates) {
+      if (N->Status == StateStatus::Running)
+        mergeOrAdd(N);
+      else
+        finalize(N);
+    }
+    Result.Stats.MaxWorklist =
+        std::max<uint64_t>(Result.Stats.MaxWorklist, Owned.size());
+  }
+
+  Result.Stats.Exhausted = Search.empty();
+  Result.Stats.WallSeconds = Wall.seconds();
+  Result.Stats.FastForwardSelections = Search.fastForwardSelections();
+  const SolverQueryStats &Now = solverStats();
+  Result.Stats.SolverQueries = Now.Queries - Baseline.Queries;
+  Result.Stats.SolverCoreQueries = Now.CoreQueries - Baseline.CoreQueries;
+  Result.Stats.SolverSeconds =
+      Now.CoreSolveSeconds - Baseline.CoreSolveSeconds;
+
+  // Drain remaining states so repeated runs start clean.
+  while (!Search.empty()) {
+    ExecutionState *S = Search.select();
+    removeFromLocationIndex(S);
+    destroy(S);
+  }
+  ByLocation.clear();
+  Owned.clear();
+  return std::move(Result);
+}

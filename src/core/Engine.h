@@ -1,0 +1,120 @@
+//===- Engine.h - The symbolic execution engine (Algorithm 1) ---*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic symbolic exploration loop of the paper's Algorithm 1,
+/// parameterized by
+///
+///   pickNext — a Searcher (plain strategies, or DSM's Algorithm 2),
+///   follow   — solver-backed feasibility checks at every branch,
+///   ~        — a MergePolicy (None / All / QCE).
+///
+/// Each iteration selects a state, executes instructions until the next
+/// control boundary (block transfer, fork, call/return, or termination),
+/// then merges every successor with a matching worklist state at the same
+/// location if the policy allows (lines 17-22), or re-inserts it.
+///
+/// Besides the semantics of the IR, the engine implements:
+///  - assertion checking with test generation for failures,
+///  - array bounds checking (possible out-of-bounds accesses become bug
+///    reports; execution continues on the in-bounds condition),
+///  - state multiplicity bookkeeping and optional exact-path shadow
+///    tracking (§5.2, used by the Figure 3 bench),
+///  - the bounded similarity-hash history that DSM's forwarding set is
+///    built from (§4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_ENGINE_H
+#define SYMMERGE_CORE_ENGINE_H
+
+#include "analysis/ProgramInfo.h"
+#include "core/Coverage.h"
+#include "core/ExecutionState.h"
+#include "core/MergePolicy.h"
+#include "core/Searcher.h"
+#include "core/TestCase.h"
+#include "solver/Solver.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+namespace symmerge {
+
+/// Exploration budgets and feature toggles.
+struct EngineOptions {
+  uint64_t MaxSteps = 1'000'000'000; ///< Instruction budget.
+  double MaxSeconds = 30.0;          ///< Wall-clock budget.
+  uint64_t MaxTests = UINT64_MAX;    ///< Stop after this many tests.
+  unsigned HistoryDelta = 8;         ///< DSM predecessor depth (blocks).
+  bool TrackExactPaths = false;      ///< §5.2 shadow single-path states.
+  bool CollectTests = true;          ///< Solve for models at path ends.
+  bool CheckArrayBounds = true;      ///< Report possible OOB accesses.
+};
+
+/// One symbolic execution run over a module (starting at main).
+class Engine {
+public:
+  Engine(ExprContext &Ctx, const ProgramInfo &PI, Solver &TheSolver,
+         MergePolicy &Policy, Searcher &Search, CoverageTracker &Coverage,
+         EngineOptions Opts = {});
+
+  /// Runs to exhaustion or budget; returns tests and statistics.
+  RunResult run();
+
+private:
+  enum class StepEnd : uint8_t { Continue, Boundary };
+
+  ExecutionState *makeInitialState();
+  ExecutionState *fork(const ExecutionState &S);
+  void destroy(ExecutionState *S);
+
+  ExprRef evalOperand(const ExecutionState &S, const Operand &Op) const;
+  /// Index expressions are normalized to 64 bits (unsigned).
+  ExprRef evalIndex(const ExecutionState &S, const Operand &Op) const;
+
+  /// Executes instructions of \p S until a control boundary; forked
+  /// children are appended to \p NewStates.
+  void executeToBoundary(ExecutionState &S,
+                         std::vector<ExecutionState *> &NewStates);
+  StepEnd executeInstr(ExecutionState &S,
+                       std::vector<ExecutionState *> &NewStates);
+
+  void transferTo(ExecutionState &S, const BasicBlock *BB);
+  void pushHistory(ExecutionState &S);
+  void addConstraint(ExecutionState &S, ExprRef E);
+  void terminateHalted(ExecutionState &S);
+  void emitBugReport(ExecutionState &S, TestKind Kind,
+                     const std::string &Message, ExprRef ExtraCond);
+
+  /// Algorithm 1 lines 17-22: merge \p S with a matching worklist state
+  /// or insert it.
+  void mergeOrAdd(ExecutionState *S);
+  void finalize(ExecutionState *S);
+
+  void addToIndexes(ExecutionState *S);
+  void removeFromLocationIndex(ExecutionState *S);
+
+  ExprContext &Ctx;
+  const ProgramInfo &PI;
+  Solver &TheSolver;
+  MergePolicy &Policy;
+  Searcher &Search;
+  CoverageTracker &Coverage;
+  EngineOptions Opts;
+
+  std::unordered_map<uint64_t, std::unique_ptr<ExecutionState>> Owned;
+  std::map<std::pair<const BasicBlock *, unsigned>,
+           std::vector<ExecutionState *>>
+      ByLocation;
+  uint64_t NextStateId = 1;
+  RunResult Result;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_ENGINE_H

@@ -1,0 +1,117 @@
+//===- ExecutionState.h - Symbolic execution states -------------*- C++ -*-===//
+//
+// Part of SymMerge, a reproduction of "Efficient State Merging in Symbolic
+// Execution" (PLDI 2012). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's states (l, pc, s): a program location, a path condition,
+/// and a symbolic store, extended with a call stack, bounded arrays, state
+/// multiplicity (§5.2), the bounded predecessor history used by dynamic
+/// state merging (§4.3), and optional exact-path shadow tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_EXECUTIONSTATE_H
+#define SYMMERGE_CORE_EXECUTIONSTATE_H
+
+#include "expr/Expr.h"
+#include "ir/IR.h"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+/// A bounded array object; cells hold expressions. Symbolic-index loads
+/// compile to ite chains over the cells, symbolic-index stores to per-cell
+/// conditional writes (DESIGN.md §6.1).
+struct ArrayObject {
+  unsigned ElemWidth = 8;
+  std::vector<ExprRef> Cells;
+};
+
+/// One activation record. Scalar locals hold expressions; array locals
+/// hold indices into ExecutionState::Arrays (by-reference array parameters
+/// alias the caller's array id).
+struct StackFrame {
+  const Function *F = nullptr;
+  std::vector<ExprRef> Scalars; ///< By local id; null for array slots.
+  std::vector<int> ArrayIds;    ///< By local id; -1 for scalar slots.
+  // Return linkage: where this frame resumes in the caller.
+  const BasicBlock *RetBlock = nullptr;
+  unsigned RetIndex = 0; ///< Instruction index of the Call in the caller.
+  int RetDst = -1;       ///< Caller destination local; -1 if none.
+};
+
+enum class StateStatus : uint8_t {
+  Running,
+  Halted,  ///< Reached halt / returned from main: a completed test.
+  Errored, ///< Assertion failure or memory error on this path.
+  Dead,    ///< Path condition became infeasible (assume).
+};
+
+/// A symbolic execution state. Copyable: forking is a plain copy plus a
+/// fresh id (expressions are shared immutably through the context).
+class ExecutionState {
+public:
+  uint64_t Id = 0;
+  Location Loc; ///< Next instruction to execute.
+  std::vector<StackFrame> Stack;
+  std::vector<ArrayObject> Arrays;
+  /// Path condition as a conjunct list; merging keeps the common prefix
+  /// and folds the diverging suffixes into one disjunction.
+  std::vector<ExprRef> PC;
+  StateStatus Status = StateStatus::Running;
+  std::string Error;
+
+  /// State multiplicity (§5.2): 1 for single-path states; merging adds the
+  /// operands' multiplicities; forking copies it to both children.
+  double Multiplicity = 1.0;
+
+  /// Number of instructions this state has executed.
+  uint64_t Steps = 0;
+
+  /// Number of two-way forks on this state's lineage. The random-path
+  /// searcher weights states by 2^-ForkDepth, approximating KLEE's
+  /// execution-tree walk (each fork halves the subtree probability).
+  unsigned ForkDepth = 0;
+
+  /// Set by the DSM searcher when this state was last selected from the
+  /// fast-forwarding set (used for the §5.5 success-rate statistic).
+  bool FastForwarded = false;
+
+  /// Bounded history of similarity hashes at the last delta block entries
+  /// (most recent last) — the pred(a, delta) of Algorithm 2.
+  std::deque<uint64_t> History;
+
+  /// Occurrence counters for make_symbolic names, so repeated executions
+  /// (loops) mint distinct inputs and merge candidates agree on naming.
+  std::map<std::string, int> SymCounts;
+
+  /// Exact-path shadow tracking (§5.2, Figure 3): the constraint lists of
+  /// every constituent single path. Empty unless the engine enables it.
+  std::vector<std::vector<ExprRef>> ShadowPaths;
+
+  StackFrame &frame() { return Stack.back(); }
+  const StackFrame &frame() const { return Stack.back(); }
+
+  const Instr &currentInstr() const {
+    return Loc.Block->instructions()[Loc.Index];
+  }
+
+  /// Location of stack entry \p K (0 = outermost): the current location
+  /// for the top frame, the call-site return location for callers.
+  Location frameLocation(size_t K) const {
+    if (K + 1 == Stack.size())
+      return Loc;
+    return {Stack[K + 1].RetBlock, Stack[K + 1].RetIndex};
+  }
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_EXECUTIONSTATE_H

@@ -1,0 +1,237 @@
+//===- MergePolicy.cpp - Similarity relations for state merging -------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MergePolicy.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace symmerge;
+
+MergePolicy::~MergePolicy() = default;
+
+/// Value abstraction h(v) of §4.3: symbolic values collapse to a sentinel,
+/// concrete values hash to themselves. Non-symbolic expressions always
+/// fold to constants in our context, so the two cases are exhaustive.
+static uint64_t valueHash(ExprRef V) {
+  if (!V)
+    return 0x5ca1ab1e;
+  if (V->isSymbolic())
+    return 0x5ee0fabcdef01234ULL; // The "star" sentinel.
+  assert(V->isConstant() && "non-symbolic value should have folded");
+  return hashMix(V->constantValue() * 67 + V->width());
+}
+
+uint64_t MergePolicy::structuralHash(const ExecutionState &S) {
+  uint64_t H = hashMix(0x57a7e);
+  H = hashCombine(H, hashString(S.Loc.Block->parent()->name()));
+  H = hashCombine(H, static_cast<uint64_t>(S.Loc.Block->id()));
+  H = hashCombine(H, S.Loc.Index);
+  for (const StackFrame &F : S.Stack) {
+    H = hashCombine(H, hashString(F.F->name()));
+    H = hashCombine(H, F.RetBlock ? F.RetBlock->id() + 1 : 0);
+    H = hashCombine(H, F.RetIndex);
+    H = hashCombine(H, static_cast<uint64_t>(F.RetDst + 1));
+    for (int AID : F.ArrayIds)
+      H = hashCombine(H, static_cast<uint64_t>(AID + 1));
+  }
+  for (const ArrayObject &A : S.Arrays) {
+    H = hashCombine(H, A.ElemWidth);
+    H = hashCombine(H, A.Cells.size());
+  }
+  for (const auto &[Name, Count] : S.SymCounts) {
+    H = hashCombine(H, hashString(Name));
+    H = hashCombine(H, static_cast<uint64_t>(Count));
+  }
+  return H;
+}
+
+uint64_t MergePolicy::similarityHash(const ExecutionState &S) const {
+  return structuralHash(S);
+}
+
+namespace {
+
+/// Plain search-based symbolic execution: `~` is empty.
+class MergeNonePolicy : public MergePolicy {
+public:
+  MergeNonePolicy() : MergePolicy("none") {}
+  bool wantsMerging() const override { return false; }
+  bool similar(const ExecutionState &,
+               const ExecutionState &) const override {
+    return false;
+  }
+  uint64_t similarityHash(const ExecutionState &S) const override {
+    // Unique per state so the DSM forwarding set stays empty.
+    return hashMix(S.Id ^ 0xdead5eed);
+  }
+};
+
+/// Complete static merging: `~` contains all pairs.
+class MergeAllPolicy : public MergePolicy {
+public:
+  MergeAllPolicy() : MergePolicy("all") {}
+  bool similar(const ExecutionState &,
+               const ExecutionState &) const override {
+    return true;
+  }
+  uint64_t similarityHash(const ExecutionState &S) const override {
+    return structuralHash(S);
+  }
+};
+
+/// QCE similarity (Equation (1)): merge iff every hot variable has equal
+/// values or is symbolic in at least one state.
+class QCEPolicy : public MergePolicy {
+public:
+  explicit QCEPolicy(const QCEAnalysis &QCE)
+      : MergePolicy("qce"), QCE(QCE) {}
+
+protected:
+  QCEPolicy(const char *Name, const QCEAnalysis &QCE)
+      : MergePolicy(Name), QCE(QCE) {}
+
+public:
+
+  /// Stack-completed total query count for a state (paper §3.2: local
+  /// count at the current location plus the return-site counts of every
+  /// frame below the top).
+  double globalQt(const ExecutionState &S) const {
+    double Qt = QCE.qtAt(S.Loc.Block);
+    for (size_t K = 0; K + 1 < S.Stack.size(); ++K) {
+      Location L = S.frameLocation(K);
+      const QCEFunctionInfo &Info = QCE.info(S.Stack[K].F);
+      auto It = Info.RetSiteQt.find({L.Block, L.Index});
+      if (It != Info.RetSiteQt.end())
+        Qt += It->second;
+    }
+    return Qt;
+  }
+
+  /// Qadd for local \p V of frame \p K at that frame's resume location.
+  double frameQadd(const ExecutionState &S, size_t K, int V) const {
+    Location L = S.frameLocation(K);
+    const QCEFunctionInfo &Info = QCE.info(S.Stack[K].F);
+    if (K + 1 == S.Stack.size())
+      return Info.BlockQadd[L.Block->id()][V];
+    auto It = Info.RetSiteQadd.find({L.Block, L.Index});
+    return It == Info.RetSiteQadd.end() ? 0.0 : It->second[V];
+  }
+
+  bool similar(const ExecutionState &A,
+               const ExecutionState &B) const override {
+    double Threshold = QCE.params().Alpha * globalQt(A);
+    for (size_t K = 0; K < A.Stack.size(); ++K) {
+      const StackFrame &FA = A.Stack[K];
+      const StackFrame &FB = B.Stack[K];
+      for (size_t V = 0; V < FA.Scalars.size(); ++V) {
+        bool IsArray = FA.ArrayIds[V] >= 0;
+        if (frameQadd(A, K, static_cast<int>(V)) <= Threshold)
+          continue; // Not hot.
+        if (IsArray) {
+          const ArrayObject &OA = A.Arrays[FA.ArrayIds[V]];
+          const ArrayObject &OB = B.Arrays[FB.ArrayIds[V]];
+          for (size_t C = 0; C < OA.Cells.size(); ++C) {
+            ExprRef CA = OA.Cells[C], CB = OB.Cells[C];
+            if (CA != CB && !CA->isSymbolic() && !CB->isSymbolic())
+              return false;
+          }
+          continue;
+        }
+        ExprRef VA = FA.Scalars[V], VB = FB.Scalars[V];
+        if (VA != VB && !VA->isSymbolic() && !VB->isSymbolic())
+          return false;
+      }
+    }
+    return true;
+  }
+
+  uint64_t similarityHash(const ExecutionState &S) const override {
+    uint64_t H = structuralHash(S);
+    double Threshold = QCE.params().Alpha * globalQt(S);
+    for (size_t K = 0; K < S.Stack.size(); ++K) {
+      const StackFrame &F = S.Stack[K];
+      for (size_t V = 0; V < F.Scalars.size(); ++V) {
+        if (frameQadd(S, K, static_cast<int>(V)) <= Threshold)
+          continue;
+        if (F.ArrayIds[V] >= 0) {
+          const ArrayObject &O = S.Arrays[F.ArrayIds[V]];
+          for (ExprRef Cell : O.Cells)
+            H = hashCombine(H, valueHash(Cell));
+        } else {
+          H = hashCombine(H, valueHash(F.Scalars[V]));
+        }
+      }
+    }
+    return H;
+  }
+
+protected:
+  const QCEAnalysis &QCE;
+};
+
+/// The full Equation (7) relation: symbolic-but-unequal variables are not
+/// free — each future query they feed costs an extra (zeta - 1) through
+/// the ite expressions the merge introduces.
+class QCEFullPolicy : public QCEPolicy {
+public:
+  explicit QCEFullPolicy(const QCEAnalysis &A) : QCEPolicy("qce-full", A) {}
+
+  bool similar(const ExecutionState &A,
+               const ExecutionState &B) const override {
+    double MaxIte = 0; // Over symbolic-differing variables (Qite).
+    double MaxAdd = 0; // Over concretely-differing variables (Qadd).
+    auto Consider = [&](double Q, ExprRef VA, ExprRef VB) {
+      if (VA == VB || !VA)
+        return;
+      if (VA->isSymbolic() || VB->isSymbolic())
+        MaxIte = std::max(MaxIte, Q);
+      else
+        MaxAdd = std::max(MaxAdd, Q);
+    };
+    for (size_t K = 0; K < A.Stack.size(); ++K) {
+      const StackFrame &FA = A.Stack[K];
+      const StackFrame &FB = B.Stack[K];
+      for (size_t V = 0; V < FA.Scalars.size(); ++V) {
+        double Q = frameQadd(A, K, static_cast<int>(V));
+        if (Q == 0.0)
+          continue;
+        if (FA.ArrayIds[V] >= 0) {
+          const ArrayObject &OA = A.Arrays[FA.ArrayIds[V]];
+          const ArrayObject &OB = B.Arrays[FB.ArrayIds[V]];
+          for (size_t C = 0; C < OA.Cells.size(); ++C)
+            Consider(Q, OA.Cells[C], OB.Cells[C]);
+        } else {
+          Consider(Q, FA.Scalars[V], FB.Scalars[V]);
+        }
+      }
+    }
+    const QCEParams &P = QCE.params();
+    return (P.Zeta - 1.0) * MaxIte + MaxAdd < P.Alpha * globalQt(A);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<MergePolicy> symmerge::createMergeNonePolicy() {
+  return std::make_unique<MergeNonePolicy>();
+}
+
+std::unique_ptr<MergePolicy> symmerge::createMergeAllPolicy() {
+  return std::make_unique<MergeAllPolicy>();
+}
+
+std::unique_ptr<MergePolicy>
+symmerge::createQCEPolicy(const QCEAnalysis &QCE) {
+  return std::make_unique<QCEPolicy>(QCE);
+}
+
+std::unique_ptr<MergePolicy>
+symmerge::createQCEFullPolicy(const QCEAnalysis &QCE) {
+  return std::make_unique<QCEFullPolicy>(QCE);
+}

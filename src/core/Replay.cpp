@@ -1,0 +1,259 @@
+//===- Replay.cpp - Concrete replay of generated tests -----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Replay.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace symmerge;
+
+namespace {
+
+struct ConcreteFrame {
+  const Function *F = nullptr;
+  std::vector<uint64_t> Scalars;
+  std::vector<int> ArrayIds;
+  const BasicBlock *RetBlock = nullptr;
+  unsigned RetIndex = 0;
+  int RetDst = -1;
+};
+
+class Interpreter {
+public:
+  Interpreter(const Module &M, ExprContext &Ctx, const VarAssignment &Inputs,
+              uint64_t MaxSteps)
+      : M(M), Ctx(Ctx), Inputs(Inputs), MaxSteps(MaxSteps) {}
+
+  ReplayResult run() {
+    const Function *Main = M.mainFunction();
+    assert(Main && "module has no main");
+    pushFrame(Main, nullptr, 0, -1);
+    Block = Main->entry();
+    Index = 0;
+    while (R.Steps < MaxSteps) {
+      if (!step())
+        return R;
+    }
+    R.K = ReplayResult::Kind::StepLimit;
+    return R;
+  }
+
+private:
+  uint64_t width(int LocalId) const {
+    return Stack.back().F->local(LocalId).Ty.Width;
+  }
+
+  uint64_t eval(const Operand &Op) const {
+    switch (Op.K) {
+    case Operand::Kind::Const:
+      return ExprContext::maskToWidth(Op.Value, Op.Width);
+    case Operand::Kind::Local:
+      return Stack.back().Scalars[Op.LocalId];
+    case Operand::Kind::None:
+      break;
+    }
+    assert(false && "missing operand");
+    return 0;
+  }
+
+  unsigned operandWidth(const Operand &Op) const {
+    if (Op.isConst())
+      return Op.Width;
+    return Stack.back().F->local(Op.LocalId).Ty.Width;
+  }
+
+  void pushFrame(const Function *F, const BasicBlock *RetBlock,
+                 unsigned RetIndex, int RetDst, const Instr *Call = nullptr) {
+    ConcreteFrame NF;
+    NF.F = F;
+    NF.RetBlock = RetBlock;
+    NF.RetIndex = RetIndex;
+    NF.RetDst = RetDst;
+    NF.Scalars.assign(F->locals().size(), 0);
+    NF.ArrayIds.assign(F->locals().size(), -1);
+    for (size_t L = 0; L < F->locals().size(); ++L) {
+      const Type &Ty = F->locals()[L].Ty;
+      if (!Ty.isArray())
+        continue;
+      bool IsParam = L < F->numParams();
+      if (IsParam && Call) {
+        NF.ArrayIds[L] =
+            Stack.back().ArrayIds[Call->Args[L].LocalId];
+      } else {
+        NF.ArrayIds[L] = static_cast<int>(Arrays.size());
+        Arrays.emplace_back(Ty.ArraySize, 0);
+      }
+    }
+    if (Call) {
+      for (unsigned K = 0; K < F->numParams(); ++K) {
+        if (!F->local(static_cast<int>(K)).Ty.isArray())
+          NF.Scalars[K] = eval(Call->Args[K]);
+      }
+    }
+    Stack.push_back(std::move(NF));
+  }
+
+  bool finish(ReplayResult::Kind K, const std::string &Msg = "") {
+    R.K = K;
+    R.Message = Msg;
+    return false;
+  }
+
+  /// Executes one instruction; returns false when the run ended.
+  bool step() {
+    const Instr &I = Block->instructions()[Index];
+    ConcreteFrame &Frame = Stack.back();
+    ++R.Steps;
+
+    switch (I.Op) {
+    case Opcode::BinOp: {
+      unsigned W = operandWidth(I.A);
+      Frame.Scalars[I.Dst] = evalBin(I.SubKind, eval(I.A), eval(I.B), W);
+      ++Index;
+      return true;
+    }
+    case Opcode::UnOp: {
+      unsigned SrcW = operandWidth(I.A);
+      unsigned DstW = Frame.F->local(I.Dst).Ty.Width;
+      Frame.Scalars[I.Dst] = evalUn(I.SubKind, eval(I.A), SrcW, DstW);
+      ++Index;
+      return true;
+    }
+    case Opcode::Copy:
+      Frame.Scalars[I.Dst] = eval(I.A);
+      ++Index;
+      return true;
+    case Opcode::Load: {
+      auto &Cells = Arrays[Frame.ArrayIds[I.ArrayLocal]];
+      uint64_t Idx = eval(I.A);
+      if (Idx >= Cells.size())
+        return finish(ReplayResult::Kind::OutOfBounds,
+                      "array load out of bounds");
+      Frame.Scalars[I.Dst] = Cells[Idx];
+      ++Index;
+      return true;
+    }
+    case Opcode::Store: {
+      auto &Cells = Arrays[Frame.ArrayIds[I.ArrayLocal]];
+      uint64_t Idx = eval(I.A);
+      if (Idx >= Cells.size())
+        return finish(ReplayResult::Kind::OutOfBounds,
+                      "array store out of bounds");
+      Cells[Idx] = eval(I.B);
+      ++Index;
+      return true;
+    }
+    case Opcode::Call:
+      pushFrame(I.Callee, Block, Index, I.Dst, &I);
+      Block = I.Callee->entry();
+      Index = 0;
+      return true;
+    case Opcode::Ret: {
+      if (Stack.size() == 1)
+        return finish(ReplayResult::Kind::Halt);
+      uint64_t V = I.A.isNone() ? 0 : eval(I.A);
+      ConcreteFrame Finished = std::move(Stack.back());
+      Stack.pop_back();
+      if (Finished.RetDst >= 0)
+        Stack.back().Scalars[Finished.RetDst] = V;
+      Block = Finished.RetBlock;
+      Index = Finished.RetIndex + 1;
+      return true;
+    }
+    case Opcode::Br:
+      Block = eval(I.A) != 0 ? I.Target1 : I.Target2;
+      Index = 0;
+      return true;
+    case Opcode::Jump:
+      Block = I.Target1;
+      Index = 0;
+      return true;
+    case Opcode::Assert:
+      if (eval(I.A) == 0)
+        return finish(ReplayResult::Kind::AssertFailure, I.Message);
+      ++Index;
+      return true;
+    case Opcode::Assume:
+      // A test case that violates an assumption indicates an engine bug;
+      // treat it as an ordinary halt so callers can detect the mismatch
+      // by comparing outcomes.
+      if (eval(I.A) == 0)
+        return finish(ReplayResult::Kind::Halt, "assumption violated");
+      ++Index;
+      return true;
+    case Opcode::Halt:
+      return finish(ReplayResult::Kind::Halt);
+    case Opcode::MakeSymbolic: {
+      const Type &Ty = Frame.F->local(I.Dst).Ty;
+      int Occurrence = ++SymCounts[I.Message];
+      std::string Base = I.Message;
+      if (Occurrence > 1) {
+        std::ostringstream OS;
+        OS << Base << '#' << Occurrence;
+        Base = OS.str();
+      }
+      if (Ty.isArray()) {
+        auto &Cells = Arrays[Frame.ArrayIds[I.Dst]];
+        for (size_t C = 0; C < Cells.size(); ++C) {
+          std::ostringstream OS;
+          OS << Base << '[' << C << ']';
+          Cells[C] = ExprContext::maskToWidth(
+              Inputs.get(Ctx.mkVar(OS.str(), Ty.Width)), Ty.Width);
+        }
+      } else {
+        Frame.Scalars[I.Dst] = ExprContext::maskToWidth(
+            Inputs.get(Ctx.mkVar(Base, Ty.Width)), Ty.Width);
+      }
+      ++Index;
+      return true;
+    }
+    case Opcode::Print:
+      R.Output.push_back(eval(I.A));
+      ++Index;
+      return true;
+    }
+    assert(false && "unhandled opcode in replay");
+    return false;
+  }
+
+  static uint64_t evalBin(ExprKind K, uint64_t L, uint64_t Rv, unsigned W);
+  static uint64_t evalUn(ExprKind K, uint64_t V, unsigned SrcW,
+                         unsigned DstW);
+
+  const Module &M;
+  ExprContext &Ctx;
+  const VarAssignment &Inputs;
+  uint64_t MaxSteps;
+  ReplayResult R;
+  std::vector<ConcreteFrame> Stack;
+  std::vector<std::vector<uint64_t>> Arrays;
+  std::map<std::string, int> SymCounts;
+  const BasicBlock *Block = nullptr;
+  unsigned Index = 0;
+};
+
+uint64_t Interpreter::evalBin(ExprKind K, uint64_t L, uint64_t Rv,
+                              unsigned W) {
+  uint64_t LM = ExprContext::maskToWidth(L, W);
+  uint64_t RM = ExprContext::maskToWidth(Rv, W);
+  return ExprContext::evalBinOp(K, LM, RM, W);
+}
+
+uint64_t Interpreter::evalUn(ExprKind K, uint64_t V, unsigned SrcW,
+                             unsigned DstW) {
+  return ExprContext::evalUnOp(K, ExprContext::maskToWidth(V, SrcW), SrcW,
+                               DstW);
+}
+
+} // namespace
+
+ReplayResult symmerge::replayConcrete(const Module &M, ExprContext &Ctx,
+                                      const VarAssignment &Inputs,
+                                      uint64_t MaxSteps) {
+  return Interpreter(M, Ctx, Inputs, MaxSteps).run();
+}

@@ -1,0 +1,61 @@
+//===- Replay.h - Concrete replay of generated tests ------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter for the IR. Replaying an engine-generated test
+/// case must reproduce the recorded outcome (halt, assertion failure, or
+/// out-of-bounds access); the property tests rely on this as the
+/// ground-truth check that merging never changes program behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_REPLAY_H
+#define SYMMERGE_CORE_REPLAY_H
+
+#include "core/TestCase.h"
+#include "expr/ExprContext.h"
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+/// Outcome of a concrete run.
+struct ReplayResult {
+  enum class Kind : uint8_t {
+    Halt,
+    AssertFailure,
+    OutOfBounds,
+    StepLimit,
+  };
+
+  Kind K = Kind::Halt;
+  std::string Message;          ///< Assert message for failures.
+  uint64_t Steps = 0;           ///< Instructions executed.
+  std::vector<uint64_t> Output; ///< Values passed to print, in order.
+};
+
+/// Runs the module concretely from main. Symbolic inputs take their value
+/// from \p Inputs (missing variables read as zero); variable naming
+/// follows the engine's make_symbolic scheme, so any engine-produced
+/// TestCase::Inputs replays directly. \p Ctx must be the context the
+/// test's variables were created in.
+ReplayResult replayConcrete(const Module &M, ExprContext &Ctx,
+                            const VarAssignment &Inputs,
+                            uint64_t MaxSteps = 1'000'000);
+
+/// Convenience: replay an engine test case.
+inline ReplayResult replayTest(const Module &M, ExprContext &Ctx,
+                               const TestCase &T,
+                               uint64_t MaxSteps = 1'000'000) {
+  return replayConcrete(M, Ctx, T.Inputs, MaxSteps);
+}
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_REPLAY_H

@@ -1,0 +1,402 @@
+//===- Searcher.cpp - Exploration strategies ---------------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Searcher.h"
+
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+using namespace symmerge;
+
+Searcher::~Searcher() = default;
+
+std::vector<uint64_t> symmerge::topoRankKey(const ProgramInfo &PI,
+                                            const ExecutionState &S) {
+  std::vector<uint64_t> Key;
+  Key.reserve(S.Stack.size());
+  for (size_t K = 0; K < S.Stack.size(); ++K) {
+    Location L = S.frameLocation(K);
+    uint64_t R = static_cast<uint64_t>(
+        PI.cfg(S.Stack[K].F).rpoIndex(L.Block));
+    Key.push_back((R << 20) | std::min<uint64_t>(L.Index, 0xFFFFF));
+  }
+  return Key;
+}
+
+bool symmerge::topoRankLess(const std::vector<uint64_t> &A,
+                            const std::vector<uint64_t> &B) {
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I < N; ++I)
+    if (A[I] != B[I])
+      return A[I] < B[I];
+  // Equal prefix: the deeper stack is still inside a call the other has
+  // finished, so it comes earlier in topological order.
+  return A.size() > B.size();
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Simple strategies
+//===----------------------------------------------------------------------===
+
+class DFSSearcher : public Searcher {
+public:
+  ExecutionState *select() override {
+    ExecutionState *S = States.back();
+    States.pop_back();
+    return S;
+  }
+  void add(ExecutionState *S) override { States.push_back(S); }
+  void remove(ExecutionState *S) override {
+    States.erase(std::find(States.begin(), States.end(), S));
+  }
+  bool empty() const override { return States.empty(); }
+  const char *name() const override { return "dfs"; }
+
+private:
+  std::vector<ExecutionState *> States;
+};
+
+class BFSSearcher : public Searcher {
+public:
+  ExecutionState *select() override {
+    ExecutionState *S = States.front();
+    States.pop_front();
+    return S;
+  }
+  void add(ExecutionState *S) override { States.push_back(S); }
+  void remove(ExecutionState *S) override {
+    States.erase(std::find(States.begin(), States.end(), S));
+  }
+  bool empty() const override { return States.empty(); }
+  const char *name() const override { return "bfs"; }
+
+private:
+  std::deque<ExecutionState *> States;
+};
+
+class RandomSearcher : public Searcher {
+public:
+  explicit RandomSearcher(uint64_t Seed) : Rand(Seed) {}
+
+  ExecutionState *select() override {
+    size_t I = Rand.nextBelow(States.size());
+    std::swap(States[I], States.back());
+    ExecutionState *S = States.back();
+    States.pop_back();
+    return S;
+  }
+  void add(ExecutionState *S) override { States.push_back(S); }
+  void remove(ExecutionState *S) override {
+    auto It = std::find(States.begin(), States.end(), S);
+    std::swap(*It, States.back());
+    States.pop_back();
+  }
+  bool empty() const override { return States.empty(); }
+  const char *name() const override { return "random"; }
+
+private:
+  std::vector<ExecutionState *> States;
+  RNG Rand;
+};
+
+/// Weighted random choice with weight 2^-ForkDepth (see header).
+class RandomPathSearcher : public Searcher {
+public:
+  explicit RandomPathSearcher(uint64_t Seed) : Rand(Seed) {}
+
+  ExecutionState *select() override {
+    double Total = 0;
+    for (ExecutionState *S : States)
+      Total += weight(S);
+    double Pick = Rand.nextDouble() * Total;
+    size_t Chosen = States.size() - 1;
+    for (size_t I = 0; I < States.size(); ++I) {
+      Pick -= weight(States[I]);
+      if (Pick <= 0) {
+        Chosen = I;
+        break;
+      }
+    }
+    ExecutionState *S = States[Chosen];
+    std::swap(States[Chosen], States.back());
+    States.pop_back();
+    return S;
+  }
+  void add(ExecutionState *S) override { States.push_back(S); }
+  void remove(ExecutionState *S) override {
+    auto It = std::find(States.begin(), States.end(), S);
+    std::swap(*It, States.back());
+    States.pop_back();
+  }
+  bool empty() const override { return States.empty(); }
+  const char *name() const override { return "random-path"; }
+
+private:
+  static double weight(const ExecutionState *S) {
+    // Clamp: beyond 2^-64 every state is equally negligible.
+    return std::pow(0.5, std::min(S->ForkDepth, 64u));
+  }
+
+  std::vector<ExecutionState *> States;
+  RNG Rand;
+};
+
+/// Minimal interprocedural RPO rank first: the static-state-merging order.
+class TopologicalSearcher : public Searcher {
+public:
+  explicit TopologicalSearcher(const ProgramInfo &PI) : PI(PI) {}
+
+  ExecutionState *select() override {
+    auto It = Order.begin();
+    ExecutionState *S = It->State;
+    Order.erase(It);
+    return S;
+  }
+  void add(ExecutionState *S) override {
+    Order.insert(Entry{topoRankKey(PI, *S), S->Id, S});
+  }
+  void remove(ExecutionState *S) override {
+    Order.erase(Entry{topoRankKey(PI, *S), S->Id, S});
+  }
+  bool empty() const override { return Order.empty(); }
+  const char *name() const override { return "topological"; }
+
+private:
+  struct Entry {
+    std::vector<uint64_t> Key;
+    uint64_t Id;
+    ExecutionState *State;
+    bool operator<(const Entry &O) const {
+      if (Key != O.Key)
+        return topoRankLess(Key, O.Key);
+      return Id < O.Id;
+    }
+  };
+  const ProgramInfo &PI;
+  std::set<Entry> Order;
+};
+
+/// Weighted-random choice biased toward uncovered code and against blocks
+/// that have been entered many times (deep loop unrollings) — the
+/// coverage-optimized heuristic in the spirit of KLEE's searcher.
+class CoverageSearcher : public Searcher {
+public:
+  CoverageSearcher(const ProgramInfo &PI, const CoverageTracker &Cov,
+                   uint64_t Seed)
+      : PI(PI), Cov(Cov), Rand(Seed) {}
+
+  ExecutionState *select() override {
+    double Total = 0;
+    for (ExecutionState *S : States)
+      Total += weight(S);
+    double Pick = Rand.nextDouble() * Total;
+    size_t Chosen = States.size() - 1;
+    for (size_t I = 0; I < States.size(); ++I) {
+      Pick -= weight(States[I]);
+      if (Pick <= 0) {
+        Chosen = I;
+        break;
+      }
+    }
+    ExecutionState *S = States[Chosen];
+    std::swap(States[Chosen], States.back());
+    States.pop_back();
+    return S;
+  }
+  void add(ExecutionState *S) override { States.push_back(S); }
+  void remove(ExecutionState *S) override {
+    auto It = std::find(States.begin(), States.end(), S);
+    std::swap(*It, States.back());
+    States.pop_back();
+  }
+  bool empty() const override { return States.empty(); }
+  const char *name() const override { return "coverage"; }
+
+private:
+  double weight(const ExecutionState *S) const {
+    const BasicBlock *BB = S->Loc.Block;
+    double W = Cov.covered(BB) ? 1.0 : 8.0;
+    return W / (1.0 + static_cast<double>(Cov.timesEntered(BB)));
+  }
+
+  const ProgramInfo &PI;
+  const CoverageTracker &Cov;
+  std::vector<ExecutionState *> States;
+  RNG Rand;
+};
+
+//===----------------------------------------------------------------------===
+// Dynamic state merging (Algorithm 2)
+//===----------------------------------------------------------------------===
+
+class DynamicMergeSearcher : public Searcher {
+public:
+  DynamicMergeSearcher(const ProgramInfo &PI, const MergePolicy &Policy,
+                       std::unique_ptr<Searcher> Driving)
+      : PI(PI), Policy(Policy), Driving(std::move(Driving)) {}
+
+  ExecutionState *select() override {
+    // Fast-forwarding only serves merging; under a non-merging policy
+    // Algorithm 2 degenerates to the driving heuristic.
+    if (!Policy.wantsMerging() && !Forwarding.empty())
+      Forwarding.clear();
+    if (!Forwarding.empty()) {
+      // pickNextF: the topologically smallest member of F catches up.
+      ExecutionState *Best = nullptr;
+      std::vector<uint64_t> BestKey;
+      for (const auto &[Id, S] : Forwarding) {
+        std::vector<uint64_t> Key = topoRankKey(PI, *S);
+        if (!Best || topoRankLess(Key, BestKey) ||
+            (Key == BestKey && S->Id < Best->Id)) {
+          Best = S;
+          BestKey = std::move(Key);
+        }
+      }
+      ++FastForwards;
+      Best->FastForwarded = true;
+      detach(Best, /*FromDriving=*/true);
+      return Best;
+    }
+    ExecutionState *S = Driving->select();
+    S->FastForwarded = false;
+    detach(S, /*FromDriving=*/false);
+    return S;
+  }
+
+  void add(ExecutionState *S) override {
+    Info I;
+    I.CurHash = Policy.similarityHash(*S);
+    I.Hist.assign(S->History.begin(), S->History.end());
+    CurIndex[I.CurHash].push_back(S);
+    for (uint64_t H : I.Hist)
+      ++HistIndex[H][S->Id];
+    // S enters F if its current hash matches another state's history.
+    if (matchesForeignHistory(S, I.CurHash))
+      Forwarding.emplace(S->Id, S);
+    // S's history may pull other states into F.
+    for (uint64_t H : I.Hist) {
+      auto It = CurIndex.find(H);
+      if (It == CurIndex.end())
+        continue;
+      for (ExecutionState *T : It->second)
+        if (T != S)
+          Forwarding.emplace(T->Id, T);
+    }
+    States.emplace(S, std::move(I));
+    Driving->add(S);
+  }
+
+  void remove(ExecutionState *S) override { detach(S, true); }
+  bool empty() const override { return States.empty(); }
+  const char *name() const override { return "dsm"; }
+  uint64_t fastForwardSelections() const override { return FastForwards; }
+
+private:
+  struct Info {
+    uint64_t CurHash = 0;
+    std::vector<uint64_t> Hist;
+  };
+
+  bool matchesForeignHistory(const ExecutionState *S, uint64_t H) const {
+    auto It = HistIndex.find(H);
+    if (It == HistIndex.end())
+      return false;
+    for (const auto &[Id, Count] : It->second)
+      if (Id != S->Id && Count > 0)
+        return true;
+    return false;
+  }
+
+  void detach(ExecutionState *S, bool FromDriving) {
+    auto StateIt = States.find(S);
+    assert(StateIt != States.end() && "detaching unknown state");
+    Info I = std::move(StateIt->second);
+    States.erase(StateIt);
+
+    auto &Bucket = CurIndex[I.CurHash];
+    Bucket.erase(std::find(Bucket.begin(), Bucket.end(), S));
+    if (Bucket.empty())
+      CurIndex.erase(I.CurHash);
+
+    for (uint64_t H : I.Hist) {
+      auto HI = HistIndex.find(H);
+      if (HI == HistIndex.end())
+        continue;
+      auto Owner = HI->second.find(S->Id);
+      if (Owner != HI->second.end() && --Owner->second == 0)
+        HI->second.erase(Owner);
+      if (HI->second.empty())
+        HistIndex.erase(HI);
+    }
+
+    Forwarding.erase(S->Id);
+    // States that were in F only because of S's history must be
+    // re-validated.
+    for (uint64_t H : I.Hist) {
+      auto CI = CurIndex.find(H);
+      if (CI == CurIndex.end())
+        continue;
+      for (ExecutionState *T : CI->second)
+        if (Forwarding.count(T->Id) && !matchesForeignHistory(T, H))
+          Forwarding.erase(T->Id);
+    }
+
+    if (FromDriving)
+      Driving->remove(S);
+  }
+
+  const ProgramInfo &PI;
+  const MergePolicy &Policy;
+  std::unique_ptr<Searcher> Driving;
+  std::unordered_map<ExecutionState *, Info> States;
+  /// Similarity hash of each worklist state's current position.
+  std::unordered_map<uint64_t, std::vector<ExecutionState *>> CurIndex;
+  /// Hash -> owning state id -> number of history entries with that hash.
+  std::unordered_map<uint64_t, std::map<uint64_t, int>> HistIndex;
+  /// The forwarding set F, keyed by state id for determinism.
+  std::map<uint64_t, ExecutionState *> Forwarding;
+  uint64_t FastForwards = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Searcher> symmerge::createDFSSearcher() {
+  return std::make_unique<DFSSearcher>();
+}
+std::unique_ptr<Searcher> symmerge::createBFSSearcher() {
+  return std::make_unique<BFSSearcher>();
+}
+std::unique_ptr<Searcher> symmerge::createRandomSearcher(uint64_t Seed) {
+  return std::make_unique<RandomSearcher>(Seed);
+}
+std::unique_ptr<Searcher> symmerge::createRandomPathSearcher(uint64_t Seed) {
+  return std::make_unique<RandomPathSearcher>(Seed);
+}
+std::unique_ptr<Searcher>
+symmerge::createTopologicalSearcher(const ProgramInfo &PI) {
+  return std::make_unique<TopologicalSearcher>(PI);
+}
+std::unique_ptr<Searcher>
+symmerge::createCoverageSearcher(const ProgramInfo &PI,
+                                 const CoverageTracker &Cov, uint64_t Seed) {
+  return std::make_unique<CoverageSearcher>(PI, Cov, Seed);
+}
+std::unique_ptr<Searcher>
+symmerge::createDynamicMergeSearcher(const ProgramInfo &PI,
+                                     const MergePolicy &Policy,
+                                     std::unique_ptr<Searcher> Driving) {
+  return std::make_unique<DynamicMergeSearcher>(PI, Policy,
+                                                std::move(Driving));
+}

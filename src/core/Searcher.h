@@ -1,0 +1,93 @@
+//===- Searcher.h - Exploration strategies (pickNext) -----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pickNext parameter of Algorithm 1. Searchers own the worklist
+/// membership of states: the engine add()s new states, select() removes
+/// and returns the next state to execute, and remove() withdraws states
+/// that were merged away or died.
+///
+/// Strategies:
+///  - DFS / BFS: classic orders,
+///  - Random: uniform over the worklist (used for exhaustive exploration,
+///    §5.1 "for complete explorations we used random search"),
+///  - Topological: minimal interprocedural reverse-postorder rank — the
+///    static state merging order (§5.4),
+///  - CoverageOptimized: weighted toward uncovered code and away from
+///    deeply re-entered blocks (the coverage-oriented heuristic of [6]),
+///  - DynamicMerge (Algorithm 2): fast-forwards states whose current
+///    similarity hash matches a bounded-history predecessor of another
+///    worklist state; otherwise defers to the underlying driving
+///    heuristic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_SEARCHER_H
+#define SYMMERGE_CORE_SEARCHER_H
+
+#include "analysis/ProgramInfo.h"
+#include "core/Coverage.h"
+#include "core/ExecutionState.h"
+#include "core/MergePolicy.h"
+
+#include <memory>
+
+namespace symmerge {
+
+/// Abstract exploration strategy over the worklist.
+class Searcher {
+public:
+  virtual ~Searcher();
+
+  /// Removes and returns the next state to execute.
+  virtual ExecutionState *select() = 0;
+  virtual void add(ExecutionState *S) = 0;
+  virtual void remove(ExecutionState *S) = 0;
+  virtual bool empty() const = 0;
+  virtual const char *name() const = 0;
+
+  /// DSM statistics; zero for ordinary searchers.
+  virtual uint64_t fastForwardSelections() const { return 0; }
+};
+
+/// Interprocedural topological rank of a state: the lexicographic vector
+/// of (reverse-postorder index, instruction index) over the call stack,
+/// outermost frame first. Lower rank = earlier in topological order.
+/// Exposed for tests.
+std::vector<uint64_t> topoRankKey(const ProgramInfo &PI,
+                                  const ExecutionState &S);
+
+/// True if A precedes B in topological order (a state that is a strict
+/// continuation of another compares later).
+bool topoRankLess(const std::vector<uint64_t> &A,
+                  const std::vector<uint64_t> &B);
+
+std::unique_ptr<Searcher> createDFSSearcher();
+std::unique_ptr<Searcher> createBFSSearcher();
+std::unique_ptr<Searcher> createRandomSearcher(uint64_t Seed);
+
+/// KLEE's random-path strategy, approximated by weighting each state
+/// with 2^-ForkDepth: walking the execution tree from the root and
+/// flipping a fair coin at every fork lands on a leaf with exactly this
+/// probability. Favors shallow, rarely-forked states, which counteracts
+/// loop-heavy subtrees flooding the worklist.
+std::unique_ptr<Searcher> createRandomPathSearcher(uint64_t Seed);
+std::unique_ptr<Searcher> createTopologicalSearcher(const ProgramInfo &PI);
+std::unique_ptr<Searcher>
+createCoverageSearcher(const ProgramInfo &PI, const CoverageTracker &Cov,
+                       uint64_t Seed);
+
+/// Dynamic state merging (Algorithm 2) layered over \p Driving
+/// (pickNextD). The forwarding set F is maintained incrementally from the
+/// states' similarity hashes and bounded histories; pickNextF selects the
+/// topologically smallest member, so lagging states catch up first.
+std::unique_ptr<Searcher>
+createDynamicMergeSearcher(const ProgramInfo &PI, const MergePolicy &Policy,
+                           std::unique_ptr<Searcher> Driving);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_SEARCHER_H

@@ -1,0 +1,113 @@
+//===- StateMerge.cpp - The merge operation over states ---------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StateMerge.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace symmerge;
+
+static size_t commonPrefixLength(const std::vector<ExprRef> &A,
+                                 const std::vector<ExprRef> &B) {
+  size_t N = std::min(A.size(), B.size());
+  size_t I = 0;
+  while (I < N && A[I] == B[I])
+    ++I;
+  return I;
+}
+
+bool symmerge::statesMergeable(const ExecutionState &A,
+                               const ExecutionState &B) {
+  if (&A == &B)
+    return false;
+  if (A.Status != StateStatus::Running || B.Status != StateStatus::Running)
+    return false;
+  if (!(A.Loc == B.Loc))
+    return false;
+  if (A.Stack.size() != B.Stack.size())
+    return false;
+  for (size_t K = 0; K < A.Stack.size(); ++K) {
+    const StackFrame &FA = A.Stack[K];
+    const StackFrame &FB = B.Stack[K];
+    if (FA.F != FB.F || FA.RetBlock != FB.RetBlock ||
+        FA.RetIndex != FB.RetIndex || FA.RetDst != FB.RetDst)
+      return false;
+    if (FA.ArrayIds != FB.ArrayIds)
+      return false;
+  }
+  if (A.Arrays.size() != B.Arrays.size())
+    return false;
+  for (size_t I = 0; I < A.Arrays.size(); ++I) {
+    if (A.Arrays[I].ElemWidth != B.Arrays[I].ElemWidth ||
+        A.Arrays[I].Cells.size() != B.Arrays[I].Cells.size())
+      return false;
+  }
+  if (A.SymCounts != B.SymCounts)
+    return false;
+
+  // If neither path condition has a diverging suffix, there is no
+  // input-dependent guard to select between the stores: only states with
+  // equal stores can merge (they are then exact duplicates).
+  size_t Prefix = commonPrefixLength(A.PC, B.PC);
+  if (Prefix == A.PC.size() && Prefix == B.PC.size()) {
+    for (size_t K = 0; K < A.Stack.size(); ++K)
+      if (A.Stack[K].Scalars != B.Stack[K].Scalars)
+        return false;
+    for (size_t I = 0; I < A.Arrays.size(); ++I)
+      if (A.Arrays[I].Cells != B.Arrays[I].Cells)
+        return false;
+  }
+  return true;
+}
+
+size_t symmerge::mergeStates(ExprContext &Ctx, ExecutionState &A,
+                             ExecutionState &B) {
+  assert(statesMergeable(A, B) && "merging incompatible states");
+
+  // pc' = prefix ∧ (suffixA ∨ suffixB); the guard d = suffixA selects A's
+  // values in the merged store.
+  size_t Prefix = commonPrefixLength(A.PC, B.PC);
+  ExprRef SuffixA = Ctx.mkTrue();
+  for (size_t I = Prefix; I < A.PC.size(); ++I)
+    SuffixA = Ctx.mkAnd(SuffixA, A.PC[I]);
+  ExprRef SuffixB = Ctx.mkTrue();
+  for (size_t I = Prefix; I < B.PC.size(); ++I)
+    SuffixB = Ctx.mkAnd(SuffixB, B.PC[I]);
+  ExprRef Guard = SuffixA;
+
+  A.PC.resize(Prefix);
+  ExprRef Disjunct = Ctx.mkOr(SuffixA, SuffixB);
+  if (!Disjunct->isTrue())
+    A.PC.push_back(Disjunct);
+
+  size_t ItesIntroduced = 0;
+  auto MergeValue = [&](ExprRef VA, ExprRef VB) -> ExprRef {
+    if (VA == VB || !VA)
+      return VA;
+    ++ItesIntroduced;
+    return Ctx.mkIte(Guard, VA, VB);
+  };
+
+  for (size_t K = 0; K < A.Stack.size(); ++K) {
+    StackFrame &FA = A.Stack[K];
+    const StackFrame &FB = B.Stack[K];
+    for (size_t V = 0; V < FA.Scalars.size(); ++V)
+      FA.Scalars[V] = MergeValue(FA.Scalars[V], FB.Scalars[V]);
+  }
+  for (size_t I = 0; I < A.Arrays.size(); ++I) {
+    ArrayObject &OA = A.Arrays[I];
+    const ArrayObject &OB = B.Arrays[I];
+    for (size_t C = 0; C < OA.Cells.size(); ++C)
+      OA.Cells[C] = MergeValue(OA.Cells[C], OB.Cells[C]);
+  }
+
+  A.Multiplicity += B.Multiplicity;
+  A.Steps = std::max(A.Steps, B.Steps);
+  for (auto &P : B.ShadowPaths)
+    A.ShadowPaths.push_back(std::move(P));
+  return ItesIntroduced;
+}

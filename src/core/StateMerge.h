@@ -1,0 +1,39 @@
+//===- StateMerge.h - The merge operation over states -----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The merge of Algorithm 1, line 20: given two states at the same
+/// location, produce `(l, pc1 ∨ pc2, λv. ite(pc1, s1[v], s2[v]))`. The
+/// disjunction factors out the common path-condition prefix (§2.1), and
+/// the ite guard is the conjunction of state A's diverging suffix, so
+/// variables that agree merge without any ite at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_STATEMERGE_H
+#define SYMMERGE_CORE_STATEMERGE_H
+
+#include "core/ExecutionState.h"
+#include "expr/ExprContext.h"
+
+namespace symmerge {
+
+/// Structural precondition for merging: same location, same call stack
+/// shape (functions and return linkage), same array layout, same symbolic
+/// input naming, and — when the path conditions are entirely identical —
+/// identical stores (otherwise no input-dependent guard could separate
+/// the two states). Any similarity policy is checked on top of this.
+bool statesMergeable(const ExecutionState &A, const ExecutionState &B);
+
+/// Merges \p B into \p A (Algorithm 1 line 20). Requires
+/// statesMergeable(A, B). B is left in an unspecified state and must be
+/// discarded. Returns the number of ite expressions introduced (a cost
+/// measure reported by the benches).
+size_t mergeStates(ExprContext &Ctx, ExecutionState &A, ExecutionState &B);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_STATEMERGE_H

@@ -1,0 +1,78 @@
+//===- TestCase.h - Generated tests and run results -------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's outputs: concrete test cases (solver models of completed
+/// or erroneous path conditions) and the aggregate statistics the paper's
+/// figures are built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_TESTCASE_H
+#define SYMMERGE_CORE_TESTCASE_H
+
+#include "expr/ExprEval.h"
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+/// Why a test case was generated.
+enum class TestKind : uint8_t {
+  Halt,          ///< A path ran to completion.
+  AssertFailure, ///< Input falsifying an assert (a bug).
+  OutOfBounds,   ///< Array access out of bounds (a bug).
+};
+
+/// A concrete input assignment plus provenance.
+struct TestCase {
+  TestKind Kind = TestKind::Halt;
+  VarAssignment Inputs; ///< Unconstrained inputs default to zero.
+  std::string Message;  ///< Assert message for bugs.
+  Location Where;       ///< Program point that produced the test.
+  double Multiplicity = 1.0; ///< Multiplicity of the producing state.
+
+  bool isBug() const { return Kind != TestKind::Halt; }
+};
+
+/// Aggregate statistics of one engine run.
+struct EngineStats {
+  uint64_t Steps = 0;          ///< Instructions executed.
+  uint64_t Forks = 0;          ///< Two-way feasible branches taken.
+  uint64_t Merges = 0;         ///< Successful state merges.
+  uint64_t MergedItes = 0;     ///< ite expressions introduced by merges.
+  uint64_t CompletedStates = 0;
+  double CompletedMultiplicity = 0; ///< Sum over completed states (§5.2).
+  uint64_t ExactPathsCompleted = 0; ///< Only with exact-path tracking.
+  uint64_t Errors = 0;              ///< Bug reports emitted.
+  uint64_t MaxWorklist = 0;
+  uint64_t FastForwardSelections = 0; ///< DSM picks from the set F.
+  uint64_t FastForwardMerges = 0;     ///< Fast-forwarded states merged.
+  double WallSeconds = 0;
+  bool Exhausted = false; ///< Worklist emptied within the budget.
+  uint64_t SolverQueries = 0;     ///< Top-level queries during the run.
+  uint64_t SolverCoreQueries = 0; ///< Queries that missed every cache.
+  double SolverSeconds = 0;       ///< Wall time inside the SAT core.
+};
+
+/// Everything a run produced.
+struct RunResult {
+  std::vector<TestCase> Tests;
+  EngineStats Stats;
+
+  uint64_t bugCount() const {
+    uint64_t N = 0;
+    for (const TestCase &T : Tests)
+      N += T.isBug();
+    return N;
+  }
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_TESTCASE_H

@@ -1,0 +1,110 @@
+//===- Expr.cpp - Expression node helpers ----------------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Expr.h"
+
+using namespace symmerge;
+
+const char *symmerge::exprKindName(ExprKind K) {
+  switch (K) {
+  case ExprKind::Constant:
+    return "const";
+  case ExprKind::Var:
+    return "var";
+  case ExprKind::Not:
+    return "not";
+  case ExprKind::Neg:
+    return "neg";
+  case ExprKind::ZExt:
+    return "zext";
+  case ExprKind::SExt:
+    return "sext";
+  case ExprKind::Trunc:
+    return "trunc";
+  case ExprKind::Add:
+    return "add";
+  case ExprKind::Sub:
+    return "sub";
+  case ExprKind::Mul:
+    return "mul";
+  case ExprKind::UDiv:
+    return "udiv";
+  case ExprKind::SDiv:
+    return "sdiv";
+  case ExprKind::URem:
+    return "urem";
+  case ExprKind::SRem:
+    return "srem";
+  case ExprKind::And:
+    return "and";
+  case ExprKind::Or:
+    return "or";
+  case ExprKind::Xor:
+    return "xor";
+  case ExprKind::Shl:
+    return "shl";
+  case ExprKind::LShr:
+    return "lshr";
+  case ExprKind::AShr:
+    return "ashr";
+  case ExprKind::Eq:
+    return "eq";
+  case ExprKind::Ne:
+    return "ne";
+  case ExprKind::Ult:
+    return "ult";
+  case ExprKind::Ule:
+    return "ule";
+  case ExprKind::Slt:
+    return "slt";
+  case ExprKind::Sle:
+    return "sle";
+  case ExprKind::Ite:
+    return "ite";
+  }
+  return "<bad-kind>";
+}
+
+bool symmerge::isComparisonKind(ExprKind K) {
+  switch (K) {
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Ult:
+  case ExprKind::Ule:
+  case ExprKind::Slt:
+  case ExprKind::Sle:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool symmerge::isBinaryKind(ExprKind K) {
+  switch (K) {
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::UDiv:
+  case ExprKind::SDiv:
+  case ExprKind::URem:
+  case ExprKind::SRem:
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Xor:
+  case ExprKind::Shl:
+  case ExprKind::LShr:
+  case ExprKind::AShr:
+  case ExprKind::Eq:
+  case ExprKind::Ne:
+  case ExprKind::Ult:
+  case ExprKind::Ule:
+  case ExprKind::Slt:
+  case ExprKind::Sle:
+    return true;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,155 @@
+//===- Expr.h - Hash-consed symbolic bitvector expressions ------*- C++ -*-===//
+//
+// Part of SymMerge, a reproduction of "Efficient State Merging in Symbolic
+// Execution" (PLDI 2012). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, hash-consed bitvector expression DAG. Expressions are the
+/// values stored in symbolic stores (the paper's `s[v]`), the conjuncts of
+/// path conditions (`pc`), and the inputs to the constraint solver.
+///
+/// Design notes:
+///  - Widths are 1, 8, 16, 32, or 64 bits; width-1 expressions double as
+///    booleans.
+///  - Nodes are interned in an ExprContext, so structural equality is
+///    pointer equality, and the DSM similarity hash can use stable node ids.
+///  - Arrays are handled *outside* the expression language: the executor
+///    keeps bounded arrays as vectors of scalar expressions and compiles
+///    symbolic indexing into ite chains (see DESIGN.md §6.1). This keeps the
+///    solver a pure bitvector engine while reproducing the paper's "merged
+///    states stress the solver through ite expressions" effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_EXPR_EXPR_H
+#define SYMMERGE_EXPR_EXPR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace symmerge {
+
+class ExprContext;
+
+/// Discriminator for expression nodes.
+enum class ExprKind : uint8_t {
+  // Leaves.
+  Constant, ///< Literal bitvector value.
+  Var,      ///< Named symbolic input (created by make_symbolic).
+  // Unary.
+  Not,   ///< Bitwise complement; logical negation on width 1.
+  Neg,   ///< Two's-complement negation.
+  ZExt,  ///< Zero extension to a wider type.
+  SExt,  ///< Sign extension to a wider type.
+  Trunc, ///< Truncation to a narrower type.
+  // Binary arithmetic and bitwise.
+  Add,
+  Sub,
+  Mul,
+  UDiv, ///< Unsigned division; division by zero yields all-ones (SMT-LIB).
+  SDiv, ///< Signed division; x/0 is 1 if x<0 else -1; INT_MIN/-1 wraps.
+  URem, ///< Unsigned remainder; x%0 = x (SMT-LIB).
+  SRem, ///< Signed remainder; x%0 = x; sign follows the dividend.
+  And,
+  Or,
+  Xor,
+  Shl,  ///< Shift left; shifts >= width yield 0.
+  LShr, ///< Logical shift right; shifts >= width yield 0.
+  AShr, ///< Arithmetic shift right; shifts >= width replicate the sign.
+  // Comparisons; result width is 1.
+  Eq,
+  Ne,
+  Ult,
+  Ule,
+  Slt,
+  Sle,
+  // Ternary.
+  Ite, ///< if-then-else over a width-1 condition; the paper's ite(c,p,q).
+};
+
+/// Returns a stable mnemonic for \p K (used by the printer and tests).
+const char *exprKindName(ExprKind K);
+
+/// Returns true if \p K is a comparison operator (result width 1).
+bool isComparisonKind(ExprKind K);
+
+/// Returns true if \p K is a binary operator (arith, bitwise, or compare).
+bool isBinaryKind(ExprKind K);
+
+/// An immutable expression node. Instances are created and owned by an
+/// ExprContext; two structurally equal expressions created in the same
+/// context are the same object.
+class Expr {
+public:
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+
+  ExprKind kind() const { return Kind; }
+  unsigned width() const { return Width; }
+
+  /// Creation-ordered id, unique within the owning context. Stable across
+  /// runs, so it is safe to hash and to use for deterministic ordering.
+  uint64_t id() const { return Id; }
+
+  /// Structural hash (already combined over operands).
+  uint64_t hash() const { return Hash; }
+
+  /// True if any transitive operand is a Var, i.e. the paper's `I ◁ s[v]`:
+  /// the value depends on symbolic program input.
+  bool isSymbolic() const { return Symbolic; }
+
+  bool isConstant() const { return Kind == ExprKind::Constant; }
+
+  /// Value of a Constant node, masked to its width.
+  uint64_t constantValue() const {
+    assert(isConstant() && "constantValue on non-constant expression");
+    return Value;
+  }
+
+  /// True if this is the width-1 constant 1.
+  bool isTrue() const {
+    return isConstant() && Width == 1 && Value == 1;
+  }
+  /// True if this is the width-1 constant 0.
+  bool isFalse() const {
+    return isConstant() && Width == 1 && Value == 0;
+  }
+
+  /// Name of a Var node.
+  const std::string &varName() const {
+    assert(Kind == ExprKind::Var && "varName on non-variable expression");
+    return Name;
+  }
+
+  size_t numOperands() const { return NumOps; }
+
+  const Expr *operand(size_t I) const {
+    assert(I < NumOps && "operand index out of range");
+    return Ops[I];
+  }
+
+private:
+  friend class ExprContext;
+
+  Expr() = default;
+
+  ExprKind Kind = ExprKind::Constant;
+  uint8_t NumOps = 0;
+  unsigned Width = 1;
+  bool Symbolic = false;
+  uint64_t Id = 0;
+  uint64_t Hash = 0;
+  uint64_t Value = 0;       // Constant payload.
+  std::string Name;         // Var payload.
+  const Expr *Ops[3] = {nullptr, nullptr, nullptr};
+};
+
+/// Expressions are passed around as borrowed pointers into their context.
+using ExprRef = const Expr *;
+
+} // namespace symmerge
+
+#endif // SYMMERGE_EXPR_EXPR_H

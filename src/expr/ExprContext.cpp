@@ -1,0 +1,729 @@
+//===- ExprContext.cpp - Expression factory, folding, interning -----------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/ExprContext.h"
+
+#include "support/Hashing.h"
+
+using namespace symmerge;
+
+ExprContext::ExprContext() = default;
+ExprContext::~ExprContext() = default;
+
+uint64_t ExprContext::maskToWidth(uint64_t V, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "unsupported width");
+  if (Width == 64)
+    return V;
+  return V & ((1ULL << Width) - 1);
+}
+
+int64_t ExprContext::signExtend(uint64_t V, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "unsupported width");
+  if (Width == 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = 1ULL << (Width - 1);
+  return static_cast<int64_t>((V ^ SignBit) - SignBit);
+}
+
+bool ExprContext::NodeKey::operator==(const NodeKey &O) const {
+  return Kind == O.Kind && Width == O.Width && Value == O.Value &&
+         Name == O.Name && Ops[0] == O.Ops[0] && Ops[1] == O.Ops[1] &&
+         Ops[2] == O.Ops[2];
+}
+
+uint64_t ExprContext::NodeKeyHash::operator()(const NodeKey &K) const {
+  uint64_t H = hashMix(static_cast<uint64_t>(K.Kind) * 131 + K.Width);
+  H = hashCombine(H, K.Value);
+  for (ExprRef Op : K.Ops)
+    H = hashCombine(H, Op ? Op->id() + 1 : 0);
+  return H;
+}
+
+ExprRef ExprContext::intern(ExprKind K, unsigned Width, uint64_t Value,
+                            const std::string &Name, ExprRef A, ExprRef B,
+                            ExprRef C) {
+  NodeKey Key{K, Width, Value, nullptr, {A, B, C}};
+  if (K != ExprKind::Var) {
+    auto It = InternTable.find(Key);
+    if (It != InternTable.end())
+      return It->second;
+  }
+
+  auto Node = std::unique_ptr<Expr>(new Expr());
+  Node->Kind = K;
+  Node->Width = Width;
+  Node->Value = Value;
+  Node->Name = Name;
+  Node->Id = Nodes.size();
+  Node->Ops[0] = A;
+  Node->Ops[1] = B;
+  Node->Ops[2] = C;
+  Node->NumOps = A ? (B ? (C ? 3 : 2) : 1) : 0;
+  Node->Symbolic = K == ExprKind::Var ||
+                   (A && A->isSymbolic()) || (B && B->isSymbolic()) ||
+                   (C && C->isSymbolic());
+  Node->Hash = NodeKeyHash()(Key);
+
+  ExprRef Result = Node.get();
+  Nodes.push_back(std::move(Node));
+  if (K != ExprKind::Var)
+    InternTable.emplace(Key, Result);
+  return Result;
+}
+
+ExprRef ExprContext::mkConst(uint64_t V, unsigned Width) {
+  return intern(ExprKind::Constant, Width, maskToWidth(V, Width), "", nullptr,
+                nullptr, nullptr);
+}
+
+ExprRef ExprContext::mkVar(const std::string &Name, unsigned Width) {
+  auto It = VarTable.find(Name);
+  if (It != VarTable.end()) {
+    assert(It->second->width() == Width &&
+           "variable re-declared with a different width");
+    return It->second;
+  }
+  ExprRef V =
+      intern(ExprKind::Var, Width, 0, Name, nullptr, nullptr, nullptr);
+  VarTable.emplace(Name, V);
+  return V;
+}
+
+//===----------------------------------------------------------------------===
+// Constant evaluation
+//===----------------------------------------------------------------------===
+
+uint64_t ExprContext::evalBinOp(ExprKind K, uint64_t L, uint64_t R,
+                                unsigned Width) {
+  int64_t SL = signExtend(L, Width);
+  int64_t SR = signExtend(R, Width);
+  switch (K) {
+  case ExprKind::Add:
+    return maskToWidth(L + R, Width);
+  case ExprKind::Sub:
+    return maskToWidth(L - R, Width);
+  case ExprKind::Mul:
+    return maskToWidth(L * R, Width);
+  case ExprKind::UDiv:
+    // Division by zero yields all-ones, matching SMT-LIB bvudiv.
+    return R == 0 ? maskToWidth(~0ULL, Width) : maskToWidth(L / R, Width);
+  case ExprKind::SDiv:
+    // SMT-LIB bvsdiv: x/0 is 1 for negative x and -1 otherwise.
+    if (R == 0)
+      return SL < 0 ? 1 : maskToWidth(~0ULL, Width);
+    if (SL == INT64_MIN && SR == -1)
+      return maskToWidth(static_cast<uint64_t>(SL), Width); // Wraps.
+    return maskToWidth(static_cast<uint64_t>(SL / SR), Width);
+  case ExprKind::URem:
+    return R == 0 ? L : maskToWidth(L % R, Width);
+  case ExprKind::SRem:
+    if (R == 0)
+      return L;
+    if (SL == INT64_MIN && SR == -1)
+      return 0;
+    return maskToWidth(static_cast<uint64_t>(SL % SR), Width);
+  case ExprKind::And:
+    return L & R;
+  case ExprKind::Or:
+    return L | R;
+  case ExprKind::Xor:
+    return L ^ R;
+  case ExprKind::Shl:
+    return R >= Width ? 0 : maskToWidth(L << R, Width);
+  case ExprKind::LShr:
+    return R >= Width ? 0 : L >> R;
+  case ExprKind::AShr:
+    if (R >= Width)
+      return SL < 0 ? maskToWidth(~0ULL, Width) : 0;
+    return maskToWidth(static_cast<uint64_t>(SL >> R), Width);
+  case ExprKind::Eq:
+    return L == R;
+  case ExprKind::Ne:
+    return L != R;
+  case ExprKind::Ult:
+    return L < R;
+  case ExprKind::Ule:
+    return L <= R;
+  case ExprKind::Slt:
+    return SL < SR;
+  case ExprKind::Sle:
+    return SL <= SR;
+  default:
+    assert(false && "not a binary kind");
+    return 0;
+  }
+}
+
+uint64_t ExprContext::evalUnOp(ExprKind K, uint64_t V, unsigned OldWidth,
+                               unsigned NewWidth) {
+  switch (K) {
+  case ExprKind::Not:
+    return maskToWidth(~V, NewWidth);
+  case ExprKind::Neg:
+    return maskToWidth(0 - V, NewWidth);
+  case ExprKind::ZExt:
+  case ExprKind::Trunc:
+    return maskToWidth(V, NewWidth);
+  case ExprKind::SExt:
+    return maskToWidth(static_cast<uint64_t>(signExtend(V, OldWidth)),
+                       NewWidth);
+  default:
+    assert(false && "not a unary kind");
+    return 0;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Unary constructors
+//===----------------------------------------------------------------------===
+
+ExprRef ExprContext::mkNot(ExprRef E) {
+  if (E->isConstant())
+    return mkConst(evalUnOp(ExprKind::Not, E->constantValue(), E->width(),
+                            E->width()),
+                   E->width());
+  if (E->kind() == ExprKind::Not)
+    return E->operand(0);
+  // Push negation into comparisons: !(a < b) becomes b <= a, etc. This keeps
+  // path-condition conjuncts in a canonical comparison form.
+  switch (E->kind()) {
+  case ExprKind::Eq:
+    return mkNe(E->operand(0), E->operand(1));
+  case ExprKind::Ne:
+    return mkEq(E->operand(0), E->operand(1));
+  case ExprKind::Ult:
+    return mkUle(E->operand(1), E->operand(0));
+  case ExprKind::Ule:
+    return mkUlt(E->operand(1), E->operand(0));
+  case ExprKind::Slt:
+    return mkSle(E->operand(1), E->operand(0));
+  case ExprKind::Sle:
+    return mkSlt(E->operand(1), E->operand(0));
+  default:
+    break;
+  }
+  return intern(ExprKind::Not, E->width(), 0, "", E, nullptr, nullptr);
+}
+
+ExprRef ExprContext::mkNeg(ExprRef E) {
+  if (E->isConstant())
+    return mkConst(evalUnOp(ExprKind::Neg, E->constantValue(), E->width(),
+                            E->width()),
+                   E->width());
+  if (E->kind() == ExprKind::Neg)
+    return E->operand(0);
+  return intern(ExprKind::Neg, E->width(), 0, "", E, nullptr, nullptr);
+}
+
+ExprRef ExprContext::mkZExt(ExprRef E, unsigned Width) {
+  assert(Width >= E->width() && "zext must not narrow");
+  if (Width == E->width())
+    return E;
+  if (E->isConstant())
+    return mkConst(E->constantValue(), Width);
+  if (E->kind() == ExprKind::ZExt)
+    return mkZExt(E->operand(0), Width);
+  return intern(ExprKind::ZExt, Width, 0, "", E, nullptr, nullptr);
+}
+
+ExprRef ExprContext::mkSExt(ExprRef E, unsigned Width) {
+  assert(Width >= E->width() && "sext must not narrow");
+  if (Width == E->width())
+    return E;
+  if (E->isConstant())
+    return mkConst(evalUnOp(ExprKind::SExt, E->constantValue(), E->width(),
+                            Width),
+                   Width);
+  if (E->kind() == ExprKind::SExt)
+    return mkSExt(E->operand(0), Width);
+  // Sign-extending a zero-extended value whose top bit is known zero is a
+  // zero extension.
+  if (E->kind() == ExprKind::ZExt)
+    return mkZExt(E->operand(0), Width);
+  return intern(ExprKind::SExt, Width, 0, "", E, nullptr, nullptr);
+}
+
+ExprRef ExprContext::mkTrunc(ExprRef E, unsigned Width) {
+  assert(Width <= E->width() && "trunc must not widen");
+  if (Width == E->width())
+    return E;
+  if (E->isConstant())
+    return mkConst(E->constantValue(), Width);
+  if (E->kind() == ExprKind::Trunc)
+    return mkTrunc(E->operand(0), Width);
+  if (E->kind() == ExprKind::ZExt || E->kind() == ExprKind::SExt) {
+    ExprRef Inner = E->operand(0);
+    if (Width == Inner->width())
+      return Inner;
+    if (Width < Inner->width())
+      return mkTrunc(Inner, Width);
+    return E->kind() == ExprKind::ZExt ? mkZExt(Inner, Width)
+                                       : mkSExt(Inner, Width);
+  }
+  return intern(ExprKind::Trunc, Width, 0, "", E, nullptr, nullptr);
+}
+
+ExprRef ExprContext::mkZExtOrTrunc(ExprRef E, unsigned Width) {
+  if (Width == E->width())
+    return E;
+  return Width > E->width() ? mkZExt(E, Width) : mkTrunc(E, Width);
+}
+
+//===----------------------------------------------------------------------===
+// Binary constructors
+//===----------------------------------------------------------------------===
+
+/// True if \p E is ite(c, k1, k2) with both arms constant — the canonical
+/// shape produced by merging two states that disagree on a concrete value.
+static bool isIteOfConstants(ExprRef E) {
+  return E->kind() == ExprKind::Ite && E->operand(1)->isConstant() &&
+         E->operand(2)->isConstant();
+}
+
+/// True if \p L and \p R are syntactic complements: not(x) vs x, or a
+/// comparison and its canonical negation (mkNot rewrites !(a<b) to b<=a,
+/// so complementary path-condition suffixes take these shapes). Used to
+/// fold the `suffixA ∨ suffixB` disjunctions created by state merging.
+static bool areComplements(ExprRef L, ExprRef R) {
+  if ((L->kind() == ExprKind::Not && L->operand(0) == R) ||
+      (R->kind() == ExprKind::Not && R->operand(0) == L))
+    return true;
+  auto Matches = [](ExprRef A, ExprRef B, ExprKind KA, ExprKind KB,
+                    bool Swapped) {
+    if (A->kind() != KA || B->kind() != KB)
+      return false;
+    ExprRef B0 = B->operand(Swapped ? 1 : 0);
+    ExprRef B1 = B->operand(Swapped ? 0 : 1);
+    return A->operand(0) == B0 && A->operand(1) == B1;
+  };
+  // eq(a,b) vs ne(a,b); ult(a,b) vs ule(b,a); slt(a,b) vs sle(b,a).
+  return Matches(L, R, ExprKind::Eq, ExprKind::Ne, false) ||
+         Matches(L, R, ExprKind::Ne, ExprKind::Eq, false) ||
+         Matches(L, R, ExprKind::Ult, ExprKind::Ule, true) ||
+         Matches(L, R, ExprKind::Ule, ExprKind::Ult, true) ||
+         Matches(L, R, ExprKind::Slt, ExprKind::Sle, true) ||
+         Matches(L, R, ExprKind::Sle, ExprKind::Slt, true);
+}
+
+ExprRef ExprContext::foldBinOp(ExprKind K, ExprRef L, ExprRef R) {
+  unsigned W = L->width();
+  unsigned ResultW = isComparisonKind(K) ? 1 : W;
+
+  if (L->isConstant() && R->isConstant())
+    return mkConst(evalBinOp(K, L->constantValue(), R->constantValue(), W),
+                   ResultW);
+
+  // Distribute over merge-introduced ite-of-constants so that values that
+  // re-concretize after a merge keep folding: ite(c,2,1) + 1 -> ite(c,3,2),
+  // and ite(c,2,1) < 3 -> true. This is the shallow-formula property that
+  // makes cheap merges actually cheap (paper §3.1).
+  if (isIteOfConstants(L) && R->isConstant()) {
+    ExprRef T = mkConst(evalBinOp(K, L->operand(1)->constantValue(),
+                                  R->constantValue(), W),
+                        ResultW);
+    ExprRef F = mkConst(evalBinOp(K, L->operand(2)->constantValue(),
+                                  R->constantValue(), W),
+                        ResultW);
+    return mkIte(L->operand(0), T, F);
+  }
+  if (L->isConstant() && isIteOfConstants(R)) {
+    ExprRef T = mkConst(evalBinOp(K, L->constantValue(),
+                                  R->operand(1)->constantValue(), W),
+                        ResultW);
+    ExprRef F = mkConst(evalBinOp(K, L->constantValue(),
+                                  R->operand(2)->constantValue(), W),
+                        ResultW);
+    return mkIte(R->operand(0), T, F);
+  }
+  if (isIteOfConstants(L) && isIteOfConstants(R) &&
+      L->operand(0) == R->operand(0)) {
+    ExprRef T = mkConst(evalBinOp(K, L->operand(1)->constantValue(),
+                                  R->operand(1)->constantValue(), W),
+                        ResultW);
+    ExprRef F = mkConst(evalBinOp(K, L->operand(2)->constantValue(),
+                                  R->operand(2)->constantValue(), W),
+                        ResultW);
+    return mkIte(L->operand(0), T, F);
+  }
+  return nullptr;
+}
+
+ExprRef ExprContext::mkBinOp(ExprKind K, ExprRef L, ExprRef R) {
+  switch (K) {
+  case ExprKind::Add:
+    return mkAdd(L, R);
+  case ExprKind::Sub:
+    return mkSub(L, R);
+  case ExprKind::Mul:
+    return mkMul(L, R);
+  case ExprKind::UDiv:
+    return mkUDiv(L, R);
+  case ExprKind::SDiv:
+    return mkSDiv(L, R);
+  case ExprKind::URem:
+    return mkURem(L, R);
+  case ExprKind::SRem:
+    return mkSRem(L, R);
+  case ExprKind::And:
+    return mkAnd(L, R);
+  case ExprKind::Or:
+    return mkOr(L, R);
+  case ExprKind::Xor:
+    return mkXor(L, R);
+  case ExprKind::Shl:
+    return mkShl(L, R);
+  case ExprKind::LShr:
+    return mkLShr(L, R);
+  case ExprKind::AShr:
+    return mkAShr(L, R);
+  case ExprKind::Eq:
+    return mkEq(L, R);
+  case ExprKind::Ne:
+    return mkNe(L, R);
+  case ExprKind::Ult:
+    return mkUlt(L, R);
+  case ExprKind::Ule:
+    return mkUle(L, R);
+  case ExprKind::Slt:
+    return mkSlt(L, R);
+  case ExprKind::Sle:
+    return mkSle(L, R);
+  default:
+    assert(false && "not a binary expression kind");
+    return nullptr;
+  }
+}
+
+ExprRef ExprContext::mkAdd(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "add operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Add, L, R))
+    return F;
+  if (L->isConstant())
+    std::swap(L, R);
+  if (R->isConstant() && R->constantValue() == 0)
+    return L;
+  // (x + c1) + c2 -> x + (c1 + c2); keeps loop counters shallow.
+  if (R->isConstant() && L->kind() == ExprKind::Add &&
+      L->operand(1)->isConstant())
+    return mkAdd(L->operand(0),
+                 mkConst(L->operand(1)->constantValue() + R->constantValue(),
+                         L->width()));
+  return intern(ExprKind::Add, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkSub(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "sub operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Sub, L, R))
+    return F;
+  if (L == R)
+    return mkConst(0, L->width());
+  if (R->isConstant()) {
+    if (R->constantValue() == 0)
+      return L;
+    // x - c -> x + (-c), normalizing onto Add.
+    return mkAdd(L, mkConst(0 - R->constantValue(), L->width()));
+  }
+  return intern(ExprKind::Sub, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkMul(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "mul operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Mul, L, R))
+    return F;
+  if (L->isConstant())
+    std::swap(L, R);
+  if (R->isConstant()) {
+    if (R->constantValue() == 0)
+      return mkConst(0, L->width());
+    if (R->constantValue() == 1)
+      return L;
+  }
+  return intern(ExprKind::Mul, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkUDiv(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "udiv operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::UDiv, L, R))
+    return F;
+  if (R->isConstant() && R->constantValue() == 1)
+    return L;
+  return intern(ExprKind::UDiv, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkSDiv(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "sdiv operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::SDiv, L, R))
+    return F;
+  if (R->isConstant() && R->constantValue() == 1)
+    return L;
+  return intern(ExprKind::SDiv, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkURem(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "urem operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::URem, L, R))
+    return F;
+  if (R->isConstant() && R->constantValue() == 1)
+    return mkConst(0, L->width());
+  return intern(ExprKind::URem, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkSRem(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "srem operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::SRem, L, R))
+    return F;
+  if (R->isConstant() && R->constantValue() == 1)
+    return mkConst(0, L->width());
+  return intern(ExprKind::SRem, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkAnd(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "and operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::And, L, R))
+    return F;
+  if (L->isConstant())
+    std::swap(L, R);
+  if (L == R)
+    return L;
+  if (areComplements(L, R))
+    return mkConst(0, L->width());
+  if (R->isConstant()) {
+    uint64_t Ones = maskToWidth(~0ULL, L->width());
+    if (R->constantValue() == 0)
+      return mkConst(0, L->width());
+    if (R->constantValue() == Ones)
+      return L;
+  }
+  return intern(ExprKind::And, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkOr(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "or operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Or, L, R))
+    return F;
+  if (L->isConstant())
+    std::swap(L, R);
+  if (L == R)
+    return L;
+  if (areComplements(L, R))
+    return mkConst(maskToWidth(~0ULL, L->width()), L->width());
+  if (R->isConstant()) {
+    uint64_t Ones = maskToWidth(~0ULL, L->width());
+    if (R->constantValue() == 0)
+      return L;
+    if (R->constantValue() == Ones)
+      return mkConst(Ones, L->width());
+  }
+  return intern(ExprKind::Or, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkXor(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "xor operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Xor, L, R))
+    return F;
+  if (L->isConstant())
+    std::swap(L, R);
+  if (L == R)
+    return mkConst(0, L->width());
+  if (R->isConstant()) {
+    if (R->constantValue() == 0)
+      return L;
+    if (R->constantValue() == maskToWidth(~0ULL, L->width()))
+      return mkNot(L);
+  }
+  return intern(ExprKind::Xor, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkShl(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "shl operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Shl, L, R))
+    return F;
+  if (R->isConstant()) {
+    if (R->constantValue() == 0)
+      return L;
+    if (R->constantValue() >= L->width())
+      return mkConst(0, L->width());
+  }
+  return intern(ExprKind::Shl, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkLShr(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "lshr operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::LShr, L, R))
+    return F;
+  if (R->isConstant()) {
+    if (R->constantValue() == 0)
+      return L;
+    if (R->constantValue() >= L->width())
+      return mkConst(0, L->width());
+  }
+  return intern(ExprKind::LShr, L->width(), 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkAShr(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "ashr operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::AShr, L, R))
+    return F;
+  if (R->isConstant() && R->constantValue() == 0)
+    return L;
+  return intern(ExprKind::AShr, L->width(), 0, "", L, R, nullptr);
+}
+
+//===----------------------------------------------------------------------===
+// Comparisons
+//===----------------------------------------------------------------------===
+
+ExprRef ExprContext::mkEq(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "eq operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Eq, L, R))
+    return F;
+  if (L == R)
+    return mkTrue();
+  if (L->isConstant())
+    std::swap(L, R);
+  if (L->width() == 1 && R->isConstant())
+    return R->constantValue() == 1 ? L : mkNot(L);
+  // (x + c1) == c2 -> x == (c2 - c1); canonicalizes loop-exit conditions.
+  if (R->isConstant() && L->kind() == ExprKind::Add &&
+      L->operand(1)->isConstant())
+    return mkEq(L->operand(0),
+                mkConst(R->constantValue() - L->operand(1)->constantValue(),
+                        L->width()));
+  if (!L->isConstant() && !R->isConstant() && L->id() > R->id())
+    std::swap(L, R);
+  return intern(ExprKind::Eq, 1, 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkNe(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "ne operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Ne, L, R))
+    return F;
+  if (L == R)
+    return mkFalse();
+  if (L->isConstant())
+    std::swap(L, R);
+  if (L->width() == 1 && R->isConstant())
+    return R->constantValue() == 1 ? mkNot(L) : L;
+  // (x + c1) != c2 -> x != (c2 - c1).
+  if (R->isConstant() && L->kind() == ExprKind::Add &&
+      L->operand(1)->isConstant())
+    return mkNe(L->operand(0),
+                mkConst(R->constantValue() - L->operand(1)->constantValue(),
+                        L->width()));
+  if (!L->isConstant() && !R->isConstant() && L->id() > R->id())
+    std::swap(L, R);
+  return intern(ExprKind::Ne, 1, 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkUlt(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "ult operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Ult, L, R))
+    return F;
+  if (L == R)
+    return mkFalse();
+  if (R->isConstant() && R->constantValue() == 0)
+    return mkFalse();
+  return intern(ExprKind::Ult, 1, 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkUle(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "ule operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Ule, L, R))
+    return F;
+  if (L == R)
+    return mkTrue();
+  if (L->isConstant() && L->constantValue() == 0)
+    return mkTrue();
+  return intern(ExprKind::Ule, 1, 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkSlt(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "slt operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Slt, L, R))
+    return F;
+  if (L == R)
+    return mkFalse();
+  return intern(ExprKind::Slt, 1, 0, "", L, R, nullptr);
+}
+
+ExprRef ExprContext::mkSle(ExprRef L, ExprRef R) {
+  assert(L->width() == R->width() && "sle operand width mismatch");
+  if (ExprRef F = foldBinOp(ExprKind::Sle, L, R))
+    return F;
+  if (L == R)
+    return mkTrue();
+  return intern(ExprKind::Sle, 1, 0, "", L, R, nullptr);
+}
+
+//===----------------------------------------------------------------------===
+// Ite and boolean helpers
+//===----------------------------------------------------------------------===
+
+ExprRef ExprContext::mkIte(ExprRef C, ExprRef T, ExprRef F) {
+  assert(C->width() == 1 && "ite condition must have width 1");
+  assert(T->width() == F->width() && "ite arm width mismatch");
+  if (C->isTrue())
+    return T;
+  if (C->isFalse())
+    return F;
+  if (T == F)
+    return T;
+  if (C->kind() == ExprKind::Not)
+    return mkIte(C->operand(0), F, T);
+  if (T->width() == 1) {
+    if (T->isTrue() && F->isFalse())
+      return C;
+    if (T->isFalse() && F->isTrue())
+      return mkNot(C);
+    // Boolean ite reduces to and/or when one arm is constant.
+    if (T->isTrue())
+      return mkOr(C, F);
+    if (F->isFalse())
+      return mkAnd(C, T);
+    if (T->isFalse())
+      return mkAnd(mkNot(C), F);
+    if (F->isTrue())
+      return mkOr(mkNot(C), T);
+  }
+  // Condition subsumption in the arms: ite(c, ite(c, a, b), d) = ite(c,a,d).
+  if (T->kind() == ExprKind::Ite && T->operand(0) == C)
+    T = T->operand(1);
+  if (F->kind() == ExprKind::Ite && F->operand(0) == C)
+    F = F->operand(2);
+  if (T == F)
+    return T;
+  return intern(ExprKind::Ite, T->width(), 0, "", C, T, F);
+}
+
+ExprRef ExprContext::mkLogicalAnd(ExprRef L, ExprRef R) {
+  assert(L->width() == 1 && R->width() == 1 && "logical and needs booleans");
+  return mkAnd(L, R);
+}
+
+ExprRef ExprContext::mkLogicalOr(ExprRef L, ExprRef R) {
+  assert(L->width() == 1 && R->width() == 1 && "logical or needs booleans");
+  return mkOr(L, R);
+}
+
+ExprRef ExprContext::mkConjunction(const std::vector<ExprRef> &Es) {
+  ExprRef Result = mkTrue();
+  for (ExprRef E : Es)
+    Result = mkAnd(Result, E);
+  return Result;
+}
+
+ExprRef ExprContext::mkDisjunction(const std::vector<ExprRef> &Es) {
+  ExprRef Result = mkFalse();
+  for (ExprRef E : Es)
+    Result = mkOr(Result, E);
+  return Result;
+}
+
+ExprRef ExprContext::mkBoolCast(ExprRef E) {
+  if (E->width() == 1)
+    return E;
+  return mkNe(E, mkConst(0, E->width()));
+}

@@ -1,0 +1,160 @@
+//===- ExprContext.h - Factory and interning for expressions ---*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExprContext creates, simplifies, and interns expression nodes. All
+/// construction goes through mk* methods, which apply constant folding and
+/// algebraic simplification before interning, so clients never observe a
+/// reducible node. The ite-reduction rules here are load-bearing for state
+/// merging: when a merged value `ite(c, k1, k2)` is later compared against
+/// a constant, the comparison folds back to `c` / `!c` / a constant instead
+/// of growing the formula (paper §3.1's discussion of `ite(C,2,1) < N+1`
+/// is exactly this shape).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_EXPR_EXPRCONTEXT_H
+#define SYMMERGE_EXPR_EXPRCONTEXT_H
+
+#include "expr/Expr.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+/// Owns all expressions created through it. Not thread-safe; the engine is
+/// single-threaded like the paper's prototype.
+class ExprContext {
+public:
+  ExprContext();
+  ~ExprContext();
+  ExprContext(const ExprContext &) = delete;
+  ExprContext &operator=(const ExprContext &) = delete;
+
+  /// Returns \p V masked to \p Width bits.
+  static uint64_t maskToWidth(uint64_t V, unsigned Width);
+
+  /// Sign-extends the \p Width-bit value \p V to a signed 64-bit integer.
+  static int64_t signExtend(uint64_t V, unsigned Width);
+
+  /// Concrete semantics of a binary operator on \p Width-bit values.
+  /// The single source of truth shared by the constant folder, the
+  /// evaluator, and the concrete replay interpreter.
+  static uint64_t evalBinOp(ExprKind K, uint64_t L, uint64_t R,
+                            unsigned Width);
+  /// Concrete semantics of a unary operator / cast.
+  static uint64_t evalUnOp(ExprKind K, uint64_t V, unsigned OldWidth,
+                           unsigned NewWidth);
+
+  //===--------------------------------------------------------------------===
+  // Leaves
+  //===--------------------------------------------------------------------===
+
+  /// Bitvector literal of \p Width bits (1, 8, 16, 32, or 64).
+  ExprRef mkConst(uint64_t V, unsigned Width);
+  /// Width-1 boolean literal.
+  ExprRef mkBool(bool B) { return mkConst(B ? 1 : 0, 1); }
+  ExprRef mkTrue() { return mkBool(true); }
+  ExprRef mkFalse() { return mkBool(false); }
+
+  /// Fresh-or-interned symbolic variable. Variables are interned by name:
+  /// requesting the same name twice returns the same node, and the width
+  /// must match.
+  ExprRef mkVar(const std::string &Name, unsigned Width);
+
+  //===--------------------------------------------------------------------===
+  // Unary
+  //===--------------------------------------------------------------------===
+
+  ExprRef mkNot(ExprRef E);
+  ExprRef mkNeg(ExprRef E);
+  ExprRef mkZExt(ExprRef E, unsigned Width);
+  ExprRef mkSExt(ExprRef E, unsigned Width);
+  ExprRef mkTrunc(ExprRef E, unsigned Width);
+  /// Extends or truncates \p E to \p Width (zero-extension when widening).
+  ExprRef mkZExtOrTrunc(ExprRef E, unsigned Width);
+
+  //===--------------------------------------------------------------------===
+  // Binary
+  //===--------------------------------------------------------------------===
+
+  ExprRef mkAdd(ExprRef L, ExprRef R);
+  ExprRef mkSub(ExprRef L, ExprRef R);
+  ExprRef mkMul(ExprRef L, ExprRef R);
+  ExprRef mkUDiv(ExprRef L, ExprRef R);
+  ExprRef mkSDiv(ExprRef L, ExprRef R);
+  ExprRef mkURem(ExprRef L, ExprRef R);
+  ExprRef mkSRem(ExprRef L, ExprRef R);
+  ExprRef mkAnd(ExprRef L, ExprRef R);
+  ExprRef mkOr(ExprRef L, ExprRef R);
+  ExprRef mkXor(ExprRef L, ExprRef R);
+  ExprRef mkShl(ExprRef L, ExprRef R);
+  ExprRef mkLShr(ExprRef L, ExprRef R);
+  ExprRef mkAShr(ExprRef L, ExprRef R);
+
+  ExprRef mkEq(ExprRef L, ExprRef R);
+  ExprRef mkNe(ExprRef L, ExprRef R);
+  ExprRef mkUlt(ExprRef L, ExprRef R);
+  ExprRef mkUle(ExprRef L, ExprRef R);
+  ExprRef mkUgt(ExprRef L, ExprRef R) { return mkUlt(R, L); }
+  ExprRef mkUge(ExprRef L, ExprRef R) { return mkUle(R, L); }
+  ExprRef mkSlt(ExprRef L, ExprRef R);
+  ExprRef mkSle(ExprRef L, ExprRef R);
+  ExprRef mkSgt(ExprRef L, ExprRef R) { return mkSlt(R, L); }
+  ExprRef mkSge(ExprRef L, ExprRef R) { return mkSle(R, L); }
+
+  /// Generic dispatcher over binary kinds (used by the stepper).
+  ExprRef mkBinOp(ExprKind K, ExprRef L, ExprRef R);
+
+  //===--------------------------------------------------------------------===
+  // Ternary and boolean helpers
+  //===--------------------------------------------------------------------===
+
+  /// The paper's ite(c, p, q); \p C has width 1, \p T and \p F equal widths.
+  ExprRef mkIte(ExprRef C, ExprRef T, ExprRef F);
+
+  /// Logical AND over width-1 expressions (alias of mkAnd at width 1).
+  ExprRef mkLogicalAnd(ExprRef L, ExprRef R);
+  /// Logical OR over width-1 expressions.
+  ExprRef mkLogicalOr(ExprRef L, ExprRef R);
+  /// Conjunction of a list; empty list yields true.
+  ExprRef mkConjunction(const std::vector<ExprRef> &Es);
+  /// Disjunction of a list; empty list yields false.
+  ExprRef mkDisjunction(const std::vector<ExprRef> &Es);
+
+  /// Converts any-width \p E to a width-1 boolean as `E != 0`.
+  ExprRef mkBoolCast(ExprRef E);
+
+  /// Number of live interned nodes (for tests and statistics).
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  ExprRef intern(ExprKind K, unsigned Width, uint64_t Value,
+                 const std::string &Name, ExprRef A, ExprRef B, ExprRef C);
+  ExprRef foldBinOp(ExprKind K, ExprRef L, ExprRef R);
+
+  struct NodeKey {
+    ExprKind Kind;
+    unsigned Width;
+    uint64_t Value;
+    const std::string *Name;
+    ExprRef Ops[3];
+    bool operator==(const NodeKey &O) const;
+  };
+  struct NodeKeyHash {
+    uint64_t operator()(const NodeKey &K) const;
+  };
+
+  std::vector<std::unique_ptr<Expr>> Nodes;
+  std::unordered_map<NodeKey, ExprRef, NodeKeyHash> InternTable;
+  std::unordered_map<std::string, ExprRef> VarTable;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_EXPR_EXPRCONTEXT_H

@@ -1,0 +1,61 @@
+//===- ExprEval.cpp - Concrete evaluation of expressions -------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/ExprEval.h"
+
+#include "expr/ExprContext.h"
+
+#include <vector>
+
+using namespace symmerge;
+
+uint64_t ExprEvaluator::evaluate(ExprRef Root) {
+  // Iterative post-order walk; expression DAGs can be deep after long
+  // symbolic loops, so we avoid native recursion.
+  std::vector<std::pair<ExprRef, bool>> Stack;
+  Stack.push_back({Root, false});
+  while (!Stack.empty()) {
+    auto [E, Expanded] = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(E))
+      continue;
+    if (!Expanded) {
+      Stack.push_back({E, true});
+      for (size_t I = 0; I < E->numOperands(); ++I)
+        Stack.push_back({E->operand(I), false});
+      continue;
+    }
+    uint64_t V = 0;
+    switch (E->kind()) {
+    case ExprKind::Constant:
+      V = E->constantValue();
+      break;
+    case ExprKind::Var:
+      V = ExprContext::maskToWidth(Assignment.get(E), E->width());
+      break;
+    case ExprKind::Not:
+    case ExprKind::Neg:
+    case ExprKind::ZExt:
+    case ExprKind::SExt:
+    case ExprKind::Trunc:
+      V = ExprContext::evalUnOp(E->kind(), Memo.at(E->operand(0)),
+                                E->operand(0)->width(), E->width());
+      break;
+    case ExprKind::Ite:
+      V = Memo.at(E->operand(0)) != 0 ? Memo.at(E->operand(1))
+                                      : Memo.at(E->operand(2));
+      break;
+    default:
+      assert(isBinaryKind(E->kind()) && "unexpected expression kind");
+      V = ExprContext::evalBinOp(E->kind(), Memo.at(E->operand(0)),
+                                 Memo.at(E->operand(1)),
+                                 E->operand(0)->width());
+      break;
+    }
+    Memo[E] = V;
+  }
+  return Memo.at(Root);
+}

@@ -1,0 +1,70 @@
+//===- ExprEval.h - Concrete evaluation of expressions ----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates expressions under a concrete assignment of the symbolic
+/// variables. Used to validate solver models, to replay generated test
+/// cases, and as the ground-truth oracle in property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_EXPR_EXPREVAL_H
+#define SYMMERGE_EXPR_EXPREVAL_H
+
+#include "expr/Expr.h"
+
+#include <unordered_map>
+
+namespace symmerge {
+
+/// A concrete assignment of symbolic variables to bitvector values.
+/// Unassigned variables default to zero (matching how the engine completes
+/// partial solver models into full test cases).
+class VarAssignment {
+public:
+  void set(ExprRef Var, uint64_t Value) {
+    assert(Var->kind() == ExprKind::Var && "assignment key must be a Var");
+    Values[Var] = Value;
+  }
+
+  uint64_t get(ExprRef Var) const {
+    auto It = Values.find(Var);
+    return It == Values.end() ? 0 : It->second;
+  }
+
+  bool contains(ExprRef Var) const { return Values.count(Var) != 0; }
+
+  const std::unordered_map<ExprRef, uint64_t> &values() const {
+    return Values;
+  }
+
+private:
+  std::unordered_map<ExprRef, uint64_t> Values;
+};
+
+/// Memoizing bottom-up evaluator.
+class ExprEvaluator {
+public:
+  explicit ExprEvaluator(const VarAssignment &Assignment)
+      : Assignment(Assignment) {}
+
+  /// Returns the value of \p E (masked to its width) under the assignment.
+  uint64_t evaluate(ExprRef E);
+
+  /// Convenience: evaluates a width-1 expression as a boolean.
+  bool evaluateBool(ExprRef E) {
+    assert(E->width() == 1 && "evaluateBool needs a width-1 expression");
+    return evaluate(E) != 0;
+  }
+
+private:
+  const VarAssignment &Assignment;
+  std::unordered_map<ExprRef, uint64_t> Memo;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_EXPR_EXPREVAL_H

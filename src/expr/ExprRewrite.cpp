@@ -1,0 +1,60 @@
+//===- ExprRewrite.cpp - Expression substitution ----------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/ExprRewrite.h"
+
+#include <cassert>
+
+using namespace symmerge;
+
+ExprRef symmerge::substituteExpr(
+    ExprContext &Ctx, ExprRef E,
+    const std::unordered_map<ExprRef, ExprRef> &Replacements,
+    std::unordered_map<ExprRef, ExprRef> &Memo) {
+  auto Direct = Replacements.find(E);
+  if (Direct != Replacements.end())
+    return Direct->second;
+  if (!E->isSymbolic())
+    return E; // Constants contain no replaceable subterms.
+  auto Cached = Memo.find(E);
+  if (Cached != Memo.end())
+    return Cached->second;
+
+  auto Sub = [&](size_t I) {
+    return substituteExpr(Ctx, E->operand(I), Replacements, Memo);
+  };
+
+  ExprRef Out = E;
+  switch (E->kind()) {
+  case ExprKind::Constant:
+  case ExprKind::Var:
+    break; // Vars not in the map stay as they are.
+  case ExprKind::Not:
+    Out = Ctx.mkNot(Sub(0));
+    break;
+  case ExprKind::Neg:
+    Out = Ctx.mkNeg(Sub(0));
+    break;
+  case ExprKind::ZExt:
+    Out = Ctx.mkZExt(Sub(0), E->width());
+    break;
+  case ExprKind::SExt:
+    Out = Ctx.mkSExt(Sub(0), E->width());
+    break;
+  case ExprKind::Trunc:
+    Out = Ctx.mkTrunc(Sub(0), E->width());
+    break;
+  case ExprKind::Ite:
+    Out = Ctx.mkIte(Sub(0), Sub(1), Sub(2));
+    break;
+  default:
+    assert(isBinaryKind(E->kind()) && "unexpected expression kind");
+    Out = Ctx.mkBinOp(E->kind(), Sub(0), Sub(1));
+    break;
+  }
+  Memo.emplace(E, Out);
+  return Out;
+}

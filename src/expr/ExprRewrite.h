@@ -1,0 +1,42 @@
+//===- ExprRewrite.h - Expression substitution ------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rebuilds expressions with subterms replaced, routing every node back
+/// through the folding factory so replacements concretize aggressively
+/// (substituting x := 5 into `x + 1 < y` yields `6 < y`, not a frozen
+/// tree). Used by the constraint-simplifying solver layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_EXPR_EXPRREWRITE_H
+#define SYMMERGE_EXPR_EXPRREWRITE_H
+
+#include "expr/ExprContext.h"
+
+#include <unordered_map>
+
+namespace symmerge {
+
+/// Returns \p E with every occurrence of a key of \p Replacements
+/// replaced by its value (matched by node identity, applied bottom-up;
+/// replacement results are not themselves rewritten). \p Memo carries the
+/// rewrite cache across calls that share the same replacement map.
+ExprRef substituteExpr(ExprContext &Ctx, ExprRef E,
+                       const std::unordered_map<ExprRef, ExprRef> &Replacements,
+                       std::unordered_map<ExprRef, ExprRef> &Memo);
+
+/// Convenience overload with a fresh memo table.
+inline ExprRef
+substituteExpr(ExprContext &Ctx, ExprRef E,
+               const std::unordered_map<ExprRef, ExprRef> &Replacements) {
+  std::unordered_map<ExprRef, ExprRef> Memo;
+  return substituteExpr(Ctx, E, Replacements, Memo);
+}
+
+} // namespace symmerge
+
+#endif // SYMMERGE_EXPR_EXPRREWRITE_H

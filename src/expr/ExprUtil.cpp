@@ -1,0 +1,82 @@
+//===- ExprUtil.cpp - Expression traversal and printing --------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/ExprUtil.h"
+
+#include <sstream>
+
+using namespace symmerge;
+
+void symmerge::collectVars(ExprRef E, std::vector<ExprRef> &Vars,
+                           std::unordered_set<ExprRef> &Seen) {
+  std::vector<ExprRef> Stack{E};
+  while (!Stack.empty()) {
+    ExprRef Cur = Stack.back();
+    Stack.pop_back();
+    if (!Cur->isSymbolic() || !Seen.insert(Cur).second)
+      continue;
+    if (Cur->kind() == ExprKind::Var) {
+      Vars.push_back(Cur);
+      continue;
+    }
+    // Push operands in reverse so the left-most is visited first.
+    for (size_t I = Cur->numOperands(); I-- > 0;)
+      Stack.push_back(Cur->operand(I));
+  }
+}
+
+std::vector<ExprRef> symmerge::collectVars(ExprRef E) {
+  std::vector<ExprRef> Vars;
+  std::unordered_set<ExprRef> Seen;
+  collectVars(E, Vars, Seen);
+  return Vars;
+}
+
+static size_t countMatching(ExprRef E, bool IteOnly) {
+  std::unordered_set<ExprRef> Seen;
+  std::vector<ExprRef> Stack{E};
+  size_t N = 0;
+  while (!Stack.empty()) {
+    ExprRef Cur = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    if (!IteOnly || Cur->kind() == ExprKind::Ite)
+      ++N;
+    for (size_t I = 0; I < Cur->numOperands(); ++I)
+      Stack.push_back(Cur->operand(I));
+  }
+  return N;
+}
+
+size_t symmerge::countNodes(ExprRef E) { return countMatching(E, false); }
+
+size_t symmerge::countIteNodes(ExprRef E) { return countMatching(E, true); }
+
+static void printExpr(std::ostringstream &OS, ExprRef E) {
+  switch (E->kind()) {
+  case ExprKind::Constant:
+    OS << "(const i" << E->width() << ' ' << E->constantValue() << ')';
+    return;
+  case ExprKind::Var:
+    OS << "(var " << E->varName() << ')';
+    return;
+  default:
+    break;
+  }
+  OS << '(' << exprKindName(E->kind()) << " i" << E->width();
+  for (size_t I = 0; I < E->numOperands(); ++I) {
+    OS << ' ';
+    printExpr(OS, E->operand(I));
+  }
+  OS << ')';
+}
+
+std::string symmerge::exprToString(ExprRef E) {
+  std::ostringstream OS;
+  printExpr(OS, E);
+  return OS.str();
+}

@@ -1,0 +1,46 @@
+//===- ExprUtil.h - Expression traversal and printing -----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traversal helpers (variable collection, node counting) and an
+/// S-expression printer used in diagnostics and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_EXPR_EXPRUTIL_H
+#define SYMMERGE_EXPR_EXPRUTIL_H
+
+#include "expr/Expr.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace symmerge {
+
+/// Appends every distinct Var reachable from \p E to \p Vars (dedup via
+/// \p Seen). Deterministic order: first occurrence in a left-to-right
+/// depth-first walk.
+void collectVars(ExprRef E, std::vector<ExprRef> &Vars,
+                 std::unordered_set<ExprRef> &Seen);
+
+/// Returns the distinct Vars of \p E in deterministic order.
+std::vector<ExprRef> collectVars(ExprRef E);
+
+/// Number of distinct DAG nodes reachable from \p E (a proxy for query
+/// hardness used by the micro-benchmarks).
+size_t countNodes(ExprRef E);
+
+/// Number of Ite nodes reachable from \p E — the quantity the paper's
+/// Qite estimate approximates.
+size_t countIteNodes(ExprRef E);
+
+/// Renders \p E as an S-expression, e.g. `(add i64 (var x) (const 5))`.
+std::string exprToString(ExprRef E);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_EXPR_EXPRUTIL_H

@@ -1,0 +1,339 @@
+//===- CFG.cpp - CFG analyses implementation --------------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include "expr/ExprContext.h"
+
+#include <algorithm>
+
+using namespace symmerge;
+
+//===----------------------------------------------------------------------===
+// CFGInfo
+//===----------------------------------------------------------------------===
+
+CFGInfo::CFGInfo(const Function &F) : F(F) {
+  size_t N = F.numBlocks();
+  Blocks.resize(N);
+  for (const auto &BB : F.blocks())
+    Blocks[BB->id()] = BB.get();
+
+  // Postorder DFS from the entry block.
+  std::vector<uint8_t> Visited(N, 0);
+  std::vector<const BasicBlock *> Postorder;
+  std::vector<std::pair<const BasicBlock *, size_t>> Stack;
+  Stack.push_back({F.entry(), 0});
+  Visited[F.entry()->id()] = 1;
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      const BasicBlock *S = Succs[NextSucc++];
+      if (!Visited[S->id()]) {
+        Visited[S->id()] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    Postorder.push_back(BB);
+    Stack.pop_back();
+  }
+
+  RPO.assign(Postorder.rbegin(), Postorder.rend());
+  for (size_t I = 0; I < N; ++I)
+    if (!Visited[I])
+      RPO.push_back(Blocks[I]); // Unreachable blocks trail the order.
+  RPOIndex.assign(N, -1);
+  for (size_t I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]->id()] = static_cast<int>(I);
+
+  // Predecessor lists.
+  Preds.assign(N, {});
+  for (const auto &BB : F.blocks())
+    for (const BasicBlock *S : BB->successors())
+      Preds[S->id()].push_back(BB.get());
+
+  // Dominators (Cooper-Harvey-Kennedy). IDom of the entry temporarily
+  // points at itself to simplify intersection.
+  IDom.assign(N, -1);
+  int EntryId = F.entry()->id();
+  IDom[EntryId] = EntryId;
+  auto Intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDom[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *BB : RPO) {
+      if (BB->id() == EntryId || !Visited[BB->id()])
+        continue;
+      int NewIDom = -1;
+      for (const BasicBlock *P : Preds[BB->id()]) {
+        if (IDom[P->id()] < 0)
+          continue;
+        NewIDom = NewIDom < 0 ? P->id() : Intersect(P->id(), NewIDom);
+      }
+      if (NewIDom >= 0 && IDom[BB->id()] != NewIDom) {
+        IDom[BB->id()] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[EntryId] = -1; // Externally, the entry has no immediate dominator.
+}
+
+bool CFGInfo::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  const BasicBlock *Cur = B;
+  while (Cur) {
+    if (Cur == A)
+      return true;
+    int I = IDom[Cur->id()];
+    Cur = I < 0 ? nullptr : Blocks[I];
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===
+// LoopInfo
+//===----------------------------------------------------------------------===
+
+LoopInfo::LoopInfo(const Function &F, const CFGInfo &CFG) {
+  size_t N = F.numBlocks();
+  Innermost.assign(N, nullptr);
+
+  // Collect back edges grouped by header.
+  std::vector<std::vector<const BasicBlock *>> LatchesByHeader(N);
+  for (const auto &BB : F.blocks())
+    for (const BasicBlock *S : BB->successors())
+      if (CFG.dominates(S, BB.get()))
+        LatchesByHeader[S->id()].push_back(BB.get());
+
+  // Build the natural loop of each header: header + everything that can
+  // reach a latch without passing through the header.
+  for (const auto &HeaderPtr : F.blocks()) {
+    const BasicBlock *Header = HeaderPtr.get();
+    const auto &Latches = LatchesByHeader[Header->id()];
+    if (Latches.empty())
+      continue;
+    auto L = std::make_unique<Loop>();
+    L->Header = Header;
+    L->Contains.assign(N, false);
+    L->Contains[Header->id()] = true;
+    L->Blocks.push_back(Header);
+    std::vector<const BasicBlock *> Work(Latches.begin(), Latches.end());
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (L->Contains[BB->id()])
+        continue;
+      L->Contains[BB->id()] = true;
+      L->Blocks.push_back(BB);
+      for (const BasicBlock *P : CFG.predecessors(BB))
+        Work.push_back(P);
+    }
+    for (const BasicBlock *BB : L->Blocks)
+      for (const BasicBlock *S : BB->successors())
+        if (!L->Contains[S->id()])
+          L->Exits.push_back({BB, S});
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: smallest containing loop is the innermost.
+  std::sort(Loops.begin(), Loops.end(),
+            [](const auto &A, const auto &B) {
+              return A->Blocks.size() < B->Blocks.size();
+            });
+  for (const auto &HeaderPtr : F.blocks()) {
+    const BasicBlock *BB = HeaderPtr.get();
+    for (const auto &L : Loops) {
+      if (L->contains(BB)) {
+        Innermost[BB->id()] = L.get();
+        break;
+      }
+    }
+  }
+  for (auto &L : Loops) {
+    for (auto &M : Loops) {
+      if (M.get() == L.get() || M->Blocks.size() <= L->Blocks.size())
+        continue;
+      if (M->contains(L->Header)) {
+        L->Parent = M.get();
+        M->SubLoops.push_back(L.get());
+        break; // Sorted ascending: the first larger container is tightest.
+      }
+    }
+    if (!L->Parent)
+      TopLevel.push_back(L.get());
+  }
+
+  for (auto &L : Loops)
+    computeTripCount(*L, CFG);
+}
+
+unsigned LoopInfo::depth(const BasicBlock *BB) const {
+  unsigned D = 0;
+  for (Loop *L = Innermost[BB->id()]; L; L = L->Parent)
+    ++D;
+  return D;
+}
+
+/// Evaluates a comparison on masked \p Width-bit values.
+static bool evalCmp(ExprKind K, uint64_t L, uint64_t R, unsigned Width) {
+  int64_t SL = ExprContext::signExtend(L, Width);
+  int64_t SR = ExprContext::signExtend(R, Width);
+  switch (K) {
+  case ExprKind::Eq:
+    return L == R;
+  case ExprKind::Ne:
+    return L != R;
+  case ExprKind::Ult:
+    return L < R;
+  case ExprKind::Ule:
+    return L <= R;
+  case ExprKind::Slt:
+    return SL < SR;
+  case ExprKind::Sle:
+    return SL <= SR;
+  default:
+    return false;
+  }
+}
+
+/// Mirrors a comparison so `cmp(C, i)` reads as `mirror(cmp)(i, C)`.
+static ExprKind mirrorCmp(ExprKind K) {
+  switch (K) {
+  case ExprKind::Ult:
+    return ExprKind::Ule; // C < i  <=>  !(i <= C); handled via polarity.
+  default:
+    return K;
+  }
+}
+
+void LoopInfo::computeTripCount(Loop &L, const CFGInfo &CFG) {
+  (void)CFG;
+  const BasicBlock *H = L.Header;
+  const Instr &Term = H->terminator();
+  if (Term.Op != Opcode::Br || !Term.A.isLocal())
+    return;
+  int CondLocal = Term.A.LocalId;
+
+  // Find the comparison defining the branch condition inside the header.
+  const Instr *Cmp = nullptr;
+  for (const Instr &I : H->instructions()) {
+    if (I.Dst == CondLocal) {
+      if (I.Op == Opcode::BinOp && isComparisonKind(I.SubKind))
+        Cmp = &I;
+      else
+        return; // Condition computed some other way; give up.
+    }
+  }
+  if (!Cmp)
+    return;
+
+  // Normalize to cmp(IV, Bound) with a constant bound. `cmp(C, i)` forms
+  // other than Ult are mirrored exactly; `C < i` has no exact mirror among
+  // our kinds, so we give up on it (kappa applies).
+  ExprKind CmpKind = Cmp->SubKind;
+  Operand IVOp, BoundOp;
+  if (Cmp->A.isLocal() && Cmp->B.isConst()) {
+    IVOp = Cmp->A;
+    BoundOp = Cmp->B;
+  } else if (Cmp->A.isConst() && Cmp->B.isLocal()) {
+    if (CmpKind == ExprKind::Ult || CmpKind == ExprKind::Ule ||
+        CmpKind == ExprKind::Slt || CmpKind == ExprKind::Sle)
+      return;
+    IVOp = Cmp->B;
+    BoundOp = Cmp->A;
+    CmpKind = mirrorCmp(CmpKind);
+  } else {
+    return;
+  }
+  int IV = IVOp.LocalId;
+  const Function &F = *H->parent();
+  if (!F.local(IV).Ty.isInt())
+    return;
+  unsigned Width = F.local(IV).Ty.Width;
+  uint64_t Bound = ExprContext::maskToWidth(BoundOp.Value, Width);
+
+  // Which branch continues the loop?
+  bool ThenInLoop = L.contains(Term.Target1);
+  bool ElseInLoop = L.contains(Term.Target2);
+  if (ThenInLoop == ElseInLoop)
+    return;
+  bool ContinueOnTrue = ThenInLoop;
+
+  // Exactly one in-loop update of the IV: IV = IV + step.
+  const Instr *Update = nullptr;
+  for (const BasicBlock *BB : L.Blocks) {
+    for (const Instr &I : BB->instructions()) {
+      if (I.Dst != IV)
+        continue;
+      if (Update)
+        return; // Multiple writes.
+      Update = &I;
+    }
+  }
+  if (!Update || Update->Op != Opcode::BinOp ||
+      Update->SubKind != ExprKind::Add)
+    return;
+  uint64_t Step;
+  if (Update->A.isLocal() && Update->A.LocalId == IV && Update->B.isConst())
+    Step = Update->B.Value;
+  else if (Update->B.isLocal() && Update->B.LocalId == IV &&
+           Update->A.isConst())
+    Step = Update->A.Value;
+  else
+    return;
+  Step = ExprContext::maskToWidth(Step, Width);
+  if (Step == 0)
+    return;
+
+  // Initial value: the unique out-of-loop predecessor of the header must
+  // assign a constant to the IV.
+  const BasicBlock *Preheader = nullptr;
+  for (const BasicBlock *P : CFG.predecessors(H)) {
+    if (L.contains(P))
+      continue;
+    if (Preheader)
+      return; // Multiple entries.
+    Preheader = P;
+  }
+  if (!Preheader)
+    return;
+  std::optional<uint64_t> Init;
+  for (const Instr &I : Preheader->instructions()) {
+    if (I.Dst != IV)
+      continue;
+    if (I.Op == Opcode::Copy && I.A.isConst())
+      Init = ExprContext::maskToWidth(I.A.Value, Width);
+    else
+      Init.reset();
+  }
+  if (!Init)
+    return;
+
+  // Simulate the counted loop; exact for every comparison kind, including
+  // wrap-around, with a generous cap.
+  constexpr uint64_t Cap = 1 << 16;
+  uint64_t X = *Init;
+  uint64_t Trips = 0;
+  while (Trips <= Cap) {
+    bool CondHolds = evalCmp(CmpKind, X, Bound, Width);
+    if (CondHolds != ContinueOnTrue)
+      break;
+    ++Trips;
+    X = ExprContext::maskToWidth(X + Step, Width);
+  }
+  if (Trips <= Cap)
+    L.TripCount = Trips;
+}

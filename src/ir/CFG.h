@@ -1,0 +1,113 @@
+//===- CFG.h - CFG analyses: RPO, dominators, loops, trip counts *- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow analyses over a Function:
+///  - reverse postorder (the topological order used by SSM and by DSM's
+///    fast-forwarding pick),
+///  - dominator tree (Cooper-Harvey-Kennedy),
+///  - natural loop forest with back edges and exits,
+///  - static trip counts for counted loops (QCE's alternative to the
+///    kappa bound, paper §3.2 "the pass attempts to statically determine
+///    trip counts").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_IR_CFG_H
+#define SYMMERGE_IR_CFG_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace symmerge {
+
+/// Per-function CFG facts. Built once; the function must not change after.
+class CFGInfo {
+public:
+  explicit CFGInfo(const Function &F);
+
+  const Function &function() const { return F; }
+
+  /// Blocks in reverse postorder; entry first. Unreachable blocks are
+  /// appended at the end (after all reachable ones) in id order.
+  const std::vector<const BasicBlock *> &rpo() const { return RPO; }
+
+  /// Position of \p BB in rpo(); doubles as the topological rank used by
+  /// the topological search strategy.
+  int rpoIndex(const BasicBlock *BB) const { return RPOIndex[BB->id()]; }
+
+  const std::vector<const BasicBlock *> &
+  predecessors(const BasicBlock *BB) const {
+    return Preds[BB->id()];
+  }
+
+  /// Immediate dominator; null for the entry block (and unreachable ones).
+  const BasicBlock *idom(const BasicBlock *BB) const {
+    int I = IDom[BB->id()];
+    return I < 0 ? nullptr : Blocks[I];
+  }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True if edge From->To is a back edge (To dominates From).
+  bool isBackEdge(const BasicBlock *From, const BasicBlock *To) const {
+    return dominates(To, From);
+  }
+
+private:
+  const Function &F;
+  std::vector<const BasicBlock *> Blocks; // By id.
+  std::vector<const BasicBlock *> RPO;
+  std::vector<int> RPOIndex;
+  std::vector<std::vector<const BasicBlock *>> Preds;
+  std::vector<int> IDom;
+};
+
+/// A natural loop: header plus body blocks; nested loops form a forest.
+struct Loop {
+  const BasicBlock *Header = nullptr;
+  std::vector<const BasicBlock *> Blocks; ///< Includes the header.
+  std::vector<bool> Contains;             ///< Indexed by block id.
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  /// Edges leaving the loop: (inside-block, outside-target).
+  std::vector<std::pair<const BasicBlock *, const BasicBlock *>> Exits;
+  /// Statically determined iteration count, if the loop matches a counted
+  /// pattern (i = c0; i <cmp> C; i += step with a single in-loop update).
+  std::optional<uint64_t> TripCount;
+
+  bool contains(const BasicBlock *BB) const { return Contains[BB->id()]; }
+};
+
+/// The loop forest of a function.
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const CFGInfo &CFG);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+  const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const { return Innermost[BB->id()]; }
+
+  /// Loop depth of \p BB (0 = not in any loop).
+  unsigned depth(const BasicBlock *BB) const;
+
+private:
+  void computeTripCount(Loop &L, const CFGInfo &CFG);
+
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> TopLevel;
+  std::vector<Loop *> Innermost;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_IR_CFG_H

@@ -1,0 +1,90 @@
+//===- CallGraph.cpp - Call graph construction and Tarjan SCCs -------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraph.h"
+
+#include <algorithm>
+
+using namespace symmerge;
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &F : M.functions()) {
+    std::vector<const Function *> &Out = Callees[F.get()];
+    for (const auto &BB : F->blocks()) {
+      for (const Instr &I : BB->instructions()) {
+        if (I.Op != Opcode::Call)
+          continue;
+        if (std::find(Out.begin(), Out.end(), I.Callee) == Out.end())
+          Out.push_back(I.Callee);
+      }
+    }
+  }
+
+  // Iterative Tarjan SCC; components complete in callees-first order.
+  struct NodeState {
+    int Index = -1;
+    int LowLink = 0;
+    bool OnStack = false;
+  };
+  std::unordered_map<const Function *, NodeState> State;
+  std::vector<const Function *> TarjanStack;
+  int NextIndex = 0;
+
+  struct Frame {
+    const Function *F;
+    size_t NextCallee;
+  };
+
+  for (const auto &Root : M.functions()) {
+    if (State[Root.get()].Index >= 0)
+      continue;
+    std::vector<Frame> CallStack{{Root.get(), 0}};
+    State[Root.get()].Index = State[Root.get()].LowLink = NextIndex++;
+    State[Root.get()].OnStack = true;
+    TarjanStack.push_back(Root.get());
+
+    while (!CallStack.empty()) {
+      Frame &Top = CallStack.back();
+      const auto &Out = Callees[Top.F];
+      if (Top.NextCallee < Out.size()) {
+        const Function *Next = Out[Top.NextCallee++];
+        NodeState &NS = State[Next];
+        if (NS.Index < 0) {
+          NS.Index = NS.LowLink = NextIndex++;
+          NS.OnStack = true;
+          TarjanStack.push_back(Next);
+          CallStack.push_back({Next, 0});
+        } else if (NS.OnStack) {
+          State[Top.F].LowLink = std::min(State[Top.F].LowLink, NS.Index);
+        }
+        continue;
+      }
+      // Done with Top.F.
+      NodeState &TS = State[Top.F];
+      if (TS.LowLink == TS.Index) {
+        SCC Component;
+        const Function *Member;
+        do {
+          Member = TarjanStack.back();
+          TarjanStack.pop_back();
+          State[Member].OnStack = false;
+          Component.Members.push_back(Member);
+        } while (Member != Top.F);
+        const auto &Out2 = Callees[Top.F];
+        Component.Recursive =
+            Component.Members.size() > 1 ||
+            std::find(Out2.begin(), Out2.end(), Top.F) != Out2.end();
+        SCCs.push_back(std::move(Component));
+      }
+      const Function *Finished = Top.F;
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        NodeState &PS = State[CallStack.back().F];
+        PS.LowLink = std::min(PS.LowLink, State[Finished].LowLink);
+      }
+    }
+  }
+}

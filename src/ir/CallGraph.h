@@ -1,0 +1,51 @@
+//===- CallGraph.h - Call graph and bottom-up SCC order ---------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph over a Module with Tarjan SCCs in bottom-up order. QCE's
+/// interprocedural summary computation (paper §3.2, "per-function bottom-up
+/// call graph traversal with bounded recursion") walks this order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_IR_CALLGRAPH_H
+#define SYMMERGE_IR_CALLGRAPH_H
+
+#include "ir/IR.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+/// Immutable call graph of a module.
+class CallGraph {
+public:
+  /// A strongly connected component of functions; `Recursive` if it has
+  /// more than one member or a self call.
+  struct SCC {
+    std::vector<const Function *> Members;
+    bool Recursive = false;
+  };
+
+  explicit CallGraph(const Module &M);
+
+  /// Distinct callees of \p F in first-call order.
+  const std::vector<const Function *> &callees(const Function *F) const {
+    return Callees.at(F);
+  }
+
+  /// SCCs in bottom-up (callees-first) order.
+  const std::vector<SCC> &bottomUpSCCs() const { return SCCs; }
+
+private:
+  std::unordered_map<const Function *, std::vector<const Function *>> Callees;
+  std::vector<SCC> SCCs;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_IR_CALLGRAPH_H

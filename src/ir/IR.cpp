@@ -1,0 +1,227 @@
+//===- IR.cpp - IR node implementations and printer -------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <sstream>
+
+using namespace symmerge;
+
+std::string Type::str() const {
+  std::ostringstream OS;
+  if (isArray())
+    OS << 'i' << Width << '[' << ArraySize << ']';
+  else
+    OS << 'i' << Width;
+  return OS.str();
+}
+
+const char *symmerge::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::BinOp:
+    return "binop";
+  case Opcode::UnOp:
+    return "unop";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Assert:
+    return "assert";
+  case Opcode::Assume:
+    return "assume";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::MakeSymbolic:
+    return "make_symbolic";
+  case Opcode::Print:
+    return "print";
+  }
+  return "<bad-opcode>";
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  if (Instrs.empty())
+    return {};
+  const Instr &T = Instrs.back();
+  switch (T.Op) {
+  case Opcode::Br:
+    if (T.Target1 == T.Target2)
+      return {T.Target1};
+    return {T.Target1, T.Target2};
+  case Opcode::Jump:
+    return {T.Target1};
+  default:
+    return {};
+  }
+}
+
+int Function::findLocal(const std::string &Name) const {
+  for (size_t I = 0; I < Locals.size(); ++I)
+    if (Locals[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+BasicBlock *Function::createBlock(std::string Name) {
+  Blocks.push_back(std::make_unique<BasicBlock>(
+      this, std::move(Name), static_cast<int>(Blocks.size())));
+  return Blocks.back().get();
+}
+
+Function *Module::createFunction(std::string Name, Type RetTy, bool IsVoid,
+                                 std::vector<Local> Params) {
+  unsigned NumParams = static_cast<unsigned>(Params.size());
+  Funcs.push_back(std::make_unique<Function>(this, std::move(Name), NumParams,
+                                             std::move(Params), RetTy,
+                                             IsVoid));
+  return Funcs.back().get();
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  for (const auto &F : Funcs)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===
+// Printer
+//===----------------------------------------------------------------------===
+
+static void printOperand(std::ostringstream &OS, const Function &F,
+                         const Operand &Op) {
+  switch (Op.K) {
+  case Operand::Kind::None:
+    OS << "<none>";
+    return;
+  case Operand::Kind::Const:
+    OS << Op.Value << ":i" << Op.Width;
+    return;
+  case Operand::Kind::Local:
+    OS << '%' << F.local(Op.LocalId).Name;
+    return;
+  }
+}
+
+static void printInstr(std::ostringstream &OS, const Function &F,
+                       const Instr &I) {
+  OS << "  ";
+  switch (I.Op) {
+  case Opcode::BinOp:
+    OS << '%' << F.local(I.Dst).Name << " = " << exprKindName(I.SubKind)
+       << ' ';
+    printOperand(OS, F, I.A);
+    OS << ", ";
+    printOperand(OS, F, I.B);
+    break;
+  case Opcode::UnOp:
+    OS << '%' << F.local(I.Dst).Name << " = " << exprKindName(I.SubKind)
+       << ' ';
+    printOperand(OS, F, I.A);
+    break;
+  case Opcode::Copy:
+    OS << '%' << F.local(I.Dst).Name << " = ";
+    printOperand(OS, F, I.A);
+    break;
+  case Opcode::Load:
+    OS << '%' << F.local(I.Dst).Name << " = %" << F.local(I.ArrayLocal).Name
+       << '[';
+    printOperand(OS, F, I.A);
+    OS << ']';
+    break;
+  case Opcode::Store:
+    OS << '%' << F.local(I.ArrayLocal).Name << '[';
+    printOperand(OS, F, I.A);
+    OS << "] = ";
+    printOperand(OS, F, I.B);
+    break;
+  case Opcode::Call:
+    if (I.Dst >= 0)
+      OS << '%' << F.local(I.Dst).Name << " = ";
+    OS << "call " << I.Callee->name() << '(';
+    for (size_t K = 0; K < I.Args.size(); ++K) {
+      if (K)
+        OS << ", ";
+      printOperand(OS, F, I.Args[K]);
+    }
+    OS << ')';
+    break;
+  case Opcode::Ret:
+    OS << "ret";
+    if (!I.A.isNone()) {
+      OS << ' ';
+      printOperand(OS, F, I.A);
+    }
+    break;
+  case Opcode::Br:
+    OS << "br ";
+    printOperand(OS, F, I.A);
+    OS << ", " << I.Target1->name() << ", " << I.Target2->name();
+    break;
+  case Opcode::Jump:
+    OS << "jump " << I.Target1->name();
+    break;
+  case Opcode::Assert:
+    OS << "assert ";
+    printOperand(OS, F, I.A);
+    if (!I.Message.empty())
+      OS << " \"" << I.Message << '"';
+    break;
+  case Opcode::Assume:
+    OS << "assume ";
+    printOperand(OS, F, I.A);
+    break;
+  case Opcode::Halt:
+    OS << "halt";
+    break;
+  case Opcode::MakeSymbolic:
+    OS << "make_symbolic %" << F.local(I.Dst).Name << " \"" << I.Message
+       << '"';
+    break;
+  case Opcode::Print:
+    OS << "print ";
+    printOperand(OS, F, I.A);
+    break;
+  }
+  OS << '\n';
+}
+
+std::string Module::str() const {
+  std::ostringstream OS;
+  for (const auto &F : Funcs) {
+    OS << "func " << F->name() << '(';
+    for (unsigned I = 0; I < F->numParams(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << '%' << F->local(I).Name << ':' << F->local(I).Ty.str();
+    }
+    OS << ')';
+    if (!F->isVoid())
+      OS << " -> " << F->returnType().str();
+    OS << " {\n";
+    for (size_t I = F->numParams(); I < F->locals().size(); ++I)
+      OS << "  local %" << F->locals()[I].Name << ':'
+         << F->locals()[I].Ty.str() << '\n';
+    for (const auto &BB : F->blocks()) {
+      OS << BB->name() << ":\n";
+      for (const Instr &I : BB->instructions())
+        printInstr(OS, *F, I);
+    }
+    OS << "}\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,249 @@
+//===- IR.h - Typed CFG register IR ----------------------------*- C++ -*-===//
+//
+// Part of SymMerge, a reproduction of "Efficient State Merging in Symbolic
+// Execution" (PLDI 2012). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate representation the symbolic execution engine runs on.
+/// It plays the role LLVM bitcode played for the paper's KLEE prototype:
+/// a CFG of basic blocks over named local slots, with explicit branch,
+/// call, assertion, and make-symbolic instructions. It is deliberately
+/// close to the input language of the paper's Algorithm 1 (assignments,
+/// conditional gotos, assert, halt), extended with bounded arrays and
+/// function calls.
+///
+/// Conventions:
+///  - Every local slot is either a scalar (i1/i8/i16/i32/i64) or a bounded
+///    array of scalars. Array-typed parameters are passed by reference.
+///  - Each basic block ends with exactly one terminator (Br, Jump, Ret, or
+///    Halt); Assert/Assume do not terminate blocks.
+///  - A "location" is a (block, instruction-index) pair; QCE annotates
+///    block entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_IR_IR_H
+#define SYMMERGE_IR_IR_H
+
+#include "expr/Expr.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+class Function;
+class BasicBlock;
+class Module;
+
+/// Scalar or bounded-array type.
+struct Type {
+  enum class Kind : uint8_t { Int, Array };
+
+  Kind K = Kind::Int;
+  unsigned Width = 64;     ///< Bit width of the scalar / array element.
+  unsigned ArraySize = 0;  ///< Number of elements (Array only).
+
+  static Type intTy(unsigned Width) { return Type{Kind::Int, Width, 0}; }
+  static Type arrayTy(unsigned ElemWidth, unsigned Size) {
+    return Type{Kind::Array, ElemWidth, Size};
+  }
+
+  bool isArray() const { return K == Kind::Array; }
+  bool isInt() const { return K == Kind::Int; }
+  bool operator==(const Type &O) const {
+    return K == O.K && Width == O.Width && ArraySize == O.ArraySize;
+  }
+
+  std::string str() const;
+};
+
+/// A named local slot of a function frame. Parameters occupy the first
+/// `Function::numParams()` slots.
+struct Local {
+  std::string Name;
+  Type Ty;
+};
+
+/// An instruction operand: a literal constant or a scalar local slot.
+struct Operand {
+  enum class Kind : uint8_t { None, Const, Local };
+
+  Kind K = Kind::None;
+  unsigned Width = 0;   ///< Const only.
+  uint64_t Value = 0;   ///< Const only.
+  int LocalId = -1;     ///< Local only.
+
+  static Operand none() { return Operand{}; }
+  static Operand constant(uint64_t V, unsigned Width) {
+    return Operand{Kind::Const, Width, V, -1};
+  }
+  static Operand local(int Id) {
+    return Operand{Kind::Local, 0, 0, Id};
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isConst() const { return K == Kind::Const; }
+  bool isLocal() const { return K == Kind::Local; }
+};
+
+/// Instruction opcodes. BinOp/UnOp reuse ExprKind as the sub-opcode so the
+/// stepper can translate directly into expression construction.
+enum class Opcode : uint8_t {
+  BinOp,        ///< Dst := A <BinKind> B.
+  UnOp,         ///< Dst := <UnKind>(A); casts take the width from Dst.
+  Copy,         ///< Dst := A.
+  Load,         ///< Dst := ArrayLocal[A].
+  Store,        ///< ArrayLocal[A] := B.
+  Call,         ///< Dst := Callee(Args...); Dst optional.
+  Ret,          ///< Return A (optional) to the caller.
+  Br,           ///< if (A) goto Target1 else goto Target2.
+  Jump,         ///< goto Target1.
+  Assert,       ///< Check A; a falsifying input is a bug + test case.
+  Assume,       ///< Constrain exploration to A (paper's follow()).
+  Halt,         ///< Terminate the program path (a completed test).
+  MakeSymbolic, ///< Make local Dst (scalar or whole array) symbolic input.
+  Print,        ///< Output sink; evaluates A, no other effect.
+};
+
+const char *opcodeName(Opcode Op);
+
+/// A single IR instruction (tagged union over the fields used per opcode).
+struct Instr {
+  Opcode Op = Opcode::Halt;
+  ExprKind SubKind = ExprKind::Add; ///< BinOp/UnOp sub-opcode.
+  int Dst = -1;                     ///< Destination local slot, -1 if none.
+  Operand A;                        ///< First operand (see Opcode docs).
+  Operand B;                        ///< Second operand.
+  int ArrayLocal = -1;              ///< Load/Store array slot.
+  BasicBlock *Target1 = nullptr;    ///< Br "then" / Jump target.
+  BasicBlock *Target2 = nullptr;    ///< Br "else" target.
+  Function *Callee = nullptr;       ///< Call target.
+  std::vector<Operand> Args;        ///< Call arguments.
+  std::string Message;              ///< Assert message / symbolic name.
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::Jump || Op == Opcode::Ret ||
+           Op == Opcode::Halt;
+  }
+};
+
+/// A basic block: a straight-line instruction sequence plus a terminator.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name, int Id)
+      : Parent(Parent), Name(std::move(Name)), Id(Id) {}
+
+  Function *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  /// Dense per-function block id, assigned in creation order.
+  int id() const { return Id; }
+
+  std::vector<Instr> &instructions() { return Instrs; }
+  const std::vector<Instr> &instructions() const { return Instrs; }
+
+  const Instr &terminator() const {
+    assert(!Instrs.empty() && Instrs.back().isTerminator() &&
+           "block has no terminator");
+    return Instrs.back();
+  }
+
+  /// Control-flow successors derived from the terminator (0, 1, or 2).
+  std::vector<BasicBlock *> successors() const;
+
+private:
+  Function *Parent;
+  std::string Name;
+  int Id;
+  std::vector<Instr> Instrs;
+};
+
+/// A function: named locals (parameters first) and a CFG of basic blocks.
+/// The first created block is the entry block.
+class Function {
+public:
+  Function(Module *Parent, std::string Name, unsigned NumParams,
+           std::vector<Local> Locals, Type RetTy, bool IsVoid)
+      : Parent(Parent), Name(std::move(Name)), NumParams(NumParams),
+        Locals(std::move(Locals)), RetTy(RetTy), IsVoid(IsVoid) {}
+
+  Module *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+
+  unsigned numParams() const { return NumParams; }
+  const std::vector<Local> &locals() const { return Locals; }
+  const Local &local(int Id) const {
+    assert(Id >= 0 && Id < static_cast<int>(Locals.size()) &&
+           "local id out of range");
+    return Locals[Id];
+  }
+  /// Adds a local slot and returns its id.
+  int addLocal(std::string Name, Type Ty) {
+    Locals.push_back({std::move(Name), Ty});
+    return static_cast<int>(Locals.size()) - 1;
+  }
+  /// Finds a local by name; returns -1 if absent.
+  int findLocal(const std::string &Name) const;
+
+  bool isVoid() const { return IsVoid; }
+  Type returnType() const { return RetTy; }
+
+  BasicBlock *createBlock(std::string Name);
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  size_t numBlocks() const { return Blocks.size(); }
+
+private:
+  Module *Parent;
+  std::string Name;
+  unsigned NumParams;
+  std::vector<Local> Locals;
+  Type RetTy;
+  bool IsVoid;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+/// A whole program: a set of functions; execution starts at "main".
+class Module {
+public:
+  /// Creates a function. \p IsVoid functions ignore \p RetTy.
+  Function *createFunction(std::string Name, Type RetTy, bool IsVoid,
+                           std::vector<Local> Params);
+
+  Function *findFunction(const std::string &Name) const;
+  Function *mainFunction() const { return findFunction("main"); }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  /// Renders the whole module as text (see IRPrinter).
+  std::string str() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+};
+
+/// A program point: instruction \p Index inside \p Block. Index may equal
+/// the instruction count only transiently (never observed by analyses).
+struct Location {
+  const BasicBlock *Block = nullptr;
+  unsigned Index = 0;
+
+  bool operator==(const Location &O) const {
+    return Block == O.Block && Index == O.Index;
+  }
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_IR_IR_H

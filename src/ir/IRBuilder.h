@@ -1,0 +1,190 @@
+//===- IRBuilder.h - Convenience construction of IR -------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin builder over the IR used by the MiniC lowering, the tests, and
+/// the quickstart example. Tracks a current insertion block and appends
+/// instructions to it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_IR_IRBUILDER_H
+#define SYMMERGE_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+
+namespace symmerge {
+
+/// Appends instructions to a current basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  Module &module() { return M; }
+
+  /// Starts a new function and makes it current. Creates no blocks.
+  Function *startFunction(std::string Name, Type RetTy, bool IsVoid,
+                          std::vector<Local> Params) {
+    F = M.createFunction(std::move(Name), RetTy, IsVoid, std::move(Params));
+    BB = nullptr;
+    return F;
+  }
+
+  Function *function() const { return F; }
+
+  /// Adds a (non-parameter) local slot to the current function.
+  int addLocal(std::string Name, Type Ty) {
+    assert(F && "no current function");
+    return F->addLocal(std::move(Name), Ty);
+  }
+
+  BasicBlock *createBlock(std::string Name) {
+    assert(F && "no current function");
+    return F->createBlock(std::move(Name));
+  }
+
+  void setInsertPoint(BasicBlock *Block) { BB = Block; }
+  BasicBlock *insertBlock() const { return BB; }
+
+  /// True if the current block already ends in a terminator.
+  bool blockTerminated() const {
+    return BB && !BB->instructions().empty() &&
+           BB->instructions().back().isTerminator();
+  }
+
+  Operand localOp(int Id) const { return Operand::local(Id); }
+  Operand constOp(uint64_t V, unsigned Width) const {
+    return Operand::constant(V, Width);
+  }
+
+  void emitBinOp(ExprKind K, int Dst, Operand A, Operand B) {
+    Instr I;
+    I.Op = Opcode::BinOp;
+    I.SubKind = K;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    append(I);
+  }
+
+  void emitUnOp(ExprKind K, int Dst, Operand A) {
+    Instr I;
+    I.Op = Opcode::UnOp;
+    I.SubKind = K;
+    I.Dst = Dst;
+    I.A = A;
+    append(I);
+  }
+
+  void emitCopy(int Dst, Operand A) {
+    Instr I;
+    I.Op = Opcode::Copy;
+    I.Dst = Dst;
+    I.A = A;
+    append(I);
+  }
+
+  void emitLoad(int Dst, int ArrayLocal, Operand Index) {
+    Instr I;
+    I.Op = Opcode::Load;
+    I.Dst = Dst;
+    I.ArrayLocal = ArrayLocal;
+    I.A = Index;
+    append(I);
+  }
+
+  void emitStore(int ArrayLocal, Operand Index, Operand Value) {
+    Instr I;
+    I.Op = Opcode::Store;
+    I.ArrayLocal = ArrayLocal;
+    I.A = Index;
+    I.B = Value;
+    append(I);
+  }
+
+  void emitCall(int Dst, Function *Callee, std::vector<Operand> Args) {
+    Instr I;
+    I.Op = Opcode::Call;
+    I.Dst = Dst;
+    I.Callee = Callee;
+    I.Args = std::move(Args);
+    append(I);
+  }
+
+  void emitRet(Operand A = Operand::none()) {
+    Instr I;
+    I.Op = Opcode::Ret;
+    I.A = A;
+    append(I);
+  }
+
+  void emitBr(Operand Cond, BasicBlock *Then, BasicBlock *Else) {
+    Instr I;
+    I.Op = Opcode::Br;
+    I.A = Cond;
+    I.Target1 = Then;
+    I.Target2 = Else;
+    append(I);
+  }
+
+  void emitJump(BasicBlock *Target) {
+    Instr I;
+    I.Op = Opcode::Jump;
+    I.Target1 = Target;
+    append(I);
+  }
+
+  void emitAssert(Operand Cond, std::string Message) {
+    Instr I;
+    I.Op = Opcode::Assert;
+    I.A = Cond;
+    I.Message = std::move(Message);
+    append(I);
+  }
+
+  void emitAssume(Operand Cond) {
+    Instr I;
+    I.Op = Opcode::Assume;
+    I.A = Cond;
+    append(I);
+  }
+
+  void emitHalt() {
+    Instr I;
+    I.Op = Opcode::Halt;
+    append(I);
+  }
+
+  void emitMakeSymbolic(int LocalId, std::string SymbolicName) {
+    Instr I;
+    I.Op = Opcode::MakeSymbolic;
+    I.Dst = LocalId;
+    I.Message = std::move(SymbolicName);
+    append(I);
+  }
+
+  void emitPrint(Operand A) {
+    Instr I;
+    I.Op = Opcode::Print;
+    I.A = A;
+    append(I);
+  }
+
+private:
+  void append(Instr I) {
+    assert(BB && "no insertion point");
+    assert(!blockTerminated() && "appending past a terminator");
+    BB->instructions().push_back(std::move(I));
+  }
+
+  Module &M;
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_IR_IRBUILDER_H

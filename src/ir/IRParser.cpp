@@ -1,0 +1,565 @@
+//===- IRParser.cpp - Text format parser for the IR --------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/Verifier.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+using namespace symmerge;
+
+namespace {
+
+/// A cursor over one line of text with token-level helpers.
+class LineCursor {
+public:
+  explicit LineCursor(std::string_view Line) : Text(Line) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t'))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    skipSpace();
+    if (Text.compare(Pos, W.size(), W) != 0)
+      return false;
+    size_t After = Pos + W.size();
+    if (After < Text.size() && (std::isalnum(static_cast<unsigned char>(
+                                    Text[After])) ||
+                                Text[After] == '_'))
+      return false; // Longer identifier; not this word.
+    Pos = After;
+    return true;
+  }
+
+  /// Identifier: letters, digits, '_', '.', '#', '[', ']' are allowed in
+  /// names only when \p Loose (block labels and symbolic names).
+  std::string ident(bool Loose = false) {
+    skipSpace();
+    size_t Start = Pos;
+    auto Ok = [&](char C) {
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.')
+        return true;
+      return Loose && (C == '#' || C == '[' || C == ']');
+    };
+    while (Pos < Text.size() && Ok(Text[Pos]))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  bool number(uint64_t &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = std::strtoull(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                        nullptr, 10);
+    return true;
+  }
+
+  /// Quoted string with the printer's escapes left as-is (the printer
+  /// emits raw characters inside quotes, so this reads until the closing
+  /// quote).
+  bool quoted(std::string &Out) {
+    skipSpace();
+    if (!consume('"'))
+      return false;
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != '"')
+      ++Pos;
+    if (Pos >= Text.size())
+      return false;
+    Out = std::string(Text.substr(Start, Pos - Start));
+    ++Pos;
+    return true;
+  }
+
+  std::string rest() {
+    skipSpace();
+    return std::string(Text.substr(Pos));
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+class IRParserImpl {
+public:
+  explicit IRParserImpl(std::string_view Text)
+      : Lines(splitString(Text, '\n')) {}
+
+  IRParseResult run(bool Verify) {
+    IRParseResult Result;
+    auto M = std::make_unique<Module>();
+
+    // Pass A: function headers, so calls resolve in any order.
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (startsWith(Lines[I], "func "))
+        parseHeader(*M, I);
+    }
+    if (!Errors.empty()) {
+      Result.Errors = std::move(Errors);
+      return Result;
+    }
+
+    // Pass B: bodies.
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (startsWith(Lines[I], "func "))
+        I = parseBody(*M, I);
+    }
+    if (Errors.empty() && Verify) {
+      for (std::string &E : verifyModule(*M, /*RequireMain=*/false))
+        Errors.push_back("verifier: " + E);
+    }
+    if (!Errors.empty()) {
+      Result.Errors = std::move(Errors);
+      return Result;
+    }
+    Result.M = std::move(M);
+    return Result;
+  }
+
+private:
+  void error(size_t LineNo, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "line " << (LineNo + 1) << ": " << Msg;
+    Errors.push_back(OS.str());
+  }
+
+  /// Parses `iW` or `iW[N]`.
+  bool parseType(LineCursor &C, Type &Out, size_t LineNo) {
+    if (!C.consume('i')) {
+      error(LineNo, "expected a type");
+      return false;
+    }
+    uint64_t Width = 0;
+    if (!C.number(Width)) {
+      error(LineNo, "expected a bit width");
+      return false;
+    }
+    if (C.consume('[')) {
+      uint64_t Size = 0;
+      if (!C.number(Size) || !C.consume(']')) {
+        error(LineNo, "expected an array size");
+        return false;
+      }
+      Out = Type::arrayTy(static_cast<unsigned>(Width),
+                          static_cast<unsigned>(Size));
+      return true;
+    }
+    Out = Type::intTy(static_cast<unsigned>(Width));
+    return true;
+  }
+
+  void parseHeader(Module &M, size_t LineNo) {
+    LineCursor C(Lines[LineNo]);
+    C.consumeWord("func");
+    std::string Name = C.ident();
+    if (Name.empty() || !C.consume('(')) {
+      error(LineNo, "malformed function header");
+      return;
+    }
+    std::vector<Local> Params;
+    if (!C.consume(')')) {
+      do {
+        if (!C.consume('%')) {
+          error(LineNo, "expected a parameter");
+          return;
+        }
+        std::string PName = C.ident();
+        Type Ty;
+        if (!C.consume(':') || !parseType(C, Ty, LineNo))
+          return;
+        Params.push_back({PName, Ty});
+      } while (C.consume(','));
+      if (!C.consume(')')) {
+        error(LineNo, "expected ')' after parameters");
+        return;
+      }
+    }
+    bool IsVoid = true;
+    Type RetTy = Type::intTy(64);
+    if (C.consume('-')) {
+      if (!C.consume('>') || !parseType(C, RetTy, LineNo))
+        return;
+      IsVoid = false;
+    }
+    if (M.findFunction(Name)) {
+      error(LineNo, "duplicate function '" + Name + "'");
+      return;
+    }
+    M.createFunction(Name, RetTy, IsVoid, std::move(Params));
+  }
+
+  /// Parses one function body; returns the index of its closing line.
+  size_t parseBody(Module &M, size_t HeaderLine) {
+    LineCursor H(Lines[HeaderLine]);
+    H.consumeWord("func");
+    Function *F = M.findFunction(H.ident());
+
+    // Collect the body's line range and pre-create blocks so branch
+    // targets resolve forward.
+    size_t End = HeaderLine + 1;
+    std::unordered_map<std::string, BasicBlock *> Blocks;
+    for (; End < Lines.size() && Lines[End] != "}"; ++End) {
+      const std::string &Line = Lines[End];
+      if (startsWith(Line, "  "))
+        continue; // Instruction or local declaration.
+      if (!Line.empty() && Line.back() == ':') {
+        std::string Label = Line.substr(0, Line.size() - 1);
+        if (Blocks.count(Label)) {
+          error(End, "duplicate block label '" + Label + "'");
+          continue;
+        }
+        Blocks.emplace(Label, F->createBlock(Label));
+      }
+    }
+    if (End >= Lines.size()) {
+      error(HeaderLine, "missing '}' for function");
+      return End;
+    }
+
+    // Parse locals and instructions.
+    BasicBlock *Cur = nullptr;
+    for (size_t I = HeaderLine + 1; I < End; ++I) {
+      const std::string &Line = Lines[I];
+      if (Line.empty())
+        continue;
+      if (!startsWith(Line, "  ")) {
+        if (Line.back() == ':')
+          Cur = Blocks.at(Line.substr(0, Line.size() - 1));
+        continue;
+      }
+      LineCursor C(Line);
+      if (C.consumeWord("local")) {
+        if (!C.consume('%')) {
+          error(I, "expected a local name");
+          continue;
+        }
+        std::string Name = C.ident();
+        Type Ty;
+        if (!C.consume(':') || !parseType(C, Ty, I))
+          continue;
+        F->addLocal(Name, Ty);
+        continue;
+      }
+      if (!Cur) {
+        error(I, "instruction outside of a block");
+        continue;
+      }
+      parseInstr(M, *F, Blocks, Cur, C, I);
+    }
+    return End;
+  }
+
+  int localIdOrError(Function &F, const std::string &Name, size_t LineNo) {
+    int Id = F.findLocal(Name);
+    if (Id < 0)
+      error(LineNo, "unknown local '%" + Name + "'");
+    return Id;
+  }
+
+  /// Operand: `%name` or `value:iW`.
+  bool parseOperand(Function &F, LineCursor &C, Operand &Out,
+                    size_t LineNo) {
+    if (C.consume('%')) {
+      int Id = localIdOrError(F, C.ident(), LineNo);
+      if (Id < 0)
+        return false;
+      Out = Operand::local(Id);
+      return true;
+    }
+    uint64_t V = 0;
+    if (!C.number(V)) {
+      error(LineNo, "expected an operand");
+      return false;
+    }
+    if (!C.consume(':')) {
+      error(LineNo, "expected ':' after a constant");
+      return false;
+    }
+    Type Ty;
+    if (!parseType(C, Ty, LineNo) || !Ty.isInt()) {
+      error(LineNo, "constants must have scalar types");
+      return false;
+    }
+    Out = Operand::constant(V, Ty.Width);
+    return true;
+  }
+
+  BasicBlock *blockOrError(
+      const std::unordered_map<std::string, BasicBlock *> &Blocks,
+      const std::string &Name, size_t LineNo) {
+    auto It = Blocks.find(Name);
+    if (It == Blocks.end()) {
+      error(LineNo, "unknown block '" + Name + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  /// Sub-opcode for UnOp mnemonics; Constant is the "not found" marker.
+  static ExprKind unOpKind(const std::string &W) {
+    if (W == "not")
+      return ExprKind::Not;
+    if (W == "neg")
+      return ExprKind::Neg;
+    if (W == "zext")
+      return ExprKind::ZExt;
+    if (W == "sext")
+      return ExprKind::SExt;
+    if (W == "trunc")
+      return ExprKind::Trunc;
+    return ExprKind::Constant;
+  }
+
+  /// Sub-opcode for BinOp mnemonics; Constant is the "not found" marker.
+  static ExprKind binOpKind(const std::string &W) {
+    static const std::unordered_map<std::string, ExprKind> Map = {
+        {"add", ExprKind::Add},   {"sub", ExprKind::Sub},
+        {"mul", ExprKind::Mul},   {"udiv", ExprKind::UDiv},
+        {"sdiv", ExprKind::SDiv}, {"urem", ExprKind::URem},
+        {"srem", ExprKind::SRem}, {"and", ExprKind::And},
+        {"or", ExprKind::Or},     {"xor", ExprKind::Xor},
+        {"shl", ExprKind::Shl},   {"lshr", ExprKind::LShr},
+        {"ashr", ExprKind::AShr}, {"eq", ExprKind::Eq},
+        {"ne", ExprKind::Ne},     {"ult", ExprKind::Ult},
+        {"ule", ExprKind::Ule},   {"slt", ExprKind::Slt},
+        {"sle", ExprKind::Sle}};
+    auto It = Map.find(W);
+    return It == Map.end() ? ExprKind::Constant : It->second;
+  }
+
+  void parseInstr(Module &M, Function &F,
+                  const std::unordered_map<std::string, BasicBlock *> &Blocks,
+                  BasicBlock *Cur, LineCursor &C, size_t LineNo) {
+    Instr I;
+    auto Emit = [&]() { Cur->instructions().push_back(std::move(I)); };
+
+    // Keyword-led instructions.
+    if (C.consumeWord("halt")) {
+      I.Op = Opcode::Halt;
+      Emit();
+      return;
+    }
+    if (C.consumeWord("ret")) {
+      I.Op = Opcode::Ret;
+      if (!C.atEnd() && !parseOperand(F, C, I.A, LineNo))
+        return;
+      Emit();
+      return;
+    }
+    if (C.consumeWord("jump")) {
+      I.Op = Opcode::Jump;
+      I.Target1 = blockOrError(Blocks, C.ident(), LineNo);
+      if (!I.Target1)
+        return;
+      Emit();
+      return;
+    }
+    if (C.consumeWord("br")) {
+      I.Op = Opcode::Br;
+      if (!parseOperand(F, C, I.A, LineNo) || !C.consume(','))
+        return;
+      I.Target1 = blockOrError(Blocks, C.ident(), LineNo);
+      if (!I.Target1 || !C.consume(','))
+        return;
+      I.Target2 = blockOrError(Blocks, C.ident(), LineNo);
+      if (!I.Target2)
+        return;
+      Emit();
+      return;
+    }
+    bool IsAssert = C.consumeWord("assert");
+    if (IsAssert || C.consumeWord("assume")) {
+      I.Op = IsAssert ? Opcode::Assert : Opcode::Assume;
+      if (!parseOperand(F, C, I.A, LineNo))
+        return;
+      if (I.Op == Opcode::Assert && C.peek() == '"' &&
+          !C.quoted(I.Message)) {
+        error(LineNo, "malformed assert message");
+        return;
+      }
+      Emit();
+      return;
+    }
+    if (C.consumeWord("print")) {
+      I.Op = Opcode::Print;
+      if (!parseOperand(F, C, I.A, LineNo))
+        return;
+      Emit();
+      return;
+    }
+    if (C.consumeWord("make_symbolic")) {
+      I.Op = Opcode::MakeSymbolic;
+      if (!C.consume('%')) {
+        error(LineNo, "expected a local after make_symbolic");
+        return;
+      }
+      I.Dst = localIdOrError(F, C.ident(), LineNo);
+      if (I.Dst < 0 || !C.quoted(I.Message)) {
+        error(LineNo, "malformed make_symbolic");
+        return;
+      }
+      Emit();
+      return;
+    }
+    if (C.consumeWord("call")) {
+      parseCallTail(M, F, C, I, -1, LineNo, Emit);
+      return;
+    }
+
+    // Assignment-shaped instructions: `%dst = ...` or a store
+    // `%arr[idx] = value`.
+    if (!C.consume('%')) {
+      error(LineNo, "unrecognized instruction");
+      return;
+    }
+    std::string DstName = C.ident();
+    int DstId = localIdOrError(F, DstName, LineNo);
+    if (DstId < 0)
+      return;
+
+    if (C.consume('[')) { // Store.
+      I.Op = Opcode::Store;
+      I.ArrayLocal = DstId;
+      if (!parseOperand(F, C, I.A, LineNo) || !C.consume(']') ||
+          !C.consume('=') || !parseOperand(F, C, I.B, LineNo))
+        return;
+      Emit();
+      return;
+    }
+    if (!C.consume('=')) {
+      error(LineNo, "expected '=' in instruction");
+      return;
+    }
+
+    if (C.consumeWord("call")) {
+      parseCallTail(M, F, C, I, DstId, LineNo, Emit);
+      return;
+    }
+
+    // UnOp / BinOp mnemonics come before plain operands (Copy/Load).
+    if (C.peek() != '%' && !std::isdigit(static_cast<unsigned char>(
+                               C.peek()))) {
+      std::string Word = C.ident();
+      ExprKind UK = unOpKind(Word);
+      if (UK != ExprKind::Constant) {
+        I.Op = Opcode::UnOp;
+        I.SubKind = UK;
+        I.Dst = DstId;
+        if (!parseOperand(F, C, I.A, LineNo))
+          return;
+        Emit();
+        return;
+      }
+      ExprKind BK = binOpKind(Word);
+      if (BK == ExprKind::Constant) {
+        error(LineNo, "unknown operation '" + Word + "'");
+        return;
+      }
+      I.Op = Opcode::BinOp;
+      I.SubKind = BK;
+      I.Dst = DstId;
+      if (!parseOperand(F, C, I.A, LineNo) || !C.consume(',') ||
+          !parseOperand(F, C, I.B, LineNo))
+        return;
+      Emit();
+      return;
+    }
+
+    // Copy (`%x = op`) or Load (`%x = %arr[op]`).
+    if (C.peek() == '%') {
+      LineCursor Probe = C;
+      Probe.consume('%');
+      std::string SrcName = Probe.ident();
+      if (Probe.consume('[')) { // Load.
+        C = Probe;
+        I.Op = Opcode::Load;
+        I.Dst = DstId;
+        I.ArrayLocal = localIdOrError(F, SrcName, LineNo);
+        if (I.ArrayLocal < 0 || !parseOperand(F, C, I.A, LineNo) ||
+            !C.consume(']'))
+          return;
+        Emit();
+        return;
+      }
+    }
+    I.Op = Opcode::Copy;
+    I.Dst = DstId;
+    if (!parseOperand(F, C, I.A, LineNo))
+      return;
+    Emit();
+  }
+
+  template <typename EmitFn>
+  void parseCallTail(Module &M, Function &F, LineCursor &C, Instr &I,
+                     int DstId, size_t LineNo, EmitFn Emit) {
+    I.Op = Opcode::Call;
+    I.Dst = DstId;
+    std::string Callee = C.ident();
+    I.Callee = M.findFunction(Callee);
+    if (!I.Callee) {
+      error(LineNo, "unknown function '" + Callee + "'");
+      return;
+    }
+    if (!C.consume('(')) {
+      error(LineNo, "expected '(' after callee");
+      return;
+    }
+    if (!C.consume(')')) {
+      do {
+        Operand Arg;
+        if (!parseOperand(F, C, Arg, LineNo))
+          return;
+        I.Args.push_back(Arg);
+      } while (C.consume(','));
+      if (!C.consume(')')) {
+        error(LineNo, "expected ')' after call arguments");
+        return;
+      }
+    }
+    Emit();
+  }
+
+  std::vector<std::string> Lines;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+IRParseResult symmerge::parseIR(std::string_view Text, bool Verify) {
+  return IRParserImpl(Text).run(Verify);
+}

@@ -1,0 +1,52 @@
+//===- IRParser.h - Text format parser for the IR ---------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR produced by Module::str() back into a Module,
+/// so IR can be written by hand in tests and dumped/reloaded by tools.
+/// The format is line-oriented:
+///
+///   func main() {
+///     local %x:i64
+///   entry:
+///     %x = add %x, 1:i64
+///     br %c, then.1, exit.2
+///   ...
+///   }
+///
+/// parse(print(M)) reproduces M exactly (print(parse(print(M))) ==
+/// print(M) is enforced by the round-trip tests over every workload).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_IR_IRPARSER_H
+#define SYMMERGE_IR_IRPARSER_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symmerge {
+
+/// Outcome of parsing textual IR.
+struct IRParseResult {
+  std::unique_ptr<Module> M; ///< Null when Errors is non-empty.
+  std::vector<std::string> Errors;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses the printer's textual format. The result is structurally
+/// verified only if \p Verify is set (callers hand-writing partial IR in
+/// tests may want it off).
+IRParseResult parseIR(std::string_view Text, bool Verify = true);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_IR_IRPARSER_H

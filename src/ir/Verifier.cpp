@@ -1,0 +1,261 @@
+//===- Verifier.cpp - IR well-formedness checks -----------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <sstream>
+
+using namespace symmerge;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run(bool RequireMain) {
+    if (RequireMain) {
+      const Function *Main = M.findFunction("main");
+      if (!Main)
+        error("module has no main function");
+      else if (!Main->isVoid() || Main->numParams() != 0)
+        error("main must be void and take no parameters");
+    }
+    for (const auto &F : M.functions())
+      verifyFunction(*F);
+    return std::move(Errors);
+  }
+
+private:
+  void error(const std::string &Msg) { Errors.push_back(Msg); }
+
+  void errorIn(const Function &F, const BasicBlock *BB,
+               const std::string &Msg) {
+    std::ostringstream OS;
+    OS << F.name();
+    if (BB)
+      OS << ':' << BB->name();
+    OS << ": " << Msg;
+    Errors.push_back(OS.str());
+  }
+
+  /// Width of a scalar operand; 0 and an error if not scalar-typed.
+  unsigned operandWidth(const Function &F, const BasicBlock *BB,
+                        const Operand &Op) {
+    switch (Op.K) {
+    case Operand::Kind::None:
+      errorIn(F, BB, "missing operand");
+      return 0;
+    case Operand::Kind::Const:
+      if (Op.Width < 1 || Op.Width > 64)
+        errorIn(F, BB, "constant operand has invalid width");
+      return Op.Width;
+    case Operand::Kind::Local: {
+      if (Op.LocalId < 0 ||
+          Op.LocalId >= static_cast<int>(F.locals().size())) {
+        errorIn(F, BB, "operand local id out of range");
+        return 0;
+      }
+      const Local &L = F.local(Op.LocalId);
+      if (!L.Ty.isInt()) {
+        errorIn(F, BB, "array local %" + L.Name + " used as a scalar");
+        return 0;
+      }
+      return L.Ty.Width;
+    }
+    }
+    return 0;
+  }
+
+  /// Checks that \p Dst names a scalar local of width \p Width (if nonzero).
+  void checkDst(const Function &F, const BasicBlock *BB, int Dst,
+                unsigned Width) {
+    if (Dst < 0 || Dst >= static_cast<int>(F.locals().size())) {
+      errorIn(F, BB, "destination local id out of range");
+      return;
+    }
+    const Local &L = F.local(Dst);
+    if (!L.Ty.isInt()) {
+      errorIn(F, BB, "destination %" + L.Name + " is not scalar");
+      return;
+    }
+    if (Width && L.Ty.Width != Width)
+      errorIn(F, BB, "destination %" + L.Name + " width mismatch");
+  }
+
+  void verifyFunction(const Function &F) {
+    if (F.numBlocks() == 0) {
+      errorIn(F, nullptr, "function has no blocks");
+      return;
+    }
+    for (const auto &BB : F.blocks())
+      verifyBlock(F, *BB);
+  }
+
+  void verifyBlock(const Function &F, const BasicBlock &BB) {
+    const auto &Instrs = BB.instructions();
+    if (Instrs.empty()) {
+      errorIn(F, &BB, "empty basic block");
+      return;
+    }
+    if (!Instrs.back().isTerminator())
+      errorIn(F, &BB, "block does not end in a terminator");
+    for (size_t I = 0; I + 1 < Instrs.size(); ++I)
+      if (Instrs[I].isTerminator())
+        errorIn(F, &BB, "terminator in the middle of a block");
+    for (const Instr &I : Instrs)
+      verifyInstr(F, &BB, I);
+  }
+
+  void verifyInstr(const Function &F, const BasicBlock *BB, const Instr &I) {
+    switch (I.Op) {
+    case Opcode::BinOp: {
+      if (!isBinaryKind(I.SubKind)) {
+        errorIn(F, BB, "binop with non-binary sub-opcode");
+        return;
+      }
+      unsigned WA = operandWidth(F, BB, I.A);
+      unsigned WB = operandWidth(F, BB, I.B);
+      if (WA && WB && WA != WB)
+        errorIn(F, BB, "binop operand width mismatch");
+      checkDst(F, BB, I.Dst, isComparisonKind(I.SubKind) ? 1 : WA);
+      break;
+    }
+    case Opcode::UnOp: {
+      unsigned WA = operandWidth(F, BB, I.A);
+      switch (I.SubKind) {
+      case ExprKind::Not:
+      case ExprKind::Neg:
+        checkDst(F, BB, I.Dst, WA);
+        break;
+      case ExprKind::ZExt:
+      case ExprKind::SExt:
+      case ExprKind::Trunc: {
+        checkDst(F, BB, I.Dst, 0);
+        if (I.Dst < 0 || I.Dst >= static_cast<int>(F.locals().size()))
+          return;
+        unsigned WD = F.local(I.Dst).Ty.Width;
+        bool Widening = I.SubKind != ExprKind::Trunc;
+        if (WA && ((Widening && WD < WA) || (!Widening && WD > WA)))
+          errorIn(F, BB, "cast width direction mismatch");
+        break;
+      }
+      default:
+        errorIn(F, BB, "unop with invalid sub-opcode");
+      }
+      break;
+    }
+    case Opcode::Copy: {
+      unsigned WA = operandWidth(F, BB, I.A);
+      checkDst(F, BB, I.Dst, WA);
+      break;
+    }
+    case Opcode::Load:
+    case Opcode::Store: {
+      if (I.ArrayLocal < 0 ||
+          I.ArrayLocal >= static_cast<int>(F.locals().size()) ||
+          !F.local(I.ArrayLocal).Ty.isArray()) {
+        errorIn(F, BB, "load/store needs an array local");
+        return;
+      }
+      unsigned ElemW = F.local(I.ArrayLocal).Ty.Width;
+      operandWidth(F, BB, I.A); // Index: any scalar width.
+      if (I.Op == Opcode::Load) {
+        checkDst(F, BB, I.Dst, ElemW);
+      } else {
+        unsigned WV = operandWidth(F, BB, I.B);
+        if (WV && WV != ElemW)
+          errorIn(F, BB, "store value width mismatch");
+      }
+      break;
+    }
+    case Opcode::Call: {
+      if (!I.Callee) {
+        errorIn(F, BB, "call with null callee");
+        return;
+      }
+      const Function &Callee = *I.Callee;
+      if (I.Args.size() != Callee.numParams()) {
+        errorIn(F, BB, "call argument count mismatch for " + Callee.name());
+        return;
+      }
+      for (unsigned K = 0; K < Callee.numParams(); ++K) {
+        const Type &PT = Callee.local(K).Ty;
+        const Operand &Arg = I.Args[K];
+        if (PT.isArray()) {
+          if (!Arg.isLocal() ||
+              Arg.LocalId >= static_cast<int>(F.locals().size()) ||
+              !F.local(Arg.LocalId).Ty.isArray())
+            errorIn(F, BB, "array parameter needs an array argument");
+          else if (F.local(Arg.LocalId).Ty.Width != PT.Width)
+            errorIn(F, BB, "array argument element width mismatch");
+        } else {
+          unsigned WA = operandWidth(F, BB, Arg);
+          if (WA && WA != PT.Width)
+            errorIn(F, BB, "scalar argument width mismatch");
+        }
+      }
+      if (Callee.isVoid()) {
+        if (I.Dst >= 0)
+          errorIn(F, BB, "void call cannot have a destination");
+      } else if (I.Dst >= 0) {
+        checkDst(F, BB, I.Dst, Callee.returnType().Width);
+      }
+      break;
+    }
+    case Opcode::Ret:
+      if (F.isVoid()) {
+        if (!I.A.isNone())
+          errorIn(F, BB, "void function returns a value");
+      } else {
+        unsigned WA = operandWidth(F, BB, I.A);
+        if (WA && WA != F.returnType().Width)
+          errorIn(F, BB, "return width mismatch");
+      }
+      break;
+    case Opcode::Br: {
+      unsigned WA = operandWidth(F, BB, I.A);
+      if (WA && WA != 1)
+        errorIn(F, BB, "branch condition must have width 1");
+      if (!I.Target1 || !I.Target2)
+        errorIn(F, BB, "branch with missing target");
+      break;
+    }
+    case Opcode::Jump:
+      if (!I.Target1)
+        errorIn(F, BB, "jump with missing target");
+      break;
+    case Opcode::Assert:
+    case Opcode::Assume: {
+      unsigned WA = operandWidth(F, BB, I.A);
+      if (WA && WA != 1)
+        errorIn(F, BB, "assert/assume condition must have width 1");
+      break;
+    }
+    case Opcode::Halt:
+      break;
+    case Opcode::MakeSymbolic:
+      if (I.Dst < 0 || I.Dst >= static_cast<int>(F.locals().size()))
+        errorIn(F, BB, "make_symbolic target out of range");
+      else if (I.Message.empty())
+        errorIn(F, BB, "make_symbolic needs a name");
+      break;
+    case Opcode::Print:
+      operandWidth(F, BB, I.A);
+      break;
+    }
+  }
+
+  const Module &M;
+  std::vector<std::string> Errors;
+};
+
+} // namespace
+
+std::vector<std::string> symmerge::verifyModule(const Module &M,
+                                                bool RequireMain) {
+  return VerifierImpl(M).run(RequireMain);
+}

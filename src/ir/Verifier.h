@@ -1,0 +1,31 @@
+//===- Verifier.h - IR well-formedness checks -------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks over a Module. Run after frontend lowering
+/// and by tests that hand-build IR; the engine asserts a verified module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_IR_VERIFIER_H
+#define SYMMERGE_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+/// Checks module well-formedness. Returns a list of human-readable errors;
+/// empty means the module is valid. If \p RequireMain, the module must
+/// define a void, parameterless `main`.
+std::vector<std::string> verifyModule(const Module &M,
+                                      bool RequireMain = true);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_IR_VERIFIER_H

@@ -1,0 +1,115 @@
+//===- Ast.h - MiniC abstract syntax tree -----------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniC. Nodes are plain tagged structs owned via unique_ptr; the
+/// parser produces a ProgramAst and the lowering pass (Lower.h) walks it
+/// to build IR while performing semantic checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_LANG_AST_H
+#define SYMMERGE_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+namespace ast {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node (tagged union).
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,  ///< IntValue.
+    CharLit, ///< IntValue (0..255).
+    Ident,   ///< Name.
+    Index,   ///< Name[Lhs].
+    Call,    ///< Name(Args...).
+    Unary,   ///< OpText in {-, !, ~}; operand in Lhs.
+    Binary,  ///< OpText; Lhs, Rhs.
+    Ternary, ///< Cond ? Lhs : Rhs.
+  };
+
+  Kind K;
+  int Line = 0;
+  int Col = 0;
+  uint64_t IntValue = 0;
+  std::string Name;
+  std::string OpText;
+  ExprPtr Cond, Lhs, Rhs;
+  std::vector<ExprPtr> Args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node (tagged union).
+struct Stmt {
+  enum class Kind : uint8_t {
+    Block,        ///< Stmts.
+    VarDecl,      ///< Name, IsChar, ArraySize (-1 scalar), optional Init.
+    Assign,       ///< Name[LhsIndex]? OpText in {=,+=,-=,*=,++,--}; Rhs.
+    If,           ///< Cond, Then, optional Else.
+    While,        ///< Cond, Body.
+    For,          ///< optional ForInit/Cond/ForStep, Body.
+    Return,       ///< optional Init as the returned value.
+    Break,        ///< Exits the innermost loop.
+    Continue,     ///< Jumps to the innermost loop's next iteration.
+    Assert,       ///< Cond, Message.
+    Assume,       ///< Cond.
+    Halt,         ///< Terminates the path.
+    MakeSymbolic, ///< Name (a declared variable), Message = symbolic name.
+    Print,        ///< Init as the printed value.
+    ExprStmt,     ///< Init (typically a call).
+    Empty,
+  };
+
+  Kind K;
+  int Line = 0;
+  int Col = 0;
+  std::string Name;
+  std::string OpText;
+  std::string Message;
+  bool IsChar = false;
+  int64_t ArraySize = -1;
+  ExprPtr Init, Cond, LhsIndex, Rhs;
+  StmtPtr Then, Else, Body, ForInit, ForStep;
+  std::vector<StmtPtr> Stmts;
+};
+
+/// A function parameter: `int x`, `char c`, or an array `char buf[]`.
+struct ParamDecl {
+  std::string Name;
+  bool IsChar = false;
+  bool IsArray = false;
+  int Line = 0;
+  int Col = 0;
+};
+
+struct FuncDecl {
+  enum class Ret : uint8_t { Void, Int, Char };
+
+  std::string Name;
+  Ret RetKind = Ret::Void;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body;
+  int Line = 0;
+  int Col = 0;
+};
+
+struct ProgramAst {
+  std::vector<FuncDecl> Funcs;
+};
+
+} // namespace ast
+} // namespace symmerge
+
+#endif // SYMMERGE_LANG_AST_H

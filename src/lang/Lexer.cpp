@@ -1,0 +1,414 @@
+//===- Lexer.cpp - MiniC tokenizer ------------------------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace symmerge;
+
+const char *symmerge::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::End:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::CharLiteral:
+    return "character literal";
+  case TokKind::StringLiteral:
+    return "string literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwChar:
+    return "'char'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwAssert:
+    return "'assert'";
+  case TokKind::KwAssume:
+    return "'assume'";
+  case TokKind::KwHalt:
+    return "'halt'";
+  case TokKind::KwMakeSymbolic:
+    return "'make_symbolic'";
+  case TokKind::KwPrint:
+    return "'print'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  }
+  return "<unknown token>";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind> Keywords = {
+    {"int", TokKind::KwInt},
+    {"char", TokKind::KwChar},
+    {"void", TokKind::KwVoid},
+    {"if", TokKind::KwIf},
+    {"else", TokKind::KwElse},
+    {"while", TokKind::KwWhile},
+    {"for", TokKind::KwFor},
+    {"return", TokKind::KwReturn},
+    {"break", TokKind::KwBreak},
+    {"continue", TokKind::KwContinue},
+    {"assert", TokKind::KwAssert},
+    {"assume", TokKind::KwAssume},
+    {"halt", TokKind::KwHalt},
+    {"make_symbolic", TokKind::KwMakeSymbolic},
+    {"print", TokKind::KwPrint},
+    {"putchar", TokKind::KwPrint}, // Alias, for C-flavoured workloads.
+};
+
+class LexerImpl {
+public:
+  explicit LexerImpl(std::string_view Source) : Src(Source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    for (;;) {
+      Token T = next();
+      bool Done = T.Kind == TokKind::End;
+      Tokens.push_back(std::move(T));
+      if (Done)
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  bool consume(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (peek() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (peek()) {
+          advance();
+          advance();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokKind K) {
+    Token T;
+    T.Kind = K;
+    T.Line = TokLine;
+    T.Col = TokCol;
+    return T;
+  }
+
+  Token makeError(std::string Message) {
+    Token T = make(TokKind::Error);
+    T.Text = std::move(Message);
+    return T;
+  }
+
+  /// Decodes one escape sequence after a backslash has been consumed.
+  bool decodeEscape(char &Out) {
+    switch (advance()) {
+    case 'n':
+      Out = '\n';
+      return true;
+    case 't':
+      Out = '\t';
+      return true;
+    case 'r':
+      Out = '\r';
+      return true;
+    case '0':
+      Out = '\0';
+      return true;
+    case '\\':
+      Out = '\\';
+      return true;
+    case '\'':
+      Out = '\'';
+      return true;
+    case '"':
+      Out = '"';
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  Token next() {
+    skipWhitespaceAndComments();
+    TokLine = Line;
+    TokCol = Col;
+    if (Pos >= Src.size())
+      return make(TokKind::End);
+
+    char C = advance();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text(1, C);
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        Text.push_back(advance());
+      auto It = Keywords.find(Text);
+      if (It != Keywords.end())
+        return make(It->second);
+      Token T = make(TokKind::Identifier);
+      T.Text = std::move(Text);
+      return T;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      uint64_t V = C - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + (advance() - '0');
+      Token T = make(TokKind::IntLiteral);
+      T.IntValue = V;
+      return T;
+    }
+
+    if (C == '\'') {
+      char Value;
+      if (peek() == '\\') {
+        advance();
+        if (!decodeEscape(Value))
+          return makeError("invalid escape sequence in character literal");
+      } else if (peek() == '\0') {
+        return makeError("unterminated character literal");
+      } else {
+        Value = advance();
+      }
+      if (!consume('\''))
+        return makeError("unterminated character literal");
+      Token T = make(TokKind::CharLiteral);
+      T.IntValue = static_cast<unsigned char>(Value);
+      return T;
+    }
+
+    if (C == '"') {
+      std::string Text;
+      for (;;) {
+        if (peek() == '\0')
+          return makeError("unterminated string literal");
+        char D = advance();
+        if (D == '"')
+          break;
+        if (D == '\\') {
+          char Decoded;
+          if (!decodeEscape(Decoded))
+            return makeError("invalid escape sequence in string literal");
+          Text.push_back(Decoded);
+        } else {
+          Text.push_back(D);
+        }
+      }
+      Token T = make(TokKind::StringLiteral);
+      T.Text = std::move(Text);
+      return T;
+    }
+
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen);
+    case ')':
+      return make(TokKind::RParen);
+    case '{':
+      return make(TokKind::LBrace);
+    case '}':
+      return make(TokKind::RBrace);
+    case '[':
+      return make(TokKind::LBracket);
+    case ']':
+      return make(TokKind::RBracket);
+    case ',':
+      return make(TokKind::Comma);
+    case ';':
+      return make(TokKind::Semicolon);
+    case '?':
+      return make(TokKind::Question);
+    case ':':
+      return make(TokKind::Colon);
+    case '+':
+      if (consume('='))
+        return make(TokKind::PlusAssign);
+      if (consume('+'))
+        return make(TokKind::PlusPlus);
+      return make(TokKind::Plus);
+    case '-':
+      if (consume('='))
+        return make(TokKind::MinusAssign);
+      if (consume('-'))
+        return make(TokKind::MinusMinus);
+      return make(TokKind::Minus);
+    case '*':
+      return consume('=') ? make(TokKind::StarAssign) : make(TokKind::Star);
+    case '/':
+      return make(TokKind::Slash);
+    case '%':
+      return make(TokKind::Percent);
+    case '!':
+      return consume('=') ? make(TokKind::NotEq) : make(TokKind::Bang);
+    case '~':
+      return make(TokKind::Tilde);
+    case '&':
+      return consume('&') ? make(TokKind::AmpAmp) : make(TokKind::Amp);
+    case '|':
+      return consume('|') ? make(TokKind::PipePipe) : make(TokKind::Pipe);
+    case '^':
+      return make(TokKind::Caret);
+    case '=':
+      return consume('=') ? make(TokKind::EqEq) : make(TokKind::Assign);
+    case '<':
+      if (consume('='))
+        return make(TokKind::LessEq);
+      if (consume('<'))
+        return make(TokKind::Shl);
+      return make(TokKind::Less);
+    case '>':
+      if (consume('='))
+        return make(TokKind::GreaterEq);
+      if (consume('>'))
+        return make(TokKind::Shr);
+      return make(TokKind::Greater);
+    default:
+      return makeError(std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  int TokLine = 1;
+  int TokCol = 1;
+};
+
+} // namespace
+
+std::vector<Token> symmerge::tokenize(std::string_view Source) {
+  return LexerImpl(Source).run();
+}

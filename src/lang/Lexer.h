@@ -1,0 +1,105 @@
+//===- Lexer.h - MiniC tokenizer --------------------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the small C-like language the workloads are written
+/// in (the role clang/LLVM bitcode played for the paper's prototype).
+/// Supports line (`//`) and block comments, decimal integer literals,
+/// character literals with the usual escapes, and string literals (used in
+/// assert messages and make_symbolic names).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_LANG_LEXER_H
+#define SYMMERGE_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symmerge {
+
+enum class TokKind : uint8_t {
+  End,
+  Error,
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+  StringLiteral,
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwAssert,
+  KwAssume,
+  KwHalt,
+  KwMakeSymbolic,
+  KwPrint,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Question,
+  Colon,
+  Assign,      // =
+  PlusAssign,  // +=
+  MinusAssign, // -=
+  StarAssign,  // *=
+  PlusPlus,    // ++
+  MinusMinus,  // --
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  Tilde,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Shl,
+  Shr,
+};
+
+/// Returns a human-readable token kind name for diagnostics.
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;    ///< Identifier text / decoded string literal.
+  uint64_t IntValue = 0;
+  int Line = 1;
+  int Col = 1;
+};
+
+/// Tokenizes a full source buffer. Errors become Error tokens whose Text
+/// holds the message; the parser reports them with position info.
+std::vector<Token> tokenize(std::string_view Source);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_LANG_LEXER_H

@@ -1,0 +1,873 @@
+//===- Lower.cpp - MiniC AST to IR lowering ----------------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lower.h"
+
+#include "expr/ExprContext.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <sstream>
+#include <unordered_map>
+
+using namespace symmerge;
+using ast::FuncDecl;
+using ast::ParamDecl;
+using ast::ProgramAst;
+using ast::Stmt;
+using ast::StmtPtr;
+using AstExpr = ast::Expr;
+
+namespace {
+
+/// A scalar value during lowering: an operand plus its width.
+struct RValue {
+  Operand Op;
+  unsigned Width = 64;
+};
+
+class Lowerer {
+public:
+  Lowerer(const ProgramAst &P, std::vector<Diagnostic> &Diags)
+      : P(P), Diags(Diags), M(std::make_unique<Module>()) {}
+
+  std::unique_ptr<Module> run() {
+    // Pass 1: register signatures so calls can be resolved in any order.
+    for (const FuncDecl &F : P.Funcs)
+      registerFunction(F);
+    // Pass 2: lower bodies.
+    for (const FuncDecl &F : P.Funcs)
+      lowerFunction(F);
+    if (!Diags.empty())
+      return nullptr;
+    return std::move(M);
+  }
+
+private:
+  void error(int Line, int Col, const std::string &Msg) {
+    Diags.push_back({Line, Col, Msg});
+  }
+
+  static Type scalarType(bool IsChar) {
+    return Type::intTy(IsChar ? 8 : 64);
+  }
+
+  //===------------------------------------------------------------------===
+  // Declarations
+  //===------------------------------------------------------------------===
+
+  void registerFunction(const FuncDecl &F) {
+    if (M->findFunction(F.Name)) {
+      error(F.Line, F.Col, "redefinition of function '" + F.Name + "'");
+      return;
+    }
+    std::vector<Local> Params;
+    for (const ParamDecl &PD : F.Params) {
+      for (const Local &Prev : Params) {
+        if (Prev.Name == PD.Name)
+          error(PD.Line, PD.Col,
+                "duplicate parameter name '" + PD.Name + "'");
+      }
+      Type Ty = PD.IsArray ? Type::arrayTy(PD.IsChar ? 8 : 64, 0)
+                           : scalarType(PD.IsChar);
+      Params.push_back({PD.Name, Ty});
+    }
+    bool IsVoid = F.RetKind == FuncDecl::Ret::Void;
+    Type RetTy = scalarType(F.RetKind == FuncDecl::Ret::Char);
+    if (F.Name == "main" && (!IsVoid || !F.Params.empty()))
+      error(F.Line, F.Col, "main must be 'void main()'");
+    M->createFunction(F.Name, RetTy, IsVoid, std::move(Params));
+  }
+
+  void lowerFunction(const FuncDecl &FD) {
+    Function *F = M->findFunction(FD.Name);
+    if (!F)
+      return;
+    CurAst = &FD;
+    CurF = F;
+    TempCount = 0;
+    DeadCount = 0;
+    Scopes.clear();
+    LoopTargets.clear();
+    Scopes.emplace_back();
+    for (unsigned I = 0; I < F->numParams(); ++I)
+      Scopes.back()[F->local(I).Name] = static_cast<int>(I);
+
+    BasicBlock *Entry = F->createBlock("entry");
+    setIP(Entry);
+    lowerStmt(*FD.Body);
+    if (!blockTerminated())
+      emitImplicitReturn();
+    Scopes.pop_back();
+    CurAst = nullptr;
+  }
+
+  void emitImplicitReturn() {
+    if (CurF->name() == "main") {
+      append(mkInstr(Opcode::Halt));
+      return;
+    }
+    Instr I = mkInstr(Opcode::Ret);
+    if (!CurF->isVoid())
+      I.A = Operand::constant(0, CurF->returnType().Width);
+    append(I);
+  }
+
+  //===------------------------------------------------------------------===
+  // Builder helpers (operate directly on CurF/CurBB)
+  //===------------------------------------------------------------------===
+
+  static Instr mkInstr(Opcode Op) {
+    Instr I;
+    I.Op = Op;
+    return I;
+  }
+
+  void setIP(BasicBlock *BB) { CurBB = BB; }
+
+  bool blockTerminated() const {
+    return !CurBB->instructions().empty() &&
+           CurBB->instructions().back().isTerminator();
+  }
+
+  void append(Instr I) {
+    assert(!blockTerminated() && "lowering past a terminator");
+    CurBB->instructions().push_back(std::move(I));
+  }
+
+  BasicBlock *newBlock(const std::string &Hint) {
+    std::ostringstream OS;
+    OS << Hint << '.' << CurF->numBlocks();
+    return CurF->createBlock(OS.str());
+  }
+
+  /// After return/halt/break, subsequent statements go to a fresh
+  /// unreachable block so lowering can continue (and still verify).
+  void startDeadBlock() {
+    std::ostringstream OS;
+    OS << "dead." << DeadCount++;
+    setIP(CurF->createBlock(OS.str()));
+  }
+
+  int newTemp(unsigned Width) {
+    std::ostringstream OS;
+    OS << 't' << TempCount++;
+    return CurF->addLocal(OS.str(), Type::intTy(Width));
+  }
+
+  void emitJump(BasicBlock *T) {
+    Instr I = mkInstr(Opcode::Jump);
+    I.Target1 = T;
+    append(I);
+  }
+
+  void emitBr(Operand Cond, BasicBlock *T, BasicBlock *F) {
+    // A constant condition is a plain jump; keeps QCE from counting a
+    // branch that the engine never queries.
+    if (Cond.isConst()) {
+      emitJump(Cond.Value != 0 ? T : F);
+      return;
+    }
+    Instr I = mkInstr(Opcode::Br);
+    I.A = Cond;
+    I.Target1 = T;
+    I.Target2 = F;
+    append(I);
+  }
+
+  void emitCopy(int Dst, Operand A) {
+    Instr I = mkInstr(Opcode::Copy);
+    I.Dst = Dst;
+    I.A = A;
+    append(I);
+  }
+
+  Operand emitBinOp(ExprKind K, Operand A, Operand B, unsigned OpWidth) {
+    // Fold constant operands at lowering time so loop bounds written as
+    // expressions (e.g. `i < L - 1` after template instantiation) remain
+    // recognizable to the trip-count analysis.
+    if (A.isConst() && B.isConst()) {
+      uint64_t V = ExprContext::evalBinOp(
+          K, ExprContext::maskToWidth(A.Value, OpWidth),
+          ExprContext::maskToWidth(B.Value, OpWidth), OpWidth);
+      return Operand::constant(V, isComparisonKind(K) ? 1 : OpWidth);
+    }
+    int Dst = newTemp(isComparisonKind(K) ? 1 : OpWidth);
+    Instr I = mkInstr(Opcode::BinOp);
+    I.SubKind = K;
+    I.Dst = Dst;
+    I.A = A;
+    I.B = B;
+    append(I);
+    return Operand::local(Dst);
+  }
+
+  //===------------------------------------------------------------------===
+  // Name resolution
+  //===------------------------------------------------------------------===
+
+  /// Finds a local by source name; -1 if undeclared.
+  int resolve(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return -1;
+  }
+
+  int declareLocal(const Stmt &S, Type Ty) {
+    if (Scopes.back().count(S.Name)) {
+      error(S.Line, S.Col, "redeclaration of '" + S.Name + "'");
+      return Scopes.back()[S.Name];
+    }
+    // IR local names must be unique within the function; disambiguate
+    // shadowed names with a numeric suffix.
+    std::string IRName = S.Name;
+    if (CurF->findLocal(IRName) >= 0) {
+      std::ostringstream OS;
+      OS << S.Name << '.' << CurF->locals().size();
+      IRName = OS.str();
+    }
+    int Id = CurF->addLocal(IRName, Ty);
+    Scopes.back()[S.Name] = Id;
+    return Id;
+  }
+
+  //===------------------------------------------------------------------===
+  // Value conversions
+  //===------------------------------------------------------------------===
+
+  /// Converts \p V to \p Width. Narrowing truncates; widening zero-extends
+  /// (char is unsigned, and i1 booleans are 0/1).
+  Operand convert(RValue V, unsigned Width) {
+    if (V.Width == Width)
+      return V.Op;
+    if (V.Op.isConst())
+      return Operand::constant(
+          ExprContext::maskToWidth(V.Op.Value, std::min(V.Width, Width)),
+          Width);
+    int Dst = newTemp(Width);
+    Instr I = mkInstr(Opcode::UnOp);
+    I.SubKind = Width > V.Width ? ExprKind::ZExt : ExprKind::Trunc;
+    I.Dst = Dst;
+    I.A = V.Op;
+    append(I);
+    return Operand::local(Dst);
+  }
+
+  /// Promotes to the 64-bit arithmetic type.
+  Operand promote(RValue V) { return convert(V, 64); }
+
+  //===------------------------------------------------------------------===
+  // Expressions
+  //===------------------------------------------------------------------===
+
+  RValue lowerExpr(const AstExpr &E) {
+    switch (E.K) {
+    case AstExpr::Kind::IntLit:
+      return {Operand::constant(E.IntValue, 64), 64};
+    case AstExpr::Kind::CharLit:
+      return {Operand::constant(E.IntValue, 8), 8};
+    case AstExpr::Kind::Ident: {
+      int Id = resolve(E.Name);
+      if (Id < 0) {
+        error(E.Line, E.Col, "use of undeclared variable '" + E.Name + "'");
+        return {Operand::constant(0, 64), 64};
+      }
+      Type Ty = CurF->local(Id).Ty; // By value: newTemp() reallocates locals.
+      if (Ty.isArray()) {
+        error(E.Line, E.Col,
+              "array '" + E.Name + "' used as a scalar value");
+        return {Operand::constant(0, 64), 64};
+      }
+      return {Operand::local(Id), Ty.Width};
+    }
+    case AstExpr::Kind::Index: {
+      int Id = resolve(E.Name);
+      if (Id < 0) {
+        error(E.Line, E.Col, "use of undeclared array '" + E.Name + "'");
+        return {Operand::constant(0, 64), 64};
+      }
+      Type Ty = CurF->local(Id).Ty; // By value: newTemp() reallocates locals.
+      if (!Ty.isArray()) {
+        error(E.Line, E.Col, "indexing non-array '" + E.Name + "'");
+        return {Operand::constant(0, 64), 64};
+      }
+      Operand Idx = promote(lowerExpr(*E.Lhs));
+      int Dst = newTemp(Ty.Width);
+      Instr I = mkInstr(Opcode::Load);
+      I.Dst = Dst;
+      I.ArrayLocal = Id;
+      I.A = Idx;
+      append(I);
+      return {Operand::local(Dst), Ty.Width};
+    }
+    case AstExpr::Kind::Call:
+      return lowerCall(E, /*InValueContext=*/true);
+    case AstExpr::Kind::Unary: {
+      if (E.OpText == "!")
+        return lowerBoolValue(E);
+      Operand V = promote(lowerExpr(*E.Lhs));
+      int Dst = newTemp(64);
+      Instr I = mkInstr(Opcode::UnOp);
+      I.SubKind = E.OpText == "-" ? ExprKind::Neg : ExprKind::Not;
+      I.Dst = Dst;
+      I.A = V;
+      append(I);
+      return {Operand::local(Dst), 64};
+    }
+    case AstExpr::Kind::Binary: {
+      if (isBoolOp(E.OpText))
+        return lowerBoolValue(E);
+      ExprKind K = arithKind(E.OpText);
+      Operand L = promote(lowerExpr(*E.Lhs));
+      Operand R = promote(lowerExpr(*E.Rhs));
+      return {emitBinOp(K, L, R, 64), 64};
+    }
+    case AstExpr::Kind::Ternary: {
+      int Tmp = newTemp(64);
+      BasicBlock *TBB = newBlock("tern.t");
+      BasicBlock *FBB = newBlock("tern.f");
+      BasicBlock *Join = newBlock("tern.join");
+      lowerCondBranch(*E.Cond, TBB, FBB);
+      setIP(TBB);
+      emitCopy(Tmp, promote(lowerExpr(*E.Lhs)));
+      emitJump(Join);
+      setIP(FBB);
+      emitCopy(Tmp, promote(lowerExpr(*E.Rhs)));
+      emitJump(Join);
+      setIP(Join);
+      return {Operand::local(Tmp), 64};
+    }
+    }
+    return {Operand::constant(0, 64), 64};
+  }
+
+  static bool isBoolOp(const std::string &Op) {
+    return Op == "&&" || Op == "||" || Op == "==" || Op == "!=" ||
+           Op == "<" || Op == "<=" || Op == ">" || Op == ">=";
+  }
+
+  static ExprKind arithKind(const std::string &Op) {
+    if (Op == "+")
+      return ExprKind::Add;
+    if (Op == "-")
+      return ExprKind::Sub;
+    if (Op == "*")
+      return ExprKind::Mul;
+    if (Op == "/")
+      return ExprKind::SDiv;
+    if (Op == "%")
+      return ExprKind::SRem;
+    if (Op == "&")
+      return ExprKind::And;
+    if (Op == "|")
+      return ExprKind::Or;
+    if (Op == "^")
+      return ExprKind::Xor;
+    if (Op == "<<")
+      return ExprKind::Shl;
+    if (Op == ">>")
+      return ExprKind::AShr; // int is signed.
+    return ExprKind::Add;
+  }
+
+  RValue lowerCall(const AstExpr &E, bool InValueContext) {
+    Function *Callee = M->findFunction(E.Name);
+    if (!Callee) {
+      error(E.Line, E.Col, "call to undefined function '" + E.Name + "'");
+      return {Operand::constant(0, 64), 64};
+    }
+    if (E.Args.size() != Callee->numParams()) {
+      std::ostringstream OS;
+      OS << "'" << E.Name << "' expects " << Callee->numParams()
+         << " argument(s), got " << E.Args.size();
+      error(E.Line, E.Col, OS.str());
+      return {Operand::constant(0, 64), 64};
+    }
+    std::vector<Operand> Args;
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      Type PT = Callee->local(static_cast<int>(I)).Ty;
+      const AstExpr &Arg = *E.Args[I];
+      if (PT.isArray()) {
+        if (Arg.K != AstExpr::Kind::Ident) {
+          error(Arg.Line, Arg.Col, "array argument must be an array name");
+          Args.push_back(Operand::constant(0, 64));
+          continue;
+        }
+        int Id = resolve(Arg.Name);
+        if (Id < 0 || !CurF->local(Id).Ty.isArray() ||
+            CurF->local(Id).Ty.Width != PT.Width) {
+          error(Arg.Line, Arg.Col,
+                "argument '" + Arg.Name + "' is not a matching array");
+          Args.push_back(Operand::constant(0, 64));
+          continue;
+        }
+        Args.push_back(Operand::local(Id));
+      } else {
+        Args.push_back(convert(lowerExpr(Arg), PT.Width));
+      }
+    }
+    if (Callee->isVoid()) {
+      if (InValueContext)
+        error(E.Line, E.Col,
+              "void function '" + E.Name + "' used as a value");
+      Instr I = mkInstr(Opcode::Call);
+      I.Callee = Callee;
+      I.Args = std::move(Args);
+      append(I);
+      return {Operand::constant(0, 64), 64};
+    }
+    unsigned RW = Callee->returnType().Width;
+    int Dst = InValueContext ? newTemp(RW) : -1;
+    Instr I = mkInstr(Opcode::Call);
+    I.Dst = Dst;
+    I.Callee = Callee;
+    I.Args = std::move(Args);
+    append(I);
+    if (!InValueContext)
+      return {Operand::constant(0, 64), 64};
+    return {Operand::local(Dst), RW};
+  }
+
+  //===------------------------------------------------------------------===
+  // Conditions
+  //===------------------------------------------------------------------===
+
+  static ExprKind cmpKind(const std::string &Op, bool &Swap) {
+    Swap = false;
+    if (Op == "==")
+      return ExprKind::Eq;
+    if (Op == "!=")
+      return ExprKind::Ne;
+    if (Op == "<")
+      return ExprKind::Slt;
+    if (Op == "<=")
+      return ExprKind::Sle;
+    if (Op == ">") {
+      Swap = true;
+      return ExprKind::Slt;
+    }
+    Swap = true;
+    return ExprKind::Sle; // ">=".
+  }
+
+  /// Lowers \p E as a branch condition with short-circuit evaluation.
+  void lowerCondBranch(const AstExpr &E, BasicBlock *TrueBB,
+                       BasicBlock *FalseBB) {
+    switch (E.K) {
+    case AstExpr::Kind::IntLit:
+    case AstExpr::Kind::CharLit:
+      emitJump(E.IntValue != 0 ? TrueBB : FalseBB);
+      return;
+    case AstExpr::Kind::Unary:
+      if (E.OpText == "!") {
+        lowerCondBranch(*E.Lhs, FalseBB, TrueBB);
+        return;
+      }
+      break;
+    case AstExpr::Kind::Binary: {
+      if (E.OpText == "&&") {
+        BasicBlock *Mid = newBlock("and.rhs");
+        lowerCondBranch(*E.Lhs, Mid, FalseBB);
+        setIP(Mid);
+        lowerCondBranch(*E.Rhs, TrueBB, FalseBB);
+        return;
+      }
+      if (E.OpText == "||") {
+        BasicBlock *Mid = newBlock("or.rhs");
+        lowerCondBranch(*E.Lhs, TrueBB, Mid);
+        setIP(Mid);
+        lowerCondBranch(*E.Rhs, TrueBB, FalseBB);
+        return;
+      }
+      if (isBoolOp(E.OpText)) {
+        bool Swap;
+        ExprKind K = cmpKind(E.OpText, Swap);
+        Operand L = promote(lowerExpr(*E.Lhs));
+        Operand R = promote(lowerExpr(*E.Rhs));
+        if (Swap)
+          std::swap(L, R);
+        emitBr(emitBinOp(K, L, R, 64), TrueBB, FalseBB);
+        return;
+      }
+      break;
+    }
+    case AstExpr::Kind::Ternary: {
+      BasicBlock *ABB = newBlock("ctern.t");
+      BasicBlock *BBB = newBlock("ctern.f");
+      lowerCondBranch(*E.Cond, ABB, BBB);
+      setIP(ABB);
+      lowerCondBranch(*E.Lhs, TrueBB, FalseBB);
+      setIP(BBB);
+      lowerCondBranch(*E.Rhs, TrueBB, FalseBB);
+      return;
+    }
+    default:
+      break;
+    }
+    // Fallback: value != 0.
+    Operand V = promote(lowerExpr(E));
+    emitBr(emitBinOp(ExprKind::Ne, V, Operand::constant(0, 64), 64), TrueBB,
+           FalseBB);
+  }
+
+  /// Lowers \p E as a width-1 boolean value (for assert/assume).
+  RValue lowerCondI1(const AstExpr &E) {
+    // Plain comparisons lower directly without control flow.
+    if (E.K == AstExpr::Kind::Binary && isBoolOp(E.OpText) && E.OpText != "&&" &&
+        E.OpText != "||") {
+      bool Swap;
+      ExprKind K = cmpKind(E.OpText, Swap);
+      Operand L = promote(lowerExpr(*E.Lhs));
+      Operand R = promote(lowerExpr(*E.Rhs));
+      if (Swap)
+        std::swap(L, R);
+      return {emitBinOp(K, L, R, 64), 1};
+    }
+    if (E.K == AstExpr::Kind::IntLit || E.K == AstExpr::Kind::CharLit)
+      return {Operand::constant(E.IntValue != 0, 1), 1};
+    if (E.K == AstExpr::Kind::Binary && (E.OpText == "&&" || E.OpText == "||")) {
+      int Tmp = newTemp(1);
+      BasicBlock *TBB = newBlock("bool.t");
+      BasicBlock *FBB = newBlock("bool.f");
+      BasicBlock *Join = newBlock("bool.join");
+      lowerCondBranch(E, TBB, FBB);
+      setIP(TBB);
+      emitCopy(Tmp, Operand::constant(1, 1));
+      emitJump(Join);
+      setIP(FBB);
+      emitCopy(Tmp, Operand::constant(0, 1));
+      emitJump(Join);
+      setIP(Join);
+      return {Operand::local(Tmp), 1};
+    }
+    if (E.K == AstExpr::Kind::Unary && E.OpText == "!") {
+      RValue Inner = lowerCondI1(*E.Lhs);
+      int Dst = newTemp(1);
+      Instr I = mkInstr(Opcode::UnOp);
+      I.SubKind = ExprKind::Not;
+      I.Dst = Dst;
+      I.A = Inner.Op;
+      append(I);
+      return {Operand::local(Dst), 1};
+    }
+    Operand V = promote(lowerExpr(E));
+    return {emitBinOp(ExprKind::Ne, V, Operand::constant(0, 64), 64), 1};
+  }
+
+  /// Materializes a boolean expression as a 0/1 value of width 64.
+  RValue lowerBoolValue(const AstExpr &E) {
+    RValue B1 = lowerCondI1(E);
+    return {convert(B1, 64), 64};
+  }
+
+  //===------------------------------------------------------------------===
+  // Statements
+  //===------------------------------------------------------------------===
+
+  void lowerStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Block: {
+      Scopes.emplace_back();
+      for (const StmtPtr &Inner : S.Stmts)
+        lowerStmt(*Inner);
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::VarDecl:
+      lowerVarDecl(S);
+      return;
+    case Stmt::Kind::Assign:
+      lowerAssign(S);
+      return;
+    case Stmt::Kind::If: {
+      BasicBlock *TBB = newBlock("if.then");
+      BasicBlock *Join = newBlock("if.join");
+      BasicBlock *FBB = S.Else ? newBlock("if.else") : Join;
+      lowerCondBranch(*S.Cond, TBB, FBB);
+      setIP(TBB);
+      lowerStmt(*S.Then);
+      if (!blockTerminated())
+        emitJump(Join);
+      if (S.Else) {
+        setIP(FBB);
+        lowerStmt(*S.Else);
+        if (!blockTerminated())
+          emitJump(Join);
+      }
+      setIP(Join);
+      return;
+    }
+    case Stmt::Kind::While: {
+      BasicBlock *Header = newBlock("while.head");
+      BasicBlock *Body = newBlock("while.body");
+      BasicBlock *Exit = newBlock("while.exit");
+      emitJump(Header);
+      setIP(Header);
+      lowerCondBranch(*S.Cond, Body, Exit);
+      LoopTargets.push_back({Exit, Header});
+      setIP(Body);
+      lowerStmt(*S.Body);
+      if (!blockTerminated())
+        emitJump(Header);
+      LoopTargets.pop_back();
+      setIP(Exit);
+      return;
+    }
+    case Stmt::Kind::For: {
+      Scopes.emplace_back(); // `for (int i = ...)` scopes the declaration.
+      if (S.ForInit)
+        lowerStmt(*S.ForInit);
+      BasicBlock *Header = newBlock("for.head");
+      BasicBlock *Body = newBlock("for.body");
+      BasicBlock *Step = newBlock("for.step");
+      BasicBlock *Exit = newBlock("for.exit");
+      emitJump(Header);
+      setIP(Header);
+      if (S.Cond)
+        lowerCondBranch(*S.Cond, Body, Exit);
+      else
+        emitJump(Body);
+      LoopTargets.push_back({Exit, Step});
+      setIP(Body);
+      lowerStmt(*S.Body);
+      if (!blockTerminated())
+        emitJump(Step);
+      LoopTargets.pop_back();
+      setIP(Step);
+      if (S.ForStep)
+        lowerStmt(*S.ForStep);
+      if (!blockTerminated())
+        emitJump(Header);
+      Scopes.pop_back();
+      setIP(Exit);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      if (CurF->name() == "main") {
+        if (S.Init)
+          error(S.Line, S.Col, "main cannot return a value");
+        append(mkInstr(Opcode::Halt));
+      } else if (CurF->isVoid()) {
+        if (S.Init)
+          error(S.Line, S.Col, "void function cannot return a value");
+        append(mkInstr(Opcode::Ret));
+      } else {
+        if (!S.Init) {
+          error(S.Line, S.Col, "non-void function must return a value");
+          return;
+        }
+        Instr I = mkInstr(Opcode::Ret);
+        I.A = convert(lowerExpr(*S.Init), CurF->returnType().Width);
+        append(I);
+      }
+      startDeadBlock();
+      return;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue: {
+      if (LoopTargets.empty()) {
+        error(S.Line, S.Col, "break/continue outside of a loop");
+        return;
+      }
+      emitJump(S.K == Stmt::Kind::Break ? LoopTargets.back().first
+                                        : LoopTargets.back().second);
+      startDeadBlock();
+      return;
+    }
+    case Stmt::Kind::Assert: {
+      Instr I = mkInstr(Opcode::Assert);
+      I.A = lowerCondI1(*S.Cond).Op;
+      I.Message = S.Message;
+      append(I);
+      return;
+    }
+    case Stmt::Kind::Assume: {
+      Instr I = mkInstr(Opcode::Assume);
+      I.A = lowerCondI1(*S.Cond).Op;
+      append(I);
+      return;
+    }
+    case Stmt::Kind::Halt:
+      append(mkInstr(Opcode::Halt));
+      startDeadBlock();
+      return;
+    case Stmt::Kind::MakeSymbolic: {
+      int Id = resolve(S.Name);
+      if (Id < 0) {
+        error(S.Line, S.Col,
+              "make_symbolic of undeclared variable '" + S.Name + "'");
+        return;
+      }
+      Instr I = mkInstr(Opcode::MakeSymbolic);
+      I.Dst = Id;
+      I.Message = S.Message;
+      append(I);
+      return;
+    }
+    case Stmt::Kind::Print: {
+      Instr I = mkInstr(Opcode::Print);
+      I.A = lowerExpr(*S.Init).Op;
+      append(I);
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      if (S.Init->K == AstExpr::Kind::Call)
+        lowerCall(*S.Init, /*InValueContext=*/false);
+      else
+        lowerExpr(*S.Init);
+      return;
+    case Stmt::Kind::Empty:
+      return;
+    }
+  }
+
+  void lowerVarDecl(const Stmt &S) {
+    if (S.ArraySize >= 0) {
+      if (S.ArraySize < 1 || S.ArraySize > 4096) {
+        error(S.Line, S.Col, "array size must be between 1 and 4096");
+        return;
+      }
+      declareLocal(S, Type::arrayTy(S.IsChar ? 8 : 64,
+                                    static_cast<unsigned>(S.ArraySize)));
+      return;
+    }
+    int Id = declareLocal(S, scalarType(S.IsChar));
+    unsigned W = CurF->local(Id).Ty.Width;
+    // Locals start at a defined zero (MiniC has no "uninitialized" reads).
+    Operand Init = S.Init ? convert(lowerExpr(*S.Init), W)
+                          : Operand::constant(0, W);
+    emitCopy(Id, Init);
+  }
+
+  void lowerAssign(const Stmt &S) {
+    int Id = resolve(S.Name);
+    if (Id < 0) {
+      error(S.Line, S.Col, "assignment to undeclared variable '" + S.Name +
+                               "'");
+      return;
+    }
+    Type Ty = CurF->local(Id).Ty; // By value: newTemp() reallocates locals.
+
+    if (Ty.isArray()) {
+      if (!S.LhsIndex) {
+        error(S.Line, S.Col, "cannot assign to whole array '" + S.Name +
+                                 "'");
+        return;
+      }
+      unsigned ElemW = Ty.Width;
+      Operand Idx = promote(lowerExpr(*S.LhsIndex));
+      Operand Value;
+      if (S.OpText == "=") {
+        Value = convert(lowerExpr(*S.Rhs), ElemW);
+      } else {
+        // Compound assignment: load, compute at 64 bits, narrow, store.
+        int Old = newTemp(ElemW);
+        Instr L = mkInstr(Opcode::Load);
+        L.Dst = Old;
+        L.ArrayLocal = Id;
+        L.A = Idx;
+        append(L);
+        Operand OldP = promote({Operand::local(Old), ElemW});
+        Operand RhsP = compoundRhs(S);
+        ExprKind K = compoundKind(S.OpText);
+        Operand Res = emitBinOp(K, OldP, RhsP, 64);
+        Value = convert({Res, 64}, ElemW);
+      }
+      Instr St = mkInstr(Opcode::Store);
+      St.ArrayLocal = Id;
+      St.A = Idx;
+      St.B = Value;
+      append(St);
+      return;
+    }
+
+    if (S.LhsIndex) {
+      error(S.Line, S.Col, "indexing non-array '" + S.Name + "'");
+      return;
+    }
+    unsigned W = Ty.Width;
+    if (S.OpText == "=") {
+      emitCopy(Id, convert(lowerExpr(*S.Rhs), W));
+      return;
+    }
+    // Keep `i += const` / `i++` at the variable's own width so the counted
+    // loop pattern (BinOp Add i, const -> i) stays recognizable to the
+    // trip-count analysis.
+    ExprKind K = compoundKind(S.OpText);
+    bool RhsIsLiteral =
+        S.OpText == "++" || S.OpText == "--" ||
+        (S.Rhs && (S.Rhs->K == AstExpr::Kind::IntLit ||
+                   S.Rhs->K == AstExpr::Kind::CharLit));
+    if (RhsIsLiteral && (K == ExprKind::Add || K == ExprKind::Sub)) {
+      uint64_t C = S.Rhs ? S.Rhs->IntValue : 1;
+      if (K == ExprKind::Sub)
+        C = 0 - C; // Normalize to Add with a negated constant.
+      Instr I = mkInstr(Opcode::BinOp);
+      I.SubKind = ExprKind::Add;
+      I.Dst = Id;
+      I.A = Operand::local(Id);
+      I.B = Operand::constant(ExprContext::maskToWidth(C, W), W);
+      append(I);
+      return;
+    }
+    Operand OldP = promote({Operand::local(Id), W});
+    Operand RhsP = compoundRhs(S);
+    Operand Res = emitBinOp(K, OldP, RhsP, 64);
+    emitCopy(Id, convert({Res, 64}, W));
+  }
+
+  Operand compoundRhs(const Stmt &S) {
+    if (S.OpText == "++" || S.OpText == "--")
+      return Operand::constant(1, 64);
+    return promote(lowerExpr(*S.Rhs));
+  }
+
+  static ExprKind compoundKind(const std::string &Op) {
+    if (Op == "+=" || Op == "++")
+      return ExprKind::Add;
+    if (Op == "-=" || Op == "--")
+      return ExprKind::Sub;
+    return ExprKind::Mul; // "*=".
+  }
+
+  const ProgramAst &P;
+  std::vector<Diagnostic> &Diags;
+  std::unique_ptr<Module> M;
+  const FuncDecl *CurAst = nullptr;
+  Function *CurF = nullptr;
+  BasicBlock *CurBB = nullptr;
+  int TempCount = 0;
+  int DeadCount = 0;
+  std::vector<std::unordered_map<std::string, int>> Scopes;
+  /// (break target, continue target) per enclosing loop.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> LoopTargets;
+};
+
+} // namespace
+
+std::unique_ptr<Module> symmerge::lowerProgram(const ProgramAst &P,
+                                               std::vector<Diagnostic> &Diags) {
+  return Lowerer(P, Diags).run();
+}
+
+CompileResult symmerge::compileMiniC(std::string_view Source) {
+  CompileResult Result;
+  ast::ProgramAst Ast = parseMiniC(Source, Result.Diags);
+  if (!Result.Diags.empty())
+    return Result;
+  Result.M = lowerProgram(Ast, Result.Diags);
+  if (!Result.M)
+    return Result;
+  std::vector<std::string> Errors = verifyModule(*Result.M);
+  for (const std::string &E : Errors)
+    Result.Diags.push_back({0, 0, "internal: " + E});
+  if (!Errors.empty())
+    Result.M.reset();
+  return Result;
+}

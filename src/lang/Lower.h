@@ -1,0 +1,45 @@
+//===- Lower.h - MiniC AST to IR lowering -----------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic checking and lowering of the MiniC AST to the CFG IR. Types:
+/// `int` is a signed 64-bit scalar, `char` an unsigned 8-bit scalar;
+/// arithmetic promotes to 64 bits (char zero-extends). Short-circuit
+/// `&&`/`||` and the ternary operator lower to control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_LANG_LOWER_H
+#define SYMMERGE_LANG_LOWER_H
+
+#include "ir/IR.h"
+#include "lang/Ast.h"
+#include "lang/Parser.h"
+
+#include <memory>
+
+namespace symmerge {
+
+/// Lowers a parsed program to IR. Appends semantic errors to \p Diags and
+/// returns null if any were found (or were already present).
+std::unique_ptr<Module> lowerProgram(const ast::ProgramAst &P,
+                                     std::vector<Diagnostic> &Diags);
+
+/// Outcome of compiling MiniC source.
+struct CompileResult {
+  std::unique_ptr<Module> M; ///< Null when Diags is non-empty.
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses, checks, lowers, and verifies MiniC source. Verifier failures on
+/// lowered code are internal errors and reported as diagnostics at 0:0.
+CompileResult compileMiniC(std::string_view Source);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_LANG_LOWER_H

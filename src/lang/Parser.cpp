@@ -1,0 +1,651 @@
+//===- Parser.cpp - MiniC recursive-descent parser ---------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <sstream>
+
+using namespace symmerge;
+using namespace symmerge::ast;
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << Line << ':' << Col << ": " << Message;
+  return OS.str();
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::vector<Diagnostic> &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  ProgramAst run() {
+    ProgramAst P;
+    while (!at(TokKind::End)) {
+      if (at(TokKind::Error)) {
+        error(cur().Text);
+        advance();
+        continue;
+      }
+      parseFunction(P);
+      if (Panicking)
+        recoverToTopLevel();
+    }
+    return P;
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string &Msg) {
+    if (!Panicking)
+      Diags.push_back({cur().Line, cur().Col, Msg});
+    Panicking = true;
+  }
+
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K)) {
+      Panicking = false;
+      return true;
+    }
+    std::ostringstream OS;
+    OS << "expected " << tokKindName(K) << ' ' << Context << ", found "
+       << tokKindName(cur().Kind);
+    error(OS.str());
+    return false;
+  }
+
+  void recoverToTopLevel() {
+    // Skip to a plausible function start: a type keyword at brace depth 0.
+    int Depth = 0;
+    while (!at(TokKind::End)) {
+      if (at(TokKind::LBrace))
+        ++Depth;
+      if (at(TokKind::RBrace)) {
+        --Depth;
+        advance();
+        if (Depth <= 0)
+          break;
+        continue;
+      }
+      if (Depth <= 0 &&
+          (at(TokKind::KwInt) || at(TokKind::KwChar) || at(TokKind::KwVoid)))
+        break;
+      advance();
+    }
+    Panicking = false;
+  }
+
+  void recoverToStatement() {
+    while (!at(TokKind::End) && !at(TokKind::Semicolon) &&
+           !at(TokKind::RBrace))
+      advance();
+    accept(TokKind::Semicolon);
+    Panicking = false;
+  }
+
+  //===------------------------------------------------------------------===
+  // Declarations
+  //===------------------------------------------------------------------===
+
+  void parseFunction(ProgramAst &P) {
+    FuncDecl F;
+    F.Line = cur().Line;
+    F.Col = cur().Col;
+    if (accept(TokKind::KwVoid))
+      F.RetKind = FuncDecl::Ret::Void;
+    else if (accept(TokKind::KwInt))
+      F.RetKind = FuncDecl::Ret::Int;
+    else if (accept(TokKind::KwChar))
+      F.RetKind = FuncDecl::Ret::Char;
+    else {
+      error("expected a function definition ('void', 'int', or 'char')");
+      advance();
+      return;
+    }
+    if (!at(TokKind::Identifier)) {
+      error("expected function name");
+      return;
+    }
+    F.Name = cur().Text;
+    advance();
+    if (!expect(TokKind::LParen, "after function name"))
+      return;
+    if (!at(TokKind::RParen)) {
+      do {
+        ParamDecl PD;
+        PD.Line = cur().Line;
+        PD.Col = cur().Col;
+        if (accept(TokKind::KwInt))
+          PD.IsChar = false;
+        else if (accept(TokKind::KwChar))
+          PD.IsChar = true;
+        else {
+          error("expected parameter type");
+          return;
+        }
+        if (!at(TokKind::Identifier)) {
+          error("expected parameter name");
+          return;
+        }
+        PD.Name = cur().Text;
+        advance();
+        if (accept(TokKind::LBracket)) {
+          PD.IsArray = true;
+          if (!expect(TokKind::RBracket, "in array parameter"))
+            return;
+        }
+        F.Params.push_back(std::move(PD));
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RParen, "after parameters"))
+      return;
+    if (!at(TokKind::LBrace)) {
+      error("expected function body");
+      return;
+    }
+    F.Body = parseBlock();
+    P.Funcs.push_back(std::move(F));
+  }
+
+  //===------------------------------------------------------------------===
+  // Statements
+  //===------------------------------------------------------------------===
+
+  StmtPtr makeStmt(Stmt::Kind K) {
+    auto S = std::make_unique<Stmt>();
+    S->K = K;
+    S->Line = cur().Line;
+    S->Col = cur().Col;
+    return S;
+  }
+
+  StmtPtr parseBlock() {
+    auto S = makeStmt(Stmt::Kind::Block);
+    expect(TokKind::LBrace, "to open a block");
+    while (!at(TokKind::RBrace) && !at(TokKind::End)) {
+      StmtPtr Inner = parseStatement();
+      if (Panicking)
+        recoverToStatement();
+      if (Inner)
+        S->Stmts.push_back(std::move(Inner));
+    }
+    expect(TokKind::RBrace, "to close a block");
+    return S;
+  }
+
+  StmtPtr parseStatement() {
+    switch (cur().Kind) {
+    case TokKind::LBrace:
+      return parseBlock();
+    case TokKind::Semicolon: {
+      auto S = makeStmt(Stmt::Kind::Empty);
+      advance();
+      return S;
+    }
+    case TokKind::KwInt:
+    case TokKind::KwChar: {
+      StmtPtr S = parseVarDecl();
+      expect(TokKind::Semicolon, "after variable declaration");
+      return S;
+    }
+    case TokKind::KwIf:
+      return parseIf();
+    case TokKind::KwWhile:
+      return parseWhile();
+    case TokKind::KwFor:
+      return parseFor();
+    case TokKind::KwReturn: {
+      auto S = makeStmt(Stmt::Kind::Return);
+      advance();
+      if (!at(TokKind::Semicolon))
+        S->Init = parseExpr();
+      expect(TokKind::Semicolon, "after return");
+      return S;
+    }
+    case TokKind::KwBreak: {
+      auto S = makeStmt(Stmt::Kind::Break);
+      advance();
+      expect(TokKind::Semicolon, "after break");
+      return S;
+    }
+    case TokKind::KwContinue: {
+      auto S = makeStmt(Stmt::Kind::Continue);
+      advance();
+      expect(TokKind::Semicolon, "after continue");
+      return S;
+    }
+    case TokKind::KwAssert: {
+      auto S = makeStmt(Stmt::Kind::Assert);
+      advance();
+      expect(TokKind::LParen, "after 'assert'");
+      S->Cond = parseExpr();
+      if (accept(TokKind::Comma)) {
+        if (at(TokKind::StringLiteral)) {
+          S->Message = cur().Text;
+          advance();
+        } else {
+          error("expected a string literal as the assert message");
+        }
+      }
+      expect(TokKind::RParen, "after assert condition");
+      expect(TokKind::Semicolon, "after assert");
+      return S;
+    }
+    case TokKind::KwAssume: {
+      auto S = makeStmt(Stmt::Kind::Assume);
+      advance();
+      expect(TokKind::LParen, "after 'assume'");
+      S->Cond = parseExpr();
+      expect(TokKind::RParen, "after assume condition");
+      expect(TokKind::Semicolon, "after assume");
+      return S;
+    }
+    case TokKind::KwHalt: {
+      auto S = makeStmt(Stmt::Kind::Halt);
+      advance();
+      expect(TokKind::LParen, "after 'halt'");
+      expect(TokKind::RParen, "after 'halt('");
+      expect(TokKind::Semicolon, "after halt()");
+      return S;
+    }
+    case TokKind::KwMakeSymbolic: {
+      auto S = makeStmt(Stmt::Kind::MakeSymbolic);
+      advance();
+      expect(TokKind::LParen, "after 'make_symbolic'");
+      if (at(TokKind::Identifier)) {
+        S->Name = cur().Text;
+        advance();
+      } else {
+        error("expected a variable name in make_symbolic");
+      }
+      if (accept(TokKind::Comma)) {
+        if (at(TokKind::StringLiteral)) {
+          S->Message = cur().Text;
+          advance();
+        } else {
+          error("expected a string literal as the symbolic name");
+        }
+      }
+      if (S->Message.empty())
+        S->Message = S->Name;
+      expect(TokKind::RParen, "after make_symbolic");
+      expect(TokKind::Semicolon, "after make_symbolic");
+      return S;
+    }
+    case TokKind::KwPrint: {
+      auto S = makeStmt(Stmt::Kind::Print);
+      advance();
+      expect(TokKind::LParen, "after 'print'");
+      S->Init = parseExpr();
+      expect(TokKind::RParen, "after print argument");
+      expect(TokKind::Semicolon, "after print");
+      return S;
+    }
+    default:
+      return parseSimpleStatement(/*RequireSemicolon=*/true);
+    }
+  }
+
+  StmtPtr parseVarDecl() {
+    auto S = makeStmt(Stmt::Kind::VarDecl);
+    S->IsChar = at(TokKind::KwChar);
+    advance(); // Type keyword.
+    if (!at(TokKind::Identifier)) {
+      error("expected variable name");
+      return S;
+    }
+    S->Name = cur().Text;
+    advance();
+    if (accept(TokKind::LBracket)) {
+      if (at(TokKind::IntLiteral)) {
+        S->ArraySize = static_cast<int64_t>(cur().IntValue);
+        advance();
+      } else {
+        error("array size must be an integer literal");
+      }
+      expect(TokKind::RBracket, "after array size");
+    } else if (accept(TokKind::Assign)) {
+      S->Init = parseExpr();
+    }
+    return S;
+  }
+
+  StmtPtr parseIf() {
+    auto S = makeStmt(Stmt::Kind::If);
+    advance();
+    expect(TokKind::LParen, "after 'if'");
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "after if condition");
+    S->Then = parseStatement();
+    if (accept(TokKind::KwElse))
+      S->Else = parseStatement();
+    return S;
+  }
+
+  StmtPtr parseWhile() {
+    auto S = makeStmt(Stmt::Kind::While);
+    advance();
+    expect(TokKind::LParen, "after 'while'");
+    S->Cond = parseExpr();
+    expect(TokKind::RParen, "after while condition");
+    S->Body = parseStatement();
+    return S;
+  }
+
+  StmtPtr parseFor() {
+    auto S = makeStmt(Stmt::Kind::For);
+    advance();
+    expect(TokKind::LParen, "after 'for'");
+    if (!at(TokKind::Semicolon)) {
+      if (at(TokKind::KwInt) || at(TokKind::KwChar))
+        S->ForInit = parseVarDecl();
+      else
+        S->ForInit = parseSimpleStatement(/*RequireSemicolon=*/false);
+    }
+    expect(TokKind::Semicolon, "after for initializer");
+    if (!at(TokKind::Semicolon))
+      S->Cond = parseExpr();
+    expect(TokKind::Semicolon, "after for condition");
+    if (!at(TokKind::RParen))
+      S->ForStep = parseSimpleStatement(/*RequireSemicolon=*/false);
+    expect(TokKind::RParen, "after for step");
+    S->Body = parseStatement();
+    return S;
+  }
+
+  /// Assignment, increment/decrement, or expression statement.
+  StmtPtr parseSimpleStatement(bool RequireSemicolon) {
+    // Lookahead to distinguish assignments from expression statements.
+    if (at(TokKind::Identifier)) {
+      TokKind K1 = peek(1).Kind;
+      bool IsAssignLike =
+          K1 == TokKind::Assign || K1 == TokKind::PlusAssign ||
+          K1 == TokKind::MinusAssign || K1 == TokKind::StarAssign ||
+          K1 == TokKind::PlusPlus || K1 == TokKind::MinusMinus ||
+          K1 == TokKind::LBracket;
+      if (IsAssignLike) {
+        // `x[e] op= ...` vs. a bare read `x[e];` — parse the lvalue first
+        // and check what follows.
+        auto S = makeStmt(Stmt::Kind::Assign);
+        S->Name = cur().Text;
+        advance();
+        if (accept(TokKind::LBracket)) {
+          S->LhsIndex = parseExpr();
+          expect(TokKind::RBracket, "after array index");
+        }
+        switch (cur().Kind) {
+        case TokKind::Assign:
+          S->OpText = "=";
+          break;
+        case TokKind::PlusAssign:
+          S->OpText = "+=";
+          break;
+        case TokKind::MinusAssign:
+          S->OpText = "-=";
+          break;
+        case TokKind::StarAssign:
+          S->OpText = "*=";
+          break;
+        case TokKind::PlusPlus:
+          S->OpText = "++";
+          break;
+        case TokKind::MinusMinus:
+          S->OpText = "--";
+          break;
+        default:
+          error("expected an assignment operator");
+          return S;
+        }
+        advance();
+        if (S->OpText != "++" && S->OpText != "--")
+          S->Rhs = parseExpr();
+        if (RequireSemicolon)
+          expect(TokKind::Semicolon, "after assignment");
+        return S;
+      }
+    }
+    auto S = makeStmt(Stmt::Kind::ExprStmt);
+    S->Init = parseExpr();
+    if (RequireSemicolon)
+      expect(TokKind::Semicolon, "after expression");
+    return S;
+  }
+
+  //===------------------------------------------------------------------===
+  // Expressions (precedence climbing)
+  //===------------------------------------------------------------------===
+
+  ExprPtr makeExpr(Expr::Kind K) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Line = cur().Line;
+    E->Col = cur().Col;
+    return E;
+  }
+
+  ExprPtr parseExpr() { return parseTernary(); }
+
+  ExprPtr parseTernary() {
+    ExprPtr Cond = parseBinary(0);
+    if (!at(TokKind::Question))
+      return Cond;
+    auto E = makeExpr(Expr::Kind::Ternary);
+    advance();
+    E->Cond = std::move(Cond);
+    E->Lhs = parseExpr();
+    expect(TokKind::Colon, "in conditional expression");
+    E->Rhs = parseTernary();
+    return E;
+  }
+
+  /// Binary operator precedence; -1 if not a binary operator.
+  static int precedence(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return 0;
+    case TokKind::AmpAmp:
+      return 1;
+    case TokKind::Pipe:
+      return 2;
+    case TokKind::Caret:
+      return 3;
+    case TokKind::Amp:
+      return 4;
+    case TokKind::EqEq:
+    case TokKind::NotEq:
+      return 5;
+    case TokKind::Less:
+    case TokKind::LessEq:
+    case TokKind::Greater:
+    case TokKind::GreaterEq:
+      return 6;
+    case TokKind::Shl:
+    case TokKind::Shr:
+      return 7;
+    case TokKind::Plus:
+    case TokKind::Minus:
+      return 8;
+    case TokKind::Star:
+    case TokKind::Slash:
+    case TokKind::Percent:
+      return 9;
+    default:
+      return -1;
+    }
+  }
+
+  static const char *opText(TokKind K) {
+    switch (K) {
+    case TokKind::PipePipe:
+      return "||";
+    case TokKind::AmpAmp:
+      return "&&";
+    case TokKind::Pipe:
+      return "|";
+    case TokKind::Caret:
+      return "^";
+    case TokKind::Amp:
+      return "&";
+    case TokKind::EqEq:
+      return "==";
+    case TokKind::NotEq:
+      return "!=";
+    case TokKind::Less:
+      return "<";
+    case TokKind::LessEq:
+      return "<=";
+    case TokKind::Greater:
+      return ">";
+    case TokKind::GreaterEq:
+      return ">=";
+    case TokKind::Shl:
+      return "<<";
+    case TokKind::Shr:
+      return ">>";
+    case TokKind::Plus:
+      return "+";
+    case TokKind::Minus:
+      return "-";
+    case TokKind::Star:
+      return "*";
+    case TokKind::Slash:
+      return "/";
+    case TokKind::Percent:
+      return "%";
+    default:
+      return "?";
+    }
+  }
+
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr Lhs = parseUnary();
+    for (;;) {
+      int Prec = precedence(cur().Kind);
+      if (Prec < MinPrec)
+        return Lhs;
+      auto E = makeExpr(Expr::Kind::Binary);
+      E->OpText = opText(cur().Kind);
+      advance();
+      E->Lhs = std::move(Lhs);
+      E->Rhs = parseBinary(Prec + 1); // All binary operators left-associate.
+      Lhs = std::move(E);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (at(TokKind::Minus) || at(TokKind::Bang) || at(TokKind::Tilde)) {
+      auto E = makeExpr(Expr::Kind::Unary);
+      E->OpText = at(TokKind::Minus) ? "-" : at(TokKind::Bang) ? "!" : "~";
+      advance();
+      E->Lhs = parseUnary();
+      return E;
+    }
+    return parsePostfix();
+  }
+
+  ExprPtr parsePostfix() {
+    ExprPtr E = parsePrimary();
+    if (E && E->K == Expr::Kind::Ident && at(TokKind::LBracket)) {
+      auto Index = makeExpr(Expr::Kind::Index);
+      advance();
+      Index->Name = E->Name;
+      Index->Line = E->Line;
+      Index->Col = E->Col;
+      Index->Lhs = parseExpr();
+      expect(TokKind::RBracket, "after array index");
+      return Index;
+    }
+    return E;
+  }
+
+  ExprPtr parsePrimary() {
+    switch (cur().Kind) {
+    case TokKind::IntLiteral: {
+      auto E = makeExpr(Expr::Kind::IntLit);
+      E->IntValue = cur().IntValue;
+      advance();
+      return E;
+    }
+    case TokKind::CharLiteral: {
+      auto E = makeExpr(Expr::Kind::CharLit);
+      E->IntValue = cur().IntValue;
+      advance();
+      return E;
+    }
+    case TokKind::Identifier: {
+      if (peek(1).Kind == TokKind::LParen) {
+        auto E = makeExpr(Expr::Kind::Call);
+        E->Name = cur().Text;
+        advance();
+        advance(); // '('.
+        if (!at(TokKind::RParen)) {
+          do {
+            E->Args.push_back(parseExpr());
+          } while (accept(TokKind::Comma));
+        }
+        expect(TokKind::RParen, "after call arguments");
+        return E;
+      }
+      auto E = makeExpr(Expr::Kind::Ident);
+      E->Name = cur().Text;
+      advance();
+      return E;
+    }
+    case TokKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      expect(TokKind::RParen, "to close a parenthesized expression");
+      return E;
+    }
+    default: {
+      std::ostringstream OS;
+      OS << "expected an expression, found " << tokKindName(cur().Kind);
+      error(OS.str());
+      // Return a zero literal so lowering can proceed past the error.
+      // Statement-terminating tokens stay put so the caller's recovery
+      // can re-synchronize on them (and report later errors).
+      auto E = makeExpr(Expr::Kind::IntLit);
+      if (!at(TokKind::Semicolon) && !at(TokKind::RParen) &&
+          !at(TokKind::RBrace) && !at(TokKind::Comma) && !at(TokKind::End))
+        advance();
+      return E;
+    }
+    }
+  }
+
+  std::vector<Token> Tokens;
+  std::vector<Diagnostic> &Diags;
+  size_t Pos = 0;
+  bool Panicking = false;
+};
+
+} // namespace
+
+ast::ProgramAst symmerge::parseMiniC(std::string_view Source,
+                                     std::vector<Diagnostic> &Diags) {
+  return Parser(tokenize(Source), Diags).run();
+}

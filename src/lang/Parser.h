@@ -1,0 +1,35 @@
+//===- Parser.h - MiniC recursive-descent parser ----------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_LANG_PARSER_H
+#define SYMMERGE_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symmerge {
+
+/// A frontend diagnostic with 1-based source position.
+struct Diagnostic {
+  int Line = 0;
+  int Col = 0;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Parses MiniC source into an AST. On syntax errors, diagnostics are
+/// appended to \p Diags and parsing recovers at statement boundaries; the
+/// returned AST is usable only when \p Diags stays empty.
+ast::ProgramAst parseMiniC(std::string_view Source,
+                           std::vector<Diagnostic> &Diags);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_LANG_PARSER_H

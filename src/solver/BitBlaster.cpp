@@ -1,0 +1,410 @@
+//===- BitBlaster.cpp - Expression to CNF translation ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/BitBlaster.h"
+
+#include <cassert>
+
+using namespace symmerge;
+using namespace symmerge::sat;
+
+BitBlaster::BitBlaster(SatSolver &S) : S(S) {
+  Var V = S.newVar();
+  TrueLit = mkLit(V);
+  S.addClause(TrueLit);
+}
+
+Lit BitBlaster::litConst(bool B) const { return B ? TrueLit : ~TrueLit; }
+
+bool BitBlaster::isConstLit(Lit L, bool &Value) const {
+  if (L == TrueLit) {
+    Value = true;
+    return true;
+  }
+  if (L == ~TrueLit) {
+    Value = false;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===
+// Gates
+//===----------------------------------------------------------------------===
+
+Lit BitBlaster::mkAnd(Lit A, Lit B) {
+  bool CA, CB;
+  if (isConstLit(A, CA))
+    return CA ? B : litConst(false);
+  if (isConstLit(B, CB))
+    return CB ? A : litConst(false);
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return litConst(false);
+  Lit O = mkLit(S.newVar());
+  S.addClause(~A, ~B, O);
+  S.addClause(A, ~O);
+  S.addClause(B, ~O);
+  return O;
+}
+
+Lit BitBlaster::mkOr(Lit A, Lit B) { return ~mkAnd(~A, ~B); }
+
+Lit BitBlaster::mkXor(Lit A, Lit B) {
+  bool CA, CB;
+  if (isConstLit(A, CA))
+    return CA ? ~B : B;
+  if (isConstLit(B, CB))
+    return CB ? ~A : A;
+  if (A == B)
+    return litConst(false);
+  if (A == ~B)
+    return litConst(true);
+  Lit O = mkLit(S.newVar());
+  S.addClause(~A, ~B, ~O);
+  S.addClause(A, B, ~O);
+  S.addClause(~A, B, O);
+  S.addClause(A, ~B, O);
+  return O;
+}
+
+Lit BitBlaster::mkIte(Lit C, Lit T, Lit F) {
+  bool CC, CT, CF;
+  if (isConstLit(C, CC))
+    return CC ? T : F;
+  if (T == F)
+    return T;
+  if (isConstLit(T, CT))
+    return CT ? mkOr(C, F) : mkAnd(~C, F);
+  if (isConstLit(F, CF))
+    return CF ? mkOr(~C, T) : mkAnd(C, T);
+  if (T == ~F)
+    return mkXor(C, F); // C ? ~F : F.
+  Lit O = mkLit(S.newVar());
+  S.addClause(~C, ~T, O);
+  S.addClause(~C, T, ~O);
+  S.addClause(C, ~F, O);
+  S.addClause(C, F, ~O);
+  // Redundant clauses that strengthen propagation.
+  S.addClause(~T, ~F, O);
+  S.addClause(T, F, ~O);
+  return O;
+}
+
+Lit BitBlaster::mkAndReduce(const Bits &Bs) {
+  Lit Acc = litConst(true);
+  for (Lit B : Bs)
+    Acc = mkAnd(Acc, B);
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===
+// Word-level circuits
+//===----------------------------------------------------------------------===
+
+BitBlaster::Bits BitBlaster::mkAdder(const Bits &A, const Bits &B,
+                                     Lit CarryIn) {
+  assert(A.size() == B.size() && "adder width mismatch");
+  Bits Sum(A.size(), LitUndef);
+  Lit Carry = CarryIn;
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit AxB = mkXor(A[I], B[I]);
+    Sum[I] = mkXor(AxB, Carry);
+    Carry = mkOr(mkAnd(A[I], B[I]), mkAnd(Carry, AxB));
+  }
+  return Sum;
+}
+
+BitBlaster::Bits BitBlaster::mkNegate(const Bits &A) {
+  Bits NotA(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    NotA[I] = ~A[I];
+  Bits Zero(A.size(), litConst(false));
+  return mkAdder(NotA, Zero, litConst(true));
+}
+
+Lit BitBlaster::mkUlt(const Bits &A, const Bits &B) {
+  assert(A.size() == B.size() && "comparison width mismatch");
+  // From LSB to MSB: at each bit, if the bits differ the verdict is B's
+  // bit; otherwise the verdict carries over from the lower bits.
+  Lit Less = litConst(false);
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit Diff = mkXor(A[I], B[I]);
+    Less = mkIte(Diff, B[I], Less);
+  }
+  return Less;
+}
+
+Lit BitBlaster::mkSlt(const Bits &A, const Bits &B) {
+  // Signed comparison = unsigned comparison with sign bits flipped.
+  Bits A2 = A, B2 = B;
+  A2.back() = ~A2.back();
+  B2.back() = ~B2.back();
+  return mkUlt(A2, B2);
+}
+
+Lit BitBlaster::mkEqWord(const Bits &A, const Bits &B) {
+  assert(A.size() == B.size() && "equality width mismatch");
+  Lit Acc = litConst(true);
+  for (size_t I = 0; I < A.size(); ++I)
+    Acc = mkAnd(Acc, ~mkXor(A[I], B[I]));
+  return Acc;
+}
+
+BitBlaster::Bits BitBlaster::mkMux(Lit C, const Bits &T, const Bits &F) {
+  assert(T.size() == F.size() && "mux width mismatch");
+  Bits Out(T.size());
+  for (size_t I = 0; I < T.size(); ++I)
+    Out[I] = mkIte(C, T[I], F[I]);
+  return Out;
+}
+
+BitBlaster::Bits BitBlaster::mkMul(const Bits &A, const Bits &B) {
+  size_t W = A.size();
+  Bits Acc(W, litConst(false));
+  for (size_t I = 0; I < W; ++I) {
+    // Partial product: (A << I) masked by B[I].
+    Bits Partial(W, litConst(false));
+    bool BConst;
+    bool BIsConst = isConstLit(B[I], BConst);
+    if (BIsConst && !BConst)
+      continue;
+    for (size_t J = I; J < W; ++J)
+      Partial[J] = BIsConst ? A[J - I] : mkAnd(A[J - I], B[I]);
+    Acc = mkAdder(Acc, Partial, litConst(false));
+  }
+  return Acc;
+}
+
+void BitBlaster::mkUDivURem(const Bits &A, const Bits &B, Bits &Quot,
+                            Bits &Rem) {
+  size_t W = A.size();
+  // Restoring division over a (W+1)-bit remainder register. With B == 0
+  // every trial subtraction succeeds, producing quotient all-ones and
+  // remainder A — exactly the SMT-LIB bvudiv/bvurem convention that
+  // ExprContext's folder implements.
+  Bits R(W + 1, litConst(false));
+  Bits BExt = B;
+  BExt.push_back(litConst(false));
+  Quot.assign(W, litConst(false));
+  for (size_t Step = W; Step-- > 0;) {
+    // R = (R << 1) | A[Step], dropping R's top bit (always 0 on entry).
+    Bits RShift(W + 1, LitUndef);
+    RShift[0] = A[Step];
+    for (size_t I = 1; I <= W; ++I)
+      RShift[I] = R[I - 1];
+    Lit Geq = ~mkUlt(RShift, BExt);
+    // RSub = RShift - BExt.
+    Bits NotB(W + 1);
+    for (size_t I = 0; I <= W; ++I)
+      NotB[I] = ~BExt[I];
+    Bits RSub = mkAdder(RShift, NotB, litConst(true));
+    R = mkMux(Geq, RSub, RShift);
+    Quot[Step] = Geq;
+  }
+  Rem.assign(R.begin(), R.begin() + W);
+}
+
+BitBlaster::Bits BitBlaster::mkShift(const Bits &A, const Bits &Amount,
+                                     ExprKind Kind) {
+  size_t W = A.size();
+  Lit Fill = Kind == ExprKind::AShr ? A.back() : litConst(false);
+  Bits Cur = A;
+  // Barrel shifter over the amount bits that denote in-range shifts.
+  for (size_t K = 0; K < Amount.size() && (1ULL << K) < W; ++K) {
+    size_t Step = 1ULL << K;
+    Bits Next(W, LitUndef);
+    for (size_t I = 0; I < W; ++I) {
+      Lit Shifted;
+      if (Kind == ExprKind::Shl)
+        Shifted = I >= Step ? Cur[I - Step] : Fill;
+      else
+        Shifted = I + Step < W ? Cur[I + Step] : Fill;
+      Next[I] = mkIte(Amount[K], Shifted, Cur[I]);
+    }
+    Cur = Next;
+  }
+  // Any amount bit at weight >= W forces the out-of-range result.
+  Lit Overflow = litConst(false);
+  for (size_t K = 0; K < Amount.size(); ++K) {
+    if ((1ULL << K) >= W)
+      Overflow = mkOr(Overflow, Amount[K]);
+  }
+  for (size_t I = 0; I < W; ++I)
+    Cur[I] = mkIte(Overflow, Fill, Cur[I]);
+  return Cur;
+}
+
+//===----------------------------------------------------------------------===
+// Expression lowering
+//===----------------------------------------------------------------------===
+
+BitBlaster::Bits BitBlaster::lower(ExprRef E) {
+  auto It = Lowered.find(E);
+  if (It != Lowered.end())
+    return It->second;
+
+  Bits Out;
+  unsigned W = E->width();
+  switch (E->kind()) {
+  case ExprKind::Constant: {
+    uint64_t V = E->constantValue();
+    Out.resize(W);
+    for (unsigned I = 0; I < W; ++I)
+      Out[I] = litConst((V >> I) & 1);
+    break;
+  }
+  case ExprKind::Var: {
+    Out.resize(W);
+    for (unsigned I = 0; I < W; ++I)
+      Out[I] = mkLit(S.newVar());
+    VarMap.emplace(E, Out);
+    break;
+  }
+  case ExprKind::Not: {
+    const Bits &A = lower(E->operand(0));
+    Out.resize(W);
+    for (unsigned I = 0; I < W; ++I)
+      Out[I] = ~A[I];
+    break;
+  }
+  case ExprKind::Neg:
+    Out = mkNegate(lower(E->operand(0)));
+    break;
+  case ExprKind::ZExt: {
+    Out = lower(E->operand(0));
+    Out.resize(W, litConst(false));
+    break;
+  }
+  case ExprKind::SExt: {
+    Out = lower(E->operand(0));
+    Out.resize(W, Out.back());
+    break;
+  }
+  case ExprKind::Trunc: {
+    const Bits &A = lower(E->operand(0));
+    Out.assign(A.begin(), A.begin() + W);
+    break;
+  }
+  case ExprKind::Add:
+    Out = mkAdder(lower(E->operand(0)), lower(E->operand(1)),
+                  litConst(false));
+    break;
+  case ExprKind::Sub: {
+    const Bits &A = lower(E->operand(0));
+    const Bits &B = lower(E->operand(1));
+    Bits NotB(B.size());
+    for (size_t I = 0; I < B.size(); ++I)
+      NotB[I] = ~B[I];
+    Out = mkAdder(A, NotB, litConst(true));
+    break;
+  }
+  case ExprKind::Mul:
+    Out = mkMul(lower(E->operand(0)), lower(E->operand(1)));
+    break;
+  case ExprKind::UDiv:
+  case ExprKind::URem: {
+    Bits Quot, Rem;
+    mkUDivURem(lower(E->operand(0)), lower(E->operand(1)), Quot, Rem);
+    Out = E->kind() == ExprKind::UDiv ? Quot : Rem;
+    break;
+  }
+  case ExprKind::SDiv:
+  case ExprKind::SRem: {
+    // Signed division on magnitudes with sign fixups. The B == 0 and
+    // INT_MIN corner cases fall out of the unsigned circuit exactly as
+    // in the SMT-LIB definition (see ExprContext::evalBinOp).
+    const Bits &A = lower(E->operand(0));
+    const Bits &B = lower(E->operand(1));
+    Lit SignA = A.back(), SignB = B.back();
+    Bits AbsA = mkMux(SignA, mkNegate(A), A);
+    Bits AbsB = mkMux(SignB, mkNegate(B), B);
+    Bits Quot, Rem;
+    mkUDivURem(AbsA, AbsB, Quot, Rem);
+    if (E->kind() == ExprKind::SDiv) {
+      Lit Negate = mkXor(SignA, SignB);
+      Out = mkMux(Negate, mkNegate(Quot), Quot);
+    } else {
+      Out = mkMux(SignA, mkNegate(Rem), Rem);
+    }
+    break;
+  }
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Xor: {
+    const Bits &A = lower(E->operand(0));
+    const Bits &B = lower(E->operand(1));
+    Out.resize(W);
+    for (unsigned I = 0; I < W; ++I) {
+      if (E->kind() == ExprKind::And)
+        Out[I] = mkAnd(A[I], B[I]);
+      else if (E->kind() == ExprKind::Or)
+        Out[I] = mkOr(A[I], B[I]);
+      else
+        Out[I] = mkXor(A[I], B[I]);
+    }
+    break;
+  }
+  case ExprKind::Shl:
+  case ExprKind::LShr:
+  case ExprKind::AShr:
+    Out = mkShift(lower(E->operand(0)), lower(E->operand(1)), E->kind());
+    break;
+  case ExprKind::Eq:
+    Out = {mkEqWord(lower(E->operand(0)), lower(E->operand(1)))};
+    break;
+  case ExprKind::Ne:
+    Out = {~mkEqWord(lower(E->operand(0)), lower(E->operand(1)))};
+    break;
+  case ExprKind::Ult:
+    Out = {mkUlt(lower(E->operand(0)), lower(E->operand(1)))};
+    break;
+  case ExprKind::Ule:
+    Out = {~mkUlt(lower(E->operand(1)), lower(E->operand(0)))};
+    break;
+  case ExprKind::Slt:
+    Out = {mkSlt(lower(E->operand(0)), lower(E->operand(1)))};
+    break;
+  case ExprKind::Sle:
+    Out = {~mkSlt(lower(E->operand(1)), lower(E->operand(0)))};
+    break;
+  case ExprKind::Ite: {
+    Lit C = lower(E->operand(0))[0];
+    Out = mkMux(C, lower(E->operand(1)), lower(E->operand(2)));
+    break;
+  }
+  }
+  assert(Out.size() == W && "lowered width mismatch");
+  Lowered.emplace(E, Out);
+  return Out;
+}
+
+void BitBlaster::assertTrue(ExprRef E) {
+  assert(E->width() == 1 && "only width-1 expressions can be asserted");
+  Lit L = lower(E)[0];
+  S.addClause(L);
+}
+
+const std::vector<Lit> *BitBlaster::varBits(ExprRef V) const {
+  auto It = VarMap.find(V);
+  return It == VarMap.end() ? nullptr : &It->second;
+}
+
+uint64_t BitBlaster::modelValue(ExprRef V) const {
+  const Bits *Bs = varBits(V);
+  if (!Bs)
+    return 0;
+  uint64_t Value = 0;
+  for (size_t I = 0; I < Bs->size(); ++I) {
+    Lit L = (*Bs)[I];
+    LBool B = S.modelValue(var(L));
+    bool BitSet = B == (sign(L) ? LBool::False : LBool::True);
+    if (BitSet)
+      Value |= 1ULL << I;
+  }
+  return Value;
+}

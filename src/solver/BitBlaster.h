@@ -1,0 +1,81 @@
+//===- BitBlaster.h - Expression to CNF translation -------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates bitvector expressions into CNF over a SatSolver instance via
+/// Tseitin encoding. Each expression node is lowered once (DAG sharing is
+/// inherited from the hash-consed expression context). Division uses a
+/// restoring-division circuit whose zero-divisor behaviour matches the
+/// SMT-LIB semantics implemented by ExprContext's constant folder, so the
+/// solver, the evaluator, and the folder always agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_BITBLASTER_H
+#define SYMMERGE_SOLVER_BITBLASTER_H
+
+#include "expr/Expr.h"
+#include "solver/Sat.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+/// Lowers expressions into a SatSolver. One BitBlaster per SAT instance.
+class BitBlaster {
+public:
+  explicit BitBlaster(sat::SatSolver &S);
+
+  /// Asserts that the width-1 expression \p E is true.
+  void assertTrue(ExprRef E);
+
+  /// Returns the SAT variables backing symbolic variable \p V (LSB first),
+  /// or nullptr if \p V never occurred in an asserted expression.
+  const std::vector<sat::Lit> *varBits(ExprRef V) const;
+
+  /// Reads back the value of symbolic variable \p V from the SAT model.
+  /// Unconstrained bits read as zero.
+  uint64_t modelValue(ExprRef V) const;
+
+private:
+  using Bits = std::vector<sat::Lit>;
+
+  /// Returns the bit representation of \p E, lowering it on first use.
+  /// Returns by value: recursive lowering may rehash the memo table, so
+  /// references into it must not be held across calls.
+  Bits lower(ExprRef E);
+
+  // Gate constructors; inputs/outputs are literals. Constant literals are
+  // folded eagerly so no clause is emitted for them.
+  sat::Lit litConst(bool B) const;
+  bool isConstLit(sat::Lit L, bool &Value) const;
+  sat::Lit mkAnd(sat::Lit A, sat::Lit B);
+  sat::Lit mkOr(sat::Lit A, sat::Lit B);
+  sat::Lit mkXor(sat::Lit A, sat::Lit B);
+  sat::Lit mkIte(sat::Lit C, sat::Lit T, sat::Lit F);
+  sat::Lit mkAndReduce(const Bits &Bs);
+
+  // Word-level circuits.
+  Bits mkAdder(const Bits &A, const Bits &B, sat::Lit CarryIn);
+  Bits mkNegate(const Bits &A);
+  sat::Lit mkUlt(const Bits &A, const Bits &B);
+  sat::Lit mkSlt(const Bits &A, const Bits &B);
+  sat::Lit mkEqWord(const Bits &A, const Bits &B);
+  Bits mkMul(const Bits &A, const Bits &B);
+  void mkUDivURem(const Bits &A, const Bits &B, Bits &Quot, Bits &Rem);
+  Bits mkShift(const Bits &A, const Bits &Amount, ExprKind Kind);
+  Bits mkMux(sat::Lit C, const Bits &T, const Bits &F);
+
+  sat::SatSolver &S;
+  sat::Lit TrueLit;
+  std::unordered_map<ExprRef, Bits> Lowered;
+  std::unordered_map<ExprRef, Bits> VarMap;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_BITBLASTER_H

@@ -1,0 +1,452 @@
+//===- Sat.cpp - CDCL SAT solver implementation ----------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Sat.h"
+
+#include <algorithm>
+
+using namespace symmerge;
+using namespace symmerge::sat;
+
+struct SatSolver::Clause {
+  double Activity = 0.0;
+  bool Learnt = false;
+  std::vector<Lit> Lits;
+};
+
+SatSolver::SatSolver() = default;
+
+SatSolver::~SatSolver() {
+  for (Clause *C : Clauses)
+    delete C;
+  for (Clause *C : Learnts)
+    delete C;
+}
+
+Var SatSolver::newVar() {
+  Var V = numVars();
+  Assigns.push_back(LBool::Undef);
+  Levels.push_back(-1);
+  Reasons.push_back(nullptr);
+  Activity.push_back(0.0);
+  Polarity.push_back(false);
+  Seen.push_back(0);
+  HeapIndex.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+void SatSolver::attachClause(Clause *C) {
+  assert(C->Lits.size() >= 2 && "cannot watch a unit clause");
+  Watches[toInt(~C->Lits[0])].push_back({C, C->Lits[1]});
+  Watches[toInt(~C->Lits[1])].push_back({C, C->Lits[0]});
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  assert(decisionLevel() == 0 && "clauses must be added at level 0");
+  if (!Ok)
+    return false;
+
+  // Simplify: sort, dedup, drop false literals, detect tautologies and
+  // already-satisfied clauses.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.X < B.X; });
+  std::vector<Lit> Out;
+  Lit Prev = LitUndef;
+  for (Lit L : Lits) {
+    if (value(L) == LBool::True || L == ~Prev)
+      return true; // Satisfied or tautological.
+    if (value(L) == LBool::False || L == Prev)
+      continue; // False or duplicate literal.
+    Out.push_back(L);
+    Prev = L;
+  }
+
+  if (Out.empty()) {
+    Ok = false;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], nullptr);
+    Ok = propagate() == nullptr;
+    return Ok;
+  }
+  Clause *C = new Clause();
+  C->Lits = std::move(Out);
+  Clauses.push_back(C);
+  attachClause(C);
+  return true;
+}
+
+void SatSolver::enqueue(Lit L, Clause *Reason) {
+  assert(value(L) == LBool::Undef && "enqueueing an assigned literal");
+  Var V = var(L);
+  Assigns[V] = lboolFrom(!sign(L));
+  Levels[V] = decisionLevel();
+  Reasons[V] = Reason;
+  Trail.push_back(L);
+}
+
+SatSolver::Clause *SatSolver::propagate() {
+  while (PropagationHead < Trail.size()) {
+    Lit P = Trail[PropagationHead++];
+    std::vector<Watcher> &WS = Watches[toInt(P)];
+    size_t Kept = 0;
+    for (size_t I = 0; I < WS.size(); ++I) {
+      ++Stats.Propagations;
+      Watcher W = WS[I];
+      if (value(W.Blocker) == LBool::True) {
+        WS[Kept++] = W;
+        continue;
+      }
+      Clause *C = W.C;
+      std::vector<Lit> &L = C->Lits;
+      // Normalize so the false literal ~P sits in slot 1.
+      if (L[0] == ~P)
+        std::swap(L[0], L[1]);
+      assert(L[1] == ~P && "watched literal bookkeeping broken");
+      if (value(L[0]) == LBool::True) {
+        WS[Kept++] = {C, L[0]};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K < L.size(); ++K) {
+        if (value(L[K]) != LBool::False) {
+          std::swap(L[1], L[K]);
+          Watches[toInt(~L[1])].push_back({C, L[0]});
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue; // Watcher moved; do not keep here.
+      // Clause is unit or conflicting.
+      WS[Kept++] = {C, L[0]};
+      if (value(L[0]) == LBool::False) {
+        // Conflict: keep the remaining watchers and bail out.
+        for (size_t K = I + 1; K < WS.size(); ++K)
+          WS[Kept++] = WS[K];
+        WS.resize(Kept);
+        PropagationHead = Trail.size();
+        return C;
+      }
+      enqueue(L[0], C);
+    }
+    WS.resize(Kept);
+  }
+  return nullptr;
+}
+
+void SatSolver::bumpVar(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (heapContains(V))
+    heapDecrease(V);
+}
+
+void SatSolver::bumpClause(Clause *C) {
+  C->Activity += ClauseInc;
+  if (C->Activity > 1e20) {
+    for (Clause *L : Learnts)
+      L->Activity *= 1e-20;
+    ClauseInc *= 1e-20;
+  }
+}
+
+void SatSolver::decayActivities() {
+  VarInc /= 0.95;
+  ClauseInc /= 0.999;
+}
+
+bool SatSolver::litRedundant(Lit L, uint32_t /*AbstractLevels*/) {
+  // Basic (local) minimization: a literal is redundant if it was implied by
+  // a reason clause whose other literals are all already in the learnt set.
+  Clause *Reason = Reasons[var(L)];
+  if (!Reason)
+    return false;
+  for (Lit Q : Reason->Lits) {
+    if (var(Q) == var(L))
+      continue;
+    if (!Seen[var(Q)] && Levels[var(Q)] > 0)
+      return false;
+  }
+  return true;
+}
+
+void SatSolver::analyze(Clause *Conflict, std::vector<Lit> &Learnt,
+                        int &OutLevel) {
+  Learnt.clear();
+  Learnt.push_back(LitUndef); // Slot 0 holds the asserting literal.
+
+  int PathCount = 0;
+  Lit P = LitUndef;
+  int Index = static_cast<int>(Trail.size()) - 1;
+  Clause *C = Conflict;
+
+  do {
+    assert(C && "null reason during conflict analysis");
+    if (C->Learnt)
+      bumpClause(C);
+    size_t Start = (P == LitUndef) ? 0 : 1;
+    for (size_t J = Start; J < C->Lits.size(); ++J) {
+      Lit Q = C->Lits[J];
+      Var V = var(Q);
+      if (Seen[V] || Levels[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (Levels[V] >= decisionLevel())
+        ++PathCount;
+      else
+        Learnt.push_back(Q);
+    }
+    // Walk back to the next marked trail literal.
+    while (!Seen[var(Trail[Index])])
+      --Index;
+    P = Trail[Index];
+    --Index;
+    C = Reasons[var(P)];
+    Seen[var(P)] = 0;
+    --PathCount;
+  } while (PathCount > 0);
+  Learnt[0] = ~P;
+
+  // Conflict clause minimization. Keep the pre-minimization literal set so
+  // every Seen mark (including those of dropped literals) is cleared below.
+  std::vector<Lit> Original = Learnt;
+  size_t Kept = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (!litRedundant(Learnt[I], 0))
+      Learnt[Kept++] = Learnt[I];
+  }
+  Learnt.resize(Kept);
+
+  // Find the backtrack level and move a literal of that level to slot 1.
+  OutLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I) {
+      if (Levels[var(Learnt[I])] > Levels[var(Learnt[MaxIdx])])
+        MaxIdx = I;
+    }
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+    OutLevel = Levels[var(Learnt[1])];
+  }
+
+  // Clear the seen marks we left on the learnt literals.
+  for (Lit L : Original)
+    Seen[var(L)] = 0;
+}
+
+void SatSolver::backtrack(int Level) {
+  if (decisionLevel() <= Level)
+    return;
+  size_t Bound = TrailLim[Level];
+  for (size_t I = Trail.size(); I-- > Bound;) {
+    Var V = var(Trail[I]);
+    Polarity[V] = Assigns[V] == LBool::True; // Phase saving.
+    Assigns[V] = LBool::Undef;
+    Reasons[V] = nullptr;
+    Levels[V] = -1;
+    if (!heapContains(V))
+      heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(Level);
+  PropagationHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  while (!Heap.empty()) {
+    Var V = heapPop();
+    if (Assigns[V] == LBool::Undef)
+      return mkLit(V, /*Negated=*/!Polarity[V]);
+  }
+  return LitUndef;
+}
+
+void SatSolver::reduceDB() {
+  // Keep the more active half of the learnt clauses; never remove clauses
+  // that are the reason for a current assignment.
+  std::sort(Learnts.begin(), Learnts.end(),
+            [](const Clause *A, const Clause *B) {
+              return A->Activity > B->Activity;
+            });
+  size_t Keep = Learnts.size() / 2;
+  std::vector<Clause *> Remaining;
+  Remaining.reserve(Learnts.size());
+  for (size_t I = 0; I < Learnts.size(); ++I) {
+    Clause *C = Learnts[I];
+    bool Locked = Reasons[var(C->Lits[0])] == C;
+    if (I < Keep || Locked || C->Lits.size() <= 2) {
+      Remaining.push_back(C);
+      continue;
+    }
+    // Detach both watchers.
+    for (int W = 0; W < 2; ++W) {
+      std::vector<Watcher> &WS = Watches[toInt(~C->Lits[W])];
+      for (size_t K = 0; K < WS.size(); ++K) {
+        if (WS[K].C == C) {
+          WS[K] = WS.back();
+          WS.pop_back();
+          break;
+        }
+      }
+    }
+    delete C;
+  }
+  Learnts = std::move(Remaining);
+}
+
+uint64_t SatSolver::luby(uint64_t I) {
+  // Luby sequence, 0-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  uint64_t Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I %= Size;
+  }
+  return 1ULL << Seq;
+}
+
+bool SatSolver::solve(uint64_t ConflictBudget) {
+  BudgetExceeded = false;
+  if (!Ok)
+    return false;
+
+  uint64_t TotalConflicts = 0;
+  uint64_t RestartNum = 0;
+  std::vector<Lit> Learnt;
+
+  for (;;) {
+    uint64_t RestartLimit = luby(RestartNum) * 100;
+    uint64_t RestartConflicts = 0;
+    ++RestartNum;
+    ++Stats.Restarts;
+
+    for (;;) {
+      Clause *Conflict = propagate();
+      if (Conflict) {
+        ++Stats.Conflicts;
+        ++TotalConflicts;
+        ++RestartConflicts;
+        if (decisionLevel() == 0)
+          return false; // Refuted at the root: UNSAT.
+        int BackLevel = 0;
+        analyze(Conflict, Learnt, BackLevel);
+        backtrack(BackLevel);
+        if (Learnt.size() == 1) {
+          enqueue(Learnt[0], nullptr);
+        } else {
+          Clause *C = new Clause();
+          C->Learnt = true;
+          C->Lits = Learnt;
+          Learnts.push_back(C);
+          ++Stats.Learnt;
+          attachClause(C);
+          bumpClause(C);
+          enqueue(Learnt[0], C);
+        }
+        decayActivities();
+        if (ConflictBudget && TotalConflicts >= ConflictBudget) {
+          BudgetExceeded = true;
+          backtrack(0);
+          return false;
+        }
+        continue;
+      }
+
+      // No conflict.
+      if (RestartConflicts >= RestartLimit) {
+        backtrack(0);
+        break; // Restart.
+      }
+      if (Learnts.size() > std::max<size_t>(10000, 2 * Clauses.size()))
+        reduceDB();
+
+      Lit Next = pickBranchLit();
+      if (Next == LitUndef) {
+        // All variables assigned: satisfiable.
+        Model = Assigns;
+        backtrack(0);
+        return true;
+      }
+      ++Stats.Decisions;
+      TrailLim.push_back(static_cast<int>(Trail.size()));
+      enqueue(Next, nullptr);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Activity heap
+//===----------------------------------------------------------------------===
+
+void SatSolver::heapInsert(Var V) {
+  assert(!heapContains(V) && "variable already in heap");
+  HeapIndex[V] = static_cast<int>(Heap.size());
+  Heap.push_back(V);
+  siftUp(HeapIndex[V]);
+}
+
+void SatSolver::heapDecrease(Var V) { siftUp(HeapIndex[V]); }
+
+Var SatSolver::heapPop() {
+  assert(!Heap.empty() && "pop from empty heap");
+  Var Top = Heap[0];
+  HeapIndex[Top] = -1;
+  Heap[0] = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    HeapIndex[Heap[0]] = 0;
+    siftDown(0);
+  }
+  return Top;
+}
+
+void SatSolver::siftUp(int I) {
+  Var V = Heap[I];
+  while (I > 0) {
+    int Parent = (I - 1) / 2;
+    if (Activity[Heap[Parent]] >= Activity[V])
+      break;
+    Heap[I] = Heap[Parent];
+    HeapIndex[Heap[I]] = I;
+    I = Parent;
+  }
+  Heap[I] = V;
+  HeapIndex[V] = I;
+}
+
+void SatSolver::siftDown(int I) {
+  Var V = Heap[I];
+  int N = static_cast<int>(Heap.size());
+  for (;;) {
+    int Child = 2 * I + 1;
+    if (Child >= N)
+      break;
+    if (Child + 1 < N && Activity[Heap[Child + 1]] > Activity[Heap[Child]])
+      ++Child;
+    if (Activity[Heap[Child]] <= Activity[V])
+      break;
+    Heap[I] = Heap[Child];
+    HeapIndex[Heap[I]] = I;
+    I = Child;
+  }
+  Heap[I] = V;
+  HeapIndex[V] = I;
+}

@@ -1,0 +1,174 @@
+//===- Sat.h - CDCL SAT solver ----------------------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver in the MiniSat lineage:
+/// two-watched-literal propagation, first-UIP conflict analysis, VSIDS
+/// branching with phase saving, Luby restarts, and activity-based learnt
+/// clause reduction. It is the decision procedure underneath the bitvector
+/// bitblaster and plays the role STP played for the paper's prototype.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_SAT_H
+#define SYMMERGE_SOLVER_SAT_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace symmerge {
+namespace sat {
+
+/// Boolean variable index, 0-based.
+using Var = int;
+
+/// A literal: variable with polarity, encoded as 2*var+sign.
+struct Lit {
+  int X = -2;
+
+  bool operator==(const Lit &O) const { return X == O.X; }
+  bool operator!=(const Lit &O) const { return X != O.X; }
+};
+
+inline Lit mkLit(Var V, bool Negated = false) {
+  assert(V >= 0 && "invalid variable");
+  return Lit{V + V + static_cast<int>(Negated)};
+}
+inline Lit operator~(Lit L) { return Lit{L.X ^ 1}; }
+inline bool sign(Lit L) { return L.X & 1; }
+inline Var var(Lit L) { return L.X >> 1; }
+inline int toInt(Lit L) { return L.X; }
+
+/// Undefined literal sentinel.
+constexpr Lit LitUndef{-2};
+
+/// Three-valued assignment.
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lboolFrom(bool B) { return B ? LBool::True : LBool::False; }
+inline LBool negate(LBool B) {
+  if (B == LBool::Undef)
+    return B;
+  return B == LBool::True ? LBool::False : LBool::True;
+}
+
+/// Counters reported by the solver for the evaluation harnesses.
+struct SatStats {
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Learnt = 0;
+  uint64_t Restarts = 0;
+};
+
+/// CDCL solver. Usage: newVar()/addClause() to build the instance, then
+/// solve(). The solver is single-shot per instance in this codebase (each
+/// bitblasted query builds a fresh instance), though solve() may be called
+/// repeatedly.
+class SatSolver {
+public:
+  SatSolver();
+  ~SatSolver();
+  SatSolver(const SatSolver &) = delete;
+  SatSolver &operator=(const SatSolver &) = delete;
+
+  /// Creates a new variable and returns its index.
+  Var newVar();
+
+  int numVars() const { return static_cast<int>(Assigns.size()); }
+
+  /// Adds a clause (disjunction of literals). Returns false if the solver
+  /// is already in an unsatisfiable state after adding.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Convenience for unit/binary/ternary clauses.
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Runs the CDCL search. Returns true if satisfiable. \p ConflictBudget
+  /// bounds the number of conflicts (0 = unlimited); if exhausted, returns
+  /// false with budgetExceeded() set.
+  bool solve(uint64_t ConflictBudget = 0);
+
+  /// True if the last solve() stopped on the conflict budget rather than
+  /// proving unsatisfiability.
+  bool budgetExceeded() const { return BudgetExceeded; }
+
+  /// Model value of \p V after a satisfiable solve().
+  LBool modelValue(Var V) const {
+    assert(V < static_cast<int>(Model.size()) && "variable out of range");
+    return Model[V];
+  }
+
+  const SatStats &stats() const { return Stats; }
+
+private:
+  struct Clause;
+  struct Watcher {
+    Clause *C;
+    Lit Blocker;
+  };
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[var(L)];
+    return sign(L) ? negate(V) : V;
+  }
+  LBool value(Var V) const { return Assigns[V]; }
+
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+
+  void enqueue(Lit L, Clause *Reason);
+  Clause *propagate();
+  void analyze(Clause *Conflict, std::vector<Lit> &Learnt, int &OutLevel);
+  bool litRedundant(Lit L, uint32_t AbstractLevels);
+  void backtrack(int Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void bumpClause(Clause *C);
+  void decayActivities();
+  void reduceDB();
+  void attachClause(Clause *C);
+  static uint64_t luby(uint64_t I);
+
+  // Indexed max-heap over variable activities.
+  void heapInsert(Var V);
+  void heapDecrease(Var V); // Activity increased; sift up.
+  Var heapPop();
+  bool heapContains(Var V) const { return HeapIndex[V] >= 0; }
+  void siftUp(int I);
+  void siftDown(int I);
+
+  std::vector<Clause *> Clauses;
+  std::vector<Clause *> Learnts;
+  std::vector<std::vector<Watcher>> Watches; // Indexed by literal.
+  std::vector<LBool> Assigns;
+  std::vector<LBool> Model;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  std::vector<Clause *> Reasons;
+  std::vector<int> Levels;
+  std::vector<double> Activity;
+  std::vector<bool> Polarity; // Saved phases.
+  std::vector<Var> Heap;
+  std::vector<int> HeapIndex;
+  std::vector<uint8_t> Seen;
+  size_t PropagationHead = 0;
+  double VarInc = 1.0;
+  double ClauseInc = 1.0;
+  bool Ok = true;
+  bool BudgetExceeded = false;
+  SatStats Stats;
+};
+
+} // namespace sat
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_SAT_H

@@ -1,0 +1,126 @@
+//===- Solver.h - Constraint solver interface -------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver interface used by the symbolic execution engine. A Query is a
+/// conjunction of width-1 constraints (the path condition). Solvers are
+/// stacked in layers, mirroring KLEE's architecture:
+///
+///   IndependenceSolver -> CachingSolver -> CoreSolver (bitblast + CDCL)
+///
+/// The engine's `follow` feasibility checks (Algorithm 1) and test-case
+/// generation all go through this interface, and the per-query counters
+/// here are the measured quantity that QCE estimates statically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_SOLVER_H
+#define SYMMERGE_SOLVER_SOLVER_H
+
+#include "expr/ExprContext.h"
+#include "expr/ExprEval.h"
+
+#include <memory>
+#include <vector>
+
+namespace symmerge {
+
+/// A satisfiability query: the conjunction of `Constraints`.
+struct Query {
+  std::vector<ExprRef> Constraints;
+
+  Query() = default;
+  explicit Query(std::vector<ExprRef> Cs) : Constraints(std::move(Cs)) {}
+
+  /// Returns this query extended with one more conjunct.
+  Query withConstraint(ExprRef E) const {
+    Query Q(*this);
+    Q.Constraints.push_back(E);
+    return Q;
+  }
+};
+
+enum class SolverResult {
+  Sat,
+  Unsat,
+  Unknown, ///< Resource limit hit; the engine treats this conservatively.
+};
+
+/// Aggregate counters across the whole solver stack.
+struct SolverQueryStats {
+  uint64_t Queries = 0;        ///< checkSat calls at the top layer.
+  uint64_t CoreQueries = 0;    ///< Queries that reached the SAT core.
+  uint64_t CacheHits = 0;
+  uint64_t SatResults = 0;
+  uint64_t UnsatResults = 0;
+  double CoreSolveSeconds = 0; ///< Wall time spent inside the SAT core.
+};
+
+/// Abstract solver. Implementations must be deterministic.
+class Solver {
+public:
+  explicit Solver(ExprContext &Ctx) : Ctx(Ctx) {}
+  virtual ~Solver();
+
+  /// Decides the conjunction of \p Q. On Sat, fills \p Model (if non-null)
+  /// with an assignment of every variable occurring in the query.
+  virtual SolverResult checkSat(const Query &Q, VarAssignment *Model) = 0;
+
+  /// True if `Q && E` is satisfiable (Unknown counts as true, keeping the
+  /// engine sound-for-exploration: it never prunes on an Unknown).
+  bool mayBeTrue(const Query &Q, ExprRef E);
+  /// True if `Q && !E` is satisfiable.
+  bool mayBeFalse(const Query &Q, ExprRef E);
+  /// True if E holds on every solution of Q.
+  bool mustBeTrue(const Query &Q, ExprRef E) { return !mayBeFalse(Q, E); }
+  /// True if E is false on every solution of Q.
+  bool mustBeFalse(const Query &Q, ExprRef E) { return !mayBeTrue(Q, E); }
+
+  /// Produces a test-case assignment for a feasible path condition.
+  /// Returns false if the query is unsatisfiable (or Unknown).
+  bool getModel(const Query &Q, VarAssignment &Model);
+
+  ExprContext &context() { return Ctx; }
+
+protected:
+  ExprContext &Ctx;
+};
+
+/// Bitblasting solver: Tseitin-encodes the query and runs the CDCL core.
+/// \p ConflictBudget bounds each SAT call (0 = unlimited).
+std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
+                                         uint64_t ConflictBudget = 0);
+
+/// Wraps \p Inner with a query-result cache.
+std::unique_ptr<Solver> createCachingSolver(ExprContext &Ctx,
+                                            std::unique_ptr<Solver> Inner);
+
+/// Wraps \p Inner with KLEE-style equality substitution: constraints of
+/// the form `var == constant` are substituted into the other constraints
+/// before dispatch, concretizing them (and often refuting the query
+/// without reaching the SAT core).
+std::unique_ptr<Solver>
+createSimplifyingSolver(ExprContext &Ctx, std::unique_ptr<Solver> Inner);
+
+/// Wraps \p Inner with constraint-independence slicing: constraints that
+/// share no variables (transitively) with the rest are solved separately.
+std::unique_ptr<Solver> createIndependenceSolver(ExprContext &Ctx,
+                                                 std::unique_ptr<Solver> Inner);
+
+/// Reference solver for tests: enumerates all assignments. Requires the
+/// total number of variable bits in the query to be at most ~24.
+std::unique_ptr<Solver> createBruteForceSolver(ExprContext &Ctx);
+
+/// The default production stack: independence -> cache -> core.
+std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx,
+                                            uint64_t ConflictBudget = 0);
+
+/// Global counters shared by all layers (reset between experiments).
+SolverQueryStats &solverStats();
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_SOLVER_H

@@ -1,0 +1,379 @@
+//===- Solvers.cpp - Solver layers: core, cache, independence, brute ------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include "expr/ExprRewrite.h"
+#include "expr/ExprUtil.h"
+#include "solver/BitBlaster.h"
+#include "solver/Sat.h"
+#include "support/Hashing.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace symmerge;
+
+Solver::~Solver() = default;
+
+SolverQueryStats &symmerge::solverStats() {
+  static SolverQueryStats Stats;
+  return Stats;
+}
+
+bool Solver::mayBeTrue(const Query &Q, ExprRef E) {
+  assert(E->width() == 1 && "feasibility check needs a boolean");
+  if (E->isTrue())
+    return true;
+  if (E->isFalse())
+    return false;
+  // Unknown is treated as "may": the engine never prunes on a resource
+  // limit, it only loses the ability to prove infeasibility.
+  return checkSat(Q.withConstraint(E), nullptr) != SolverResult::Unsat;
+}
+
+bool Solver::mayBeFalse(const Query &Q, ExprRef E) {
+  return mayBeTrue(Q, Ctx.mkNot(E));
+}
+
+bool Solver::getModel(const Query &Q, VarAssignment &Model) {
+  return checkSat(Q, &Model) == SolverResult::Sat;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// CoreSolver: bitblast + CDCL
+//===----------------------------------------------------------------------===
+
+class CoreSolver : public Solver {
+public:
+  CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget)
+      : Solver(Ctx), ConflictBudget(ConflictBudget) {}
+
+  SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
+    ++solverStats().CoreQueries;
+    Timer T;
+    sat::SatSolver S;
+    BitBlaster BB(S);
+    for (ExprRef E : Q.Constraints) {
+      if (E->isFalse()) {
+        solverStats().CoreSolveSeconds += T.seconds();
+        ++solverStats().UnsatResults;
+        return SolverResult::Unsat;
+      }
+      if (E->isTrue())
+        continue;
+      BB.assertTrue(E);
+    }
+    bool IsSat = S.solve(ConflictBudget);
+    solverStats().CoreSolveSeconds += T.seconds();
+    if (!IsSat && S.budgetExceeded())
+      return SolverResult::Unknown;
+    if (!IsSat) {
+      ++solverStats().UnsatResults;
+      return SolverResult::Unsat;
+    }
+    ++solverStats().SatResults;
+    if (Model) {
+      std::unordered_set<ExprRef> Seen;
+      std::vector<ExprRef> Vars;
+      for (ExprRef E : Q.Constraints)
+        collectVars(E, Vars, Seen);
+      for (ExprRef V : Vars)
+        Model->set(V, BB.modelValue(V));
+    }
+    return SolverResult::Sat;
+  }
+
+private:
+  uint64_t ConflictBudget;
+};
+
+//===----------------------------------------------------------------------===
+// CachingSolver
+//===----------------------------------------------------------------------===
+
+/// Caches results keyed by the sorted multiset of constraint node ids.
+/// Because expressions are hash-consed, two structurally equal queries
+/// always map to the same key.
+class CachingSolver : public Solver {
+public:
+  CachingSolver(ExprContext &Ctx, std::unique_ptr<Solver> Inner)
+      : Solver(Ctx), Inner(std::move(Inner)) {}
+
+  SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
+    std::vector<uint64_t> Key;
+    Key.reserve(Q.Constraints.size());
+    for (ExprRef E : Q.Constraints)
+      Key.push_back(E->id());
+    std::sort(Key.begin(), Key.end());
+    Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+
+    uint64_t H = hashMix(Key.size());
+    for (uint64_t Id : Key)
+      H = hashCombine(H, Id);
+
+    auto Range = Cache.equal_range(H);
+    for (auto It = Range.first; It != Range.second; ++It) {
+      if (It->second.Key != Key)
+        continue;
+      ++solverStats().CacheHits;
+      if (Model && It->second.Result == SolverResult::Sat)
+        *Model = It->second.Model;
+      return It->second.Result;
+    }
+
+    VarAssignment Local;
+    SolverResult R = Inner->checkSat(Q, &Local);
+    if (R != SolverResult::Unknown)
+      Cache.emplace(H, Entry{std::move(Key), R, Local});
+    if (Model && R == SolverResult::Sat)
+      *Model = Local;
+    return R;
+  }
+
+private:
+  struct Entry {
+    std::vector<uint64_t> Key;
+    SolverResult Result;
+    VarAssignment Model;
+  };
+  std::unique_ptr<Solver> Inner;
+  std::unordered_multimap<uint64_t, Entry> Cache;
+};
+
+//===----------------------------------------------------------------------===
+// SimplifyingSolver
+//===----------------------------------------------------------------------===
+
+/// Substitutes `var == constant` equalities into the remaining
+/// constraints (KLEE's ConstraintManager rewriting, done at the solver
+/// boundary so engine state — and the positional path-condition prefixes
+/// merging relies on — stays untouched).
+class SimplifyingSolver : public Solver {
+public:
+  SimplifyingSolver(ExprContext &Ctx, std::unique_ptr<Solver> Inner)
+      : Solver(Ctx), Inner(std::move(Inner)) {}
+
+  /// If \p E pins a variable to a constant — `var == k`, possibly through
+  /// zero-extensions (`zext(var) == k`, the shape branch conditions on
+  /// array cells take) — returns the variable; null otherwise. \p Value
+  /// receives the constant at the variable's width. \p Infeasible is set
+  /// when the constant cannot fit, i.e. the equality itself is false.
+  ExprRef definedVar(ExprRef E, uint64_t &Value, bool &Infeasible) const {
+    Infeasible = false;
+    if (E->kind() != ExprKind::Eq || !E->operand(1)->isConstant())
+      return nullptr;
+    ExprRef Base = E->operand(0);
+    while (Base->kind() == ExprKind::ZExt)
+      Base = Base->operand(0);
+    if (Base->kind() != ExprKind::Var)
+      return nullptr;
+    uint64_t K = E->operand(1)->constantValue();
+    if (ExprContext::maskToWidth(K, Base->width()) != K) {
+      Infeasible = true; // zext(var) can never reach this value.
+      return nullptr;
+    }
+    Value = K;
+    return Base;
+  }
+
+  SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
+    std::unordered_map<ExprRef, ExprRef> Replacements;
+    for (ExprRef E : Q.Constraints) {
+      uint64_t Value;
+      bool Infeasible;
+      ExprRef Var = definedVar(E, Value, Infeasible);
+      if (Infeasible)
+        return SolverResult::Unsat;
+      if (Var)
+        Replacements.emplace(Var, Ctx.mkConst(Value, Var->width()));
+    }
+    if (Replacements.empty())
+      return Inner->checkSat(Q, Model);
+
+    Query Rewritten;
+    Rewritten.Constraints.reserve(Q.Constraints.size());
+    std::unordered_map<ExprRef, ExprRef> Memo;
+    for (ExprRef E : Q.Constraints) {
+      // Keep the defining equalities verbatim: they carry the eliminated
+      // variables into the model.
+      uint64_t Value;
+      bool Infeasible;
+      ExprRef Out = E;
+      if (!definedVar(E, Value, Infeasible))
+        Out = substituteExpr(Ctx, E, Replacements, Memo);
+      if (Out->isFalse())
+        return SolverResult::Unsat;
+      if (!Out->isTrue())
+        Rewritten.Constraints.push_back(Out);
+    }
+    return Inner->checkSat(Rewritten, Model);
+  }
+
+private:
+  std::unique_ptr<Solver> Inner;
+};
+
+//===----------------------------------------------------------------------===
+// IndependenceSolver
+//===----------------------------------------------------------------------===
+
+/// Splits the constraint set into groups that share no variables and
+/// solves each group separately. Mirrors KLEE's independent-constraint
+/// optimization: a freshly forked state usually adds one small conjunct
+/// whose group hits the cache even when the full path condition does not.
+class IndependenceSolver : public Solver {
+public:
+  IndependenceSolver(ExprContext &Ctx, std::unique_ptr<Solver> Inner)
+      : Solver(Ctx), Inner(std::move(Inner)) {}
+
+  SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
+    ++solverStats().Queries;
+    // Union-find over constraint indices, unified through shared vars.
+    size_t N = Q.Constraints.size();
+    std::vector<size_t> Parent(N);
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = I;
+    auto Find = [&](size_t X) {
+      while (Parent[X] != X) {
+        Parent[X] = Parent[Parent[X]];
+        X = Parent[X];
+      }
+      return X;
+    };
+    auto Union = [&](size_t A, size_t B) { Parent[Find(A)] = Find(B); };
+
+    std::unordered_map<ExprRef, size_t> VarOwner;
+    for (size_t I = 0; I < N; ++I) {
+      ExprRef E = Q.Constraints[I];
+      if (E->isFalse())
+        return SolverResult::Unsat;
+      for (ExprRef V : collectVars(E)) {
+        auto [It, Inserted] = VarOwner.emplace(V, I);
+        if (!Inserted)
+          Union(I, It->second);
+      }
+    }
+
+    // Group constraints by representative, preserving order.
+    std::map<size_t, std::vector<ExprRef>> Groups;
+    for (size_t I = 0; I < N; ++I) {
+      ExprRef E = Q.Constraints[I];
+      if (E->isTrue())
+        continue;
+      Groups[Find(I)].push_back(E);
+    }
+
+    bool SawUnknown = false;
+    for (auto &[Rep, Constraints] : Groups) {
+      VarAssignment GroupModel;
+      SolverResult R = Inner->checkSat(Query(Constraints),
+                                       Model ? &GroupModel : nullptr);
+      if (R == SolverResult::Unsat)
+        return SolverResult::Unsat;
+      if (R == SolverResult::Unknown) {
+        SawUnknown = true;
+        continue;
+      }
+      if (Model) {
+        for (auto &[Var, Value] : GroupModel.values())
+          Model->set(Var, Value);
+      }
+    }
+    return SawUnknown ? SolverResult::Unknown : SolverResult::Sat;
+  }
+
+private:
+  std::unique_ptr<Solver> Inner;
+};
+
+//===----------------------------------------------------------------------===
+// BruteForceSolver (test oracle)
+//===----------------------------------------------------------------------===
+
+class BruteForceSolver : public Solver {
+public:
+  explicit BruteForceSolver(ExprContext &Ctx) : Solver(Ctx) {}
+
+  SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
+    std::unordered_set<ExprRef> Seen;
+    std::vector<ExprRef> Vars;
+    for (ExprRef E : Q.Constraints) {
+      if (E->isFalse())
+        return SolverResult::Unsat;
+      collectVars(E, Vars, Seen);
+    }
+    unsigned TotalBits = 0;
+    for (ExprRef V : Vars)
+      TotalBits += V->width();
+    assert(TotalBits <= 24 && "brute-force solver domain too large");
+
+    uint64_t Count = 1ULL << TotalBits;
+    for (uint64_t Bits = 0; Bits < Count; ++Bits) {
+      VarAssignment A;
+      uint64_t Cursor = Bits;
+      for (ExprRef V : Vars) {
+        A.set(V, ExprContext::maskToWidth(Cursor, V->width()));
+        Cursor >>= V->width();
+      }
+      ExprEvaluator Eval(A);
+      bool AllHold = true;
+      for (ExprRef E : Q.Constraints) {
+        if (!Eval.evaluateBool(E)) {
+          AllHold = false;
+          break;
+        }
+      }
+      if (AllHold) {
+        if (Model)
+          *Model = A;
+        return SolverResult::Sat;
+      }
+    }
+    return SolverResult::Unsat;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Solver> symmerge::createCoreSolver(ExprContext &Ctx,
+                                                   uint64_t ConflictBudget) {
+  return std::make_unique<CoreSolver>(Ctx, ConflictBudget);
+}
+
+std::unique_ptr<Solver>
+symmerge::createCachingSolver(ExprContext &Ctx,
+                              std::unique_ptr<Solver> Inner) {
+  return std::make_unique<CachingSolver>(Ctx, std::move(Inner));
+}
+
+std::unique_ptr<Solver>
+symmerge::createSimplifyingSolver(ExprContext &Ctx,
+                                  std::unique_ptr<Solver> Inner) {
+  return std::make_unique<SimplifyingSolver>(Ctx, std::move(Inner));
+}
+
+std::unique_ptr<Solver>
+symmerge::createIndependenceSolver(ExprContext &Ctx,
+                                   std::unique_ptr<Solver> Inner) {
+  return std::make_unique<IndependenceSolver>(Ctx, std::move(Inner));
+}
+
+std::unique_ptr<Solver> symmerge::createBruteForceSolver(ExprContext &Ctx) {
+  return std::make_unique<BruteForceSolver>(Ctx);
+}
+
+std::unique_ptr<Solver> symmerge::createDefaultSolver(ExprContext &Ctx,
+                                                      uint64_t ConflictBudget) {
+  return createIndependenceSolver(
+      Ctx, createSimplifyingSolver(
+               Ctx, createCachingSolver(
+                        Ctx, createCoreSolver(Ctx, ConflictBudget))));
+}

@@ -1,0 +1,59 @@
+//===- Hashing.h - Deterministic hash utilities -----------------*- C++ -*-===//
+//
+// Part of SymMerge, a reproduction of "Efficient State Merging in Symbolic
+// Execution" (PLDI 2012). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic 64-bit hashing helpers used for expression hash-consing,
+/// solver query caching, and DSM state-similarity hashes. All hashes are
+/// stable across runs (no pointer-derived or ASLR-dependent inputs), which
+/// keeps exploration deterministic under a fixed random seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SUPPORT_HASHING_H
+#define SYMMERGE_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace symmerge {
+
+/// Mixes the bits of \p X with a finalizer derived from splitmix64.
+/// Good avalanche behaviour for sequential ids.
+inline uint64_t hashMix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Combines an accumulated hash \p Seed with a new value \p V.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t V) {
+  // Boost-style combiner extended to 64 bits.
+  return Seed ^ (hashMix(V) + 0x9e3779b97f4a7c15ULL + (Seed << 12) +
+                 (Seed >> 4));
+}
+
+/// FNV-1a hash of a byte string; stable across platforms.
+inline uint64_t hashBytes(const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// FNV-1a hash of a string view.
+inline uint64_t hashString(std::string_view S) {
+  return hashBytes(S.data(), S.size());
+}
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SUPPORT_HASHING_H

@@ -1,0 +1,80 @@
+//===- RNG.h - Deterministic pseudo-random number generator -----*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xoshiro256**) used by randomized search
+/// strategies and property tests. We avoid std::mt19937 so that sequences
+/// are reproducible across standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SUPPORT_RNG_H
+#define SYMMERGE_SUPPORT_RNG_H
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace symmerge {
+
+/// Deterministic 64-bit PRNG with a fixed, documented algorithm.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x5eed5eed5eed5eedULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64 expansion.
+  void reseed(uint64_t Seed) {
+    for (auto &Word : State) {
+      Seed = hashMix(Seed);
+      Word = Seed | 1; // Never all-zero state.
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound > 0.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SUPPORT_RNG_H

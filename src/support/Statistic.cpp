@@ -1,0 +1,37 @@
+//===- Statistic.cpp - Named counters implementation ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include <sstream>
+
+using namespace symmerge;
+
+Statistic::Statistic(const char *Group, const char *Name, const char *Desc)
+    : Group(Group), Name(Name), Desc(Desc) {
+  StatisticRegistry::instance().registerStatistic(this);
+}
+
+StatisticRegistry &StatisticRegistry::instance() {
+  static StatisticRegistry Registry;
+  return Registry;
+}
+
+void StatisticRegistry::registerStatistic(Statistic *S) {
+  Stats.push_back(S);
+}
+
+void StatisticRegistry::resetAll() {
+  for (Statistic *S : Stats)
+    S->reset();
+}
+
+std::string StatisticRegistry::report() const {
+  std::ostringstream OS;
+  for (const Statistic *S : Stats)
+    OS << S->group() << '.' << S->name() << " = " << S->value() << '\n';
+  return OS.str();
+}

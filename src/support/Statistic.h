@@ -1,0 +1,74 @@
+//===- Statistic.h - Named counters for engine instrumentation --*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named counters in the spirit of LLVM's Statistic class.
+/// The symbolic execution engine and solver stack use these to report the
+/// quantities the paper's evaluation is built on (solver queries, states
+/// merged, fast-forwarding attempts, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SUPPORT_STATISTIC_H
+#define SYMMERGE_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+/// A process-wide named counter. Instances should have static storage
+/// duration; they register themselves on first use.
+class Statistic {
+public:
+  Statistic(const char *Group, const char *Name, const char *Desc);
+
+  Statistic &operator++() {
+    ++Value;
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    Value += N;
+    return *this;
+  }
+  void reset() { Value = 0; }
+
+  uint64_t value() const { return Value; }
+  const char *group() const { return Group; }
+  const char *name() const { return Name; }
+  const char *description() const { return Desc; }
+
+private:
+  const char *Group;
+  const char *Name;
+  const char *Desc;
+  uint64_t Value = 0;
+};
+
+/// Global registry over all statically registered statistics.
+class StatisticRegistry {
+public:
+  static StatisticRegistry &instance();
+
+  void registerStatistic(Statistic *S);
+
+  /// All registered statistics, in registration order.
+  const std::vector<Statistic *> &statistics() const { return Stats; }
+
+  /// Resets every registered counter to zero (used between experiments).
+  void resetAll();
+
+  /// Renders a "group.name = value" report, one counter per line.
+  std::string report() const;
+
+private:
+  std::vector<Statistic *> Stats;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SUPPORT_STATISTIC_H

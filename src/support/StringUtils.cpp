@@ -1,0 +1,48 @@
+//===- StringUtils.cpp - Small string helpers ------------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace symmerge;
+
+std::string symmerge::replaceAll(std::string Text, std::string_view From,
+                                 std::string_view To) {
+  assert(!From.empty() && "cannot replace an empty needle");
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}
+
+std::vector<std::string> symmerge::splitString(std::string_view Text,
+                                               char Sep) {
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.emplace_back(Text.substr(Begin, I - Begin));
+      Begin = I + 1;
+    }
+  }
+  return Parts;
+}
+
+bool symmerge::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string symmerge::formatDouble(double V, int Precision) {
+  std::ostringstream OS;
+  OS.precision(Precision);
+  OS << V;
+  return OS.str();
+}

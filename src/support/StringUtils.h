@@ -1,0 +1,39 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the MiniC frontend, the IR printer, and the
+/// workload template instantiation ("${N}"/"${L}" substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SUPPORT_STRINGUTILS_H
+#define SYMMERGE_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symmerge {
+
+/// Returns \p Text with every occurrence of \p From replaced by \p To.
+/// \p From must be non-empty.
+std::string replaceAll(std::string Text, std::string_view From,
+                       std::string_view To);
+
+/// Splits \p Text on \p Sep; empty fields are preserved.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Formats a double with a fixed number of significant digits, suitable
+/// for deterministic golden-output tests.
+std::string formatDouble(double V, int Precision = 6);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,43 @@
+//===- Timer.h - Wall-clock timing helpers ----------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the engine's time budgets and by the
+/// benchmark harnesses that reproduce the paper's completion-time figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SUPPORT_TIMER_H
+#define SYMMERGE_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace symmerge {
+
+/// Measures elapsed wall-clock time since construction or the last restart.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void restart() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SUPPORT_TIMER_H

@@ -1,0 +1,524 @@
+//===- Workloads.cpp - Mini-COREUTILS benchmark programs --------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace symmerge;
+
+// Shared prologue: symbolic argc plus the flattened symbolic argv buffer.
+#define PROLOGUE                                                            \
+  "  int argc = 0;\n"                                                       \
+  "  char args[${NL}];\n"                                                   \
+  "  make_symbolic(argc, \"argc\");\n"                                      \
+  "  make_symbolic(args, \"args\");\n"                                      \
+  "  assume(argc >= 0);\n"                                                  \
+  "  assume(argc <= ${N});\n"
+
+// Helper used by several workloads: bounded strlen of argument `a`.
+#define ARG_LEN_HELPER                                                      \
+  "int arg_len(char args[], int a) {\n"                                     \
+  "  int n = 0;\n"                                                          \
+  "  for (int i = 0; i < ${Lm1}; i = i + 1) {\n"                            \
+  "    if (args[a * ${L} + i] == 0) { break; }\n"                           \
+  "    n = n + 1;\n"                                                        \
+  "  }\n"                                                                   \
+  "  return n;\n"                                                           \
+  "}\n"
+
+// Helper: parse argument `a` as a decimal number; -1 on bad input.
+#define PARSE_NUM_HELPER                                                    \
+  "int parse_num(char args[], int a) {\n"                                   \
+  "  int v = 0;\n"                                                          \
+  "  int any = 0;\n"                                                        \
+  "  for (int i = 0; i < ${Lm1}; i = i + 1) {\n"                            \
+  "    char c = args[a * ${L} + i];\n"                                      \
+  "    if (c == 0) { break; }\n"                                            \
+  "    if (c < '0') { return 0 - 1; }\n"                                    \
+  "    if (c > '9') { return 0 - 1; }\n"                                    \
+  "    v = v * 10 + (c - '0');\n"                                           \
+  "    any = 1;\n"                                                          \
+  "    if (v > 100000) { return 0 - 1; }\n"                                 \
+  "  }\n"                                                                   \
+  "  if (any == 0) { return 0 - 1; }\n"                                     \
+  "  return v;\n"                                                           \
+  "}\n"
+
+namespace {
+
+// echo [-n] ARGS... — the paper's Figure 1 program.
+const char *EchoSrc =
+    "int is_dash_n(char args[], int a) {\n"
+    "  return args[a * ${L} + 0] == '-' && args[a * ${L} + 1] == 'n'\n"
+    "      && args[a * ${L} + 2] == 0;\n"
+    "}\n"
+    "void main() {\n" PROLOGUE
+    "  int r = 1;\n"
+    "  int arg = 0;\n"
+    "  if (arg < argc) {\n"
+    "    if (is_dash_n(args, 0)) { r = 0; arg = arg + 1; }\n"
+    "  }\n"
+    "  for (; arg < argc; arg = arg + 1) {\n"
+    "    for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "      if (args[arg * ${L} + i] == 0) { break; }\n"
+    "      print(args[arg * ${L} + i]);\n"
+    "    }\n"
+    "  }\n"
+    "  if (r) { print('\\n'); }\n"
+    "}\n";
+
+// seq [FIRST] LAST — print a bounded arithmetic sequence.
+const char *SeqSrc =
+    PARSE_NUM_HELPER
+    "void main() {\n" PROLOGUE
+    "  if (argc < 1) { print('U'); halt(); }\n"
+    "  int first = 1;\n"
+    "  int last = parse_num(args, 0);\n"
+    "  if (argc >= 2) { first = last; last = parse_num(args, 1); }\n"
+    "  if (first < 0) { print('B'); halt(); }\n"
+    "  if (last < 0) { print('B'); halt(); }\n"
+    "  int printed = 0;\n"
+    "  for (int cur = first; cur <= last; cur = cur + 1) {\n"
+    "    print(cur);\n"
+    "    printed = printed + 1;\n"
+    "    if (printed >= 16) { break; }\n"
+    "  }\n"
+    "}\n";
+
+// sleep N... — the §5.4 case study: arguments sum into `seconds`, which
+// stays live through validation, yet QCE merges the parsing states.
+const char *SleepSrc =
+    PARSE_NUM_HELPER
+    "void main() {\n" PROLOGUE
+    "  if (argc < 1) { print('U'); halt(); }\n"
+    "  int seconds = 0;\n"
+    "  int ok = 1;\n"
+    "  for (int a = 0; a < argc; a = a + 1) {\n"
+    "    int v = parse_num(args, a);\n"
+    "    if (v < 0) { ok = 0; break; }\n"
+    "    seconds = seconds + v;\n"
+    "  }\n"
+    "  if (ok == 0) { print('E'); halt(); }\n"
+    "  if (seconds > 86400) { print('L'); halt(); }\n"
+    "  if (seconds % 2 == 0) { print('e'); } else { print('o'); }\n"
+    "  print('S');\n"
+    "}\n";
+
+// basename PATH — strip the directory prefix of the last argument.
+const char *BasenameSrc =
+    "void main() {\n" PROLOGUE
+    "  if (argc < 1) { print('U'); halt(); }\n"
+    "  int a = argc - 1;\n"
+    "  int base = a * ${L};\n"
+    "  int start = 0;\n"
+    "  int len = 0;\n"
+    "  for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "    char c = args[base + i];\n"
+    "    if (c == 0) { break; }\n"
+    "    len = len + 1;\n"
+    "    if (c == '/') { start = i + 1; }\n"
+    "  }\n"
+    "  if (start >= len) { print('.'); halt(); }\n"
+    "  for (int j = start; j < len; j = j + 1) {\n"
+    "    print(args[base + j]);\n"
+    "  }\n"
+    "  print('\\n');\n"
+    "}\n";
+
+// link FILE1 FILE2 — validate both names; refuse identical ones.
+const char *LinkSrc =
+    ARG_LEN_HELPER
+    "void main() {\n" PROLOGUE
+    "  if (argc != 2) { print('U'); halt(); }\n"
+    "  if (arg_len(args, 0) == 0) { print('E'); halt(); }\n"
+    "  if (arg_len(args, 1) == 0) { print('E'); halt(); }\n"
+    "  int same = 1;\n"
+    "  for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "    if (args[i] != args[${L} + i]) { same = 0; break; }\n"
+    "    if (args[i] == 0) { break; }\n"
+    "  }\n"
+    "  if (same) { print('S'); halt(); }\n"
+    "  print('O');\n"
+    "}\n";
+
+// nice [-n ADJ] [CMD] — parse an adjustment, then run or report.
+const char *NiceSrc =
+    PARSE_NUM_HELPER
+    "void main() {\n" PROLOGUE
+    "  int adj = 10;\n"
+    "  int cmd = 0;\n"
+    "  if (argc >= 1) {\n"
+    "    if (args[0] == '-' && args[1] == 'n' && args[2] == 0) {\n"
+    "      if (argc < 2) { print('U'); halt(); }\n"
+    "      adj = parse_num(args, 1);\n"
+    "      if (adj < 0) { print('B'); halt(); }\n"
+    "      if (adj > 19) { adj = 19; }\n"
+    "      cmd = 2;\n"
+    "    }\n"
+    "  }\n"
+    "  if (cmd >= argc) { print(adj); halt(); }\n"
+    "  for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "    char c = args[cmd * ${L} + i];\n"
+    "    if (c == 0) { break; }\n"
+    "    print(c);\n"
+    "  }\n"
+    "}\n";
+
+// paste A B ... — column-wise interleaving with tab separators.
+const char *PasteSrc =
+    ARG_LEN_HELPER
+    "void main() {\n" PROLOGUE
+    "  int maxlen = 0;\n"
+    "  for (int a = 0; a < argc; a = a + 1) {\n"
+    "    int l = arg_len(args, a);\n"
+    "    if (l > maxlen) { maxlen = l; }\n"
+    "  }\n"
+    "  for (int i = 0; i < maxlen; i = i + 1) {\n"
+    "    for (int a = 0; a < argc; a = a + 1) {\n"
+    "      char c = args[a * ${L} + i];\n"
+    "      if (c != 0) { print(c); }\n"
+    "      if (a + 1 < argc) { print('\\t'); }\n"
+    "    }\n"
+    "    print('\\n');\n"
+    "  }\n"
+    "}\n";
+
+// pr — paginate: ';' ends a line, three lines per page.
+const char *PrSrc =
+    "void main() {\n" PROLOGUE
+    "  int lines = 0;\n"
+    "  int page = 1;\n"
+    "  int col = 0;\n"
+    "  print('P');\n"
+    "  print(page);\n"
+    "  for (int a = 0; a < argc; a = a + 1) {\n"
+    "    for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "      char c = args[a * ${L} + i];\n"
+    "      if (c == 0) { break; }\n"
+    "      if (c == ';') {\n"
+    "        lines = lines + 1;\n"
+    "        col = 0;\n"
+    "        if (lines % 3 == 0) { page = page + 1; print('P'); print(page); }\n"
+    "      } else {\n"
+    "        col = col + 1;\n"
+    "        if (col > 8) { print('!'); } else { print(c); }\n"
+    "      }\n"
+    "    }\n"
+    "  }\n"
+    "}\n";
+
+// wc — character and word counts with a whitespace state machine.
+const char *WcSrc =
+    "void main() {\n" PROLOGUE
+    "  int chars = 0;\n"
+    "  int words = 0;\n"
+    "  int inword = 0;\n"
+    "  for (int a = 0; a < argc; a = a + 1) {\n"
+    "    for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "      char c = args[a * ${L} + i];\n"
+    "      if (c == 0) { break; }\n"
+    "      chars = chars + 1;\n"
+    "      if (c == ' ') {\n"
+    "        inword = 0;\n"
+    "      } else {\n"
+    "        if (inword == 0) { words = words + 1; }\n"
+    "        inword = 1;\n"
+    "      }\n"
+    "    }\n"
+    "    inword = 0;\n"
+    "  }\n"
+    "  print(chars);\n"
+    "  print(words);\n"
+    "}\n";
+
+// cut -c FROM[-TO] STRING — single-digit column ranges.
+const char *CutSrc =
+    "void main() {\n" PROLOGUE
+    "  if (argc < 2) { print('U'); halt(); }\n"
+    "  char c0 = args[0];\n"
+    "  if (c0 < '1') { print('B'); halt(); }\n"
+    "  if (c0 > '9') { print('B'); halt(); }\n"
+    "  int from = c0 - '0';\n"
+    "  int to = from;\n"
+    "  if (args[1] == '-') {\n"
+    "    char c2 = args[2];\n"
+    "    if (c2 < '1') { print('B'); halt(); }\n"
+    "    if (c2 > '9') { print('B'); halt(); }\n"
+    "    to = c2 - '0';\n"
+    "  }\n"
+    "  if (to < from) { print('B'); halt(); }\n"
+    "  for (int i = from - 1; i < to; i = i + 1) {\n"
+    "    if (i >= ${Lm1}) { break; }\n"
+    "    char c = args[${L} + i];\n"
+    "    if (c == 0) { break; }\n"
+    "    print(c);\n"
+    "  }\n"
+    "}\n";
+
+// tr FROM TO STRING — single-character translation.
+const char *TrSrc =
+    "void main() {\n" PROLOGUE
+    "  if (argc < 3) { print('U'); halt(); }\n"
+    "  char from = args[0];\n"
+    "  char to = args[${L}];\n"
+    "  if (from == 0) { print('B'); halt(); }\n"
+    "  for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "    char c = args[2 * ${L} + i];\n"
+    "    if (c == 0) { break; }\n"
+    "    if (c == from) { print(to); } else { print(c); }\n"
+    "  }\n"
+    "}\n";
+
+// yes [ARG] — bounded repetition of the first argument.
+const char *YesSrc =
+    "void main() {\n" PROLOGUE
+    "  for (int k = 0; k < 3; k = k + 1) {\n"
+    "    if (argc >= 1) {\n"
+    "      for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "        char c = args[i];\n"
+    "        if (c == 0) { break; }\n"
+    "        print(c);\n"
+    "      }\n"
+    "    } else {\n"
+    "      print('y');\n"
+    "    }\n"
+    "    print('\\n');\n"
+    "  }\n"
+    "}\n";
+
+// cat [-n] ARGS... — concatenation with optional line numbering.
+const char *CatSrc =
+    "void main() {\n" PROLOGUE
+    "  int number = 0;\n"
+    "  int start = 0;\n"
+    "  if (argc >= 1) {\n"
+    "    if (args[0] == '-' && args[1] == 'n' && args[2] == 0) {\n"
+    "      number = 1;\n"
+    "      start = 1;\n"
+    "    }\n"
+    "  }\n"
+    "  int line = 1;\n"
+    "  if (number) { print(line); }\n"
+    "  for (int a = start; a < argc; a = a + 1) {\n"
+    "    for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "      char c = args[a * ${L} + i];\n"
+    "      if (c == 0) { break; }\n"
+    "      print(c);\n"
+    "      if (c == ';') {\n"
+    "        line = line + 1;\n"
+    "        if (number) { print(line); }\n"
+    "      }\n"
+    "    }\n"
+    "  }\n"
+    "}\n";
+
+// tsort — Kahn's algorithm over a 4-node graph encoded as char pairs.
+const char *TsortSrc =
+    "void main() {\n" PROLOGUE
+    "  int indeg[4];\n"
+    "  int adj[16];\n"
+    "  for (int i = 0; i < 4; i = i + 1) { indeg[i] = 0; }\n"
+    "  for (int i = 0; i < 16; i = i + 1) { adj[i] = 0; }\n"
+    "  for (int i = 0; i + 1 < ${Lm1}; i = i + 2) {\n"
+    "    char u = args[i];\n"
+    "    if (u == 0) { break; }\n"
+    "    char v = args[i + 1];\n"
+    "    if (v == 0) { print('B'); halt(); }\n"
+    "    if (u < 'a') { print('B'); halt(); }\n"
+    "    if (u > 'd') { print('B'); halt(); }\n"
+    "    if (v < 'a') { print('B'); halt(); }\n"
+    "    if (v > 'd') { print('B'); halt(); }\n"
+    "    int ui = u - 'a';\n"
+    "    int vi = v - 'a';\n"
+    "    if (adj[ui * 4 + vi] == 0) {\n"
+    "      adj[ui * 4 + vi] = 1;\n"
+    "      indeg[vi] = indeg[vi] + 1;\n"
+    "    }\n"
+    "  }\n"
+    "  int done[4];\n"
+    "  for (int i = 0; i < 4; i = i + 1) { done[i] = 0; }\n"
+    "  int emitted = 0;\n"
+    "  for (int round = 0; round < 4; round = round + 1) {\n"
+    "    for (int u = 0; u < 4; u = u + 1) {\n"
+    "      if (done[u] == 0 && indeg[u] == 0) {\n"
+    "        done[u] = 1;\n"
+    "        emitted = emitted + 1;\n"
+    "        print('a' + u);\n"
+    "        for (int v = 0; v < 4; v = v + 1) {\n"
+    "          if (adj[u * 4 + v] != 0) { indeg[v] = indeg[v] - 1; }\n"
+    "        }\n"
+    "      }\n"
+    "    }\n"
+    "  }\n"
+    "  assert(emitted <= 4, \"tsort emits each node at most once\");\n"
+    "  if (emitted < 4) { print('C'); }\n"
+    "}\n";
+
+// join — emit the concatenation when the two key characters match.
+const char *JoinSrc =
+    "void main() {\n" PROLOGUE
+    "  if (argc < 2) { print('U'); halt(); }\n"
+    "  char k0 = args[0];\n"
+    "  char k1 = args[${L}];\n"
+    "  if (k0 == 0) { halt(); }\n"
+    "  if (k1 == 0) { halt(); }\n"
+    "  if (k0 == k1) {\n"
+    "    print(k0);\n"
+    "    for (int i = 1; i < ${Lm1}; i = i + 1) {\n"
+    "      char c = args[i];\n"
+    "      if (c == 0) { break; }\n"
+    "      print(c);\n"
+    "    }\n"
+    "    for (int i = 1; i < ${Lm1}; i = i + 1) {\n"
+    "      char c = args[${L} + i];\n"
+    "      if (c == 0) { break; }\n"
+    "      print(c);\n"
+    "    }\n"
+    "  } else {\n"
+    "    print('X');\n"
+    "  }\n"
+    "}\n";
+
+// uniq — drop adjacent duplicate characters of the first argument.
+const char *UniqSrc =
+    "void main() {\n" PROLOGUE
+    "  if (argc < 1) { print('U'); halt(); }\n"
+    "  char prev = 0;\n"
+    "  int count = 1;\n"
+    "  for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "    char c = args[i];\n"
+    "    if (c == 0) { break; }\n"
+    "    if (c == prev) {\n"
+    "      count = count + 1;\n"
+    "    } else {\n"
+    "      if (prev != 0) { print(prev); print(count); }\n"
+    "      prev = c;\n"
+    "      count = 1;\n"
+    "    }\n"
+    "  }\n"
+    "  if (prev != 0) { print(prev); print(count); }\n"
+    "}\n";
+
+// comm — three-way classification of two sorted key characters.
+const char *CommSrc =
+    "void main() {\n" PROLOGUE
+    "  if (argc < 2) { print('U'); halt(); }\n"
+    "  int i = 0;\n"
+    "  int j = 0;\n"
+    "  for (int round = 0; round < ${Lm1} + ${Lm1}; round = round + 1) {\n"
+    "    char a = args[i];\n"
+    "    char b = args[${L} + j];\n"
+    "    if (a == 0 && b == 0) { break; }\n"
+    "    if (i >= ${Lm1}) { break; }\n"
+    "    if (j >= ${Lm1}) { break; }\n"
+    "    if (b == 0 || (a != 0 && a < b)) {\n"
+    "      print('<'); print(a); i = i + 1;\n"
+    "    } else {\n"
+    "      if (a == 0 || b < a) {\n"
+    "        print('>'); print(b); j = j + 1;\n"
+    "      } else {\n"
+    "        print('='); print(a); i = i + 1; j = j + 1;\n"
+    "      }\n"
+    "    }\n"
+    "  }\n"
+    "}\n";
+
+// expand — turn tabs into two-space stops, tracking the output column.
+const char *ExpandSrc =
+    "void main() {\n" PROLOGUE
+    "  int col = 0;\n"
+    "  for (int a = 0; a < argc; a = a + 1) {\n"
+    "    for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "      char c = args[a * ${L} + i];\n"
+    "      if (c == 0) { break; }\n"
+    "      if (c == '\\t') {\n"
+    "        print(' ');\n"
+    "        col = col + 1;\n"
+    "        while (col % 2 != 0) { print(' '); col = col + 1; }\n"
+    "      } else {\n"
+    "        print(c);\n"
+    "        col = col + 1;\n"
+    "        if (c == ';') { col = 0; }\n"
+    "      }\n"
+    "    }\n"
+    "  }\n"
+    "}\n";
+
+// sum — a BSD-style rotating checksum over every argument byte.
+const char *SumSrc =
+    "void main() {\n" PROLOGUE
+    "  int checksum = 0;\n"
+    "  int bytes = 0;\n"
+    "  for (int a = 0; a < argc; a = a + 1) {\n"
+    "    for (int i = 0; i < ${Lm1}; i = i + 1) {\n"
+    "      char c = args[a * ${L} + i];\n"
+    "      if (c == 0) { break; }\n"
+    "      checksum = (checksum >> 1) + ((checksum & 1) << 15);\n"
+    "      checksum = (checksum + c) & 65535;\n"
+    "      bytes = bytes + 1;\n"
+    "    }\n"
+    "  }\n"
+    "  assert(checksum >= 0 && checksum <= 65535, \"checksum stays 16-bit\");\n"
+    "  print(checksum);\n"
+    "  print(bytes);\n"
+    "}\n";
+
+const std::vector<Workload> Registry = {
+    {"echo", "print arguments, -n suppresses the newline (Figure 1)",
+     EchoSrc},
+    {"seq", "print a bounded arithmetic sequence", SeqSrc},
+    {"sleep", "sum numeric arguments and validate (the §5.4 case study)",
+     SleepSrc},
+    {"basename", "strip the directory prefix of the last argument",
+     BasenameSrc},
+    {"link", "validate two file names, refuse identical ones", LinkSrc},
+    {"nice", "parse -n ADJ and run or report", NiceSrc},
+    {"paste", "column-wise interleaving with tabs", PasteSrc},
+    {"pr", "paginate with three lines per page", PrSrc},
+    {"wc", "character and word counts", WcSrc},
+    {"cut", "select character columns FROM-TO", CutSrc},
+    {"tr", "single-character translation", TrSrc},
+    {"yes", "bounded repetition of the first argument", YesSrc},
+    {"cat", "concatenate arguments with optional -n numbering", CatSrc},
+    {"tsort", "topological sort of a 4-node graph with cycle detection",
+     TsortSrc},
+    {"join", "join two argument records on their key character", JoinSrc},
+    {"uniq", "collapse adjacent duplicate characters with counts", UniqSrc},
+    {"comm", "three-way merge walk over two sorted records", CommSrc},
+    {"expand", "tab expansion with column tracking", ExpandSrc},
+    {"sum", "BSD-style rotating checksum", SumSrc},
+};
+
+} // namespace
+
+const std::vector<Workload> &symmerge::allWorkloads() { return Registry; }
+
+const Workload *symmerge::findWorkload(std::string_view Name) {
+  for (const Workload &W : Registry)
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}
+
+std::string symmerge::instantiateWorkload(const Workload &W, unsigned N,
+                                          unsigned L) {
+  assert(N >= 1 && L >= 2 && "workloads need at least one argument byte");
+  std::string Src = W.Template;
+  // Longer placeholders first so ${N} does not clobber ${NL}.
+  Src = replaceAll(std::move(Src), "${Lm1}", std::to_string(L - 1));
+  Src = replaceAll(std::move(Src), "${NL}", std::to_string(N * L));
+  Src = replaceAll(std::move(Src), "${L}", std::to_string(L));
+  Src = replaceAll(std::move(Src), "${N}", std::to_string(N));
+  return Src;
+}
+
+CompileResult symmerge::compileWorkload(const Workload &W, unsigned N,
+                                        unsigned L) {
+  return compileMiniC(instantiateWorkload(W, N, L));
+}

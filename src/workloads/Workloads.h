@@ -1,0 +1,53 @@
+//===- Workloads.h - Mini-COREUTILS benchmark programs ----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation workloads: simplified COREUTILS written in MiniC,
+/// mirroring the programs the paper measures (echo is the Figure 1
+/// program; sleep is the §5.4 case study; link/nice/paste/pr are the
+/// Figure 7 alpha-sweep subjects). Every program reads a symbolic `argc`
+/// and a flattened symbolic argument buffer `args` of N arguments by L
+/// bytes, the same "symbolic command line" harness KLEE used.
+///
+/// Templates carry `${N}`, `${L}`, `${NL}` (= N*L), and `${Lm1}` (= L-1)
+/// placeholders; instantiateWorkload() substitutes concrete values so the
+/// symbolic input size can be swept, as in Figures 5 and 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_WORKLOADS_WORKLOADS_H
+#define SYMMERGE_WORKLOADS_WORKLOADS_H
+
+#include "lang/Lower.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symmerge {
+
+/// A parameterized benchmark program.
+struct Workload {
+  const char *Name;
+  const char *Description;
+  const char *Template; ///< MiniC source with ${N}/${L}/${NL}/${Lm1}.
+};
+
+/// All registered workloads, in a stable order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a workload by name; null if absent.
+const Workload *findWorkload(std::string_view Name);
+
+/// Substitutes the (N, L) parameters into the template.
+std::string instantiateWorkload(const Workload &W, unsigned N, unsigned L);
+
+/// Instantiates and compiles; a diagnostic here is an internal error.
+CompileResult compileWorkload(const Workload &W, unsigned N, unsigned L);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,461 @@
+//===- AnalysisTest.cpp - Tests for dependence analysis and QCE -------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QCE.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "lang/Lower.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace symmerge;
+
+//===----------------------------------------------------------------------===
+// Data dependence
+//===----------------------------------------------------------------------===
+
+TEST(DependenceTest, DirectAndTransitiveFlows) {
+  const char *Src = R"(
+    void main() {
+      int a = 0; int b = 0; int c = 0; int d = 0;
+      make_symbolic(a);
+      b = a + 1;
+      c = b * 2;
+      d = 7;
+      if (c > 5) { print(1); }
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  const Function *Main = R.M->mainFunction();
+  DataDependence Dep(*R.M);
+  int A = Main->findLocal("a"), B = Main->findLocal("b");
+  int C = Main->findLocal("c"), D = Main->findLocal("d");
+  EXPECT_TRUE(Dep.influences(Main, A, B));
+  EXPECT_TRUE(Dep.influences(Main, A, C)); // Transitive through b.
+  EXPECT_TRUE(Dep.influences(Main, B, C));
+  EXPECT_FALSE(Dep.influences(Main, C, A)); // No reverse flow.
+  EXPECT_FALSE(Dep.influences(Main, D, C));
+  EXPECT_TRUE(Dep.influences(Main, C, C)); // Reflexive.
+}
+
+TEST(DependenceTest, FlowsThroughArrays) {
+  const char *Src = R"(
+    void main() {
+      char buf[4];
+      int i = 0; int v = 0; int out = 0;
+      make_symbolic(i);
+      make_symbolic(v);
+      buf[i] = v;
+      out = buf[1];
+      if (out > 0) { print(1); }
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  const Function *Main = R.M->mainFunction();
+  DataDependence Dep(*R.M);
+  int I = Main->findLocal("i"), V = Main->findLocal("v");
+  int Buf = Main->findLocal("buf"), Out = Main->findLocal("out");
+  EXPECT_TRUE(Dep.influences(Main, V, Buf));   // Stored value.
+  EXPECT_TRUE(Dep.influences(Main, I, Buf));   // Store index.
+  EXPECT_TRUE(Dep.influences(Main, Buf, Out)); // Load.
+  EXPECT_TRUE(Dep.influences(Main, V, Out));   // Transitively.
+}
+
+TEST(DependenceTest, FlowsThroughCalls) {
+  const char *Src = R"(
+    int twice(int x) { return x * 2; }
+    void scribble(char buf[], int v) { buf[0] = v; }
+    void main() {
+      int a = 0; int b = 0;
+      char arr[4];
+      make_symbolic(a);
+      b = twice(a);
+      scribble(arr, b);
+      if (arr[0] != 0) { print(1); }
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  const Function *Main = R.M->mainFunction();
+  const Function *Twice = R.M->findFunction("twice");
+  DataDependence Dep(*R.M);
+  int A = Main->findLocal("a"), B = Main->findLocal("b");
+  int Arr = Main->findLocal("arr");
+  // Argument -> parameter -> return value -> call result.
+  EXPECT_TRUE(Dep.influences(Main, A, B));
+  // Caller scalar -> callee array write -> caller array (by reference).
+  EXPECT_TRUE(Dep.influences(Main, B, Arr));
+  EXPECT_TRUE(Dep.influences(Main, A, Arr));
+  // Inside the callee, the parameter influences the return local.
+  int P = Twice->findLocal("x");
+  ASSERT_GE(P, 0);
+  EXPECT_TRUE(Dep.influences(Twice, P, P));
+}
+
+//===----------------------------------------------------------------------===
+// QCE: the paper's worked example (Figure 1, §3.2)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Hand-builds the CFG of the echo fragment from the paper's Figure 1
+/// (lines 7-11), exactly as the worked example in §3.2 analyzes it:
+///
+///   L7:    if (arg < argc) goto L8PRE else goto L10    (outer header)
+///   L8PRE: i = 0
+///   L8:    t = argv[arg*4+i]; if (t != 0) goto L9 else goto L7INC
+///   L9:    i = i + 1; goto L8                          (inner latch)
+///   L7INC: arg = arg + 1; goto L7                      (outer latch)
+///   L10:   if (r) goto L11 else goto LEND
+///   L11:   print '\n'; goto LEND
+///   LEND:  halt
+///
+struct PaperExample {
+  Module M;
+  Function *F;
+  BasicBlock *L7, *L10;
+  int Arg, RVar, ArgcVar;
+
+  PaperExample() {
+    IRBuilder B(M);
+    F = B.startFunction("main", Type::intTy(64), true, {});
+    Arg = F->addLocal("arg", Type::intTy(64));
+    RVar = F->addLocal("r", Type::intTy(64));
+    ArgcVar = F->addLocal("argc", Type::intTy(64));
+    int Argv = F->addLocal("argv", Type::arrayTy(8, 16));
+    int I = F->addLocal("i", Type::intTy(64));
+    int T1 = F->addLocal("t1", Type::intTy(1));
+    int T2 = F->addLocal("t2", Type::intTy(1));
+    int T3 = F->addLocal("t3", Type::intTy(1));
+    int Idx = F->addLocal("idx", Type::intTy(64));
+    int Cell = F->addLocal("cell", Type::intTy(8));
+    int Cell64 = F->addLocal("cell64", Type::intTy(64));
+
+    BasicBlock *Entry = B.createBlock("entry");
+    L7 = B.createBlock("L7");
+    BasicBlock *L8PRE = B.createBlock("L8PRE");
+    BasicBlock *L8 = B.createBlock("L8");
+    BasicBlock *L9 = B.createBlock("L9");
+    BasicBlock *L7INC = B.createBlock("L7INC");
+    L10 = B.createBlock("L10");
+    BasicBlock *L11 = B.createBlock("L11");
+    BasicBlock *LEND = B.createBlock("LEND");
+
+    B.setInsertPoint(Entry);
+    B.emitMakeSymbolic(ArgcVar, "argc");
+    B.emitMakeSymbolic(Argv, "argv");
+    B.emitCopy(Arg, B.constOp(1, 64));
+    B.emitCopy(RVar, B.constOp(1, 64));
+    B.emitJump(L7);
+
+    B.setInsertPoint(L7);
+    B.emitBinOp(ExprKind::Slt, T1, B.localOp(Arg), B.localOp(ArgcVar));
+    B.emitBr(B.localOp(T1), L8PRE, L10);
+
+    B.setInsertPoint(L8PRE);
+    B.emitCopy(I, B.constOp(0, 64));
+    B.emitJump(L8);
+
+    B.setInsertPoint(L8);
+    B.emitBinOp(ExprKind::Mul, Idx, B.localOp(Arg), B.constOp(4, 64));
+    B.emitBinOp(ExprKind::Add, Idx, B.localOp(Idx), B.localOp(I));
+    B.emitLoad(Cell, Argv, B.localOp(Idx));
+    B.emitUnOp(ExprKind::ZExt, Cell64, B.localOp(Cell));
+    B.emitBinOp(ExprKind::Ne, T2, B.localOp(Cell64), B.constOp(0, 64));
+    B.emitBr(B.localOp(T2), L9, L7INC);
+
+    B.setInsertPoint(L9);
+    B.emitBinOp(ExprKind::Add, I, B.localOp(I), B.constOp(1, 64));
+    B.emitJump(L8);
+
+    B.setInsertPoint(L7INC);
+    B.emitBinOp(ExprKind::Add, Arg, B.localOp(Arg), B.constOp(1, 64));
+    B.emitJump(L7);
+
+    B.setInsertPoint(L10);
+    B.emitBinOp(ExprKind::Ne, T3, B.localOp(RVar), B.constOp(0, 64));
+    B.emitBr(B.localOp(T3), L11, LEND);
+
+    B.setInsertPoint(L11);
+    B.emitPrint(B.constOp('\n', 8));
+    B.emitJump(LEND);
+
+    B.setInsertPoint(LEND);
+    B.emitHalt();
+  }
+};
+
+} // namespace
+
+TEST(QCETest, ReproducesPaperWorkedExample) {
+  // Paper §3.2: with alpha = 0.5, beta = 0.6, kappa = 1:
+  //   Qadd(7, arg) = beta + 1           = 1.6
+  //   Qadd(7, r)   = beta + 2*beta^2    = 1.32
+  //   Qt(7)        = 1 + 2*beta + 2*beta^2 = 2.92
+  //   H(7)         = {arg}
+  PaperExample P;
+  ASSERT_TRUE(verifyModule(P.M).empty());
+  ProgramInfo PI(P.M);
+  QCEParams Params;
+  Params.Alpha = 0.5;
+  Params.Beta = 0.6;
+  Params.Kappa = 1;
+  // The worked example counts only branch queries.
+  Params.CountAsserts = false;
+  Params.CountMemOps = false;
+  QCEAnalysis QCE(PI, Params);
+
+  EXPECT_NEAR(QCE.qaddAt(P.L7, P.Arg), 1.6, 1e-9);
+  EXPECT_NEAR(QCE.qaddAt(P.L7, P.RVar), 1.32, 1e-9);
+  EXPECT_NEAR(QCE.qtAt(P.L7), 2.92, 1e-9);
+
+  // Hot set at L7: arg is hot (1.6 > 0.5*2.92 = 1.46), r is not.
+  double Qt = QCE.qtAt(P.L7);
+  EXPECT_TRUE(QCE.isHot(P.L7, P.Arg, Qt));
+  EXPECT_FALSE(QCE.isHot(P.L7, P.RVar, Qt));
+}
+
+TEST(QCETest, QtAfterTheLoopsCountsOnlyTheTail) {
+  PaperExample P;
+  ProgramInfo PI(P.M);
+  QCEParams Params;
+  Params.Beta = 0.6;
+  Params.Kappa = 1;
+  Params.CountAsserts = false;
+  Params.CountMemOps = false;
+  QCEAnalysis QCE(PI, Params);
+  // At L10 only the r-branch remains: Qt = 1, Qadd(r) = 1, Qadd(arg) = 0.
+  EXPECT_NEAR(QCE.qtAt(P.L10), 1.0, 1e-9);
+  EXPECT_NEAR(QCE.qaddAt(P.L10, P.RVar), 1.0, 1e-9);
+  EXPECT_NEAR(QCE.qaddAt(P.L10, P.Arg), 0.0, 1e-9);
+}
+
+TEST(QCETest, KappaScalesUnboundedLoops) {
+  // A single symbolic-bound loop: Qt at the header grows with kappa.
+  const char *Src = R"(
+    void main() {
+      int n = 0;
+      make_symbolic(n);
+      int i = 0;
+      while (i < n) { i = i + 1; }
+      print(i);
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ProgramInfo PI(*R.M);
+  QCEParams P1;
+  P1.Kappa = 1;
+  QCEParams P8 = P1;
+  P8.Kappa = 8;
+  QCEAnalysis Q1(PI, P1), Q8(PI, P8);
+  const Function *Main = R.M->mainFunction();
+  double Qt1 = Q1.info(Main).EntryQt;
+  double Qt8 = Q8.info(Main).EntryQt;
+  EXPECT_GT(Qt8, Qt1);
+}
+
+TEST(QCETest, StaticTripCountsBeatKappa) {
+  // Two identical counted loops that differ only in their (static) trip
+  // count. With kappa = 1 both would score identically if trip counts
+  // were ignored; the 10-iteration loop must score strictly higher.
+  auto QtFor = [](int Bound) {
+    std::string Src = R"(
+      void main() {
+        int s = 0;
+        int n = 0;
+        make_symbolic(n);
+        for (int i = 0; i < )" + std::to_string(Bound) + R"(; i++) {
+          if (n > i) { s = s + 1; }
+        }
+        print(s);
+      }
+    )";
+    CompileResult R = compileMiniC(Src);
+    EXPECT_TRUE(R.ok());
+    ProgramInfo PI(*R.M);
+    QCEParams P;
+    P.Beta = 0.5;
+    P.Kappa = 1;
+    P.CountAsserts = false;
+    P.CountMemOps = false;
+    QCEAnalysis QCE(PI, P);
+    return QCE.info(R.M->mainFunction()).EntryQt;
+  };
+  double Qt2 = QtFor(2);
+  double Qt10 = QtFor(10);
+  EXPECT_GT(Qt10, Qt2 + 0.1);
+  // Closed form for beta = 0.5: per-iteration form a = 1.5, coefficient
+  // c = 0.5, X = a * (1 - c^n) / (1 - c); n = 10 gives ~2.997.
+  EXPECT_NEAR(Qt10, 1.5 * (1.0 - std::pow(0.5, 10)) / 0.5, 1e-6);
+}
+
+TEST(QCETest, InterproceduralSummaries) {
+  // leaf returns its parameter on one path so the result carries a real
+  // data dependence on the argument (control dependence is not tracked,
+  // matching the paper's data-dependence approximation).
+  const char *Src = R"(
+    int leaf(int x) {
+      if (x > 0) { return x; }
+      return 0;
+    }
+    void main() {
+      int a = 0;
+      make_symbolic(a);
+      int r = leaf(a);
+      if (r != 0) { print(1); }
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ProgramInfo PI(*R.M);
+  QCEParams P;
+  P.Beta = 0.5;
+  P.CountAsserts = false;
+  P.CountMemOps = false;
+  QCEAnalysis QCE(PI, P);
+  const Function *Main = R.M->mainFunction();
+  const Function *Leaf = R.M->findFunction("leaf");
+  // leaf contributes one branch at its entry.
+  EXPECT_NEAR(QCE.info(Leaf).EntryQt, 1.0, 1e-9);
+  // main sees: the call's branch (1) + its own branch on r (1): entry Qt
+  // = leafQt + ownBranch = 1 + 1 = 2 (the call is unconditional and the
+  // r-branch follows it undamped... the r-branch sits behind no branch,
+  // so no beta applies).
+  EXPECT_NEAR(QCE.info(Main).EntryQt, 2.0, 1e-9);
+  // Qadd(main entry, a) counts both the callee's branch on its parameter
+  // and the dependent branch on r.
+  int A = Main->findLocal("a");
+  EXPECT_NEAR(QCE.info(Main).EntryQadd[A], 2.0, 1e-9);
+  // Return-site counts: after the call only the r-branch remains.
+  bool FoundRetSite = false;
+  for (const auto &[Key, Qt] : QCE.info(Main).RetSiteQt) {
+    EXPECT_NEAR(Qt, 1.0, 1e-9);
+    FoundRetSite = true;
+  }
+  EXPECT_TRUE(FoundRetSite);
+}
+
+TEST(QCETest, RecursionIsBoundedByKappa) {
+  const char *Src = R"(
+    int down(int x) {
+      if (x <= 0) { return 0; }
+      return down(x - 1);
+    }
+    void main() {
+      int a = 0;
+      make_symbolic(a);
+      print(down(a));
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ProgramInfo PI(*R.M);
+  QCEParams PSmall;
+  PSmall.Kappa = 1;
+  QCEParams PBig = PSmall;
+  PBig.Kappa = 6;
+  QCEAnalysis QS(PI, PSmall), QB(PI, PBig);
+  const Function *Down = R.M->findFunction("down");
+  double QtSmall = QS.info(Down).EntryQt;
+  double QtBig = QB.info(Down).EntryQt;
+  EXPECT_GT(QtBig, QtSmall); // Deeper recursion summaries count more.
+  EXPECT_LT(QtBig, 1e6);     // ... but stay bounded.
+}
+
+TEST(QCETest, AllWorkloadsProduceFiniteNonNegativeCounts) {
+  // Stress the loop-forest propagation on every workload: no NaNs, no
+  // negative counts, Qadd never exceeds its saturation bound, and every
+  // call site has return-site counts.
+  for (const Workload &W : allWorkloads()) {
+    CompileResult CR = compileWorkload(W, 2, 4);
+    ASSERT_TRUE(CR.ok()) << W.Name;
+    ProgramInfo PI(*CR.M);
+    QCEAnalysis QCE(PI, QCEParams{});
+    for (const auto &F : CR.M->functions()) {
+      const QCEFunctionInfo &Info = QCE.info(F.get());
+      for (size_t B = 0; B < F->numBlocks(); ++B) {
+        ASSERT_TRUE(std::isfinite(Info.BlockQt[B])) << W.Name;
+        ASSERT_GE(Info.BlockQt[B], 0.0) << W.Name;
+        for (double Qadd : Info.BlockQadd[B]) {
+          ASSERT_TRUE(std::isfinite(Qadd)) << W.Name;
+          ASSERT_GE(Qadd, 0.0) << W.Name;
+        }
+      }
+      // Every call instruction must have recorded return-site counts.
+      size_t Calls = 0;
+      for (const auto &BB : F->blocks())
+        for (const Instr &I : BB->instructions())
+          Calls += I.Op == Opcode::Call;
+      EXPECT_EQ(Info.RetSiteQt.size(), Calls) << W.Name << "/" << F->name();
+    }
+  }
+}
+
+TEST(QCETest, BetaDampsFutureQueries) {
+  // With smaller beta, branches behind other branches count less: Qt at
+  // the entry must be monotone in beta.
+  const char *Src = R"(
+    void main() {
+      int a = 0; int b = 0;
+      make_symbolic(a); make_symbolic(b);
+      if (a > 0) {
+        if (b > 0) { print(1); }
+        if (b > 1) { print(2); }
+      }
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ProgramInfo PI(*R.M);
+  double Prev = 0;
+  for (double Beta : {0.2, 0.5, 0.8, 0.99}) {
+    QCEParams P;
+    P.Beta = Beta;
+    P.CountAsserts = false;
+    P.CountMemOps = false;
+    QCEAnalysis QCE(PI, P);
+    double Qt = QCE.info(R.M->mainFunction()).EntryQt;
+    EXPECT_GT(Qt, Prev);
+    Prev = Qt;
+    // Closed form: outer contributes 1 and damps the then-side, whose
+    // first inner branch (1) reaches the second (1) on both arms:
+    // Qt = 1 + beta * (1 + 2*beta).
+    EXPECT_NEAR(Qt, 1.0 + Beta * (1.0 + 2.0 * Beta), 1e-9);
+  }
+}
+
+TEST(QCETest, MemOpAndAssertCountingToggles) {
+  const char *Src = R"(
+    void main() {
+      char buf[4];
+      int i = 0;
+      make_symbolic(i);
+      assume(i >= 0 && i < 4);
+      char c = buf[i];
+      assert(c == 0, "fresh buffer is zero");
+      print(c);
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ProgramInfo PI(*R.M);
+  QCEParams Off;
+  Off.CountAsserts = false;
+  Off.CountMemOps = false;
+  QCEParams On;
+  On.CountAsserts = true;
+  On.CountMemOps = true;
+  QCEAnalysis QOff(PI, Off), QOn(PI, On);
+  const Function *Main = R.M->mainFunction();
+  EXPECT_GT(QOn.info(Main).EntryQt, QOff.info(Main).EntryQt);
+}

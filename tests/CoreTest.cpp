@@ -1,0 +1,1164 @@
+//===- CoreTest.cpp - Tests for the symbolic execution engine ---------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/Replay.h"
+#include "core/StateMerge.h"
+
+#include "ir/IRBuilder.h"
+#include "lang/Lower.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace symmerge;
+
+namespace {
+
+std::unique_ptr<Module> compileOrDie(const char *Src) {
+  CompileResult R = compileMiniC(Src);
+  EXPECT_TRUE(R.ok()) << (R.Diags.empty() ? "" : R.Diags[0].str());
+  return std::move(R.M);
+}
+
+RunResult runPlain(const Module &M, bool TrackExact = false) {
+  SymbolicRunner::Config C;
+  C.Engine.MaxSeconds = 20;
+  C.Engine.TrackExactPaths = TrackExact;
+  SymbolicRunner R(M, C);
+  return R.run();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Basics
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, StraightLineProgramYieldsOneTest) {
+  auto M = compileOrDie("void main() { int x = 1; print(x); }");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.Tests.size(), 1u);
+  EXPECT_EQ(R.Stats.Forks, 0u);
+  EXPECT_EQ(R.Stats.CompletedStates, 1u);
+  EXPECT_TRUE(R.Stats.Exhausted);
+}
+
+TEST(EngineTest, IndependentBranchesMultiplyPaths) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0; int b = 0; int c = 0;
+      make_symbolic(a); make_symbolic(b); make_symbolic(c);
+      if (a > 0) { print(1); }
+      if (b > 0) { print(2); }
+      if (c > 0) { print(3); }
+    }
+  )");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.Stats.CompletedStates, 8u); // 2^3 paths.
+  EXPECT_EQ(R.Stats.Forks, 7u);           // 1 + 2 + 4 forks.
+}
+
+TEST(EngineTest, InfeasibleBranchesArePruned) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0;
+      make_symbolic(a);
+      if (a > 5) {
+        if (a < 3) { print(999); } // Unreachable.
+        else { print(1); }
+      }
+    }
+  )");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.Stats.CompletedStates, 2u); // a>5 (then a>=3 forced), a<=5.
+  EXPECT_EQ(R.Stats.Forks, 1u);
+}
+
+TEST(EngineTest, ConcreteConditionsDoNotFork) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int x = 7;
+      if (x > 3) { print(1); } else { print(2); }
+    }
+  )");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.Stats.Forks, 0u);
+  EXPECT_EQ(R.Stats.CompletedStates, 1u);
+}
+
+TEST(EngineTest, AssumeConstrainsGeneratedInputs) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int n = 0;
+      make_symbolic(n, "n");
+      assume(n >= 10 && n <= 12);
+      if (n == 11) { print(1); }
+    }
+  )");
+  SymbolicRunner::Config C;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.Stats.CompletedStates, 2u);
+  ExprRef N = Runner.context().mkVar("n", 64);
+  for (const TestCase &T : R.Tests) {
+    int64_t V = static_cast<int64_t>(T.Inputs.get(N));
+    EXPECT_GE(V, 10);
+    EXPECT_LE(V, 12);
+  }
+}
+
+TEST(EngineTest, ContradictoryAssumeKillsPath) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int n = 0;
+      make_symbolic(n);
+      assume(n > 5);
+      assume(n < 3);
+      print(1);
+    }
+  )");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.Stats.CompletedStates, 0u);
+  EXPECT_TRUE(R.Tests.empty());
+}
+
+//===----------------------------------------------------------------------===
+// Bug finding
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, AssertViolationProducesReplayableBug) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int n = 0;
+      make_symbolic(n, "n");
+      assume(n >= 0 && n < 100);
+      assert(n != 42, "the answer is forbidden");
+    }
+  )");
+  SymbolicRunner::Config C;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  ASSERT_EQ(R.bugCount(), 1u);
+  const TestCase *Bug = nullptr;
+  for (const TestCase &T : R.Tests)
+    if (T.isBug())
+      Bug = &T;
+  ASSERT_NE(Bug, nullptr);
+  EXPECT_EQ(Bug->Kind, TestKind::AssertFailure);
+  EXPECT_EQ(Bug->Message, "the answer is forbidden");
+  EXPECT_EQ(Bug->Inputs.get(Runner.context().mkVar("n", 64)), 42u);
+  // Replay reproduces the failure.
+  ReplayResult RR = replayTest(*M, Runner.context(), *Bug);
+  EXPECT_EQ(static_cast<int>(RR.K),
+            static_cast<int>(ReplayResult::Kind::AssertFailure));
+  EXPECT_EQ(RR.Message, "the answer is forbidden");
+}
+
+TEST(EngineTest, ExecutionContinuesPastSurvivableAssert) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int n = 0;
+      make_symbolic(n);
+      assume(n >= 0 && n <= 3);
+      assert(n != 2, "two");
+      if (n == 1) { print(1); }
+    }
+  )");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.bugCount(), 1u);
+  // Paths: n==1 and n in {0,3} survive the assert and fork on n==1.
+  EXPECT_EQ(R.Stats.CompletedStates, 2u);
+}
+
+TEST(EngineTest, SymbolicIndexOutOfBoundsIsReported) {
+  auto M = compileOrDie(R"(
+    void main() {
+      char a[4];
+      int i = 0;
+      make_symbolic(i, "i");
+      assume(i >= 0);
+      a[i] = 1; // i can be >= 4: bug.
+      print(a[0]);
+    }
+  )");
+  SymbolicRunner::Config C;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  ASSERT_GE(R.bugCount(), 1u);
+  const TestCase *Bug = nullptr;
+  for (const TestCase &T : R.Tests)
+    if (T.Kind == TestKind::OutOfBounds)
+      Bug = &T;
+  ASSERT_NE(Bug, nullptr);
+  EXPECT_GE(Bug->Inputs.get(Runner.context().mkVar("i", 64)), 4u);
+  // Replay confirms, and the engine also explored the in-bounds side.
+  EXPECT_EQ(static_cast<int>(replayTest(*M, Runner.context(), *Bug).K),
+            static_cast<int>(ReplayResult::Kind::OutOfBounds));
+  EXPECT_GE(R.Stats.CompletedStates, 1u);
+}
+
+TEST(EngineTest, GuardedAccessHasNoFalsePositive) {
+  auto M = compileOrDie(R"(
+    void main() {
+      char a[4];
+      int i = 0;
+      make_symbolic(i);
+      if (i >= 0 && i < 4) { a[i] = 1; print(a[0]); }
+    }
+  )");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.bugCount(), 0u);
+}
+
+TEST(EngineTest, SymbolicStoreThenLoadRoundTrips) {
+  auto M = compileOrDie(R"(
+    void main() {
+      char a[4];
+      int i = 0;
+      make_symbolic(i, "i");
+      assume(i >= 0 && i < 4);
+      a[i] = 77;
+      assert(a[i] == 77, "read back what was written");
+    }
+  )");
+  RunResult R = runPlain(*M);
+  EXPECT_EQ(R.bugCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// State merging mechanics
+//===----------------------------------------------------------------------===
+
+TEST(MergeTest, DiamondMergesIntoOneStateWithIteStore) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int c = 0; int x = 0;
+      make_symbolic(c, "c");
+      if (c > 0) { x = 1; } else { x = 2; }
+      print(x);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::All;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  C.Engine.TrackExactPaths = true;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.Stats.Merges, 1u);
+  EXPECT_EQ(R.Stats.CompletedStates, 1u);
+  EXPECT_EQ(R.Stats.ExactPathsCompleted, 2u);
+  EXPECT_NEAR(R.Stats.CompletedMultiplicity, 2.0, 1e-9);
+  EXPECT_GE(R.Stats.MergedItes, 1u); // x differs concretely.
+}
+
+TEST(MergeTest, EqualValuesMergeWithoutIte) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int c = 0; int x = 5;
+      make_symbolic(c, "c");
+      if (c > 0) { print(1); } else { print(2); }
+      print(x);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::All;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.Stats.Merges, 1u);
+  EXPECT_EQ(R.Stats.MergedItes, 0u); // All variables agree.
+}
+
+TEST(MergeTest, MultiplicityDoublesAtForksOfMergedStates) {
+  // k sequential diamonds merged at each join: one final state whose
+  // multiplicity over-counts as 2^k while the exact count is also 2^k
+  // here (no shared suffix splits): the shapes agree for this program.
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0; int b = 0; int c = 0; int x = 0;
+      make_symbolic(a); make_symbolic(b); make_symbolic(c);
+      if (a > 0) { x += 1; }
+      if (b > 0) { x += 2; }
+      if (c > 0) { x += 4; }
+      print(x);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::All;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  C.Engine.TrackExactPaths = true;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.Stats.CompletedStates, 1u);
+  EXPECT_NEAR(R.Stats.CompletedMultiplicity, 8.0, 1e-9);
+  EXPECT_EQ(R.Stats.ExactPathsCompleted, 8u);
+  EXPECT_EQ(R.Stats.Forks, 3u); // One per diamond instead of 7.
+}
+
+TEST(MergeTest, MergedRunStillFindsAllBugs) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0; int b = 0;
+      make_symbolic(a, "a"); make_symbolic(b, "b");
+      int x = 0;
+      if (a > 0) { x = 1; } else { x = 2; }
+      if (b > 0) { x += 10; }
+      assert(x != 11, "one plus ten");
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::All;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  ASSERT_EQ(R.bugCount(), 1u);
+  for (const TestCase &T : R.Tests) {
+    if (!T.isBug())
+      continue;
+    // The bug model must pick a > 0 and b > 0.
+    EXPECT_GT(static_cast<int64_t>(
+                  T.Inputs.get(Runner.context().mkVar("a", 64))),
+              0);
+    EXPECT_GT(static_cast<int64_t>(
+                  T.Inputs.get(Runner.context().mkVar("b", 64))),
+              0);
+    EXPECT_EQ(static_cast<int>(replayTest(*M, Runner.context(), T).K),
+              static_cast<int>(ReplayResult::Kind::AssertFailure));
+  }
+}
+
+TEST(MergeTest, StatesMergeInsideCalleeFrames) {
+  // Two states forked inside a callee (same call site, same frame shape)
+  // must merge there, not only after returning.
+  auto M = compileOrDie(R"(
+    int classify(int v) {
+      int tag = 0;
+      if (v > 0) { tag = 1; } else { tag = 2; }
+      return tag + 10;
+    }
+    void main() {
+      int a = 0;
+      make_symbolic(a, "a");
+      int r = classify(a);
+      print(r);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::All;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  C.Engine.TrackExactPaths = true;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.Stats.Merges, 1u);
+  EXPECT_EQ(R.Stats.CompletedStates, 1u);
+  EXPECT_EQ(R.Stats.ExactPathsCompleted, 2u);
+}
+
+TEST(MergeTest, ArrayCellsMergeIntoIte) {
+  // Branches write different constants into the same cell; after the
+  // merge the cell reads back correctly on both paths (checked by the
+  // assert, which would produce a bug report if merging corrupted it).
+  auto M = compileOrDie(R"(
+    void main() {
+      char buf[4];
+      int c = 0;
+      make_symbolic(c, "c");
+      if (c > 0) { buf[1] = 7; } else { buf[1] = 9; }
+      if (c > 0) {
+        assert(buf[1] == 7, "then-side cell");
+      } else {
+        assert(buf[1] == 9, "else-side cell");
+      }
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::All;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_GE(R.Stats.Merges, 1u);
+  EXPECT_EQ(R.bugCount(), 0u);
+}
+
+TEST(EngineTest, BoundedSymbolicRecursion) {
+  auto M = compileOrDie(R"(
+    int fact(int n) {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+    void main() {
+      int n = 0;
+      make_symbolic(n, "n");
+      assume(n >= 0 && n <= 5);
+      int f = fact(n);
+      assert(f >= 1, "factorial is positive");
+      if (f == 24) { print(4); }
+    }
+  )");
+  SymbolicRunner::Config C;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_TRUE(R.Stats.Exhausted);
+  EXPECT_EQ(R.bugCount(), 0u);
+  // Paths: n in {0,1} (fact==1), n=2..5 separately, and the f==24 fork
+  // resolves concretely per path; recursion depth varies by path.
+  EXPECT_GE(R.Stats.CompletedStates, 5u);
+  // One generated test must hit the f == 24 branch (n == 4).
+  bool SawFour = false;
+  ExprRef N = Runner.context().mkVar("n", 64);
+  for (const TestCase &T : R.Tests)
+    SawFour |= T.Inputs.get(N) == 4;
+  EXPECT_TRUE(SawFour);
+}
+
+TEST(MergeTest, StatesMergeableRejectsMismatches) {
+  ExprContext Ctx;
+  Module M;
+  IRBuilder B(M);
+  Function *F = B.startFunction("main", Type::intTy(64), true, {});
+  BasicBlock *BB = B.createBlock("entry");
+  B.setInsertPoint(BB);
+  B.emitHalt();
+
+  auto MakeState = [&](uint64_t Id) {
+    ExecutionState S;
+    S.Id = Id;
+    S.Loc = {BB, 0};
+    StackFrame Frame;
+    Frame.F = F;
+    S.Stack.push_back(Frame);
+    return S;
+  };
+  ExecutionState A = MakeState(1), C = MakeState(2);
+  ExprRef V = Ctx.mkVar("v", 1);
+  A.PC = {V};
+  C.PC = {Ctx.mkNot(V)};
+  EXPECT_TRUE(statesMergeable(A, C));
+  // Different location.
+  ExecutionState D = MakeState(3);
+  D.PC = {Ctx.mkNot(V)};
+  D.Loc = {BB, 1};
+  EXPECT_FALSE(statesMergeable(A, D));
+  // Different stack depth.
+  ExecutionState E = MakeState(4);
+  E.PC = {Ctx.mkNot(V)};
+  E.Stack.push_back(E.Stack.back());
+  EXPECT_FALSE(statesMergeable(A, E));
+  // Identical PCs but different stores cannot merge.
+  ExecutionState G = MakeState(5), H = MakeState(6);
+  G.Stack[0].Scalars = {Ctx.mkConst(1, 64)};
+  G.Stack[0].ArrayIds = {-1};
+  H.Stack[0].Scalars = {Ctx.mkConst(2, 64)};
+  H.Stack[0].ArrayIds = {-1};
+  G.PC = H.PC = {V};
+  EXPECT_FALSE(statesMergeable(G, H));
+  H.Stack[0].Scalars = {Ctx.mkConst(1, 64)};
+  EXPECT_TRUE(statesMergeable(G, H));
+  // Never merge a state with itself.
+  EXPECT_FALSE(statesMergeable(A, A));
+}
+
+TEST(MergeTest, MergeStatesFactorsCommonPrefix) {
+  ExprContext Ctx;
+  Module M;
+  IRBuilder B(M);
+  Function *F = B.startFunction("main", Type::intTy(64), true, {});
+  BasicBlock *BB = B.createBlock("entry");
+  B.setInsertPoint(BB);
+  B.emitHalt();
+
+  ExprRef P = Ctx.mkVar("p", 1);
+  ExprRef Q = Ctx.mkVar("q", 1);
+  ExecutionState A, C;
+  A.Id = 1;
+  C.Id = 2;
+  A.Loc = C.Loc = {BB, 0};
+  StackFrame FA;
+  FA.F = F;
+  FA.Scalars = {Ctx.mkConst(1, 64)};
+  FA.ArrayIds = {-1};
+  StackFrame FC = FA;
+  FC.Scalars = {Ctx.mkConst(2, 64)};
+  A.Stack.push_back(FA);
+  C.Stack.push_back(FC);
+  A.PC = {P, Q};
+  C.PC = {P, Ctx.mkNot(Q)};
+  A.Multiplicity = 3;
+  C.Multiplicity = 4;
+
+  size_t Ites = mergeStates(Ctx, A, C);
+  EXPECT_EQ(Ites, 1u);
+  // Prefix P is kept; the disjunction q | !q folds to true and vanishes.
+  ASSERT_EQ(A.PC.size(), 1u);
+  EXPECT_EQ(A.PC[0], P);
+  // Store: ite(q, 1, 2).
+  EXPECT_EQ(A.Stack[0].Scalars[0],
+            Ctx.mkIte(Q, Ctx.mkConst(1, 64), Ctx.mkConst(2, 64)));
+  EXPECT_NEAR(A.Multiplicity, 7.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===
+// Searchers
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// A three-block straight CFG for searcher ordering tests.
+struct RankFixture {
+  Module M;
+  Function *F;
+  BasicBlock *B0, *B1, *B2;
+  std::unique_ptr<ProgramInfo> PI;
+
+  RankFixture() {
+    IRBuilder B(M);
+    F = B.startFunction("main", Type::intTy(64), true, {});
+    B0 = B.createBlock("b0");
+    B1 = B.createBlock("b1");
+    B2 = B.createBlock("b2");
+    B.setInsertPoint(B0);
+    B.emitJump(B1);
+    B.setInsertPoint(B1);
+    B.emitJump(B2);
+    B.setInsertPoint(B2);
+    B.emitHalt();
+    PI = std::make_unique<ProgramInfo>(M);
+  }
+
+  ExecutionState mkState(uint64_t Id, BasicBlock *BB, unsigned Idx = 0) {
+    ExecutionState S;
+    S.Id = Id;
+    S.Loc = {BB, Idx};
+    StackFrame Frame;
+    Frame.F = F;
+    S.Stack.push_back(Frame);
+    return S;
+  }
+};
+
+} // namespace
+
+TEST(SearcherTest, TopoRankOrdersByRPOAndDepth) {
+  RankFixture R;
+  ExecutionState S0 = R.mkState(1, R.B0);
+  ExecutionState S2 = R.mkState(2, R.B2);
+  auto K0 = topoRankKey(*R.PI, S0);
+  auto K2 = topoRankKey(*R.PI, S2);
+  EXPECT_TRUE(topoRankLess(K0, K2));
+  EXPECT_FALSE(topoRankLess(K2, K0));
+  // A deeper stack with an equal prefix orders first (still inside a
+  // call the other already finished).
+  ExecutionState Deep = R.mkState(3, R.B1);
+  StackFrame Inner;
+  Inner.F = R.F;
+  Inner.RetBlock = R.B1;
+  Inner.RetIndex = 0;
+  Deep.Loc = {R.B0, 0};
+  Deep.Stack.push_back(Inner);
+  ExecutionState Shallow = R.mkState(4, R.B1);
+  Shallow.Loc = {R.B1, 0};
+  // Deep's outer frame location is (B1, 0) == Shallow's; Deep is deeper.
+  EXPECT_TRUE(topoRankLess(topoRankKey(*R.PI, Deep),
+                           topoRankKey(*R.PI, Shallow)));
+}
+
+TEST(SearcherTest, DFSAndBFSOrders) {
+  RankFixture R;
+  ExecutionState A = R.mkState(1, R.B0);
+  ExecutionState B = R.mkState(2, R.B1);
+  {
+    auto S = createDFSSearcher();
+    S->add(&A);
+    S->add(&B);
+    EXPECT_EQ(S->select(), &B); // LIFO.
+    EXPECT_EQ(S->select(), &A);
+    EXPECT_TRUE(S->empty());
+  }
+  {
+    auto S = createBFSSearcher();
+    S->add(&A);
+    S->add(&B);
+    EXPECT_EQ(S->select(), &A); // FIFO.
+    EXPECT_EQ(S->select(), &B);
+  }
+}
+
+TEST(SearcherTest, TopologicalSearcherPicksEarliest) {
+  RankFixture R;
+  ExecutionState A = R.mkState(1, R.B2);
+  ExecutionState B = R.mkState(2, R.B0);
+  ExecutionState C = R.mkState(3, R.B1);
+  auto S = createTopologicalSearcher(*R.PI);
+  S->add(&A);
+  S->add(&B);
+  S->add(&C);
+  EXPECT_EQ(S->select(), &B);
+  EXPECT_EQ(S->select(), &C);
+  EXPECT_EQ(S->select(), &A);
+}
+
+TEST(SearcherTest, RandomPathFavorsShallowStates) {
+  RankFixture R;
+  ExecutionState Shallow = R.mkState(1, R.B0);
+  Shallow.ForkDepth = 0;
+  ExecutionState Deep = R.mkState(2, R.B1);
+  Deep.ForkDepth = 12; // Weight 2^-12: effectively never picked first.
+  int ShallowFirst = 0;
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    auto S = createRandomPathSearcher(Seed);
+    S->add(&Shallow);
+    S->add(&Deep);
+    ShallowFirst += S->select() == &Shallow;
+    (void)S->select();
+  }
+  EXPECT_GE(ShallowFirst, 19); // ~1 - 20 * 2^-12 of the time.
+}
+
+TEST(SearcherTest, RandomPathExploresWholeProgram) {
+  auto M = compileOrDie(R"(
+    void main() {
+      char s[6];
+      make_symbolic(s);
+      int hits = 0;
+      for (int i = 0; i < 5; i++) {
+        if (s[i] == 'x') { hits = hits + 1; }
+      }
+      print(hits);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Driving = SymbolicRunner::Strategy::RandomPath;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_TRUE(R.Stats.Exhausted);
+  EXPECT_EQ(R.Stats.CompletedStates, 32u); // 2^5 paths.
+}
+
+TEST(SearcherTest, RemoveWithdrawsState) {
+  RankFixture R;
+  ExecutionState A = R.mkState(1, R.B0);
+  ExecutionState B = R.mkState(2, R.B1);
+  auto S = createRandomSearcher(7);
+  S->add(&A);
+  S->add(&B);
+  S->remove(&A);
+  EXPECT_EQ(S->select(), &B);
+  EXPECT_TRUE(S->empty());
+}
+
+//===----------------------------------------------------------------------===
+// The DSM searcher in isolation (Algorithm 2's forwarding set F)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Deterministic stand-in policy: states hash by their current block, so
+/// "similar" means "same block" and histories are easy to fabricate.
+class BlockHashPolicy : public MergePolicy {
+public:
+  BlockHashPolicy() : MergePolicy("block-hash") {}
+  bool similar(const ExecutionState &,
+               const ExecutionState &) const override {
+    return true;
+  }
+  uint64_t similarityHash(const ExecutionState &S) const override {
+    return blockHash(S.Loc.Block);
+  }
+  static uint64_t blockHash(const BasicBlock *BB) {
+    return hashMix(static_cast<uint64_t>(BB->id()) + 0xb10c);
+  }
+};
+
+} // namespace
+
+TEST(DSMSearcherTest, ForwardsStateMatchingForeignHistory) {
+  RankFixture R;
+  BlockHashPolicy Policy;
+  auto DSM = createDynamicMergeSearcher(*R.PI, Policy, createBFSSearcher());
+
+  // X has advanced through B0 -> B1 -> B2; Y lags at B1.
+  ExecutionState X = R.mkState(1, R.B2);
+  X.History = {BlockHashPolicy::blockHash(R.B0),
+               BlockHashPolicy::blockHash(R.B1),
+               BlockHashPolicy::blockHash(R.B2)};
+  ExecutionState Y = R.mkState(2, R.B1);
+  Y.History = {BlockHashPolicy::blockHash(R.B0),
+               BlockHashPolicy::blockHash(R.B1)};
+
+  DSM->add(&X);
+  DSM->add(&Y);
+  // Y's current position matches a predecessor of X: Y is fast-forwarded
+  // ahead of the BFS order (which would pick X, inserted first).
+  EXPECT_EQ(DSM->select(), &Y);
+  EXPECT_EQ(DSM->fastForwardSelections(), 1u);
+  EXPECT_TRUE(Y.FastForwarded);
+  // No candidates remain; the driving heuristic takes over.
+  EXPECT_EQ(DSM->select(), &X);
+  EXPECT_EQ(DSM->fastForwardSelections(), 1u);
+  EXPECT_TRUE(DSM->empty());
+}
+
+TEST(DSMSearcherTest, OwnHistoryDoesNotSelfForward) {
+  RankFixture R;
+  BlockHashPolicy Policy;
+  auto DSM = createDynamicMergeSearcher(*R.PI, Policy, createBFSSearcher());
+  // X's current hash appears in its own history (a loop) — that must not
+  // put X into F.
+  ExecutionState X = R.mkState(1, R.B1);
+  X.History = {BlockHashPolicy::blockHash(R.B1),
+               BlockHashPolicy::blockHash(R.B1)};
+  DSM->add(&X);
+  EXPECT_EQ(DSM->select(), &X);
+  EXPECT_EQ(DSM->fastForwardSelections(), 0u);
+}
+
+TEST(DSMSearcherTest, RemovalPrunesForwardingSet) {
+  RankFixture R;
+  BlockHashPolicy Policy;
+  auto DSM = createDynamicMergeSearcher(*R.PI, Policy, createBFSSearcher());
+  ExecutionState X = R.mkState(1, R.B2);
+  X.History = {BlockHashPolicy::blockHash(R.B1),
+               BlockHashPolicy::blockHash(R.B2)};
+  ExecutionState Y = R.mkState(2, R.B1);
+  Y.History = {BlockHashPolicy::blockHash(R.B1)};
+  DSM->add(&X);
+  DSM->add(&Y);
+  // Withdrawing X (say, it merged elsewhere) must drop Y from F: its
+  // only matching history belonged to X.
+  DSM->remove(&X);
+  EXPECT_EQ(DSM->select(), &Y);
+  EXPECT_EQ(DSM->fastForwardSelections(), 0u);
+}
+
+TEST(DSMSearcherTest, LaggingStateIsPickedByTopologicalRank) {
+  RankFixture R;
+  BlockHashPolicy Policy;
+  auto DSM = createDynamicMergeSearcher(*R.PI, Policy, createBFSSearcher());
+  // Z has advanced through every block; both X (at B0) and Y (at B1)
+  // match its history. pickNextF selects the topologically smallest: X.
+  ExecutionState Z = R.mkState(1, R.B2);
+  Z.History = {BlockHashPolicy::blockHash(R.B0),
+               BlockHashPolicy::blockHash(R.B1),
+               BlockHashPolicy::blockHash(R.B2)};
+  ExecutionState X = R.mkState(2, R.B0);
+  X.History = {BlockHashPolicy::blockHash(R.B0)};
+  ExecutionState Y = R.mkState(3, R.B1);
+  Y.History = {BlockHashPolicy::blockHash(R.B1)};
+  DSM->add(&Z);
+  DSM->add(&X);
+  DSM->add(&Y);
+  EXPECT_EQ(DSM->select(), &X);
+  EXPECT_EQ(DSM->select(), &Y);
+  EXPECT_EQ(DSM->fastForwardSelections(), 2u);
+}
+
+//===----------------------------------------------------------------------===
+// Dynamic state merging (Algorithm 2)
+//===----------------------------------------------------------------------===
+
+TEST(DSMTest, FastForwardingMergesUnderNonTopologicalStrategy) {
+  // The Figure 2 shape: one side of the fork does expensive work
+  // (computeHash), the other is cheap, and the shared continuation
+  // (handlePacket) branches on the packet contents. A randomized driving
+  // strategy interleaves states arbitrarily; DSM must detect states whose
+  // current position matches a predecessor of another state's history,
+  // fast-forward them, and merge. (A strict DFS completes each path
+  // before its siblings run, which leaves nothing to catch up with — the
+  // same reason static merging needs the topological order.)
+  auto M = compileOrDie(R"(
+    void main() {
+      char pkt[6];
+      int logHash = 0;
+      make_symbolic(pkt, "pkt");
+      make_symbolic(logHash, "log");
+      int hash = 0;
+      if (logHash > 0) {
+        for (int i = 0; i < 5; i++) { hash = hash * 31 + pkt[i]; }
+      }
+      int handled = 0;
+      for (int i = 0; i < 5; i++) {
+        if (pkt[i] != 0) { handled = handled + 1; }
+      }
+      print(handled);
+      print(hash);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::QCE;
+  C.UseDSM = true;
+  C.Driving = SymbolicRunner::Strategy::Random;
+  C.Seed = 7;
+  C.Engine.MaxSeconds = 30;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_GT(R.Stats.FastForwardSelections, 0u);
+  EXPECT_GT(R.Stats.Merges, 0u);
+  EXPECT_GT(R.Stats.FastForwardMerges, 0u);
+  EXPECT_TRUE(R.Stats.Exhausted);
+}
+
+TEST(DSMTest, HistoryDepthIsBounded) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int n = 0;
+      make_symbolic(n);
+      int s = 0;
+      for (int i = 0; i < 20; i++) { s = s + i; }
+      if (n > 0) { print(s); }
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::QCE;
+  C.UseDSM = true;
+  C.Engine.HistoryDelta = 4;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_TRUE(R.Stats.Exhausted);
+}
+
+TEST(DSMTest, NoMergingMeansNoForwarding) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0;
+      make_symbolic(a);
+      if (a > 0) { print(1); } else { print(2); }
+      print(3);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::None;
+  C.UseDSM = true;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.Stats.Merges, 0u);
+  EXPECT_EQ(R.Stats.FastForwardSelections, 0u);
+  EXPECT_EQ(R.Stats.CompletedStates, 2u);
+}
+
+//===----------------------------------------------------------------------===
+// QCE-driven merge decisions
+//===----------------------------------------------------------------------===
+
+TEST(QCEPolicyTest, HotVariableBlocksMergeColdVariableAllows) {
+  // The separation the paper's prototype actually operates at (alpha =
+  // 1e-12): a variable that will feed *no* future solver query (`tail` is
+  // only printed) has Qadd = 0 and never blocks a merge, while a variable
+  // that feeds later queries (`idx` indexes an array inside a loop) has
+  // Qadd > 0 and blocks merging at small alpha. Note that QCE is strictly
+  // more general than dead-variable pruning: `tail` is still live (it is
+  // printed), merely query-free.
+  const char *Src = R"(
+    void main() {
+      char buf[8];
+      int sel = 0;
+      make_symbolic(buf, "buf");
+      make_symbolic(sel, "sel");
+      int idx = 0;
+      int tail = 0;
+      if (sel > 0) { %THEN% } else { %ELSE% }
+      int acc = 0;
+      for (int k = 0; k < 6; k++) {
+        acc = acc + buf[idx];
+      }
+      print(tail);
+      print(acc);
+    }
+  )";
+  auto MergesAt = [&](double Alpha, const char *Then, const char *Else) {
+    std::string S = Src;
+    S = replaceAll(S, "%THEN%", Then);
+    S = replaceAll(S, "%ELSE%", Else);
+    auto M = compileOrDie(S.c_str());
+    SymbolicRunner::Config C;
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    C.QCE.Alpha = Alpha;
+    C.QCE.CountMemOps = true;
+    SymbolicRunner Runner(*M, C);
+    return Runner.run().Stats.Merges;
+  };
+  constexpr double PaperAlpha = 1e-12;
+  EXPECT_GE(MergesAt(PaperAlpha, "tail = 1;", "tail = 2;"), 1u)
+      << "query-free difference must merge";
+  EXPECT_EQ(MergesAt(PaperAlpha, "idx = 1;", "idx = 2;"), 0u)
+      << "difference feeding future queries must not merge at small alpha";
+}
+
+TEST(QCEPolicyTest, AlphaExtremesMatchAllAndConservative) {
+  // x later feeds branch conditions, so Qadd(x) > 0 and alpha = 0 makes
+  // it hot (Equation (2) uses a strict inequality).
+  auto MakeModule = []() {
+    return compileOrDie(R"(
+      void main() {
+        int a = 0; int x = 0;
+        make_symbolic(a);
+        if (a > 0) { x = 1; } else { x = 2; }
+        int s = 0;
+        for (int i = 0; i < 4; i++) {
+          if (x > i) { s = s + 1; }
+        }
+        print(s);
+      }
+    )");
+  };
+  // Alpha = infinity: nothing is hot; QCE behaves like merge-all.
+  {
+    auto M = MakeModule();
+    SymbolicRunner::Config C;
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    C.QCE.Alpha = 1e30;
+    SymbolicRunner Runner(*M, C);
+    EXPECT_GE(Runner.run().Stats.Merges, 1u);
+  }
+  // Alpha = 0: any concretely-differing used variable blocks merging.
+  {
+    auto M = MakeModule();
+    SymbolicRunner::Config C;
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    C.QCE.Alpha = 0.0;
+    SymbolicRunner Runner(*M, C);
+    EXPECT_EQ(Runner.run().Stats.Merges, 0u);
+  }
+}
+
+TEST(QCEPolicyTest, SymbolicValuesAlwaysMergeable) {
+  // Differing values that are symbolic in at least one state satisfy
+  // Equation (1) even when hot (paper: "strictly more general than
+  // live-variable methods"): the sleep pattern.
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0; int b = 0;
+      make_symbolic(a, "a"); make_symbolic(b, "b");
+      int seconds = 0;
+      if (a > 0) { seconds = b; } else { seconds = b + 1; }
+      if (seconds > 100) { print(1); } else { print(2); }
+      print(seconds);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::QCE;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  C.QCE.Alpha = 0.0; // Even the strictest threshold.
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_GE(R.Stats.Merges, 1u);
+}
+
+TEST(QCEFullPolicyTest, ZetaPenalizesSymbolicDifferences) {
+  // Two states whose differing variable is *symbolic* (b vs b+1): the
+  // prototype policy (Equation (1)) always merges them; the full
+  // Equation (7) policy charges (zeta-1)*Qite and refuses once zeta is
+  // large and the variable feeds future queries.
+  auto MakeModule = []() {
+    return compileOrDie(R"(
+      void main() {
+        int a = 0; int b = 0;
+        make_symbolic(a, "a"); make_symbolic(b, "b");
+        int v = 0;
+        if (a > 0) { v = b; } else { v = b + 1; }
+        int s = 0;
+        for (int i = 0; i < 4; i++) {
+          if (v > i) { s = s + 1; }
+        }
+        print(s);
+      }
+    )");
+  };
+  auto FinalStates = [&](SymbolicRunner::MergeMode Mode, double Zeta,
+                         double Alpha) {
+    auto M = MakeModule();
+    SymbolicRunner::Config C;
+    C.Merge = Mode;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    C.QCE.Zeta = Zeta;
+    C.QCE.Alpha = Alpha;
+    SymbolicRunner Runner(*M, C);
+    return Runner.run().Stats.CompletedStates;
+  };
+  constexpr double Alpha = 1e-6;
+  // Prototype: the symbolic difference never blocks; everything folds
+  // into a single final state. (Merges of query-free differences happen
+  // under every policy, so the discriminating observable is the number
+  // of states that stay separate.)
+  EXPECT_EQ(FinalStates(SymbolicRunner::MergeMode::QCE, 2.0, Alpha), 1u);
+  // Full policy at zeta = 1 matches the prototype's criterion.
+  EXPECT_EQ(FinalStates(SymbolicRunner::MergeMode::QCEFull, 1.0, Alpha),
+            1u);
+  // Full policy with a real ite cost keeps the b-vs-(b+1) pair apart.
+  EXPECT_EQ(FinalStates(SymbolicRunner::MergeMode::QCEFull, 8.0, Alpha),
+            2u);
+}
+
+TEST(QCEFullPolicyTest, HugeAlphaStillMergesEverything) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0; int b = 0;
+      make_symbolic(a); make_symbolic(b);
+      int v = 0;
+      if (a > 0) { v = b; } else { v = b + 1; }
+      if (v > 3) { print(1); }
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::QCEFull;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  C.QCE.Zeta = 8.0;
+  C.QCE.Alpha = 1e30;
+  SymbolicRunner Runner(*M, C);
+  EXPECT_GE(Runner.run().Stats.Merges, 1u);
+}
+
+TEST(SolverAblationTest, StackTogglesPreserveResults) {
+  // Disabling the cache or the independence layer must not change what
+  // the engine computes — only how much the SAT core works.
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0; int b = 0;
+      make_symbolic(a); make_symbolic(b);
+      if (a > 3) { print(1); }
+      if (b > 4) { print(2); }
+      if (a > 3 && b > 4) { print(3); }
+    }
+  )");
+  uint64_t WantPaths = 0;
+  for (int Mask = 0; Mask < 4; ++Mask) {
+    SymbolicRunner::Config C;
+    C.SolverCache = Mask & 1;
+    C.SolverIndependence = Mask & 2;
+    SymbolicRunner Runner(*M, C);
+    RunResult R = Runner.run();
+    EXPECT_TRUE(R.Stats.Exhausted);
+    if (Mask == 0)
+      WantPaths = R.Stats.CompletedStates;
+    else
+      EXPECT_EQ(R.Stats.CompletedStates, WantPaths) << "mask " << Mask;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Coverage tracking
+//===----------------------------------------------------------------------===
+
+TEST(CoverageTest, TracksBlocksAndStatements) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0;
+      make_symbolic(a);
+      if (a > 0) { print(1); } else { print(2); }
+    }
+  )");
+  CoverageTracker Cov(*M);
+  EXPECT_EQ(Cov.coveredBlocks(), 0u);
+  EXPECT_EQ(Cov.statementCoverage(), 0.0);
+  const BasicBlock *Entry = M->mainFunction()->entry();
+  Cov.onBlockEntered(Entry);
+  Cov.onBlockEntered(Entry);
+  EXPECT_EQ(Cov.coveredBlocks(), 1u);
+  EXPECT_EQ(Cov.timesEntered(Entry), 2u);
+  EXPECT_GT(Cov.statementCoverage(), 0.0);
+  EXPECT_LT(Cov.statementCoverage(), 1.0);
+  Cov.reset();
+  EXPECT_EQ(Cov.coveredBlocks(), 0u);
+}
+
+TEST(CoverageTest, FullExplorationReachesFullCoverageOfLiveCode) {
+  auto M = compileOrDie(R"(
+    void main() {
+      int a = 0;
+      make_symbolic(a);
+      if (a > 0) { print(1); } else { print(2); }
+      print(3);
+    }
+  )");
+  SymbolicRunner::Config C;
+  SymbolicRunner Runner(*M, C);
+  Runner.run();
+  // Every block of this program is reachable.
+  EXPECT_EQ(Runner.coverage().coveredBlocks(),
+            M->mainFunction()->numBlocks());
+}
+
+//===----------------------------------------------------------------------===
+// Budgets and determinism
+//===----------------------------------------------------------------------===
+
+TEST(EngineTest, StepBudgetTruncatesExploration) {
+  auto M = compileOrDie(R"(
+    void main() {
+      char s[16];
+      make_symbolic(s);
+      int acc = 0;
+      for (int i = 0; i < 15; i++) {
+        if (s[i] != 0) { acc = acc + 1; }
+      }
+      print(acc);
+    }
+  )");
+  SymbolicRunner::Config C;
+  C.Engine.MaxSteps = 500;
+  SymbolicRunner Runner(*M, C);
+  RunResult R = Runner.run();
+  EXPECT_FALSE(R.Stats.Exhausted);
+  EXPECT_LE(R.Stats.Steps, 600u); // Budget plus one boundary overshoot.
+}
+
+TEST(EngineTest, RunsAreDeterministic) {
+  const Workload *W = findWorkload("echo");
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, 2, 3);
+  ASSERT_TRUE(CR.ok());
+  auto RunOnce = [&]() {
+    SymbolicRunner::Config C;
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.UseDSM = true;
+    C.Driving = SymbolicRunner::Strategy::Coverage;
+    C.Seed = 12345;
+    SymbolicRunner Runner(*CR.M, C);
+    return Runner.run();
+  };
+  RunResult R1 = RunOnce();
+  RunResult R2 = RunOnce();
+  EXPECT_EQ(R1.Stats.Steps, R2.Stats.Steps);
+  EXPECT_EQ(R1.Stats.Forks, R2.Stats.Forks);
+  EXPECT_EQ(R1.Stats.Merges, R2.Stats.Merges);
+  EXPECT_EQ(R1.Stats.CompletedStates, R2.Stats.CompletedStates);
+  EXPECT_EQ(R1.Tests.size(), R2.Tests.size());
+}
+
+TEST(EngineTest, EchoPathCountFormula) {
+  // §3.1: with argc == N fixed and strcmp-free bodies, echo has L^N
+  // paths per processed argument structure. Our formula variant: an
+  // argument loop that scans up to L-1 characters with a break on NUL
+  // yields exactly L paths per argument, so N arguments yield L^N.
+  const char *Src = R"(
+    void main() {
+      char args[${NL}];
+      make_symbolic(args, "args");
+      for (int arg = 0; arg < ${N}; arg++) {
+        for (int i = 0; i < ${L} - 1; i++) {
+          if (args[arg * ${L} + i] == 0) { break; }
+          print(args[arg * ${L} + i]);
+        }
+      }
+    }
+  )";
+  for (unsigned N = 1; N <= 2; ++N) {
+    for (unsigned L = 2; L <= 4; ++L) {
+      std::string S = instantiateWorkload(Workload{"echoN", "", Src}, N, L);
+      auto M = compileOrDie(S.c_str());
+      RunResult R = runPlain(*M);
+      uint64_t Want = 1;
+      for (unsigned K = 0; K < N; ++K)
+        Want *= L;
+      EXPECT_EQ(R.Stats.CompletedStates, Want) << "N=" << N << " L=" << L;
+    }
+  }
+}

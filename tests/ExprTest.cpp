@@ -1,0 +1,525 @@
+//===- ExprTest.cpp - Tests for the expression library -----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/ExprContext.h"
+#include "expr/ExprEval.h"
+#include "expr/ExprRewrite.h"
+#include "expr/ExprUtil.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace symmerge;
+
+namespace {
+
+class ExprTest : public ::testing::Test {
+protected:
+  ExprContext Ctx;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Interning / hash consing
+//===----------------------------------------------------------------------===
+
+TEST_F(ExprTest, StructurallyEqualNodesAreInterned) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef A = Ctx.mkAdd(X, Ctx.mkConst(5, 32));
+  ExprRef B = Ctx.mkAdd(X, Ctx.mkConst(5, 32));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(ExprTest, VariablesInternByName) {
+  EXPECT_EQ(Ctx.mkVar("v", 8), Ctx.mkVar("v", 8));
+  EXPECT_NE(Ctx.mkVar("v", 8), Ctx.mkVar("w", 8));
+}
+
+TEST_F(ExprTest, ConstantsMaskToWidth) {
+  EXPECT_EQ(Ctx.mkConst(0x1FF, 8)->constantValue(), 0xFFu);
+  EXPECT_EQ(Ctx.mkConst(~0ULL, 64)->constantValue(), ~0ULL);
+  EXPECT_EQ(Ctx.mkConst(2, 1)->constantValue(), 0u);
+}
+
+TEST_F(ExprTest, IdsAreStableAndOrdered) {
+  ExprRef A = Ctx.mkVar("a", 8);
+  ExprRef B = Ctx.mkVar("b", 8);
+  EXPECT_LT(A->id(), B->id());
+}
+
+TEST_F(ExprTest, SymbolicFlagPropagates) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef C = Ctx.mkConst(7, 32);
+  EXPECT_TRUE(X->isSymbolic());
+  EXPECT_FALSE(C->isSymbolic());
+  EXPECT_TRUE(Ctx.mkAdd(X, C)->isSymbolic());
+  EXPECT_FALSE(Ctx.mkAdd(C, C)->isSymbolic());
+}
+
+//===----------------------------------------------------------------------===
+// Constant folding of every operator
+//===----------------------------------------------------------------------===
+
+struct FoldCase {
+  ExprKind Kind;
+  uint64_t L, R;
+  unsigned Width;
+  uint64_t Expected;
+};
+
+class FoldTest : public ::testing::TestWithParam<FoldCase> {
+protected:
+  ExprContext Ctx;
+};
+
+TEST_P(FoldTest, BinaryConstantsFold) {
+  const FoldCase &C = GetParam();
+  ExprRef E = Ctx.mkBinOp(C.Kind, Ctx.mkConst(C.L, C.Width),
+                          Ctx.mkConst(C.R, C.Width));
+  ASSERT_TRUE(E->isConstant());
+  EXPECT_EQ(E->constantValue(), C.Expected)
+      << exprKindName(C.Kind) << '(' << C.L << ", " << C.R << ')';
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, FoldTest,
+    ::testing::Values(
+        FoldCase{ExprKind::Add, 200, 100, 8, 44},
+        FoldCase{ExprKind::Add, ~0ULL, 1, 64, 0},
+        FoldCase{ExprKind::Sub, 5, 7, 8, 254},
+        FoldCase{ExprKind::Mul, 16, 16, 8, 0},
+        FoldCase{ExprKind::Mul, 7, 6, 32, 42},
+        FoldCase{ExprKind::UDiv, 42, 5, 8, 8},
+        FoldCase{ExprKind::UDiv, 42, 0, 8, 255}, // SMT-LIB: all-ones.
+        FoldCase{ExprKind::SDiv, 0xF8, 2, 8, 0xFC}, // -8 / 2 = -4.
+        FoldCase{ExprKind::SDiv, 42, 0, 8, 255},    // x/0 = -1 for x >= 0.
+        FoldCase{ExprKind::SDiv, 0xF8, 0, 8, 1},    // x/0 = 1 for x < 0.
+        FoldCase{ExprKind::SDiv, 0x80, 0xFF, 8, 0x80}, // INT_MIN/-1 wraps.
+        FoldCase{ExprKind::URem, 42, 5, 8, 2},
+        FoldCase{ExprKind::URem, 42, 0, 8, 42}, // x % 0 = x.
+        FoldCase{ExprKind::SRem, 0xF9, 2, 8, 0xFF}, // -7 % 2 = -1.
+        FoldCase{ExprKind::SRem, 7, 0xFE, 8, 1},    // 7 % -2 = 1.
+        FoldCase{ExprKind::SRem, 0x80, 0xFF, 8, 0}, // INT_MIN % -1 = 0.
+        FoldCase{ExprKind::And, 0xF0, 0xCC, 8, 0xC0},
+        FoldCase{ExprKind::Or, 0xF0, 0x0C, 8, 0xFC},
+        FoldCase{ExprKind::Xor, 0xFF, 0x0F, 8, 0xF0},
+        FoldCase{ExprKind::Shl, 1, 7, 8, 0x80},
+        FoldCase{ExprKind::Shl, 1, 8, 8, 0}, // Shift >= width.
+        FoldCase{ExprKind::LShr, 0x80, 7, 8, 1},
+        FoldCase{ExprKind::LShr, 0x80, 9, 8, 0},
+        FoldCase{ExprKind::AShr, 0x80, 7, 8, 0xFF}, // Sign fill.
+        FoldCase{ExprKind::AShr, 0x80, 200, 8, 0xFF},
+        FoldCase{ExprKind::AShr, 0x40, 200, 8, 0},
+        FoldCase{ExprKind::Eq, 3, 3, 8, 1},
+        FoldCase{ExprKind::Eq, 3, 4, 8, 0},
+        FoldCase{ExprKind::Ne, 3, 4, 8, 1},
+        FoldCase{ExprKind::Ult, 3, 200, 8, 1},
+        FoldCase{ExprKind::Ult, 200, 3, 8, 0},
+        FoldCase{ExprKind::Ule, 3, 3, 8, 1},
+        FoldCase{ExprKind::Slt, 0xF0, 3, 8, 1}, // -16 < 3 signed.
+        FoldCase{ExprKind::Slt, 3, 0xF0, 8, 0},
+        FoldCase{ExprKind::Sle, 0xF0, 0xF0, 8, 1}));
+
+//===----------------------------------------------------------------------===
+// Algebraic identities
+//===----------------------------------------------------------------------===
+
+TEST_F(ExprTest, AdditiveIdentities) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  EXPECT_EQ(Ctx.mkAdd(X, Ctx.mkConst(0, 32)), X);
+  EXPECT_EQ(Ctx.mkAdd(Ctx.mkConst(0, 32), X), X);
+  EXPECT_EQ(Ctx.mkSub(X, Ctx.mkConst(0, 32)), X);
+  EXPECT_EQ(Ctx.mkSub(X, X), Ctx.mkConst(0, 32));
+}
+
+TEST_F(ExprTest, NestedConstantAddsCollapse) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef E = Ctx.mkAdd(Ctx.mkAdd(X, Ctx.mkConst(3, 32)), Ctx.mkConst(4, 32));
+  EXPECT_EQ(E, Ctx.mkAdd(X, Ctx.mkConst(7, 32)));
+}
+
+TEST_F(ExprTest, SubOfConstantNormalizesToAdd) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_EQ(Ctx.mkSub(X, Ctx.mkConst(1, 8)),
+            Ctx.mkAdd(X, Ctx.mkConst(255, 8)));
+}
+
+TEST_F(ExprTest, MultiplicativeIdentities) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  EXPECT_EQ(Ctx.mkMul(X, Ctx.mkConst(1, 32)), X);
+  EXPECT_EQ(Ctx.mkMul(X, Ctx.mkConst(0, 32)), Ctx.mkConst(0, 32));
+  EXPECT_EQ(Ctx.mkUDiv(X, Ctx.mkConst(1, 32)), X);
+  EXPECT_EQ(Ctx.mkSDiv(X, Ctx.mkConst(1, 32)), X);
+  EXPECT_EQ(Ctx.mkURem(X, Ctx.mkConst(1, 32)), Ctx.mkConst(0, 32));
+}
+
+TEST_F(ExprTest, BitwiseIdentities) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Zero = Ctx.mkConst(0, 8);
+  ExprRef Ones = Ctx.mkConst(0xFF, 8);
+  EXPECT_EQ(Ctx.mkAnd(X, Zero), Zero);
+  EXPECT_EQ(Ctx.mkAnd(X, Ones), X);
+  EXPECT_EQ(Ctx.mkAnd(X, X), X);
+  EXPECT_EQ(Ctx.mkOr(X, Zero), X);
+  EXPECT_EQ(Ctx.mkOr(X, Ones), Ones);
+  EXPECT_EQ(Ctx.mkOr(X, X), X);
+  EXPECT_EQ(Ctx.mkXor(X, Zero), X);
+  EXPECT_EQ(Ctx.mkXor(X, X), Zero);
+  EXPECT_EQ(Ctx.mkXor(X, Ones), Ctx.mkNot(X));
+}
+
+TEST_F(ExprTest, ShiftIdentities) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_EQ(Ctx.mkShl(X, Ctx.mkConst(0, 8)), X);
+  EXPECT_EQ(Ctx.mkShl(X, Ctx.mkConst(9, 8)), Ctx.mkConst(0, 8));
+  EXPECT_EQ(Ctx.mkLShr(X, Ctx.mkConst(9, 8)), Ctx.mkConst(0, 8));
+  EXPECT_EQ(Ctx.mkAShr(X, Ctx.mkConst(0, 8)), X);
+}
+
+TEST_F(ExprTest, ComparisonReflexivity) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_TRUE(Ctx.mkEq(X, X)->isTrue());
+  EXPECT_TRUE(Ctx.mkNe(X, X)->isFalse());
+  EXPECT_TRUE(Ctx.mkUlt(X, X)->isFalse());
+  EXPECT_TRUE(Ctx.mkUle(X, X)->isTrue());
+  EXPECT_TRUE(Ctx.mkSlt(X, X)->isFalse());
+  EXPECT_TRUE(Ctx.mkSle(X, X)->isTrue());
+}
+
+TEST_F(ExprTest, UnsignedBoundsFold) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_TRUE(Ctx.mkUlt(X, Ctx.mkConst(0, 8))->isFalse());
+  EXPECT_TRUE(Ctx.mkUle(Ctx.mkConst(0, 8), X)->isTrue());
+}
+
+TEST_F(ExprTest, EqAgainstAddConstantRewrites) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef E = Ctx.mkEq(Ctx.mkAdd(X, Ctx.mkConst(1, 8)), Ctx.mkConst(5, 8));
+  EXPECT_EQ(E, Ctx.mkEq(X, Ctx.mkConst(4, 8)));
+}
+
+TEST_F(ExprTest, NotPushesIntoComparisons) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkEq(X, Y)), Ctx.mkNe(X, Y));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkNe(X, Y)), Ctx.mkEq(X, Y));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkUlt(X, Y)), Ctx.mkUle(Y, X));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkSle(X, Y)), Ctx.mkSlt(Y, X));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkNot(Ctx.mkBoolCast(X))), Ctx.mkBoolCast(X));
+}
+
+TEST_F(ExprTest, NegationFolds) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_EQ(Ctx.mkNeg(Ctx.mkNeg(X)), X);
+  EXPECT_EQ(Ctx.mkNeg(Ctx.mkConst(1, 8)), Ctx.mkConst(255, 8));
+}
+
+//===----------------------------------------------------------------------===
+// Ite simplification — the heart of cheap merging
+//===----------------------------------------------------------------------===
+
+TEST_F(ExprTest, IteConstantCondition) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  EXPECT_EQ(Ctx.mkIte(Ctx.mkTrue(), X, Y), X);
+  EXPECT_EQ(Ctx.mkIte(Ctx.mkFalse(), X, Y), Y);
+}
+
+TEST_F(ExprTest, IteEqualArms) {
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_EQ(Ctx.mkIte(C, X, X), X);
+}
+
+TEST_F(ExprTest, BooleanIteReduces) {
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef D = Ctx.mkVar("d", 1);
+  EXPECT_EQ(Ctx.mkIte(C, Ctx.mkTrue(), Ctx.mkFalse()), C);
+  EXPECT_EQ(Ctx.mkIte(C, Ctx.mkFalse(), Ctx.mkTrue()), Ctx.mkNot(C));
+  EXPECT_EQ(Ctx.mkIte(C, Ctx.mkTrue(), D), Ctx.mkOr(C, D));
+  EXPECT_EQ(Ctx.mkIte(C, D, Ctx.mkFalse()), Ctx.mkAnd(C, D));
+}
+
+TEST_F(ExprTest, IteNegatedConditionSwapsArms) {
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  EXPECT_EQ(Ctx.mkIte(Ctx.mkNot(C), X, Y), Ctx.mkIte(C, Y, X));
+}
+
+TEST_F(ExprTest, IteConditionSubsumptionInArms) {
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef Z = Ctx.mkVar("z", 8);
+  // ite(c, ite(c, x, y), z) == ite(c, x, z).
+  EXPECT_EQ(Ctx.mkIte(C, Ctx.mkIte(C, X, Y), Z), Ctx.mkIte(C, X, Z));
+  // ite(c, x, ite(c, y, z)) == ite(c, x, z).
+  EXPECT_EQ(Ctx.mkIte(C, X, Ctx.mkIte(C, Y, Z)), Ctx.mkIte(C, X, Z));
+}
+
+TEST_F(ExprTest, MergedConstantComparisonsFoldBackToGuard) {
+  // The §3.1 shape: a merged value ite(C, 2, 1) later compared against
+  // constants must fold to true/false/C/!C instead of growing.
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef Merged = Ctx.mkIte(C, Ctx.mkConst(2, 64), Ctx.mkConst(1, 64));
+  EXPECT_TRUE(Ctx.mkUlt(Merged, Ctx.mkConst(5, 64))->isTrue());
+  EXPECT_TRUE(Ctx.mkUlt(Merged, Ctx.mkConst(1, 64))->isFalse());
+  EXPECT_EQ(Ctx.mkUlt(Merged, Ctx.mkConst(2, 64)), Ctx.mkNot(C));
+  EXPECT_EQ(Ctx.mkEq(Merged, Ctx.mkConst(2, 64)), C);
+}
+
+TEST_F(ExprTest, ArithmeticDistributesOverMergedConstants) {
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef Merged = Ctx.mkIte(C, Ctx.mkConst(2, 64), Ctx.mkConst(1, 64));
+  ExprRef Inc = Ctx.mkAdd(Merged, Ctx.mkConst(1, 64));
+  EXPECT_EQ(Inc, Ctx.mkIte(C, Ctx.mkConst(3, 64), Ctx.mkConst(2, 64)));
+  // Two ites over the same guard combine pointwise.
+  ExprRef Other = Ctx.mkIte(C, Ctx.mkConst(10, 64), Ctx.mkConst(20, 64));
+  EXPECT_EQ(Ctx.mkAdd(Merged, Other),
+            Ctx.mkIte(C, Ctx.mkConst(12, 64), Ctx.mkConst(21, 64)));
+}
+
+//===----------------------------------------------------------------------===
+// Casts
+//===----------------------------------------------------------------------===
+
+TEST_F(ExprTest, CastFolding) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_EQ(Ctx.mkZExt(X, 8), X);
+  EXPECT_EQ(Ctx.mkZExt(Ctx.mkConst(0xFF, 8), 32), Ctx.mkConst(0xFF, 32));
+  EXPECT_EQ(Ctx.mkSExt(Ctx.mkConst(0xFF, 8), 32),
+            Ctx.mkConst(0xFFFFFFFF, 32));
+  EXPECT_EQ(Ctx.mkTrunc(Ctx.mkConst(0x1234, 32), 8), Ctx.mkConst(0x34, 8));
+}
+
+TEST_F(ExprTest, CastChainsCollapse) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  EXPECT_EQ(Ctx.mkZExt(Ctx.mkZExt(X, 16), 64), Ctx.mkZExt(X, 64));
+  EXPECT_EQ(Ctx.mkTrunc(Ctx.mkZExt(X, 64), 8), X);
+  EXPECT_EQ(Ctx.mkTrunc(Ctx.mkZExt(X, 64), 16), Ctx.mkZExt(X, 16));
+  EXPECT_EQ(Ctx.mkZExtOrTrunc(X, 8), X);
+}
+
+//===----------------------------------------------------------------------===
+// Boolean helpers
+//===----------------------------------------------------------------------===
+
+TEST_F(ExprTest, ComplementFolds) {
+  // x & ~x == 0 and x | ~x == ones at any width; comparison nodes and
+  // their canonical negations are complements too. These folds collapse
+  // the `suffixA | suffixB` disjunctions state merging creates.
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  EXPECT_TRUE(Ctx.mkAnd(X, Ctx.mkNot(X))->isConstant());
+  EXPECT_EQ(Ctx.mkAnd(X, Ctx.mkNot(X))->constantValue(), 0u);
+  EXPECT_EQ(Ctx.mkOr(X, Ctx.mkNot(X)), Ctx.mkConst(0xFF, 8));
+
+  ExprRef Lt = Ctx.mkUlt(X, Y);
+  EXPECT_TRUE(Ctx.mkOr(Lt, Ctx.mkNot(Lt))->isTrue());
+  EXPECT_TRUE(Ctx.mkAnd(Lt, Ctx.mkNot(Lt))->isFalse());
+  ExprRef Eq = Ctx.mkEq(X, Y);
+  EXPECT_TRUE(Ctx.mkOr(Eq, Ctx.mkNe(X, Y))->isTrue());
+  ExprRef Slt = Ctx.mkSlt(X, Y);
+  EXPECT_TRUE(Ctx.mkOr(Slt, Ctx.mkSle(Y, X))->isTrue());
+  // Non-complements must not fold.
+  EXPECT_FALSE(Ctx.mkOr(Ctx.mkUlt(X, Y), Ctx.mkUlt(Y, X))->isConstant());
+}
+
+TEST_F(ExprTest, ConjunctionAndDisjunction) {
+  ExprRef A = Ctx.mkVar("a", 1);
+  ExprRef B = Ctx.mkVar("b", 1);
+  EXPECT_TRUE(Ctx.mkConjunction({})->isTrue());
+  EXPECT_TRUE(Ctx.mkDisjunction({})->isFalse());
+  EXPECT_EQ(Ctx.mkConjunction({A}), A);
+  EXPECT_EQ(Ctx.mkConjunction({A, Ctx.mkTrue(), B}), Ctx.mkAnd(A, B));
+  EXPECT_TRUE(Ctx.mkConjunction({A, Ctx.mkFalse()})->isFalse());
+  EXPECT_EQ(Ctx.mkDisjunction({A, Ctx.mkFalse(), B}), Ctx.mkOr(A, B));
+}
+
+TEST_F(ExprTest, BoolCast) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef B = Ctx.mkBoolCast(X);
+  EXPECT_EQ(B->width(), 1u);
+  EXPECT_EQ(Ctx.mkBoolCast(B), B);
+  EXPECT_TRUE(Ctx.mkBoolCast(Ctx.mkConst(3, 8))->isTrue());
+  EXPECT_TRUE(Ctx.mkBoolCast(Ctx.mkConst(0, 8))->isFalse());
+}
+
+//===----------------------------------------------------------------------===
+// Traversal and printing
+//===----------------------------------------------------------------------===
+
+TEST_F(ExprTest, CollectVarsDeterministicOrder) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef E = Ctx.mkAdd(Ctx.mkMul(Y, X), Y);
+  std::vector<ExprRef> Vars = collectVars(E);
+  ASSERT_EQ(Vars.size(), 2u);
+  EXPECT_EQ(Vars[0]->varName(), "y"); // Left-most first.
+  EXPECT_EQ(Vars[1]->varName(), "x");
+}
+
+TEST_F(ExprTest, CountNodesSharesDag) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Sum = Ctx.mkAdd(X, X);
+  EXPECT_EQ(countNodes(Sum), 2u); // Shared leaf counted once.
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef I = Ctx.mkIte(C, Sum, X);
+  EXPECT_EQ(countIteNodes(I), 1u);
+  EXPECT_EQ(countIteNodes(Sum), 0u);
+}
+
+TEST_F(ExprTest, PrinterGolden) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef E = Ctx.mkAdd(X, Ctx.mkConst(5, 8));
+  EXPECT_EQ(exprToString(E), "(add i8 (var x) (const i8 5))");
+}
+
+//===----------------------------------------------------------------------===
+// Substitution / rewriting
+//===----------------------------------------------------------------------===
+
+TEST_F(ExprTest, SubstituteConcretizesThroughTheFolder) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef E = Ctx.mkUlt(Ctx.mkAdd(X, Ctx.mkConst(1, 8)), Y);
+  std::unordered_map<ExprRef, ExprRef> Map = {{X, Ctx.mkConst(5, 8)}};
+  // x := 5 turns `x + 1 < y` into `6 < y` — folded, not a frozen tree.
+  EXPECT_EQ(substituteExpr(Ctx, E, Map),
+            Ctx.mkUlt(Ctx.mkConst(6, 8), Y));
+  // Substituting both sides fully folds to a constant.
+  Map.emplace(Y, Ctx.mkConst(9, 8));
+  EXPECT_TRUE(substituteExpr(Ctx, E, Map)->isTrue());
+}
+
+TEST_F(ExprTest, SubstituteLeavesUnrelatedTermsAlone) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef E = Ctx.mkXor(Y, Ctx.mkConst(3, 8));
+  std::unordered_map<ExprRef, ExprRef> Map = {{X, Ctx.mkConst(5, 8)}};
+  EXPECT_EQ(substituteExpr(Ctx, E, Map), E);
+}
+
+TEST_F(ExprTest, SubstituteReplacesWholeSubtrees) {
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef Sum = Ctx.mkAdd(X, Y);
+  ExprRef E = Ctx.mkMul(Sum, Sum);
+  // Replace the shared subtree itself, not just a leaf.
+  std::unordered_map<ExprRef, ExprRef> Map = {{Sum, Ctx.mkConst(4, 8)}};
+  EXPECT_EQ(substituteExpr(Ctx, E, Map), Ctx.mkConst(16, 8));
+}
+
+TEST_F(ExprTest, SubstituteHandlesIteAndCasts) {
+  ExprRef C = Ctx.mkVar("c", 1);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef E = Ctx.mkZExt(Ctx.mkIte(C, X, Ctx.mkConst(2, 8)), 64);
+  std::unordered_map<ExprRef, ExprRef> Map = {{C, Ctx.mkTrue()},
+                                              {X, Ctx.mkConst(7, 8)}};
+  EXPECT_EQ(substituteExpr(Ctx, E, Map), Ctx.mkConst(7, 64));
+}
+
+//===----------------------------------------------------------------------===
+// Property test: evaluator agrees with a reference interpreter on random
+// expression trees.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Builds a random expression over the given leaves; mirrors the set of
+/// operators the engine can produce.
+ExprRef buildRandomExpr(ExprContext &Ctx, RNG &Rand,
+                        const std::vector<ExprRef> &Leaves, int Depth) {
+  if (Depth == 0 || Rand.nextBool(0.2))
+    return Leaves[Rand.nextBelow(Leaves.size())];
+  static const ExprKind Ops[] = {
+      ExprKind::Add,  ExprKind::Sub,  ExprKind::Mul, ExprKind::UDiv,
+      ExprKind::SDiv, ExprKind::URem, ExprKind::SRem, ExprKind::And,
+      ExprKind::Or,   ExprKind::Xor,  ExprKind::Shl, ExprKind::LShr,
+      ExprKind::AShr};
+  ExprKind K = Ops[Rand.nextBelow(std::size(Ops))];
+  ExprRef L = buildRandomExpr(Ctx, Rand, Leaves, Depth - 1);
+  ExprRef R = buildRandomExpr(Ctx, Rand, Leaves, Depth - 1);
+  if (Rand.nextBool(0.15)) {
+    ExprRef C = Ctx.mkUlt(L, R);
+    ExprRef T = buildRandomExpr(Ctx, Rand, Leaves, Depth - 1);
+    ExprRef F = buildRandomExpr(Ctx, Rand, Leaves, Depth - 1);
+    return Ctx.mkIte(C, T, F);
+  }
+  return Ctx.mkBinOp(K, L, R);
+}
+
+/// Rebuilds \p E with every variable replaced by its concrete value,
+/// running the result back through the (folding) factory.
+ExprRef substituteConcrete(ExprContext &Ctx, ExprRef E,
+                           const VarAssignment &A) {
+  switch (E->kind()) {
+  case ExprKind::Constant:
+    return E;
+  case ExprKind::Var:
+    return Ctx.mkConst(A.get(E), E->width());
+  case ExprKind::Not:
+    return Ctx.mkNot(substituteConcrete(Ctx, E->operand(0), A));
+  case ExprKind::Neg:
+    return Ctx.mkNeg(substituteConcrete(Ctx, E->operand(0), A));
+  case ExprKind::ZExt:
+    return Ctx.mkZExt(substituteConcrete(Ctx, E->operand(0), A),
+                      E->width());
+  case ExprKind::SExt:
+    return Ctx.mkSExt(substituteConcrete(Ctx, E->operand(0), A),
+                      E->width());
+  case ExprKind::Trunc:
+    return Ctx.mkTrunc(substituteConcrete(Ctx, E->operand(0), A),
+                       E->width());
+  case ExprKind::Ite:
+    return Ctx.mkIte(substituteConcrete(Ctx, E->operand(0), A),
+                     substituteConcrete(Ctx, E->operand(1), A),
+                     substituteConcrete(Ctx, E->operand(2), A));
+  default:
+    return Ctx.mkBinOp(E->kind(), substituteConcrete(Ctx, E->operand(0), A),
+                       substituteConcrete(Ctx, E->operand(1), A));
+  }
+}
+
+class ExprEvalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(ExprEvalPropertyTest, FolderAndEvaluatorAgree) {
+  // The constant folder (exercised via full substitution) and the
+  // memoizing evaluator must agree on random expression DAGs — they are
+  // independent implementations of the same semantics.
+  RNG Rand(GetParam());
+  ExprContext Ctx;
+  for (int Round = 0; Round < 60; ++Round) {
+    unsigned Width = (Round % 2) ? 8 : 64;
+    // Variables intern by name, so each width needs its own name.
+    std::string Suffix = std::to_string(Width);
+    ExprRef X = Ctx.mkVar("x" + Suffix, Width);
+    ExprRef Y = Ctx.mkVar("y" + Suffix, Width);
+    std::vector<ExprRef> Leaves = {X, Y, Ctx.mkConst(Rand.next(), Width),
+                                   Ctx.mkConst(Rand.nextBelow(4), Width)};
+    ExprRef E = buildRandomExpr(Ctx, Rand, Leaves, 4);
+
+    VarAssignment A;
+    A.set(X, Rand.next());
+    A.set(Y, Rand.next());
+    ExprEvaluator Eval(A);
+    uint64_t Direct = Eval.evaluate(E);
+    EXPECT_EQ(Direct, ExprContext::maskToWidth(Direct, E->width()));
+
+    ExprRef Folded = substituteConcrete(Ctx, E, A);
+    ASSERT_TRUE(Folded->isConstant())
+        << "substitution left a symbolic node: " << exprToString(Folded);
+    EXPECT_EQ(Folded->constantValue(), Direct)
+        << "folder/evaluator disagree on " << exprToString(E);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprEvalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

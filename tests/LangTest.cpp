@@ -1,0 +1,475 @@
+//===- LangTest.cpp - Tests for the MiniC frontend ---------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Lower.h"
+#include "lang/Parser.h"
+
+#include "core/Replay.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace symmerge;
+
+//===----------------------------------------------------------------------===
+// Lexer
+//===----------------------------------------------------------------------===
+
+TEST(LexerTest, BasicTokens) {
+  auto Toks = tokenize("int x = 42; // comment\nif (x <= 3) {}");
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Want = {
+      TokKind::KwInt,   TokKind::Identifier, TokKind::Assign,
+      TokKind::IntLiteral, TokKind::Semicolon, TokKind::KwIf,
+      TokKind::LParen,  TokKind::Identifier, TokKind::LessEq,
+      TokKind::IntLiteral, TokKind::RParen,  TokKind::LBrace,
+      TokKind::RBrace,  TokKind::End};
+  EXPECT_EQ(Kinds, Want);
+  EXPECT_EQ(Toks[3].IntValue, 42u);
+}
+
+TEST(LexerTest, CharAndStringEscapes) {
+  auto Toks = tokenize(R"('a' '\n' '\0' "hi\tthere")");
+  ASSERT_GE(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].IntValue, static_cast<uint64_t>('a'));
+  EXPECT_EQ(Toks[1].IntValue, static_cast<uint64_t>('\n'));
+  EXPECT_EQ(Toks[2].IntValue, 0u);
+  EXPECT_EQ(Toks[3].Text, "hi\tthere");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto Toks = tokenize("&& || == != <= >= << >> += -= *= ++ --");
+  std::vector<TokKind> Want = {
+      TokKind::AmpAmp,     TokKind::PipePipe,  TokKind::EqEq,
+      TokKind::NotEq,      TokKind::LessEq,    TokKind::GreaterEq,
+      TokKind::Shl,        TokKind::Shr,       TokKind::PlusAssign,
+      TokKind::MinusAssign, TokKind::StarAssign, TokKind::PlusPlus,
+      TokKind::MinusMinus, TokKind::End};
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  EXPECT_EQ(Kinds, Want);
+}
+
+TEST(LexerTest, BlockCommentsAndPositions) {
+  auto Toks = tokenize("/* multi\nline */ x");
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::Identifier);
+  EXPECT_EQ(Toks[0].Line, 2);
+}
+
+TEST(LexerTest, ErrorsAreReported) {
+  auto Toks = tokenize("int @");
+  bool SawError = false;
+  for (const Token &T : Toks)
+    SawError |= T.Kind == TokKind::Error;
+  EXPECT_TRUE(SawError);
+  auto Toks2 = tokenize("'unterminated");
+  SawError = false;
+  for (const Token &T : Toks2)
+    SawError |= T.Kind == TokKind::Error;
+  EXPECT_TRUE(SawError);
+}
+
+TEST(LexerTest, PutcharAliasesPrint) {
+  auto Toks = tokenize("putchar");
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwPrint);
+}
+
+//===----------------------------------------------------------------------===
+// Parser diagnostics
+//===----------------------------------------------------------------------===
+
+namespace {
+
+std::vector<Diagnostic> diagsOf(const char *Src) {
+  CompileResult R = compileMiniC(Src);
+  return R.Diags;
+}
+
+bool hasDiagContaining(const std::vector<Diagnostic> &Diags,
+                       std::string_view Needle) {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(ParserTest, MissingSemicolon) {
+  auto D = diagsOf("void main() { int x = 1 int y = 2; }");
+  EXPECT_TRUE(hasDiagContaining(D, "expected ';'"));
+}
+
+TEST(ParserTest, RecoversAndReportsMultipleErrors) {
+  auto D = diagsOf("void main() { int x = ; int y = ; }");
+  EXPECT_GE(D.size(), 2u);
+}
+
+TEST(ParserTest, BadFunctionHeader) {
+  EXPECT_TRUE(hasDiagContaining(diagsOf("void () {}"), "function name"));
+  EXPECT_TRUE(
+      hasDiagContaining(diagsOf("banana main() {}"), "function definition"));
+}
+
+TEST(ParserTest, AssertMessageMustBeString) {
+  auto D = diagsOf("void main() { assert(1, 2); }");
+  EXPECT_TRUE(hasDiagContaining(D, "string literal"));
+}
+
+//===----------------------------------------------------------------------===
+// Semantic errors
+//===----------------------------------------------------------------------===
+
+TEST(SemaTest, UndeclaredVariable) {
+  EXPECT_TRUE(hasDiagContaining(diagsOf("void main() { x = 1; }"),
+                                "undeclared"));
+  EXPECT_TRUE(hasDiagContaining(diagsOf("void main() { int y = x + 1; }"),
+                                "undeclared"));
+}
+
+TEST(SemaTest, Redeclaration) {
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void main() { int x; int x; }"), "redeclaration"));
+  // Shadowing in an inner scope is legal.
+  EXPECT_TRUE(diagsOf("void main() { int x; { int x; x = 1; } }").empty());
+}
+
+TEST(SemaTest, ArrayMisuse) {
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void main() { char a[4]; int x = a; }"), "scalar"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void main() { char a[4]; a = 1; }"), "whole array"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void main() { int x; x[0] = 1; }"), "non-array"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void main() { char a[0]; }"), "array size"));
+}
+
+TEST(SemaTest, CallErrors) {
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void main() { foo(); }"), "undefined function"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("int f(int a) { return a; } void main() { f(); }"),
+      "expects 1 argument"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void g() {} void main() { int x = g(); }"),
+      "used as a value"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("int f(char b[]) { return b[0]; } void main() { int x; "
+              "int y = f(x); }"),
+      "array"));
+}
+
+TEST(SemaTest, MainSignature) {
+  EXPECT_TRUE(hasDiagContaining(diagsOf("int main() { return 0; }"),
+                                "void main()"));
+  EXPECT_TRUE(hasDiagContaining(diagsOf("void main(int x) {}"),
+                                "void main()"));
+}
+
+TEST(SemaTest, BreakOutsideLoop) {
+  EXPECT_TRUE(hasDiagContaining(diagsOf("void main() { break; }"),
+                                "outside of a loop"));
+}
+
+TEST(SemaTest, ReturnMismatches) {
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("int f() { return; } void main() {}"), "must return a value"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void g() { return 3; } void main() {}"),
+      "cannot return a value"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("void main() { return 3; }"), "main cannot return"));
+}
+
+TEST(SemaTest, DuplicateFunctionsAndParams) {
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("int f() { return 0; } int f() { return 1; } void main() {}"),
+      "redefinition"));
+  EXPECT_TRUE(hasDiagContaining(
+      diagsOf("int f(int a, int a) { return 0; } void main() {}"),
+      "duplicate parameter"));
+}
+
+//===----------------------------------------------------------------------===
+// Lowering structure
+//===----------------------------------------------------------------------===
+
+TEST(LowerTest, ValidProgramsVerify) {
+  const char *Src = R"(
+    int helper(char buf[], int n) {
+      int sum = 0;
+      for (int i = 0; i < n; i++) { sum += buf[i]; }
+      return sum;
+    }
+    void main() {
+      char data[4];
+      make_symbolic(data);
+      int total = helper(data, 4);
+      if (total > 100 && total < 200) { print(total); }
+      assert(total >= 0 || total < 0, "tautology");
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok()) << (R.Diags.empty() ? "" : R.Diags[0].str());
+  EXPECT_TRUE(verifyModule(*R.M).empty());
+}
+
+TEST(LowerTest, ConstantConditionsBecomeJumps) {
+  CompileResult R = compileMiniC("void main() { if (1) { print(1); } }");
+  ASSERT_TRUE(R.ok());
+  // No `br` instruction should appear for the constant condition.
+  EXPECT_EQ(R.M->str().find("br "), std::string::npos);
+}
+
+TEST(LowerTest, ConstantFoldingAtLoweringTime) {
+  CompileResult R =
+      compileMiniC("void main() { int x = 3 * 4 + 1; print(x); }");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(R.M->str().find("%x = 13:i64"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// End-to-end concrete semantics via replay
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Compiles and replays with no symbolic inputs; returns printed values.
+std::vector<uint64_t> runConcrete(const char *Src) {
+  CompileResult R = compileMiniC(Src);
+  EXPECT_TRUE(R.ok()) << (R.Diags.empty() ? "" : R.Diags[0].str());
+  if (!R.ok())
+    return {};
+  ExprContext Ctx;
+  VarAssignment Empty;
+  ReplayResult RR = replayConcrete(*R.M, Ctx, Empty);
+  EXPECT_EQ(static_cast<int>(RR.K),
+            static_cast<int>(ReplayResult::Kind::Halt));
+  return RR.Output;
+}
+
+} // namespace
+
+TEST(SemanticsTest, FactorialViaRecursion) {
+  const char *Src = R"(
+    int fact(int n) {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+    void main() { print(fact(6)); }
+  )";
+  EXPECT_EQ(runConcrete(Src), std::vector<uint64_t>({720}));
+}
+
+TEST(SemanticsTest, GcdViaLoop) {
+  const char *Src = R"(
+    int gcd(int a, int b) {
+      while (b != 0) { int t = b; b = a % b; a = t; }
+      return a;
+    }
+    void main() { print(gcd(252, 105)); }
+  )";
+  EXPECT_EQ(runConcrete(Src), std::vector<uint64_t>({21}));
+}
+
+TEST(SemanticsTest, ShortCircuitGuardsDivision) {
+  // Division by zero is well-defined in our semantics, but short-circuit
+  // evaluation must still skip the right-hand side: a print inside a
+  // helper detects evaluation.
+  const char *Src = R"(
+    int probe(int v) { print(777); return v; }
+    void main() {
+      int y = 0;
+      if (y != 0 && probe(10) / y > 1) { print(1); } else { print(2); }
+      if (y == 0 || probe(11) > 0) { print(3); }
+    }
+  )";
+  EXPECT_EQ(runConcrete(Src), std::vector<uint64_t>({2, 3}));
+}
+
+TEST(SemanticsTest, TernaryAndUnaryOperators) {
+  const char *Src = R"(
+    void main() {
+      int a = 5;
+      int b = a > 3 ? 10 : 20;
+      print(b);
+      print(-b + 11);
+      print(!b);
+      print(!0);
+      print(~0 + 1);
+    }
+  )";
+  EXPECT_EQ(runConcrete(Src),
+            std::vector<uint64_t>({10, 1, 0, 1, 0}));
+}
+
+TEST(SemanticsTest, CompoundAssignmentsAndIncrements) {
+  const char *Src = R"(
+    void main() {
+      int x = 10;
+      x += 5; print(x);
+      x -= 3; print(x);
+      x *= 2; print(x);
+      x++; print(x);
+      x--; x--; print(x);
+      char a[3];
+      a[0] = 'a';
+      a[0] += 1; print(a[0]);
+      a[0]++; print(a[0]);
+    }
+  )";
+  EXPECT_EQ(runConcrete(Src),
+            std::vector<uint64_t>({15, 12, 24, 25, 23, 'b', 'c'}));
+}
+
+TEST(SemanticsTest, CharPromotionIsUnsigned) {
+  const char *Src = R"(
+    void main() {
+      char c = 200;       // Stays 200 as unsigned i8.
+      print(c);
+      print(c + 100);     // Promoted to int: 300.
+      char d = c + 100;   // Truncated back to i8: 44.
+      print(d);
+      if (c > 100) { print(1); } else { print(0); }
+    }
+  )";
+  EXPECT_EQ(runConcrete(Src), std::vector<uint64_t>({200, 300, 44, 1}));
+}
+
+TEST(SemanticsTest, SignedArithmetic) {
+  const char *Src = R"(
+    void main() {
+      int a = 0 - 7;
+      print(a / 2 + 100);   // -3 + 100.
+      print(a % 2 + 100);   // -1 + 100.
+      print(a >> 1);        // Arithmetic shift: -4 ... printed as u64.
+      if (a < 0) { print(1); }
+    }
+  )";
+  auto Out = runConcrete(Src);
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out[0], 97u);
+  EXPECT_EQ(Out[1], 99u);
+  EXPECT_EQ(Out[2], static_cast<uint64_t>(-4));
+  EXPECT_EQ(Out[3], 1u);
+}
+
+TEST(SemanticsTest, BreakAndContinue) {
+  const char *Src = R"(
+    void main() {
+      int sum = 0;
+      for (int i = 0; i < 10; i++) {
+        if (i == 3) { continue; }
+        if (i == 6) { break; }
+        sum += i;
+      }
+      print(sum); // 0+1+2+4+5 = 12.
+      int k = 0;
+      while (1) { k++; if (k >= 4) { break; } }
+      print(k);
+    }
+  )";
+  EXPECT_EQ(runConcrete(Src), std::vector<uint64_t>({12, 4}));
+}
+
+TEST(SemanticsTest, ArraysByReferenceThroughCalls) {
+  const char *Src = R"(
+    void fill(char buf[], int n, char v) {
+      for (int i = 0; i < n; i++) { buf[i] = v + i; }
+    }
+    void main() {
+      char data[4];
+      fill(data, 4, 'a');
+      print(data[0]); print(data[3]);
+    }
+  )";
+  EXPECT_EQ(runConcrete(Src), std::vector<uint64_t>({'a', 'd'}));
+}
+
+TEST(SemanticsTest, NestedLoopsAndShadowing) {
+  const char *Src = R"(
+    void main() {
+      int total = 0;
+      for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 2; j++) { total += i * 2 + j; }
+      }
+      print(total); // Sum over i<3, j<2 of 2i+j = (0+1)+(2+3)+(4+5) = 15.
+      int x = 1;
+      { int x = 2; print(x); }
+      print(x);
+    }
+  )";
+  EXPECT_EQ(runConcrete(Src), std::vector<uint64_t>({15, 2, 1}));
+}
+
+TEST(SemanticsTest, ReplayReadsSymbolicInputs) {
+  const char *Src = R"(
+    void main() {
+      int n = 0;
+      make_symbolic(n, "n");
+      if (n == 5) { print(100); } else { print(200); }
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ExprContext Ctx;
+  VarAssignment A;
+  A.set(Ctx.mkVar("n", 64), 5);
+  EXPECT_EQ(replayConcrete(*R.M, Ctx, A).Output,
+            std::vector<uint64_t>({100}));
+  VarAssignment B;
+  B.set(Ctx.mkVar("n", 64), 6);
+  EXPECT_EQ(replayConcrete(*R.M, Ctx, B).Output,
+            std::vector<uint64_t>({200}));
+}
+
+TEST(SemanticsTest, AssertFailureSurfacesInReplay) {
+  const char *Src = R"(
+    void main() {
+      int n = 3;
+      assert(n == 4, "n must be four");
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ExprContext Ctx;
+  VarAssignment Empty;
+  ReplayResult RR = replayConcrete(*R.M, Ctx, Empty);
+  EXPECT_EQ(static_cast<int>(RR.K),
+            static_cast<int>(ReplayResult::Kind::AssertFailure));
+  EXPECT_EQ(RR.Message, "n must be four");
+}
+
+TEST(SemanticsTest, OutOfBoundsSurfacesInReplay) {
+  const char *Src = R"(
+    void main() {
+      char a[4];
+      int i = 7;
+      a[i] = 1;
+    }
+  )";
+  CompileResult R = compileMiniC(Src);
+  ASSERT_TRUE(R.ok());
+  ExprContext Ctx;
+  VarAssignment Empty;
+  EXPECT_EQ(static_cast<int>(replayConcrete(*R.M, Ctx, Empty).K),
+            static_cast<int>(ReplayResult::Kind::OutOfBounds));
+}
+
+TEST(SemanticsTest, InfiniteLoopHitsStepLimit) {
+  CompileResult R = compileMiniC("void main() { while (1) {} }");
+  ASSERT_TRUE(R.ok());
+  ExprContext Ctx;
+  VarAssignment Empty;
+  EXPECT_EQ(static_cast<int>(replayConcrete(*R.M, Ctx, Empty, 1000).K),
+            static_cast<int>(ReplayResult::Kind::StepLimit));
+}

@@ -1,0 +1,178 @@
+//===- MergingPropertyTest.cpp - Merging soundness/completeness -------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's central safety claim (§1): selective merging "merely groups
+/// paths instead of pruning them", so inaccuracies in QCE affect only
+/// performance, never soundness or completeness. These parameterized tests
+/// run every workload under four configurations — plain exploration,
+/// complete static merging, QCE static merging, and QCE dynamic merging —
+/// and check that
+///
+///   1. the exact number of completed feasible paths is identical,
+///   2. the same bugs are found (kind + message),
+///   3. every generated test replays to its recorded outcome.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/Replay.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace symmerge;
+
+namespace {
+
+struct ModeSpec {
+  const char *Name;
+  SymbolicRunner::MergeMode Merge;
+  bool UseDSM;
+  SymbolicRunner::Strategy Driving;
+};
+
+const ModeSpec Modes[] = {
+    {"plain", SymbolicRunner::MergeMode::None, false,
+     SymbolicRunner::Strategy::BFS},
+    {"ssm-all", SymbolicRunner::MergeMode::All, false,
+     SymbolicRunner::Strategy::Topological},
+    {"ssm-qce", SymbolicRunner::MergeMode::QCE, false,
+     SymbolicRunner::Strategy::Topological},
+    {"ssm-qce-full", SymbolicRunner::MergeMode::QCEFull, false,
+     SymbolicRunner::Strategy::Topological},
+    {"dsm-qce", SymbolicRunner::MergeMode::QCE, true,
+     SymbolicRunner::Strategy::Coverage},
+};
+
+struct CaseParam {
+  const char *WorkloadName;
+  unsigned N, L;
+};
+
+class MergingEquivalenceTest : public ::testing::TestWithParam<CaseParam> {};
+
+} // namespace
+
+TEST_P(MergingEquivalenceTest, AllModesExploreTheSamePaths) {
+  const CaseParam &P = GetParam();
+  const Workload *W = findWorkload(P.WorkloadName);
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, P.N, P.L);
+  ASSERT_TRUE(CR.ok());
+
+  uint64_t PlainPaths = 0;
+  std::multiset<std::string> PlainBugs;
+  for (const ModeSpec &Mode : Modes) {
+    SymbolicRunner::Config C;
+    C.Merge = Mode.Merge;
+    C.UseDSM = Mode.UseDSM;
+    C.Driving = Mode.Driving;
+    C.Engine.TrackExactPaths = true;
+    C.Engine.MaxSeconds = 60;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    ASSERT_TRUE(R.Stats.Exhausted)
+        << Mode.Name << " did not finish within budget";
+
+    // Exact completed path count must match plain exploration.
+    uint64_t Paths = R.Stats.ExactPathsCompleted;
+    std::multiset<std::string> Bugs;
+    for (const TestCase &T : R.Tests) {
+      if (T.isBug())
+        Bugs.insert(std::to_string(static_cast<int>(T.Kind)) + ":" +
+                    T.Message);
+    }
+    if (Mode.Merge == SymbolicRunner::MergeMode::None) {
+      PlainPaths = Paths;
+      PlainBugs = Bugs;
+      EXPECT_EQ(R.Stats.CompletedStates, Paths)
+          << "plain states are single paths";
+      EXPECT_EQ(R.Stats.Merges, 0u);
+    } else {
+      EXPECT_EQ(Paths, PlainPaths) << Mode.Name << " lost or gained paths";
+      EXPECT_EQ(Bugs, PlainBugs) << Mode.Name << " changed bug findings";
+      // Multiplicity over-approximates the true path count (§5.2).
+      EXPECT_GE(R.Stats.CompletedMultiplicity + 1e-9,
+                static_cast<double>(Paths));
+    }
+
+    // Every generated test must replay to its recorded outcome.
+    for (const TestCase &T : R.Tests) {
+      ReplayResult RR = replayTest(*CR.M, Runner.context(), T);
+      switch (T.Kind) {
+      case TestKind::Halt:
+        EXPECT_EQ(static_cast<int>(RR.K),
+                  static_cast<int>(ReplayResult::Kind::Halt))
+            << Mode.Name;
+        break;
+      case TestKind::AssertFailure:
+        EXPECT_EQ(static_cast<int>(RR.K),
+                  static_cast<int>(ReplayResult::Kind::AssertFailure))
+            << Mode.Name;
+        break;
+      case TestKind::OutOfBounds:
+        EXPECT_EQ(static_cast<int>(RR.K),
+                  static_cast<int>(ReplayResult::Kind::OutOfBounds))
+            << Mode.Name;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, MergingEquivalenceTest,
+    ::testing::Values(CaseParam{"echo", 2, 3}, CaseParam{"seq", 1, 3},
+                      CaseParam{"sleep", 2, 3}, CaseParam{"basename", 1, 4},
+                      CaseParam{"link", 2, 3}, CaseParam{"nice", 2, 3},
+                      CaseParam{"paste", 2, 3}, CaseParam{"pr", 1, 4},
+                      CaseParam{"wc", 1, 4}, CaseParam{"cut", 2, 3},
+                      CaseParam{"tr", 3, 2}, CaseParam{"yes", 1, 3},
+                      CaseParam{"cat", 1, 4}, CaseParam{"tsort", 1, 4},
+                      CaseParam{"join", 2, 3}, CaseParam{"uniq", 1, 4},
+                      CaseParam{"comm", 2, 3}, CaseParam{"expand", 1, 4},
+                      CaseParam{"sum", 1, 4}),
+    [](const ::testing::TestParamInfo<CaseParam> &Info) {
+      return std::string(Info.param.WorkloadName) + "_N" +
+             std::to_string(Info.param.N) + "_L" +
+             std::to_string(Info.param.L);
+    });
+
+//===----------------------------------------------------------------------===
+// Alpha sweep safety: every threshold explores the same path set
+//===----------------------------------------------------------------------===
+
+class AlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweepTest, ThresholdAffectsOnlyPerformance) {
+  const Workload *W = findWorkload("echo");
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, 2, 3);
+  ASSERT_TRUE(CR.ok());
+
+  // Baseline path count from plain exploration.
+  SymbolicRunner::Config Plain;
+  Plain.Engine.TrackExactPaths = true;
+  SymbolicRunner PlainRunner(*CR.M, Plain);
+  uint64_t Want = PlainRunner.run().Stats.ExactPathsCompleted;
+
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::QCE;
+  C.Driving = SymbolicRunner::Strategy::Topological;
+  C.QCE.Alpha = GetParam();
+  C.Engine.TrackExactPaths = true;
+  SymbolicRunner Runner(*CR.M, C);
+  RunResult R = Runner.run();
+  EXPECT_TRUE(R.Stats.Exhausted);
+  EXPECT_EQ(R.Stats.ExactPathsCompleted, Want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweepTest,
+                         ::testing::Values(0.0, 1e-6, 1e-3, 0.1, 1.0,
+                                           1e30));

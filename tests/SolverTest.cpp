@@ -1,0 +1,540 @@
+//===- SolverTest.cpp - Tests for the SAT/bitvector solver stack ------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/BitBlaster.h"
+#include "solver/Sat.h"
+#include "solver/Solver.h"
+
+#include "expr/ExprUtil.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace symmerge;
+using namespace symmerge::sat;
+
+//===----------------------------------------------------------------------===
+// CDCL core
+//===----------------------------------------------------------------------===
+
+TEST(SatTest, EmptyInstanceIsSat) {
+  SatSolver S;
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatTest, UnitClausesPropagate) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(A)));
+  ASSERT_TRUE(S.addClause(~mkLit(A), mkLit(B)));
+  ASSERT_TRUE(S.solve());
+  EXPECT_EQ(S.modelValue(A), LBool::True);
+  EXPECT_EQ(S.modelValue(B), LBool::True);
+}
+
+TEST(SatTest, DirectContradictionIsUnsat) {
+  SatSolver S;
+  Var A = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(A)));
+  EXPECT_FALSE(S.addClause(~mkLit(A)));
+  EXPECT_FALSE(S.solve());
+}
+
+TEST(SatTest, TautologicalClausesAreDropped) {
+  SatSolver S;
+  Var A = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A), ~mkLit(A)}));
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatTest, RequiresConflictAnalysis) {
+  // (a | b) & (a | ~b) & (~a | c) & (~a | ~c) is UNSAT and needs learning.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(A), mkLit(B)));
+  ASSERT_TRUE(S.addClause(mkLit(A), ~mkLit(B)));
+  ASSERT_TRUE(S.addClause(~mkLit(A), mkLit(C)));
+  ASSERT_TRUE(S.addClause(~mkLit(A), ~mkLit(C)));
+  EXPECT_FALSE(S.solve());
+}
+
+/// Pigeonhole principle: N+1 pigeons into N holes. Classic UNSAT family
+/// that genuinely exercises clause learning and restarts.
+static bool solvePigeonhole(int Holes) {
+  SatSolver S;
+  int Pigeons = Holes + 1;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (int I = 0; I < Pigeons; ++I)
+    for (int J = 0; J < Holes; ++J)
+      P[I][J] = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (int J = 0; J < Holes; ++J)
+      AtLeastOne.push_back(mkLit(P[I][J]));
+    S.addClause(AtLeastOne);
+  }
+  for (int J = 0; J < Holes; ++J)
+    for (int I1 = 0; I1 < Pigeons; ++I1)
+      for (int I2 = I1 + 1; I2 < Pigeons; ++I2)
+        S.addClause(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+  return S.solve();
+}
+
+TEST(SatTest, PigeonholeUnsat) {
+  EXPECT_FALSE(solvePigeonhole(3));
+  EXPECT_FALSE(solvePigeonhole(5));
+}
+
+TEST(SatTest, ConflictBudgetReportsExceeded) {
+  SatSolver S;
+  // A pigeonhole instance that needs far more than one conflict.
+  int Holes = 6, Pigeons = 7;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> C;
+    for (int J = 0; J < Holes; ++J)
+      C.push_back(mkLit(P[I][J]));
+    S.addClause(C);
+  }
+  for (int J = 0; J < Holes; ++J)
+    for (int I1 = 0; I1 < Pigeons; ++I1)
+      for (int I2 = I1 + 1; I2 < Pigeons; ++I2)
+        S.addClause(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+  EXPECT_FALSE(S.solve(/*ConflictBudget=*/2));
+  EXPECT_TRUE(S.budgetExceeded());
+}
+
+namespace {
+
+/// Reference DPLL-free check: brute force over all assignments.
+bool bruteForceSat(int NumVars, const std::vector<std::vector<Lit>> &Cs) {
+  for (uint64_t Bits = 0; Bits < (1ULL << NumVars); ++Bits) {
+    bool All = true;
+    for (const auto &C : Cs) {
+      bool Any = false;
+      for (Lit L : C) {
+        bool V = (Bits >> var(L)) & 1;
+        if (sign(L) ? !V : V) {
+          Any = true;
+          break;
+        }
+      }
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+class RandomCnfTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RandomCnfTest, AgreesWithBruteForceAndModelsSatisfy) {
+  RNG Rand(GetParam());
+  for (int Round = 0; Round < 60; ++Round) {
+    int NumVars = 4 + static_cast<int>(Rand.nextBelow(9)); // 4..12.
+    // Near the 3-SAT phase transition (~4.26 clauses per variable).
+    int NumClauses = static_cast<int>(NumVars * 4.3);
+    std::vector<std::vector<Lit>> Clauses;
+    for (int C = 0; C < NumClauses; ++C) {
+      std::vector<Lit> Clause;
+      for (int K = 0; K < 3; ++K)
+        Clause.push_back(mkLit(static_cast<Var>(Rand.nextBelow(NumVars)),
+                               Rand.nextBool(0.5)));
+      Clauses.push_back(std::move(Clause));
+    }
+    SatSolver S;
+    for (int V = 0; V < NumVars; ++V)
+      S.newVar();
+    bool AddOk = true;
+    for (const auto &C : Clauses)
+      AddOk = S.addClause(C) && AddOk;
+    bool Got = AddOk && S.solve();
+    bool Want = bruteForceSat(NumVars, Clauses);
+    ASSERT_EQ(Got, Want) << "round " << Round;
+    if (!Got)
+      continue;
+    // The model must satisfy every clause.
+    for (const auto &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C) {
+        LBool V = S.modelValue(var(L));
+        if (V == (sign(L) ? LBool::False : LBool::True))
+          Any = true;
+      }
+      EXPECT_TRUE(Any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnfTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+//===----------------------------------------------------------------------===
+// Bitblaster vs. brute force on random expressions
+//===----------------------------------------------------------------------===
+
+namespace {
+
+ExprRef randomLeaf(ExprContext &Ctx, RNG &Rand,
+                   const std::vector<ExprRef> &Vars, unsigned Width) {
+  if (Rand.nextBool(0.5))
+    return Vars[Rand.nextBelow(Vars.size())];
+  return Ctx.mkConst(Rand.next(), Width);
+}
+
+ExprRef randomBVExpr(ExprContext &Ctx, RNG &Rand,
+                     const std::vector<ExprRef> &Vars, unsigned Width,
+                     int Depth) {
+  if (Depth == 0)
+    return randomLeaf(Ctx, Rand, Vars, Width);
+  static const ExprKind Ops[] = {
+      ExprKind::Add,  ExprKind::Sub,  ExprKind::Mul,  ExprKind::UDiv,
+      ExprKind::SDiv, ExprKind::URem, ExprKind::SRem, ExprKind::And,
+      ExprKind::Or,   ExprKind::Xor,  ExprKind::Shl,  ExprKind::LShr,
+      ExprKind::AShr};
+  switch (Rand.nextBelow(4)) {
+  case 0:
+    return randomLeaf(Ctx, Rand, Vars, Width);
+  case 1: {
+    ExprRef A = randomBVExpr(Ctx, Rand, Vars, Width, Depth - 1);
+    return Rand.nextBool(0.5) ? Ctx.mkNot(A) : Ctx.mkNeg(A);
+  }
+  case 2: {
+    ExprRef C = Ctx.mkUlt(randomBVExpr(Ctx, Rand, Vars, Width, Depth - 1),
+                          randomBVExpr(Ctx, Rand, Vars, Width, Depth - 1));
+    return Ctx.mkIte(C, randomBVExpr(Ctx, Rand, Vars, Width, Depth - 1),
+                     randomBVExpr(Ctx, Rand, Vars, Width, Depth - 1));
+  }
+  default:
+    return Ctx.mkBinOp(Ops[Rand.nextBelow(std::size(Ops))],
+                       randomBVExpr(Ctx, Rand, Vars, Width, Depth - 1),
+                       randomBVExpr(Ctx, Rand, Vars, Width, Depth - 1));
+  }
+}
+
+ExprRef randomConstraint(ExprContext &Ctx, RNG &Rand,
+                         const std::vector<ExprRef> &Vars, unsigned Width) {
+  static const ExprKind Cmp[] = {ExprKind::Eq,  ExprKind::Ne,
+                                 ExprKind::Ult, ExprKind::Ule,
+                                 ExprKind::Slt, ExprKind::Sle};
+  return Ctx.mkBinOp(Cmp[Rand.nextBelow(std::size(Cmp))],
+                     randomBVExpr(Ctx, Rand, Vars, Width, 3),
+                     randomBVExpr(Ctx, Rand, Vars, Width, 3));
+}
+
+class BitBlastPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(BitBlastPropertyTest, AgreesWithBruteForceOnRandomQueries) {
+  RNG Rand(GetParam());
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Brute = createBruteForceSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  std::vector<ExprRef> Vars = {X, Y};
+  for (int Round = 0; Round < 40; ++Round) {
+    Query Q;
+    size_t N = 1 + Rand.nextBelow(2);
+    for (size_t I = 0; I < N; ++I)
+      Q.Constraints.push_back(randomConstraint(Ctx, Rand, Vars, 8));
+
+    VarAssignment Model;
+    SolverResult Got = Core->checkSat(Q, &Model);
+    SolverResult Want = Brute->checkSat(Q, nullptr);
+    ASSERT_EQ(static_cast<int>(Got), static_cast<int>(Want))
+        << "round " << Round << ": "
+        << exprToString(Q.Constraints.front());
+    if (Got != SolverResult::Sat)
+      continue;
+    // The model must satisfy the query under the reference evaluator.
+    ExprEvaluator Eval(Model);
+    for (ExprRef E : Q.Constraints)
+      EXPECT_TRUE(Eval.evaluateBool(E)) << exprToString(E);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitBlastPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+//===----------------------------------------------------------------------===
+// Per-operator circuit checks across widths
+//===----------------------------------------------------------------------===
+
+namespace {
+
+struct OpWidthCase {
+  ExprKind Kind;
+  unsigned Width;
+};
+
+class CircuitTest : public ::testing::TestWithParam<OpWidthCase> {};
+
+} // namespace
+
+TEST_P(CircuitTest, CircuitMatchesScalarSemantics) {
+  // For random concrete (a, b), the query `op(x, y) == expected && x == a
+  // && y == b` must be satisfiable, and with any other value unsatisfiable.
+  const OpWidthCase &C = GetParam();
+  RNG Rand(0xC1DC0 + static_cast<uint64_t>(C.Kind) * 131 + C.Width);
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", C.Width);
+  ExprRef Y = Ctx.mkVar("y", C.Width);
+  // Keep x/y symbolic by hiding them behind an opaque equality, so the
+  // factory cannot constant-fold the operator before the solver sees it.
+  for (int Round = 0; Round < 12; ++Round) {
+    uint64_t A = ExprContext::maskToWidth(Rand.next(), C.Width);
+    uint64_t B = ExprContext::maskToWidth(Rand.next(), C.Width);
+    uint64_t Expected = ExprContext::evalBinOp(C.Kind, A, B, C.Width);
+    unsigned ResW = isComparisonKind(C.Kind) ? 1 : C.Width;
+
+    ExprRef OpXY = Ctx.mkBinOp(C.Kind, X, Y);
+    Query Q({Ctx.mkEq(X, Ctx.mkConst(A, C.Width)),
+             Ctx.mkEq(Y, Ctx.mkConst(B, C.Width)),
+             Ctx.mkEq(OpXY, Ctx.mkConst(Expected, ResW))});
+    EXPECT_EQ(static_cast<int>(Core->checkSat(Q, nullptr)),
+              static_cast<int>(SolverResult::Sat))
+        << exprKindName(C.Kind) << " w=" << C.Width << " a=" << A
+        << " b=" << B;
+
+    Query QBad({Ctx.mkEq(X, Ctx.mkConst(A, C.Width)),
+                Ctx.mkEq(Y, Ctx.mkConst(B, C.Width)),
+                Ctx.mkEq(OpXY, Ctx.mkConst(Expected + 1, ResW))});
+    EXPECT_EQ(static_cast<int>(Core->checkSat(QBad, nullptr)),
+              static_cast<int>(SolverResult::Unsat))
+        << exprKindName(C.Kind) << " w=" << C.Width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndWidths, CircuitTest,
+    ::testing::Values(
+        OpWidthCase{ExprKind::Add, 8}, OpWidthCase{ExprKind::Add, 32},
+        OpWidthCase{ExprKind::Sub, 8}, OpWidthCase{ExprKind::Sub, 64},
+        OpWidthCase{ExprKind::Mul, 8}, OpWidthCase{ExprKind::Mul, 16},
+        OpWidthCase{ExprKind::UDiv, 8}, OpWidthCase{ExprKind::SDiv, 8},
+        OpWidthCase{ExprKind::URem, 8}, OpWidthCase{ExprKind::SRem, 8},
+        OpWidthCase{ExprKind::And, 16}, OpWidthCase{ExprKind::Or, 16},
+        OpWidthCase{ExprKind::Xor, 64}, OpWidthCase{ExprKind::Shl, 8},
+        OpWidthCase{ExprKind::Shl, 32}, OpWidthCase{ExprKind::LShr, 8},
+        OpWidthCase{ExprKind::AShr, 8}, OpWidthCase{ExprKind::AShr, 16},
+        OpWidthCase{ExprKind::Eq, 8}, OpWidthCase{ExprKind::Ne, 8},
+        OpWidthCase{ExprKind::Ult, 8}, OpWidthCase{ExprKind::Ule, 32},
+        OpWidthCase{ExprKind::Slt, 8}, OpWidthCase{ExprKind::Sle, 16}));
+
+TEST(CircuitTest, DivisionByZeroCorners) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Zero = Ctx.mkConst(0, 8);
+  // x / 0 == all-ones for x = 5 (bvudiv convention).
+  Query Q({Ctx.mkEq(X, Ctx.mkConst(5, 8)),
+           Ctx.mkEq(Ctx.mkUDiv(X, Ctx.mkMul(X, Zero)), Ctx.mkConst(255, 8))});
+  EXPECT_EQ(static_cast<int>(Core->checkSat(Q, nullptr)),
+            static_cast<int>(SolverResult::Sat));
+  // x % 0 == x must hold for every x: its negation is UNSAT.
+  Query Q2({Ctx.mkNe(Ctx.mkURem(X, Ctx.mkMul(X, Zero)), X)});
+  EXPECT_EQ(static_cast<int>(Core->checkSat(Q2, nullptr)),
+            static_cast<int>(SolverResult::Unsat));
+}
+
+//===----------------------------------------------------------------------===
+// Solver layers
+//===----------------------------------------------------------------------===
+
+TEST(SolverLayersTest, CachingSolverHitsOnRepeatedQueries) {
+  ExprContext Ctx;
+  auto S = createCachingSolver(Ctx, createCoreSolver(Ctx));
+  ExprRef X = Ctx.mkVar("x", 8);
+  Query Q({Ctx.mkUlt(X, Ctx.mkConst(5, 8))});
+  uint64_t Core0 = solverStats().CoreQueries;
+  EXPECT_EQ(static_cast<int>(S->checkSat(Q, nullptr)),
+            static_cast<int>(SolverResult::Sat));
+  uint64_t CoreAfterMiss = solverStats().CoreQueries;
+  EXPECT_GT(CoreAfterMiss, Core0);
+  VarAssignment M;
+  EXPECT_EQ(static_cast<int>(S->checkSat(Q, &M)),
+            static_cast<int>(SolverResult::Sat));
+  EXPECT_EQ(solverStats().CoreQueries, CoreAfterMiss); // Served from cache.
+  EXPECT_LT(M.get(X), 5u); // Cached models are returned too.
+}
+
+TEST(SolverLayersTest, CacheKeyIgnoresConstraintOrder) {
+  ExprContext Ctx;
+  auto S = createCachingSolver(Ctx, createCoreSolver(Ctx));
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef A = Ctx.mkUlt(X, Ctx.mkConst(9, 8));
+  ExprRef B = Ctx.mkUlt(Ctx.mkConst(3, 8), X);
+  ASSERT_EQ(static_cast<int>(S->checkSat(Query({A, B}), nullptr)),
+            static_cast<int>(SolverResult::Sat));
+  uint64_t Core = solverStats().CoreQueries;
+  ASSERT_EQ(static_cast<int>(S->checkSat(Query({B, A}), nullptr)),
+            static_cast<int>(SolverResult::Sat));
+  EXPECT_EQ(solverStats().CoreQueries, Core);
+}
+
+TEST(SolverLayersTest, IndependenceSolverCombinesDisjointModels) {
+  ExprContext Ctx;
+  auto S = createIndependenceSolver(Ctx, createCoreSolver(Ctx));
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  Query Q({Ctx.mkEq(X, Ctx.mkConst(3, 8)), Ctx.mkEq(Y, Ctx.mkConst(7, 8))});
+  VarAssignment M;
+  ASSERT_TRUE(S->getModel(Q, M));
+  EXPECT_EQ(M.get(X), 3u);
+  EXPECT_EQ(M.get(Y), 7u);
+}
+
+TEST(SolverLayersTest, IndependenceSolverFindsUnsatGroup) {
+  ExprContext Ctx;
+  auto S = createIndependenceSolver(Ctx, createCoreSolver(Ctx));
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  Query Q({Ctx.mkEq(X, Ctx.mkConst(3, 8)),
+           Ctx.mkUlt(Y, Ctx.mkConst(2, 8)),
+           Ctx.mkUlt(Ctx.mkConst(5, 8), Y)});
+  EXPECT_EQ(static_cast<int>(S->checkSat(Q, nullptr)),
+            static_cast<int>(SolverResult::Unsat));
+}
+
+TEST(SolverLayersTest, HelperPredicates) {
+  ExprContext Ctx;
+  auto S = createDefaultSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 8);
+  Query Q({Ctx.mkUlt(X, Ctx.mkConst(4, 8))}); // x in [0, 3].
+  ExprRef XIsSmall = Ctx.mkUlt(X, Ctx.mkConst(10, 8));
+  ExprRef XIsZero = Ctx.mkEq(X, Ctx.mkConst(0, 8));
+  ExprRef XIsBig = Ctx.mkUlt(Ctx.mkConst(100, 8), X);
+  EXPECT_TRUE(S->mustBeTrue(Q, XIsSmall));
+  EXPECT_TRUE(S->mayBeTrue(Q, XIsZero));
+  EXPECT_FALSE(S->mustBeTrue(Q, XIsZero));
+  EXPECT_TRUE(S->mustBeFalse(Q, XIsBig));
+  EXPECT_FALSE(S->mayBeTrue(Q, XIsBig));
+}
+
+TEST(SolverLayersTest, EmptyQueryIsSat) {
+  ExprContext Ctx;
+  auto S = createDefaultSolver(Ctx);
+  VarAssignment M;
+  EXPECT_EQ(static_cast<int>(S->checkSat(Query(), &M)),
+            static_cast<int>(SolverResult::Sat));
+}
+
+TEST(SolverLayersTest, FalseConstraintShortCircuits) {
+  ExprContext Ctx;
+  auto S = createDefaultSolver(Ctx);
+  Query Q({Ctx.mkFalse()});
+  EXPECT_EQ(static_cast<int>(S->checkSat(Q, nullptr)),
+            static_cast<int>(SolverResult::Unsat));
+}
+
+TEST(SolverLayersTest, SimplifyingSolverSubstitutesEqualities) {
+  ExprContext Ctx;
+  auto S = createSimplifyingSolver(Ctx, createCoreSolver(Ctx));
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  // x == 5 refutes x + y == 4 && y < 10 without ... well, the rewrite
+  // alone proves nothing here, but the eliminated variable must still
+  // appear in the model.
+  Query Q({Ctx.mkEq(X, Ctx.mkConst(5, 8)),
+           Ctx.mkEq(Ctx.mkAdd(X, Y), Ctx.mkConst(4, 8))});
+  VarAssignment M;
+  ASSERT_TRUE(S->getModel(Q, M));
+  EXPECT_EQ(M.get(X), 5u);
+  EXPECT_EQ(M.get(Y), 255u); // 5 + 255 wraps to 4.
+  // A contradiction with the equality is refuted without the SAT core.
+  uint64_t Core = solverStats().CoreQueries;
+  Query Q2({Ctx.mkEq(X, Ctx.mkConst(5, 8)),
+            Ctx.mkUlt(X, Ctx.mkConst(3, 8))});
+  EXPECT_EQ(static_cast<int>(S->checkSat(Q2, nullptr)),
+            static_cast<int>(SolverResult::Unsat));
+  EXPECT_EQ(solverStats().CoreQueries, Core); // Refuted by rewriting.
+}
+
+TEST(SolverLayersTest, SimplifyingSolverAgreesWithCore) {
+  // Property: for random queries seeded with an equality, the simplifying
+  // stack and the bare core agree on satisfiability.
+  RNG Rand(0x513);
+  ExprContext Ctx;
+  auto Simplified = createSimplifyingSolver(Ctx, createCoreSolver(Ctx));
+  auto Core = createCoreSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  for (int Round = 0; Round < 30; ++Round) {
+    uint64_t K = Rand.nextBelow(256);
+    Query Q;
+    Q.Constraints.push_back(Ctx.mkEq(X, Ctx.mkConst(K, 8)));
+    ExprRef Mixed = Ctx.mkAdd(Ctx.mkMul(X, Ctx.mkConst(3, 8)), Y);
+    Q.Constraints.push_back(
+        Ctx.mkBinOp(Rand.nextBool(0.5) ? ExprKind::Ult : ExprKind::Eq,
+                    Mixed, Ctx.mkConst(Rand.nextBelow(256), 8)));
+    SolverResult A = Simplified->checkSat(Q, nullptr);
+    SolverResult B = Core->checkSat(Q, nullptr);
+    EXPECT_EQ(static_cast<int>(A), static_cast<int>(B)) << "round "
+                                                        << Round;
+  }
+}
+
+TEST(SolverLayersTest, DisjunctivePathConditionsSolve) {
+  // The constraint shape state merging produces: a common prefix plus a
+  // disjunction of the diverging suffixes, guarding ite-merged values.
+  ExprContext Ctx;
+  auto S = createDefaultSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef InRange = Ctx.mkUlt(X, Ctx.mkConst(1000, 16)); // Common prefix.
+  ExprRef Low = Ctx.mkUlt(X, Ctx.mkConst(10, 16));
+  ExprRef High = Ctx.mkUlt(Ctx.mkConst(900, 16), X);
+  ExprRef Merged = Ctx.mkIte(Low, Ctx.mkConst(1, 16), Ctx.mkConst(2, 16));
+
+  // Satisfiable through either disjunct; the model respects the guard.
+  Query Q({InRange, Ctx.mkOr(Low, High),
+           Ctx.mkEq(Merged, Ctx.mkConst(1, 16))});
+  VarAssignment M;
+  ASSERT_TRUE(S->getModel(Q, M));
+  EXPECT_LT(M.get(X), 10u);
+
+  Query Q2({InRange, Ctx.mkOr(Low, High),
+            Ctx.mkEq(Merged, Ctx.mkConst(2, 16))});
+  VarAssignment M2;
+  ASSERT_TRUE(S->getModel(Q2, M2));
+  EXPECT_GT(M2.get(X), 900u);
+  EXPECT_LT(M2.get(X), 1000u);
+
+  // Unsatisfiable once both disjuncts are excluded.
+  Query Q3({InRange, Ctx.mkOr(Low, High),
+            Ctx.mkUle(Ctx.mkConst(10, 16), X),
+            Ctx.mkUle(X, Ctx.mkConst(900, 16))});
+  EXPECT_EQ(static_cast<int>(S->checkSat(Q3, nullptr)),
+            static_cast<int>(SolverResult::Unsat));
+}
+
+TEST(SolverLayersTest, ConflictBudgetYieldsUnknownNotUnsat) {
+  ExprContext Ctx;
+  // A hard 32x32 multiplication equality with a one-conflict budget.
+  auto S = createCoreSolver(Ctx, /*ConflictBudget=*/1);
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  Query Q({Ctx.mkEq(Ctx.mkMul(X, Y), Ctx.mkConst(0xDEADBEEF, 32)),
+           Ctx.mkUlt(Ctx.mkConst(2, 32), X), Ctx.mkUlt(Ctx.mkConst(2, 32), Y)});
+  SolverResult R = S->checkSat(Q, nullptr);
+  // Must not claim UNSAT under a budget; Unknown (or a lucky Sat) only.
+  EXPECT_NE(static_cast<int>(R), static_cast<int>(SolverResult::Unsat));
+  // And the engine-facing helper treats Unknown as "may be true".
+  EXPECT_TRUE(S->mayBeTrue(Query(), Ctx.mkEq(Ctx.mkMul(X, Y),
+                                             Ctx.mkConst(0xDEADBEEF, 32))));
+}

@@ -1,0 +1,145 @@
+//===- SupportTest.cpp - Tests for the support library ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+#include "support/RNG.h"
+#include "support/Statistic.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace symmerge;
+
+TEST(HashingTest, MixIsDeterministic) {
+  EXPECT_EQ(hashMix(42), hashMix(42));
+  EXPECT_NE(hashMix(42), hashMix(43));
+}
+
+TEST(HashingTest, MixAvalanchesNearbyInputs) {
+  // Sequential ids must not collide or cluster.
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I < 10000; ++I)
+    Seen.insert(hashMix(I));
+  EXPECT_EQ(Seen.size(), 10000u);
+}
+
+TEST(HashingTest, CombineOrderSensitive) {
+  uint64_t A = hashCombine(hashCombine(1, 2), 3);
+  uint64_t B = hashCombine(hashCombine(1, 3), 2);
+  EXPECT_NE(A, B);
+}
+
+TEST(HashingTest, BytesAndStringsAgree) {
+  EXPECT_EQ(hashBytes("abc", 3), hashString("abc"));
+  EXPECT_NE(hashString("abc"), hashString("abd"));
+  EXPECT_NE(hashString(""), hashString("a"));
+}
+
+TEST(RNGTest, DeterministicForSeed) {
+  RNG A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNGTest, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RNGTest, NextBelowInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.nextBelow(17);
+    EXPECT_LT(V, 17u);
+  }
+}
+
+TEST(RNGTest, NextBelowCoversAllValues) {
+  RNG R(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(RNGTest, NextDoubleInUnitInterval) {
+  RNG R(9);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+    Sum += D;
+  }
+  // Mean of U[0,1) should be close to one half.
+  EXPECT_NEAR(Sum / 10000, 0.5, 0.02);
+}
+
+TEST(RNGTest, ReseedReproduces) {
+  RNG R(5);
+  uint64_t First = R.next();
+  R.reseed(5);
+  EXPECT_EQ(R.next(), First);
+}
+
+TEST(StatisticTest, CountsAndResets) {
+  static Statistic S("test", "counter1", "a test counter");
+  S.reset();
+  ++S;
+  S += 4;
+  EXPECT_EQ(S.value(), 5u);
+  S.reset();
+  EXPECT_EQ(S.value(), 0u);
+}
+
+TEST(StatisticTest, RegistryReportsRegisteredCounters) {
+  static Statistic S("test", "counter2", "another counter");
+  S.reset();
+  S += 7;
+  std::string Report = StatisticRegistry::instance().report();
+  EXPECT_NE(Report.find("test.counter2 = 7"), std::string::npos);
+}
+
+TEST(StringUtilsTest, ReplaceAllBasic) {
+  EXPECT_EQ(replaceAll("a${X}b${X}", "${X}", "42"), "a42b42");
+  EXPECT_EQ(replaceAll("abc", "x", "y"), "abc");
+  // Replacement containing the needle must not loop.
+  EXPECT_EQ(replaceAll("aa", "a", "aa"), "aaaa");
+}
+
+TEST(StringUtilsTest, SplitPreservesEmptyFields) {
+  auto Parts = splitString("a,,b,", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+  EXPECT_EQ(Parts[3], "");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_TRUE(startsWith("hello", ""));
+  EXPECT_FALSE(startsWith("he", "hello"));
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  // Burn a little CPU deterministically.
+  volatile uint64_t X = 0;
+  for (int I = 0; I < 100000; ++I)
+    X = X + I;
+  double First = T.seconds();
+  EXPECT_GE(First, 0.0);
+  EXPECT_GE(T.seconds(), First); // Monotone.
+  T.restart();
+  EXPECT_LE(T.seconds(), First + 1.0);
+}

@@ -1,0 +1,307 @@
+//===- WorkloadsTest.cpp - Tests for the mini-COREUTILS workloads -----------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "core/Driver.h"
+#include "core/Replay.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace symmerge;
+
+TEST(WorkloadRegistryTest, RegistryIsPopulated) {
+  EXPECT_GE(allWorkloads().size(), 19u);
+  EXPECT_NE(findWorkload("echo"), nullptr);
+  EXPECT_NE(findWorkload("sleep"), nullptr);
+  EXPECT_EQ(findWorkload("no-such-tool"), nullptr);
+}
+
+TEST(WorkloadRegistryTest, InstantiationSubstitutesAllPlaceholders) {
+  const Workload *W = findWorkload("echo");
+  std::string Src = instantiateWorkload(*W, 3, 5);
+  EXPECT_EQ(Src.find("${"), std::string::npos);
+  EXPECT_NE(Src.find("char args[15]"), std::string::npos); // N*L.
+  EXPECT_NE(Src.find("argc <= 3"), std::string::npos);
+}
+
+namespace {
+
+struct WorkloadParam {
+  const char *Name;
+  unsigned N, L;
+};
+
+class WorkloadCompileTest : public ::testing::TestWithParam<WorkloadParam> {
+};
+
+std::vector<WorkloadParam> allParams() {
+  std::vector<WorkloadParam> Params;
+  for (const Workload &W : allWorkloads()) {
+    Params.push_back({W.Name, 1, 2});
+    Params.push_back({W.Name, 2, 4});
+    Params.push_back({W.Name, 3, 3});
+  }
+  return Params;
+}
+
+} // namespace
+
+TEST_P(WorkloadCompileTest, CompilesVerifiesAndExplores) {
+  const WorkloadParam &P = GetParam();
+  const Workload *W = findWorkload(P.Name);
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, P.N, P.L);
+  ASSERT_TRUE(CR.ok()) << (CR.Diags.empty() ? "" : CR.Diags[0].str());
+  EXPECT_TRUE(verifyModule(*CR.M).empty());
+
+  // A budgeted exploration must run cleanly (workloads are bug-free).
+  SymbolicRunner::Config C;
+  C.Engine.MaxSteps = 100000;
+  C.Engine.MaxSeconds = 20;
+  C.Engine.CollectTests = false;
+  SymbolicRunner Runner(*CR.M, C);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.bugCount(), 0u) << P.Name;
+  EXPECT_GT(R.Stats.Steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadCompileTest, ::testing::ValuesIn(allParams()),
+    [](const ::testing::TestParamInfo<WorkloadParam> &Info) {
+      return std::string(Info.param.Name) + "_N" +
+             std::to_string(Info.param.N) + "_L" +
+             std::to_string(Info.param.L);
+    });
+
+//===----------------------------------------------------------------------===
+// Concrete behaviour of selected workloads via replay
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Builds an assignment for `argc` and the args buffer contents.
+VarAssignment argInputs(ExprContext &Ctx, unsigned L,
+                        const std::vector<std::string> &Args) {
+  VarAssignment A;
+  A.set(Ctx.mkVar("argc", 64), Args.size());
+  for (size_t K = 0; K < Args.size(); ++K) {
+    for (size_t I = 0; I < L; ++I) {
+      uint64_t V = I < Args[K].size() ? Args[K][I] : 0;
+      A.set(Ctx.mkVar("args[" + std::to_string(K * L + I) + "]", 8), V);
+    }
+  }
+  return A;
+}
+
+std::vector<uint64_t> runWorkloadConcrete(const char *Name, unsigned N,
+                                          unsigned L,
+                                          const std::vector<std::string> &Args) {
+  const Workload *W = findWorkload(Name);
+  EXPECT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, N, L);
+  EXPECT_TRUE(CR.ok());
+  ExprContext Ctx;
+  ReplayResult R = replayConcrete(*CR.M, Ctx, argInputs(Ctx, L, Args));
+  EXPECT_EQ(static_cast<int>(R.K),
+            static_cast<int>(ReplayResult::Kind::Halt));
+  return R.Output;
+}
+
+std::vector<uint64_t> chars(const std::string &S) {
+  return std::vector<uint64_t>(S.begin(), S.end());
+}
+
+} // namespace
+
+TEST(WorkloadBehaviourTest, EchoPrintsArguments) {
+  EXPECT_EQ(runWorkloadConcrete("echo", 2, 4, {"ab", "c"}),
+            chars("abc\n"));
+  // -n suppresses the newline and is not printed itself.
+  EXPECT_EQ(runWorkloadConcrete("echo", 2, 4, {"-n", "hi"}), chars("hi"));
+  EXPECT_EQ(runWorkloadConcrete("echo", 1, 4, {}), chars("\n"));
+}
+
+TEST(WorkloadBehaviourTest, SeqCountsInclusive) {
+  EXPECT_EQ(runWorkloadConcrete("seq", 1, 4, {"3"}),
+            (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(runWorkloadConcrete("seq", 2, 4, {"4", "6"}),
+            (std::vector<uint64_t>{4, 5, 6}));
+  EXPECT_EQ(runWorkloadConcrete("seq", 1, 4, {"x"}), chars("B"));
+}
+
+TEST(WorkloadBehaviourTest, SleepSumsAndValidates) {
+  EXPECT_EQ(runWorkloadConcrete("sleep", 2, 4, {"3", "4"}), chars("oS"));
+  EXPECT_EQ(runWorkloadConcrete("sleep", 2, 4, {"2", "2"}), chars("eS"));
+  EXPECT_EQ(runWorkloadConcrete("sleep", 1, 4, {"9x"}), chars("E"));
+}
+
+TEST(WorkloadBehaviourTest, BasenameStripsDirectories) {
+  EXPECT_EQ(runWorkloadConcrete("basename", 1, 8, {"a/b/c"}),
+            chars("c\n"));
+  EXPECT_EQ(runWorkloadConcrete("basename", 1, 8, {"name"}),
+            chars("name\n"));
+  EXPECT_EQ(runWorkloadConcrete("basename", 1, 8, {"dir/"}), chars("."));
+}
+
+TEST(WorkloadBehaviourTest, LinkValidates) {
+  EXPECT_EQ(runWorkloadConcrete("link", 2, 4, {"a", "b"}), chars("O"));
+  EXPECT_EQ(runWorkloadConcrete("link", 2, 4, {"a", "a"}), chars("S"));
+  EXPECT_EQ(runWorkloadConcrete("link", 2, 4, {"a"}), chars("U"));
+  EXPECT_EQ(runWorkloadConcrete("link", 2, 4, {"", "b"}), chars("E"));
+}
+
+TEST(WorkloadBehaviourTest, NiceParsesAdjustment) {
+  EXPECT_EQ(runWorkloadConcrete("nice", 3, 4, {"-n", "5", "ls"}),
+            chars("ls"));
+  EXPECT_EQ(runWorkloadConcrete("nice", 2, 4, {"-n", "7"}),
+            (std::vector<uint64_t>{7}));
+  EXPECT_EQ(runWorkloadConcrete("nice", 1, 4, {}),
+            (std::vector<uint64_t>{10}));
+  EXPECT_EQ(runWorkloadConcrete("nice", 2, 4, {"-n", "xx"}), chars("B"));
+}
+
+TEST(WorkloadBehaviourTest, WcCountsCharsAndWords) {
+  EXPECT_EQ(runWorkloadConcrete("wc", 1, 8, {"ab cd"}),
+            (std::vector<uint64_t>{5, 2}));
+  EXPECT_EQ(runWorkloadConcrete("wc", 2, 4, {"a", "b c"}),
+            (std::vector<uint64_t>{4, 3}));
+}
+
+TEST(WorkloadBehaviourTest, CutSelectsColumns) {
+  EXPECT_EQ(runWorkloadConcrete("cut", 2, 8, {"2-4", "abcdef"}),
+            chars("bcd"));
+  EXPECT_EQ(runWorkloadConcrete("cut", 2, 8, {"3", "abcdef"}), chars("c"));
+  EXPECT_EQ(runWorkloadConcrete("cut", 2, 8, {"4-2", "abc"}), chars("B"));
+}
+
+TEST(WorkloadBehaviourTest, TrTranslates) {
+  EXPECT_EQ(runWorkloadConcrete("tr", 3, 8, {"a", "x", "banana"}),
+            chars("bxnxnx"));
+}
+
+TEST(WorkloadBehaviourTest, TsortOrdersAndDetectsCycles) {
+  // Edges: a->b, b->c (pairs of characters). Kahn's rounds emit a, then
+  // b (freed by a), then c, then the isolated d — all in round one.
+  EXPECT_EQ(runWorkloadConcrete("tsort", 1, 8, {"abbc"}), chars("abcd"));
+  // A 2-cycle leaves nodes unemitted and reports 'C'.
+  auto Out = runWorkloadConcrete("tsort", 1, 8, {"abba"});
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out.back(), static_cast<uint64_t>('C'));
+}
+
+TEST(WorkloadBehaviourTest, PastePadsColumns) {
+  // Columns interleave with tabs; shorter args contribute nothing at
+  // depths past their NUL but the separator still prints.
+  EXPECT_EQ(runWorkloadConcrete("paste", 2, 4, {"ab", "x"}),
+            chars("a\tx\nb\t\n"));
+}
+
+TEST(WorkloadBehaviourTest, PrPaginates) {
+  // ';' ends a line; every third line starts a new page header.
+  auto Out = runWorkloadConcrete("pr", 1, 10, {"a;b;c;d"});
+  // Header P1, then a;b;c triggers P2 after the third ';', then d.
+  std::vector<uint64_t> Want = {'P', 1, 'a', 'b', 'c', 'P', 2, 'd'};
+  EXPECT_EQ(Out, Want);
+}
+
+TEST(WorkloadBehaviourTest, CatNumbersLines) {
+  EXPECT_EQ(runWorkloadConcrete("cat", 2, 6, {"-n", "a;b"}),
+            (std::vector<uint64_t>{1, 'a', ';', 2, 'b'}));
+  EXPECT_EQ(runWorkloadConcrete("cat", 2, 6, {"x", "y"}), chars("xy"));
+}
+
+TEST(WorkloadBehaviourTest, YesRepeatsThrice) {
+  EXPECT_EQ(runWorkloadConcrete("yes", 1, 4, {"ok"}),
+            chars("ok\nok\nok\n"));
+  EXPECT_EQ(runWorkloadConcrete("yes", 1, 4, {}), chars("y\ny\ny\n"));
+}
+
+TEST(WorkloadBehaviourTest, JoinMatchesOnKey) {
+  EXPECT_EQ(runWorkloadConcrete("join", 2, 4, {"ka", "kb"}),
+            chars("kab"));
+  EXPECT_EQ(runWorkloadConcrete("join", 2, 4, {"ka", "xb"}), chars("X"));
+}
+
+TEST(WorkloadBehaviourTest, UniqCollapsesRuns) {
+  EXPECT_EQ(runWorkloadConcrete("uniq", 1, 8, {"aabcc"}),
+            (std::vector<uint64_t>{'a', 2, 'b', 1, 'c', 2}));
+  EXPECT_EQ(runWorkloadConcrete("uniq", 1, 8, {""}),
+            std::vector<uint64_t>{});
+}
+
+TEST(WorkloadBehaviourTest, CommThreeWayWalk) {
+  // Records "ac" and "bc": a only in the first, b only in the second,
+  // c in both.
+  EXPECT_EQ(runWorkloadConcrete("comm", 2, 4, {"ac", "bc"}),
+            (std::vector<uint64_t>{'<', 'a', '>', 'b', '=', 'c'}));
+  EXPECT_EQ(runWorkloadConcrete("comm", 2, 4, {"x", "x"}),
+            (std::vector<uint64_t>{'=', 'x'}));
+}
+
+TEST(WorkloadBehaviourTest, ExpandAlignsTabs) {
+  // Tab advances to the next even column; letters advance by one.
+  EXPECT_EQ(runWorkloadConcrete("expand", 1, 8, {"a\tb"}),
+            chars("a b"));
+  EXPECT_EQ(runWorkloadConcrete("expand", 1, 8, {"\tz"}), chars("  z"));
+}
+
+TEST(WorkloadBehaviourTest, SumRotatingChecksum) {
+  // One byte 'a' (97): checksum = 97, bytes = 1.
+  EXPECT_EQ(runWorkloadConcrete("sum", 1, 4, {"a"}),
+            (std::vector<uint64_t>{97, 1}));
+  // Deterministic multi-byte value, computed by the same recurrence.
+  uint64_t C = 0;
+  for (char Ch : std::string("abc")) {
+    C = (C >> 1) + ((C & 1) << 15);
+    C = (C + static_cast<unsigned char>(Ch)) & 65535;
+  }
+  EXPECT_EQ(runWorkloadConcrete("sum", 1, 8, {"abc"}),
+            (std::vector<uint64_t>{C, 3}));
+}
+
+//===----------------------------------------------------------------------===
+// Symbolic exploration cross-check: every generated test replays cleanly
+//===----------------------------------------------------------------------===
+
+class WorkloadReplayTest : public ::testing::TestWithParam<WorkloadParam> {};
+
+TEST_P(WorkloadReplayTest, GeneratedTestsReplayToRecordedOutcome) {
+  const WorkloadParam &P = GetParam();
+  const Workload *W = findWorkload(P.Name);
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, P.N, P.L);
+  ASSERT_TRUE(CR.ok());
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::QCE;
+  C.UseDSM = true;
+  C.Driving = SymbolicRunner::Strategy::Coverage;
+  C.Engine.MaxSeconds = 20;
+  SymbolicRunner Runner(*CR.M, C);
+  RunResult R = Runner.run();
+  ASSERT_TRUE(R.Stats.Exhausted);
+  ASSERT_FALSE(R.Tests.empty());
+  for (const TestCase &T : R.Tests) {
+    ReplayResult RR = replayTest(*CR.M, Runner.context(), T);
+    EXPECT_EQ(T.Kind == TestKind::Halt,
+              RR.K == ReplayResult::Kind::Halt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Selected, WorkloadReplayTest,
+    ::testing::Values(WorkloadParam{"echo", 2, 3},
+                      WorkloadParam{"sleep", 2, 3},
+                      WorkloadParam{"basename", 1, 4},
+                      WorkloadParam{"nice", 2, 3},
+                      WorkloadParam{"wc", 1, 4},
+                      WorkloadParam{"tsort", 1, 4}),
+    [](const ::testing::TestParamInfo<WorkloadParam> &Info) {
+      return std::string(Info.param.Name) + "_N" +
+             std::to_string(Info.param.N) + "_L" +
+             std::to_string(Info.param.L);
+    });

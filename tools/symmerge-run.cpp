@@ -1,0 +1,290 @@
+//===- symmerge-run.cpp - Command-line symbolic execution driver -------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The command-line face of the engine, in the spirit of the `klee`
+/// binary: takes a MiniC file, explores it under a chosen configuration,
+/// and prints the generated test cases and run statistics.
+///
+///   symmerge-run [options] program.mc
+///
+///   --mode=<plain|ssm-all|ssm-qce|ssm-qce-full|dsm-qce>   (default plain)
+///   --search=<dfs|bfs|random|random-path|coverage|topological>        (driving)
+///   --alpha=<float>  --beta=<float>  --kappa=<int>  --zeta=<float>
+///   --delta=<int>            DSM history depth (blocks)
+///   --max-steps=<n>  --max-seconds=<float>  --max-tests=<n>
+///   --seed=<n>
+///   --exact-paths            track exact path counts (slow)
+///   --no-tests               skip model generation
+///   --dump-ir                print the lowered IR and exit
+///   --dump-qce               print QCE annotations and exit
+///   --stats                  print the engine statistics block
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QCE.h"
+#include "core/Driver.h"
+#include "core/Replay.h"
+#include "expr/ExprUtil.h"
+#include "lang/Lower.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace symmerge;
+
+namespace {
+
+struct CliOptions {
+  std::string InputPath;
+  SymbolicRunner::Config Config;
+  bool DumpIR = false;
+  bool DumpQCE = false;
+  bool PrintStats = false;
+  bool NoTests = false;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] program.mc\n"
+      "  --mode=plain|ssm-all|ssm-qce|ssm-qce-full|dsm-qce\n"
+      "  --search=dfs|bfs|random|random-path|coverage|topological\n"
+      "  --alpha=F --beta=F --kappa=N --zeta=F --delta=N\n"
+      "  --max-steps=N --max-seconds=F --max-tests=N --seed=N\n"
+      "  --exact-paths --no-tests --dump-ir --dump-qce --stats\n",
+      Argv0);
+}
+
+bool parseMode(const std::string &V, SymbolicRunner::Config &C) {
+  if (V == "plain") {
+    C.Merge = SymbolicRunner::MergeMode::None;
+    return true;
+  }
+  if (V == "ssm-all") {
+    C.Merge = SymbolicRunner::MergeMode::All;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    return true;
+  }
+  if (V == "ssm-qce") {
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    return true;
+  }
+  if (V == "ssm-qce-full") {
+    C.Merge = SymbolicRunner::MergeMode::QCEFull;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    return true;
+  }
+  if (V == "dsm-qce") {
+    C.Merge = SymbolicRunner::MergeMode::QCE;
+    C.UseDSM = true;
+    C.Driving = SymbolicRunner::Strategy::Coverage;
+    return true;
+  }
+  return false;
+}
+
+bool parseSearch(const std::string &V, SymbolicRunner::Config &C) {
+  if (V == "dfs")
+    C.Driving = SymbolicRunner::Strategy::DFS;
+  else if (V == "bfs")
+    C.Driving = SymbolicRunner::Strategy::BFS;
+  else if (V == "random")
+    C.Driving = SymbolicRunner::Strategy::Random;
+  else if (V == "random-path")
+    C.Driving = SymbolicRunner::Strategy::RandomPath;
+  else if (V == "coverage")
+    C.Driving = SymbolicRunner::Strategy::Coverage;
+  else if (V == "topological")
+    C.Driving = SymbolicRunner::Strategy::Topological;
+  else
+    return false;
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return Arg.compare(0, N, Prefix) == 0 ? Arg.c_str() + N : nullptr;
+    };
+    if (const char *V = Value("--mode=")) {
+      if (!parseMode(V, Opts.Config))
+        return false;
+    } else if (const char *V = Value("--search=")) {
+      if (!parseSearch(V, Opts.Config))
+        return false;
+    } else if (const char *V = Value("--alpha=")) {
+      Opts.Config.QCE.Alpha = std::atof(V);
+    } else if (const char *V = Value("--beta=")) {
+      Opts.Config.QCE.Beta = std::atof(V);
+    } else if (const char *V = Value("--kappa=")) {
+      Opts.Config.QCE.Kappa = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--zeta=")) {
+      Opts.Config.QCE.Zeta = std::atof(V);
+    } else if (const char *V = Value("--delta=")) {
+      Opts.Config.Engine.HistoryDelta = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--max-steps=")) {
+      Opts.Config.Engine.MaxSteps = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--max-seconds=")) {
+      Opts.Config.Engine.MaxSeconds = std::atof(V);
+    } else if (const char *V = Value("--max-tests=")) {
+      Opts.Config.Engine.MaxTests = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--seed=")) {
+      Opts.Config.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--exact-paths") {
+      Opts.Config.Engine.TrackExactPaths = true;
+    } else if (Arg == "--no-tests") {
+      Opts.NoTests = true;
+    } else if (Arg == "--dump-ir") {
+      Opts.DumpIR = true;
+    } else if (Arg == "--dump-qce") {
+      Opts.DumpQCE = true;
+    } else if (Arg == "--stats") {
+      Opts.PrintStats = true;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      if (!Opts.InputPath.empty())
+        return false;
+      Opts.InputPath = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !Opts.InputPath.empty();
+}
+
+void dumpQce(const Module &M) {
+  ProgramInfo PI(M);
+  QCEAnalysis QCE(PI, QCEParams{});
+  for (const auto &F : M.functions()) {
+    std::printf("func %s: entry Qt = %.4f\n", F->name().c_str(),
+                QCE.info(F.get()).EntryQt);
+    for (const auto &BB : F->blocks()) {
+      std::printf("  %s: Qt=%.4f hot={", BB->name().c_str(),
+                  QCE.qtAt(BB.get()));
+      bool First = true;
+      double Qt = QCE.qtAt(BB.get());
+      for (size_t L = 0; L < F->locals().size(); ++L) {
+        if (!QCE.isHot(BB.get(), static_cast<int>(L), Qt))
+          continue;
+        std::printf("%s%s", First ? "" : ", ", F->locals()[L].Name.c_str());
+        First = false;
+      }
+      std::printf("}\n");
+    }
+  }
+}
+
+const char *testKindName(TestKind K) {
+  switch (K) {
+  case TestKind::Halt:
+    return "halt";
+  case TestKind::AssertFailure:
+    return "assert-failure";
+  case TestKind::OutOfBounds:
+    return "out-of-bounds";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(Opts.InputPath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n",
+                 Opts.InputPath.c_str());
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  CompileResult CR = compileMiniC(Buffer.str());
+  if (!CR.ok()) {
+    for (const Diagnostic &D : CR.Diags)
+      std::fprintf(stderr, "%s:%s\n", Opts.InputPath.c_str(),
+                   D.str().c_str());
+    return 1;
+  }
+
+  if (Opts.DumpIR) {
+    std::fputs(CR.M->str().c_str(), stdout);
+    return 0;
+  }
+  if (Opts.DumpQCE) {
+    dumpQce(*CR.M);
+    return 0;
+  }
+
+  Opts.Config.Engine.CollectTests = !Opts.NoTests;
+  SymbolicRunner Runner(*CR.M, Opts.Config);
+  RunResult R = Runner.run();
+
+  std::printf("SymMerge: %s: %s after %.3fs\n", Opts.InputPath.c_str(),
+              R.Stats.Exhausted ? "exploration complete"
+                                : "budget exhausted",
+              R.Stats.WallSeconds);
+
+  for (size_t I = 0; I < R.Tests.size(); ++I) {
+    const TestCase &T = R.Tests[I];
+    std::printf("test %zu: %s%s%s\n", I + 1, testKindName(T.Kind),
+                T.Message.empty() ? "" : " — ",
+                T.Message.c_str());
+    // Print the assignment sorted by variable name for determinism.
+    std::vector<std::pair<std::string, uint64_t>> Items;
+    for (const auto &[Var, Val] : T.Inputs.values())
+      Items.push_back({Var->varName(), Val});
+    std::sort(Items.begin(), Items.end());
+    for (const auto &[Name, Val] : Items)
+      std::printf("  %s = %llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(Val));
+  }
+
+  if (Opts.PrintStats) {
+    const EngineStats &S = R.Stats;
+    std::printf("-- stats --\n");
+    std::printf("instructions     %llu\n",
+                static_cast<unsigned long long>(S.Steps));
+    std::printf("forks            %llu\n",
+                static_cast<unsigned long long>(S.Forks));
+    std::printf("merges           %llu (ites introduced: %llu)\n",
+                static_cast<unsigned long long>(S.Merges),
+                static_cast<unsigned long long>(S.MergedItes));
+    std::printf("completed states %llu (multiplicity %.0f)\n",
+                static_cast<unsigned long long>(S.CompletedStates),
+                S.CompletedMultiplicity);
+    if (Opts.Config.Engine.TrackExactPaths)
+      std::printf("exact paths      %llu\n",
+                  static_cast<unsigned long long>(S.ExactPathsCompleted));
+    std::printf("bug reports      %llu\n",
+                static_cast<unsigned long long>(S.Errors));
+    std::printf("max worklist     %llu\n",
+                static_cast<unsigned long long>(S.MaxWorklist));
+    std::printf("fast-forwards    %llu (merged: %llu)\n",
+                static_cast<unsigned long long>(S.FastForwardSelections),
+                static_cast<unsigned long long>(S.FastForwardMerges));
+    std::printf("solver queries   %llu (core: %llu, %.3fs)\n",
+                static_cast<unsigned long long>(S.SolverQueries),
+                static_cast<unsigned long long>(S.SolverCoreQueries),
+                S.SolverSeconds);
+    std::printf("coverage         %.1f%%\n",
+                100 * Runner.coverage().statementCoverage());
+  }
+  return R.bugCount() ? 3 : 0;
+}

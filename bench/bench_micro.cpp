@@ -104,6 +104,80 @@ static void BM_SolverMergedIteQuery(benchmark::State &State) {
 }
 BENCHMARK(BM_SolverMergedIteQuery);
 
+namespace {
+
+/// The branch-point query shape Algorithm 1's `follow` produces: a path
+/// condition of \p Depth conjuncts shared by both polarities of a fresh
+/// branch condition. Returns {PC, Cond}.
+std::pair<Query, ExprRef> makeBranchPoint(ExprContext &Ctx, int Depth) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  Query PC;
+  ExprRef V = X;
+  for (int I = 0; I < Depth; ++I) {
+    V = Ctx.mkAdd(Ctx.mkMul(V, Ctx.mkConst(3, 32)), Y);
+    PC.Constraints.push_back(
+        Ctx.mkUlt(V, Ctx.mkConst(100000 + I * 7919, 32)));
+  }
+  ExprRef Cond = Ctx.mkUlt(Ctx.mkAdd(X, Y), Ctx.mkConst(500, 32));
+  return {PC, Cond};
+}
+
+} // namespace
+
+/// Both polarities of a branch decided against one incremental session:
+/// the path condition is encoded once, the CDCL core keeps its state.
+static void BM_SolverBranchIncrementalSession(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto [PC, Cond] = makeBranchPoint(Ctx, static_cast<int>(State.range(0)));
+  ExprRef NotCond = Ctx.mkNot(Cond);
+  const SolverQueryStats Before = solverStats();
+  for (auto _ : State) {
+    auto Sess = Core->openSession();
+    for (ExprRef E : PC.Constraints)
+      Sess->assert_(E);
+    benchmark::DoNotOptimize(Sess->checkSatAssuming(Cond));
+    benchmark::DoNotOptimize(Sess->checkSatAssuming(NotCond));
+  }
+  const SolverQueryStats &S = solverStats();
+  using benchmark::Counter;
+  State.counters["encode_hits"] =
+      Counter(static_cast<double>(S.EncodeCacheHits - Before.EncodeCacheHits),
+              Counter::kAvgIterations);
+  State.counters["core_s"] = Counter(
+      S.CoreSolveSeconds - Before.CoreSolveSeconds, Counter::kAvgIterations);
+  State.counters["encode_s"] = Counter(S.EncodeSeconds - Before.EncodeSeconds,
+                                       Counter::kAvgIterations);
+}
+BENCHMARK(BM_SolverBranchIncrementalSession)->Arg(2)->Arg(8)->Arg(16);
+
+/// The fresh-instance baseline (Config::SolverIncremental = false): the
+/// same branch point decided as two one-shot queries, each re-encoding
+/// the whole path condition into a new SAT instance.
+static void BM_SolverBranchFreshBaseline(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/false);
+  auto [PC, Cond] = makeBranchPoint(Ctx, static_cast<int>(State.range(0)));
+  ExprRef NotCond = Ctx.mkNot(Cond);
+  const SolverQueryStats Before = solverStats();
+  for (auto _ : State) {
+    auto Sess = Core->openSession(); // Fallback one-shot session.
+    for (ExprRef E : PC.Constraints)
+      Sess->assert_(E);
+    benchmark::DoNotOptimize(Sess->checkSatAssuming(Cond));
+    benchmark::DoNotOptimize(Sess->checkSatAssuming(NotCond));
+  }
+  const SolverQueryStats &S = solverStats();
+  using benchmark::Counter;
+  State.counters["core_s"] = Counter(
+      S.CoreSolveSeconds - Before.CoreSolveSeconds, Counter::kAvgIterations);
+  State.counters["encode_s"] = Counter(S.EncodeSeconds - Before.EncodeSeconds,
+                                       Counter::kAvgIterations);
+}
+BENCHMARK(BM_SolverBranchFreshBaseline)->Arg(2)->Arg(8)->Arg(16);
+
 static void BM_SolverCachedQuery(benchmark::State &State) {
   ExprContext Ctx;
   auto S = createDefaultSolver(Ctx);

@@ -12,8 +12,10 @@ static std::unique_ptr<Solver> makeSolverStack(ExprContext &Ctx,
                                                uint64_t ConflictBudget,
                                                bool UseCache,
                                                bool UseIndependence,
-                                               bool UseSimplify) {
-  std::unique_ptr<Solver> S = createCoreSolver(Ctx, ConflictBudget);
+                                               bool UseSimplify,
+                                               bool UseIncremental) {
+  std::unique_ptr<Solver> S =
+      createCoreSolver(Ctx, ConflictBudget, UseIncremental);
   if (UseCache)
     S = createCachingSolver(Ctx, std::move(S));
   if (UseSimplify)
@@ -26,7 +28,8 @@ static std::unique_ptr<Solver> makeSolverStack(ExprContext &Ctx,
 SymbolicRunner::SymbolicRunner(const Module &M, Config C)
     : M(M), Cfg(C), PI(M),
       TheSolver(makeSolverStack(Ctx, C.SolverConflictBudget, C.SolverCache,
-                                C.SolverIndependence, C.SolverSimplify)),
+                                C.SolverIndependence, C.SolverSimplify,
+                                C.SolverIncremental)),
       Cov(M) {
   if (Cfg.Merge == MergeMode::QCE || Cfg.Merge == MergeMode::QCEFull ||
       Cfg.UseDSM)

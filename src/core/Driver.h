@@ -64,9 +64,19 @@ public:
     /// SAT conflict budget per query (0 = unlimited).
     uint64_t SolverConflictBudget = 0;
     /// Solver stack toggles (ablations; all on for production use).
+    /// Note: with SolverIncremental on, the engine's feasibility checks
+    /// go through native core sessions and bypass these layers — the
+    /// toggles then only affect one-shot queries (test generation,
+    /// shadow paths). Set SolverIncremental = false to ablate them on
+    /// the full query stream.
     bool SolverCache = true;
     bool SolverIndependence = true;
     bool SolverSimplify = true;
+    /// Incremental solver sessions: branch points assert the path
+    /// condition once into a persistent SAT instance and decide both
+    /// polarities as assumption queries. Off = the fresh-instance
+    /// baseline (one-shot queries through the layered stack).
+    bool SolverIncremental = true;
   };
 
   SymbolicRunner(const Module &M, Config C);

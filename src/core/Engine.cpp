@@ -107,6 +107,14 @@ void Engine::pushHistory(ExecutionState &S) {
     S.History.pop_front();
 }
 
+std::unique_ptr<SolverSession> Engine::openPathSession(
+    const ExecutionState &S) {
+  std::unique_ptr<SolverSession> Sess = TheSolver.openSession();
+  for (ExprRef P : S.PC)
+    Sess->assert_(P);
+  return Sess;
+}
+
 void Engine::addConstraint(ExecutionState &S, ExprRef E) {
   if (E->isTrue())
     return;
@@ -215,11 +223,11 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     }
     ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
     if (Opts.CheckArrayBounds) {
-      Query Q(S.PC);
-      if (TheSolver.mayBeFalse(Q, InBound)) {
+      std::unique_ptr<SolverSession> Sess = openPathSession(S);
+      if (Sess->mayBeFalse(InBound)) {
         emitBugReport(S, TestKind::OutOfBounds,
                       "array load may be out of bounds", Ctx.mkNot(InBound));
-        if (!TheSolver.mayBeTrue(Q, InBound)) {
+        if (!Sess->mayBeTrue(InBound)) {
           S.Status = StateStatus::Errored;
           return StepEnd::Boundary;
         }
@@ -255,12 +263,12 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     }
     ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
     if (Opts.CheckArrayBounds) {
-      Query Q(S.PC);
-      if (TheSolver.mayBeFalse(Q, InBound)) {
+      std::unique_ptr<SolverSession> Sess = openPathSession(S);
+      if (Sess->mayBeFalse(InBound)) {
         emitBugReport(S, TestKind::OutOfBounds,
                       "array store may be out of bounds",
                       Ctx.mkNot(InBound));
-        if (!TheSolver.mayBeTrue(Q, InBound)) {
+        if (!Sess->mayBeTrue(InBound)) {
           S.Status = StateStatus::Errored;
           return StepEnd::Boundary;
         }
@@ -332,9 +340,13 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
       transferTo(S, C->isTrue() ? I.Target1 : I.Target2);
       return StepEnd::Boundary;
     }
-    Query Q(S.PC);
-    bool MayTrue = TheSolver.mayBeTrue(Q, C);
-    bool MayFalse = TheSolver.mayBeFalse(Q, C);
+    // One solver session per branch point: the path condition is
+    // asserted (and, with incremental sessions, Tseitin-encoded) once;
+    // both polarities of Algorithm 1's `follow` check are decided as
+    // assumption queries against the shared prefix.
+    std::unique_ptr<SolverSession> Sess = openPathSession(S);
+    bool MayTrue = Sess->mayBeTrue(C);
+    bool MayFalse = Sess->mayBeFalse(C);
     if (MayTrue && MayFalse) {
       ++Result.Stats.Forks;
       ++S.ForkDepth;
@@ -373,10 +385,10 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
       S.Status = StateStatus::Errored;
       return StepEnd::Boundary;
     }
-    Query Q(S.PC);
-    if (TheSolver.mayBeFalse(Q, C)) {
+    std::unique_ptr<SolverSession> Sess = openPathSession(S);
+    if (Sess->mayBeFalse(C)) {
       emitBugReport(S, TestKind::AssertFailure, I.Message, Ctx.mkNot(C));
-      if (!TheSolver.mayBeTrue(Q, C)) {
+      if (!Sess->mayBeTrue(C)) {
         S.Status = StateStatus::Errored;
         return StepEnd::Boundary;
       }
@@ -388,7 +400,10 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
 
   case Opcode::Assume: {
     ExprRef C = evalOperand(S, I.A);
-    if (C->isFalse() || !TheSolver.mayBeTrue(Query(S.PC), C)) {
+    // Only open a session (and encode the path condition) when the
+    // assumption actually needs a solver check.
+    if (C->isFalse() ||
+        (!C->isTrue() && !openPathSession(S)->mayBeTrue(C))) {
       S.Status = StateStatus::Dead;
       return StepEnd::Boundary;
     }
@@ -543,6 +558,14 @@ RunResult Engine::run() {
   Result.Stats.SolverCoreQueries = Now.CoreQueries - Baseline.CoreQueries;
   Result.Stats.SolverSeconds =
       Now.CoreSolveSeconds - Baseline.CoreSolveSeconds;
+  Result.Stats.SolverSessions =
+      Now.SessionsOpened - Baseline.SessionsOpened;
+  Result.Stats.SolverAssumptionQueries =
+      Now.AssumptionQueries - Baseline.AssumptionQueries;
+  Result.Stats.SolverEncodeCacheHits =
+      Now.EncodeCacheHits - Baseline.EncodeCacheHits;
+  Result.Stats.SolverEncodeSeconds =
+      Now.EncodeSeconds - Baseline.EncodeSeconds;
 
   // Drain remaining states so repeated runs start clean.
   while (!Search.empty()) {

@@ -84,6 +84,11 @@ private:
   StepEnd executeInstr(ExecutionState &S,
                        std::vector<ExecutionState *> &NewStates);
 
+  /// Opens a solver session with \p S's path condition asserted once.
+  /// Branch polarities, assertion checks, and bounds checks are then
+  /// decided as assumption queries against the shared prefix.
+  std::unique_ptr<SolverSession> openPathSession(const ExecutionState &S);
+
   void transferTo(ExecutionState &S, const BasicBlock *BB);
   void pushHistory(ExecutionState &S);
   void addConstraint(ExecutionState &S, ExprRef E);

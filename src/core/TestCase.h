@@ -58,6 +58,13 @@ struct EngineStats {
   uint64_t SolverQueries = 0;     ///< Top-level queries during the run.
   uint64_t SolverCoreQueries = 0; ///< Queries that missed every cache.
   double SolverSeconds = 0;       ///< Wall time inside the SAT core.
+  uint64_t SolverSessions = 0;    ///< Solver sessions opened (one per
+                                  ///< branch point / check site).
+  uint64_t SolverAssumptionQueries = 0; ///< checkSatAssuming decisions.
+  uint64_t SolverEncodeCacheHits = 0;   ///< Expr nodes reused from a
+                                        ///< session's persistent encoding.
+  double SolverEncodeSeconds = 0; ///< Wall time Tseitin-encoding (subset
+                                  ///< of SolverSeconds).
 };
 
 /// Everything a run produced.

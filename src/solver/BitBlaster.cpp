@@ -245,8 +245,11 @@ BitBlaster::Bits BitBlaster::mkShift(const Bits &A, const Bits &Amount,
 
 BitBlaster::Bits BitBlaster::lower(ExprRef E) {
   auto It = Lowered.find(E);
-  if (It != Lowered.end())
+  if (It != Lowered.end()) {
+    ++TheStats.CacheHits;
     return It->second;
+  }
+  ++TheStats.NodesLowered;
 
   Bits Out;
   unsigned W = E->width();
@@ -387,6 +390,11 @@ void BitBlaster::assertTrue(ExprRef E) {
   assert(E->width() == 1 && "only width-1 expressions can be asserted");
   Lit L = lower(E)[0];
   S.addClause(L);
+}
+
+Lit BitBlaster::literalFor(ExprRef E) {
+  assert(E->width() == 1 && "only width-1 expressions denote literals");
+  return lower(E)[0];
 }
 
 const std::vector<Lit> *BitBlaster::varBits(ExprRef V) const {

@@ -12,6 +12,12 @@
 /// SMT-LIB semantics implemented by ExprContext's constant folder, so the
 /// solver, the evaluator, and the folder always agree.
 ///
+/// The ExprRef -> literal memo table persists for the blaster's lifetime,
+/// so when one BitBlaster is kept alive across successive queries of an
+/// incremental solver session, a constraint (or any subterm) shared by
+/// those queries is Tseitin-encoded exactly once; stats() counts the hits
+/// and misses, which the solver layer surfaces as encoding-cache counters.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYMMERGE_SOLVER_BITBLASTER_H
@@ -25,6 +31,12 @@
 
 namespace symmerge {
 
+/// Encoding-cache counters of one BitBlaster.
+struct BitBlastStats {
+  uint64_t NodesLowered = 0; ///< Expression nodes Tseitin-encoded.
+  uint64_t CacheHits = 0;    ///< Nodes served from the persistent memo.
+};
+
 /// Lowers expressions into a SatSolver. One BitBlaster per SAT instance.
 class BitBlaster {
 public:
@@ -33,6 +45,11 @@ public:
   /// Asserts that the width-1 expression \p E is true.
   void assertTrue(ExprRef E);
 
+  /// Returns a literal equivalent to the width-1 expression \p E without
+  /// asserting it — the handle incremental sessions pass to
+  /// SatSolver::solveAssuming.
+  sat::Lit literalFor(ExprRef E);
+
   /// Returns the SAT variables backing symbolic variable \p V (LSB first),
   /// or nullptr if \p V never occurred in an asserted expression.
   const std::vector<sat::Lit> *varBits(ExprRef V) const;
@@ -40,6 +57,8 @@ public:
   /// Reads back the value of symbolic variable \p V from the SAT model.
   /// Unconstrained bits read as zero.
   uint64_t modelValue(ExprRef V) const;
+
+  const BitBlastStats &stats() const { return TheStats; }
 
 private:
   using Bits = std::vector<sat::Lit>;
@@ -74,6 +93,7 @@ private:
   sat::Lit TrueLit;
   std::unordered_map<ExprRef, Bits> Lowered;
   std::unordered_map<ExprRef, Bits> VarMap;
+  BitBlastStats TheStats;
 };
 
 } // namespace symmerge

@@ -248,6 +248,34 @@ void SatSolver::analyze(Clause *Conflict, std::vector<Lit> &Learnt,
     Seen[var(L)] = 0;
 }
 
+void SatSolver::analyzeFinal(Lit P) {
+  // \p P is an assumption literal that is currently false. Walk the
+  // implication graph backwards from it and collect every assumption
+  // (= decision below the assumption levels) its falsification rests on.
+  FailedAssumptions.clear();
+  FailedAssumptions.push_back(P);
+  if (decisionLevel() == 0)
+    return; // Refuted by unit propagation alone: P fails by itself.
+  Seen[var(P)] = 1;
+  for (size_t I = Trail.size(); I-- > static_cast<size_t>(TrailLim[0]);) {
+    Var V = var(Trail[I]);
+    if (!Seen[V])
+      continue;
+    if (!Reasons[V]) {
+      // A decision below the assumption levels is itself an assumption;
+      // the trail holds it with the polarity the caller assumed.
+      FailedAssumptions.push_back(Trail[I]);
+    } else {
+      for (Lit Q : Reasons[V]->Lits) {
+        if (Levels[var(Q)] > 0)
+          Seen[var(Q)] = 1;
+      }
+    }
+    Seen[V] = 0;
+  }
+  Seen[var(P)] = 0;
+}
+
 void SatSolver::backtrack(int Level) {
   if (decisionLevel() <= Level)
     return;
@@ -323,8 +351,11 @@ uint64_t SatSolver::luby(uint64_t I) {
   return 1ULL << Seq;
 }
 
-bool SatSolver::solve(uint64_t ConflictBudget) {
+bool SatSolver::solveAssuming(const std::vector<Lit> &Assumptions,
+                              uint64_t ConflictBudget) {
+  assert(decisionLevel() == 0 && "solve must start at the root");
   BudgetExceeded = false;
+  FailedAssumptions.clear();
   if (!Ok)
     return false;
 
@@ -344,8 +375,12 @@ bool SatSolver::solve(uint64_t ConflictBudget) {
         ++Stats.Conflicts;
         ++TotalConflicts;
         ++RestartConflicts;
-        if (decisionLevel() == 0)
-          return false; // Refuted at the root: UNSAT.
+        if (decisionLevel() == 0) {
+          // Refuted at the root, independent of any assumptions: the
+          // instance is permanently UNSAT.
+          Ok = false;
+          return false;
+        }
         int BackLevel = 0;
         analyze(Conflict, Learnt, BackLevel);
         backtrack(BackLevel);
@@ -373,12 +408,34 @@ bool SatSolver::solve(uint64_t ConflictBudget) {
       // No conflict.
       if (RestartConflicts >= RestartLimit) {
         backtrack(0);
-        break; // Restart.
+        break; // Restart; the assumptions are re-established below.
       }
       if (Learnts.size() > std::max<size_t>(10000, 2 * Clauses.size()))
         reduceDB();
 
-      Lit Next = pickBranchLit();
+      // Establish the pending assumptions first, one decision level per
+      // assumption (MiniSat's scheme: level I+1 belongs to assumption I,
+      // with an empty level when the assumption is already implied).
+      Lit Next = LitUndef;
+      while (decisionLevel() < static_cast<int>(Assumptions.size())) {
+        Lit A = Assumptions[decisionLevel()];
+        assert(var(A) < numVars() && "assumption over unknown variable");
+        if (value(A) == LBool::True) {
+          TrailLim.push_back(static_cast<int>(Trail.size()));
+          continue;
+        }
+        if (value(A) == LBool::False) {
+          // The instance plus the earlier assumptions refute this one.
+          analyzeFinal(A);
+          backtrack(0);
+          return false;
+        }
+        Next = A;
+        break;
+      }
+
+      if (Next == LitUndef)
+        Next = pickBranchLit();
       if (Next == LitUndef) {
         // All variables assigned: satisfiable.
         Model = Assigns;

@@ -11,6 +11,15 @@
 /// clause reduction. It is the decision procedure underneath the bitvector
 /// bitblaster and plays the role STP played for the paper's prototype.
 ///
+/// The solver is incremental: clauses and variables may be added between
+/// solves, and solveAssuming() decides the instance under a conjunction of
+/// assumption literals without committing them, MiniSat-style — the
+/// assumptions occupy the lowest decision levels, every solve backtracks
+/// to the root on exit, and learnt clauses, variable activities, and saved
+/// phases all carry over to the next call. This is what lets a solver
+/// session decide both polarities of a branch condition against one
+/// persistent encoding of the path condition.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYMMERGE_SOLVER_SAT_H
@@ -67,9 +76,10 @@ struct SatStats {
 };
 
 /// CDCL solver. Usage: newVar()/addClause() to build the instance, then
-/// solve(). The solver is single-shot per instance in this codebase (each
-/// bitblasted query builds a fresh instance), though solve() may be called
-/// repeatedly.
+/// solve() or solveAssuming(). The instance stays usable after every
+/// solve: more variables and clauses may be added and further solve calls
+/// issued, reusing the learnt-clause database and branching heuristics
+/// accumulated so far.
 class SatSolver {
 public:
   SatSolver();
@@ -96,11 +106,32 @@ public:
   /// Runs the CDCL search. Returns true if satisfiable. \p ConflictBudget
   /// bounds the number of conflicts (0 = unlimited); if exhausted, returns
   /// false with budgetExceeded() set.
-  bool solve(uint64_t ConflictBudget = 0);
+  bool solve(uint64_t ConflictBudget = 0) { return solveAssuming({}, ConflictBudget); }
+
+  /// Decides the instance under the given assumption literals without
+  /// permanently asserting them. Returns true if satisfiable together
+  /// with the assumptions. On unsatisfiability caused by the assumptions,
+  /// failedAssumptions() names the subset responsible; on
+  /// assumption-independent unsatisfiability it is empty and the solver
+  /// stays unsat forever (okay() turns false). Learnt clauses, activities
+  /// and phases persist across calls.
+  bool solveAssuming(const std::vector<Lit> &Assumptions,
+                     uint64_t ConflictBudget = 0);
 
   /// True if the last solve() stopped on the conflict budget rather than
   /// proving unsatisfiability.
   bool budgetExceeded() const { return BudgetExceeded; }
+
+  /// After an unsatisfiable solveAssuming(): the subset of the assumption
+  /// literals whose conjunction the instance refutes. Empty when the
+  /// instance is unsatisfiable regardless of assumptions.
+  const std::vector<Lit> &failedAssumptions() const {
+    return FailedAssumptions;
+  }
+
+  /// False once the clause database itself (independent of assumptions)
+  /// has been proven unsatisfiable.
+  bool okay() const { return Ok; }
 
   /// Model value of \p V after a satisfiable solve().
   LBool modelValue(Var V) const {
@@ -128,6 +159,7 @@ private:
   void enqueue(Lit L, Clause *Reason);
   Clause *propagate();
   void analyze(Clause *Conflict, std::vector<Lit> &Learnt, int &OutLevel);
+  void analyzeFinal(Lit P);
   bool litRedundant(Lit L, uint32_t AbstractLevels);
   void backtrack(int Level);
   Lit pickBranchLit();
@@ -165,6 +197,7 @@ private:
   double ClauseInc = 1.0;
   bool Ok = true;
   bool BudgetExceeded = false;
+  std::vector<Lit> FailedAssumptions;
   SatStats Stats;
 };
 

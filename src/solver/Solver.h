@@ -9,7 +9,26 @@
 /// conjunction of width-1 constraints (the path condition). Solvers are
 /// stacked in layers, mirroring KLEE's architecture:
 ///
-///   IndependenceSolver -> CachingSolver -> CoreSolver (bitblast + CDCL)
+///   IndependenceSolver -> SimplifyingSolver -> CachingSolver -> CoreSolver
+///
+/// Two entry points exist:
+///
+///  - checkSat(Query, Model): the classic one-shot API. Each layer may
+///    absorb, split, or rewrite the query before it reaches the bitblast
+///    + CDCL core. Internally this is a thin shim over a one-shot
+///    session.
+///
+///  - openSession(): the incremental API this subsystem is designed
+///    around. A SolverSession holds solver state across queries:
+///    constraints asserted once stay encoded, and checkSatAssuming()
+///    decides a hypothesis against them without re-encoding anything
+///    already seen. The engine opens one session per branch point,
+///    asserts the path condition once, and decides both branch polarities
+///    as assumption queries — the shared prefix is Tseitin-encoded at
+///    most once and the CDCL core keeps its learnt clauses and heuristic
+///    state between the two checks. Sessions return a structured
+///    SolverResponse carrying the verdict, the model, the failed
+///    assumptions, and the encode/solve split of the time spent.
 ///
 /// The engine's `follow` feasibility checks (Algorithm 1) and test-case
 /// generation all go through this interface, and the per-query counters
@@ -56,7 +75,83 @@ struct SolverQueryStats {
   uint64_t CacheHits = 0;
   uint64_t SatResults = 0;
   uint64_t UnsatResults = 0;
-  double CoreSolveSeconds = 0; ///< Wall time spent inside the SAT core.
+  double CoreSolveSeconds = 0; ///< Wall time spent inside the SAT core
+                               ///< (encoding + search).
+  // Session API counters.
+  uint64_t SessionsOpened = 0;     ///< openSession calls (any kind).
+  uint64_t SessionQueries = 0;     ///< Checks issued through sessions.
+  uint64_t AssumptionQueries = 0;  ///< checkSatAssuming checks.
+  uint64_t EncodeCacheHits = 0;    ///< Expr nodes reused from a session's
+                                   ///< persistent Tseitin encoding.
+  uint64_t EncodeNodesLowered = 0; ///< Expr nodes freshly encoded.
+  double EncodeSeconds = 0;        ///< Wall time Tseitin-encoding in the
+                                   ///< core (subset of CoreSolveSeconds).
+};
+
+/// Structured result of one session check.
+struct SolverResponse {
+  SolverResult Result = SolverResult::Unknown;
+  /// On Sat, and only when the check requested a model: an assignment of
+  /// every variable occurring in the asserted constraints + assumptions.
+  VarAssignment Model;
+  /// On Unsat of a checkSatAssuming: the subset of the assumptions the
+  /// solver used to refute the query (empty when the asserted constraints
+  /// are unsatisfiable by themselves). Fallback sessions over one-shot
+  /// layers over-approximate this with the full assumption set.
+  std::vector<ExprRef> FailedAssumptions;
+  double EncodeSeconds = 0; ///< Time Tseitin-encoding new expression nodes.
+  double SolveSeconds = 0;  ///< Time deciding (CDCL search / layer work).
+
+  bool isSat() const { return Result == SolverResult::Sat; }
+  bool isUnsat() const { return Result == SolverResult::Unsat; }
+};
+
+/// An incremental solving session: constraints are asserted once and stay
+/// encoded; hypotheses are decided against them via assumptions. Obtained
+/// from Solver::openSession(); one session is intended to span queries
+/// that share a constraint prefix (a branch point, a bounds-check pair, a
+/// state's test-generation burst).
+///
+/// push()/pop() scope assertions: constraints asserted after a push() are
+/// retracted by the matching pop(). Native (incremental-core) sessions
+/// implement this with guard literals, so popping never re-encodes.
+class SolverSession {
+public:
+  explicit SolverSession(ExprContext &Ctx) : Ctx(Ctx) {}
+  virtual ~SolverSession();
+
+  /// Opens a new assertion scope.
+  virtual void push() = 0;
+  /// Retracts every constraint asserted since the matching push().
+  virtual void pop() = 0;
+  /// Asserts the width-1 constraint \p E for the rest of the current
+  /// scope's lifetime.
+  virtual void assert_(ExprRef E) = 0;
+
+  /// Decides the conjunction of the asserted constraints.
+  virtual SolverResponse checkSat(bool WantModel = false) = 0;
+
+  /// Decides asserted-constraints && all of \p Assumptions without
+  /// asserting them: the session state is unchanged afterwards.
+  virtual SolverResponse
+  checkSatAssuming(const std::vector<ExprRef> &Assumptions,
+                   bool WantModel = false) = 0;
+
+  SolverResponse checkSatAssuming(ExprRef Assumption,
+                                  bool WantModel = false) {
+    return checkSatAssuming(std::vector<ExprRef>{Assumption}, WantModel);
+  }
+
+  /// True if asserted && E is satisfiable (Unknown counts as true: the
+  /// engine never prunes on a resource limit).
+  bool mayBeTrue(ExprRef E);
+  /// True if asserted && !E is satisfiable.
+  bool mayBeFalse(ExprRef E);
+  /// True if E holds on every solution of the asserted constraints.
+  bool mustBeTrue(ExprRef E) { return !mayBeFalse(E); }
+
+protected:
+  ExprContext &Ctx;
 };
 
 /// Abstract solver. Implementations must be deterministic.
@@ -68,6 +163,19 @@ public:
   /// Decides the conjunction of \p Q. On Sat, fills \p Model (if non-null)
   /// with an assignment of every variable occurring in the query.
   virtual SolverResult checkSat(const Query &Q, VarAssignment *Model) = 0;
+
+  /// Opens an incremental session on this solver. When the underlying
+  /// core supports native incremental solving (see
+  /// supportsNativeSessions()), the session holds a persistent SAT
+  /// instance + encoding cache; otherwise a generic fallback session is
+  /// returned that replays the asserted constraints as one-shot
+  /// checkSat() queries through this solver (and thus still benefits
+  /// from every layer above the core).
+  virtual std::unique_ptr<SolverSession> openSession();
+
+  /// True when openSession() yields a natively incremental session.
+  /// Wrapper layers forward this from their inner solver.
+  virtual bool supportsNativeSessions() const { return false; }
 
   /// True if `Q && E` is satisfiable (Unknown counts as true, keeping the
   /// engine sound-for-exploration: it never prunes on an Unknown).
@@ -91,8 +199,13 @@ protected:
 
 /// Bitblasting solver: Tseitin-encodes the query and runs the CDCL core.
 /// \p ConflictBudget bounds each SAT call (0 = unlimited).
+/// \p IncrementalSessions selects what openSession() returns: a native
+/// incremental session (persistent SAT instance + encoding cache), or —
+/// when false, the measured fresh-instance baseline — a fallback session
+/// that builds a fresh encoding per query.
 std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
-                                         uint64_t ConflictBudget = 0);
+                                         uint64_t ConflictBudget = 0,
+                                         bool IncrementalSessions = true);
 
 /// Wraps \p Inner with a query-result cache.
 std::unique_ptr<Solver> createCachingSolver(ExprContext &Ctx,
@@ -114,7 +227,8 @@ std::unique_ptr<Solver> createIndependenceSolver(ExprContext &Ctx,
 /// total number of variable bits in the query to be at most ~24.
 std::unique_ptr<Solver> createBruteForceSolver(ExprContext &Ctx);
 
-/// The default production stack: independence -> cache -> core.
+/// The default production stack: independence -> simplify -> cache ->
+/// core, with native incremental sessions enabled.
 std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx,
                                             uint64_t ConflictBudget = 0);
 

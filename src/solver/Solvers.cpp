@@ -20,11 +20,24 @@
 using namespace symmerge;
 
 Solver::~Solver() = default;
+SolverSession::~SolverSession() = default;
 
 SolverQueryStats &symmerge::solverStats() {
   static SolverQueryStats Stats;
   return Stats;
 }
+
+bool SolverSession::mayBeTrue(ExprRef E) {
+  assert(E->width() == 1 && "feasibility check needs a boolean");
+  if (E->isTrue())
+    return true;
+  if (E->isFalse())
+    return false;
+  // Unknown counts as "may": a resource limit never prunes a path.
+  return !checkSatAssuming(E).isUnsat();
+}
+
+bool SolverSession::mayBeFalse(ExprRef E) { return mayBeTrue(Ctx.mkNot(E)); }
 
 bool Solver::mayBeTrue(const Query &Q, ExprRef E) {
   assert(E->width() == 1 && "feasibility check needs a boolean");
@@ -48,51 +61,289 @@ bool Solver::getModel(const Query &Q, VarAssignment &Model) {
 namespace {
 
 //===----------------------------------------------------------------------===
+// Sessions
+//===----------------------------------------------------------------------===
+
+/// Generic fallback session over any solver: remembers the asserted
+/// constraints and replays them as one-shot checkSat queries. Opened on a
+/// layered stack it still benefits from caching, equality substitution,
+/// and independence slicing — this is the measured fresh-instance
+/// baseline that incremental sessions are compared against.
+class QuerySession : public SolverSession {
+public:
+  QuerySession(ExprContext &Ctx, Solver &S) : SolverSession(Ctx), S(S) {}
+
+  void push() override { ScopeMarks.push_back(Asserted.size()); }
+
+  void pop() override {
+    assert(!ScopeMarks.empty() && "pop without matching push");
+    Asserted.resize(ScopeMarks.back());
+    ScopeMarks.pop_back();
+  }
+
+  void assert_(ExprRef E) override {
+    assert(E->width() == 1 && "only width-1 expressions can be asserted");
+    if (!E->isTrue())
+      Asserted.push_back(E);
+  }
+
+  SolverResponse checkSat(bool WantModel) override {
+    return checkSatAssuming(std::vector<ExprRef>{}, WantModel);
+  }
+
+  SolverResponse checkSatAssuming(const std::vector<ExprRef> &Assumptions,
+                                  bool WantModel) override {
+    ++solverStats().SessionQueries;
+    if (!Assumptions.empty())
+      ++solverStats().AssumptionQueries;
+    SolverResponse R;
+    Query Q(Asserted);
+    for (ExprRef A : Assumptions) {
+      if (A->isTrue())
+        continue;
+      if (A->isFalse()) {
+        R.Result = SolverResult::Unsat;
+        R.FailedAssumptions = {A};
+        return R;
+      }
+      Q.Constraints.push_back(A);
+    }
+    Timer T;
+    R.Result = S.checkSat(Q, WantModel ? &R.Model : nullptr);
+    R.SolveSeconds = T.seconds();
+    // One-shot layers cannot name the refuting subset; over-approximate
+    // with every assumption.
+    if (R.isUnsat())
+      R.FailedAssumptions = Assumptions;
+    return R;
+  }
+
+private:
+  Solver &S;
+  std::vector<ExprRef> Asserted;
+  std::vector<size_t> ScopeMarks;
+};
+
+//===----------------------------------------------------------------------===
 // CoreSolver: bitblast + CDCL
 //===----------------------------------------------------------------------===
 
+/// Natively incremental session: one persistent SAT instance plus one
+/// persistent Tseitin encoding for the session's whole lifetime.
+/// Root-scope constraints are asserted as plain clauses; scopes opened
+/// with push() guard their clauses behind a fresh activation literal that
+/// is assumed while the scope is active and permanently negated by pop(),
+/// so retraction never touches the clause database. checkSatAssuming
+/// lowers the hypothesis to a single literal and hands it to
+/// SatSolver::solveAssuming — nothing already encoded is encoded again,
+/// and the CDCL core carries its learnt clauses across checks.
+class IncrementalCoreSession : public SolverSession {
+public:
+  IncrementalCoreSession(ExprContext &Ctx, uint64_t ConflictBudget,
+                         bool Tracked)
+      : SolverSession(Ctx), ConflictBudget(ConflictBudget),
+        Tracked(Tracked), BB(S) {
+    Frames.push_back(Frame{sat::LitUndef, {}});
+  }
+
+  void push() override {
+    Timer T;
+    Frames.push_back(Frame{sat::mkLit(S.newVar()), {}});
+    PendingEncodeSeconds += T.seconds();
+  }
+
+  void pop() override {
+    assert(Frames.size() > 1 && "pop without matching push");
+    // Permanently disable the scope's guarded clauses; the guard variable
+    // is never assumed again.
+    S.addClause(~Frames.back().Guard);
+    Frames.pop_back();
+  }
+
+  void assert_(ExprRef E) override {
+    assert(E->width() == 1 && "only width-1 expressions can be asserted");
+    Frame &F = Frames.back();
+    F.Asserted.push_back(E);
+    if (E->isTrue())
+      return;
+    // Once the session is permanently unsat there is nothing to refine;
+    // skip the encoding work (the old one-shot core's early exit).
+    if (RootUnsat || !S.okay())
+      return;
+    Timer T;
+    if (E->isFalse()) {
+      if (Frames.size() == 1)
+        RootUnsat = true;
+      else
+        S.addClause(~F.Guard);
+    } else {
+      sat::Lit L = BB.literalFor(E);
+      if (Frames.size() == 1)
+        S.addClause(L);
+      else
+        S.addClause(~F.Guard, L);
+    }
+    PendingEncodeSeconds += T.seconds();
+    syncEncodeCounters();
+  }
+
+  SolverResponse checkSat(bool WantModel) override {
+    return checkSatAssuming(std::vector<ExprRef>{}, WantModel);
+  }
+
+  SolverResponse checkSatAssuming(const std::vector<ExprRef> &Assumptions,
+                                  bool WantModel) override {
+    SolverQueryStats &Stats = solverStats();
+    ++Stats.CoreQueries;
+    if (Tracked) {
+      ++Stats.Queries;
+      ++Stats.SessionQueries;
+      if (!Assumptions.empty())
+        ++Stats.AssumptionQueries;
+    }
+
+    SolverResponse R;
+    // Encoding done by assert_ since the last check is charged to this
+    // check's response; it happened outside Total, so the two add up.
+    const double AssertEncode = PendingEncodeSeconds;
+    R.EncodeSeconds = AssertEncode;
+    PendingEncodeSeconds = 0;
+    Timer Total;
+
+    // Lower the assumptions; a constant-false one fails by itself.
+    std::vector<sat::Lit> Lits;
+    std::vector<std::pair<sat::Lit, ExprRef>> LitExprs;
+    ExprRef TriviallyFalse = nullptr;
+    for (size_t I = 1; I < Frames.size(); ++I)
+      Lits.push_back(Frames[I].Guard);
+    for (ExprRef A : Assumptions) {
+      if (A->isTrue())
+        continue;
+      if (A->isFalse()) {
+        TriviallyFalse = A;
+        break;
+      }
+      Timer TE;
+      sat::Lit L = BB.literalFor(A);
+      R.EncodeSeconds += TE.seconds();
+      Lits.push_back(L);
+      LitExprs.push_back({L, A});
+    }
+    syncEncodeCounters();
+
+    if (RootUnsat || TriviallyFalse || !S.okay()) {
+      R.Result = SolverResult::Unsat;
+      if (TriviallyFalse)
+        R.FailedAssumptions = {TriviallyFalse};
+      ++Stats.UnsatResults;
+      finishTiming(Stats, R, Total, AssertEncode);
+      return R;
+    }
+
+    Timer TS;
+    bool IsSat = S.solveAssuming(Lits, ConflictBudget);
+    R.SolveSeconds = TS.seconds();
+
+    if (!IsSat && S.budgetExceeded()) {
+      R.Result = SolverResult::Unknown;
+    } else if (!IsSat) {
+      R.Result = SolverResult::Unsat;
+      ++Stats.UnsatResults;
+      // Map the failing literals back to the caller's assumptions;
+      // scope-guard literals stay internal.
+      for (sat::Lit L : S.failedAssumptions()) {
+        for (const auto &[AL, AE] : LitExprs) {
+          if (AL == L) {
+            R.FailedAssumptions.push_back(AE);
+            break;
+          }
+        }
+      }
+    } else {
+      R.Result = SolverResult::Sat;
+      ++Stats.SatResults;
+      if (WantModel) {
+        std::unordered_set<ExprRef> Seen;
+        std::vector<ExprRef> Vars;
+        for (const Frame &F : Frames)
+          for (ExprRef E : F.Asserted)
+            collectVars(E, Vars, Seen);
+        for (ExprRef A : Assumptions)
+          collectVars(A, Vars, Seen);
+        for (ExprRef V : Vars)
+          R.Model.set(V, BB.modelValue(V));
+      }
+    }
+    finishTiming(Stats, R, Total, AssertEncode);
+    return R;
+  }
+
+private:
+  struct Frame {
+    sat::Lit Guard; ///< LitUndef for the root scope.
+    std::vector<ExprRef> Asserted;
+  };
+
+  void syncEncodeCounters() {
+    SolverQueryStats &Stats = solverStats();
+    const BitBlastStats &B = BB.stats();
+    Stats.EncodeCacheHits += B.CacheHits - SyncedCacheHits;
+    Stats.EncodeNodesLowered += B.NodesLowered - SyncedNodesLowered;
+    SyncedCacheHits = B.CacheHits;
+    SyncedNodesLowered = B.NodesLowered;
+  }
+
+  void finishTiming(SolverQueryStats &Stats, SolverResponse &R,
+                    const Timer &Total, double AssertEncode) {
+    // CoreSolveSeconds keeps its historical meaning: everything spent in
+    // the core, encoding included. Assumption-encoding time is already
+    // inside Total; only the assert_-time encoding happened before it.
+    Stats.CoreSolveSeconds += Total.seconds() + AssertEncode;
+    Stats.EncodeSeconds += R.EncodeSeconds;
+  }
+
+  uint64_t ConflictBudget;
+  bool Tracked; ///< False when serving a one-shot checkSat shim.
+  sat::SatSolver S;
+  BitBlaster BB;
+  std::vector<Frame> Frames;
+  bool RootUnsat = false;
+  double PendingEncodeSeconds = 0;
+  uint64_t SyncedCacheHits = 0;
+  uint64_t SyncedNodesLowered = 0;
+};
+
 class CoreSolver : public Solver {
 public:
-  CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget)
-      : Solver(Ctx), ConflictBudget(ConflictBudget) {}
+  CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget, bool Incremental)
+      : Solver(Ctx), ConflictBudget(ConflictBudget),
+        Incremental(Incremental) {}
 
+  /// The one-shot entry point is a thin shim over a one-shot session, so
+  /// both APIs share a single encode-and-solve path.
   SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
-    ++solverStats().CoreQueries;
-    Timer T;
-    sat::SatSolver S;
-    BitBlaster BB(S);
-    for (ExprRef E : Q.Constraints) {
-      if (E->isFalse()) {
-        solverStats().CoreSolveSeconds += T.seconds();
-        ++solverStats().UnsatResults;
-        return SolverResult::Unsat;
-      }
-      if (E->isTrue())
-        continue;
-      BB.assertTrue(E);
-    }
-    bool IsSat = S.solve(ConflictBudget);
-    solverStats().CoreSolveSeconds += T.seconds();
-    if (!IsSat && S.budgetExceeded())
-      return SolverResult::Unknown;
-    if (!IsSat) {
-      ++solverStats().UnsatResults;
-      return SolverResult::Unsat;
-    }
-    ++solverStats().SatResults;
-    if (Model) {
-      std::unordered_set<ExprRef> Seen;
-      std::vector<ExprRef> Vars;
-      for (ExprRef E : Q.Constraints)
-        collectVars(E, Vars, Seen);
-      for (ExprRef V : Vars)
-        Model->set(V, BB.modelValue(V));
-    }
-    return SolverResult::Sat;
+    IncrementalCoreSession Sess(Ctx, ConflictBudget, /*Tracked=*/false);
+    for (ExprRef E : Q.Constraints)
+      Sess.assert_(E);
+    SolverResponse R = Sess.checkSat(Model != nullptr);
+    if (Model && R.isSat())
+      *Model = std::move(R.Model);
+    return R.Result;
+  }
+
+  bool supportsNativeSessions() const override { return Incremental; }
+
+  std::unique_ptr<SolverSession> openSession() override {
+    if (!Incremental)
+      return Solver::openSession();
+    ++solverStats().SessionsOpened;
+    return std::make_unique<IncrementalCoreSession>(Ctx, ConflictBudget,
+                                                    /*Tracked=*/true);
   }
 
 private:
   uint64_t ConflictBudget;
+  bool Incremental;
 };
 
 //===----------------------------------------------------------------------===
@@ -102,10 +353,27 @@ private:
 /// Caches results keyed by the sorted multiset of constraint node ids.
 /// Because expressions are hash-consed, two structurally equal queries
 /// always map to the same key.
+/// Session opening for wrapper layers: when the core supports native
+/// incremental sessions, the wrappers step aside and hand out the core's
+/// session directly — the persistent encoding replaces what the one-shot
+/// layers would have recomputed per query. Otherwise the generic fallback
+/// session is opened over the wrapper itself, so every one-shot
+/// optimization still applies to session queries.
+#define SYMMERGE_FORWARD_SESSIONS_TO_INNER()                                   \
+  bool supportsNativeSessions() const override {                               \
+    return Inner->supportsNativeSessions();                                    \
+  }                                                                            \
+  std::unique_ptr<SolverSession> openSession() override {                      \
+    return Inner->supportsNativeSessions() ? Inner->openSession()              \
+                                           : Solver::openSession();            \
+  }
+
 class CachingSolver : public Solver {
 public:
   CachingSolver(ExprContext &Ctx, std::unique_ptr<Solver> Inner)
       : Solver(Ctx), Inner(std::move(Inner)) {}
+
+  SYMMERGE_FORWARD_SESSIONS_TO_INNER()
 
   SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
     std::vector<uint64_t> Key;
@@ -160,6 +428,8 @@ class SimplifyingSolver : public Solver {
 public:
   SimplifyingSolver(ExprContext &Ctx, std::unique_ptr<Solver> Inner)
       : Solver(Ctx), Inner(std::move(Inner)) {}
+
+  SYMMERGE_FORWARD_SESSIONS_TO_INNER()
 
   /// If \p E pins a variable to a constant — `var == k`, possibly through
   /// zero-extensions (`zext(var) == k`, the shape branch conditions on
@@ -233,6 +503,8 @@ class IndependenceSolver : public Solver {
 public:
   IndependenceSolver(ExprContext &Ctx, std::unique_ptr<Solver> Inner)
       : Solver(Ctx), Inner(std::move(Inner)) {}
+
+  SYMMERGE_FORWARD_SESSIONS_TO_INNER()
 
   SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
     ++solverStats().Queries;
@@ -343,9 +615,16 @@ public:
 
 } // namespace
 
+std::unique_ptr<SolverSession> Solver::openSession() {
+  ++solverStats().SessionsOpened;
+  return std::make_unique<QuerySession>(Ctx, *this);
+}
+
 std::unique_ptr<Solver> symmerge::createCoreSolver(ExprContext &Ctx,
-                                                   uint64_t ConflictBudget) {
-  return std::make_unique<CoreSolver>(Ctx, ConflictBudget);
+                                                   uint64_t ConflictBudget,
+                                                   bool IncrementalSessions) {
+  return std::make_unique<CoreSolver>(Ctx, ConflictBudget,
+                                      IncrementalSessions);
 }
 
 std::unique_ptr<Solver>

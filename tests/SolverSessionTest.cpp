@@ -1,0 +1,295 @@
+//===- SolverSessionTest.cpp - Tests for the incremental session API --------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the SolverSession redesign: assumption solving against a
+/// persistent encoding, push/pop scoping, failed-assumption reporting,
+/// the encoding cache (a shared path-condition prefix is Tseitin-encoded
+/// at most once per session), differential equivalence between
+/// incremental sessions and fresh one-shot solves, and engine-level
+/// equivalence of the incremental and baseline configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include "core/Driver.h"
+#include "expr/ExprUtil.h"
+#include "support/RNG.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace symmerge;
+
+namespace {
+
+ExprRef randomOperand(ExprContext &Ctx, RNG &Rand,
+                      const std::vector<ExprRef> &Vars, unsigned Width,
+                      int Depth) {
+  if (Depth == 0) {
+    if (Rand.nextBool(0.5))
+      return Vars[Rand.nextBelow(Vars.size())];
+    return Ctx.mkConst(Rand.next(), Width);
+  }
+  static const ExprKind Ops[] = {ExprKind::Add, ExprKind::Sub,
+                                 ExprKind::Mul, ExprKind::And,
+                                 ExprKind::Or,  ExprKind::Xor};
+  return Ctx.mkBinOp(Ops[Rand.nextBelow(std::size(Ops))],
+                     randomOperand(Ctx, Rand, Vars, Width, Depth - 1),
+                     randomOperand(Ctx, Rand, Vars, Width, Depth - 1));
+}
+
+ExprRef randomConstraint(ExprContext &Ctx, RNG &Rand,
+                         const std::vector<ExprRef> &Vars, unsigned Width) {
+  static const ExprKind Cmp[] = {ExprKind::Eq,  ExprKind::Ne,
+                                 ExprKind::Ult, ExprKind::Ule,
+                                 ExprKind::Slt, ExprKind::Sle};
+  return Ctx.mkBinOp(Cmp[Rand.nextBelow(std::size(Cmp))],
+                     randomOperand(Ctx, Rand, Vars, Width, 2),
+                     randomOperand(Ctx, Rand, Vars, Width, 2));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Native incremental sessions on the core solver
+//===----------------------------------------------------------------------===
+
+TEST(SolverSessionTest, BasicAssumptionVerdicts) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  ASSERT_TRUE(Core->supportsNativeSessions());
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("x", 8);
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(5, 8)));
+
+  EXPECT_TRUE(Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(3, 8))).isSat());
+  ExprRef Bad = Ctx.mkEq(X, Ctx.mkConst(7, 8));
+  SolverResponse R = Sess->checkSatAssuming(Bad);
+  EXPECT_TRUE(R.isUnsat());
+  ASSERT_EQ(R.FailedAssumptions.size(), 1u);
+  EXPECT_EQ(R.FailedAssumptions[0], Bad);
+  // Assumptions do not stick: the session still admits other values.
+  EXPECT_TRUE(Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(4, 8))).isSat());
+}
+
+TEST(SolverSessionTest, ModelCoversAssertedAndAssumed) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  Sess->assert_(Ctx.mkEq(Ctx.mkAdd(X, Y), Ctx.mkConst(10, 8)));
+  SolverResponse R = Sess->checkSatAssuming(
+      Ctx.mkUlt(X, Ctx.mkConst(3, 8)), /*WantModel=*/true);
+  ASSERT_TRUE(R.isSat());
+  ExprEvaluator Eval(R.Model);
+  EXPECT_EQ(Eval.evaluate(Ctx.mkAdd(X, Y)), 10u);
+  EXPECT_LT(R.Model.get(X), 3u);
+}
+
+TEST(SolverSessionTest, PushPopScopesConstraints) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("x", 8);
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(10, 8)));
+  EXPECT_TRUE(Sess->checkSat().isSat());
+
+  Sess->push();
+  Sess->assert_(Ctx.mkUlt(Ctx.mkConst(20, 8), X));
+  EXPECT_TRUE(Sess->checkSat().isUnsat());
+  Sess->pop();
+
+  EXPECT_TRUE(Sess->checkSat().isSat());
+  Sess->push();
+  Sess->assert_(Ctx.mkEq(X, Ctx.mkConst(4, 8)));
+  SolverResponse R = Sess->checkSat(/*WantModel=*/true);
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.Model.get(X), 4u);
+  Sess->pop();
+  EXPECT_TRUE(Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(9, 8))).isSat());
+}
+
+TEST(SolverSessionTest, TrivialAssumptionsShortCircuit) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("x", 8);
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(5, 8)));
+  EXPECT_TRUE(Sess->checkSatAssuming(Ctx.mkTrue()).isSat());
+  SolverResponse R = Sess->checkSatAssuming(Ctx.mkFalse());
+  EXPECT_TRUE(R.isUnsat());
+  ASSERT_EQ(R.FailedAssumptions.size(), 1u);
+  EXPECT_TRUE(R.FailedAssumptions[0]->isFalse());
+}
+
+TEST(SolverSessionTest, UnsatRootReportsNoFailedAssumptions) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("x", 8);
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(5, 8)));
+  Sess->assert_(Ctx.mkUlt(Ctx.mkConst(9, 8), X));
+  SolverResponse R = Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(2, 8)));
+  EXPECT_TRUE(R.isUnsat());
+  EXPECT_TRUE(R.FailedAssumptions.empty());
+}
+
+/// The acceptance criterion of the redesign: at a two-way branch point,
+/// deciding both polarities re-encodes the shared path-condition prefix
+/// at most once.
+TEST(SolverSessionTest, SharedPrefixEncodedAtMostOnce) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Sessions0 = Stats.SessionsOpened;
+  auto Sess = Core->openSession();
+  EXPECT_EQ(Stats.SessionsOpened, Sessions0 + 1);
+
+  // A path condition with some real encoding weight.
+  uint64_t Base = Stats.EncodeNodesLowered;
+  Sess->assert_(Ctx.mkUlt(Ctx.mkMul(X, Y), Ctx.mkConst(5000, 32)));
+  Sess->assert_(Ctx.mkUlt(Ctx.mkConst(3, 32), Ctx.mkAdd(X, Y)));
+  uint64_t PrefixNodes = Stats.EncodeNodesLowered - Base;
+  ASSERT_GT(PrefixNodes, 0u);
+
+  ExprRef Cond = Ctx.mkUlt(X, Y);
+  uint64_t Lowered0 = Stats.EncodeNodesLowered;
+  uint64_t Assumption0 = Stats.AssumptionQueries;
+  SolverResponse RT = Sess->checkSatAssuming(Cond);
+  SolverResponse RF = Sess->checkSatAssuming(Ctx.mkNot(Cond));
+  EXPECT_EQ(Stats.AssumptionQueries, Assumption0 + 2);
+  EXPECT_FALSE(RT.isUnsat() && RF.isUnsat());
+
+  // The two checks only lowered the branch condition itself (x < y and
+  // its negation reuse x/y bits from the prefix): strictly fewer fresh
+  // nodes than the prefix took, and a second look at either polarity
+  // encodes nothing at all.
+  uint64_t BranchNodes = Stats.EncodeNodesLowered - Lowered0;
+  EXPECT_LT(BranchNodes, PrefixNodes);
+  uint64_t Hits0 = Stats.EncodeCacheHits;
+  uint64_t Lowered1 = Stats.EncodeNodesLowered;
+  Sess->checkSatAssuming(Cond);
+  Sess->checkSatAssuming(Ctx.mkNot(Cond));
+  EXPECT_EQ(Stats.EncodeNodesLowered, Lowered1);
+  EXPECT_GT(Stats.EncodeCacheHits, Hits0);
+}
+
+//===----------------------------------------------------------------------===
+// Fallback sessions over one-shot layers
+//===----------------------------------------------------------------------===
+
+TEST(SolverSessionTest, FallbackSessionOnNonIncrementalCore) {
+  ExprContext Ctx;
+  auto Baseline = createCachingSolver(
+      Ctx, createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                            /*IncrementalSessions=*/false));
+  EXPECT_FALSE(Baseline->supportsNativeSessions());
+  auto Sess = Baseline->openSession();
+  ExprRef X = Ctx.mkVar("x", 8);
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(5, 8)));
+  EXPECT_TRUE(Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(2, 8))).isSat());
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(8, 8))).isUnsat());
+  Sess->push();
+  Sess->assert_(Ctx.mkUlt(Ctx.mkConst(2, 8), X));
+  SolverResponse R = Sess->checkSat(/*WantModel=*/true);
+  ASSERT_TRUE(R.isSat());
+  EXPECT_GT(R.Model.get(X), 2u); // In (2, 5).
+  EXPECT_LT(R.Model.get(X), 5u);
+  Sess->pop();
+  EXPECT_TRUE(Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(1, 8))).isSat());
+}
+
+//===----------------------------------------------------------------------===
+// Differential: incremental sessions vs fresh one-shot solves
+//===----------------------------------------------------------------------===
+
+class SessionDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionDifferentialTest, VerdictsMatchOneShotOnRandomQueries) {
+  RNG Rand(GetParam());
+  ExprContext Ctx;
+  auto Incremental = createCoreSolver(Ctx);
+  auto OneShot = createCoreSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  std::vector<ExprRef> Vars = {X, Y};
+
+  for (int Round = 0; Round < 25; ++Round) {
+    // A random path-condition prefix shared by all checks of the round.
+    Query Prefix;
+    size_t N = 1 + Rand.nextBelow(3);
+    for (size_t I = 0; I < N; ++I)
+      Prefix.Constraints.push_back(randomConstraint(Ctx, Rand, Vars, 8));
+
+    auto Sess = Incremental->openSession();
+    for (ExprRef E : Prefix.Constraints)
+      Sess->assert_(E);
+
+    // Decide both polarities of two random branch conditions.
+    for (int B = 0; B < 2; ++B) {
+      ExprRef Cond = randomConstraint(Ctx, Rand, Vars, 8);
+      for (ExprRef Hyp : {Cond, Ctx.mkNot(Cond)}) {
+        if (Hyp->isConstant())
+          continue;
+        SolverResponse R = Sess->checkSatAssuming(Hyp, /*WantModel=*/true);
+        SolverResult Want =
+            OneShot->checkSat(Prefix.withConstraint(Hyp), nullptr);
+        ASSERT_EQ(static_cast<int>(R.Result), static_cast<int>(Want))
+            << "round " << Round << ": " << exprToString(Hyp);
+        if (!R.isSat())
+          continue;
+        ExprEvaluator Eval(R.Model);
+        for (ExprRef E : Prefix.Constraints)
+          EXPECT_TRUE(Eval.evaluateBool(E)) << exprToString(E);
+        EXPECT_TRUE(Eval.evaluateBool(Hyp)) << exprToString(Hyp);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionDifferentialTest,
+                         ::testing::Values(17, 29, 43, 71, 97, 131));
+
+//===----------------------------------------------------------------------===
+// Engine-level equivalence of the incremental and baseline configurations
+//===----------------------------------------------------------------------===
+
+TEST(SolverSessionTest, EngineExploresIdenticallyWithAndWithoutSessions) {
+  const Workload *W = findWorkload("echo");
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, 2, 4);
+  ASSERT_TRUE(CR.ok());
+
+  auto RunWith = [&](bool Incremental) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.SolverIncremental = Incremental;
+    SymbolicRunner Runner(*CR.M, C);
+    return Runner.run();
+  };
+  RunResult On = RunWith(true);
+  RunResult Off = RunWith(false);
+
+  // Same exploration, fork for fork.
+  EXPECT_TRUE(On.Stats.Exhausted);
+  EXPECT_TRUE(Off.Stats.Exhausted);
+  EXPECT_EQ(On.Stats.Forks, Off.Stats.Forks);
+  EXPECT_EQ(On.Stats.CompletedStates, Off.Stats.CompletedStates);
+  EXPECT_EQ(On.Stats.CompletedMultiplicity, Off.Stats.CompletedMultiplicity);
+  EXPECT_EQ(On.Tests.size(), Off.Tests.size());
+
+  // And the new counters witness the incremental path actually ran.
+  EXPECT_GT(On.Stats.SolverSessions, 0u);
+  EXPECT_GT(On.Stats.SolverAssumptionQueries, 0u);
+  EXPECT_GT(On.Stats.SolverEncodeCacheHits, 0u);
+  EXPECT_GT(Off.Stats.SolverSessions, 0u); // Fallback sessions count too.
+}

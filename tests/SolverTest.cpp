@@ -62,24 +62,41 @@ TEST(SatTest, RequiresConflictAnalysis) {
 }
 
 /// Pigeonhole principle: N+1 pigeons into N holes. Classic UNSAT family
-/// that genuinely exercises clause learning and restarts.
-static bool solvePigeonhole(int Holes) {
-  SatSolver S;
+/// that genuinely exercises clause learning and restarts. When \p Guard
+/// is defined every clause is guarded behind it (clause holds only while
+/// Guard is assumed), which the incremental tests use to re-prove the
+/// same hard UNSAT under assumptions.
+static void addPigeonhole(SatSolver &S, int Holes, Lit Guard = LitUndef) {
   int Pigeons = Holes + 1;
   std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
-  for (int I = 0; I < Pigeons; ++I)
-    for (int J = 0; J < Holes; ++J)
-      P[I][J] = S.newVar();
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
   for (int I = 0; I < Pigeons; ++I) {
     std::vector<Lit> AtLeastOne;
+    if (Guard != LitUndef)
+      AtLeastOne.push_back(~Guard);
     for (int J = 0; J < Holes; ++J)
       AtLeastOne.push_back(mkLit(P[I][J]));
     S.addClause(AtLeastOne);
   }
-  for (int J = 0; J < Holes; ++J)
-    for (int I1 = 0; I1 < Pigeons; ++I1)
-      for (int I2 = I1 + 1; I2 < Pigeons; ++I2)
-        S.addClause(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+  for (int J = 0; J < Holes; ++J) {
+    for (int I1 = 0; I1 < Pigeons; ++I1) {
+      for (int I2 = I1 + 1; I2 < Pigeons; ++I2) {
+        std::vector<Lit> AtMostOne;
+        if (Guard != LitUndef)
+          AtMostOne.push_back(~Guard);
+        AtMostOne.push_back(~mkLit(P[I1][J]));
+        AtMostOne.push_back(~mkLit(P[I2][J]));
+        S.addClause(AtMostOne);
+      }
+    }
+  }
+}
+
+static bool solvePigeonhole(int Holes) {
+  SatSolver S;
+  addPigeonhole(S, Holes);
   return S.solve();
 }
 
@@ -91,23 +108,124 @@ TEST(SatTest, PigeonholeUnsat) {
 TEST(SatTest, ConflictBudgetReportsExceeded) {
   SatSolver S;
   // A pigeonhole instance that needs far more than one conflict.
-  int Holes = 6, Pigeons = 7;
-  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
-  for (auto &Row : P)
-    for (Var &V : Row)
-      V = S.newVar();
-  for (int I = 0; I < Pigeons; ++I) {
-    std::vector<Lit> C;
-    for (int J = 0; J < Holes; ++J)
-      C.push_back(mkLit(P[I][J]));
-    S.addClause(C);
-  }
-  for (int J = 0; J < Holes; ++J)
-    for (int I1 = 0; I1 < Pigeons; ++I1)
-      for (int I2 = I1 + 1; I2 < Pigeons; ++I2)
-        S.addClause(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+  addPigeonhole(S, /*Holes=*/6);
   EXPECT_FALSE(S.solve(/*ConflictBudget=*/2));
   EXPECT_TRUE(S.budgetExceeded());
+}
+
+//===----------------------------------------------------------------------===
+// Incremental interface: solveAssuming and clause addition between solves
+//===----------------------------------------------------------------------===
+
+TEST(SatIncrementalTest, AssumptionsDoNotPersist) {
+  SatSolver S;
+  Var A = S.newVar();
+  ASSERT_TRUE(S.solveAssuming({mkLit(A)}));
+  EXPECT_EQ(S.modelValue(A), LBool::True);
+  ASSERT_TRUE(S.solveAssuming({~mkLit(A)}));
+  EXPECT_EQ(S.modelValue(A), LBool::False);
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatIncrementalTest, ContradictoryAssumptionsFailTogether) {
+  SatSolver S;
+  Var A = S.newVar();
+  S.newVar(); // Unrelated variable.
+  EXPECT_FALSE(S.solveAssuming({mkLit(A), ~mkLit(A)}));
+  const std::vector<Lit> &Failed = S.failedAssumptions();
+  ASSERT_EQ(Failed.size(), 2u);
+  EXPECT_TRUE((Failed[0] == mkLit(A) && Failed[1] == ~mkLit(A)) ||
+              (Failed[0] == ~mkLit(A) && Failed[1] == mkLit(A)));
+  // The instance itself is still satisfiable.
+  EXPECT_TRUE(S.okay());
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatIncrementalTest, UnitRefutedAssumptionFailsAlone) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause(~mkLit(A)));
+  EXPECT_FALSE(S.solveAssuming({mkLit(B), mkLit(A)}));
+  // Only A's assumption is to blame; B did not participate.
+  ASSERT_EQ(S.failedAssumptions().size(), 1u);
+  EXPECT_EQ(S.failedAssumptions()[0], mkLit(A));
+  EXPECT_TRUE(S.solveAssuming({mkLit(B)}));
+}
+
+TEST(SatIncrementalTest, FailedSetFollowsImplicationChain) {
+  // a -> b -> c, assumed a and ~c: both assumptions are responsible.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addClause(~mkLit(A), mkLit(B)));
+  ASSERT_TRUE(S.addClause(~mkLit(B), mkLit(C)));
+  EXPECT_FALSE(S.solveAssuming({mkLit(A), ~mkLit(C)}));
+  const std::vector<Lit> &Failed = S.failedAssumptions();
+  ASSERT_EQ(Failed.size(), 2u);
+  bool SawA = false, SawNotC = false;
+  for (Lit L : Failed) {
+    SawA |= L == mkLit(A);
+    SawNotC |= L == ~mkLit(C);
+  }
+  EXPECT_TRUE(SawA);
+  EXPECT_TRUE(SawNotC);
+}
+
+TEST(SatIncrementalTest, ClausesAddedBetweenSolves) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(A), mkLit(B)));
+  ASSERT_TRUE(S.solve());
+  ASSERT_TRUE(S.addClause(~mkLit(A)));
+  ASSERT_TRUE(S.solve());
+  EXPECT_EQ(S.modelValue(B), LBool::True);
+  S.addClause(~mkLit(B));
+  EXPECT_FALSE(S.solve());
+  EXPECT_FALSE(S.okay()); // Permanently unsat, independent of assumptions.
+  EXPECT_FALSE(S.solveAssuming({mkLit(A)}));
+  EXPECT_TRUE(S.failedAssumptions().empty());
+}
+
+TEST(SatIncrementalTest, GlobalUnsatLeavesFailedAssumptionsEmpty) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause(mkLit(A), mkLit(B)));
+  ASSERT_TRUE(S.addClause(mkLit(A), ~mkLit(B)));
+  ASSERT_TRUE(S.addClause(~mkLit(A), mkLit(B)));
+  ASSERT_TRUE(S.addClause(~mkLit(A), ~mkLit(B)));
+  EXPECT_FALSE(S.solveAssuming({mkLit(A)}));
+  EXPECT_TRUE(S.failedAssumptions().empty());
+  EXPECT_FALSE(S.okay());
+}
+
+TEST(SatIncrementalTest, LearntClausesSpeedUpRepeatedSolves) {
+  // Pigeonhole clauses guarded behind an activation literal G: each
+  // solveAssuming({G}) proves the same hard UNSAT, but the learnt
+  // clauses from the first call carry over and shortcut the second.
+  SatSolver S;
+  Var G = S.newVar();
+  addPigeonhole(S, /*Holes=*/5, mkLit(G));
+
+  EXPECT_FALSE(S.solveAssuming({mkLit(G)}));
+  uint64_t FirstConflicts = S.stats().Conflicts;
+  EXPECT_GT(S.stats().Learnt, 0u);
+  EXPECT_TRUE(S.failedAssumptions().size() == 1 &&
+              S.failedAssumptions()[0] == mkLit(G));
+
+  EXPECT_FALSE(S.solveAssuming({mkLit(G)}));
+  uint64_t SecondConflicts = S.stats().Conflicts - FirstConflicts;
+  EXPECT_LT(SecondConflicts, FirstConflicts);
+  // Without the guard the instance is still satisfiable.
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatIncrementalTest, BudgetExceededUnderAssumptions) {
+  SatSolver S;
+  Var G = S.newVar();
+  addPigeonhole(S, /*Holes=*/6, mkLit(G));
+  EXPECT_FALSE(S.solveAssuming({mkLit(G)}, /*ConflictBudget=*/2));
+  EXPECT_TRUE(S.budgetExceeded());
+  // The solver remains usable after a budgeted stop.
+  EXPECT_TRUE(S.solve());
 }
 
 namespace {

@@ -60,6 +60,7 @@ void usage(const char *Argv0) {
       "  --search=dfs|bfs|random|random-path|coverage|topological\n"
       "  --alpha=F --beta=F --kappa=N --zeta=F --delta=N\n"
       "  --max-steps=N --max-seconds=F --max-tests=N --seed=N\n"
+      "  --no-incremental         one-shot solver queries (baseline)\n"
       "  --exact-paths --no-tests --dump-ir --dump-qce --stats\n",
       Argv0);
 }
@@ -142,6 +143,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Config.Engine.MaxTests = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Value("--seed=")) {
       Opts.Config.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--no-incremental") {
+      Opts.Config.SolverIncremental = false;
     } else if (Arg == "--exact-paths") {
       Opts.Config.Engine.TrackExactPaths = true;
     } else if (Arg == "--no-tests") {
@@ -283,6 +286,12 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.SolverQueries),
                 static_cast<unsigned long long>(S.SolverCoreQueries),
                 S.SolverSeconds);
+    std::printf("solver sessions  %llu (assumption queries: %llu)\n",
+                static_cast<unsigned long long>(S.SolverSessions),
+                static_cast<unsigned long long>(S.SolverAssumptionQueries));
+    std::printf("encoding         %.3fs (cache hits: %llu)\n",
+                S.SolverEncodeSeconds,
+                static_cast<unsigned long long>(S.SolverEncodeCacheHits));
     std::printf("coverage         %.1f%%\n",
                 100 * Runner.coverage().statementCoverage());
   }

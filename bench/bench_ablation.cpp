@@ -123,42 +123,63 @@ static void ablateSolverLayers() {
 }
 
 static void ablateIncrementalSessions() {
-  std::printf("-- D. Incremental solver sessions vs fresh-instance "
-              "baseline --\n");
-  std::printf("%-14s %-14s %10s %12s %12s %10s %10s\n", "tool", "solver",
-              "sessions", "assume-qs", "enc-hits", "enc[s]", "core[s]");
+  std::printf("-- D. Solver session lifetime: one-shot vs per-site vs "
+              "per-state (+verdict cache) --\n");
+  std::printf("%-14s %-14s %10s %12s %12s %12s %10s %10s %10s\n", "tool",
+              "solver", "sessions", "assume-qs", "enc-hits", "verdict-hit",
+              "enc[s]", "core[s]", "total[s]");
   const struct {
     const char *Name;
     unsigned N, L;
   } Tools[] = {{"echo", 2, 5}, {"wc", 2, 4}, {"sum", 3, 5}};
+  struct Mode {
+    const char *Label;
+    bool Incremental, PerState, VerdictCache;
+  };
+  const Mode Modes[] = {
+      {"one-shot", false, false, false},
+      {"per-site", true, false, false},
+      {"per-state", true, true, false},
+      {"state+cache", true, true, true},
+  };
   for (const auto &T : Tools) {
     const Workload *W = findWorkload(T.Name);
     if (!W)
       continue;
     auto M = compileOrExit(T.Name, T.N, T.L);
-    for (bool Incremental : {false, true}) {
+    for (const Mode &Md : Modes) {
       SymbolicRunner::Config C = makeConfig(Setup::Plain, 60.0);
-      C.SolverIncremental = Incremental;
+      C.SolverIncremental = Md.Incremental;
+      C.SolverPerStateSessions = Md.PerState;
+      C.SolverVerdictCache = Md.VerdictCache;
       Measurement Out = runWorkload(*M, C);
-      std::printf("%-14s %-14s %10llu %12llu %12llu %10.3f %10.3f\n",
-                  T.Name, Incremental ? "incremental" : "fresh",
+      std::printf("%-14s %-14s %10llu %12llu %12llu %12llu %10.3f %10.3f "
+                  "%10.3f\n",
+                  T.Name, Md.Label,
                   static_cast<unsigned long long>(Out.R.Stats.SolverSessions),
                   static_cast<unsigned long long>(
                       Out.R.Stats.SolverAssumptionQueries),
                   static_cast<unsigned long long>(
                       Out.R.Stats.SolverEncodeCacheHits),
+                  static_cast<unsigned long long>(
+                      Out.R.Stats.SolverVerdictCacheHits),
                   Out.R.Stats.SolverEncodeSeconds,
-                  Out.R.Stats.SolverSeconds);
+                  Out.R.Stats.SolverSeconds, Out.R.Stats.WallSeconds);
     }
   }
-  std::printf("Reading: incremental sessions encode each branch point's "
-              "shared\npath-condition prefix once and win when queries are "
-              "deep and distinct\n(see bench_micro's BM_SolverBranch* — "
-              "~8x at depth 16). The fresh\nbaseline routes through the "
-              "full one-shot stack, so on small workloads\nwhose queries "
-              "repeat across sibling states the cache layer can still\n"
-              "win on core time; a session-level verdict cache is the "
-              "open item that\nwould combine both (see ROADMAP).\n\n");
+  std::printf("Reading: per-site sessions encode each branch point's "
+              "shared prefix once\nper SITE; per-state sessions keep one "
+              "session per state, so the prefix is\nencoded once per "
+              "LIFETIME (bench_micro's BM_SolverStateLifetime*). The\n"
+              "verdict cache adds back the cross-state sharing the "
+              "one-shot CachingSolver\nhad: sibling states hit each "
+              "other's feasibility verdicts without touching\nthe SAT "
+              "core. Compare on total[s]: one-shot's tiny core[s] is the "
+              "caching\nLAYER absorbing queries before the core, at layer "
+              "cost the core counters\nnever see. per-state + cache "
+              "should match or beat both the one-shot\nbaseline "
+              "(repeat-heavy echo/wc) and per-site sessions (deep "
+              "distinct PCs)\nend to end.\n\n");
 }
 
 int main() {

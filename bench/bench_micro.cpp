@@ -178,6 +178,72 @@ static void BM_SolverBranchFreshBaseline(benchmark::State &State) {
 }
 BENCHMARK(BM_SolverBranchFreshBaseline)->Arg(2)->Arg(8)->Arg(16);
 
+namespace {
+
+/// A state's lifetime as the solver sees it: \p Depth successive check
+/// sites, each adding one conjunct to the path condition and deciding
+/// both polarities of a fresh branch condition against the prefix so
+/// far. The conjuncts are shallow comparisons over a string of symbolic
+/// bytes — the shape the workloads' parsing loops produce (echo/wc walk
+/// argument characters, adding one small constraint per branch).
+/// Returns {PC conjuncts, per-site branch conditions}.
+std::pair<std::vector<ExprRef>, std::vector<ExprRef>>
+makeStatePath(ExprContext &Ctx, int Depth) {
+  std::vector<ExprRef> Bytes;
+  for (int I = 0; I < Depth + 1; ++I)
+    Bytes.push_back(Ctx.mkVar("c" + std::to_string(I), 8));
+  std::vector<ExprRef> PC, Conds;
+  for (int I = 0; I < Depth; ++I) {
+    ExprRef Sum = Ctx.mkAdd(Bytes[I], Bytes[I + 1]);
+    PC.push_back(Ctx.mkUlt(Sum, Ctx.mkConst(200 + I % 7, 8)));
+    Conds.push_back(Ctx.mkEq(Bytes[I], Ctx.mkConst(45 + I, 8)));
+  }
+  return {PC, Conds};
+}
+
+} // namespace
+
+/// Per-state session lifetime: ONE session follows the state through all
+/// its check sites; each site pushes its new conjunct and decides both
+/// polarities. The path-condition prefix is encoded once per lifetime.
+static void BM_SolverStateLifetimePerStateSession(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  int Depth = static_cast<int>(State.range(0));
+  auto [PC, Conds] = makeStatePath(Ctx, Depth);
+  for (auto _ : State) {
+    auto Sess = Core->openSession();
+    for (int I = 0; I < Depth; ++I) {
+      Sess->push();
+      Sess->assert_(PC[I]);
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(Conds[I]));
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(Ctx.mkNot(Conds[I])));
+    }
+  }
+}
+BENCHMARK(BM_SolverStateLifetimePerStateSession)->Arg(4)->Arg(16);
+
+/// The PR-1 per-site baseline for the same lifetime: every check site
+/// opens a fresh session and re-asserts the whole path-condition prefix,
+/// so a state with N sites pays for the prefix N times (O(N^2) encoding
+/// over the lifetime instead of O(N)).
+static void BM_SolverStateLifetimePerSiteSessions(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  int Depth = static_cast<int>(State.range(0));
+  auto [PC, Conds] = makeStatePath(Ctx, Depth);
+  for (auto _ : State) {
+    for (int I = 0; I < Depth; ++I) {
+      auto Sess = Core->openSession();
+      for (int J = 0; J <= I; ++J)
+        Sess->assert_(PC[J]);
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(Conds[I]));
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(Ctx.mkNot(Conds[I])));
+    }
+  }
+}
+BENCHMARK(BM_SolverStateLifetimePerSiteSessions)->Arg(4)->Arg(16);
+
 static void BM_SolverCachedQuery(benchmark::State &State) {
   ExprContext Ctx;
   auto S = createDefaultSolver(Ctx);

@@ -13,9 +13,11 @@ static std::unique_ptr<Solver> makeSolverStack(ExprContext &Ctx,
                                                bool UseCache,
                                                bool UseIndependence,
                                                bool UseSimplify,
-                                               bool UseIncremental) {
-  std::unique_ptr<Solver> S =
-      createCoreSolver(Ctx, ConflictBudget, UseIncremental);
+                                               bool UseIncremental,
+                                               bool UseVerdictCache) {
+  std::unique_ptr<Solver> S = createCoreSolver(Ctx, ConflictBudget,
+                                               UseIncremental,
+                                               UseVerdictCache);
   if (UseCache)
     S = createCachingSolver(Ctx, std::move(S));
   if (UseSimplify)
@@ -29,8 +31,18 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
     : M(M), Cfg(C), PI(M),
       TheSolver(makeSolverStack(Ctx, C.SolverConflictBudget, C.SolverCache,
                                 C.SolverIndependence, C.SolverSimplify,
-                                C.SolverIncremental)),
+                                C.SolverIncremental, C.SolverVerdictCache)),
       Cov(M) {
+  // Per-state session lifetime is an engine behavior with two handles on
+  // it (the solver-config toggle and the public EngineOptions field);
+  // either one can turn it off.
+  Cfg.Engine.PerStateSessions =
+      Cfg.Engine.PerStateSessions && Cfg.SolverPerStateSessions;
+  // The feasible-prefix promise behind sliced verdict-cache keys breaks
+  // when a conflict budget can return Unknown: the engine then keeps
+  // states whose path conditions were never proven satisfiable.
+  if (Cfg.SolverConflictBudget != 0)
+    Cfg.Engine.FeasiblePathConditions = false;
   if (Cfg.Merge == MergeMode::QCE || Cfg.Merge == MergeMode::QCEFull ||
       Cfg.UseDSM)
     QCEInfo.emplace(PI, Cfg.QCE);

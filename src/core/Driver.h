@@ -77,6 +77,17 @@ public:
     /// polarities as assumption queries. Off = the fresh-instance
     /// baseline (one-shot queries through the layered stack).
     bool SolverIncremental = true;
+    /// Per-state session lifetime: each execution state keeps one session
+    /// aligned with its path condition across every check site (forked
+    /// children share-then-split, merged states realign), so the prefix
+    /// encoding is paid once per state instead of once per site. Off =
+    /// the PR-1 per-site baseline. See EngineOptions::PerStateSessions.
+    bool SolverPerStateSessions = true;
+    /// Session-level verdict cache shared by all native sessions: checks
+    /// keyed by (normalized prefix, assumption) so sibling states hit
+    /// each other's feasibility verdicts. Recovers the cross-state
+    /// sharing that native sessions bypass in the one-shot CachingSolver.
+    bool SolverVerdictCache = true;
   };
 
   SymbolicRunner(const Module &M, Config C);

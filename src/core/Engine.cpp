@@ -6,6 +6,7 @@
 
 #include "core/Engine.h"
 
+#include "core/PathSession.h"
 #include "core/StateMerge.h"
 #include "support/Timer.h"
 
@@ -107,12 +108,38 @@ void Engine::pushHistory(ExecutionState &S) {
     S.History.pop_front();
 }
 
-std::unique_ptr<SolverSession> Engine::openPathSession(
-    const ExecutionState &S) {
-  std::unique_ptr<SolverSession> Sess = TheSolver.openSession();
-  for (ExprRef P : S.PC)
-    Sess->assert_(P);
-  return Sess;
+Engine::PathSessionRef Engine::openPathSession(ExecutionState &S) {
+  SessionOptions SessOpts;
+  SessOpts.FeasiblePrefix = Opts.FeasiblePathConditions;
+  if (!Opts.PerStateSessions) {
+    // PR-1 behavior: one throwaway session per check site.
+    std::unique_ptr<SolverSession> Sess = TheSolver.openSession(SessOpts);
+    for (ExprRef P : S.PC)
+      Sess->assert_(P);
+    SolverSession *Raw = Sess.get();
+    return {Raw, std::move(Sess)};
+  }
+
+  if (!S.PathSession) {
+    S.PathSession = std::make_shared<PathSessionHandle>(SessOpts);
+  } else if (S.PathSession.use_count() > 1 &&
+             S.PathSession->wouldPop(S.PC)) {
+    // Share-then-split: forked children share the parent's session while
+    // their path conditions agree; the first sibling whose realignment
+    // would pop scopes out from under the others gets its own handle.
+    S.PathSession = std::make_shared<PathSessionHandle>(SessOpts);
+    ++Result.Stats.SessionSplits;
+  }
+
+  PathSessionHandle::Limits Limits;
+  Limits.MaxRetiredScopes = Opts.SessionMaxRetiredScopes;
+  Limits.ClauseWatermark = Opts.SessionClauseWatermark;
+  PathSessionHandle::AcquireInfo Info;
+  SolverSession &Sess = S.PathSession->acquire(TheSolver, S.PC, Limits,
+                                               &Info);
+  Result.Stats.SessionsBuilt += Info.Opened;
+  Result.Stats.SessionEvictions += Info.Evicted;
+  return {&Sess, nullptr};
 }
 
 void Engine::addConstraint(ExecutionState &S, ExprRef E) {
@@ -223,7 +250,7 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     }
     ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
     if (Opts.CheckArrayBounds) {
-      std::unique_ptr<SolverSession> Sess = openPathSession(S);
+      PathSessionRef Sess = openPathSession(S);
       if (Sess->mayBeFalse(InBound)) {
         emitBugReport(S, TestKind::OutOfBounds,
                       "array load may be out of bounds", Ctx.mkNot(InBound));
@@ -263,7 +290,7 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     }
     ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
     if (Opts.CheckArrayBounds) {
-      std::unique_ptr<SolverSession> Sess = openPathSession(S);
+      PathSessionRef Sess = openPathSession(S);
       if (Sess->mayBeFalse(InBound)) {
         emitBugReport(S, TestKind::OutOfBounds,
                       "array store may be out of bounds",
@@ -344,7 +371,7 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     // asserted (and, with incremental sessions, Tseitin-encoded) once;
     // both polarities of Algorithm 1's `follow` check are decided as
     // assumption queries against the shared prefix.
-    std::unique_ptr<SolverSession> Sess = openPathSession(S);
+    PathSessionRef Sess = openPathSession(S);
     bool MayTrue = Sess->mayBeTrue(C);
     bool MayFalse = Sess->mayBeFalse(C);
     if (MayTrue && MayFalse) {
@@ -385,7 +412,7 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
       S.Status = StateStatus::Errored;
       return StepEnd::Boundary;
     }
-    std::unique_ptr<SolverSession> Sess = openPathSession(S);
+    PathSessionRef Sess = openPathSession(S);
     if (Sess->mayBeFalse(C)) {
       emitBugReport(S, TestKind::AssertFailure, I.Message, Ctx.mkNot(C));
       if (!Sess->mayBeTrue(C)) {
@@ -566,6 +593,10 @@ RunResult Engine::run() {
       Now.EncodeCacheHits - Baseline.EncodeCacheHits;
   Result.Stats.SolverEncodeSeconds =
       Now.EncodeSeconds - Baseline.EncodeSeconds;
+  Result.Stats.SolverVerdictCacheHits =
+      Now.VerdictCacheHits - Baseline.VerdictCacheHits;
+  Result.Stats.SolverVerdictCacheMisses =
+      Now.VerdictCacheMisses - Baseline.VerdictCacheMisses;
 
   // Drain remaining states so repeated runs start clean.
   while (!Search.empty()) {

@@ -54,6 +54,21 @@ struct EngineOptions {
   bool TrackExactPaths = false;      ///< §5.2 shadow single-path states.
   bool CollectTests = true;          ///< Solve for models at path ends.
   bool CheckArrayBounds = true;      ///< Report possible OOB accesses.
+  /// Per-state solver sessions: each state keeps one session aligned with
+  /// its path condition across all its check sites (forked children share
+  /// then split; merged states realign). Off = PR-1 behavior, one session
+  /// per branch point / check site.
+  bool PerStateSessions = true;
+  /// Eviction watermarks for per-state sessions (0 disables a check):
+  /// retire a session after this many popped scopes...
+  unsigned SessionMaxRetiredScopes = 64;
+  /// ...or once the SAT core holds this many problem + learnt clauses.
+  uint64_t SessionClauseWatermark = 1u << 16;
+  /// Promise SessionOptions::FeasiblePrefix to path sessions, enabling
+  /// sliced verdict-cache keys. Sound because the engine only extends a
+  /// path condition after a feasibility check — EXCEPT when a conflict
+  /// budget can return Unknown (the driver clears this then).
+  bool FeasiblePathConditions = true;
 };
 
 /// One symbolic execution run over a module (starting at main).
@@ -84,10 +99,23 @@ private:
   StepEnd executeInstr(ExecutionState &S,
                        std::vector<ExecutionState *> &NewStates);
 
-  /// Opens a solver session with \p S's path condition asserted once.
+  /// A borrowed-or-owned session for one check site. In per-state mode
+  /// the session is borrowed from the state's handle and outlives the
+  /// site; in per-site mode it is owned and dies with this object.
+  struct PathSessionRef {
+    SolverSession *Sess;
+    std::unique_ptr<SolverSession> Owned;
+    SolverSession *operator->() const { return Sess; }
+    SolverSession &operator*() const { return *Sess; }
+  };
+
+  /// Returns a solver session with \p S's path condition asserted.
   /// Branch polarities, assertion checks, and bounds checks are then
-  /// decided as assumption queries against the shared prefix.
-  std::unique_ptr<SolverSession> openPathSession(const ExecutionState &S);
+  /// decided as assumption queries against the shared prefix. With
+  /// Opts.PerStateSessions the session persists on the state (realigned,
+  /// split from fork-sharing siblings, or rebuilt on eviction as needed);
+  /// otherwise a throwaway per-site session is opened.
+  PathSessionRef openPathSession(ExecutionState &S);
 
   void transferTo(ExecutionState &S, const BasicBlock *BB);
   void pushHistory(ExecutionState &S);

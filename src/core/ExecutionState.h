@@ -21,10 +21,13 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace symmerge {
+
+class PathSessionHandle;
 
 /// A bounded array object; cells hold expressions. Symbolic-index loads
 /// compile to ite chains over the cells, symbolic-index stores to per-cell
@@ -95,6 +98,15 @@ public:
   /// Exact-path shadow tracking (§5.2, Figure 3): the constraint lists of
   /// every constituent single path. Empty unless the engine enables it.
   std::vector<std::vector<ExprRef>> ShadowPaths;
+
+  /// Per-state solver session (EngineOptions::PerStateSessions): the
+  /// persistent encoding of this state's path-condition prefix. Forking
+  /// copies the pointer, so children share the session until their path
+  /// conditions diverge and the engine splits it (share-then-split);
+  /// merging realigns it to the merged disjunctive path condition. Null
+  /// until the first solver check, and always null in per-site mode.
+  /// Deliberately ignored by state-merge compatibility checks.
+  std::shared_ptr<PathSessionHandle> PathSession;
 
   StackFrame &frame() { return Stack.back(); }
   const StackFrame &frame() const { return Stack.back(); }

@@ -1,0 +1,70 @@
+//===- PathSession.cpp - Per-state solver session lifetime -------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PathSession.h"
+
+#include <algorithm>
+
+using namespace symmerge;
+
+static size_t commonPrefixLength(const std::vector<ExprRef> &A,
+                                 const std::vector<ExprRef> &B) {
+  size_t N = std::min(A.size(), B.size());
+  size_t I = 0;
+  while (I < N && A[I] == B[I])
+    ++I;
+  return I;
+}
+
+bool PathSessionHandle::wouldPop(const std::vector<ExprRef> &PC) const {
+  return commonPrefixLength(Asserted, PC) < Asserted.size();
+}
+
+SolverSession &PathSessionHandle::acquire(Solver &S,
+                                          const std::vector<ExprRef> &PC,
+                                          const Limits &L,
+                                          AcquireInfo *Info) {
+  AcquireInfo Local;
+  size_t Prefix = commonPrefixLength(Asserted, PC);
+
+  if (Sess) {
+    SessionHealth H = Sess->health();
+    size_t PopsNeeded = Asserted.size() - Prefix;
+    bool ScopeLimit = L.MaxRetiredScopes &&
+                      H.RetiredScopes + PopsNeeded > L.MaxRetiredScopes;
+    bool ClauseLimit = L.ClauseWatermark &&
+                       H.ClauseCount + H.LearntCount > L.ClauseWatermark;
+    if (ScopeLimit || ClauseLimit) {
+      reset();
+      Local.Evicted = true;
+    }
+  }
+
+  if (!Sess) {
+    Sess = S.openSession(SessOpts);
+    Asserted.clear();
+    Prefix = 0;
+    Local.Opened = true;
+  }
+
+  // Retract the stale suffix, then assert the missing conjuncts, each in
+  // its own scope so any future prefix remains reachable by popping.
+  while (Asserted.size() > Prefix) {
+    Sess->pop();
+    Asserted.pop_back();
+    ++Local.PoppedScopes;
+  }
+  for (size_t I = Prefix; I < PC.size(); ++I) {
+    Sess->push();
+    Sess->assert_(PC[I]);
+    Asserted.push_back(PC[I]);
+    ++Local.AppendedConstraints;
+  }
+
+  if (Info)
+    *Info = Local;
+  return *Sess;
+}

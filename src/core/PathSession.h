@@ -1,0 +1,104 @@
+//===- PathSession.h - Per-state solver session lifetime --------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Promotes a SolverSession from a per-check-site throwaway to a
+/// per-ExecutionState resource. A PathSessionHandle owns one session and
+/// keeps it aligned with a path condition: every conjunct is asserted in
+/// its own push() scope, so realigning to a sibling's path condition pops
+/// back to the shared prefix and asserts only the diverging suffix — the
+/// prefix encoding is paid once per state lifetime instead of once per
+/// check site.
+///
+/// States share handles through a shared_ptr (forking copies the
+/// pointer); the engine splits a shared handle off into a fresh one when
+/// realignment would pop scopes out from under a sibling
+/// ("share-then-split"). Because popped scopes leave permanently disabled
+/// guard literals and clauses behind in the SAT core, acquire() also
+/// applies the eviction policy: when the retired-scope count or the SAT
+/// clause count passes its watermark, the bloated session is retired and
+/// rebuilt fresh.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_PATHSESSION_H
+#define SYMMERGE_CORE_PATHSESSION_H
+
+#include "solver/Solver.h"
+
+#include <memory>
+#include <vector>
+
+namespace symmerge {
+
+/// A solver session bound to the lifetime of one (or, transiently after a
+/// fork, several) execution state(s).
+class PathSessionHandle {
+public:
+  PathSessionHandle() = default;
+  /// \p Opts is forwarded to every session this handle opens. The engine
+  /// passes the feasible-prefix promise here (its path conditions are
+  /// feasibility-checked at every extension), enabling sliced
+  /// verdict-cache keys.
+  explicit PathSessionHandle(SessionOptions Opts) : SessOpts(Opts) {}
+
+  /// Eviction watermarks. Zero disables the respective check.
+  struct Limits {
+    /// Retire the session once this many scopes have been popped over its
+    /// lifetime (each pop permanently disables a guard literal).
+    size_t MaxRetiredScopes = 64;
+    /// Retire the session once the SAT core holds this many problem +
+    /// learnt clauses.
+    size_t ClauseWatermark = 1u << 16;
+  };
+
+  /// What acquire() had to do, for the engine's statistics.
+  struct AcquireInfo {
+    bool Opened = false;  ///< A session was (re)built from scratch.
+    bool Evicted = false; ///< The previous session hit a watermark.
+    size_t PoppedScopes = 0;
+    size_t AppendedConstraints = 0;
+  };
+
+  /// Returns the underlying session realigned so that exactly \p PC is
+  /// asserted (one scope per conjunct): pops retract stale suffixes,
+  /// fresh conjuncts are appended, and a session past its watermarks is
+  /// evicted and rebuilt against \p S. The returned reference stays valid
+  /// until the next acquire()/reset() on this handle.
+  SolverSession &acquire(Solver &S, const std::vector<ExprRef> &PC,
+                         const Limits &L, AcquireInfo *Info = nullptr);
+
+  /// acquire() with the default watermarks.
+  SolverSession &acquire(Solver &S, const std::vector<ExprRef> &PC) {
+    return acquire(S, PC, Limits());
+  }
+
+  /// True when realigning to \p PC would pop scopes (the currently
+  /// asserted conjuncts are not a prefix of \p PC) — the engine's
+  /// share-then-split trigger.
+  bool wouldPop(const std::vector<ExprRef> &PC) const;
+
+  /// The conjuncts currently asserted, in scope order.
+  const std::vector<ExprRef> &asserted() const { return Asserted; }
+
+  /// The underlying session, or null before the first acquire().
+  SolverSession *session() { return Sess.get(); }
+
+  /// Drops the underlying session; the next acquire() rebuilds.
+  void reset() {
+    Sess.reset();
+    Asserted.clear();
+  }
+
+private:
+  std::unique_ptr<SolverSession> Sess;
+  std::vector<ExprRef> Asserted;
+  SessionOptions SessOpts;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_PATHSESSION_H

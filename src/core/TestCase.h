@@ -65,6 +65,16 @@ struct EngineStats {
                                         ///< session's persistent encoding.
   double SolverEncodeSeconds = 0; ///< Wall time Tseitin-encoding (subset
                                   ///< of SolverSeconds).
+  uint64_t SolverVerdictCacheHits = 0;   ///< Session checks answered from
+                                         ///< the shared verdict cache.
+  uint64_t SolverVerdictCacheMisses = 0; ///< Session checks that reached
+                                         ///< the SAT core past the cache.
+  // Per-state session lifecycle (EngineOptions::PerStateSessions).
+  uint64_t SessionsBuilt = 0;     ///< Per-state sessions (re)built from
+                                  ///< scratch (first use, post-eviction,
+                                  ///< post-split).
+  uint64_t SessionEvictions = 0;  ///< Sessions retired on a watermark.
+  uint64_t SessionSplits = 0;     ///< Shared handles split at divergence.
 };
 
 /// Everything a run produced.

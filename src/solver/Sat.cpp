@@ -303,9 +303,33 @@ Lit SatSolver::pickBranchLit() {
   return LitUndef;
 }
 
+void SatSolver::detachClause(Clause *C) {
+  for (int W = 0; W < 2; ++W) {
+    std::vector<Watcher> &WS = Watches[toInt(~C->Lits[W])];
+    for (size_t K = 0; K < WS.size(); ++K) {
+      if (WS[K].C == C) {
+        WS[K] = WS.back();
+        WS.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool SatSolver::satisfiedAtRoot(const Clause *C) const {
+  for (Lit L : C->Lits) {
+    if (value(L) == LBool::True && Levels[var(L)] == 0)
+      return true;
+  }
+  return false;
+}
+
 void SatSolver::reduceDB() {
   // Keep the more active half of the learnt clauses; never remove clauses
-  // that are the reason for a current assignment.
+  // that are the reason for a current assignment. Clauses satisfied by a
+  // root-level assignment — typically the negated guard of a popped
+  // session scope — can never contribute again and are dropped outright,
+  // whatever their activity or size.
   std::sort(Learnts.begin(), Learnts.end(),
             [](const Clause *A, const Clause *B) {
               return A->Activity > B->Activity;
@@ -316,24 +340,47 @@ void SatSolver::reduceDB() {
   for (size_t I = 0; I < Learnts.size(); ++I) {
     Clause *C = Learnts[I];
     bool Locked = Reasons[var(C->Lits[0])] == C;
+    if (!Locked && satisfiedAtRoot(C)) {
+      ++Stats.PurgedSatisfied;
+      detachClause(C);
+      delete C;
+      continue;
+    }
     if (I < Keep || Locked || C->Lits.size() <= 2) {
       Remaining.push_back(C);
       continue;
     }
-    // Detach both watchers.
-    for (int W = 0; W < 2; ++W) {
-      std::vector<Watcher> &WS = Watches[toInt(~C->Lits[W])];
-      for (size_t K = 0; K < WS.size(); ++K) {
-        if (WS[K].C == C) {
-          WS[K] = WS.back();
-          WS.pop_back();
-          break;
-        }
-      }
-    }
+    detachClause(C);
     delete C;
   }
   Learnts = std::move(Remaining);
+}
+
+size_t SatSolver::purgeSatisfiedIn(std::vector<Clause *> &Db) {
+  assert(decisionLevel() == 0 && "purge must run between solves");
+  size_t Kept = 0, Removed = 0;
+  for (size_t I = 0; I < Db.size(); ++I) {
+    Clause *C = Db[I];
+    // A clause that is the reason of a (root-level) assignment stays: the
+    // assignment outlives every backtrack and keeps the pointer live.
+    bool Locked = Reasons[var(C->Lits[0])] == C;
+    if (!Locked && satisfiedAtRoot(C)) {
+      detachClause(C);
+      delete C;
+      ++Removed;
+      continue;
+    }
+    Db[Kept++] = C;
+  }
+  Db.resize(Kept);
+  Stats.PurgedSatisfied += Removed;
+  return Removed;
+}
+
+size_t SatSolver::purgeSatisfiedLearnts() { return purgeSatisfiedIn(Learnts); }
+
+size_t SatSolver::purgeSatisfiedClauses() {
+  return purgeSatisfiedIn(Learnts) + purgeSatisfiedIn(Clauses);
 }
 
 uint64_t SatSolver::luby(uint64_t I) {

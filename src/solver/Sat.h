@@ -73,6 +73,10 @@ struct SatStats {
   uint64_t Conflicts = 0;
   uint64_t Learnt = 0;
   uint64_t Restarts = 0;
+  uint64_t PurgedSatisfied = 0; ///< Clauses (learnt or problem) dropped
+                                ///< because a root-level literal (e.g. a
+                                ///< popped session guard) satisfies them
+                                ///< forever.
 };
 
 /// CDCL solver. Usage: newVar()/addClause() to build the instance, then
@@ -133,6 +137,26 @@ public:
   /// has been proven unsatisfiable.
   bool okay() const { return Ok; }
 
+  /// Number of problem (non-learnt) clauses currently attached.
+  size_t numClauses() const { return Clauses.size(); }
+  /// Number of learnt clauses currently attached.
+  size_t numLearnts() const { return Learnts.size(); }
+
+  /// Removes every learnt clause permanently satisfied by a root-level
+  /// assignment — e.g. garbage left behind by a session's popped scope
+  /// guards. Must be called between solves (decision level 0). Returns
+  /// the number of clauses removed; reduceDB() applies the same purge
+  /// mid-search.
+  size_t purgeSatisfiedLearnts();
+
+  /// Like purgeSatisfiedLearnts(), but sweeps the problem clauses too.
+  /// This is what actually reclaims a popped session scope: pop()
+  /// asserts the guard's negation as a root unit, which permanently
+  /// satisfies every (~guard v lit) clause the scope asserted. Must be
+  /// called between solves (decision level 0). Returns the total number
+  /// of clauses removed from both databases.
+  size_t purgeSatisfiedClauses();
+
   /// Model value of \p V after a satisfiable solve().
   LBool modelValue(Var V) const {
     assert(V < static_cast<int>(Model.size()) && "variable out of range");
@@ -168,6 +192,9 @@ private:
   void decayActivities();
   void reduceDB();
   void attachClause(Clause *C);
+  void detachClause(Clause *C);
+  bool satisfiedAtRoot(const Clause *C) const;
+  size_t purgeSatisfiedIn(std::vector<Clause *> &Db);
   static uint64_t luby(uint64_t I);
 
   // Indexed max-heap over variable activities.

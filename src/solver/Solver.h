@@ -86,6 +86,10 @@ struct SolverQueryStats {
   uint64_t EncodeNodesLowered = 0; ///< Expr nodes freshly encoded.
   double EncodeSeconds = 0;        ///< Wall time Tseitin-encoding in the
                                    ///< core (subset of CoreSolveSeconds).
+  // Session-level verdict cache (shared by all native sessions of one
+  // core solver; keyed by normalized asserted-prefix + assumptions).
+  uint64_t VerdictCacheHits = 0;   ///< Checks answered without the core.
+  uint64_t VerdictCacheMisses = 0; ///< Checks that went to the core.
 };
 
 /// Structured result of one session check.
@@ -106,11 +110,29 @@ struct SolverResponse {
   bool isUnsat() const { return Result == SolverResult::Unsat; }
 };
 
+/// Growth diagnostics of one session, driving eviction policies: a
+/// long-lived (per-state) session accumulates permanently disabled guard
+/// literals and their clauses with every pop, and the owner retires the
+/// session for a fresh one once the garbage passes a watermark.
+struct SessionHealth {
+  size_t AssertedConstraints = 0; ///< Constraints currently asserted.
+  size_t LiveScopes = 0;          ///< push() scopes currently open.
+  size_t RetiredScopes = 0;       ///< pop()s issued over the lifetime —
+                                  ///< each left a dead guard behind.
+  size_t ClauseCount = 0; ///< Problem clauses in the SAT core (native
+                          ///< sessions only; 0 for fallbacks).
+  size_t LearntCount = 0; ///< Learnt clauses in the SAT core.
+  size_t PurgedClauses = 0; ///< Clauses garbage-collected because a dead
+                            ///< scope guard (or another root-level fact)
+                            ///< satisfies them forever.
+};
+
 /// An incremental solving session: constraints are asserted once and stay
 /// encoded; hypotheses are decided against them via assumptions. Obtained
 /// from Solver::openSession(); one session is intended to span queries
-/// that share a constraint prefix (a branch point, a bounds-check pair, a
-/// state's test-generation burst).
+/// that share a constraint prefix — a branch point, a bounds-check pair,
+/// or (the per-state lifetime) every check site along one execution
+/// state's exploration subtree.
 ///
 /// push()/pop() scope assertions: constraints asserted after a push() are
 /// retracted by the matching pop(). Native (incremental-core) sessions
@@ -142,6 +164,10 @@ public:
     return checkSatAssuming(std::vector<ExprRef>{Assumption}, WantModel);
   }
 
+  /// Growth diagnostics for eviction policies; fallback sessions report
+  /// only the scope/constraint counts.
+  virtual SessionHealth health() const { return {}; }
+
   /// True if asserted && E is satisfiable (Unknown counts as true: the
   /// engine never prunes on a resource limit).
   bool mayBeTrue(ExprRef E);
@@ -152,6 +178,19 @@ public:
 
 protected:
   ExprContext &Ctx;
+};
+
+/// Caller-provided promises and knobs for a session.
+struct SessionOptions {
+  /// The caller promises that the conjunction of the asserted constraints
+  /// stays satisfiable at every check (the engine's path-condition
+  /// invariant: a constraint is only added after a feasibility check
+  /// passed). Native sessions use the promise to slice verdict-cache
+  /// keys down to the constraint group variable-reachable from the
+  /// assumption — sound exactly under this promise, and it multiplies
+  /// cross-state hit rates the way IndependenceSolver multiplies
+  /// one-shot cache hits. Leave false for arbitrary constraint sets.
+  bool FeasiblePrefix = false;
 };
 
 /// Abstract solver. Implementations must be deterministic.
@@ -172,6 +211,14 @@ public:
   /// checkSat() queries through this solver (and thus still benefits
   /// from every layer above the core).
   virtual std::unique_ptr<SolverSession> openSession();
+
+  /// openSession() with caller promises; implementations that cannot use
+  /// the promises ignore them.
+  virtual std::unique_ptr<SolverSession>
+  openSession(const SessionOptions &Opts) {
+    (void)Opts;
+    return openSession();
+  }
 
   /// True when openSession() yields a natively incremental session.
   /// Wrapper layers forward this from their inner solver.
@@ -203,9 +250,16 @@ protected:
 /// incremental session (persistent SAT instance + encoding cache), or —
 /// when false, the measured fresh-instance baseline — a fallback session
 /// that builds a fresh encoding per query.
+/// \p VerdictCache layers a session-level verdict cache over the native
+/// sessions: checks are keyed by (normalized asserted prefix, assumption
+/// set) in a cache shared by every session this solver opens, so sibling
+/// states produced by forking or merging hit each other's feasibility
+/// verdicts — the cross-state sharing the one-shot CachingSolver provides
+/// but native sessions would otherwise bypass.
 std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
                                          uint64_t ConflictBudget = 0,
-                                         bool IncrementalSessions = true);
+                                         bool IncrementalSessions = true,
+                                         bool VerdictCache = false);
 
 /// Wraps \p Inner with a query-result cache.
 std::unique_ptr<Solver> createCachingSolver(ExprContext &Ctx,
@@ -228,7 +282,8 @@ std::unique_ptr<Solver> createIndependenceSolver(ExprContext &Ctx,
 std::unique_ptr<Solver> createBruteForceSolver(ExprContext &Ctx);
 
 /// The default production stack: independence -> simplify -> cache ->
-/// core, with native incremental sessions enabled.
+/// core, with native incremental sessions and the session-level verdict
+/// cache enabled.
 std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx,
                                             uint64_t ConflictBudget = 0);
 

@@ -79,6 +79,7 @@ public:
     assert(!ScopeMarks.empty() && "pop without matching push");
     Asserted.resize(ScopeMarks.back());
     ScopeMarks.pop_back();
+    ++Pops;
   }
 
   void assert_(ExprRef E) override {
@@ -89,6 +90,14 @@ public:
 
   SolverResponse checkSat(bool WantModel) override {
     return checkSatAssuming(std::vector<ExprRef>{}, WantModel);
+  }
+
+  SessionHealth health() const override {
+    SessionHealth H;
+    H.AssertedConstraints = Asserted.size();
+    H.LiveScopes = ScopeMarks.size();
+    H.RetiredScopes = Pops;
+    return H;
   }
 
   SolverResponse checkSatAssuming(const std::vector<ExprRef> &Assumptions,
@@ -122,6 +131,63 @@ private:
   Solver &S;
   std::vector<ExprRef> Asserted;
   std::vector<size_t> ScopeMarks;
+  size_t Pops = 0;
+};
+
+//===----------------------------------------------------------------------===
+// Session-level verdict cache
+//===----------------------------------------------------------------------===
+
+/// Memoizes session check verdicts across every native session of one
+/// core solver. The key is the sorted, deduplicated id multiset of the
+/// asserted constraints plus the assumptions — hash-consing makes
+/// structurally equal constraint sets collide on purpose — so sibling
+/// states produced by forking or merging, each running its own session,
+/// share each other's feasibility verdicts. Only Sat/Unsat verdicts are
+/// cached (never Unknown, never models).
+class SessionVerdictCache {
+public:
+  /// Builds the normalized lookup key (sorted, deduplicated node ids)
+  /// and its hash. The caller must triage constant-true/false
+  /// constraints and assumptions BEFORE building a key: trivial
+  /// verdicts are decided without the cache, and a constant-false
+  /// member would otherwise poison the keyed entry.
+  static void makeKey(const std::vector<ExprRef> &Ids,
+                      std::vector<uint64_t> &Key, uint64_t &Hash) {
+    Key.clear();
+    Key.reserve(Ids.size());
+    for (ExprRef E : Ids)
+      Key.push_back(E->id());
+    std::sort(Key.begin(), Key.end());
+    Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+    Hash = hashMix(Key.size());
+    for (uint64_t Id : Key)
+      Hash = hashCombine(Hash, Id);
+  }
+
+  const SolverResult *lookup(const std::vector<uint64_t> &Key,
+                             uint64_t Hash) const {
+    auto Range = Map.equal_range(Hash);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (It->second.Key == Key)
+        return &It->second.Result;
+    return nullptr;
+  }
+
+  void insert(std::vector<uint64_t> Key, uint64_t Hash, SolverResult R) {
+    if (R == SolverResult::Unknown)
+      return;
+    Map.emplace(Hash, Entry{std::move(Key), R});
+  }
+
+  size_t size() const { return Map.size(); }
+
+private:
+  struct Entry {
+    std::vector<uint64_t> Key;
+    SolverResult Result;
+  };
+  std::unordered_multimap<uint64_t, Entry> Map;
 };
 
 //===----------------------------------------------------------------------===
@@ -139,10 +205,17 @@ private:
 /// and the CDCL core carries its learnt clauses across checks.
 class IncrementalCoreSession : public SolverSession {
 public:
+  /// Root-satisfied learnt clauses are purged every this many pops (the
+  /// guard-literal garbage collection that bounds long-session memory).
+  static constexpr size_t PurgeInterval = 16;
+
   IncrementalCoreSession(ExprContext &Ctx, uint64_t ConflictBudget,
-                         bool Tracked)
+                         bool Tracked,
+                         std::shared_ptr<SessionVerdictCache> Cache,
+                         bool FeasiblePrefix = false)
       : SolverSession(Ctx), ConflictBudget(ConflictBudget),
-        Tracked(Tracked), BB(S) {
+        Tracked(Tracked), FeasiblePrefix(FeasiblePrefix),
+        Cache(std::move(Cache)), BB(S) {
     Frames.push_back(Frame{sat::LitUndef, {}});
   }
 
@@ -158,6 +231,25 @@ public:
     // is never assumed again.
     S.addClause(~Frames.back().Guard);
     Frames.pop_back();
+    ++RetiredScopes;
+    // The dead guard permanently satisfies the scope's (~guard v lit)
+    // clauses and any learnt clause mentioning it; collect that garbage
+    // periodically so a long-lived (per-state) session's clause database
+    // tracks the live scopes, not the pop history.
+    if (RetiredScopes % PurgeInterval == 0 && S.okay())
+      S.purgeSatisfiedClauses();
+  }
+
+  SessionHealth health() const override {
+    SessionHealth H;
+    for (const Frame &F : Frames)
+      H.AssertedConstraints += F.Asserted.size();
+    H.LiveScopes = Frames.size() - 1;
+    H.RetiredScopes = RetiredScopes;
+    H.ClauseCount = S.numClauses();
+    H.LearntCount = S.numLearnts();
+    H.PurgedClauses = S.stats().PurgedSatisfied;
+    return H;
   }
 
   void assert_(ExprRef E) override {
@@ -166,25 +258,56 @@ public:
     F.Asserted.push_back(E);
     if (E->isTrue())
       return;
-    // Once the session is permanently unsat there is nothing to refine;
-    // skip the encoding work (the old one-shot core's early exit).
+    if (E->isFalse()) {
+      F.HasFalse = true;
+      if (Frames.size() == 1)
+        RootUnsat = true;
+    }
+    // With a verdict cache attached, encoding is deferred until a check
+    // actually reaches the SAT core: a state whose every feasibility
+    // check hits the cache never Tseitin-encodes its path condition at
+    // all. Without a cache every check solves, so encode eagerly (the
+    // encode time then lands outside the check, where the caller's
+    // per-response accounting expects it).
+    if (!Cache)
+      materialize();
+  }
+
+  /// Lowers every asserted-but-unencoded constraint into the SAT core.
+  void materialize() {
     if (RootUnsat || !S.okay())
       return;
     Timer T;
-    if (E->isFalse()) {
-      if (Frames.size() == 1)
-        RootUnsat = true;
-      else
-        S.addClause(~F.Guard);
-    } else {
-      sat::Lit L = BB.literalFor(E);
-      if (Frames.size() == 1)
-        S.addClause(L);
-      else
-        S.addClause(~F.Guard, L);
+    for (Frame &F : Frames) {
+      for (; F.Materialized < F.Asserted.size(); ++F.Materialized) {
+        ExprRef E = F.Asserted[F.Materialized];
+        if (E->isTrue())
+          continue;
+        const bool Root = F.Guard == sat::LitUndef;
+        if (E->isFalse()) {
+          if (Root)
+            RootUnsat = true;
+          else
+            S.addClause(~F.Guard);
+          continue;
+        }
+        sat::Lit L = BB.literalFor(E);
+        if (Root)
+          S.addClause(L);
+        else
+          S.addClause(~F.Guard, L);
+      }
     }
     PendingEncodeSeconds += T.seconds();
     syncEncodeCounters();
+  }
+
+  /// True while any live scope asserted a constant-false constraint.
+  bool anyFrameFalse() const {
+    for (const Frame &F : Frames)
+      if (F.HasFalse)
+        return true;
+    return false;
   }
 
   SolverResponse checkSat(bool WantModel) override {
@@ -210,12 +333,11 @@ public:
     PendingEncodeSeconds = 0;
     Timer Total;
 
-    // Lower the assumptions; a constant-false one fails by itself.
-    std::vector<sat::Lit> Lits;
-    std::vector<std::pair<sat::Lit, ExprRef>> LitExprs;
+    // Triage the assumptions without encoding anything: a constant-false
+    // one fails by itself, and the remaining set feeds the verdict-cache
+    // key, so a cache hit costs no Tseitin work at all.
+    std::vector<ExprRef> Meaningful;
     ExprRef TriviallyFalse = nullptr;
-    for (size_t I = 1; I < Frames.size(); ++I)
-      Lits.push_back(Frames[I].Guard);
     for (ExprRef A : Assumptions) {
       if (A->isTrue())
         continue;
@@ -223,15 +345,10 @@ public:
         TriviallyFalse = A;
         break;
       }
-      Timer TE;
-      sat::Lit L = BB.literalFor(A);
-      R.EncodeSeconds += TE.seconds();
-      Lits.push_back(L);
-      LitExprs.push_back({L, A});
+      Meaningful.push_back(A);
     }
-    syncEncodeCounters();
 
-    if (RootUnsat || TriviallyFalse || !S.okay()) {
+    if (RootUnsat || TriviallyFalse || anyFrameFalse() || !S.okay()) {
       R.Result = SolverResult::Unsat;
       if (TriviallyFalse)
         R.FailedAssumptions = {TriviallyFalse};
@@ -239,6 +356,69 @@ public:
       finishTiming(Stats, R, Total, AssertEncode);
       return R;
     }
+
+    // Session-level verdict cache: keyed by the normalized union of the
+    // asserted constraints and the assumptions. Model requests always go
+    // to the core (the cache stores verdicts, not assignments). Under the
+    // feasible-prefix promise the key is sliced down to the constraint
+    // group variable-reachable from the assumptions: the rest of the
+    // prefix is satisfiable over disjoint variables, so it cannot change
+    // the verdict — and sibling states whose path conditions differ only
+    // in irrelevant conjuncts now share one cache line.
+    std::vector<uint64_t> Key;
+    uint64_t KeyHash = 0;
+    if (Cache && !WantModel) {
+      std::vector<ExprRef> Constraints;
+      for (const Frame &F : Frames)
+        for (ExprRef E : F.Asserted)
+          if (!E->isTrue())
+            Constraints.push_back(E);
+      if (FeasiblePrefix && !Meaningful.empty())
+        Constraints = sliceReachable(Constraints, Meaningful);
+      Constraints.insert(Constraints.end(), Meaningful.begin(),
+                         Meaningful.end());
+      SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+      if (const SolverResult *Hit = Cache->lookup(Key, KeyHash)) {
+        ++Stats.VerdictCacheHits;
+        R.Result = *Hit;
+        if (R.isUnsat()) {
+          ++Stats.UnsatResults;
+          // Like fallback sessions, a cached refutation cannot name the
+          // responsible subset; over-approximate with every assumption.
+          R.FailedAssumptions = Meaningful;
+        } else {
+          ++Stats.SatResults;
+        }
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
+      }
+      ++Stats.VerdictCacheMisses;
+    }
+
+    // Materialize any deferred encoding, then lower the assumptions onto
+    // the persistent encoding. (Materialization can discover root
+    // unsatisfiability that assert_ deferred.)
+    materialize();
+    R.EncodeSeconds += PendingEncodeSeconds;
+    PendingEncodeSeconds = 0;
+    if (RootUnsat || !S.okay()) {
+      R.Result = SolverResult::Unsat;
+      ++Stats.UnsatResults;
+      finishTiming(Stats, R, Total, AssertEncode);
+      return R;
+    }
+    std::vector<sat::Lit> Lits;
+    std::vector<std::pair<sat::Lit, ExprRef>> LitExprs;
+    for (size_t I = 1; I < Frames.size(); ++I)
+      Lits.push_back(Frames[I].Guard);
+    for (ExprRef A : Meaningful) {
+      Timer TE;
+      sat::Lit L = BB.literalFor(A);
+      R.EncodeSeconds += TE.seconds();
+      Lits.push_back(L);
+      LitExprs.push_back({L, A});
+    }
+    syncEncodeCounters();
 
     Timer TS;
     bool IsSat = S.solveAssuming(Lits, ConflictBudget);
@@ -274,6 +454,8 @@ public:
           R.Model.set(V, BB.modelValue(V));
       }
     }
+    if (Cache && !WantModel)
+      Cache->insert(std::move(Key), KeyHash, R.Result);
     finishTiming(Stats, R, Total, AssertEncode);
     return R;
   }
@@ -282,7 +464,57 @@ private:
   struct Frame {
     sat::Lit Guard; ///< LitUndef for the root scope.
     std::vector<ExprRef> Asserted;
+    size_t Materialized = 0; ///< Prefix of Asserted already encoded.
+    bool HasFalse = false;   ///< A constant-false constraint was asserted.
   };
+
+  /// The variables of \p E, collected once per session and memoized (the
+  /// same conjuncts are sliced at every check of a long-lived session).
+  const std::vector<ExprRef> &varsOf(ExprRef E) {
+    auto [It, Inserted] = VarsMemo.emplace(E, std::vector<ExprRef>());
+    if (Inserted)
+      It->second = collectVars(E);
+    return It->second;
+  }
+
+  /// Returns the subset of \p Constraints sharing variables (transitively)
+  /// with \p Seeds — the only conjuncts that can influence a verdict when
+  /// the rest is known satisfiable over disjoint variables.
+  std::vector<ExprRef> sliceReachable(const std::vector<ExprRef> &Constraints,
+                                      const std::vector<ExprRef> &Seeds) {
+    std::unordered_set<ExprRef> Reached;
+    for (ExprRef A : Seeds)
+      for (ExprRef V : varsOf(A))
+        Reached.insert(V);
+    std::vector<char> In(Constraints.size(), 0);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t I = 0; I < Constraints.size(); ++I) {
+        if (In[I])
+          continue;
+        const std::vector<ExprRef> &Vars = varsOf(Constraints[I]);
+        bool Touches = false;
+        for (ExprRef V : Vars) {
+          if (Reached.count(V)) {
+            Touches = true;
+            break;
+          }
+        }
+        if (!Touches)
+          continue;
+        In[I] = 1;
+        Changed = true;
+        for (ExprRef V : Vars)
+          Reached.insert(V);
+      }
+    }
+    std::vector<ExprRef> Out;
+    for (size_t I = 0; I < Constraints.size(); ++I)
+      if (In[I])
+        Out.push_back(Constraints[I]);
+    return Out;
+  }
 
   void syncEncodeCounters() {
     SolverQueryStats &Stats = solverStats();
@@ -304,10 +536,14 @@ private:
 
   uint64_t ConflictBudget;
   bool Tracked; ///< False when serving a one-shot checkSat shim.
+  bool FeasiblePrefix; ///< Caller's SessionOptions::FeasiblePrefix promise.
+  std::shared_ptr<SessionVerdictCache> Cache; ///< Null when disabled.
+  std::unordered_map<ExprRef, std::vector<ExprRef>> VarsMemo;
   sat::SatSolver S;
   BitBlaster BB;
   std::vector<Frame> Frames;
   bool RootUnsat = false;
+  size_t RetiredScopes = 0;
   double PendingEncodeSeconds = 0;
   uint64_t SyncedCacheHits = 0;
   uint64_t SyncedNodesLowered = 0;
@@ -315,14 +551,21 @@ private:
 
 class CoreSolver : public Solver {
 public:
-  CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget, bool Incremental)
+  CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget, bool Incremental,
+             bool VerdictCache)
       : Solver(Ctx), ConflictBudget(ConflictBudget),
-        Incremental(Incremental) {}
+        Incremental(Incremental) {
+    if (VerdictCache && Incremental)
+      Cache = std::make_shared<SessionVerdictCache>();
+  }
 
   /// The one-shot entry point is a thin shim over a one-shot session, so
-  /// both APIs share a single encode-and-solve path.
+  /// both APIs share a single encode-and-solve path. One-shot queries
+  /// skip the verdict cache: the CachingSolver layer above already
+  /// memoizes them (with models).
   SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
-    IncrementalCoreSession Sess(Ctx, ConflictBudget, /*Tracked=*/false);
+    IncrementalCoreSession Sess(Ctx, ConflictBudget, /*Tracked=*/false,
+                                nullptr);
     for (ExprRef E : Q.Constraints)
       Sess.assert_(E);
     SolverResponse R = Sess.checkSat(Model != nullptr);
@@ -334,16 +577,27 @@ public:
   bool supportsNativeSessions() const override { return Incremental; }
 
   std::unique_ptr<SolverSession> openSession() override {
+    return openSession(SessionOptions{});
+  }
+
+  std::unique_ptr<SolverSession>
+  openSession(const SessionOptions &Opts) override {
     if (!Incremental)
       return Solver::openSession();
     ++solverStats().SessionsOpened;
-    return std::make_unique<IncrementalCoreSession>(Ctx, ConflictBudget,
-                                                    /*Tracked=*/true);
+    // A conflict budget can return Unknown, which engines treat as
+    // feasible — the caller's feasible-prefix promise can then be
+    // violated through no fault of its own, so refuse it locally rather
+    // than trusting every driver to remember the interaction.
+    bool Feasible = Opts.FeasiblePrefix && ConflictBudget == 0;
+    return std::make_unique<IncrementalCoreSession>(
+        Ctx, ConflictBudget, /*Tracked=*/true, Cache, Feasible);
   }
 
 private:
   uint64_t ConflictBudget;
   bool Incremental;
+  std::shared_ptr<SessionVerdictCache> Cache; ///< Shared by all sessions.
 };
 
 //===----------------------------------------------------------------------===
@@ -365,6 +619,11 @@ private:
   }                                                                            \
   std::unique_ptr<SolverSession> openSession() override {                      \
     return Inner->supportsNativeSessions() ? Inner->openSession()              \
+                                           : Solver::openSession();            \
+  }                                                                            \
+  std::unique_ptr<SolverSession> openSession(const SessionOptions &Opts)       \
+      override {                                                               \
+    return Inner->supportsNativeSessions() ? Inner->openSession(Opts)          \
                                            : Solver::openSession();            \
   }
 
@@ -622,9 +881,10 @@ std::unique_ptr<SolverSession> Solver::openSession() {
 
 std::unique_ptr<Solver> symmerge::createCoreSolver(ExprContext &Ctx,
                                                    uint64_t ConflictBudget,
-                                                   bool IncrementalSessions) {
+                                                   bool IncrementalSessions,
+                                                   bool VerdictCache) {
   return std::make_unique<CoreSolver>(Ctx, ConflictBudget,
-                                      IncrementalSessions);
+                                      IncrementalSessions, VerdictCache);
 }
 
 std::unique_ptr<Solver>
@@ -654,5 +914,7 @@ std::unique_ptr<Solver> symmerge::createDefaultSolver(ExprContext &Ctx,
   return createIndependenceSolver(
       Ctx, createSimplifyingSolver(
                Ctx, createCachingSolver(
-                        Ctx, createCoreSolver(Ctx, ConflictBudget))));
+                        Ctx, createCoreSolver(Ctx, ConflictBudget,
+                                              /*IncrementalSessions=*/true,
+                                              /*VerdictCache=*/true))));
 }

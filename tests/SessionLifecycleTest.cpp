@@ -1,0 +1,762 @@
+//===- SessionLifecycleTest.cpp - Per-state session lifecycle ----------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the per-state solver-session lifetime and the machinery around
+/// it:
+///
+///  - a randomized differential suite: random MiniC programs explored
+///    under all four solver modes (one-shot, per-site sessions, per-state
+///    sessions, per-state + verdict cache) must produce identical test
+///    cases, coverage, and error verdicts,
+///  - the session-level verdict cache (cross-session sharing),
+///  - state merging with live sessions (the rebuilt session agrees with a
+///    fresh one-shot check on the merged disjunctive path condition),
+///  - the guard-GC / eviction path: deep-loop workloads that force
+///    session eviction, learnt-clause purging, and clause-count
+///    watermarks,
+///  - the reduceDB regression: learnt clauses satisfied by popped-scope
+///    guards must be purged, not kept forever.
+///
+/// The differential suite scales with two environment variables used by
+/// the nightly CI job: SYMMERGE_DIFF_ITERS multiplies the program count
+/// per shard (default 1) and SYMMERGE_DIFF_SEED offsets the seed matrix
+/// (default 0).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/PathSession.h"
+#include "core/StateMerge.h"
+#include "solver/Sat.h"
+#include "solver/Solver.h"
+#include "support/RNG.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace symmerge;
+
+namespace {
+
+uint64_t envOr(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  return V && *V ? std::strtoull(V, nullptr, 10) : Default;
+}
+
+//===----------------------------------------------------------------------===
+// Random MiniC program generator
+//===----------------------------------------------------------------------===
+
+/// Generates small, always-terminating MiniC programs with symbolic
+/// inputs, data-dependent branches, bounded loops, assertions that can
+/// fail, and array accesses that can go out of bounds — enough surface to
+/// exercise forks, merges, feasibility checks, and bug reporting.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : Rand(Seed) {}
+
+  std::string generate() {
+    Out.str("");
+    Out << "void main() {\n";
+    unsigned NumVars = 2 + Rand.nextBelow(2);
+    for (unsigned I = 0; I < NumVars; ++I) {
+      std::string Name(1, static_cast<char>('a' + I));
+      Out << "  int " << Name << " = 0;\n";
+      Out << "  make_symbolic(" << Name << ", \"" << Name << "\");\n";
+      // Small domains keep the path count (and SAT work) bounded.
+      Out << "  assume(" << Name << " >= 0);\n";
+      Out << "  assume(" << Name << " <= " << 7 + Rand.nextBelow(9)
+          << ");\n";
+      Vars.push_back(Name);
+      SymVars.push_back(Name);
+    }
+    UseArray = Rand.nextBool(0.4);
+    if (UseArray)
+      Out << "  int buf[4];\n";
+    Out << "  int s = 0;\n";
+    Vars.push_back("s");
+    Budget = 8 + static_cast<int>(Rand.nextBelow(5));
+    stmts(1, /*IndentLevel=*/1);
+    if (Rand.nextBool(0.7))
+      Out << "  assert(s <= " << 40 + Rand.nextBelow(40) << ", \"final\");\n";
+    Out << "}\n";
+    return Out.str();
+  }
+
+private:
+  void indent(int Level) {
+    for (int I = 0; I < Level; ++I)
+      Out << "  ";
+  }
+
+  const std::string &randomVar() {
+    return Vars[Rand.nextBelow(Vars.size())];
+  }
+
+  std::string atom() {
+    if (Rand.nextBool(0.6))
+      return randomVar();
+    return std::to_string(Rand.nextBelow(16));
+  }
+
+  std::string expr() {
+    static const char *Ops[] = {"+", "-", "*"};
+    std::string E = atom();
+    unsigned Terms = Rand.nextBelow(2);
+    for (unsigned I = 0; I < Terms; ++I)
+      E += std::string(" ") + Ops[Rand.nextBelow(3)] + " " + atom();
+    return E;
+  }
+
+  std::string cond() {
+    // Anchor every comparison on a symbolic input so branch conditions
+    // rarely fold to constants — the differential is vacuous without
+    // real forks.
+    static const char *Cmp[] = {"<", "<=", ">", ">=", "=="};
+    const std::string &Sym = SymVars[Rand.nextBelow(SymVars.size())];
+    std::string C = Sym + " " + Cmp[Rand.nextBelow(5)] + " " + expr();
+    if (Rand.nextBool(0.25))
+      C += std::string(Rand.nextBool(0.5) ? " && " : " || ") +
+           SymVars[Rand.nextBelow(SymVars.size())] + " " +
+           Cmp[Rand.nextBelow(5)] + " " + atom();
+    return C;
+  }
+
+  void stmts(int Depth, int Level) {
+    unsigned Count = 1 + Rand.nextBelow(3);
+    for (unsigned I = 0; I < Count && Budget > 0; ++I)
+      stmt(Depth, Level);
+  }
+
+  void stmt(int Depth, int Level) {
+    --Budget;
+    unsigned Pick = Rand.nextBelow(10);
+    if (Depth >= 3)
+      Pick = Rand.nextBelow(4); // Leaf statements only.
+    if (Pick < 2) { // Assignment.
+      indent(Level);
+      Out << randomVar() << " = " << expr() << ";\n";
+    } else if (Pick < 3) { // Accumulate (keeps `s` interesting).
+      indent(Level);
+      Out << "s = s + " << atom() << ";\n";
+    } else if (Pick < 4) { // Assertion that may fail.
+      indent(Level);
+      Out << "assert(" << cond() << ", \"a" << AssertId++ << "\");\n";
+    } else if (Pick < 7) { // Branch.
+      indent(Level);
+      Out << "if (" << cond() << ") {\n";
+      stmts(Depth + 1, Level + 1);
+      if (Rand.nextBool(0.5)) {
+        indent(Level);
+        Out << "} else {\n";
+        stmts(Depth + 1, Level + 1);
+      }
+      indent(Level);
+      Out << "}\n";
+    } else if (Pick < 8 && UseArray) { // Array traffic, possibly OOB.
+      indent(Level);
+      if (Rand.nextBool(0.5)) {
+        // In-bounds via %, or a raw symbolic index that can be OOB.
+        if (Rand.nextBool(0.5))
+          Out << "buf[" << randomVar() << " % 4] = " << atom() << ";\n";
+        else
+          Out << "buf[" << randomVar() << "] = " << atom() << ";\n";
+      } else {
+        Out << "s = s + buf[" << randomVar() << " % 4];\n";
+      }
+    } else { // Bounded loop.
+      std::string IV = "i" + std::to_string(LoopId++);
+      indent(Level);
+      Out << "for (int " << IV << " = 0; " << IV << " < "
+          << 2 + Rand.nextBelow(2) << "; " << IV << " = " << IV
+          << " + 1) {\n";
+      stmts(Depth + 1, Level + 1);
+      indent(Level);
+      Out << "}\n";
+    }
+  }
+
+  RNG Rand;
+  std::ostringstream Out;
+  std::vector<std::string> Vars;
+  std::vector<std::string> SymVars;
+  bool UseArray = false;
+  int Budget = 0;
+  int AssertId = 0;
+  int LoopId = 0;
+};
+
+//===----------------------------------------------------------------------===
+// The four solver modes under test
+//===----------------------------------------------------------------------===
+
+struct SolverMode {
+  const char *Name;
+  bool Incremental, PerState, VerdictCache;
+};
+
+const SolverMode SolverModes[] = {
+    {"one-shot", false, false, false},
+    {"per-site", true, false, false},
+    {"per-state", true, true, false},
+    {"per-state+cache", true, true, true},
+};
+
+void applyMode(SymbolicRunner::Config &C, const SolverMode &M) {
+  C.SolverIncremental = M.Incremental;
+  C.SolverPerStateSessions = M.PerState;
+  C.SolverVerdictCache = M.VerdictCache;
+}
+
+/// Everything a run produced, canonicalized for comparison.
+struct Outcome {
+  uint64_t Forks = 0, Merges = 0, CompletedStates = 0, Errors = 0;
+  double CompletedMultiplicity = 0;
+  double Coverage = 0;
+  bool Exhausted = false;
+  /// (kind:message, sorted inputs) per test, in generation order.
+  /// Canonicalized while the runner (and its ExprContext) is still alive.
+  std::vector<std::string> Tests;
+  /// Session-lifecycle stats; legitimately vary across modes, so they are
+  /// excluded from equality.
+  uint64_t SessionEvictions = 0, SessionSplits = 0;
+
+  bool operator==(const Outcome &O) const {
+    return Forks == O.Forks && Merges == O.Merges &&
+           CompletedStates == O.CompletedStates && Errors == O.Errors &&
+           CompletedMultiplicity == O.CompletedMultiplicity &&
+           Coverage == O.Coverage && Exhausted == O.Exhausted &&
+           Tests == O.Tests;
+  }
+};
+
+std::string canonicalTest(const TestCase &T) {
+  std::ostringstream OS;
+  OS << static_cast<int>(T.Kind) << ':' << T.Message << ':';
+  std::vector<std::pair<std::string, uint64_t>> Items;
+  for (const auto &[Var, Val] : T.Inputs.values())
+    Items.push_back({Var->varName(), Val});
+  std::sort(Items.begin(), Items.end());
+  for (const auto &[Name, Val] : Items)
+    OS << Name << '=' << Val << ',';
+  return OS.str();
+}
+
+Outcome runProgram(const Module &M, SymbolicRunner::Config C) {
+  SymbolicRunner Runner(M, C);
+  RunResult R = Runner.run();
+  Outcome O;
+  O.Forks = R.Stats.Forks;
+  O.Merges = R.Stats.Merges;
+  O.CompletedStates = R.Stats.CompletedStates;
+  O.Errors = R.Stats.Errors;
+  O.CompletedMultiplicity = R.Stats.CompletedMultiplicity;
+  O.Coverage = Runner.coverage().statementCoverage();
+  O.Exhausted = R.Stats.Exhausted;
+  O.SessionEvictions = R.Stats.SessionEvictions;
+  O.SessionSplits = R.Stats.SessionSplits;
+  for (const TestCase &T : R.Tests)
+    O.Tests.push_back(canonicalTest(T));
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Randomized differential suite over the four solver modes
+//===----------------------------------------------------------------------===
+
+/// Each shard drives a block of random programs through the engine under
+/// every solver mode x {plain BFS, merging topological} and insists on
+/// bit-identical outcomes. 10 shards x 10 programs = 100 programs per
+/// run (x SYMMERGE_DIFF_ITERS in the nightly job).
+class SolverModeDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverModeDifferentialTest, AllSolverModesAgreeOnRandomPrograms) {
+  const uint64_t Iters = envOr("SYMMERGE_DIFF_ITERS", 1);
+  const uint64_t SeedBase = envOr("SYMMERGE_DIFF_SEED", 0);
+  const int Shard = GetParam();
+  uint64_t TotalForks = 0, TotalErrors = 0, TotalTests = 0;
+
+  for (uint64_t P = 0; P < 10 * Iters; ++P) {
+    uint64_t Seed = SeedBase * 1000003 + Shard * 100 + P;
+    ProgramGen Gen(hashMix(Seed) | 1);
+    std::string Source = Gen.generate();
+    CompileResult CR = compileMiniC(Source);
+    ASSERT_TRUE(CR.ok()) << "generator produced invalid MiniC (seed "
+                         << Seed << "):\n"
+                         << Source;
+
+    struct MergeSetup {
+      const char *Name;
+      SymbolicRunner::MergeMode Merge;
+      SymbolicRunner::Strategy Driving;
+    };
+    const MergeSetup Setups[] = {
+        {"plain-bfs", SymbolicRunner::MergeMode::None,
+         SymbolicRunner::Strategy::BFS},
+        {"merge-all-topo", SymbolicRunner::MergeMode::All,
+         SymbolicRunner::Strategy::Topological},
+    };
+    for (const MergeSetup &MS : Setups) {
+      Outcome Reference;
+      for (const SolverMode &SM : SolverModes) {
+        SymbolicRunner::Config C;
+        C.Merge = MS.Merge;
+        C.Driving = MS.Driving;
+        C.Engine.MaxSeconds = 60;
+        applyMode(C, SM);
+        Outcome O = runProgram(*CR.M, C);
+        ASSERT_TRUE(O.Exhausted)
+            << SM.Name << '/' << MS.Name << " seed " << Seed;
+        if (&SM == &SolverModes[0]) {
+          Reference = O;
+          TotalForks += O.Forks;
+          TotalErrors += O.Errors;
+          TotalTests += O.Tests.size();
+          continue;
+        }
+        EXPECT_TRUE(O == Reference)
+            << SM.Name << '/' << MS.Name << " diverged from "
+            << SolverModes[0].Name << " on seed " << Seed
+            << "\nforks " << O.Forks << " vs " << Reference.Forks
+            << ", completed " << O.CompletedStates << " vs "
+            << Reference.CompletedStates << ", errors " << O.Errors
+            << " vs " << Reference.Errors << ", tests " << O.Tests.size()
+            << " vs " << Reference.Tests.size() << "\nprogram:\n"
+            << Source;
+      }
+    }
+  }
+  // Vitality: a degenerate generator (no symbolic branching at all) would
+  // make the whole differential vacuous.
+  EXPECT_GE(TotalForks, 3 * Iters)
+      << "shard " << Shard << " explored almost no symbolic branches";
+  RecordProperty("forks", static_cast<int>(TotalForks));
+  RecordProperty("errors", static_cast<int>(TotalErrors));
+  RecordProperty("tests", static_cast<int>(TotalTests));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, SolverModeDifferentialTest,
+                         ::testing::Range(0, 10));
+
+//===----------------------------------------------------------------------===
+// Session-level verdict cache: cross-session sharing
+//===----------------------------------------------------------------------===
+
+TEST(SessionLifecycleTest, VerdictCacheSharesAcrossSessions) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/true,
+                               /*VerdictCache=*/true);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef PC = Ctx.mkUlt(X, Ctx.mkConst(5, 8));
+  ExprRef Hyp = Ctx.mkEq(X, Ctx.mkConst(3, 8));
+  ExprRef BadHyp = Ctx.mkEq(X, Ctx.mkConst(9, 8));
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Hits0 = Stats.VerdictCacheHits;
+
+  // First session populates the cache.
+  auto A = Core->openSession();
+  A->assert_(PC);
+  EXPECT_TRUE(A->checkSatAssuming(Hyp).isSat());
+  EXPECT_TRUE(A->checkSatAssuming(BadHyp).isUnsat());
+  EXPECT_EQ(Stats.VerdictCacheHits, Hits0);
+
+  // A sibling session with the same prefix hits both verdicts without
+  // touching its own SAT core.
+  auto B = Core->openSession();
+  B->assert_(PC);
+  uint64_t Lowered0 = Stats.EncodeNodesLowered;
+  EXPECT_TRUE(B->checkSatAssuming(Hyp).isSat());
+  SolverResponse R = B->checkSatAssuming(BadHyp);
+  EXPECT_TRUE(R.isUnsat());
+  ASSERT_EQ(R.FailedAssumptions.size(), 1u); // Over-approximated subset.
+  EXPECT_EQ(R.FailedAssumptions[0], BadHyp);
+  EXPECT_EQ(Stats.VerdictCacheHits, Hits0 + 2);
+  EXPECT_EQ(Stats.EncodeNodesLowered, Lowered0)
+      << "a verdict-cache hit must not Tseitin-encode anything";
+
+  // Model requests bypass the cache and still work.
+  SolverResponse WithModel = B->checkSatAssuming(Hyp, /*WantModel=*/true);
+  ASSERT_TRUE(WithModel.isSat());
+  EXPECT_EQ(WithModel.Model.get(X), 3u);
+}
+
+TEST(SessionLifecycleTest, FeasiblePrefixSlicesVerdictCacheKeys) {
+  // Under the feasible-prefix promise the cache key keeps only the
+  // constraint group variable-reachable from the assumption, so sibling
+  // states whose path conditions differ in UNRELATED conjuncts share
+  // verdicts — the cross-state sharing IndependenceSolver gives the
+  // one-shot cache.
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/true,
+                               /*VerdictCache=*/true);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef Z = Ctx.mkVar("z", 8);
+  ExprRef OnX = Ctx.mkUlt(X, Ctx.mkConst(5, 8));
+  ExprRef Hyp = Ctx.mkEq(X, Ctx.mkConst(3, 8));
+
+  SessionOptions Opts;
+  Opts.FeasiblePrefix = true;
+  SolverQueryStats &Stats = solverStats();
+
+  auto A = Core->openSession(Opts);
+  A->assert_(OnX);
+  A->assert_(Ctx.mkUlt(Y, Ctx.mkConst(9, 8))); // Irrelevant to X.
+  uint64_t Hits0 = Stats.VerdictCacheHits;
+  EXPECT_TRUE(A->checkSatAssuming(Hyp).isSat()); // Miss; populates.
+  EXPECT_EQ(Stats.VerdictCacheHits, Hits0);
+
+  // A sibling with a DIFFERENT irrelevant suffix still hits.
+  auto B = Core->openSession(Opts);
+  B->assert_(OnX);
+  B->assert_(Ctx.mkUlt(Ctx.mkConst(3, 8), Z)); // Different, still disjoint.
+  EXPECT_TRUE(B->checkSatAssuming(Hyp).isSat());
+  EXPECT_EQ(Stats.VerdictCacheHits, Hits0 + 1);
+
+  // Without the promise, the full-prefix key keeps the sessions apart.
+  auto C = Core->openSession();
+  C->assert_(OnX);
+  C->assert_(Ctx.mkUlt(Ctx.mkConst(4, 8), Z));
+  EXPECT_TRUE(C->checkSatAssuming(Hyp).isSat());
+  EXPECT_EQ(Stats.VerdictCacheHits, Hits0 + 1) << "unsliced key must miss";
+
+  // A constraint that DOES share variables with the assumption stays in
+  // the key: a session where it flips the verdict must not hit the
+  // sliced entry.
+  auto D = Core->openSession(Opts);
+  D->assert_(OnX);
+  D->assert_(Ctx.mkUlt(Ctx.mkConst(3, 8), X)); // x in (3,5): excludes 3.
+  EXPECT_TRUE(D->checkSatAssuming(Hyp).isUnsat());
+}
+
+//===----------------------------------------------------------------------===
+// State merging with live per-state sessions
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Two mergeable states at the same location whose path conditions share
+/// a prefix and diverge in one conjunct each (the post-branch shape).
+struct MergePair {
+  Module M;
+  std::unique_ptr<ExprContext> Ctx;
+  ExecutionState A, B;
+  ExprRef X, Y;
+
+  MergePair() : Ctx(new ExprContext()) {
+    Function *F = M.createFunction("main", Type::intTy(64), true, {});
+    BasicBlock *BB = F->createBlock("entry");
+    Instr H;
+    H.Op = Opcode::Halt;
+    BB->instructions().push_back(H);
+    F->addLocal("v", Type::intTy(64));
+
+    X = Ctx->mkVar("x", 8);
+    Y = Ctx->mkVar("y", 8);
+    auto Init = [&](ExecutionState &S, uint64_t Id, uint64_t V) {
+      S.Id = Id;
+      S.Loc = {BB, 0};
+      StackFrame Frame;
+      Frame.F = F;
+      Frame.Scalars.push_back(Ctx->mkConst(V, 64));
+      Frame.ArrayIds.push_back(-1);
+      S.Stack.push_back(std::move(Frame));
+    };
+    Init(A, 1, 10);
+    Init(B, 2, 20);
+    ExprRef Prefix = Ctx->mkUlt(X, Ctx->mkConst(50, 8));
+    ExprRef Cond = Ctx->mkUlt(Y, X);
+    A.PC = {Prefix, Cond};
+    B.PC = {Prefix, Ctx->mkNot(Cond)};
+  }
+};
+
+} // namespace
+
+TEST(SessionLifecycleTest, MergedStateSessionAgreesWithOneShot) {
+  MergePair P;
+  auto Core = createCoreSolver(*P.Ctx);
+  auto OneShot = createCoreSolver(*P.Ctx);
+
+  // Both states run live sessions before the merge.
+  PathSessionHandle HA, HB;
+  SolverSession &SA = HA.acquire(*Core, P.A.PC);
+  SolverSession &SB = HB.acquire(*Core, P.B.PC);
+  EXPECT_TRUE(SA.checkSat().isSat());
+  EXPECT_TRUE(SB.checkSat().isSat());
+
+  ASSERT_TRUE(statesMergeable(P.A, P.B));
+  mergeStates(*P.Ctx, P.A, P.B);
+
+  // Realigning A's handle to the merged (disjunctive) PC pops the stale
+  // suffix and asserts the disjunction; the verdicts must agree with a
+  // fresh one-shot check of the merged PC.
+  PathSessionHandle::AcquireInfo Info;
+  SolverSession &SM = HA.acquire(*Core, P.A.PC,
+                                 PathSessionHandle::Limits(), &Info);
+  EXPECT_GT(Info.PoppedScopes, 0u) << "merge must realign the session";
+  EXPECT_EQ(static_cast<int>(SM.checkSat().Result),
+            static_cast<int>(OneShot->checkSat(Query(P.A.PC), nullptr)));
+
+  // And on a sweep of hypotheses over the merged state's variables.
+  for (uint64_t K = 0; K < 8; ++K) {
+    ExprRef Hyp = P.Ctx->mkEq(P.X, P.Ctx->mkConst(K * 9 % 60, 8));
+    SolverResult Want =
+        OneShot->checkSat(Query(P.A.PC).withConstraint(Hyp), nullptr);
+    EXPECT_EQ(static_cast<int>(SM.checkSatAssuming(Hyp).Result),
+              static_cast<int>(Want))
+        << "hypothesis " << K;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Guard GC / eviction stress
+//===----------------------------------------------------------------------===
+
+TEST(SessionLifecycleTest, EvictionKeepsVerdictsStableAndClausesBounded) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef Y = Ctx.mkVar("y", 16);
+
+  // Two diverging path conditions over a shared prefix; alternating
+  // between them forces a pop+assert cycle per acquire.
+  std::vector<ExprRef> Prefix = {
+      Ctx.mkUlt(Ctx.mkMul(X, Y), Ctx.mkConst(5000, 16)),
+      Ctx.mkUlt(Ctx.mkConst(3, 16), Ctx.mkAdd(X, Y)),
+  };
+  std::vector<ExprRef> PCA = Prefix, PCB = Prefix;
+  for (int I = 0; I < 4; ++I) {
+    ExprRef V = Ctx.mkAdd(Ctx.mkMul(X, Ctx.mkConst(I + 2, 16)), Y);
+    PCA.push_back(Ctx.mkUlt(V, Ctx.mkConst(20000 + I * 977, 16)));
+    PCB.push_back(Ctx.mkUlt(Ctx.mkConst(10 + I, 16), V));
+  }
+  ExprRef Hyp = Ctx.mkUlt(X, Y);
+
+  PathSessionHandle::Limits L;
+  L.MaxRetiredScopes = 8; // Tiny: evict every other alternation.
+  L.ClauseWatermark = 0;  // Exercise the scope-count policy alone.
+
+  PathSessionHandle H;
+  int FirstA = -1, FirstB = -1;
+  size_t Evictions = 0;
+  for (int Round = 0; Round < 40; ++Round) {
+    const std::vector<ExprRef> &PC = (Round % 2 == 0) ? PCA : PCB;
+    PathSessionHandle::AcquireInfo Info;
+    SolverSession &S = H.acquire(*Core, PC, L, &Info);
+    Evictions += Info.Evicted;
+    int Verdict = static_cast<int>(S.checkSatAssuming(Hyp).Result);
+    int &First = (Round % 2 == 0) ? FirstA : FirstB;
+    if (First < 0)
+      First = Verdict;
+    // Verdicts are stable across every eviction/rebuild boundary.
+    EXPECT_EQ(Verdict, First) << "round " << Round;
+    // The retired-scope garbage never exceeds the watermark.
+    EXPECT_LE(S.health().RetiredScopes, L.MaxRetiredScopes)
+        << "round " << Round;
+  }
+  EXPECT_GT(Evictions, 5u) << "the stress loop must actually evict";
+}
+
+TEST(SessionLifecycleTest, ClauseWatermarkBoundsSatInstanceGrowth) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef Y = Ctx.mkVar("y", 16);
+
+  // Measure the clause footprint of one fresh build of the deepest PC.
+  std::vector<ExprRef> PC;
+  ExprRef V = X;
+  for (int I = 0; I < 6; ++I) {
+    V = Ctx.mkAdd(Ctx.mkMul(V, Ctx.mkConst(3, 16)), Y);
+    PC.push_back(Ctx.mkUlt(V, Ctx.mkConst(30000 + I * 1117, 16)));
+  }
+  size_t FreshClauses;
+  {
+    PathSessionHandle Fresh;
+    SolverSession &S = Fresh.acquire(*Core, PC);
+    S.checkSat();
+    FreshClauses = S.health().ClauseCount + S.health().LearntCount;
+  }
+  ASSERT_GT(FreshClauses, 0u);
+
+  // Churn: repeatedly swap the tail of the PC for a new conjunct. Without
+  // eviction the dead guarded clauses would accumulate without bound.
+  PathSessionHandle::Limits L;
+  L.MaxRetiredScopes = 0; // Exercise the clause watermark alone.
+  L.ClauseWatermark = 2 * FreshClauses;
+  PathSessionHandle H;
+  size_t Evictions = 0, MaxClauses = 0;
+  for (int Round = 0; Round < 60; ++Round) {
+    std::vector<ExprRef> Cur = PC;
+    Cur.push_back(Ctx.mkUlt(Ctx.mkConst(Round % 7, 16),
+                            Ctx.mkMul(V, Ctx.mkConst(Round + 2, 16))));
+    PathSessionHandle::AcquireInfo Info;
+    SolverSession &S = H.acquire(*Core, Cur, L, &Info);
+    Evictions += Info.Evicted;
+    EXPECT_FALSE(S.checkSat().isUnsat()) << "round " << Round;
+    MaxClauses =
+        std::max(MaxClauses, S.health().ClauseCount + S.health().LearntCount);
+  }
+  EXPECT_GT(Evictions, 0u);
+  // The instance is rebuilt whenever it crosses the watermark, so its
+  // size tracks the live path condition, not the churn history. One
+  // acquire can overshoot by at most the clauses the new suffix adds.
+  EXPECT_LE(MaxClauses, L.ClauseWatermark + 2 * FreshClauses);
+}
+
+TEST(SessionLifecycleTest, DeepLoopWorkloadEvictsAndStaysCorrect) {
+  // A deep loop over a symbolic scrutinee with merging. The asymmetric
+  // assume() keeps the two arms' path-condition suffixes from being
+  // complementary, so every iteration's merge replaces the suffix with a
+  // non-trivial disjunction — each realignment pops scopes, and a
+  // long-lived session accumulates retired guards until it is evicted.
+  const char *Source =
+      "void main() {\n"
+      "  int x = 0;\n"
+      "  int y = 0;\n"
+      "  make_symbolic(x, \"x\");\n"
+      "  make_symbolic(y, \"y\");\n"
+      "  assume(x >= 0);\n"
+      "  assume(x <= 40);\n"
+      "  assume(y >= 0);\n"
+      "  assume(y <= 40);\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 12; i = i + 1) {\n"
+      "    if (x > i * 3) {\n"
+      "      assume(y > i);\n"
+      "      s = s + 1;\n"
+      "    } else { s = s + 2; }\n"
+      "  }\n"
+      "  assert(s <= 24, \"bound\");\n"
+      "}\n";
+  CompileResult CR = compileMiniC(Source);
+  ASSERT_TRUE(CR.ok());
+
+  auto Run = [&](unsigned MaxRetired, uint64_t Watermark) {
+    SymbolicRunner::Config C;
+    C.Merge = SymbolicRunner::MergeMode::All;
+    C.Driving = SymbolicRunner::Strategy::Topological;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.SessionMaxRetiredScopes = MaxRetired;
+    C.Engine.SessionClauseWatermark = Watermark;
+    return runProgram(*CR.M, C);
+  };
+
+  Outcome Default = Run(64, 1u << 16);
+  Outcome Tiny = Run(4, 0);
+  EXPECT_TRUE(Default.Exhausted);
+  EXPECT_TRUE(Tiny.Exhausted);
+  EXPECT_GT(Tiny.SessionEvictions, 0u)
+      << "a 4-scope limit must evict on a depth-12 merged loop";
+
+  // Verdict stability across eviction boundaries: the exploration is
+  // identical whether sessions were evicted aggressively or not.
+  EXPECT_TRUE(Tiny == Default);
+  ASSERT_EQ(Tiny.Tests.size(), Default.Tests.size());
+  for (size_t I = 0; I < Tiny.Tests.size(); ++I)
+    EXPECT_EQ(Tiny.Tests[I], Default.Tests[I]);
+}
+
+//===----------------------------------------------------------------------===
+// reduceDB / purge regression: guard-satisfied learnt clauses
+//===----------------------------------------------------------------------===
+
+TEST(SessionLifecycleTest, PurgeDropsLearntsSatisfiedByDeadGuards) {
+  using namespace symmerge::sat;
+  // A guarded pigeonhole instance PHP(5, 4): UNSAT under the guard, and
+  // resolution-hard enough that the search stores learnt clauses — every
+  // one of which contains ~g (all problem clauses do, and resolution
+  // never eliminates it).
+  SatSolver S;
+  Lit G = mkLit(S.newVar());
+  constexpr int P = 5, H = 4;
+  Var Slot[P][H];
+  for (int I = 0; I < P; ++I)
+    for (int J = 0; J < H; ++J)
+      Slot[I][J] = S.newVar();
+  for (int I = 0; I < P; ++I) {
+    std::vector<Lit> C{~G};
+    for (int J = 0; J < H; ++J)
+      C.push_back(mkLit(Slot[I][J]));
+    S.addClause(C);
+  }
+  for (int J = 0; J < H; ++J)
+    for (int I = 0; I < P; ++I)
+      for (int K = I + 1; K < P; ++K)
+        S.addClause(~G, ~mkLit(Slot[I][J]), ~mkLit(Slot[K][J]));
+
+  EXPECT_FALSE(S.solveAssuming({G}));
+  EXPECT_TRUE(S.okay()) << "assumption-unsat must not poison the instance";
+  size_t Before = S.numLearnts();
+  ASSERT_GT(Before, 0u) << "PHP(5,4) should force clause learning";
+
+  // Popping the scope (as a session would): the guard dies, every learnt
+  // clause it satisfies is garbage. The regression: reduceDB never
+  // dropped these; purgeSatisfiedLearnts must.
+  S.addClause(~G);
+  size_t Removed = S.purgeSatisfiedLearnts();
+  EXPECT_GT(Removed, 0u);
+  EXPECT_LT(S.numLearnts(), Before);
+  EXPECT_GE(S.stats().PurgedSatisfied, Removed);
+  // The instance is still usable after the purge.
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SessionLifecycleTest, SessionMemoryStaysBoundedAcrossPops) {
+  // A long-lived session that keeps opening and popping conflicting
+  // nested scopes. A contradiction between two scopes conflicts at the
+  // inner guard's decision level, so the learnt clause names the guard —
+  // exactly the garbage that outlives the scope and that the periodic
+  // purge inside pop() must collect.
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef Y = Ctx.mkVar("y", 16);
+  std::vector<ExprRef> Bools;
+  for (int I = 0; I < 4; ++I)
+    Bools.push_back(Ctx.mkVar("b" + std::to_string(I), 1));
+  Sess->assert_(Ctx.mkUlt(Ctx.mkMul(X, Y), Ctx.mkConst(9000, 16)));
+
+  for (int Round = 0; Round < 200; ++Round) {
+    ExprRef B = Bools[Round % 4];
+    Sess->push();
+    Sess->assert_(B);
+    ExprRef V = Ctx.mkMul(Ctx.mkAdd(X, Ctx.mkConst(Round + 1, 16)), Y);
+    Sess->assert_(Ctx.mkUlt(V, Ctx.mkConst(500 + Round * 13, 16)));
+    Sess->push();
+    Sess->assert_(Ctx.mkNot(B)); // Contradicts the outer scope.
+    EXPECT_TRUE(Sess->checkSat().isUnsat()) << "round " << Round;
+    Sess->pop();
+    EXPECT_FALSE(Sess->checkSat().isUnsat()) << "round " << Round;
+    Sess->pop();
+  }
+  SessionHealth End = Sess->health();
+  EXPECT_EQ(End.LiveScopes, 0u);
+  EXPECT_EQ(End.RetiredScopes, 400u);
+  // The periodic purge must have fired and collected the dead scopes'
+  // clauses. Every retired scope leaves at least one permanently
+  // satisfied (~guard v lit) link clause behind (this workload leaves
+  // three per round across its two scopes), so the collected total must
+  // at least track the retired-scope count. (Learnt clauses over the
+  // unguarded Tseitin circuits legitimately survive — they encode
+  // reusable facts about shared subterms — and are reduceDB's job.)
+  EXPECT_GE(End.PurgedClauses, End.RetiredScopes)
+      << "dead guarded clauses from popped scopes must be collected";
+}

@@ -61,6 +61,10 @@ void usage(const char *Argv0) {
       "  --alpha=F --beta=F --kappa=N --zeta=F --delta=N\n"
       "  --max-steps=N --max-seconds=F --max-tests=N --seed=N\n"
       "  --no-incremental         one-shot solver queries (baseline)\n"
+      "  --no-per-state-sessions  per-site solver sessions (PR-1 baseline)\n"
+      "  --no-verdict-cache       disable the session verdict cache\n"
+      "  --session-scope-limit=N  evict a session after N popped scopes\n"
+      "  --session-clause-limit=N evict a session at N SAT clauses\n"
       "  --exact-paths --no-tests --dump-ir --dump-qce --stats\n",
       Argv0);
 }
@@ -145,6 +149,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Config.Seed = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--no-incremental") {
       Opts.Config.SolverIncremental = false;
+    } else if (Arg == "--no-per-state-sessions") {
+      Opts.Config.SolverPerStateSessions = false;
+    } else if (Arg == "--no-verdict-cache") {
+      Opts.Config.SolverVerdictCache = false;
+    } else if (const char *V = Value("--session-scope-limit=")) {
+      Opts.Config.Engine.SessionMaxRetiredScopes =
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (const char *V = Value("--session-clause-limit=")) {
+      Opts.Config.Engine.SessionClauseWatermark =
+          std::strtoull(V, nullptr, 10);
     } else if (Arg == "--exact-paths") {
       Opts.Config.Engine.TrackExactPaths = true;
     } else if (Arg == "--no-tests") {
@@ -292,6 +306,13 @@ int main(int Argc, char **Argv) {
     std::printf("encoding         %.3fs (cache hits: %llu)\n",
                 S.SolverEncodeSeconds,
                 static_cast<unsigned long long>(S.SolverEncodeCacheHits));
+    std::printf("verdict cache    %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(S.SolverVerdictCacheHits),
+                static_cast<unsigned long long>(S.SolverVerdictCacheMisses));
+    std::printf("state sessions   built %llu, evicted %llu, split %llu\n",
+                static_cast<unsigned long long>(S.SessionsBuilt),
+                static_cast<unsigned long long>(S.SessionEvictions),
+                static_cast<unsigned long long>(S.SessionSplits));
     std::printf("coverage         %.1f%%\n",
                 100 * Runner.coverage().statementCoverage());
   }

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/QCE.h"
+#include "core/Frontier.h"
 #include "core/MergePolicy.h"
 #include "core/StateMerge.h"
 #include "solver/Solver.h"
@@ -340,5 +341,79 @@ static void BM_ProgramInfoConstruction(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ProgramInfoConstruction);
+
+//===----------------------------------------------------------------------===
+// Partitioned frontier (parallel engine worklist)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// A block with many instruction slots, so states at different indices
+/// spread across frontier partitions by structural hash.
+struct FrontierFixture {
+  Module M;
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  std::vector<std::unique_ptr<ExecutionState>> States;
+
+  explicit FrontierFixture(unsigned NumStates) {
+    F = M.createFunction("main", Type::intTy(64), true, {});
+    BB = F->createBlock("entry");
+    for (unsigned I = 0; I < NumStates; ++I) {
+      Instr H;
+      H.Op = Opcode::Halt;
+      BB->instructions().push_back(H);
+    }
+    for (unsigned I = 0; I < NumStates; ++I) {
+      auto S = std::make_unique<ExecutionState>();
+      S->Id = I + 1;
+      S->Loc = {BB, I};
+      StackFrame Frame;
+      Frame.F = F;
+      S->Stack.push_back(std::move(Frame));
+      States.push_back(std::move(S));
+    }
+  }
+};
+
+} // namespace
+
+/// Home-partition traffic: insert + pop from the state's own partition —
+/// the uncontended fast path of a worker draining its share.
+static void BM_FrontierHomePop(benchmark::State &State) {
+  unsigned Parts = static_cast<unsigned>(State.range(0));
+  FrontierFixture F(64);
+  StateFrontier Frontier(Parts, [](unsigned) { return createBFSSearcher(); });
+  size_t I = 0;
+  for (auto _ : State) {
+    ExecutionState *S = F.States[I++ % F.States.size()].get();
+    unsigned Home = Frontier.partitionOf(*S);
+    Frontier.insert(S);
+    benchmark::DoNotOptimize(Frontier.pop(Home));
+    Frontier.finishedOne();
+  }
+}
+BENCHMARK(BM_FrontierHomePop)->Arg(1)->Arg(4)->Arg(16);
+
+/// Steal traffic: the popping worker's home partition is always empty,
+/// so every pop scans round-robin and steals from the victim — the
+/// worst-case handoff when one partition holds all the work.
+static void BM_FrontierSteal(benchmark::State &State) {
+  unsigned Parts = static_cast<unsigned>(State.range(0));
+  FrontierFixture F(64);
+  StateFrontier Frontier(Parts, [](unsigned) { return createBFSSearcher(); });
+  size_t I = 0;
+  for (auto _ : State) {
+    ExecutionState *S = F.States[I++ % F.States.size()].get();
+    unsigned Thief = (Frontier.partitionOf(*S) + 1) % Parts;
+    Frontier.insert(S);
+    benchmark::DoNotOptimize(Frontier.pop(Thief));
+    Frontier.finishedOne();
+  }
+  State.counters["steals"] =
+      static_cast<double>(Frontier.steals()) /
+      static_cast<double>(State.iterations());
+}
+BENCHMARK(BM_FrontierSteal)->Arg(2)->Arg(4)->Arg(16);
 
 BENCHMARK_MAIN();

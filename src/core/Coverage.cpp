@@ -11,9 +11,18 @@ using namespace symmerge;
 CoverageTracker::CoverageTracker(const Module &M) : M(M) {
   for (const auto &F : M.functions()) {
     TotalBlocks += F->numBlocks();
-    for (const auto &BB : F->blocks())
+    for (const auto &BB : F->blocks()) {
       TotalInstrs += BB->instructions().size();
+      Counts[BB.get()].store(0, std::memory_order_relaxed);
+    }
   }
+}
+
+size_t CoverageTracker::coveredBlocks() const {
+  size_t N = 0;
+  for (const auto &[BB, Count] : Counts)
+    N += Count.load(std::memory_order_relaxed) != 0;
+  return N;
 }
 
 double CoverageTracker::statementCoverage() const {
@@ -21,7 +30,13 @@ double CoverageTracker::statementCoverage() const {
     return 0.0;
   size_t CoveredInstrs = 0;
   for (const auto &[BB, Count] : Counts)
-    CoveredInstrs += BB->instructions().size();
+    if (Count.load(std::memory_order_relaxed) != 0)
+      CoveredInstrs += BB->instructions().size();
   return static_cast<double>(CoveredInstrs) /
          static_cast<double>(TotalInstrs);
+}
+
+void CoverageTracker::reset() {
+  for (auto &[BB, Count] : Counts)
+    Count.store(0, std::memory_order_relaxed);
 }

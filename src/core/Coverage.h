@@ -10,6 +10,11 @@
 /// evaluation (Figure 8). Also records per-block entry counts, which the
 /// coverage-optimized searcher uses to deprioritize deep loop unrolling.
 ///
+/// The tracker is a synchronized sink for the parallel engine: the
+/// counter table is pre-sized over every block of the module at
+/// construction and entries are relaxed atomic increments, so workers
+/// record coverage lock-free while searchers concurrently read it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SYMMERGE_CORE_COVERAGE_H
@@ -17,38 +22,49 @@
 
 #include "ir/IR.h"
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 
 namespace symmerge {
 
-/// Per-run block coverage and entry counts.
+/// Per-run block coverage and entry counts. Thread-safe.
 class CoverageTracker {
 public:
   explicit CoverageTracker(const Module &M);
 
-  void onBlockEntered(const BasicBlock *BB) { ++Counts[BB]; }
+  void onBlockEntered(const BasicBlock *BB) {
+    counter(BB).fetch_add(1, std::memory_order_relaxed);
+  }
 
-  bool covered(const BasicBlock *BB) const { return Counts.count(BB) != 0; }
+  bool covered(const BasicBlock *BB) const { return timesEntered(BB) != 0; }
 
   uint64_t timesEntered(const BasicBlock *BB) const {
     auto It = Counts.find(BB);
-    return It == Counts.end() ? 0 : It->second;
+    return It == Counts.end()
+               ? 0
+               : It->second.load(std::memory_order_relaxed);
   }
 
-  size_t coveredBlocks() const { return Counts.size(); }
+  size_t coveredBlocks() const;
   size_t totalBlocks() const { return TotalBlocks; }
 
   /// Fraction of instructions that live in covered blocks.
   double statementCoverage() const;
 
-  void reset() { Counts.clear(); }
+  void reset();
 
 private:
+  std::atomic<uint64_t> &counter(const BasicBlock *BB) {
+    // The table is fully populated at construction and never rehashed,
+    // so concurrent find() against fetch_add() is safe.
+    return Counts.at(BB);
+  }
+
   const Module &M;
   size_t TotalBlocks = 0;
   size_t TotalInstrs = 0;
-  std::unordered_map<const BasicBlock *, uint64_t> Counts;
+  std::unordered_map<const BasicBlock *, std::atomic<uint64_t>> Counts;
 };
 
 } // namespace symmerge

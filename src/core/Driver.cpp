@@ -8,31 +8,29 @@
 
 using namespace symmerge;
 
-static std::unique_ptr<Solver> makeSolverStack(ExprContext &Ctx,
-                                               uint64_t ConflictBudget,
-                                               bool UseCache,
-                                               bool UseIndependence,
-                                               bool UseSimplify,
-                                               bool UseIncremental,
-                                               bool UseVerdictCache) {
-  std::unique_ptr<Solver> S = createCoreSolver(Ctx, ConflictBudget,
-                                               UseIncremental,
-                                               UseVerdictCache);
-  if (UseCache)
+std::unique_ptr<Solver> SymbolicRunner::makeSolverStack() {
+  // Workers share the verdict cache but nothing else: every stack owns
+  // its SAT instances, bitblast caches, and one-shot layer caches.
+  std::unique_ptr<Solver> S =
+      createCoreSolver(Ctx, Cfg.SolverConflictBudget, Cfg.SolverIncremental,
+                       VerdictCache);
+  if (Cfg.SolverCache)
     S = createCachingSolver(Ctx, std::move(S));
-  if (UseSimplify)
+  if (Cfg.SolverSimplify)
     S = createSimplifyingSolver(Ctx, std::move(S));
-  if (UseIndependence)
+  if (Cfg.SolverIndependence)
     S = createIndependenceSolver(Ctx, std::move(S));
   return S;
 }
 
 SymbolicRunner::SymbolicRunner(const Module &M, Config C)
-    : M(M), Cfg(C), PI(M),
-      TheSolver(makeSolverStack(Ctx, C.SolverConflictBudget, C.SolverCache,
-                                C.SolverIndependence, C.SolverSimplify,
-                                C.SolverIncremental, C.SolverVerdictCache)),
-      Cov(M) {
+    : M(M), Cfg(C), PI(M), Cov(M) {
+  if (Cfg.SolverVerdictCache && Cfg.SolverIncremental) {
+    VerdictCacheOptions VCO;
+    VCO.MaxEntries = Cfg.VerdictCacheLimit;
+    VerdictCache = createVerdictCache(VCO);
+  }
+  TheSolver = makeSolverStack();
   // Per-state session lifetime is an engine behavior with two handles on
   // it (the solver-config toggle and the public EngineOptions field);
   // either one can turn it off.
@@ -64,29 +62,43 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
 
 SymbolicRunner::~SymbolicRunner() = default;
 
-std::unique_ptr<Searcher> SymbolicRunner::makeDrivingSearcher() {
+std::unique_ptr<Searcher> SymbolicRunner::makeDrivingSearcher(uint64_t Seed) {
   switch (Cfg.Driving) {
   case Strategy::DFS:
     return createDFSSearcher();
   case Strategy::BFS:
     return createBFSSearcher();
   case Strategy::Random:
-    return createRandomSearcher(Cfg.Seed);
+    return createRandomSearcher(Seed);
   case Strategy::RandomPath:
-    return createRandomPathSearcher(Cfg.Seed);
+    return createRandomPathSearcher(Seed);
   case Strategy::Coverage:
-    return createCoverageSearcher(PI, Cov, Cfg.Seed);
+    return createCoverageSearcher(PI, Cov, Seed);
   case Strategy::Topological:
     return createTopologicalSearcher(PI);
   }
-  return createRandomSearcher(Cfg.Seed);
+  return createRandomSearcher(Seed);
 }
 
 RunResult SymbolicRunner::run() {
   Cov.reset();
-  std::unique_ptr<Searcher> Search = makeDrivingSearcher();
+  std::unique_ptr<Searcher> Search = makeDrivingSearcher(Cfg.Seed);
   if (Cfg.UseDSM)
     Search = createDynamicMergeSearcher(PI, *Policy, std::move(Search));
   Engine E(Ctx, PI, *TheSolver, *Policy, *Search, Cov, Cfg.Engine);
+  if (Cfg.Engine.Workers > 1) {
+    Engine::WorkerResources Res;
+    Res.MakeSolver = [this] { return makeSolverStack(); };
+    Res.MakeSearcher = [this](unsigned Partition) {
+      // Randomized strategies get a deterministic per-partition seed so
+      // repeated runs at the same worker count pick identically.
+      std::unique_ptr<Searcher> S =
+          makeDrivingSearcher(Cfg.Seed + Partition);
+      if (Cfg.UseDSM)
+        S = createDynamicMergeSearcher(PI, *Policy, std::move(S));
+      return S;
+    };
+    E.setWorkerResources(std::move(Res));
+  }
   return E.run();
 }

@@ -87,7 +87,13 @@ public:
     /// keyed by (normalized prefix, assumption) so sibling states hit
     /// each other's feasibility verdicts. Recovers the cross-state
     /// sharing that native sessions bypass in the one-shot CachingSolver.
+    /// With Engine.Workers > 1 the cache is one sharded concurrent map
+    /// shared by every worker's solver stack.
     bool SolverVerdictCache = true;
+    /// Verdict-cache capacity in entries (0 = unbounded). Past the bound
+    /// the least-recently-used generation half of a shard is evicted;
+    /// `--stats` reports the eviction count.
+    uint64_t VerdictCacheLimit = 1u << 20;
   };
 
   SymbolicRunner(const Module &M, Config C);
@@ -104,13 +110,18 @@ public:
   const Config &config() const { return Cfg; }
 
 private:
-  std::unique_ptr<Searcher> makeDrivingSearcher();
+  std::unique_ptr<Searcher> makeDrivingSearcher(uint64_t Seed);
+  std::unique_ptr<Solver> makeSolverStack();
 
   const Module &M;
   Config Cfg;
   ExprContext Ctx;
   ProgramInfo PI;
   std::optional<QCEAnalysis> QCEInfo;
+  /// Shared by every solver stack this runner builds (the main one and
+  /// the per-worker stacks of a parallel run), so cross-state verdict
+  /// sharing survives parallelism. Null when the cache is disabled.
+  std::shared_ptr<SessionVerdictCache> VerdictCache;
   std::unique_ptr<Solver> TheSolver;
   std::unique_ptr<MergePolicy> Policy;
   CoverageTracker Cov;

@@ -6,13 +6,16 @@
 
 #include "core/Engine.h"
 
+#include "core/Frontier.h"
 #include "core/PathSession.h"
 #include "core/StateMerge.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <sstream>
+#include <thread>
 
 using namespace symmerge;
 
@@ -59,13 +62,27 @@ ExecutionState *Engine::makeInitialState() {
 
 ExecutionState *Engine::fork(const ExecutionState &S) {
   auto Child = std::make_unique<ExecutionState>(S);
-  Child->Id = NextStateId++;
   ExecutionState *Raw = Child.get();
+  if (ParallelRun) {
+    std::lock_guard<std::mutex> Lock(OwnedMu);
+    Child->Id = NextStateId++;
+    Owned.emplace(Child->Id, std::move(Child));
+    MaxOwned = std::max(MaxOwned, Owned.size());
+    return Raw;
+  }
+  Child->Id = NextStateId++;
   Owned.emplace(Raw->Id, std::move(Child));
   return Raw;
 }
 
-void Engine::destroy(ExecutionState *S) { Owned.erase(S->Id); }
+void Engine::destroy(ExecutionState *S) {
+  if (ParallelRun) {
+    std::lock_guard<std::mutex> Lock(OwnedMu);
+    Owned.erase(S->Id);
+    return;
+  }
+  Owned.erase(S->Id);
+}
 
 //===----------------------------------------------------------------------===
 // Operand evaluation
@@ -108,12 +125,13 @@ void Engine::pushHistory(ExecutionState &S) {
     S.History.pop_front();
 }
 
-Engine::PathSessionRef Engine::openPathSession(ExecutionState &S) {
+Engine::PathSessionRef Engine::openPathSession(ExecContext &X,
+                                               ExecutionState &S) {
   SessionOptions SessOpts;
   SessOpts.FeasiblePrefix = Opts.FeasiblePathConditions;
   if (!Opts.PerStateSessions) {
     // PR-1 behavior: one throwaway session per check site.
-    std::unique_ptr<SolverSession> Sess = TheSolver.openSession(SessOpts);
+    std::unique_ptr<SolverSession> Sess = X.TheSolver.openSession(SessOpts);
     for (ExprRef P : S.PC)
       Sess->assert_(P);
     SolverSession *Raw = Sess.get();
@@ -128,21 +146,21 @@ Engine::PathSessionRef Engine::openPathSession(ExecutionState &S) {
     // their path conditions agree; the first sibling whose realignment
     // would pop scopes out from under the others gets its own handle.
     S.PathSession = std::make_shared<PathSessionHandle>(SessOpts);
-    ++Result.Stats.SessionSplits;
+    ++X.Stats.SessionSplits;
   }
 
   PathSessionHandle::Limits Limits;
   Limits.MaxRetiredScopes = Opts.SessionMaxRetiredScopes;
-  Limits.ClauseWatermark = Opts.SessionClauseWatermark;
+  Limits.MemoryWatermarkBytes = Opts.SessionMemoryWatermark;
   PathSessionHandle::AcquireInfo Info;
-  SolverSession &Sess = S.PathSession->acquire(TheSolver, S.PC, Limits,
+  SolverSession &Sess = S.PathSession->acquire(X.TheSolver, S.PC, Limits,
                                                &Info);
-  Result.Stats.SessionsBuilt += Info.Opened;
-  Result.Stats.SessionEvictions += Info.Evicted;
+  X.Stats.SessionsBuilt += Info.Opened;
+  X.Stats.SessionEvictions += Info.Evicted;
   return {&Sess, nullptr};
 }
 
-void Engine::addConstraint(ExecutionState &S, ExprRef E) {
+void Engine::addConstraint(ExecContext &X, ExecutionState &S, ExprRef E) {
   if (E->isTrue())
     return;
   S.PC.push_back(E);
@@ -153,7 +171,7 @@ void Engine::addConstraint(ExecutionState &S, ExprRef E) {
   // original single-path states along with the merged states").
   std::vector<std::vector<ExprRef>> Remaining;
   for (auto &Path : S.ShadowPaths) {
-    if (TheSolver.mayBeTrue(Query(Path), E)) {
+    if (X.TheSolver.mayBeTrue(Query(Path), E)) {
       Path.push_back(E);
       Remaining.push_back(std::move(Path));
     }
@@ -165,9 +183,30 @@ void Engine::terminateHalted(ExecutionState &S) {
   S.Status = StateStatus::Halted;
 }
 
-void Engine::emitBugReport(ExecutionState &S, TestKind Kind,
+void Engine::appendTest(TestCase T) {
+  if (!ParallelRun) {
+    Result.Tests.push_back(std::move(T));
+    return;
+  }
+  std::lock_guard<std::mutex> Lock(TestsMu);
+  // finalize()'s pre-check races across workers; re-check the MaxTests
+  // bound under the lock so parallel runs respect it exactly. Bug
+  // reports are never clamped (matching the sequential engine).
+  if (T.Kind == TestKind::Halt && Result.Tests.size() >= Opts.MaxTests)
+    return;
+  Result.Tests.push_back(std::move(T));
+}
+
+size_t Engine::testCount() const {
+  if (!ParallelRun)
+    return Result.Tests.size();
+  std::lock_guard<std::mutex> Lock(TestsMu);
+  return Result.Tests.size();
+}
+
+void Engine::emitBugReport(ExecContext &X, ExecutionState &S, TestKind Kind,
                            const std::string &Message, ExprRef ExtraCond) {
-  ++Result.Stats.Errors;
+  ++X.Stats.Errors;
   if (!Opts.CollectTests)
     return;
   TestCase T;
@@ -178,20 +217,20 @@ void Engine::emitBugReport(ExecutionState &S, TestKind Kind,
   Query Q(S.PC);
   if (ExtraCond)
     Q = Q.withConstraint(ExtraCond);
-  if (TheSolver.getModel(Q, T.Inputs))
-    Result.Tests.push_back(std::move(T));
+  if (X.TheSolver.getModel(Q, T.Inputs))
+    appendTest(std::move(T));
 }
 
 //===----------------------------------------------------------------------===
 // Instruction semantics
 //===----------------------------------------------------------------------===
 
-Engine::StepEnd Engine::executeInstr(ExecutionState &S,
+Engine::StepEnd Engine::executeInstr(ExecContext &X, ExecutionState &S,
                                      std::vector<ExecutionState *> &New) {
   const Instr &I = S.currentInstr();
   StackFrame &Frame = S.frame();
   ++S.Steps;
-  ++Result.Stats.Steps;
+  ++X.Stats.Steps;
 
   switch (I.Op) {
   case Opcode::BinOp: {
@@ -239,7 +278,7 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     if (Idx->isConstant()) {
       uint64_t IV = Idx->constantValue();
       if (IV >= Size) {
-        emitBugReport(S, TestKind::OutOfBounds,
+        emitBugReport(X, S, TestKind::OutOfBounds,
                       "array load out of bounds", nullptr);
         S.Status = StateStatus::Errored;
         return StepEnd::Boundary;
@@ -250,15 +289,15 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     }
     ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
     if (Opts.CheckArrayBounds) {
-      PathSessionRef Sess = openPathSession(S);
+      PathSessionRef Sess = openPathSession(X, S);
       if (Sess->mayBeFalse(InBound)) {
-        emitBugReport(S, TestKind::OutOfBounds,
+        emitBugReport(X, S, TestKind::OutOfBounds,
                       "array load may be out of bounds", Ctx.mkNot(InBound));
         if (!Sess->mayBeTrue(InBound)) {
           S.Status = StateStatus::Errored;
           return StepEnd::Boundary;
         }
-        addConstraint(S, InBound);
+        addConstraint(X, S, InBound);
       }
     }
     // Compile the symbolic read into an ite chain over the cells — the
@@ -279,7 +318,7 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     if (Idx->isConstant()) {
       uint64_t IV = Idx->constantValue();
       if (IV >= Size) {
-        emitBugReport(S, TestKind::OutOfBounds,
+        emitBugReport(X, S, TestKind::OutOfBounds,
                       "array store out of bounds", nullptr);
         S.Status = StateStatus::Errored;
         return StepEnd::Boundary;
@@ -290,16 +329,16 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     }
     ExprRef InBound = Ctx.mkUlt(Idx, Ctx.mkConst(Size, 64));
     if (Opts.CheckArrayBounds) {
-      PathSessionRef Sess = openPathSession(S);
+      PathSessionRef Sess = openPathSession(X, S);
       if (Sess->mayBeFalse(InBound)) {
-        emitBugReport(S, TestKind::OutOfBounds,
+        emitBugReport(X, S, TestKind::OutOfBounds,
                       "array store may be out of bounds",
                       Ctx.mkNot(InBound));
         if (!Sess->mayBeTrue(InBound)) {
           S.Status = StateStatus::Errored;
           return StepEnd::Boundary;
         }
-        addConstraint(S, InBound);
+        addConstraint(X, S, InBound);
       }
     }
     for (size_t C = 0; C < Size; ++C)
@@ -371,16 +410,16 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     // asserted (and, with incremental sessions, Tseitin-encoded) once;
     // both polarities of Algorithm 1's `follow` check are decided as
     // assumption queries against the shared prefix.
-    PathSessionRef Sess = openPathSession(S);
+    PathSessionRef Sess = openPathSession(X, S);
     bool MayTrue = Sess->mayBeTrue(C);
     bool MayFalse = Sess->mayBeFalse(C);
     if (MayTrue && MayFalse) {
-      ++Result.Stats.Forks;
+      ++X.Stats.Forks;
       ++S.ForkDepth;
       ExecutionState *Child = fork(S);
-      addConstraint(S, C);
+      addConstraint(X, S, C);
       transferTo(S, I.Target1);
-      addConstraint(*Child, Ctx.mkNot(C));
+      addConstraint(X, *Child, Ctx.mkNot(C));
       transferTo(*Child, I.Target2);
       New.push_back(Child);
       return StepEnd::Boundary;
@@ -408,18 +447,18 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
       return StepEnd::Continue;
     }
     if (C->isFalse()) {
-      emitBugReport(S, TestKind::AssertFailure, I.Message, nullptr);
+      emitBugReport(X, S, TestKind::AssertFailure, I.Message, nullptr);
       S.Status = StateStatus::Errored;
       return StepEnd::Boundary;
     }
-    PathSessionRef Sess = openPathSession(S);
+    PathSessionRef Sess = openPathSession(X, S);
     if (Sess->mayBeFalse(C)) {
-      emitBugReport(S, TestKind::AssertFailure, I.Message, Ctx.mkNot(C));
+      emitBugReport(X, S, TestKind::AssertFailure, I.Message, Ctx.mkNot(C));
       if (!Sess->mayBeTrue(C)) {
         S.Status = StateStatus::Errored;
         return StepEnd::Boundary;
       }
-      addConstraint(S, C);
+      addConstraint(X, S, C);
     }
     ++S.Loc.Index;
     return StepEnd::Continue;
@@ -430,11 +469,11 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
     // Only open a session (and encode the path condition) when the
     // assumption actually needs a solver check.
     if (C->isFalse() ||
-        (!C->isTrue() && !openPathSession(S)->mayBeTrue(C))) {
+        (!C->isTrue() && !openPathSession(X, S)->mayBeTrue(C))) {
       S.Status = StateStatus::Dead;
       return StepEnd::Boundary;
     }
-    addConstraint(S, C);
+    addConstraint(X, S, C);
     ++S.Loc.Index;
     return StepEnd::Continue;
   }
@@ -475,10 +514,10 @@ Engine::StepEnd Engine::executeInstr(ExecutionState &S,
   return StepEnd::Boundary;
 }
 
-void Engine::executeToBoundary(ExecutionState &S,
+void Engine::executeToBoundary(ExecContext &X, ExecutionState &S,
                                std::vector<ExecutionState *> &NewStates) {
   while (S.Status == StateStatus::Running &&
-         executeInstr(S, NewStates) == StepEnd::Continue) {
+         executeInstr(X, S, NewStates) == StepEnd::Continue) {
   }
 }
 
@@ -501,7 +540,7 @@ void Engine::removeFromLocationIndex(ExecutionState *S) {
     ByLocation.erase(It);
 }
 
-void Engine::mergeOrAdd(ExecutionState *S) {
+void Engine::mergeOrAdd(ExecContext &X, ExecutionState *S) {
   if (Policy.wantsMerging()) {
     auto It = ByLocation.find({S->Loc.Block, S->Loc.Index});
     if (It != ByLocation.end()) {
@@ -511,10 +550,10 @@ void Engine::mergeOrAdd(ExecutionState *S) {
         // Merge S into W. W's store (and therefore its similarity hash)
         // changes, so it must be re-registered with the searcher.
         Search.remove(W);
-        ++Result.Stats.Merges;
-        Result.Stats.MergedItes += mergeStates(Ctx, *W, *S);
+        ++X.Stats.Merges;
+        X.Stats.MergedItes += mergeStates(Ctx, *W, *S);
         if (S->FastForwarded || W->FastForwarded)
-          ++Result.Stats.FastForwardMerges;
+          ++X.Stats.FastForwardMerges;
         destroy(S);
         Search.add(W);
         return;
@@ -524,28 +563,102 @@ void Engine::mergeOrAdd(ExecutionState *S) {
   addToIndexes(S);
 }
 
-void Engine::finalize(ExecutionState *S) {
+void Engine::finalize(ExecContext &X, ExecutionState *S) {
   if (S->Status == StateStatus::Halted) {
-    ++Result.Stats.CompletedStates;
-    Result.Stats.CompletedMultiplicity += S->Multiplicity;
-    Result.Stats.ExactPathsCompleted += S->ShadowPaths.size();
-    if (Opts.CollectTests && Result.Tests.size() < Opts.MaxTests) {
+    ++X.Stats.CompletedStates;
+    X.Stats.CompletedMultiplicity += S->Multiplicity;
+    X.Stats.ExactPathsCompleted += S->ShadowPaths.size();
+    if (Opts.CollectTests && testCount() < Opts.MaxTests) {
       TestCase T;
       T.Kind = TestKind::Halt;
       T.Where = S->Loc;
       T.Multiplicity = S->Multiplicity;
-      if (TheSolver.getModel(Query(S->PC), T.Inputs))
-        Result.Tests.push_back(std::move(T));
+      if (X.TheSolver.getModel(Query(S->PC), T.Inputs))
+        appendTest(std::move(T));
     }
   }
   // Errored states already emitted their bug report; Dead states vanish.
   destroy(S);
 }
 
+//===----------------------------------------------------------------------===
+// Run loops
+//===----------------------------------------------------------------------===
+
+/// Componentwise Now - Baseline over the solver-stack counters.
+static SolverQueryStats diffSolverStats(const SolverQueryStats &Now,
+                                        const SolverQueryStats &Base) {
+  SolverQueryStats D = Now;
+  D -= Base;
+  return D;
+}
+
+/// Copies a run's solver-stack counters into the engine statistics.
+static void reportSolverStats(EngineStats &S, const SolverQueryStats &D) {
+  S.SolverQueries = D.Queries;
+  S.SolverCoreQueries = D.CoreQueries;
+  S.SolverSeconds = D.CoreSolveSeconds;
+  S.SolverSessions = D.SessionsOpened;
+  S.SolverAssumptionQueries = D.AssumptionQueries;
+  S.SolverEncodeCacheHits = D.EncodeCacheHits;
+  S.SolverEncodeSeconds = D.EncodeSeconds;
+  S.SolverVerdictCacheHits = D.VerdictCacheHits;
+  S.SolverVerdictCacheMisses = D.VerdictCacheMisses;
+  S.SolverVerdictCacheEvictions = D.VerdictCacheEvictions;
+}
+
+/// Folds a worker's engine counters into the run totals.
+static void mergeEngineStats(EngineStats &A, const EngineStats &B) {
+  A.Steps += B.Steps;
+  A.Forks += B.Forks;
+  A.Merges += B.Merges;
+  A.MergedItes += B.MergedItes;
+  A.CompletedStates += B.CompletedStates;
+  A.CompletedMultiplicity += B.CompletedMultiplicity;
+  A.ExactPathsCompleted += B.ExactPathsCompleted;
+  A.Errors += B.Errors;
+  A.FastForwardMerges += B.FastForwardMerges;
+  A.SessionsBuilt += B.SessionsBuilt;
+  A.SessionEvictions += B.SessionEvictions;
+  A.SessionSplits += B.SessionSplits;
+}
+
+/// Total order on test cases for the deterministic post-run ordering of
+/// parallel runs: kind, message, location, multiplicity, then the sorted
+/// input assignment. Two tests equal under this key are identical.
+static std::string canonicalTestKey(const TestCase &T) {
+  std::ostringstream OS;
+  OS << static_cast<int>(T.Kind) << '|' << T.Message << '|';
+  if (T.Where.Block)
+    OS << T.Where.Block->parent()->name() << '|' << T.Where.Block->name();
+  // Multiplicity enters the key as its exact bit pattern: default ostream
+  // precision would collide nearby doubles, and a key collision falls
+  // back to scheduling-dependent emission order.
+  uint64_t MultBits;
+  static_assert(sizeof(MultBits) == sizeof(T.Multiplicity), "");
+  std::memcpy(&MultBits, &T.Multiplicity, sizeof(MultBits));
+  OS << '|' << T.Where.Index << '|' << MultBits << '|';
+  std::vector<std::pair<std::string, uint64_t>> Items;
+  for (const auto &[Var, Val] : T.Inputs.values())
+    Items.push_back({Var->varName(), Val});
+  std::sort(Items.begin(), Items.end());
+  for (const auto &[Name, Val] : Items)
+    OS << Name << '=' << Val << ',';
+  return OS.str();
+}
+
 RunResult Engine::run() {
+  if (Opts.Workers > 1 && Resources.MakeSolver && Resources.MakeSearcher)
+    return runParallel();
+  return runSequential();
+}
+
+RunResult Engine::runSequential() {
   Timer Wall;
   SolverQueryStats Baseline = solverStats();
   Result = RunResult();
+  ParallelRun = false;
+  ExecContext X{TheSolver, Result.Stats};
 
   ExecutionState *Init = makeInitialState();
   addToIndexes(Init);
@@ -561,17 +674,17 @@ RunResult Engine::run() {
     removeFromLocationIndex(S);
 
     NewStates.clear();
-    executeToBoundary(*S, NewStates);
+    executeToBoundary(X, *S, NewStates);
 
     if (S->Status == StateStatus::Running)
-      mergeOrAdd(S);
+      mergeOrAdd(X, S);
     else
-      finalize(S);
+      finalize(X, S);
     for (ExecutionState *N : NewStates) {
       if (N->Status == StateStatus::Running)
-        mergeOrAdd(N);
+        mergeOrAdd(X, N);
       else
-        finalize(N);
+        finalize(X, N);
     }
     Result.Stats.MaxWorklist =
         std::max<uint64_t>(Result.Stats.MaxWorklist, Owned.size());
@@ -580,23 +693,9 @@ RunResult Engine::run() {
   Result.Stats.Exhausted = Search.empty();
   Result.Stats.WallSeconds = Wall.seconds();
   Result.Stats.FastForwardSelections = Search.fastForwardSelections();
-  const SolverQueryStats &Now = solverStats();
-  Result.Stats.SolverQueries = Now.Queries - Baseline.Queries;
-  Result.Stats.SolverCoreQueries = Now.CoreQueries - Baseline.CoreQueries;
-  Result.Stats.SolverSeconds =
-      Now.CoreSolveSeconds - Baseline.CoreSolveSeconds;
-  Result.Stats.SolverSessions =
-      Now.SessionsOpened - Baseline.SessionsOpened;
-  Result.Stats.SolverAssumptionQueries =
-      Now.AssumptionQueries - Baseline.AssumptionQueries;
-  Result.Stats.SolverEncodeCacheHits =
-      Now.EncodeCacheHits - Baseline.EncodeCacheHits;
-  Result.Stats.SolverEncodeSeconds =
-      Now.EncodeSeconds - Baseline.EncodeSeconds;
-  Result.Stats.SolverVerdictCacheHits =
-      Now.VerdictCacheHits - Baseline.VerdictCacheHits;
-  Result.Stats.SolverVerdictCacheMisses =
-      Now.VerdictCacheMisses - Baseline.VerdictCacheMisses;
+  Result.Stats.Workers = 1;
+  reportSolverStats(Result.Stats,
+                    diffSolverStats(solverStats(), Baseline));
 
   // Drain remaining states so repeated runs start clean.
   while (!Search.empty()) {
@@ -606,5 +705,149 @@ RunResult Engine::run() {
   }
   ByLocation.clear();
   Owned.clear();
+  return std::move(Result);
+}
+
+void Engine::routeParallel(ExecContext &X, StateFrontier &Frontier,
+                           ExecutionState *S) {
+  if (S->Status != StateStatus::Running) {
+    finalize(X, S);
+    return;
+  }
+  // A session handle shared with siblings must not cross threads:
+  // exactly one of the sharers may keep it. Dropping this state's
+  // reference here leaves the handle to the last holder; this state
+  // rebuilds (against its executing worker's solver) on first use.
+  if (S->PathSession && S->PathSession.use_count() > 1)
+    S->PathSession.reset();
+  if (!Policy.wantsMerging()) {
+    Frontier.insert(S);
+    return;
+  }
+  StateFrontier::MergeHooks Hooks;
+  Hooks.Wants = [this](const ExecutionState &W, const ExecutionState &C) {
+    return statesMergeable(W, C) && Policy.similar(W, C);
+  };
+  Hooks.Apply = [this, &X](ExecutionState &W, ExecutionState &C) {
+    ++X.Stats.Merges;
+    X.Stats.MergedItes += mergeStates(Ctx, W, C);
+    if (C.FastForwarded || W.FastForwarded)
+      ++X.Stats.FastForwardMerges;
+  };
+  if (Frontier.insertOrMerge(S, Hooks))
+    destroy(S);
+}
+
+void Engine::workerLoop(unsigned WorkerId, StateFrontier &Frontier,
+                        const Timer &Wall,
+                        std::atomic<uint64_t> &SharedSteps,
+                        EngineStats &WorkerStats,
+                        SolverQueryStats &WorkerSolverStats) {
+  // Each worker owns its full solver stack: SAT instances, bitblast
+  // caches, and one-shot layer caches are thread-private; only the
+  // verdict cache (if the factory shares one) crosses workers.
+  std::unique_ptr<Solver> WorkerSolver = Resources.MakeSolver();
+  ExecContext X{*WorkerSolver, WorkerStats};
+  std::vector<ExecutionState *> NewStates;
+
+  while (true) {
+    if (SharedSteps.load(std::memory_order_relaxed) >= Opts.MaxSteps ||
+        Wall.seconds() >= Opts.MaxSeconds ||
+        (Opts.MaxTests != UINT64_MAX && testCount() >= Opts.MaxTests))
+      Frontier.requestStop();
+    if (Frontier.stopRequested())
+      break;
+
+    ExecutionState *S = Frontier.pop(WorkerId);
+    if (!S) {
+      if (Frontier.quiescent())
+        break;
+      Frontier.waitForWork();
+      continue;
+    }
+
+    const uint64_t StepsBefore = X.Stats.Steps;
+    NewStates.clear();
+    executeToBoundary(X, *S, NewStates);
+    SharedSteps.fetch_add(X.Stats.Steps - StepsBefore,
+                          std::memory_order_relaxed);
+
+    routeParallel(X, Frontier, S);
+    for (ExecutionState *N : NewStates)
+      routeParallel(X, Frontier, N);
+    Frontier.finishedOne();
+  }
+
+  // The thread started with zeroed thread-local counters, so the final
+  // value IS this worker's delta; the coordinator folds it in.
+  WorkerSolverStats = solverStats();
+}
+
+RunResult Engine::runParallel() {
+  Timer Wall;
+  SolverQueryStats Baseline = solverStats();
+  Result = RunResult();
+  ParallelRun = true;
+  MaxOwned = 0;
+
+  const unsigned Workers = Opts.Workers;
+  StateFrontier Frontier(Workers, Resources.MakeSearcher);
+
+  ExecutionState *Init = makeInitialState();
+  MaxOwned = Owned.size();
+  Frontier.insert(Init);
+
+  std::atomic<uint64_t> SharedSteps{0};
+  std::vector<EngineStats> WorkerStats(Workers);
+  std::vector<SolverQueryStats> WorkerSolver(Workers);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this, I, &Frontier, &Wall, &SharedSteps,
+                          &WorkerStats, &WorkerSolver] {
+      workerLoop(I, Frontier, Wall, SharedSteps, WorkerStats[I],
+                 WorkerSolver[I]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  const bool Stopped = Frontier.stopRequested();
+
+  for (const EngineStats &W : WorkerStats)
+    mergeEngineStats(Result.Stats, W);
+  Result.Stats.Workers = Workers;
+  Result.Stats.FrontierSteals = Frontier.steals();
+  Result.Stats.MaxWorklist = MaxOwned;
+  Result.Stats.FastForwardSelections = Frontier.fastForwardSelections();
+  Result.Stats.Exhausted = !Stopped;
+  Result.Stats.WallSeconds = Wall.seconds();
+
+  SolverQueryStats Total = diffSolverStats(solverStats(), Baseline);
+  for (const SolverQueryStats &W : WorkerSolver)
+    Total += W;
+  reportSolverStats(Result.Stats, Total);
+
+  // Deterministic post-run ordering: parallel workers emit tests in a
+  // scheduling-dependent order; sort by a canonical total order so equal
+  // test SETS render as equal test LISTS. Keys are built once per test,
+  // not per comparison.
+  {
+    std::vector<std::pair<std::string, size_t>> Keyed;
+    Keyed.reserve(Result.Tests.size());
+    for (size_t I = 0; I < Result.Tests.size(); ++I)
+      Keyed.emplace_back(canonicalTestKey(Result.Tests[I]), I);
+    std::sort(Keyed.begin(), Keyed.end());
+    std::vector<TestCase> Ordered;
+    Ordered.reserve(Result.Tests.size());
+    for (const auto &[Key, I] : Keyed)
+      Ordered.push_back(std::move(Result.Tests[I]));
+    Result.Tests = std::move(Ordered);
+  }
+
+  // Drain whatever a budget stop left behind so repeated runs start clean.
+  Frontier.drain([this](ExecutionState *S) { destroy(S); });
+  ByLocation.clear();
+  Owned.clear();
+  ParallelRun = false;
   return std::move(Result);
 }

@@ -17,6 +17,18 @@
 /// then merges every successor with a matching worklist state at the same
 /// location if the policy allows (lines 17-22), or re-inserts it.
 ///
+/// Two execution modes share the per-state semantics:
+///
+///  - Workers == 1: the sequential loop, bit-for-bit today's behavior.
+///  - Workers > 1: a coordinator + worker-pool architecture. The worklist
+///    becomes a partitioned StateFrontier (states routed by
+///    MergePolicy::structuralHash, so merge candidates co-locate and
+///    merging stays partition-local), each worker owns a full solver
+///    stack (built by a caller-provided factory) plus the sessions of the
+///    states it executes, and statistics are kept per-worker and merged
+///    at shutdown. Test-case emission and coverage are synchronized
+///    sinks; the test list gets a deterministic post-run order.
+///
 /// Besides the semantics of the IR, the engine implements:
 ///  - assertion checking with test generation for failures,
 ///  - array bounds checking (possible out-of-bounds accesses become bug
@@ -39,11 +51,17 @@
 #include "core/TestCase.h"
 #include "solver/Solver.h"
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 namespace symmerge {
+
+class StateFrontier;
+class Timer;
 
 /// Exploration budgets and feature toggles.
 struct EngineOptions {
@@ -62,27 +80,56 @@ struct EngineOptions {
   /// Eviction watermarks for per-state sessions (0 disables a check):
   /// retire a session after this many popped scopes...
   unsigned SessionMaxRetiredScopes = 64;
-  /// ...or once the SAT core holds this many problem + learnt clauses.
-  uint64_t SessionClauseWatermark = 1u << 16;
+  /// ...or once the SAT core's clause databases (headers + literal
+  /// arrays + watcher arrays) exceed this many bytes.
+  uint64_t SessionMemoryWatermark = 8u << 20;
   /// Promise SessionOptions::FeasiblePrefix to path sessions, enabling
   /// sliced verdict-cache keys. Sound because the engine only extends a
   /// path condition after a feasibility check — EXCEPT when a conflict
   /// budget can return Unknown (the driver clears this then).
   bool FeasiblePathConditions = true;
+  /// Worker threads. 1 = the sequential engine (today's exact behavior);
+  /// N > 1 = the partitioned scheduler/worker architecture, which
+  /// requires Engine::setWorkerResources() factories.
+  unsigned Workers = 1;
 };
 
 /// One symbolic execution run over a module (starting at main).
 class Engine {
 public:
+  /// Factories for per-worker resources. Required when Opts.Workers > 1:
+  /// each worker owns a full solver stack (so SAT instances, bitblast
+  /// caches, and one-shot layer caches are never shared across threads —
+  /// share a verdict cache between the stacks to keep cross-state
+  /// sharing), and each frontier partition owns a searcher built with its
+  /// partition index.
+  struct WorkerResources {
+    std::function<std::unique_ptr<Solver>()> MakeSolver;
+    std::function<std::unique_ptr<Searcher>(unsigned)> MakeSearcher;
+  };
+
   Engine(ExprContext &Ctx, const ProgramInfo &PI, Solver &TheSolver,
          MergePolicy &Policy, Searcher &Search, CoverageTracker &Coverage,
          EngineOptions Opts = {});
+
+  void setWorkerResources(WorkerResources Res) {
+    Resources = std::move(Res);
+  }
 
   /// Runs to exhaustion or budget; returns tests and statistics.
   RunResult run();
 
 private:
   enum class StepEnd : uint8_t { Continue, Boundary };
+
+  /// Per-worker execution resources: the solver stack feasibility checks
+  /// and model generation go through, and the statistics block the
+  /// worker's counters land in. The sequential engine uses one context
+  /// bound to the shared solver and Result.Stats directly.
+  struct ExecContext {
+    Solver &TheSolver;
+    EngineStats &Stats;
+  };
 
   ExecutionState *makeInitialState();
   ExecutionState *fork(const ExecutionState &S);
@@ -94,9 +141,9 @@ private:
 
   /// Executes instructions of \p S until a control boundary; forked
   /// children are appended to \p NewStates.
-  void executeToBoundary(ExecutionState &S,
+  void executeToBoundary(ExecContext &X, ExecutionState &S,
                          std::vector<ExecutionState *> &NewStates);
-  StepEnd executeInstr(ExecutionState &S,
+  StepEnd executeInstr(ExecContext &X, ExecutionState &S,
                        std::vector<ExecutionState *> &NewStates);
 
   /// A borrowed-or-owned session for one check site. In per-state mode
@@ -113,24 +160,41 @@ private:
   /// Branch polarities, assertion checks, and bounds checks are then
   /// decided as assumption queries against the shared prefix. With
   /// Opts.PerStateSessions the session persists on the state (realigned,
-  /// split from fork-sharing siblings, or rebuilt on eviction as needed);
-  /// otherwise a throwaway per-site session is opened.
-  PathSessionRef openPathSession(ExecutionState &S);
+  /// split from fork-sharing siblings, or rebuilt on eviction / worker
+  /// migration as needed); otherwise a throwaway per-site session is
+  /// opened.
+  PathSessionRef openPathSession(ExecContext &X, ExecutionState &S);
 
   void transferTo(ExecutionState &S, const BasicBlock *BB);
   void pushHistory(ExecutionState &S);
-  void addConstraint(ExecutionState &S, ExprRef E);
+  void addConstraint(ExecContext &X, ExecutionState &S, ExprRef E);
   void terminateHalted(ExecutionState &S);
-  void emitBugReport(ExecutionState &S, TestKind Kind,
+  void emitBugReport(ExecContext &X, ExecutionState &S, TestKind Kind,
                      const std::string &Message, ExprRef ExtraCond);
 
-  /// Algorithm 1 lines 17-22: merge \p S with a matching worklist state
-  /// or insert it.
-  void mergeOrAdd(ExecutionState *S);
-  void finalize(ExecutionState *S);
+  /// Test-case sink: direct append sequentially, mutex-guarded in
+  /// parallel runs (which sort the list post-run for determinism).
+  void appendTest(TestCase T);
+  size_t testCount() const;
+
+  /// Algorithm 1 lines 17-22 (sequential): merge \p S with a matching
+  /// worklist state or insert it.
+  void mergeOrAdd(ExecContext &X, ExecutionState *S);
+  void finalize(ExecContext &X, ExecutionState *S);
 
   void addToIndexes(ExecutionState *S);
   void removeFromLocationIndex(ExecutionState *S);
+
+  RunResult runSequential();
+  RunResult runParallel();
+  /// Routes a post-boundary state: finalize terminal states, merge-or-
+  /// enqueue running ones into their home partition.
+  void routeParallel(ExecContext &X, StateFrontier &Frontier,
+                     ExecutionState *S);
+  void workerLoop(unsigned WorkerId, StateFrontier &Frontier,
+                  const Timer &Wall, std::atomic<uint64_t> &SharedSteps,
+                  EngineStats &WorkerStats,
+                  SolverQueryStats &WorkerSolverStats);
 
   ExprContext &Ctx;
   const ProgramInfo &PI;
@@ -139,6 +203,7 @@ private:
   Searcher &Search;
   CoverageTracker &Coverage;
   EngineOptions Opts;
+  WorkerResources Resources;
 
   std::unordered_map<uint64_t, std::unique_ptr<ExecutionState>> Owned;
   std::map<std::pair<const BasicBlock *, unsigned>,
@@ -146,6 +211,12 @@ private:
       ByLocation;
   uint64_t NextStateId = 1;
   RunResult Result;
+
+  // Parallel-run synchronization (inert when Workers == 1).
+  bool ParallelRun = false;
+  mutable std::mutex TestsMu; ///< Guards Result.Tests in parallel runs.
+  std::mutex OwnedMu;         ///< Guards Owned/NextStateId in parallel runs.
+  size_t MaxOwned = 0;        ///< Peak Owned.size() (under OwnedMu).
 };
 
 } // namespace symmerge

@@ -1,0 +1,162 @@
+//===- Frontier.cpp - Thread-safe partitioned state frontier -----------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Frontier.h"
+
+#include "core/MergePolicy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace symmerge;
+
+StateFrontier::StateFrontier(unsigned NumPartitions,
+                             const SearcherFactory &Make) {
+  NumPartitions = std::max(1u, NumPartitions);
+  Partitions.reserve(NumPartitions);
+  for (unsigned I = 0; I < NumPartitions; ++I) {
+    auto P = std::make_unique<Partition>();
+    P->Search = Make(I);
+    Partitions.push_back(std::move(P));
+  }
+}
+
+StateFrontier::~StateFrontier() = default;
+
+unsigned StateFrontier::partitionOf(const ExecutionState &S) const {
+  return static_cast<unsigned>(MergePolicy::structuralHash(S) %
+                               Partitions.size());
+}
+
+void StateFrontier::insert(ExecutionState *S) {
+  Partition &P = *Partitions[partitionOf(*S)];
+  {
+    std::lock_guard<std::mutex> Lock(P.M);
+    P.Search->add(S);
+    P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
+    ++P.Size;
+    // Count the state as queued BEFORE the lock is released: a pop on
+    // another thread may select it the moment the lock drops, and its
+    // fetch_sub must never see the counter without this increment.
+    Queued.fetch_add(1, std::memory_order_release);
+  }
+  WaitCv.notify_one();
+}
+
+bool StateFrontier::insertOrMerge(ExecutionState *S,
+                                  const MergeHooks &Hooks) {
+  Partition &P = *Partitions[partitionOf(*S)];
+  {
+    std::lock_guard<std::mutex> Lock(P.M);
+    auto It = P.ByLocation.find({S->Loc.Block, S->Loc.Index});
+    if (It != P.ByLocation.end()) {
+      for (ExecutionState *W : It->second) {
+        if (!Hooks.Wants(*W, *S))
+          continue;
+        // Merge S into W. W's store (and therefore its similarity hash)
+        // changes, so it must be re-registered with the searcher.
+        P.Search->remove(W);
+        Hooks.Apply(*W, *S);
+        P.Search->add(W);
+        return true;
+      }
+    }
+    P.Search->add(S);
+    P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
+    ++P.Size;
+    // As in insert(): queued must be counted before the state becomes
+    // poppable (the lock release publishes both together).
+    Queued.fetch_add(1, std::memory_order_release);
+  }
+  WaitCv.notify_one();
+  return false;
+}
+
+void StateFrontier::removeFromLocationIndex(Partition &P,
+                                            ExecutionState *S) {
+  auto Key = std::make_pair(S->Loc.Block, S->Loc.Index);
+  auto It = P.ByLocation.find(Key);
+  assert(It != P.ByLocation.end() && "state missing from location index");
+  auto &Vec = It->second;
+  Vec.erase(std::find(Vec.begin(), Vec.end(), S));
+  if (Vec.empty())
+    P.ByLocation.erase(It);
+}
+
+ExecutionState *StateFrontier::popFrom(Partition &P) {
+  std::lock_guard<std::mutex> Lock(P.M);
+  if (P.Search->empty())
+    return nullptr;
+  // Count the state as executing BEFORE un-queueing it, so quiescent()
+  // never observes a transient zero while work is still in flight.
+  Executing.fetch_add(1, std::memory_order_release);
+  ExecutionState *S = P.Search->select();
+  removeFromLocationIndex(P, S);
+  --P.Size;
+  Queued.fetch_sub(1, std::memory_order_release);
+  return S;
+}
+
+ExecutionState *StateFrontier::pop(unsigned Home) {
+  const unsigned N = numPartitions();
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned Idx = (Home + I) % N;
+    if (ExecutionState *S = popFrom(*Partitions[Idx])) {
+      if (I != 0)
+        Steals.fetch_add(1, std::memory_order_relaxed);
+      return S;
+    }
+  }
+  return nullptr;
+}
+
+void StateFrontier::finishedOne() {
+  Executing.fetch_sub(1, std::memory_order_release);
+  // Waiters re-check quiescent() on wake; notify_all since several may be
+  // parked waiting for the last in-flight state.
+  WaitCv.notify_all();
+}
+
+void StateFrontier::requestStop() {
+  Stop.store(true, std::memory_order_release);
+  WaitCv.notify_all();
+}
+
+void StateFrontier::waitForWork() {
+  std::unique_lock<std::mutex> Lock(WaitMu);
+  if (stopRequested() || quiescent() ||
+      Queued.load(std::memory_order_acquire) != 0)
+    return;
+  // The timeout is a backstop against notify/wait races (notifications
+  // are sent without WaitMu held); correctness only needs the re-check
+  // loop in the caller.
+  WaitCv.wait_for(Lock, std::chrono::milliseconds(1));
+}
+
+uint64_t StateFrontier::fastForwardSelections() const {
+  uint64_t N = 0;
+  for (const auto &P : Partitions) {
+    std::lock_guard<std::mutex> Lock(P->M);
+    N += P->Search->fastForwardSelections();
+  }
+  return N;
+}
+
+void StateFrontier::drain(
+    const std::function<void(ExecutionState *)> &Dispose) {
+  for (auto &P : Partitions) {
+    std::lock_guard<std::mutex> Lock(P->M);
+    while (!P->Search->empty()) {
+      ExecutionState *S = P->Search->select();
+      removeFromLocationIndex(*P, S);
+      --P->Size;
+      Queued.fetch_sub(1, std::memory_order_release);
+      Dispose(S);
+    }
+    P->ByLocation.clear();
+  }
+}

@@ -1,0 +1,147 @@
+//===- Frontier.h - Thread-safe partitioned state frontier ------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist of the parallel engine: a partitioned, thread-safe
+/// frontier that replaces the single Searcher of the sequential loop.
+///
+/// States are routed to partitions by MergePolicy::structuralHash —
+/// location, stack shape, and array layout — so any two states that could
+/// ever merge (same location, same structure) always land in the same
+/// partition. Each partition owns its own Searcher instance and its own
+/// location index, both guarded by one per-partition mutex: merge
+/// candidate scans, dynamic-state-merging bookkeeping, and pick-next
+/// ordering all stay partition-local, preserving the paper's merging
+/// semantics without any cross-thread state locks.
+///
+/// Each worker thread has a home partition. When the home partition
+/// drains, pop() steals from the other partitions round-robin, keeping
+/// cores busy while a hot partition still has work. A stolen state is
+/// executed by the thief but its successors are still routed by hash, so
+/// merging remains partition-local no matter who executes what.
+///
+/// Termination: the frontier tracks queued and in-execution state counts;
+/// workers exit when both reach zero (quiescent) or when a budget makes
+/// the engine requestStop().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_FRONTIER_H
+#define SYMMERGE_CORE_FRONTIER_H
+
+#include "core/ExecutionState.h"
+#include "core/Searcher.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace symmerge {
+
+/// Thread-safe partitioned frontier with per-partition searchers and
+/// work stealing.
+class StateFrontier {
+public:
+  /// Builds one searcher per partition (called with the partition index).
+  using SearcherFactory = std::function<std::unique_ptr<Searcher>(unsigned)>;
+
+  /// Merge hooks for insertOrMerge(). Both run under the partition lock.
+  struct MergeHooks {
+    /// Whether the waiting state \p W should absorb the arriving \p S
+    /// (the engine's statesMergeable + MergePolicy::similar check).
+    std::function<bool(const ExecutionState &W, const ExecutionState &S)>
+        Wants;
+    /// Performs the merge of \p S into \p W (the frontier re-registers W
+    /// with the partition searcher around this call, since the merge
+    /// changes W's store and similarity hash). \p S is left unspecified
+    /// and must be destroyed by the caller.
+    std::function<void(ExecutionState &W, ExecutionState &S)> Apply;
+  };
+
+  StateFrontier(unsigned NumPartitions, const SearcherFactory &Make);
+  ~StateFrontier();
+
+  unsigned numPartitions() const {
+    return static_cast<unsigned>(Partitions.size());
+  }
+
+  /// Home partition of \p S: structuralHash modulo the partition count.
+  unsigned partitionOf(const ExecutionState &S) const;
+
+  /// Enqueues \p S into its home partition.
+  void insert(ExecutionState *S);
+
+  /// Enqueues \p S, first attempting to merge it into a waiting state at
+  /// the same location (Algorithm 1 lines 17-22, partition-locally).
+  /// Returns true if \p S was merged away (caller destroys it).
+  bool insertOrMerge(ExecutionState *S, const MergeHooks &Hooks);
+
+  /// Removes and returns the next state: the home partition's searcher
+  /// order first, else stealing round-robin from the other partitions.
+  /// Returns null when every partition is momentarily empty — the caller
+  /// decides between waitForWork() and quiescent()-based exit. A
+  /// successful pop moves one state from queued to executing; the caller
+  /// must call finishedOne() after routing the state's successors.
+  ExecutionState *pop(unsigned Home);
+
+  /// Marks one popped state fully processed (its successors routed).
+  void finishedOne();
+
+  /// True when nothing is queued and nothing is executing.
+  bool quiescent() const {
+    return Queued.load(std::memory_order_acquire) == 0 &&
+           Executing.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Budget exceeded (or error): workers should exit their loops.
+  void requestStop();
+  bool stopRequested() const {
+    return Stop.load(std::memory_order_acquire);
+  }
+
+  /// Blocks briefly until new work may be available (insert/finishedOne/
+  /// requestStop all wake waiters; a timeout guards against lost races).
+  void waitForWork();
+
+  size_t queued() const { return Queued.load(std::memory_order_acquire); }
+  uint64_t steals() const {
+    return Steals.load(std::memory_order_relaxed);
+  }
+  /// DSM statistics summed over the per-partition searchers.
+  uint64_t fastForwardSelections() const;
+
+  /// Empties every partition, passing each state to \p Dispose.
+  void drain(const std::function<void(ExecutionState *)> &Dispose);
+
+private:
+  struct Partition {
+    mutable std::mutex M;
+    std::unique_ptr<Searcher> Search;
+    std::map<std::pair<const BasicBlock *, unsigned>,
+             std::vector<ExecutionState *>>
+        ByLocation;
+    size_t Size = 0; ///< States currently enqueued (under M).
+  };
+
+  void removeFromLocationIndex(Partition &P, ExecutionState *S);
+  ExecutionState *popFrom(Partition &P);
+
+  std::vector<std::unique_ptr<Partition>> Partitions;
+  std::atomic<size_t> Queued{0};
+  std::atomic<size_t> Executing{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Steals{0};
+  std::mutex WaitMu;
+  std::condition_variable WaitCv;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_FRONTIER_H

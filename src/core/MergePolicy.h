@@ -51,12 +51,15 @@ public:
 
   const char *name() const { return Name; }
 
+  /// Hash of location + stack + array layout, the part common to all
+  /// policies. Public because the parallel engine's partitioned frontier
+  /// routes states by this hash: states that could merge (same location,
+  /// same structure) always land in the same partition, so dynamic state
+  /// merging stays worker-local and needs no cross-thread state locks.
+  static uint64_t structuralHash(const ExecutionState &S);
+
 protected:
   explicit MergePolicy(const char *Name) : Name(Name) {}
-
-  /// Hash of location + stack + array layout, the part common to all
-  /// policies.
-  static uint64_t structuralHash(const ExecutionState &S);
 
 private:
   const char *Name;

@@ -30,14 +30,20 @@ SolverSession &PathSessionHandle::acquire(Solver &S,
   AcquireInfo Local;
   size_t Prefix = commonPrefixLength(Asserted, PC);
 
+  // A session opened by another solver (the state migrated to a different
+  // engine worker) is useless here: its SAT instance lives in the old
+  // worker's stack. Drop it and rebuild; not counted as an eviction.
+  if (Sess && Builder != &S)
+    reset();
+
   if (Sess) {
     SessionHealth H = Sess->health();
     size_t PopsNeeded = Asserted.size() - Prefix;
     bool ScopeLimit = L.MaxRetiredScopes &&
                       H.RetiredScopes + PopsNeeded > L.MaxRetiredScopes;
-    bool ClauseLimit = L.ClauseWatermark &&
-                       H.ClauseCount + H.LearntCount > L.ClauseWatermark;
-    if (ScopeLimit || ClauseLimit) {
+    bool MemoryLimit = L.MemoryWatermarkBytes &&
+                       H.MemoryBytes > L.MemoryWatermarkBytes;
+    if (ScopeLimit || MemoryLimit) {
       reset();
       Local.Evicted = true;
     }
@@ -45,6 +51,7 @@ SolverSession &PathSessionHandle::acquire(Solver &S,
 
   if (!Sess) {
     Sess = S.openSession(SessOpts);
+    Builder = &S;
     Asserted.clear();
     Prefix = 0;
     Local.Opened = true;

@@ -50,9 +50,12 @@ public:
     /// Retire the session once this many scopes have been popped over its
     /// lifetime (each pop permanently disables a guard literal).
     size_t MaxRetiredScopes = 64;
-    /// Retire the session once the SAT core holds this many problem +
-    /// learnt clauses.
-    size_t ClauseWatermark = 1u << 16;
+    /// Retire the session once the SAT core's clause databases exceed
+    /// this many bytes. Byte-accurate: clause headers + literal arrays +
+    /// the two-watched-literal watcher arrays (SessionHealth::
+    /// MemoryBytes), so eviction tracks real memory instead of a raw
+    /// clause count that a few long clauses or watcher churn can dwarf.
+    size_t MemoryWatermarkBytes = 8u << 20;
   };
 
   /// What acquire() had to do, for the engine's statistics.
@@ -68,6 +71,12 @@ public:
   /// fresh conjuncts are appended, and a session past its watermarks is
   /// evicted and rebuilt against \p S. The returned reference stays valid
   /// until the next acquire()/reset() on this handle.
+  ///
+  /// A handle remembers which solver opened its session: acquiring with a
+  /// DIFFERENT \p S (a state stolen or re-routed to another engine
+  /// worker, whose solver stack the old session does not belong to)
+  /// silently drops the stale session and rebuilds against \p S, so state
+  /// migration never touches a foreign worker's SAT instance.
   SolverSession &acquire(Solver &S, const std::vector<ExprRef> &PC,
                          const Limits &L, AcquireInfo *Info = nullptr);
 
@@ -91,12 +100,14 @@ public:
   void reset() {
     Sess.reset();
     Asserted.clear();
+    Builder = nullptr;
   }
 
 private:
   std::unique_ptr<SolverSession> Sess;
   std::vector<ExprRef> Asserted;
   SessionOptions SessOpts;
+  const Solver *Builder = nullptr; ///< Solver that opened Sess.
 };
 
 } // namespace symmerge

@@ -69,6 +69,12 @@ struct EngineStats {
                                          ///< the shared verdict cache.
   uint64_t SolverVerdictCacheMisses = 0; ///< Session checks that reached
                                          ///< the SAT core past the cache.
+  uint64_t SolverVerdictCacheEvictions = 0; ///< Entries dropped by the
+                                            ///< cache's generation-LRU
+                                            ///< capacity bound.
+  // Parallel exploration (EngineOptions::Workers > 1).
+  uint64_t Workers = 1;        ///< Worker threads the run executed on.
+  uint64_t FrontierSteals = 0; ///< pop()s served by a non-home partition.
   // Per-state session lifecycle (EngineOptions::PerStateSessions).
   uint64_t SessionsBuilt = 0;     ///< Per-state sessions (re)built from
                                   ///< scratch (first use, post-eviction,

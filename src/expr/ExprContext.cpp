@@ -45,6 +45,13 @@ uint64_t ExprContext::NodeKeyHash::operator()(const NodeKey &K) const {
 ExprRef ExprContext::intern(ExprKind K, unsigned Width, uint64_t Value,
                             const std::string &Name, ExprRef A, ExprRef B,
                             ExprRef C) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return internLocked(K, Width, Value, Name, A, B, C);
+}
+
+ExprRef ExprContext::internLocked(ExprKind K, unsigned Width, uint64_t Value,
+                                  const std::string &Name, ExprRef A,
+                                  ExprRef B, ExprRef C) {
   NodeKey Key{K, Width, Value, nullptr, {A, B, C}};
   if (K != ExprKind::Var) {
     auto It = InternTable.find(Key);
@@ -80,6 +87,7 @@ ExprRef ExprContext::mkConst(uint64_t V, unsigned Width) {
 }
 
 ExprRef ExprContext::mkVar(const std::string &Name, unsigned Width) {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = VarTable.find(Name);
   if (It != VarTable.end()) {
     assert(It->second->width() == Width &&
@@ -87,7 +95,7 @@ ExprRef ExprContext::mkVar(const std::string &Name, unsigned Width) {
     return It->second;
   }
   ExprRef V =
-      intern(ExprKind::Var, Width, 0, Name, nullptr, nullptr, nullptr);
+      internLocked(ExprKind::Var, Width, 0, Name, nullptr, nullptr, nullptr);
   VarTable.emplace(Name, V);
   return V;
 }

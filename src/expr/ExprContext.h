@@ -22,13 +22,17 @@
 #include "expr/Expr.h"
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace symmerge {
 
-/// Owns all expressions created through it. Not thread-safe; the engine is
-/// single-threaded like the paper's prototype.
+/// Owns all expressions created through it. Thread-safe: the interning
+/// tables are guarded by a mutex (folding and operand reads are lock-free
+/// — nodes are immutable once published), so the parallel engine's workers
+/// can share one context and hash-consing keeps structurally equal
+/// expressions identical across worker threads.
 class ExprContext {
 public:
   ExprContext();
@@ -131,11 +135,18 @@ public:
   ExprRef mkBoolCast(ExprRef E);
 
   /// Number of live interned nodes (for tests and statistics).
-  size_t numNodes() const { return Nodes.size(); }
+  size_t numNodes() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Nodes.size();
+  }
 
 private:
   ExprRef intern(ExprKind K, unsigned Width, uint64_t Value,
                  const std::string &Name, ExprRef A, ExprRef B, ExprRef C);
+  /// intern() with Mu already held (mkVar atomically checks-and-interns).
+  ExprRef internLocked(ExprKind K, unsigned Width, uint64_t Value,
+                       const std::string &Name, ExprRef A, ExprRef B,
+                       ExprRef C);
   ExprRef foldBinOp(ExprKind K, ExprRef L, ExprRef R);
 
   struct NodeKey {
@@ -150,6 +161,10 @@ private:
     uint64_t operator()(const NodeKey &K) const;
   };
 
+  /// Guards Nodes, InternTable, and VarTable. Folding runs outside the
+  /// lock (it only reads immutable published nodes); only the
+  /// check-and-publish step of interning serializes.
+  mutable std::mutex Mu;
   std::vector<std::unique_ptr<Expr>> Nodes;
   std::unordered_map<NodeKey, ExprRef, NodeKeyHash> InternTable;
   std::unordered_map<std::string, ExprRef> VarTable;

@@ -41,6 +41,20 @@ Var SatSolver::newVar() {
   return V;
 }
 
+size_t SatSolver::memoryFootprintBytes() const {
+  auto ClauseBytes = [](const Clause *C) {
+    return sizeof(Clause) + C->Lits.capacity() * sizeof(Lit);
+  };
+  size_t Bytes = 0;
+  for (const Clause *C : Clauses)
+    Bytes += ClauseBytes(C);
+  for (const Clause *C : Learnts)
+    Bytes += ClauseBytes(C);
+  for (const std::vector<Watcher> &W : Watches)
+    Bytes += sizeof(W) + W.capacity() * sizeof(Watcher);
+  return Bytes;
+}
+
 void SatSolver::attachClause(Clause *C) {
   assert(C->Lits.size() >= 2 && "cannot watch a unit clause");
   Watches[toInt(~C->Lits[0])].push_back({C, C->Lits[1]});

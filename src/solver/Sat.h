@@ -142,6 +142,13 @@ public:
   /// Number of learnt clauses currently attached.
   size_t numLearnts() const { return Learnts.size(); }
 
+  /// Byte-accurate footprint of the clause databases: per-clause headers
+  /// plus the literal arrays (by capacity) plus the two-watched-literal
+  /// watcher arrays. This is what session eviction watermarks should
+  /// track — raw clause counts miss both clause length and the watcher
+  /// overhead, which together dominate a long-lived instance's memory.
+  size_t memoryFootprintBytes() const;
+
   /// Removes every learnt clause permanently satisfied by a root-level
   /// assignment — e.g. garbage left behind by a session's popped scope
   /// guards. Must be called between solves (decision level 0). Returns

@@ -90,6 +90,14 @@ struct SolverQueryStats {
   // core solver; keyed by normalized asserted-prefix + assumptions).
   uint64_t VerdictCacheHits = 0;   ///< Checks answered without the core.
   uint64_t VerdictCacheMisses = 0; ///< Checks that went to the core.
+  uint64_t VerdictCacheEvictions = 0; ///< Entries dropped by the
+                                      ///< generation-LRU capacity bound.
+
+  /// Folds \p O into this (the parallel engine merges each worker's
+  /// thread-local counters into the run totals at shutdown).
+  SolverQueryStats &operator+=(const SolverQueryStats &O);
+  /// Componentwise subtraction (engines diff a baseline snapshot).
+  SolverQueryStats &operator-=(const SolverQueryStats &O);
 };
 
 /// Structured result of one session check.
@@ -122,6 +130,9 @@ struct SessionHealth {
   size_t ClauseCount = 0; ///< Problem clauses in the SAT core (native
                           ///< sessions only; 0 for fallbacks).
   size_t LearntCount = 0; ///< Learnt clauses in the SAT core.
+  size_t MemoryBytes = 0; ///< Byte-accurate clause-database footprint:
+                          ///< clause headers + literal arrays + watcher
+                          ///< arrays (native sessions only).
   size_t PurgedClauses = 0; ///< Clauses garbage-collected because a dead
                             ///< scope guard (or another root-level fact)
                             ///< satisfies them forever.
@@ -244,6 +255,30 @@ protected:
   ExprContext &Ctx;
 };
 
+/// The session-level verdict cache: memoizes Sat/Unsat verdicts across
+/// every native session of the core solver(s) it is attached to. The map
+/// is sharded (per-shard mutex) so the parallel engine's workers share
+/// verdicts concurrently, and bounded by a generation-based LRU: each
+/// shard stamps entries with an access generation and, past its slice of
+/// MaxEntries, evicts the least-recently-stamped half. Opaque; create
+/// with createVerdictCache() and attach via createCoreSolver()/
+/// createDefaultSolver().
+class SessionVerdictCache;
+
+struct VerdictCacheOptions {
+  /// Total entry bound across all shards; 0 = unbounded.
+  size_t MaxEntries = 1u << 20;
+  /// Concurrency shards (rounded up to a power of two).
+  unsigned Shards = 16;
+};
+
+std::shared_ptr<SessionVerdictCache>
+createVerdictCache(const VerdictCacheOptions &Opts = {});
+
+/// Current entry count / LRU evictions of a cache (for stats and tests).
+size_t verdictCacheSize(const SessionVerdictCache &Cache);
+uint64_t verdictCacheEvictions(const SessionVerdictCache &Cache);
+
 /// Bitblasting solver: Tseitin-encodes the query and runs the CDCL core.
 /// \p ConflictBudget bounds each SAT call (0 = unlimited).
 /// \p IncrementalSessions selects what openSession() returns: a native
@@ -260,6 +295,14 @@ std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
                                          uint64_t ConflictBudget = 0,
                                          bool IncrementalSessions = true,
                                          bool VerdictCache = false);
+
+/// createCoreSolver with a caller-provided verdict cache, so several core
+/// solvers — one per engine worker — share one concurrent cache and
+/// cross-state sharing survives parallelism. \p Cache may be null.
+std::unique_ptr<Solver>
+createCoreSolver(ExprContext &Ctx, uint64_t ConflictBudget,
+                 bool IncrementalSessions,
+                 std::shared_ptr<SessionVerdictCache> Cache);
 
 /// Wraps \p Inner with a query-result cache.
 std::unique_ptr<Solver> createCachingSolver(ExprContext &Ctx,
@@ -287,7 +330,10 @@ std::unique_ptr<Solver> createBruteForceSolver(ExprContext &Ctx);
 std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx,
                                             uint64_t ConflictBudget = 0);
 
-/// Global counters shared by all layers (reset between experiments).
+/// Per-thread counters shared by all layers (reset between experiments).
+/// Thread-local so worker threads never race: each engine worker's solver
+/// stack counts into its own instance, and the engine folds the workers'
+/// deltas into the run statistics at shutdown.
 SolverQueryStats &solverStats();
 
 } // namespace symmerge

@@ -14,7 +14,9 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 
 using namespace symmerge;
@@ -23,8 +25,51 @@ Solver::~Solver() = default;
 SolverSession::~SolverSession() = default;
 
 SolverQueryStats &symmerge::solverStats() {
-  static SolverQueryStats Stats;
+  // Thread-local: engine workers count into their own instance and the
+  // engine merges the deltas (operator+=) at shutdown, so the counters
+  // are race-free without putting an atomic on every solver hot path.
+  thread_local SolverQueryStats Stats;
   return Stats;
+}
+
+SolverQueryStats &SolverQueryStats::operator+=(const SolverQueryStats &O) {
+  Queries += O.Queries;
+  CoreQueries += O.CoreQueries;
+  CacheHits += O.CacheHits;
+  SatResults += O.SatResults;
+  UnsatResults += O.UnsatResults;
+  CoreSolveSeconds += O.CoreSolveSeconds;
+  SessionsOpened += O.SessionsOpened;
+  SessionQueries += O.SessionQueries;
+  AssumptionQueries += O.AssumptionQueries;
+  EncodeCacheHits += O.EncodeCacheHits;
+  EncodeNodesLowered += O.EncodeNodesLowered;
+  EncodeSeconds += O.EncodeSeconds;
+  VerdictCacheHits += O.VerdictCacheHits;
+  VerdictCacheMisses += O.VerdictCacheMisses;
+  VerdictCacheEvictions += O.VerdictCacheEvictions;
+  return *this;
+}
+
+// Kept adjacent to operator+= so the two field lists stay in lockstep;
+// a counter added to one and not the other is caught in review here.
+SolverQueryStats &SolverQueryStats::operator-=(const SolverQueryStats &O) {
+  Queries -= O.Queries;
+  CoreQueries -= O.CoreQueries;
+  CacheHits -= O.CacheHits;
+  SatResults -= O.SatResults;
+  UnsatResults -= O.UnsatResults;
+  CoreSolveSeconds -= O.CoreSolveSeconds;
+  SessionsOpened -= O.SessionsOpened;
+  SessionQueries -= O.SessionQueries;
+  AssumptionQueries -= O.AssumptionQueries;
+  EncodeCacheHits -= O.EncodeCacheHits;
+  EncodeNodesLowered -= O.EncodeNodesLowered;
+  EncodeSeconds -= O.EncodeSeconds;
+  VerdictCacheHits -= O.VerdictCacheHits;
+  VerdictCacheMisses -= O.VerdictCacheMisses;
+  VerdictCacheEvictions -= O.VerdictCacheEvictions;
+  return *this;
 }
 
 bool SolverSession::mayBeTrue(ExprRef E) {
@@ -134,19 +179,47 @@ private:
   size_t Pops = 0;
 };
 
+} // namespace
+
 //===----------------------------------------------------------------------===
 // Session-level verdict cache
 //===----------------------------------------------------------------------===
 
-/// Memoizes session check verdicts across every native session of one
-/// core solver. The key is the sorted, deduplicated id multiset of the
-/// asserted constraints plus the assumptions — hash-consing makes
-/// structurally equal constraint sets collide on purpose — so sibling
-/// states produced by forking or merging, each running its own session,
-/// share each other's feasibility verdicts. Only Sat/Unsat verdicts are
-/// cached (never Unknown, never models).
-class SessionVerdictCache {
+/// Memoizes session check verdicts across every native session of the
+/// core solver(s) it is attached to. The key is the sorted, deduplicated
+/// id multiset of the asserted constraints plus the assumptions —
+/// hash-consing makes structurally equal constraint sets collide on
+/// purpose — so sibling states produced by forking or merging, each
+/// running its own session (possibly on different worker threads and
+/// different core solvers), share each other's feasibility verdicts. Only
+/// Sat/Unsat verdicts are cached (never Unknown, never models).
+///
+/// Concurrency: the map is sharded by key hash with one mutex per shard,
+/// so parallel workers contend only when their keys collide on a shard.
+/// Capacity: each access stamps the entry with the shard's generation
+/// counter; when a shard exceeds its slice of MaxEntries, the
+/// least-recently-stamped half is evicted (generation-based LRU — exact
+/// recency order inside the surviving half is not maintained, only the
+/// old/young split, which is what bounds long explorations).
+class symmerge::SessionVerdictCache {
 public:
+  explicit SessionVerdictCache(const VerdictCacheOptions &Opts) {
+    size_t NumShards = 1;
+    while (NumShards < std::max(1u, Opts.Shards))
+      NumShards *= 2;
+    // A tiny MaxEntries spread over many shards would round each
+    // shard's slice up and inflate the real bound; collapse shards
+    // until every slice holds at least a few entries, so the requested
+    // total is honored even for small limits.
+    while (Opts.MaxEntries != 0 && NumShards > 1 &&
+           Opts.MaxEntries / NumShards < 4)
+      NumShards /= 2;
+    Shards = std::vector<Shard>(NumShards);
+    MaxPerShard = Opts.MaxEntries == 0
+                      ? 0
+                      : std::max<size_t>(1, Opts.MaxEntries / NumShards);
+  }
+
   /// Builds the normalized lookup key (sorted, deduplicated node ids)
   /// and its hash. The caller must triage constant-true/false
   /// constraints and assumptions BEFORE building a key: trivial
@@ -165,30 +238,121 @@ public:
       Hash = hashCombine(Hash, Id);
   }
 
-  const SolverResult *lookup(const std::vector<uint64_t> &Key,
-                             uint64_t Hash) const {
-    auto Range = Map.equal_range(Hash);
-    for (auto It = Range.first; It != Range.second; ++It)
-      if (It->second.Key == Key)
-        return &It->second.Result;
-    return nullptr;
+  bool lookup(const std::vector<uint64_t> &Key, uint64_t Hash,
+              SolverResult &Out) {
+    Shard &S = shardFor(Hash);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto Range = S.Map.equal_range(Hash);
+    for (auto It = Range.first; It != Range.second; ++It) {
+      if (It->second.Key == Key) {
+        It->second.Generation = ++S.Generation;
+        Out = It->second.Result;
+        return true;
+      }
+    }
+    return false;
   }
 
   void insert(std::vector<uint64_t> Key, uint64_t Hash, SolverResult R) {
     if (R == SolverResult::Unknown)
       return;
-    Map.emplace(Hash, Entry{std::move(Key), R});
+    Shard &S = shardFor(Hash);
+    uint64_t Evicted = 0;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      // Two workers can race miss -> solve -> insert on the same key;
+      // keep the map duplicate-free (verdicts are exact, so whichever
+      // insert wins stores the same result).
+      auto Range = S.Map.equal_range(Hash);
+      for (auto It = Range.first; It != Range.second; ++It)
+        if (It->second.Key == Key)
+          return;
+      S.Map.emplace(Hash, Entry{std::move(Key), R, ++S.Generation});
+      if (MaxPerShard != 0 && S.Map.size() > MaxPerShard)
+        Evicted = evictOldHalf(S);
+    }
+    if (Evicted) {
+      S.Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+      solverStats().VerdictCacheEvictions += Evicted;
+    }
   }
 
-  size_t size() const { return Map.size(); }
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Map.size();
+    }
+    return N;
+  }
+
+  uint64_t evictions() const {
+    uint64_t N = 0;
+    for (const Shard &S : Shards)
+      N += S.Evictions.load(std::memory_order_relaxed);
+    return N;
+  }
 
 private:
   struct Entry {
     std::vector<uint64_t> Key;
     SolverResult Result;
+    uint64_t Generation = 0; ///< Shard generation at last access.
   };
-  std::unordered_multimap<uint64_t, Entry> Map;
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_multimap<uint64_t, Entry> Map;
+    uint64_t Generation = 0;
+    std::atomic<uint64_t> Evictions{0};
+
+    Shard() = default;
+    Shard(Shard &&) noexcept {} // Only moved while empty, at construction.
+  };
+
+  Shard &shardFor(uint64_t Hash) {
+    // The low bits index the buckets inside the shard; take high bits.
+    return Shards[(Hash >> 48) & (Shards.size() - 1)];
+  }
+
+  /// Drops the least-recently-stamped half of \p S (caller holds S.M).
+  static uint64_t evictOldHalf(Shard &S) {
+    std::vector<uint64_t> Stamps;
+    Stamps.reserve(S.Map.size());
+    for (const auto &[H, E] : S.Map)
+      Stamps.push_back(E.Generation);
+    auto Mid = Stamps.begin() + Stamps.size() / 2;
+    std::nth_element(Stamps.begin(), Mid, Stamps.end());
+    uint64_t Cutoff = *Mid;
+    uint64_t Removed = 0;
+    for (auto It = S.Map.begin(); It != S.Map.end();) {
+      if (It->second.Generation <= Cutoff) {
+        It = S.Map.erase(It);
+        ++Removed;
+      } else {
+        ++It;
+      }
+    }
+    return Removed;
+  }
+
+  std::vector<Shard> Shards;
+  size_t MaxPerShard = 0;
 };
+
+std::shared_ptr<SessionVerdictCache>
+symmerge::createVerdictCache(const VerdictCacheOptions &Opts) {
+  return std::make_shared<SessionVerdictCache>(Opts);
+}
+
+size_t symmerge::verdictCacheSize(const SessionVerdictCache &Cache) {
+  return Cache.size();
+}
+
+uint64_t symmerge::verdictCacheEvictions(const SessionVerdictCache &Cache) {
+  return Cache.evictions();
+}
+
+namespace {
 
 //===----------------------------------------------------------------------===
 // CoreSolver: bitblast + CDCL
@@ -248,6 +412,7 @@ public:
     H.RetiredScopes = RetiredScopes;
     H.ClauseCount = S.numClauses();
     H.LearntCount = S.numLearnts();
+    H.MemoryBytes = S.memoryFootprintBytes();
     H.PurgedClauses = S.stats().PurgedSatisfied;
     return H;
   }
@@ -378,9 +543,10 @@ public:
       Constraints.insert(Constraints.end(), Meaningful.begin(),
                          Meaningful.end());
       SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
-      if (const SolverResult *Hit = Cache->lookup(Key, KeyHash)) {
+      SolverResult Hit;
+      if (Cache->lookup(Key, KeyHash, Hit)) {
         ++Stats.VerdictCacheHits;
-        R.Result = *Hit;
+        R.Result = Hit;
         if (R.isUnsat()) {
           ++Stats.UnsatResults;
           // Like fallback sessions, a cached refutation cannot name the
@@ -552,11 +718,11 @@ private:
 class CoreSolver : public Solver {
 public:
   CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget, bool Incremental,
-             bool VerdictCache)
+             std::shared_ptr<SessionVerdictCache> SharedCache)
       : Solver(Ctx), ConflictBudget(ConflictBudget),
         Incremental(Incremental) {
-    if (VerdictCache && Incremental)
-      Cache = std::make_shared<SessionVerdictCache>();
+    if (Incremental)
+      Cache = std::move(SharedCache);
   }
 
   /// The one-shot entry point is a thin shim over a one-shot session, so
@@ -883,8 +1049,17 @@ std::unique_ptr<Solver> symmerge::createCoreSolver(ExprContext &Ctx,
                                                    uint64_t ConflictBudget,
                                                    bool IncrementalSessions,
                                                    bool VerdictCache) {
+  return std::make_unique<CoreSolver>(
+      Ctx, ConflictBudget, IncrementalSessions,
+      VerdictCache ? createVerdictCache() : nullptr);
+}
+
+std::unique_ptr<Solver>
+symmerge::createCoreSolver(ExprContext &Ctx, uint64_t ConflictBudget,
+                           bool IncrementalSessions,
+                           std::shared_ptr<SessionVerdictCache> Cache) {
   return std::make_unique<CoreSolver>(Ctx, ConflictBudget,
-                                      IncrementalSessions, VerdictCache);
+                                      IncrementalSessions, std::move(Cache));
 }
 
 std::unique_ptr<Solver>

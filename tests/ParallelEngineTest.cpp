@@ -1,0 +1,360 @@
+//===- ParallelEngineTest.cpp - Partitioned frontier and parallel runs -------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the parallel-exploration machinery:
+///
+///  - the partitioned StateFrontier: structural-hash routing (merge
+///    candidates co-locate), home-first pop with steal accounting,
+///    queued/executing quiescence tracking, partition-local merging,
+///  - the sharded verdict cache's generation-LRU capacity bound,
+///  - end-to-end parallel runs: repeatability at a fixed worker count,
+///    and the per-worker statistics merge.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/Frontier.h"
+#include "core/MergePolicy.h"
+#include "core/StateMerge.h"
+#include "lang/Lower.h"
+#include "solver/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace symmerge;
+
+namespace {
+
+/// A tiny module plus hand-built states whose structural hash is
+/// controlled through the instruction index.
+struct FrontierFixture {
+  Module M;
+  Function *F = nullptr;
+  BasicBlock *BB = nullptr;
+  std::vector<std::unique_ptr<ExecutionState>> States;
+
+  FrontierFixture() {
+    F = M.createFunction("main", Type::intTy(64), true, {});
+    BB = F->createBlock("entry");
+    for (int I = 0; I < 8; ++I) {
+      Instr H;
+      H.Op = Opcode::Halt;
+      BB->instructions().push_back(H);
+    }
+  }
+
+  ExecutionState *make(unsigned Index) {
+    auto S = std::make_unique<ExecutionState>();
+    S->Id = States.size() + 1;
+    S->Loc = {BB, Index};
+    StackFrame Frame;
+    Frame.F = F;
+    S->Stack.push_back(std::move(Frame));
+    States.push_back(std::move(S));
+    return States.back().get();
+  }
+
+  static StateFrontier::SearcherFactory bfsFactory() {
+    return [](unsigned) { return createBFSSearcher(); };
+  }
+};
+
+} // namespace
+
+TEST(StateFrontierTest, RoutesMergeCandidatesToTheSamePartition) {
+  FrontierFixture Fx;
+  StateFrontier Frontier(4, FrontierFixture::bfsFactory());
+
+  // Structurally identical states (same location, stack, arrays) must
+  // land in the same partition no matter how many exist — that is what
+  // keeps merging partition-local.
+  ExecutionState *A = Fx.make(3);
+  ExecutionState *B = Fx.make(3);
+  EXPECT_EQ(Frontier.partitionOf(*A), Frontier.partitionOf(*B));
+  EXPECT_EQ(MergePolicy::structuralHash(*A),
+            MergePolicy::structuralHash(*B));
+
+  // And the routing actually spreads distinct locations over partitions.
+  std::set<unsigned> Used;
+  for (unsigned I = 0; I < 8; ++I)
+    Used.insert(Frontier.partitionOf(*Fx.make(I)));
+  EXPECT_GT(Used.size(), 1u) << "all locations hashed to one partition";
+}
+
+TEST(StateFrontierTest, PopPrefersHomeAndCountsSteals) {
+  FrontierFixture Fx;
+  StateFrontier Frontier(4, FrontierFixture::bfsFactory());
+
+  ExecutionState *S = Fx.make(2);
+  unsigned Home = Frontier.partitionOf(*S);
+  Frontier.insert(S);
+  EXPECT_EQ(Frontier.queued(), 1u);
+
+  // Popping from the state's home partition is not a steal.
+  EXPECT_EQ(Frontier.pop(Home), S);
+  EXPECT_EQ(Frontier.steals(), 0u);
+  Frontier.finishedOne();
+
+  // Popping from a different home steals it.
+  Frontier.insert(S);
+  EXPECT_EQ(Frontier.pop((Home + 1) % 4), S);
+  EXPECT_EQ(Frontier.steals(), 1u);
+  Frontier.finishedOne();
+  EXPECT_TRUE(Frontier.quiescent());
+}
+
+TEST(StateFrontierTest, QuiescenceTracksQueuedAndExecuting) {
+  FrontierFixture Fx;
+  StateFrontier Frontier(2, FrontierFixture::bfsFactory());
+  EXPECT_TRUE(Frontier.quiescent());
+
+  ExecutionState *S = Fx.make(1);
+  Frontier.insert(S);
+  EXPECT_FALSE(Frontier.quiescent());
+
+  // A popped state is executing: still not quiescent, even though the
+  // queue is empty — its successors may yet be enqueued.
+  ASSERT_EQ(Frontier.pop(0), S);
+  EXPECT_EQ(Frontier.queued(), 0u);
+  EXPECT_FALSE(Frontier.quiescent());
+
+  Frontier.finishedOne();
+  EXPECT_TRUE(Frontier.quiescent());
+  EXPECT_EQ(Frontier.pop(0), nullptr);
+}
+
+TEST(StateFrontierTest, InsertOrMergeMergesWithWaitingState) {
+  FrontierFixture Fx;
+  StateFrontier Frontier(4, FrontierFixture::bfsFactory());
+
+  ExecutionState *W = Fx.make(0);
+  ExecutionState *S = Fx.make(0);
+  W->Multiplicity = 2.0;
+  S->Multiplicity = 3.0;
+  Frontier.insert(W);
+
+  unsigned Applied = 0;
+  StateFrontier::MergeHooks Hooks;
+  Hooks.Wants = [](const ExecutionState &A, const ExecutionState &B) {
+    return A.Loc.Block == B.Loc.Block && A.Loc.Index == B.Loc.Index;
+  };
+  Hooks.Apply = [&Applied](ExecutionState &A, ExecutionState &B) {
+    A.Multiplicity += B.Multiplicity;
+    ++Applied;
+  };
+  EXPECT_TRUE(Frontier.insertOrMerge(S, Hooks));
+  EXPECT_EQ(Applied, 1u);
+  EXPECT_EQ(W->Multiplicity, 5.0);
+  EXPECT_EQ(Frontier.queued(), 1u) << "merged state must not be enqueued";
+
+  // A state at a different location does not merge.
+  ExecutionState *T = Fx.make(5);
+  EXPECT_FALSE(Frontier.insertOrMerge(T, Hooks));
+  EXPECT_EQ(Applied, 1u);
+  EXPECT_EQ(Frontier.queued(), 2u);
+
+  size_t Drained = 0;
+  Frontier.drain([&Drained](ExecutionState *) { ++Drained; });
+  EXPECT_EQ(Drained, 2u);
+  EXPECT_TRUE(Frontier.quiescent());
+}
+
+//===----------------------------------------------------------------------===
+// Verdict-cache capacity bound (generation LRU)
+//===----------------------------------------------------------------------===
+
+TEST(VerdictCacheTest, GenerationLruBoundsEntries) {
+  ExprContext Ctx;
+  VerdictCacheOptions Opts;
+  Opts.MaxEntries = 64;
+  Opts.Shards = 4;
+  auto Cache = createVerdictCache(Opts);
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/true, Cache);
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Evictions0 = Stats.VerdictCacheEvictions;
+
+  ExprRef X = Ctx.mkVar("x", 16);
+  auto Sess = Core->openSession();
+  for (uint64_t K = 1; K <= 600; ++K)
+    EXPECT_TRUE(Sess->checkSatAssuming(Ctx.mkUlt(X, Ctx.mkConst(K, 16)))
+                    .isSat());
+
+  EXPECT_LE(verdictCacheSize(*Cache), Opts.MaxEntries)
+      << "the LRU bound must hold after 600 distinct keys";
+  EXPECT_GT(verdictCacheEvictions(*Cache), 0u);
+  EXPECT_GT(Stats.VerdictCacheEvictions, Evictions0)
+      << "evictions must be counted in the solver statistics";
+
+  // Evicted keys are recomputed correctly (and unsat stays unsat).
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkUlt(X, Ctx.mkConst(1, 16))).isSat());
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkUlt(X, Ctx.mkConst(0, 16))).isUnsat());
+}
+
+TEST(VerdictCacheTest, RecentlyUsedEntriesSurviveEviction) {
+  ExprContext Ctx;
+  VerdictCacheOptions Opts;
+  Opts.MaxEntries = 32;
+  Opts.Shards = 1; // One shard: eviction order is fully observable.
+  auto Cache = createVerdictCache(Opts);
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/true, Cache);
+
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef Hot = Ctx.mkUlt(X, Ctx.mkConst(7, 16));
+  auto Sess = Core->openSession();
+
+  SolverQueryStats &Stats = solverStats();
+  // Keep one key hot while churning many cold keys through the shard;
+  // the generation stamps must keep the hot key resident.
+  for (uint64_t K = 0; K < 300; ++K) {
+    EXPECT_TRUE(Sess->checkSatAssuming(Hot).isSat());
+    Sess->checkSatAssuming(
+        Ctx.mkUlt(Ctx.mkConst(100 + K, 16), Ctx.mkMul(X, X)));
+  }
+  uint64_t Misses0 = Stats.VerdictCacheMisses;
+  EXPECT_TRUE(Sess->checkSatAssuming(Hot).isSat());
+  EXPECT_EQ(Stats.VerdictCacheMisses, Misses0)
+      << "a continuously re-used key must never be evicted";
+}
+
+TEST(VerdictCacheTest, UnboundedCacheNeverEvicts) {
+  ExprContext Ctx;
+  VerdictCacheOptions Opts;
+  Opts.MaxEntries = 0;
+  auto Cache = createVerdictCache(Opts);
+  auto Core = createCoreSolver(Ctx, 0, true, Cache);
+
+  ExprRef X = Ctx.mkVar("x", 16);
+  auto Sess = Core->openSession();
+  for (uint64_t K = 1; K <= 300; ++K)
+    Sess->checkSatAssuming(Ctx.mkUlt(X, Ctx.mkConst(K, 16)));
+  EXPECT_EQ(verdictCacheSize(*Cache), 300u);
+  EXPECT_EQ(verdictCacheEvictions(*Cache), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// End-to-end parallel runs
+//===----------------------------------------------------------------------===
+
+namespace {
+
+const char *LoopyProgram =
+    "void main() {\n"
+    "  int a = 0;\n"
+    "  int b = 0;\n"
+    "  make_symbolic(a, \"a\");\n"
+    "  make_symbolic(b, \"b\");\n"
+    "  assume(a >= 0); assume(a <= 10);\n"
+    "  assume(b >= 0); assume(b <= 10);\n"
+    "  int s = 0;\n"
+    "  for (int i = 0; i < 5; i = i + 1) {\n"
+    "    if (a > i * 2) { s = s + 1; } else { s = s + 2; }\n"
+    "    if (b > i * 3) { s = s + b; }\n"
+    "  }\n"
+    "  assert(s <= 40, \"bound\");\n"
+    "}\n";
+
+std::string outcomeFingerprint(const RunResult &R, double Coverage) {
+  std::ostringstream OS;
+  OS << R.Stats.Forks << '/' << R.Stats.CompletedStates << '/'
+     << R.Stats.Errors << '/' << R.Stats.CompletedMultiplicity << '/'
+     << Coverage << '#';
+  for (const TestCase &T : R.Tests) {
+    OS << static_cast<int>(T.Kind) << ':' << T.Message << ':';
+    std::vector<std::pair<std::string, uint64_t>> Items;
+    for (const auto &[Var, Val] : T.Inputs.values())
+      Items.push_back({Var->varName(), Val});
+    std::sort(Items.begin(), Items.end());
+    for (const auto &[Name, Val] : Items)
+      OS << Name << '=' << Val << ',';
+    OS << ';';
+  }
+  return OS.str();
+}
+
+} // namespace
+
+TEST(ParallelEngineTest, RepeatedRunsAtFixedWorkerCountAreIdentical) {
+  CompileResult CR = compileMiniC(LoopyProgram);
+  ASSERT_TRUE(CR.ok());
+
+  // The deterministic post-run test order makes back-to-back parallel
+  // runs bit-identical even though worker interleaving differs.
+  std::string First;
+  for (int Round = 0; Round < 3; ++Round) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = 4;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    ASSERT_TRUE(R.Stats.Exhausted);
+    EXPECT_EQ(R.Stats.Workers, 4u);
+    std::string FP =
+        outcomeFingerprint(R, Runner.coverage().statementCoverage());
+    if (Round == 0)
+      First = FP;
+    else
+      EXPECT_EQ(FP, First) << "round " << Round;
+  }
+}
+
+TEST(ParallelEngineTest, WorkerStatsMergeMatchesSequential) {
+  CompileResult CR = compileMiniC(LoopyProgram);
+  ASSERT_TRUE(CR.ok());
+
+  auto Run = [&](unsigned Workers) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = Workers;
+    SymbolicRunner Runner(*CR.M, C);
+    return Runner.run();
+  };
+
+  RunResult Seq = Run(1);
+  RunResult Par = Run(4);
+  ASSERT_TRUE(Seq.Stats.Exhausted);
+  ASSERT_TRUE(Par.Stats.Exhausted);
+
+  // Exhaustive plain exploration is scheduling-independent: the summed
+  // per-worker counters must equal the sequential run's totals for every
+  // order-invariant quantity.
+  EXPECT_EQ(Par.Stats.Steps, Seq.Stats.Steps);
+  EXPECT_EQ(Par.Stats.Forks, Seq.Stats.Forks);
+  EXPECT_EQ(Par.Stats.CompletedStates, Seq.Stats.CompletedStates);
+  EXPECT_EQ(Par.Stats.CompletedMultiplicity,
+            Seq.Stats.CompletedMultiplicity);
+  EXPECT_EQ(Par.Stats.Errors, Seq.Stats.Errors);
+  EXPECT_EQ(Par.Tests.size(), Seq.Tests.size());
+  // Solver sessions are opened per check site / state lifetime; the
+  // session count is path-determined, so it survives parallelism too.
+  EXPECT_GT(Par.Stats.SolverQueries, 0u);
+}
+
+TEST(ParallelEngineTest, SequentialEngineIgnoresWorkerResources) {
+  // Workers = 1 must reduce to today's exact sequential behavior even
+  // when factories are installed (the driver installs them only for
+  // Workers > 1; this guards the engine-side dispatch).
+  CompileResult CR = compileMiniC(LoopyProgram);
+  ASSERT_TRUE(CR.ok());
+  SymbolicRunner::Config C;
+  C.Engine.MaxSeconds = 60;
+  C.Engine.Workers = 1;
+  SymbolicRunner Runner(*CR.M, C);
+  RunResult R = Runner.run();
+  ASSERT_TRUE(R.Stats.Exhausted);
+  EXPECT_EQ(R.Stats.Workers, 1u);
+  EXPECT_EQ(R.Stats.FrontierSteals, 0u);
+}

@@ -351,6 +351,148 @@ INSTANTIATE_TEST_SUITE_P(Shards, SolverModeDifferentialTest,
                          ::testing::Range(0, 10));
 
 //===----------------------------------------------------------------------===
+// Parallel determinism: the workers axis
+//===----------------------------------------------------------------------===
+
+/// Random programs explored to exhaustion must produce identical
+/// test-case SETS, coverage, fork counts, and error verdicts at every
+/// worker count, under every solver mode. Exhaustive exploration makes
+/// the outcome scheduling-independent: every feasible path is followed
+/// regardless of interleaving, verdicts are exact (no conflict budget),
+/// and models are generated per state from its own path condition. Tests
+/// are compared as sorted sets because emission order is the one thing
+/// parallelism legitimately changes (the engine already reports parallel
+/// runs in a canonical order; sorting here also normalizes the
+/// workers=1 generation order).
+///
+/// The nightly job widens the axis with SYMMERGE_DIFF_WORKERS=N (adds an
+/// N-worker run) and scales program count with SYMMERGE_DIFF_ITERS.
+class ParallelDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDifferentialTest, WorkerCountsAgreeOnRandomPrograms) {
+  const uint64_t Iters = envOr("SYMMERGE_DIFF_ITERS", 1);
+  const uint64_t SeedBase = envOr("SYMMERGE_DIFF_SEED", 0);
+  const uint64_t ExtraWorkers = envOr("SYMMERGE_DIFF_WORKERS", 0);
+  const int Shard = GetParam();
+
+  std::vector<unsigned> WorkerCounts = {1, 2, 4};
+  if (ExtraWorkers > 4)
+    WorkerCounts.push_back(static_cast<unsigned>(ExtraWorkers));
+
+  uint64_t TotalForks = 0;
+  // At least 4*Iters programs; keep generating (up to 8*Iters) until the
+  // shard has seen real symbolic branching, so the differential is never
+  // vacuous on a pocket of degenerate random programs.
+  for (uint64_t P = 0;
+       P < 4 * Iters || (P < 8 * Iters && TotalForks < 2 * Iters); ++P) {
+    uint64_t Seed = SeedBase * 1000003 + 770000 + Shard * 100 + P;
+    ProgramGen Gen(hashMix(Seed) | 1);
+    std::string Source = Gen.generate();
+    CompileResult CR = compileMiniC(Source);
+    ASSERT_TRUE(CR.ok()) << "generator produced invalid MiniC (seed "
+                         << Seed << "):\n"
+                         << Source;
+
+    for (const SolverMode &SM : SolverModes) {
+      Outcome Reference;
+      for (unsigned Workers : WorkerCounts) {
+        SymbolicRunner::Config C;
+        C.Merge = SymbolicRunner::MergeMode::None;
+        C.Driving = SymbolicRunner::Strategy::BFS;
+        C.Engine.MaxSeconds = 60;
+        C.Engine.Workers = Workers;
+        applyMode(C, SM);
+        Outcome O = runProgram(*CR.M, C);
+        std::sort(O.Tests.begin(), O.Tests.end());
+        ASSERT_TRUE(O.Exhausted)
+            << SM.Name << " workers=" << Workers << " seed " << Seed;
+        if (Workers == WorkerCounts.front()) {
+          Reference = O;
+          TotalForks += O.Forks;
+          continue;
+        }
+        EXPECT_TRUE(O == Reference)
+            << SM.Name << " workers=" << Workers
+            << " diverged from workers=1 on seed " << Seed << "\nforks "
+            << O.Forks << " vs " << Reference.Forks << ", completed "
+            << O.CompletedStates << " vs " << Reference.CompletedStates
+            << ", errors " << O.Errors << " vs " << Reference.Errors
+            << ", tests " << O.Tests.size() << " vs "
+            << Reference.Tests.size() << "\nprogram:\n"
+            << Source;
+      }
+    }
+  }
+  EXPECT_GE(TotalForks, 2 * Iters)
+      << "shard " << Shard << " explored almost no symbolic branches";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelDifferentialTest,
+                         ::testing::Range(0, 5));
+
+/// Parallel merging soundness. The merge PATTERN is scheduling-dependent
+/// (which states meet in the worklist depends on execution order), so
+/// parallel merging runs are not required to reproduce the sequential
+/// merge count — but every scheduling must agree on the
+/// scheduling-INVARIANT outcomes: exhaustion, the covered-block set, the
+/// total path count (completed multiplicity — each merge adds its
+/// operands' multiplicities, so the sum over completions counts exactly
+/// the feasible paths), and the set of distinct bugs found.
+TEST(ParallelDifferentialTest, ParallelMergingIsSound) {
+  const uint64_t SeedBase = envOr("SYMMERGE_DIFF_SEED", 0);
+  auto BugIdentities = [](const Outcome &O) {
+    std::vector<std::string> Bugs;
+    for (const std::string &T : O.Tests) {
+      // canonicalTest format is "<kind>:<message>:<inputs>"; kind 0 is
+      // Halt, anything else is a bug, identified by kind + message.
+      if (T[0] != '0')
+        Bugs.push_back(T.substr(0, T.find(':', 2)));
+    }
+    std::sort(Bugs.begin(), Bugs.end());
+    Bugs.erase(std::unique(Bugs.begin(), Bugs.end()), Bugs.end());
+    return Bugs;
+  };
+
+  for (uint64_t P = 0; P < 6; ++P) {
+    uint64_t Seed = SeedBase * 1000003 + 880000 + P;
+    ProgramGen Gen(hashMix(Seed) | 1);
+    std::string Source = Gen.generate();
+    CompileResult CR = compileMiniC(Source);
+    ASSERT_TRUE(CR.ok());
+
+    Outcome Reference;
+    for (unsigned Workers : {1u, 2u, 4u}) {
+      SymbolicRunner::Config C;
+      C.Merge = SymbolicRunner::MergeMode::All;
+      C.Driving = SymbolicRunner::Strategy::Topological;
+      C.Engine.MaxSeconds = 60;
+      C.Engine.Workers = Workers;
+      Outcome O = runProgram(*CR.M, C);
+      ASSERT_TRUE(O.Exhausted) << "workers=" << Workers << " seed " << Seed;
+      if (Workers == 1) {
+        Reference = O;
+        continue;
+      }
+      EXPECT_EQ(O.Coverage, Reference.Coverage)
+          << "workers=" << Workers << " seed " << Seed;
+      // Completed multiplicity counts feasible paths and is invariant
+      // under the merge pattern — EXCEPT around partial assert
+      // failures, where a merged state keeps the failing paths' weight
+      // (the §5.2 approximation never subtracts them). Compare only on
+      // error-free programs.
+      if (Reference.Errors == 0)
+        EXPECT_EQ(O.CompletedMultiplicity, Reference.CompletedMultiplicity)
+            << "path count must be merge-pattern invariant (workers="
+            << Workers << ", seed " << Seed << ")\n"
+            << Source;
+      EXPECT_EQ(BugIdentities(O), BugIdentities(Reference))
+          << "workers=" << Workers << " seed " << Seed << "\n"
+          << Source;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Session-level verdict cache: cross-session sharing
 //===----------------------------------------------------------------------===
 
@@ -549,8 +691,8 @@ TEST(SessionLifecycleTest, EvictionKeepsVerdictsStableAndClausesBounded) {
   ExprRef Hyp = Ctx.mkUlt(X, Y);
 
   PathSessionHandle::Limits L;
-  L.MaxRetiredScopes = 8; // Tiny: evict every other alternation.
-  L.ClauseWatermark = 0;  // Exercise the scope-count policy alone.
+  L.MaxRetiredScopes = 8;     // Tiny: evict every other alternation.
+  L.MemoryWatermarkBytes = 0; // Exercise the scope-count policy alone.
 
   PathSessionHandle H;
   int FirstA = -1, FirstB = -1;
@@ -573,35 +715,39 @@ TEST(SessionLifecycleTest, EvictionKeepsVerdictsStableAndClausesBounded) {
   EXPECT_GT(Evictions, 5u) << "the stress loop must actually evict";
 }
 
-TEST(SessionLifecycleTest, ClauseWatermarkBoundsSatInstanceGrowth) {
+TEST(SessionLifecycleTest, MemoryWatermarkBoundsSatInstanceGrowth) {
   ExprContext Ctx;
   auto Core = createCoreSolver(Ctx);
   ExprRef X = Ctx.mkVar("x", 16);
   ExprRef Y = Ctx.mkVar("y", 16);
 
-  // Measure the clause footprint of one fresh build of the deepest PC.
+  // Measure the byte footprint of one fresh build of the deepest PC.
   std::vector<ExprRef> PC;
   ExprRef V = X;
   for (int I = 0; I < 6; ++I) {
     V = Ctx.mkAdd(Ctx.mkMul(V, Ctx.mkConst(3, 16)), Y);
     PC.push_back(Ctx.mkUlt(V, Ctx.mkConst(30000 + I * 1117, 16)));
   }
-  size_t FreshClauses;
+  size_t FreshBytes;
   {
     PathSessionHandle Fresh;
     SolverSession &S = Fresh.acquire(*Core, PC);
     S.checkSat();
-    FreshClauses = S.health().ClauseCount + S.health().LearntCount;
+    SessionHealth H = S.health();
+    FreshBytes = H.MemoryBytes;
+    // The byte accounting must be real: at least the literal arrays of
+    // the problem clauses, and more than a raw clause count would say.
+    ASSERT_GT(FreshBytes, 2 * (H.ClauseCount + H.LearntCount));
   }
-  ASSERT_GT(FreshClauses, 0u);
+  ASSERT_GT(FreshBytes, 0u);
 
   // Churn: repeatedly swap the tail of the PC for a new conjunct. Without
   // eviction the dead guarded clauses would accumulate without bound.
   PathSessionHandle::Limits L;
-  L.MaxRetiredScopes = 0; // Exercise the clause watermark alone.
-  L.ClauseWatermark = 2 * FreshClauses;
+  L.MaxRetiredScopes = 0; // Exercise the memory watermark alone.
+  L.MemoryWatermarkBytes = 2 * FreshBytes;
   PathSessionHandle H;
-  size_t Evictions = 0, MaxClauses = 0;
+  size_t Evictions = 0, MaxBytes = 0;
   for (int Round = 0; Round < 60; ++Round) {
     std::vector<ExprRef> Cur = PC;
     Cur.push_back(Ctx.mkUlt(Ctx.mkConst(Round % 7, 16),
@@ -610,14 +756,14 @@ TEST(SessionLifecycleTest, ClauseWatermarkBoundsSatInstanceGrowth) {
     SolverSession &S = H.acquire(*Core, Cur, L, &Info);
     Evictions += Info.Evicted;
     EXPECT_FALSE(S.checkSat().isUnsat()) << "round " << Round;
-    MaxClauses =
-        std::max(MaxClauses, S.health().ClauseCount + S.health().LearntCount);
+    MaxBytes = std::max(MaxBytes, S.health().MemoryBytes);
   }
   EXPECT_GT(Evictions, 0u);
   // The instance is rebuilt whenever it crosses the watermark, so its
   // size tracks the live path condition, not the churn history. One
-  // acquire can overshoot by at most the clauses the new suffix adds.
-  EXPECT_LE(MaxClauses, L.ClauseWatermark + 2 * FreshClauses);
+  // acquire can overshoot by at most what the new suffix (and the solve
+  // on it) adds.
+  EXPECT_LE(MaxBytes, L.MemoryWatermarkBytes + 2 * FreshBytes);
 }
 
 TEST(SessionLifecycleTest, DeepLoopWorkloadEvictsAndStaysCorrect) {
@@ -648,17 +794,17 @@ TEST(SessionLifecycleTest, DeepLoopWorkloadEvictsAndStaysCorrect) {
   CompileResult CR = compileMiniC(Source);
   ASSERT_TRUE(CR.ok());
 
-  auto Run = [&](unsigned MaxRetired, uint64_t Watermark) {
+  auto Run = [&](unsigned MaxRetired, uint64_t WatermarkBytes) {
     SymbolicRunner::Config C;
     C.Merge = SymbolicRunner::MergeMode::All;
     C.Driving = SymbolicRunner::Strategy::Topological;
     C.Engine.MaxSeconds = 60;
     C.Engine.SessionMaxRetiredScopes = MaxRetired;
-    C.Engine.SessionClauseWatermark = Watermark;
+    C.Engine.SessionMemoryWatermark = WatermarkBytes;
     return runProgram(*CR.M, C);
   };
 
-  Outcome Default = Run(64, 1u << 16);
+  Outcome Default = Run(64, 8u << 20);
   Outcome Tiny = Run(4, 0);
   EXPECT_TRUE(Default.Exhausted);
   EXPECT_TRUE(Tiny.Exhausted);

@@ -16,6 +16,9 @@
 ///   --delta=<int>            DSM history depth (blocks)
 ///   --max-steps=<n>  --max-seconds=<float>  --max-tests=<n>
 ///   --seed=<n>
+///   --workers=<n>            engine worker threads (default: hardware
+///                            concurrency; 1 = the sequential engine)
+///   --verdict-cache-limit=<n> verdict-cache entry bound (0 = unbounded)
 ///   --exact-paths            track exact path counts (slow)
 ///   --no-tests               skip model generation
 ///   --dump-ir                print the lowered IR and exit
@@ -38,6 +41,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace symmerge;
 
@@ -60,11 +64,16 @@ void usage(const char *Argv0) {
       "  --search=dfs|bfs|random|random-path|coverage|topological\n"
       "  --alpha=F --beta=F --kappa=N --zeta=F --delta=N\n"
       "  --max-steps=N --max-seconds=F --max-tests=N --seed=N\n"
+      "  --workers=N              engine worker threads (default: hardware\n"
+      "                           concurrency; 1 = sequential engine)\n"
       "  --no-incremental         one-shot solver queries (baseline)\n"
       "  --no-per-state-sessions  per-site solver sessions (PR-1 baseline)\n"
       "  --no-verdict-cache       disable the session verdict cache\n"
+      "  --verdict-cache-limit=N  verdict-cache entries before LRU\n"
+      "                           eviction (0 = unbounded)\n"
       "  --session-scope-limit=N  evict a session after N popped scopes\n"
-      "  --session-clause-limit=N evict a session at N SAT clauses\n"
+      "  --session-memory-limit=N evict a session at N bytes of SAT\n"
+      "                           clauses + watchers\n"
       "  --exact-paths --no-tests --dump-ir --dump-qce --stats\n",
       Argv0);
 }
@@ -153,11 +162,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Config.SolverPerStateSessions = false;
     } else if (Arg == "--no-verdict-cache") {
       Opts.Config.SolverVerdictCache = false;
+    } else if (const char *V = Value("--verdict-cache-limit=")) {
+      Opts.Config.VerdictCacheLimit = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--workers=")) {
+      Opts.Config.Engine.Workers =
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+      if (Opts.Config.Engine.Workers == 0)
+        Opts.Config.Engine.Workers = 1;
     } else if (const char *V = Value("--session-scope-limit=")) {
       Opts.Config.Engine.SessionMaxRetiredScopes =
           static_cast<unsigned>(std::strtoull(V, nullptr, 10));
-    } else if (const char *V = Value("--session-clause-limit=")) {
-      Opts.Config.Engine.SessionClauseWatermark =
+    } else if (const char *V = Value("--session-memory-limit=")) {
+      Opts.Config.Engine.SessionMemoryWatermark =
           std::strtoull(V, nullptr, 10);
     } else if (Arg == "--exact-paths") {
       Opts.Config.Engine.TrackExactPaths = true;
@@ -218,6 +234,10 @@ const char *testKindName(TestKind K) {
 
 int main(int Argc, char **Argv) {
   CliOptions Opts;
+  // Default to one engine worker per hardware thread; --workers=1
+  // reduces to the exact sequential engine.
+  Opts.Config.Engine.Workers =
+      std::max(1u, std::thread::hardware_concurrency());
   if (!parseArgs(Argc, Argv, Opts)) {
     usage(Argv[0]);
     return 2;
@@ -306,13 +326,18 @@ int main(int Argc, char **Argv) {
     std::printf("encoding         %.3fs (cache hits: %llu)\n",
                 S.SolverEncodeSeconds,
                 static_cast<unsigned long long>(S.SolverEncodeCacheHits));
-    std::printf("verdict cache    %llu hits / %llu misses\n",
+    std::printf("verdict cache    %llu hits / %llu misses / %llu evicted\n",
                 static_cast<unsigned long long>(S.SolverVerdictCacheHits),
-                static_cast<unsigned long long>(S.SolverVerdictCacheMisses));
+                static_cast<unsigned long long>(S.SolverVerdictCacheMisses),
+                static_cast<unsigned long long>(
+                    S.SolverVerdictCacheEvictions));
     std::printf("state sessions   built %llu, evicted %llu, split %llu\n",
                 static_cast<unsigned long long>(S.SessionsBuilt),
                 static_cast<unsigned long long>(S.SessionEvictions),
                 static_cast<unsigned long long>(S.SessionSplits));
+    std::printf("workers          %llu (frontier steals: %llu)\n",
+                static_cast<unsigned long long>(S.Workers),
+                static_cast<unsigned long long>(S.FrontierSteals));
     std::printf("coverage         %.1f%%\n",
                 100 * Runner.coverage().statementCoverage());
   }

@@ -245,6 +245,84 @@ static void BM_SolverStateLifetimePerSiteSessions(benchmark::State &State) {
 }
 BENCHMARK(BM_SolverStateLifetimePerSiteSessions)->Arg(4)->Arg(16);
 
+namespace {
+
+/// A state lifetime whose path condition splits into \p Groups
+/// variable-disjoint constraint groups — the echo/wc shape, where index
+/// arithmetic and length bookkeeping constrain disjoint byte strings.
+/// Conjunct i and branch condition i both live in group i % Groups.
+/// Returns {PC conjuncts, per-site branch conditions}.
+std::pair<std::vector<ExprRef>, std::vector<ExprRef>>
+makeGroupedStatePath(ExprContext &Ctx, int Depth, int Groups) {
+  std::vector<std::vector<ExprRef>> Bytes(Groups);
+  for (int G = 0; G < Groups; ++G)
+    for (int I = 0; I < Depth + 1; ++I)
+      Bytes[G].push_back(Ctx.mkVar(
+          "g" + std::to_string(G) + "c" + std::to_string(I), 8));
+  std::vector<ExprRef> PC, Conds;
+  for (int I = 0; I < Depth; ++I) {
+    int G = I % Groups;
+    ExprRef Sum = Ctx.mkAdd(Bytes[G][I], Bytes[G][I + 1]);
+    PC.push_back(Ctx.mkUlt(Sum, Ctx.mkConst(200 + I % 7, 8)));
+    Conds.push_back(Ctx.mkEq(Bytes[G][I], Ctx.mkConst(45 + I, 8)));
+  }
+  return {PC, Conds};
+}
+
+/// Shared driver: one session per lifetime, one push+assert+both-polarity
+/// check pair per site, under the engine's feasible-prefix promise.
+void runGroupedLifetime(benchmark::State &State, bool GroupSessions) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/true,
+                               /*VerdictCache=*/false, GroupSessions);
+  int Depth = static_cast<int>(State.range(0));
+  int Groups = static_cast<int>(State.range(1));
+  auto [PC, Conds] = makeGroupedStatePath(Ctx, Depth, Groups);
+  SessionOptions Opts;
+  Opts.FeasiblePrefix = true;
+  const SolverQueryStats Before = solverStats();
+  for (auto _ : State) {
+    auto Sess = Core->openSession(Opts);
+    for (int I = 0; I < Depth; ++I) {
+      Sess->push();
+      Sess->assert_(PC[I]);
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(Conds[I]));
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(Ctx.mkNot(Conds[I])));
+    }
+  }
+  const SolverQueryStats &S = solverStats();
+  using benchmark::Counter;
+  State.counters["sliced"] = Counter(
+      static_cast<double>(S.GroupSlicedSolves - Before.GroupSlicedSolves),
+      Counter::kAvgIterations);
+  State.counters["core_s"] = Counter(
+      S.CoreSolveSeconds - Before.CoreSolveSeconds, Counter::kAvgIterations);
+}
+
+} // namespace
+
+/// Solve-level independence slicing: the same multi-group lifetime under
+/// per-group sub-sessions (each check encodes and solves only its
+/// group's instance)...
+static void BM_SolverGroupedLifetimeGrouped(benchmark::State &State) {
+  runGroupedLifetime(State, /*GroupSessions=*/true);
+}
+BENCHMARK(BM_SolverGroupedLifetimeGrouped)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4});
+
+/// ...vs the monolithic session (--no-group-sessions), which solves the
+/// full path-condition instance at every check.
+static void BM_SolverGroupedLifetimeMonolithic(benchmark::State &State) {
+  runGroupedLifetime(State, /*GroupSessions=*/false);
+}
+BENCHMARK(BM_SolverGroupedLifetimeMonolithic)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4});
+
 static void BM_SolverCachedQuery(benchmark::State &State) {
   ExprContext Ctx;
   auto S = createDefaultSolver(Ctx);

@@ -13,7 +13,7 @@ std::unique_ptr<Solver> SymbolicRunner::makeSolverStack() {
   // its SAT instances, bitblast caches, and one-shot layer caches.
   std::unique_ptr<Solver> S =
       createCoreSolver(Ctx, Cfg.SolverConflictBudget, Cfg.SolverIncremental,
-                       VerdictCache);
+                       VerdictCache, Cfg.SolverGroupSessions);
   if (Cfg.SolverCache)
     S = createCachingSolver(Ctx, std::move(S));
   if (Cfg.SolverSimplify)

@@ -90,6 +90,13 @@ public:
     /// With Engine.Workers > 1 the cache is one sharded concurrent map
     /// shared by every worker's solver stack.
     bool SolverVerdictCache = true;
+    /// Per-group sub-sessions inside native sessions (solve-level
+    /// independence slicing): the asserted constraints are partitioned
+    /// into variable-connected groups, each with its own SAT instance
+    /// and encoding cache, and a verdict-cache miss encodes and solves
+    /// only the group(s) reachable from the assumptions. Off = the
+    /// monolithic single-instance session (the measurement baseline).
+    bool SolverGroupSessions = true;
     /// Verdict-cache capacity in entries (0 = unbounded). Past the bound
     /// the least-recently-used generation half of a shard is evicted;
     /// `--stats` reports the eviction count.
@@ -108,6 +115,12 @@ public:
   const CoverageTracker &coverage() const { return Cov; }
   Solver &solver() { return *TheSolver; }
   const Config &config() const { return Cfg; }
+  /// The shared session verdict cache (null when disabled). Exposed so
+  /// tests can compare the engine's merged per-worker statistics against
+  /// the cache's own ground-truth counters.
+  std::shared_ptr<SessionVerdictCache> verdictCache() const {
+    return VerdictCache;
+  }
 
 private:
   std::unique_ptr<Searcher> makeDrivingSearcher(uint64_t Seed);

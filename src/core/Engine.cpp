@@ -605,6 +605,9 @@ static void reportSolverStats(EngineStats &S, const SolverQueryStats &D) {
   S.SolverVerdictCacheHits = D.VerdictCacheHits;
   S.SolverVerdictCacheMisses = D.VerdictCacheMisses;
   S.SolverVerdictCacheEvictions = D.VerdictCacheEvictions;
+  S.SolverGroupSubSessions = D.GroupSubSessions;
+  S.SolverGroupMerges = D.GroupMerges;
+  S.SolverGroupSlicedSolves = D.GroupSlicedSolves;
 }
 
 /// Folds a worker's engine counters into the run totals.
@@ -694,10 +697,11 @@ RunResult Engine::runSequential() {
   Result.Stats.WallSeconds = Wall.seconds();
   Result.Stats.FastForwardSelections = Search.fastForwardSelections();
   Result.Stats.Workers = 1;
-  reportSolverStats(Result.Stats,
-                    diffSolverStats(solverStats(), Baseline));
 
-  // Drain remaining states so repeated runs start clean.
+  // Drain remaining states (budget stops leave some) BEFORE snapshotting
+  // the solver counters: destroying a state's session flushes encode
+  // time it accrued since its last check, and a post-snapshot drain
+  // would lose it.
   while (!Search.empty()) {
     ExecutionState *S = Search.select();
     removeFromLocationIndex(S);
@@ -705,6 +709,9 @@ RunResult Engine::runSequential() {
   }
   ByLocation.clear();
   Owned.clear();
+
+  reportSolverStats(Result.Stats,
+                    diffSolverStats(solverStats(), Baseline));
   return std::move(Result);
 }
 
@@ -822,6 +829,12 @@ RunResult Engine::runParallel() {
   Result.Stats.Exhausted = !Stopped;
   Result.Stats.WallSeconds = Wall.seconds();
 
+  // Drain whatever a budget stop left behind BEFORE snapshotting the
+  // solver counters: destroying a state's session flushes encode time
+  // it accrued since its last check (into the main thread's counters,
+  // which the diff below includes).
+  Frontier.drain([this](ExecutionState *S) { destroy(S); });
+
   SolverQueryStats Total = diffSolverStats(solverStats(), Baseline);
   for (const SolverQueryStats &W : WorkerSolver)
     Total += W;
@@ -844,8 +857,6 @@ RunResult Engine::runParallel() {
     Result.Tests = std::move(Ordered);
   }
 
-  // Drain whatever a budget stop left behind so repeated runs start clean.
-  Frontier.drain([this](ExecutionState *S) { destroy(S); });
   ByLocation.clear();
   Owned.clear();
   ParallelRun = false;

@@ -39,10 +39,11 @@ void StateFrontier::insert(ExecutionState *S) {
     P.Search->add(S);
     P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
     ++P.Size;
-    // Count the state as queued BEFORE the lock is released: a pop on
-    // another thread may select it the moment the lock drops, and its
-    // fetch_sub must never see the counter without this increment.
+    // Count the state BEFORE the lock is released: a pop on another
+    // thread may select it the moment the lock drops, and its counter
+    // updates must never see these without the increments.
     Queued.fetch_add(1, std::memory_order_release);
+    InFlight.fetch_add(1, std::memory_order_release);
   }
   WaitCv.notify_one();
 }
@@ -68,9 +69,10 @@ bool StateFrontier::insertOrMerge(ExecutionState *S,
     P.Search->add(S);
     P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
     ++P.Size;
-    // As in insert(): queued must be counted before the state becomes
-    // poppable (the lock release publishes both together).
+    // As in insert(): counted before the state becomes poppable (the
+    // lock release publishes them together).
     Queued.fetch_add(1, std::memory_order_release);
+    InFlight.fetch_add(1, std::memory_order_release);
   }
   WaitCv.notify_one();
   return false;
@@ -91,9 +93,10 @@ ExecutionState *StateFrontier::popFrom(Partition &P) {
   std::lock_guard<std::mutex> Lock(P.M);
   if (P.Search->empty())
     return nullptr;
-  // Count the state as executing BEFORE un-queueing it, so quiescent()
-  // never observes a transient zero while work is still in flight.
-  Executing.fetch_add(1, std::memory_order_release);
+  // The state moves from queued to executing; its InFlight contribution
+  // is untouched, which is what keeps quiescent() race-free across the
+  // hand-off (it is released by finishedOne, after the successors are
+  // routed).
   ExecutionState *S = P.Search->select();
   removeFromLocationIndex(P, S);
   --P.Size;
@@ -115,7 +118,7 @@ ExecutionState *StateFrontier::pop(unsigned Home) {
 }
 
 void StateFrontier::finishedOne() {
-  Executing.fetch_sub(1, std::memory_order_release);
+  InFlight.fetch_sub(1, std::memory_order_release);
   // Waiters re-check quiescent() on wake; notify_all since several may be
   // parked waiting for the last in-flight state.
   WaitCv.notify_all();
@@ -155,6 +158,7 @@ void StateFrontier::drain(
       removeFromLocationIndex(*P, S);
       --P->Size;
       Queued.fetch_sub(1, std::memory_order_release);
+      InFlight.fetch_sub(1, std::memory_order_release);
       Dispose(S);
     }
     P->ByLocation.clear();

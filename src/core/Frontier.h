@@ -23,8 +23,9 @@
 /// executed by the thief but its successors are still routed by hash, so
 /// merging remains partition-local no matter who executes what.
 ///
-/// Termination: the frontier tracks queued and in-execution state counts;
-/// workers exit when both reach zero (quiescent) or when a budget makes
+/// Termination: the frontier tracks the in-flight state count (queued
+/// plus executing, as one atomic so the check is a consistent snapshot);
+/// workers exit when it reaches zero (quiescent) or when a budget makes
 /// the engine requestStop().
 ///
 //===----------------------------------------------------------------------===//
@@ -95,9 +96,20 @@ public:
   void finishedOne();
 
   /// True when nothing is queued and nothing is executing.
+  ///
+  /// Implemented as ONE atomic in-flight counter (queued + executing):
+  /// insert increments it, finishedOne decrements it, and pop leaves it
+  /// untouched — popping only moves a state from queued to executing.
+  /// Two separate counters read back-to-back can never give a
+  /// consistent snapshot in either order: reading Queued first races a
+  /// worker whose stolen state forks back into an empty home partition
+  /// (insert then finishedOne between the two reads fakes a drain, and
+  /// an idle worker exits early, serializing the tail of the run);
+  /// reading Executing first races the pop hand-off (Executing++ then
+  /// Queued-- between the reads). A single counter that hand-offs do
+  /// not touch has no in-between to observe.
   bool quiescent() const {
-    return Queued.load(std::memory_order_acquire) == 0 &&
-           Executing.load(std::memory_order_acquire) == 0;
+    return InFlight.load(std::memory_order_acquire) == 0;
   }
 
   /// Budget exceeded (or error): workers should exit their loops.
@@ -135,7 +147,11 @@ private:
 
   std::vector<std::unique_ptr<Partition>> Partitions;
   std::atomic<size_t> Queued{0};
-  std::atomic<size_t> Executing{0};
+  /// Queued + executing, maintained as one counter so quiescent() is a
+  /// single consistent read (see quiescent()). Incremented by insert,
+  /// decremented by finishedOne/drain; pop moves a state from queued to
+  /// executing without touching it.
+  std::atomic<size_t> InFlight{0};
   std::atomic<bool> Stop{false};
   std::atomic<uint64_t> Steals{0};
   std::mutex WaitMu;

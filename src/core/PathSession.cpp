@@ -39,6 +39,12 @@ SolverSession &PathSessionHandle::acquire(Solver &S,
   if (Sess) {
     SessionHealth H = Sess->health();
     size_t PopsNeeded = Asserted.size() - Prefix;
+    // RetiredScopes counts pops for every session kind; grouped sessions
+    // retire guards only in the sub-instances a scope touched, but the
+    // pop count remains the upper bound the scope watermark tracks.
+    // MemoryBytes is the full footprint — for grouped sessions the sum
+    // over all sub-instances — so the byte watermark needs no
+    // group-awareness here.
     bool ScopeLimit = L.MaxRetiredScopes &&
                       H.RetiredScopes + PopsNeeded > L.MaxRetiredScopes;
     bool MemoryLimit = L.MemoryWatermarkBytes &&

@@ -18,9 +18,15 @@
 /// realignment would pop scopes out from under a sibling
 /// ("share-then-split"). Because popped scopes leave permanently disabled
 /// guard literals and clauses behind in the SAT core, acquire() also
-/// applies the eviction policy: when the retired-scope count or the SAT
-/// clause count passes its watermark, the bloated session is retired and
-/// rebuilt fresh.
+/// applies the eviction policy: when the retired-scope count or the
+/// byte-accurate core footprint passes its watermark, the bloated
+/// session is retired and rebuilt fresh. With grouped native sessions
+/// (per-group sub-instances) the bookkeeping is group-aware underneath
+/// the same interface: each conjunct's scope retires guards only in the
+/// sub-instances it asserted into, and the footprint the memory
+/// watermark sees is the SUM of the sub-instance footprints (clauses,
+/// watchers, per-variable state, and encoding caches), so eviction
+/// reflects what the whole session actually holds.
 ///
 //===----------------------------------------------------------------------===//
 

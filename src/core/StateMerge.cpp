@@ -80,7 +80,19 @@ size_t symmerge::mergeStates(ExprContext &Ctx, ExecutionState &A,
   ExprRef Guard = SuffixA;
 
   A.PC.resize(Prefix);
-  ExprRef Disjunct = Ctx.mkOr(SuffixA, SuffixB);
+  // Canonicalize the disjunct order (mkOr does not commute structurally):
+  // two workers merging the same pair in opposite arrival order would
+  // otherwise produce or(sa, sb) vs or(sb, sa) — equivalent but
+  // differently-shaped path conditions whose sessions re-encode instead
+  // of hitting each other's verdict-cache entries. Order by structural
+  // hash (id as the deterministic tie-break) so the merged PC depends
+  // only on the pair, not on who absorbed whom. The ite guard above
+  // deliberately stays A's suffix: it selects A's store values.
+  ExprRef First = SuffixA, Second = SuffixB;
+  if (First->hash() > Second->hash() ||
+      (First->hash() == Second->hash() && First->id() > Second->id()))
+    std::swap(First, Second);
+  ExprRef Disjunct = Ctx.mkOr(First, Second);
   if (!Disjunct->isTrue())
     A.PC.push_back(Disjunct);
 

@@ -72,6 +72,14 @@ struct EngineStats {
   uint64_t SolverVerdictCacheEvictions = 0; ///< Entries dropped by the
                                             ///< cache's generation-LRU
                                             ///< capacity bound.
+  // Per-group sub-sessions (solve-level independence slicing).
+  uint64_t SolverGroupSubSessions = 0; ///< Group sub-instances created.
+  uint64_t SolverGroupMerges = 0;      ///< Sub-instances folded together
+                                       ///< by a group-bridging constraint
+                                       ///< or assumption.
+  uint64_t SolverGroupSlicedSolves = 0; ///< Core checks that solved only
+                                        ///< the assumption-reachable
+                                        ///< groups, not the full set.
   // Parallel exploration (EngineOptions::Workers > 1).
   uint64_t Workers = 1;        ///< Worker threads the run executed on.
   uint64_t FrontierSteals = 0; ///< pop()s served by a non-home partition.

@@ -397,6 +397,17 @@ Lit BitBlaster::literalFor(ExprRef E) {
   return lower(E)[0];
 }
 
+size_t BitBlaster::footprintBytes() const {
+  auto MapBytes = [](const std::unordered_map<ExprRef, Bits> &M) {
+    size_t Bytes = M.bucket_count() * sizeof(void *);
+    for (const auto &[E, Bs] : M)
+      Bytes += sizeof(std::pair<ExprRef, Bits>) +
+               Bs.capacity() * sizeof(Lit);
+    return Bytes;
+  };
+  return MapBytes(Lowered) + MapBytes(VarMap);
+}
+
 const std::vector<Lit> *BitBlaster::varBits(ExprRef V) const {
   auto It = VarMap.find(V);
   return It == VarMap.end() ? nullptr : &It->second;

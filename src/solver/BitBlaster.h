@@ -60,6 +60,12 @@ public:
 
   const BitBlastStats &stats() const { return TheStats; }
 
+  /// Approximate byte footprint of the persistent encoding caches (the
+  /// ExprRef -> bits memo and the variable map). Sessions fold this into
+  /// their SessionHealth::MemoryBytes so eviction watermarks account for
+  /// the encoding state a sub-session keeps alive, not just its clauses.
+  size_t footprintBytes() const;
+
 private:
   using Bits = std::vector<sat::Lit>;
 

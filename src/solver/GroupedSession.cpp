@@ -1,0 +1,745 @@
+//===- GroupedSession.cpp - Per-group native solver sub-sessions -------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/GroupedSession.h"
+
+#include "expr/ExprUtil.h"
+#include "solver/BitBlaster.h"
+#include "solver/Sat.h"
+#include "solver/SessionVerdictCache.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace symmerge;
+
+//===----------------------------------------------------------------------===
+// ScopedUnionFind
+//===----------------------------------------------------------------------===
+
+int ScopedUnionFind::add(uint64_t Key) {
+  auto It = Index.find(Key);
+  if (It != Index.end())
+    return It->second;
+  int N = static_cast<int>(Parent.size());
+  Parent.push_back(N);
+  GroupSize.push_back(1);
+  Index.emplace(Key, N);
+  Log.push_back({-1, Key});
+  return N;
+}
+
+bool ScopedUnionFind::unite(int A, int B) {
+  int RA = root(A), RB = root(B);
+  if (RA == RB)
+    return false;
+  if (GroupSize[RA] < GroupSize[RB])
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  GroupSize[RA] += GroupSize[RB];
+  Log.push_back({RB, 0});
+  return true;
+}
+
+void ScopedUnionFind::pop() {
+  assert(!ScopeMarks.empty() && "pop without matching push");
+  size_t Mark = ScopeMarks.back();
+  ScopeMarks.pop_back();
+  while (Log.size() > Mark) {
+    UndoEntry U = Log.back();
+    Log.pop_back();
+    if (U.Child >= 0) {
+      // Undoing a union: the child root was attached directly under the
+      // winning root and, with no path compression, still is. Its own
+      // subtree never changed while it was a non-root (unions attach to
+      // roots only), so subtracting its size restores the winner exactly.
+      int R = Parent[U.Child];
+      Parent[U.Child] = U.Child;
+      GroupSize[R] -= GroupSize[U.Child];
+    } else {
+      // Node adds are undone in reverse creation order, so the node being
+      // removed is always the current tail.
+      Index.erase(U.Key);
+      Parent.pop_back();
+      GroupSize.pop_back();
+    }
+  }
+}
+
+size_t ScopedUnionFind::groupCount() const {
+  size_t N = 0;
+  for (size_t I = 0; I < Parent.size(); ++I)
+    N += Parent[I] == static_cast<int>(I);
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// GroupedCoreSession
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Natively incremental session with per-group sub-instances. The public
+/// push/pop/assert_/check contract is identical to the monolithic
+/// IncrementalCoreSession; the difference is entirely in how the SAT work
+/// is organized: constraints are partitioned by variable connectivity
+/// (tracked by a rollback union-find so pops split groups again), each
+/// group lazily owns a private SatSolver + BitBlaster, and a check
+/// encodes and solves only what its assumptions can reach.
+class GroupedCoreSession : public SolverSession {
+public:
+  /// Dead-guard garbage in a sub-instance is purged every this many
+  /// retired guards (matches the monolithic session's cadence).
+  static constexpr size_t PurgeInterval = 16;
+
+  GroupedCoreSession(ExprContext &Ctx, GroupedSessionConfig Cfg)
+      : SolverSession(Ctx), Cfg(std::move(Cfg)) {
+    Frames.push_back(Frame{0, {}, false});
+  }
+
+  ~GroupedCoreSession() override {
+    session_common::flushPendingEncode(PendingEncodeSeconds);
+  }
+
+  void push() override {
+    Frames.push_back(Frame{++NextScope, {}, false});
+    UF.push();
+    // No SAT work: guard literals are allocated lazily, per sub-instance,
+    // when the scope first materializes a constraint into one.
+  }
+
+  void pop() override {
+    assert(Frames.size() > 1 && "pop without matching push");
+    Frame &F = Frames.back();
+    for (AssertRec &Rec : F.Asserted)
+      if (Rec.Sub >= 0 && Subs[Rec.Sub])
+        --Subs[Rec.Sub]->LiveRecs;
+    // Retire the scope only in the sub-instances it touched: a group the
+    // scope never asserted into has no guard for it and accumulates no
+    // dead-guard garbage from this pop.
+    for (auto &SP : Subs) {
+      if (!SP)
+        continue;
+      auto It = SP->Guards.find(F.Scope);
+      if (It == SP->Guards.end())
+        continue;
+      SP->S.addClause(~It->second);
+      SP->Guards.erase(It);
+      if (++SP->Retired % PurgeInterval == 0 && SP->S.okay())
+        SP->S.purgeSatisfiedClauses();
+      // Popping only relaxes the instance, so a KnownSat verdict
+      // deliberately survives the retirement.
+    }
+    Frames.pop_back();
+    ++RetiredScopes;
+    UF.pop();
+  }
+
+  void assert_(ExprRef E) override {
+    assert(E->width() == 1 && "only width-1 expressions can be asserted");
+    Frame &F = Frames.back();
+    F.Asserted.push_back(AssertRec{E, SubPending});
+    AssertRec &Rec = F.Asserted.back();
+    if (E->isTrue()) {
+      Rec.Sub = SubNone;
+      return;
+    }
+    if (E->isFalse()) {
+      Rec.Sub = SubNone;
+      F.HasFalse = true;
+      if (Frames.size() == 1)
+        RootUnsat = true;
+      return;
+    }
+    // Union the constraint's variables into one group, recorded in the
+    // current scope so the matching pop splits the groups again.
+    const std::vector<ExprRef> &Vars = varsOf(E);
+    int First = -1;
+    for (ExprRef V : Vars) {
+      int N = UF.add(V->id());
+      if (First < 0)
+        First = N;
+      else
+        UF.unite(First, N);
+    }
+    // With a verdict cache attached, encoding is deferred until a check
+    // misses; without one every check solves, so encode eagerly (the
+    // encode time then lands outside the check, where the caller's
+    // per-response accounting expects it). Only the record just appended
+    // can be pending here — eager mode leaves nothing behind — so this
+    // is O(1) records, not a full-frame rescan.
+    if (!Cfg.Cache && !RootUnsat) {
+      Timer T;
+      materializeRec(F, Rec);
+      PendingEncodeSeconds += T.seconds();
+      syncEncodeCounters();
+    }
+  }
+
+  SessionHealth health() const override {
+    SessionHealth H;
+    for (const Frame &F : Frames)
+      H.AssertedConstraints += F.Asserted.size();
+    H.LiveScopes = Frames.size() - 1;
+    H.RetiredScopes = RetiredScopes;
+    H.PurgedClauses = RetiredPurged;
+    for (const auto &SP : Subs) {
+      if (!SP)
+        continue;
+      ++H.Groups;
+      H.ClauseCount += SP->S.numClauses();
+      H.LearntCount += SP->S.numLearnts();
+      // The eviction watermark sees the sum of the sub-instance
+      // footprints, encoding caches included: many small instances carry
+      // per-instance overhead a single monolithic count would hide.
+      H.MemoryBytes += SP->S.memoryFootprintBytes() + SP->BB.footprintBytes();
+      H.PurgedClauses += SP->S.stats().PurgedSatisfied;
+    }
+    return H;
+  }
+
+  SolverResponse checkSat(bool WantModel) override {
+    return checkSatAssuming(std::vector<ExprRef>{}, WantModel);
+  }
+
+  SolverResponse checkSatAssuming(const std::vector<ExprRef> &Assumptions,
+                                  bool WantModel) override {
+    SolverQueryStats &Stats = solverStats();
+    ++Stats.CoreQueries;
+    if (Cfg.Tracked) {
+      ++Stats.Queries;
+      ++Stats.SessionQueries;
+      if (!Assumptions.empty())
+        ++Stats.AssumptionQueries;
+    }
+
+    SolverResponse R;
+    const double AssertEncode = PendingEncodeSeconds;
+    R.EncodeSeconds = AssertEncode;
+    PendingEncodeSeconds = 0;
+    Timer Total;
+
+    // Triage the assumptions without encoding anything.
+    std::vector<ExprRef> Meaningful;
+    ExprRef TriviallyFalse =
+        session_common::triageAssumptions(Assumptions, Meaningful);
+
+    if (RootUnsat || TriviallyFalse || anyFrameFalse() || !subsOkay()) {
+      R.Result = SolverResult::Unsat;
+      if (TriviallyFalse)
+        R.FailedAssumptions = {TriviallyFalse};
+      ++Stats.UnsatResults;
+      finishTiming(Stats, R, Total, AssertEncode);
+      return R;
+    }
+
+    // Group reachability from the assumptions: computed at most once per
+    // check, shared by the sliced verdict-cache key and the sliced solve.
+    std::unordered_set<int> SeedRoots;
+    bool SeedsResolved = false;
+    auto ComputeSeeds = [&] {
+      if (SeedsResolved)
+        return;
+      SeedsResolved = true;
+      for (ExprRef A : Meaningful)
+        for (ExprRef V : varsOf(A))
+          if (int N = UF.lookup(V->id()); N >= 0)
+            SeedRoots.insert(UF.root(N));
+    };
+    auto Reachable = [&](const AssertRec &Rec) {
+      int Root = rootOfExpr(Rec.E);
+      return Root >= 0 && SeedRoots.count(Root) != 0;
+    };
+
+    // Session-level verdict cache, keyed exactly like the monolithic
+    // session (normalized union of the asserted constraints and the
+    // assumptions; sliced to the reachable groups under the
+    // feasible-prefix promise), so grouped and monolithic sessions agree
+    // on keys and a shared cache stays coherent.
+    std::vector<uint64_t> Key;
+    uint64_t KeyHash = 0;
+    const bool UseCache = Cfg.Cache != nullptr && !WantModel;
+    if (UseCache) {
+      const bool Slice = Cfg.FeasiblePrefix && !Meaningful.empty();
+      if (Slice)
+        ComputeSeeds();
+      std::vector<ExprRef> Constraints;
+      for (const Frame &F : Frames)
+        for (const AssertRec &Rec : F.Asserted) {
+          if (Rec.E->isTrue())
+            continue;
+          if (Slice && !Reachable(Rec))
+            continue;
+          Constraints.push_back(Rec.E);
+        }
+      Constraints.insert(Constraints.end(), Meaningful.begin(),
+                         Meaningful.end());
+      SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+      SolverResult Hit;
+      if (Cfg.Cache->lookup(Key, KeyHash, Hit)) {
+        ++Stats.VerdictCacheHits;
+        R.Result = Hit;
+        if (R.isUnsat()) {
+          ++Stats.UnsatResults;
+          R.FailedAssumptions = Meaningful;
+        } else {
+          ++Stats.SatResults;
+        }
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
+      }
+      ++Stats.VerdictCacheMisses;
+    }
+
+    // The headline behavior: under the feasible-prefix promise a
+    // verdict-cache miss materializes and solves ONLY the groups the
+    // assumptions reach — everything else is satisfiable by promise.
+    // Model requests and promise-free sessions work the full set, but
+    // still per group, and reuse each group's KnownSat verdict (pops
+    // only relax a group, so satisfiability survives them).
+    const bool SliceOnly =
+        Cfg.FeasiblePrefix && !Meaningful.empty() && !WantModel;
+    {
+      Timer TE;
+      if (SliceOnly) {
+        ComputeSeeds();
+        for (Frame &F : Frames)
+          for (AssertRec &Rec : F.Asserted)
+            if (Rec.Sub == SubPending && Reachable(Rec))
+              materializeRec(F, Rec);
+      } else {
+        materializeAllPending();
+      }
+      R.EncodeSeconds += TE.seconds();
+      syncEncodeCounters();
+    }
+    if (RootUnsat || !subsOkay()) {
+      R.Result = SolverResult::Unsat;
+      ++Stats.UnsatResults;
+      finishTiming(Stats, R, Total, AssertEncode);
+      return R;
+    }
+
+    // Route the assumptions: one target sub-instance covering every
+    // group they reach (merging sub-instances only when the assumptions
+    // actually bridge groups), with encodings reused check to check.
+    int Target = -1;
+    if (!Meaningful.empty()) {
+      ComputeSeeds();
+      std::vector<int> Cand;
+      auto AddCand = [&](int Sub) {
+        if (Sub >= 0 && Subs[Sub] &&
+            std::find(Cand.begin(), Cand.end(), Sub) == Cand.end())
+          Cand.push_back(Sub);
+      };
+      for (const Frame &F : Frames)
+        for (const AssertRec &Rec : F.Asserted)
+          if (Rec.Sub >= 0 && Reachable(Rec))
+            AddCand(Rec.Sub);
+      // Reuse an assumption variable's previous encoding only when its
+      // home instance carries no live constraints (pulling in a live
+      // foreign group would coarsen the slice for free encoding hits).
+      for (ExprRef A : Meaningful)
+        for (ExprRef V : varsOf(A))
+          if (auto It = VarHome.find(V->id());
+              It != VarHome.end() && Subs[It->second] &&
+              Subs[It->second]->LiveRecs == 0)
+            AddCand(It->second);
+      if (Cand.empty()) {
+        Target = newSub();
+      } else {
+        Timer TM;
+        Target = mergeSubs(Cand);
+        R.EncodeSeconds += TM.seconds();
+      }
+      for (ExprRef A : Meaningful)
+        for (ExprRef V : varsOf(A))
+          VarHome[V->id()] = Target;
+    }
+
+    if (Target >= 0) {
+      SubSession &T = *Subs[Target];
+      std::vector<sat::Lit> Lits = liveGuardsOf(T);
+      std::vector<std::pair<sat::Lit, ExprRef>> LitExprs;
+      for (ExprRef A : Meaningful) {
+        Timer TA;
+        sat::Lit L = T.BB.literalFor(A);
+        R.EncodeSeconds += TA.seconds();
+        Lits.push_back(L);
+        LitExprs.push_back({L, A});
+      }
+      syncEncodeCounters();
+
+      Timer TS;
+      bool IsSat = T.S.solveAssuming(Lits, Cfg.ConflictBudget);
+      R.SolveSeconds += TS.seconds();
+      if (!IsSat && T.S.budgetExceeded()) {
+        R.Result = SolverResult::Unknown;
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
+      }
+      if (!IsSat) {
+        R.Result = SolverResult::Unsat;
+        ++Stats.UnsatResults;
+        // Map the failing literals back to the caller's assumptions;
+        // scope-guard literals stay internal.
+        for (sat::Lit L : T.S.failedAssumptions())
+          for (const auto &[AL, AE] : LitExprs)
+            if (AL == L) {
+              R.FailedAssumptions.push_back(AE);
+              break;
+            }
+        if (UseCache)
+          Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
+      }
+      // Satisfiable under assumptions implies satisfiable without them.
+      T.KnownSat = true;
+    }
+
+    if (!SliceOnly) {
+      // Every other group must hold too. Clean (KnownSat) groups are
+      // skipped — their last model remains a model of the relaxed-only
+      // instance — and groups whose live constraints all popped away are
+      // vacuously satisfiable through their dead guards.
+      for (size_t I = 0; I < Subs.size(); ++I) {
+        auto &SP = Subs[I];
+        if (!SP || static_cast<int>(I) == Target)
+          continue;
+        if (SP->LiveRecs == 0 || SP->KnownSat)
+          continue;
+        Timer TS;
+        bool IsSat = SP->S.solveAssuming(liveGuardsOf(*SP),
+                                         Cfg.ConflictBudget);
+        R.SolveSeconds += TS.seconds();
+        if (!IsSat && SP->S.budgetExceeded()) {
+          R.Result = SolverResult::Unknown;
+          finishTiming(Stats, R, Total, AssertEncode);
+          return R;
+        }
+        if (!IsSat) {
+          // A group unsatisfiable on its own refutes the check with no
+          // help from the assumptions (same empty failed set a
+          // root-level refutation reports).
+          R.Result = SolverResult::Unsat;
+          ++Stats.UnsatResults;
+          if (UseCache)
+            Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
+          finishTiming(Stats, R, Total, AssertEncode);
+          return R;
+        }
+        SP->KnownSat = true;
+      }
+    }
+
+    R.Result = SolverResult::Sat;
+    ++Stats.SatResults;
+    if (SliceOnly && solvedProperSubset(Target))
+      ++Stats.GroupSlicedSolves;
+    if (WantModel)
+      composeModel(Assumptions, R);
+    if (UseCache)
+      Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
+    finishTiming(Stats, R, Total, AssertEncode);
+    return R;
+  }
+
+private:
+  static constexpr int SubPending = -1; ///< Asserted, not yet encoded.
+  static constexpr int SubNone = -2;    ///< Constant; never encoded.
+
+  struct AssertRec {
+    ExprRef E;
+    int Sub = SubPending; ///< Sub-instance this constraint is encoded in.
+  };
+
+  struct Frame {
+    uint64_t Scope; ///< 0 for the root scope.
+    std::vector<AssertRec> Asserted;
+    bool HasFalse = false;
+  };
+
+  /// One group's private instance: its own CDCL core, its own persistent
+  /// Tseitin encoding, and its own guard literal per scope that asserted
+  /// into it.
+  struct SubSession {
+    sat::SatSolver S;
+    BitBlaster BB;
+    std::unordered_map<uint64_t, sat::Lit> Guards; ///< Live scopes only.
+    size_t Retired = 0;  ///< Guards permanently disabled by pops.
+    size_t LiveRecs = 0; ///< Live constraints currently routed here.
+    /// The live clause set is known satisfiable (established by a SAT
+    /// solve; survives pops, which only relax; cleared by any new
+    /// encoding). Lets checks skip re-verifying untouched groups.
+    bool KnownSat = false;
+
+    SubSession() : BB(S) {}
+  };
+
+  /// The variables of \p E, collected once per session and memoized.
+  const std::vector<ExprRef> &varsOf(ExprRef E) {
+    auto [It, Inserted] = VarsMemo.emplace(E, std::vector<ExprRef>());
+    if (Inserted)
+      It->second = collectVars(E);
+    return It->second;
+  }
+
+  /// Group representative of \p E's variables (all one group by the
+  /// assert-time union, whose scope is still live while E is). -1 for
+  /// variable-free expressions.
+  int rootOfExpr(ExprRef E) {
+    const std::vector<ExprRef> &Vars = varsOf(E);
+    if (Vars.empty())
+      return -1;
+    int N = UF.lookup(Vars[0]->id());
+    assert(N >= 0 && "asserted constraint's variables must be grouped");
+    return UF.root(N);
+  }
+
+  bool anyFrameFalse() const {
+    for (const Frame &F : Frames)
+      if (F.HasFalse)
+        return true;
+    return false;
+  }
+
+  bool subsOkay() const {
+    // A sub-instance whose clause database is unsatisfiable independent
+    // of assumptions had contradictory root-scope constraints: the
+    // session is permanently unsatisfiable (guarded clauses alone can
+    // never poison an instance — their guards are assumable).
+    for (const auto &SP : Subs)
+      if (SP && !SP->S.okay())
+        return false;
+    return true;
+  }
+
+  int newSub() {
+    Subs.push_back(std::make_unique<SubSession>());
+    ++solverStats().GroupSubSessions;
+    return static_cast<int>(Subs.size() - 1);
+  }
+
+  sat::Lit guardFor(SubSession &S, uint64_t Scope) {
+    auto [It, Inserted] = S.Guards.emplace(Scope, sat::LitUndef);
+    if (Inserted)
+      It->second = sat::mkLit(S.S.newVar());
+    return It->second;
+  }
+
+  /// Lowers \p E into sub-instance \p Sub, guarded by its scope. Records
+  /// the home of every variable so later constraints on a group whose
+  /// live members all popped away find (and extend) the old instance
+  /// instead of abandoning it — that reuse is what keeps loop bodies
+  /// that re-assert the same conditions from minting a fresh instance
+  /// per iteration, and what lets the per-sub purge cadence ever fire.
+  void encodeInto(int Sub, ExprRef E, uint64_t Scope) {
+    SubSession &S = *Subs[Sub];
+    sat::Lit L = S.BB.literalFor(E);
+    if (Scope == 0)
+      S.S.addClause(L);
+    else
+      S.S.addClause(~guardFor(S, Scope), L);
+    S.KnownSat = false;
+    for (ExprRef V : varsOf(E))
+      VarHome[V->id()] = Sub;
+  }
+
+  /// Encodes one pending constraint into its group's sub-instance,
+  /// creating or merging sub-instances as the group demands.
+  void materializeRec(Frame &F, AssertRec &Rec) {
+    assert(Rec.Sub == SubPending);
+    int Root = rootOfExpr(Rec.E);
+    std::vector<int> Owning;
+    for (const Frame &G : Frames)
+      for (const AssertRec &Other : G.Asserted)
+        if (Other.Sub >= 0 && Subs[Other.Sub] &&
+            rootOfExpr(Other.E) == Root &&
+            std::find(Owning.begin(), Owning.end(), Other.Sub) ==
+                Owning.end())
+          Owning.push_back(Other.Sub);
+    int Sub = -1;
+    if (!Owning.empty()) {
+      Sub = mergeSubs(Owning);
+    } else {
+      // No live constraints anywhere in this group: reuse a quiescent
+      // home instance of one of its variables if there is one (its old
+      // clauses are all dead-guarded), else start fresh.
+      for (ExprRef V : varsOf(Rec.E)) {
+        auto It = VarHome.find(V->id());
+        if (It != VarHome.end() && Subs[It->second] &&
+            Subs[It->second]->LiveRecs == 0) {
+          Sub = It->second;
+          break;
+        }
+      }
+      if (Sub < 0)
+        Sub = newSub();
+    }
+    encodeInto(Sub, Rec.E, F.Scope);
+    Rec.Sub = Sub;
+    ++Subs[Sub]->LiveRecs;
+  }
+
+  void materializeAllPending() {
+    if (RootUnsat)
+      return;
+    for (Frame &F : Frames)
+      for (AssertRec &Rec : F.Asserted)
+        if (Rec.Sub == SubPending)
+          materializeRec(F, Rec);
+  }
+
+  /// Collapses several sub-instances into the one with the most live
+  /// constraints, re-encoding the smaller instances' live constraints
+  /// there (dead-scope garbage is dropped in passing — migration doubles
+  /// as garbage collection). Returns the surviving sub id.
+  int mergeSubs(const std::vector<int> &Ids) {
+    assert(!Ids.empty());
+    int Target = Ids[0];
+    for (int Id : Ids)
+      if (Subs[Id]->LiveRecs > Subs[Target]->LiveRecs ||
+          (Subs[Id]->LiveRecs == Subs[Target]->LiveRecs && Id < Target))
+        Target = Id;
+    for (int Victim : Ids) {
+      if (Victim == Target)
+        continue;
+      for (Frame &F : Frames)
+        for (AssertRec &Rec : F.Asserted)
+          if (Rec.Sub == Victim) {
+            encodeInto(Target, Rec.E, F.Scope);
+            Rec.Sub = Target;
+            ++Subs[Target]->LiveRecs;
+          }
+      for (auto &[VarId, SubId] : VarHome)
+        if (SubId == Victim)
+          SubId = Target;
+      // Keep the encode counters monotone: fold the dying instance's
+      // totals into the retired accumulator before dropping it.
+      RetiredEncode.CacheHits += Subs[Victim]->BB.stats().CacheHits;
+      RetiredEncode.NodesLowered += Subs[Victim]->BB.stats().NodesLowered;
+      RetiredPurged += Subs[Victim]->S.stats().PurgedSatisfied;
+      Subs[Victim].reset();
+      ++solverStats().GroupMerges;
+    }
+    return Target;
+  }
+
+  std::vector<sat::Lit> liveGuardsOf(const SubSession &S) const {
+    std::vector<sat::Lit> Lits;
+    Lits.reserve(S.Guards.size());
+    // Guard order is deterministic (sorted by scope id) so repeated
+    // solves see identical assumption vectors regardless of map order.
+    std::vector<std::pair<uint64_t, sat::Lit>> Sorted(S.Guards.begin(),
+                                                      S.Guards.end());
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    for (const auto &[Scope, L] : Sorted)
+      Lits.push_back(L);
+    return Lits;
+  }
+
+  /// True when live constraints exist outside what this check solved
+  /// (sub-instance \p Target) — i.e. the check did strictly less
+  /// encoding and/or SAT work than the monolithic session would have:
+  /// either constraints stayed unencoded, or whole live groups went
+  /// unsolved.
+  bool solvedProperSubset(int Target) const {
+    for (const Frame &F : Frames)
+      for (const AssertRec &Rec : F.Asserted)
+        if (Rec.Sub == SubPending)
+          return true; // Something stayed unencoded: sliced by definition.
+    for (size_t I = 0; I < Subs.size(); ++I)
+      if (Subs[I] && static_cast<int>(I) != Target && Subs[I]->LiveRecs > 0)
+        return true; // A live group was skipped entirely.
+    return false;
+  }
+
+  /// Per-group model composition: each variable's value is read from the
+  /// sub-instance owning its live constraints (or the one its assumption
+  /// was lowered into); variables constrained nowhere default to zero.
+  void composeModel(const std::vector<ExprRef> &Assumptions,
+                    SolverResponse &R) {
+    std::unordered_set<ExprRef> Seen;
+    std::vector<ExprRef> Vars;
+    for (const Frame &F : Frames)
+      for (const AssertRec &Rec : F.Asserted)
+        collectVars(Rec.E, Vars, Seen);
+    for (ExprRef A : Assumptions)
+      collectVars(A, Vars, Seen);
+
+    std::unordered_map<uint64_t, int> Owner;
+    for (const Frame &F : Frames)
+      for (const AssertRec &Rec : F.Asserted)
+        if (Rec.Sub >= 0 && Subs[Rec.Sub])
+          for (ExprRef V : varsOf(Rec.E))
+            Owner.emplace(V->id(), Rec.Sub);
+
+    for (ExprRef V : Vars) {
+      int Sub = -1;
+      if (auto It = Owner.find(V->id()); It != Owner.end())
+        Sub = It->second;
+      else if (auto AIt = VarHome.find(V->id()); AIt != VarHome.end())
+        Sub = AIt->second;
+      R.Model.set(V, Sub >= 0 && Subs[Sub] ? Subs[Sub]->BB.modelValue(V)
+                                           : 0);
+    }
+  }
+
+  void syncEncodeCounters() {
+    uint64_t Hits = RetiredEncode.CacheHits;
+    uint64_t Lowered = RetiredEncode.NodesLowered;
+    for (const auto &SP : Subs) {
+      if (!SP)
+        continue;
+      Hits += SP->BB.stats().CacheHits;
+      Lowered += SP->BB.stats().NodesLowered;
+    }
+    SolverQueryStats &Stats = solverStats();
+    Stats.EncodeCacheHits += Hits - SyncedCacheHits;
+    Stats.EncodeNodesLowered += Lowered - SyncedNodesLowered;
+    SyncedCacheHits = Hits;
+    SyncedNodesLowered = Lowered;
+  }
+
+  void finishTiming(SolverQueryStats &Stats, SolverResponse &R,
+                    const Timer &Total, double AssertEncode) {
+    // CoreSolveSeconds keeps its historical meaning: everything spent in
+    // the core, encoding included. Only the assert_-time encoding
+    // happened before Total started.
+    Stats.CoreSolveSeconds += Total.seconds() + AssertEncode;
+    Stats.EncodeSeconds += R.EncodeSeconds;
+  }
+
+  GroupedSessionConfig Cfg;
+  ScopedUnionFind UF;
+  std::unordered_map<ExprRef, std::vector<ExprRef>> VarsMemo;
+  std::vector<Frame> Frames;
+  std::vector<std::unique_ptr<SubSession>> Subs; ///< Null = merged away.
+  /// Where each assumption variable's encoding last landed, so repeated
+  /// checks on the same branch condition reuse one encoding even when no
+  /// asserted constraint mentions the variable yet.
+  std::unordered_map<uint64_t, int> VarHome;
+  uint64_t NextScope = 0;
+  bool RootUnsat = false;
+  size_t RetiredScopes = 0;
+  size_t RetiredPurged = 0; ///< Purged clauses of merged-away subs.
+  BitBlastStats RetiredEncode; ///< Encode totals of merged-away subs.
+  double PendingEncodeSeconds = 0;
+  uint64_t SyncedCacheHits = 0;
+  uint64_t SyncedNodesLowered = 0;
+};
+
+} // namespace
+
+std::unique_ptr<SolverSession>
+symmerge::createGroupedCoreSession(ExprContext &Ctx,
+                                   GroupedSessionConfig Config) {
+  return std::make_unique<GroupedCoreSession>(Ctx, std::move(Config));
+}

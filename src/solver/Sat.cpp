@@ -52,6 +52,20 @@ size_t SatSolver::memoryFootprintBytes() const {
     Bytes += ClauseBytes(C);
   for (const std::vector<Watcher> &W : Watches)
     Bytes += sizeof(W) + W.capacity() * sizeof(Watcher);
+  // Per-variable bookkeeping (assignments, saved model, trail, activity
+  // heap, phases). A monolithic instance amortizes these over one big
+  // clause database, but per-group sub-sessions each carry their own
+  // copy, so a byte-accurate eviction watermark that sums sub-session
+  // footprints must see them.
+  Bytes += Assigns.capacity() * sizeof(LBool) +
+           Model.capacity() * sizeof(LBool) +
+           Trail.capacity() * sizeof(Lit) +
+           Reasons.capacity() * sizeof(Clause *) +
+           Levels.capacity() * sizeof(int) +
+           Activity.capacity() * sizeof(double) +
+           Polarity.capacity() / 8 + Heap.capacity() * sizeof(Var) +
+           HeapIndex.capacity() * sizeof(int) +
+           Seen.capacity() * sizeof(uint8_t);
   return Bytes;
 }
 

@@ -1,0 +1,223 @@
+//===- SessionVerdictCache.h - Shared session verdict cache -----*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internals shared by both native session implementations (the
+/// monolithic IncrementalCoreSession in Solvers.cpp and the per-group
+/// GroupedCoreSession in GroupedSession.cpp): the session-level verdict
+/// cache — declared opaque in Solver.h, defined here so both share one
+/// cache with identical keying — and the small rule-bearing helpers
+/// (assumption triage, dying-session encode-time flush) that must never
+/// drift apart between the two, since the differential suite promises
+/// the modes behave identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_SESSIONVERDICTCACHE_H
+#define SYMMERGE_SOLVER_SESSIONVERDICTCACHE_H
+
+#include "solver/Solver.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+/// Memoizes session check verdicts across every native session of the
+/// core solver(s) it is attached to. The key is the sorted, deduplicated
+/// id multiset of the asserted constraints plus the assumptions —
+/// hash-consing makes structurally equal constraint sets collide on
+/// purpose — so sibling states produced by forking or merging, each
+/// running its own session (possibly on different worker threads and
+/// different core solvers), share each other's feasibility verdicts. Only
+/// Sat/Unsat verdicts are cached (never Unknown, never models).
+///
+/// Concurrency: the map is sharded by key hash with one mutex per shard,
+/// so parallel workers contend only when their keys collide on a shard.
+/// Capacity: each access stamps the entry with the shard's generation
+/// counter; when a shard exceeds its slice of MaxEntries, the
+/// least-recently-stamped half is evicted (generation-based LRU — exact
+/// recency order inside the surviving half is not maintained, only the
+/// old/young split, which is what bounds long explorations).
+class SessionVerdictCache {
+public:
+  explicit SessionVerdictCache(const VerdictCacheOptions &Opts) {
+    size_t NumShards = 1;
+    while (NumShards < std::max(1u, Opts.Shards))
+      NumShards *= 2;
+    // A tiny MaxEntries spread over many shards would round each
+    // shard's slice up and inflate the real bound; collapse shards
+    // until every slice holds at least a few entries, so the requested
+    // total is honored even for small limits.
+    while (Opts.MaxEntries != 0 && NumShards > 1 &&
+           Opts.MaxEntries / NumShards < 4)
+      NumShards /= 2;
+    Shards = std::vector<Shard>(NumShards);
+    MaxPerShard = Opts.MaxEntries == 0
+                      ? 0
+                      : std::max<size_t>(1, Opts.MaxEntries / NumShards);
+  }
+
+  /// Builds the normalized lookup key (sorted, deduplicated node ids)
+  /// and its hash. The caller must triage constant-true/false
+  /// constraints and assumptions BEFORE building a key: trivial
+  /// verdicts are decided without the cache, and a constant-false
+  /// member would otherwise poison the keyed entry.
+  static void makeKey(const std::vector<ExprRef> &Ids,
+                      std::vector<uint64_t> &Key, uint64_t &Hash) {
+    Key.clear();
+    Key.reserve(Ids.size());
+    for (ExprRef E : Ids)
+      Key.push_back(E->id());
+    std::sort(Key.begin(), Key.end());
+    Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+    Hash = hashMix(Key.size());
+    for (uint64_t Id : Key)
+      Hash = hashCombine(Hash, Id);
+  }
+
+  bool lookup(const std::vector<uint64_t> &Key, uint64_t Hash,
+              SolverResult &Out) {
+    Shard &S = shardFor(Hash);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto Range = S.Map.equal_range(Hash);
+    for (auto It = Range.first; It != Range.second; ++It) {
+      if (It->second.Key == Key) {
+        It->second.Generation = ++S.Generation;
+        Out = It->second.Result;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void insert(std::vector<uint64_t> Key, uint64_t Hash, SolverResult R) {
+    if (R == SolverResult::Unknown)
+      return;
+    Shard &S = shardFor(Hash);
+    uint64_t Evicted = 0;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      // Two workers can race miss -> solve -> insert on the same key;
+      // keep the map duplicate-free (verdicts are exact, so whichever
+      // insert wins stores the same result).
+      auto Range = S.Map.equal_range(Hash);
+      for (auto It = Range.first; It != Range.second; ++It)
+        if (It->second.Key == Key)
+          return;
+      S.Map.emplace(Hash, Entry{std::move(Key), R, ++S.Generation});
+      if (MaxPerShard != 0 && S.Map.size() > MaxPerShard)
+        Evicted = evictOldHalf(S);
+    }
+    if (Evicted) {
+      S.Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+      solverStats().VerdictCacheEvictions += Evicted;
+    }
+  }
+
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Map.size();
+    }
+    return N;
+  }
+
+  uint64_t evictions() const {
+    uint64_t N = 0;
+    for (const Shard &S : Shards)
+      N += S.Evictions.load(std::memory_order_relaxed);
+    return N;
+  }
+
+private:
+  struct Entry {
+    std::vector<uint64_t> Key;
+    SolverResult Result;
+    uint64_t Generation = 0; ///< Shard generation at last access.
+  };
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_multimap<uint64_t, Entry> Map;
+    uint64_t Generation = 0;
+    std::atomic<uint64_t> Evictions{0};
+
+    Shard() = default;
+    Shard(Shard &&) noexcept {} // Only moved while empty, at construction.
+  };
+
+  Shard &shardFor(uint64_t Hash) {
+    // The low bits index the buckets inside the shard; take high bits.
+    return Shards[(Hash >> 48) & (Shards.size() - 1)];
+  }
+
+  /// Drops the least-recently-stamped half of \p S (caller holds S.M).
+  static uint64_t evictOldHalf(Shard &S) {
+    std::vector<uint64_t> Stamps;
+    Stamps.reserve(S.Map.size());
+    for (const auto &[H, E] : S.Map)
+      Stamps.push_back(E.Generation);
+    auto Mid = Stamps.begin() + Stamps.size() / 2;
+    std::nth_element(Stamps.begin(), Mid, Stamps.end());
+    uint64_t Cutoff = *Mid;
+    uint64_t Removed = 0;
+    for (auto It = S.Map.begin(); It != S.Map.end();) {
+      if (It->second.Generation <= Cutoff) {
+        It = S.Map.erase(It);
+        ++Removed;
+      } else {
+        ++It;
+      }
+    }
+    return Removed;
+  }
+
+  std::vector<Shard> Shards;
+  size_t MaxPerShard = 0;
+};
+
+namespace session_common {
+
+/// Flushes encode time a session accumulated (via assert_/push) since
+/// its last check into the thread-local run counters. Called from the
+/// session destructors: a PathSessionHandle rebuild after worker
+/// migration — or the engine's end-of-run drain — destroys sessions
+/// between checks, and this wall time would otherwise vanish from the
+/// encode/core totals.
+inline void flushPendingEncode(double PendingSeconds) {
+  if (PendingSeconds <= 0)
+    return;
+  SolverQueryStats &Stats = solverStats();
+  Stats.EncodeSeconds += PendingSeconds;
+  Stats.CoreSolveSeconds += PendingSeconds;
+}
+
+/// Triage assumptions without encoding anything: drops constant-true
+/// assumptions, collects the meaningful rest into \p Meaningful, and
+/// returns the first constant-false assumption (which refutes the check
+/// by itself) or null.
+inline ExprRef triageAssumptions(const std::vector<ExprRef> &Assumptions,
+                                 std::vector<ExprRef> &Meaningful) {
+  for (ExprRef A : Assumptions) {
+    if (A->isTrue())
+      continue;
+    if (A->isFalse())
+      return A;
+    Meaningful.push_back(A);
+  }
+  return nullptr;
+}
+
+} // namespace session_common
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_SESSIONVERDICTCACHE_H

@@ -92,6 +92,14 @@ struct SolverQueryStats {
   uint64_t VerdictCacheMisses = 0; ///< Checks that went to the core.
   uint64_t VerdictCacheEvictions = 0; ///< Entries dropped by the
                                       ///< generation-LRU capacity bound.
+  // Per-group sub-sessions (solve-level independence slicing).
+  uint64_t GroupSubSessions = 0; ///< Group sub-instances lazily created.
+  uint64_t GroupMerges = 0;      ///< Sub-instances folded into another
+                                 ///< because a constraint or assumption
+                                 ///< bridged their groups.
+  uint64_t GroupSlicedSolves = 0; ///< Core checks that encoded/solved a
+                                  ///< proper subset of the asserted
+                                  ///< constraints (the reachable groups).
 
   /// Folds \p O into this (the parallel engine merges each worker's
   /// thread-local counters into the run totals at shutdown).
@@ -136,6 +144,10 @@ struct SessionHealth {
   size_t PurgedClauses = 0; ///< Clauses garbage-collected because a dead
                             ///< scope guard (or another root-level fact)
                             ///< satisfies them forever.
+  size_t Groups = 0; ///< Live per-group sub-instances (grouped native
+                     ///< sessions only; 0 for monolithic and fallback
+                     ///< sessions). A session that degenerated to one
+                     ///< connected constraint graph reports 1.
 };
 
 /// An incremental solving session: constraints are asserted once and stay
@@ -291,10 +303,18 @@ uint64_t verdictCacheEvictions(const SessionVerdictCache &Cache);
 /// states produced by forking or merging hit each other's feasibility
 /// verdicts — the cross-state sharing the one-shot CachingSolver provides
 /// but native sessions would otherwise bypass.
+/// \p GroupSessions selects the native session implementation: per-group
+/// sub-sessions (an incremental union-find partitions the asserted
+/// constraints into variable-connected groups, each with its own SAT
+/// instance and encoding cache, so a check encodes and solves only the
+/// groups its assumptions reach — solve-level independence slicing), or,
+/// when false, the monolithic single-instance session kept as the
+/// measurement baseline.
 std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
                                          uint64_t ConflictBudget = 0,
                                          bool IncrementalSessions = true,
-                                         bool VerdictCache = false);
+                                         bool VerdictCache = false,
+                                         bool GroupSessions = true);
 
 /// createCoreSolver with a caller-provided verdict cache, so several core
 /// solvers — one per engine worker — share one concurrent cache and
@@ -302,7 +322,8 @@ std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
 std::unique_ptr<Solver>
 createCoreSolver(ExprContext &Ctx, uint64_t ConflictBudget,
                  bool IncrementalSessions,
-                 std::shared_ptr<SessionVerdictCache> Cache);
+                 std::shared_ptr<SessionVerdictCache> Cache,
+                 bool GroupSessions = true);
 
 /// Wraps \p Inner with a query-result cache.
 std::unique_ptr<Solver> createCachingSolver(ExprContext &Ctx,

@@ -25,9 +25,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace symmerge;
@@ -166,6 +168,53 @@ TEST(StateFrontierTest, InsertOrMergeMergesWithWaitingState) {
   Frontier.drain([&Drained](ExecutionState *) { ++Drained; });
   EXPECT_EQ(Drained, 2u);
   EXPECT_TRUE(Frontier.quiescent());
+}
+
+/// Regression for the quiescence snapshot race: a worker that pops the
+/// last queued state and forks it back (insert, then finishedOne) must
+/// never let a concurrent quiescent() observer report the frontier
+/// drained. Two separate queued/executing counters cannot be read as a
+/// consistent snapshot in EITHER order (queued-first races the
+/// insert+finishedOne window; executing-first races the pop hand-off —
+/// this stress loop caught that second variant when the fix was first
+/// attempted as a read reorder). quiescent() is now a single in-flight
+/// counter that pops do not touch, so there is no in-between to
+/// observe. The loop (run under TSan in CI) hammers both hand-off
+/// windows.
+TEST(StateFrontierTest, QuiescenceNeverSpuriouslyDrainsOnForkBack) {
+  FrontierFixture Fx;
+  StateFrontier Frontier(2, FrontierFixture::bfsFactory());
+  ExecutionState *S = Fx.make(1);
+  Frontier.insert(S);
+
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> SpuriousDrains{0};
+  std::thread Observer([&] {
+    while (!Done.load(std::memory_order_acquire))
+      if (Frontier.quiescent())
+        SpuriousDrains.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // The worker: pop the only state, "fork it back" into the (briefly
+  // empty) frontier, finish. At every instant the state is queued or
+  // executing, so quiescent() must never hold until the final drain.
+  for (int Round = 0; Round < 50000; ++Round) {
+    ExecutionState *P = Frontier.pop(0);
+    ASSERT_NE(P, nullptr) << "round " << Round;
+    Frontier.insert(P);
+    Frontier.finishedOne();
+  }
+  // Stop the observer while the state is still enqueued: everything it
+  // sampled happened with work provably in flight.
+  Done.store(true, std::memory_order_release);
+  Observer.join();
+  EXPECT_EQ(SpuriousDrains.load(), 0u)
+      << "quiescent() reported drained while a state was in flight";
+
+  ExecutionState *Last = Frontier.pop(0);
+  ASSERT_NE(Last, nullptr);
+  Frontier.finishedOne();
+  EXPECT_TRUE(Frontier.quiescent()) << "the real drain must still register";
 }
 
 //===----------------------------------------------------------------------===
@@ -341,6 +390,68 @@ TEST(ParallelEngineTest, WorkerStatsMergeMatchesSequential) {
   // Solver sessions are opened per check site / state lifetime; the
   // session count is path-determined, so it survives parallelism too.
   EXPECT_GT(Par.Stats.SolverQueries, 0u);
+}
+
+/// Regression for the per-worker statistics merge (suspected
+/// double-counting of verdict-cache evictions and encode seconds when
+/// sessions are rebuilt after PathSessionHandle worker migration). The
+/// audit: each worker thread starts with zeroed thread-local counters
+/// and is summed exactly once at shutdown, and evictions are counted in
+/// the inserting worker's counters only — so the merged totals must (a)
+/// equal the shared cache's own ground-truth eviction count, (b) keep
+/// hits + misses worker-invariant (checks are path-determined), and (c)
+/// keep encode seconds a subset of core seconds. A double-count in the
+/// merge path breaks (a) or (c); a lost worker delta breaks (a) or (b).
+TEST(ParallelEngineTest, WorkerStatsMergeMatchesCacheGroundTruth) {
+  CompileResult CR = compileMiniC(LoopyProgram);
+  ASSERT_TRUE(CR.ok());
+
+  auto Run = [&](unsigned Workers) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = Workers;
+    // A tiny capacity bound forces real LRU evictions; a tiny session
+    // scope limit forces session rebuild churn on top of migration.
+    C.VerdictCacheLimit = 64;
+    C.Engine.SessionMaxRetiredScopes = 8;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    struct Out {
+      RunResult R;
+      uint64_t CacheEvictions;
+    };
+    auto Cache = Runner.verdictCache();
+    return Out{std::move(R),
+               Cache ? verdictCacheEvictions(*Cache) : 0};
+  };
+
+  auto Seq = Run(1);
+  auto Par = Run(4);
+  ASSERT_TRUE(Seq.R.Stats.Exhausted);
+  ASSERT_TRUE(Par.R.Stats.Exhausted);
+
+  // (a) Merged eviction counters == the cache's own count, exactly,
+  // at both worker counts (each runner owns a fresh cache).
+  EXPECT_GT(Seq.CacheEvictions, 0u) << "the bound must actually evict";
+  EXPECT_EQ(Seq.R.Stats.SolverVerdictCacheEvictions, Seq.CacheEvictions);
+  EXPECT_EQ(Par.R.Stats.SolverVerdictCacheEvictions, Par.CacheEvictions);
+
+  // (b) Cache consultations are path-determined: hits + misses must be
+  // identical across worker counts even though the hit/miss split (and
+  // the eviction pattern) is scheduling-dependent.
+  EXPECT_EQ(Par.R.Stats.SolverVerdictCacheHits +
+                Par.R.Stats.SolverVerdictCacheMisses,
+            Seq.R.Stats.SolverVerdictCacheHits +
+                Seq.R.Stats.SolverVerdictCacheMisses);
+  EXPECT_EQ(Par.R.Stats.SolverAssumptionQueries,
+            Seq.R.Stats.SolverAssumptionQueries);
+
+  // (c) Encode time is a subset of core time in the merged totals (the
+  // destructor flush keeps both sides of migration rebuilds counted).
+  EXPECT_LE(Par.R.Stats.SolverEncodeSeconds,
+            Par.R.Stats.SolverSeconds + 1e-9);
+  EXPECT_LE(Seq.R.Stats.SolverEncodeSeconds,
+            Seq.R.Stats.SolverSeconds + 1e-9);
 }
 
 TEST(ParallelEngineTest, SequentialEngineIgnoresWorkerResources) {

@@ -8,9 +8,12 @@
 /// it:
 ///
 ///  - a randomized differential suite: random MiniC programs explored
-///    under all four solver modes (one-shot, per-site sessions, per-state
-///    sessions, per-state + verdict cache) must produce identical test
-///    cases, coverage, and error verdicts,
+///    under all solver modes (one-shot, per-site sessions, per-state
+///    sessions, per-state + verdict cache, and the group-sessions axis:
+///    per-group sub-instances on vs the monolithic baseline) must
+///    produce identical test cases, coverage, and error verdicts,
+///  - the scoped union-find behind solve-level independence slicing
+///    (group split/merge must track push/pop exactly),
 ///  - the session-level verdict cache (cross-session sharing),
 ///  - state merging with live sessions (the rebuilt session agrees with a
 ///    fresh one-shot check on the merged disjunctive path condition),
@@ -30,6 +33,7 @@
 #include "core/Driver.h"
 #include "core/PathSession.h"
 #include "core/StateMerge.h"
+#include "solver/GroupedSession.h"
 #include "solver/Sat.h"
 #include "solver/Solver.h"
 #include "support/RNG.h"
@@ -203,6 +207,10 @@ private:
 struct SolverMode {
   const char *Name;
   bool Incremental, PerState, VerdictCache;
+  /// Per-group sub-sessions (solve-level independence slicing). On by
+  /// default; the -nogroup rows pin the monolithic baseline so the
+  /// differential covers the group-sessions axis in both directions.
+  bool GroupSessions = true;
 };
 
 const SolverMode SolverModes[] = {
@@ -210,12 +218,15 @@ const SolverMode SolverModes[] = {
     {"per-site", true, false, false},
     {"per-state", true, true, false},
     {"per-state+cache", true, true, true},
+    {"per-state-nogroup", true, true, false, false},
+    {"state+cache-nogroup", true, true, true, false},
 };
 
 void applyMode(SymbolicRunner::Config &C, const SolverMode &M) {
   C.SolverIncremental = M.Incremental;
   C.SolverPerStateSessions = M.PerState;
   C.SolverVerdictCache = M.VerdictCache;
+  C.SolverGroupSessions = M.GroupSessions;
 }
 
 /// Everything a run produced, canonicalized for comparison.
@@ -489,6 +500,114 @@ TEST(ParallelDifferentialTest, ParallelMergingIsSound) {
           << "workers=" << Workers << " seed " << Seed << "\n"
           << Source;
     }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Scoped union-find: the group structure behind solve-level slicing
+//===----------------------------------------------------------------------===
+
+TEST(ScopedUnionFindTest, UnitesWithinAndAcrossScopes) {
+  ScopedUnionFind UF;
+  int A = UF.add(1), B = UF.add(2), C = UF.add(3);
+  EXPECT_EQ(UF.size(), 3u);
+  EXPECT_EQ(UF.groupCount(), 3u);
+  EXPECT_NE(UF.root(A), UF.root(B));
+
+  EXPECT_TRUE(UF.unite(A, B));
+  EXPECT_FALSE(UF.unite(A, B)) << "already one group";
+  EXPECT_EQ(UF.groupCount(), 2u);
+  EXPECT_EQ(UF.root(A), UF.root(B));
+  EXPECT_NE(UF.root(A), UF.root(C));
+
+  // Re-adding an existing key returns the same node.
+  EXPECT_EQ(UF.add(1), A);
+}
+
+TEST(ScopedUnionFindTest, PopSplitsGroupsExactly) {
+  ScopedUnionFind UF;
+  int A = UF.add(10), B = UF.add(20), C = UF.add(30);
+  UF.unite(A, B); // Root-scope union: permanent.
+
+  UF.push();
+  EXPECT_TRUE(UF.unite(B, C));
+  EXPECT_EQ(UF.groupCount(), 1u);
+  UF.push();
+  int D = UF.add(40);
+  UF.unite(C, D);
+  EXPECT_EQ(UF.groupCount(), 1u);
+  EXPECT_EQ(UF.size(), 4u);
+
+  // Popping the inner scope removes the node it created and undoes its
+  // union; the outer scope's union survives.
+  UF.pop();
+  EXPECT_EQ(UF.size(), 3u);
+  EXPECT_EQ(UF.lookup(40), -1);
+  EXPECT_EQ(UF.groupCount(), 1u);
+  EXPECT_EQ(UF.root(A), UF.root(C));
+
+  // Popping the outer scope splits {a,b} from {c}; the root-scope union
+  // of a and b is untouched.
+  UF.pop();
+  EXPECT_EQ(UF.groupCount(), 2u);
+  EXPECT_EQ(UF.root(A), UF.root(B));
+  EXPECT_NE(UF.root(A), UF.root(C));
+}
+
+TEST(ScopedUnionFindTest, DeepPushPopChurnRestoresStructure) {
+  // Randomized: after any balanced push/pop sequence, the group
+  // structure equals what a replay of only the surviving operations
+  // produces. Exercises union-by-size undo ordering under churn.
+  RNG Rand(1234);
+  ScopedUnionFind UF;
+  std::vector<uint64_t> Keys;
+  for (uint64_t K = 1; K <= 8; ++K) {
+    UF.add(K);
+    Keys.push_back(K);
+  }
+  auto Fingerprint = [&](ScopedUnionFind &U) {
+    // Partition fingerprint: for every pair, same-group or not.
+    std::string FP;
+    for (size_t I = 0; I < Keys.size(); ++I)
+      for (size_t J = I + 1; J < Keys.size(); ++J) {
+        int A = U.lookup(Keys[I]), B = U.lookup(Keys[J]);
+        FP += (A >= 0 && B >= 0 && U.root(A) == U.root(B)) ? '1' : '0';
+      }
+    return FP;
+  };
+  std::string RootFP = Fingerprint(UF);
+
+  for (int Round = 0; Round < 50; ++Round) {
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> ScopeUnions;
+    // Open a few scopes with random unions...
+    unsigned Depth = 1 + Rand.nextBelow(3);
+    for (unsigned S = 0; S < Depth; ++S) {
+      UF.push();
+      ScopeUnions.emplace_back();
+      unsigned N = Rand.nextBelow(3);
+      for (unsigned I = 0; I < N; ++I) {
+        uint64_t A = Keys[Rand.nextBelow(Keys.size())];
+        uint64_t B = Keys[Rand.nextBelow(Keys.size())];
+        UF.unite(UF.add(A), UF.add(B));
+        ScopeUnions.back().push_back({A, B});
+      }
+    }
+    // ...pop some of them and check against an oracle built by
+    // replaying only the still-open scopes' unions.
+    unsigned Pops = 1 + Rand.nextBelow(Depth);
+    for (unsigned P = 0; P < Pops; ++P)
+      UF.pop();
+    ScopedUnionFind Oracle;
+    for (uint64_t K : Keys)
+      Oracle.add(K);
+    for (unsigned S = 0; S < Depth - Pops; ++S)
+      for (auto &[A, B] : ScopeUnions[S])
+        Oracle.unite(Oracle.add(A), Oracle.add(B));
+    EXPECT_EQ(Fingerprint(UF), Fingerprint(Oracle)) << "round " << Round;
+    // Unwind the rest; the structure must return to the root state.
+    for (unsigned S = 0; S < Depth - Pops; ++S)
+      UF.pop();
+    EXPECT_EQ(Fingerprint(UF), RootFP) << "round " << Round;
   }
 }
 

@@ -183,6 +183,195 @@ TEST(SolverSessionTest, SharedPrefixEncodedAtMostOnce) {
 }
 
 //===----------------------------------------------------------------------===
+// Grouped native sessions: per-group sub-instances
+//===----------------------------------------------------------------------===
+
+/// Under the feasible-prefix promise, a check encodes and solves only the
+/// constraint group its assumption reaches: the other group's (heavy)
+/// encoding is never built for it.
+TEST(GroupedSessionTest, ChecksEncodeOnlyTheReachableGroup) {
+  ExprContext Ctx;
+  // Verdict cache ON so encoding is lazy: what a check materializes is
+  // exactly what its miss path needed.
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/true,
+                               /*VerdictCache=*/true);
+  ExprRef X = Ctx.mkVar("gx", 32);
+  ExprRef Y = Ctx.mkVar("gy", 32);
+  SessionOptions Opts;
+  Opts.FeasiblePrefix = true;
+  auto Sess = Core->openSession(Opts);
+  // Two variable-disjoint groups with real encoding weight.
+  Sess->assert_(Ctx.mkUlt(Ctx.mkMul(X, X), Ctx.mkConst(90000, 32)));
+  Sess->assert_(Ctx.mkUlt(Ctx.mkMul(Y, Y), Ctx.mkConst(80000, 32)));
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Lowered0 = Stats.EncodeNodesLowered;
+  uint64_t Sliced0 = Stats.GroupSlicedSolves;
+
+  // First check reaches only the x group.
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(3, 32))).isSat());
+  uint64_t XNodes = Stats.EncodeNodesLowered - Lowered0;
+  ASSERT_GT(XNodes, 0u);
+  EXPECT_EQ(Stats.GroupSlicedSolves, Sliced0 + 1)
+      << "the y group must not have been solved";
+  EXPECT_EQ(Sess->health().Groups, 1u)
+      << "only the reachable group may have been materialized";
+
+  // The y group is built only when a check actually reaches it.
+  uint64_t Lowered1 = Stats.EncodeNodesLowered;
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkEq(Y, Ctx.mkConst(5, 32))).isSat());
+  EXPECT_GT(Stats.EncodeNodesLowered, Lowered1);
+  EXPECT_EQ(Sess->health().Groups, 2u);
+
+  // Verdicts stay exact within each group.
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(400, 32))).isUnsat());
+}
+
+/// A constraint sharing variables with two groups folds their
+/// sub-instances into one, and cross-group implications are decided
+/// correctly afterwards.
+TEST(GroupedSessionTest, LinkingConstraintMergesGroups) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx); // No cache: eager materialization.
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("lx", 16);
+  ExprRef Y = Ctx.mkVar("ly", 16);
+
+  SolverQueryStats &Stats = solverStats();
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(5, 16)));
+  Sess->assert_(Ctx.mkUlt(Y, Ctx.mkConst(5, 16)));
+  EXPECT_EQ(Sess->health().Groups, 2u);
+
+  uint64_t Merges0 = Stats.GroupMerges;
+  Sess->assert_(Ctx.mkEq(Ctx.mkAdd(X, Y), Ctx.mkConst(6, 16)));
+  EXPECT_EQ(Sess->health().Groups, 1u) << "the link must fold the groups";
+  EXPECT_EQ(Stats.GroupMerges, Merges0 + 1);
+
+  // x + y == 6 with both below 5 forces x in (1, 5).
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(2, 16))).isSat());
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(0, 16))).isUnsat())
+      << "cross-group implication must hold after the merge";
+}
+
+/// Without the feasible-prefix promise, a group the assumptions cannot
+/// reach must still refute the check when it is unsatisfiable by itself —
+/// the exact semantics the monolithic session gives.
+TEST(GroupedSessionTest, UnreachableUnsatGroupRefutesWithoutPromise) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Sess = Core->openSession(); // No promise.
+  ExprRef X = Ctx.mkVar("ux", 16);
+  ExprRef Y = Ctx.mkVar("uy", 16);
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(5, 16)));
+
+  Sess->push();
+  Sess->assert_(Ctx.mkUlt(Y, Ctx.mkConst(3, 16)));
+  Sess->assert_(Ctx.mkUlt(Ctx.mkConst(7, 16), Y)); // y group now unsat.
+  SolverResponse R = Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(1, 16)));
+  EXPECT_TRUE(R.isUnsat());
+  EXPECT_TRUE(R.FailedAssumptions.empty())
+      << "the refutation owes nothing to the assumption";
+  Sess->pop();
+
+  // Popping the contradictory scope restores satisfiability.
+  EXPECT_TRUE(
+      Sess->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(1, 16))).isSat());
+}
+
+/// Models compose across sub-instances: every variable is read from the
+/// group that owns it, assumptions included.
+TEST(GroupedSessionTest, ModelsComposeAcrossGroups) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto Sess = Core->openSession();
+  ExprRef X = Ctx.mkVar("mx", 16);
+  ExprRef Y = Ctx.mkVar("my", 16);
+  ExprRef Z = Ctx.mkVar("mz", 16);
+  Sess->assert_(Ctx.mkUlt(X, Ctx.mkConst(5, 16)));
+  Sess->assert_(Ctx.mkUlt(Ctx.mkConst(200, 16), Y));
+  ASSERT_EQ(Sess->health().Groups, 2u);
+
+  SolverResponse R = Sess->checkSatAssuming(
+      Ctx.mkEq(Z, Ctx.mkConst(77, 16)), /*WantModel=*/true);
+  ASSERT_TRUE(R.isSat());
+  EXPECT_LT(R.Model.get(X), 5u);
+  EXPECT_GT(R.Model.get(Y), 200u);
+  EXPECT_EQ(R.Model.get(Z), 77u);
+}
+
+/// Randomized differential: grouped and monolithic native sessions must
+/// agree on every verdict across asserts, scoped push/pop churn, and
+/// assumption checks — with and without the feasible-prefix promise.
+class GroupedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupedDifferentialTest, GroupedMatchesMonolithicOnRandomScopes) {
+  RNG Rand(GetParam());
+  ExprContext Ctx;
+  auto Grouped = createCoreSolver(Ctx, 0, true, false, /*Group=*/true);
+  auto Mono = createCoreSolver(Ctx, 0, true, false, /*Group=*/false);
+  // Disjoint variable pools make multiple groups likely; the occasional
+  // mixed constraint bridges them.
+  std::vector<ExprRef> Pool;
+  for (int I = 0; I < 4; ++I)
+    Pool.push_back(Ctx.mkVar("d" + std::to_string(I), 8));
+
+  for (int Round = 0; Round < 20; ++Round) {
+    auto GS = Grouped->openSession();
+    auto MS = Mono->openSession();
+    auto BothAssert = [&](ExprRef E) {
+      GS->assert_(E);
+      MS->assert_(E);
+    };
+    auto RandomConstraint = [&] {
+      // Mostly single-variable constraints (pure groups), sometimes a
+      // two-variable bridge.
+      ExprRef A = Pool[Rand.nextBelow(Pool.size())];
+      ExprRef Lhs = Rand.nextBool(0.3)
+                        ? Ctx.mkAdd(A, Pool[Rand.nextBelow(Pool.size())])
+                        : A;
+      ExprRef K = Ctx.mkConst(Rand.nextBelow(200), 8);
+      return Rand.nextBool(0.5) ? Ctx.mkUlt(Lhs, K) : Ctx.mkNot(Ctx.mkUlt(Lhs, K));
+    };
+
+    int Depth = 0;
+    for (int Step = 0; Step < 24; ++Step) {
+      unsigned Pick = Rand.nextBelow(10);
+      if (Pick < 3) {
+        GS->push();
+        MS->push();
+        ++Depth;
+      } else if (Pick < 5 && Depth > 0) {
+        GS->pop();
+        MS->pop();
+        --Depth;
+      } else if (Pick < 8) {
+        BothAssert(RandomConstraint());
+      } else {
+        ExprRef Hyp = RandomConstraint();
+        SolverResponse RG = GS->checkSatAssuming(Hyp);
+        SolverResponse RM = MS->checkSatAssuming(Hyp);
+        ASSERT_EQ(static_cast<int>(RG.Result), static_cast<int>(RM.Result))
+            << "round " << Round << " step " << Step << ": "
+            << exprToString(Hyp);
+      }
+    }
+    SolverResponse RG = GS->checkSat();
+    SolverResponse RM = MS->checkSat();
+    EXPECT_EQ(static_cast<int>(RG.Result), static_cast<int>(RM.Result))
+        << "round " << Round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedDifferentialTest,
+                         ::testing::Values(5, 23, 59, 101));
+
+//===----------------------------------------------------------------------===
 // Fallback sessions over one-shot layers
 //===----------------------------------------------------------------------===
 

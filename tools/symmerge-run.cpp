@@ -69,6 +69,8 @@ void usage(const char *Argv0) {
       "  --no-incremental         one-shot solver queries (baseline)\n"
       "  --no-per-state-sessions  per-site solver sessions (PR-1 baseline)\n"
       "  --no-verdict-cache       disable the session verdict cache\n"
+      "  --no-group-sessions      monolithic native sessions (no per-group\n"
+      "                           sub-instances; the measurement baseline)\n"
       "  --verdict-cache-limit=N  verdict-cache entries before LRU\n"
       "                           eviction (0 = unbounded)\n"
       "  --session-scope-limit=N  evict a session after N popped scopes\n"
@@ -162,6 +164,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Config.SolverPerStateSessions = false;
     } else if (Arg == "--no-verdict-cache") {
       Opts.Config.SolverVerdictCache = false;
+    } else if (Arg == "--no-group-sessions") {
+      Opts.Config.SolverGroupSessions = false;
     } else if (const char *V = Value("--verdict-cache-limit=")) {
       Opts.Config.VerdictCacheLimit = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Value("--workers=")) {
@@ -331,6 +335,11 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.SolverVerdictCacheMisses),
                 static_cast<unsigned long long>(
                     S.SolverVerdictCacheEvictions));
+    std::printf("group sessions   %llu subs / %llu merges / %llu sliced "
+                "solves\n",
+                static_cast<unsigned long long>(S.SolverGroupSubSessions),
+                static_cast<unsigned long long>(S.SolverGroupMerges),
+                static_cast<unsigned long long>(S.SolverGroupSlicedSolves));
     std::printf("state sessions   built %llu, evicted %llu, split %llu\n",
                 static_cast<unsigned long long>(S.SessionsBuilt),
                 static_cast<unsigned long long>(S.SessionEvictions),

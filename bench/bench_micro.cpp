@@ -13,9 +13,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/QCE.h"
+#include "core/Driver.h"
 #include "core/Frontier.h"
 #include "core/MergePolicy.h"
 #include "core/StateMerge.h"
+#include "solver/ModelCache.h"
 #include "solver/Solver.h"
 #include "workloads/Workloads.h"
 
@@ -333,6 +335,98 @@ static void BM_SolverCachedQuery(benchmark::State &State) {
     benchmark::DoNotOptimize(S->checkSat(Q, nullptr));
 }
 BENCHMARK(BM_SolverCachedQuery);
+
+//===----------------------------------------------------------------------===
+// Model cache: evaluation-based SAT shortcuts + async test generation
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// A probe-shaped constraint slice of \p Depth conjuncts over two
+/// variables, plus a model that satisfies it (x = 0, y = 0 after the
+/// bounds below are checked by construction).
+std::vector<ExprRef> makeProbeSlice(ExprContext &Ctx, int Depth) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  std::vector<ExprRef> Slice;
+  ExprRef V = X;
+  for (int I = 0; I < Depth; ++I) {
+    V = Ctx.mkAdd(Ctx.mkMul(V, Ctx.mkConst(3, 32)), Y);
+    Slice.push_back(Ctx.mkUlt(V, Ctx.mkConst(100000 + I * 7919, 32)));
+  }
+  return Slice;
+}
+
+} // namespace
+
+/// A validated probe hit: the full evaluation-cost SAT shortcut — what a
+/// session check pays INSTEAD of bit-blasting + CDCL on a cache hit
+/// (compare against BM_SolverBranchIncrementalSession's core_s).
+static void BM_ModelCacheProbeHit(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Cache = createModelCache();
+  int Depth = static_cast<int>(State.range(0));
+  std::vector<ExprRef> Slice = makeProbeSlice(Ctx, Depth);
+  std::vector<ExprRef> Vars = {Ctx.mkVar("x", 32), Ctx.mkVar("y", 32)};
+  VarAssignment M;
+  M.set(Vars[0], 0);
+  M.set(Vars[1], 0);
+  Cache->insert(M);
+  VarAssignment Hit;
+  for (auto _ : State) {
+    bool Found = Cache->probe(Slice, Vars, Hit);
+    benchmark::DoNotOptimize(Found);
+  }
+}
+BENCHMARK(BM_ModelCacheProbeHit)->Arg(2)->Arg(8)->Arg(16);
+
+/// A probe miss against a full candidate budget: the overhead a check
+/// pays ON TOP of the solve when no cached model validates — the cost
+/// that must stay far below one bit-blast to make probing worthwhile.
+static void BM_ModelCacheProbeMiss(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Cache = createModelCache();
+  int Depth = static_cast<int>(State.range(0));
+  std::vector<ExprRef> Slice = makeProbeSlice(Ctx, Depth);
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  // Refuted by every candidate: x is pinned huge in all cached models.
+  Slice.push_back(Ctx.mkUlt(X, Ctx.mkConst(10, 32)));
+  std::vector<ExprRef> Vars = {X, Y};
+  for (uint64_t K = 0; K < 16; ++K) {
+    VarAssignment M;
+    M.set(X, 4000000000u + K);
+    M.set(Y, K);
+    Cache->insert(M);
+  }
+  VarAssignment Hit;
+  for (auto _ : State) {
+    bool Found = Cache->probe(Slice, Vars, Hit);
+    benchmark::DoNotOptimize(Found);
+  }
+}
+BENCHMARK(BM_ModelCacheProbeMiss)->Arg(2)->Arg(8)->Arg(16);
+
+/// End-to-end overlap: a parallel exploration of the sum workload with
+/// final-model solving inline on the workers (range 0) vs offloaded to
+/// the async test-generation pool (range 1). On real cores the pool
+/// overlaps model solving with exploration; on a single-core machine
+/// this mostly documents the hand-off overhead.
+static void BM_TestGenOverlap(benchmark::State &State) {
+  auto M = compileWorkload(*findWorkload("sum"), 2, 4);
+  for (auto _ : State) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = 2;
+    C.AsyncTestGen = State.range(0) != 0;
+    SymbolicRunner Runner(*M.M, C);
+    RunResult R = Runner.run();
+    benchmark::DoNotOptimize(R.Tests.size());
+    State.counters["tests"] = static_cast<double>(R.Tests.size());
+    State.counters["tg_queued"] = static_cast<double>(R.Stats.TestGenQueued);
+  }
+}
+BENCHMARK(BM_TestGenOverlap)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 //===----------------------------------------------------------------------===
 // State merging

@@ -6,14 +6,19 @@
 
 #include "core/Driver.h"
 
+#include "solver/ModelCache.h"
+
+#include <algorithm>
+
 using namespace symmerge;
 
 std::unique_ptr<Solver> SymbolicRunner::makeSolverStack() {
-  // Workers share the verdict cache but nothing else: every stack owns
-  // its SAT instances, bitblast caches, and one-shot layer caches.
+  // Workers share the verdict cache and the model cache but nothing
+  // else: every stack owns its SAT instances, bitblast caches, and
+  // one-shot layer caches.
   std::unique_ptr<Solver> S =
       createCoreSolver(Ctx, Cfg.SolverConflictBudget, Cfg.SolverIncremental,
-                       VerdictCache, Cfg.SolverGroupSessions);
+                       VerdictCache, Cfg.SolverGroupSessions, Models);
   if (Cfg.SolverCache)
     S = createCachingSolver(Ctx, std::move(S));
   if (Cfg.SolverSimplify)
@@ -30,7 +35,18 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
     VCO.MaxEntries = Cfg.VerdictCacheLimit;
     VerdictCache = createVerdictCache(VCO);
   }
+  if (Cfg.SolverModelCache) {
+    ModelCacheOptions MCO;
+    MCO.MaxEntries = Cfg.ModelCacheLimit;
+    Models = createModelCache(MCO);
+  }
   TheSolver = makeSolverStack();
+  // Async test generation is an engine behavior with two handles on it
+  // (the runner config and the public EngineOptions field); either one
+  // can turn it off.
+  Cfg.Engine.AsyncTestGen = Cfg.Engine.AsyncTestGen && Cfg.AsyncTestGen;
+  Cfg.Engine.TestGenThreads =
+      std::max(Cfg.Engine.TestGenThreads, Cfg.TestGenThreads);
   // Per-state session lifetime is an engine behavior with two handles on
   // it (the solver-config toggle and the public EngineOptions field);
   // either one can turn it off.
@@ -98,6 +114,9 @@ RunResult SymbolicRunner::run() {
         S = createDynamicMergeSearcher(PI, *Policy, std::move(S));
       return S;
     };
+    // The pool feeds solved final models back through the shared
+    // counterexample cache (it never probes it).
+    Res.TestGenModels = Models;
     E.setWorkerResources(std::move(Res));
   }
   return E.run();

@@ -101,6 +101,25 @@ public:
     /// the least-recently-used generation half of a shard is evicted;
     /// `--stats` reports the eviction count.
     uint64_t VerdictCacheLimit = 1u << 20;
+    /// Shared counterexample (model) cache: satisfying assignments from
+    /// successful session solves — and from the async test-generation
+    /// pool's final models — are kept and probed before a verdict-cache
+    /// miss pays for bit-blasting. A candidate revalidated by concrete
+    /// evaluation answers SAT with a model at evaluation cost, zero SAT
+    /// calls. One sharded concurrent cache is shared by every worker
+    /// stack. Exact verdicts only: exploration outcomes are bit-identical
+    /// with the cache off.
+    bool SolverModelCache = true;
+    /// Model-cache capacity in index entries (0 = unbounded).
+    uint64_t ModelCacheLimit = 1u << 16;
+    /// Solve halted states' final test-case models on a dedicated pool,
+    /// off the exploration workers (parallel runs only; workers=1 keeps
+    /// the inline path as the bit-for-bit baseline). Final models stay a
+    /// pure function of the path condition, so canonical test sets are
+    /// identical with the pool on or off.
+    bool AsyncTestGen = true;
+    /// Threads in the test-generation pool.
+    unsigned TestGenThreads = 1;
   };
 
   SymbolicRunner(const Module &M, Config C);
@@ -121,6 +140,8 @@ public:
   std::shared_ptr<SessionVerdictCache> verdictCache() const {
     return VerdictCache;
   }
+  /// The shared counterexample (model) cache (null when disabled).
+  std::shared_ptr<ModelCache> modelCache() const { return Models; }
 
 private:
   std::unique_ptr<Searcher> makeDrivingSearcher(uint64_t Seed);
@@ -135,6 +156,10 @@ private:
   /// the per-worker stacks of a parallel run), so cross-state verdict
   /// sharing survives parallelism. Null when the cache is disabled.
   std::shared_ptr<SessionVerdictCache> VerdictCache;
+  /// Shared counterexample cache, likewise shared by every stack this
+  /// runner builds and by the async test-generation pool. Null when
+  /// disabled.
+  std::shared_ptr<ModelCache> Models;
   std::unique_ptr<Solver> TheSolver;
   std::unique_ptr<MergePolicy> Policy;
   CoverageTracker Cov;

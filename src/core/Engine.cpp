@@ -9,6 +9,7 @@
 #include "core/Frontier.h"
 #include "core/PathSession.h"
 #include "core/StateMerge.h"
+#include "core/TestGenPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -183,18 +184,19 @@ void Engine::terminateHalted(ExecutionState &S) {
   S.Status = StateStatus::Halted;
 }
 
-void Engine::appendTest(TestCase T) {
+bool Engine::appendTest(TestCase T) {
   if (!ParallelRun) {
     Result.Tests.push_back(std::move(T));
-    return;
+    return true;
   }
   std::lock_guard<std::mutex> Lock(TestsMu);
   // finalize()'s pre-check races across workers; re-check the MaxTests
   // bound under the lock so parallel runs respect it exactly. Bug
   // reports are never clamped (matching the sequential engine).
   if (T.Kind == TestKind::Halt && Result.Tests.size() >= Opts.MaxTests)
-    return;
+    return false;
   Result.Tests.push_back(std::move(T));
+  return true;
 }
 
 size_t Engine::testCount() const {
@@ -202,6 +204,29 @@ size_t Engine::testCount() const {
     return Result.Tests.size();
   std::lock_guard<std::mutex> Lock(TestsMu);
   return Result.Tests.size();
+}
+
+size_t Engine::plannedTestCount() const {
+  if (!ParallelRun)
+    return Result.Tests.size();
+  // Read count and pending under the sink lock: appendPoolTest retires a
+  // job and appends its test in one critical section, so no reader ever
+  // sees a test counted in both.
+  std::lock_guard<std::mutex> Lock(TestsMu);
+  return Result.Tests.size() + TestGenPending.load(std::memory_order_relaxed);
+}
+
+bool Engine::appendPoolTest(TestCase T) {
+  std::lock_guard<std::mutex> Lock(TestsMu);
+  // Retire the job and append its test atomically w.r.t.
+  // plannedTestCount() readers — decrementing after the append (outside
+  // the lock) would transiently double-count the test and make the
+  // MaxTests gates skip halted states the inline baseline would keep.
+  TestGenPending.fetch_sub(1, std::memory_order_relaxed);
+  if (T.Kind == TestKind::Halt && Result.Tests.size() >= Opts.MaxTests)
+    return false;
+  Result.Tests.push_back(std::move(T));
+  return true;
 }
 
 void Engine::emitBugReport(ExecContext &X, ExecutionState &S, TestKind Kind,
@@ -568,13 +593,27 @@ void Engine::finalize(ExecContext &X, ExecutionState *S) {
     ++X.Stats.CompletedStates;
     X.Stats.CompletedMultiplicity += S->Multiplicity;
     X.Stats.ExactPathsCompleted += S->ShadowPaths.size();
-    if (Opts.CollectTests && testCount() < Opts.MaxTests) {
-      TestCase T;
-      T.Kind = TestKind::Halt;
-      T.Where = S->Loc;
-      T.Multiplicity = S->Multiplicity;
-      if (X.TheSolver.getModel(Query(S->PC), T.Inputs))
-        appendTest(std::move(T));
+    if (Opts.CollectTests && plannedTestCount() < Opts.MaxTests) {
+      if (TheTestGenPool) {
+        // Async test generation: snapshot the path condition and hand
+        // the final-model solve to the pool, so the worker returns to
+        // exploration immediately. Queued jobs count toward the
+        // MaxTests gates via plannedTestCount() — the inline baseline
+        // counts every finalized state at once, and async runs must
+        // stop exploring at the same point — and the synchronized test
+        // sink still re-checks the bound exactly on append.
+        ++X.Stats.TestGenQueued;
+        TestGenPending.fetch_add(1, std::memory_order_relaxed);
+        TheTestGenPool->enqueue(
+            TestGenJob{S->PC, S->Loc, S->Multiplicity});
+      } else {
+        TestCase T;
+        T.Kind = TestKind::Halt;
+        T.Where = S->Loc;
+        T.Multiplicity = S->Multiplicity;
+        if (X.TheSolver.getModel(Query(S->PC), T.Inputs))
+          appendTest(std::move(T));
+      }
     }
   }
   // Errored states already emitted their bug report; Dead states vanish.
@@ -608,6 +647,10 @@ static void reportSolverStats(EngineStats &S, const SolverQueryStats &D) {
   S.SolverGroupSubSessions = D.GroupSubSessions;
   S.SolverGroupMerges = D.GroupMerges;
   S.SolverGroupSlicedSolves = D.GroupSlicedSolves;
+  S.SolverModelCacheHits = D.ModelCacheHits;
+  S.SolverModelCacheMisses = D.ModelCacheMisses;
+  S.SolverEvalSatShortcuts = D.EvalSatShortcuts;
+  S.SolverModelCacheEvictions = D.ModelCacheEvictions;
 }
 
 /// Folds a worker's engine counters into the run totals.
@@ -624,6 +667,8 @@ static void mergeEngineStats(EngineStats &A, const EngineStats &B) {
   A.SessionsBuilt += B.SessionsBuilt;
   A.SessionEvictions += B.SessionEvictions;
   A.SessionSplits += B.SessionSplits;
+  A.TestGenQueued += B.TestGenQueued;
+  A.TestGenSolved += B.TestGenSolved;
 }
 
 /// Total order on test cases for the deterministic post-run ordering of
@@ -715,18 +760,55 @@ RunResult Engine::runSequential() {
   return std::move(Result);
 }
 
+void Engine::routeBatch(ExecContext &X, StateFrontier &Frontier,
+                        ExecutionState *S,
+                        const std::vector<ExecutionState *> &New) {
+  // Terminal states finalize FIRST so their session-handle references
+  // die before the keeper decision. Without this ordering, a fork whose
+  // child halted immediately destroyed the warm session outright: the
+  // parent, routed first and seeing the handle still shared, dropped its
+  // reference, and the dying child's destruction then killed the session
+  // the parent could have kept (ROADMAP: 183 vs 40 session builds at
+  // workers=4 on a toy run).
+  std::vector<ExecutionState *> Running;
+  Running.reserve(1 + New.size());
+  auto Triage = [&](ExecutionState *St) {
+    if (St->Status == StateStatus::Running)
+      Running.push_back(St);
+    else
+      finalize(X, St);
+  };
+  Triage(S);
+  for (ExecutionState *N : New)
+    Triage(N);
+
+  // Designated keeper: among the running sharers of one handle, the
+  // LAST-routed keeps the warm session (for a fork that is the child,
+  // whose path condition extends the session's asserted prefix); the
+  // others drop their reference and rebuild on first use. A handle must
+  // be unshared BEFORE its state is inserted — once visible, another
+  // worker can pop the state and acquire the session concurrently.
+  for (size_t I = 0; I < Running.size(); ++I) {
+    if (!Running[I]->PathSession)
+      continue;
+    bool LaterSharer = false;
+    for (size_t J = I + 1; J < Running.size() && !LaterSharer; ++J)
+      LaterSharer = Running[J]->PathSession == Running[I]->PathSession;
+    // With every earlier in-batch sharer already reset, a keeper's
+    // use_count above one means a holder OUTSIDE this batch exists;
+    // drop defensively — no sharing may survive routing.
+    if (LaterSharer || Running[I]->PathSession.use_count() > 1)
+      Running[I]->PathSession.reset();
+  }
+
+  for (ExecutionState *St : Running)
+    routeParallel(X, Frontier, St);
+}
+
 void Engine::routeParallel(ExecContext &X, StateFrontier &Frontier,
                            ExecutionState *S) {
-  if (S->Status != StateStatus::Running) {
-    finalize(X, S);
-    return;
-  }
-  // A session handle shared with siblings must not cross threads:
-  // exactly one of the sharers may keep it. Dropping this state's
-  // reference here leaves the handle to the last holder; this state
-  // rebuilds (against its executing worker's solver) on first use.
-  if (S->PathSession && S->PathSession.use_count() > 1)
-    S->PathSession.reset();
+  assert(S->Status == StateStatus::Running &&
+         "terminal states are finalized by routeBatch");
   if (!Policy.wantsMerging()) {
     Frontier.insert(S);
     return;
@@ -760,7 +842,8 @@ void Engine::workerLoop(unsigned WorkerId, StateFrontier &Frontier,
   while (true) {
     if (SharedSteps.load(std::memory_order_relaxed) >= Opts.MaxSteps ||
         Wall.seconds() >= Opts.MaxSeconds ||
-        (Opts.MaxTests != UINT64_MAX && testCount() >= Opts.MaxTests))
+        (Opts.MaxTests != UINT64_MAX &&
+         plannedTestCount() >= Opts.MaxTests))
       Frontier.requestStop();
     if (Frontier.stopRequested())
       break;
@@ -779,9 +862,7 @@ void Engine::workerLoop(unsigned WorkerId, StateFrontier &Frontier,
     SharedSteps.fetch_add(X.Stats.Steps - StepsBefore,
                           std::memory_order_relaxed);
 
-    routeParallel(X, Frontier, S);
-    for (ExecutionState *N : NewStates)
-      routeParallel(X, Frontier, N);
+    routeBatch(X, Frontier, S, NewStates);
     Frontier.finishedOne();
   }
 
@@ -800,6 +881,25 @@ RunResult Engine::runParallel() {
   const unsigned Workers = Opts.Workers;
   StateFrontier Frontier(Workers, Resources.MakeSearcher);
 
+  // The async test-generation pool: halted states' final-model solves
+  // overlap exploration instead of stalling the worker that finalizes.
+  // Pool threads own their own solver stacks (same factory as the
+  // workers) and feed solved models into the shared counterexample
+  // cache. --no-async-testgen (and workers=1) keep the inline baseline.
+  std::unique_ptr<TestGenPool> Pool;
+  TestGenPending.store(0, std::memory_order_relaxed);
+  if (Opts.AsyncTestGen && Opts.CollectTests)
+    Pool = std::make_unique<TestGenPool>(
+        Resources.MakeSolver,
+        // Delivered jobs retire from the pending count and append in ONE
+        // critical section (appendPoolTest); undelivered jobs (gate-
+        // skipped / no model) just retire.
+        [this](TestCase T) { return appendPoolTest(std::move(T)); },
+        [this] { return testCount() < Opts.MaxTests; },
+        [this] { TestGenPending.fetch_sub(1, std::memory_order_relaxed); },
+        Resources.TestGenModels, Opts.TestGenThreads);
+  TheTestGenPool = Pool.get();
+
   ExecutionState *Init = makeInitialState();
   MaxOwned = Owned.size();
   Frontier.insert(Init);
@@ -817,6 +917,15 @@ RunResult Engine::runParallel() {
     });
   for (std::thread &T : Threads)
     T.join();
+
+  // Drain the test-generation pool at quiescence: every queued job is
+  // solved (or skipped past the MaxTests budget) BEFORE the canonical
+  // test sort and the statistics snapshot below.
+  if (Pool) {
+    Pool->drain();
+    TheTestGenPool = nullptr;
+    Result.Stats.TestGenSolved = Pool->solved();
+  }
 
   const bool Stopped = Frontier.stopRequested();
 
@@ -838,6 +947,8 @@ RunResult Engine::runParallel() {
   SolverQueryStats Total = diffSolverStats(solverStats(), Baseline);
   for (const SolverQueryStats &W : WorkerSolver)
     Total += W;
+  if (Pool)
+    Total += Pool->stats(); // Pool threads' deltas, like a worker's.
   reportSolverStats(Result.Stats, Total);
 
   // Deterministic post-run ordering: parallel workers emit tests in a

@@ -60,7 +60,9 @@
 
 namespace symmerge {
 
+class ModelCache;
 class StateFrontier;
+class TestGenPool;
 class Timer;
 
 /// Exploration budgets and feature toggles.
@@ -92,6 +94,15 @@ struct EngineOptions {
   /// N > 1 = the partitioned scheduler/worker architecture, which
   /// requires Engine::setWorkerResources() factories.
   unsigned Workers = 1;
+  /// Solve halted states' test-case models on a dedicated TestGenPool,
+  /// overlapping model solving with exploration. Parallel runs only:
+  /// Workers == 1 (and --no-async-testgen) keep the inline path as the
+  /// bit-for-bit baseline. Final models are a pure function of the
+  /// snapshotted path condition, so async and inline runs produce
+  /// identical canonical test sets.
+  bool AsyncTestGen = true;
+  /// Threads in the test-generation pool (>= 1).
+  unsigned TestGenThreads = 1;
 };
 
 /// One symbolic execution run over a module (starting at main).
@@ -106,6 +117,10 @@ public:
   struct WorkerResources {
     std::function<std::unique_ptr<Solver>()> MakeSolver;
     std::function<std::unique_ptr<Searcher>(unsigned)> MakeSearcher;
+    /// Shared counterexample cache the async test-generation pool feeds
+    /// solved final models into (may be null; the pool never PROBES it —
+    /// final models must stay a pure function of the query).
+    std::shared_ptr<ModelCache> TestGenModels;
   };
 
   Engine(ExprContext &Ctx, const ProgramInfo &PI, Solver &TheSolver,
@@ -174,8 +189,19 @@ private:
 
   /// Test-case sink: direct append sequentially, mutex-guarded in
   /// parallel runs (which sort the list post-run for determinism).
-  void appendTest(TestCase T);
+  /// Returns false when a Halt test lost the MaxTests race and was
+  /// dropped (bug reports are never clamped).
+  bool appendTest(TestCase T);
+  /// appendTest for pool-delivered tests: retires the job from
+  /// TestGenPending and appends under ONE TestsMu critical section, so
+  /// plannedTestCount() readers never see a test counted twice.
+  bool appendPoolTest(TestCase T);
   size_t testCount() const;
+  /// testCount() plus halted states whose final models are still queued
+  /// in the async test-generation pool. The MaxTests gates use THIS
+  /// count, so async runs stop exploring at the same point the inline
+  /// baseline would (where every finalized state is counted at once).
+  size_t plannedTestCount() const;
 
   /// Algorithm 1 lines 17-22 (sequential): merge \p S with a matching
   /// worklist state or insert it.
@@ -187,8 +213,17 @@ private:
 
   RunResult runSequential();
   RunResult runParallel();
-  /// Routes a post-boundary state: finalize terminal states, merge-or-
-  /// enqueue running ones into their home partition.
+  /// Routes one boundary's whole state batch (the executed state plus its
+  /// fork children): terminal states finalize FIRST — releasing their
+  /// session-handle references — and then, among the running states
+  /// sharing one PathSessionHandle, the last-routed sharer is the
+  /// designated keeper of the warm session; every other sharer drops its
+  /// reference (a handle must be unshared before its state becomes
+  /// visible to other workers) and rebuilds on first use.
+  void routeBatch(ExecContext &X, StateFrontier &Frontier,
+                  ExecutionState *S,
+                  const std::vector<ExecutionState *> &New);
+  /// Merge-or-enqueue one RUNNING state into its home partition.
   void routeParallel(ExecContext &X, StateFrontier &Frontier,
                      ExecutionState *S);
   void workerLoop(unsigned WorkerId, StateFrontier &Frontier,
@@ -214,6 +249,13 @@ private:
 
   // Parallel-run synchronization (inert when Workers == 1).
   bool ParallelRun = false;
+  /// Async test-generation pool of the current parallel run; null in
+  /// sequential runs and under --no-async-testgen (finalize solves
+  /// inline then, the bit-for-bit baseline).
+  TestGenPool *TheTestGenPool = nullptr;
+  /// Jobs enqueued to the pool and not yet processed; see
+  /// plannedTestCount().
+  std::atomic<uint64_t> TestGenPending{0};
   mutable std::mutex TestsMu; ///< Guards Result.Tests in parallel runs.
   std::mutex OwnedMu;         ///< Guards Owned/NextStateId in parallel runs.
   size_t MaxOwned = 0;        ///< Peak Owned.size() (under OwnedMu).

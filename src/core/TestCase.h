@@ -80,6 +80,18 @@ struct EngineStats {
   uint64_t SolverGroupSlicedSolves = 0; ///< Core checks that solved only
                                         ///< the assumption-reachable
                                         ///< groups, not the full set.
+  // Model-reuse subsystem (shared counterexample cache + async testgen).
+  uint64_t SolverModelCacheHits = 0;   ///< Probes that found a cached
+                                       ///< model validated by evaluation.
+  uint64_t SolverModelCacheMisses = 0; ///< Probes with no candidate.
+  uint64_t SolverEvalSatShortcuts = 0; ///< Session checks answered SAT by
+                                       ///< a cached model: evaluation
+                                       ///< cost, zero SAT calls.
+  uint64_t SolverModelCacheEvictions = 0; ///< Index entries dropped by
+                                          ///< the generation-LRU bound.
+  uint64_t TestGenQueued = 0; ///< Halted states handed to the async
+                              ///< test-generation pool.
+  uint64_t TestGenSolved = 0; ///< Pool jobs that produced a test case.
   // Parallel exploration (EngineOptions::Workers > 1).
   uint64_t Workers = 1;        ///< Worker threads the run executed on.
   uint64_t FrontierSteals = 0; ///< pop()s served by a non-home partition.

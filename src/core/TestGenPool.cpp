@@ -1,0 +1,110 @@
+//===- TestGenPool.cpp - Async test-case model solving -----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TestGenPool.h"
+
+#include "solver/ModelCache.h"
+
+using namespace symmerge;
+
+TestGenPool::TestGenPool(SolverFactory MakeSolver, Sink Emit,
+                         Gate ShouldSolve, JobDone OnJobDone,
+                         std::shared_ptr<ModelCache> Models,
+                         unsigned Threads)
+    : MakeSolver(std::move(MakeSolver)), Emit(std::move(Emit)),
+      ShouldSolve(std::move(ShouldSolve)),
+      OnJobDone(std::move(OnJobDone)), Models(std::move(Models)) {
+  unsigned N = std::max(1u, Threads);
+  this->Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    this->Threads.emplace_back([this] { threadLoop(); });
+}
+
+TestGenPool::~TestGenPool() {
+  drain();
+}
+
+void TestGenPool::enqueue(TestGenJob Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping)
+      return; // Drained pools accept no more work.
+    Queue.push_back(std::move(Job));
+  }
+  WorkCv.notify_one();
+}
+
+void TestGenPool::drain() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    DrainCv.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+    if (Stopping)
+      return; // Already drained (the destructor after an explicit drain).
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+  Threads.clear();
+}
+
+void TestGenPool::threadLoop() {
+  // Lazily built so the factory runs on the pool thread: the stack's
+  // one-shot caches and SAT instances are thread-private, like an engine
+  // worker's.
+  std::unique_ptr<Solver> TheSolver;
+
+  for (;;) {
+    TestGenJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        break; // Stopping with nothing left.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+      ++InFlight;
+    }
+
+    // Exactly one of Emit / OnJobDone runs per job: Emit retires a
+    // DELIVERED job itself (the engine's sink folds retirement and
+    // append into one critical section), OnJobDone retires an
+    // undelivered one (gate-skipped, or no model).
+    bool Delivered = false;
+    if (ShouldSolve()) {
+      if (!TheSolver)
+        TheSolver = MakeSolver();
+      TestCase T;
+      T.Kind = TestKind::Halt;
+      T.Where = Job.Where;
+      T.Multiplicity = Job.Multiplicity;
+      if (TheSolver->getModel(Query(Job.PC), T.Inputs)) {
+        // Feed the witness back: exploration sessions probing the shared
+        // model cache reuse completed paths' assignments (valid even
+        // when the sink then drops the test on the budget race).
+        if (Models)
+          Models->insert(T.Inputs);
+        Delivered = true;
+        if (Emit(std::move(T)))
+          Solved.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!Delivered && OnJobDone)
+      OnJobDone();
+
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        DrainCv.notify_all();
+    }
+  }
+
+  // This thread started with zeroed thread-local solver counters, so the
+  // final value IS its delta; fold it into the pool total for the engine.
+  std::lock_guard<std::mutex> Lock(Mu);
+  StatsTotal += solverStats();
+}

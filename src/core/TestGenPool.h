@@ -1,0 +1,121 @@
+//===- TestGenPool.h - Async test-case model solving ------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Moves final-model solving for halted states off the exploration
+/// workers. Engine::finalize snapshots a halted state's path condition
+/// (plus location and multiplicity) into a TestGenJob and returns to
+/// exploration immediately; pool threads — each owning its own full
+/// solver stack, built by the same factory as the engine workers — solve
+/// the test-case models concurrently, so model solving overlaps
+/// exploration instead of stalling it. Solved models feed the shared
+/// counterexample cache (solver/ModelCache.h), closing the loop: a path
+/// that completed makes its siblings' feasibility checks cheaper.
+///
+/// Determinism: a final model is a pure function of the snapshotted query
+/// (the one-shot stack never consults the model or verdict caches for
+/// model requests), so the pool produces bit-identical test inputs to the
+/// inline path; only emission ORDER changes, and the parallel engine
+/// already canonicalizes test order post-run. The engine drains the pool
+/// at quiescence, BEFORE the canonical sort and the statistics snapshot.
+/// The inline path remains the baseline: workers=1 and --no-async-testgen
+/// never construct a pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_TESTGENPOOL_H
+#define SYMMERGE_CORE_TESTGENPOOL_H
+
+#include "core/TestCase.h"
+#include "solver/Solver.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace symmerge {
+
+class ModelCache;
+
+/// One snapshotted halted state awaiting final-model solving.
+struct TestGenJob {
+  std::vector<ExprRef> PC; ///< Path condition (ExprRefs outlive the run).
+  Location Where;
+  double Multiplicity = 1.0;
+};
+
+/// A fixed pool of model-solving threads with a FIFO job queue.
+class TestGenPool {
+public:
+  using SolverFactory = std::function<std::unique_ptr<Solver>()>;
+  /// Receives each solved test case; must be thread-safe (the engine
+  /// passes its synchronized test sink, which enforces MaxTests exactly
+  /// AND retires the job from the engine's pending-test accounting in
+  /// the same critical section). Returns false when the sink dropped
+  /// the test (budget race lost) — such jobs do not count as solved().
+  using Sink = std::function<bool(TestCase)>;
+  /// Checked before each solve; false skips the job (the test budget is
+  /// already exhausted, so the model would be discarded anyway).
+  using Gate = std::function<bool()>;
+  /// Called for each job the sink never saw — gate-skipped, or no model
+  /// — so the engine can retire it from its pending-test accounting
+  /// (may be null). Exactly one of Sink / JobDone runs per job.
+  using JobDone = std::function<void()>;
+
+  TestGenPool(SolverFactory MakeSolver, Sink Emit, Gate ShouldSolve,
+              JobDone OnJobDone, std::shared_ptr<ModelCache> Models,
+              unsigned Threads);
+  ~TestGenPool();
+
+  void enqueue(TestGenJob Job);
+
+  /// Blocks until every queued job has been processed, then stops and
+  /// joins the threads. After drain(), solved() and stats() are final.
+  void drain();
+
+  /// Jobs whose test the sink ACCEPTED. Jobs skipped past the budget,
+  /// snapshots with no model (a conflict-budget Unknown; UNSAT cannot
+  /// occur under the engine's feasible-path invariant), and tests the
+  /// sink dropped on the MaxTests race all count as not solved.
+  uint64_t solved() const {
+    return Solved.load(std::memory_order_relaxed);
+  }
+
+  /// The pool threads' accumulated solver counters (each thread starts
+  /// with zeroed thread-local stats; the total is their sum). Valid after
+  /// drain(); the engine folds it into the run totals exactly like a
+  /// worker's delta.
+  const SolverQueryStats &stats() const { return StatsTotal; }
+
+private:
+  void threadLoop();
+
+  SolverFactory MakeSolver;
+  Sink Emit;
+  Gate ShouldSolve;
+  JobDone OnJobDone;
+  std::shared_ptr<ModelCache> Models;
+
+  std::mutex Mu;
+  std::condition_variable WorkCv;  ///< Signals threads: job or stop.
+  std::condition_variable DrainCv; ///< Signals drain(): queue ran dry.
+  std::deque<TestGenJob> Queue;    ///< Guarded by Mu.
+  size_t InFlight = 0;             ///< Jobs popped, not yet finished.
+  bool Stopping = false;
+
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> Solved{0};
+  SolverQueryStats StatsTotal; ///< Guarded by Mu until threads join.
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_TESTGENPOOL_H

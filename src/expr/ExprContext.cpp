@@ -10,7 +10,8 @@
 
 using namespace symmerge;
 
-ExprContext::ExprContext() = default;
+ExprContext::ExprContext()
+    : Shards(std::make_unique<InternShard[]>(NumInternShards)) {}
 ExprContext::~ExprContext() = default;
 
 uint64_t ExprContext::maskToWidth(uint64_t V, unsigned Width) {
@@ -45,17 +46,13 @@ uint64_t ExprContext::NodeKeyHash::operator()(const NodeKey &K) const {
 ExprRef ExprContext::intern(ExprKind K, unsigned Width, uint64_t Value,
                             const std::string &Name, ExprRef A, ExprRef B,
                             ExprRef C) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return internLocked(K, Width, Value, Name, A, B, C);
-}
-
-ExprRef ExprContext::internLocked(ExprKind K, unsigned Width, uint64_t Value,
-                                  const std::string &Name, ExprRef A,
-                                  ExprRef B, ExprRef C) {
   NodeKey Key{K, Width, Value, nullptr, {A, B, C}};
+  uint64_t Hash = NodeKeyHash()(Key);
+  InternShard &Sh = shardFor(Hash);
+  std::lock_guard<std::mutex> Lock(Sh.Mu);
   if (K != ExprKind::Var) {
-    auto It = InternTable.find(Key);
-    if (It != InternTable.end())
+    auto It = Sh.Table.find(Key);
+    if (It != Sh.Table.end())
       return It->second;
   }
 
@@ -64,7 +61,7 @@ ExprRef ExprContext::internLocked(ExprKind K, unsigned Width, uint64_t Value,
   Node->Width = Width;
   Node->Value = Value;
   Node->Name = Name;
-  Node->Id = Nodes.size();
+  Node->Id = NextId.fetch_add(1, std::memory_order_acq_rel);
   Node->Ops[0] = A;
   Node->Ops[1] = B;
   Node->Ops[2] = C;
@@ -72,12 +69,12 @@ ExprRef ExprContext::internLocked(ExprKind K, unsigned Width, uint64_t Value,
   Node->Symbolic = K == ExprKind::Var ||
                    (A && A->isSymbolic()) || (B && B->isSymbolic()) ||
                    (C && C->isSymbolic());
-  Node->Hash = NodeKeyHash()(Key);
+  Node->Hash = Hash;
 
   ExprRef Result = Node.get();
-  Nodes.push_back(std::move(Node));
+  Sh.Nodes.push_back(std::move(Node));
   if (K != ExprKind::Var)
-    InternTable.emplace(Key, Result);
+    Sh.Table.emplace(Key, Result);
   return Result;
 }
 
@@ -87,7 +84,10 @@ ExprRef ExprContext::mkConst(uint64_t V, unsigned Width) {
 }
 
 ExprRef ExprContext::mkVar(const std::string &Name, unsigned Width) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  // VarMu is held across the whole check-and-intern so a name maps to
+  // exactly one node; the nested shard lock inside intern() is the only
+  // lock order (never shard-then-VarMu), so this cannot deadlock.
+  std::lock_guard<std::mutex> Lock(VarMu);
   auto It = VarTable.find(Name);
   if (It != VarTable.end()) {
     assert(It->second->width() == Width &&
@@ -95,7 +95,7 @@ ExprRef ExprContext::mkVar(const std::string &Name, unsigned Width) {
     return It->second;
   }
   ExprRef V =
-      internLocked(ExprKind::Var, Width, 0, Name, nullptr, nullptr, nullptr);
+      intern(ExprKind::Var, Width, 0, Name, nullptr, nullptr, nullptr);
   VarTable.emplace(Name, V);
   return V;
 }

@@ -21,6 +21,7 @@
 
 #include "expr/Expr.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -29,10 +30,13 @@
 namespace symmerge {
 
 /// Owns all expressions created through it. Thread-safe: the interning
-/// tables are guarded by a mutex (folding and operand reads are lock-free
-/// — nodes are immutable once published), so the parallel engine's workers
-/// can share one context and hash-consing keeps structurally equal
-/// expressions identical across worker threads.
+/// tables are sharded by node hash with one mutex per shard (folding and
+/// operand reads are lock-free — nodes are immutable once published), so
+/// the parallel engine's workers can share one context without funneling
+/// every mk* call through a single global lock; two workers contend only
+/// when their nodes hash to the same shard. Node ids come from one atomic
+/// counter, so sequential runs assign the same ids as the pre-sharding
+/// single-table interner.
 class ExprContext {
 public:
   ExprContext();
@@ -134,19 +138,15 @@ public:
   /// Converts any-width \p E to a width-1 boolean as `E != 0`.
   ExprRef mkBoolCast(ExprRef E);
 
-  /// Number of live interned nodes (for tests and statistics).
+  /// Number of live interned nodes (for tests and statistics). Nodes are
+  /// never removed, so the id counter IS the count — no locks needed.
   size_t numNodes() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Nodes.size();
+    return NextId.load(std::memory_order_acquire);
   }
 
 private:
   ExprRef intern(ExprKind K, unsigned Width, uint64_t Value,
                  const std::string &Name, ExprRef A, ExprRef B, ExprRef C);
-  /// intern() with Mu already held (mkVar atomically checks-and-interns).
-  ExprRef internLocked(ExprKind K, unsigned Width, uint64_t Value,
-                       const std::string &Name, ExprRef A, ExprRef B,
-                       ExprRef C);
   ExprRef foldBinOp(ExprKind K, ExprRef L, ExprRef R);
 
   struct NodeKey {
@@ -161,12 +161,33 @@ private:
     uint64_t operator()(const NodeKey &K) const;
   };
 
-  /// Guards Nodes, InternTable, and VarTable. Folding runs outside the
-  /// lock (it only reads immutable published nodes); only the
-  /// check-and-publish step of interning serializes.
-  mutable std::mutex Mu;
-  std::vector<std::unique_ptr<Expr>> Nodes;
-  std::unordered_map<NodeKey, ExprRef, NodeKeyHash> InternTable;
+  /// One interner shard: its slice of the node-ownership storage and the
+  /// hash-cons table, under its own mutex. A node's shard is chosen by
+  /// its structural hash, so the check-and-publish step of interning
+  /// serializes only against nodes that collide on a shard — the last
+  /// global lock on the execution hot path, removed. Folding still runs
+  /// outside any lock (it only reads immutable published nodes).
+  struct InternShard {
+    mutable std::mutex Mu;
+    std::vector<std::unique_ptr<Expr>> Nodes;
+    std::unordered_map<NodeKey, ExprRef, NodeKeyHash> Table;
+  };
+  static constexpr size_t NumInternShards = 16; // Power of two.
+
+  InternShard &shardFor(uint64_t Hash) {
+    // High bits: the table's buckets consume the low bits.
+    return Shards[(Hash >> 48) & (NumInternShards - 1)];
+  }
+
+  std::unique_ptr<InternShard[]> Shards;
+  /// Unique node ids, dense in creation order (sequential runs number
+  /// nodes exactly as the single-table interner did).
+  std::atomic<uint64_t> NextId{0};
+  /// Variables intern by NAME, not structure: their table keeps its own
+  /// mutex, held across the whole check-and-intern of mkVar (nests over
+  /// a shard mutex; never the reverse). Variable creation is rare —
+  /// once per distinct input name — so this lock is cold.
+  mutable std::mutex VarMu;
   std::unordered_map<std::string, ExprRef> VarTable;
 };
 

@@ -8,6 +8,7 @@
 
 #include "expr/ExprUtil.h"
 #include "solver/BitBlaster.h"
+#include "solver/ModelCache.h"
 #include "solver/Sat.h"
 #include "solver/SessionVerdictCache.h"
 #include "support/Timer.h"
@@ -167,13 +168,13 @@ public:
       else
         UF.unite(First, N);
     }
-    // With a verdict cache attached, encoding is deferred until a check
-    // misses; without one every check solves, so encode eagerly (the
-    // encode time then lands outside the check, where the caller's
-    // per-response accounting expects it). Only the record just appended
-    // can be pending here — eager mode leaves nothing behind — so this
-    // is O(1) records, not a full-frame rescan.
-    if (!Cfg.Cache && !RootUnsat) {
+    // With a verdict cache or model cache attached, encoding is deferred
+    // until a check misses both; without either every check solves, so
+    // encode eagerly (the encode time then lands outside the check,
+    // where the caller's per-response accounting expects it). Only the
+    // record just appended can be pending here — eager mode leaves
+    // nothing behind — so this is O(1) records, not a full-frame rescan.
+    if (!Cfg.Cache && !Cfg.Models && !RootUnsat) {
       Timer T;
       materializeRec(F, Rec);
       PendingEncodeSeconds += T.seconds();
@@ -260,12 +261,18 @@ public:
     // session (normalized union of the asserted constraints and the
     // assumptions; sliced to the reachable groups under the
     // feasible-prefix promise), so grouped and monolithic sessions agree
-    // on keys and a shared cache stays coherent.
+    // on keys and a shared cache stays coherent. The model cache probes
+    // the SAME constraint list after a verdict miss: a cached assignment
+    // revalidated by concrete evaluation answers SAT before anything is
+    // materialized into a sub-instance (sound under the promise by the
+    // disjoint-variables argument; unconditionally sound on the full
+    // set).
     std::vector<uint64_t> Key;
     uint64_t KeyHash = 0;
     const bool UseCache = Cfg.Cache != nullptr && !WantModel;
-    if (UseCache) {
-      const bool Slice = Cfg.FeasiblePrefix && !Meaningful.empty();
+    if (UseCache || Cfg.Models) {
+      const bool Slice =
+          Cfg.FeasiblePrefix && !Meaningful.empty() && !WantModel;
       if (Slice)
         ComputeSeeds();
       std::vector<ExprRef> Constraints;
@@ -279,21 +286,41 @@ public:
         }
       Constraints.insert(Constraints.end(), Meaningful.begin(),
                          Meaningful.end());
-      SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
-      SolverResult Hit;
-      if (Cfg.Cache->lookup(Key, KeyHash, Hit)) {
-        ++Stats.VerdictCacheHits;
-        R.Result = Hit;
-        if (R.isUnsat()) {
-          ++Stats.UnsatResults;
-          R.FailedAssumptions = Meaningful;
-        } else {
-          ++Stats.SatResults;
+      if (UseCache) {
+        SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+        SolverResult Hit;
+        if (Cfg.Cache->lookup(Key, KeyHash, Hit)) {
+          ++Stats.VerdictCacheHits;
+          R.Result = Hit;
+          if (R.isUnsat()) {
+            ++Stats.UnsatResults;
+            R.FailedAssumptions = Meaningful;
+          } else {
+            ++Stats.SatResults;
+          }
+          finishTiming(Stats, R, Total, AssertEncode);
+          return R;
         }
-        finishTiming(Stats, R, Total, AssertEncode);
-        return R;
+        ++Stats.VerdictCacheMisses;
       }
-      ++Stats.VerdictCacheMisses;
+      if (Cfg.Models) {
+        std::vector<ExprRef> Vars = session_common::distinctVarsOf(
+            Constraints, [this](ExprRef E) -> const std::vector<ExprRef> & {
+              return varsOf(E);
+            });
+        VarAssignment Hit;
+        if (Cfg.Models->probe(Constraints, Vars, Hit)) {
+          ++Stats.EvalSatShortcuts;
+          ++Stats.SatResults;
+          R.Result = SolverResult::Sat;
+          if (WantModel)
+            completeModel(Hit, Assumptions, R);
+          if (UseCache)
+            Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
+          finishTiming(Stats, R, Total, AssertEncode);
+          return R;
+        }
+      }
     }
 
     // The headline behavior: under the feasible-prefix promise a
@@ -362,6 +389,10 @@ public:
           VarHome[V->id()] = Target;
     }
 
+    // Sub-instances freshly solved by THIS check — each holds a model in
+    // its SAT core that the model cache can republish.
+    std::vector<int> SolvedSubs;
+
     if (Target >= 0) {
       SubSession &T = *Subs[Target];
       std::vector<sat::Lit> Lits = liveGuardsOf(T);
@@ -401,6 +432,7 @@ public:
       }
       // Satisfiable under assumptions implies satisfiable without them.
       T.KnownSat = true;
+      SolvedSubs.push_back(Target);
     }
 
     if (!SliceOnly) {
@@ -435,6 +467,7 @@ public:
           return R;
         }
         SP->KnownSat = true;
+        SolvedSubs.push_back(static_cast<int>(I));
       }
     }
 
@@ -444,6 +477,17 @@ public:
       ++Stats.GroupSlicedSolves;
     if (WantModel)
       composeModel(Assumptions, R);
+    if (Cfg.Models) {
+      // Publish the witnesses. A composed full model subsumes the groups;
+      // otherwise each freshly solved sub-instance contributes its
+      // per-group assignment (the composition property: disjoint
+      // footprints reuse independently).
+      if (WantModel)
+        Cfg.Models->insert(R.Model);
+      else
+        for (int Sub : SolvedSubs)
+          publishGroupModel(Sub, Sub == Target ? &Meaningful : nullptr);
+    }
     if (UseCache)
       Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
     finishTiming(Stats, R, Total, AssertEncode);
@@ -659,6 +703,41 @@ private:
       if (Subs[I] && static_cast<int>(I) != Target && Subs[I]->LiveRecs > 0)
         return true; // A live group was skipped entirely.
     return false;
+  }
+
+  /// Completes a model-cache hit into an assignment of every asserted +
+  /// assumed variable (shared rule: session_common::completeModelFrom).
+  void completeModel(const VarAssignment &Hit,
+                     const std::vector<ExprRef> &Assumptions,
+                     SolverResponse &R) {
+    std::vector<ExprRef> Exprs;
+    for (const Frame &F : Frames)
+      for (const AssertRec &Rec : F.Asserted)
+        Exprs.push_back(Rec.E);
+    Exprs.insert(Exprs.end(), Assumptions.begin(), Assumptions.end());
+    session_common::completeModelFrom(Hit, Exprs, R);
+  }
+
+  /// Publishes sub-instance \p Sub's current SAT model to the shared
+  /// model cache: the variables of its live constraints (plus \p Assumed,
+  /// for the group the assumptions were lowered into) read back from its
+  /// core. Per-group footprints keep the entries small and composable.
+  void publishGroupModel(int Sub, const std::vector<ExprRef> *Assumed) {
+    SubSession &S = *Subs[Sub];
+    VarAssignment M;
+    std::unordered_set<ExprRef> Seen;
+    for (const Frame &F : Frames)
+      for (const AssertRec &Rec : F.Asserted)
+        if (Rec.Sub == Sub)
+          for (ExprRef V : varsOf(Rec.E))
+            if (Seen.insert(V).second)
+              M.set(V, S.BB.modelValue(V));
+    if (Assumed)
+      for (ExprRef A : *Assumed)
+        for (ExprRef V : varsOf(A))
+          if (Seen.insert(V).second)
+            M.set(V, S.BB.modelValue(V));
+    Cfg.Models->insert(M);
   }
 
   /// Per-group model composition: each variable's value is read from the

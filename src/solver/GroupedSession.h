@@ -118,6 +118,12 @@ struct GroupedSessionConfig {
   /// groups entirely (and slicing verdict-cache keys, as before).
   bool FeasiblePrefix = false;
   std::shared_ptr<SessionVerdictCache> Cache; ///< Null when disabled.
+  /// Shared counterexample cache (solver/ModelCache.h): probed on the
+  /// sliced constraint set before a verdict-cache miss materializes
+  /// anything, and fed by every successful solve — each solved group
+  /// publishes its per-group model, and composed full models publish
+  /// their union. Null disables model reuse.
+  std::shared_ptr<ModelCache> Models;
 };
 
 /// Opens a grouped native session (per-group sub-instances). The

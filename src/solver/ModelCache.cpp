@@ -1,0 +1,201 @@
+//===- ModelCache.cpp - Shared counterexample (model) cache ------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/ModelCache.h"
+
+#include "solver/Solver.h"
+
+#include <algorithm>
+
+using namespace symmerge;
+
+ModelCache::ModelCache(const ModelCacheOptions &Opts)
+    : ProbeLimit(std::max(1u, Opts.ProbeLimit)) {
+  size_t NumShards = 1;
+  while (NumShards < std::max(1u, Opts.Shards))
+    NumShards *= 2;
+  // Same shard-collapse rule as the verdict cache: a tiny MaxEntries
+  // spread over many shards would round each slice up and inflate the
+  // real bound.
+  while (Opts.MaxEntries != 0 && NumShards > 1 &&
+         Opts.MaxEntries / NumShards < 4)
+    NumShards /= 2;
+  Shards = std::vector<Shard>(NumShards);
+  MaxPerShard = Opts.MaxEntries == 0
+                    ? 0
+                    : std::max<size_t>(1, Opts.MaxEntries / NumShards);
+}
+
+bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
+                       const std::vector<ExprRef> &Vars,
+                       VarAssignment &Model) {
+  // Degenerate probes (nothing to satisfy / no footprint to index by)
+  // are not counted: only real candidate searches are hits or misses.
+  if (Constraints.empty() || Vars.empty())
+    return false;
+  // Collect up to ProbeLimit candidates, newest-first per variable list,
+  // deduplicated across lists; evaluation happens OUTSIDE the shard
+  // locks (entries are immutable once published).
+  std::vector<std::pair<std::shared_ptr<const Entry>, uint64_t>> Candidates;
+  Candidates.reserve(ProbeLimit);
+  for (ExprRef V : Vars) {
+    if (Candidates.size() >= ProbeLimit)
+      break;
+    uint64_t VarId = V->id();
+    Shard &S = shardFor(VarId);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Index.find(VarId);
+    if (It == S.Index.end())
+      continue;
+    const std::vector<Ref> &List = It->second.Refs;
+    for (size_t I = List.size(); I-- > 0;) {
+      if (Candidates.size() >= ProbeLimit)
+        break;
+      const std::shared_ptr<const Entry> &E = List[I].E;
+      bool SeenAlready = false;
+      for (const auto &[C, Id] : Candidates)
+        if (C == E || C->Hash == E->Hash) {
+          SeenAlready = true;
+          break;
+        }
+      if (!SeenAlready)
+        Candidates.push_back({E, VarId});
+    }
+  }
+
+  for (const auto &[E, VarId] : Candidates) {
+    ExprEvaluator Eval(E->Model);
+    bool AllHold = true;
+    for (ExprRef C : Constraints) {
+      if (!Eval.evaluateBool(C)) {
+        AllHold = false;
+        break;
+      }
+    }
+    if (!AllHold)
+      continue;
+    // Touch the hit in the list we drew it from: refresh its generation
+    // stamp (so the LRU keeps productive models resident) and move it to
+    // the back, where probes look first — probing is most-recently-USED
+    // first, not merely most-recently-inserted first, so a hot model
+    // survives both eviction and probe-budget displacement by churn.
+    Shard &S = shardFor(VarId);
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Index.find(VarId);
+      if (It != S.Index.end()) {
+        std::vector<Ref> &List = It->second.Refs;
+        for (size_t I = 0; I < List.size(); ++I)
+          if (List[I].E == E) {
+            List[I].Generation = ++S.Generation;
+            std::swap(List[I], List.back());
+            break;
+          }
+      }
+    }
+    ++solverStats().ModelCacheHits;
+    Model = E->Model;
+    return true;
+  }
+  ++solverStats().ModelCacheMisses;
+  return false;
+}
+
+void ModelCache::insert(const VarAssignment &Model) {
+  if (Model.values().empty())
+    return;
+  // Deterministic footprint order + a content hash for cheap dedup.
+  std::vector<std::pair<uint64_t, uint64_t>> Items;
+  Items.reserve(Model.values().size());
+  for (const auto &[Var, Val] : Model.values())
+    Items.push_back({Var->id(), Val});
+  std::sort(Items.begin(), Items.end());
+  uint64_t Hash = hashMix(Items.size());
+  for (const auto &[Id, Val] : Items) {
+    Hash = hashCombine(Hash, Id);
+    Hash = hashCombine(Hash, Val);
+  }
+
+  auto E = std::make_shared<const Entry>(Entry{Model, Hash});
+  uint64_t Evicted = 0;
+  for (const auto &[VarId, Val] : Items) {
+    (void)Val;
+    Shard &S = shardFor(VarId);
+    std::lock_guard<std::mutex> Lock(S.M);
+    VarList &L = S.Index[VarId];
+    // Exact per-list dedup via the content-hash set: a model re-solved
+    // because the probe budget happened to miss its resident copy must
+    // not accumulate clones (they would crowd distinct witnesses out of
+    // the shard's capacity). The republication proves the model hot, so
+    // refresh the resident copy's recency instead — making it findable
+    // by the next probe.
+    if (!L.Hashes.insert(Hash).second) {
+      for (size_t I = L.Refs.size(); I-- > 0;)
+        if (L.Refs[I].E->Hash == Hash) {
+          L.Refs[I].Generation = ++S.Generation;
+          std::swap(L.Refs[I], L.Refs.back());
+          break;
+        }
+      continue;
+    }
+    L.Refs.push_back(Ref{E, ++S.Generation});
+    ++S.RefCount;
+    if (MaxPerShard != 0 && S.RefCount > MaxPerShard)
+      Evicted += evictOldHalf(S);
+  }
+  if (Evicted) {
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+    solverStats().ModelCacheEvictions += Evicted;
+  }
+}
+
+uint64_t ModelCache::evictOldHalf(Shard &S) {
+  std::vector<uint64_t> Stamps;
+  Stamps.reserve(S.RefCount);
+  for (const auto &[VarId, List] : S.Index)
+    for (const Ref &R : List.Refs)
+      Stamps.push_back(R.Generation);
+  if (Stamps.empty())
+    return 0;
+  auto Mid = Stamps.begin() + Stamps.size() / 2;
+  std::nth_element(Stamps.begin(), Mid, Stamps.end());
+  uint64_t Cutoff = *Mid;
+  uint64_t Removed = 0;
+  for (auto It = S.Index.begin(); It != S.Index.end();) {
+    VarList &List = It->second;
+    size_t Out = 0;
+    for (size_t I = 0; I < List.Refs.size(); ++I) {
+      if (List.Refs[I].Generation <= Cutoff) {
+        List.Hashes.erase(List.Refs[I].E->Hash);
+        ++Removed;
+        continue;
+      }
+      List.Refs[Out++] = std::move(List.Refs[I]);
+    }
+    List.Refs.resize(Out);
+    It = List.Refs.empty() ? S.Index.erase(It) : std::next(It);
+  }
+  S.RefCount -= Removed;
+  return Removed;
+}
+
+size_t ModelCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.RefCount;
+  }
+  return N;
+}
+
+uint64_t ModelCache::evictions() const {
+  return Evictions.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<ModelCache>
+symmerge::createModelCache(const ModelCacheOptions &Opts) {
+  return std::make_shared<ModelCache>(Opts);
+}

@@ -1,0 +1,145 @@
+//===- ModelCache.h - Shared counterexample (model) cache -------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded concurrent cache of satisfying assignments — the sibling of
+/// SessionVerdictCache. Where the verdict cache memoizes Sat/Unsat
+/// verdicts by constraint-set key, the model cache keeps the *witnesses*
+/// that SAT answers discard today, and reuses them KLEE-counterexample-
+/// cache style: before a verdict-cache miss pays for bit-blasting and a
+/// CDCL search, the session probes candidate models whose variable
+/// footprint overlaps the check's constraint slice and revalidates each
+/// candidate by concrete evaluation (ExprEval). A validated candidate
+/// answers SAT — with a model — at evaluation cost and zero SAT calls.
+///
+/// Keying is by variable footprint, not constraint set: every model is
+/// indexed under each variable it assigns, so a model solved for a
+/// SUPERSET constraint slice is found by any probe over a subset of its
+/// variables — supersets subsume subsets for free, because a model of
+/// more constraints is trivially a model of fewer. Unassigned variables
+/// evaluate as zero (VarAssignment's default), so validation is always a
+/// definite verdict; the footprint index only steers *which* candidates
+/// are worth evaluating, never soundness. Probes are bounded
+/// (ProbeLimit candidate evaluations) so a miss costs a few expression
+/// walks, not a scan of the cache.
+///
+/// Concurrency and capacity mirror the verdict cache: the per-variable
+/// index is sharded by variable id with one mutex per shard, entries are
+/// immutable once published (probes evaluate outside the lock through a
+/// shared_ptr), and each shard evicts its least-recently-stamped half
+/// past its slice of MaxEntries (generation LRU).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_MODELCACHE_H
+#define SYMMERGE_SOLVER_MODELCACHE_H
+
+#include "expr/ExprEval.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace symmerge {
+
+struct ModelCacheOptions {
+  /// Total index-entry bound across all shards (a model indexed under K
+  /// variables counts K entries); 0 = unbounded.
+  size_t MaxEntries = 1u << 16;
+  /// Concurrency shards (rounded up to a power of two).
+  unsigned Shards = 16;
+  /// Maximum candidate models evaluated per probe. Bounds the cost of a
+  /// miss: a probe is ProbeLimit concrete evaluations at worst.
+  unsigned ProbeLimit = 8;
+};
+
+/// Shared concurrent cache of satisfying assignments. Create with
+/// createModelCache() and attach via createCoreSolver(); one cache is
+/// shared by every session of every worker stack, and by the async
+/// test-generation pool (whose final-path models feed back in).
+class ModelCache {
+public:
+  explicit ModelCache(const ModelCacheOptions &Opts);
+
+  /// Probes for a cached assignment that satisfies every constraint in
+  /// \p Constraints, validated by concrete evaluation. \p Vars is the
+  /// distinct variable set of \p Constraints (callers memoize it per
+  /// session); candidates are drawn newest-first from each variable's
+  /// index list, at most ProbeLimit evaluations total. On a validated
+  /// hit, fills \p Model with the cached assignment (variables it does
+  /// not mention evaluate — and must be completed — as zero) and
+  /// returns true. Counts ModelCacheHits/Misses in the thread-local
+  /// solver statistics (cache-level counters; callers that short-cut a
+  /// whole check on a hit additionally count EvalSatShortcuts).
+  bool probe(const std::vector<ExprRef> &Constraints,
+             const std::vector<ExprRef> &Vars, VarAssignment &Model);
+
+  /// Publishes a satisfying assignment; its footprint (the variables it
+  /// assigns) becomes its index. Duplicates of a recently inserted
+  /// identical assignment are dropped.
+  void insert(const VarAssignment &Model);
+
+  /// Total index entries currently held (for tests and statistics).
+  size_t size() const;
+  /// Index entries dropped by the generation-LRU capacity bound.
+  uint64_t evictions() const;
+
+private:
+  /// One published model, immutable after construction; probes read it
+  /// outside the shard lock through the shared_ptr.
+  struct Entry {
+    VarAssignment Model;
+    uint64_t Hash = 0; ///< Of the sorted (var id, value) pairs (dedup).
+  };
+  struct Ref {
+    std::shared_ptr<const Entry> E;
+    uint64_t Generation = 0; ///< Shard generation at last access.
+  };
+  /// One variable's index list plus the content-hash set that keeps it
+  /// duplicate-free (a re-solved model refreshes its resident copy's
+  /// recency instead of appending a clone).
+  struct VarList {
+    std::vector<Ref> Refs;
+    std::unordered_set<uint64_t> Hashes;
+  };
+  struct Shard {
+    mutable std::mutex M;
+    /// Variable id -> models assigning that variable, most recently
+    /// used last (probes walk back-to-front).
+    std::unordered_map<uint64_t, VarList> Index;
+    size_t RefCount = 0; ///< Sum of Index list sizes (under M).
+    uint64_t Generation = 0;
+
+    Shard() = default;
+    Shard(Shard &&) noexcept {} // Only moved while empty, at construction.
+  };
+
+  Shard &shardFor(uint64_t VarId) {
+    return Shards[hashMix(VarId) & (Shards.size() - 1)];
+  }
+  const Shard &shardFor(uint64_t VarId) const {
+    return const_cast<ModelCache *>(this)->shardFor(VarId);
+  }
+
+  /// Drops the least-recently-stamped half of \p S's entries (caller
+  /// holds S.M). Returns the number of index entries removed.
+  static uint64_t evictOldHalf(Shard &S);
+
+  std::vector<Shard> Shards;
+  size_t MaxPerShard = 0;
+  unsigned ProbeLimit = 8;
+  std::atomic<uint64_t> Evictions{0};
+};
+
+std::shared_ptr<ModelCache> createModelCache(const ModelCacheOptions &Opts = {});
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_MODELCACHE_H

@@ -19,6 +19,7 @@
 #ifndef SYMMERGE_SOLVER_SESSIONVERDICTCACHE_H
 #define SYMMERGE_SOLVER_SESSIONVERDICTCACHE_H
 
+#include "expr/ExprUtil.h"
 #include "solver/Solver.h"
 #include "support/Hashing.h"
 
@@ -26,6 +27,7 @@
 #include <atomic>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace symmerge {
@@ -198,6 +200,38 @@ inline void flushPendingEncode(double PendingSeconds) {
   SolverQueryStats &Stats = solverStats();
   Stats.EncodeSeconds += PendingSeconds;
   Stats.CoreSolveSeconds += PendingSeconds;
+}
+
+/// Distinct variables of \p Constraints in first-occurrence order — the
+/// footprint a model-cache probe draws candidates from. \p VarsOf maps a
+/// constraint to its variable list (both session types memoize this per
+/// session, so the memo is threaded in rather than re-collected here).
+template <typename VarsOfFn>
+std::vector<ExprRef> distinctVarsOf(const std::vector<ExprRef> &Constraints,
+                                    VarsOfFn VarsOf) {
+  std::unordered_set<ExprRef> Seen;
+  std::vector<ExprRef> Vars;
+  for (ExprRef E : Constraints)
+    for (ExprRef V : VarsOf(E))
+      if (Seen.insert(V).second)
+        Vars.push_back(V);
+  return Vars;
+}
+
+/// Fills \p R.Model with an assignment of every variable occurring in
+/// \p Exprs, reading values from the validated model-cache hit \p Hit
+/// (variables it does not mention were evaluated — and are completed —
+/// as zero). Shared so the two session types' model completion can
+/// never drift apart.
+inline void completeModelFrom(const VarAssignment &Hit,
+                              const std::vector<ExprRef> &Exprs,
+                              SolverResponse &R) {
+  std::unordered_set<ExprRef> Seen;
+  std::vector<ExprRef> Vars;
+  for (ExprRef E : Exprs)
+    collectVars(E, Vars, Seen);
+  for (ExprRef V : Vars)
+    R.Model.set(V, Hit.get(V));
 }
 
 /// Triage assumptions without encoding anything: drops constant-true

@@ -100,6 +100,19 @@ struct SolverQueryStats {
   uint64_t GroupSlicedSolves = 0; ///< Core checks that encoded/solved a
                                   ///< proper subset of the asserted
                                   ///< constraints (the reachable groups).
+  // Model-reuse subsystem (shared counterexample cache). Hits/misses
+  // are CACHE-level (counted inside ModelCache::probe, whoever the
+  // prober is); EvalSatShortcuts is SESSION-level — checks a hit
+  // answered without the SAT core. Today sessions are the only probers
+  // so shortcuts == hits; the counters diverge as other probers appear.
+  uint64_t ModelCacheHits = 0;   ///< Probes that found a cached model
+                                 ///< validated by concrete evaluation.
+  uint64_t ModelCacheMisses = 0; ///< Probes with no validating candidate.
+  uint64_t EvalSatShortcuts = 0; ///< Session checks answered SAT by a
+                                 ///< validated cached model — evaluation
+                                 ///< cost, zero SAT calls.
+  uint64_t ModelCacheEvictions = 0; ///< Index entries dropped by the
+                                    ///< cache's generation-LRU bound.
 
   /// Folds \p O into this (the parallel engine merges each worker's
   /// thread-local counters into the run totals at shutdown).
@@ -291,6 +304,15 @@ createVerdictCache(const VerdictCacheOptions &Opts = {});
 size_t verdictCacheSize(const SessionVerdictCache &Cache);
 uint64_t verdictCacheEvictions(const SessionVerdictCache &Cache);
 
+/// The model-reuse sibling of the verdict cache: a sharded concurrent
+/// cache of satisfying assignments (see solver/ModelCache.h). Attached to
+/// a core solver, native sessions probe it before a verdict-cache miss
+/// pays for bit-blasting: a candidate model revalidated by concrete
+/// evaluation answers SAT — with a model — at evaluation cost and zero
+/// SAT calls, and every successful solve (including composed per-group
+/// models) publishes its assignment back.
+class ModelCache;
+
 /// Bitblasting solver: Tseitin-encodes the query and runs the CDCL core.
 /// \p ConflictBudget bounds each SAT call (0 = unlimited).
 /// \p IncrementalSessions selects what openSession() returns: a native
@@ -319,11 +341,14 @@ std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
 /// createCoreSolver with a caller-provided verdict cache, so several core
 /// solvers — one per engine worker — share one concurrent cache and
 /// cross-state sharing survives parallelism. \p Cache may be null.
+/// \p Models optionally attaches a shared counterexample cache (see
+/// ModelCache above); null disables model reuse.
 std::unique_ptr<Solver>
 createCoreSolver(ExprContext &Ctx, uint64_t ConflictBudget,
                  bool IncrementalSessions,
                  std::shared_ptr<SessionVerdictCache> Cache,
-                 bool GroupSessions = true);
+                 bool GroupSessions = true,
+                 std::shared_ptr<ModelCache> Models = nullptr);
 
 /// Wraps \p Inner with a query-result cache.
 std::unique_ptr<Solver> createCachingSolver(ExprContext &Ctx,

@@ -10,6 +10,7 @@
 #include "expr/ExprUtil.h"
 #include "solver/BitBlaster.h"
 #include "solver/GroupedSession.h"
+#include "solver/ModelCache.h"
 #include "solver/Sat.h"
 #include "solver/SessionVerdictCache.h"
 #include "support/Hashing.h"
@@ -51,6 +52,10 @@ SolverQueryStats &SolverQueryStats::operator+=(const SolverQueryStats &O) {
   GroupSubSessions += O.GroupSubSessions;
   GroupMerges += O.GroupMerges;
   GroupSlicedSolves += O.GroupSlicedSolves;
+  ModelCacheHits += O.ModelCacheHits;
+  ModelCacheMisses += O.ModelCacheMisses;
+  EvalSatShortcuts += O.EvalSatShortcuts;
+  ModelCacheEvictions += O.ModelCacheEvictions;
   return *this;
 }
 
@@ -75,6 +80,10 @@ SolverQueryStats &SolverQueryStats::operator-=(const SolverQueryStats &O) {
   GroupSubSessions -= O.GroupSubSessions;
   GroupMerges -= O.GroupMerges;
   GroupSlicedSolves -= O.GroupSlicedSolves;
+  ModelCacheHits -= O.ModelCacheHits;
+  ModelCacheMisses -= O.ModelCacheMisses;
+  EvalSatShortcuts -= O.EvalSatShortcuts;
+  ModelCacheEvictions -= O.ModelCacheEvictions;
   return *this;
 }
 
@@ -232,10 +241,11 @@ public:
   IncrementalCoreSession(ExprContext &Ctx, uint64_t ConflictBudget,
                          bool Tracked,
                          std::shared_ptr<SessionVerdictCache> Cache,
-                         bool FeasiblePrefix = false)
+                         bool FeasiblePrefix = false,
+                         std::shared_ptr<ModelCache> Models = nullptr)
       : SolverSession(Ctx), ConflictBudget(ConflictBudget),
         Tracked(Tracked), FeasiblePrefix(FeasiblePrefix),
-        Cache(std::move(Cache)), BB(S) {
+        Cache(std::move(Cache)), Models(std::move(Models)), BB(S) {
     Frames.push_back(Frame{sat::LitUndef, {}});
   }
 
@@ -288,13 +298,14 @@ public:
       if (Frames.size() == 1)
         RootUnsat = true;
     }
-    // With a verdict cache attached, encoding is deferred until a check
-    // actually reaches the SAT core: a state whose every feasibility
-    // check hits the cache never Tseitin-encodes its path condition at
-    // all. Without a cache every check solves, so encode eagerly (the
-    // encode time then lands outside the check, where the caller's
-    // per-response accounting expects it).
-    if (!Cache)
+    // With a verdict cache or model cache attached, encoding is deferred
+    // until a check actually reaches the SAT core: a state whose every
+    // feasibility check hits a cache (a shared verdict, or a cached
+    // model revalidated by evaluation) never Tseitin-encodes its path
+    // condition at all. Without either cache every check solves, so
+    // encode eagerly (the encode time then lands outside the check,
+    // where the caller's per-response accounting expects it).
+    if (!Cache && !Models)
       materialize();
   }
 
@@ -382,35 +393,60 @@ public:
     // prefix is satisfiable over disjoint variables, so it cannot change
     // the verdict — and sibling states whose path conditions differ only
     // in irrelevant conjuncts now share one cache line.
+    //
+    // The model cache probes the SAME constraint list: a cached
+    // assignment that concretely satisfies every member answers SAT
+    // without touching the SAT core (sound under the promise by the same
+    // disjoint-variables argument; unconditionally sound when the list
+    // is the full asserted set). Model requests may be served too — the
+    // validated assignment IS a model of the full set then.
     std::vector<uint64_t> Key;
     uint64_t KeyHash = 0;
-    if (Cache && !WantModel) {
+    const bool UseCache = Cache && !WantModel;
+    if (UseCache || Models) {
       std::vector<ExprRef> Constraints;
       for (const Frame &F : Frames)
         for (ExprRef E : F.Asserted)
           if (!E->isTrue())
             Constraints.push_back(E);
-      if (FeasiblePrefix && !Meaningful.empty())
+      if (FeasiblePrefix && !Meaningful.empty() && !WantModel)
         Constraints = sliceReachable(Constraints, Meaningful);
       Constraints.insert(Constraints.end(), Meaningful.begin(),
                          Meaningful.end());
-      SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
-      SolverResult Hit;
-      if (Cache->lookup(Key, KeyHash, Hit)) {
-        ++Stats.VerdictCacheHits;
-        R.Result = Hit;
-        if (R.isUnsat()) {
-          ++Stats.UnsatResults;
-          // Like fallback sessions, a cached refutation cannot name the
-          // responsible subset; over-approximate with every assumption.
-          R.FailedAssumptions = Meaningful;
-        } else {
-          ++Stats.SatResults;
+      if (UseCache) {
+        SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+        SolverResult Hit;
+        if (Cache->lookup(Key, KeyHash, Hit)) {
+          ++Stats.VerdictCacheHits;
+          R.Result = Hit;
+          if (R.isUnsat()) {
+            ++Stats.UnsatResults;
+            // Like fallback sessions, a cached refutation cannot name the
+            // responsible subset; over-approximate with every assumption.
+            R.FailedAssumptions = Meaningful;
+          } else {
+            ++Stats.SatResults;
+          }
+          finishTiming(Stats, R, Total, AssertEncode);
+          return R;
         }
-        finishTiming(Stats, R, Total, AssertEncode);
-        return R;
+        ++Stats.VerdictCacheMisses;
       }
-      ++Stats.VerdictCacheMisses;
+      if (Models) {
+        VarAssignment Hit;
+        if (Models->probe(Constraints, varsOfAll(Constraints), Hit)) {
+          ++Stats.EvalSatShortcuts;
+          ++Stats.SatResults;
+          R.Result = SolverResult::Sat;
+          if (WantModel)
+            completeModel(Hit, Assumptions, R);
+          // The evaluation proof is exact; share the verdict too.
+          if (UseCache)
+            Cache->insert(std::move(Key), KeyHash, R.Result);
+          finishTiming(Stats, R, Total, AssertEncode);
+          return R;
+        }
+      }
     }
 
     // Materialize any deferred encoding, then lower the assumptions onto
@@ -460,7 +496,7 @@ public:
     } else {
       R.Result = SolverResult::Sat;
       ++Stats.SatResults;
-      if (WantModel) {
+      if (WantModel || Models) {
         std::unordered_set<ExprRef> Seen;
         std::vector<ExprRef> Vars;
         for (const Frame &F : Frames)
@@ -468,11 +504,18 @@ public:
             collectVars(E, Vars, Seen);
         for (ExprRef A : Assumptions)
           collectVars(A, Vars, Seen);
+        VarAssignment M;
         for (ExprRef V : Vars)
-          R.Model.set(V, BB.modelValue(V));
+          M.set(V, BB.modelValue(V));
+        // Publish the witness: future checks whose slice this assignment
+        // concretely satisfies answer SAT without a SAT call.
+        if (Models)
+          Models->insert(M);
+        if (WantModel)
+          R.Model = std::move(M);
       }
     }
-    if (Cache && !WantModel)
+    if (UseCache)
       Cache->insert(std::move(Key), KeyHash, R.Result);
     finishTiming(Stats, R, Total, AssertEncode);
     return R;
@@ -493,6 +536,27 @@ private:
     if (Inserted)
       It->second = collectVars(E);
     return It->second;
+  }
+
+  /// Distinct variables of a constraint list (via the per-session memo) —
+  /// the footprint a model-cache probe draws candidates from.
+  std::vector<ExprRef> varsOfAll(const std::vector<ExprRef> &Constraints) {
+    return session_common::distinctVarsOf(
+        Constraints, [this](ExprRef E) -> const std::vector<ExprRef> & {
+          return varsOf(E);
+        });
+  }
+
+  /// Completes a model-cache hit into an assignment of every asserted +
+  /// assumed variable (shared rule: session_common::completeModelFrom).
+  void completeModel(const VarAssignment &Hit,
+                     const std::vector<ExprRef> &Assumptions,
+                     SolverResponse &R) {
+    std::vector<ExprRef> Exprs;
+    for (const Frame &F : Frames)
+      Exprs.insert(Exprs.end(), F.Asserted.begin(), F.Asserted.end());
+    Exprs.insert(Exprs.end(), Assumptions.begin(), Assumptions.end());
+    session_common::completeModelFrom(Hit, Exprs, R);
   }
 
   /// Returns the subset of \p Constraints sharing variables (transitively)
@@ -556,6 +620,7 @@ private:
   bool Tracked; ///< False when serving a one-shot checkSat shim.
   bool FeasiblePrefix; ///< Caller's SessionOptions::FeasiblePrefix promise.
   std::shared_ptr<SessionVerdictCache> Cache; ///< Null when disabled.
+  std::shared_ptr<ModelCache> Models;         ///< Null when disabled.
   std::unordered_map<ExprRef, std::vector<ExprRef>> VarsMemo;
   sat::SatSolver S;
   BitBlaster BB;
@@ -571,11 +636,14 @@ class CoreSolver : public Solver {
 public:
   CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget, bool Incremental,
              std::shared_ptr<SessionVerdictCache> SharedCache,
-             bool GroupSessions)
+             bool GroupSessions,
+             std::shared_ptr<ModelCache> SharedModels = nullptr)
       : Solver(Ctx), ConflictBudget(ConflictBudget),
         Incremental(Incremental), GroupSessions(GroupSessions) {
-    if (Incremental)
+    if (Incremental) {
       Cache = std::move(SharedCache);
+      Models = std::move(SharedModels);
+    }
   }
 
   /// The one-shot entry point is a thin shim over a one-shot session, so
@@ -615,10 +683,11 @@ public:
       Cfg.Tracked = true;
       Cfg.FeasiblePrefix = Feasible;
       Cfg.Cache = Cache;
+      Cfg.Models = Models;
       return createGroupedCoreSession(Ctx, std::move(Cfg));
     }
     return std::make_unique<IncrementalCoreSession>(
-        Ctx, ConflictBudget, /*Tracked=*/true, Cache, Feasible);
+        Ctx, ConflictBudget, /*Tracked=*/true, Cache, Feasible, Models);
   }
 
 private:
@@ -626,6 +695,12 @@ private:
   bool Incremental;
   bool GroupSessions; ///< Per-group sub-sessions vs monolithic baseline.
   std::shared_ptr<SessionVerdictCache> Cache; ///< Shared by all sessions.
+  /// Shared counterexample cache; null disables model reuse. One-shot
+  /// checkSat() shims never probe it: the cache could return a DIFFERENT
+  /// (equally valid) model than a fresh solve, and one-shot model
+  /// generation must stay a pure function of the query so generated test
+  /// inputs are bit-identical across cache configurations and schedules.
+  std::shared_ptr<ModelCache> Models;
 };
 
 //===----------------------------------------------------------------------===
@@ -921,10 +996,11 @@ std::unique_ptr<Solver>
 symmerge::createCoreSolver(ExprContext &Ctx, uint64_t ConflictBudget,
                            bool IncrementalSessions,
                            std::shared_ptr<SessionVerdictCache> Cache,
-                           bool GroupSessions) {
+                           bool GroupSessions,
+                           std::shared_ptr<ModelCache> Models) {
   return std::make_unique<CoreSolver>(Ctx, ConflictBudget,
                                       IncrementalSessions, std::move(Cache),
-                                      GroupSessions);
+                                      GroupSessions, std::move(Models));
 }
 
 std::unique_ptr<Solver>
@@ -952,9 +1028,12 @@ std::unique_ptr<Solver> symmerge::createBruteForceSolver(ExprContext &Ctx) {
 std::unique_ptr<Solver> symmerge::createDefaultSolver(ExprContext &Ctx,
                                                       uint64_t ConflictBudget) {
   return createIndependenceSolver(
-      Ctx, createSimplifyingSolver(
-               Ctx, createCachingSolver(
-                        Ctx, createCoreSolver(Ctx, ConflictBudget,
-                                              /*IncrementalSessions=*/true,
-                                              /*VerdictCache=*/true))));
+      Ctx,
+      createSimplifyingSolver(
+          Ctx, createCachingSolver(
+                   Ctx, createCoreSolver(Ctx, ConflictBudget,
+                                         /*IncrementalSessions=*/true,
+                                         createVerdictCache(),
+                                         /*GroupSessions=*/true,
+                                         createModelCache()))));
 }

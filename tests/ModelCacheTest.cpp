@@ -1,0 +1,352 @@
+//===- ModelCacheTest.cpp - Shared counterexample cache ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The model-reuse subsystem's cache of satisfying assignments:
+///
+///  - probe validation by concrete evaluation (a hit is a PROOF of SAT,
+///    never a guess),
+///  - footprint indexing: supersets subsume subsets (a model solved for
+///    more constraints answers probes over fewer), unassigned variables
+///    evaluate as zero,
+///  - the generation-LRU capacity bound and hot-entry retention,
+///  - cross-thread coherence (runs under the TSan CI job),
+///  - session integration: evaluation-based SAT shortcuts skip both the
+///    SAT core and the Tseitin encoder, verdicts stay exactly equal to a
+///    cache-less twin, and the engine's merged per-worker statistics
+///    match the cache's own ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "lang/Lower.h"
+#include "solver/ModelCache.h"
+#include "solver/Solver.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace symmerge;
+
+namespace {
+
+VarAssignment makeModel(std::initializer_list<std::pair<ExprRef, uint64_t>>
+                            Values) {
+  VarAssignment M;
+  for (const auto &[V, Val] : Values)
+    M.set(V, Val);
+  return M;
+}
+
+} // namespace
+
+TEST(ModelCacheTest, ProbeValidatesByEvaluation) {
+  ExprContext Ctx;
+  auto Cache = createModelCache();
+  ExprRef X = Ctx.mkVar("x", 8);
+
+  Cache->insert(makeModel({{X, 3}}));
+
+  VarAssignment Hit;
+  // A constraint the model satisfies: hit, with the cached assignment.
+  EXPECT_TRUE(Cache->probe({Ctx.mkUlt(X, Ctx.mkConst(5, 8))}, {X}, Hit));
+  EXPECT_EQ(Hit.get(X), 3u);
+  // A constraint the model falsifies: the validation must reject it —
+  // a footprint match alone is never a hit.
+  EXPECT_FALSE(
+      Cache->probe({Ctx.mkUlt(Ctx.mkConst(5, 8), X)}, {X}, Hit));
+  // A conjunction where one member fails rejects the candidate.
+  EXPECT_FALSE(Cache->probe({Ctx.mkUlt(X, Ctx.mkConst(5, 8)),
+                             Ctx.mkEq(X, Ctx.mkConst(4, 8))},
+                            {X}, Hit));
+}
+
+TEST(ModelCacheTest, SupersetFootprintsSubsumeSubsets) {
+  // A model solved for constraints over {x, y} is indexed under both
+  // variables, so a probe whose slice mentions only y still finds it —
+  // a model of more constraints is trivially a model of fewer.
+  ExprContext Ctx;
+  auto Cache = createModelCache();
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+
+  Cache->insert(makeModel({{X, 2}, {Y, 7}}));
+
+  VarAssignment Hit;
+  EXPECT_TRUE(
+      Cache->probe({Ctx.mkUlt(Ctx.mkConst(5, 8), Y)}, {Y}, Hit));
+  EXPECT_EQ(Hit.get(Y), 7u);
+}
+
+TEST(ModelCacheTest, UnassignedVariablesEvaluateAsZero) {
+  // Validation is total: variables a candidate does not assign evaluate
+  // as zero (VarAssignment's default), so a candidate with a PARTIAL
+  // footprint can still validate — and the zero completion is exactly
+  // what the hit reports.
+  ExprContext Ctx;
+  auto Cache = createModelCache();
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Z = Ctx.mkVar("z", 8);
+
+  Cache->insert(makeModel({{X, 1}}));
+
+  VarAssignment Hit;
+  EXPECT_TRUE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(1, 8)),
+                            Ctx.mkEq(Z, Ctx.mkConst(0, 8))},
+                           {X, Z}, Hit));
+  EXPECT_EQ(Hit.get(X), 1u);
+  EXPECT_EQ(Hit.get(Z), 0u);
+  // And a constraint requiring z != 0 must reject the same candidate.
+  EXPECT_FALSE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(1, 8)),
+                             Ctx.mkEq(Z, Ctx.mkConst(9, 8))},
+                            {X, Z}, Hit));
+}
+
+TEST(ModelCacheTest, GenerationLruBoundsEntriesAndKeepsHotModels) {
+  ExprContext Ctx;
+  ModelCacheOptions Opts;
+  Opts.MaxEntries = 64;
+  Opts.Shards = 4;
+  auto Cache = createModelCache(Opts);
+  ExprRef X = Ctx.mkVar("x", 16);
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Evictions0 = Stats.ModelCacheEvictions;
+
+  // One hot model, probed every round, churning against hundreds of
+  // cold inserts on the same variable (all in one shard: worst case).
+  ExprRef HotConstraint = Ctx.mkEq(X, Ctx.mkConst(4242, 16));
+  Cache->insert(makeModel({{X, 4242}}));
+  VarAssignment Hit;
+  for (uint64_t K = 0; K < 600; ++K) {
+    ASSERT_TRUE(Cache->probe({HotConstraint}, {X}, Hit)) << "round " << K;
+    Cache->insert(makeModel({{X, 10000 + K}}));
+  }
+
+  EXPECT_LE(Cache->size(), Opts.MaxEntries)
+      << "the LRU bound must hold after 600 distinct models";
+  EXPECT_GT(Cache->evictions(), 0u);
+  EXPECT_GT(Stats.ModelCacheEvictions, Evictions0)
+      << "evictions must be counted in the solver statistics";
+  // The continuously probed model survived every eviction wave.
+  EXPECT_TRUE(Cache->probe({HotConstraint}, {X}, Hit));
+}
+
+TEST(ModelCacheTest, RepublishedModelsRefreshInsteadOfCloning) {
+  // A model re-solved long after its first insertion (the probe budget
+  // can miss a resident copy, so the session solves and re-publishes)
+  // must not accumulate clones — clones would crowd distinct witnesses
+  // out of the capacity bound. The republication refreshes the resident
+  // copy's recency instead, making it findable again.
+  ExprContext Ctx;
+  ModelCacheOptions Opts;
+  Opts.ProbeLimit = 4;
+  auto Cache = createModelCache(Opts);
+  ExprRef X = Ctx.mkVar("x", 16);
+
+  Cache->insert(makeModel({{X, 77}}));
+  // Push the resident model far beyond the probe window.
+  for (uint64_t K = 0; K < 20; ++K)
+    Cache->insert(makeModel({{X, 1000 + K}}));
+  size_t Before = Cache->size();
+  VarAssignment Hit;
+  ASSERT_FALSE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(77, 16))}, {X}, Hit))
+      << "the resident copy must be outside the probe window here";
+
+  // Re-publishing the identical assignment must not grow the index...
+  Cache->insert(makeModel({{X, 77}}));
+  EXPECT_EQ(Cache->size(), Before);
+  // ...but must bring the model back into probe range.
+  EXPECT_TRUE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(77, 16))}, {X}, Hit));
+  EXPECT_EQ(Hit.get(X), 77u);
+}
+
+TEST(ModelCacheTest, CrossThreadInsertAndProbeStayCoherent) {
+  // Four threads hammer one cache over a shared variable set; every
+  // thread's sentinel model must be probeable afterwards and no probe
+  // may ever return an assignment that fails validation. (The data-race
+  // half of this contract is enforced by the TSan CI job, which runs
+  // this suite.)
+  ExprContext Ctx;
+  auto Cache = createModelCache();
+  std::vector<ExprRef> Vars;
+  for (int I = 0; I < 4; ++I)
+    Vars.push_back(Ctx.mkVar("v" + std::to_string(I), 16));
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      ExprRef V = Vars[T];
+      for (uint64_t K = 0; K < 200; ++K) {
+        VarAssignment M;
+        M.set(V, 1000 * (T + 1) + K);
+        Cache->insert(M);
+        VarAssignment Hit;
+        // Any hit must satisfy the probed constraint by construction.
+        if (Cache->probe({Ctx.mkUlt(Ctx.mkConst(999, 16), V)}, {V}, Hit)) {
+          ExprEvaluator Eval(Hit);
+          EXPECT_TRUE(
+              Eval.evaluateBool(Ctx.mkUlt(Ctx.mkConst(999, 16), V)));
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int T = 0; T < 4; ++T) {
+    VarAssignment Hit;
+    EXPECT_TRUE(Cache->probe(
+        {Ctx.mkEq(Vars[T], Ctx.mkConst(1000 * (T + 1) + 199, 16))},
+        {Vars[T]}, Hit))
+        << "thread " << T << "'s newest model must be resident";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Session integration: evaluation-based SAT shortcuts
+//===----------------------------------------------------------------------===
+
+TEST(ModelCacheTest, SessionChecksShortcutThroughTheModelCache) {
+  ExprContext Ctx;
+  auto Models = createModelCache();
+  auto Core = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                               /*IncrementalSessions=*/true,
+                               /*Cache=*/nullptr, /*GroupSessions=*/true,
+                               Models);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef PC = Ctx.mkUlt(X, Ctx.mkConst(10, 8));
+  ExprRef Hyp = Ctx.mkEq(X, Ctx.mkConst(5, 8));
+
+  SolverQueryStats &Stats = solverStats();
+
+  // First session solves and publishes its witness.
+  auto A = Core->openSession();
+  A->assert_(PC);
+  uint64_t Shortcuts0 = Stats.EvalSatShortcuts;
+  EXPECT_TRUE(A->checkSatAssuming(Hyp).isSat());
+  EXPECT_EQ(Stats.EvalSatShortcuts, Shortcuts0);
+
+  // A sibling session with the same prefix answers the same check from
+  // the cached model: no SAT call, and — because encoding defers until a
+  // check misses — no Tseitin work either.
+  auto B = Core->openSession();
+  B->assert_(PC);
+  uint64_t Lowered0 = Stats.EncodeNodesLowered;
+  EXPECT_TRUE(B->checkSatAssuming(Hyp).isSat());
+  EXPECT_EQ(Stats.EvalSatShortcuts, Shortcuts0 + 1);
+  EXPECT_GT(Stats.ModelCacheHits, 0u);
+  EXPECT_EQ(Stats.EncodeNodesLowered, Lowered0)
+      << "an evaluation-SAT shortcut must not Tseitin-encode anything";
+
+  // A model request served from the cache returns a REAL model of the
+  // full constraint set.
+  SolverResponse WithModel = B->checkSatAssuming(Hyp, /*WantModel=*/true);
+  ASSERT_TRUE(WithModel.isSat());
+  EXPECT_EQ(WithModel.Model.get(X), 5u);
+
+  // An unsatisfiable hypothesis must never shortcut: no cached model can
+  // validate, so the check reaches the core and refutes exactly.
+  EXPECT_TRUE(
+      B->checkSatAssuming(Ctx.mkEq(X, Ctx.mkConst(200, 8))).isUnsat());
+}
+
+TEST(ModelCacheTest, VerdictsAgreeWithCachelessTwinOnRandomSweeps) {
+  // Randomized: the same session script driven against a model-cache
+  // stack and a cache-less twin must produce identical verdicts at every
+  // step, for both native session kinds. The cache can only change HOW a
+  // SAT answer is derived, never WHAT is answered.
+  RNG Rand(20260728);
+  for (int Round = 0; Round < 20; ++Round) {
+    ExprContext Ctx;
+    auto WithModels =
+        createCoreSolver(Ctx, 0, true, nullptr,
+                         /*GroupSessions=*/Round % 2 == 0,
+                         createModelCache());
+    auto Without = createCoreSolver(Ctx, 0, true, nullptr,
+                                    /*GroupSessions=*/Round % 2 == 0,
+                                    /*Models=*/nullptr);
+    ExprRef X = Ctx.mkVar("x", 8);
+    ExprRef Y = Ctx.mkVar("y", 8);
+
+    auto SA = WithModels->openSession();
+    auto SB = Without->openSession();
+    for (int Step = 0; Step < 24; ++Step) {
+      ExprRef V = Rand.nextBool(0.5) ? X : Y;
+      uint64_t K = Rand.nextBelow(64);
+      ExprRef C = Rand.nextBool(0.5)
+                      ? Ctx.mkUlt(V, Ctx.mkConst(K, 8))
+                      : Ctx.mkUlt(Ctx.mkConst(K, 8),
+                                  Ctx.mkAdd(X, Ctx.mkMul(
+                                                   Y, Ctx.mkConst(3, 8))));
+      switch (Rand.nextBelow(4)) {
+      case 0:
+        SA->push();
+        SB->push();
+        SA->assert_(C);
+        SB->assert_(C);
+        break;
+      case 1:
+        if (SA->health().LiveScopes > 0) {
+          SA->pop();
+          SB->pop();
+        }
+        break;
+      default: {
+        SolverResponse RA = SA->checkSatAssuming(C);
+        SolverResponse RB = SB->checkSatAssuming(C);
+        ASSERT_EQ(static_cast<int>(RA.Result),
+                  static_cast<int>(RB.Result))
+            << "round " << Round << " step " << Step;
+        break;
+      }
+      }
+    }
+  }
+}
+
+TEST(ModelCacheTest, EngineStatsMatchModelCacheGroundTruth) {
+  // The merged per-worker (and pool-thread) eviction counters must equal
+  // the shared cache's own count — the same ground-truth audit the
+  // verdict cache gets in ParallelEngineTest.
+  const char *Source =
+      "void main() {\n"
+      "  int a = 0;\n"
+      "  int b = 0;\n"
+      "  make_symbolic(a, \"a\");\n"
+      "  make_symbolic(b, \"b\");\n"
+      "  assume(a >= 0); assume(a <= 10);\n"
+      "  assume(b >= 0); assume(b <= 10);\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 5; i = i + 1) {\n"
+      "    if (a > i * 2) { s = s + 1; } else { s = s + 2; }\n"
+      "    if (b > i * 3) { s = s + b; }\n"
+      "  }\n"
+      "  assert(s <= 40, \"bound\");\n"
+      "}\n";
+  CompileResult CR = compileMiniC(Source);
+  ASSERT_TRUE(CR.ok());
+
+  for (unsigned Workers : {1u, 4u}) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = Workers;
+    // A tiny capacity bound forces real LRU churn.
+    C.ModelCacheLimit = 32;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    ASSERT_TRUE(R.Stats.Exhausted);
+    auto Cache = Runner.modelCache();
+    ASSERT_NE(Cache, nullptr);
+    EXPECT_EQ(R.Stats.SolverModelCacheEvictions, Cache->evictions())
+        << "workers=" << Workers;
+    EXPECT_GT(R.Stats.SolverModelCacheHits +
+                  R.Stats.SolverModelCacheMisses,
+              0u)
+        << "the engine must actually probe (workers=" << Workers << ")";
+  }
+}

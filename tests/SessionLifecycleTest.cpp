@@ -9,9 +9,12 @@
 ///
 ///  - a randomized differential suite: random MiniC programs explored
 ///    under all solver modes (one-shot, per-site sessions, per-state
-///    sessions, per-state + verdict cache, and the group-sessions axis:
-///    per-group sub-instances on vs the monolithic baseline) must
-///    produce identical test cases, coverage, and error verdicts,
+///    sessions, per-state + verdict cache, the group-sessions axis:
+///    per-group sub-instances on vs the monolithic baseline, and the
+///    model-reuse axis: the shared counterexample cache's
+///    evaluation-based SAT shortcuts plus async test generation on vs
+///    the pre-model-cache baseline) must produce identical test cases,
+///    coverage, and error verdicts,
 ///  - the scoped union-find behind solve-level independence slicing
 ///    (group split/merge must track push/pop exactly),
 ///  - the session-level verdict cache (cross-session sharing),
@@ -211,6 +214,15 @@ struct SolverMode {
   /// default; the -nogroup rows pin the monolithic baseline so the
   /// differential covers the group-sessions axis in both directions.
   bool GroupSessions = true;
+  /// Model-reuse axis: the shared counterexample cache's evaluation-based
+  /// SAT shortcuts. Off in the legacy rows (pinning the pre-model-cache
+  /// behavior), on in the +models rows — outcomes must be bit-identical
+  /// either way, because a validated model only changes HOW a SAT answer
+  /// is derived.
+  bool ModelCache = false;
+  /// Async-testgen axis (parallel suite; inert at workers=1): halted
+  /// states' final models solved on the dedicated pool vs inline.
+  bool AsyncTestGen = false;
 };
 
 const SolverMode SolverModes[] = {
@@ -220,6 +232,12 @@ const SolverMode SolverModes[] = {
     {"per-state+cache", true, true, true},
     {"per-state-nogroup", true, true, false, false},
     {"state+cache-nogroup", true, true, true, false},
+    // The production default: verdict cache + model cache + async
+    // test generation.
+    {"state+cache+models", true, true, true, true, true, true},
+    // Model cache standalone (no verdict cache), inline test generation:
+    // the two caches and the pool must not depend on each other.
+    {"state+models-sync", true, true, false, true, true, false},
 };
 
 void applyMode(SymbolicRunner::Config &C, const SolverMode &M) {
@@ -227,6 +245,8 @@ void applyMode(SymbolicRunner::Config &C, const SolverMode &M) {
   C.SolverPerStateSessions = M.PerState;
   C.SolverVerdictCache = M.VerdictCache;
   C.SolverGroupSessions = M.GroupSessions;
+  C.SolverModelCache = M.ModelCache;
+  C.AsyncTestGen = M.AsyncTestGen;
 }
 
 /// Everything a run produced, canonicalized for comparison.

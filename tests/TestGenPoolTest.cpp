@@ -1,0 +1,223 @@
+//===- TestGenPoolTest.cpp - Async test-generation pool ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The async test-generation pool and its engine integration:
+///
+///  - the pool solves every queued job and drains completely before
+///    reporting (drain-before-sort: the engine sorts tests only after
+///    the pool ran dry),
+///  - final models are a pure function of the snapshotted path
+///    condition, so inline and async runs produce identical canonical
+///    test sets at every worker count (the async-testgen axis of the
+///    differential promise),
+///  - the MaxTests race: the synchronized sink clamps Halt tests exactly
+///    even when pool threads and workers race the budget,
+///  - pool solver counters are merged into the run totals like a
+///    worker's delta.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "core/TestGenPool.h"
+#include "lang/Lower.h"
+#include "solver/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+using namespace symmerge;
+
+namespace {
+
+const char *LoopyProgram =
+    "void main() {\n"
+    "  int a = 0;\n"
+    "  int b = 0;\n"
+    "  make_symbolic(a, \"a\");\n"
+    "  make_symbolic(b, \"b\");\n"
+    "  assume(a >= 0); assume(a <= 10);\n"
+    "  assume(b >= 0); assume(b <= 10);\n"
+    "  int s = 0;\n"
+    "  for (int i = 0; i < 5; i = i + 1) {\n"
+    "    if (a > i * 2) { s = s + 1; } else { s = s + 2; }\n"
+    "    if (b > i * 3) { s = s + b; }\n"
+    "  }\n"
+    "  assert(s <= 40, \"bound\");\n"
+    "}\n";
+
+std::string canonicalTest(const TestCase &T) {
+  std::ostringstream OS;
+  OS << static_cast<int>(T.Kind) << ':' << T.Message << ':';
+  std::vector<std::pair<std::string, uint64_t>> Items;
+  for (const auto &[Var, Val] : T.Inputs.values())
+    Items.push_back({Var->varName(), Val});
+  std::sort(Items.begin(), Items.end());
+  for (const auto &[Name, Val] : Items)
+    OS << Name << '=' << Val << ',';
+  return OS.str();
+}
+
+std::vector<std::string> sortedTests(const RunResult &R) {
+  std::vector<std::string> Out;
+  Out.reserve(R.Tests.size());
+  for (const TestCase &T : R.Tests)
+    Out.push_back(canonicalTest(T));
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+TEST(TestGenPoolTest, PoolSolvesEveryQueuedJobBeforeDrainReturns) {
+  ExprContext Ctx;
+  ExprRef X = Ctx.mkVar("x", 16);
+
+  std::mutex SinkMu;
+  std::vector<TestCase> Collected;
+  TestGenPool Pool(
+      [&Ctx] { return createDefaultSolver(Ctx); },
+      [&](TestCase T) {
+        std::lock_guard<std::mutex> Lock(SinkMu);
+        Collected.push_back(std::move(T));
+        return true;
+      },
+      [] { return true; }, /*OnJobDone=*/nullptr, /*Models=*/nullptr,
+      /*Threads=*/2);
+
+  constexpr uint64_t N = 24;
+  for (uint64_t K = 0; K < N; ++K) {
+    TestGenJob Job;
+    Job.PC = {Ctx.mkEq(X, Ctx.mkConst(K, 16))};
+    Job.Multiplicity = static_cast<double>(K + 1);
+    Pool.enqueue(std::move(Job));
+  }
+  Pool.drain();
+
+  EXPECT_EQ(Pool.solved(), N);
+  ASSERT_EQ(Collected.size(), N);
+  // Every job's model pins x to its own constraint — no cross-talk
+  // between pool threads, and multiplicity rides along.
+  std::vector<std::pair<uint64_t, double>> Got;
+  for (const TestCase &T : Collected)
+    Got.push_back({T.Inputs.get(X), T.Multiplicity});
+  std::sort(Got.begin(), Got.end());
+  for (uint64_t K = 0; K < N; ++K) {
+    EXPECT_EQ(Got[K].first, K);
+    EXPECT_EQ(Got[K].second, static_cast<double>(K + 1));
+  }
+  // The pool threads' solver work is accounted.
+  EXPECT_GT(Pool.stats().Queries, 0u);
+}
+
+TEST(TestGenPoolTest, InlineAndAsyncProduceIdenticalCanonicalTestSets) {
+  CompileResult CR = compileMiniC(LoopyProgram);
+  ASSERT_TRUE(CR.ok());
+
+  auto Run = [&](unsigned Workers, bool Async) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = Workers;
+    C.AsyncTestGen = Async;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    struct Out {
+      std::vector<std::string> Tests;
+      EngineStats Stats;
+    };
+    return Out{sortedTests(R), R.Stats};
+  };
+
+  auto Reference = Run(1, false);
+  ASSERT_TRUE(Reference.Stats.Exhausted);
+  ASSERT_FALSE(Reference.Tests.empty());
+
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    auto Inline = Run(Workers, false);
+    auto Async = Run(Workers, true);
+    ASSERT_TRUE(Inline.Stats.Exhausted) << "workers=" << Workers;
+    ASSERT_TRUE(Async.Stats.Exhausted) << "workers=" << Workers;
+    EXPECT_EQ(Inline.Tests, Reference.Tests) << "workers=" << Workers;
+    EXPECT_EQ(Async.Tests, Reference.Tests)
+        << "async testgen changed the canonical test set at workers="
+        << Workers;
+    if (Workers == 1) {
+      // Workers=1 is the bit-for-bit sequential baseline: no pool.
+      EXPECT_EQ(Async.Stats.TestGenQueued, 0u);
+    } else {
+      // Parallel async runs route every halted state through the pool
+      // and the pool solves all of them (no budget in this run).
+      EXPECT_GT(Async.Stats.TestGenQueued, 0u);
+      EXPECT_EQ(Async.Stats.TestGenSolved, Async.Stats.TestGenQueued);
+      EXPECT_EQ(Async.Stats.TestGenQueued, Async.Stats.CompletedStates);
+      EXPECT_EQ(Inline.Stats.TestGenQueued, 0u);
+    }
+  }
+}
+
+TEST(TestGenPoolTest, MaxTestsRaceClampsHaltTestsExactly) {
+  // No asserts, no bugs: every test is a Halt test, so the clamp is
+  // exactly observable even when pool threads race workers for the
+  // budget's last slots.
+  const char *Source =
+      "void main() {\n"
+      "  int a = 0;\n"
+      "  make_symbolic(a, \"a\");\n"
+      "  assume(a >= 0); assume(a <= 30);\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 4; i = i + 1) {\n"
+      "    if (a > i * 7) { s = s + 1; } else { s = s + 2; }\n"
+      "  }\n"
+      "}\n";
+  CompileResult CR = compileMiniC(Source);
+  ASSERT_TRUE(CR.ok());
+
+  for (int Round = 0; Round < 3; ++Round) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = 4;
+    C.Engine.MaxTests = 3;
+    C.TestGenThreads = 2;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    EXPECT_EQ(R.Tests.size(), 3u) << "round " << Round;
+    for (const TestCase &T : R.Tests)
+      EXPECT_EQ(static_cast<int>(T.Kind), static_cast<int>(TestKind::Halt));
+    // The pool never reports more solves than jobs, and skipped jobs
+    // (budget already hit) are not counted as solved.
+    EXPECT_LE(R.Stats.TestGenSolved, R.Stats.TestGenQueued);
+  }
+}
+
+TEST(TestGenPoolTest, DrainIsIdempotentAndRejectsLateWork) {
+  ExprContext Ctx;
+  ExprRef X = Ctx.mkVar("x", 8);
+  std::mutex SinkMu;
+  size_t Emitted = 0;
+  TestGenPool Pool(
+      [&Ctx] { return createDefaultSolver(Ctx); },
+      [&](TestCase) {
+        std::lock_guard<std::mutex> Lock(SinkMu);
+        ++Emitted;
+        return true;
+      },
+      [] { return true; }, /*OnJobDone=*/nullptr, nullptr, 1);
+
+  TestGenJob Job;
+  Job.PC = {Ctx.mkUlt(X, Ctx.mkConst(5, 8))};
+  Pool.enqueue(Job);
+  Pool.drain();
+  EXPECT_EQ(Pool.solved(), 1u);
+  // Late enqueues after a drain are rejected, and a second drain (the
+  // destructor's) is a no-op.
+  Pool.enqueue(Job);
+  Pool.drain();
+  EXPECT_EQ(Pool.solved(), 1u);
+  EXPECT_EQ(Emitted, 1u);
+}

@@ -71,8 +71,15 @@ void usage(const char *Argv0) {
       "  --no-verdict-cache       disable the session verdict cache\n"
       "  --no-group-sessions      monolithic native sessions (no per-group\n"
       "                           sub-instances; the measurement baseline)\n"
+      "  --no-model-cache         disable the shared counterexample cache\n"
+      "                           (no evaluation-based SAT shortcuts)\n"
+      "  --no-async-testgen       solve final test-case models inline on\n"
+      "                           the exploration workers (baseline)\n"
       "  --verdict-cache-limit=N  verdict-cache entries before LRU\n"
       "                           eviction (0 = unbounded)\n"
+      "  --model-cache-limit=N    model-cache index entries before LRU\n"
+      "                           eviction (0 = unbounded)\n"
+      "  --testgen-threads=N      async test-generation pool threads\n"
       "  --session-scope-limit=N  evict a session after N popped scopes\n"
       "  --session-memory-limit=N evict a session at N bytes of SAT\n"
       "                           clauses + watchers\n"
@@ -166,6 +173,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Config.SolverVerdictCache = false;
     } else if (Arg == "--no-group-sessions") {
       Opts.Config.SolverGroupSessions = false;
+    } else if (Arg == "--no-model-cache") {
+      Opts.Config.SolverModelCache = false;
+    } else if (Arg == "--no-async-testgen") {
+      Opts.Config.AsyncTestGen = false;
+    } else if (const char *V = Value("--model-cache-limit=")) {
+      Opts.Config.ModelCacheLimit = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--testgen-threads=")) {
+      Opts.Config.TestGenThreads =
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10));
     } else if (const char *V = Value("--verdict-cache-limit=")) {
       Opts.Config.VerdictCacheLimit = std::strtoull(V, nullptr, 10);
     } else if (const char *V = Value("--workers=")) {
@@ -340,6 +356,15 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.SolverGroupSubSessions),
                 static_cast<unsigned long long>(S.SolverGroupMerges),
                 static_cast<unsigned long long>(S.SolverGroupSlicedSolves));
+    std::printf("model cache      %llu hits / %llu misses / %llu evicted "
+                "(eval-SAT shortcuts: %llu)\n",
+                static_cast<unsigned long long>(S.SolverModelCacheHits),
+                static_cast<unsigned long long>(S.SolverModelCacheMisses),
+                static_cast<unsigned long long>(S.SolverModelCacheEvictions),
+                static_cast<unsigned long long>(S.SolverEvalSatShortcuts));
+    std::printf("async testgen    %llu queued / %llu solved\n",
+                static_cast<unsigned long long>(S.TestGenQueued),
+                static_cast<unsigned long long>(S.TestGenSolved));
     std::printf("state sessions   built %llu, evicted %llu, split %llu\n",
                 static_cast<unsigned long long>(S.SessionsBuilt),
                 static_cast<unsigned long long>(S.SessionEvictions),

@@ -21,6 +21,10 @@
 ///  F. Model reuse: the shared counterexample cache (evaluation-based
 ///     SAT shortcuts) x async test generation, against the PR-4
 ///     baseline with both off.
+///  G. Refutation reuse: the UNSAT-core subsumption cache x the poison
+///     fence, with and without a hostile conflict budget — the negative
+///     dual of section F (cores prove Unsat with zero SAT calls, poison
+///     turns repeat blow-ups into instant Unknowns).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -312,6 +316,71 @@ static void ablateModelReuse() {
       "both features are exact.\n\n");
 }
 
+static void ablateRefutationReuse() {
+  std::printf("-- G. Refutation reuse: core cache x poison fence "
+              "(plain exploration) --\n");
+  std::printf("%-10s %-14s %9s %9s %9s %9s %9s %10s %10s\n", "tool",
+              "config", "cc-hits", "subsume", "poisoned", "unknown",
+              "verd-hit", "core[s]", "total[s]");
+  const struct {
+    const char *Name;
+    unsigned N, L;
+  } Tools[] = {{"echo", 2, 5}, {"wc", 2, 4}, {"sum", 3, 5}};
+  struct Mode {
+    const char *Label;
+    bool CoreCache, PoisonCache;
+    uint64_t ConflictBudget;
+  };
+  // The unbudgeted rows isolate the core cache (poison never fires
+  // without a budget to blow); the budgeted rows compare the poison
+  // fence on/off under a hostile conflict budget, where every repeated
+  // blow-up is either refused instantly (fence on) or re-paid in full
+  // (fence off).
+  const Mode Modes[] = {
+      {"baseline", false, false, 0},
+      {"cores", true, false, 0},
+      {"budget", false, false, 400},
+      {"budget+poison", false, true, 400},
+      {"budget+both", true, true, 400},
+  };
+  for (const auto &T : Tools) {
+    auto M = compileOrExit(T.Name, T.N, T.L);
+    for (const Mode &Md : Modes) {
+      SymbolicRunner::Config C = makeConfig(Setup::Plain, 60.0);
+      C.SolverCoreCache = Md.CoreCache;
+      C.SolverPoisonCache = Md.PoisonCache;
+      C.SolverConflictBudget = Md.ConflictBudget;
+      Measurement Out = runWorkload(*M, C);
+      std::printf("%-10s %-14s %9llu %9llu %9llu %9llu %9llu %10.3f "
+                  "%10.3f\n",
+                  T.Name, Md.Label,
+                  static_cast<unsigned long long>(
+                      Out.R.Stats.SolverCoreCacheHits),
+                  static_cast<unsigned long long>(
+                      Out.R.Stats.SolverCoreSubsumptions),
+                  static_cast<unsigned long long>(
+                      Out.R.Stats.SolverPoisonedQueries),
+                  static_cast<unsigned long long>(
+                      Out.R.Stats.SolverUnknownsObserved),
+                  static_cast<unsigned long long>(
+                      Out.R.Stats.SolverVerdictCacheHits),
+                  Out.R.Stats.SolverSeconds, Out.R.Stats.WallSeconds);
+    }
+  }
+  std::printf(
+      "Reading: a cc-hit is an infeasible direction refuted by a cached\n"
+      "UNSAT core with zero SAT calls and zero Tseitin work; the subsume\n"
+      "column counts hits where the core was a STRICT subset of the probed\n"
+      "set (the dual of a model answering a subset query in section F).\n"
+      "Compare cores vs baseline on core[s]: refutation-heavy workloads\n"
+      "shift Unsat answers from the SAT core to the cache. The budgeted\n"
+      "rows degrade gracefully: Unknown means \"may be true\", so blown\n"
+      "checks over-approximate and the run still completes; poisoned\n"
+      "counts fence refusals that skipped re-paying a known blow-up.\n"
+      "Unbudgeted rows stay bit-identical to the baseline — the core\n"
+      "cache is exact.\n\n");
+}
+
 int main() {
   std::printf("== Ablations of SymMerge design choices ==\n\n");
   ablateQceVariant();
@@ -320,5 +389,6 @@ int main() {
   ablateIncrementalSessions();
   ablateParallelWorkers();
   ablateModelReuse();
+  ablateRefutationReuse();
   return 0;
 }

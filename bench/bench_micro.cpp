@@ -17,7 +17,9 @@
 #include "core/Frontier.h"
 #include "core/MergePolicy.h"
 #include "core/StateMerge.h"
+#include "solver/CoreCache.h"
 #include "solver/ModelCache.h"
+#include "solver/PoisonCache.h"
 #include "solver/Solver.h"
 #include "workloads/Workloads.h"
 
@@ -427,6 +429,97 @@ static void BM_TestGenOverlap(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TestGenOverlap)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===
+// Refutation reuse: core-cache probes + the poison fence
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// The SessionVerdictCache::makeKey normalization of a constraint set:
+/// sorted, deduplicated node ids.
+std::vector<uint64_t> makeProbeKey(const std::vector<ExprRef> &Constraints) {
+  std::vector<uint64_t> Key;
+  for (ExprRef C : Constraints)
+    Key.push_back(C->id());
+  std::sort(Key.begin(), Key.end());
+  Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+  return Key;
+}
+
+} // namespace
+
+/// A subsumption hit: a resident 2-constraint core contained in a
+/// Depth-conjunct probe key — what a session check pays INSTEAD of
+/// bit-blasting + CDCL when a cached refutation applies.
+static void BM_CoreCacheProbeHit(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Cache = createCoreCache();
+  int Depth = static_cast<int>(State.range(0));
+  std::vector<ExprRef> Slice = makeProbeSlice(Ctx, Depth);
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef A = Ctx.mkUlt(X, Ctx.mkConst(5, 32));
+  ExprRef B = Ctx.mkUlt(Ctx.mkConst(9, 32), X); // A && B is UNSAT.
+  Cache->publish({A, B});
+  Slice.push_back(A);
+  Slice.push_back(B);
+  std::vector<uint64_t> Key = makeProbeKey(Slice);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cache->probe(Key));
+}
+BENCHMARK(BM_CoreCacheProbeHit)->Arg(2)->Arg(8)->Arg(16);
+
+/// A probe miss against a full candidate budget: every resident core
+/// intersects the probe (sharing one constraint id) but none is a
+/// subset, so the probe pays ProbeLimit inclusion scans and gives up —
+/// the overhead a check pays ON TOP of the solve.
+static void BM_CoreCacheProbeMiss(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Cache = createCoreCache();
+  int Depth = static_cast<int>(State.range(0));
+  std::vector<ExprRef> Slice = makeProbeSlice(Ctx, Depth);
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef A = Ctx.mkUlt(X, Ctx.mkConst(5, 32));
+  Slice.push_back(A);
+  // 16 cores, each {A, 200+k < x}: genuinely UNSAT, minimal (so the
+  // publish-time minimizer keeps both members), and sharing A's id with
+  // the probe — candidates, never subsets.
+  for (uint64_t K = 0; K < 16; ++K)
+    Cache->publish({A, Ctx.mkUlt(Ctx.mkConst(200 + K, 32), X)});
+  std::vector<uint64_t> Key = makeProbeKey(Slice);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cache->probe(Key));
+}
+BENCHMARK(BM_CoreCacheProbeMiss)->Arg(2)->Arg(8)->Arg(16);
+
+/// Re-entering a blown-budget query: the fresh-session re-pay under a
+/// 1-conflict budget (range 0) vs the poison fence's immediate Unknown
+/// (range 1). With real production budgets the unfenced bar scales with
+/// the budget; the fenced one stays a key lookup.
+static void BM_PoisonedRetry(benchmark::State &State) {
+  ExprContext Ctx;
+  CoreSolverOptions Opts;
+  Opts.ConflictBudget = 1;
+  if (State.range(0) != 0)
+    Opts.Poison = createPoisonCache();
+  auto Core = createCoreSolver(Ctx, Opts);
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  ExprRef Hard = Ctx.mkEq(Ctx.mkMul(X, Y), Ctx.mkConst(0xDEADBEEF, 32));
+  ExprRef Prefix = Ctx.mkUlt(Ctx.mkConst(2, 32), X);
+  {
+    // Warm-up: blow the budget once (and poison the key, if fenced).
+    auto W = Core->openSession();
+    W->assert_(Prefix);
+    benchmark::DoNotOptimize(W->checkSatAssuming(Hard));
+  }
+  for (auto _ : State) {
+    auto Sess = Core->openSession();
+    Sess->assert_(Prefix);
+    benchmark::DoNotOptimize(Sess->checkSatAssuming(Hard));
+  }
+}
+BENCHMARK(BM_PoisonedRetry)->Arg(0)->Arg(1);
 
 //===----------------------------------------------------------------------===
 // State merging

@@ -6,19 +6,29 @@
 
 #include "core/Driver.h"
 
+#include "solver/CoreCache.h"
 #include "solver/ModelCache.h"
+#include "solver/PoisonCache.h"
 
 #include <algorithm>
 
 using namespace symmerge;
 
 std::unique_ptr<Solver> SymbolicRunner::makeSolverStack() {
-  // Workers share the verdict cache and the model cache but nothing
-  // else: every stack owns its SAT instances, bitblast caches, and
-  // one-shot layer caches.
-  std::unique_ptr<Solver> S =
-      createCoreSolver(Ctx, Cfg.SolverConflictBudget, Cfg.SolverIncremental,
-                       VerdictCache, Cfg.SolverGroupSessions, Models);
+  // Workers share the verdict, model, core, and poison caches but
+  // nothing else: every stack owns its SAT instances, bitblast caches,
+  // and one-shot layer caches.
+  CoreSolverOptions CSO;
+  CSO.ConflictBudget = Cfg.SolverConflictBudget;
+  CSO.WallBudgetSeconds = Cfg.SolveBudgetMs / 1000.0;
+  CSO.PoisonMemoryDeltaBytes = Cfg.SolveMemoryDeltaLimit;
+  CSO.IncrementalSessions = Cfg.SolverIncremental;
+  CSO.GroupSessions = Cfg.SolverGroupSessions;
+  CSO.Verdicts = VerdictCache;
+  CSO.Models = Models;
+  CSO.Cores = Cores;
+  CSO.Poison = Poison;
+  std::unique_ptr<Solver> S = createCoreSolver(Ctx, std::move(CSO));
   if (Cfg.SolverCache)
     S = createCachingSolver(Ctx, std::move(S));
   if (Cfg.SolverSimplify)
@@ -40,6 +50,18 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
     MCO.MaxEntries = Cfg.ModelCacheLimit;
     Models = createModelCache(MCO);
   }
+  // The refutation-reuse caches live inside native sessions; the
+  // one-shot fallback stack never consults them, so don't build them.
+  if (Cfg.SolverCoreCache && Cfg.SolverIncremental) {
+    CoreCacheOptions CCO;
+    CCO.MaxEntries = Cfg.CoreCacheLimit;
+    Cores = createCoreCache(CCO);
+  }
+  if (Cfg.SolverPoisonCache && Cfg.SolverIncremental) {
+    PoisonCacheOptions PCO;
+    PCO.MaxEntries = Cfg.PoisonCacheLimit;
+    Poison = createPoisonCache(PCO);
+  }
   TheSolver = makeSolverStack();
   // Async test generation is an engine behavior with two handles on it
   // (the runner config and the public EngineOptions field); either one
@@ -53,9 +75,11 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
   Cfg.Engine.PerStateSessions =
       Cfg.Engine.PerStateSessions && Cfg.SolverPerStateSessions;
   // The feasible-prefix promise behind sliced verdict-cache keys breaks
-  // when a conflict budget can return Unknown: the engine then keeps
-  // states whose path conditions were never proven satisfiable.
-  if (Cfg.SolverConflictBudget != 0)
+  // when a conflict or wall-clock budget can return Unknown: the engine
+  // then keeps states whose path conditions were never proven
+  // satisfiable. (The memory watermark is exempt — it fences re-entry
+  // but every returned verdict stays exact.)
+  if (Cfg.SolverConflictBudget != 0 || Cfg.SolveBudgetMs != 0)
     Cfg.Engine.FeasiblePathConditions = false;
   if (Cfg.Merge == MergeMode::QCE || Cfg.Merge == MergeMode::QCEFull ||
       Cfg.UseDSM)

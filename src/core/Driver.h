@@ -112,6 +112,32 @@ public:
     bool SolverModelCache = true;
     /// Model-cache capacity in index entries (0 = unbounded).
     uint64_t ModelCacheLimit = 1u << 16;
+    /// Shared UNSAT-core subsumption cache (refutation reuse, the dual
+    /// of the model cache): minimized cores from UNSAT session solves
+    /// are kept, and a cached core that is a subset of a check's sliced
+    /// constraint set proves UNSAT with zero SAT calls. One sharded
+    /// concurrent cache is shared by every worker stack. Exact verdicts
+    /// only: exploration outcomes are bit-identical with the cache off.
+    bool SolverCoreCache = true;
+    /// Core-cache capacity in entries (0 = unbounded).
+    uint64_t CoreCacheLimit = 1u << 14;
+    /// Shared poison cache: a query whose solve blows a per-query budget
+    /// (conflicts, wall clock, or memory growth) is remembered, and its
+    /// re-entry is refused with Unknown before any SAT work. Only
+    /// meaningful when some budget is set — without one nothing is ever
+    /// poisoned.
+    bool SolverPoisonCache = true;
+    /// Poison-cache capacity in entries (0 = unbounded).
+    uint64_t PoisonCacheLimit = 1u << 16;
+    /// Per-query wall-clock solve budget in milliseconds (0 = unlimited).
+    /// A blown budget returns Unknown — the engine treats the branch as
+    /// feasible (sound over-approximation) and test generation skips the
+    /// state — and poisons the query key against re-entry.
+    double SolveBudgetMs = 0;
+    /// Per-query SAT memory-growth watermark in bytes (0 = unlimited).
+    /// Exceeding it poisons the key but the exact verdict is still
+    /// returned and cached — only re-entry is fenced.
+    uint64_t SolveMemoryDeltaLimit = 0;
     /// Solve halted states' final test-case models on a dedicated pool,
     /// off the exploration workers (parallel runs only; workers=1 keeps
     /// the inline path as the bit-for-bit baseline). Final models stay a
@@ -142,6 +168,10 @@ public:
   }
   /// The shared counterexample (model) cache (null when disabled).
   std::shared_ptr<ModelCache> modelCache() const { return Models; }
+  /// The shared UNSAT-core subsumption cache (null when disabled).
+  std::shared_ptr<CoreCache> coreCache() const { return Cores; }
+  /// The shared poison cache (null when disabled).
+  std::shared_ptr<PoisonCache> poisonCache() const { return Poison; }
 
 private:
   std::unique_ptr<Searcher> makeDrivingSearcher(uint64_t Seed);
@@ -160,6 +190,10 @@ private:
   /// runner builds and by the async test-generation pool. Null when
   /// disabled.
   std::shared_ptr<ModelCache> Models;
+  /// Shared refutation-reuse caches (UNSAT-core subsumption + poisoned
+  /// keys), shared by every stack this runner builds. Null when disabled.
+  std::shared_ptr<CoreCache> Cores;
+  std::shared_ptr<PoisonCache> Poison;
   std::unique_ptr<Solver> TheSolver;
   std::unique_ptr<MergePolicy> Policy;
   CoverageTracker Cov;

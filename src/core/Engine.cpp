@@ -613,6 +613,11 @@ void Engine::finalize(ExecContext &X, ExecutionState *S) {
         T.Multiplicity = S->Multiplicity;
         if (X.TheSolver.getModel(Query(S->PC), T.Inputs))
           appendTest(std::move(T));
+        else
+          // Budgeted/poisoned Unknown (or an unexpectedly unsatisfiable
+          // condition): the state completes without a test instead of
+          // hanging on a hopeless solve.
+          ++X.Stats.TestGenSkipped;
       }
     }
   }
@@ -651,6 +656,14 @@ static void reportSolverStats(EngineStats &S, const SolverQueryStats &D) {
   S.SolverModelCacheMisses = D.ModelCacheMisses;
   S.SolverEvalSatShortcuts = D.EvalSatShortcuts;
   S.SolverModelCacheEvictions = D.ModelCacheEvictions;
+  S.SolverCoreCacheHits = D.CoreCacheHits;
+  S.SolverCoreCacheMisses = D.CoreCacheMisses;
+  S.SolverCoreSubsumptions = D.CoreSubsumptions;
+  S.SolverCoreCacheEvictions = D.CoreCacheEvictions;
+  S.SolverPoisonedQueries = D.PoisonedQueries;
+  S.SolverPoisonedInserts = D.PoisonedInserts;
+  S.SolverPoisonCacheEvictions = D.PoisonCacheEvictions;
+  S.SolverUnknownsObserved = D.UnknownsObserved;
 }
 
 /// Folds a worker's engine counters into the run totals.
@@ -669,6 +682,7 @@ static void mergeEngineStats(EngineStats &A, const EngineStats &B) {
   A.SessionSplits += B.SessionSplits;
   A.TestGenQueued += B.TestGenQueued;
   A.TestGenSolved += B.TestGenSolved;
+  A.TestGenSkipped += B.TestGenSkipped;
 }
 
 /// Total order on test cases for the deterministic post-run ordering of
@@ -925,6 +939,7 @@ RunResult Engine::runParallel() {
     Pool->drain();
     TheTestGenPool = nullptr;
     Result.Stats.TestGenSolved = Pool->solved();
+    Result.Stats.TestGenSkipped += Pool->skipped();
   }
 
   const bool Stopped = Frontier.stopRequested();

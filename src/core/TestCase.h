@@ -89,9 +89,34 @@ struct EngineStats {
                                        ///< cost, zero SAT calls.
   uint64_t SolverModelCacheEvictions = 0; ///< Index entries dropped by
                                           ///< the generation-LRU bound.
+  // Refutation-reuse subsystem (UNSAT-core subsumption + poison cache).
+  uint64_t SolverCoreCacheHits = 0;   ///< Checks refuted by a cached core
+                                      ///< that is a subset of the sliced
+                                      ///< constraint set: zero SAT calls.
+  uint64_t SolverCoreCacheMisses = 0; ///< Core-cache probes that found no
+                                      ///< subsuming core.
+  uint64_t SolverCoreSubsumptions = 0; ///< Core-cache hits whose core was
+                                       ///< a PROPER subset of the query —
+                                       ///< refutations transferred to a
+                                       ///< strictly larger query.
+  uint64_t SolverCoreCacheEvictions = 0; ///< Cores dropped by the
+                                         ///< generation-LRU bound.
+  uint64_t SolverPoisonedQueries = 0; ///< Checks refused with Unknown
+                                      ///< because their key was poisoned
+                                      ///< by an earlier blown budget.
+  uint64_t SolverPoisonedInserts = 0; ///< Keys newly poisoned (budget or
+                                      ///< memory-watermark blowups).
+  uint64_t SolverPoisonCacheEvictions = 0; ///< Poisoned keys dropped by
+                                           ///< the generation-LRU bound.
+  uint64_t SolverUnknownsObserved = 0; ///< Session checks that returned
+                                       ///< Unknown (fresh blown budgets
+                                       ///< plus poison-fence refusals).
   uint64_t TestGenQueued = 0; ///< Halted states handed to the async
                               ///< test-generation pool.
   uint64_t TestGenSolved = 0; ///< Pool jobs that produced a test case.
+  uint64_t TestGenSkipped = 0; ///< Halted states whose final-model solve
+                               ///< returned no model (budgeted/poisoned
+                               ///< Unknown): skipped test, not a hang.
   // Parallel exploration (EngineOptions::Workers > 1).
   uint64_t Workers = 1;        ///< Worker threads the run executed on.
   uint64_t FrontierSteals = 0; ///< pop()s served by a non-home partition.

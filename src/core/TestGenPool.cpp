@@ -90,6 +90,10 @@ void TestGenPool::threadLoop() {
         Delivered = true;
         if (Emit(std::move(T)))
           Solved.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Budgeted/poisoned Unknown: a skipped test, not a hang — the
+        // job retires through OnJobDone below and the pool moves on.
+        Skipped.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (!Delivered && OnJobDone)

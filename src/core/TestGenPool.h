@@ -82,11 +82,20 @@ public:
   void drain();
 
   /// Jobs whose test the sink ACCEPTED. Jobs skipped past the budget,
-  /// snapshots with no model (a conflict-budget Unknown; UNSAT cannot
-  /// occur under the engine's feasible-path invariant), and tests the
-  /// sink dropped on the MaxTests race all count as not solved.
+  /// snapshots with no model (a budgeted Unknown; UNSAT cannot occur
+  /// under the engine's feasible-path invariant), and tests the sink
+  /// dropped on the MaxTests race all count as not solved.
   uint64_t solved() const {
     return Solved.load(std::memory_order_relaxed);
+  }
+
+  /// Jobs that passed the budget gate but whose final-model solve
+  /// returned no model — a budgeted/poisoned Unknown. The state's test
+  /// is skipped, not hung: the pool moves on to the next job. Gate
+  /// skips (budget already exhausted) are NOT counted here — the model
+  /// would have been discarded regardless of the solver.
+  uint64_t skipped() const {
+    return Skipped.load(std::memory_order_relaxed);
   }
 
   /// The pool threads' accumulated solver counters (each thread starts
@@ -113,6 +122,7 @@ private:
 
   std::vector<std::thread> Threads;
   std::atomic<uint64_t> Solved{0};
+  std::atomic<uint64_t> Skipped{0};
   SolverQueryStats StatsTotal; ///< Guarded by Mu until threads join.
 };
 

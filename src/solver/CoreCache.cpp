@@ -1,0 +1,294 @@
+//===- CoreCache.cpp - Shared UNSAT-core subsumption cache -------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/CoreCache.h"
+
+#include "solver/BitBlaster.h"
+#include "solver/Sat.h"
+#include "solver/Solver.h"
+
+#include <algorithm>
+
+using namespace symmerge;
+
+CoreCache::CoreCache(const CoreCacheOptions &Opts)
+    : ProbeLimit(std::max(1u, Opts.ProbeLimit)),
+      MinimizeSolves(Opts.MinimizeSolves),
+      MinimizeConflicts(Opts.MinimizeConflicts) {
+  size_t NumShards = 1;
+  while (NumShards < std::max(1u, Opts.Shards))
+    NumShards *= 2;
+  // Same shard-collapse rule as the verdict/model caches: a tiny
+  // MaxEntries spread over many shards would round each slice up and
+  // inflate the real bound.
+  while (Opts.MaxEntries != 0 && NumShards > 1 &&
+         Opts.MaxEntries / NumShards < 4)
+    NumShards /= 2;
+  Shards = std::vector<Shard>(NumShards);
+  MaxPerShard = Opts.MaxEntries == 0
+                    ? 0
+                    : std::max<size_t>(1, Opts.MaxEntries / NumShards);
+}
+
+bool CoreCache::probe(const std::vector<uint64_t> &Key) {
+  return probeImpl(Key, /*CountStats=*/true);
+}
+
+bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, bool CountStats) {
+  // Degenerate probes (nothing asserted) are not counted: only real
+  // candidate searches are hits or misses.
+  if (Key.empty())
+    return false;
+  // Collect up to ProbeLimit candidates, newest-first per id list,
+  // deduplicated across lists; the subset checks happen OUTSIDE the
+  // shard locks (entries are immutable once published). Only lists of
+  // the probe's own ids are walked: a core disjoint from the probe set
+  // cannot be a subset of it.
+  std::vector<std::pair<std::shared_ptr<const Entry>, uint64_t>> Candidates;
+  Candidates.reserve(ProbeLimit);
+  for (uint64_t Id : Key) {
+    if (Candidates.size() >= ProbeLimit)
+      break;
+    Shard &S = shardFor(Id);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Index.find(Id);
+    if (It == S.Index.end())
+      continue;
+    const std::vector<Ref> &List = It->second.Refs;
+    for (size_t I = List.size(); I-- > 0;) {
+      if (Candidates.size() >= ProbeLimit)
+        break;
+      const std::shared_ptr<const Entry> &E = List[I].E;
+      bool SeenAlready = false;
+      for (const auto &[C, CId] : Candidates)
+        if (C == E || C->Hash == E->Hash) {
+          SeenAlready = true;
+          break;
+        }
+      if (!SeenAlready)
+        Candidates.push_back({E, Id});
+    }
+  }
+
+  for (const auto &[E, Id] : Candidates) {
+    // Both vectors are sorted and deduplicated; the cached core subsumes
+    // the probe exactly when every one of its constraints is present.
+    if (E->Ids.size() > Key.size() ||
+        !std::includes(Key.begin(), Key.end(), E->Ids.begin(), E->Ids.end()))
+      continue;
+    // Touch the hit in the list we drew it from: refresh its generation
+    // stamp and move it to the back where probes look first, so a core
+    // that keeps refuting queries survives eviction and probe-budget
+    // displacement by churn.
+    Shard &S = shardFor(Id);
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Index.find(Id);
+      if (It != S.Index.end()) {
+        std::vector<Ref> &List = It->second.Refs;
+        for (size_t I = 0; I < List.size(); ++I)
+          if (List[I].E == E) {
+            List[I].Generation = ++S.Generation;
+            std::swap(List[I], List.back());
+            break;
+          }
+      }
+    }
+    if (CountStats) {
+      SolverQueryStats &Stats = solverStats();
+      ++Stats.CoreCacheHits;
+      if (E->Ids.size() < Key.size())
+        ++Stats.CoreSubsumptions;
+    }
+    return true;
+  }
+  if (CountStats)
+    ++solverStats().CoreCacheMisses;
+  return false;
+}
+
+bool CoreCache::minimize(std::vector<ExprRef> &Core) const {
+  if (Core.size() <= 1)
+    return true;
+  // Private throwaway instance: each constraint sits behind its own
+  // assumption literal, so failedAssumptions() names a per-constraint
+  // core — finer than the per-frame granularity sessions extract.
+  sat::SatSolver S;
+  BitBlaster BB(S);
+  std::vector<sat::Lit> Lits;
+  Lits.reserve(Core.size());
+  for (ExprRef E : Core)
+    Lits.push_back(BB.literalFor(E));
+
+  auto MapFailed = [&](std::vector<ExprRef> &Out) {
+    // A literal can back several structurally equal constraints only if
+    // the caller passed duplicates; Core is deduplicated by publish().
+    Out.clear();
+    for (sat::Lit L : S.failedAssumptions())
+      for (size_t I = 0; I < Lits.size(); ++I)
+        if (Lits[I] == L) {
+          Out.push_back(Core[I]);
+          break;
+        }
+  };
+
+  // Confirmation solve: refutes the set under per-constraint assumptions
+  // and shrinks it to the fine-grained failed set in one step.
+  if (S.solveAssuming(Lits, MinimizeConflicts))
+    return false; // Satisfiable: the caller's "core" is no core.
+  if (S.budgetExceeded())
+    return true; // Could not confirm cheaply; keep the coarse core as-is.
+  std::vector<ExprRef> Shrunk;
+  MapFailed(Shrunk);
+  if (!Shrunk.empty())
+    Core = std::move(Shrunk);
+
+  // Bounded deletion loop: drop one constraint at a time; an UNSAT
+  // all-but-one solve proves the dropped constraint redundant (and its
+  // failed set may shed more). SAT or budget-out keeps it.
+  unsigned Solves = 0;
+  size_t P = 0;
+  while (P < Core.size() && Core.size() > 1 && Solves < MinimizeSolves) {
+    Lits.clear();
+    for (size_t I = 0; I < Core.size(); ++I)
+      if (I != P)
+        Lits.push_back(BB.literalFor(Core[I]));
+    ++Solves;
+    if (S.solveAssuming(Lits, MinimizeConflicts) || S.budgetExceeded()) {
+      ++P; // Needed (or undecided): keep it.
+      continue;
+    }
+    std::vector<ExprRef> Candidates;
+    for (size_t I = 0; I < Core.size(); ++I)
+      if (I != P)
+        Candidates.push_back(Core[I]);
+    std::vector<ExprRef> Next;
+    // Map against the all-but-P literal set.
+    Core.swap(Candidates);
+    std::vector<sat::Lit> CoreLits;
+    for (ExprRef E : Core)
+      CoreLits.push_back(BB.literalFor(E));
+    Lits.swap(CoreLits);
+    MapFailed(Next);
+    if (!Next.empty())
+      Core = std::move(Next);
+    // P now indexes the next untested constraint in the shrunk set.
+  }
+  return true;
+}
+
+void CoreCache::publish(const std::vector<ExprRef> &Core) {
+  if (Core.empty())
+    return;
+  // Deduplicate (hash-consing makes ids identity) and normalize.
+  std::vector<ExprRef> Uniq;
+  {
+    std::unordered_set<uint64_t> Seen;
+    for (ExprRef E : Core)
+      if (Seen.insert(E->id()).second)
+        Uniq.push_back(E);
+  }
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Uniq.size());
+  for (ExprRef E : Uniq)
+    Ids.push_back(E->id());
+  std::sort(Ids.begin(), Ids.end());
+
+  // A resident core already subsuming this one makes insertion (and the
+  // minimization solves) pointless — the lookup refreshes its recency.
+  if (probeImpl(Ids, /*CountStats=*/false))
+    return;
+
+  if (!minimize(Uniq))
+    return; // Re-solve said SAT: never cache an unsound refutation.
+
+  Ids.clear();
+  for (ExprRef E : Uniq)
+    Ids.push_back(E->id());
+  std::sort(Ids.begin(), Ids.end());
+  insertEntry(std::move(Ids));
+}
+
+void CoreCache::insertEntry(std::vector<uint64_t> Ids) {
+  uint64_t Hash = hashMix(Ids.size());
+  for (uint64_t Id : Ids)
+    Hash = hashCombine(Hash, Id);
+  auto E = std::make_shared<const Entry>(Entry{Ids, Hash});
+  uint64_t Evicted = 0;
+  for (uint64_t Id : E->Ids) {
+    Shard &S = shardFor(Id);
+    std::lock_guard<std::mutex> Lock(S.M);
+    IdList &L = S.Index[Id];
+    // Per-list content-hash dedup: a core republished because two
+    // workers raced miss -> solve -> publish refreshes the resident
+    // copy's recency instead of appending a clone.
+    if (!L.Hashes.insert(Hash).second) {
+      for (size_t I = L.Refs.size(); I-- > 0;)
+        if (L.Refs[I].E->Hash == Hash) {
+          L.Refs[I].Generation = ++S.Generation;
+          std::swap(L.Refs[I], L.Refs.back());
+          break;
+        }
+      continue;
+    }
+    L.Refs.push_back(Ref{E, ++S.Generation});
+    ++S.RefCount;
+    if (MaxPerShard != 0 && S.RefCount > MaxPerShard)
+      Evicted += evictOldHalf(S);
+  }
+  if (Evicted) {
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+    solverStats().CoreCacheEvictions += Evicted;
+  }
+}
+
+uint64_t CoreCache::evictOldHalf(Shard &S) {
+  std::vector<uint64_t> Stamps;
+  Stamps.reserve(S.RefCount);
+  for (const auto &[Id, List] : S.Index)
+    for (const Ref &R : List.Refs)
+      Stamps.push_back(R.Generation);
+  if (Stamps.empty())
+    return 0;
+  auto Mid = Stamps.begin() + Stamps.size() / 2;
+  std::nth_element(Stamps.begin(), Mid, Stamps.end());
+  uint64_t Cutoff = *Mid;
+  uint64_t Removed = 0;
+  for (auto It = S.Index.begin(); It != S.Index.end();) {
+    IdList &List = It->second;
+    size_t Out = 0;
+    for (size_t I = 0; I < List.Refs.size(); ++I) {
+      if (List.Refs[I].Generation <= Cutoff) {
+        List.Hashes.erase(List.Refs[I].E->Hash);
+        ++Removed;
+        continue;
+      }
+      List.Refs[Out++] = std::move(List.Refs[I]);
+    }
+    List.Refs.resize(Out);
+    It = List.Refs.empty() ? S.Index.erase(It) : std::next(It);
+  }
+  S.RefCount -= Removed;
+  return Removed;
+}
+
+size_t CoreCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.RefCount;
+  }
+  return N;
+}
+
+uint64_t CoreCache::evictions() const {
+  return Evictions.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<CoreCache>
+symmerge::createCoreCache(const CoreCacheOptions &Opts) {
+  return std::make_shared<CoreCache>(Opts);
+}

@@ -1,0 +1,162 @@
+//===- CoreCache.h - Shared UNSAT-core subsumption cache --------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded concurrent cache of minimized UNSAT cores — the refutation
+/// sibling of ModelCache. Where the model cache reuses SAT witnesses (a
+/// model of a superset constraint slice satisfies any subset probe), the
+/// core cache reuses refutations with the dual subsumption direction: a
+/// cached core — a set of constraints that is jointly unsatisfiable — is
+/// a *subset* of any query it refutes, so a probe that finds a cached
+/// core contained in the current sliced assertion set proves UNSAT with
+/// zero SAT calls.
+///
+/// Keying is by constraint footprint: every core is indexed under each
+/// constraint node id it contains (hash-consing makes structurally equal
+/// constraints collide on purpose), so a probe walks only the index lists
+/// of its own constraint ids — a core it does not intersect can never
+/// subsume it. Candidate subset checks are bounded (ProbeLimit), so a
+/// miss costs a few sorted-vector inclusion scans, not a cache sweep.
+///
+/// Publication minimizes first: the session-extracted core (root
+/// constraints plus the frames named by SatSolver::failedAssumptions())
+/// is re-solved on a private throwaway SAT instance with each constraint
+/// behind its own assumption literal — failedAssumptions() then yields a
+/// per-constraint core — followed by bounded deletion attempts
+/// (MinimizeSolves solves of MinimizeConflicts conflicts each). Smaller
+/// cores subsume more future queries; the bound keeps publication from
+/// ever re-paying the original solve unboundedly.
+///
+/// Concurrency and capacity mirror the verdict/model caches: per-shard
+/// mutexes, immutable entries behind shared_ptrs, and a generation-LRU
+/// that evicts each shard's least-recently-stamped half past its slice
+/// of MaxEntries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_CORECACHE_H
+#define SYMMERGE_SOLVER_CORECACHE_H
+
+#include "expr/ExprContext.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace symmerge {
+
+struct CoreCacheOptions {
+  /// Total index-entry bound across all shards (a core of K constraints
+  /// counts K entries); 0 = unbounded.
+  size_t MaxEntries = 1u << 14;
+  /// Concurrency shards (rounded up to a power of two).
+  unsigned Shards = 16;
+  /// Maximum candidate subset checks per probe.
+  unsigned ProbeLimit = 8;
+  /// Maximum deletion-minimization solve attempts per publish (0 keeps
+  /// session-extracted cores as-is, beyond the initial per-constraint
+  /// refinement solve).
+  unsigned MinimizeSolves = 8;
+  /// Conflict budget for each minimization solve. A minimization solve
+  /// that exhausts it keeps the candidate constraint conservatively.
+  uint64_t MinimizeConflicts = 2000;
+};
+
+/// Shared concurrent cache of minimized UNSAT cores. Create with
+/// createCoreCache() and attach via createCoreSolver(); one cache is
+/// shared by every native session of every worker stack.
+class CoreCache {
+public:
+  explicit CoreCache(const CoreCacheOptions &Opts);
+
+  /// Probes for a cached core that is a subset of the probe constraint
+  /// set. \p Key is the normalized (sorted, deduplicated) id vector of
+  /// the sliced constraint set — the same normalization as
+  /// SessionVerdictCache::makeKey, so verdict and core lookups share one
+  /// key computation. Returns true when a cached core subsumes the set:
+  /// the conjunction is proven UNSAT with zero SAT calls. Counts
+  /// CoreCacheHits / CoreCacheMisses / CoreSubsumptions (strict-subset
+  /// hits) in the thread-local solver statistics.
+  bool probe(const std::vector<uint64_t> &Key);
+
+  /// Publishes a constraint-level UNSAT core (the conjunction of
+  /// \p Core must be unsatisfiable). Minimizes first (see file comment);
+  /// a core already subsumed by a resident entry only refreshes that
+  /// entry's recency.
+  void publish(const std::vector<ExprRef> &Core);
+
+  /// Total index entries currently held (for tests and statistics).
+  size_t size() const;
+  /// Index entries dropped by the generation-LRU capacity bound.
+  uint64_t evictions() const;
+
+private:
+  /// One published core, immutable after construction; probes read it
+  /// outside the shard lock through the shared_ptr.
+  struct Entry {
+    std::vector<uint64_t> Ids; ///< Sorted, deduplicated constraint ids.
+    uint64_t Hash = 0;         ///< Of Ids (dedup).
+  };
+  struct Ref {
+    std::shared_ptr<const Entry> E;
+    uint64_t Generation = 0; ///< Shard generation at last access.
+  };
+  /// One constraint id's index list plus the content-hash set keeping it
+  /// duplicate-free (mirrors ModelCache::VarList).
+  struct IdList {
+    std::vector<Ref> Refs;
+    std::unordered_set<uint64_t> Hashes;
+  };
+  struct Shard {
+    mutable std::mutex M;
+    /// Constraint id -> cores containing that constraint, most recently
+    /// used last (probes walk back-to-front).
+    std::unordered_map<uint64_t, IdList> Index;
+    size_t RefCount = 0; ///< Sum of Index list sizes (under M).
+    uint64_t Generation = 0;
+
+    Shard() = default;
+    Shard(Shard &&) noexcept {} // Only moved while empty, at construction.
+  };
+
+  Shard &shardFor(uint64_t Id) {
+    return Shards[hashMix(Id) & (Shards.size() - 1)];
+  }
+
+  /// Shared probe walk. \p CountStats separates caller probes (counted
+  /// as hits/misses/subsumptions) from publish()'s pre-insert duplicate
+  /// check (not a query, never counted).
+  bool probeImpl(const std::vector<uint64_t> &Key, bool CountStats);
+
+  /// Bounded minimization of \p Core (see file comment). Returns false
+  /// when the re-solve found the set satisfiable — an extraction bug
+  /// upstream; the caller must then drop the core rather than cache an
+  /// unsound refutation.
+  bool minimize(std::vector<ExprRef> &Core) const;
+
+  void insertEntry(std::vector<uint64_t> Ids);
+
+  /// Drops the least-recently-stamped half of \p S's entries (caller
+  /// holds S.M). Returns the number of index entries removed.
+  static uint64_t evictOldHalf(Shard &S);
+
+  std::vector<Shard> Shards;
+  size_t MaxPerShard = 0;
+  unsigned ProbeLimit = 8;
+  unsigned MinimizeSolves = 8;
+  uint64_t MinimizeConflicts = 2000;
+  std::atomic<uint64_t> Evictions{0};
+};
+
+std::shared_ptr<CoreCache> createCoreCache(const CoreCacheOptions &Opts = {});
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_CORECACHE_H

@@ -8,7 +8,9 @@
 
 #include "expr/ExprUtil.h"
 #include "solver/BitBlaster.h"
+#include "solver/CoreCache.h"
 #include "solver/ModelCache.h"
+#include "solver/PoisonCache.h"
 #include "solver/Sat.h"
 #include "solver/SessionVerdictCache.h"
 #include "support/Timer.h"
@@ -139,6 +141,8 @@ public:
     Frames.pop_back();
     ++RetiredScopes;
     UF.pop();
+    // Rolling back the union-find can split groups, changing roots.
+    RoutingValid = false;
   }
 
   void assert_(ExprRef E) override {
@@ -158,7 +162,9 @@ public:
       return;
     }
     // Union the constraint's variables into one group, recorded in the
-    // current scope so the matching pop splits the groups again.
+    // current scope so the matching pop splits the groups again. Unions
+    // can change group roots, so the routing snapshot goes stale.
+    RoutingValid = false;
     const std::vector<ExprRef> &Vars = varsOf(E);
     int First = -1;
     for (ExprRef V : Vars) {
@@ -168,13 +174,14 @@ public:
       else
         UF.unite(First, N);
     }
-    // With a verdict cache or model cache attached, encoding is deferred
-    // until a check misses both; without either every check solves, so
-    // encode eagerly (the encode time then lands outside the check,
-    // where the caller's per-response accounting expects it). Only the
-    // record just appended can be pending here — eager mode leaves
-    // nothing behind — so this is O(1) records, not a full-frame rescan.
-    if (!Cfg.Cache && !Cfg.Models && !RootUnsat) {
+    // With any cache attached, encoding is deferred until a check misses
+    // them all; without one every check solves, so encode eagerly (the
+    // encode time then lands outside the check, where the caller's
+    // per-response accounting expects it). Only the record just appended
+    // can be pending here — eager mode leaves nothing behind — so this
+    // is O(1) records, not a full-frame rescan.
+    if (!Cfg.Cache && !Cfg.Models && !Cfg.Cores && !Cfg.Poison &&
+        !RootUnsat) {
       Timer T;
       materializeRec(F, Rec);
       PendingEncodeSeconds += T.seconds();
@@ -270,7 +277,13 @@ public:
     std::vector<uint64_t> Key;
     uint64_t KeyHash = 0;
     const bool UseCache = Cfg.Cache != nullptr && !WantModel;
-    if (UseCache || Cfg.Models) {
+    // The core cache and the poison cache key on the same normalized
+    // constraint multiset as the verdict cache, so one makeKey serves
+    // all three probes and a shared cache stays coherent across grouped
+    // and monolithic sessions.
+    const bool HaveKey = UseCache || Cfg.Cores != nullptr ||
+                         Cfg.Poison != nullptr;
+    if (HaveKey || Cfg.Models) {
       const bool Slice =
           Cfg.FeasiblePrefix && !Meaningful.empty() && !WantModel;
       if (Slice)
@@ -286,8 +299,9 @@ public:
         }
       Constraints.insert(Constraints.end(), Meaningful.begin(),
                          Meaningful.end());
-      if (UseCache) {
+      if (HaveKey)
         SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+      if (UseCache) {
         SolverResult Hit;
         if (Cfg.Cache->lookup(Key, KeyHash, Hit)) {
           ++Stats.VerdictCacheHits;
@@ -320,6 +334,30 @@ public:
           finishTiming(Stats, R, Total, AssertEncode);
           return R;
         }
+      }
+      // Refutation reuse: a cached UNSAT core that is a subset of the
+      // current constraint set refutes it with zero SAT calls — the
+      // dual of the model-cache shortcut above. Sound for model requests
+      // too: an UNSAT set has no model to return.
+      if (Cfg.Cores && Cfg.Cores->probe(Key)) {
+        R.Result = SolverResult::Unsat;
+        ++Stats.UnsatResults;
+        // Cores name constraints, not the caller's assumption subset;
+        // over-approximate like verdict-cache refutations do.
+        R.FailedAssumptions = Meaningful;
+        if (UseCache)
+          Cfg.Cache->insert(std::vector<uint64_t>(Key), KeyHash, R.Result);
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
+      }
+      // Poison fence, deliberately AFTER every exact probe: a poisoned
+      // key that some cache has since learned an exact answer for should
+      // get that answer, not a stale Unknown.
+      if (Cfg.Poison && Cfg.Poison->contains(Key, KeyHash)) {
+        R.Result = SolverResult::Unknown;
+        ++Stats.UnknownsObserved;
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
       }
     }
 
@@ -364,10 +402,15 @@ public:
             std::find(Cand.begin(), Cand.end(), Sub) == Cand.end())
           Cand.push_back(Sub);
       };
-      for (const Frame &F : Frames)
-        for (const AssertRec &Rec : F.Asserted)
-          if (Rec.Sub >= 0 && Reachable(Rec))
-            AddCand(Rec.Sub);
+      // O(groups reached) routing via the snapshot instead of rescanning
+      // every frame's records: the reachable groups' roots are exactly
+      // SeedRoots, and the snapshot maps each to its live sub-instances.
+      // Candidate order differs from the old frame-order scan, but
+      // mergeSubs picks its survivor by (LiveRecs, id) — order-blind.
+      ensureRouting();
+      for (int Root : SeedRoots)
+        for (int Sub : subsOfRoot(Root))
+          AddCand(Sub);
       // Reuse an assumption variable's previous encoding only when its
       // home instance carries no live constraints (pulling in a live
       // foreign group would coarsen the slice for free encoding hits).
@@ -393,6 +436,21 @@ public:
     // its SAT core that the model cache can republish.
     std::vector<int> SolvedSubs;
 
+    // Memory watermark: a check whose solves balloon the clause
+    // databases past the per-query delta is poisoned for re-entry even
+    // when it finishes with an exact verdict (which is still returned
+    // and cached). Growth accumulates across the target solve and the
+    // per-group verification solves — re-entry would redo them all.
+    const bool TrackMem =
+        Cfg.Poison && Cfg.PoisonMemoryDeltaBytes > 0 && !Key.empty();
+    uint64_t MemGrowth = 0;
+    // Blown budget (conflict or wall): remember the key so the next
+    // arrival gets Unknown up front instead of burning the budget again.
+    auto PoisonKey = [&] {
+      if (Cfg.Poison && !Key.empty())
+        Cfg.Poison->insert(std::vector<uint64_t>(Key), KeyHash);
+    };
+
     if (Target >= 0) {
       SubSession &T = *Subs[Target];
       std::vector<sat::Lit> Lits = liveGuardsOf(T);
@@ -406,11 +464,19 @@ public:
       }
       syncEncodeCounters();
 
+      const size_t MemBefore = TrackMem ? T.S.memoryFootprintBytes() : 0;
       Timer TS;
       bool IsSat = T.S.solveAssuming(Lits, Cfg.ConflictBudget);
       R.SolveSeconds += TS.seconds();
+      if (TrackMem) {
+        size_t MemAfter = T.S.memoryFootprintBytes();
+        if (MemAfter > MemBefore)
+          MemGrowth += MemAfter - MemBefore;
+      }
       if (!IsSat && T.S.budgetExceeded()) {
         R.Result = SolverResult::Unknown;
+        ++Stats.UnknownsObserved;
+        PoisonKey();
         finishTiming(Stats, R, Total, AssertEncode);
         return R;
       }
@@ -425,6 +491,23 @@ public:
               R.FailedAssumptions.push_back(AE);
               break;
             }
+        // Publish the refutation: the target's root-scope constraints
+        // are asserted unconditionally, a guarded scope contributed only
+        // if its guard literal is in the failed set (otherwise the core
+        // can set the guard false and ignore the scope), and the failed
+        // assumptions contributed by construction. That set is jointly
+        // UNSAT, so any future query containing it is UNSAT by
+        // subsumption.
+        if (Cfg.Cores) {
+          std::vector<ExprRef> Core;
+          collectScopeCore(T, Target, Core);
+          for (ExprRef A : R.FailedAssumptions)
+            Core.push_back(A);
+          if (!Core.empty())
+            Cfg.Cores->publish(Core);
+        }
+        if (TrackMem && MemGrowth > Cfg.PoisonMemoryDeltaBytes)
+          PoisonKey();
         if (UseCache)
           Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
         finishTiming(Stats, R, Total, AssertEncode);
@@ -446,12 +529,20 @@ public:
           continue;
         if (SP->LiveRecs == 0 || SP->KnownSat)
           continue;
+        const size_t MemBefore = TrackMem ? SP->S.memoryFootprintBytes() : 0;
         Timer TS;
         bool IsSat = SP->S.solveAssuming(liveGuardsOf(*SP),
                                          Cfg.ConflictBudget);
         R.SolveSeconds += TS.seconds();
+        if (TrackMem) {
+          size_t MemAfter = SP->S.memoryFootprintBytes();
+          if (MemAfter > MemBefore)
+            MemGrowth += MemAfter - MemBefore;
+        }
         if (!IsSat && SP->S.budgetExceeded()) {
           R.Result = SolverResult::Unknown;
+          ++Stats.UnknownsObserved;
+          PoisonKey();
           finishTiming(Stats, R, Total, AssertEncode);
           return R;
         }
@@ -461,6 +552,17 @@ public:
           // root-level refutation reports).
           R.Result = SolverResult::Unsat;
           ++Stats.UnsatResults;
+          // The refuting set is this group's own contribution: its
+          // root-scope records plus the records of any scope whose guard
+          // is in the failed set.
+          if (Cfg.Cores) {
+            std::vector<ExprRef> Core;
+            collectScopeCore(*SP, static_cast<int>(I), Core);
+            if (!Core.empty())
+              Cfg.Cores->publish(Core);
+          }
+          if (TrackMem && MemGrowth > Cfg.PoisonMemoryDeltaBytes)
+            PoisonKey();
           if (UseCache)
             Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
           finishTiming(Stats, R, Total, AssertEncode);
@@ -471,6 +573,8 @@ public:
       }
     }
 
+    if (TrackMem && MemGrowth > Cfg.PoisonMemoryDeltaBytes)
+      PoisonKey();
     R.Result = SolverResult::Sat;
     ++Stats.SatResults;
     if (SliceOnly && solvedProperSubset(Target))
@@ -546,6 +650,40 @@ private:
     return UF.root(N);
   }
 
+  /// Appends \p Sub to \p Root's routing list if absent (lists are tiny:
+  /// a group rarely spans more than a couple of sub-instances, and only
+  /// until the next merge collapses them).
+  void addRoute(int Root, int Sub) {
+    std::vector<int> &V = RootSubs[Root];
+    if (std::find(V.begin(), V.end(), Sub) == V.end())
+      V.push_back(Sub);
+  }
+
+  /// Rebuilds the group-root → sub-instance index when stale. assert_
+  /// and pop invalidate it (unions and rollbacks change roots);
+  /// encodeInto and mergeSubs update it in place, so checks after the
+  /// first rescan of a mutation epoch route in O(groups reached) instead
+  /// of rescanning every frame per routed constraint.
+  void ensureRouting() {
+    if (RoutingValid)
+      return;
+    RootSubs.clear();
+    for (const Frame &F : Frames)
+      for (const AssertRec &Rec : F.Asserted)
+        if (Rec.Sub >= 0 && Subs[Rec.Sub])
+          addRoute(rootOfExpr(Rec.E), Rec.Sub);
+    RoutingValid = true;
+  }
+
+  /// The sub-instances holding live constraints of group \p Root (O(1)
+  /// via the routing snapshot). Null (merged-away) subs never appear:
+  /// rebuilds skip them and merges replace them in place.
+  std::vector<int> subsOfRoot(int Root) {
+    ensureRouting();
+    auto It = RootSubs.find(Root);
+    return It == RootSubs.end() ? std::vector<int>() : It->second;
+  }
+
   bool anyFrameFalse() const {
     for (const Frame &F : Frames)
       if (F.HasFalse)
@@ -566,8 +704,33 @@ private:
 
   int newSub() {
     Subs.push_back(std::make_unique<SubSession>());
+    if (Cfg.WallBudgetSeconds > 0)
+      Subs.back()->S.setWallBudgetSeconds(Cfg.WallBudgetSeconds);
     ++solverStats().GroupSubSessions;
     return static_cast<int>(Subs.size() - 1);
+  }
+
+  /// Collects the constraints sub-instance \p Sub contributed to its
+  /// just-failed UNSAT solve: root-scope records unconditionally (they
+  /// are root units of the instance), a guarded scope's records only
+  /// when the scope's guard literal is in the failed-assumption set —
+  /// otherwise the refutation holds with the guard set false, i.e.
+  /// without that scope. The result is jointly UNSAT on its own, which
+  /// is exactly what CoreCache::publish needs.
+  void collectScopeCore(const SubSession &S, int Sub,
+                        std::vector<ExprRef> &Core) const {
+    std::unordered_set<uint64_t> FailedScopes;
+    for (const auto &[Scope, G] : S.Guards)
+      for (sat::Lit L : S.S.failedAssumptions())
+        if (L == G) {
+          FailedScopes.insert(Scope);
+          break;
+        }
+    for (const Frame &F : Frames)
+      for (const AssertRec &Rec : F.Asserted)
+        if (Rec.Sub == Sub && !Rec.E->isTrue() &&
+            (F.Scope == 0 || FailedScopes.count(F.Scope) != 0))
+          Core.push_back(Rec.E);
   }
 
   sat::Lit guardFor(SubSession &S, uint64_t Scope) {
@@ -593,6 +756,8 @@ private:
     S.KnownSat = false;
     for (ExprRef V : varsOf(E))
       VarHome[V->id()] = Sub;
+    if (RoutingValid)
+      addRoute(rootOfExpr(E), Sub);
   }
 
   /// Encodes one pending constraint into its group's sub-instance,
@@ -600,14 +765,7 @@ private:
   void materializeRec(Frame &F, AssertRec &Rec) {
     assert(Rec.Sub == SubPending);
     int Root = rootOfExpr(Rec.E);
-    std::vector<int> Owning;
-    for (const Frame &G : Frames)
-      for (const AssertRec &Other : G.Asserted)
-        if (Other.Sub >= 0 && Subs[Other.Sub] &&
-            rootOfExpr(Other.E) == Root &&
-            std::find(Owning.begin(), Owning.end(), Other.Sub) ==
-                Owning.end())
-          Owning.push_back(Other.Sub);
+    std::vector<int> Owning = subsOfRoot(Root);
     int Sub = -1;
     if (!Owning.empty()) {
       Sub = mergeSubs(Owning);
@@ -672,6 +830,26 @@ private:
       Subs[Victim].reset();
       ++solverStats().GroupMerges;
     }
+    // Keep the routing snapshot exact across the merge: every victim's
+    // routing entry now lives in the survivor.
+    if (RoutingValid)
+      for (auto &KV : RootSubs) {
+        std::vector<int> &V = KV.second;
+        bool Dropped = false;
+        V.erase(std::remove_if(V.begin(), V.end(),
+                               [&](int S) {
+                                 bool Victim =
+                                     S != Target &&
+                                     std::find(Ids.begin(), Ids.end(), S) !=
+                                         Ids.end();
+                                 Dropped |= Victim;
+                                 return Victim;
+                               }),
+                V.end());
+        if (Dropped &&
+            std::find(V.begin(), V.end(), Target) == V.end())
+          V.push_back(Target);
+      }
     return Target;
   }
 
@@ -805,6 +983,14 @@ private:
   /// checks on the same branch condition reuse one encoding even when no
   /// asserted constraint mentions the variable yet.
   std::unordered_map<uint64_t, int> VarHome;
+  /// Routing snapshot (group root → sub-instances with live constraints
+  /// of that group). Valid between union-find mutations: assert_ and pop
+  /// invalidate, the first check after a mutation rebuilds in one pass,
+  /// encodeInto/mergeSubs keep it exact in place. Lets checkSatAssuming
+  /// route assumptions and materializeRec find a group's owners in O(1)
+  /// instead of rescanning every frame's records.
+  std::unordered_map<int, std::vector<int>> RootSubs;
+  bool RoutingValid = false;
   uint64_t NextScope = 0;
   bool RootUnsat = false;
   size_t RetiredScopes = 0;

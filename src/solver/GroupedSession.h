@@ -108,10 +108,19 @@ private:
   std::vector<size_t> ScopeMarks;
 };
 
-/// Construction parameters of a grouped core session (mirrors what
-/// CoreSolver passes to the monolithic IncrementalCoreSession).
+/// Construction parameters of a native core session — shared verbatim by
+/// the grouped session here and the monolithic IncrementalCoreSession in
+/// Solvers.cpp, so the two implementations can never drift apart on what
+/// a session is configured with.
 struct GroupedSessionConfig {
   uint64_t ConflictBudget = 0;
+  /// Per-SAT-call wall-clock bound in seconds (0 = unlimited). Blown
+  /// budgets (conflict or wall) return Unknown and poison the query key.
+  double WallBudgetSeconds = 0;
+  /// Poisons a query whose solve grew the SAT clause database(s) by more
+  /// than this many bytes (0 = unlimited); the exact verdict is still
+  /// returned — only re-entry is fenced.
+  uint64_t PoisonMemoryDeltaBytes = 0;
   bool Tracked = true; ///< False when serving a one-shot checkSat shim.
   /// SessionOptions::FeasiblePrefix: the caller promises the asserted
   /// conjunction stays satisfiable, letting checks skip unreachable
@@ -124,6 +133,15 @@ struct GroupedSessionConfig {
   /// publishes its per-group model, and composed full models publish
   /// their union. Null disables model reuse.
   std::shared_ptr<ModelCache> Models;
+  /// UNSAT-core subsumption cache (solver/CoreCache.h): probed on the
+  /// sliced constraint set after verdict and model misses — a cached
+  /// core that is a subset of the set proves UNSAT with zero SAT calls —
+  /// and fed by every UNSAT solve. Null disables refutation reuse.
+  std::shared_ptr<CoreCache> Cores;
+  /// Poisoned-key set (solver/PoisonCache.h): queries whose earlier
+  /// solve blew a budget are refused with Unknown before any SAT work.
+  /// Null disables the fence (budgets then only bound the fresh solve).
+  std::shared_ptr<PoisonCache> Poison;
 };
 
 /// Opens a grouped native session (per-group sub-instances). The

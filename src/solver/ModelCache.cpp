@@ -36,13 +36,21 @@ bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
   // are not counted: only real candidate searches are hits or misses.
   if (Constraints.empty() || Vars.empty())
     return false;
-  // Collect up to ProbeLimit candidates, newest-first per variable list,
-  // deduplicated across lists; evaluation happens OUTSIDE the shard
-  // locks (entries are immutable once published).
-  std::vector<std::pair<std::shared_ptr<const Entry>, uint64_t>> Candidates;
-  Candidates.reserve(ProbeLimit);
+  // Stage 1: gather a wider pool than we are willing to evaluate (the
+  // gather is cheap — pointer copies under the shard locks; evaluation
+  // is the expensive part), newest-first per variable list and
+  // deduplicated across lists.
+  const size_t GatherLimit = static_cast<size_t>(ProbeLimit) * 4;
+  struct Candidate {
+    std::shared_ptr<const Entry> E;
+    uint64_t VarId;   ///< List drawn from (for the recency touch).
+    uint32_t Hits;    ///< Validated-hit count at gather time.
+    uint32_t Overlap; ///< Probe-footprint variables the model assigns.
+  };
+  std::vector<Candidate> Candidates;
+  Candidates.reserve(GatherLimit);
   for (ExprRef V : Vars) {
-    if (Candidates.size() >= ProbeLimit)
+    if (Candidates.size() >= GatherLimit)
       break;
     uint64_t VarId = V->id();
     Shard &S = shardFor(VarId);
@@ -52,21 +60,43 @@ bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
       continue;
     const std::vector<Ref> &List = It->second.Refs;
     for (size_t I = List.size(); I-- > 0;) {
-      if (Candidates.size() >= ProbeLimit)
+      if (Candidates.size() >= GatherLimit)
         break;
       const std::shared_ptr<const Entry> &E = List[I].E;
       bool SeenAlready = false;
-      for (const auto &[C, Id] : Candidates)
-        if (C == E || C->Hash == E->Hash) {
+      for (const Candidate &C : Candidates)
+        if (C.E == E || C.E->Hash == E->Hash) {
           SeenAlready = true;
           break;
         }
       if (!SeenAlready)
-        Candidates.push_back({E, VarId});
+        Candidates.push_back({E, VarId, 0, 0});
     }
   }
 
-  for (const auto &[E, VarId] : Candidates) {
+  // Stage 2: rank by (validated hit count, probe-footprint overlap),
+  // gather order — i.e. recency — breaking ties, and evaluate only the
+  // top ProbeLimit. A model that has proven itself repeatedly, or that
+  // covers more of this probe's variables, is likelier to validate than
+  // one that is merely newer — so churn of single-use models can no
+  // longer push the proven witness out of the probe budget.
+  for (Candidate &C : Candidates) {
+    C.Hits = C.E->Hits.load(std::memory_order_relaxed);
+    uint32_t O = 0;
+    for (ExprRef V : Vars)
+      O += C.E->Model.contains(V);
+    C.Overlap = O;
+  }
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const Candidate &A, const Candidate &B) {
+                     if (A.Hits != B.Hits)
+                       return A.Hits > B.Hits;
+                     return A.Overlap > B.Overlap;
+                   });
+  if (Candidates.size() > ProbeLimit)
+    Candidates.resize(ProbeLimit);
+
+  for (const auto &[E, VarId, Hits, Overlap] : Candidates) {
     ExprEvaluator Eval(E->Model);
     bool AllHold = true;
     for (ExprRef C : Constraints) {
@@ -97,6 +127,7 @@ bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
       }
     }
     ++solverStats().ModelCacheHits;
+    E->Hits.fetch_add(1, std::memory_order_relaxed);
     Model = E->Model;
     return true;
   }
@@ -119,7 +150,12 @@ void ModelCache::insert(const VarAssignment &Model) {
     Hash = hashCombine(Hash, Val);
   }
 
-  auto E = std::make_shared<const Entry>(Entry{Model, Hash});
+  // Built in place: Entry's atomic hit counter is neither copyable nor
+  // movable, so no aggregate-then-move.
+  auto Fresh = std::make_shared<Entry>();
+  Fresh->Model = Model;
+  Fresh->Hash = Hash;
+  std::shared_ptr<const Entry> E = std::move(Fresh);
   uint64_t Evicted = 0;
   for (const auto &[VarId, Val] : Items) {
     (void)Val;

@@ -71,13 +71,19 @@ public:
   /// Probes for a cached assignment that satisfies every constraint in
   /// \p Constraints, validated by concrete evaluation. \p Vars is the
   /// distinct variable set of \p Constraints (callers memoize it per
-  /// session); candidates are drawn newest-first from each variable's
-  /// index list, at most ProbeLimit evaluations total. On a validated
-  /// hit, fills \p Model with the cached assignment (variables it does
-  /// not mention evaluate — and must be completed — as zero) and
-  /// returns true. Counts ModelCacheHits/Misses in the thread-local
-  /// solver statistics (cache-level counters; callers that short-cut a
-  /// whole check on a hit additionally count EvalSatShortcuts).
+  /// session). Candidate selection is two-staged: up to GatherLimit
+  /// candidates are collected newest-first from each variable's index
+  /// list, then RANKED by (validated hit count, probe-footprint overlap,
+  /// recency) and only the top ProbeLimit are evaluated — a model that
+  /// has validated often, or that assigns more of the probe's variables,
+  /// outranks one that is merely newer, so heavy churn of single-use
+  /// models cannot displace a proven witness from the probe budget. On a
+  /// validated hit, fills \p Model with the cached assignment (variables
+  /// it does not mention evaluate — and must be completed — as zero),
+  /// bumps the entry's hit count, and returns true. Counts
+  /// ModelCacheHits/Misses in the thread-local solver statistics
+  /// (cache-level counters; callers that short-cut a whole check on a
+  /// hit additionally count EvalSatShortcuts).
   bool probe(const std::vector<ExprRef> &Constraints,
              const std::vector<ExprRef> &Vars, VarAssignment &Model);
 
@@ -92,11 +98,15 @@ public:
   uint64_t evictions() const;
 
 private:
-  /// One published model, immutable after construction; probes read it
-  /// outside the shard lock through the shared_ptr.
+  /// One published model, immutable after construction (except the hit
+  /// counter, which is atomic); probes read it outside the shard lock
+  /// through the shared_ptr.
   struct Entry {
     VarAssignment Model;
     uint64_t Hash = 0; ///< Of the sorted (var id, value) pairs (dedup).
+    /// Times this entry validated a probe. Read/written lock-free; feeds
+    /// the probe ranking so proven witnesses outrank recent churn.
+    mutable std::atomic<uint32_t> Hits{0};
   };
   struct Ref {
     std::shared_ptr<const Entry> E;

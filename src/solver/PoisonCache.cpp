@@ -1,0 +1,107 @@
+//===- PoisonCache.cpp - Remembered solver blow-ups --------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/PoisonCache.h"
+
+#include "solver/Solver.h"
+
+#include <algorithm>
+
+using namespace symmerge;
+
+PoisonCache::PoisonCache(const PoisonCacheOptions &Opts) {
+  size_t NumShards = 1;
+  while (NumShards < std::max(1u, Opts.Shards))
+    NumShards *= 2;
+  // Same shard-collapse rule as the verdict cache: a tiny MaxEntries
+  // spread over many shards would round each slice up and inflate the
+  // real bound.
+  while (Opts.MaxEntries != 0 && NumShards > 1 &&
+         Opts.MaxEntries / NumShards < 4)
+    NumShards /= 2;
+  Shards = std::vector<Shard>(NumShards);
+  MaxPerShard = Opts.MaxEntries == 0
+                    ? 0
+                    : std::max<size_t>(1, Opts.MaxEntries / NumShards);
+}
+
+bool PoisonCache::contains(const std::vector<uint64_t> &Key, uint64_t Hash) {
+  Shard &S = shardFor(Hash);
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto Range = S.Map.equal_range(Hash);
+    for (auto It = Range.first; It != Range.second; ++It) {
+      if (It->second.Key != Key)
+        continue;
+      It->second.Generation = ++S.Generation;
+      ++solverStats().PoisonedQueries;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PoisonCache::insert(std::vector<uint64_t> Key, uint64_t Hash) {
+  Shard &S = shardFor(Hash);
+  uint64_t Evicted = 0;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    // Two workers can race blow-up -> insert on the same key; keep the
+    // map duplicate-free (a refresh is all the second insert means).
+    auto Range = S.Map.equal_range(Hash);
+    for (auto It = Range.first; It != Range.second; ++It)
+      if (It->second.Key == Key) {
+        It->second.Generation = ++S.Generation;
+        return;
+      }
+    S.Map.emplace(Hash, Entry{std::move(Key), ++S.Generation});
+    if (MaxPerShard != 0 && S.Map.size() > MaxPerShard)
+      Evicted = evictOldHalf(S);
+  }
+  ++solverStats().PoisonedInserts;
+  if (Evicted) {
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+    solverStats().PoisonCacheEvictions += Evicted;
+  }
+}
+
+uint64_t PoisonCache::evictOldHalf(Shard &S) {
+  std::vector<uint64_t> Stamps;
+  Stamps.reserve(S.Map.size());
+  for (const auto &[H, E] : S.Map)
+    Stamps.push_back(E.Generation);
+  auto Mid = Stamps.begin() + Stamps.size() / 2;
+  std::nth_element(Stamps.begin(), Mid, Stamps.end());
+  uint64_t Cutoff = *Mid;
+  uint64_t Removed = 0;
+  for (auto It = S.Map.begin(); It != S.Map.end();) {
+    if (It->second.Generation <= Cutoff) {
+      It = S.Map.erase(It);
+      ++Removed;
+    } else {
+      ++It;
+    }
+  }
+  return Removed;
+}
+
+size_t PoisonCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Map.size();
+  }
+  return N;
+}
+
+uint64_t PoisonCache::evictions() const {
+  return Evictions.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<PoisonCache>
+symmerge::createPoisonCache(const PoisonCacheOptions &Opts) {
+  return std::make_shared<PoisonCache>(Opts);
+}

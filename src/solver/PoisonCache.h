@@ -1,0 +1,102 @@
+//===- PoisonCache.h - Remembered solver blow-ups ---------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The budget-fence companion of the refutation-reuse tier: a sharded
+/// concurrent set of query keys whose solve blew a per-query budget
+/// (conflicts, wall clock, or clause-database growth). A poisoned key is
+/// refused on re-entry — the session returns SolverResult::Unknown
+/// immediately instead of re-paying (or re-hanging on) the blow-up, the
+/// klee-mc PoisonCache idiom. Unknown is already sound end-to-end: the
+/// engine treats it as "may be true" and never prunes on it, so poisoning
+/// costs completeness of *proofs* on exactly the queries that could not
+/// be proven within budget anyway.
+///
+/// Keys are the SessionVerdictCache::makeKey normalization of the sliced
+/// constraint set plus assumptions — identical to verdict-cache keys, so
+/// the two lookups share one key computation, and a key poisoned by one
+/// worker fences every worker's re-entry. Poisoning is deliberately NOT
+/// consulted before the verdict, model, and core caches: those probes are
+/// cheap and exact, and may still answer a query whose full solve blew up.
+///
+/// Capacity is a generation-LRU over sharded maps, like every cache in
+/// this tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_POISONCACHE_H
+#define SYMMERGE_SOLVER_POISONCACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+struct PoisonCacheOptions {
+  /// Total entry bound across all shards; 0 = unbounded.
+  size_t MaxEntries = 1u << 16;
+  /// Concurrency shards (rounded up to a power of two).
+  unsigned Shards = 16;
+};
+
+/// Shared concurrent set of poisoned query keys. Create with
+/// createPoisonCache() and attach via createCoreSolver(); one cache is
+/// shared by every native session of every worker stack.
+class PoisonCache {
+public:
+  explicit PoisonCache(const PoisonCacheOptions &Opts);
+
+  /// True when \p Key was poisoned by an earlier blow-up; refreshes the
+  /// entry's recency and counts PoisonedQueries (the re-entry refusal)
+  /// in the thread-local solver statistics.
+  bool contains(const std::vector<uint64_t> &Key, uint64_t Hash);
+
+  /// Poisons \p Key. Counts PoisonedInserts when the key is new.
+  void insert(std::vector<uint64_t> Key, uint64_t Hash);
+
+  /// Current entry count (for tests and statistics).
+  size_t size() const;
+  /// Entries dropped by the generation-LRU capacity bound.
+  uint64_t evictions() const;
+
+private:
+  struct Entry {
+    std::vector<uint64_t> Key;
+    uint64_t Generation = 0; ///< Shard generation at last access.
+  };
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_multimap<uint64_t, Entry> Map;
+    uint64_t Generation = 0;
+
+    Shard() = default;
+    Shard(Shard &&) noexcept {} // Only moved while empty, at construction.
+  };
+
+  Shard &shardFor(uint64_t Hash) {
+    // The low bits index the buckets inside the shard; take high bits.
+    return Shards[(Hash >> 48) & (Shards.size() - 1)];
+  }
+
+  /// Drops the least-recently-stamped half of \p S (caller holds S.M).
+  static uint64_t evictOldHalf(Shard &S);
+
+  std::vector<Shard> Shards;
+  size_t MaxPerShard = 0;
+  std::atomic<uint64_t> Evictions{0};
+};
+
+std::shared_ptr<PoisonCache>
+createPoisonCache(const PoisonCacheOptions &Opts = {});
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_POISONCACHE_H

@@ -7,6 +7,7 @@
 #include "solver/Sat.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace symmerge;
 using namespace symmerge::sat;
@@ -438,6 +439,19 @@ bool SatSolver::solveAssuming(const std::vector<Lit> &Assumptions,
   uint64_t RestartNum = 0;
   std::vector<Lit> Learnt;
 
+  // Wall-clock fence. Reading the clock per conflict would be felt on
+  // propagation-heavy instances, so the deadline is checked every 128
+  // conflicts and at every restart boundary — granular enough that a
+  // blow-up overshoots its budget by at most one conflict batch.
+  using WallClock = std::chrono::steady_clock;
+  const bool WallBounded = WallBudgetSeconds > 0;
+  const WallClock::time_point Deadline =
+      WallBounded ? WallClock::now() +
+                        std::chrono::duration_cast<WallClock::duration>(
+                            std::chrono::duration<double>(WallBudgetSeconds))
+                  : WallClock::time_point();
+  auto WallExpired = [&] { return WallBounded && WallClock::now() >= Deadline; };
+
   for (;;) {
     uint64_t RestartLimit = luby(RestartNum) * 100;
     uint64_t RestartConflicts = 0;
@@ -477,11 +491,21 @@ bool SatSolver::solveAssuming(const std::vector<Lit> &Assumptions,
           backtrack(0);
           return false;
         }
+        if ((TotalConflicts & 127) == 0 && WallExpired()) {
+          BudgetExceeded = true;
+          backtrack(0);
+          return false;
+        }
         continue;
       }
 
       // No conflict.
       if (RestartConflicts >= RestartLimit) {
+        if (WallExpired()) {
+          BudgetExceeded = true;
+          backtrack(0);
+          return false;
+        }
         backtrack(0);
         break; // Restart; the assumptions are re-established below.
       }

@@ -122,9 +122,16 @@ public:
   bool solveAssuming(const std::vector<Lit> &Assumptions,
                      uint64_t ConflictBudget = 0);
 
-  /// True if the last solve() stopped on the conflict budget rather than
-  /// proving unsatisfiability.
+  /// True if the last solve() stopped on the conflict or wall-clock
+  /// budget rather than proving unsatisfiability.
   bool budgetExceeded() const { return BudgetExceeded; }
+
+  /// Bounds every subsequent solve to \p Seconds of wall-clock search
+  /// time (0 = unlimited). Checked at conflict and restart boundaries —
+  /// cheap enough for the hot loop, tight enough that a pathological
+  /// query cannot hang a worker. On expiry the solve returns false with
+  /// budgetExceeded() set, exactly like the conflict budget.
+  void setWallBudgetSeconds(double Seconds) { WallBudgetSeconds = Seconds; }
 
   /// After an unsatisfiable solveAssuming(): the subset of the assumption
   /// literals whose conjunction the instance refutes. Empty when the
@@ -231,6 +238,7 @@ private:
   double ClauseInc = 1.0;
   bool Ok = true;
   bool BudgetExceeded = false;
+  double WallBudgetSeconds = 0; ///< 0 = unlimited.
   std::vector<Lit> FailedAssumptions;
   SatStats Stats;
 };

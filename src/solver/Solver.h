@@ -113,6 +113,26 @@ struct SolverQueryStats {
                                  ///< cost, zero SAT calls.
   uint64_t ModelCacheEvictions = 0; ///< Index entries dropped by the
                                     ///< cache's generation-LRU bound.
+  // Refutation-reuse subsystem (UNSAT-core subsumption cache + poison
+  // cache + per-query budgets). Core-cache hits/misses are CACHE-level
+  // (counted inside CoreCache::probe); a hit answers the whole check
+  // UNSAT with zero SAT calls, symmetric with EvalSatShortcuts.
+  uint64_t CoreCacheHits = 0;   ///< Probes subsumed by a cached core.
+  uint64_t CoreCacheMisses = 0; ///< Probes with no subsuming core.
+  uint64_t CoreSubsumptions = 0; ///< Hits whose core was a STRICT subset
+                                 ///< of the probe set (reuse across
+                                 ///< different queries, not just repeats).
+  uint64_t CoreCacheEvictions = 0; ///< Index entries dropped by the
+                                   ///< cache's generation-LRU bound.
+  uint64_t PoisonedQueries = 0; ///< Checks refused because their key was
+                                ///< poisoned by an earlier blow-up.
+  uint64_t PoisonedInserts = 0; ///< Keys newly poisoned (a solve blew a
+                                ///< conflict/wall/memory budget).
+  uint64_t PoisonCacheEvictions = 0; ///< Poisoned keys dropped by the
+                                     ///< generation-LRU bound.
+  uint64_t UnknownsObserved = 0; ///< Session checks that returned
+                                 ///< Unknown (fresh budget blow-ups and
+                                 ///< poison refusals alike).
 
   /// Folds \p O into this (the parallel engine merges each worker's
   /// thread-local counters into the run totals at shutdown).
@@ -313,6 +333,15 @@ uint64_t verdictCacheEvictions(const SessionVerdictCache &Cache);
 /// models) publishes its assignment back.
 class ModelCache;
 
+/// The refutation-reuse siblings (see solver/CoreCache.h and
+/// solver/PoisonCache.h): a shared cache of minimized UNSAT cores —
+/// probed after a verdict-cache miss, a cached core that is a subset of
+/// the sliced assertion set proves UNSAT with zero SAT calls — and a
+/// shared set of poisoned query keys whose solve blew a per-query budget
+/// and is refused on re-entry with SolverResult::Unknown.
+class CoreCache;
+class PoisonCache;
+
 /// Bitblasting solver: Tseitin-encodes the query and runs the CDCL core.
 /// \p ConflictBudget bounds each SAT call (0 = unlimited).
 /// \p IncrementalSessions selects what openSession() returns: a native
@@ -349,6 +378,33 @@ createCoreSolver(ExprContext &Ctx, uint64_t ConflictBudget,
                  std::shared_ptr<SessionVerdictCache> Cache,
                  bool GroupSessions = true,
                  std::shared_ptr<ModelCache> Models = nullptr);
+
+/// Full construction surface of a core solver. The positional overloads
+/// above remain as conveniences and forward here; this is what the
+/// driver uses — it carries the refutation-reuse tier and the per-query
+/// budgets that the positional forms predate.
+struct CoreSolverOptions {
+  /// Per-SAT-call conflict bound (0 = unlimited). A blown budget returns
+  /// Unknown and poisons the query key (when a poison cache is attached).
+  uint64_t ConflictBudget = 0;
+  /// Per-SAT-call wall-clock bound in seconds (0 = unlimited). Same
+  /// Unknown + poison semantics as the conflict budget.
+  double WallBudgetSeconds = 0;
+  /// Poisons a query whose solve grew the session's SAT clause database
+  /// by more than this many bytes (0 = unlimited). The completed solve's
+  /// exact verdict is still returned and cached — only re-entry is
+  /// fenced, so a memory hog is paid for at most once per key.
+  uint64_t PoisonMemoryDeltaBytes = 0;
+  bool IncrementalSessions = true;
+  bool GroupSessions = true;
+  std::shared_ptr<SessionVerdictCache> Verdicts; ///< Null disables.
+  std::shared_ptr<ModelCache> Models;            ///< Null disables.
+  std::shared_ptr<CoreCache> Cores;              ///< Null disables.
+  std::shared_ptr<PoisonCache> Poison;           ///< Null disables.
+};
+
+std::unique_ptr<Solver> createCoreSolver(ExprContext &Ctx,
+                                         CoreSolverOptions Opts);
 
 /// Wraps \p Inner with a query-result cache.
 std::unique_ptr<Solver> createCachingSolver(ExprContext &Ctx,

@@ -9,8 +9,10 @@
 #include "expr/ExprRewrite.h"
 #include "expr/ExprUtil.h"
 #include "solver/BitBlaster.h"
+#include "solver/CoreCache.h"
 #include "solver/GroupedSession.h"
 #include "solver/ModelCache.h"
+#include "solver/PoisonCache.h"
 #include "solver/Sat.h"
 #include "solver/SessionVerdictCache.h"
 #include "support/Hashing.h"
@@ -56,6 +58,14 @@ SolverQueryStats &SolverQueryStats::operator+=(const SolverQueryStats &O) {
   ModelCacheMisses += O.ModelCacheMisses;
   EvalSatShortcuts += O.EvalSatShortcuts;
   ModelCacheEvictions += O.ModelCacheEvictions;
+  CoreCacheHits += O.CoreCacheHits;
+  CoreCacheMisses += O.CoreCacheMisses;
+  CoreSubsumptions += O.CoreSubsumptions;
+  CoreCacheEvictions += O.CoreCacheEvictions;
+  PoisonedQueries += O.PoisonedQueries;
+  PoisonedInserts += O.PoisonedInserts;
+  PoisonCacheEvictions += O.PoisonCacheEvictions;
+  UnknownsObserved += O.UnknownsObserved;
   return *this;
 }
 
@@ -84,6 +94,14 @@ SolverQueryStats &SolverQueryStats::operator-=(const SolverQueryStats &O) {
   ModelCacheMisses -= O.ModelCacheMisses;
   EvalSatShortcuts -= O.EvalSatShortcuts;
   ModelCacheEvictions -= O.ModelCacheEvictions;
+  CoreCacheHits -= O.CoreCacheHits;
+  CoreCacheMisses -= O.CoreCacheMisses;
+  CoreSubsumptions -= O.CoreSubsumptions;
+  CoreCacheEvictions -= O.CoreCacheEvictions;
+  PoisonedQueries -= O.PoisonedQueries;
+  PoisonedInserts -= O.PoisonedInserts;
+  PoisonCacheEvictions -= O.PoisonCacheEvictions;
+  UnknownsObserved -= O.UnknownsObserved;
   return *this;
 }
 
@@ -238,15 +256,13 @@ public:
   /// guard-literal garbage collection that bounds long-session memory).
   static constexpr size_t PurgeInterval = 16;
 
-  IncrementalCoreSession(ExprContext &Ctx, uint64_t ConflictBudget,
-                         bool Tracked,
-                         std::shared_ptr<SessionVerdictCache> Cache,
-                         bool FeasiblePrefix = false,
-                         std::shared_ptr<ModelCache> Models = nullptr)
-      : SolverSession(Ctx), ConflictBudget(ConflictBudget),
-        Tracked(Tracked), FeasiblePrefix(FeasiblePrefix),
-        Cache(std::move(Cache)), Models(std::move(Models)), BB(S) {
+  /// Shares GroupedSessionConfig with the grouped implementation so the
+  /// two native session types can never drift apart on configuration.
+  IncrementalCoreSession(ExprContext &Ctx, GroupedSessionConfig Config)
+      : SolverSession(Ctx), Cfg(std::move(Config)), BB(S) {
     Frames.push_back(Frame{sat::LitUndef, {}});
+    if (Cfg.WallBudgetSeconds > 0)
+      S.setWallBudgetSeconds(Cfg.WallBudgetSeconds);
   }
 
   ~IncrementalCoreSession() override {
@@ -302,10 +318,10 @@ public:
     // until a check actually reaches the SAT core: a state whose every
     // feasibility check hits a cache (a shared verdict, or a cached
     // model revalidated by evaluation) never Tseitin-encodes its path
-    // condition at all. Without either cache every check solves, so
-    // encode eagerly (the encode time then lands outside the check,
-    // where the caller's per-response accounting expects it).
-    if (!Cache && !Models)
+    // condition at all. Without any cache every check solves, so encode
+    // eagerly (the encode time then lands outside the check, where the
+    // caller's per-response accounting expects it).
+    if (!Cfg.Cache && !Cfg.Models && !Cfg.Cores && !Cfg.Poison)
       materialize();
   }
 
@@ -354,7 +370,7 @@ public:
                                   bool WantModel) override {
     SolverQueryStats &Stats = solverStats();
     ++Stats.CoreQueries;
-    if (Tracked) {
+    if (Cfg.Tracked) {
       ++Stats.Queries;
       ++Stats.SessionQueries;
       if (!Assumptions.empty())
@@ -402,21 +418,26 @@ public:
     // validated assignment IS a model of the full set then.
     std::vector<uint64_t> Key;
     uint64_t KeyHash = 0;
-    const bool UseCache = Cache && !WantModel;
-    if (UseCache || Models) {
+    const bool UseCache = Cfg.Cache && !WantModel;
+    // The core cache and the poison cache key on the same normalized
+    // constraint multiset as the verdict cache, so one makeKey serves
+    // all three probes.
+    const bool HaveKey = UseCache || Cfg.Cores || Cfg.Poison;
+    if (HaveKey || Cfg.Models) {
       std::vector<ExprRef> Constraints;
       for (const Frame &F : Frames)
         for (ExprRef E : F.Asserted)
           if (!E->isTrue())
             Constraints.push_back(E);
-      if (FeasiblePrefix && !Meaningful.empty() && !WantModel)
+      if (Cfg.FeasiblePrefix && !Meaningful.empty() && !WantModel)
         Constraints = sliceReachable(Constraints, Meaningful);
       Constraints.insert(Constraints.end(), Meaningful.begin(),
                          Meaningful.end());
-      if (UseCache) {
+      if (HaveKey)
         SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+      if (UseCache) {
         SolverResult Hit;
-        if (Cache->lookup(Key, KeyHash, Hit)) {
+        if (Cfg.Cache->lookup(Key, KeyHash, Hit)) {
           ++Stats.VerdictCacheHits;
           R.Result = Hit;
           if (R.isUnsat()) {
@@ -432,9 +453,9 @@ public:
         }
         ++Stats.VerdictCacheMisses;
       }
-      if (Models) {
+      if (Cfg.Models) {
         VarAssignment Hit;
-        if (Models->probe(Constraints, varsOfAll(Constraints), Hit)) {
+        if (Cfg.Models->probe(Constraints, varsOfAll(Constraints), Hit)) {
           ++Stats.EvalSatShortcuts;
           ++Stats.SatResults;
           R.Result = SolverResult::Sat;
@@ -442,10 +463,38 @@ public:
             completeModel(Hit, Assumptions, R);
           // The evaluation proof is exact; share the verdict too.
           if (UseCache)
-            Cache->insert(std::move(Key), KeyHash, R.Result);
+            Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
           finishTiming(Stats, R, Total, AssertEncode);
           return R;
         }
+      }
+      // Refutation reuse: a cached UNSAT core that is a subset of the
+      // current constraint set refutes it with zero SAT calls — the dual
+      // of the model-cache shortcut above. Sound for model requests too:
+      // an UNSAT set has no model to return. Note the probe runs on the
+      // same key ids the verdict cache missed on, so a hit here is a
+      // strictly-new refutation (a subsuming core learned under a
+      // DIFFERENT key).
+      if (Cfg.Cores && Cfg.Cores->probe(Key)) {
+        R.Result = SolverResult::Unsat;
+        ++Stats.UnsatResults;
+        // Cores name constraints, not the caller's assumption subset;
+        // over-approximate like verdict-cache refutations do.
+        R.FailedAssumptions = Meaningful;
+        // The subsumption proof is exact; share the verdict.
+        if (UseCache)
+          Cfg.Cache->insert(std::vector<uint64_t>(Key), KeyHash, R.Result);
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
+      }
+      // Poison fence, deliberately AFTER every exact probe: a poisoned
+      // key that some cache has since learned an exact answer for should
+      // get that answer, not a stale Unknown.
+      if (Cfg.Poison && Cfg.Poison->contains(Key, KeyHash)) {
+        R.Result = SolverResult::Unknown;
+        ++Stats.UnknownsObserved;
+        finishTiming(Stats, R, Total, AssertEncode);
+        return R;
       }
     }
 
@@ -474,12 +523,28 @@ public:
     }
     syncEncodeCounters();
 
+    // Memory watermark: a solve that balloons the clause database past
+    // the per-query delta is poisoned for re-entry even when it finishes
+    // with an exact verdict (which is still returned and cached).
+    const bool TrackMem = Cfg.Poison && Cfg.PoisonMemoryDeltaBytes > 0;
+    const size_t MemBefore = TrackMem ? S.memoryFootprintBytes() : 0;
+
     Timer TS;
-    bool IsSat = S.solveAssuming(Lits, ConflictBudget);
+    bool IsSat = S.solveAssuming(Lits, Cfg.ConflictBudget);
     R.SolveSeconds = TS.seconds();
+
+    if (TrackMem && !Key.empty() &&
+        S.memoryFootprintBytes() >
+            MemBefore + Cfg.PoisonMemoryDeltaBytes)
+      Cfg.Poison->insert(std::vector<uint64_t>(Key), KeyHash);
 
     if (!IsSat && S.budgetExceeded()) {
       R.Result = SolverResult::Unknown;
+      ++Stats.UnknownsObserved;
+      // Remember the blown budget: the next arrival of this key gets
+      // Unknown up front instead of burning the budget again.
+      if (Cfg.Poison && !Key.empty())
+        Cfg.Poison->insert(std::vector<uint64_t>(Key), KeyHash);
     } else if (!IsSat) {
       R.Result = SolverResult::Unsat;
       ++Stats.UnsatResults;
@@ -493,10 +558,36 @@ public:
           }
         }
       }
+      // Publish the refutation: root-scope constraints are asserted
+      // unconditionally, a guarded scope contributed only if its guard
+      // literal is in the failed set (otherwise the core can set the
+      // guard false and ignore the scope), and the failed assumptions
+      // contributed by construction. That set is jointly UNSAT, so any
+      // future query containing it is UNSAT by subsumption.
+      if (Cfg.Cores) {
+        std::vector<ExprRef> Core;
+        auto Failed = [&](sat::Lit G) {
+          for (sat::Lit L : S.failedAssumptions())
+            if (L == G)
+              return true;
+          return false;
+        };
+        for (size_t I = 0; I < Frames.size(); ++I) {
+          if (I != 0 && !Failed(Frames[I].Guard))
+            continue;
+          for (ExprRef E : Frames[I].Asserted)
+            if (!E->isTrue())
+              Core.push_back(E);
+        }
+        for (ExprRef A : R.FailedAssumptions)
+          Core.push_back(A);
+        if (!Core.empty())
+          Cfg.Cores->publish(Core);
+      }
     } else {
       R.Result = SolverResult::Sat;
       ++Stats.SatResults;
-      if (WantModel || Models) {
+      if (WantModel || Cfg.Models) {
         std::unordered_set<ExprRef> Seen;
         std::vector<ExprRef> Vars;
         for (const Frame &F : Frames)
@@ -509,14 +600,14 @@ public:
           M.set(V, BB.modelValue(V));
         // Publish the witness: future checks whose slice this assignment
         // concretely satisfies answer SAT without a SAT call.
-        if (Models)
-          Models->insert(M);
+        if (Cfg.Models)
+          Cfg.Models->insert(M);
         if (WantModel)
           R.Model = std::move(M);
       }
     }
     if (UseCache)
-      Cache->insert(std::move(Key), KeyHash, R.Result);
+      Cfg.Cache->insert(std::move(Key), KeyHash, R.Result);
     finishTiming(Stats, R, Total, AssertEncode);
     return R;
   }
@@ -616,11 +707,7 @@ private:
     Stats.EncodeSeconds += R.EncodeSeconds;
   }
 
-  uint64_t ConflictBudget;
-  bool Tracked; ///< False when serving a one-shot checkSat shim.
-  bool FeasiblePrefix; ///< Caller's SessionOptions::FeasiblePrefix promise.
-  std::shared_ptr<SessionVerdictCache> Cache; ///< Null when disabled.
-  std::shared_ptr<ModelCache> Models;         ///< Null when disabled.
+  GroupedSessionConfig Cfg;
   std::unordered_map<ExprRef, std::vector<ExprRef>> VarsMemo;
   sat::SatSolver S;
   BitBlaster BB;
@@ -634,25 +721,30 @@ private:
 
 class CoreSolver : public Solver {
 public:
-  CoreSolver(ExprContext &Ctx, uint64_t ConflictBudget, bool Incremental,
-             std::shared_ptr<SessionVerdictCache> SharedCache,
-             bool GroupSessions,
-             std::shared_ptr<ModelCache> SharedModels = nullptr)
-      : Solver(Ctx), ConflictBudget(ConflictBudget),
-        Incremental(Incremental), GroupSessions(GroupSessions) {
-    if (Incremental) {
-      Cache = std::move(SharedCache);
-      Models = std::move(SharedModels);
+  CoreSolver(ExprContext &Ctx, CoreSolverOptions Options)
+      : Solver(Ctx), Opts(std::move(Options)) {
+    if (!Opts.IncrementalSessions) {
+      // One-shot fallback sessions replay through checkSat, which never
+      // touches the shared caches; drop them so nobody pays for upkeep.
+      Opts.Verdicts = nullptr;
+      Opts.Models = nullptr;
+      Opts.Cores = nullptr;
+      Opts.Poison = nullptr;
     }
   }
 
   /// The one-shot entry point is a thin shim over a one-shot session, so
   /// both APIs share a single encode-and-solve path. One-shot queries
-  /// skip the verdict cache: the CachingSolver layer above already
-  /// memoizes them (with models).
+  /// skip every shared cache: the CachingSolver layer above already
+  /// memoizes them (with models), and one-shot model generation must
+  /// stay a pure function of the query (see the Models field note). The
+  /// budgets DO apply — a one-shot query can blow up like any other.
   SolverResult checkSat(const Query &Q, VarAssignment *Model) override {
-    IncrementalCoreSession Sess(Ctx, ConflictBudget, /*Tracked=*/false,
-                                nullptr);
+    GroupedSessionConfig Cfg;
+    Cfg.ConflictBudget = Opts.ConflictBudget;
+    Cfg.WallBudgetSeconds = Opts.WallBudgetSeconds;
+    Cfg.Tracked = false;
+    IncrementalCoreSession Sess(Ctx, std::move(Cfg));
     for (ExprRef E : Q.Constraints)
       Sess.assert_(E);
     SolverResponse R = Sess.checkSat(Model != nullptr);
@@ -661,46 +753,51 @@ public:
     return R.Result;
   }
 
-  bool supportsNativeSessions() const override { return Incremental; }
+  bool supportsNativeSessions() const override {
+    return Opts.IncrementalSessions;
+  }
 
   std::unique_ptr<SolverSession> openSession() override {
     return openSession(SessionOptions{});
   }
 
   std::unique_ptr<SolverSession>
-  openSession(const SessionOptions &Opts) override {
-    if (!Incremental)
+  openSession(const SessionOptions &SessOpts) override {
+    if (!Opts.IncrementalSessions)
       return Solver::openSession();
     ++solverStats().SessionsOpened;
-    // A conflict budget can return Unknown, which engines treat as
-    // feasible — the caller's feasible-prefix promise can then be
+    // A conflict or wall budget can return Unknown, which engines treat
+    // as feasible — the caller's feasible-prefix promise can then be
     // violated through no fault of its own, so refuse it locally rather
-    // than trusting every driver to remember the interaction.
-    bool Feasible = Opts.FeasiblePrefix && ConflictBudget == 0;
-    if (GroupSessions) {
-      GroupedSessionConfig Cfg;
-      Cfg.ConflictBudget = ConflictBudget;
-      Cfg.Tracked = true;
-      Cfg.FeasiblePrefix = Feasible;
-      Cfg.Cache = Cache;
-      Cfg.Models = Models;
+    // than trusting every driver to remember the interaction. (The
+    // memory watermark is exempt: it fences re-entry but the original
+    // verdict stays exact.)
+    bool Feasible = SessOpts.FeasiblePrefix && Opts.ConflictBudget == 0 &&
+                    Opts.WallBudgetSeconds == 0;
+    GroupedSessionConfig Cfg;
+    Cfg.ConflictBudget = Opts.ConflictBudget;
+    Cfg.WallBudgetSeconds = Opts.WallBudgetSeconds;
+    Cfg.PoisonMemoryDeltaBytes = Opts.PoisonMemoryDeltaBytes;
+    Cfg.Tracked = true;
+    Cfg.FeasiblePrefix = Feasible;
+    Cfg.Cache = Opts.Verdicts;
+    Cfg.Models = Opts.Models;
+    Cfg.Cores = Opts.Cores;
+    Cfg.Poison = Opts.Poison;
+    if (Opts.GroupSessions)
       return createGroupedCoreSession(Ctx, std::move(Cfg));
-    }
-    return std::make_unique<IncrementalCoreSession>(
-        Ctx, ConflictBudget, /*Tracked=*/true, Cache, Feasible, Models);
+    return std::make_unique<IncrementalCoreSession>(Ctx, std::move(Cfg));
   }
 
 private:
-  uint64_t ConflictBudget;
-  bool Incremental;
-  bool GroupSessions; ///< Per-group sub-sessions vs monolithic baseline.
-  std::shared_ptr<SessionVerdictCache> Cache; ///< Shared by all sessions.
-  /// Shared counterexample cache; null disables model reuse. One-shot
-  /// checkSat() shims never probe it: the cache could return a DIFFERENT
-  /// (equally valid) model than a fresh solve, and one-shot model
-  /// generation must stay a pure function of the query so generated test
-  /// inputs are bit-identical across cache configurations and schedules.
-  std::shared_ptr<ModelCache> Models;
+  /// Shared-cache notes: Models is never probed by one-shot checkSat()
+  /// shims — the cache could return a DIFFERENT (equally valid) model
+  /// than a fresh solve, and one-shot model generation must stay a pure
+  /// function of the query so generated test inputs are bit-identical
+  /// across cache configurations and schedules. Cores/Poison follow the
+  /// same rule for symmetry (and because the CachingSolver layer above
+  /// already memoizes one-shot queries).
+  CoreSolverOptions Opts;
 };
 
 //===----------------------------------------------------------------------===
@@ -983,13 +1080,22 @@ std::unique_ptr<SolverSession> Solver::openSession() {
 }
 
 std::unique_ptr<Solver> symmerge::createCoreSolver(ExprContext &Ctx,
+                                                   CoreSolverOptions Opts) {
+  return std::make_unique<CoreSolver>(Ctx, std::move(Opts));
+}
+
+std::unique_ptr<Solver> symmerge::createCoreSolver(ExprContext &Ctx,
                                                    uint64_t ConflictBudget,
                                                    bool IncrementalSessions,
                                                    bool VerdictCache,
                                                    bool GroupSessions) {
-  return std::make_unique<CoreSolver>(
-      Ctx, ConflictBudget, IncrementalSessions,
-      VerdictCache ? createVerdictCache() : nullptr, GroupSessions);
+  CoreSolverOptions Opts;
+  Opts.ConflictBudget = ConflictBudget;
+  Opts.IncrementalSessions = IncrementalSessions;
+  Opts.GroupSessions = GroupSessions;
+  if (VerdictCache)
+    Opts.Verdicts = createVerdictCache();
+  return createCoreSolver(Ctx, std::move(Opts));
 }
 
 std::unique_ptr<Solver>
@@ -998,9 +1104,13 @@ symmerge::createCoreSolver(ExprContext &Ctx, uint64_t ConflictBudget,
                            std::shared_ptr<SessionVerdictCache> Cache,
                            bool GroupSessions,
                            std::shared_ptr<ModelCache> Models) {
-  return std::make_unique<CoreSolver>(Ctx, ConflictBudget,
-                                      IncrementalSessions, std::move(Cache),
-                                      GroupSessions, std::move(Models));
+  CoreSolverOptions Opts;
+  Opts.ConflictBudget = ConflictBudget;
+  Opts.IncrementalSessions = IncrementalSessions;
+  Opts.GroupSessions = GroupSessions;
+  Opts.Verdicts = std::move(Cache);
+  Opts.Models = std::move(Models);
+  return createCoreSolver(Ctx, std::move(Opts));
 }
 
 std::unique_ptr<Solver>
@@ -1027,13 +1137,14 @@ std::unique_ptr<Solver> symmerge::createBruteForceSolver(ExprContext &Ctx) {
 
 std::unique_ptr<Solver> symmerge::createDefaultSolver(ExprContext &Ctx,
                                                       uint64_t ConflictBudget) {
+  CoreSolverOptions Opts;
+  Opts.ConflictBudget = ConflictBudget;
+  Opts.Verdicts = createVerdictCache();
+  Opts.Models = createModelCache();
+  Opts.Cores = createCoreCache();
+  Opts.Poison = createPoisonCache();
   return createIndependenceSolver(
-      Ctx,
-      createSimplifyingSolver(
-          Ctx, createCachingSolver(
-                   Ctx, createCoreSolver(Ctx, ConflictBudget,
-                                         /*IncrementalSessions=*/true,
-                                         createVerdictCache(),
-                                         /*GroupSessions=*/true,
-                                         createModelCache()))));
+      Ctx, createSimplifyingSolver(
+               Ctx, createCachingSolver(
+                        Ctx, createCoreSolver(Ctx, std::move(Opts)))));
 }

@@ -1,0 +1,336 @@
+//===- CoreCacheTest.cpp - UNSAT-core subsumption cache ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The refutation-reuse subsystem's cache of minimized UNSAT cores:
+///
+///  - subset subsumption: a cached core refutes any SUPERSET probe (the
+///    dual of the model cache's superset-model-answers-subset-probe),
+///  - publication-time minimization: irrelevant constraints are deleted,
+///    so the cached core subsumes strictly more future queries,
+///  - the soundness guard: a "core" whose re-solve turns out satisfiable
+///    (an extraction bug upstream) is dropped, never cached,
+///  - the generation-LRU capacity bound and hot-entry retention,
+///  - cross-thread coherence (runs under the TSan CI job),
+///  - session integration: a core-cache hit answers UNSAT with zero SAT
+///    calls and zero Tseitin work, verdicts stay exactly equal to a
+///    cache-less twin, and the engine's merged per-worker statistics
+///    match the cache's own ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "lang/Lower.h"
+#include "solver/CoreCache.h"
+#include "solver/Solver.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+using namespace symmerge;
+
+namespace {
+
+/// The SessionVerdictCache::makeKey normalization: sorted, deduplicated
+/// constraint node ids.
+std::vector<uint64_t> keyOf(std::initializer_list<ExprRef> Constraints) {
+  std::vector<uint64_t> Key;
+  for (ExprRef C : Constraints)
+    Key.push_back(C->id());
+  std::sort(Key.begin(), Key.end());
+  Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+  return Key;
+}
+
+} // namespace
+
+TEST(CoreCacheTest, SubsetCoresSubsumeSupersetProbes) {
+  ExprContext Ctx;
+  auto Cache = createCoreCache();
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef A = Ctx.mkUlt(X, Ctx.mkConst(5, 8));
+  ExprRef B = Ctx.mkUlt(Ctx.mkConst(9, 8), X); // A && B is UNSAT.
+  ExprRef C = Ctx.mkEq(Y, Ctx.mkConst(3, 8));  // Irrelevant.
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Subs0 = Stats.CoreSubsumptions;
+
+  Cache->publish({A, B});
+  ASSERT_GT(Cache->size(), 0u) << "a real core must be cached";
+
+  // The exact set is refuted...
+  EXPECT_TRUE(Cache->probe(keyOf({A, B})));
+  // ...and so is any superset: the core is a SUBSET of the probe.
+  EXPECT_TRUE(Cache->probe(keyOf({A, B, C})));
+  EXPECT_GT(Stats.CoreSubsumptions, Subs0)
+      << "a strict-superset hit must count as a subsumption";
+  // A probe missing a core member is NOT refuted by it — the probe's
+  // conjunction might well be satisfiable.
+  EXPECT_FALSE(Cache->probe(keyOf({A})));
+  EXPECT_FALSE(Cache->probe(keyOf({A, C})));
+  EXPECT_FALSE(Cache->probe(keyOf({B, C})));
+}
+
+TEST(CoreCacheTest, PublicationMinimizesAwayIrrelevantConstraints) {
+  // Publish a VALID but non-minimal core: {A, B} is already UNSAT, C is
+  // dead weight. Minimization must strip C — provable from the outside
+  // because only then can the probe {A, B} (which does not contain C's
+  // id) be subsumed.
+  ExprContext Ctx;
+  auto Cache = createCoreCache();
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  ExprRef A = Ctx.mkUlt(X, Ctx.mkConst(5, 8));
+  ExprRef B = Ctx.mkUlt(Ctx.mkConst(9, 8), X);
+  ExprRef C = Ctx.mkEq(Y, Ctx.mkConst(3, 8));
+
+  Cache->publish({A, B, C});
+  EXPECT_TRUE(Cache->probe(keyOf({A, B})))
+      << "the minimized core must not mention the irrelevant constraint";
+  // And minimization never over-shrinks: neither member alone is UNSAT,
+  // so neither singleton may be cached as a refutation.
+  EXPECT_FALSE(Cache->probe(keyOf({A, C})));
+  EXPECT_FALSE(Cache->probe(keyOf({B, C})));
+}
+
+TEST(CoreCacheTest, SatisfiableSetsAreDroppedNotCached) {
+  // The soundness guard: publish() re-solves the claimed core, and a SAT
+  // answer means the extraction upstream was wrong — caching it would
+  // turn a live feasible path into a phantom UNSAT forever after.
+  ExprContext Ctx;
+  auto Cache = createCoreCache();
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef A = Ctx.mkUlt(X, Ctx.mkConst(5, 8));
+  ExprRef B = Ctx.mkUlt(Ctx.mkConst(1, 8), X); // A && B is SAT (x in 2..4).
+
+  Cache->publish({A, B});
+  EXPECT_EQ(Cache->size(), 0u);
+  EXPECT_FALSE(Cache->probe(keyOf({A, B})));
+}
+
+TEST(CoreCacheTest, GenerationLruBoundsEntriesAndKeepsHotCores) {
+  ExprContext Ctx;
+  CoreCacheOptions Opts;
+  Opts.MaxEntries = 64;
+  Opts.Shards = 4;
+  auto Cache = createCoreCache(Opts);
+  ExprRef X = Ctx.mkVar("x", 16);
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Evictions0 = Stats.CoreCacheEvictions;
+
+  // One hot core, probed every round, churning against hundreds of cold
+  // publications. Each pair {x == k, x == k+1} is UNSAT and minimal.
+  ExprRef HotA = Ctx.mkEq(X, Ctx.mkConst(40000, 16));
+  ExprRef HotB = Ctx.mkEq(X, Ctx.mkConst(40001, 16));
+  Cache->publish({HotA, HotB});
+  for (uint64_t K = 0; K < 200; ++K) {
+    ASSERT_TRUE(Cache->probe(keyOf({HotA, HotB}))) << "round " << K;
+    Cache->publish({Ctx.mkEq(X, Ctx.mkConst(2 * K, 16)),
+                    Ctx.mkEq(X, Ctx.mkConst(2 * K + 1, 16))});
+  }
+
+  EXPECT_LE(Cache->size(), Opts.MaxEntries)
+      << "the LRU bound must hold after 200 distinct cores";
+  EXPECT_GT(Cache->evictions(), 0u);
+  EXPECT_GT(Stats.CoreCacheEvictions, Evictions0)
+      << "evictions must be counted in the solver statistics";
+  // The continuously probed core survived every eviction wave.
+  EXPECT_TRUE(Cache->probe(keyOf({HotA, HotB})));
+}
+
+TEST(CoreCacheTest, CrossThreadPublishAndProbeStayCoherent) {
+  // Four threads hammer one cache, each over its own variable; every
+  // thread's newest core must be probeable afterwards, and a concurrent
+  // probe may only answer true for a genuinely published refutation.
+  // (The data-race half of this contract is enforced by the TSan CI job,
+  // which runs this suite.)
+  ExprContext Ctx;
+  auto Cache = createCoreCache();
+  std::vector<ExprRef> Vars;
+  for (int I = 0; I < 4; ++I)
+    Vars.push_back(Ctx.mkVar("v" + std::to_string(I), 16));
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      ExprRef V = Vars[T];
+      for (uint64_t K = 0; K < 50; ++K) {
+        ExprRef A = Ctx.mkEq(V, Ctx.mkConst(2 * K, 16));
+        ExprRef B = Ctx.mkEq(V, Ctx.mkConst(2 * K + 1, 16));
+        Cache->publish({A, B});
+        EXPECT_TRUE(Cache->probe(keyOf({A, B})))
+            << "thread " << T << " round " << K;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int T = 0; T < 4; ++T) {
+    EXPECT_TRUE(Cache->probe(keyOf(
+        {Ctx.mkEq(Vars[T], Ctx.mkConst(98, 16)),
+         Ctx.mkEq(Vars[T], Ctx.mkConst(99, 16))})))
+        << "thread " << T << "'s newest core must be resident";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Session integration: refutation reuse with zero SAT calls
+//===----------------------------------------------------------------------===
+
+TEST(CoreCacheTest, SessionChecksShortcutThroughTheCoreCache) {
+  for (bool Grouped : {false, true}) {
+    ExprContext Ctx;
+    CoreSolverOptions Opts;
+    Opts.Cores = createCoreCache();
+    Opts.GroupSessions = Grouped;
+    auto Core = createCoreSolver(Ctx, Opts);
+    ExprRef X = Ctx.mkVar("x", 8);
+    ExprRef PC = Ctx.mkUlt(X, Ctx.mkConst(10, 8));
+    ExprRef Bad = Ctx.mkEq(X, Ctx.mkConst(200, 8));
+
+    SolverQueryStats &Stats = solverStats();
+
+    // First session refutes the hard way and publishes its core.
+    auto A = Core->openSession();
+    A->assert_(PC);
+    uint64_t Hits0 = Stats.CoreCacheHits;
+    EXPECT_TRUE(A->checkSatAssuming(Bad).isUnsat()) << "grouped=" << Grouped;
+    EXPECT_EQ(Stats.CoreCacheHits, Hits0);
+
+    // A sibling session with the same prefix answers the same check from
+    // the cached core: no SAT call, and — because encoding defers until
+    // a check misses every cache — no Tseitin work either.
+    auto B = Core->openSession();
+    B->assert_(PC);
+    uint64_t Lowered0 = Stats.EncodeNodesLowered;
+    SolverResponse R = B->checkSatAssuming(Bad);
+    EXPECT_TRUE(R.isUnsat()) << "grouped=" << Grouped;
+    EXPECT_EQ(Stats.CoreCacheHits, Hits0 + 1) << "grouped=" << Grouped;
+    EXPECT_EQ(Stats.EncodeNodesLowered, Lowered0)
+        << "a core-cache hit must not Tseitin-encode anything";
+    // The over-approximated failed-assumption subset names the check.
+    ASSERT_EQ(R.FailedAssumptions.size(), 1u);
+    EXPECT_EQ(R.FailedAssumptions[0], Bad);
+
+    // Monolithic sessions key on the FULL asserted set, so a session
+    // whose prefix grew an unrelated conjunct probes a strict superset —
+    // refuted by subsumption. (Grouped sessions slice that conjunct away
+    // and hit on the equal key instead, covered above.)
+    if (!Grouped) {
+      ExprRef Y = Ctx.mkVar("y", 8);
+      uint64_t Subs0 = Stats.CoreSubsumptions;
+      auto D = Core->openSession();
+      D->assert_(PC);
+      D->assert_(Ctx.mkUlt(Y, Ctx.mkConst(7, 8)));
+      EXPECT_TRUE(D->checkSatAssuming(Bad).isUnsat());
+      EXPECT_GT(Stats.CoreSubsumptions, Subs0)
+          << "the superset probe must hit by strict subsumption";
+    }
+  }
+}
+
+TEST(CoreCacheTest, VerdictsAgreeWithCorelessTwinOnRandomSweeps) {
+  // Randomized: the same session script driven against a core-cache
+  // stack and a cache-less twin must produce identical verdicts at every
+  // step, for both native session kinds. The cache can only change HOW
+  // an UNSAT answer is derived, never WHAT is answered.
+  RNG Rand(20260808);
+  for (int Round = 0; Round < 20; ++Round) {
+    ExprContext Ctx;
+    CoreSolverOptions WithOpts;
+    WithOpts.Cores = createCoreCache();
+    WithOpts.GroupSessions = Round % 2 == 0;
+    auto WithCores = createCoreSolver(Ctx, WithOpts);
+    CoreSolverOptions WithoutOpts;
+    WithoutOpts.GroupSessions = Round % 2 == 0;
+    auto Without = createCoreSolver(Ctx, WithoutOpts);
+    ExprRef X = Ctx.mkVar("x", 8);
+    ExprRef Y = Ctx.mkVar("y", 8);
+
+    auto SA = WithCores->openSession();
+    auto SB = Without->openSession();
+    for (int Step = 0; Step < 24; ++Step) {
+      ExprRef V = Rand.nextBool(0.5) ? X : Y;
+      uint64_t K = Rand.nextBelow(64);
+      ExprRef C = Rand.nextBool(0.5)
+                      ? Ctx.mkUlt(V, Ctx.mkConst(K, 8))
+                      : Ctx.mkUlt(Ctx.mkConst(K, 8),
+                                  Ctx.mkAdd(X, Ctx.mkMul(
+                                                   Y, Ctx.mkConst(3, 8))));
+      switch (Rand.nextBelow(4)) {
+      case 0:
+        SA->push();
+        SB->push();
+        SA->assert_(C);
+        SB->assert_(C);
+        break;
+      case 1:
+        if (SA->health().LiveScopes > 0) {
+          SA->pop();
+          SB->pop();
+        }
+        break;
+      default: {
+        SolverResponse RA = SA->checkSatAssuming(C);
+        SolverResponse RB = SB->checkSatAssuming(C);
+        ASSERT_EQ(static_cast<int>(RA.Result),
+                  static_cast<int>(RB.Result))
+            << "round " << Round << " step " << Step;
+        break;
+      }
+      }
+    }
+  }
+}
+
+TEST(CoreCacheTest, EngineStatsMatchCoreCacheGroundTruth) {
+  // The merged per-worker (and pool-thread) eviction counters must equal
+  // the shared cache's own count — the same ground-truth audit the
+  // verdict and model caches get.
+  const char *Source =
+      "void main() {\n"
+      "  int a = 0;\n"
+      "  int b = 0;\n"
+      "  make_symbolic(a, \"a\");\n"
+      "  make_symbolic(b, \"b\");\n"
+      "  assume(a >= 0); assume(a <= 10);\n"
+      "  assume(b >= 0); assume(b <= 10);\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 5; i = i + 1) {\n"
+      "    if (a > i * 2) { s = s + 1; } else { s = s + 2; }\n"
+      "    if (b > i * 3) { s = s + b; }\n"
+      "  }\n"
+      "  assert(s <= 40, \"bound\");\n"
+      "}\n";
+  CompileResult CR = compileMiniC(Source);
+  ASSERT_TRUE(CR.ok());
+
+  for (unsigned Workers : {1u, 4u}) {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Engine.Workers = Workers;
+    // A tiny capacity bound forces real LRU churn.
+    C.CoreCacheLimit = 16;
+    SymbolicRunner Runner(*CR.M, C);
+    RunResult R = Runner.run();
+    ASSERT_TRUE(R.Stats.Exhausted);
+    auto Cache = Runner.coreCache();
+    ASSERT_NE(Cache, nullptr);
+    EXPECT_EQ(R.Stats.SolverCoreCacheEvictions, Cache->evictions())
+        << "workers=" << Workers;
+    EXPECT_GT(R.Stats.SolverCoreCacheHits + R.Stats.SolverCoreCacheMisses,
+              0u)
+        << "the engine must actually probe (workers=" << Workers << ")";
+    // Nothing sets a budget here, so the poison tier stays silent.
+    EXPECT_EQ(R.Stats.SolverPoisonedInserts, 0u);
+    EXPECT_EQ(R.Stats.SolverUnknownsObserved, 0u);
+  }
+}

@@ -207,6 +207,59 @@ TEST(ModelCacheTest, CrossThreadInsertAndProbeStayCoherent) {
   }
 }
 
+TEST(ModelCacheTest, ProvenModelsOutrankRecentChurnInTheProbeBudget) {
+  // The probe-ranking regression: candidates are gathered wider than the
+  // evaluation budget and ranked by validated hit count, so a proven
+  // witness buried under newer single-use models is STILL evaluated.
+  // Pure most-recent-first probing (the old policy) would spend the
+  // entire budget on the junk and miss.
+  ExprContext Ctx;
+  ModelCacheOptions Opts;
+  Opts.ProbeLimit = 2; // Gather window is 4x: eight candidates.
+  auto Cache = createModelCache(Opts);
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef Good = Ctx.mkEq(X, Ctx.mkConst(7777, 16));
+
+  Cache->insert(makeModel({{X, 7777}}));
+  VarAssignment Hit;
+  // One validated probe marks the model as proven.
+  ASSERT_TRUE(Cache->probe({Good}, {X}, Hit));
+
+  // Five fresher models on the same variable push it far beyond a
+  // 2-candidate recency window (but inside the 8-candidate gather).
+  for (uint64_t K = 0; K < 5; ++K)
+    Cache->insert(makeModel({{X, 100 + K}}));
+
+  EXPECT_TRUE(Cache->probe({Good}, {X}, Hit))
+      << "the hit-ranked probe must reach past the churn";
+  EXPECT_EQ(Hit.get(X), 7777u);
+}
+
+TEST(ModelCacheTest, FootprintOverlapBreaksTiesAmongUnprovenModels) {
+  // Among never-validated candidates, the one assigning MORE of the
+  // probe's variables ranks first: it constrains more of the query, so
+  // it is likelier to validate. With an evaluation budget of one, the
+  // ranking decides the verdict outright.
+  ExprContext Ctx;
+  ModelCacheOptions Opts;
+  Opts.ProbeLimit = 1;
+  auto Cache = createModelCache(Opts);
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef Y = Ctx.mkVar("y", 16);
+
+  // The older model assigns both variables and satisfies the probe; the
+  // newer one assigns only x (y evaluates as zero) and fails it.
+  Cache->insert(makeModel({{X, 3}, {Y, 7}}));
+  Cache->insert(makeModel({{X, 3}}));
+
+  VarAssignment Hit;
+  EXPECT_TRUE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(3, 16)),
+                            Ctx.mkEq(Y, Ctx.mkConst(7, 16))},
+                           {X, Y}, Hit))
+      << "overlap ranking must pick the two-variable model first";
+  EXPECT_EQ(Hit.get(Y), 7u);
+}
+
 //===----------------------------------------------------------------------===
 // Session integration: evaluation-based SAT shortcuts
 //===----------------------------------------------------------------------===

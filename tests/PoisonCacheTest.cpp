@@ -1,0 +1,251 @@
+//===- PoisonCacheTest.cpp - Remembered solver blow-ups ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The budget fence of the refutation-reuse subsystem:
+///
+///  - poison re-entry refusal: a key whose solve blew a budget is refused
+///    with Unknown before any SAT work on every later attempt,
+///  - the generation-LRU capacity bound,
+///  - cross-thread coherence (runs under the TSan CI job),
+///  - probe order: a poisoned key that some exact cache has since learned
+///    an answer for gets that answer, not a stale Unknown,
+///  - graceful degradation end-to-end: an engine run under a 1-conflict
+///    budget completes — poisoned queries become skipped proofs and
+///    skipped tests, never crashes or hangs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "lang/Lower.h"
+#include "solver/ModelCache.h"
+#include "solver/PoisonCache.h"
+#include "solver/Solver.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace symmerge;
+
+TEST(PoisonCacheTest, InsertThenRefuseOnReentry) {
+  auto Cache = createPoisonCache();
+  std::vector<uint64_t> Key = {3, 7, 11};
+  uint64_t Hash = hashMix(42);
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Queries0 = Stats.PoisonedQueries;
+  uint64_t Inserts0 = Stats.PoisonedInserts;
+
+  EXPECT_FALSE(Cache->contains(Key, Hash));
+  EXPECT_EQ(Stats.PoisonedQueries, Queries0)
+      << "a clean miss is not a poisoned query";
+
+  Cache->insert(Key, Hash);
+  EXPECT_EQ(Cache->size(), 1u);
+  EXPECT_EQ(Stats.PoisonedInserts, Inserts0 + 1);
+
+  EXPECT_TRUE(Cache->contains(Key, Hash));
+  EXPECT_EQ(Stats.PoisonedQueries, Queries0 + 1)
+      << "the re-entry refusal must be counted";
+
+  // Re-poisoning the same key is idempotent.
+  Cache->insert(Key, Hash);
+  EXPECT_EQ(Cache->size(), 1u);
+  EXPECT_EQ(Stats.PoisonedInserts, Inserts0 + 1);
+
+  // A hash collision with a DIFFERENT key must not be refused: the fence
+  // compares full keys, never hashes alone.
+  EXPECT_FALSE(Cache->contains({5}, Hash));
+}
+
+TEST(PoisonCacheTest, GenerationLruBoundsEntriesAndKeepsHotKeys) {
+  PoisonCacheOptions Opts;
+  Opts.MaxEntries = 64;
+  Opts.Shards = 4;
+  auto Cache = createPoisonCache(Opts);
+
+  // One hot key, touched every round, churning against hundreds of cold
+  // inserts.
+  std::vector<uint64_t> Hot = {999999};
+  uint64_t HotHash = hashMix(999999);
+  Cache->insert(Hot, HotHash);
+  for (uint64_t K = 0; K < 500; ++K) {
+    ASSERT_TRUE(Cache->contains(Hot, HotHash)) << "round " << K;
+    Cache->insert({K}, hashMix(K));
+  }
+
+  EXPECT_LE(Cache->size(), Opts.MaxEntries)
+      << "the LRU bound must hold after 500 distinct keys";
+  EXPECT_GT(Cache->evictions(), 0u);
+  EXPECT_TRUE(Cache->contains(Hot, HotHash))
+      << "the continuously touched key must survive every eviction wave";
+}
+
+TEST(PoisonCacheTest, CrossThreadPoisonStaysCoherent) {
+  // Four threads poison and re-probe disjoint key ranges; every thread's
+  // own keys must be refused once inserted. (The data-race half of this
+  // contract is enforced by the TSan CI job, which runs this suite.)
+  auto Cache = createPoisonCache();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t K = 0; K < 200; ++K) {
+        std::vector<uint64_t> Key = {static_cast<uint64_t>(T), K};
+        uint64_t Hash = hashCombine(hashMix(T), K);
+        Cache->insert(Key, Hash);
+        EXPECT_TRUE(Cache->contains(Key, Hash))
+            << "thread " << T << " key " << K;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 0; T < 4; ++T)
+    EXPECT_TRUE(Cache->contains({static_cast<uint64_t>(T), 199},
+                                hashCombine(hashMix(T), 199)));
+}
+
+//===----------------------------------------------------------------------===
+// Session integration: budgets, poisoning, and the Unknown contract
+//===----------------------------------------------------------------------===
+
+TEST(PoisonCacheTest, BlownBudgetPoisonsAndRefusesReentry) {
+  for (bool Grouped : {false, true}) {
+    ExprContext Ctx;
+    CoreSolverOptions Opts;
+    Opts.Poison = createPoisonCache();
+    Opts.ConflictBudget = 1; // Blows on anything needing real search.
+    Opts.GroupSessions = Grouped;
+    auto Core = createCoreSolver(Ctx, Opts);
+    ExprRef X = Ctx.mkVar("x", 32);
+    ExprRef Y = Ctx.mkVar("y", 32);
+    // A 32-bit multiplication equality: far beyond a 1-conflict budget.
+    ExprRef Hard =
+        Ctx.mkEq(Ctx.mkMul(X, Y), Ctx.mkConst(0xDEADBEEF, 32));
+    ExprRef Prefix = Ctx.mkUlt(Ctx.mkConst(2, 32), X);
+
+    SolverQueryStats &Stats = solverStats();
+    uint64_t Unknowns0 = Stats.UnknownsObserved;
+    uint64_t Inserts0 = Stats.PoisonedInserts;
+    uint64_t Queries0 = Stats.PoisonedQueries;
+
+    // The first attempt pays the (bounded) blow-up and poisons the key.
+    auto A = Core->openSession();
+    A->assert_(Prefix);
+    EXPECT_EQ(static_cast<int>(A->checkSatAssuming(Hard).Result),
+              static_cast<int>(SolverResult::Unknown))
+        << "grouped=" << Grouped;
+    EXPECT_EQ(Stats.UnknownsObserved, Unknowns0 + 1);
+    EXPECT_EQ(Stats.PoisonedInserts, Inserts0 + 1);
+    EXPECT_EQ(Stats.PoisonedQueries, Queries0);
+
+    // A sibling session re-entering the same key is refused before any
+    // SAT work — no encoding, no solve, immediate Unknown.
+    auto B = Core->openSession();
+    B->assert_(Prefix);
+    uint64_t Lowered0 = Stats.EncodeNodesLowered;
+    EXPECT_EQ(static_cast<int>(B->checkSatAssuming(Hard).Result),
+              static_cast<int>(SolverResult::Unknown))
+        << "grouped=" << Grouped;
+    EXPECT_EQ(Stats.PoisonedQueries, Queries0 + 1);
+    EXPECT_EQ(Stats.UnknownsObserved, Unknowns0 + 2)
+        << "a poison refusal is an observed Unknown too";
+    EXPECT_EQ(Stats.EncodeNodesLowered, Lowered0)
+        << "a poison refusal must not Tseitin-encode anything";
+
+    // Unknown is not sticky for the session: a different check on the
+    // same session is not fenced (it may still be budget-limited — the
+    // contract is "never falsely Unsat", not "always proven").
+    EXPECT_FALSE(
+        B->checkSatAssuming(Ctx.mkUlt(Ctx.mkConst(4, 32), X)).isUnsat());
+  }
+}
+
+TEST(PoisonCacheTest, ExactCacheAnswersOutrankPoison) {
+  // Probe order: verdict/model/core probes run BEFORE the poison fence,
+  // so a poisoned key that an exact cache has since learned an answer
+  // for gets that answer — a stale Unknown never shadows fresh truth.
+  ExprContext Ctx;
+  CoreSolverOptions Opts;
+  Opts.Poison = createPoisonCache();
+  Opts.Models = createModelCache();
+  Opts.ConflictBudget = 1;
+  auto Core = createCoreSolver(Ctx, Opts);
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  ExprRef Hard = Ctx.mkEq(Ctx.mkMul(X, Y), Ctx.mkConst(48, 32));
+  ExprRef Prefix = Ctx.mkUlt(Ctx.mkConst(2, 32), X);
+
+  SolverQueryStats &Stats = solverStats();
+
+  auto A = Core->openSession();
+  A->assert_(Prefix);
+  ASSERT_EQ(static_cast<int>(A->checkSatAssuming(Hard).Result),
+            static_cast<int>(SolverResult::Unknown))
+      << "the 1-conflict budget must blow on the multiplication";
+
+  // Meanwhile some other path publishes a witness (6 * 8 == 48, 6 > 2).
+  VarAssignment Witness;
+  Witness.set(X, 6);
+  Witness.set(Y, 8);
+  Opts.Models->insert(Witness);
+
+  // Re-entry now validates the model BEFORE consulting the poison fence:
+  // the poisoned key answers Sat, not a stale Unknown.
+  uint64_t Poisoned0 = Stats.PoisonedQueries;
+  auto B = Core->openSession();
+  B->assert_(Prefix);
+  SolverResponse R = B->checkSatAssuming(Hard, /*WantModel=*/true);
+  ASSERT_TRUE(R.isSat());
+  EXPECT_EQ(R.Model.get(X), 6u);
+  EXPECT_EQ(R.Model.get(Y), 8u);
+  EXPECT_EQ(Stats.PoisonedQueries, Poisoned0)
+      << "the exact answer must short-circuit ahead of the fence";
+}
+
+//===----------------------------------------------------------------------===
+// Engine integration: graceful degradation under hostile budgets
+//===----------------------------------------------------------------------===
+
+TEST(PoisonCacheTest, TinyBudgetRunCompletesAndReportsPoisonedQueries) {
+  // Two consecutive identical hard branches: the second branch's sliced
+  // query key equals the first's, so with a 1-conflict budget the first
+  // check blows and poisons, and the second is a guaranteed poison-fence
+  // refusal. The run must complete (Unknown = "may be true", an
+  // over-approximation, never a hang) and report the poisoning.
+  const char *Source =
+      "void main() {\n"
+      "  int x = 0;\n"
+      "  int y = 0;\n"
+      "  make_symbolic(x, \"x\");\n"
+      "  make_symbolic(y, \"y\");\n"
+      "  int s = 0;\n"
+      "  if (x * y == 1337) { s = s + 1; }\n"
+      "  if (x * y == 1337) { s = s + 2; }\n"
+      "  assert(s <= 3, \"bound\");\n"
+      "}\n";
+  CompileResult CR = compileMiniC(Source);
+  ASSERT_TRUE(CR.ok());
+
+  SymbolicRunner::Config C;
+  C.Engine.MaxSeconds = 60;
+  C.Engine.Workers = 1;
+  C.SolverConflictBudget = 1;
+  SymbolicRunner Runner(*CR.M, C);
+  RunResult R = Runner.run();
+
+  EXPECT_TRUE(R.Stats.Exhausted)
+      << "a budgeted run must still run to completion";
+  EXPECT_GT(R.Stats.SolverPoisonedInserts, 0u)
+      << "the multiplication branch must blow a 1-conflict budget";
+  EXPECT_GT(R.Stats.SolverPoisonedQueries, 0u)
+      << "the repeated branch must be refused by the fence";
+  EXPECT_GT(R.Stats.SolverUnknownsObserved, 0u);
+  auto Cache = Runner.poisonCache();
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_GT(Cache->size(), 0u);
+}

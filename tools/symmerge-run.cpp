@@ -73,12 +73,26 @@ void usage(const char *Argv0) {
       "                           sub-instances; the measurement baseline)\n"
       "  --no-model-cache         disable the shared counterexample cache\n"
       "                           (no evaluation-based SAT shortcuts)\n"
+      "  --no-core-cache          disable the UNSAT-core subsumption cache\n"
+      "                           (no refutation reuse)\n"
+      "  --no-poison-cache        disable the blown-budget poison cache\n"
+      "                           (budgeted queries may be re-attempted)\n"
+      "  --solve-budget-conflicts=N  SAT conflict budget per query; a blown\n"
+      "                           budget answers Unknown (0 = unlimited)\n"
+      "  --solve-budget-ms=F      wall-clock solve budget per query in\n"
+      "                           milliseconds (0 = unlimited)\n"
+      "  --solve-budget-mem=N     per-query SAT memory-growth poison\n"
+      "                           watermark in bytes (0 = unlimited)\n"
       "  --no-async-testgen       solve final test-case models inline on\n"
       "                           the exploration workers (baseline)\n"
       "  --verdict-cache-limit=N  verdict-cache entries before LRU\n"
       "                           eviction (0 = unbounded)\n"
       "  --model-cache-limit=N    model-cache index entries before LRU\n"
       "                           eviction (0 = unbounded)\n"
+      "  --core-cache-limit=N     core-cache entries before LRU eviction\n"
+      "                           (0 = unbounded)\n"
+      "  --poison-cache-limit=N   poison-cache entries before LRU eviction\n"
+      "                           (0 = unbounded)\n"
       "  --testgen-threads=N      async test-generation pool threads\n"
       "  --session-scope-limit=N  evict a session after N popped scopes\n"
       "  --session-memory-limit=N evict a session at N bytes of SAT\n"
@@ -175,6 +189,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Config.SolverGroupSessions = false;
     } else if (Arg == "--no-model-cache") {
       Opts.Config.SolverModelCache = false;
+    } else if (Arg == "--no-core-cache") {
+      Opts.Config.SolverCoreCache = false;
+    } else if (Arg == "--no-poison-cache") {
+      Opts.Config.SolverPoisonCache = false;
+    } else if (const char *V = Value("--solve-budget-conflicts=")) {
+      Opts.Config.SolverConflictBudget = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--solve-budget-ms=")) {
+      Opts.Config.SolveBudgetMs = std::atof(V);
+    } else if (const char *V = Value("--solve-budget-mem=")) {
+      Opts.Config.SolveMemoryDeltaLimit = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--core-cache-limit=")) {
+      Opts.Config.CoreCacheLimit = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--poison-cache-limit=")) {
+      Opts.Config.PoisonCacheLimit = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--no-async-testgen") {
       Opts.Config.AsyncTestGen = false;
     } else if (const char *V = Value("--model-cache-limit=")) {
@@ -362,9 +390,22 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.SolverModelCacheMisses),
                 static_cast<unsigned long long>(S.SolverModelCacheEvictions),
                 static_cast<unsigned long long>(S.SolverEvalSatShortcuts));
-    std::printf("async testgen    %llu queued / %llu solved\n",
+    std::printf("core cache       %llu hits / %llu misses / %llu evicted "
+                "(subsumptions: %llu)\n",
+                static_cast<unsigned long long>(S.SolverCoreCacheHits),
+                static_cast<unsigned long long>(S.SolverCoreCacheMisses),
+                static_cast<unsigned long long>(S.SolverCoreCacheEvictions),
+                static_cast<unsigned long long>(S.SolverCoreSubsumptions));
+    std::printf("poison cache     %llu poisoned / %llu inserted / %llu "
+                "evicted (unknowns: %llu)\n",
+                static_cast<unsigned long long>(S.SolverPoisonedQueries),
+                static_cast<unsigned long long>(S.SolverPoisonedInserts),
+                static_cast<unsigned long long>(S.SolverPoisonCacheEvictions),
+                static_cast<unsigned long long>(S.SolverUnknownsObserved));
+    std::printf("async testgen    %llu queued / %llu solved / %llu skipped\n",
                 static_cast<unsigned long long>(S.TestGenQueued),
-                static_cast<unsigned long long>(S.TestGenSolved));
+                static_cast<unsigned long long>(S.TestGenSolved),
+                static_cast<unsigned long long>(S.TestGenSkipped));
     std::printf("state sessions   built %llu, evicted %llu, split %llu\n",
                 static_cast<unsigned long long>(S.SessionsBuilt),
                 static_cast<unsigned long long>(S.SessionEvictions),

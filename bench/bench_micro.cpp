@@ -20,6 +20,7 @@
 #include "solver/CoreCache.h"
 #include "solver/ModelCache.h"
 #include "solver/PoisonCache.h"
+#include "serialize/Snapshot.h"
 #include "solver/Solver.h"
 #include "workloads/Workloads.h"
 
@@ -680,5 +681,74 @@ static void BM_FrontierSteal(benchmark::State &State) {
       static_cast<double>(State.iterations());
 }
 BENCHMARK(BM_FrontierSteal)->Arg(2)->Arg(4)->Arg(16);
+
+//===----------------------------------------------------------------------===
+// Checkpoint serialization
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// A mid-run snapshot of the `sum` workload: a live frontier with real
+/// path conditions, an expression context warmed by exploration, and a
+/// batch of accepted tests — the shape `--checkpoint-out` serializes.
+struct SnapshotFixture {
+  SnapshotFixture() {
+    const Workload *W = findWorkload("sum");
+    CompileResult CR = compileWorkload(*W, 2, 4);
+    M = std::move(CR.M);
+    SymbolicRunner::Config C;
+    C.Merge = SymbolicRunner::MergeMode::None;
+    C.Driving = SymbolicRunner::Strategy::BFS;
+    C.Engine.MaxSteps = 400;
+    Runner = std::make_unique<SymbolicRunner>(*M, C);
+    CheckpointOptions Chk;
+    Chk.Sink = [this](const RunSnapshot &Snap) {
+      Bytes = serialize::encodeSnapshot(Snap, Runner->context());
+      States = Snap.Frontier.size();
+    };
+    Runner->setCheckpoint(Chk);
+    Runner->run();
+  }
+
+  std::unique_ptr<Module> M;
+  std::unique_ptr<SymbolicRunner> Runner;
+  std::vector<uint8_t> Bytes;
+  size_t States = 0;
+};
+
+} // namespace
+
+/// Cost of one checkpoint capture's encode half (the engine is already
+/// quiescent when the sink runs, so this is the whole pause overhead
+/// minus the file write).
+static void BM_SnapshotEncode(benchmark::State &State) {
+  static SnapshotFixture F; // One engine run for the whole benchmark.
+  ExprContext Fresh;
+  RunSnapshot Snap;
+  serialize::decodeSnapshot(F.Bytes, *F.M, Fresh, Snap);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(serialize::encodeSnapshot(Snap, Fresh));
+  State.counters["states"] = static_cast<double>(F.States);
+  State.counters["bytes"] = static_cast<double>(F.Bytes.size());
+}
+BENCHMARK(BM_SnapshotEncode);
+
+/// Cost of `--resume`'s decode half: re-interning the expression table
+/// into a fresh context and rebuilding every frontier state.
+static void BM_SnapshotDecode(benchmark::State &State) {
+  static SnapshotFixture F;
+  for (auto _ : State) {
+    ExprContext Fresh;
+    RunSnapshot Snap;
+    serialize::SnapshotDecodeResult DR =
+        serialize::decodeSnapshot(F.Bytes, *F.M, Fresh, Snap);
+    if (!DR.Ok)
+      State.SkipWithError(DR.Error.c_str());
+    benchmark::DoNotOptimize(Snap.NextStateId);
+  }
+  State.counters["states"] = static_cast<double>(F.States);
+  State.counters["bytes"] = static_cast<double>(F.Bytes.size());
+}
+BENCHMARK(BM_SnapshotDecode);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+//===- Checkpoint.h - Quiescent run snapshots -------------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory form of a checkpoint: everything a run needs to continue
+/// after the engine (and even the process) is destroyed. The engine
+/// captures one at a quiescent point — between execute-to-boundary steps
+/// sequentially, or after draining all workers to a pause barrier in
+/// parallel mode — and the restore path rebuilds the frontier from it.
+///
+/// What is NOT here, by design:
+///  - solver sessions (PathSessionHandle): a restored state lazily
+///    rebuilds its session from its path condition on first solver
+///    contact, exactly like a worker-migration rebuild;
+///  - solver caches (verdict/model/core/poison): warm-cache contents are
+///    an optimization, never an answer source of record, so a resumed run
+///    re-earns them (exploration results are unaffected for exact modes);
+///  - the program: a snapshot stores only a hash of the module text and
+///    refuses to restore against a different program.
+///
+/// `src/serialize/Snapshot.h` maps this struct to/from the versioned
+/// binary format; this header keeps core independent of the codec.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_CHECKPOINT_H
+#define SYMMERGE_CORE_CHECKPOINT_H
+
+#include "core/ExecutionState.h"
+#include "core/TestCase.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace symmerge {
+
+/// A quiescent snapshot of one engine run.
+struct RunSnapshot {
+  /// hashString of the module's printed form; restore refuses a mismatch.
+  uint64_t ProgramHash = 0;
+
+  /// Engine id allocator position, so resumed forks mint the same state
+  /// ids the uninterrupted run would have (merge-canonical disjunct order
+  /// and several searchers tie-break on state ids).
+  uint64_t NextStateId = 1;
+
+  /// Frontier partition count at capture (1 for the sequential engine).
+  /// A resume with a matching worker count also restores searcher
+  /// cursors and per-partition order; other worker counts re-route by
+  /// structural hash and keep only set-level determinism.
+  unsigned Partitions = 1;
+
+  /// Accumulated counters at capture. Resume seeds the engine's stats
+  /// with these and keeps adding, so the final numbers match the
+  /// uninterrupted run (cache-warmth-dependent solver counters excepted).
+  EngineStats Stats;
+
+  /// Tests accepted by the sink so far, in emission order.
+  std::vector<TestCase> Tests;
+
+  /// Nonzero per-block entry counts in deterministic module order.
+  std::vector<std::pair<const BasicBlock *, uint64_t>> Coverage;
+
+  /// One frontier state. Entries are ordered: partitions ascending, and
+  /// within a partition in the searcher's internal container order, so
+  /// re-add()ing in entry order reproduces the selection sequence.
+  struct Entry {
+    std::unique_ptr<ExecutionState> State;
+    unsigned Partition = 0;
+    /// Position within the state's ByLocation bucket at capture; the
+    /// sequential restore replays bucket order from it (merge-candidate
+    /// scans iterate buckets in insertion order).
+    uint64_t LocationRank = 0;
+  };
+  std::vector<Entry> Frontier;
+
+  /// Per-partition searcher randomness cursors (RNG words; may be empty
+  /// for deterministic strategies).
+  std::vector<std::vector<uint64_t>> Cursors;
+};
+
+/// Engine-side checkpoint configuration: capture cadence plus the sink
+/// that consumes each captured snapshot (typically: encode + atomic file
+/// write). The sink runs on the coordinating thread at a quiescent point.
+struct CheckpointOptions {
+  /// Capture roughly every N executed steps; 0 captures only the final
+  /// snapshot (when the run stops on a budget with work remaining).
+  uint64_t EverySteps = 0;
+  std::function<void(const RunSnapshot &)> Sink;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_CHECKPOINT_H

@@ -40,3 +40,24 @@ void CoverageTracker::reset() {
   for (auto &[BB, Count] : Counts)
     Count.store(0, std::memory_order_relaxed);
 }
+
+std::vector<std::pair<const BasicBlock *, uint64_t>>
+CoverageTracker::snapshotCounts() const {
+  // Walk the module, not the hash map, so the order is deterministic.
+  std::vector<std::pair<const BasicBlock *, uint64_t>> Out;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      if (uint64_t N = timesEntered(BB.get()))
+        Out.emplace_back(BB.get(), N);
+  return Out;
+}
+
+void CoverageTracker::restoreCounts(
+    const std::vector<std::pair<const BasicBlock *, uint64_t>> &C) {
+  reset();
+  for (const auto &[BB, N] : C) {
+    auto It = Counts.find(BB);
+    if (It != Counts.end())
+      It->second.store(N, std::memory_order_relaxed);
+  }
+}

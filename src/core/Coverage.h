@@ -25,6 +25,8 @@
 #include <atomic>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace symmerge {
 
@@ -53,6 +55,15 @@ public:
   double statementCoverage() const;
 
   void reset();
+
+  /// Snapshot of every nonzero per-block entry count, in deterministic
+  /// (function-order, block-id) order, for checkpointing.
+  std::vector<std::pair<const BasicBlock *, uint64_t>> snapshotCounts() const;
+
+  /// Overwrites counters from a snapshot (blocks absent from \p Counts
+  /// are zeroed). Used by the checkpoint restore path after reset().
+  void
+  restoreCounts(const std::vector<std::pair<const BasicBlock *, uint64_t>> &C);
 
 private:
   std::atomic<uint64_t> &counter(const BasicBlock *BB) {

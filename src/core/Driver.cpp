@@ -120,7 +120,16 @@ std::unique_ptr<Searcher> SymbolicRunner::makeDrivingSearcher(uint64_t Seed) {
   return createRandomSearcher(Seed);
 }
 
-RunResult SymbolicRunner::run() {
+RunResult SymbolicRunner::run() { return runImpl(nullptr); }
+
+RunResult SymbolicRunner::resume(RunSnapshot Snap) {
+  return runImpl(&Snap);
+}
+
+RunResult SymbolicRunner::runImpl(RunSnapshot *Resume) {
+  // reset() first: the engine's restore path re-applies the snapshot's
+  // coverage counts after this wipe, so a resumed Coverage searcher sees
+  // the same covered set the uninterrupted run would.
   Cov.reset();
   std::unique_ptr<Searcher> Search = makeDrivingSearcher(Cfg.Seed);
   if (Cfg.UseDSM)
@@ -143,5 +152,9 @@ RunResult SymbolicRunner::run() {
     Res.TestGenModels = Models;
     E.setWorkerResources(std::move(Res));
   }
+  if (Chk.Sink)
+    E.setCheckpointOptions(Chk);
+  if (Resume)
+    E.setResumeFrom(std::move(*Resume));
   return E.run();
 }

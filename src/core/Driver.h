@@ -154,6 +154,19 @@ public:
   /// Runs symbolic execution from main once.
   RunResult run();
 
+  /// Continues a previous run from \p Snap. The snapshot must have been
+  /// decoded into THIS runner's context (serialize::decodeSnapshot) while
+  /// the runner was fresh — the dense expression-id restore depends on it.
+  /// With the same config and worker count the combined run is
+  /// bit-identical to the uninterrupted one at workers=1 and
+  /// set-identical at higher worker counts.
+  RunResult resume(RunSnapshot Snap);
+
+  /// Checkpoint capture configuration forwarded to the engine on the next
+  /// run()/resume(). The sink typically encodes and atomically writes the
+  /// snapshot (serialize::encodeSnapshot + writeSnapshotFile).
+  void setCheckpoint(CheckpointOptions C) { Chk = std::move(C); }
+
   ExprContext &context() { return Ctx; }
   const ProgramInfo &programInfo() const { return PI; }
   const QCEAnalysis *qce() const { return QCEInfo ? &*QCEInfo : nullptr; }
@@ -176,6 +189,7 @@ public:
 private:
   std::unique_ptr<Searcher> makeDrivingSearcher(uint64_t Seed);
   std::unique_ptr<Solver> makeSolverStack();
+  RunResult runImpl(RunSnapshot *Resume);
 
   const Module &M;
   Config Cfg;
@@ -197,6 +211,7 @@ private:
   std::unique_ptr<Solver> TheSolver;
   std::unique_ptr<MergePolicy> Policy;
   CoverageTracker Cov;
+  CheckpointOptions Chk;
 };
 
 } // namespace symmerge

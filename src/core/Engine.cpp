@@ -10,6 +10,7 @@
 #include "core/PathSession.h"
 #include "core/StateMerge.h"
 #include "core/TestGenPool.h"
+#include "support/Hashing.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -17,6 +18,7 @@
 #include <cstring>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 using namespace symmerge;
 
@@ -637,33 +639,36 @@ static SolverQueryStats diffSolverStats(const SolverQueryStats &Now,
   return D;
 }
 
-/// Copies a run's solver-stack counters into the engine statistics.
+/// Adds a run's solver-stack counters into the engine statistics.
+/// Additive (not assignment) so a resumed run accumulates on top of the
+/// counters its checkpoint carried over; fresh runs start from zero, so
+/// nothing changes for them.
 static void reportSolverStats(EngineStats &S, const SolverQueryStats &D) {
-  S.SolverQueries = D.Queries;
-  S.SolverCoreQueries = D.CoreQueries;
-  S.SolverSeconds = D.CoreSolveSeconds;
-  S.SolverSessions = D.SessionsOpened;
-  S.SolverAssumptionQueries = D.AssumptionQueries;
-  S.SolverEncodeCacheHits = D.EncodeCacheHits;
-  S.SolverEncodeSeconds = D.EncodeSeconds;
-  S.SolverVerdictCacheHits = D.VerdictCacheHits;
-  S.SolverVerdictCacheMisses = D.VerdictCacheMisses;
-  S.SolverVerdictCacheEvictions = D.VerdictCacheEvictions;
-  S.SolverGroupSubSessions = D.GroupSubSessions;
-  S.SolverGroupMerges = D.GroupMerges;
-  S.SolverGroupSlicedSolves = D.GroupSlicedSolves;
-  S.SolverModelCacheHits = D.ModelCacheHits;
-  S.SolverModelCacheMisses = D.ModelCacheMisses;
-  S.SolverEvalSatShortcuts = D.EvalSatShortcuts;
-  S.SolverModelCacheEvictions = D.ModelCacheEvictions;
-  S.SolverCoreCacheHits = D.CoreCacheHits;
-  S.SolverCoreCacheMisses = D.CoreCacheMisses;
-  S.SolverCoreSubsumptions = D.CoreSubsumptions;
-  S.SolverCoreCacheEvictions = D.CoreCacheEvictions;
-  S.SolverPoisonedQueries = D.PoisonedQueries;
-  S.SolverPoisonedInserts = D.PoisonedInserts;
-  S.SolverPoisonCacheEvictions = D.PoisonCacheEvictions;
-  S.SolverUnknownsObserved = D.UnknownsObserved;
+  S.SolverQueries += D.Queries;
+  S.SolverCoreQueries += D.CoreQueries;
+  S.SolverSeconds += D.CoreSolveSeconds;
+  S.SolverSessions += D.SessionsOpened;
+  S.SolverAssumptionQueries += D.AssumptionQueries;
+  S.SolverEncodeCacheHits += D.EncodeCacheHits;
+  S.SolverEncodeSeconds += D.EncodeSeconds;
+  S.SolverVerdictCacheHits += D.VerdictCacheHits;
+  S.SolverVerdictCacheMisses += D.VerdictCacheMisses;
+  S.SolverVerdictCacheEvictions += D.VerdictCacheEvictions;
+  S.SolverGroupSubSessions += D.GroupSubSessions;
+  S.SolverGroupMerges += D.GroupMerges;
+  S.SolverGroupSlicedSolves += D.GroupSlicedSolves;
+  S.SolverModelCacheHits += D.ModelCacheHits;
+  S.SolverModelCacheMisses += D.ModelCacheMisses;
+  S.SolverEvalSatShortcuts += D.EvalSatShortcuts;
+  S.SolverModelCacheEvictions += D.ModelCacheEvictions;
+  S.SolverCoreCacheHits += D.CoreCacheHits;
+  S.SolverCoreCacheMisses += D.CoreCacheMisses;
+  S.SolverCoreSubsumptions += D.CoreSubsumptions;
+  S.SolverCoreCacheEvictions += D.CoreCacheEvictions;
+  S.SolverPoisonedQueries += D.PoisonedQueries;
+  S.SolverPoisonedInserts += D.PoisonedInserts;
+  S.SolverPoisonCacheEvictions += D.PoisonCacheEvictions;
+  S.SolverUnknownsObserved += D.UnknownsObserved;
 }
 
 /// Folds a worker's engine counters into the run totals.
@@ -715,6 +720,157 @@ RunResult Engine::run() {
   return runSequential();
 }
 
+//===----------------------------------------------------------------------===
+// Checkpoint capture / restore
+//===----------------------------------------------------------------------===
+
+RunSnapshot Engine::captureSequential(const Timer &Wall,
+                                      const SolverQueryStats &Baseline) {
+  RunSnapshot Snap;
+  Snap.ProgramHash = hashString(PI.module().str());
+  Snap.NextStateId = NextStateId;
+  Snap.Partitions = 1;
+
+  // Fold the run-level values that are normally only assigned at run end
+  // into the snapshot COPY of the stats; the live Result.Stats keeps
+  // accumulating them separately, so capture never perturbs the run.
+  Snap.Stats = Result.Stats;
+  Snap.Stats.MaxWorklist =
+      std::max<uint64_t>(Snap.Stats.MaxWorklist, Owned.size());
+  Snap.Stats.WallSeconds += Wall.seconds();
+  Snap.Stats.FastForwardSelections += Search.fastForwardSelections();
+  Snap.Stats.Workers = 1;
+  Snap.Stats.Exhausted = false;
+  reportSolverStats(Snap.Stats, diffSolverStats(solverStats(), Baseline));
+
+  Snap.Tests = Result.Tests;
+  Snap.Coverage = Coverage.snapshotCounts();
+
+  std::unordered_map<const ExecutionState *, uint64_t> Rank;
+  for (const auto &[Key, Bucket] : ByLocation)
+    for (size_t I = 0; I < Bucket.size(); ++I)
+      Rank[Bucket[I]] = I;
+  std::vector<ExecutionState *> Worklist;
+  Search.worklist(Worklist);
+  Snap.Frontier.reserve(Worklist.size());
+  for (ExecutionState *S : Worklist) {
+    RunSnapshot::Entry Ent;
+    Ent.State = std::make_unique<ExecutionState>(*S);
+    Ent.State->PathSession.reset(); // Sessions are never serialized.
+    Ent.Partition = 0;
+    auto It = Rank.find(S);
+    Ent.LocationRank = It == Rank.end() ? 0 : It->second;
+    Snap.Frontier.push_back(std::move(Ent));
+  }
+  Snap.Cursors.push_back(Search.saveCursor());
+  return Snap;
+}
+
+void Engine::restoreSequential() {
+  RunSnapshot Snap = std::move(*Resume);
+  Resume.reset();
+  NextStateId = Snap.NextStateId;
+  Result.Stats = Snap.Stats;
+  Result.Tests = std::move(Snap.Tests);
+  Coverage.restoreCounts(Snap.Coverage);
+
+  // Adopt states in entry order (partitions ascending, searcher order):
+  // re-add()ing in that order reproduces the searcher's container order
+  // and replays the DSM forwarding-set construction.
+  std::vector<std::pair<uint64_t, ExecutionState *>> ByRank;
+  ByRank.reserve(Snap.Frontier.size());
+  for (RunSnapshot::Entry &Ent : Snap.Frontier) {
+    ExecutionState *S = Ent.State.get();
+    if (!Owned.emplace(S->Id, std::move(Ent.State)).second)
+      continue; // Duplicate state id; decodeSnapshot rejects these.
+    Search.add(S);
+    ByRank.push_back({Ent.LocationRank, S});
+  }
+  // ByLocation buckets replay in captured bucket order (merge-candidate
+  // scans iterate buckets in insertion order). Stable, so entries from
+  // different partitions with equal ranks keep entry order.
+  std::stable_sort(
+      ByRank.begin(), ByRank.end(),
+      [](const auto &A, const auto &B) { return A.first < B.first; });
+  for (auto &[R, S] : ByRank)
+    ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
+
+  // Cursors only carry over when the frontier shape matches (one
+  // sequential worklist); cross-shape resumes keep set-level determinism.
+  if (Snap.Partitions == 1 && !Snap.Cursors.empty())
+    Search.restoreCursor(Snap.Cursors.front());
+}
+
+RunSnapshot Engine::captureParallel(StateFrontier &Frontier,
+                                    const Timer &Wall,
+                                    const SolverQueryStats &Baseline,
+                                    const SolverQueryStats &Accumulated) {
+  RunSnapshot Snap;
+  Snap.ProgramHash = hashString(PI.module().str());
+  Snap.NextStateId = NextStateId; // All workers joined; no lock needed.
+  Snap.Partitions = Frontier.numPartitions();
+
+  Snap.Stats = Result.Stats;
+  Snap.Stats.Workers = Opts.Workers;
+  Snap.Stats.MaxWorklist = std::max<uint64_t>(Snap.Stats.MaxWorklist, MaxOwned);
+  Snap.Stats.WallSeconds += Wall.seconds();
+  Snap.Stats.FastForwardSelections += Frontier.fastForwardSelections();
+  Snap.Stats.FrontierSteals += Frontier.steals();
+  Snap.Stats.Exhausted = false;
+  SolverQueryStats Total = diffSolverStats(solverStats(), Baseline);
+  Total += Accumulated;
+  reportSolverStats(Snap.Stats, Total);
+
+  Snap.Tests = Result.Tests;
+  Snap.Coverage = Coverage.snapshotCounts();
+
+  Frontier.visitPartitions([&](unsigned Index, const Searcher &PartSearch,
+                               const StateFrontier::LocationMap &Locs) {
+    std::unordered_map<const ExecutionState *, uint64_t> Rank;
+    for (const auto &[Key, Bucket] : Locs)
+      for (size_t I = 0; I < Bucket.size(); ++I)
+        Rank[Bucket[I]] = I;
+    std::vector<ExecutionState *> Worklist;
+    PartSearch.worklist(Worklist);
+    for (ExecutionState *S : Worklist) {
+      RunSnapshot::Entry Ent;
+      Ent.State = std::make_unique<ExecutionState>(*S);
+      Ent.State->PathSession.reset();
+      Ent.Partition = Index;
+      auto It = Rank.find(S);
+      Ent.LocationRank = It == Rank.end() ? 0 : It->second;
+      Snap.Frontier.push_back(std::move(Ent));
+    }
+    Snap.Cursors.push_back(PartSearch.saveCursor());
+  });
+  return Snap;
+}
+
+void Engine::restoreParallel(StateFrontier &Frontier) {
+  RunSnapshot Snap = std::move(*Resume);
+  Resume.reset();
+  NextStateId = Snap.NextStateId;
+  Result.Stats = Snap.Stats;
+  Result.Tests = std::move(Snap.Tests);
+  Coverage.restoreCounts(Snap.Coverage);
+
+  // Re-route every state through the frontier by structural hash: the
+  // partition function depends only on the hash and partition count, so a
+  // same-worker-count resume lands every state in its old partition in
+  // entry (searcher) order. Plain insert, not insertOrMerge — these
+  // states coexisted in the frontier at capture, so re-merging them here
+  // would diverge from the uninterrupted run.
+  for (RunSnapshot::Entry &Ent : Snap.Frontier) {
+    ExecutionState *S = Ent.State.get();
+    if (!Owned.emplace(S->Id, std::move(Ent.State)).second)
+      continue; // Duplicate state id; decodeSnapshot rejects these.
+    Frontier.insert(S);
+  }
+  MaxOwned = Owned.size();
+  if (Snap.Partitions == Frontier.numPartitions())
+    Frontier.restoreCursors(Snap.Cursors);
+}
+
 RunResult Engine::runSequential() {
   Timer Wall;
   SolverQueryStats Baseline = solverStats();
@@ -722,11 +878,24 @@ RunResult Engine::runSequential() {
   ParallelRun = false;
   ExecContext X{TheSolver, Result.Stats};
 
-  ExecutionState *Init = makeInitialState();
-  addToIndexes(Init);
+  if (Resume) {
+    restoreSequential();
+  } else {
+    ExecutionState *Init = makeInitialState();
+    addToIndexes(Init);
+  }
+
+  // Checkpoint cadence; Result.Stats.Steps counts from the resume base,
+  // so cadence points land where the uninterrupted run's would.
+  const uint64_t Every = ChkOpts.Sink ? ChkOpts.EverySteps : 0;
+  uint64_t NextCheckpoint = Every ? Result.Stats.Steps + Every : UINT64_MAX;
 
   std::vector<ExecutionState *> NewStates;
   while (!Search.empty()) {
+    if (Result.Stats.Steps >= NextCheckpoint) {
+      ChkOpts.Sink(captureSequential(Wall, Baseline));
+      NextCheckpoint = Result.Stats.Steps + Every;
+    }
     if (Result.Stats.Steps >= Opts.MaxSteps ||
         Wall.seconds() >= Opts.MaxSeconds ||
         Result.Tests.size() >= Opts.MaxTests)
@@ -752,9 +921,15 @@ RunResult Engine::runSequential() {
         std::max<uint64_t>(Result.Stats.MaxWorklist, Owned.size());
   }
 
+  // A budget stop that leaves states queued gets the final kill-point
+  // snapshot, taken BEFORE the drain below: drain select()s destroy the
+  // frontier and advance searcher randomness cursors.
+  if (ChkOpts.Sink && !Search.empty())
+    ChkOpts.Sink(captureSequential(Wall, Baseline));
+
   Result.Stats.Exhausted = Search.empty();
-  Result.Stats.WallSeconds = Wall.seconds();
-  Result.Stats.FastForwardSelections = Search.fastForwardSelections();
+  Result.Stats.WallSeconds += Wall.seconds();
+  Result.Stats.FastForwardSelections += Search.fastForwardSelections();
   Result.Stats.Workers = 1;
 
   // Drain remaining states (budget stops leave some) BEFORE snapshotting
@@ -859,7 +1034,10 @@ void Engine::workerLoop(unsigned WorkerId, StateFrontier &Frontier,
         (Opts.MaxTests != UINT64_MAX &&
          plannedTestCount() >= Opts.MaxTests))
       Frontier.requestStop();
-    if (Frontier.stopRequested())
+    else if (SharedSteps.load(std::memory_order_relaxed) >=
+             PauseAtSteps.load(std::memory_order_relaxed))
+      Frontier.requestPause(); // Coordinator wants a checkpoint barrier.
+    if (Frontier.stopRequested() || Frontier.pauseRequested())
       break;
 
     ExecutionState *S = Frontier.pop(WorkerId);
@@ -895,63 +1073,107 @@ RunResult Engine::runParallel() {
   const unsigned Workers = Opts.Workers;
   StateFrontier Frontier(Workers, Resources.MakeSearcher);
 
-  // The async test-generation pool: halted states' final-model solves
-  // overlap exploration instead of stalling the worker that finalizes.
-  // Pool threads own their own solver stacks (same factory as the
-  // workers) and feed solved models into the shared counterexample
-  // cache. --no-async-testgen (and workers=1) keep the inline baseline.
-  std::unique_ptr<TestGenPool> Pool;
   TestGenPending.store(0, std::memory_order_relaxed);
-  if (Opts.AsyncTestGen && Opts.CollectTests)
-    Pool = std::make_unique<TestGenPool>(
-        Resources.MakeSolver,
-        // Delivered jobs retire from the pending count and append in ONE
-        // critical section (appendPoolTest); undelivered jobs (gate-
-        // skipped / no model) just retire.
-        [this](TestCase T) { return appendPoolTest(std::move(T)); },
-        [this] { return testCount() < Opts.MaxTests; },
-        [this] { TestGenPending.fetch_sub(1, std::memory_order_relaxed); },
-        Resources.TestGenModels, Opts.TestGenThreads);
-  TheTestGenPool = Pool.get();
 
-  ExecutionState *Init = makeInitialState();
-  MaxOwned = Owned.size();
-  Frontier.insert(Init);
-
-  std::atomic<uint64_t> SharedSteps{0};
-  std::vector<EngineStats> WorkerStats(Workers);
-  std::vector<SolverQueryStats> WorkerSolver(Workers);
-  std::vector<std::thread> Threads;
-  Threads.reserve(Workers);
-  for (unsigned I = 0; I < Workers; ++I)
-    Threads.emplace_back([this, I, &Frontier, &Wall, &SharedSteps,
-                          &WorkerStats, &WorkerSolver] {
-      workerLoop(I, Frontier, Wall, SharedSteps, WorkerStats[I],
-                 WorkerSolver[I]);
-    });
-  for (std::thread &T : Threads)
-    T.join();
-
-  // Drain the test-generation pool at quiescence: every queued job is
-  // solved (or skipped past the MaxTests budget) BEFORE the canonical
-  // test sort and the statistics snapshot below.
-  if (Pool) {
-    Pool->drain();
-    TheTestGenPool = nullptr;
-    Result.Stats.TestGenSolved = Pool->solved();
-    Result.Stats.TestGenSkipped += Pool->skipped();
+  if (Resume) {
+    restoreParallel(Frontier);
+  } else {
+    ExecutionState *Init = makeInitialState();
+    MaxOwned = Owned.size();
+    Frontier.insert(Init);
   }
 
-  const bool Stopped = Frontier.stopRequested();
+  // Counts from the resume base so the step budget and the checkpoint
+  // cadence line up with the uninterrupted run's.
+  std::atomic<uint64_t> SharedSteps{Result.Stats.Steps};
+  const uint64_t Every = ChkOpts.Sink ? ChkOpts.EverySteps : 0;
+  PauseAtSteps.store(Every ? SharedSteps.load() + Every : UINT64_MAX,
+                     std::memory_order_relaxed);
 
-  for (const EngineStats &W : WorkerStats)
-    mergeEngineStats(Result.Stats, W);
+  // Worker and pool solver deltas accumulated across pause rounds.
+  SolverQueryStats Accum;
+
+  // Quiescent checkpoint protocol: a worker that crosses PauseAtSteps
+  // requests a pause; every worker drains to the barrier (joins), the
+  // coordinator snapshots the now-quiescent frontier, then re-arms the
+  // cadence and spawns the next round.
+  for (;;) {
+    // The async test-generation pool: halted states' final-model solves
+    // overlap exploration instead of stalling the worker that finalizes.
+    // Pool threads own their own solver stacks (same factory as the
+    // workers) and feed solved models into the shared counterexample
+    // cache. --no-async-testgen (and workers=1) keep the inline
+    // baseline. drain() is terminal, so each pause round gets a fresh
+    // pool.
+    std::unique_ptr<TestGenPool> Pool;
+    if (Opts.AsyncTestGen && Opts.CollectTests)
+      Pool = std::make_unique<TestGenPool>(
+          Resources.MakeSolver,
+          // Delivered jobs retire from the pending count and append in
+          // ONE critical section (appendPoolTest); undelivered jobs
+          // (gate-skipped / no model) just retire.
+          [this](TestCase T) { return appendPoolTest(std::move(T)); },
+          [this] { return testCount() < Opts.MaxTests; },
+          [this] {
+            TestGenPending.fetch_sub(1, std::memory_order_relaxed);
+          },
+          Resources.TestGenModels, Opts.TestGenThreads);
+    TheTestGenPool = Pool.get();
+
+    std::vector<EngineStats> WorkerStats(Workers);
+    std::vector<SolverQueryStats> WorkerSolver(Workers);
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers);
+    for (unsigned I = 0; I < Workers; ++I)
+      Threads.emplace_back([this, I, &Frontier, &Wall, &SharedSteps,
+                            &WorkerStats, &WorkerSolver] {
+        workerLoop(I, Frontier, Wall, SharedSteps, WorkerStats[I],
+                   WorkerSolver[I]);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+
+    // Drain the test-generation pool at quiescence: every queued job is
+    // solved (or skipped past the MaxTests budget) BEFORE the round's
+    // checkpoint / the canonical test sort and statistics below.
+    if (Pool) {
+      Pool->drain();
+      TheTestGenPool = nullptr;
+      Result.Stats.TestGenSolved += Pool->solved();
+      Result.Stats.TestGenSkipped += Pool->skipped();
+      Accum += Pool->stats(); // Pool threads' deltas, like a worker's.
+    }
+    for (const EngineStats &W : WorkerStats)
+      mergeEngineStats(Result.Stats, W);
+    for (const SolverQueryStats &W : WorkerSolver)
+      Accum += W;
+
+    if (!Frontier.pauseRequested() || Frontier.stopRequested())
+      break;
+
+    ChkOpts.Sink(captureParallel(Frontier, Wall, Baseline, Accum));
+    Frontier.clearPause();
+    PauseAtSteps.store(SharedSteps.load(std::memory_order_relaxed) + Every,
+                       std::memory_order_relaxed);
+  }
+
+  // A stop can race with exhaustion: the budget crosses on the very
+  // batch that empties the frontier. Like the sequential engine,
+  // exhaustion is worklist emptiness, not the absence of a stop request.
+  const bool Quiesced = Frontier.quiescent();
+
+  // A budget stop that leaves states queued gets the final kill-point
+  // snapshot, before the drain below destroys the frontier.
+  if (ChkOpts.Sink && !Quiesced)
+    ChkOpts.Sink(captureParallel(Frontier, Wall, Baseline, Accum));
+
   Result.Stats.Workers = Workers;
-  Result.Stats.FrontierSteals = Frontier.steals();
-  Result.Stats.MaxWorklist = MaxOwned;
-  Result.Stats.FastForwardSelections = Frontier.fastForwardSelections();
-  Result.Stats.Exhausted = !Stopped;
-  Result.Stats.WallSeconds = Wall.seconds();
+  Result.Stats.FrontierSteals += Frontier.steals();
+  Result.Stats.MaxWorklist =
+      std::max<uint64_t>(Result.Stats.MaxWorklist, MaxOwned);
+  Result.Stats.FastForwardSelections += Frontier.fastForwardSelections();
+  Result.Stats.Exhausted = Quiesced;
+  Result.Stats.WallSeconds += Wall.seconds();
 
   // Drain whatever a budget stop left behind BEFORE snapshotting the
   // solver counters: destroying a state's session flushes encode time
@@ -960,10 +1182,7 @@ RunResult Engine::runParallel() {
   Frontier.drain([this](ExecutionState *S) { destroy(S); });
 
   SolverQueryStats Total = diffSolverStats(solverStats(), Baseline);
-  for (const SolverQueryStats &W : WorkerSolver)
-    Total += W;
-  if (Pool)
-    Total += Pool->stats(); // Pool threads' deltas, like a worker's.
+  Total += Accum;
   reportSolverStats(Result.Stats, Total);
 
   // Deterministic post-run ordering: parallel workers emit tests in a

@@ -44,6 +44,7 @@
 #define SYMMERGE_CORE_ENGINE_H
 
 #include "analysis/ProgramInfo.h"
+#include "core/Checkpoint.h"
 #include "core/Coverage.h"
 #include "core/ExecutionState.h"
 #include "core/MergePolicy.h"
@@ -131,6 +132,22 @@ public:
     Resources = std::move(Res);
   }
 
+  /// Enables quiescent checkpoint capture: the sink is called with a
+  /// snapshot every EverySteps executed steps (sequentially between
+  /// boundaries; in parallel mode the coordinator pauses the workers to
+  /// a barrier first), and once more when a budget stops the run with
+  /// states still queued — the kill-at-step-k snapshot.
+  void setCheckpointOptions(CheckpointOptions C) { ChkOpts = std::move(C); }
+
+  /// Makes the next run() continue from \p Snap instead of the initial
+  /// state: state ids, frontier order, searcher cursors, coverage,
+  /// accepted tests, and accumulated stats are all restored. The
+  /// snapshot's expressions must live in this engine's ExprContext
+  /// (decodeSnapshot re-interns them there).
+  void setResumeFrom(RunSnapshot Snap) {
+    Resume = std::make_unique<RunSnapshot>(std::move(Snap));
+  }
+
   /// Runs to exhaustion or budget; returns tests and statistics.
   RunResult run();
 
@@ -213,6 +230,19 @@ private:
 
   RunResult runSequential();
   RunResult runParallel();
+
+  /// Checkpoint capture at a quiescent point (between boundaries / all
+  /// workers joined). Neither mutates the run.
+  RunSnapshot captureSequential(const Timer &Wall,
+                                const SolverQueryStats &Baseline);
+  RunSnapshot captureParallel(StateFrontier &Frontier, const Timer &Wall,
+                              const SolverQueryStats &Baseline,
+                              const SolverQueryStats &Accumulated);
+  /// Adopts the resume snapshot's states/tests/coverage/stats into the
+  /// sequential indexes (searcher order + ByLocation bucket ranks) or the
+  /// partitioned frontier (re-routed by structural hash).
+  void restoreSequential();
+  void restoreParallel(StateFrontier &Frontier);
   /// Routes one boundary's whole state batch (the executed state plus its
   /// fork children): terminal states finalize FIRST — releasing their
   /// session-handle references — and then, among the running states
@@ -246,6 +276,13 @@ private:
       ByLocation;
   uint64_t NextStateId = 1;
   RunResult Result;
+
+  CheckpointOptions ChkOpts;
+  /// Pending resume snapshot; consumed by the next run().
+  std::unique_ptr<RunSnapshot> Resume;
+  /// Parallel checkpoint cadence: workers request a pause barrier once
+  /// SharedSteps crosses this (coordinator re-arms it each round).
+  std::atomic<uint64_t> PauseAtSteps{UINT64_MAX};
 
   // Parallel-run synchronization (inert when Workers == 1).
   bool ParallelRun = false;

@@ -129,9 +129,35 @@ void StateFrontier::requestStop() {
   WaitCv.notify_all();
 }
 
+void StateFrontier::requestPause() {
+  Pause.store(true, std::memory_order_release);
+  WaitCv.notify_all();
+}
+
+void StateFrontier::visitPartitions(
+    const std::function<void(unsigned Index, const Searcher &Search,
+                             const LocationMap &Locs)> &Fn) const {
+  for (unsigned I = 0; I < numPartitions(); ++I) {
+    const Partition &P = *Partitions[I];
+    std::lock_guard<std::mutex> Lock(P.M);
+    Fn(I, *P.Search, P.ByLocation);
+  }
+}
+
+void StateFrontier::restoreCursors(
+    const std::vector<std::vector<uint64_t>> &Cursors) {
+  if (Cursors.size() != Partitions.size())
+    return;
+  for (unsigned I = 0; I < numPartitions(); ++I) {
+    Partition &P = *Partitions[I];
+    std::lock_guard<std::mutex> Lock(P.M);
+    P.Search->restoreCursor(Cursors[I]);
+  }
+}
+
 void StateFrontier::waitForWork() {
   std::unique_lock<std::mutex> Lock(WaitMu);
-  if (stopRequested() || quiescent() ||
+  if (stopRequested() || pauseRequested() || quiescent() ||
       Queued.load(std::memory_order_acquire) != 0)
     return;
   // The timeout is a backstop against notify/wait races (notifications

@@ -118,6 +118,31 @@ public:
     return Stop.load(std::memory_order_acquire);
   }
 
+  /// Checkpoint barrier: like requestStop(), workers drain their current
+  /// state and exit their loops — but the frontier keeps its contents, so
+  /// the coordinator can capture a quiescent snapshot, clearPause(), and
+  /// respawn the workers to continue the same run.
+  void requestPause();
+  bool pauseRequested() const {
+    return Pause.load(std::memory_order_acquire);
+  }
+  void clearPause() { Pause.store(false, std::memory_order_release); }
+
+  /// Location-index map of a partition, exposed for checkpoint capture.
+  using LocationMap = std::map<std::pair<const BasicBlock *, unsigned>,
+                               std::vector<ExecutionState *>>;
+
+  /// Visits every partition under its lock, in index order. Meant for
+  /// quiescent checkpoint capture (all workers joined); the callback must
+  /// not call back into the frontier.
+  void visitPartitions(
+      const std::function<void(unsigned Index, const Searcher &Search,
+                               const LocationMap &Locs)> &Fn) const;
+
+  /// Restores per-partition searcher cursors saved by a snapshot; ignored
+  /// unless \p Cursors has exactly one entry per partition.
+  void restoreCursors(const std::vector<std::vector<uint64_t>> &Cursors);
+
   /// Blocks briefly until new work may be available (insert/finishedOne/
   /// requestStop all wake waiters; a timeout guards against lost races).
   void waitForWork();
@@ -136,9 +161,7 @@ private:
   struct Partition {
     mutable std::mutex M;
     std::unique_ptr<Searcher> Search;
-    std::map<std::pair<const BasicBlock *, unsigned>,
-             std::vector<ExecutionState *>>
-        ByLocation;
+    LocationMap ByLocation;
     size_t Size = 0; ///< States currently enqueued (under M).
   };
 
@@ -153,6 +176,7 @@ private:
   /// executing without touching it.
   std::atomic<size_t> InFlight{0};
   std::atomic<bool> Stop{false};
+  std::atomic<bool> Pause{false};
   std::atomic<uint64_t> Steals{0};
   std::mutex WaitMu;
   std::condition_variable WaitCv;

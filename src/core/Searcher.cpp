@@ -46,6 +46,16 @@ bool symmerge::topoRankLess(const std::vector<uint64_t> &A,
 
 namespace {
 
+std::vector<uint64_t> rngCursor(const RNG &Rand) {
+  auto W = Rand.save();
+  return {W[0], W[1], W[2], W[3]};
+}
+
+void restoreRngCursor(RNG &Rand, const std::vector<uint64_t> &Cursor) {
+  if (Cursor.size() == 4)
+    Rand.restore({Cursor[0], Cursor[1], Cursor[2], Cursor[3]});
+}
+
 //===----------------------------------------------------------------------===
 // Simple strategies
 //===----------------------------------------------------------------------===
@@ -63,6 +73,9 @@ public:
   }
   bool empty() const override { return States.empty(); }
   const char *name() const override { return "dfs"; }
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    Out.insert(Out.end(), States.begin(), States.end());
+  }
 
 private:
   std::vector<ExecutionState *> States;
@@ -81,6 +94,9 @@ public:
   }
   bool empty() const override { return States.empty(); }
   const char *name() const override { return "bfs"; }
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    Out.insert(Out.end(), States.begin(), States.end());
+  }
 
 private:
   std::deque<ExecutionState *> States;
@@ -105,6 +121,15 @@ public:
   }
   bool empty() const override { return States.empty(); }
   const char *name() const override { return "random"; }
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    Out.insert(Out.end(), States.begin(), States.end());
+  }
+  std::vector<uint64_t> saveCursor() const override {
+    return rngCursor(Rand);
+  }
+  void restoreCursor(const std::vector<uint64_t> &Cursor) override {
+    restoreRngCursor(Rand, Cursor);
+  }
 
 private:
   std::vector<ExecutionState *> States;
@@ -142,6 +167,15 @@ public:
   }
   bool empty() const override { return States.empty(); }
   const char *name() const override { return "random-path"; }
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    Out.insert(Out.end(), States.begin(), States.end());
+  }
+  std::vector<uint64_t> saveCursor() const override {
+    return rngCursor(Rand);
+  }
+  void restoreCursor(const std::vector<uint64_t> &Cursor) override {
+    restoreRngCursor(Rand, Cursor);
+  }
 
 private:
   static double weight(const ExecutionState *S) {
@@ -172,6 +206,10 @@ public:
   }
   bool empty() const override { return Order.empty(); }
   const char *name() const override { return "topological"; }
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    for (const Entry &E : Order)
+      Out.push_back(E.State);
+  }
 
 private:
   struct Entry {
@@ -223,6 +261,15 @@ public:
   }
   bool empty() const override { return States.empty(); }
   const char *name() const override { return "coverage"; }
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    Out.insert(Out.end(), States.begin(), States.end());
+  }
+  std::vector<uint64_t> saveCursor() const override {
+    return rngCursor(Rand);
+  }
+  void restoreCursor(const std::vector<uint64_t> &Cursor) override {
+    restoreRngCursor(Rand, Cursor);
+  }
 
 private:
   double weight(const ExecutionState *S) const {
@@ -302,6 +349,18 @@ public:
   bool empty() const override { return States.empty(); }
   const char *name() const override { return "dsm"; }
   uint64_t fastForwardSelections() const override { return FastForwards; }
+  // The forwarding set and both indexes are pure functions of the add()
+  // sequence, so replaying the driving searcher's order rebuilds them;
+  // only the driving cursor carries hidden state.
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    Driving->worklist(Out);
+  }
+  std::vector<uint64_t> saveCursor() const override {
+    return Driving->saveCursor();
+  }
+  void restoreCursor(const std::vector<uint64_t> &Cursor) override {
+    Driving->restoreCursor(Cursor);
+  }
 
 private:
   struct Info {

@@ -51,6 +51,20 @@ public:
 
   /// DSM statistics; zero for ordinary searchers.
   virtual uint64_t fastForwardSelections() const { return 0; }
+
+  /// Appends the worklist contents in the searcher's internal container
+  /// order. Re-add()ing states into a fresh searcher in exactly this
+  /// order (and restoring the cursor) reproduces the selection sequence —
+  /// the contract the checkpoint/restore subsystem depends on.
+  virtual void worklist(std::vector<ExecutionState *> &Out) const = 0;
+
+  /// Opaque randomness cursor (RNG words for randomized strategies;
+  /// empty for deterministic ones). Restoring into a freshly seeded
+  /// searcher resumes the random sequence where the snapshot left off.
+  virtual std::vector<uint64_t> saveCursor() const { return {}; }
+  virtual void restoreCursor(const std::vector<uint64_t> &Cursor) {
+    (void)Cursor;
+  }
 };
 
 /// Interprocedural topological rank of a state: the lexicographic vector

@@ -78,6 +78,27 @@ ExprRef ExprContext::intern(ExprKind K, unsigned Width, uint64_t Value,
   return Result;
 }
 
+std::vector<ExprRef> ExprContext::nodesById() const {
+  std::vector<ExprRef> Out(numNodes(), nullptr);
+  for (size_t I = 0; I < NumInternShards; ++I) {
+    const InternShard &Sh = Shards[I];
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    for (const auto &Node : Sh.Nodes) {
+      // Nodes interned after the numNodes() read above are not part of
+      // the snapshot; a quiescent caller never hits this.
+      if (Node->id() < Out.size())
+        Out[Node->id()] = Node.get();
+    }
+  }
+  return Out;
+}
+
+ExprRef ExprContext::lookupVar(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(VarMu);
+  auto It = VarTable.find(Name);
+  return It == VarTable.end() ? nullptr : It->second;
+}
+
 ExprRef ExprContext::mkConst(uint64_t V, unsigned Width) {
   return intern(ExprKind::Constant, Width, maskToWidth(V, Width), "", nullptr,
                 nullptr, nullptr);

@@ -144,6 +144,17 @@ public:
     return NextId.load(std::memory_order_acquire);
   }
 
+  /// Every interned node ordered by id (dense: Out[I]->id() == I). Ids are
+  /// assigned in creation order, so this is the dependency-ordered node
+  /// table the snapshot encoder serializes. Takes all shard locks briefly;
+  /// call only at quiescent points (checkpoint capture).
+  std::vector<ExprRef> nodesById() const;
+
+  /// The interned variable named \p Name, or null if none exists. Lets the
+  /// snapshot decoder validate a width match before mkVar (whose mismatch
+  /// check is an assert, compiled out in release builds).
+  ExprRef lookupVar(const std::string &Name) const;
+
 private:
   ExprRef intern(ExprKind K, unsigned Width, uint64_t Value,
                  const std::string &Name, ExprRef A, ExprRef B, ExprRef C);

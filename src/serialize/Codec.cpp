@@ -1,0 +1,325 @@
+//===- Codec.cpp - Versioned deterministic binary codec ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serialize/Codec.h"
+
+#include "expr/ExprContext.h"
+
+#include <cstring>
+
+using namespace symmerge;
+using namespace symmerge::serialize;
+
+//===----------------------------------------------------------------------===
+// Encoder
+//===----------------------------------------------------------------------===
+
+void Encoder::f64(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "IEEE-754 double expected");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void Encoder::str(const std::string &S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Buf.insert(Buf.end(), S.begin(), S.end());
+}
+
+//===----------------------------------------------------------------------===
+// Decoder
+//===----------------------------------------------------------------------===
+
+bool Decoder::need(size_t N) {
+  if (Failed)
+    return false;
+  if (Size - Pos < N)
+    return fail("truncated input"), false;
+  return true;
+}
+
+bool Decoder::fail(const std::string &Message) {
+  if (!Failed) {
+    Failed = true;
+    Err = Message;
+    ErrOff = Pos;
+  }
+  return false;
+}
+
+uint8_t Decoder::u8() {
+  if (!need(1))
+    return 0;
+  return Data[Pos++];
+}
+
+uint16_t Decoder::u16() {
+  if (!need(2))
+    return 0;
+  uint16_t V = static_cast<uint16_t>(Data[Pos]) |
+               static_cast<uint16_t>(Data[Pos + 1]) << 8;
+  Pos += 2;
+  return V;
+}
+
+uint32_t Decoder::u32() {
+  if (!need(4))
+    return 0;
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | Data[Pos + I];
+  Pos += 4;
+  return V;
+}
+
+uint64_t Decoder::u64() {
+  if (!need(8))
+    return 0;
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | Data[Pos + I];
+  Pos += 8;
+  return V;
+}
+
+double Decoder::f64() {
+  uint64_t Bits = u64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string Decoder::str() {
+  uint32_t N = u32();
+  if (Failed)
+    return {};
+  if (Size - Pos < N) {
+    fail("string length exceeds remaining input");
+    return {};
+  }
+  std::string S(reinterpret_cast<const char *>(Data + Pos), N);
+  Pos += N;
+  return S;
+}
+
+uint32_t Decoder::count(size_t MinBytesPerElem) {
+  uint32_t N = u32();
+  if (Failed)
+    return 0;
+  if (MinBytesPerElem == 0)
+    MinBytesPerElem = 1;
+  if (static_cast<uint64_t>(N) * MinBytesPerElem > Size - Pos) {
+    fail("element count exceeds remaining input");
+    return 0;
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// Expression tables
+//===----------------------------------------------------------------------===
+
+namespace {
+
+unsigned operandCountForKind(ExprKind K) {
+  switch (K) {
+  case ExprKind::Constant:
+  case ExprKind::Var:
+    return 0;
+  case ExprKind::Not:
+  case ExprKind::Neg:
+  case ExprKind::ZExt:
+  case ExprKind::SExt:
+  case ExprKind::Trunc:
+    return 1;
+  case ExprKind::Ite:
+    return 3;
+  default:
+    return 2; // All binary arithmetic, bitwise, and comparison kinds.
+  }
+}
+
+bool validWidth(unsigned W) {
+  return W == 1 || W == 8 || W == 16 || W == 32 || W == 64;
+}
+
+constexpr uint8_t MaxKind = static_cast<uint8_t>(ExprKind::Ite);
+
+} // namespace
+
+uint32_t ExprTableBuilder::idOf(ExprRef E) {
+  assert(E && "cannot serialize a null expression");
+  auto It = Ids.find(E);
+  if (It != Ids.end())
+    return It->second;
+  // Iterative post-order: operands get ids before their users, matching
+  // the decoder's operands-already-decoded invariant.
+  std::vector<std::pair<ExprRef, unsigned>> Work{{E, 0}};
+  while (!Work.empty()) {
+    auto &[Cur, NextOp] = Work.back();
+    if (Ids.count(Cur)) {
+      Work.pop_back();
+      continue;
+    }
+    if (NextOp < Cur->numOperands()) {
+      ExprRef Op = Cur->operand(NextOp++);
+      if (!Ids.count(Op))
+        Work.emplace_back(Op, 0);
+      continue;
+    }
+    Ids.emplace(Cur, static_cast<uint32_t>(Nodes.size()));
+    Nodes.push_back(Cur);
+    Work.pop_back();
+  }
+  return Ids.at(E);
+}
+
+void ExprTableBuilder::addFullContext(const ExprContext &Ctx) {
+  for (ExprRef E : Ctx.nodesById()) {
+    assert(E && Ids.count(E) == 0 && "dense id table expected");
+    Ids.emplace(E, static_cast<uint32_t>(Nodes.size()));
+    Nodes.push_back(E);
+  }
+}
+
+void ExprTableBuilder::encode(Encoder &E) const {
+  E.u32(static_cast<uint32_t>(Nodes.size()));
+  for (ExprRef N : Nodes) {
+    E.u8(static_cast<uint8_t>(N->kind()));
+    E.u8(static_cast<uint8_t>(N->width()));
+    switch (N->kind()) {
+    case ExprKind::Constant:
+      E.u64(N->constantValue());
+      break;
+    case ExprKind::Var:
+      E.str(N->varName());
+      break;
+    default:
+      for (unsigned I = 0; I < N->numOperands(); ++I)
+        E.u32(Ids.at(N->operand(I)));
+      break;
+    }
+  }
+}
+
+bool ExprTable::decode(Decoder &D, ExprContext &Ctx, bool RequireDenseIds) {
+  // Each record is at least kind + width + a 4-byte payload... except a
+  // zero-length Var name record (kind, width, u32 len) is 6 bytes and a
+  // unary record is also 6; use the smallest possible record size.
+  uint32_t N = D.count(/*MinBytesPerElem=*/6);
+  if (D.failed())
+    return false;
+  Nodes.clear();
+  Nodes.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    uint8_t RawKind = D.u8();
+    unsigned Width = D.u8();
+    if (D.failed())
+      return false;
+    if (RawKind > MaxKind)
+      return D.fail("invalid expression kind");
+    ExprKind Kind = static_cast<ExprKind>(RawKind);
+    if (!validWidth(Width))
+      return D.fail("invalid expression width");
+
+    // Resolve operands first; every reference must point backwards.
+    ExprRef Ops[3] = {nullptr, nullptr, nullptr};
+    unsigned NumOps = operandCountForKind(Kind);
+    for (unsigned J = 0; J < NumOps; ++J) {
+      uint32_t Ref = D.u32();
+      if (D.failed())
+        return false;
+      if (Ref >= Nodes.size())
+        return D.fail("expression operand references a later node");
+      Ops[J] = Nodes[Ref];
+    }
+
+    // Validate the mk* preconditions explicitly: in release builds the
+    // factory's asserts compile out, so a hostile record must be caught
+    // here, never inside ExprContext.
+    ExprRef Built = nullptr;
+    switch (Kind) {
+    case ExprKind::Constant: {
+      uint64_t Value = D.u64();
+      if (D.failed())
+        return false;
+      if (Value != ExprContext::maskToWidth(Value, Width))
+        return D.fail("constant value not masked to its width");
+      Built = Ctx.mkConst(Value, Width);
+      break;
+    }
+    case ExprKind::Var: {
+      std::string Name = D.str();
+      if (D.failed())
+        return false;
+      if (Name.empty())
+        return D.fail("variable with empty name");
+      if (ExprRef Existing = Ctx.lookupVar(Name))
+        if (Existing->width() != Width)
+          return D.fail("variable width conflicts with interned variable");
+      Built = Ctx.mkVar(Name, Width);
+      break;
+    }
+    case ExprKind::Not:
+    case ExprKind::Neg:
+      if (Ops[0]->width() != Width)
+        return D.fail("unary operator width mismatch");
+      Built = Kind == ExprKind::Not ? Ctx.mkNot(Ops[0]) : Ctx.mkNeg(Ops[0]);
+      break;
+    case ExprKind::ZExt:
+    case ExprKind::SExt:
+      if (Width < Ops[0]->width())
+        return D.fail("extension narrows its operand");
+      Built = Kind == ExprKind::ZExt ? Ctx.mkZExt(Ops[0], Width)
+                                     : Ctx.mkSExt(Ops[0], Width);
+      break;
+    case ExprKind::Trunc:
+      if (Width > Ops[0]->width())
+        return D.fail("truncation widens its operand");
+      Built = Ctx.mkTrunc(Ops[0], Width);
+      break;
+    case ExprKind::Ite:
+      if (Ops[0]->width() != 1)
+        return D.fail("ite condition is not width 1");
+      if (Ops[1]->width() != Ops[2]->width() || Ops[1]->width() != Width)
+        return D.fail("ite arm width mismatch");
+      Built = Ctx.mkIte(Ops[0], Ops[1], Ops[2]);
+      break;
+    default: // Binary.
+      if (Ops[0]->width() != Ops[1]->width())
+        return D.fail("binary operand width mismatch");
+      if (isComparisonKind(Kind) ? Width != 1 : Ops[0]->width() != Width)
+        return D.fail("binary result width mismatch");
+      Built = Ctx.mkBinOp(Kind, Ops[0], Ops[1]);
+      break;
+    }
+
+    // The factory folds reducible nodes; our encoder only ever emits
+    // published irreducible nodes, so a fold here means the table was
+    // not produced by this codec.
+    if (Built->kind() != Kind || Built->width() != Width)
+      return D.fail("expression record is not canonical");
+    if (RequireDenseIds && Built->id() != I)
+      return D.fail("expression id mismatch on dense restore");
+    Nodes.push_back(Built);
+  }
+  return true;
+}
+
+ExprRef ExprTable::at(Decoder &D, uint32_t Id) const {
+  if (Id >= Nodes.size()) {
+    D.fail("expression reference out of range");
+    return nullptr;
+  }
+  return Nodes[Id];
+}
+
+ExprRef ExprTable::read(Decoder &D) const {
+  uint32_t Id = D.u32();
+  if (D.failed())
+    return nullptr;
+  return at(D, Id);
+}

@@ -1,0 +1,170 @@
+//===- Codec.h - Versioned deterministic binary codec -----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level layer of the checkpoint format: a little-endian,
+/// length-prefixed binary codec plus the shared-structure expression
+/// table. Snapshot.h composes these primitives into the full run format.
+///
+/// Encoding rules (all deterministic — the same value always produces the
+/// same bytes, which the golden-format test pins):
+///  - integers are fixed-width little-endian (u8/u16/u32/u64),
+///  - doubles are their IEEE-754 bit pattern as a u64,
+///  - strings and containers carry a u32 element count first.
+///
+/// Decoding rules (the fuzz suite holds the decoder to these):
+///  - the decoder never throws and never crashes: every read checks
+///    bounds and every malformed input lands in a sticky fail state with
+///    a structured error (message + byte offset);
+///  - no length prefix is trusted before it is checked against the bytes
+///    actually remaining, so a hostile 0xFFFFFFFF count cannot trigger an
+///    allocation larger than the input itself.
+///
+/// Expression DAGs are serialized as a node table: each distinct node is
+/// emitted once (operands before users) and referenced by its local table
+/// id. Decoding re-interns every node through ExprContext::mk*, so
+/// sharing, canonical folding, and — when decoding a full-context table
+/// into a fresh context — the creation-order node ids are all preserved
+/// bit-for-bit. A table whose records would fold (i.e. one not produced
+/// by our encoder) is rejected as malformed rather than silently
+/// re-canonicalized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SERIALIZE_CODEC_H
+#define SYMMERGE_SERIALIZE_CODEC_H
+
+#include "expr/Expr.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+class ExprContext;
+
+namespace serialize {
+
+/// Append-only little-endian byte writer.
+class Encoder {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V) {
+    u8(static_cast<uint8_t>(V));
+    u8(static_cast<uint8_t>(V >> 8));
+  }
+  void u32(uint32_t V) {
+    u16(static_cast<uint16_t>(V));
+    u16(static_cast<uint16_t>(V >> 16));
+  }
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+  /// IEEE-754 bit pattern; exact round trip, no text formatting.
+  void f64(double V);
+  /// u32 byte count followed by the raw bytes.
+  void str(const std::string &S);
+
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked reader over a byte span with a sticky fail state.
+class Decoder {
+public:
+  Decoder(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit Decoder(const std::vector<uint8_t> &Bytes)
+      : Decoder(Bytes.data(), Bytes.size()) {}
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+
+  /// Reads a u32 element count and validates it against the bytes left:
+  /// a well-formed input needs at least \p MinBytesPerElem more bytes per
+  /// element, so anything larger is malformed — rejected BEFORE any
+  /// allocation proportional to the claimed count.
+  uint32_t count(size_t MinBytesPerElem = 1);
+
+  /// Enters the sticky fail state (subsequent reads return zero values).
+  /// Always returns false so call sites can `return D.fail(...)`.
+  bool fail(const std::string &Message);
+
+  bool failed() const { return Failed; }
+  /// True when all input was consumed and nothing failed.
+  bool atEnd() const { return !Failed && Pos == Size; }
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Failed ? 0 : Size - Pos; }
+
+  const std::string &error() const { return Err; }
+  size_t errorOffset() const { return ErrOff; }
+
+private:
+  bool need(size_t N);
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Err;
+  size_t ErrOff = 0;
+};
+
+/// Collects an expression DAG (or several sharing structure) and emits
+/// each distinct node exactly once, operands before users.
+class ExprTableBuilder {
+public:
+  /// Registers \p E (transitively) and returns its local table id.
+  uint32_t idOf(ExprRef E);
+
+  /// Every interned node of \p Ctx in creation order, so local ids equal
+  /// context ids — the mode snapshots use for bit-identical restore.
+  void addFullContext(const ExprContext &Ctx);
+
+  size_t size() const { return Nodes.size(); }
+
+  /// Writes the table: u32 node count, then one record per node.
+  void encode(Encoder &E) const;
+
+private:
+  std::vector<ExprRef> Nodes;
+  std::unordered_map<ExprRef, uint32_t> Ids;
+};
+
+/// The decoded counterpart: local table id -> re-interned node.
+class ExprTable {
+public:
+  /// Reads a table and re-interns every node through \p Ctx. With
+  /// \p RequireDenseIds, each re-interned node must come back with
+  /// id() == local id — the full-context restore contract (the target
+  /// context holds nothing beyond what the snapshot's own prefix
+  /// recreates); any mismatch is a structured decode error.
+  bool decode(Decoder &D, ExprContext &Ctx, bool RequireDenseIds);
+
+  /// Resolves a local id read from \p D; out-of-range ids fail \p D.
+  ExprRef at(Decoder &D, uint32_t Id) const;
+  /// Reads a u32 local id from \p D and resolves it.
+  ExprRef read(Decoder &D) const;
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  std::vector<ExprRef> Nodes;
+};
+
+} // namespace serialize
+} // namespace symmerge
+
+#endif // SYMMERGE_SERIALIZE_CODEC_H

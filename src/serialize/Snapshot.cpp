@@ -1,0 +1,697 @@
+//===- Snapshot.cpp - Whole-run checkpoint format -----------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serialize/Snapshot.h"
+
+#include "expr/ExprContext.h"
+#include "ir/IR.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+using namespace symmerge;
+using namespace symmerge::serialize;
+
+uint64_t serialize::programHash(const Module &M) {
+  return hashString(M.str());
+}
+
+//===----------------------------------------------------------------------===
+// Encoding
+//===----------------------------------------------------------------------===
+
+namespace {
+
+void encodeStats(Encoder &E, const EngineStats &S) {
+  // Fixed field order; extending EngineStats means appending here AND
+  // bumping SnapshotVersion (the golden test enforces the bump).
+  E.u64(S.Steps);
+  E.u64(S.Forks);
+  E.u64(S.Merges);
+  E.u64(S.MergedItes);
+  E.u64(S.CompletedStates);
+  E.f64(S.CompletedMultiplicity);
+  E.u64(S.ExactPathsCompleted);
+  E.u64(S.Errors);
+  E.u64(S.MaxWorklist);
+  E.u64(S.FastForwardSelections);
+  E.u64(S.FastForwardMerges);
+  E.f64(S.WallSeconds);
+  E.u8(S.Exhausted ? 1 : 0);
+  E.u64(S.SolverQueries);
+  E.u64(S.SolverCoreQueries);
+  E.f64(S.SolverSeconds);
+  E.u64(S.SolverSessions);
+  E.u64(S.SolverAssumptionQueries);
+  E.u64(S.SolverEncodeCacheHits);
+  E.f64(S.SolverEncodeSeconds);
+  E.u64(S.SolverVerdictCacheHits);
+  E.u64(S.SolverVerdictCacheMisses);
+  E.u64(S.SolverVerdictCacheEvictions);
+  E.u64(S.SolverGroupSubSessions);
+  E.u64(S.SolverGroupMerges);
+  E.u64(S.SolverGroupSlicedSolves);
+  E.u64(S.SolverModelCacheHits);
+  E.u64(S.SolverModelCacheMisses);
+  E.u64(S.SolverEvalSatShortcuts);
+  E.u64(S.SolverModelCacheEvictions);
+  E.u64(S.SolverCoreCacheHits);
+  E.u64(S.SolverCoreCacheMisses);
+  E.u64(S.SolverCoreSubsumptions);
+  E.u64(S.SolverCoreCacheEvictions);
+  E.u64(S.SolverPoisonedQueries);
+  E.u64(S.SolverPoisonedInserts);
+  E.u64(S.SolverPoisonCacheEvictions);
+  E.u64(S.SolverUnknownsObserved);
+  E.u64(S.TestGenQueued);
+  E.u64(S.TestGenSolved);
+  E.u64(S.TestGenSkipped);
+  E.u64(S.Workers);
+  E.u64(S.FrontierSteals);
+  E.u64(S.SessionsBuilt);
+  E.u64(S.SessionEvictions);
+  E.u64(S.SessionSplits);
+}
+
+void decodeStats(Decoder &D, EngineStats &S) {
+  S.Steps = D.u64();
+  S.Forks = D.u64();
+  S.Merges = D.u64();
+  S.MergedItes = D.u64();
+  S.CompletedStates = D.u64();
+  S.CompletedMultiplicity = D.f64();
+  S.ExactPathsCompleted = D.u64();
+  S.Errors = D.u64();
+  S.MaxWorklist = D.u64();
+  S.FastForwardSelections = D.u64();
+  S.FastForwardMerges = D.u64();
+  S.WallSeconds = D.f64();
+  S.Exhausted = D.u8() != 0;
+  S.SolverQueries = D.u64();
+  S.SolverCoreQueries = D.u64();
+  S.SolverSeconds = D.f64();
+  S.SolverSessions = D.u64();
+  S.SolverAssumptionQueries = D.u64();
+  S.SolverEncodeCacheHits = D.u64();
+  S.SolverEncodeSeconds = D.f64();
+  S.SolverVerdictCacheHits = D.u64();
+  S.SolverVerdictCacheMisses = D.u64();
+  S.SolverVerdictCacheEvictions = D.u64();
+  S.SolverGroupSubSessions = D.u64();
+  S.SolverGroupMerges = D.u64();
+  S.SolverGroupSlicedSolves = D.u64();
+  S.SolverModelCacheHits = D.u64();
+  S.SolverModelCacheMisses = D.u64();
+  S.SolverEvalSatShortcuts = D.u64();
+  S.SolverModelCacheEvictions = D.u64();
+  S.SolverCoreCacheHits = D.u64();
+  S.SolverCoreCacheMisses = D.u64();
+  S.SolverCoreSubsumptions = D.u64();
+  S.SolverCoreCacheEvictions = D.u64();
+  S.SolverPoisonedQueries = D.u64();
+  S.SolverPoisonedInserts = D.u64();
+  S.SolverPoisonCacheEvictions = D.u64();
+  S.SolverUnknownsObserved = D.u64();
+  S.TestGenQueued = D.u64();
+  S.TestGenSolved = D.u64();
+  S.TestGenSkipped = D.u64();
+  S.Workers = D.u64();
+  S.FrontierSteals = D.u64();
+  S.SessionsBuilt = D.u64();
+  S.SessionEvictions = D.u64();
+  S.SessionSplits = D.u64();
+}
+
+void encodeLocation(Encoder &E, const Location &L) {
+  E.u8(L.Block ? 1 : 0);
+  if (!L.Block)
+    return;
+  E.str(L.Block->parent()->name());
+  E.u32(static_cast<uint32_t>(L.Block->id()));
+  E.u32(L.Index);
+}
+
+/// Resolves a (function name, block id) pair against \p M.
+const BasicBlock *decodeBlockRef(Decoder &D, const Module &M,
+                                 const std::string &FuncName,
+                                 uint32_t BlockId) {
+  const Function *F = M.findFunction(FuncName);
+  if (!F) {
+    D.fail("unknown function '" + FuncName + "'");
+    return nullptr;
+  }
+  if (BlockId >= F->numBlocks()) {
+    D.fail("block id out of range in '" + FuncName + "'");
+    return nullptr;
+  }
+  const BasicBlock *BB = F->blocks()[BlockId].get();
+  assert(BB->id() == static_cast<int>(BlockId) &&
+         "block ids are dense creation-order indexes");
+  return BB;
+}
+
+bool decodeLocation(Decoder &D, const Module &M, Location &L) {
+  if (D.u8() == 0) {
+    L = {};
+    return !D.failed();
+  }
+  std::string FuncName = D.str();
+  uint32_t BlockId = D.u32();
+  uint32_t Index = D.u32();
+  if (D.failed())
+    return false;
+  const BasicBlock *BB = decodeBlockRef(D, M, FuncName, BlockId);
+  if (!BB)
+    return false;
+  if (Index >= BB->instructions().size())
+    return D.fail("instruction index out of range");
+  L = {BB, Index};
+  return true;
+}
+
+void encodeExprRef(Encoder &E, ExprTableBuilder &Table, ExprRef Ref) {
+  // The builder holds the full context, so idOf is a pure lookup here.
+  E.u32(Table.idOf(Ref));
+}
+
+void encodeState(Encoder &E, ExprTableBuilder &Table,
+                 const ExecutionState &S) {
+  E.u64(S.Id);
+  E.u8(static_cast<uint8_t>(S.Status));
+  E.str(S.Error);
+  E.f64(S.Multiplicity);
+  E.u64(S.Steps);
+  E.u32(S.ForkDepth);
+  E.u8(S.FastForwarded ? 1 : 0);
+
+  // Arrays first: stack slots reference them by index.
+  E.u32(static_cast<uint32_t>(S.Arrays.size()));
+  for (const ArrayObject &A : S.Arrays) {
+    E.u8(static_cast<uint8_t>(A.ElemWidth));
+    E.u32(static_cast<uint32_t>(A.Cells.size()));
+    for (ExprRef Cell : A.Cells)
+      encodeExprRef(E, Table, Cell);
+  }
+
+  E.u32(static_cast<uint32_t>(S.Stack.size()));
+  for (const StackFrame &F : S.Stack) {
+    E.str(F.F->name());
+    E.u32(static_cast<uint32_t>(F.Scalars.size()));
+    for (size_t I = 0; I < F.Scalars.size(); ++I) {
+      E.u8(F.Scalars[I] ? 1 : 0);
+      if (F.Scalars[I])
+        encodeExprRef(E, Table, F.Scalars[I]);
+      E.u32(static_cast<uint32_t>(F.ArrayIds[I]));
+    }
+    E.u8(F.RetBlock ? 1 : 0);
+    if (F.RetBlock) {
+      E.u32(static_cast<uint32_t>(F.RetBlock->id()));
+      E.u32(F.RetIndex);
+      E.u32(static_cast<uint32_t>(F.RetDst));
+    }
+  }
+
+  // Current location: block id within the top frame's function.
+  E.u32(static_cast<uint32_t>(S.Loc.Block->id()));
+  E.u32(S.Loc.Index);
+
+  E.u32(static_cast<uint32_t>(S.PC.size()));
+  for (ExprRef C : S.PC)
+    encodeExprRef(E, Table, C);
+
+  E.u32(static_cast<uint32_t>(S.History.size()));
+  for (uint64_t H : S.History)
+    E.u64(H);
+
+  // std::map iterates in key order: deterministic bytes for free.
+  E.u32(static_cast<uint32_t>(S.SymCounts.size()));
+  for (const auto &[Name, Count] : S.SymCounts) {
+    E.str(Name);
+    E.u32(static_cast<uint32_t>(Count));
+  }
+
+  E.u32(static_cast<uint32_t>(S.ShadowPaths.size()));
+  for (const auto &Path : S.ShadowPaths) {
+    E.u32(static_cast<uint32_t>(Path.size()));
+    for (ExprRef C : Path)
+      encodeExprRef(E, Table, C);
+  }
+}
+
+bool decodeState(Decoder &D, const Module &M, const ExprTable &Table,
+                 ExecutionState &S) {
+  S.Id = D.u64();
+  uint8_t RawStatus = D.u8();
+  if (RawStatus > static_cast<uint8_t>(StateStatus::Dead))
+    return D.fail("invalid state status");
+  S.Status = static_cast<StateStatus>(RawStatus);
+  // Only live frontier states are checkpointed; terminal states were
+  // finalized into tests before capture.
+  if (S.Status != StateStatus::Running)
+    return D.fail("frontier state is not running");
+  S.Error = D.str();
+  S.Multiplicity = D.f64();
+  if (D.failed())
+    return false;
+  if (!std::isfinite(S.Multiplicity) || S.Multiplicity <= 0)
+    return D.fail("state multiplicity is not a positive finite value");
+  S.Steps = D.u64();
+  S.ForkDepth = D.u32();
+  S.FastForwarded = D.u8() != 0;
+
+  uint32_t NumArrays = D.count(5);
+  if (D.failed())
+    return false;
+  S.Arrays.resize(NumArrays);
+  for (ArrayObject &A : S.Arrays) {
+    A.ElemWidth = D.u8();
+    if (!(A.ElemWidth == 1 || A.ElemWidth == 8 || A.ElemWidth == 16 ||
+          A.ElemWidth == 32 || A.ElemWidth == 64))
+      return D.fail("invalid array element width");
+    uint32_t NumCells = D.count(4);
+    if (D.failed())
+      return false;
+    A.Cells.resize(NumCells);
+    for (ExprRef &Cell : A.Cells) {
+      Cell = Table.read(D);
+      if (!Cell)
+        return false;
+      if (Cell->width() != A.ElemWidth)
+        return D.fail("array cell width mismatch");
+    }
+  }
+
+  uint32_t NumFrames = D.count(9);
+  if (D.failed())
+    return false;
+  if (NumFrames == 0)
+    return D.fail("state with an empty call stack");
+  S.Stack.resize(NumFrames);
+  for (uint32_t K = 0; K < NumFrames; ++K) {
+    StackFrame &F = S.Stack[K];
+    std::string FuncName = D.str();
+    if (D.failed())
+      return false;
+    F.F = M.findFunction(FuncName);
+    if (!F.F)
+      return D.fail("unknown function '" + FuncName + "'");
+    uint32_t NumSlots = D.count(5);
+    if (D.failed())
+      return false;
+    if (NumSlots != F.F->locals().size())
+      return D.fail("frame slot count does not match function locals");
+    F.Scalars.resize(NumSlots);
+    F.ArrayIds.resize(NumSlots);
+    for (uint32_t I = 0; I < NumSlots; ++I) {
+      bool HasExpr = D.u8() != 0;
+      if (HasExpr) {
+        F.Scalars[I] = Table.read(D);
+        if (!F.Scalars[I])
+          return false;
+      }
+      int ArrayId = static_cast<int>(D.u32());
+      if (D.failed())
+        return false;
+      F.ArrayIds[I] = ArrayId;
+      const Local &L = F.F->locals()[I];
+      if (L.Ty.isArray()) {
+        if (HasExpr || ArrayId < 0 ||
+            ArrayId >= static_cast<int>(S.Arrays.size()))
+          return D.fail("array local slot malformed");
+        if (S.Arrays[ArrayId].ElemWidth != L.Ty.Width ||
+            S.Arrays[ArrayId].Cells.size() != L.Ty.ArraySize)
+          return D.fail("array local shape mismatch");
+      } else {
+        if (!HasExpr || ArrayId != -1)
+          return D.fail("scalar local slot malformed");
+        if (F.Scalars[I]->width() != L.Ty.Width)
+          return D.fail("scalar local width mismatch");
+      }
+    }
+    if (D.u8() != 0) {
+      if (K == 0)
+        return D.fail("outermost frame has return linkage");
+      uint32_t BlockId = D.u32();
+      F.RetIndex = D.u32();
+      F.RetDst = static_cast<int>(D.u32());
+      if (D.failed())
+        return false;
+      // The return block lives in the CALLER's function.
+      const Function *Caller = S.Stack[K - 1].F;
+      if (BlockId >= Caller->numBlocks())
+        return D.fail("return block id out of range");
+      F.RetBlock = Caller->blocks()[BlockId].get();
+      if (F.RetIndex >= F.RetBlock->instructions().size())
+        return D.fail("return instruction index out of range");
+      if (F.RetDst < -1 ||
+          F.RetDst >= static_cast<int>(Caller->locals().size()))
+        return D.fail("return destination local out of range");
+    } else if (K != 0) {
+      return D.fail("inner frame without return linkage");
+    }
+  }
+
+  uint32_t BlockId = D.u32();
+  uint32_t Index = D.u32();
+  if (D.failed())
+    return false;
+  const Function *Top = S.Stack.back().F;
+  if (BlockId >= Top->numBlocks())
+    return D.fail("state location block id out of range");
+  S.Loc.Block = Top->blocks()[BlockId].get();
+  if (Index >= S.Loc.Block->instructions().size())
+    return D.fail("state location index out of range");
+  S.Loc.Index = Index;
+
+  uint32_t NumConjuncts = D.count(4);
+  if (D.failed())
+    return false;
+  S.PC.resize(NumConjuncts);
+  for (ExprRef &C : S.PC) {
+    C = Table.read(D);
+    if (!C)
+      return false;
+    if (C->width() != 1)
+      return D.fail("path-condition conjunct is not width 1");
+  }
+
+  uint32_t NumHist = D.count(8);
+  if (D.failed())
+    return false;
+  S.History.clear();
+  for (uint32_t I = 0; I < NumHist; ++I)
+    S.History.push_back(D.u64());
+
+  uint32_t NumSym = D.count(8);
+  if (D.failed())
+    return false;
+  S.SymCounts.clear();
+  for (uint32_t I = 0; I < NumSym; ++I) {
+    std::string Name = D.str();
+    uint32_t Count = D.u32();
+    if (D.failed())
+      return false;
+    if (!S.SymCounts.emplace(Name, static_cast<int>(Count)).second)
+      return D.fail("duplicate symbolic-name counter");
+  }
+
+  uint32_t NumShadow = D.count(4);
+  if (D.failed())
+    return false;
+  S.ShadowPaths.resize(NumShadow);
+  for (auto &Path : S.ShadowPaths) {
+    uint32_t Len = D.count(4);
+    if (D.failed())
+      return false;
+    Path.resize(Len);
+    for (ExprRef &C : Path) {
+      C = Table.read(D);
+      if (!C)
+        return false;
+      if (C->width() != 1)
+        return D.fail("shadow-path conjunct is not width 1");
+    }
+  }
+  return !D.failed();
+}
+
+void encodeTest(Encoder &E, ExprTableBuilder &Table, const TestCase &T) {
+  E.u8(static_cast<uint8_t>(T.Kind));
+  E.str(T.Message);
+  encodeLocation(E, T.Where);
+  E.f64(T.Multiplicity);
+  // VarAssignment iterates an unordered_map: sort by variable name so
+  // the same test always encodes to the same bytes.
+  std::vector<std::pair<ExprRef, uint64_t>> Inputs(T.Inputs.values().begin(),
+                                                   T.Inputs.values().end());
+  std::sort(Inputs.begin(), Inputs.end(), [](const auto &A, const auto &B) {
+    return A.first->varName() < B.first->varName();
+  });
+  E.u32(static_cast<uint32_t>(Inputs.size()));
+  for (const auto &[Var, Value] : Inputs) {
+    encodeExprRef(E, Table, Var);
+    E.u64(Value);
+  }
+}
+
+bool decodeTest(Decoder &D, const Module &M, const ExprTable &Table,
+                TestCase &T) {
+  uint8_t RawKind = D.u8();
+  if (RawKind > static_cast<uint8_t>(TestKind::OutOfBounds))
+    return D.fail("invalid test kind");
+  T.Kind = static_cast<TestKind>(RawKind);
+  T.Message = D.str();
+  if (!decodeLocation(D, M, T.Where))
+    return false;
+  T.Multiplicity = D.f64();
+  uint32_t NumInputs = D.count(12);
+  if (D.failed())
+    return false;
+  for (uint32_t I = 0; I < NumInputs; ++I) {
+    ExprRef Var = Table.read(D);
+    uint64_t Value = D.u64();
+    if (D.failed())
+      return false;
+    if (Var->kind() != ExprKind::Var)
+      return D.fail("test input key is not a variable");
+    T.Inputs.set(Var, Value);
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<uint8_t> serialize::encodeSnapshot(const RunSnapshot &Snap,
+                                               const ExprContext &Ctx) {
+  Encoder E;
+  E.u32(SnapshotMagic);
+  E.u32(SnapshotVersion);
+  E.u16(0xFEFF); // Byte-order mark: reads back as 0xFFFE on a BE decoder.
+  E.u16(0);
+  E.u64(Snap.ProgramHash);
+
+  ExprTableBuilder Table;
+  Table.addFullContext(Ctx);
+  Table.encode(E);
+
+  E.u64(Snap.NextStateId);
+  E.u32(Snap.Partitions);
+  encodeStats(E, Snap.Stats);
+
+  E.u32(static_cast<uint32_t>(Snap.Tests.size()));
+  for (const TestCase &T : Snap.Tests)
+    encodeTest(E, Table, T);
+
+  E.u32(static_cast<uint32_t>(Snap.Coverage.size()));
+  for (const auto &[BB, Count] : Snap.Coverage) {
+    E.str(BB->parent()->name());
+    E.u32(static_cast<uint32_t>(BB->id()));
+    E.u64(Count);
+  }
+
+  E.u32(static_cast<uint32_t>(Snap.Frontier.size()));
+  for (const RunSnapshot::Entry &Ent : Snap.Frontier) {
+    E.u32(Ent.Partition);
+    E.u64(Ent.LocationRank);
+    encodeState(E, Table, *Ent.State);
+  }
+
+  E.u32(static_cast<uint32_t>(Snap.Cursors.size()));
+  for (const auto &Cursor : Snap.Cursors) {
+    E.u32(static_cast<uint32_t>(Cursor.size()));
+    for (uint64_t W : Cursor)
+      E.u64(W);
+  }
+  return E.take();
+}
+
+SnapshotDecodeResult serialize::decodeSnapshot(
+    const std::vector<uint8_t> &Bytes, const Module &M, ExprContext &Ctx,
+    RunSnapshot &Out) {
+  Decoder D(Bytes);
+  auto Error = [&](const std::string &Fallback) {
+    SnapshotDecodeResult R;
+    R.Ok = false;
+    R.Error = D.failed() ? D.error() : Fallback;
+    R.Offset = D.failed() ? D.errorOffset() : D.position();
+    return R;
+  };
+
+  if (D.u32() != SnapshotMagic || D.failed()) {
+    D.fail("not a SymMerge snapshot (bad magic)");
+    return Error("bad magic");
+  }
+  uint32_t Version = D.u32();
+  if (Version != SnapshotVersion || D.failed()) {
+    D.fail("unsupported snapshot version " + std::to_string(Version));
+    return Error("bad version");
+  }
+  if (D.u16() != 0xFEFF || D.failed()) {
+    D.fail("byte-order mark mismatch");
+    return Error("byte-order mark mismatch");
+  }
+  if (D.u16() != 0 || D.failed()) {
+    D.fail("reserved header field is nonzero");
+    return Error("bad header");
+  }
+  Out.ProgramHash = D.u64();
+  if (Out.ProgramHash != programHash(M)) {
+    D.fail("snapshot was taken against a different program");
+    return Error("program hash mismatch");
+  }
+
+  ExprTable Table;
+  if (!Table.decode(D, Ctx, /*RequireDenseIds=*/true))
+    return Error("malformed expression table");
+
+  Out.NextStateId = D.u64();
+  Out.Partitions = D.u32();
+  if (D.failed())
+    return Error("truncated header");
+  if (Out.Partitions == 0 || Out.Partitions > 4096)
+    return (void)D.fail("implausible partition count"),
+           Error("implausible partition count");
+  decodeStats(D, Out.Stats);
+  if (D.failed())
+    return Error("truncated stats");
+
+  uint32_t NumTests = D.count(22);
+  if (D.failed())
+    return Error("malformed test list");
+  Out.Tests.resize(NumTests);
+  for (TestCase &T : Out.Tests)
+    if (!decodeTest(D, M, Table, T))
+      return Error("malformed test case");
+
+  uint32_t NumCov = D.count(16);
+  if (D.failed())
+    return Error("malformed coverage list");
+  Out.Coverage.clear();
+  Out.Coverage.reserve(NumCov);
+  for (uint32_t I = 0; I < NumCov; ++I) {
+    std::string FuncName = D.str();
+    uint32_t BlockId = D.u32();
+    uint64_t Count = D.u64();
+    if (D.failed())
+      return Error("malformed coverage entry");
+    const BasicBlock *BB = decodeBlockRef(D, M, FuncName, BlockId);
+    if (!BB)
+      return Error("malformed coverage entry");
+    if (Count == 0)
+      return (void)D.fail("zero coverage count"),
+             Error("zero coverage count");
+    Out.Coverage.emplace_back(BB, Count);
+  }
+
+  uint32_t NumStates = D.count(32);
+  if (D.failed())
+    return Error("malformed frontier");
+  Out.Frontier.clear();
+  Out.Frontier.reserve(NumStates);
+  std::unordered_set<uint64_t> SeenIds;
+  for (uint32_t I = 0; I < NumStates; ++I) {
+    RunSnapshot::Entry Ent;
+    Ent.Partition = D.u32();
+    Ent.LocationRank = D.u64();
+    if (D.failed())
+      return Error("malformed frontier entry");
+    if (Ent.Partition >= Out.Partitions)
+      return (void)D.fail("frontier partition out of range"),
+             Error("frontier partition out of range");
+    Ent.State = std::make_unique<ExecutionState>();
+    if (!decodeState(D, M, Table, *Ent.State))
+      return Error("malformed frontier state");
+    // The engine's Owned map keys on state id, and the id allocator
+    // resumes at NextStateId: ids must be unique and strictly below it.
+    if (!SeenIds.insert(Ent.State->Id).second)
+      return (void)D.fail("duplicate frontier state id"),
+             Error("duplicate frontier state id");
+    if (Ent.State->Id >= Out.NextStateId)
+      return (void)D.fail("frontier state id at or above the allocator"),
+             Error("frontier state id at or above the allocator");
+    Out.Frontier.push_back(std::move(Ent));
+  }
+
+  uint32_t NumCursors = D.count(4);
+  if (D.failed())
+    return Error("malformed cursor list");
+  Out.Cursors.clear();
+  Out.Cursors.resize(NumCursors);
+  for (auto &Cursor : Out.Cursors) {
+    uint32_t Len = D.count(8);
+    if (D.failed())
+      return Error("malformed cursor");
+    Cursor.resize(Len);
+    for (uint64_t &W : Cursor)
+      W = D.u64();
+  }
+
+  if (D.failed())
+    return Error("truncated snapshot");
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after snapshot");
+    return Error("trailing bytes after snapshot");
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===
+// File helpers
+//===----------------------------------------------------------------------===
+
+bool serialize::writeSnapshotFile(const std::string &Path,
+                                  const std::vector<uint8_t> &Bytes,
+                                  std::string *ErrorMessage) {
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot open '" + Tmp + "' for writing";
+    return false;
+  }
+  bool Ok = Bytes.empty() ||
+            std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    if (ErrorMessage)
+      *ErrorMessage = "short write to '" + Tmp + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot rename '" + Tmp + "' to '" + Path + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool serialize::readSnapshotFile(const std::string &Path,
+                                 std::vector<uint8_t> &Out,
+                                 std::string *ErrorMessage) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot open '" + Path + "'";
+    return false;
+  }
+  Out.clear();
+  uint8_t Buf[64 << 10];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!Ok && ErrorMessage)
+    *ErrorMessage = "read error on '" + Path + "'";
+  return Ok;
+}

@@ -1,0 +1,91 @@
+//===- Snapshot.h - Whole-run checkpoint format -----------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps `RunSnapshot` (core/Checkpoint.h) to and from the versioned
+/// binary checkpoint format, and provides the atomic file helpers the
+/// CLI uses (write-temp-then-rename, so a crash mid-write never leaves a
+/// half-checkpoint behind).
+///
+/// Format v1, in order:
+///   u32 magic "SMSN" · u32 version · u16 endian mark 0xFEFF · u16 zero
+///   u64 program hash (hashString of the module's printed form)
+///   expression table: the FULL ExprContext in creation order, so local
+///     ids equal context ids and a restore into a fresh context recreates
+///     every node with its original id (merge-canonical disjunct order
+///     tie-breaks on those ids — this is what makes `--workers=1` resume
+///     bit-identical)
+///   u64 next state id · u32 partitions
+///   EngineStats (every counter, fixed order)
+///   accepted tests · coverage counters · frontier states · searcher
+///     cursors
+///
+/// The decoder validates everything against the module it restores into:
+/// unknown functions/blocks, out-of-range locals, non-canonical
+/// expressions, or trailing bytes are structured errors, never UB. Any
+/// format change must bump `SnapshotVersion` — the golden-snapshot test
+/// fails otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SERIALIZE_SNAPSHOT_H
+#define SYMMERGE_SERIALIZE_SNAPSHOT_H
+
+#include "core/Checkpoint.h"
+#include "serialize/Codec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+class ExprContext;
+class Module;
+
+namespace serialize {
+
+/// "SMSN" as a little-endian u32.
+constexpr uint32_t SnapshotMagic = 0x4E534D53u;
+constexpr uint32_t SnapshotVersion = 1;
+
+/// Canonical program identity: hashString over the module's printed form.
+uint64_t programHash(const Module &M);
+
+/// Serializes \p Snap. \p Ctx must be the context every expression in the
+/// snapshot lives in (the whole context is emitted, in id order).
+std::vector<uint8_t> encodeSnapshot(const RunSnapshot &Snap,
+                                    const ExprContext &Ctx);
+
+/// Structured decode outcome; `Ok == false` carries message + offset.
+struct SnapshotDecodeResult {
+  bool Ok = true;
+  std::string Error;
+  size_t Offset = 0;
+};
+
+/// Decodes \p Bytes against program \p M, re-interning expressions into
+/// \p Ctx. The context must contain nothing beyond what the snapshot's
+/// own node prefix recreates (a freshly constructed runner qualifies):
+/// every node must come back with its recorded id, or the decode fails.
+SnapshotDecodeResult decodeSnapshot(const std::vector<uint8_t> &Bytes,
+                                    const Module &M, ExprContext &Ctx,
+                                    RunSnapshot &Out);
+
+/// Writes \p Bytes to \p Path atomically: a temp file in the same
+/// directory, flushed, then renamed over the target.
+bool writeSnapshotFile(const std::string &Path,
+                       const std::vector<uint8_t> &Bytes,
+                       std::string *ErrorMessage = nullptr);
+
+/// Reads a whole file into \p Out.
+bool readSnapshotFile(const std::string &Path, std::vector<uint8_t> &Out,
+                      std::string *ErrorMessage = nullptr);
+
+} // namespace serialize
+} // namespace symmerge
+
+#endif // SYMMERGE_SERIALIZE_SNAPSHOT_H

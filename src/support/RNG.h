@@ -16,6 +16,7 @@
 
 #include "support/Hashing.h"
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 
@@ -66,6 +67,16 @@ public:
 
   /// Returns true with probability \p P (clamped to [0, 1]).
   bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Exposes the raw generator state for checkpointing. Restoring a saved
+  /// cursor resumes the sequence at exactly the point it was saved.
+  std::array<uint64_t, 4> save() const {
+    return {State[0], State[1], State[2], State[3]};
+  }
+  void restore(const std::array<uint64_t, 4> &Saved) {
+    for (int I = 0; I < 4; ++I)
+      State[I] = Saved[I];
+  }
 
 private:
   static uint64_t rotl(uint64_t X, int K) {

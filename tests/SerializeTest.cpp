@@ -1,0 +1,782 @@
+//===- SerializeTest.cpp - Checkpoint codec and snapshot format tests -----===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Five suites over src/serialize/:
+//
+//  CodecTest          — byte-level primitives: exact integer/double/string
+//                       round trips, sticky decoder failure, and the
+//                       count() guard that rejects hostile length prefixes
+//                       before any allocation.
+//  ExprRoundTripTest  — the round-trip property suite: 1000+ random
+//                       expression DAGs encode/decode (a) back into their
+//                       own context as pointer-identical nodes, (b) into a
+//                       fresh context structurally equal with sharing
+//                       preserved, and (c) in full-context dense mode with
+//                       identical ids and structural hashes.
+//  SnapshotRoundTripTest — whole-run checkpoints captured from live engine
+//                       runs survive encode -> decode -> encode as a byte
+//                       fixpoint, and refuse to restore against a
+//                       different program.
+//  SnapshotFuzzTest   — decoder hostility: truncation at every byte
+//                       boundary, bit flips, wrong magic/version/endian
+//                       marks, oversized length prefixes, random garbage,
+//                       and trailing bytes are structured errors, never
+//                       crashes.
+//  GoldenSnapshotTest — the checked-in snapshot_v1.bin fixture pins the
+//                       format byte-for-byte; any drift must bump
+//                       SnapshotVersion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "expr/ExprContext.h"
+#include "lang/Lower.h"
+#include "serialize/Codec.h"
+#include "serialize/Snapshot.h"
+#include "support/Hashing.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+using namespace symmerge;
+using namespace symmerge::serialize;
+
+namespace {
+
+/// SplitMix64: deterministic, seed-stable across platforms.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+  bool nextBool(double P = 0.5) { return (next() >> 11) * 0x1.0p-53 < P; }
+
+private:
+  uint64_t State;
+};
+
+//===----------------------------------------------------------------------===//
+// Random expression DAGs
+//===----------------------------------------------------------------------===//
+
+const unsigned Widths[] = {1, 8, 16, 32, 64};
+
+/// Grows a pool of random expressions in \p Ctx. Nodes freely share
+/// operands (everything draws from the same pool), so the pools exercise
+/// DAG-shaped sharing, constant folding, and every ExprKind.
+std::vector<ExprRef> buildRandomPool(ExprContext &Ctx, RNG &Rand,
+                                     unsigned Count) {
+  std::vector<ExprRef> Pool;
+  // Seed leaves: a variable and a constant per width. Variable names
+  // carry their width so a name never re-interns at a different width.
+  for (unsigned W : Widths) {
+    Pool.push_back(Ctx.mkVar("v" + std::to_string(W) + "_" +
+                                 std::to_string(Rand.nextBelow(3)),
+                             W));
+    Pool.push_back(Ctx.mkConst(ExprContext::maskToWidth(Rand.next(), W), W));
+  }
+
+  auto PickOfWidth = [&](unsigned W) -> ExprRef {
+    // Rejection-sample the pool, falling back to a fresh constant.
+    for (int Tries = 0; Tries < 16; ++Tries) {
+      ExprRef E = Pool[Rand.nextBelow(Pool.size())];
+      if (E->width() == W)
+        return E;
+    }
+    return Ctx.mkConst(ExprContext::maskToWidth(Rand.next(), W), W);
+  };
+
+  for (unsigned I = 0; I < Count; ++I) {
+    unsigned W = Widths[Rand.nextBelow(5)];
+    ExprRef E;
+    switch (Rand.nextBelow(8)) {
+    case 0:
+      E = Ctx.mkConst(ExprContext::maskToWidth(Rand.next(), W), W);
+      break;
+    case 1:
+      E = Ctx.mkVar("v" + std::to_string(W) + "_" +
+                        std::to_string(Rand.nextBelow(3)),
+                    W);
+      break;
+    case 2:
+      E = Rand.nextBool() ? Ctx.mkNot(PickOfWidth(W))
+                          : Ctx.mkNeg(PickOfWidth(W));
+      break;
+    case 3: {
+      // Width changes: extend or truncate to a different width.
+      unsigned W2 = Widths[Rand.nextBelow(5)];
+      ExprRef Op = PickOfWidth(W);
+      if (W2 > W)
+        E = Rand.nextBool() ? Ctx.mkZExt(Op, W2) : Ctx.mkSExt(Op, W2);
+      else if (W2 < W)
+        E = Ctx.mkTrunc(Op, W2);
+      else
+        E = Op;
+      break;
+    }
+    case 4: {
+      static const ExprKind Arith[] = {
+          ExprKind::Add,  ExprKind::Sub,  ExprKind::Mul,  ExprKind::UDiv,
+          ExprKind::SDiv, ExprKind::URem, ExprKind::SRem, ExprKind::And,
+          ExprKind::Or,   ExprKind::Xor,  ExprKind::Shl,  ExprKind::LShr,
+          ExprKind::AShr};
+      E = Ctx.mkBinOp(Arith[Rand.nextBelow(13)], PickOfWidth(W),
+                      PickOfWidth(W));
+      break;
+    }
+    case 5: {
+      static const ExprKind Cmp[] = {ExprKind::Eq,  ExprKind::Ne,
+                                     ExprKind::Ult, ExprKind::Ule,
+                                     ExprKind::Slt, ExprKind::Sle};
+      E = Ctx.mkBinOp(Cmp[Rand.nextBelow(6)], PickOfWidth(W),
+                      PickOfWidth(W));
+      break;
+    }
+    case 6:
+      E = Ctx.mkIte(PickOfWidth(1), PickOfWidth(W), PickOfWidth(W));
+      break;
+    default:
+      E = Ctx.mkLogicalAnd(PickOfWidth(1), PickOfWidth(1));
+      break;
+    }
+    Pool.push_back(E);
+  }
+  return Pool;
+}
+
+/// Deep structural equality across two contexts (ids may differ).
+bool structurallyEqual(ExprRef A, ExprRef B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind() || A->width() != B->width() ||
+      A->numOperands() != B->numOperands())
+    return false;
+  if (A->kind() == ExprKind::Constant &&
+      A->constantValue() != B->constantValue())
+    return false;
+  if (A->kind() == ExprKind::Var && A->varName() != B->varName())
+    return false;
+  for (size_t I = 0; I < A->numOperands(); ++I)
+    if (!structurallyEqual(A->operand(I), B->operand(I)))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-captured snapshots (shared by round-trip, fuzz, and golden)
+//===----------------------------------------------------------------------===//
+
+/// A small branching program with a helper call and an array, so captured
+/// frontiers contain multi-frame states and array objects.
+const char *SnapshotProgram =
+    "int clamp(int v, int lo) {\n"
+    "  if (v < lo) { return lo; }\n"
+    "  return v;\n"
+    "}\n"
+    "void main() {\n"
+    "  int x = 0;\n"
+    "  int y = 0;\n"
+    "  make_symbolic(x, \"x\");\n"
+    "  make_symbolic(y, \"y\");\n"
+    "  assume(x >= 0);\n"
+    "  assume(x < 8);\n"
+    "  char tab[8];\n"
+    "  for (int i = 0; i < 8; i = i + 1) { tab[i] = i * 3; }\n"
+    "  int s = 0;\n"
+    "  for (int i = 0; i < 4; i = i + 1) {\n"
+    "    if (y > i) {\n"
+    "      s = s + clamp(tab[x], i);\n"
+    "    } else {\n"
+    "      s = s + 1;\n"
+    "    }\n"
+    "  }\n"
+    "  assert(s < 100, \"sum bound\");\n"
+    "}\n";
+
+/// Runs \p M under a plain sequential configuration, capturing a
+/// checkpoint roughly every \p EverySteps steps (plus the final one at
+/// the \p MaxSteps budget), and returns every encoded snapshot.
+std::vector<std::vector<uint8_t>> captureSnapshots(const Module &M,
+                                                   uint64_t EverySteps,
+                                                   uint64_t MaxSteps) {
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::None;
+  C.Driving = SymbolicRunner::Strategy::BFS;
+  C.Engine.MaxSeconds = 60;
+  C.Engine.MaxSteps = MaxSteps;
+  SymbolicRunner Runner(M, C);
+  std::vector<std::vector<uint8_t>> Captured;
+  CheckpointOptions Chk;
+  Chk.EverySteps = EverySteps;
+  Chk.Sink = [&](const RunSnapshot &Snap) {
+    Captured.push_back(encodeSnapshot(Snap, Runner.context()));
+  };
+  Runner.setCheckpoint(Chk);
+  Runner.run();
+  return Captured;
+}
+
+/// One representative snapshot for the hostility suites: small enough
+/// that a truncation scan over every byte offset stays cheap.
+const std::vector<uint8_t> &fuzzSeedBytes() {
+  static const std::vector<uint8_t> Bytes = [] {
+    CompileResult CR = compileMiniC(SnapshotProgram);
+    if (!CR.ok())
+      return std::vector<uint8_t>();
+    std::vector<std::vector<uint8_t>> All = captureSnapshots(*CR.M, 0, 40);
+    return All.empty() ? std::vector<uint8_t>() : All.back();
+  }();
+  return Bytes;
+}
+
+std::unique_ptr<Module> compileSnapshotProgram() {
+  CompileResult CR = compileMiniC(SnapshotProgram);
+  EXPECT_TRUE(CR.ok());
+  return std::move(CR.M);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CodecTest
+//===----------------------------------------------------------------------===//
+
+TEST(CodecTest, IntegerAndStringRoundTrip) {
+  Encoder E;
+  E.u8(0);
+  E.u8(0xFF);
+  E.u16(0xFEFF);
+  E.u32(0xDEADBEEFu);
+  E.u64(0x0123456789ABCDEFull);
+  E.f64(3.141592653589793);
+  E.f64(-0.0);
+  E.str("");
+  E.str(std::string("nul\0byte", 8));
+
+  Decoder D(E.bytes());
+  EXPECT_EQ(D.u8(), 0u);
+  EXPECT_EQ(D.u8(), 0xFFu);
+  EXPECT_EQ(D.u16(), 0xFEFFu);
+  EXPECT_EQ(D.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(D.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(D.f64(), 3.141592653589793);
+  EXPECT_TRUE(std::signbit(D.f64()));
+  EXPECT_EQ(D.str(), "");
+  EXPECT_EQ(D.str(), std::string("nul\0byte", 8));
+  EXPECT_TRUE(D.atEnd());
+  EXPECT_FALSE(D.failed());
+}
+
+TEST(CodecTest, LittleEndianByteOrderIsPinned) {
+  Encoder E;
+  E.u32(0x11223344u);
+  ASSERT_EQ(E.bytes().size(), 4u);
+  EXPECT_EQ(E.bytes()[0], 0x44);
+  EXPECT_EQ(E.bytes()[1], 0x33);
+  EXPECT_EQ(E.bytes()[2], 0x22);
+  EXPECT_EQ(E.bytes()[3], 0x11);
+}
+
+TEST(CodecTest, DecoderFailureIsSticky) {
+  Encoder E;
+  E.u16(7);
+  Decoder D(E.bytes());
+  EXPECT_EQ(D.u64(), 0u); // Needs 8 bytes, only 2 present.
+  EXPECT_TRUE(D.failed());
+  EXPECT_FALSE(D.error().empty());
+  // Every subsequent read stays zero and never advances past the end.
+  EXPECT_EQ(D.u8(), 0u);
+  EXPECT_EQ(D.str(), "");
+  EXPECT_EQ(D.remaining(), 0u);
+  EXPECT_FALSE(D.atEnd());
+}
+
+TEST(CodecTest, CountGuardRejectsOversizedPrefixBeforeAllocation) {
+  // A hostile count claiming 0xFFFFFFFF elements of >= 6 bytes each in a
+  // 4-byte input must be rejected by arithmetic on the remaining bytes —
+  // if the decoder reserved the claimed count this test would OOM, not
+  // fail an expectation.
+  Encoder E;
+  E.u32(0xFFFFFFFFu);
+  Decoder D(E.bytes());
+  EXPECT_EQ(D.count(6), 0u);
+  EXPECT_TRUE(D.failed());
+  EXPECT_NE(D.error().find("count"), std::string::npos) << D.error();
+}
+
+TEST(CodecTest, StringLengthIsBoundsChecked) {
+  Encoder E;
+  E.u32(1000); // Claims 1000 bytes; only 2 follow.
+  E.u16(0xABCD);
+  Decoder D(E.bytes());
+  EXPECT_EQ(D.str(), "");
+  EXPECT_TRUE(D.failed());
+}
+
+//===----------------------------------------------------------------------===//
+// ExprRoundTripTest — the round-trip property suite (1000+ seeds)
+//===----------------------------------------------------------------------===//
+
+TEST(ExprRoundTripTest, SameContextReinternIsIdentity) {
+  for (uint64_t Seed = 0; Seed < 400; ++Seed) {
+    ExprContext Ctx;
+    RNG Rand(hashMix(Seed * 2 + 1));
+    std::vector<ExprRef> Pool =
+        buildRandomPool(Ctx, Rand, 8 + Rand.nextBelow(24));
+
+    ExprTableBuilder B;
+    std::vector<std::pair<ExprRef, uint32_t>> Roots;
+    for (unsigned I = 0; I < 4; ++I) {
+      ExprRef R = Pool[Rand.nextBelow(Pool.size())];
+      Roots.emplace_back(R, B.idOf(R));
+    }
+    Encoder E;
+    B.encode(E);
+
+    const size_t NodesBefore = Ctx.numNodes();
+    Decoder D(E.bytes());
+    ExprTable T;
+    ASSERT_TRUE(T.decode(D, Ctx, /*RequireDenseIds=*/false))
+        << "seed " << Seed << ": " << D.error();
+    EXPECT_TRUE(D.atEnd());
+    EXPECT_EQ(T.size(), B.size());
+    // Decoding into the context the table came from re-interns every
+    // node onto the existing object: pointer identity, nothing created.
+    EXPECT_EQ(Ctx.numNodes(), NodesBefore) << "seed " << Seed;
+    for (auto &[R, Id] : Roots)
+      EXPECT_EQ(T.at(D, Id), R) << "seed " << Seed;
+  }
+}
+
+TEST(ExprRoundTripTest, FreshContextDecodeIsStructurallyEqualAndShared) {
+  for (uint64_t Seed = 0; Seed < 400; ++Seed) {
+    ExprContext Ctx;
+    RNG Rand(hashMix(Seed * 2));
+    std::vector<ExprRef> Pool =
+        buildRandomPool(Ctx, Rand, 8 + Rand.nextBelow(24));
+
+    ExprTableBuilder B;
+    std::vector<std::pair<ExprRef, uint32_t>> Roots;
+    for (unsigned I = 0; I < 4; ++I) {
+      ExprRef R = Pool[Rand.nextBelow(Pool.size())];
+      Roots.emplace_back(R, B.idOf(R));
+    }
+    Encoder E;
+    B.encode(E);
+
+    ExprContext Fresh;
+    Decoder D(E.bytes());
+    ExprTable T;
+    ASSERT_TRUE(T.decode(D, Fresh, /*RequireDenseIds=*/false))
+        << "seed " << Seed << ": " << D.error();
+    // Sharing is preserved exactly: each table record interns to one
+    // distinct node in the fresh context, no more, no less.
+    EXPECT_EQ(Fresh.numNodes(), T.size()) << "seed " << Seed;
+    for (auto &[R, Id] : Roots) {
+      ExprRef Decoded = T.at(D, Id);
+      ASSERT_NE(Decoded, nullptr);
+      EXPECT_TRUE(structurallyEqual(R, Decoded)) << "seed " << Seed;
+      // Resolving the same id twice is the same object (interning).
+      EXPECT_EQ(T.at(D, Id), Decoded);
+    }
+  }
+}
+
+TEST(ExprRoundTripTest, FullContextDenseRestorePreservesIdsAndHashes) {
+  for (uint64_t Seed = 0; Seed < 300; ++Seed) {
+    ExprContext Ctx;
+    RNG Rand(hashMix(Seed * 3 + 7));
+    buildRandomPool(Ctx, Rand, 8 + Rand.nextBelow(24));
+
+    ExprTableBuilder B;
+    B.addFullContext(Ctx);
+    ASSERT_EQ(B.size(), Ctx.numNodes());
+    Encoder E;
+    B.encode(E);
+
+    ExprContext Fresh;
+    Decoder D(E.bytes());
+    ExprTable T;
+    ASSERT_TRUE(T.decode(D, Fresh, /*RequireDenseIds=*/true))
+        << "seed " << Seed << ": " << D.error();
+    ASSERT_EQ(Fresh.numNodes(), Ctx.numNodes());
+
+    // Dense restore is the bit-identical-resume contract: every node
+    // comes back with its original creation-order id, so the structural
+    // hashes (which fold operand ids) are bitwise identical too.
+    std::vector<ExprRef> Orig = Ctx.nodesById();
+    std::vector<ExprRef> Restored = Fresh.nodesById();
+    ASSERT_EQ(Orig.size(), Restored.size());
+    for (size_t I = 0; I < Orig.size(); ++I) {
+      EXPECT_EQ(Orig[I]->id(), Restored[I]->id());
+      EXPECT_EQ(Orig[I]->kind(), Restored[I]->kind());
+      EXPECT_EQ(Orig[I]->width(), Restored[I]->width());
+      EXPECT_EQ(Orig[I]->hash(), Restored[I]->hash())
+          << "seed " << Seed << " node " << I;
+      EXPECT_TRUE(structurallyEqual(Orig[I], Restored[I]));
+    }
+  }
+}
+
+TEST(ExprRoundTripTest, PathConditionRoundTrip) {
+  // Path conditions are id lists over the table; a decoded PC must
+  // re-intern to structurally identical conjuncts.
+  for (uint64_t Seed = 0; Seed < 100; ++Seed) {
+    ExprContext Ctx;
+    RNG Rand(hashMix(Seed + 990000));
+    std::vector<ExprRef> Pool =
+        buildRandomPool(Ctx, Rand, 12 + Rand.nextBelow(20));
+
+    std::vector<ExprRef> PC;
+    for (ExprRef E : Pool)
+      if (E->width() == 1 && PC.size() < 6)
+        PC.push_back(E);
+
+    ExprTableBuilder B;
+    std::vector<uint32_t> Ids;
+    for (ExprRef C : PC)
+      Ids.push_back(B.idOf(C));
+    Encoder E;
+    B.encode(E);
+    E.u32(static_cast<uint32_t>(Ids.size()));
+    for (uint32_t Id : Ids)
+      E.u32(Id);
+
+    ExprContext Fresh;
+    Decoder D(E.bytes());
+    ExprTable T;
+    ASSERT_TRUE(T.decode(D, Fresh, /*RequireDenseIds=*/false));
+    uint32_t N = D.count(4);
+    ASSERT_EQ(N, PC.size());
+    for (uint32_t I = 0; I < N; ++I) {
+      ExprRef C = T.read(D);
+      ASSERT_NE(C, nullptr);
+      EXPECT_EQ(C->width(), 1u);
+      EXPECT_TRUE(structurallyEqual(PC[I], C)) << "seed " << Seed;
+    }
+    EXPECT_TRUE(D.atEnd());
+  }
+}
+
+TEST(ExprRoundTripTest, TableRejectsUnknownIdAndFailsDecoder) {
+  ExprContext Ctx;
+  ExprTableBuilder B;
+  B.idOf(Ctx.mkVar("x", 8));
+  Encoder E;
+  B.encode(E);
+  Decoder D(E.bytes());
+  ExprTable T;
+  ASSERT_TRUE(T.decode(D, Ctx, false));
+  EXPECT_EQ(T.at(D, 12345), nullptr);
+  EXPECT_TRUE(D.failed());
+}
+
+//===----------------------------------------------------------------------===//
+// SnapshotRoundTripTest
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotRoundTripTest, EncodeDecodeEncodeIsAByteFixpoint) {
+  // Capture checkpoints densely across a real run (multi-frame states,
+  // arrays, partial loops) and require decode -> encode to reproduce
+  // every snapshot byte-for-byte. The fixpoint subsumes field-level
+  // equality: any dropped, reordered, or re-derived field breaks it.
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+  std::vector<std::vector<uint8_t>> All = captureSnapshots(*M, 7, 200);
+  ASSERT_GT(All.size(), 3u) << "expected several periodic checkpoints";
+
+  for (size_t I = 0; I < All.size(); ++I) {
+    ExprContext Fresh;
+    RunSnapshot Snap;
+    SnapshotDecodeResult DR = decodeSnapshot(All[I], *M, Fresh, Snap);
+    ASSERT_TRUE(DR.Ok) << "snapshot " << I << ": " << DR.Error
+                       << " at byte " << DR.Offset;
+    EXPECT_EQ(Snap.ProgramHash, programHash(*M));
+    EXPECT_EQ(Snap.Partitions, 1u);
+    EXPECT_FALSE(Snap.Frontier.empty());
+    for (const RunSnapshot::Entry &Ent : Snap.Frontier) {
+      ASSERT_TRUE(Ent.State);
+      EXPECT_EQ(Ent.State->PathSession, nullptr)
+          << "solver sessions must not travel through snapshots";
+      EXPECT_LT(Ent.State->Id, Snap.NextStateId);
+    }
+    std::vector<uint8_t> Re = encodeSnapshot(Snap, Fresh);
+    EXPECT_EQ(Re, All[I]) << "snapshot " << I << " is not a fixpoint";
+  }
+}
+
+TEST(SnapshotRoundTripTest, WorkloadSnapshotsRoundTrip) {
+  const Workload *W = findWorkload("sum");
+  ASSERT_NE(W, nullptr);
+  CompileResult CR = compileWorkload(*W, 2, 4);
+  ASSERT_TRUE(CR.ok());
+  std::vector<std::vector<uint8_t>> All = captureSnapshots(*CR.M, 0, 120);
+  ASSERT_FALSE(All.empty());
+  ExprContext Fresh;
+  RunSnapshot Snap;
+  SnapshotDecodeResult DR = decodeSnapshot(All.back(), *CR.M, Fresh, Snap);
+  ASSERT_TRUE(DR.Ok) << DR.Error << " at byte " << DR.Offset;
+  EXPECT_EQ(encodeSnapshot(Snap, Fresh), All.back());
+}
+
+TEST(SnapshotRoundTripTest, RefusesToRestoreAgainstADifferentProgram) {
+  const std::vector<uint8_t> &Bytes = fuzzSeedBytes();
+  ASSERT_FALSE(Bytes.empty());
+  CompileResult Other = compileMiniC(
+      "void main() { int x = 0; make_symbolic(x, \"x\"); assume(x > 0); }\n");
+  ASSERT_TRUE(Other.ok());
+  ExprContext Fresh;
+  RunSnapshot Snap;
+  SnapshotDecodeResult DR = decodeSnapshot(Bytes, *Other.M, Fresh, Snap);
+  EXPECT_FALSE(DR.Ok);
+  EXPECT_NE(DR.Error.find("program"), std::string::npos) << DR.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// SnapshotFuzzTest — decoder hostility
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotFuzzTest, TruncationAtEveryByteBoundaryFailsCleanly) {
+  const std::vector<uint8_t> &Bytes = fuzzSeedBytes();
+  ASSERT_FALSE(Bytes.empty());
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::vector<uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Len);
+    ExprContext Fresh;
+    RunSnapshot Snap;
+    SnapshotDecodeResult DR = decodeSnapshot(Prefix, *M, Fresh, Snap);
+    ASSERT_FALSE(DR.Ok) << "a " << Len << "-byte prefix of a "
+                        << Bytes.size() << "-byte snapshot decoded";
+    ASSERT_FALSE(DR.Error.empty());
+    ASSERT_LE(DR.Offset, Len);
+  }
+}
+
+TEST(SnapshotFuzzTest, BitFlipsNeverCrashAndSurvivorsStayFixpoints) {
+  const std::vector<uint8_t> &Bytes = fuzzSeedBytes();
+  ASSERT_FALSE(Bytes.empty());
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+
+  RNG Rand(0xF1A9);
+  for (unsigned I = 0; I < 512; ++I) {
+    std::vector<uint8_t> Mutated = Bytes;
+    size_t Off = Rand.nextBelow(Mutated.size());
+    Mutated[Off] ^= static_cast<uint8_t>(1u << Rand.nextBelow(8));
+
+    ExprContext Fresh;
+    RunSnapshot Snap;
+    SnapshotDecodeResult DR = decodeSnapshot(Mutated, *M, Fresh, Snap);
+    if (!DR.Ok) {
+      EXPECT_FALSE(DR.Error.empty());
+      EXPECT_LE(DR.Offset, Mutated.size());
+      continue;
+    }
+    // A flip inside a plain value field (a counter, a model input, a
+    // variable name byte) can still decode. The mutated bytes need not
+    // re-encode identically — the encoder writes canonical order, e.g.
+    // sorted model inputs, and a name flip can change that order — but
+    // one decode/encode round must reach a canonical fixpoint.
+    std::vector<uint8_t> Canon = encodeSnapshot(Snap, Fresh);
+    ExprContext Fresh2;
+    RunSnapshot Snap2;
+    SnapshotDecodeResult DR2 = decodeSnapshot(Canon, *M, Fresh2, Snap2);
+    ASSERT_TRUE(DR2.Ok) << "re-encoded survivor (flip at byte " << Off
+                        << ") no longer decodes: " << DR2.Error;
+    EXPECT_EQ(encodeSnapshot(Snap2, Fresh2), Canon)
+        << "bit flip at byte " << Off << " broke canonicalization";
+  }
+}
+
+TEST(SnapshotFuzzTest, WrongMagicVersionAndEndianMarkAreRejected) {
+  const std::vector<uint8_t> &Bytes = fuzzSeedBytes();
+  ASSERT_FALSE(Bytes.empty());
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+
+  struct Patch {
+    size_t Offset;
+    const char *What;
+  };
+  // Header layout: magic u32 @0, version u32 @4, endian mark u16 @8.
+  const Patch Patches[] = {{0, "magic"}, {4, "version"}, {8, "endian mark"}};
+  for (const Patch &P : Patches) {
+    std::vector<uint8_t> Mutated = Bytes;
+    Mutated[P.Offset] ^= 0xFF;
+    ExprContext Fresh;
+    RunSnapshot Snap;
+    SnapshotDecodeResult DR = decodeSnapshot(Mutated, *M, Fresh, Snap);
+    EXPECT_FALSE(DR.Ok) << P.What;
+    EXPECT_LT(DR.Offset, 12u) << P.What;
+  }
+}
+
+TEST(SnapshotFuzzTest, OversizedExprTableCountRejectedBeforeAllocation) {
+  const std::vector<uint8_t> &Bytes = fuzzSeedBytes();
+  ASSERT_FALSE(Bytes.empty());
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+
+  // The expression-table node count sits right after the fixed header:
+  // magic(4) + version(4) + endian(2+2) + program hash(8) = offset 20.
+  // Claiming 2^32-1 nodes in a few-KB input must fail by byte
+  // arithmetic; if the decoder trusted it, the reserve alone would OOM.
+  std::vector<uint8_t> Mutated = Bytes;
+  ASSERT_GT(Mutated.size(), 24u);
+  Mutated[20] = Mutated[21] = Mutated[22] = Mutated[23] = 0xFF;
+  ExprContext Fresh;
+  RunSnapshot Snap;
+  SnapshotDecodeResult DR = decodeSnapshot(Mutated, *M, Fresh, Snap);
+  ASSERT_FALSE(DR.Ok);
+  EXPECT_NE(DR.Error.find("count"), std::string::npos) << DR.Error;
+}
+
+TEST(SnapshotFuzzTest, TrailingBytesAreRejected) {
+  const std::vector<uint8_t> &Bytes = fuzzSeedBytes();
+  ASSERT_FALSE(Bytes.empty());
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+
+  std::vector<uint8_t> Padded = Bytes;
+  Padded.push_back(0);
+  ExprContext Fresh;
+  RunSnapshot Snap;
+  SnapshotDecodeResult DR = decodeSnapshot(Padded, *M, Fresh, Snap);
+  EXPECT_FALSE(DR.Ok);
+}
+
+TEST(SnapshotFuzzTest, RandomGarbageNeverCrashes) {
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+  RNG Rand(0xBADF00D);
+  for (unsigned I = 0; I < 256; ++I) {
+    std::vector<uint8_t> Garbage(Rand.nextBelow(400));
+    for (uint8_t &B : Garbage)
+      B = static_cast<uint8_t>(Rand.next());
+    ExprContext Fresh;
+    RunSnapshot Snap;
+    SnapshotDecodeResult DR = decodeSnapshot(Garbage, *M, Fresh, Snap);
+    EXPECT_FALSE(DR.Ok);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// GoldenSnapshotTest — byte-pinned format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string goldenPath() {
+  return std::string(SYMMERGE_TEST_DATA_DIR) + "/snapshot_v1.bin";
+}
+
+/// Deterministic golden bytes: a fixed program under a fixed sequential
+/// configuration, with the three wall-clock-dependent stat fields zeroed
+/// (every other field of the capture is deterministic).
+std::vector<uint8_t> goldenBytes() {
+  CompileResult CR = compileMiniC(SnapshotProgram);
+  if (!CR.ok())
+    return {};
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::None;
+  C.Driving = SymbolicRunner::Strategy::BFS;
+  C.Engine.MaxSeconds = 600;
+  C.Engine.MaxSteps = 60;
+  SymbolicRunner Runner(*CR.M, C);
+  std::vector<uint8_t> Bytes;
+  CheckpointOptions Chk;
+  Chk.Sink = [&](const RunSnapshot &Snap) {
+    // RunSnapshot owns its states, so clone field-by-field to scrub the
+    // timing statistics without touching the engine's live snapshot.
+    RunSnapshot G;
+    G.ProgramHash = Snap.ProgramHash;
+    G.NextStateId = Snap.NextStateId;
+    G.Partitions = Snap.Partitions;
+    G.Stats = Snap.Stats;
+    G.Stats.WallSeconds = 0;
+    G.Stats.SolverSeconds = 0;
+    G.Stats.SolverEncodeSeconds = 0;
+    G.Tests = Snap.Tests;
+    G.Coverage = Snap.Coverage;
+    for (const RunSnapshot::Entry &Ent : Snap.Frontier) {
+      RunSnapshot::Entry E;
+      E.State = std::make_unique<ExecutionState>(*Ent.State);
+      E.Partition = Ent.Partition;
+      E.LocationRank = Ent.LocationRank;
+      G.Frontier.push_back(std::move(E));
+    }
+    G.Cursors = Snap.Cursors;
+    Bytes = encodeSnapshot(G, Runner.context());
+  };
+  Runner.setCheckpoint(Chk);
+  Runner.run();
+  return Bytes;
+}
+
+bool readAll(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+} // namespace
+
+TEST(GoldenSnapshotTest, FormatV1IsBytePinned) {
+  std::vector<uint8_t> Bytes = goldenBytes();
+  ASSERT_FALSE(Bytes.empty());
+
+  if (std::getenv("SYMMERGE_REGEN_GOLDEN")) {
+    std::string Err;
+    ASSERT_TRUE(writeSnapshotFile(goldenPath(), Bytes, &Err)) << Err;
+    GTEST_SKIP() << "regenerated " << goldenPath() << " (" << Bytes.size()
+                 << " bytes)";
+  }
+
+  std::vector<uint8_t> Fixture;
+  ASSERT_TRUE(readAll(goldenPath(), Fixture))
+      << "missing fixture " << goldenPath()
+      << "; regenerate with SYMMERGE_REGEN_GOLDEN=1";
+  EXPECT_EQ(Bytes, Fixture)
+      << "the checkpoint byte format drifted from the checked-in "
+         "snapshot_v1.bin fixture. If the change is intentional, bump "
+         "serialize::SnapshotVersion and regenerate the fixture with "
+         "SYMMERGE_REGEN_GOLDEN=1.";
+}
+
+TEST(GoldenSnapshotTest, FixtureStillDecodes) {
+  std::vector<uint8_t> Fixture;
+  if (!readAll(goldenPath(), Fixture))
+    GTEST_SKIP() << "fixture not present";
+  std::unique_ptr<Module> M = compileSnapshotProgram();
+  ASSERT_TRUE(M);
+  ExprContext Fresh;
+  RunSnapshot Snap;
+  SnapshotDecodeResult DR = decodeSnapshot(Fixture, *M, Fresh, Snap);
+  ASSERT_TRUE(DR.Ok) << DR.Error << " at byte " << DR.Offset;
+  EXPECT_EQ(Snap.ProgramHash, programHash(*M));
+  EXPECT_EQ(Snap.Partitions, 1u);
+  EXPECT_FALSE(Snap.Frontier.empty());
+  EXPECT_EQ(encodeSnapshot(Snap, Fresh), Fixture);
+}

@@ -39,6 +39,7 @@
 #include "core/Driver.h"
 #include "core/PathSession.h"
 #include "core/StateMerge.h"
+#include "serialize/Snapshot.h"
 #include "solver/GroupedSession.h"
 #include "solver/Sat.h"
 #include "solver/Solver.h"
@@ -1092,4 +1093,228 @@ TEST(SessionLifecycleTest, SessionMemoryStaysBoundedAcrossPops) {
   // reusable facts about shared subterms — and are reduceDB's job.)
   EXPECT_GE(End.PurgedClauses, End.RetiredScopes)
       << "dead guarded clauses from popped scopes must be collected";
+}
+
+//===----------------------------------------------------------------------===
+// Kill-and-resume differential: checkpoint at a random step, destroy the
+// engine, restore into a fresh runner, and require the combined run to
+// match the uninterrupted reference
+//===----------------------------------------------------------------------===
+
+namespace {
+
+Outcome outcomeOf(SymbolicRunner &Runner, const RunResult &R) {
+  Outcome O;
+  O.Forks = R.Stats.Forks;
+  O.Merges = R.Stats.Merges;
+  O.CompletedStates = R.Stats.CompletedStates;
+  O.Errors = R.Stats.Errors;
+  O.CompletedMultiplicity = R.Stats.CompletedMultiplicity;
+  O.Coverage = Runner.coverage().statementCoverage();
+  O.Exhausted = R.Stats.Exhausted;
+  O.SessionEvictions = R.Stats.SessionEvictions;
+  O.SessionSplits = R.Stats.SessionSplits;
+  for (const TestCase &T : R.Tests)
+    O.Tests.push_back(canonicalTest(T));
+  return O;
+}
+
+} // namespace
+
+/// Random programs x exact solver modes x engine setups: run once
+/// uninterrupted for reference, then again with MaxSteps pinned to a
+/// random k and a checkpoint sink, destroy the runner, decode the
+/// snapshot into a FRESH runner (fresh ExprContext, cold solver caches),
+/// resume, and require identical tests, coverage, fork/merge counts, and
+/// error verdicts. Only exact-outcome solver modes participate: budgeted
+/// Unknowns make exploration cache-warmth-dependent, which a cold resume
+/// legitimately changes.
+class CheckpointDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointDifferentialTest, KillAndResumeMatchesUninterrupted) {
+  const uint64_t Iters = envOr("SYMMERGE_DIFF_ITERS", 1);
+  const uint64_t SeedBase = envOr("SYMMERGE_DIFF_SEED", 0);
+  const int Shard = GetParam();
+
+  struct Setup {
+    const char *Name;
+    SymbolicRunner::MergeMode Merge;
+    bool UseDSM;
+    SymbolicRunner::Strategy Driving;
+    unsigned Workers;
+  };
+  const Setup Setups[] = {
+      {"plain-bfs-w1", SymbolicRunner::MergeMode::None, false,
+       SymbolicRunner::Strategy::BFS, 1},
+      {"plain-random-w1", SymbolicRunner::MergeMode::None, false,
+       SymbolicRunner::Strategy::Random, 1},
+      {"plain-bfs-w2", SymbolicRunner::MergeMode::None, false,
+       SymbolicRunner::Strategy::BFS, 2},
+      {"plain-bfs-w4", SymbolicRunner::MergeMode::None, false,
+       SymbolicRunner::Strategy::BFS, 4},
+      {"merge-topo-w1", SymbolicRunner::MergeMode::All, false,
+       SymbolicRunner::Strategy::Topological, 1},
+      {"dsm-cov-w1", SymbolicRunner::MergeMode::QCE, true,
+       SymbolicRunner::Strategy::Coverage, 1},
+  };
+  // Two exact rows: verdict-cache-only and the full production stack
+  // (verdict + model + core caches, async test generation).
+  const SolverMode *Modes[] = {&SolverModes[3], &SolverModes[8]};
+  ASSERT_STREQ(Modes[0]->Name, "per-state+cache");
+  ASSERT_STREQ(Modes[1]->Name, "state+refute");
+
+  for (uint64_t P = 0; P < 2 * Iters; ++P) {
+    uint64_t Seed = SeedBase * 1000003 + 777000 + Shard * 100 + P;
+    ProgramGen Gen(hashMix(Seed) | 1);
+    std::string Source = Gen.generate();
+    CompileResult CR = compileMiniC(Source);
+    ASSERT_TRUE(CR.ok()) << Source;
+
+    RNG KRand(hashMix(Seed ^ 0xC0FFEE) | 1);
+    for (const Setup &SU : Setups) {
+      for (const SolverMode *SM : Modes) {
+        auto makeConfig = [&] {
+          SymbolicRunner::Config C;
+          C.Merge = SU.Merge;
+          C.UseDSM = SU.UseDSM;
+          C.Driving = SU.Driving;
+          C.Engine.Workers = SU.Workers;
+          C.Engine.MaxSeconds = 60;
+          applyMode(C, *SM);
+          return C;
+        };
+        auto Label = [&](const char *Phase) {
+          std::ostringstream OS;
+          OS << Phase << ' ' << SU.Name << '/' << SM->Name << " seed "
+             << Seed;
+          return OS.str();
+        };
+
+        // Uninterrupted reference.
+        uint64_t RefSteps = 0;
+        Outcome Reference;
+        {
+          SymbolicRunner Runner(*CR.M, makeConfig());
+          RunResult R = Runner.run();
+          RefSteps = R.Stats.Steps;
+          Reference = outcomeOf(Runner, R);
+        }
+        ASSERT_TRUE(Reference.Exhausted) << Label("reference");
+        if (RefSteps < 2)
+          continue;
+
+        // Interrupted run: kill at a random step k; the engine emits the
+        // final kill-point snapshot through the sink. Encode while the
+        // dying runner's context is still alive — process-death realism.
+        const uint64_t K = 1 + KRand.nextBelow(RefSteps);
+        std::vector<uint8_t> Bytes;
+        Outcome Interrupted;
+        {
+          SymbolicRunner::Config C = makeConfig();
+          C.Engine.MaxSteps = K;
+          SymbolicRunner Runner(*CR.M, C);
+          CheckpointOptions Chk;
+          Chk.Sink = [&Bytes, &Runner](const RunSnapshot &Snap) {
+            Bytes = serialize::encodeSnapshot(Snap, Runner.context());
+          };
+          Runner.setCheckpoint(std::move(Chk));
+          Interrupted = outcomeOf(Runner, Runner.run());
+        }
+        if (Bytes.empty()) {
+          // k landed past exhaustion: nothing was left to snapshot and
+          // the "interrupted" run already IS the reference.
+          EXPECT_TRUE(Interrupted == Reference) << Label("uninterrupted");
+          continue;
+        }
+
+        // Destroyed runner, fresh runner, cold caches: decode + resume.
+        SymbolicRunner Resumed(*CR.M, makeConfig());
+        RunSnapshot Snap;
+        serialize::SnapshotDecodeResult DR =
+            serialize::decodeSnapshot(Bytes, *CR.M, Resumed.context(),
+                                      Snap);
+        ASSERT_TRUE(DR.Ok) << Label("decode") << ": " << DR.Error
+                           << " at byte " << DR.Offset;
+        RunResult R = Resumed.resume(std::move(Snap));
+        Outcome Final = outcomeOf(Resumed, R);
+
+        // Parallel runs already report tests in the canonical order, so
+        // list equality IS set equality there; at workers=1 it is the
+        // stricter bit-identical emission order.
+        EXPECT_TRUE(Final == Reference)
+            << Label("resume") << " k=" << K << "\nforks " << Final.Forks
+            << " vs " << Reference.Forks << ", merges " << Final.Merges
+            << " vs " << Reference.Merges << ", completed "
+            << Final.CompletedStates << " vs " << Reference.CompletedStates
+            << ", errors " << Final.Errors << " vs " << Reference.Errors
+            << ", tests " << Final.Tests.size() << " vs "
+            << Reference.Tests.size() << "\nprogram:\n"
+            << Source;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, CheckpointDifferentialTest,
+                         ::testing::Range(0, 4));
+
+//===----------------------------------------------------------------------===
+// Session rebuild after restore == session rebuild after migration
+//===----------------------------------------------------------------------===
+
+/// A restored state rebuilds its PathSessionHandle lazily on first solver
+/// contact, exactly like a state migrated to another worker's solver
+/// stack. Both must do the same work (one fresh session, the full PC
+/// asserted) and reach the same verdicts.
+TEST(SessionLifecycleTest, RestoredSessionRebuildMatchesMigration) {
+  ExprContext Ctx;
+  auto SolverA = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                                  /*IncrementalSessions=*/true,
+                                  /*VerdictCache=*/false);
+  auto SolverB = createCoreSolver(Ctx, /*ConflictBudget=*/0,
+                                  /*IncrementalSessions=*/true,
+                                  /*VerdictCache=*/false);
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Y = Ctx.mkVar("y", 8);
+  std::vector<ExprRef> PC = {
+      Ctx.mkUlt(X, Ctx.mkConst(10, 8)),
+      Ctx.mkUlt(Ctx.mkConst(2, 8), Y),
+      Ctx.mkEq(Ctx.mkAnd(X, Ctx.mkConst(1, 8)), Ctx.mkConst(1, 8)),
+  };
+  ExprRef SatProbe = Ctx.mkEq(X, Ctx.mkConst(3, 8));
+  ExprRef UnsatProbe = Ctx.mkEq(X, Ctx.mkConst(4, 8));
+
+  uint64_t Built0 = solverStats().SessionsOpened;
+
+  // Migration: the handle was warm on worker A's stack; acquiring with
+  // worker B's solver drops the foreign session and rebuilds.
+  PathSessionHandle Migrated;
+  Migrated.acquire(*SolverA, PC);
+  PathSessionHandle::AcquireInfo MigInfo;
+  SolverSession &MigSess =
+      Migrated.acquire(*SolverB, PC, PathSessionHandle::Limits(), &MigInfo);
+
+  // Restore: the snapshot never serialized the session, so the decoded
+  // state starts with a null handle and builds fresh on worker B.
+  PathSessionHandle Restored;
+  PathSessionHandle::AcquireInfo ResInfo;
+  SolverSession &ResSess =
+      Restored.acquire(*SolverB, PC, PathSessionHandle::Limits(), &ResInfo);
+
+  // Identical rebuild work...
+  EXPECT_TRUE(MigInfo.Opened);
+  EXPECT_TRUE(ResInfo.Opened);
+  EXPECT_FALSE(MigInfo.Evicted);
+  EXPECT_FALSE(ResInfo.Evicted);
+  EXPECT_EQ(MigInfo.AppendedConstraints, PC.size());
+  EXPECT_EQ(ResInfo.AppendedConstraints, PC.size());
+  EXPECT_EQ(Migrated.asserted(), Restored.asserted());
+  // ...identical verdicts...
+  EXPECT_TRUE(MigSess.checkSatAssuming(SatProbe).isSat());
+  EXPECT_TRUE(ResSess.checkSatAssuming(SatProbe).isSat());
+  EXPECT_TRUE(MigSess.checkSatAssuming(UnsatProbe).isUnsat());
+  EXPECT_TRUE(ResSess.checkSatAssuming(UnsatProbe).isUnsat());
+  // ...and the expected number of session builds (A's original, then one
+  // rebuild each on B).
+  EXPECT_EQ(solverStats().SessionsOpened, Built0 + 3);
 }

@@ -32,7 +32,9 @@
 #include "core/Replay.h"
 #include "expr/ExprUtil.h"
 #include "lang/Lower.h"
+#include "serialize/Snapshot.h"
 #include "support/StringUtils.h"
+#include "workloads/Workloads.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -50,6 +52,14 @@ namespace {
 struct CliOptions {
   std::string InputPath;
   SymbolicRunner::Config Config;
+  /// Built-in workload to run instead of a .mc file (--workload=NAME).
+  std::string Workload;
+  unsigned WorkloadN = 2;
+  unsigned WorkloadLen = 4;
+  /// Checkpoint/restore (see README "Checkpoint and restore").
+  std::string CheckpointOut;
+  uint64_t CheckpointEverySteps = 0;
+  std::string ResumePath;
   bool DumpIR = false;
   bool DumpQCE = false;
   bool PrintStats = false;
@@ -97,6 +107,14 @@ void usage(const char *Argv0) {
       "  --session-scope-limit=N  evict a session after N popped scopes\n"
       "  --session-memory-limit=N evict a session at N bytes of SAT\n"
       "                           clauses + watchers\n"
+      "  --workload=NAME          run a built-in workload instead of a\n"
+      "                           .mc file (--workload=list to list)\n"
+      "  --workload-n=N --workload-len=N   workload size parameters\n"
+      "  --checkpoint-out=FILE    write a resumable snapshot (atomically)\n"
+      "                           when a budget stops the run\n"
+      "  --checkpoint-every-steps=N  also checkpoint every N steps\n"
+      "  --resume=FILE            continue from a snapshot written by\n"
+      "                           --checkpoint-out (same program/config)\n"
       "  --exact-paths --no-tests --dump-ir --dump-qce --stats\n",
       Argv0);
 }
@@ -223,6 +241,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (const char *V = Value("--session-memory-limit=")) {
       Opts.Config.Engine.SessionMemoryWatermark =
           std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--workload=")) {
+      Opts.Workload = V;
+    } else if (const char *V = Value("--workload-n=")) {
+      Opts.WorkloadN = static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (const char *V = Value("--workload-len=")) {
+      Opts.WorkloadLen =
+          static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (const char *V = Value("--checkpoint-out=")) {
+      Opts.CheckpointOut = V;
+    } else if (const char *V = Value("--checkpoint-every-steps=")) {
+      Opts.CheckpointEverySteps = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--resume=")) {
+      Opts.ResumePath = V;
     } else if (Arg == "--exact-paths") {
       Opts.Config.Engine.TrackExactPaths = true;
     } else if (Arg == "--no-tests") {
@@ -241,7 +272,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  return !Opts.InputPath.empty();
+  // Exactly one program source: a .mc file or a built-in workload.
+  return Opts.InputPath.empty() != Opts.Workload.empty();
 }
 
 void dumpQce(const Module &M) {
@@ -291,19 +323,37 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  std::ifstream In(Opts.InputPath);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n",
-                 Opts.InputPath.c_str());
-    return 1;
+  CompileResult CR;
+  std::string DisplayName;
+  if (!Opts.Workload.empty()) {
+    if (Opts.Workload == "list") {
+      for (const Workload &W : allWorkloads())
+        std::printf("%s\n", W.Name);
+      return 0;
+    }
+    const Workload *W = findWorkload(Opts.Workload);
+    if (!W) {
+      std::fprintf(stderr, "error: unknown workload %s\n",
+                   Opts.Workload.c_str());
+      return 1;
+    }
+    CR = compileWorkload(*W, Opts.WorkloadN, Opts.WorkloadLen);
+    DisplayName = "workload:" + Opts.Workload;
+  } else {
+    std::ifstream In(Opts.InputPath);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   Opts.InputPath.c_str());
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    CR = compileMiniC(Buffer.str());
+    DisplayName = Opts.InputPath;
   }
-  std::ostringstream Buffer;
-  Buffer << In.rdbuf();
-
-  CompileResult CR = compileMiniC(Buffer.str());
   if (!CR.ok()) {
     for (const Diagnostic &D : CR.Diags)
-      std::fprintf(stderr, "%s:%s\n", Opts.InputPath.c_str(),
+      std::fprintf(stderr, "%s:%s\n", DisplayName.c_str(),
                    D.str().c_str());
     return 1;
   }
@@ -319,9 +369,45 @@ int main(int Argc, char **Argv) {
 
   Opts.Config.Engine.CollectTests = !Opts.NoTests;
   SymbolicRunner Runner(*CR.M, Opts.Config);
-  RunResult R = Runner.run();
 
-  std::printf("SymMerge: %s: %s after %.3fs\n", Opts.InputPath.c_str(),
+  if (!Opts.CheckpointOut.empty()) {
+    CheckpointOptions Chk;
+    Chk.EverySteps = Opts.CheckpointEverySteps;
+    Chk.Sink = [Path = Opts.CheckpointOut,
+                Ctx = &Runner.context()](const RunSnapshot &Snap) {
+      std::vector<uint8_t> Bytes = serialize::encodeSnapshot(Snap, *Ctx);
+      std::string Err;
+      if (!serialize::writeSnapshotFile(Path, Bytes, &Err))
+        std::fprintf(stderr, "warning: checkpoint write failed: %s\n",
+                     Err.c_str());
+    };
+    Runner.setCheckpoint(std::move(Chk));
+  }
+
+  RunResult R;
+  if (!Opts.ResumePath.empty()) {
+    std::vector<uint8_t> Bytes;
+    std::string Err;
+    if (!serialize::readSnapshotFile(Opts.ResumePath, Bytes, &Err)) {
+      std::fprintf(stderr, "error: cannot read checkpoint %s: %s\n",
+                   Opts.ResumePath.c_str(), Err.c_str());
+      return 1;
+    }
+    RunSnapshot Snap;
+    serialize::SnapshotDecodeResult DR =
+        serialize::decodeSnapshot(Bytes, *CR.M, Runner.context(), Snap);
+    if (!DR.Ok) {
+      std::fprintf(stderr,
+                   "error: malformed checkpoint %s: %s (at byte %zu)\n",
+                   Opts.ResumePath.c_str(), DR.Error.c_str(), DR.Offset);
+      return 1;
+    }
+    R = Runner.resume(std::move(Snap));
+  } else {
+    R = Runner.run();
+  }
+
+  std::printf("SymMerge: %s: %s after %.3fs\n", DisplayName.c_str(),
               R.Stats.Exhausted ? "exploration complete"
                                 : "budget exhausted",
               R.Stats.WallSeconds);

@@ -473,10 +473,15 @@ BENCHMARK(BM_CoreCacheProbeHit)->Arg(2)->Arg(8)->Arg(16);
 /// A probe miss against a full candidate budget: every resident core
 /// intersects the probe (sharing one constraint id) but none is a
 /// subset, so the probe pays ProbeLimit inclusion scans and gives up —
-/// the overhead a check pays ON TOP of the solve.
+/// the overhead a check pays ON TOP of the solve. Second argument is
+/// the signature-filter axis: 1 is the default O(1) footprint
+/// pre-filter (non-subset candidates rejected on one 64-bit test), 0 is
+/// the unfiltered inclusion walk (--no-signature-filters).
 static void BM_CoreCacheProbeMiss(benchmark::State &State) {
   ExprContext Ctx;
-  auto Cache = createCoreCache();
+  CoreCacheOptions Opts;
+  Opts.SignatureFilter = State.range(1) != 0;
+  auto Cache = createCoreCache(Opts);
   int Depth = static_cast<int>(State.range(0));
   std::vector<ExprRef> Slice = makeProbeSlice(Ctx, Depth);
   ExprRef X = Ctx.mkVar("x", 32);
@@ -491,7 +496,13 @@ static void BM_CoreCacheProbeMiss(benchmark::State &State) {
   for (auto _ : State)
     benchmark::DoNotOptimize(Cache->probe(Key));
 }
-BENCHMARK(BM_CoreCacheProbeMiss)->Arg(2)->Arg(8)->Arg(16);
+BENCHMARK(BM_CoreCacheProbeMiss)
+    ->Args({2, 0})
+    ->Args({8, 0})
+    ->Args({16, 0})
+    ->Args({2, 1})
+    ->Args({8, 1})
+    ->Args({16, 1});
 
 /// Re-entering a blown-budget query: the fresh-session re-pay under a
 /// 1-conflict budget (range 0) vs the poison fence's immediate Unknown
@@ -644,43 +655,83 @@ struct FrontierFixture {
 
 } // namespace
 
-/// Home-partition traffic: insert + pop from the state's own partition —
-/// the uncontended fast path of a worker draining its share.
+/// Home-partition traffic: a worker pushes a burst of states and drains
+/// it back from its own partition — the uncontended fast path between
+/// execution boundaries (a worker's deque breathes around a working set,
+/// it does not ping-pong through empty). Time is per insert+pop pair
+/// (32 per iteration); the routing hash is precomputed so the series
+/// isolates the frontier's own handoff cost. The second argument is the
+/// lock-free axis: 1 routes through the Chase-Lev deques (the default
+/// engine path for a no-merge run), 0 pins the mutex-and-searcher
+/// baseline (--no-lockfree-frontier).
 static void BM_FrontierHomePop(benchmark::State &State) {
+  constexpr size_t Burst = 32;
   unsigned Parts = static_cast<unsigned>(State.range(0));
-  FrontierFixture F(64);
-  StateFrontier Frontier(Parts, [](unsigned) { return createBFSSearcher(); });
-  size_t I = 0;
+  bool LockFree = State.range(1) != 0;
+  FrontierFixture F(Burst);
+  StateFrontier Frontier(Parts, [](unsigned) { return createBFSSearcher(); },
+                         LockFree, /*Merging=*/false);
+  std::vector<unsigned> Home(F.States.size());
+  for (size_t I = 0; I < F.States.size(); ++I)
+    Home[I] = Frontier.partitionOf(*F.States[I]);
   for (auto _ : State) {
-    ExecutionState *S = F.States[I++ % F.States.size()].get();
-    unsigned Home = Frontier.partitionOf(*S);
-    Frontier.insert(S);
-    benchmark::DoNotOptimize(Frontier.pop(Home));
-    Frontier.finishedOne();
+    // Pusher = home models a worker re-enqueueing into its own deque —
+    // the engine's hot path (the mutex baseline ignores the hint and
+    // routes by hash, as it must).
+    for (size_t I = 0; I < Burst; ++I)
+      Frontier.insert(F.States[I].get(), static_cast<int>(Home[I]));
+    for (size_t I = 0; I < Burst; ++I) {
+      benchmark::DoNotOptimize(Frontier.pop(Home[Burst - 1 - I]));
+      Frontier.finishedOne();
+    }
   }
+  State.SetItemsProcessed(State.iterations() * Burst);
 }
-BENCHMARK(BM_FrontierHomePop)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_FrontierHomePop)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({16, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1});
 
 /// Steal traffic: the popping worker's home partition is always empty,
-/// so every pop scans round-robin and steals from the victim — the
-/// worst-case handoff when one partition holds all the work.
+/// so every pop scans round-robin and takes from the victim — the
+/// worst-case handoff when one partition holds all the work. Same
+/// shape and axes as BM_FrontierHomePop, with every pop a steal.
 static void BM_FrontierSteal(benchmark::State &State) {
+  constexpr size_t Burst = 32;
   unsigned Parts = static_cast<unsigned>(State.range(0));
-  FrontierFixture F(64);
-  StateFrontier Frontier(Parts, [](unsigned) { return createBFSSearcher(); });
-  size_t I = 0;
-  for (auto _ : State) {
-    ExecutionState *S = F.States[I++ % F.States.size()].get();
-    unsigned Thief = (Frontier.partitionOf(*S) + 1) % Parts;
-    Frontier.insert(S);
-    benchmark::DoNotOptimize(Frontier.pop(Thief));
-    Frontier.finishedOne();
+  bool LockFree = State.range(1) != 0;
+  FrontierFixture F(Burst);
+  StateFrontier Frontier(Parts, [](unsigned) { return createBFSSearcher(); },
+                         LockFree, /*Merging=*/false);
+  std::vector<unsigned> Victim(F.States.size());
+  std::vector<unsigned> Thief(F.States.size());
+  for (size_t I = 0; I < F.States.size(); ++I) {
+    Victim[I] = Frontier.partitionOf(*F.States[I]);
+    Thief[I] = (Victim[I] + 1) % Parts;
   }
+  for (auto _ : State) {
+    for (size_t I = 0; I < Burst; ++I)
+      Frontier.insert(F.States[I].get(), static_cast<int>(Victim[I]));
+    for (size_t I = 0; I < Burst; ++I) {
+      benchmark::DoNotOptimize(Frontier.pop(Thief[Burst - 1 - I]));
+      Frontier.finishedOne();
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Burst);
   State.counters["steals"] =
       static_cast<double>(Frontier.steals()) /
-      static_cast<double>(State.iterations());
+      static_cast<double>(State.iterations() * Burst);
 }
-BENCHMARK(BM_FrontierSteal)->Arg(2)->Arg(4)->Arg(16);
+BENCHMARK(BM_FrontierSteal)
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({16, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({16, 1});
 
 //===----------------------------------------------------------------------===
 // Checkpoint serialization

@@ -48,6 +48,7 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
   if (Cfg.SolverModelCache) {
     ModelCacheOptions MCO;
     MCO.MaxEntries = Cfg.ModelCacheLimit;
+    MCO.SignatureFilter = Cfg.SolverSignatureFilters;
     Models = createModelCache(MCO);
   }
   // The refutation-reuse caches live inside native sessions; the
@@ -55,6 +56,7 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
   if (Cfg.SolverCoreCache && Cfg.SolverIncremental) {
     CoreCacheOptions CCO;
     CCO.MaxEntries = Cfg.CoreCacheLimit;
+    CCO.SignatureFilter = Cfg.SolverSignatureFilters;
     Cores = createCoreCache(CCO);
   }
   if (Cfg.SolverPoisonCache && Cfg.SolverIncremental) {

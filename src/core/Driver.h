@@ -121,6 +121,12 @@ public:
     bool SolverCoreCache = true;
     /// Core-cache capacity in entries (0 = unbounded).
     uint64_t CoreCacheLimit = 1u << 14;
+    /// O(1) signature pre-filters on the model/core-cache probe paths
+    /// (per-entry 64-bit footprint signatures plus a per-shard Bloom
+    /// filter in the core cache). Off = the measurable baseline probe
+    /// walk; see CoreCacheOptions::SignatureFilter and
+    /// ModelCacheOptions::SignatureFilter.
+    bool SolverSignatureFilters = true;
     /// Shared poison cache: a query whose solve blows a per-query budget
     /// (conflicts, wall clock, or memory growth) is remembered, and its
     /// re-entry is refused with Unknown before any SAT work. Only

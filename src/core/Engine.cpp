@@ -20,7 +20,35 @@
 #include <thread>
 #include <unordered_map>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 using namespace symmerge;
+
+namespace {
+
+/// Best-effort affinity pinning for --pin-workers: worker \p I sticks to
+/// CPU I modulo the hardware concurrency, so steady-state workers keep
+/// their cache footprint (deque, solver stack) on one core. A no-op on
+/// platforms without pthread affinity, and failures are ignored — the
+/// flag is a performance hint, never a correctness requirement.
+void pinThreadToCpu(unsigned I) {
+#ifdef __linux__
+  unsigned N = std::thread::hardware_concurrency();
+  if (N == 0)
+    return;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(I % N, &Set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)I;
+#endif
+}
+
+} // namespace
 
 Engine::Engine(ExprContext &Ctx, const ProgramInfo &PI, Solver &TheSolver,
                MergePolicy &Policy, Searcher &Search,
@@ -665,6 +693,10 @@ static void reportSolverStats(EngineStats &S, const SolverQueryStats &D) {
   S.SolverCoreCacheMisses += D.CoreCacheMisses;
   S.SolverCoreSubsumptions += D.CoreSubsumptions;
   S.SolverCoreCacheEvictions += D.CoreCacheEvictions;
+  S.SolverCoreCacheProbeVisits += D.CoreCacheProbeVisits;
+  S.SolverCoreCacheSigSkips += D.CoreCacheSigSkips;
+  S.SolverCoreCacheShardSkips += D.CoreCacheShardSkips;
+  S.SolverModelCacheSigSkips += D.ModelCacheSigSkips;
   S.SolverPoisonedQueries += D.PoisonedQueries;
   S.SolverPoisonedInserts += D.PoisonedInserts;
   S.SolverPoisonCacheEvictions += D.PoisonCacheEvictions;
@@ -999,7 +1031,7 @@ void Engine::routeParallel(ExecContext &X, StateFrontier &Frontier,
   assert(S->Status == StateStatus::Running &&
          "terminal states are finalized by routeBatch");
   if (!Policy.wantsMerging()) {
-    Frontier.insert(S);
+    Frontier.insert(S, static_cast<int>(X.WorkerId));
     return;
   }
   StateFrontier::MergeHooks Hooks;
@@ -1012,7 +1044,7 @@ void Engine::routeParallel(ExecContext &X, StateFrontier &Frontier,
     if (C.FastForwarded || W.FastForwarded)
       ++X.Stats.FastForwardMerges;
   };
-  if (Frontier.insertOrMerge(S, Hooks))
+  if (Frontier.insertOrMerge(S, Hooks, static_cast<int>(X.WorkerId)))
     destroy(S);
 }
 
@@ -1025,7 +1057,7 @@ void Engine::workerLoop(unsigned WorkerId, StateFrontier &Frontier,
   // caches, and one-shot layer caches are thread-private; only the
   // verdict cache (if the factory shares one) crosses workers.
   std::unique_ptr<Solver> WorkerSolver = Resources.MakeSolver();
-  ExecContext X{*WorkerSolver, WorkerStats};
+  ExecContext X{*WorkerSolver, WorkerStats, WorkerId};
   std::vector<ExecutionState *> NewStates;
 
   while (true) {
@@ -1071,7 +1103,10 @@ RunResult Engine::runParallel() {
   MaxOwned = 0;
 
   const unsigned Workers = Opts.Workers;
-  StateFrontier Frontier(Workers, Resources.MakeSearcher);
+  // A policy that never merges unlocks the frontier's no-merge fast
+  // path (no claim/pending-log protocol on the hot insert/pop paths).
+  StateFrontier Frontier(Workers, Resources.MakeSearcher,
+                         Opts.LockFreeFrontier, Policy.wantsMerging());
 
   TestGenPending.store(0, std::memory_order_relaxed);
 
@@ -1127,6 +1162,8 @@ RunResult Engine::runParallel() {
     for (unsigned I = 0; I < Workers; ++I)
       Threads.emplace_back([this, I, &Frontier, &Wall, &SharedSteps,
                             &WorkerStats, &WorkerSolver] {
+        if (Opts.PinWorkers)
+          pinThreadToCpu(I);
         workerLoop(I, Frontier, Wall, SharedSteps, WorkerStats[I],
                    WorkerSolver[I]);
       });

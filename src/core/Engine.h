@@ -104,6 +104,15 @@ struct EngineOptions {
   bool AsyncTestGen = true;
   /// Threads in the test-generation pool (>= 1).
   unsigned TestGenThreads = 1;
+  /// Chase-Lev work-stealing deques as the frontier's scheduling fast
+  /// path (parallel runs only). Off = the pure per-partition-mutex
+  /// scheduler, kept as the measurable baseline
+  /// (--no-lockfree-frontier).
+  bool LockFreeFrontier = true;
+  /// Pin worker thread I to CPU I modulo the hardware concurrency
+  /// (Linux only; silently a no-op elsewhere). Off by default: on
+  /// oversubscribed machines pinning can serialize workers.
+  bool PinWorkers = false;
 };
 
 /// One symbolic execution run over a module (starting at main).
@@ -161,6 +170,10 @@ private:
   struct ExecContext {
     Solver &TheSolver;
     EngineStats &Stats;
+    /// Worker index in parallel runs (0 in the sequential engine). The
+    /// lock-free frontier routes this worker's inserted states through
+    /// its own Chase-Lev deque (owner-push discipline + LIFO locality).
+    unsigned WorkerId = 0;
   };
 
   ExecutionState *makeInitialState();

@@ -19,6 +19,8 @@
 #include "expr/Expr.h"
 #include "ir/IR.h"
 
+#include <atomic>
+#include <cstddef>
 #include <deque>
 #include <map>
 #include <memory>
@@ -107,6 +109,42 @@ public:
   /// until the first solver check, and always null in per-site mode.
   /// Deliberately ignored by state-merge compatibility checks.
   std::shared_ptr<PathSessionHandle> PathSession;
+
+  /// Frontier claim flag for the lock-free scheduling path: 0 while the
+  /// state waits in the frontier, 1 from the moment a worker pops it (or
+  /// a merger briefly takes it) until it is re-enqueued. Guards the race
+  /// between a pop and an insertOrMerge targeting the same waiting
+  /// state. Copy-neutral: a forked copy starts unclaimed, and states are
+  /// otherwise plainly copyable.
+  struct ClaimFlag {
+    std::atomic<uint8_t> V{0};
+    ClaimFlag() = default;
+    ClaimFlag(const ClaimFlag &) noexcept {}
+    ClaimFlag &operator=(const ClaimFlag &) noexcept { return *this; }
+  };
+  ClaimFlag Claim;
+
+  /// Home partition index at the time of the last frontier insert. The
+  /// popping worker retires the state from THIS partition's index: the
+  /// home must not be recomputed at pop time because merging (and
+  /// execution) change the structural hash.
+  uint32_t FrontierHome = 0;
+
+  /// The slot this state occupies in its home partition's lock-free
+  /// pending-add log, or null once the log entry was consumed (the state
+  /// was reconciled into the searcher + location index, or was never in
+  /// a lock-free frontier). Lets the popping worker retire the state
+  /// with one atomic exchange on the slot, no partition mutex. Atomic
+  /// because the consuming reconcile clears it concurrently with the
+  /// popper's read; copy-neutral like Claim (a forked copy starts with
+  /// no log entry).
+  struct LogSlotRef {
+    std::atomic<std::atomic<ExecutionState *> *> V{nullptr};
+    LogSlotRef() = default;
+    LogSlotRef(const LogSlotRef &) noexcept {}
+    LogSlotRef &operator=(const LogSlotRef &) noexcept { return *this; }
+  };
+  LogSlotRef FrontierLogSlot;
 
   StackFrame &frame() { return Stack.back(); }
   const StackFrame &frame() const { return Stack.back(); }

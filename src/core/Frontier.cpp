@@ -15,7 +15,9 @@
 using namespace symmerge;
 
 StateFrontier::StateFrontier(unsigned NumPartitions,
-                             const SearcherFactory &Make) {
+                             const SearcherFactory &Make, bool LockFree,
+                             bool Merging)
+    : LockFree(LockFree), Merging(Merging) {
   NumPartitions = std::max(1u, NumPartitions);
   Partitions.reserve(NumPartitions);
   for (unsigned I = 0; I < NumPartitions; ++I) {
@@ -32,9 +34,92 @@ unsigned StateFrontier::partitionOf(const ExecutionState &S) const {
                                Partitions.size());
 }
 
-void StateFrontier::insert(ExecutionState *S) {
-  Partition &P = *Partitions[partitionOf(*S)];
-  {
+void StateFrontier::PendingLog::append(ExecutionState *S) {
+  for (;;) {
+    Chunk *T = Tail.load(std::memory_order_acquire);
+    size_t I = T->Reserved.fetch_add(1, std::memory_order_relaxed);
+    if (I < ChunkSize) {
+      // The release store publishes S's fields (FrontierHome, the slot
+      // ref) to the consuming reconcile's acquire load.
+      S->FrontierLogSlot.V.store(&T->Slots[I], std::memory_order_relaxed);
+      T->Slots[I].store(S, std::memory_order_release);
+      return;
+    }
+    // Chunk exhausted (the overshoot slots stay unreserved forever —
+    // Reserved is clamped by the consumer). Install the next chunk and
+    // retry there; losers of either CAS just use the winner's chunk.
+    Chunk *N = T->Next.load(std::memory_order_acquire);
+    if (!N) {
+      Chunk *Fresh = new Chunk();
+      if (T->Next.compare_exchange_strong(N, Fresh,
+                                          std::memory_order_acq_rel))
+        N = Fresh;
+      else
+        delete Fresh;
+    }
+    Tail.compare_exchange_strong(T, N, std::memory_order_acq_rel);
+  }
+}
+
+ExecutionState *StateFrontier::PendingLog::consumeLocked() {
+  for (;;) {
+    if (CursorIdx == ChunkSize) {
+      Chunk *N = Cursor->Next.load(std::memory_order_acquire);
+      if (!N)
+        return nullptr;
+      Cursor = N;
+      CursorIdx = 0;
+    }
+    std::atomic<ExecutionState *> &Slot = Cursor->Slots[CursorIdx];
+    ExecutionState *V = Slot.load(std::memory_order_acquire);
+    if (V == nullptr) {
+      // Either the end of the log, or a producer that reserved this
+      // slot but has not stored yet: stop here and re-read the same
+      // slot on the next reconcile, so the entry is never skipped.
+      return nullptr;
+    }
+    ++CursorIdx;
+    if (V == tomb())
+      continue; // Already retired by its popper.
+    ExecutionState *Prev = Slot.exchange(tomb(), std::memory_order_acq_rel);
+    if (Prev == tomb())
+      continue; // A retire won the race since the load.
+    Prev->FrontierLogSlot.V.store(nullptr, std::memory_order_release);
+    return Prev;
+  }
+}
+
+void StateFrontier::PendingLog::resetLocked() {
+  freeChunks();
+  Head = Cursor = new Chunk();
+  CursorIdx = 0;
+  Tail.store(Head, std::memory_order_relaxed);
+}
+
+void StateFrontier::PendingLog::freeChunks() {
+  for (Chunk *C = Head; C;) {
+    Chunk *N = C->Next.load(std::memory_order_relaxed);
+    delete C;
+    C = N;
+  }
+}
+
+void StateFrontier::insert(ExecutionState *S, int Pusher) {
+  if (LockFree && !Merging) {
+    // No-merge fast path: nothing scans for the state by home, so the
+    // routing hash is not needed until a quiescent barrier reconciles
+    // the deques (partitionOf is recomputed there — the state cannot
+    // change while queued). One counter RMW + one deque push.
+    Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
+    Partition &D =
+        Pusher < 0 ? *Partitions[partitionOf(*S)] : *Partitions[Pusher];
+    D.Deque.pushBottom(S);
+    notifyOne();
+    return;
+  }
+  unsigned Home = partitionOf(*S);
+  Partition &P = *Partitions[Home];
+  if (!LockFree) {
     std::lock_guard<std::mutex> Lock(P.M);
     P.Search->add(S);
     P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
@@ -42,16 +127,31 @@ void StateFrontier::insert(ExecutionState *S) {
     // Count the state BEFORE the lock is released: a pop on another
     // thread may select it the moment the lock drops, and its counter
     // updates must never see these without the increments.
-    Queued.fetch_add(1, std::memory_order_release);
-    InFlight.fetch_add(1, std::memory_order_release);
+    Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
+    notifyOne();
+    return;
   }
-  WaitCv.notify_one();
+  S->FrontierHome = Home;
+  if (Merging) {
+    // Unclaimed before it becomes visible to pops and merges.
+    S->Claim.V.store(0, std::memory_order_relaxed);
+    P.Log.append(S);
+  }
+  // Count the state BEFORE it becomes poppable (the deque push below):
+  // a pop's counter updates must never see the state without this
+  // increment. The deque push's release publishes it.
+  Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
+  Partition &D = Pusher < 0 ? P : *Partitions[Pusher];
+  D.Deque.pushBottom(S);
+  notifyOne();
 }
 
-bool StateFrontier::insertOrMerge(ExecutionState *S,
-                                  const MergeHooks &Hooks) {
-  Partition &P = *Partitions[partitionOf(*S)];
-  {
+bool StateFrontier::insertOrMerge(ExecutionState *S, const MergeHooks &Hooks,
+                                  int Pusher) {
+  assert(Merging && "frontier was constructed for the no-merge fast path");
+  unsigned Home = partitionOf(*S);
+  Partition &P = *Partitions[Home];
+  if (!LockFree) {
     std::lock_guard<std::mutex> Lock(P.M);
     auto It = P.ByLocation.find({S->Loc.Block, S->Loc.Index});
     if (It != P.ByLocation.end()) {
@@ -71,10 +171,50 @@ bool StateFrontier::insertOrMerge(ExecutionState *S,
     ++P.Size;
     // As in insert(): counted before the state becomes poppable (the
     // lock release publishes them together).
-    Queued.fetch_add(1, std::memory_order_release);
-    InFlight.fetch_add(1, std::memory_order_release);
+    Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
+    notifyOne();
+    return false;
   }
-  WaitCv.notify_one();
+
+  S->Claim.V.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(P.M);
+    // The bucket scan must see every waiting state, including ones still
+    // in the pending-add log.
+    reconcileLocked(P);
+    auto It = P.ByLocation.find({S->Loc.Block, S->Loc.Index});
+    if (It != P.ByLocation.end()) {
+      for (ExecutionState *W : It->second) {
+        // Claim W for the duration of the merge: a concurrent pop that
+        // already claimed it is about to execute it (skip — it is no
+        // longer waiting), and one that claims after us fails its CAS,
+        // re-queues the deque entry, and retries later.
+        uint8_t Free = 0;
+        if (!W->Claim.V.compare_exchange_strong(Free, 1))
+          continue;
+        if (!Hooks.Wants(*W, *S)) {
+          W->Claim.V.store(0, std::memory_order_release);
+          continue;
+        }
+        P.Search->remove(W);
+        Hooks.Apply(*W, *S);
+        P.Search->add(W);
+        // W keeps its single live deque entry throughout; releasing the
+        // claim makes it poppable again with the merged contents.
+        W->Claim.V.store(0, std::memory_order_release);
+        return true;
+      }
+    }
+  }
+  // No merge: a plain lock-free insert (the brief unlocked window before
+  // the log append only means a racing merge scan treats S like any
+  // other still-inserting state).
+  S->FrontierHome = Home;
+  P.Log.append(S);
+  Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
+  Partition &D = Pusher < 0 ? P : *Partitions[Pusher];
+  D.Deque.pushBottom(S);
+  notifyOne();
   return false;
 }
 
@@ -89,6 +229,36 @@ void StateFrontier::removeFromLocationIndex(Partition &P,
     P.ByLocation.erase(It);
 }
 
+void StateFrontier::reconcileLocked(Partition &P) {
+  while (ExecutionState *S = P.Log.consumeLocked()) {
+    P.Search->add(S);
+    P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
+    ++P.Size;
+  }
+}
+
+void StateFrontier::retire(ExecutionState *S) {
+  // The stored home, not partitionOf: merging changed the structural
+  // hash of any state that absorbed a sibling since it was inserted.
+  Partition &P = *Partitions[S->FrontierHome];
+  std::atomic<ExecutionState *> *Slot =
+      S->FrontierLogSlot.V.load(std::memory_order_acquire);
+  if (Slot && Slot->exchange(PendingLog::tomb(),
+                             std::memory_order_acq_rel) == S) {
+    // Still in the pending log: the state never reached the searcher,
+    // and tombstoning the slot is the whole retirement. No lock.
+    S->FrontierLogSlot.V.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  // A reconcile consumed the log entry (merge scan or capture) — it
+  // finished moving S into the searcher before releasing the mutex we
+  // are about to take, so the slow path always finds it there.
+  std::lock_guard<std::mutex> Lock(P.M);
+  P.Search->remove(S);
+  removeFromLocationIndex(P, S);
+  --P.Size;
+}
+
 ExecutionState *StateFrontier::popFrom(Partition &P) {
   std::lock_guard<std::mutex> Lock(P.M);
   if (P.Search->empty())
@@ -100,28 +270,74 @@ ExecutionState *StateFrontier::popFrom(Partition &P) {
   ExecutionState *S = P.Search->select();
   removeFromLocationIndex(P, S);
   --P.Size;
-  Queued.fetch_sub(1, std::memory_order_release);
+  Counts.fetch_sub(QueuedOne, std::memory_order_release);
+  if (LockFree)
+    Reconciled.fetch_sub(1, std::memory_order_release);
   return S;
 }
 
 ExecutionState *StateFrontier::pop(unsigned Home) {
   const unsigned N = numPartitions();
+  if (!LockFree) {
+    for (unsigned I = 0; I < N; ++I) {
+      unsigned Idx = (Home + I) % N;
+      if (ExecutionState *S = popFrom(*Partitions[Idx])) {
+        if (I != 0)
+          Steals.fetch_add(1, std::memory_order_relaxed);
+        return S;
+      }
+    }
+    return nullptr;
+  }
   for (unsigned I = 0; I < N; ++I) {
     unsigned Idx = (Home + I) % N;
-    if (ExecutionState *S = popFrom(*Partitions[Idx])) {
-      if (I != 0)
-        Steals.fetch_add(1, std::memory_order_relaxed);
-      return S;
+    ExecutionState *S = nullptr;
+    bool Got = Idx == Home ? Partitions[Idx]->Deque.popBottom(S)
+                           : Partitions[Idx]->Deque.steal(S);
+    if (!Got)
+      continue;
+    if (Merging) {
+      uint8_t Free = 0;
+      if (!S->Claim.V.compare_exchange_strong(Free, 1)) {
+        // A merger holds the state mid-merge; keep its single deque
+        // entry alive by re-queueing it in our own deque and move on.
+        Partitions[Home]->Deque.pushBottom(S);
+        continue;
+      }
+      // Claimed: remove it from the merge-visible structures BEFORE
+      // execution mutates the location the index is keyed on. In the
+      // no-merge mode there is nothing to retire — deque-resident
+      // states are in no other structure.
+      retire(S);
+    }
+    // The state moves from queued to executing; the in-flight half is
+    // untouched (see quiescent()).
+    Counts.fetch_sub(QueuedOne, std::memory_order_release);
+    if (I != 0)
+      Steals.fetch_add(1, std::memory_order_relaxed);
+    return S;
+  }
+  // No-merge mode: states a checkpoint barrier reconciled into the
+  // mutex searchers have no deque entries; sweep them out under the
+  // locks. Gated on one atomic so the hot path never takes a mutex.
+  if (!Merging && Reconciled.load(std::memory_order_acquire) != 0) {
+    for (unsigned I = 0; I < N; ++I) {
+      unsigned Idx = (Home + I) % N;
+      if (ExecutionState *S = popFrom(*Partitions[Idx])) {
+        if (I != 0)
+          Steals.fetch_add(1, std::memory_order_relaxed);
+        return S;
+      }
     }
   }
   return nullptr;
 }
 
 void StateFrontier::finishedOne() {
-  InFlight.fetch_sub(1, std::memory_order_release);
+  Counts.fetch_sub(InFlightOne, std::memory_order_release);
   // Waiters re-check quiescent() on wake; notify_all since several may be
   // parked waiting for the last in-flight state.
-  WaitCv.notify_all();
+  notifyAll();
 }
 
 void StateFrontier::requestStop() {
@@ -134,12 +350,36 @@ void StateFrontier::requestPause() {
   WaitCv.notify_all();
 }
 
+void StateFrontier::reconcileDeques() {
+  // Quiescent-only (capture/drain): every deque may be drained from this
+  // thread. steal() serves the top, so states reach their home searcher
+  // oldest-first — insertion order, as the mutex path would have seen.
+  for (auto &P : Partitions) {
+    ExecutionState *S = nullptr;
+    while (P->Deque.steal(S)) {
+      // The no-merge insert skips the routing hash; compute the home
+      // here (the state is unchanged while queued, so this matches
+      // what insert would have computed).
+      S->FrontierHome = partitionOf(*S);
+      Partition &H = *Partitions[S->FrontierHome];
+      std::lock_guard<std::mutex> Lock(H.M);
+      H.Search->add(S);
+      H.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
+      ++H.Size;
+      Reconciled.fetch_add(1, std::memory_order_release);
+    }
+  }
+}
+
 void StateFrontier::visitPartitions(
     const std::function<void(unsigned Index, const Searcher &Search,
-                             const LocationMap &Locs)> &Fn) const {
+                             const LocationMap &Locs)> &Fn) {
+  if (LockFree && !Merging)
+    reconcileDeques();
   for (unsigned I = 0; I < numPartitions(); ++I) {
-    const Partition &P = *Partitions[I];
+    Partition &P = *Partitions[I];
     std::lock_guard<std::mutex> Lock(P.M);
+    reconcileLocked(P);
     Fn(I, *P.Search, P.ByLocation);
   }
 }
@@ -157,13 +397,21 @@ void StateFrontier::restoreCursors(
 
 void StateFrontier::waitForWork() {
   std::unique_lock<std::mutex> Lock(WaitMu);
+  // Register BEFORE the re-check: a notifier updates state first, then
+  // checks Waiters, so either it sees us (and notifies) or we see its
+  // state change here and return without parking.
+  Waiters.fetch_add(1, std::memory_order_seq_cst);
   if (stopRequested() || pauseRequested() || quiescent() ||
-      Queued.load(std::memory_order_acquire) != 0)
+      queued() != 0) {
+    Waiters.fetch_sub(1, std::memory_order_release);
     return;
+  }
   // The timeout is a backstop against notify/wait races (notifications
-  // are sent without WaitMu held); correctness only needs the re-check
+  // are sent without WaitMu held, and a notifier may read Waiters just
+  // before our increment lands); correctness only needs the re-check
   // loop in the caller.
   WaitCv.wait_for(Lock, std::chrono::milliseconds(1));
+  Waiters.fetch_sub(1, std::memory_order_release);
 }
 
 uint64_t StateFrontier::fastForwardSelections() const {
@@ -177,16 +425,30 @@ uint64_t StateFrontier::fastForwardSelections() const {
 
 void StateFrontier::drain(
     const std::function<void(ExecutionState *)> &Dispose) {
+  // No-merge mode: deque-resident states are in no mutex structure;
+  // move them there first so one loop disposes everything.
+  if (LockFree && !Merging)
+    reconcileDeques();
   for (auto &P : Partitions) {
     std::lock_guard<std::mutex> Lock(P->M);
+    if (LockFree) {
+      reconcileLocked(*P);
+      // Drain runs quiescent (no append or retire in flight), the one
+      // point where the log's chunk memory can be recycled.
+      P->Log.resetLocked();
+    }
     while (!P->Search->empty()) {
       ExecutionState *S = P->Search->select();
       removeFromLocationIndex(*P, S);
       --P->Size;
-      Queued.fetch_sub(1, std::memory_order_release);
-      InFlight.fetch_sub(1, std::memory_order_release);
+      Counts.fetch_sub(InFlightOne | QueuedOne, std::memory_order_release);
       Dispose(S);
     }
     P->ByLocation.clear();
+    // The deque entries now dangle (their states were just disposed);
+    // drop them structurally. Drain runs quiescent, so owner-only is
+    // satisfied.
+    P->Deque.clear();
   }
+  Reconciled.store(0, std::memory_order_release);
 }

@@ -23,6 +23,37 @@
 /// executed by the thief but its successors are still routed by hash, so
 /// merging remains partition-local no matter who executes what.
 ///
+/// Fast path (LockFree mode, the default): each partition additionally
+/// carries a Chase-Lev work-stealing deque, and the insert/pop round
+/// trip touches NO mutex. An insert appends the state to the home
+/// partition's lock-free pending-add log (a chunked array of atomic
+/// slots — merge visibility) and pushes a deque entry — into the
+/// INSERTING worker's own deque, which is the only deque a thread may
+/// push to. A pop takes the deque path without any searcher/map work:
+/// own deque bottom first (LIFO locality), then stealing other deques'
+/// tops, then claims the state with a CAS on its ExecutionState::Claim
+/// flag and retires it with one atomic exchange on its log slot. The
+/// mutex structures remain authoritative for merge-candidate scanning
+/// (insertOrMerge reconciles the pending log before its bucket scan),
+/// checkpoint capture, and drain; the claim flag arbitrates the
+/// pop-vs-merge race on a waiting state, and a state that a reconcile
+/// moved into the searcher before its pop retires it falls back to the
+/// partition mutex. The quiescence/pause protocol is untouched: the
+/// counters move at exactly the same points in both modes.
+/// `--workers=1` never builds a frontier at all (the sequential
+/// engine), and `--no-lockfree-frontier` restores the pure mutex path
+/// as the measurable baseline.
+///
+/// When the run's merge policy never merges (MergeMode::None — the
+/// frontier is told at construction), the lock-free path drops the
+/// claim flag and the pending log entirely: nothing ever scans for
+/// merge candidates, so an insert is hash + one counter + deque push,
+/// and a pop is deque pop + one counter. The mutex structures are only
+/// populated at quiescent barriers (capture/drain reconcile the deques
+/// into the searchers); states a capture reconciled are re-popped
+/// through a mutex sweep gated on one atomic count, so resuming after
+/// a checkpoint barrier still delivers every state exactly once.
+///
 /// Termination: the frontier tracks the in-flight state count (queued
 /// plus executing, as one atomic so the check is a consistent snapshot);
 /// workers exit when it reaches zero (quiescent) or when a budget makes
@@ -35,6 +66,7 @@
 
 #include "core/ExecutionState.h"
 #include "core/Searcher.h"
+#include "core/WorkStealingDeque.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -66,23 +98,34 @@ public:
     std::function<void(ExecutionState &W, ExecutionState &S)> Apply;
   };
 
-  StateFrontier(unsigned NumPartitions, const SearcherFactory &Make);
+  /// \p Merging must be true unless the caller guarantees it will never
+  /// call insertOrMerge on this frontier; false enables the no-merge
+  /// fast path (no claim flag, no pending log) in lock-free mode.
+  StateFrontier(unsigned NumPartitions, const SearcherFactory &Make,
+                bool LockFree = true, bool Merging = true);
   ~StateFrontier();
 
   unsigned numPartitions() const {
     return static_cast<unsigned>(Partitions.size());
   }
 
+  /// Whether the Chase-Lev fast path is active.
+  bool lockFree() const { return LockFree; }
+
   /// Home partition of \p S: structuralHash modulo the partition count.
   unsigned partitionOf(const ExecutionState &S) const;
 
-  /// Enqueues \p S into its home partition.
-  void insert(ExecutionState *S);
+  /// Enqueues \p S into its home partition. In lock-free mode the deque
+  /// entry goes into \p Pusher's deque (a thread may only push to its
+  /// own deque); negative means "the home partition's deque", which is
+  /// only safe while no workers are running (seeding, restore, tests).
+  void insert(ExecutionState *S, int Pusher = -1);
 
   /// Enqueues \p S, first attempting to merge it into a waiting state at
   /// the same location (Algorithm 1 lines 17-22, partition-locally).
   /// Returns true if \p S was merged away (caller destroys it).
-  bool insertOrMerge(ExecutionState *S, const MergeHooks &Hooks);
+  bool insertOrMerge(ExecutionState *S, const MergeHooks &Hooks,
+                     int Pusher = -1);
 
   /// Removes and returns the next state: the home partition's searcher
   /// order first, else stealing round-robin from the other partitions.
@@ -97,19 +140,20 @@ public:
 
   /// True when nothing is queued and nothing is executing.
   ///
-  /// Implemented as ONE atomic in-flight counter (queued + executing):
-  /// insert increments it, finishedOne decrements it, and pop leaves it
-  /// untouched — popping only moves a state from queued to executing.
-  /// Two separate counters read back-to-back can never give a
-  /// consistent snapshot in either order: reading Queued first races a
-  /// worker whose stolen state forks back into an empty home partition
-  /// (insert then finishedOne between the two reads fakes a drain, and
-  /// an idle worker exits early, serializing the tail of the run);
-  /// reading Executing first races the pop hand-off (Executing++ then
-  /// Queued-- between the reads). A single counter that hand-offs do
-  /// not touch has no in-between to observe.
+  /// Implemented on the in-flight half (queued + executing) of ONE
+  /// packed atomic counter: insert increments it, finishedOne
+  /// decrements it, and pop leaves it untouched — popping only moves a
+  /// state from queued to executing. Two separate counters read
+  /// back-to-back can never give a consistent snapshot in either order:
+  /// reading Queued first races a worker whose stolen state forks back
+  /// into an empty home partition (insert then finishedOne between the
+  /// two reads fakes a drain, and an idle worker exits early,
+  /// serializing the tail of the run); reading Executing first races
+  /// the pop hand-off (Executing++ then Queued-- between the reads). A
+  /// single counter that hand-offs do not touch has no in-between to
+  /// observe.
   bool quiescent() const {
-    return InFlight.load(std::memory_order_acquire) == 0;
+    return (Counts.load(std::memory_order_acquire) >> 32) == 0;
   }
 
   /// Budget exceeded (or error): workers should exit their loops.
@@ -132,12 +176,13 @@ public:
   using LocationMap = std::map<std::pair<const BasicBlock *, unsigned>,
                                std::vector<ExecutionState *>>;
 
-  /// Visits every partition under its lock, in index order. Meant for
-  /// quiescent checkpoint capture (all workers joined); the callback must
-  /// not call back into the frontier.
+  /// Visits every partition under its lock, in index order, after
+  /// reconciling the pending-add log into the searcher + location index
+  /// (lock-free mode). Meant for quiescent checkpoint capture (all
+  /// workers joined); the callback must not call back into the frontier.
   void visitPartitions(
       const std::function<void(unsigned Index, const Searcher &Search,
-                               const LocationMap &Locs)> &Fn) const;
+                               const LocationMap &Locs)> &Fn);
 
   /// Restores per-partition searcher cursors saved by a snapshot; ignored
   /// unless \p Cursors has exactly one entry per partition.
@@ -147,7 +192,9 @@ public:
   /// requestStop all wake waiters; a timeout guards against lost races).
   void waitForWork();
 
-  size_t queued() const { return Queued.load(std::memory_order_acquire); }
+  size_t queued() const {
+    return Counts.load(std::memory_order_acquire) & 0xffffffffu;
+  }
   uint64_t steals() const {
     return Steals.load(std::memory_order_relaxed);
   }
@@ -158,23 +205,136 @@ public:
   void drain(const std::function<void(ExecutionState *)> &Dispose);
 
 private:
+  /// Lock-free pending-add log (lock-free mode only): the states
+  /// inserted into a partition but not yet reconciled into its searcher
+  /// + location index. A chunked array of atomic slots that never moves
+  /// (chunks are chained, not reallocated), so three parties can touch
+  /// an entry without the partition mutex:
+  ///
+  ///  - append (any thread): reserves a slot with one fetch_add and
+  ///    publishes the state into it;
+  ///  - retire (the worker that claimed the state): one exchange of the
+  ///    state's slot to the tombstone — if it still held the state, the
+  ///    state never reached the searcher and retirement is complete;
+  ///  - consume (reconcile, under the partition mutex): walks a cursor
+  ///    over the slots in append order, tombstoning each and moving
+  ///    still-live states into the searcher. A null slot is a producer
+  ///    mid-publication (reserved, not yet stored): the cursor stops
+  ///    there and re-reads it on the next reconcile, so no entry is
+  ///    ever skipped for good.
+  ///
+  /// Slots are never reused; chunks are recycled only at quiescent
+  /// barriers (drain / capture), when no retire can hold a slot
+  /// pointer. Retained chunk memory between barriers is 8 bytes per
+  /// insert.
+  class PendingLog {
+  public:
+    static constexpr size_t ChunkSize = 256;
+    /// Tombstone marking a consumed slot (never a valid state pointer).
+    static ExecutionState *tomb() {
+      return reinterpret_cast<ExecutionState *>(1);
+    }
+
+    PendingLog() { Head = Cursor = Tail = new Chunk(); }
+    ~PendingLog() { freeChunks(); }
+
+    /// Publishes \p S into a fresh slot and records the slot in
+    /// S->FrontierLogSlot. Callable from any thread, lock-free.
+    void append(ExecutionState *S);
+
+    /// Pops the next unconsumed state in append order, or null when the
+    /// cursor reaches the end of the log (or a mid-publication gap).
+    /// Caller holds the partition mutex.
+    ExecutionState *consumeLocked();
+
+    /// Frees all chunks and resets to one empty chunk. Caller holds the
+    /// partition mutex AND the frontier is quiescent (no concurrent
+    /// append or retire).
+    void resetLocked();
+
+  private:
+    struct Chunk {
+      std::atomic<ExecutionState *> Slots[ChunkSize];
+      std::atomic<size_t> Reserved{0};
+      std::atomic<Chunk *> Next{nullptr};
+      Chunk() {
+        for (auto &S : Slots)
+          S.store(nullptr, std::memory_order_relaxed);
+      }
+    };
+    void freeChunks();
+
+    Chunk *Head;                ///< First chunk (chunk list root).
+    Chunk *Cursor;              ///< Consume position (under the mutex).
+    size_t CursorIdx = 0;       ///< Slot index within Cursor.
+    std::atomic<Chunk *> Tail;  ///< Append chunk (lock-free).
+  };
+
   struct Partition {
     mutable std::mutex M;
     std::unique_ptr<Searcher> Search;
     LocationMap ByLocation;
     size_t Size = 0; ///< States currently enqueued (under M).
+    /// Lock-free mode: states inserted but not yet reconciled into
+    /// Search/ByLocation.
+    PendingLog Log;
+    /// Lock-free mode: the scheduling fast path. Owner = the worker
+    /// whose id equals this partition's index.
+    WorkStealingDeque<ExecutionState *> Deque;
   };
 
   void removeFromLocationIndex(Partition &P, ExecutionState *S);
   ExecutionState *popFrom(Partition &P);
+  /// Moves the pending-add log into the searcher + location index.
+  /// Caller holds P.M.
+  void reconcileLocked(Partition &P);
+  /// No-merge lock-free mode: moves every deque-resident state into its
+  /// home partition's searcher + location index (takes per-partition
+  /// mutexes). Caller must guarantee quiescence (capture/drain).
+  void reconcileDeques();
+  /// Removes a freshly claimed state from its home partition's log (one
+  /// slot exchange, no lock) or — if a reconcile moved it into the
+  /// searcher first — from the searcher + index under the mutex.
+  void retire(ExecutionState *S);
+  /// Condition-variable notifications, skipped when no worker is parked
+  /// in waitForWork (the common case on the hot paths). When someone IS
+  /// parked, notify while holding WaitMu: a waiter registers and
+  /// re-checks inside the mutex, so the notifier either blocks until the
+  /// waiter has actually blocked (and the notify lands) or runs first
+  /// (and the waiter's re-check sees the new state). An unlocked notify
+  /// could land in the re-check-to-wait window and be lost — bounded by
+  /// the 1ms backstop, but systematic enough under heavy slowdown (TSan)
+  /// to serialize the whole pool at ~1k hand-offs/s.
+  void notifyOne() {
+    if (Waiters.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> Lock(WaitMu);
+      WaitCv.notify_one();
+    }
+  }
+  void notifyAll() {
+    if (Waiters.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> Lock(WaitMu);
+      WaitCv.notify_all();
+    }
+  }
 
+  const bool LockFree;
+  const bool Merging;
   std::vector<std::unique_ptr<Partition>> Partitions;
-  std::atomic<size_t> Queued{0};
-  /// Queued + executing, maintained as one counter so quiescent() is a
-  /// single consistent read (see quiescent()). Incremented by insert,
-  /// decremented by finishedOne/drain; pop moves a state from queued to
-  /// executing without touching it.
-  std::atomic<size_t> InFlight{0};
+  /// Low half: queued. High half: queued + executing (in-flight), kept
+  /// as one field so quiescent() is a single consistent read (see
+  /// quiescent()). Insert adds both halves in one RMW, pop subtracts
+  /// from the queued half only, finishedOne/drain release the in-flight
+  /// half.
+  std::atomic<uint64_t> Counts{0};
+  static constexpr uint64_t QueuedOne = 1;
+  static constexpr uint64_t InFlightOne = 1ull << 32;
+  /// No-merge lock-free mode: states currently resident in the mutex
+  /// searchers (reconciled there by a checkpoint barrier). Gates pop's
+  /// mutex-sweep fallback so the hot path never takes a partition lock.
+  std::atomic<size_t> Reconciled{0};
+  /// Workers currently parked in waitForWork (gates notifications).
+  std::atomic<uint32_t> Waiters{0};
   std::atomic<bool> Stop{false};
   std::atomic<bool> Pause{false};
   std::atomic<uint64_t> Steals{0};

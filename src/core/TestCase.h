@@ -101,6 +101,18 @@ struct EngineStats {
                                        ///< strictly larger query.
   uint64_t SolverCoreCacheEvictions = 0; ///< Cores dropped by the
                                          ///< generation-LRU bound.
+  // Probe-filter counters (the O(1) signature pre-filters on the cache
+  // probe paths; see CoreCacheOptions::SignatureFilter).
+  uint64_t SolverCoreCacheProbeVisits = 0; ///< Candidate cores that
+                                           ///< reached the inclusion scan.
+  uint64_t SolverCoreCacheSigSkips = 0;   ///< Candidates rejected by the
+                                          ///< footprint signature alone.
+  uint64_t SolverCoreCacheShardSkips = 0; ///< Probe ids rejected by a
+                                          ///< shard Bloom filter before
+                                          ///< its lock.
+  uint64_t SolverModelCacheSigSkips = 0;  ///< Model candidates rejected
+                                          ///< by the variable-footprint
+                                          ///< signature.
   uint64_t SolverPoisonedQueries = 0; ///< Checks refused with Unknown
                                       ///< because their key was poisoned
                                       ///< by an earlier blown budget.

@@ -1,0 +1,169 @@
+//===- WorkStealingDeque.h - Chase-Lev work-stealing deque ------*- C++ -*-===//
+//
+// Part of SymMerge, a reproduction of "Efficient State Merging in Symbolic
+// Execution" (PLDI 2012). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free Chase-Lev work-stealing deque (Chase & Lev, SPAA 2005) with
+/// the weak-memory orderings of Le, Pop, Cohen & Zappa Nardelli (PPoPP
+/// 2013). One OWNER thread pushes and pops at the bottom (LIFO); any number
+/// of THIEF threads steal from the top (FIFO). The buffer is a growable
+/// power-of-two circular array; retired buffers are kept alive until the
+/// deque is destroyed, so a thief holding a stale buffer pointer still
+/// reads from valid (if outdated) memory — the top CAS then rejects the
+/// race. Every shared location (Top, Bottom, the buffer pointer, and each
+/// slot) is a std::atomic, and the element-publication edge is a release
+/// store on Bottom rather than a standalone release fence, which keeps
+/// ThreadSanitizer exact: it ignores atomic_thread_fence, so fence-based
+/// publication of pointee memory would be reported as a race.
+///
+/// The StateFrontier uses one deque per partition as the fast scheduling
+/// path; element claiming (a state stolen from two entries at once) is the
+/// caller's problem — the deque only promises each pushed entry is popped
+/// or stolen at most once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_WORKSTEALINGDEQUE_H
+#define SYMMERGE_CORE_WORKSTEALINGDEQUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace symmerge {
+
+template <typename T> class WorkStealingDeque {
+public:
+  explicit WorkStealingDeque(uint64_t InitialCapacity = 64) {
+    uint64_t Cap = 1;
+    while (Cap < InitialCapacity)
+      Cap *= 2;
+    Retired.push_back(std::make_unique<Buffer>(Cap));
+    Buf.store(Retired.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  /// Owner-only: push \p V at the bottom. Grows the buffer when full.
+  void pushBottom(T V) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    Buffer *A = Buf.load(std::memory_order_relaxed);
+    if (B - Tp > static_cast<int64_t>(A->Capacity) - 1)
+      A = grow(A, Tp, B);
+    A->put(B, V);
+    // Publish the slot before publishing the new Bottom, so a thief that
+    // observes the incremented Bottom also observes the element — and any
+    // plain-memory writes the owner made to the pointee before pushing.
+    // A release STORE rather than the classic release fence + relaxed
+    // store: equally correct, and it keeps the happens-before edge
+    // visible to ThreadSanitizer, which ignores fences.
+    Bottom.store(B + 1, std::memory_order_release);
+  }
+
+  /// Owner-only: pop the most recently pushed element (LIFO). Returns
+  /// true and fills \p Out on success, false when the deque is empty.
+  bool popBottom(T &Out) {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Buffer *A = Buf.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_relaxed);
+    // The store above must be visible to thieves before Top is read, or
+    // an owner and a thief could both take the last element.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t Tp = Top.load(std::memory_order_relaxed);
+    if (Tp > B) {
+      // Already empty; restore the canonical empty shape.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return false;
+    }
+    Out = A->get(B);
+    if (Tp != B)
+      return true; // More than one element left: no race possible.
+    // Exactly one element: race a concurrent thief for it via Top.
+    bool Won = Top.compare_exchange_strong(Tp, Tp + 1,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+    return Won;
+  }
+
+  /// Thief: steal the oldest element (FIFO). Returns true and fills
+  /// \p Out on success, false when empty or when losing a race (the
+  /// caller should treat both as "nothing here right now").
+  bool steal(T &Out) {
+    int64_t Tp = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    if (Tp >= B)
+      return false;
+    Buffer *A = Buf.load(std::memory_order_consume);
+    T V = A->get(Tp);
+    if (!Top.compare_exchange_strong(Tp, Tp + 1, std::memory_order_seq_cst,
+                                     std::memory_order_relaxed))
+      return false; // Lost to the owner or another thief.
+    Out = V;
+    return true;
+  }
+
+  /// Racy size estimate, for heuristics and stats only.
+  int64_t sizeEstimate() const {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t Tp = Top.load(std::memory_order_relaxed);
+    return B > Tp ? B - Tp : 0;
+  }
+
+  /// Owner-only (quiescent): drop every queued entry. Used by the
+  /// frontier's drain, after the disposal loop already walked the
+  /// authoritative index — the deque entries are dangling by then.
+  void clear() {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    Top.store(B, std::memory_order_relaxed);
+  }
+
+private:
+  struct Buffer {
+    explicit Buffer(uint64_t Cap)
+        : Capacity(Cap), Mask(Cap - 1),
+          Slots(std::make_unique<std::atomic<T>[]>(Cap)) {}
+    const uint64_t Capacity;
+    const uint64_t Mask;
+    std::unique_ptr<std::atomic<T>[]> Slots;
+
+    T get(int64_t I) const {
+      return Slots[static_cast<uint64_t>(I) & Mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(int64_t I, T V) {
+      Slots[static_cast<uint64_t>(I) & Mask].store(
+          V, std::memory_order_relaxed);
+    }
+  };
+
+  /// Owner-only: double the buffer, copying the live range [Top, Bottom).
+  /// The old buffer stays allocated (thieves may still hold its pointer).
+  Buffer *grow(Buffer *Old, int64_t Tp, int64_t B) {
+    Retired.push_back(std::make_unique<Buffer>(Old->Capacity * 2));
+    Buffer *New = Retired.back().get();
+    for (int64_t I = Tp; I < B; ++I)
+      New->put(I, Old->get(I));
+    Buf.store(New, std::memory_order_release);
+    return New;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Buffer *> Buf{nullptr};
+  /// All buffers ever allocated, newest last; freed only on destruction.
+  /// Grown under owner control, and thieves never touch this vector —
+  /// they read the Buf pointer.
+  std::vector<std::unique_ptr<Buffer>> Retired;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_WORKSTEALINGDEQUE_H

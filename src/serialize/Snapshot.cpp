@@ -66,6 +66,10 @@ void encodeStats(Encoder &E, const EngineStats &S) {
   E.u64(S.SolverCoreCacheMisses);
   E.u64(S.SolverCoreSubsumptions);
   E.u64(S.SolverCoreCacheEvictions);
+  E.u64(S.SolverCoreCacheProbeVisits);
+  E.u64(S.SolverCoreCacheSigSkips);
+  E.u64(S.SolverCoreCacheShardSkips);
+  E.u64(S.SolverModelCacheSigSkips);
   E.u64(S.SolverPoisonedQueries);
   E.u64(S.SolverPoisonedInserts);
   E.u64(S.SolverPoisonCacheEvictions);
@@ -115,6 +119,10 @@ void decodeStats(Decoder &D, EngineStats &S) {
   S.SolverCoreCacheMisses = D.u64();
   S.SolverCoreSubsumptions = D.u64();
   S.SolverCoreCacheEvictions = D.u64();
+  S.SolverCoreCacheProbeVisits = D.u64();
+  S.SolverCoreCacheSigSkips = D.u64();
+  S.SolverCoreCacheShardSkips = D.u64();
+  S.SolverModelCacheSigSkips = D.u64();
   S.SolverPoisonedQueries = D.u64();
   S.SolverPoisonedInserts = D.u64();
   S.SolverPoisonCacheEvictions = D.u64();

@@ -17,7 +17,8 @@ using namespace symmerge;
 CoreCache::CoreCache(const CoreCacheOptions &Opts)
     : ProbeLimit(std::max(1u, Opts.ProbeLimit)),
       MinimizeSolves(Opts.MinimizeSolves),
-      MinimizeConflicts(Opts.MinimizeConflicts) {
+      MinimizeConflicts(Opts.MinimizeConflicts),
+      SignatureFilter(Opts.SignatureFilter) {
   size_t NumShards = 1;
   while (NumShards < std::max(1u, Opts.Shards))
     NumShards *= 2;
@@ -34,14 +35,20 @@ CoreCache::CoreCache(const CoreCacheOptions &Opts)
 }
 
 bool CoreCache::probe(const std::vector<uint64_t> &Key) {
-  return probeImpl(Key, /*CountStats=*/true);
+  return probeImpl(Key, footprintSignature(Key), /*CountStats=*/true);
 }
 
-bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, bool CountStats) {
+bool CoreCache::probe(const std::vector<uint64_t> &Key, uint64_t KeySig) {
+  return probeImpl(Key, KeySig, /*CountStats=*/true);
+}
+
+bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, uint64_t KeySig,
+                          bool CountStats) {
   // Degenerate probes (nothing asserted) are not counted: only real
   // candidate searches are hits or misses.
   if (Key.empty())
     return false;
+  SolverQueryStats &Stats = solverStats();
   // Collect up to ProbeLimit candidates, newest-first per id list,
   // deduplicated across lists; the subset checks happen OUTSIDE the
   // shard locks (entries are immutable once published). Only lists of
@@ -53,6 +60,17 @@ bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, bool CountStats) {
     if (Candidates.size() >= ProbeLimit)
       break;
     Shard &S = shardFor(Id);
+    if (SignatureFilter) {
+      // Bloom pre-check without the lock: a clear bit proves this id
+      // indexes nothing in the shard.
+      uint64_t H = hashMix(Id);
+      if ((S.Bloom[bloomWord(H)].load(std::memory_order_relaxed) &
+           bloomBit(H)) == 0) {
+        if (CountStats)
+          ++Stats.CoreCacheShardSkips;
+        continue;
+      }
+    }
     std::lock_guard<std::mutex> Lock(S.M);
     auto It = S.Index.find(Id);
     if (It == S.Index.end())
@@ -61,6 +79,15 @@ bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, bool CountStats) {
     for (size_t I = List.size(); I-- > 0;) {
       if (Candidates.size() >= ProbeLimit)
         break;
+      // Signature reject: a core whose footprint has a bit outside the
+      // probe's cannot be a subset — skip it without spending a
+      // candidate slot or (later) an inclusion scan. Exact keys make
+      // this behavior-preserving: the inclusion scan would reject too.
+      if (SignatureFilter && (List[I].Sig & ~KeySig) != 0) {
+        if (CountStats)
+          ++Stats.CoreCacheSigSkips;
+        continue;
+      }
       const std::shared_ptr<const Entry> &E = List[I].E;
       bool SeenAlready = false;
       for (const auto &[C, CId] : Candidates)
@@ -74,6 +101,8 @@ bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, bool CountStats) {
   }
 
   for (const auto &[E, Id] : Candidates) {
+    if (CountStats)
+      ++Stats.CoreCacheProbeVisits;
     // Both vectors are sorted and deduplicated; the cached core subsumes
     // the probe exactly when every one of its constraints is present.
     if (E->Ids.size() > Key.size() ||
@@ -98,7 +127,6 @@ bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, bool CountStats) {
       }
     }
     if (CountStats) {
-      SolverQueryStats &Stats = solverStats();
       ++Stats.CoreCacheHits;
       if (E->Ids.size() < Key.size())
         ++Stats.CoreSubsumptions;
@@ -106,7 +134,7 @@ bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, bool CountStats) {
     return true;
   }
   if (CountStats)
-    ++solverStats().CoreCacheMisses;
+    ++Stats.CoreCacheMisses;
   return false;
 }
 
@@ -199,7 +227,7 @@ void CoreCache::publish(const std::vector<ExprRef> &Core) {
 
   // A resident core already subsuming this one makes insertion (and the
   // minimization solves) pointless — the lookup refreshes its recency.
-  if (probeImpl(Ids, /*CountStats=*/false))
+  if (probeImpl(Ids, footprintSignature(Ids), /*CountStats=*/false))
     return;
 
   if (!minimize(Uniq))
@@ -216,11 +244,14 @@ void CoreCache::insertEntry(std::vector<uint64_t> Ids) {
   uint64_t Hash = hashMix(Ids.size());
   for (uint64_t Id : Ids)
     Hash = hashCombine(Hash, Id);
-  auto E = std::make_shared<const Entry>(Entry{Ids, Hash});
+  uint64_t Sig = footprintSignature(Ids);
+  auto E = std::make_shared<const Entry>(Entry{Ids, Hash, Sig});
   uint64_t Evicted = 0;
   for (uint64_t Id : E->Ids) {
     Shard &S = shardFor(Id);
     std::lock_guard<std::mutex> Lock(S.M);
+    uint64_t H = hashMix(Id);
+    S.Bloom[bloomWord(H)].fetch_or(bloomBit(H), std::memory_order_relaxed);
     IdList &L = S.Index[Id];
     // Per-list content-hash dedup: a core republished because two
     // workers raced miss -> solve -> publish refreshes the resident
@@ -234,7 +265,7 @@ void CoreCache::insertEntry(std::vector<uint64_t> Ids) {
         }
       continue;
     }
-    L.Refs.push_back(Ref{E, ++S.Generation});
+    L.Refs.push_back(Ref{E, ++S.Generation, Sig});
     ++S.RefCount;
     if (MaxPerShard != 0 && S.RefCount > MaxPerShard)
       Evicted += evictOldHalf(S);
@@ -272,6 +303,17 @@ uint64_t CoreCache::evictOldHalf(Shard &S) {
     It = List.Refs.empty() ? S.Index.erase(It) : std::next(It);
   }
   S.RefCount -= Removed;
+  // Rebuild the Bloom filter from the surviving ids: eviction may have
+  // emptied lists, and the filter must never report a false negative —
+  // stale set bits are only a performance leak, missing bits would hide
+  // live entries from probes.
+  uint64_t Words[8] = {};
+  for (const auto &[Id, List] : S.Index) {
+    uint64_t H = hashMix(Id);
+    Words[bloomWord(H)] |= bloomBit(H);
+  }
+  for (unsigned W = 0; W < 8; ++W)
+    S.Bloom[W].store(Words[W], std::memory_order_relaxed);
   return Removed;
 }
 

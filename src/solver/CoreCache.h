@@ -67,6 +67,13 @@ struct CoreCacheOptions {
   /// Conflict budget for each minimization solve. A minimization solve
   /// that exhausts it keeps the candidate constraint conservatively.
   uint64_t MinimizeConflicts = 2000;
+  /// O(1) probe pre-filters (behavior-preserving; off = the measurable
+  /// baseline): a 64-bit footprint signature per core rejects candidates
+  /// that cannot be subsets of the probed set before the sorted
+  /// inclusion scan, and a per-shard Bloom filter over indexed
+  /// constraint ids skips the shard lock + hash lookup for probe ids
+  /// with no index list at all.
+  bool SignatureFilter = true;
 };
 
 /// Shared concurrent cache of minimized UNSAT cores. Create with
@@ -86,6 +93,12 @@ public:
   /// hits) in the thread-local solver statistics.
   bool probe(const std::vector<uint64_t> &Key);
 
+  /// probe() with the key's footprint signature precomputed by the
+  /// caller (sessions compute it once per cache-miss pipeline and thread
+  /// it through every probe). \p KeySig must equal
+  /// footprintSignature(Key).
+  bool probe(const std::vector<uint64_t> &Key, uint64_t KeySig);
+
   /// Publishes a constraint-level UNSAT core (the conjunction of
   /// \p Core must be unsatisfiable). Minimizes first (see file comment);
   /// a core already subsumed by a resident entry only refreshes that
@@ -103,10 +116,14 @@ private:
   struct Entry {
     std::vector<uint64_t> Ids; ///< Sorted, deduplicated constraint ids.
     uint64_t Hash = 0;         ///< Of Ids (dedup).
+    uint64_t Sig = 0;          ///< footprintSignature(Ids).
   };
   struct Ref {
     std::shared_ptr<const Entry> E;
     uint64_t Generation = 0; ///< Shard generation at last access.
+    /// Copy of E->Sig: the gather loop rejects non-subset candidates
+    /// without dereferencing the entry.
+    uint64_t Sig = 0;
   };
   /// One constraint id's index list plus the content-hash set keeping it
   /// duplicate-free (mirrors ModelCache::VarList).
@@ -121,10 +138,21 @@ private:
     std::unordered_map<uint64_t, IdList> Index;
     size_t RefCount = 0; ///< Sum of Index list sizes (under M).
     uint64_t Generation = 0;
+    /// 512-bit Bloom filter over the ids present in Index. Bits are set
+    /// under M on insert and rebuilt under M after eviction; probes read
+    /// them relaxed BEFORE taking M — a clear bit proves the id has no
+    /// list here (never a false negative), a set bit may false-positive
+    /// into a locked find that misses. Word/bit positions come from
+    /// high hashMix bits, disjoint from the shard-index bits (the low
+    /// bits are constant within a shard).
+    std::atomic<uint64_t> Bloom[8] = {};
 
     Shard() = default;
     Shard(Shard &&) noexcept {} // Only moved while empty, at construction.
   };
+
+  static unsigned bloomWord(uint64_t H) { return (H >> 14) & 7; }
+  static uint64_t bloomBit(uint64_t H) { return 1ull << ((H >> 8) & 63); }
 
   Shard &shardFor(uint64_t Id) {
     return Shards[hashMix(Id) & (Shards.size() - 1)];
@@ -133,7 +161,8 @@ private:
   /// Shared probe walk. \p CountStats separates caller probes (counted
   /// as hits/misses/subsumptions) from publish()'s pre-insert duplicate
   /// check (not a query, never counted).
-  bool probeImpl(const std::vector<uint64_t> &Key, bool CountStats);
+  bool probeImpl(const std::vector<uint64_t> &Key, uint64_t KeySig,
+                 bool CountStats);
 
   /// Bounded minimization of \p Core (see file comment). Returns false
   /// when the re-solve found the set satisfiable — an extraction bug
@@ -152,6 +181,7 @@ private:
   unsigned ProbeLimit = 8;
   unsigned MinimizeSolves = 8;
   uint64_t MinimizeConflicts = 2000;
+  bool SignatureFilter = true;
   std::atomic<uint64_t> Evictions{0};
 };
 

@@ -13,6 +13,7 @@
 #include "solver/PoisonCache.h"
 #include "solver/Sat.h"
 #include "solver/SessionVerdictCache.h"
+#include "support/Hashing.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -299,8 +300,14 @@ public:
         }
       Constraints.insert(Constraints.end(), Meaningful.begin(),
                          Meaningful.end());
-      if (HaveKey)
+      // The key's footprint signature is computed ONCE here and threaded
+      // through every probe of the miss pipeline (core cache now;
+      // signatures are cheap but the pipeline runs per check).
+      uint64_t KeySig = 0;
+      if (HaveKey) {
         SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+        KeySig = footprintSignature(Key);
+      }
       if (UseCache) {
         SolverResult Hit;
         if (Cfg.Cache->lookup(Key, KeyHash, Hit)) {
@@ -322,8 +329,11 @@ public:
             Constraints, [this](ExprRef E) -> const std::vector<ExprRef> & {
               return varsOf(E);
             });
+        uint64_t VarsSig = 0;
+        for (ExprRef V : Vars)
+          VarsSig |= footprintBit(V->id());
         VarAssignment Hit;
-        if (Cfg.Models->probe(Constraints, Vars, Hit)) {
+        if (Cfg.Models->probe(Constraints, Vars, VarsSig, Hit)) {
           ++Stats.EvalSatShortcuts;
           ++Stats.SatResults;
           R.Result = SolverResult::Sat;
@@ -339,7 +349,7 @@ public:
       // current constraint set refutes it with zero SAT calls — the
       // dual of the model-cache shortcut above. Sound for model requests
       // too: an UNSAT set has no model to return.
-      if (Cfg.Cores && Cfg.Cores->probe(Key)) {
+      if (Cfg.Cores && Cfg.Cores->probe(Key, KeySig)) {
         R.Result = SolverResult::Unsat;
         ++Stats.UnsatResults;
         // Cores name constraints, not the caller's assumption subset;

@@ -13,7 +13,8 @@
 using namespace symmerge;
 
 ModelCache::ModelCache(const ModelCacheOptions &Opts)
-    : ProbeLimit(std::max(1u, Opts.ProbeLimit)) {
+    : ProbeLimit(std::max(1u, Opts.ProbeLimit)),
+      SignatureFilter(Opts.SignatureFilter) {
   size_t NumShards = 1;
   while (NumShards < std::max(1u, Opts.Shards))
     NumShards *= 2;
@@ -32,10 +33,20 @@ ModelCache::ModelCache(const ModelCacheOptions &Opts)
 bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
                        const std::vector<ExprRef> &Vars,
                        VarAssignment &Model) {
+  uint64_t VarsSig = 0;
+  for (ExprRef V : Vars)
+    VarsSig |= footprintBit(V->id());
+  return probe(Constraints, Vars, VarsSig, Model);
+}
+
+bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
+                       const std::vector<ExprRef> &Vars, uint64_t VarsSig,
+                       VarAssignment &Model) {
   // Degenerate probes (nothing to satisfy / no footprint to index by)
   // are not counted: only real candidate searches are hits or misses.
   if (Constraints.empty() || Vars.empty())
     return false;
+  SolverQueryStats &Stats = solverStats();
   // Stage 1: gather a wider pool than we are willing to evaluate (the
   // gather is cheap — pointer copies under the shard locks; evaluation
   // is the expensive part), newest-first per variable list and
@@ -62,6 +73,14 @@ bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
     for (size_t I = List.size(); I-- > 0;) {
       if (Candidates.size() >= GatherLimit)
         break;
+      // Coverage pre-filter: a probe-footprint bit the model's signature
+      // lacks proves the model leaves at least one probe variable
+      // unassigned — skip it before the dedup scan, the ranking, and the
+      // evaluation it could only pass through the zero default.
+      if (SignatureFilter && (VarsSig & ~List[I].VarSig) != 0) {
+        ++Stats.ModelCacheSigSkips;
+        continue;
+      }
       const std::shared_ptr<const Entry> &E = List[I].E;
       bool SeenAlready = false;
       for (const Candidate &C : Candidates)
@@ -126,12 +145,12 @@ bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
           }
       }
     }
-    ++solverStats().ModelCacheHits;
+    ++Stats.ModelCacheHits;
     E->Hits.fetch_add(1, std::memory_order_relaxed);
     Model = E->Model;
     return true;
   }
-  ++solverStats().ModelCacheMisses;
+  ++Stats.ModelCacheMisses;
   return false;
 }
 
@@ -145,9 +164,11 @@ void ModelCache::insert(const VarAssignment &Model) {
     Items.push_back({Var->id(), Val});
   std::sort(Items.begin(), Items.end());
   uint64_t Hash = hashMix(Items.size());
+  uint64_t VarSig = 0;
   for (const auto &[Id, Val] : Items) {
     Hash = hashCombine(Hash, Id);
     Hash = hashCombine(Hash, Val);
+    VarSig |= footprintBit(Id);
   }
 
   // Built in place: Entry's atomic hit counter is neither copyable nor
@@ -155,6 +176,7 @@ void ModelCache::insert(const VarAssignment &Model) {
   auto Fresh = std::make_shared<Entry>();
   Fresh->Model = Model;
   Fresh->Hash = Hash;
+  Fresh->VarSig = VarSig;
   std::shared_ptr<const Entry> E = std::move(Fresh);
   uint64_t Evicted = 0;
   for (const auto &[VarId, Val] : Items) {
@@ -177,7 +199,7 @@ void ModelCache::insert(const VarAssignment &Model) {
         }
       continue;
     }
-    L.Refs.push_back(Ref{E, ++S.Generation});
+    L.Refs.push_back(Ref{E, ++S.Generation, VarSig});
     ++S.RefCount;
     if (MaxPerShard != 0 && S.RefCount > MaxPerShard)
       Evicted += evictOldHalf(S);

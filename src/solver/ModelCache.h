@@ -58,6 +58,15 @@ struct ModelCacheOptions {
   /// Maximum candidate models evaluated per probe. Bounds the cost of a
   /// miss: a probe is ProbeLimit concrete evaluations at worst.
   unsigned ProbeLimit = 8;
+  /// O(1) probe pre-filter (off = the measurable baseline): a 64-bit
+  /// footprint signature over the variables each model assigns rejects
+  /// candidates in the gather stage when the probe's signature proves
+  /// the model misses at least one probe variable. Slightly narrows the
+  /// candidate pool relative to the unfiltered walk — a partial model
+  /// can still validate through VarAssignment's evaluate-as-zero default
+  /// — trading those rare zero-default validations for never gathering
+  /// (or ranking, or evaluating) a model that cannot cover the probe.
+  bool SignatureFilter = true;
 };
 
 /// Shared concurrent cache of satisfying assignments. Create with
@@ -87,6 +96,13 @@ public:
   bool probe(const std::vector<ExprRef> &Constraints,
              const std::vector<ExprRef> &Vars, VarAssignment &Model);
 
+  /// probe() with the footprint signature of \p Vars precomputed by the
+  /// caller (sessions compute it once per cache-miss pipeline). \p VarsSig
+  /// must equal footprintSignature over the ids of \p Vars.
+  bool probe(const std::vector<ExprRef> &Constraints,
+             const std::vector<ExprRef> &Vars, uint64_t VarsSig,
+             VarAssignment &Model);
+
   /// Publishes a satisfying assignment; its footprint (the variables it
   /// assigns) becomes its index. Duplicates of a recently inserted
   /// identical assignment are dropped.
@@ -103,7 +119,8 @@ private:
   /// through the shared_ptr.
   struct Entry {
     VarAssignment Model;
-    uint64_t Hash = 0; ///< Of the sorted (var id, value) pairs (dedup).
+    uint64_t Hash = 0;   ///< Of the sorted (var id, value) pairs (dedup).
+    uint64_t VarSig = 0; ///< Footprint signature of the assigned vars.
     /// Times this entry validated a probe. Read/written lock-free; feeds
     /// the probe ranking so proven witnesses outrank recent churn.
     mutable std::atomic<uint32_t> Hits{0};
@@ -111,6 +128,9 @@ private:
   struct Ref {
     std::shared_ptr<const Entry> E;
     uint64_t Generation = 0; ///< Shard generation at last access.
+    /// Copy of E->VarSig: the gather loop rejects non-covering
+    /// candidates without dereferencing the entry.
+    uint64_t VarSig = 0;
   };
   /// One variable's index list plus the content-hash set that keeps it
   /// duplicate-free (a re-solved model refreshes its resident copy's
@@ -145,6 +165,7 @@ private:
   std::vector<Shard> Shards;
   size_t MaxPerShard = 0;
   unsigned ProbeLimit = 8;
+  bool SignatureFilter = true;
   std::atomic<uint64_t> Evictions{0};
 };
 

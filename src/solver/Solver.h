@@ -124,6 +124,19 @@ struct SolverQueryStats {
                                  ///< different queries, not just repeats).
   uint64_t CoreCacheEvictions = 0; ///< Index entries dropped by the
                                    ///< cache's generation-LRU bound.
+  // Probe-filter counters (the O(1) signature pre-filters of the cache
+  // probe paths; see CoreCacheOptions::SignatureFilter and
+  // ModelCacheOptions::SignatureFilter).
+  uint64_t CoreCacheProbeVisits = 0; ///< Candidate cores reaching the
+                                     ///< sorted inclusion scan (the work
+                                     ///< the filters exist to avoid).
+  uint64_t CoreCacheSigSkips = 0;   ///< Candidates rejected by the 64-bit
+                                    ///< footprint signature alone.
+  uint64_t CoreCacheShardSkips = 0; ///< Probe ids rejected by a shard's
+                                    ///< Bloom filter before its lock.
+  uint64_t ModelCacheSigSkips = 0;  ///< Model candidates rejected by the
+                                    ///< variable-footprint signature
+                                    ///< before evaluation gathering.
   uint64_t PoisonedQueries = 0; ///< Checks refused because their key was
                                 ///< poisoned by an earlier blow-up.
   uint64_t PoisonedInserts = 0; ///< Keys newly poisoned (a solve blew a

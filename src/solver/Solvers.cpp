@@ -62,6 +62,10 @@ SolverQueryStats &SolverQueryStats::operator+=(const SolverQueryStats &O) {
   CoreCacheMisses += O.CoreCacheMisses;
   CoreSubsumptions += O.CoreSubsumptions;
   CoreCacheEvictions += O.CoreCacheEvictions;
+  CoreCacheProbeVisits += O.CoreCacheProbeVisits;
+  CoreCacheSigSkips += O.CoreCacheSigSkips;
+  CoreCacheShardSkips += O.CoreCacheShardSkips;
+  ModelCacheSigSkips += O.ModelCacheSigSkips;
   PoisonedQueries += O.PoisonedQueries;
   PoisonedInserts += O.PoisonedInserts;
   PoisonCacheEvictions += O.PoisonCacheEvictions;
@@ -98,6 +102,10 @@ SolverQueryStats &SolverQueryStats::operator-=(const SolverQueryStats &O) {
   CoreCacheMisses -= O.CoreCacheMisses;
   CoreSubsumptions -= O.CoreSubsumptions;
   CoreCacheEvictions -= O.CoreCacheEvictions;
+  CoreCacheProbeVisits -= O.CoreCacheProbeVisits;
+  CoreCacheSigSkips -= O.CoreCacheSigSkips;
+  CoreCacheShardSkips -= O.CoreCacheShardSkips;
+  ModelCacheSigSkips -= O.ModelCacheSigSkips;
   PoisonedQueries -= O.PoisonedQueries;
   PoisonedInserts -= O.PoisonedInserts;
   PoisonCacheEvictions -= O.PoisonCacheEvictions;
@@ -433,8 +441,14 @@ public:
         Constraints = sliceReachable(Constraints, Meaningful);
       Constraints.insert(Constraints.end(), Meaningful.begin(),
                          Meaningful.end());
-      if (HaveKey)
+      // The key's footprint signature is computed ONCE here and threaded
+      // through every probe of the miss pipeline (core cache now;
+      // signatures are cheap but the pipeline runs per check).
+      uint64_t KeySig = 0;
+      if (HaveKey) {
         SessionVerdictCache::makeKey(Constraints, Key, KeyHash);
+        KeySig = footprintSignature(Key);
+      }
       if (UseCache) {
         SolverResult Hit;
         if (Cfg.Cache->lookup(Key, KeyHash, Hit)) {
@@ -455,7 +469,11 @@ public:
       }
       if (Cfg.Models) {
         VarAssignment Hit;
-        if (Cfg.Models->probe(Constraints, varsOfAll(Constraints), Hit)) {
+        std::vector<ExprRef> Vars = varsOfAll(Constraints);
+        uint64_t VarsSig = 0;
+        for (ExprRef V : Vars)
+          VarsSig |= footprintBit(V->id());
+        if (Cfg.Models->probe(Constraints, Vars, VarsSig, Hit)) {
           ++Stats.EvalSatShortcuts;
           ++Stats.SatResults;
           R.Result = SolverResult::Sat;
@@ -475,7 +493,7 @@ public:
       // same key ids the verdict cache missed on, so a hit here is a
       // strictly-new refutation (a subsuming core learned under a
       // DIFFERENT key).
-      if (Cfg.Cores && Cfg.Cores->probe(Key)) {
+      if (Cfg.Cores && Cfg.Cores->probe(Key, KeySig)) {
         R.Result = SolverResult::Unsat;
         ++Stats.UnsatResults;
         // Cores name constraints, not the caller's assumption subset;

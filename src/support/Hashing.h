@@ -54,6 +54,24 @@ inline uint64_t hashString(std::string_view S) {
   return hashBytes(S.data(), S.size());
 }
 
+/// One bit of a 64-bit footprint signature for id \p X (a constraint or
+/// variable node id). Signatures are the O(1) pre-filter of the cache
+/// probe paths: a set's signature is the OR of its members' bits, and
+/// `(A & ~B) != 0` proves set A is NOT a subset of set B (the converse
+/// can false-positive — the filter only skips work, never answers).
+inline uint64_t footprintBit(uint64_t X) {
+  return 1ull << (hashMix(X) & 63);
+}
+
+/// OR of footprintBit over a container of ids.
+template <typename Container>
+inline uint64_t footprintSignature(const Container &Ids) {
+  uint64_t Sig = 0;
+  for (uint64_t Id : Ids)
+    Sig |= footprintBit(Id);
+  return Sig;
+}
+
 } // namespace symmerge
 
 #endif // SYMMERGE_SUPPORT_HASHING_H

@@ -146,6 +146,99 @@ TEST(CoreCacheTest, GenerationLruBoundsEntriesAndKeepsHotCores) {
   EXPECT_TRUE(Cache->probe(keyOf({HotA, HotB})));
 }
 
+TEST(CoreCacheTest, SignatureFilterCutsProbeVisitsOnLargeCaches) {
+  // The perf regression test for the probe pre-filters: fill two caches
+  // — filter on (default) and off (the baseline) — with many cores that
+  // all share one constraint, then probe supersets of that constraint
+  // which none of the cores subsume. The baseline spends its whole
+  // candidate budget on inclusion scans; the filtered cache rejects the
+  // same candidates by signature (and whole shards by Bloom bit) before
+  // any scan. Verdicts must be identical — the filters only skip work.
+  ExprContext Ctx;
+  auto Filtered = createCoreCache();
+  CoreCacheOptions BaselineOpts;
+  BaselineOpts.SignatureFilter = false;
+  auto Baseline = createCoreCache(BaselineOpts);
+
+  ExprRef X = Ctx.mkVar("x", 16);
+  ExprRef A = Ctx.mkUlt(X, Ctx.mkConst(5, 16));
+  // 64 minimal cores {A, x == 1000+k}: every one indexes under A, none
+  // is a subset of a probe that lacks its second member.
+  for (uint64_t K = 0; K < 64; ++K) {
+    ExprRef B = Ctx.mkEq(X, Ctx.mkConst(1000 + K, 16));
+    Filtered->publish({A, B});
+    Baseline->publish({A, B});
+  }
+  ASSERT_EQ(Filtered->size(), Baseline->size());
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Visits0 = Stats.CoreCacheProbeVisits;
+  uint64_t Skips0 = Stats.CoreCacheSigSkips;
+  uint64_t Shard0 = Stats.CoreCacheShardSkips;
+  uint64_t FilteredVisits = 0, BaselineVisits = 0;
+  for (uint64_t K = 0; K < 16; ++K) {
+    // {A, x == 100+k} is never cached; both caches must miss.
+    std::vector<uint64_t> Key =
+        keyOf({A, Ctx.mkEq(X, Ctx.mkConst(100 + K, 16))});
+    uint64_t Before = Stats.CoreCacheProbeVisits;
+    EXPECT_FALSE(Baseline->probe(Key));
+    BaselineVisits += Stats.CoreCacheProbeVisits - Before;
+    Before = Stats.CoreCacheProbeVisits;
+    EXPECT_FALSE(Filtered->probe(Key));
+    FilteredVisits += Stats.CoreCacheProbeVisits - Before;
+  }
+  EXPECT_GT(BaselineVisits, 0u)
+      << "the baseline must burn candidate scans on these probes";
+  EXPECT_LT(FilteredVisits, BaselineVisits)
+      << "the signature filter must cut inclusion-scan visits";
+  EXPECT_GT(Stats.CoreCacheSigSkips, Skips0)
+      << "the rejected candidates must be counted";
+  EXPECT_GT(Stats.CoreCacheShardSkips, Shard0)
+      << "the never-indexed probe ids must be Bloom-skipped pre-lock";
+  (void)Visits0;
+
+  // Hits are preserved: a probed superset of a recently used core
+  // answers true on both caches.
+  std::vector<uint64_t> HitKey = keyOf(
+      {A, Ctx.mkEq(X, Ctx.mkConst(1063, 16)),
+       Ctx.mkUlt(Ctx.mkConst(2, 16), X)});
+  EXPECT_TRUE(Baseline->probe(HitKey));
+  EXPECT_TRUE(Filtered->probe(HitKey));
+  // And the filter EXTENDS hit reach: signature rejects cost no
+  // candidate slot, so the oldest core — 63 entries deep in A's list,
+  // far beyond the baseline's ProbeLimit gather window — is still found.
+  std::vector<uint64_t> DeepKey = keyOf(
+      {A, Ctx.mkEq(X, Ctx.mkConst(1000, 16)),
+       Ctx.mkUlt(Ctx.mkConst(2, 16), X)});
+  EXPECT_FALSE(Baseline->probe(DeepKey))
+      << "the baseline's candidate budget is expected to miss this deep "
+         "entry (if this starts hitting, the fixture no longer exercises "
+         "the budget)";
+  EXPECT_TRUE(Filtered->probe(DeepKey))
+      << "signature-rejected candidates must not consume the budget";
+
+  // Eviction rebuilds the Bloom filter without false negatives: shrink a
+  // filtered cache hard, then verify every surviving core is still
+  // reachable through the filter.
+  CoreCacheOptions Small;
+  Small.MaxEntries = 32;
+  Small.Shards = 2;
+  auto Churn = createCoreCache(Small);
+  std::vector<std::vector<uint64_t>> Keys;
+  for (uint64_t K = 0; K < 100; ++K) {
+    ExprRef P = Ctx.mkEq(X, Ctx.mkConst(2000 + 2 * K, 16));
+    ExprRef Q = Ctx.mkEq(X, Ctx.mkConst(2001 + 2 * K, 16));
+    Churn->publish({P, Q});
+    Keys.push_back(keyOf({P, Q}));
+  }
+  ASSERT_GT(Churn->evictions(), 0u);
+  unsigned Live = 0;
+  for (const std::vector<uint64_t> &K : Keys)
+    Live += Churn->probe(K);
+  EXPECT_GT(Live, 0u)
+      << "the rebuilt Bloom filter must not hide surviving cores";
+}
+
 TEST(CoreCacheTest, CrossThreadPublishAndProbeStayCoherent) {
   // Four threads hammer one cache, each over its own variable; every
   // thread's newest core must be probeable afterwards, and a concurrent

@@ -87,9 +87,14 @@ TEST(ModelCacheTest, UnassignedVariablesEvaluateAsZero) {
   // Validation is total: variables a candidate does not assign evaluate
   // as zero (VarAssignment's default), so a candidate with a PARTIAL
   // footprint can still validate — and the zero completion is exactly
-  // what the hit reports.
+  // what the hit reports. The signature pre-filter deliberately trades
+  // these zero-default validations away (a probe variable missing from
+  // the model's footprint rejects the candidate before evaluation), so
+  // this contract is pinned with the filter OFF.
   ExprContext Ctx;
-  auto Cache = createModelCache();
+  ModelCacheOptions Opts;
+  Opts.SignatureFilter = false;
+  auto Cache = createModelCache(Opts);
   ExprRef X = Ctx.mkVar("x", 8);
   ExprRef Z = Ctx.mkVar("z", 8);
 
@@ -105,6 +110,37 @@ TEST(ModelCacheTest, UnassignedVariablesEvaluateAsZero) {
   EXPECT_FALSE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(1, 8)),
                              Ctx.mkEq(Z, Ctx.mkConst(9, 8))},
                             {X, Z}, Hit));
+}
+
+TEST(ModelCacheTest, SignatureFilterSkipsPartialFootprintCandidates) {
+  // The default (filter-on) dual of UnassignedVariablesEvaluateAsZero:
+  // a candidate missing a probe variable is rejected by the footprint
+  // signature before gathering — counted, and never evaluated — while a
+  // full-coverage candidate still hits.
+  ExprContext Ctx;
+  auto Cache = createModelCache();
+  ExprRef X = Ctx.mkVar("x", 8);
+  ExprRef Z = Ctx.mkVar("z", 8);
+
+  Cache->insert(makeModel({{X, 1}}));
+
+  SolverQueryStats &Stats = solverStats();
+  uint64_t Skips0 = Stats.ModelCacheSigSkips;
+  VarAssignment Hit;
+  EXPECT_FALSE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(1, 8)),
+                             Ctx.mkEq(Z, Ctx.mkConst(0, 8))},
+                            {X, Z}, Hit))
+      << "a partial-footprint candidate must be filtered, even though "
+         "the zero default would have validated it";
+  EXPECT_GT(Stats.ModelCacheSigSkips, Skips0);
+
+  // A model covering the full probe footprint passes the filter.
+  Cache->insert(makeModel({{X, 1}, {Z, 0}}));
+  EXPECT_TRUE(Cache->probe({Ctx.mkEq(X, Ctx.mkConst(1, 8)),
+                            Ctx.mkEq(Z, Ctx.mkConst(0, 8))},
+                           {X, Z}, Hit));
+  EXPECT_EQ(Hit.get(X), 1u);
+  EXPECT_EQ(Hit.get(Z), 0u);
 }
 
 TEST(ModelCacheTest, GenerationLruBoundsEntriesAndKeepsHotModels) {

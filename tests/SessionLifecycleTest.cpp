@@ -241,6 +241,12 @@ struct SolverMode {
   /// the row must complete gracefully and can only explore MORE than the
   /// exact reference — never bit-identically.
   bool ExactOutcome = true;
+  /// Probe-filter axis: the O(1) footprint-signature pre-filters on the
+  /// model/core-cache probe paths. On by default (the production
+  /// configuration); the -nosig row pins the unfiltered probe walk so
+  /// the differential covers the filter axis in both directions — the
+  /// filters may only change HOW a cache answers, never the outcome.
+  bool SignatureFilters = true;
 };
 
 const SolverMode SolverModes[] = {
@@ -258,6 +264,12 @@ const SolverMode SolverModes[] = {
     // async test generation. No budget, so nothing is ever poisoned and
     // the outcome is bit-identical to every exact row.
     {"state+refute", true, true, true, true, true, true, true},
+    // The production stack with the probe-path signature filters pinned
+    // OFF: the unfiltered probe walk must agree bit-identically with the
+    // filtered fast path (filters only skip non-matching candidates,
+    // they never change what a run does with a cache answer).
+    {"state+refute-nosig", true, true, true, true, true, true, true, 0,
+     true, false},
     // Forced-tiny-budget hostile mode: a 1-conflict budget blows most
     // real solves into poisoned Unknowns. The run must degrade
     // gracefully (complete, over-approximate), not crash or hang.
@@ -277,6 +289,7 @@ void applyMode(SymbolicRunner::Config &C, const SolverMode &M) {
   C.SolverCoreCache = M.CoreCaches;
   C.SolverPoisonCache = M.CoreCaches;
   C.SolverConflictBudget = M.TinyConflictBudget;
+  C.SolverSignatureFilters = M.SignatureFilters;
 }
 
 /// Everything a run produced, canonicalized for comparison.
@@ -450,9 +463,17 @@ TEST_P(ParallelDifferentialTest, WorkerCountsAgreeOnRandomPrograms) {
   const uint64_t ExtraWorkers = envOr("SYMMERGE_DIFF_WORKERS", 0);
   const int Shard = GetParam();
 
-  std::vector<unsigned> WorkerCounts = {1, 2, 4};
+  // The axis is (workers, lock-free frontier). The workers=4 row with
+  // the lock-free fast path disabled pins the mutex frontier (the
+  // --no-lockfree-frontier baseline) against the same workers=1
+  // reference: the Chase-Lev path must be invisible to outcomes.
+  struct Run {
+    unsigned Workers;
+    bool LockFree;
+  };
+  std::vector<Run> Runs = {{1, true}, {2, true}, {4, true}, {4, false}};
   if (ExtraWorkers > 4)
-    WorkerCounts.push_back(static_cast<unsigned>(ExtraWorkers));
+    Runs.push_back({static_cast<unsigned>(ExtraWorkers), true});
 
   uint64_t TotalForks = 0;
   // At least 4*Iters programs; keep generating (up to 8*Iters) until the
@@ -470,18 +491,23 @@ TEST_P(ParallelDifferentialTest, WorkerCountsAgreeOnRandomPrograms) {
 
     for (const SolverMode &SM : SolverModes) {
       Outcome Reference;
-      for (unsigned Workers : WorkerCounts) {
+      for (size_t RI = 0; RI < Runs.size(); ++RI) {
+        const unsigned Workers = Runs[RI].Workers;
         SymbolicRunner::Config C;
         C.Merge = SymbolicRunner::MergeMode::None;
         C.Driving = SymbolicRunner::Strategy::BFS;
-        C.Engine.MaxSeconds = 60;
+        // Anti-hang guard only — exhaustion is asserted below, so the
+        // budget must clear the slowest row (the hostile tiny-budget
+        // mode over-explores, and TSan multiplies that by ~15x).
+        C.Engine.MaxSeconds = 300;
         C.Engine.Workers = Workers;
+        C.Engine.LockFreeFrontier = Runs[RI].LockFree;
         applyMode(C, SM);
         Outcome O = runProgram(*CR.M, C);
         std::sort(O.Tests.begin(), O.Tests.end());
         ASSERT_TRUE(O.Exhausted)
             << SM.Name << " workers=" << Workers << " seed " << Seed;
-        if (Workers == WorkerCounts.front()) {
+        if (RI == 0) {
           Reference = O;
           TotalForks += O.Forks;
           continue;
@@ -493,6 +519,7 @@ TEST_P(ParallelDifferentialTest, WorkerCountsAgreeOnRandomPrograms) {
           continue;
         EXPECT_TRUE(O == Reference)
             << SM.Name << " workers=" << Workers
+            << " lockfree=" << Runs[RI].LockFree
             << " diverged from workers=1 on seed " << Seed << "\nforks "
             << O.Forks << " vs " << Reference.Forks << ", completed "
             << O.CompletedStates << " vs " << Reference.CompletedStates
@@ -541,16 +568,26 @@ TEST(ParallelDifferentialTest, ParallelMergingIsSound) {
     ASSERT_TRUE(CR.ok());
 
     Outcome Reference;
-    for (unsigned Workers : {1u, 2u, 4u}) {
+    // Last row: 4 workers on the mutex frontier (lock-free path off) —
+    // merging soundness must not depend on the frontier implementation.
+    struct Run {
+      unsigned Workers;
+      bool LockFree;
+    };
+    bool HaveReference = false;
+    for (Run R : {Run{1, true}, Run{2, true}, Run{4, true}, Run{4, false}}) {
+      const unsigned Workers = R.Workers;
       SymbolicRunner::Config C;
       C.Merge = SymbolicRunner::MergeMode::All;
       C.Driving = SymbolicRunner::Strategy::Topological;
       C.Engine.MaxSeconds = 60;
       C.Engine.Workers = Workers;
+      C.Engine.LockFreeFrontier = R.LockFree;
       Outcome O = runProgram(*CR.M, C);
       ASSERT_TRUE(O.Exhausted) << "workers=" << Workers << " seed " << Seed;
-      if (Workers == 1) {
+      if (!HaveReference) {
         Reference = O;
+        HaveReference = true;
         continue;
       }
       EXPECT_EQ(O.Coverage, Reference.Coverage)

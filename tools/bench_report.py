@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Produce and gate the microbenchmark trajectory (BENCH_micro.json).
+
+Two modes, composable in one invocation:
+
+  report   run a bench binary with --benchmark_format=json and write the
+           raw google-benchmark JSON to --out (default BENCH_micro.json).
+
+  check    compare a BENCH_micro.json against a checked-in baseline
+           (bench/BENCH_micro.baseline.json) and fail when any gated
+           series regressed by more than --max-ratio in ns/op.
+
+Typical CI use (from the build directory):
+
+  python3 ../tools/bench_report.py --bench ./bench_micro \
+      --out BENCH_micro.json --baseline ../bench/BENCH_micro.baseline.json
+
+The gate is deliberately tolerant (default --max-ratio 2.0): CI runners
+are noisy and heterogeneous, so the gate only catches order-of-magnitude
+mistakes — an accidentally serialized fast path, a filter that stopped
+filtering — not percent-level drift. Track percent-level drift by eye in
+the archived BENCH_micro.json artifacts instead.
+
+Regenerating the baseline after an intentional perf change:
+
+  ./bench_micro --benchmark_filter='<GATED series>' \
+      --benchmark_format=json --benchmark_min_time=0.05 \
+      > ../bench/BENCH_micro.baseline.json
+
+and commit the result (prune the `context` block if it bothers you; the
+gate only reads `benchmarks[].name` / `cpu_time`).
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Series the perf gate pins: the hot paths this repo's perf work targets.
+# Each must stay within --max-ratio of the checked-in baseline ns/op.
+# BM_FrontierSteal/16 and other unlisted rows are reported in the JSON
+# but not gated (the 16-way round-robin scan is dominated by deque-probe
+# fan-out, which is load-dependent and noisier than the pinned rows).
+GATED = [
+    "BM_FrontierHomePop/1/1",
+    "BM_FrontierHomePop/4/1",
+    "BM_FrontierSteal/2/1",
+    "BM_FrontierSteal/4/1",
+    "BM_CoreCacheProbeMiss/16/1",
+    "BM_ModelCacheProbeMiss/16",
+    "BM_SolverBranchIncrementalSession/8",
+    "BM_SnapshotEncode",
+]
+
+# The filter passed to the bench binary in report mode: the gated series
+# plus the ungated rows worth archiving in the trajectory.
+REPORT_FILTER = (
+    "BM_Frontier|BM_CoreCacheProbe|BM_ModelCacheProbe|BM_SolverBranch|"
+    "BM_SolverStateLifetime|BM_SolverGroupedLifetime|BM_PoisonedRetry|"
+    "BM_Snapshot"
+)
+
+
+def series(doc):
+    """name -> cpu ns/op for every benchmark entry in a gbench JSON doc."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            continue
+        out[b["name"]] = float(b["cpu_time"]) * scale
+    return out
+
+
+def run_report(bench, out, min_time):
+    cmd = [
+        bench,
+        f"--benchmark_filter={REPORT_FILTER}",
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    print(f"bench_report: running {' '.join(cmd)}", file=sys.stderr)
+    res = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    doc = json.loads(res.stdout)
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2)
+    print(f"bench_report: wrote {len(doc.get('benchmarks', []))} series "
+          f"to {out}", file=sys.stderr)
+    return doc
+
+
+def run_check(doc, baseline_path, max_ratio):
+    with open(baseline_path) as f:
+        base = series(json.load(f))
+    cur = series(doc)
+    failures = []
+    for name in GATED:
+        if name not in base:
+            print(f"bench_report: gate SKIP {name}: not in baseline "
+                  f"(regenerate {baseline_path})", file=sys.stderr)
+            continue
+        if name not in cur:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = cur[name] / base[name]
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        print(f"bench_report: gate {verdict:4} {name}: "
+              f"{cur[name]:10.1f} ns vs baseline {base[name]:10.1f} ns "
+              f"(x{ratio:.2f}, limit x{max_ratio:.2f})", file=sys.stderr)
+        if ratio > max_ratio:
+            failures.append(
+                f"{name}: {cur[name]:.1f} ns is x{ratio:.2f} of baseline "
+                f"{base[name]:.1f} ns (limit x{max_ratio:.2f})")
+    if failures:
+        print("bench_report: perf gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        print("If the regression is intentional, regenerate the baseline "
+              "(see tools/bench_report.py docstring).", file=sys.stderr)
+        return 1
+    print("bench_report: perf gate passed", file=sys.stderr)
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", help="bench binary to run (report mode)")
+    ap.add_argument("--json", help="existing gbench JSON instead of --bench")
+    ap.add_argument("--out", default="BENCH_micro.json",
+                    help="output path for the raw JSON (default: %(default)s)")
+    ap.add_argument("--baseline",
+                    help="baseline JSON to gate against (enables check mode)")
+    ap.add_argument("--max-ratio", type=float, default=2.0,
+                    help="fail when current/baseline ns/op exceeds this "
+                         "(default: %(default)s)")
+    ap.add_argument("--min-time", default="0.05",
+                    help="--benchmark_min_time per series (default: "
+                         "%(default)s)")
+    args = ap.parse_args()
+
+    if not args.bench and not args.json:
+        ap.error("need --bench (to run) or --json (to read)")
+    if args.json:
+        with open(args.json) as f:
+            doc = json.load(f)
+    else:
+        doc = run_report(args.bench, args.out, args.min_time)
+
+    if args.baseline:
+        return run_check(doc, args.baseline, args.max_ratio)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,11 @@ void usage(const char *Argv0) {
       "  --max-steps=N --max-seconds=F --max-tests=N --seed=N\n"
       "  --workers=N              engine worker threads (default: hardware\n"
       "                           concurrency; 1 = sequential engine)\n"
+      "  --no-lockfree-frontier   schedule through the per-partition\n"
+      "                           mutexes only (no Chase-Lev deques;\n"
+      "                           the measurable scheduler baseline)\n"
+      "  --pin-workers            pin worker I to CPU I mod hardware\n"
+      "                           concurrency (Linux; no-op elsewhere)\n"
       "  --no-incremental         one-shot solver queries (baseline)\n"
       "  --no-per-state-sessions  per-site solver sessions (PR-1 baseline)\n"
       "  --no-verdict-cache       disable the session verdict cache\n"
@@ -85,6 +90,9 @@ void usage(const char *Argv0) {
       "                           (no evaluation-based SAT shortcuts)\n"
       "  --no-core-cache          disable the UNSAT-core subsumption cache\n"
       "                           (no refutation reuse)\n"
+      "  --no-signature-filters   disable the O(1) signature pre-filters on\n"
+      "                           the model/core-cache probe paths (the\n"
+      "                           measurable baseline probe walk)\n"
       "  --no-poison-cache        disable the blown-budget poison cache\n"
       "                           (budgeted queries may be re-attempted)\n"
       "  --solve-budget-conflicts=N  SAT conflict budget per query; a blown\n"
@@ -209,6 +217,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Config.SolverModelCache = false;
     } else if (Arg == "--no-core-cache") {
       Opts.Config.SolverCoreCache = false;
+    } else if (Arg == "--no-signature-filters") {
+      Opts.Config.SolverSignatureFilters = false;
     } else if (Arg == "--no-poison-cache") {
       Opts.Config.SolverPoisonCache = false;
     } else if (const char *V = Value("--solve-budget-conflicts=")) {
@@ -235,6 +245,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
           static_cast<unsigned>(std::strtoull(V, nullptr, 10));
       if (Opts.Config.Engine.Workers == 0)
         Opts.Config.Engine.Workers = 1;
+    } else if (Arg == "--no-lockfree-frontier") {
+      Opts.Config.Engine.LockFreeFrontier = false;
+    } else if (Arg == "--pin-workers") {
+      Opts.Config.Engine.PinWorkers = true;
     } else if (const char *V = Value("--session-scope-limit=")) {
       Opts.Config.Engine.SessionMaxRetiredScopes =
           static_cast<unsigned>(std::strtoull(V, nullptr, 10));
@@ -482,6 +496,12 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.SolverCoreCacheMisses),
                 static_cast<unsigned long long>(S.SolverCoreCacheEvictions),
                 static_cast<unsigned long long>(S.SolverCoreSubsumptions));
+    std::printf("probe filters    %llu core visits / %llu sig skips / "
+                "%llu shard skips / %llu model sig skips\n",
+                static_cast<unsigned long long>(S.SolverCoreCacheProbeVisits),
+                static_cast<unsigned long long>(S.SolverCoreCacheSigSkips),
+                static_cast<unsigned long long>(S.SolverCoreCacheShardSkips),
+                static_cast<unsigned long long>(S.SolverModelCacheSigSkips));
     std::printf("poison cache     %llu poisoned / %llu inserted / %llu "
                 "evicted (unknowns: %llu)\n",
                 static_cast<unsigned long long>(S.SolverPoisonedQueries),

@@ -16,6 +16,7 @@
 #include "core/Driver.h"
 #include "core/Frontier.h"
 #include "core/MergePolicy.h"
+#include "core/Policy.h"
 #include "core/StateMerge.h"
 #include "solver/CoreCache.h"
 #include "solver/ModelCache.h"
@@ -183,6 +184,45 @@ static void BM_SolverBranchFreshBaseline(benchmark::State &State) {
                                        Counter::kAvgIterations);
 }
 BENCHMARK(BM_SolverBranchFreshBaseline)->Arg(2)->Arg(8)->Arg(16);
+
+/// A fork whose false polarity is infeasible — the shape a branch
+/// predictor exploits. Arg 0 is the unhinted engine order (feasible side
+/// first: one SAT solve, then one UNSAT solve to close the branch);
+/// Arg 1 is the predicted order: the engine solves the UNpredicted side
+/// first and its UNSAT answer proves the predicted side feasible for
+/// free under the feasible-path-condition invariant — one solve total.
+/// The delta between the two series is what a correct hint saves at one
+/// one-sided branch site.
+static void BM_PredictedFork(benchmark::State &State) {
+  ExprContext Ctx;
+  auto Core = createCoreSolver(Ctx);
+  auto [PC, Cond] = makeBranchPoint(Ctx, 8);
+  // Make the branch one-sided: the path condition already implies Cond
+  // (x + y < 400 < 500), as at the loop-guard branches predictors guess
+  // right on.
+  PC.Constraints.push_back(
+      Ctx.mkUlt(Ctx.mkAdd(Ctx.mkVar("x", 32), Ctx.mkVar("y", 32)),
+                Ctx.mkConst(400, 32)));
+  ExprRef NotCond = Ctx.mkNot(Cond);
+  const bool Predicted = State.range(0) != 0;
+  const SolverQueryStats Before = solverStats();
+  for (auto _ : State) {
+    auto Sess = Core->openSession();
+    for (ExprRef E : PC.Constraints)
+      Sess->assert_(E);
+    if (Predicted) {
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(NotCond));
+    } else {
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(Cond));
+      benchmark::DoNotOptimize(Sess->checkSatAssuming(NotCond));
+    }
+  }
+  const SolverQueryStats &S = solverStats();
+  using benchmark::Counter;
+  State.counters["core_s"] = Counter(
+      S.CoreSolveSeconds - Before.CoreSolveSeconds, Counter::kAvgIterations);
+}
+BENCHMARK(BM_PredictedFork)->Arg(0)->Arg(1);
 
 namespace {
 
@@ -732,6 +772,28 @@ BENCHMARK(BM_FrontierSteal)
     ->Args({2, 1})
     ->Args({4, 1})
     ->Args({16, 1});
+
+/// Priority pick-next: the policy searcher's select() is a linear argmax
+/// that re-scores every queued state (scores are pure functions of state
+/// and coverage, which is what keeps checkpoints policy-agnostic). Time
+/// is per pick over a worklist of range(0) states with spread
+/// multiplicities — the sequential engine's selection hot path under
+/// `--policy=multiplicity`.
+static void BM_PolicyPickNext(benchmark::State &State) {
+  const unsigned NumStates = static_cast<unsigned>(State.range(0));
+  FrontierFixture F(NumStates);
+  for (unsigned I = 0; I < NumStates; ++I)
+    F.States[I]->Multiplicity = static_cast<double>((I * 7) % 13 + 1);
+  auto Search = createPrioritySearcher(createMultiplicityPolicy());
+  for (auto _ : State) {
+    for (auto &S : F.States)
+      Search->add(S.get());
+    for (unsigned I = 0; I < NumStates; ++I)
+      benchmark::DoNotOptimize(Search->select());
+  }
+  State.SetItemsProcessed(State.iterations() * NumStates);
+}
+BENCHMARK(BM_PolicyPickNext)->Arg(16)->Arg(64)->Arg(256);
 
 //===----------------------------------------------------------------------===
 // Checkpoint serialization

@@ -39,6 +39,9 @@ double CoverageTracker::statementCoverage() const {
 void CoverageTracker::reset() {
   for (auto &[BB, Count] : Counts)
     Count.store(0, std::memory_order_relaxed);
+  // Coverage shrank, which first-entry increments never signal: bump the
+  // epoch here so coverage-derived memos drop their cached distances.
+  Epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::pair<const BasicBlock *, uint64_t>>
@@ -60,4 +63,7 @@ void CoverageTracker::restoreCounts(
     if (It != Counts.end())
       It->second.store(N, std::memory_order_relaxed);
   }
+  // The plain stores above grow the covered set without the first-entry
+  // signal onBlockEntered provides.
+  Epoch.fetch_add(1, std::memory_order_relaxed);
 }

@@ -36,7 +36,8 @@ public:
   explicit CoverageTracker(const Module &M);
 
   void onBlockEntered(const BasicBlock *BB) {
-    counter(BB).fetch_add(1, std::memory_order_relaxed);
+    if (counter(BB).fetch_add(1, std::memory_order_relaxed) == 0)
+      Epoch.fetch_add(1, std::memory_order_relaxed);
   }
 
   bool covered(const BasicBlock *BB) const { return timesEntered(BB) != 0; }
@@ -50,6 +51,11 @@ public:
 
   size_t coveredBlocks() const;
   size_t totalBlocks() const { return TotalBlocks; }
+
+  /// Monotone counter that grows exactly when a block is entered for the
+  /// first time. Lets coverage-derived memos (path-cover distances) cache
+  /// until the covered set actually changes.
+  uint64_t epoch() const { return Epoch.load(std::memory_order_relaxed); }
 
   /// Fraction of instructions that live in covered blocks.
   double statementCoverage() const;
@@ -75,6 +81,7 @@ private:
   const Module &M;
   size_t TotalBlocks = 0;
   size_t TotalInstrs = 0;
+  std::atomic<uint64_t> Epoch{0};
   std::unordered_map<const BasicBlock *, std::atomic<uint64_t>> Counts;
 };
 

@@ -100,11 +100,44 @@ SymbolicRunner::SymbolicRunner(const Module &M, Config C)
     Policy = createQCEFullPolicy(*QCEInfo);
     break;
   }
+  switch (Cfg.Policy) {
+  case PolicyKind::None:
+    break;
+  case PolicyKind::PathCover:
+    ExpPolicy = createPathCoverPolicy(PI, Cov);
+    break;
+  case PolicyKind::Multiplicity:
+    ExpPolicy = createMultiplicityPolicy();
+    break;
+  }
+  switch (Cfg.Predictor) {
+  case PredictorKind::None:
+    break;
+  case PredictorKind::FreshBranch:
+    ExpPredictor = createFreshBranchPredictor(Cov);
+    break;
+  case PredictorKind::Phase:
+    ExpPredictor = createPhaseBranchPredictor();
+    break;
+  case PredictorKind::Structure:
+    ExpPredictor = createStructureBranchPredictor();
+    break;
+  }
+  Cfg.Engine.Policy = ExpPolicy;
+  Cfg.Engine.Predictor = ExpPredictor;
+  Cfg.Engine.AdaptiveBudgets = Cfg.AdaptiveBudgets;
+  Cfg.Engine.AdaptiveBudgetBase = Cfg.SolverConflictBudget;
 }
 
 SymbolicRunner::~SymbolicRunner() = default;
 
 std::unique_ptr<Searcher> SymbolicRunner::makeDrivingSearcher(uint64_t Seed) {
+  // An active exploration policy replaces the driving strategy: selection
+  // is the policy's argmax score (DSM still wraps it in runImpl). With
+  // PolicyKind::None the configured strategy runs untouched — the
+  // bit-for-bit `--no-priority` baseline.
+  if (ExpPolicy)
+    return createPrioritySearcher(ExpPolicy);
   switch (Cfg.Driving) {
   case Strategy::DFS:
     return createDFSSearcher();

@@ -58,6 +58,24 @@ public:
     /// strategy's own order — use Strategy::Topological for SSM.
     bool UseDSM = false;
     Strategy Driving = Strategy::Random;
+    /// Exploration policy driving pick-next prioritization (see
+    /// core/Policy.h). None keeps the driving strategy's own order
+    /// bit-for-bit (`--no-priority`); any other kind replaces the driving
+    /// searcher with the priority searcher scoring states at select time
+    /// (DSM still wraps it), and parallel runs bucket each frontier
+    /// partition's deques by the policy's bands.
+    PolicyKind Policy = PolicyKind::None;
+    /// Branch-polarity predictor for the engine's fork hot path. Only
+    /// consulted while the feasible-path-condition invariant holds (the
+    /// runner clears it when a conflict/wall budget can return Unknown);
+    /// a correct hint saves the second polarity solve, a wrong one costs
+    /// nothing extra — exploration is identical either way.
+    PredictorKind Predictor = PredictorKind::None;
+    /// Per-site adaptive conflict budgets: a site whose checks keep
+    /// blowing SolverConflictBudget earns a temporarily raised budget
+    /// (doubling per 4 blow-ups, capped at 8x, decaying after 32 clean
+    /// visits). No effect when SolverConflictBudget is 0.
+    bool AdaptiveBudgets = false;
     QCEParams QCE;
     EngineOptions Engine;
     uint64_t Seed = 42;
@@ -216,6 +234,11 @@ private:
   std::shared_ptr<PoisonCache> Poison;
   std::unique_ptr<Solver> TheSolver;
   std::unique_ptr<MergePolicy> Policy;
+  /// The exploration policy / branch predictor built from Config::Policy
+  /// and Config::Predictor (null for None). Shared into EngineOptions —
+  /// the engine, frontier, and testgen pool all hold references.
+  std::shared_ptr<ExplorationPolicy> ExpPolicy;
+  std::shared_ptr<BranchPredictor> ExpPredictor;
   CoverageTracker Cov;
   CheckpointOptions Chk;
 };

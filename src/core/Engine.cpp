@@ -466,8 +466,56 @@ Engine::StepEnd Engine::executeInstr(ExecContext &X, ExecutionState &S,
     // both polarities of Algorithm 1's `follow` check are decided as
     // assumption queries against the shared prefix.
     PathSessionRef Sess = openPathSession(X, S);
-    bool MayTrue = Sess->mayBeTrue(C);
-    bool MayFalse = Sess->mayBeFalse(C);
+
+    const bool Adaptive =
+        Opts.AdaptiveBudgets && Opts.AdaptiveBudgetBase != 0;
+    const Location Site = S.Loc;
+    uint64_t UnknownsBefore = 0;
+    if (Adaptive) {
+      Sess->setConflictBudgetOverride(adaptiveOverrideFor(Site));
+      UnknownsBefore = solverStats().UnknownsObserved;
+    }
+
+    // Branch-predictor hook: solve the unpredicted polarity first. The
+    // one-sided checks map Unknown to "maybe", so a false return is an
+    // exact UNSAT — and with FeasiblePathConditions the prefix is known
+    // SAT, so `PC /\ !C UNSAT` PROVES `PC /\ C SAT` with no second
+    // query. A correct hint at a one-sided branch halves the solve
+    // count; a wrong (or unhelpful) hint just runs the same two checks
+    // the baseline always runs. Exploration outcomes are identical
+    // either way — the solver confirms every decision.
+    bool MayTrue, MayFalse;
+    BranchHint Hint;
+    if (Opts.Predictor && Opts.FeasiblePathConditions)
+      Hint = Opts.Predictor->predict(S, *C, I.Target1, I.Target2);
+    if (Hint.HasPrediction && Hint.PredictTrue) {
+      MayFalse = Sess->mayBeFalse(C);
+      if (!MayFalse) {
+        MayTrue = true; // Inferred: the prefix is SAT and !C is not.
+        ++X.Stats.PredictorHits;
+      } else {
+        MayTrue = Sess->mayBeTrue(C);
+        ++X.Stats.PredictorMisses;
+      }
+    } else if (Hint.HasPrediction) {
+      MayTrue = Sess->mayBeTrue(C);
+      if (!MayTrue) {
+        MayFalse = true; // Inferred, as above.
+        ++X.Stats.PredictorHits;
+      } else {
+        MayFalse = Sess->mayBeFalse(C);
+        ++X.Stats.PredictorMisses;
+      }
+    } else {
+      MayTrue = Sess->mayBeTrue(C);
+      MayFalse = Sess->mayBeFalse(C);
+    }
+
+    if (Adaptive) {
+      noteAdaptiveOutcome(
+          X, Site, solverStats().UnknownsObserved != UnknownsBefore);
+      Sess->setConflictBudgetOverride(0);
+    }
     if (MayTrue && MayFalse) {
       ++X.Stats.Forks;
       ++S.ForkDepth;
@@ -507,13 +555,35 @@ Engine::StepEnd Engine::executeInstr(ExecContext &X, ExecutionState &S,
       return StepEnd::Boundary;
     }
     PathSessionRef Sess = openPathSession(X, S);
+    // Adaptive budgets bracket the session checks only (the override
+    // does not reach the bug report's getModel, which goes through the
+    // top-level solver); the baseline's exact call order is preserved.
+    const bool Adaptive =
+        Opts.AdaptiveBudgets && Opts.AdaptiveBudgetBase != 0;
+    const Location Site = S.Loc;
+    uint64_t UnknownsBefore = 0;
+    if (Adaptive) {
+      Sess->setConflictBudgetOverride(adaptiveOverrideFor(Site));
+      UnknownsBefore = solverStats().UnknownsObserved;
+    }
+    auto CloseSite = [&] {
+      if (Adaptive) {
+        noteAdaptiveOutcome(
+            X, Site, solverStats().UnknownsObserved != UnknownsBefore);
+        Sess->setConflictBudgetOverride(0);
+      }
+    };
     if (Sess->mayBeFalse(C)) {
       emitBugReport(X, S, TestKind::AssertFailure, I.Message, Ctx.mkNot(C));
       if (!Sess->mayBeTrue(C)) {
+        CloseSite();
         S.Status = StateStatus::Errored;
         return StepEnd::Boundary;
       }
+      CloseSite();
       addConstraint(X, S, C);
+    } else {
+      CloseSite();
     }
     ++S.Loc.Index;
     return StepEnd::Continue;
@@ -720,6 +790,54 @@ static void mergeEngineStats(EngineStats &A, const EngineStats &B) {
   A.TestGenQueued += B.TestGenQueued;
   A.TestGenSolved += B.TestGenSolved;
   A.TestGenSkipped += B.TestGenSkipped;
+  A.PredictorHits += B.PredictorHits;
+  A.PredictorMisses += B.PredictorMisses;
+  A.AdaptiveBudgetBlowups += B.AdaptiveBudgetBlowups;
+  A.AdaptiveBudgetRaises += B.AdaptiveBudgetRaises;
+}
+
+/// Folds per-partition frontier depth high-water marks: element-wise max
+/// when the partition counts match (a resume with the same worker count),
+/// otherwise the fresh vector replaces the restored one.
+static void foldDepthHighWater(std::vector<uint64_t> &Into,
+                               const std::vector<uint64_t> &Fresh) {
+  if (Into.size() != Fresh.size()) {
+    Into = Fresh;
+    return;
+  }
+  for (size_t I = 0; I < Fresh.size(); ++I)
+    Into[I] = std::max(Into[I], Fresh[I]);
+}
+
+//===----------------------------------------------------------------------===
+// Adaptive per-site solve budgets
+//===----------------------------------------------------------------------===
+
+uint64_t Engine::adaptiveOverrideFor(const Location &L) {
+  std::lock_guard<std::mutex> Lock(BudgetMu);
+  auto It = BudgetSites.find({L.Block, L.Index});
+  unsigned Shift = It == BudgetSites.end() ? 0 : It->second.Shift;
+  return Opts.AdaptiveBudgetBase << Shift;
+}
+
+void Engine::noteAdaptiveOutcome(ExecContext &X, const Location &L,
+                                 bool Blown) {
+  std::lock_guard<std::mutex> Lock(BudgetMu);
+  BudgetSite &Site = BudgetSites[{L.Block, L.Index}];
+  if (Blown) {
+    // "Blown" is an UnknownsObserved delta across the site's checks, so
+    // poison-fence refusals count too: a site whose keys keep getting
+    // refused earns a bigger budget for when the poison entries age out.
+    ++X.Stats.AdaptiveBudgetBlowups;
+    Site.CleanStreak = 0;
+    if (++Site.Blowups % 4 == 0 && Site.Shift < 3) {
+      ++Site.Shift;
+      ++X.Stats.AdaptiveBudgetRaises;
+    }
+  } else if (Site.Shift != 0 && ++Site.CleanStreak >= 32) {
+    Site.CleanStreak = 0;
+    --Site.Shift;
+  }
 }
 
 /// Total order on test cases for the deterministic post-run ordering of
@@ -771,6 +889,7 @@ RunSnapshot Engine::captureSequential(const Timer &Wall,
       std::max<uint64_t>(Snap.Stats.MaxWorklist, Owned.size());
   Snap.Stats.WallSeconds += Wall.seconds();
   Snap.Stats.FastForwardSelections += Search.fastForwardSelections();
+  Snap.Stats.PolicyPicks += Search.policyPicks();
   Snap.Stats.Workers = 1;
   Snap.Stats.Exhausted = false;
   reportSolverStats(Snap.Stats, diffSolverStats(solverStats(), Baseline));
@@ -848,6 +967,9 @@ RunSnapshot Engine::captureParallel(StateFrontier &Frontier,
   Snap.Stats.WallSeconds += Wall.seconds();
   Snap.Stats.FastForwardSelections += Frontier.fastForwardSelections();
   Snap.Stats.FrontierSteals += Frontier.steals();
+  Snap.Stats.PolicyPicks += Frontier.policyPicks();
+  foldDepthHighWater(Snap.Stats.FrontierDepthHighWater,
+                     Frontier.depthHighWaters());
   Snap.Stats.Exhausted = false;
   SolverQueryStats Total = diffSolverStats(solverStats(), Baseline);
   Total += Accumulated;
@@ -962,6 +1084,7 @@ RunResult Engine::runSequential() {
   Result.Stats.Exhausted = Search.empty();
   Result.Stats.WallSeconds += Wall.seconds();
   Result.Stats.FastForwardSelections += Search.fastForwardSelections();
+  Result.Stats.PolicyPicks += Search.policyPicks();
   Result.Stats.Workers = 1;
 
   // Drain remaining states (budget stops leave some) BEFORE snapshotting
@@ -1105,8 +1228,19 @@ RunResult Engine::runParallel() {
   const unsigned Workers = Opts.Workers;
   // A policy that never merges unlocks the frontier's no-merge fast
   // path (no claim/pending-log protocol on the hot insert/pop paths).
+  // An exploration policy with more than one band buckets each
+  // partition's deques by band; Bands==1 is bit-for-bit the old
+  // single-deque structure.
+  unsigned Bands = 1;
+  StateFrontier::BandFunction BandOf;
+  if (Opts.Policy && Opts.Policy->numBands() > 1) {
+    Bands = Opts.Policy->numBands();
+    std::shared_ptr<ExplorationPolicy> P = Opts.Policy;
+    BandOf = [P](const ExecutionState &S) { return P->band(S); };
+  }
   StateFrontier Frontier(Workers, Resources.MakeSearcher,
-                         Opts.LockFreeFrontier, Policy.wantsMerging());
+                         Opts.LockFreeFrontier, Policy.wantsMerging(),
+                         Bands, std::move(BandOf));
 
   TestGenPending.store(0, std::memory_order_relaxed);
 
@@ -1152,7 +1286,8 @@ RunResult Engine::runParallel() {
           [this] {
             TestGenPending.fetch_sub(1, std::memory_order_relaxed);
           },
-          Resources.TestGenModels, Opts.TestGenThreads);
+          Resources.TestGenModels, Opts.TestGenThreads,
+          /*MultiplicityFirst=*/Opts.Policy != nullptr);
     TheTestGenPool = Pool.get();
 
     std::vector<EngineStats> WorkerStats(Workers);
@@ -1178,6 +1313,7 @@ RunResult Engine::runParallel() {
       TheTestGenPool = nullptr;
       Result.Stats.TestGenSolved += Pool->solved();
       Result.Stats.TestGenSkipped += Pool->skipped();
+      Result.Stats.TestGenReorderDistance += Pool->reorderDistance();
       Accum += Pool->stats(); // Pool threads' deltas, like a worker's.
     }
     for (const EngineStats &W : WorkerStats)
@@ -1209,6 +1345,9 @@ RunResult Engine::runParallel() {
   Result.Stats.MaxWorklist =
       std::max<uint64_t>(Result.Stats.MaxWorklist, MaxOwned);
   Result.Stats.FastForwardSelections += Frontier.fastForwardSelections();
+  Result.Stats.PolicyPicks += Frontier.policyPicks();
+  foldDepthHighWater(Result.Stats.FrontierDepthHighWater,
+                     Frontier.depthHighWaters());
   Result.Stats.Exhausted = Quiesced;
   Result.Stats.WallSeconds += Wall.seconds();
 

@@ -113,6 +113,22 @@ struct EngineOptions {
   /// (Linux only; silently a no-op elsewhere). Off by default: on
   /// oversubscribed machines pinning can serialize workers.
   bool PinWorkers = false;
+  /// Exploration policy (scores states; see Policy.h). Null = no policy:
+  /// the driving searcher's own order, today's exact behavior. When set,
+  /// the parallel frontier buckets its Chase-Lev deques by the policy's
+  /// bands, and testgen jobs pop multiplicity-first.
+  std::shared_ptr<ExplorationPolicy> Policy;
+  /// Branch-polarity predictor for the fork hot path (see Policy.h).
+  /// Null = the unconditional mayBeTrue-then-mayBeFalse pair. Only
+  /// consulted when FeasiblePathConditions holds (the inference "other
+  /// side UNSAT => predicted side SAT" needs a known-feasible prefix).
+  std::shared_ptr<BranchPredictor> Predictor;
+  /// Per-site adaptive solve budgets: track blown-budget counts per
+  /// branch site and raise the conflict budget where blow-ups
+  /// concentrate (shift capped at 8x), decaying back on clean streaks.
+  /// Requires AdaptiveBudgetBase != 0 (the configured per-solve budget).
+  bool AdaptiveBudgets = false;
+  uint64_t AdaptiveBudgetBase = 0;
 };
 
 /// One symbolic execution run over a module (starting at main).
@@ -209,6 +225,15 @@ private:
   /// migration as needed); otherwise a throwaway per-site session is
   /// opened.
   PathSessionRef openPathSession(ExecContext &X, ExecutionState &S);
+
+  /// Per-site adaptive solve budgets (Opts.AdaptiveBudgets): the
+  /// conflict-budget override for the query site at \p L —
+  /// AdaptiveBudgetBase shifted left by the site's accumulated raises.
+  uint64_t adaptiveOverrideFor(const Location &L);
+  /// Records whether the site's checks blew their budget (any Unknown
+  /// observed): every 4 blow-ups raise the site's budget one shift (cap
+  /// 8x), 32 consecutive clean visits decay one shift back.
+  void noteAdaptiveOutcome(ExecContext &X, const Location &L, bool Blown);
 
   void transferTo(ExecutionState &S, const BasicBlock *BB);
   void pushHistory(ExecutionState &S);
@@ -309,6 +334,18 @@ private:
   mutable std::mutex TestsMu; ///< Guards Result.Tests in parallel runs.
   std::mutex OwnedMu;         ///< Guards Owned/NextStateId in parallel runs.
   size_t MaxOwned = 0;        ///< Peak Owned.size() (under OwnedMu).
+
+  /// Per-site adaptive budget profile (Opts.AdaptiveBudgets): blown-solve
+  /// counts and the current budget shift per branch/assert site, shared
+  /// across workers under its own mutex (two map probes per checked
+  /// site — noise next to the solves they bracket).
+  struct BudgetSite {
+    uint64_t Blowups = 0;
+    unsigned Shift = 0;       ///< Budget multiplier log2, capped at 3.
+    unsigned CleanStreak = 0; ///< Consecutive unblown visits.
+  };
+  std::map<std::pair<const BasicBlock *, unsigned>, BudgetSite> BudgetSites;
+  std::mutex BudgetMu;
 };
 
 } // namespace symmerge

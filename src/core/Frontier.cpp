@@ -16,15 +16,35 @@ using namespace symmerge;
 
 StateFrontier::StateFrontier(unsigned NumPartitions,
                              const SearcherFactory &Make, bool LockFree,
-                             bool Merging)
-    : LockFree(LockFree), Merging(Merging) {
+                             bool Merging, unsigned PriorityBands,
+                             BandFunction BandOf)
+    : LockFree(LockFree), Merging(Merging),
+      Bands(std::max(1u, PriorityBands)), BandOf(std::move(BandOf)) {
+  assert((Bands == 1 || this->BandOf) &&
+         "banded frontier needs a band function");
   NumPartitions = std::max(1u, NumPartitions);
   Partitions.reserve(NumPartitions);
   for (unsigned I = 0; I < NumPartitions; ++I) {
     auto P = std::make_unique<Partition>();
     P->Search = Make(I);
+    P->Deques.reserve(Bands);
+    for (unsigned B = 0; B < Bands; ++B)
+      P->Deques.push_back(
+          std::make_unique<WorkStealingDeque<ExecutionState *>>());
     Partitions.push_back(std::move(P));
   }
+}
+
+void StateFrontier::depthInc(Partition &P) {
+  uint64_t D = P.Depth.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t HW = P.DepthHighWater.load(std::memory_order_relaxed);
+  while (D > HW && !P.DepthHighWater.compare_exchange_weak(
+                       HW, D, std::memory_order_relaxed))
+    ;
+}
+
+void StateFrontier::depthDec(Partition &P) {
+  P.Depth.fetch_sub(1, std::memory_order_relaxed);
 }
 
 StateFrontier::~StateFrontier() = default;
@@ -113,7 +133,8 @@ void StateFrontier::insert(ExecutionState *S, int Pusher) {
     Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
     Partition &D =
         Pusher < 0 ? *Partitions[partitionOf(*S)] : *Partitions[Pusher];
-    D.Deque.pushBottom(S);
+    depthInc(D);
+    D.Deques[bandOf(*S)]->pushBottom(S);
     notifyOne();
     return;
   }
@@ -124,6 +145,7 @@ void StateFrontier::insert(ExecutionState *S, int Pusher) {
     P.Search->add(S);
     P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
     ++P.Size;
+    depthInc(P);
     // Count the state BEFORE the lock is released: a pop on another
     // thread may select it the moment the lock drops, and its counter
     // updates must never see these without the increments.
@@ -142,7 +164,8 @@ void StateFrontier::insert(ExecutionState *S, int Pusher) {
   // increment. The deque push's release publishes it.
   Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
   Partition &D = Pusher < 0 ? P : *Partitions[Pusher];
-  D.Deque.pushBottom(S);
+  depthInc(D);
+  D.Deques[bandOf(*S)]->pushBottom(S);
   notifyOne();
 }
 
@@ -169,6 +192,7 @@ bool StateFrontier::insertOrMerge(ExecutionState *S, const MergeHooks &Hooks,
     P.Search->add(S);
     P.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
     ++P.Size;
+    depthInc(P);
     // As in insert(): counted before the state becomes poppable (the
     // lock release publishes them together).
     Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
@@ -213,7 +237,8 @@ bool StateFrontier::insertOrMerge(ExecutionState *S, const MergeHooks &Hooks,
   P.Log.append(S);
   Counts.fetch_add(InFlightOne | QueuedOne, std::memory_order_release);
   Partition &D = Pusher < 0 ? P : *Partitions[Pusher];
-  D.Deque.pushBottom(S);
+  depthInc(D);
+  D.Deques[bandOf(*S)]->pushBottom(S);
   notifyOne();
   return false;
 }
@@ -270,6 +295,7 @@ ExecutionState *StateFrontier::popFrom(Partition &P) {
   ExecutionState *S = P.Search->select();
   removeFromLocationIndex(P, S);
   --P.Size;
+  depthDec(P);
   Counts.fetch_sub(QueuedOne, std::memory_order_release);
   if (LockFree)
     Reconciled.fetch_sub(1, std::memory_order_release);
@@ -291,9 +317,16 @@ ExecutionState *StateFrontier::pop(unsigned Home) {
   }
   for (unsigned I = 0; I < N; ++I) {
     unsigned Idx = (Home + I) % N;
+    // Bands highest-first: new coverage within reach beats backlog, in
+    // this partition's own deques and in every victim's.
     ExecutionState *S = nullptr;
-    bool Got = Idx == Home ? Partitions[Idx]->Deque.popBottom(S)
-                           : Partitions[Idx]->Deque.steal(S);
+    bool Got = false;
+    unsigned GotBand = 0;
+    for (unsigned B = Bands; B-- > 0 && !Got;) {
+      Got = Idx == Home ? Partitions[Idx]->Deques[B]->popBottom(S)
+                        : Partitions[Idx]->Deques[B]->steal(S);
+      GotBand = B;
+    }
     if (!Got)
       continue;
     if (Merging) {
@@ -301,7 +334,12 @@ ExecutionState *StateFrontier::pop(unsigned Home) {
       if (!S->Claim.V.compare_exchange_strong(Free, 1)) {
         // A merger holds the state mid-merge; keep its single deque
         // entry alive by re-queueing it in our own deque and move on.
-        Partitions[Home]->Deque.pushBottom(S);
+        // Depth moves with it: Idx loses a queued state, Home gains
+        // one. Into the band it came from, NOT bandOf(S): the merger
+        // is mutating S right now, so its fields must not be read.
+        depthDec(*Partitions[Idx]);
+        depthInc(*Partitions[Home]);
+        Partitions[Home]->Deques[GotBand]->pushBottom(S);
         continue;
       }
       // Claimed: remove it from the merge-visible structures BEFORE
@@ -312,6 +350,7 @@ ExecutionState *StateFrontier::pop(unsigned Home) {
     }
     // The state moves from queued to executing; the in-flight half is
     // untouched (see quiescent()).
+    depthDec(*Partitions[Idx]);
     Counts.fetch_sub(QueuedOne, std::memory_order_release);
     if (I != 0)
       Steals.fetch_add(1, std::memory_order_relaxed);
@@ -355,18 +394,25 @@ void StateFrontier::reconcileDeques() {
   // thread. steal() serves the top, so states reach their home searcher
   // oldest-first — insertion order, as the mutex path would have seen.
   for (auto &P : Partitions) {
-    ExecutionState *S = nullptr;
-    while (P->Deque.steal(S)) {
-      // The no-merge insert skips the routing hash; compute the home
-      // here (the state is unchanged while queued, so this matches
-      // what insert would have computed).
-      S->FrontierHome = partitionOf(*S);
-      Partition &H = *Partitions[S->FrontierHome];
-      std::lock_guard<std::mutex> Lock(H.M);
-      H.Search->add(S);
-      H.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
-      ++H.Size;
-      Reconciled.fetch_add(1, std::memory_order_release);
+    for (unsigned B = Bands; B-- > 0;) {
+      ExecutionState *S = nullptr;
+      while (P->Deques[B]->steal(S)) {
+        // The no-merge insert skips the routing hash; compute the home
+        // here (the state is unchanged while queued, so this matches
+        // what insert would have computed).
+        S->FrontierHome = partitionOf(*S);
+        Partition &H = *Partitions[S->FrontierHome];
+        std::lock_guard<std::mutex> Lock(H.M);
+        H.Search->add(S);
+        H.ByLocation[{S->Loc.Block, S->Loc.Index}].push_back(S);
+        ++H.Size;
+        // Depth follows the state to its home partition.
+        if (&H != P.get()) {
+          depthDec(*P);
+          depthInc(H);
+        }
+        Reconciled.fetch_add(1, std::memory_order_release);
+      }
     }
   }
 }
@@ -423,6 +469,23 @@ uint64_t StateFrontier::fastForwardSelections() const {
   return N;
 }
 
+uint64_t StateFrontier::policyPicks() const {
+  uint64_t N = 0;
+  for (const auto &P : Partitions) {
+    std::lock_guard<std::mutex> Lock(P->M);
+    N += P->Search->policyPicks();
+  }
+  return N;
+}
+
+std::vector<uint64_t> StateFrontier::depthHighWaters() const {
+  std::vector<uint64_t> Out;
+  Out.reserve(Partitions.size());
+  for (const auto &P : Partitions)
+    Out.push_back(P->DepthHighWater.load(std::memory_order_relaxed));
+  return Out;
+}
+
 void StateFrontier::drain(
     const std::function<void(ExecutionState *)> &Dispose) {
   // No-merge mode: deque-resident states are in no mutex structure;
@@ -448,7 +511,9 @@ void StateFrontier::drain(
     // The deque entries now dangle (their states were just disposed);
     // drop them structurally. Drain runs quiescent, so owner-only is
     // satisfied.
-    P->Deque.clear();
+    for (auto &D : P->Deques)
+      D->clear();
+    P->Depth.store(0, std::memory_order_relaxed);
   }
   Reconciled.store(0, std::memory_order_release);
 }

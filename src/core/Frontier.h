@@ -98,11 +98,24 @@ public:
     std::function<void(ExecutionState &W, ExecutionState &S)> Apply;
   };
 
+  /// Coarse priority band of a state, in [0, PriorityBands). Must be a
+  /// pure function of the state (plus monotone coverage); higher bands
+  /// pop first.
+  using BandFunction = std::function<unsigned(const ExecutionState &)>;
+
   /// \p Merging must be true unless the caller guarantees it will never
   /// call insertOrMerge on this frontier; false enables the no-merge
   /// fast path (no claim flag, no pending log) in lock-free mode.
+  ///
+  /// \p PriorityBands > 1 splits every partition's Chase-Lev deque into
+  /// one deque per band; \p BandOf classifies states at insert time and
+  /// pop serves a partition's bands highest-first (within a band the
+  /// usual LIFO-own / FIFO-steal order is unchanged). With one band the
+  /// frontier is bit-for-bit the unbanded structure — the `--no-priority`
+  /// baseline.
   StateFrontier(unsigned NumPartitions, const SearcherFactory &Make,
-                bool LockFree = true, bool Merging = true);
+                bool LockFree = true, bool Merging = true,
+                unsigned PriorityBands = 1, BandFunction BandOf = nullptr);
   ~StateFrontier();
 
   unsigned numPartitions() const {
@@ -200,6 +213,11 @@ public:
   }
   /// DSM statistics summed over the per-partition searchers.
   uint64_t fastForwardSelections() const;
+  /// Policy-pick statistics summed over the per-partition searchers.
+  uint64_t policyPicks() const;
+  /// Per-partition queue-depth high-water marks (states enqueued at the
+  /// partition's peak, all bands), index order. Observability only.
+  std::vector<uint64_t> depthHighWaters() const;
 
   /// Empties every partition, passing each state to \p Dispose.
   void drain(const std::function<void(ExecutionState *)> &Dispose);
@@ -278,9 +296,17 @@ private:
     /// Lock-free mode: states inserted but not yet reconciled into
     /// Search/ByLocation.
     PendingLog Log;
-    /// Lock-free mode: the scheduling fast path. Owner = the worker
-    /// whose id equals this partition's index.
-    WorkStealingDeque<ExecutionState *> Deque;
+    /// Lock-free mode: the scheduling fast path, one deque per priority
+    /// band (index = band; higher bands pop first; exactly one deque in
+    /// the unbanded baseline). Owner = the worker whose id equals this
+    /// partition's index. unique_ptr because the deque's atomics make it
+    /// immovable.
+    std::vector<std::unique_ptr<WorkStealingDeque<ExecutionState *>>>
+        Deques;
+    /// States currently enqueued here (deques + searcher), and the peak
+    /// ever reached. Relaxed: observability, not synchronization.
+    std::atomic<uint64_t> Depth{0};
+    std::atomic<uint64_t> DepthHighWater{0};
   };
 
   void removeFromLocationIndex(Partition &P, ExecutionState *S);
@@ -318,8 +344,21 @@ private:
     }
   }
 
+  /// Depth bookkeeping on the hot paths (relaxed RMWs).
+  static void depthInc(Partition &P);
+  static void depthDec(Partition &P);
+  /// Band of \p S, clamped to the configured band count.
+  unsigned bandOf(const ExecutionState &S) const {
+    if (Bands == 1)
+      return 0;
+    unsigned B = BandOf(S);
+    return B < Bands ? B : Bands - 1;
+  }
+
   const bool LockFree;
   const bool Merging;
+  const unsigned Bands;
+  const BandFunction BandOf;
   std::vector<std::unique_ptr<Partition>> Partitions;
   /// Low half: queued. High half: queued + executing (in-flight), kept
   /// as one field so quiescent() is a single consistent read (see

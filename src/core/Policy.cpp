@@ -1,0 +1,305 @@
+//===- Policy.cpp - Pluggable exploration policies ------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Policy.h"
+
+#include "analysis/ProgramInfo.h"
+#include "core/Coverage.h"
+#include "core/ExecutionState.h"
+#include "expr/Expr.h"
+#include "ir/IR.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+using namespace symmerge;
+
+//===----------------------------------------------------------------------===//
+// Path-cover policy
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Empc-style uncovered-successor distance: BFS over BasicBlock
+/// successors from the state's current block to the nearest uncovered
+/// block, bounded by MaxDist. Scores invert the distance so "about to
+/// reach new coverage" sorts first. Distances are memoized per block;
+/// the memo is keyed on the coverage epoch, which grows exactly when a
+/// block is entered for the first time, so covering anything invalidates
+/// cached distances (they can only shrink the uncovered set).
+class PathCoverPolicy : public ExplorationPolicy {
+public:
+  PathCoverPolicy(const ProgramInfo &PI, const CoverageTracker &Cov,
+                  unsigned MaxDist)
+      : PI(PI), Cov(Cov), MaxDist(MaxDist) {}
+
+  const char *name() const override { return "path-cover"; }
+
+  double score(const ExecutionState &S) const override {
+    unsigned Dist = distanceToUncovered(S.Loc.Block);
+    if (Dist > MaxDist)
+      return 0.0;
+    return static_cast<double>(MaxDist + 1 - Dist);
+  }
+
+  unsigned numBands() const override { return 3; }
+
+  unsigned band(const ExecutionState &S) const override {
+    unsigned Dist = distanceToUncovered(S.Loc.Block);
+    if (Dist == 0)
+      return 2; // Standing on uncovered code.
+    if (Dist <= MaxDist)
+      return 1; // New coverage within reach.
+    return 0;
+  }
+
+private:
+  /// BFS distance from \p From to the nearest uncovered block, or
+  /// MaxDist + 1 if none is reachable within the bound.
+  unsigned distanceToUncovered(const BasicBlock *From) const {
+    if (!From)
+      return MaxDist + 1;
+
+    std::lock_guard<std::mutex> Lock(MemoMu);
+    uint64_t Now = Cov.epoch();
+    if (Now != MemoEpoch) {
+      Memo.clear();
+      MemoEpoch = Now;
+    }
+    auto It = Memo.find(From);
+    if (It != Memo.end())
+      return It->second;
+
+    unsigned Dist = MaxDist + 1;
+    std::unordered_map<const BasicBlock *, unsigned> Seen;
+    std::deque<const BasicBlock *> Queue;
+    Seen[From] = 0;
+    Queue.push_back(From);
+    while (!Queue.empty()) {
+      const BasicBlock *BB = Queue.front();
+      Queue.pop_front();
+      unsigned D = Seen[BB];
+      if (!Cov.covered(BB)) {
+        Dist = D;
+        break;
+      }
+      if (D >= MaxDist)
+        continue;
+      for (const BasicBlock *Succ : BB->successors())
+        if (Seen.emplace(Succ, D + 1).second)
+          Queue.push_back(Succ);
+    }
+    Memo[From] = Dist;
+    return Dist;
+  }
+
+  const ProgramInfo &PI;
+  const CoverageTracker &Cov;
+  const unsigned MaxDist;
+
+  // Workers score concurrently (frontier banding + priority searchers on
+  // different partitions), so the memo takes its own lock.
+  mutable std::mutex MemoMu;
+  mutable uint64_t MemoEpoch = ~uint64_t(0);
+  mutable std::unordered_map<const BasicBlock *, unsigned> Memo;
+};
+
+//===----------------------------------------------------------------------===//
+// Multiplicity policy
+//===----------------------------------------------------------------------===//
+
+/// Heavily-merged states carry more paths per solve (§5.2), so they
+/// surface high-coverage tests earliest under a test budget.
+class MultiplicityPolicy : public ExplorationPolicy {
+public:
+  const char *name() const override { return "multiplicity"; }
+
+  double score(const ExecutionState &S) const override {
+    return S.Multiplicity;
+  }
+
+  unsigned numBands() const override { return 2; }
+
+  unsigned band(const ExecutionState &S) const override {
+    return S.Multiplicity > 1.0 ? 1 : 0;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Branch predictors
+//===----------------------------------------------------------------------===//
+
+/// Predict toward an uncovered target when exactly one side is fresh.
+class FreshBranchPredictor : public BranchPredictor {
+public:
+  explicit FreshBranchPredictor(const CoverageTracker &Cov) : Cov(Cov) {}
+
+  const char *name() const override { return "fresh-branch"; }
+
+  BranchHint predict(const ExecutionState &, const Expr &,
+                     const BasicBlock *TrueTarget,
+                     const BasicBlock *FalseTarget) const override {
+    if (!TrueTarget || !FalseTarget)
+      return {};
+    bool FreshTrue = !Cov.covered(TrueTarget);
+    bool FreshFalse = !Cov.covered(FalseTarget);
+    if (FreshTrue == FreshFalse)
+      return {}; // Both fresh or both stale: no signal.
+    return {true, FreshTrue};
+  }
+
+private:
+  const CoverageTracker &Cov;
+};
+
+/// Deterministic "random" phase: a stateless mix of the condition's
+/// structural hash and the target block ids. The same branch condition
+/// always gets the same phase, within and across runs, so resumed runs
+/// replay the identical solve schedule.
+class PhaseBranchPredictor : public BranchPredictor {
+public:
+  const char *name() const override { return "phase"; }
+
+  BranchHint predict(const ExecutionState &, const Expr &Cond,
+                     const BasicBlock *TrueTarget,
+                     const BasicBlock *FalseTarget) const override {
+    uint64_t X = Cond.hash();
+    if (TrueTarget)
+      X ^= 0x9e3779b97f4a7c15ull * (uint64_t)(TrueTarget->id() + 1);
+    if (FalseTarget)
+      X ^= 0xbf58476d1ce4e5b9ull * (uint64_t)(FalseTarget->id() + 1);
+    // splitmix64 finalizer.
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ull;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebull;
+    X ^= X >> 31;
+    return {true, (X & 1) != 0};
+  }
+};
+
+/// Syntactic heuristics over the condition: equality against anything is
+/// usually false, disequality usually true, ordered comparisons (loop
+/// guards, bounds checks) usually true, and `!` inverts the inner
+/// prediction.
+class StructureBranchPredictor : public BranchPredictor {
+public:
+  const char *name() const override { return "structure"; }
+
+  BranchHint predict(const ExecutionState &, const Expr &Cond,
+                     const BasicBlock *, const BasicBlock *) const override {
+    const Expr *E = &Cond;
+    bool Invert = false;
+    while (E->kind() == ExprKind::Not && E->numOperands() == 1) {
+      Invert = !Invert;
+      E = E->operand(0);
+    }
+    BranchHint H;
+    switch (E->kind()) {
+    case ExprKind::Eq:
+      H = {true, false};
+      break;
+    case ExprKind::Ne:
+      H = {true, true};
+      break;
+    case ExprKind::Ult:
+    case ExprKind::Ule:
+    case ExprKind::Slt:
+    case ExprKind::Sle:
+      H = {true, true};
+      break;
+    default:
+      return {};
+    }
+    if (Invert)
+      H.PredictTrue = !H.PredictTrue;
+    return H;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Factories and CLI parsing
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<ExplorationPolicy>
+symmerge::createPathCoverPolicy(const ProgramInfo &PI,
+                                const CoverageTracker &Cov,
+                                unsigned MaxDist) {
+  return std::make_shared<PathCoverPolicy>(PI, Cov, MaxDist);
+}
+
+std::shared_ptr<ExplorationPolicy> symmerge::createMultiplicityPolicy() {
+  return std::make_shared<MultiplicityPolicy>();
+}
+
+std::shared_ptr<BranchPredictor>
+symmerge::createFreshBranchPredictor(const CoverageTracker &Cov) {
+  return std::make_shared<FreshBranchPredictor>(Cov);
+}
+
+std::shared_ptr<BranchPredictor> symmerge::createPhaseBranchPredictor() {
+  return std::make_shared<PhaseBranchPredictor>();
+}
+
+std::shared_ptr<BranchPredictor> symmerge::createStructureBranchPredictor() {
+  return std::make_shared<StructureBranchPredictor>();
+}
+
+bool symmerge::parsePolicyKind(const std::string &Name, PolicyKind &Out) {
+  if (Name == "none")
+    Out = PolicyKind::None;
+  else if (Name == "path-cover")
+    Out = PolicyKind::PathCover;
+  else if (Name == "multiplicity")
+    Out = PolicyKind::Multiplicity;
+  else
+    return false;
+  return true;
+}
+
+bool symmerge::parsePredictorKind(const std::string &Name,
+                                  PredictorKind &Out) {
+  if (Name == "none")
+    Out = PredictorKind::None;
+  else if (Name == "fresh-branch")
+    Out = PredictorKind::FreshBranch;
+  else if (Name == "phase")
+    Out = PredictorKind::Phase;
+  else if (Name == "structure")
+    Out = PredictorKind::Structure;
+  else
+    return false;
+  return true;
+}
+
+const char *symmerge::policyKindName(PolicyKind K) {
+  switch (K) {
+  case PolicyKind::None:
+    return "none";
+  case PolicyKind::PathCover:
+    return "path-cover";
+  case PolicyKind::Multiplicity:
+    return "multiplicity";
+  }
+  return "none";
+}
+
+const char *symmerge::predictorKindName(PredictorKind K) {
+  switch (K) {
+  case PredictorKind::None:
+    return "none";
+  case PredictorKind::FreshBranch:
+    return "fresh-branch";
+  case PredictorKind::Phase:
+    return "phase";
+  case PredictorKind::Structure:
+    return "structure";
+  }
+  return "none";
+}

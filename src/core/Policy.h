@@ -1,0 +1,152 @@
+//===- Policy.h - Pluggable exploration policies ----------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "what do we spend the next solve on" axis, factored into one
+/// pluggable surface. An ExplorationPolicy scores execution states so that
+/// the priority searcher (and the priority-banded frontier fast path) can
+/// pick the most promising state first; a BranchPredictor guesses which
+/// polarity of a symbolic branch is feasible so the engine can solve the
+/// opposite side first and infer the predicted side for free on UNSAT.
+///
+/// Both hooks are advisory only:
+///
+///  - A policy changes the ORDER states are explored in, never the set of
+///    states explored, so exhaustive runs produce the same tests, coverage
+///    and errors under any policy (the differential suites enforce this).
+///  - A predictor changes which of the two one-sided feasibility checks
+///    the engine issues first, never the branch outcome: the solver still
+///    confirms every decision, so a wrong hint costs one extra query and a
+///    right hint saves one, with identical exploration either way.
+///
+/// Policies must be deterministic pure functions of (state, coverage):
+/// the priority searcher re-scores at selection time, which is what lets
+/// a checkpointed priority run restore bit-identically from the plain
+/// worklist()/cursor contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_CORE_POLICY_H
+#define SYMMERGE_CORE_POLICY_H
+
+#include <memory>
+#include <string>
+
+namespace symmerge {
+
+class BasicBlock;
+class CoverageTracker;
+class ExecutionState;
+class Expr;
+class ProgramInfo;
+
+/// Scores states for exploration priority. Higher scores are selected
+/// first; ties break toward the lowest state id (creation order), which
+/// keeps selection deterministic and checkpoint-stable.
+class ExplorationPolicy {
+public:
+  virtual ~ExplorationPolicy() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Priority of \p S. Must be a deterministic pure function of the state
+  /// and the (monotonically growing) coverage — no internal mutable state
+  /// that selection order could perturb.
+  virtual double score(const ExecutionState &S) const = 0;
+
+  /// Number of coarse priority bands the frontier may bucket states into
+  /// (band = floor classification of score). 1 means "no banding": the
+  /// lock-free frontier keeps a single deque per partition, bit-for-bit
+  /// today's behavior.
+  virtual unsigned numBands() const { return 1; }
+
+  /// Coarse band of \p S in [0, numBands()). Higher bands pop first.
+  virtual unsigned band(const ExecutionState &S) const { return 0; }
+};
+
+/// A branch-polarity hint. HasPrediction=false means "no opinion": the
+/// engine issues its usual mayBeTrue-then-mayBeFalse pair.
+struct BranchHint {
+  bool HasPrediction = false;
+  bool PredictTrue = false; ///< Predicted-feasible polarity.
+};
+
+/// Guesses which polarity of a symbolic branch condition is feasible.
+/// Implementations must be deterministic pure functions of their inputs
+/// (condition structure, target coverage) — the hint participates in the
+/// solve schedule, and scheduling must replay identically on resume.
+class BranchPredictor {
+public:
+  virtual ~BranchPredictor() = default;
+
+  virtual const char *name() const = 0;
+
+  virtual BranchHint predict(const ExecutionState &S, const Expr &Cond,
+                             const BasicBlock *TrueTarget,
+                             const BasicBlock *FalseTarget) const = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+/// Empc-style path-cover policy: scores a state by the CFG distance from
+/// its current block to the nearest uncovered block (BFS over successors,
+/// bounded by \p MaxDist), so states one cheap step away from new coverage
+/// spend the solve budget first. Distances are memoized per block and
+/// invalidated when coverage grows (CoverageTracker::epoch()).
+std::shared_ptr<ExplorationPolicy>
+createPathCoverPolicy(const ProgramInfo &PI, const CoverageTracker &Cov,
+                      unsigned MaxDist = 16);
+
+/// Multiplicity-first policy (§5.2): heavily-merged states represent more
+/// paths per solve, so they surface high-coverage tests earliest.
+std::shared_ptr<ExplorationPolicy> createMultiplicityPolicy();
+
+/// Fresh-branch predictor (klee-mc): if exactly one branch target is
+/// uncovered, predict the branch goes there.
+std::shared_ptr<BranchPredictor>
+createFreshBranchPredictor(const CoverageTracker &Cov);
+
+/// Random-phase predictor (klee-mc): a deterministic hash of the
+/// condition's structural hash and the target block ids. No RNG state —
+/// the same branch always gets the same phase, within and across runs.
+std::shared_ptr<BranchPredictor> createPhaseBranchPredictor();
+
+/// Condition-structure predictor (klee-mc): syntactic heuristics — `==`
+/// rarely holds, `!=` usually does, inequalities usually hold, `!`
+/// inverts the inner prediction.
+std::shared_ptr<BranchPredictor> createStructureBranchPredictor();
+
+//===----------------------------------------------------------------------===//
+// CLI surface
+//===----------------------------------------------------------------------===//
+
+enum class PolicyKind : uint8_t {
+  None,         ///< Keep the driving searcher's own order.
+  PathCover,    ///< createPathCoverPolicy.
+  Multiplicity, ///< createMultiplicityPolicy.
+};
+
+enum class PredictorKind : uint8_t {
+  None,
+  FreshBranch,
+  Phase,
+  Structure,
+};
+
+/// Parses a `--policy=` value; returns false on an unknown name.
+bool parsePolicyKind(const std::string &Name, PolicyKind &Out);
+
+/// Parses a `--branch-predictor=` value; returns false on unknown names.
+bool parsePredictorKind(const std::string &Name, PredictorKind &Out);
+
+const char *policyKindName(PolicyKind K);
+const char *predictorKindName(PredictorKind K);
+
+} // namespace symmerge
+
+#endif // SYMMERGE_CORE_POLICY_H

@@ -284,6 +284,52 @@ private:
   RNG Rand;
 };
 
+/// Policy-driven priority order: argmax of the policy score, ties toward
+/// the lowest state id. The score is recomputed at selection time — it is
+/// a pure function of the state and the (monotone) coverage — so there is
+/// no heap or cursor to snapshot: re-add()ing the worklist in container
+/// order restores the selection sequence exactly.
+class PrioritySearcher : public Searcher {
+public:
+  explicit PrioritySearcher(std::shared_ptr<ExplorationPolicy> Policy)
+      : Policy(std::move(Policy)) {}
+
+  ExecutionState *select() override {
+    size_t Best = 0;
+    double BestScore = Policy->score(*States[0]);
+    for (size_t I = 1; I < States.size(); ++I) {
+      double Score = Policy->score(*States[I]);
+      if (Score > BestScore ||
+          (Score == BestScore && States[I]->Id < States[Best]->Id)) {
+        Best = I;
+        BestScore = Score;
+      }
+    }
+    ExecutionState *S = States[Best];
+    std::swap(States[Best], States.back());
+    States.pop_back();
+    ++Picks;
+    return S;
+  }
+  void add(ExecutionState *S) override { States.push_back(S); }
+  void remove(ExecutionState *S) override {
+    auto It = std::find(States.begin(), States.end(), S);
+    std::swap(*It, States.back());
+    States.pop_back();
+  }
+  bool empty() const override { return States.empty(); }
+  const char *name() const override { return "priority"; }
+  uint64_t policyPicks() const override { return Picks; }
+  void worklist(std::vector<ExecutionState *> &Out) const override {
+    Out.insert(Out.end(), States.begin(), States.end());
+  }
+
+private:
+  std::shared_ptr<ExplorationPolicy> Policy;
+  std::vector<ExecutionState *> States;
+  uint64_t Picks = 0;
+};
+
 //===----------------------------------------------------------------------===
 // Dynamic state merging (Algorithm 2)
 //===----------------------------------------------------------------------===
@@ -349,6 +395,7 @@ public:
   bool empty() const override { return States.empty(); }
   const char *name() const override { return "dsm"; }
   uint64_t fastForwardSelections() const override { return FastForwards; }
+  uint64_t policyPicks() const override { return Driving->policyPicks(); }
   // The forwarding set and both indexes are pure functions of the add()
   // sequence, so replaying the driving searcher's order rebuilds them;
   // only the driving cursor carries hidden state.
@@ -451,6 +498,10 @@ std::unique_ptr<Searcher>
 symmerge::createCoverageSearcher(const ProgramInfo &PI,
                                  const CoverageTracker &Cov, uint64_t Seed) {
   return std::make_unique<CoverageSearcher>(PI, Cov, Seed);
+}
+std::unique_ptr<Searcher>
+symmerge::createPrioritySearcher(std::shared_ptr<ExplorationPolicy> Policy) {
+  return std::make_unique<PrioritySearcher>(std::move(Policy));
 }
 std::unique_ptr<Searcher>
 symmerge::createDynamicMergeSearcher(const ProgramInfo &PI,

@@ -32,6 +32,7 @@
 #include "core/Coverage.h"
 #include "core/ExecutionState.h"
 #include "core/MergePolicy.h"
+#include "core/Policy.h"
 
 #include <memory>
 
@@ -51,6 +52,10 @@ public:
 
   /// DSM statistics; zero for ordinary searchers.
   virtual uint64_t fastForwardSelections() const { return 0; }
+
+  /// Number of select()s decided by an ExplorationPolicy score; zero for
+  /// ordinary searchers. Feeds the PolicyPicks stat.
+  virtual uint64_t policyPicks() const { return 0; }
 
   /// Appends the worklist contents in the searcher's internal container
   /// order. Re-add()ing states into a fresh searcher in exactly this
@@ -93,6 +98,14 @@ std::unique_ptr<Searcher> createTopologicalSearcher(const ProgramInfo &PI);
 std::unique_ptr<Searcher>
 createCoverageSearcher(const ProgramInfo &PI, const CoverageTracker &Cov,
                        uint64_t Seed);
+
+/// Policy-driven priority order: select() returns the worklist state with
+/// the highest ExplorationPolicy score, ties broken toward the lowest
+/// state id. Scores are recomputed at selection time (they are pure
+/// functions of state + coverage), so the searcher carries no hidden
+/// cursor and the plain worklist() contract restores it exactly.
+std::unique_ptr<Searcher>
+createPrioritySearcher(std::shared_ptr<ExplorationPolicy> Policy);
 
 /// Dynamic state merging (Algorithm 2) layered over \p Driving
 /// (pickNextD). The forwarding set F is maintained incrementally from the

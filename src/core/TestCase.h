@@ -138,6 +138,25 @@ struct EngineStats {
                                   ///< post-split).
   uint64_t SessionEvictions = 0;  ///< Sessions retired on a watermark.
   uint64_t SessionSplits = 0;     ///< Shared handles split at divergence.
+  // Exploration-policy scheduling stack (EngineOptions::Policy /
+  // Predictor / AdaptiveBudgets; see core/Policy.h).
+  uint64_t PolicyPicks = 0;     ///< select()s decided by a policy score.
+  uint64_t PredictorHits = 0;   ///< Branch hints that saved the second
+                                ///< polarity solve (the unpredicted side
+                                ///< came back UNSAT, so the predicted
+                                ///< side is SAT by inference).
+  uint64_t PredictorMisses = 0; ///< Branch hints that saved nothing
+                                ///< (both polarity checks still ran).
+  uint64_t TestGenReorderDistance = 0; ///< Sum over multiplicity-first
+                                       ///< pool pops of how far ahead of
+                                       ///< FIFO order each job jumped.
+  uint64_t AdaptiveBudgetBlowups = 0; ///< Checked sites whose solves
+                                      ///< observed a blown budget.
+  uint64_t AdaptiveBudgetRaises = 0;  ///< Per-site budget raises applied.
+  /// Per-partition frontier queue-depth high-water marks (parallel runs;
+  /// empty sequentially — MaxWorklist covers that). Scheduling
+  /// observability for --stats.
+  std::vector<uint64_t> FrontierDepthHighWater;
 };
 
 /// Everything a run produced.

@@ -13,10 +13,11 @@ using namespace symmerge;
 TestGenPool::TestGenPool(SolverFactory MakeSolver, Sink Emit,
                          Gate ShouldSolve, JobDone OnJobDone,
                          std::shared_ptr<ModelCache> Models,
-                         unsigned Threads)
+                         unsigned Threads, bool MultiplicityFirst)
     : MakeSolver(std::move(MakeSolver)), Emit(std::move(Emit)),
       ShouldSolve(std::move(ShouldSolve)),
-      OnJobDone(std::move(OnJobDone)), Models(std::move(Models)) {
+      OnJobDone(std::move(OnJobDone)), Models(std::move(Models)),
+      MultiplicityFirst(MultiplicityFirst) {
   unsigned N = std::max(1u, Threads);
   this->Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I)
@@ -64,8 +65,17 @@ void TestGenPool::threadLoop() {
       WorkCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
       if (Queue.empty())
         break; // Stopping with nothing left.
-      Job = std::move(Queue.front());
-      Queue.pop_front();
+      size_t Pick = 0;
+      if (MultiplicityFirst) {
+        // First maximum, so equal multiplicities keep FIFO order.
+        for (size_t I = 1; I < Queue.size(); ++I)
+          if (Queue[I].Multiplicity > Queue[Pick].Multiplicity)
+            Pick = I;
+        if (Pick != 0)
+          ReorderDistance.fetch_add(Pick, std::memory_order_relaxed);
+      }
+      Job = std::move(Queue[Pick]);
+      Queue.erase(Queue.begin() + Pick);
       ++InFlight;
     }
 

@@ -70,9 +70,17 @@ public:
   /// (may be null). Exactly one of Sink / JobDone runs per job.
   using JobDone = std::function<void()>;
 
+  /// \p MultiplicityFirst switches the queue from FIFO to
+  /// highest-multiplicity-first (ties FIFO): under a --max-tests budget
+  /// the heaviest paths — the ones covering the most merged executions —
+  /// get their models solved before the budget gate starts dropping
+  /// jobs. Output CONTENT is unaffected when the budget never binds
+  /// (models are a pure function of each job's snapshot, and the engine
+  /// canonically sorts tests post-run); only which jobs survive a
+  /// binding budget changes.
   TestGenPool(SolverFactory MakeSolver, Sink Emit, Gate ShouldSolve,
               JobDone OnJobDone, std::shared_ptr<ModelCache> Models,
-              unsigned Threads);
+              unsigned Threads, bool MultiplicityFirst = false);
   ~TestGenPool();
 
   void enqueue(TestGenJob Job);
@@ -104,6 +112,13 @@ public:
   /// worker's delta.
   const SolverQueryStats &stats() const { return StatsTotal; }
 
+  /// Scheduling observability: the summed queue positions of
+  /// multiplicity-first pops — each pop adds how far ahead of FIFO order
+  /// its job jumped (0 under FIFO ordering or an already-sorted queue).
+  uint64_t reorderDistance() const {
+    return ReorderDistance.load(std::memory_order_relaxed);
+  }
+
 private:
   void threadLoop();
 
@@ -112,6 +127,7 @@ private:
   Gate ShouldSolve;
   JobDone OnJobDone;
   std::shared_ptr<ModelCache> Models;
+  const bool MultiplicityFirst;
 
   std::mutex Mu;
   std::condition_variable WorkCv;  ///< Signals threads: job or stop.
@@ -123,6 +139,7 @@ private:
   std::vector<std::thread> Threads;
   std::atomic<uint64_t> Solved{0};
   std::atomic<uint64_t> Skipped{0};
+  std::atomic<uint64_t> ReorderDistance{0};
   SolverQueryStats StatsTotal; ///< Guarded by Mu until threads join.
 };
 

@@ -82,6 +82,15 @@ void encodeStats(Encoder &E, const EngineStats &S) {
   E.u64(S.SessionsBuilt);
   E.u64(S.SessionEvictions);
   E.u64(S.SessionSplits);
+  E.u64(S.PolicyPicks);
+  E.u64(S.PredictorHits);
+  E.u64(S.PredictorMisses);
+  E.u64(S.TestGenReorderDistance);
+  E.u64(S.AdaptiveBudgetBlowups);
+  E.u64(S.AdaptiveBudgetRaises);
+  E.u32(static_cast<uint32_t>(S.FrontierDepthHighWater.size()));
+  for (uint64_t HW : S.FrontierDepthHighWater)
+    E.u64(HW);
 }
 
 void decodeStats(Decoder &D, EngineStats &S) {
@@ -135,6 +144,16 @@ void decodeStats(Decoder &D, EngineStats &S) {
   S.SessionsBuilt = D.u64();
   S.SessionEvictions = D.u64();
   S.SessionSplits = D.u64();
+  S.PolicyPicks = D.u64();
+  S.PredictorHits = D.u64();
+  S.PredictorMisses = D.u64();
+  S.TestGenReorderDistance = D.u64();
+  S.AdaptiveBudgetBlowups = D.u64();
+  S.AdaptiveBudgetRaises = D.u64();
+  uint32_t NumHW = D.u32();
+  S.FrontierDepthHighWater.clear();
+  for (uint32_t I = 0; I < NumHW && !D.failed(); ++I)
+    S.FrontierDepthHighWater.push_back(D.u64());
 }
 
 void encodeLocation(Encoder &E, const Location &L) {

@@ -50,7 +50,7 @@ namespace serialize {
 
 /// "SMSN" as a little-endian u32.
 constexpr uint32_t SnapshotMagic = 0x4E534D53u;
-constexpr uint32_t SnapshotVersion = 2;
+constexpr uint32_t SnapshotVersion = 3;
 
 /// Canonical program identity: hashString over the module's printed form.
 uint64_t programHash(const Module &M);

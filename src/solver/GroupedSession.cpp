@@ -476,7 +476,8 @@ public:
 
       const size_t MemBefore = TrackMem ? T.S.memoryFootprintBytes() : 0;
       Timer TS;
-      bool IsSat = T.S.solveAssuming(Lits, Cfg.ConflictBudget);
+      bool IsSat = T.S.solveAssuming(
+          Lits, BudgetOverride ? BudgetOverride : Cfg.ConflictBudget);
       R.SolveSeconds += TS.seconds();
       if (TrackMem) {
         size_t MemAfter = T.S.memoryFootprintBytes();
@@ -541,8 +542,9 @@ public:
           continue;
         const size_t MemBefore = TrackMem ? SP->S.memoryFootprintBytes() : 0;
         Timer TS;
-        bool IsSat = SP->S.solveAssuming(liveGuardsOf(*SP),
-                                         Cfg.ConflictBudget);
+        bool IsSat = SP->S.solveAssuming(
+            liveGuardsOf(*SP),
+            BudgetOverride ? BudgetOverride : Cfg.ConflictBudget);
         R.SolveSeconds += TS.seconds();
         if (TrackMem) {
           size_t MemAfter = SP->S.memoryFootprintBytes();
@@ -1009,6 +1011,12 @@ private:
   double PendingEncodeSeconds = 0;
   uint64_t SyncedCacheHits = 0;
   uint64_t SyncedNodesLowered = 0;
+  uint64_t BudgetOverride = 0; ///< 0 = use Cfg.ConflictBudget.
+
+public:
+  void setConflictBudgetOverride(uint64_t Conflicts) override {
+    BudgetOverride = Conflicts;
+  }
 };
 
 } // namespace

@@ -237,6 +237,17 @@ public:
   /// only the scope/constraint counts.
   virtual SessionHealth health() const { return {}; }
 
+  /// Overrides the per-SAT-call conflict budget for subsequent checks on
+  /// this session (0 restores the solver's configured budget). Sessions
+  /// whose core has no budget support ignore the override — it can only
+  /// RELAX a check toward completeness (a larger budget turns Unknown
+  /// into an exact verdict), never change an exact answer, so callers
+  /// (the engine's adaptive per-site budgets) need not know which
+  /// session kind they hold.
+  virtual void setConflictBudgetOverride(uint64_t Conflicts) {
+    (void)Conflicts;
+  }
+
   /// True if asserted && E is satisfiable (Unknown counts as true: the
   /// engine never prunes on a resource limit).
   bool mayBeTrue(ExprRef E);

@@ -548,7 +548,8 @@ public:
     const size_t MemBefore = TrackMem ? S.memoryFootprintBytes() : 0;
 
     Timer TS;
-    bool IsSat = S.solveAssuming(Lits, Cfg.ConflictBudget);
+    bool IsSat = S.solveAssuming(
+        Lits, BudgetOverride ? BudgetOverride : Cfg.ConflictBudget);
     R.SolveSeconds = TS.seconds();
 
     if (TrackMem && !Key.empty() &&
@@ -735,6 +736,12 @@ private:
   double PendingEncodeSeconds = 0;
   uint64_t SyncedCacheHits = 0;
   uint64_t SyncedNodesLowered = 0;
+  uint64_t BudgetOverride = 0; ///< 0 = use Cfg.ConflictBudget.
+
+public:
+  void setConflictBudgetOverride(uint64_t Conflicts) override {
+    BudgetOverride = Conflicts;
+  }
 };
 
 class CoreSolver : public Solver {

@@ -1,0 +1,527 @@
+//===- PolicyTest.cpp - Exploration policies and branch predictors ----------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the pluggable exploration-policy layer (core/Policy.h):
+///
+///  - branch predictors: determinism and the documented syntactic /
+///    coverage heuristics,
+///  - the path-cover policy: distance-derived scores and bands, and memo
+///    invalidation when coverage grows,
+///  - the priority searcher: argmax selection with id tie-break, pick
+///    counting, and the worklist()/cursor checkpoint contract,
+///  - the priority-banded frontier: high-band-first pops composing with
+///    stealing, and the per-partition depth high-water marks,
+///  - end-to-end: a predicted run explores the same tests as the baseline
+///    with fewer solver queries, and a priority run checkpoint-resumes to
+///    the baseline's exact output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Coverage.h"
+#include "core/Driver.h"
+#include "core/Frontier.h"
+#include "core/Policy.h"
+#include "lang/Lower.h"
+#include "serialize/Snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace symmerge;
+
+namespace {
+
+std::unique_ptr<Module> compileOrDie(const char *Src) {
+  CompileResult R = compileMiniC(Src);
+  EXPECT_TRUE(R.ok()) << (R.Diags.empty() ? "" : R.Diags[0].str());
+  return std::move(R.M);
+}
+
+/// A hand-built chain CFG (entry -> mid -> tail) plus states pinned to
+/// chosen blocks, for policy scoring without running the engine.
+struct PolicyFixture {
+  Module M;
+  Function *F = nullptr;
+  BasicBlock *Entry = nullptr;
+  BasicBlock *Mid = nullptr;
+  BasicBlock *Tail = nullptr;
+  std::vector<std::unique_ptr<ExecutionState>> States;
+
+  PolicyFixture() {
+    F = M.createFunction("main", Type::intTy(64), true, {});
+    Entry = F->createBlock("entry");
+    Mid = F->createBlock("mid");
+    Tail = F->createBlock("tail");
+    link(Entry, Mid);
+    link(Mid, Tail);
+    halt(Tail);
+  }
+
+  void link(BasicBlock *From, BasicBlock *To) {
+    Instr I;
+    I.Op = Opcode::Jump;
+    I.Target1 = To;
+    From->instructions().push_back(I);
+  }
+
+  void halt(BasicBlock *BB) {
+    Instr I;
+    I.Op = Opcode::Halt;
+    BB->instructions().push_back(I);
+  }
+
+  ExecutionState *make(BasicBlock *At, double Multiplicity = 1.0) {
+    auto S = std::make_unique<ExecutionState>();
+    S->Id = States.size() + 1;
+    S->Loc = {At, 0};
+    S->Multiplicity = Multiplicity;
+    StackFrame Frame;
+    Frame.F = F;
+    S->Stack.push_back(std::move(Frame));
+    States.push_back(std::move(S));
+    return States.back().get();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Branch predictors
+//===----------------------------------------------------------------------===//
+
+TEST(BranchPredictorTest, StructureFollowsTheDocumentedHeuristics) {
+  ExprContext Ctx;
+  ExecutionState S;
+  auto P = createStructureBranchPredictor();
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+
+  BranchHint H = P->predict(S, *Ctx.mkEq(X, Y), nullptr, nullptr);
+  EXPECT_TRUE(H.HasPrediction);
+  EXPECT_FALSE(H.PredictTrue); // Equality rarely holds.
+
+  H = P->predict(S, *Ctx.mkNe(X, Y), nullptr, nullptr);
+  EXPECT_TRUE(H.HasPrediction);
+  EXPECT_TRUE(H.PredictTrue);
+
+  H = P->predict(S, *Ctx.mkUlt(X, Y), nullptr, nullptr);
+  EXPECT_TRUE(H.HasPrediction);
+  EXPECT_TRUE(H.PredictTrue); // Inequalities (loop guards) usually hold.
+
+  // `!` inverts the inner prediction.
+  H = P->predict(S, *Ctx.mkNot(Ctx.mkEq(X, Y)), nullptr, nullptr);
+  EXPECT_TRUE(H.HasPrediction);
+  EXPECT_TRUE(H.PredictTrue);
+
+  // No opinion about plain arithmetic.
+  H = P->predict(S, *Ctx.mkAnd(X, Y), nullptr, nullptr);
+  EXPECT_FALSE(H.HasPrediction);
+}
+
+TEST(BranchPredictorTest, PhaseIsDeterministicAndAlwaysOpinionated) {
+  ExprContext Ctx;
+  PolicyFixture Fx;
+  ExecutionState S;
+  auto P = createPhaseBranchPredictor();
+  ExprRef C = Ctx.mkEq(Ctx.mkVar("x", 32), Ctx.mkConst(7, 32));
+
+  BranchHint A = P->predict(S, *C, Fx.Entry, Fx.Mid);
+  EXPECT_TRUE(A.HasPrediction);
+  // Stateless: the same branch gets the same phase on every query.
+  for (int I = 0; I < 4; ++I) {
+    BranchHint B = P->predict(S, *C, Fx.Entry, Fx.Mid);
+    EXPECT_TRUE(B.HasPrediction);
+    EXPECT_EQ(B.PredictTrue, A.PredictTrue);
+  }
+  // A fresh predictor instance agrees too (no hidden RNG state).
+  BranchHint B = createPhaseBranchPredictor()->predict(S, *C, Fx.Entry,
+                                                       Fx.Mid);
+  EXPECT_EQ(B.PredictTrue, A.PredictTrue);
+}
+
+TEST(BranchPredictorTest, FreshBranchPredictsTheUncoveredTarget) {
+  PolicyFixture Fx;
+  CoverageTracker Cov(Fx.M);
+  ExprContext Ctx;
+  ExecutionState S;
+  ExprRef C = Ctx.mkVar("c", 1);
+  auto P = createFreshBranchPredictor(Cov);
+
+  // Both targets fresh: no signal.
+  EXPECT_FALSE(P->predict(S, *C, Fx.Mid, Fx.Tail).HasPrediction);
+
+  // Exactly one fresh: predict toward it, whichever side it is on.
+  Cov.onBlockEntered(Fx.Mid);
+  BranchHint H = P->predict(S, *C, Fx.Mid, Fx.Tail);
+  EXPECT_TRUE(H.HasPrediction);
+  EXPECT_FALSE(H.PredictTrue);
+  H = P->predict(S, *C, Fx.Tail, Fx.Mid);
+  EXPECT_TRUE(H.HasPrediction);
+  EXPECT_TRUE(H.PredictTrue);
+
+  // Both covered: no signal again.
+  Cov.onBlockEntered(Fx.Tail);
+  EXPECT_FALSE(P->predict(S, *C, Fx.Mid, Fx.Tail).HasPrediction);
+}
+
+//===----------------------------------------------------------------------===//
+// Path-cover policy
+//===----------------------------------------------------------------------===//
+
+TEST(PathCoverPolicyTest, ScoresAndBandsTrackDistanceToUncovered) {
+  PolicyFixture Fx;
+  ProgramInfo PI(Fx.M);
+  CoverageTracker Cov(Fx.M);
+  const unsigned MaxDist = 4;
+  auto P = createPathCoverPolicy(PI, Cov, MaxDist);
+  ASSERT_EQ(P->numBands(), 3u);
+
+  ExecutionState *AtEntry = Fx.make(Fx.Entry);
+
+  // Nothing covered: the state stands on uncovered code (distance 0).
+  EXPECT_DOUBLE_EQ(P->score(*AtEntry), MaxDist + 1.0);
+  EXPECT_EQ(P->band(*AtEntry), 2u);
+
+  // Covering entry pushes the nearest uncovered block one step away —
+  // the epoch bump must invalidate the memoized distance.
+  Cov.onBlockEntered(Fx.Entry);
+  EXPECT_DOUBLE_EQ(P->score(*AtEntry), static_cast<double>(MaxDist));
+  EXPECT_EQ(P->band(*AtEntry), 1u);
+
+  // Everything covered: no uncovered block within MaxDist.
+  Cov.onBlockEntered(Fx.Mid);
+  Cov.onBlockEntered(Fx.Tail);
+  EXPECT_DOUBLE_EQ(P->score(*AtEntry), 0.0);
+  EXPECT_EQ(P->band(*AtEntry), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Priority searcher
+//===----------------------------------------------------------------------===//
+
+TEST(PrioritySearcherTest, SelectsArgmaxWithIdTieBreak) {
+  PolicyFixture Fx;
+  auto Search = createPrioritySearcher(createMultiplicityPolicy());
+
+  ExecutionState *Low = Fx.make(Fx.Entry, 1.0);   // Id 1
+  ExecutionState *High = Fx.make(Fx.Entry, 8.0);  // Id 2
+  ExecutionState *Tied = Fx.make(Fx.Entry, 8.0);  // Id 3
+  Search->add(Low);
+  Search->add(High);
+  Search->add(Tied);
+
+  // Highest score first; among the tied pair, the lower id (older state).
+  EXPECT_EQ(Search->select(), High);
+  EXPECT_EQ(Search->select(), Tied);
+  EXPECT_EQ(Search->select(), Low);
+  EXPECT_TRUE(Search->empty());
+  EXPECT_EQ(Search->policyPicks(), 3u);
+}
+
+TEST(PrioritySearcherTest, WorklistOrderReplaysSelection) {
+  PolicyFixture Fx;
+  auto Search = createPrioritySearcher(createMultiplicityPolicy());
+  std::vector<ExecutionState *> All;
+  for (int I = 0; I < 6; ++I)
+    All.push_back(Fx.make(Fx.Entry, (I * 13) % 5 + 1.0));
+  for (ExecutionState *S : All)
+    Search->add(S);
+
+  // The checkpoint contract: re-add()ing the worklist in container order
+  // (with the — empty — cursor restored) reproduces selection exactly,
+  // because scores are recomputed at select() time.
+  std::vector<ExecutionState *> Work;
+  Search->worklist(Work);
+  auto Restored = createPrioritySearcher(createMultiplicityPolicy());
+  for (ExecutionState *S : Work)
+    Restored->add(S);
+  Restored->restoreCursor(Search->saveCursor());
+
+  while (!Search->empty()) {
+    ASSERT_FALSE(Restored->empty());
+    EXPECT_EQ(Restored->select(), Search->select());
+  }
+  EXPECT_TRUE(Restored->empty());
+}
+
+TEST(PrioritySearcherTest, RemoveDropsExactlyThatState) {
+  PolicyFixture Fx;
+  auto Search = createPrioritySearcher(createMultiplicityPolicy());
+  ExecutionState *A = Fx.make(Fx.Entry, 2.0);
+  ExecutionState *B = Fx.make(Fx.Entry, 9.0);
+  Search->add(A);
+  Search->add(B);
+  Search->remove(B);
+  EXPECT_EQ(Search->select(), A);
+  EXPECT_TRUE(Search->empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Priority-banded frontier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+StateFrontier::SearcherFactory priorityFactory() {
+  return [](unsigned) {
+    return createPrioritySearcher(createMultiplicityPolicy());
+  };
+}
+
+StateFrontier::BandFunction multiplicityBand() {
+  return [](const ExecutionState &S) -> unsigned {
+    return S.Multiplicity > 1.0 ? 1 : 0;
+  };
+}
+
+} // namespace
+
+TEST(BandedFrontierTest, PopsHigherBandsFirstWithinAPartition) {
+  PolicyFixture Fx;
+  StateFrontier Frontier(1, priorityFactory(), /*LockFree=*/true,
+                         /*Merging=*/false, /*PriorityBands=*/2,
+                         multiplicityBand());
+
+  // Same location => same partition. Insert band-0 work first; the
+  // banded pop must still surface the band-1 state ahead of it.
+  ExecutionState *Light = Fx.make(Fx.Entry, 1.0);
+  ExecutionState *Heavy = Fx.make(Fx.Entry, 4.0);
+  Frontier.insert(Light);
+  Frontier.insert(Heavy);
+
+  EXPECT_EQ(Frontier.pop(0), Heavy);
+  Frontier.finishedOne();
+  EXPECT_EQ(Frontier.pop(0), Light);
+  Frontier.finishedOne();
+  EXPECT_TRUE(Frontier.quiescent());
+
+  // Both states were queued at once: the high-water mark saw depth 2.
+  std::vector<uint64_t> HW = Frontier.depthHighWaters();
+  ASSERT_EQ(HW.size(), 1u);
+  EXPECT_EQ(HW[0], 2u);
+}
+
+TEST(BandedFrontierTest, StealingScansTheVictimsBandsHighToLow) {
+  PolicyFixture Fx;
+  StateFrontier Frontier(4, priorityFactory(), /*LockFree=*/true,
+                         /*Merging=*/false, /*PriorityBands=*/2,
+                         multiplicityBand());
+
+  ExecutionState *Light = Fx.make(Fx.Entry, 1.0);
+  ExecutionState *Heavy = Fx.make(Fx.Entry, 4.0);
+  unsigned Home = Frontier.partitionOf(*Light);
+  ASSERT_EQ(Home, Frontier.partitionOf(*Heavy)); // Same location.
+  Frontier.insert(Light);
+  Frontier.insert(Heavy);
+
+  // A thief whose home partition is empty steals the high band first.
+  unsigned Thief = (Home + 1) % 4;
+  EXPECT_EQ(Frontier.pop(Thief), Heavy);
+  EXPECT_EQ(Frontier.steals(), 1u);
+  Frontier.finishedOne();
+  EXPECT_EQ(Frontier.pop(Thief), Light);
+  Frontier.finishedOne();
+  EXPECT_TRUE(Frontier.quiescent());
+}
+
+TEST(BandedFrontierTest, SingleBandMatchesTheUnbandedConstructor) {
+  PolicyFixture Fx;
+  // Bands=1 must not require a band function and must behave like the
+  // historical single-deque frontier.
+  StateFrontier Frontier(2, priorityFactory());
+  ExecutionState *S = Fx.make(Fx.Entry, 3.0);
+  Frontier.insert(S);
+  EXPECT_EQ(Frontier.pop(Frontier.partitionOf(*S)), S);
+  Frontier.finishedOne();
+  EXPECT_TRUE(Frontier.quiescent());
+  EXPECT_EQ(Frontier.depthHighWaters().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: predictor saves solver work, exploration unchanged
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *BranchyProgram = R"(
+  void main() {
+    int x = 0; int y = 0;
+    make_symbolic(x); make_symbolic(y);
+    assume(x < 100);
+    if (x < 200) { print(1); } else { print(2); }
+    if (x < 300) { print(3); } else { print(4); }
+    if (y < 10) { print(5); } else { print(6); }
+    if (x != 500) { print(7); } else { print(8); }
+  }
+)";
+
+/// Test inputs keyed by variable NAME, so runs from different runners
+/// (whose contexts intern different Var pointers) compare meaningfully.
+std::vector<std::pair<std::string, uint64_t>>
+canonInputs(const TestCase &T) {
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  for (const auto &[Var, Value] : T.Inputs.values())
+    Out.emplace_back(Var->varName(), Value);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+RunResult runBranchy(const Module &M, PolicyKind Policy,
+                     PredictorKind Predictor) {
+  SymbolicRunner::Config C;
+  C.Engine.MaxSeconds = 60;
+  C.Policy = Policy;
+  C.Predictor = Predictor;
+  // Ablate the caches that can answer a polarity check without a solver
+  // query, so the assumption-query counter cleanly reflects the
+  // predictor's savings.
+  C.SolverVerdictCache = false;
+  C.SolverModelCache = false;
+  C.SolverCoreCache = false;
+  SymbolicRunner R(M, C);
+  return R.run();
+}
+
+} // namespace
+
+TEST(PredictorEndToEndTest, SavesSolvesWithoutChangingExploration) {
+  auto M = compileOrDie(BranchyProgram);
+  RunResult Base =
+      runBranchy(*M, PolicyKind::None, PredictorKind::None);
+  RunResult Pred =
+      runBranchy(*M, PolicyKind::PathCover, PredictorKind::Structure);
+
+  // Exploration is invariant under policy + predictor: same test set,
+  // same forks, same completed states, same errors.
+  ASSERT_TRUE(Base.Stats.Exhausted);
+  ASSERT_TRUE(Pred.Stats.Exhausted);
+  EXPECT_EQ(Pred.Tests.size(), Base.Tests.size());
+  EXPECT_EQ(Pred.Stats.Forks, Base.Stats.Forks);
+  EXPECT_EQ(Pred.Stats.CompletedStates, Base.Stats.CompletedStates);
+  EXPECT_EQ(Pred.Stats.Errors, Base.Stats.Errors);
+
+  // The one-sided branches (x < 200, x < 300 under assume(x < 100), and
+  // x != 500) are correctly predicted: each saves the second polarity
+  // solve.
+  EXPECT_GT(Pred.Stats.PredictorHits, 0u);
+  EXPECT_LT(Pred.Stats.SolverAssumptionQueries,
+            Base.Stats.SolverAssumptionQueries);
+  // The priority searcher decided every selection.
+  EXPECT_GT(Pred.Stats.PolicyPicks, 0u);
+}
+
+TEST(PredictorEndToEndTest, NoPriorityNonePredictorIsBitIdentical) {
+  auto M = compileOrDie(BranchyProgram);
+  // PolicyKind::None / PredictorKind::None must be byte-for-byte the
+  // default configuration — same stats, same test inputs. Both runners
+  // stay alive: test inputs reference expressions in their contexts.
+  SymbolicRunner::Config C;
+  C.Engine.MaxSeconds = 60;
+  C.SolverVerdictCache = false;
+  C.SolverModelCache = false;
+  C.SolverCoreCache = false;
+  SymbolicRunner::Config CNone = C;
+  CNone.Policy = PolicyKind::None;
+  CNone.Predictor = PredictorKind::None;
+  SymbolicRunner RA(*M, CNone);
+  RunResult A = RA.run();
+  SymbolicRunner R(*M, C);
+  RunResult B = R.run();
+
+  ASSERT_EQ(A.Tests.size(), B.Tests.size());
+  for (size_t I = 0; I < A.Tests.size(); ++I) {
+    EXPECT_EQ(A.Tests[I].Kind, B.Tests[I].Kind);
+    EXPECT_EQ(canonInputs(A.Tests[I]), canonInputs(B.Tests[I]));
+  }
+  EXPECT_EQ(A.Stats.Forks, B.Stats.Forks);
+  EXPECT_EQ(A.Stats.SolverAssumptionQueries,
+            B.Stats.SolverAssumptionQueries);
+  EXPECT_EQ(A.Stats.PredictorHits, 0u);
+  EXPECT_EQ(A.Stats.PolicyPicks, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint round-trip of a priority run
+//===----------------------------------------------------------------------===//
+
+TEST(PriorityCheckpointTest, KillAndResumeMatchesUninterrupted) {
+  auto M = compileOrDie(BranchyProgram);
+
+  auto Configure = [] {
+    SymbolicRunner::Config C;
+    C.Engine.MaxSeconds = 60;
+    C.Policy = PolicyKind::Multiplicity;
+    C.Predictor = PredictorKind::Structure;
+    return C;
+  };
+
+  // The uninterrupted reference run.
+  SymbolicRunner Ref(*M, Configure());
+  RunResult Full = Ref.run();
+  ASSERT_TRUE(Full.Stats.Exhausted);
+
+  // Kill the same run mid-flight at a step budget, snapshot, resume.
+  SymbolicRunner::Config KillCfg = Configure();
+  KillCfg.Engine.MaxSteps = 25;
+  SymbolicRunner Killed(*M, KillCfg);
+  std::vector<uint8_t> Bytes;
+  CheckpointOptions Chk;
+  Chk.Sink = [&](const RunSnapshot &Snap) {
+    Bytes = serialize::encodeSnapshot(Snap, Killed.context());
+  };
+  Killed.setCheckpoint(Chk);
+  RunResult Partial = Killed.run();
+  ASSERT_FALSE(Partial.Stats.Exhausted);
+  ASSERT_FALSE(Bytes.empty());
+
+  SymbolicRunner Resumed(*M, Configure());
+  RunSnapshot Snap;
+  serialize::SnapshotDecodeResult DR =
+      serialize::decodeSnapshot(Bytes, *M, Resumed.context(), Snap);
+  ASSERT_TRUE(DR.Ok) << DR.Error;
+  RunResult Rest = Resumed.resume(std::move(Snap));
+  ASSERT_TRUE(Rest.Stats.Exhausted);
+
+  // Same tests in the same order, and the scheduling counters carried
+  // through the snapshot line up with the uninterrupted run's.
+  ASSERT_EQ(Rest.Tests.size(), Full.Tests.size());
+  for (size_t I = 0; I < Full.Tests.size(); ++I) {
+    EXPECT_EQ(Rest.Tests[I].Kind, Full.Tests[I].Kind);
+    EXPECT_EQ(canonInputs(Rest.Tests[I]), canonInputs(Full.Tests[I]));
+  }
+  EXPECT_EQ(Rest.Stats.Forks, Full.Stats.Forks);
+  EXPECT_EQ(Rest.Stats.PolicyPicks, Full.Stats.PolicyPicks);
+  EXPECT_EQ(Rest.Stats.PredictorHits, Full.Stats.PredictorHits);
+  EXPECT_EQ(Rest.Stats.PredictorMisses, Full.Stats.PredictorMisses);
+}
+
+//===----------------------------------------------------------------------===//
+// CLI parsing
+//===----------------------------------------------------------------------===//
+
+TEST(PolicyCliTest, ParsersRoundTripEveryKind) {
+  for (PolicyKind K : {PolicyKind::None, PolicyKind::PathCover,
+                       PolicyKind::Multiplicity}) {
+    PolicyKind Out;
+    ASSERT_TRUE(parsePolicyKind(policyKindName(K), Out));
+    EXPECT_EQ(Out, K);
+  }
+  for (PredictorKind K :
+       {PredictorKind::None, PredictorKind::FreshBranch,
+        PredictorKind::Phase, PredictorKind::Structure}) {
+    PredictorKind Out;
+    ASSERT_TRUE(parsePredictorKind(predictorKindName(K), Out));
+    EXPECT_EQ(Out, K);
+  }
+  PolicyKind P;
+  PredictorKind Q;
+  EXPECT_FALSE(parsePolicyKind("bogus", P));
+  EXPECT_FALSE(parsePredictorKind("bogus", Q));
+}

@@ -610,6 +610,149 @@ TEST(ParallelDifferentialTest, ParallelMergingIsSound) {
 }
 
 //===----------------------------------------------------------------------===
+// Policy axis: exploration priority must never change what is explored
+//===----------------------------------------------------------------------===
+
+/// Random programs x {policy, predictor, workers}: exhaustive exploration
+/// makes the explored SET scheduling-independent, so every priority and
+/// predictor mode must reproduce the default run's coverage, fork count,
+/// error verdicts, completed-state count, and sorted test set — a policy
+/// reorders the worklist and a predictor reorders the two polarity
+/// solves, neither may change an outcome. The explicit None/None row
+/// (`--no-priority --branch-predictor=none`) is held to the stricter
+/// full-outcome equality: it must BE the default configuration,
+/// bit-for-bit, including emission order.
+class PolicyDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyDifferentialTest, PoliciesPreserveExploredSet) {
+  const uint64_t Iters = envOr("SYMMERGE_DIFF_ITERS", 1);
+  const uint64_t SeedBase = envOr("SYMMERGE_DIFF_SEED", 0);
+  const int Shard = GetParam();
+
+  struct Row {
+    const char *Name;
+    PolicyKind Policy;
+    PredictorKind Predictor;
+    unsigned Workers;
+    bool LockFree;
+    bool Exact; ///< Full Outcome equality, not just set invariance.
+  };
+  const Row Rows[] = {
+      {"no-priority-w1", PolicyKind::None, PredictorKind::None, 1, true,
+       true},
+      {"pathcover-structure-w1", PolicyKind::PathCover,
+       PredictorKind::Structure, 1, true, false},
+      {"multiplicity-phase-w1", PolicyKind::Multiplicity,
+       PredictorKind::Phase, 1, true, false},
+      {"pathcover-fresh-w2", PolicyKind::PathCover,
+       PredictorKind::FreshBranch, 2, true, false},
+      {"pathcover-structure-w4", PolicyKind::PathCover,
+       PredictorKind::Structure, 4, true, false},
+      // The banded frontier also has a mutex implementation
+      // (--no-lockfree-frontier); pin it against the same reference.
+      {"pathcover-structure-w4-mutex", PolicyKind::PathCover,
+       PredictorKind::Structure, 4, false, false},
+  };
+
+  uint64_t TotalForks = 0;
+  // At least 3*Iters programs; keep generating (up to 8*Iters) until the
+  // shard has seen real symbolic branching, so the differential is never
+  // vacuous on a pocket of degenerate random programs.
+  for (uint64_t P = 0;
+       P < 3 * Iters || (P < 8 * Iters && TotalForks < 2 * Iters); ++P) {
+    uint64_t Seed = SeedBase * 1000003 + 990000 + Shard * 100 + P;
+    ProgramGen Gen(hashMix(Seed) | 1);
+    std::string Source = Gen.generate();
+    CompileResult CR = compileMiniC(Source);
+    ASSERT_TRUE(CR.ok()) << "generator produced invalid MiniC (seed "
+                         << Seed << "):\n"
+                         << Source;
+
+    // Reference: the default configuration with no policy axis at all.
+    SymbolicRunner::Config RC;
+    RC.Merge = SymbolicRunner::MergeMode::None;
+    RC.Driving = SymbolicRunner::Strategy::BFS;
+    RC.Engine.MaxSeconds = 300;
+    Outcome Reference = runProgram(*CR.M, RC);
+    ASSERT_TRUE(Reference.Exhausted) << "reference seed " << Seed;
+    TotalForks += Reference.Forks;
+    std::vector<std::string> RefSorted = Reference.Tests;
+    std::sort(RefSorted.begin(), RefSorted.end());
+
+    for (const Row &R : Rows) {
+      SymbolicRunner::Config C = RC;
+      C.Policy = R.Policy;
+      C.Predictor = R.Predictor;
+      C.Engine.Workers = R.Workers;
+      C.Engine.LockFreeFrontier = R.LockFree;
+      Outcome O = runProgram(*CR.M, C);
+      ASSERT_TRUE(O.Exhausted) << R.Name << " seed " << Seed;
+      if (R.Exact) {
+        EXPECT_TRUE(O == Reference)
+            << R.Name << " is not bit-identical to the default config on"
+            << " seed " << Seed << "\nprogram:\n"
+            << Source;
+        continue;
+      }
+      std::vector<std::string> Sorted = O.Tests;
+      std::sort(Sorted.begin(), Sorted.end());
+      EXPECT_EQ(Sorted, RefSorted)
+          << R.Name << " changed the test SET on seed " << Seed
+          << "\nprogram:\n"
+          << Source;
+      EXPECT_EQ(O.Forks, Reference.Forks) << R.Name << " seed " << Seed;
+      EXPECT_EQ(O.CompletedStates, Reference.CompletedStates)
+          << R.Name << " seed " << Seed;
+      EXPECT_EQ(O.Errors, Reference.Errors) << R.Name << " seed " << Seed;
+      EXPECT_EQ(O.Coverage, Reference.Coverage)
+          << R.Name << " seed " << Seed;
+    }
+
+    // One merging row: under DSM the merge PATTERN is
+    // selection-order-dependent, so a policy legitimately changes merge
+    // counts — but never the scheduling-invariant outcomes (coverage,
+    // feasible-path count, bug identities). Mirrors
+    // ParallelMergingIsSound.
+    auto BugIdentities = [](const Outcome &O) {
+      std::vector<std::string> Bugs;
+      for (const std::string &T : O.Tests)
+        if (T[0] != '0')
+          Bugs.push_back(T.substr(0, T.find(':', 2)));
+      std::sort(Bugs.begin(), Bugs.end());
+      Bugs.erase(std::unique(Bugs.begin(), Bugs.end()), Bugs.end());
+      return Bugs;
+    };
+    SymbolicRunner::Config MC = RC;
+    MC.Merge = SymbolicRunner::MergeMode::QCE;
+    MC.UseDSM = true;
+    MC.Driving = SymbolicRunner::Strategy::Coverage;
+    Outcome MergeRef = runProgram(*CR.M, MC);
+    ASSERT_TRUE(MergeRef.Exhausted) << "merge reference seed " << Seed;
+    MC.Policy = PolicyKind::Multiplicity;
+    MC.Predictor = PredictorKind::Structure;
+    Outcome MergePol = runProgram(*CR.M, MC);
+    ASSERT_TRUE(MergePol.Exhausted) << "merge policy row seed " << Seed;
+    EXPECT_EQ(MergePol.Coverage, MergeRef.Coverage)
+        << "dsm-multiplicity seed " << Seed << "\n"
+        << Source;
+    if (MergeRef.Errors == 0)
+      EXPECT_EQ(MergePol.CompletedMultiplicity,
+                MergeRef.CompletedMultiplicity)
+          << "path count must be merge-pattern invariant (seed " << Seed
+          << ")\n"
+          << Source;
+    EXPECT_EQ(BugIdentities(MergePol), BugIdentities(MergeRef))
+        << "dsm-multiplicity seed " << Seed << "\n"
+        << Source;
+  }
+  EXPECT_GE(TotalForks, 2 * Iters)
+      << "shard " << Shard << " explored almost no symbolic branches";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, PolicyDifferentialTest,
+                         ::testing::Range(0, 4));
+
+//===----------------------------------------------------------------------===
 // Scoped union-find: the group structure behind solve-level slicing
 //===----------------------------------------------------------------------===
 
@@ -1179,6 +1322,8 @@ TEST_P(CheckpointDifferentialTest, KillAndResumeMatchesUninterrupted) {
     bool UseDSM;
     SymbolicRunner::Strategy Driving;
     unsigned Workers;
+    PolicyKind Policy = PolicyKind::None;
+    PredictorKind Predictor = PredictorKind::None;
   };
   const Setup Setups[] = {
       {"plain-bfs-w1", SymbolicRunner::MergeMode::None, false,
@@ -1193,6 +1338,19 @@ TEST_P(CheckpointDifferentialTest, KillAndResumeMatchesUninterrupted) {
        SymbolicRunner::Strategy::Topological, 1},
       {"dsm-cov-w1", SymbolicRunner::MergeMode::QCE, true,
        SymbolicRunner::Strategy::Coverage, 1},
+      // Priority searcher mid-run: scores are recomputed from the
+      // restored coverage at selection time, so the plain
+      // worklist()/cursor contract must resume these bit-identically
+      // (w1) / set-identically (w2, banded frontier) too.
+      {"priority-pathcover-w1", SymbolicRunner::MergeMode::None, false,
+       SymbolicRunner::Strategy::BFS, 1, PolicyKind::PathCover,
+       PredictorKind::Structure},
+      {"priority-dsm-w1", SymbolicRunner::MergeMode::QCE, true,
+       SymbolicRunner::Strategy::Coverage, 1, PolicyKind::Multiplicity,
+       PredictorKind::Phase},
+      {"priority-pathcover-w2", SymbolicRunner::MergeMode::None, false,
+       SymbolicRunner::Strategy::BFS, 2, PolicyKind::PathCover,
+       PredictorKind::FreshBranch},
   };
   // Two exact rows: verdict-cache-only and the full production stack
   // (verdict + model + core caches, async test generation).
@@ -1217,6 +1375,8 @@ TEST_P(CheckpointDifferentialTest, KillAndResumeMatchesUninterrupted) {
           C.Driving = SU.Driving;
           C.Engine.Workers = SU.Workers;
           C.Engine.MaxSeconds = 60;
+          C.Policy = SU.Policy;
+          C.Predictor = SU.Predictor;
           applyMode(C, *SM);
           return C;
         };

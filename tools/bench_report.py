@@ -50,6 +50,11 @@ GATED = [
     "BM_ModelCacheProbeMiss/16",
     "BM_SolverBranchIncrementalSession/8",
     "BM_SnapshotEncode",
+    # Scheduling-stack series: the priority argmax is pure CPU (stable);
+    # the predicted-fork row is the one-UNSAT-solve fast path a correct
+    # branch hint buys, small enough to gate.
+    "BM_PolicyPickNext/64",
+    "BM_PredictedFork/1",
 ]
 
 # The filter passed to the bench binary in report mode: the gated series
@@ -57,7 +62,7 @@ GATED = [
 REPORT_FILTER = (
     "BM_Frontier|BM_CoreCacheProbe|BM_ModelCacheProbe|BM_SolverBranch|"
     "BM_SolverStateLifetime|BM_SolverGroupedLifetime|BM_PoisonedRetry|"
-    "BM_Snapshot"
+    "BM_Snapshot|BM_PolicyPickNext|BM_PredictedFork"
 )
 
 

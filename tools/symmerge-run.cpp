@@ -72,6 +72,18 @@ void usage(const char *Argv0) {
       "usage: %s [options] program.mc\n"
       "  --mode=plain|ssm-all|ssm-qce|ssm-qce-full|dsm-qce\n"
       "  --search=dfs|bfs|random|random-path|coverage|topological\n"
+      "  --policy=none|path-cover|multiplicity\n"
+      "                           exploration policy: score-driven\n"
+      "                           pick-next replacing the --search order\n"
+      "                           (none = the driving strategy's own\n"
+      "                           order, bit-for-bit)\n"
+      "  --no-priority            alias for --policy=none\n"
+      "  --branch-predictor=none|fresh-branch|phase|structure\n"
+      "                           branch-polarity hint on the fork hot\n"
+      "                           path; a right hint saves one solver\n"
+      "                           query per fork, exploration unchanged\n"
+      "  --adaptive-budgets       per-site adaptive conflict budgets\n"
+      "                           (needs --solve-budget-conflicts)\n"
       "  --alpha=F --beta=F --kappa=N --zeta=F --delta=N\n"
       "  --max-steps=N --max-seconds=F --max-tests=N --seed=N\n"
       "  --workers=N              engine worker threads (default: hardware\n"
@@ -187,6 +199,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (const char *V = Value("--search=")) {
       if (!parseSearch(V, Opts.Config))
         return false;
+    } else if (const char *V = Value("--policy=")) {
+      if (!parsePolicyKind(V, Opts.Config.Policy))
+        return false;
+    } else if (Arg == "--no-priority") {
+      Opts.Config.Policy = PolicyKind::None;
+    } else if (const char *V = Value("--branch-predictor=")) {
+      if (!parsePredictorKind(V, Opts.Config.Predictor))
+        return false;
+    } else if (Arg == "--adaptive-budgets") {
+      Opts.Config.AdaptiveBudgets = true;
     } else if (const char *V = Value("--alpha=")) {
       Opts.Config.QCE.Alpha = std::atof(V);
     } else if (const char *V = Value("--beta=")) {
@@ -519,6 +541,24 @@ int main(int Argc, char **Argv) {
     std::printf("workers          %llu (frontier steals: %llu)\n",
                 static_cast<unsigned long long>(S.Workers),
                 static_cast<unsigned long long>(S.FrontierSteals));
+    std::printf("scheduling       policy %s (picks: %llu), predictor %s "
+                "(%llu hits / %llu misses)\n",
+                policyKindName(Opts.Config.Policy),
+                static_cast<unsigned long long>(S.PolicyPicks),
+                predictorKindName(Opts.Config.Predictor),
+                static_cast<unsigned long long>(S.PredictorHits),
+                static_cast<unsigned long long>(S.PredictorMisses));
+    std::printf("adaptive budgets %llu blowups / %llu raises\n",
+                static_cast<unsigned long long>(S.AdaptiveBudgetBlowups),
+                static_cast<unsigned long long>(S.AdaptiveBudgetRaises));
+    std::printf("testgen reorder  %llu (summed queue-jump distance)\n",
+                static_cast<unsigned long long>(S.TestGenReorderDistance));
+    if (!S.FrontierDepthHighWater.empty()) {
+      std::printf("frontier depth   high water per partition:");
+      for (uint64_t D : S.FrontierDepthHighWater)
+        std::printf(" %llu", static_cast<unsigned long long>(D));
+      std::printf("\n");
+    }
     std::printf("coverage         %.1f%%\n",
                 100 * Runner.coverage().statementCoverage());
   }

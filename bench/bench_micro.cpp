@@ -21,6 +21,8 @@
 #include "solver/CoreCache.h"
 #include "solver/ModelCache.h"
 #include "solver/PoisonCache.h"
+#include "dist/RemoteCache.h"
+#include "dist/Wire.h"
 #include "serialize/Snapshot.h"
 #include "solver/Solver.h"
 #include "workloads/Workloads.h"
@@ -863,5 +865,130 @@ static void BM_SnapshotDecode(benchmark::State &State) {
   State.counters["bytes"] = static_cast<double>(F.Bytes.size());
 }
 BENCHMARK(BM_SnapshotDecode);
+
+//===----------------------------------------------------------------------===
+// Distributed fabric: batch shipping + remote cache service
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// A real dispatched batch, built the way the coordinator builds one:
+/// seed the `sum` workload, pull the frontier out of the snapshot,
+/// renumber, encode.
+struct BatchFixture {
+  BatchFixture() {
+    static SnapshotFixture F; // Shares the engine run above.
+    M = F.M.get();
+    RunSnapshot Snap;
+    serialize::SnapshotDecodeResult DR =
+        serialize::decodeSnapshot(F.Bytes, *M, Ctx, Snap);
+    if (!DR.Ok)
+      return;
+    Batch.ProgramHash = serialize::programHash(*M);
+    for (size_t I = 0; I < Snap.Frontier.size(); ++I) {
+      Snap.Frontier[I].State->Id = I + 1;
+      Batch.States.push_back(std::move(Snap.Frontier[I].State));
+    }
+    Batch.NextStateId = Batch.States.size() + 1;
+    Bytes = serialize::encodeStateBatch(Batch);
+  }
+
+  const Module *M = nullptr;
+  ExprContext Ctx;
+  serialize::StateBatch Batch;
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace
+
+/// Encode half of shipping one batch to a worker: what the coordinator
+/// pays per dispatched lease (per round, per non-empty slot).
+static void BM_DistBatchEncode(benchmark::State &State) {
+  static BatchFixture F;
+  if (F.Bytes.empty()) {
+    State.SkipWithError("batch fixture capture failed");
+    return;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(serialize::encodeStateBatch(F.Batch));
+  State.counters["states"] = static_cast<double>(F.Batch.States.size());
+  State.counters["bytes"] = static_cast<double>(F.Bytes.size());
+}
+BENCHMARK(BM_DistBatchEncode);
+
+/// Decode half: what a worker pays re-interning a batch into its fresh
+/// runner context before resuming it.
+static void BM_DistBatchDecode(benchmark::State &State) {
+  static BatchFixture F;
+  if (F.Bytes.empty()) {
+    State.SkipWithError("batch fixture capture failed");
+    return;
+  }
+  for (auto _ : State) {
+    ExprContext Fresh;
+    serialize::StateBatch Out;
+    serialize::SnapshotDecodeResult DR =
+        serialize::decodeStateBatch(F.Bytes, *F.M, Fresh, Out);
+    if (!DR.Ok)
+      State.SkipWithError(DR.Error.c_str());
+    benchmark::DoNotOptimize(Out.NextStateId);
+  }
+  State.counters["states"] = static_cast<double>(F.Batch.States.size());
+  State.counters["bytes"] = static_cast<double>(F.Bytes.size());
+}
+BENCHMARK(BM_DistBatchDecode);
+
+/// One remote verdict probe through the cache service, wire codec
+/// included: encode on the worker, decode + answer + encode on the
+/// service, decode the reply back — everything but the socket hop.
+static void BM_RemoteCacheProbe(benchmark::State &State) {
+  const int NumKeys = static_cast<int>(State.range(0));
+  dist::CacheStore Store;
+  ExprContext Worker;
+
+  // Warm the store with NumKeys verdicts published worker-side.
+  for (int I = 0; I < NumKeys; ++I) {
+    dist::CachePublishFrame Pub;
+    Pub.Kind = dist::CacheKind::Verdict;
+    ExprRef X = Worker.mkVar("x" + std::to_string(I % 8), 32);
+    Pub.Exprs = {Worker.mkUlt(X, Worker.mkConst(I + 1, 32)),
+                 Worker.mkEq(Worker.mkVar("y", 32),
+                             Worker.mkConst(I, 32))};
+    Pub.Verdict = I % 2 ? SolverResult::Sat : SolverResult::Unsat;
+    std::vector<uint8_t> Wire = dist::encodeCachePublish(Pub);
+    dist::CachePublishFrame Decoded;
+    if (!dist::decodeCachePublish(Wire, Store.context(), Decoded).Ok) {
+      State.SkipWithError("publish decode failed");
+      return;
+    }
+    Store.applyPublish(Decoded);
+  }
+
+  uint64_t K = 0;
+  for (auto _ : State) {
+    dist::CacheProbeFrame Probe;
+    Probe.ReqId = ++K;
+    Probe.Kind = dist::CacheKind::Verdict;
+    ExprRef X = Worker.mkVar("x" + std::to_string(K % 8), 32);
+    Probe.Exprs = {
+        Worker.mkUlt(X, Worker.mkConst(K % NumKeys + 1, 32)),
+        Worker.mkEq(Worker.mkVar("y", 32),
+                    Worker.mkConst(K % NumKeys, 32))};
+    std::vector<uint8_t> Wire = dist::encodeCacheProbe(Probe);
+    dist::CacheProbeFrame Decoded;
+    if (!dist::decodeCacheProbe(Wire, Store.context(), Decoded).Ok) {
+      State.SkipWithError("probe decode failed");
+      return;
+    }
+    dist::CacheReplyFrame Reply = Store.answerProbe(Decoded);
+    std::vector<uint8_t> ReplyWire = dist::encodeCacheReply(Reply);
+    ExprContext Fresh;
+    dist::CacheReplyFrame Back;
+    if (!dist::decodeCacheReply(ReplyWire, Fresh, Back).Ok)
+      State.SkipWithError("reply decode failed");
+    benchmark::DoNotOptimize(Back.Hit);
+  }
+}
+BENCHMARK(BM_RemoteCacheProbe)->Arg(64);
 
 BENCHMARK_MAIN();

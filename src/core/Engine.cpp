@@ -843,7 +843,9 @@ void Engine::noteAdaptiveOutcome(ExecContext &X, const Location &L,
 /// Total order on test cases for the deterministic post-run ordering of
 /// parallel runs: kind, message, location, multiplicity, then the sorted
 /// input assignment. Two tests equal under this key are identical.
-static std::string canonicalTestKey(const TestCase &T) {
+/// Exported (TestCase.h): the distributed coordinator sorts its
+/// aggregated test list by the same key.
+std::string symmerge::canonicalTestKey(const TestCase &T) {
   std::ostringstream OS;
   OS << static_cast<int>(T.Kind) << '|' << T.Message << '|';
   if (T.Where.Block)
@@ -862,6 +864,13 @@ static std::string canonicalTestKey(const TestCase &T) {
   for (const auto &[Name, Val] : Items)
     OS << Name << '=' << Val << ',';
   return OS.str();
+}
+
+void symmerge::sortTestsCanonically(std::vector<TestCase> &Tests) {
+  std::stable_sort(Tests.begin(), Tests.end(),
+                   [](const TestCase &A, const TestCase &B) {
+                     return canonicalTestKey(A) < canonicalTestKey(B);
+                   });
 }
 
 RunResult Engine::run() {

@@ -157,7 +157,44 @@ struct EngineStats {
   /// empty sequentially — MaxWorklist covers that). Scheduling
   /// observability for --stats.
   std::vector<uint64_t> FrontierDepthHighWater;
+  // Distributed fabric (src/dist/: --dist-workers). All zero for
+  // single-process runs.
+  uint64_t DistProcesses = 0;       ///< Worker processes the run used.
+  uint64_t DistBatchesShipped = 0;  ///< State batches dispatched.
+  uint64_t DistBatchesReshipped = 0; ///< Batches re-dispatched from the
+                                     ///< coordinator's retained copy
+                                     ///< after a worker death.
+  uint64_t DistRebalances = 0;    ///< Rebalance rounds past the first
+                                  ///< distribution (lease-expired states
+                                  ///< re-routed at the pause barrier).
+  uint64_t DistWorkerDeaths = 0;  ///< Worker sockets that closed with a
+                                  ///< batch in flight.
+  // Remote cache tier (--dist-cache). "Hits" are replies that carried an
+  // answer (a verdict, candidate models, or a subsuming core); every
+  // install stays sound locally (models revalidate by evaluation, cores
+  // were verified by the publishing process, verdicts are exact by
+  // structural re-interning).
+  uint64_t DistRemoteCacheHits = 0;
+  uint64_t DistRemoteCacheMisses = 0;
+  uint64_t DistRemoteCachePublishes = 0;
+  double DistRemoteCacheRttSeconds = 0; ///< Summed probe round trips.
+  /// Probe round-trip latency histogram; bucket I counts round trips
+  /// under 0.1ms * 3^I (last bucket: everything slower).
+  std::vector<uint64_t> DistRemoteCacheRttHisto;
+  /// Per-process MaxWorklist high-water marks, indexed by worker slot.
+  std::vector<uint64_t> DistProcessStateHighWater;
 };
+
+/// Canonical sort key for a test case: kind, message, location, index,
+/// multiplicity bit pattern, and the sorted concrete inputs. Independent
+/// of worker count, state ids, and discovery order — the key the
+/// parallel engine and the distributed coordinator both sort final test
+/// lists by, which is what makes result sets comparable across
+/// partitionings.
+std::string canonicalTestKey(const TestCase &T);
+
+/// Stable-sorts \p Tests by canonicalTestKey.
+void sortTestsCanonically(std::vector<TestCase> &Tests);
 
 /// Everything a run produced.
 struct RunResult {

@@ -1,0 +1,177 @@
+//===- Channel.cpp - Length-framed Unix-domain socket channel ----------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Channel.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace symmerge;
+using namespace symmerge::dist;
+
+Channel &Channel::operator=(Channel &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = O.Fd;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+bool Channel::createPair(Channel &A, Channel &B) {
+  int Fds[2];
+#ifdef SOCK_CLOEXEC
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, Fds) != 0)
+    return false;
+#else
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0)
+    return false;
+  ::fcntl(Fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(Fds[1], F_SETFD, FD_CLOEXEC);
+#endif
+  A = Channel(Fds[0]);
+  B = Channel(Fds[1]);
+  return true;
+}
+
+void Channel::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+int Channel::release() {
+  int F = Fd;
+  Fd = -1;
+  return F;
+}
+
+void Channel::clearCloexec() {
+  if (Fd >= 0)
+    ::fcntl(Fd, F_SETFD, 0);
+}
+
+static bool sendAll(int Fd, const uint8_t *Data, size_t N) {
+  while (N > 0) {
+    ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+bool Channel::sendFrame(const std::vector<uint8_t> &Payload) {
+  if (Fd < 0 || Payload.size() > MaxFrameBytes)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  uint8_t Prefix[4] = {static_cast<uint8_t>(Len),
+                       static_cast<uint8_t>(Len >> 8),
+                       static_cast<uint8_t>(Len >> 16),
+                       static_cast<uint8_t>(Len >> 24)};
+  return sendAll(Fd, Prefix, sizeof(Prefix)) &&
+         sendAll(Fd, Payload.data(), Payload.size());
+}
+
+bool Channel::readExact(uint8_t *Buf, size_t N) {
+  while (N > 0) {
+    ssize_t R = ::read(Fd, Buf, N);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (R == 0)
+      return false; // EOF mid-frame: a dead peer.
+    Buf += R;
+    N -= static_cast<size_t>(R);
+  }
+  return true;
+}
+
+Channel::RecvStatus Channel::recvFrame(std::vector<uint8_t> &Out,
+                                       int TimeoutMs) {
+  if (Fd < 0)
+    return RecvStatus::Error;
+  struct pollfd P;
+  P.fd = Fd;
+  P.events = POLLIN;
+  for (;;) {
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return RecvStatus::Error;
+    }
+    if (R == 0)
+      return RecvStatus::Timeout;
+    break;
+  }
+
+  uint8_t Prefix[4];
+  // Distinguish orderly EOF (peer closed between frames) from a frame
+  // truncated mid-stream: probe the first byte separately.
+  {
+    ssize_t R;
+    do {
+      R = ::read(Fd, Prefix, 1);
+    } while (R < 0 && errno == EINTR);
+    if (R == 0)
+      return RecvStatus::Eof;
+    if (R < 0)
+      return RecvStatus::Error;
+  }
+  if (!readExact(Prefix + 1, 3))
+    return RecvStatus::Error;
+  uint32_t Len = static_cast<uint32_t>(Prefix[0]) |
+                 (static_cast<uint32_t>(Prefix[1]) << 8) |
+                 (static_cast<uint32_t>(Prefix[2]) << 16) |
+                 (static_cast<uint32_t>(Prefix[3]) << 24);
+  if (Len > MaxFrameBytes)
+    return RecvStatus::Error; // Hostile length prefix: never allocate it.
+  Out.resize(Len);
+  if (Len > 0 && !readExact(Out.data(), Len))
+    return RecvStatus::Error;
+  return RecvStatus::Frame;
+}
+
+bool dist::pollReadable(const std::vector<int> &Fds, int TimeoutMs,
+                        std::vector<size_t> &Ready) {
+  std::vector<struct pollfd> Ps;
+  std::vector<size_t> Map;
+  Ps.reserve(Fds.size());
+  for (size_t I = 0; I < Fds.size(); ++I) {
+    if (Fds[I] < 0)
+      continue;
+    struct pollfd P;
+    P.fd = Fds[I];
+    P.events = POLLIN;
+    P.revents = 0;
+    Ps.push_back(P);
+    Map.push_back(I);
+  }
+  if (Ps.empty())
+    return true;
+  int R;
+  do {
+    R = ::poll(Ps.data(), Ps.size(), TimeoutMs);
+  } while (R < 0 && errno == EINTR);
+  if (R < 0)
+    return false;
+  for (size_t I = 0; I < Ps.size(); ++I)
+    if (Ps[I].revents & (POLLIN | POLLHUP | POLLERR))
+      Ready.push_back(Map[I]);
+  return true;
+}

@@ -1,0 +1,100 @@
+//===- Channel.h - Length-framed Unix-domain socket channel -----*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under the distributed fabric: one end of a
+/// SOCK_STREAM socketpair carrying length-framed byte messages. The
+/// frame layer is deliberately dumb — a u32 little-endian byte count
+/// followed by the payload — because every payload is a src/dist/Wire
+/// frame decoded through serialize::Decoder's bounds-checked,
+/// sticky-failure discipline; the only validation here is the frame cap
+/// that keeps a hostile length prefix from provoking a giant
+/// allocation.
+///
+/// Both ends are created close-on-exec, so a spawned worker inherits
+/// exactly the fds the coordinator passes by number (clearCloexec()
+/// between fork and exec — fcntl is async-signal-safe). Sends use
+/// MSG_NOSIGNAL: a dead peer surfaces as an error return, never
+/// SIGPIPE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_DIST_CHANNEL_H
+#define SYMMERGE_DIST_CHANNEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace symmerge {
+namespace dist {
+
+/// Upper bound on a single frame's payload. Far above any real state
+/// batch; a length prefix past it is treated as a protocol error.
+constexpr uint32_t MaxFrameBytes = 256u << 20;
+
+/// One end of a framed byte-stream connection. Move-only; closes its fd
+/// on destruction.
+class Channel {
+public:
+  Channel() = default;
+  /// Adopts \p Fd (takes ownership).
+  explicit Channel(int Fd) : Fd(Fd) {}
+  ~Channel() { close(); }
+  Channel(Channel &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Channel &operator=(Channel &&O) noexcept;
+  Channel(const Channel &) = delete;
+  Channel &operator=(const Channel &) = delete;
+
+  /// Connected socketpair with both ends close-on-exec. False on
+  /// resource exhaustion.
+  static bool createPair(Channel &A, Channel &B);
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+  /// Releases ownership of the fd without closing it.
+  int release();
+
+  /// Clears FD_CLOEXEC so the fd survives an exec. Async-signal-safe
+  /// (one fcntl); made for the fork-to-exec window.
+  void clearCloexec();
+
+  /// Writes one frame (length prefix + payload), looping over partial
+  /// writes and EINTR. False when the peer is gone or the payload
+  /// exceeds MaxFrameBytes; the caller treats that as a dead peer.
+  bool sendFrame(const std::vector<uint8_t> &Payload);
+
+  enum class RecvStatus {
+    Frame,   ///< A complete frame landed in the out-parameter.
+    Eof,     ///< Orderly close — the peer is gone.
+    Timeout, ///< No frame began within the timeout.
+    Error,   ///< Protocol or socket error (hostile length, EPIPE, ...).
+  };
+
+  /// Reads one frame. \p TimeoutMs bounds the wait for the frame to
+  /// BEGIN (-1 = block forever); once a length prefix arrives the rest
+  /// is read to completion (peers write whole frames, so the remainder
+  /// is already in flight).
+  RecvStatus recvFrame(std::vector<uint8_t> &Out, int TimeoutMs = -1);
+
+private:
+  bool readExact(uint8_t *Buf, size_t N);
+
+  int Fd = -1;
+};
+
+/// Polls \p Fds for readability (or EOF/error, which also reads as
+/// "ready" so the caller can reap the dead peer). Appends the ready
+/// indices to \p Ready; returns false only on poll() failure. Entries
+/// with fd < 0 are skipped.
+bool pollReadable(const std::vector<int> &Fds, int TimeoutMs,
+                  std::vector<size_t> &Ready);
+
+} // namespace dist
+} // namespace symmerge
+
+#endif // SYMMERGE_DIST_CHANNEL_H

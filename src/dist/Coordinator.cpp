@@ -1,0 +1,585 @@
+//===- Coordinator.cpp - Multi-process frontier router -----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Coordinator.h"
+
+#include "core/MergePolicy.h"
+#include "dist/Channel.h"
+#include "dist/RemoteCache.h"
+#include "dist/Wire.h"
+#include "serialize/Snapshot.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace symmerge;
+using namespace symmerge::dist;
+
+namespace {
+
+/// Folds one batch delta's counters into the aggregate. Plain-mode
+/// exploration counters are exactly additive across a partition of
+/// states; high-water marks take the max.
+void accumulateStats(EngineStats &A, const EngineStats &B) {
+  A.Steps += B.Steps;
+  A.Forks += B.Forks;
+  A.Merges += B.Merges;
+  A.MergedItes += B.MergedItes;
+  A.CompletedStates += B.CompletedStates;
+  A.CompletedMultiplicity += B.CompletedMultiplicity;
+  A.ExactPathsCompleted += B.ExactPathsCompleted;
+  A.Errors += B.Errors;
+  A.MaxWorklist = std::max(A.MaxWorklist, B.MaxWorklist);
+  A.FastForwardSelections += B.FastForwardSelections;
+  A.FastForwardMerges += B.FastForwardMerges;
+  A.SolverQueries += B.SolverQueries;
+  A.SolverCoreQueries += B.SolverCoreQueries;
+  A.SolverSeconds += B.SolverSeconds;
+  A.SolverSessions += B.SolverSessions;
+  A.SolverAssumptionQueries += B.SolverAssumptionQueries;
+  A.SolverEncodeCacheHits += B.SolverEncodeCacheHits;
+  A.SolverEncodeSeconds += B.SolverEncodeSeconds;
+  A.SolverVerdictCacheHits += B.SolverVerdictCacheHits;
+  A.SolverVerdictCacheMisses += B.SolverVerdictCacheMisses;
+  A.SolverVerdictCacheEvictions += B.SolverVerdictCacheEvictions;
+  A.SolverGroupSubSessions += B.SolverGroupSubSessions;
+  A.SolverGroupMerges += B.SolverGroupMerges;
+  A.SolverGroupSlicedSolves += B.SolverGroupSlicedSolves;
+  A.SolverModelCacheHits += B.SolverModelCacheHits;
+  A.SolverModelCacheMisses += B.SolverModelCacheMisses;
+  A.SolverEvalSatShortcuts += B.SolverEvalSatShortcuts;
+  A.SolverModelCacheEvictions += B.SolverModelCacheEvictions;
+  A.SolverCoreCacheHits += B.SolverCoreCacheHits;
+  A.SolverCoreCacheMisses += B.SolverCoreCacheMisses;
+  A.SolverCoreSubsumptions += B.SolverCoreSubsumptions;
+  A.SolverCoreCacheEvictions += B.SolverCoreCacheEvictions;
+  A.SolverCoreCacheProbeVisits += B.SolverCoreCacheProbeVisits;
+  A.SolverCoreCacheSigSkips += B.SolverCoreCacheSigSkips;
+  A.SolverCoreCacheShardSkips += B.SolverCoreCacheShardSkips;
+  A.SolverModelCacheSigSkips += B.SolverModelCacheSigSkips;
+  A.SolverPoisonedQueries += B.SolverPoisonedQueries;
+  A.SolverPoisonedInserts += B.SolverPoisonedInserts;
+  A.SolverPoisonCacheEvictions += B.SolverPoisonCacheEvictions;
+  A.SolverUnknownsObserved += B.SolverUnknownsObserved;
+  A.TestGenQueued += B.TestGenQueued;
+  A.TestGenSolved += B.TestGenSolved;
+  A.TestGenSkipped += B.TestGenSkipped;
+  A.Workers = std::max(A.Workers, B.Workers);
+  A.FrontierSteals += B.FrontierSteals;
+  A.SessionsBuilt += B.SessionsBuilt;
+  A.SessionEvictions += B.SessionEvictions;
+  A.SessionSplits += B.SessionSplits;
+  A.PolicyPicks += B.PolicyPicks;
+  A.PredictorHits += B.PredictorHits;
+  A.PredictorMisses += B.PredictorMisses;
+  A.TestGenReorderDistance += B.TestGenReorderDistance;
+  A.AdaptiveBudgetBlowups += B.AdaptiveBudgetBlowups;
+  A.AdaptiveBudgetRaises += B.AdaptiveBudgetRaises;
+  if (A.FrontierDepthHighWater.size() < B.FrontierDepthHighWater.size())
+    A.FrontierDepthHighWater.resize(B.FrontierDepthHighWater.size());
+  for (size_t I = 0; I < B.FrontierDepthHighWater.size(); ++I)
+    A.FrontierDepthHighWater[I] =
+        std::max(A.FrontierDepthHighWater[I], B.FrontierDepthHighWater[I]);
+  A.DistRemoteCacheHits += B.DistRemoteCacheHits;
+  A.DistRemoteCacheMisses += B.DistRemoteCacheMisses;
+  A.DistRemoteCachePublishes += B.DistRemoteCachePublishes;
+  A.DistRemoteCacheRttSeconds += B.DistRemoteCacheRttSeconds;
+  if (A.DistRemoteCacheRttHisto.size() < B.DistRemoteCacheRttHisto.size())
+    A.DistRemoteCacheRttHisto.resize(B.DistRemoteCacheRttHisto.size());
+  for (size_t I = 0; I < B.DistRemoteCacheRttHisto.size(); ++I)
+    A.DistRemoteCacheRttHisto[I] += B.DistRemoteCacheRttHisto[I];
+}
+
+/// One spawned worker process and its control channel.
+struct WorkerProc {
+  pid_t Pid = -1;
+  Channel Ctrl;
+  uint64_t InFlightBatch = 0; ///< 0 = idle.
+};
+
+/// Everything the coordinator run owns; split out so spawn/reap helpers
+/// can share it.
+struct Coordinator {
+  const Module &M;
+  const SymbolicRunner::Config &Cfg;
+  const DistOptions &Opts;
+
+  std::string IRText;
+  uint64_t ProgramHash = 0;
+
+  std::vector<WorkerProc> Workers;
+
+  // Remote cache tier (only with Opts.RemoteCache).
+  std::unique_ptr<CacheStore> Store;
+  std::vector<std::unique_ptr<Channel>> CacheChannels;
+  std::mutex CacheChannelsMutex;
+  std::atomic<bool> CacheStop{false};
+  std::thread CacheThread;
+
+  Coordinator(const Module &M, const SymbolicRunner::Config &Cfg,
+              const DistOptions &Opts)
+      : M(M), Cfg(Cfg), Opts(Opts) {}
+
+  ~Coordinator() {
+    for (WorkerProc &W : Workers)
+      shutdownWorker(W);
+    if (CacheThread.joinable()) {
+      CacheStop.store(true, std::memory_order_release);
+      CacheThread.join();
+    }
+  }
+
+  /// Spawns (or respawns) the worker in \p Slot and runs the
+  /// Init/InitAck handshake. False on spawn or handshake failure.
+  bool spawnWorker(size_t Slot, std::string &Error) {
+    Channel CtrlParent, CtrlChild, CacheParent, CacheChild;
+    if (!Channel::createPair(CtrlParent, CtrlChild)) {
+      Error = "socketpair failed";
+      return false;
+    }
+    if (Opts.RemoteCache && !Channel::createPair(CacheParent, CacheChild)) {
+      Error = "socketpair failed";
+      return false;
+    }
+
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      Error = "fork failed";
+      return false;
+    }
+    if (Pid == 0) {
+      // Child: between fork and exec only async-signal-safe calls.
+      CtrlChild.clearCloexec();
+      char FdArg[32], CacheArg[32];
+      ::snprintf(FdArg, sizeof(FdArg), "--fd=%d", CtrlChild.fd());
+      if (CacheChild.valid()) {
+        CacheChild.clearCloexec();
+        ::snprintf(CacheArg, sizeof(CacheArg), "--cache-fd=%d",
+                   CacheChild.fd());
+        ::execl(Opts.WorkerdPath.c_str(), "symmerge-workerd", FdArg,
+                CacheArg, (char *)nullptr);
+      } else {
+        ::execl(Opts.WorkerdPath.c_str(), "symmerge-workerd", FdArg,
+                (char *)nullptr);
+      }
+      ::_exit(127);
+    }
+
+    // Parent: the child-side fds close with these Channel locals.
+    CtrlChild.close();
+    CacheChild.close();
+
+    InitFrame Init;
+    Init.ProgramHash = ProgramHash;
+    Init.IRText = IRText;
+    Init.Config = Cfg;
+    Init.WorkerIndex = static_cast<uint32_t>(Slot);
+    Init.RemoteCache = Opts.RemoteCache;
+    Init.LeaseSteps = Opts.LeaseSteps;
+    std::vector<uint8_t> Frame;
+    bool Ok = CtrlParent.sendFrame(encodeInit(Init)) &&
+              CtrlParent.recvFrame(Frame, /*TimeoutMs=*/30000) ==
+                  Channel::RecvStatus::Frame;
+    InitAckFrame Ack;
+    if (Ok)
+      Ok = decodeInitAck(Frame, Ack).Ok && Ack.ProgramHash == ProgramHash;
+    if (!Ok) {
+      Error = "worker handshake failed (is symmerge-workerd at '" +
+              Opts.WorkerdPath + "'?)";
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+      return false;
+    }
+
+    if (CacheParent.valid()) {
+      std::lock_guard<std::mutex> L(CacheChannelsMutex);
+      CacheChannels.push_back(
+          std::make_unique<Channel>(std::move(CacheParent)));
+    }
+
+    WorkerProc &W = Workers[Slot];
+    W.Pid = Pid;
+    W.Ctrl = std::move(CtrlParent);
+    W.InFlightBatch = 0;
+    return true;
+  }
+
+  void shutdownWorker(WorkerProc &W) {
+    if (W.Pid < 0)
+      return;
+    W.Ctrl.sendFrame(encodeShutdown());
+    W.Ctrl.close();
+    ::waitpid(W.Pid, nullptr, 0);
+    W.Pid = -1;
+  }
+
+  void reapDeadWorker(WorkerProc &W) {
+    W.Ctrl.close();
+    if (W.Pid >= 0)
+      ::waitpid(W.Pid, nullptr, 0);
+    W.Pid = -1;
+  }
+};
+
+} // namespace
+
+DistResult dist::runDistributed(const Module &M,
+                                const SymbolicRunner::Config &Cfg,
+                                const DistOptions &Opts) {
+  DistResult Out;
+  if (Opts.Processes == 0) {
+    Out.Error = "--dist-workers needs at least one process";
+    return Out;
+  }
+  if (Opts.WorkerdPath.empty()) {
+    Out.Error = "no symmerge-workerd path configured";
+    return Out;
+  }
+  auto WallStart = std::chrono::steady_clock::now();
+
+  Coordinator C(M, Cfg, Opts);
+  C.IRText = M.str();
+  C.ProgramHash = hashString(C.IRText);
+  C.Workers.resize(Opts.Processes);
+
+  //===--------------------------------------------------------------------===
+  // Seed phase: run locally (sequentially, for a deterministic seed)
+  // under a growing step budget until the frontier is wide enough to
+  // route, or the run finishes outright.
+  //===--------------------------------------------------------------------===
+
+  EngineStats AggStats;
+  std::vector<TestCase> AggTests;
+  std::map<const BasicBlock *, uint64_t> CoverageMap;
+  std::vector<std::unique_ptr<ExecutionState>> Pool;
+  uint64_t PoolNextStateId = 1;
+  // The pool's (and the returned tests') expressions live here: the seed
+  // frontier decodes into this fresh context and every result delta
+  // re-interns into it. Owned by the result so the caller's tests stay
+  // valid after we return.
+  Out.Ctx = std::make_unique<ExprContext>();
+  ExprContext &PoolCtx = *Out.Ctx;
+
+  const size_t TargetFrontier = 2 * static_cast<size_t>(Opts.Processes);
+  {
+    SymbolicRunner::Config SeedCfg = Cfg;
+    SeedCfg.Engine.Workers = 1;
+    uint64_t Increment = 64;
+    std::vector<uint8_t> SnapBytes;
+    // Tests from a seed run that finished without a final snapshot: the
+    // per-iteration runner owns their expressions, so they ride to
+    // PoolCtx as encoded bytes (ResultDelta with only the tests filled).
+    std::vector<uint8_t> SeedTestBytes;
+
+    for (;;) {
+      // Resume seeds the step counter from the snapshot, so the budget
+      // for a resumed leg is absolute: steps-so-far + the increment.
+      SeedCfg.Engine.MaxSteps =
+          std::min(AggStats.Steps + Increment, Cfg.Engine.MaxSteps);
+      SymbolicRunner Seed(M, SeedCfg);
+
+      RunSnapshot Resume;
+      bool HaveResume = !SnapBytes.empty();
+      if (HaveResume) {
+        auto Dec =
+            serialize::decodeSnapshot(SnapBytes, M, Seed.context(), Resume);
+        if (!Dec.Ok) {
+          Out.Error = "seed snapshot round-trip failed: " + Dec.Error;
+          return Out;
+        }
+      }
+
+      bool Captured = false;
+      size_t FrontierSize = 0;
+      CheckpointOptions Chk;
+      Chk.EverySteps = 0;
+      Chk.Sink = [&](const RunSnapshot &S) {
+        Captured = true;
+        FrontierSize = S.Frontier.size();
+        SnapBytes = serialize::encodeSnapshot(S, Seed.context());
+      };
+      Seed.setCheckpoint(std::move(Chk));
+
+      RunResult R = HaveResume ? Seed.resume(std::move(Resume)) : Seed.run();
+      AggStats = R.Stats;
+      for (const auto &KV : Seed.coverage().snapshotCounts())
+        CoverageMap[KV.first] = KV.second;
+
+      if (!Captured) {
+        // No final snapshot: the run finished (exhausted, or stopped on
+        // a non-step budget) — nothing left to distribute. Encode the
+        // tests now, while this runner still owns their expressions.
+        serialize::ResultDelta Fin;
+        Fin.Tests = R.Tests;
+        Fin.Remaining.ProgramHash = C.ProgramHash;
+        SeedTestBytes = serialize::encodeResultDelta(Fin);
+        SnapBytes.clear();
+        break;
+      }
+      if (FrontierSize >= TargetFrontier ||
+          AggStats.Steps >= Cfg.Engine.MaxSteps ||
+          AggTests.size() >= Cfg.Engine.MaxTests)
+        break; // Wide (or spent) enough: distribute what we have.
+      Increment *= 4;
+    }
+
+    if (!SnapBytes.empty()) {
+      // Pull the frontier — and the tests accepted so far, re-interned
+      // into PoolCtx — out of the final seed snapshot. This decode must
+      // come before anything else touches PoolCtx: a whole-run snapshot
+      // restores only into a fresh context.
+      RunSnapshot Snap;
+      auto Dec = serialize::decodeSnapshot(SnapBytes, M, PoolCtx, Snap);
+      if (!Dec.Ok) {
+        Out.Error = "seed snapshot decode failed: " + Dec.Error;
+        return Out;
+      }
+      PoolNextStateId = Snap.NextStateId;
+      AggTests = std::move(Snap.Tests);
+      for (RunSnapshot::Entry &E : Snap.Frontier)
+        Pool.push_back(std::move(E.State));
+    } else if (!SeedTestBytes.empty()) {
+      serialize::ResultDelta Fin;
+      auto Dec = serialize::decodeResultDelta(SeedTestBytes, M, PoolCtx, Fin);
+      if (!Dec.Ok) {
+        Out.Error = "seed test round-trip failed: " + Dec.Error;
+        return Out;
+      }
+      AggTests = std::move(Fin.Tests);
+    }
+  }
+
+  AggStats.DistProcesses = Opts.Processes;
+
+  //===--------------------------------------------------------------------===
+  // Routing rounds
+  //===--------------------------------------------------------------------===
+
+  auto WallSpent = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         WallStart)
+        .count();
+  };
+  auto BudgetSpent = [&] {
+    return AggStats.Steps >= Cfg.Engine.MaxSteps ||
+           AggTests.size() >= Cfg.Engine.MaxTests ||
+           WallSpent() >= Cfg.Engine.MaxSeconds;
+  };
+
+  if (!Pool.empty() && !BudgetSpent()) {
+    if (C.Store == nullptr && Opts.RemoteCache) {
+      C.Store = std::make_unique<CacheStore>();
+      C.CacheThread = std::thread([&C] {
+        serveCacheChannels(*C.Store, C.CacheChannels, C.CacheChannelsMutex,
+                           C.CacheStop);
+      });
+    }
+    for (size_t Slot = 0; Slot < C.Workers.size(); ++Slot)
+      if (!C.spawnWorker(Slot, Out.Error))
+        return Out;
+  }
+
+  uint64_t NextBatchId = 1;
+  std::vector<uint64_t> SlotHighWater(Opts.Processes, 0);
+  bool FirstRound = true;
+
+  while (!Pool.empty() && !BudgetSpent()) {
+    if (!FirstRound)
+      ++AggStats.DistRebalances;
+    FirstRound = false;
+
+    // Partition the pool over the slots by structural hash, renumbering
+    // each batch's states densely (workers mint fresh ids above the
+    // batch's NextStateId; renumbering keeps returned ids collision-free
+    // when leftovers from different workers meet in the next round).
+    std::vector<std::vector<std::unique_ptr<ExecutionState>>> PerSlot(
+        Opts.Processes);
+    for (std::unique_ptr<ExecutionState> &S : Pool)
+      PerSlot[MergePolicy::structuralHash(*S) % Opts.Processes].push_back(
+          std::move(S));
+    Pool.clear();
+
+    struct Outstanding {
+      uint64_t BatchId;
+      size_t Slot;
+      std::vector<uint8_t> Blob; ///< Retained for re-ship.
+      bool Done = false;
+      std::vector<uint8_t> DeltaBlob;
+    };
+    std::vector<Outstanding> Round;
+
+    for (size_t Slot = 0; Slot < PerSlot.size(); ++Slot) {
+      auto &States = PerSlot[Slot];
+      if (States.empty())
+        continue;
+      std::stable_sort(States.begin(), States.end(),
+                       [](const std::unique_ptr<ExecutionState> &A,
+                          const std::unique_ptr<ExecutionState> &B) {
+                         return A->Id < B->Id;
+                       });
+      serialize::StateBatch Batch;
+      Batch.ProgramHash = C.ProgramHash;
+      for (size_t I = 0; I < States.size(); ++I) {
+        States[I]->Id = I + 1;
+        Batch.States.push_back(std::move(States[I]));
+      }
+      Batch.NextStateId = Batch.States.size() + 1;
+
+      Outstanding O;
+      O.BatchId = NextBatchId++;
+      O.Slot = Slot;
+      O.Blob = serialize::encodeStateBatch(Batch);
+      Round.push_back(std::move(O));
+    }
+
+    auto ship = [&](const Outstanding &O, bool Reship) -> bool {
+      StateBatchFrame F;
+      F.BatchId = O.BatchId;
+      F.KillSelf = !Reship && O.BatchId == Opts.KillBatchId;
+      F.Blob = O.Blob;
+      WorkerProc &W = C.Workers[O.Slot];
+      if (!W.Ctrl.sendFrame(encodeStateBatch(F)))
+        return false;
+      W.InFlightBatch = O.BatchId;
+      ++(Reship ? AggStats.DistBatchesReshipped : AggStats.DistBatchesShipped);
+      return true;
+    };
+
+    for (Outstanding &O : Round) {
+      if (!ship(O, /*Reship=*/false)) {
+        // The slot died before the round even started; treat it like an
+        // in-flight death below (respawn happens in the wait loop).
+        C.Workers[O.Slot].InFlightBatch = O.BatchId;
+        ++AggStats.DistBatchesShipped;
+      }
+    }
+
+    // Pause barrier: wait for every batch in the round.
+    size_t Remaining = Round.size();
+    std::vector<uint8_t> Frame;
+    while (Remaining > 0) {
+      std::vector<int> Fds;
+      for (WorkerProc &W : C.Workers)
+        Fds.push_back(W.InFlightBatch != 0 && W.Ctrl.valid() ? W.Ctrl.fd()
+                                                             : -1);
+      std::vector<size_t> Ready;
+      if (!pollReadable(Fds, /*TimeoutMs=*/200, Ready))
+        continue;
+      // A dead socket also polls ready, so one pass handles both.
+      for (size_t Slot : Ready) {
+        WorkerProc &W = C.Workers[Slot];
+        if (W.InFlightBatch == 0)
+          continue;
+        Channel::RecvStatus S = W.Ctrl.recvFrame(Frame, /*TimeoutMs=*/0);
+        if (S == Channel::RecvStatus::Timeout)
+          continue;
+        if (S == Channel::RecvStatus::Frame) {
+          ResultFrame RF;
+          if (peekKind(Frame) != FrameKind::Result ||
+              !decodeResult(Frame, RF).Ok)
+            continue; // Not a result: ignore (hostile/garbled frame).
+          auto It =
+              std::find_if(Round.begin(), Round.end(), [&](Outstanding &O) {
+                return O.BatchId == RF.BatchId;
+              });
+          if (It == Round.end() || It->Done) {
+            // Unknown or duplicate batch id (a re-shipped batch whose
+            // first worker answered before dying): synchronized-sink
+            // dedup — drop it.
+            if (It != Round.end())
+              W.InFlightBatch = 0;
+            continue;
+          }
+          It->Done = true;
+          It->DeltaBlob = std::move(RF.Blob);
+          It->Blob.clear(); // Retained copy no longer needed.
+          W.InFlightBatch = 0;
+          --Remaining;
+          continue;
+        }
+        // EOF or error with a lease in flight: a worker death.
+        uint64_t Lost = W.InFlightBatch;
+        ++AggStats.DistWorkerDeaths;
+        if (AggStats.DistWorkerDeaths > 16 + 4ull * Opts.Processes) {
+          Out.Error = "workers keep dying; giving up";
+          return Out;
+        }
+        C.reapDeadWorker(W);
+        if (!C.spawnWorker(Slot, Out.Error))
+          return Out;
+        auto It =
+            std::find_if(Round.begin(), Round.end(), [&](Outstanding &O) {
+              return O.BatchId == Lost;
+            });
+        if (It != Round.end() && !It->Done) {
+          if (!ship(*It, /*Reship=*/true))
+            C.Workers[Slot].InFlightBatch = Lost; // Retry via next poll.
+        }
+      }
+    }
+
+    // Merge deltas in batch order — worker completion order is racy,
+    // batch order is not, so aggregation is deterministic.
+    for (Outstanding &O : Round) {
+      serialize::ResultDelta Delta;
+      auto Dec =
+          serialize::decodeResultDelta(O.DeltaBlob, M, PoolCtx, Delta);
+      if (!Dec.Ok) {
+        Out.Error = "result delta decode failed: " + Dec.Error;
+        return Out;
+      }
+      accumulateStats(AggStats, Delta.Stats);
+      SlotHighWater[O.Slot] =
+          std::max(SlotHighWater[O.Slot], Delta.Stats.MaxWorklist);
+      for (TestCase &T : Delta.Tests)
+        AggTests.push_back(std::move(T));
+      for (const auto &KV : Delta.Coverage)
+        CoverageMap[KV.first] += KV.second;
+      for (std::unique_ptr<ExecutionState> &S : Delta.Remaining.States)
+        Pool.push_back(std::move(S));
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Finish
+  //===--------------------------------------------------------------------===
+
+  (void)PoolNextStateId; // Ids are renumbered per batch; the seed's
+                         // allocator position is not needed further.
+
+  AggStats.Exhausted = Pool.empty();
+  AggStats.WallSeconds = WallSpent();
+  AggStats.DistProcessStateHighWater = SlotHighWater;
+  if (Opts.RemoteCache && AggStats.DistRemoteCacheRttHisto.empty())
+    AggStats.DistRemoteCacheRttHisto.assign(RttBuckets, 0);
+
+  sortTestsCanonically(AggTests);
+  if (AggTests.size() > Cfg.Engine.MaxTests)
+    AggTests.resize(Cfg.Engine.MaxTests);
+
+  Out.Result.Stats = std::move(AggStats);
+  Out.Result.Tests = std::move(AggTests);
+  // Emit coverage in the same deterministic module order a local
+  // CoverageTracker snapshot uses (a std::map over block pointers is
+  // arbitrary across runs).
+  CoverageTracker Cov(M);
+  Cov.restoreCounts({CoverageMap.begin(), CoverageMap.end()});
+  Out.Coverage = Cov.snapshotCounts();
+  Out.Ok = true;
+  return Out;
+  // ~Coordinator shuts the workers down and joins the cache thread.
+}

@@ -1,0 +1,83 @@
+//===- Coordinator.h - Multi-process frontier router ------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator of the distributed fabric (--dist-workers): spawns N
+/// `symmerge-workerd` processes over socketpairs, seeds a frontier
+/// locally, then routes serialized state batches to workers keyed by
+/// MergePolicy::structuralHash and folds the returned deltas — stats,
+/// tests, coverage, leftover states — back together.
+///
+/// Round structure (the distributed pause barrier): each round
+/// partitions the pending pool by structural hash over the worker
+/// slots, ships one batch per non-empty slot, waits for every batch's
+/// result, then merges deltas in batch order and rebalances what the
+/// leases left unfinished into the next round.
+///
+/// Failure semantics: the coordinator retains every dispatched batch's
+/// exact bytes until its result lands. A worker death (socket EOF with
+/// a lease in flight) respawns the slot and re-ships the retained copy
+/// verbatim — batches are immutable bytes run in a fresh runner, so
+/// re-dispatch is idempotent, and results are deduplicated by batch id
+/// in case the first worker answered before dying. Exhaustive plain-
+/// mode runs therefore produce the same canonical test/coverage/error
+/// sets as a local run, deaths or not (cache-warmth counters excepted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_DIST_COORDINATOR_H
+#define SYMMERGE_DIST_COORDINATOR_H
+
+#include "core/Driver.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace symmerge {
+namespace dist {
+
+struct DistOptions {
+  /// Worker processes to spawn.
+  unsigned Processes = 2;
+  /// Run the shared remote cache tier (--dist-cache).
+  bool RemoteCache = false;
+  /// Fresh execution steps granted per batch lease.
+  uint64_t LeaseSteps = 2048;
+  /// Path to the symmerge-workerd binary.
+  std::string WorkerdPath;
+  /// Test hook: the batch with this id (1-based dispatch order) is
+  /// shipped with the kill-self flag — its worker SIGKILLs itself and
+  /// the coordinator's death/re-ship path runs. 0 = off.
+  uint64_t KillBatchId = 0;
+};
+
+struct DistResult {
+  bool Ok = false;
+  std::string Error;
+  /// Owns every expression `Result.Tests` references (worker deltas and
+  /// the seed's tests re-intern here) — keep this DistResult alive while
+  /// consuming the tests.
+  std::unique_ptr<ExprContext> Ctx;
+  RunResult Result;
+  /// Final nonzero per-block entry counts (seed + all batch deltas), in
+  /// deterministic module order; blocks belong to the caller's module.
+  std::vector<std::pair<const BasicBlock *, uint64_t>> Coverage;
+};
+
+/// Runs \p M distributed under \p Cfg. Engine budgets apply to the run
+/// as a whole, enforced at batch granularity: the coordinator stops
+/// dispatching once the aggregated steps/tests/wall budgets are spent.
+/// Config::Engine::Workers keeps its per-process meaning — each worker
+/// process runs that many threads.
+DistResult runDistributed(const Module &M, const SymbolicRunner::Config &Cfg,
+                          const DistOptions &Opts);
+
+} // namespace dist
+} // namespace symmerge
+
+#endif // SYMMERGE_DIST_COORDINATOR_H

@@ -1,0 +1,725 @@
+//===- RemoteCache.cpp - Shared remote solver-cache tier ---------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/RemoteCache.h"
+
+#include "core/Driver.h"
+#include "solver/CoreCache.h"
+#include "solver/ModelCache.h"
+#include "solver/SessionVerdictCache.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+using namespace symmerge;
+using namespace symmerge::dist;
+
+//===----------------------------------------------------------------------===//
+// CacheStore
+//===----------------------------------------------------------------------===//
+
+uint64_t CacheStore::KeyHash::operator()(
+    const std::vector<uint64_t> &K) const {
+  uint64_t H = hashMix(K.size());
+  for (uint64_t Id : K)
+    H = hashCombine(H, Id);
+  return H;
+}
+
+CacheStore::CacheStore(const CacheStoreOptions &Opts) : Opts(Opts) {}
+
+std::vector<uint64_t>
+CacheStore::keyOf(const std::vector<ExprRef> &Exprs) const {
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Exprs.size());
+  for (ExprRef E : Exprs)
+    Ids.push_back(E->id());
+  std::sort(Ids.begin(), Ids.end());
+  Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+  return Ids;
+}
+
+CacheReplyFrame CacheStore::answerProbe(const CacheProbeFrame &P) {
+  CacheReplyFrame R;
+  R.ReqId = P.ReqId;
+  R.Kind = P.Kind;
+  switch (P.Kind) {
+  case CacheKind::Verdict: {
+    auto It = Verdicts.find(keyOf(P.Exprs));
+    if (It != Verdicts.end()) {
+      R.Hit = true;
+      R.Verdict = It->second ? SolverResult::Sat : SolverResult::Unsat;
+    }
+    break;
+  }
+  case CacheKind::Model: {
+    // Gather candidates by probed-variable footprint, newest first, then
+    // rank by (probe coverage, recency). Clients revalidate every
+    // candidate by concrete evaluation, so ranking is a latency knob,
+    // not a soundness one.
+    std::vector<uint64_t> Want = keyOf(P.Exprs);
+    std::vector<size_t> Cand;
+    std::unordered_set<size_t> SeenPos;
+    for (uint64_t Id : Want) {
+      auto It = ModelIndex.find(Id);
+      if (It == ModelIndex.end())
+        continue;
+      const std::vector<size_t> &L = It->second;
+      for (size_t J = L.size(); J-- > 0;) {
+        size_t Pos = L[J];
+        if (Pos >= Models.size() || !Models[Pos])
+          continue; // Stale index entry.
+        if (SeenPos.insert(Pos).second)
+          Cand.push_back(Pos);
+      }
+    }
+    auto CoverageOf = [&](size_t Pos) {
+      size_t N = 0;
+      const auto &Items = Models[Pos]->Items;
+      auto WIt = Want.begin();
+      for (const auto &KV : Items) {
+        while (WIt != Want.end() && *WIt < KV.first)
+          ++WIt;
+        if (WIt == Want.end())
+          break;
+        if (*WIt == KV.first)
+          ++N;
+      }
+      return N;
+    };
+    std::sort(Cand.begin(), Cand.end(), [&](size_t A, size_t B) {
+      size_t CA = CoverageOf(A), CB = CoverageOf(B);
+      if (CA != CB)
+        return CA > CB;
+      return A > B; // Newer first.
+    });
+    for (size_t Pos : Cand) {
+      if (R.Models.size() >= Opts.ModelReplyLimit)
+        break;
+      if (CoverageOf(Pos) == 0)
+        break;
+      R.Models.push_back(Models[Pos]->Wire);
+    }
+    R.Hit = !R.Models.empty();
+    break;
+  }
+  case CacheKind::Core: {
+    // A stored core refutes the probe when its ids are a subset of the
+    // probe's sliced key — the same subsumption rule CoreCache uses.
+    std::vector<uint64_t> Key = keyOf(P.Exprs);
+    std::unordered_set<size_t> Checked;
+    unsigned Budget = Opts.CoreProbeLimit;
+    for (uint64_t Id : Key) {
+      if (Budget == 0 || R.Hit)
+        break;
+      auto It = CoreIndex.find(Id);
+      if (It == CoreIndex.end())
+        continue;
+      const std::vector<size_t> &L = It->second;
+      for (size_t J = L.size(); J-- > 0 && Budget > 0;) {
+        size_t Pos = L[J];
+        if (Pos >= Cores.size() || !Cores[Pos])
+          continue;
+        if (!Checked.insert(Pos).second)
+          continue;
+        --Budget;
+        const StoredCore &C = *Cores[Pos];
+        if (std::includes(Key.begin(), Key.end(), C.Ids.begin(),
+                          C.Ids.end())) {
+          R.Hit = true;
+          R.Core = C.Exprs;
+          break;
+        }
+      }
+    }
+    break;
+  }
+  }
+  return R;
+}
+
+void CacheStore::applyPublish(const CachePublishFrame &P) {
+  switch (P.Kind) {
+  case CacheKind::Verdict: {
+    if (P.Exprs.empty() || P.Verdict == SolverResult::Unknown)
+      return;
+    std::vector<uint64_t> Key = keyOf(P.Exprs);
+    auto It = Verdicts.emplace(Key, P.Verdict == SolverResult::Sat);
+    if (It.second) {
+      VerdictOrder.push_back(std::move(Key));
+      if (Verdicts.size() > Opts.MaxVerdicts)
+        evictVerdicts();
+    }
+    break;
+  }
+  case CacheKind::Model: {
+    if (P.Model.empty())
+      return;
+    StoredModel SM;
+    SM.Items.reserve(P.Model.size());
+    for (const WireModelEntry &E : P.Model) {
+      ExprRef V = Ctx.lookupVar(E.Name);
+      if (V) {
+        if (V->width() != E.Width)
+          return; // Width clash with an existing var: drop the publish.
+      } else {
+        V = Ctx.mkVar(E.Name, E.Width);
+      }
+      SM.Items.emplace_back(V->id(), E.Value);
+    }
+    std::sort(SM.Items.begin(), SM.Items.end());
+    for (size_t I = 1; I < SM.Items.size(); ++I)
+      if (SM.Items[I].first == SM.Items[I - 1].first)
+        return; // Duplicate variable: inconsistent publish.
+    uint64_t H = hashMix(SM.Items.size());
+    for (const auto &KV : SM.Items)
+      H = hashCombine(hashCombine(H, KV.first), KV.second);
+    if (ModelHashes.count(H))
+      return;
+    SM.Hash = H;
+    SM.Wire = P.Model;
+    std::sort(SM.Wire.begin(), SM.Wire.end(),
+              [](const WireModelEntry &A, const WireModelEntry &B) {
+                return A.Name < B.Name;
+              });
+    size_t Pos = Models.size();
+    Models.push_back(std::make_shared<StoredModel>(std::move(SM)));
+    for (const auto &KV : Models.back()->Items)
+      ModelIndex[KV.first].push_back(Pos);
+    ModelHashes.emplace(H, Pos);
+    if (Models.size() > Opts.MaxModels)
+      evictModels();
+    break;
+  }
+  case CacheKind::Core: {
+    if (P.Exprs.empty())
+      return;
+    StoredCore SC;
+    SC.Exprs = P.Exprs;
+    SC.Ids = keyOf(P.Exprs);
+    SC.Hash = KeyHash()(SC.Ids);
+    if (CoreHashes.count(SC.Hash))
+      return;
+    size_t Pos = Cores.size();
+    Cores.push_back(std::make_shared<StoredCore>(std::move(SC)));
+    for (uint64_t Id : Cores.back()->Ids)
+      CoreIndex[Id].push_back(Pos);
+    CoreHashes.emplace(Cores.back()->Hash, Pos);
+    if (Cores.size() > Opts.MaxCores)
+      evictCores();
+    break;
+  }
+  }
+}
+
+void CacheStore::evictVerdicts() {
+  while (Verdicts.size() > Opts.MaxVerdicts && !VerdictOrder.empty()) {
+    Verdicts.erase(VerdictOrder.front());
+    VerdictOrder.pop_front();
+  }
+}
+
+void CacheStore::evictModels() {
+  // Drop the oldest half and rebuild the indexes; eviction is rare
+  // enough that a rebuild beats tombstone bookkeeping.
+  size_t Keep = Opts.MaxModels / 2;
+  if (Models.size() <= Keep)
+    return;
+  Models.erase(Models.begin(),
+               Models.begin() + static_cast<ptrdiff_t>(Models.size() - Keep));
+  ModelIndex.clear();
+  ModelHashes.clear();
+  for (size_t Pos = 0; Pos < Models.size(); ++Pos) {
+    for (const auto &KV : Models[Pos]->Items)
+      ModelIndex[KV.first].push_back(Pos);
+    ModelHashes.emplace(Models[Pos]->Hash, Pos);
+  }
+}
+
+void CacheStore::evictCores() {
+  size_t Keep = Opts.MaxCores / 2;
+  if (Cores.size() <= Keep)
+    return;
+  Cores.erase(Cores.begin(),
+              Cores.begin() + static_cast<ptrdiff_t>(Cores.size() - Keep));
+  CoreIndex.clear();
+  CoreHashes.clear();
+  for (size_t Pos = 0; Pos < Cores.size(); ++Pos) {
+    for (uint64_t Id : Cores[Pos]->Ids)
+      CoreIndex[Id].push_back(Pos);
+    CoreHashes.emplace(Cores[Pos]->Hash, Pos);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cache service loop
+//===----------------------------------------------------------------------===//
+
+void dist::serveCacheChannels(CacheStore &Store,
+                              std::vector<std::unique_ptr<Channel>> &Channels,
+                              std::mutex &ChannelsMutex,
+                              const std::atomic<bool> &Stop) {
+  std::vector<uint8_t> Frame;
+  while (!Stop.load(std::memory_order_acquire)) {
+    std::vector<int> Fds;
+    {
+      std::lock_guard<std::mutex> L(ChannelsMutex);
+      for (const std::unique_ptr<Channel> &C : Channels)
+        Fds.push_back(C && C->valid() ? C->fd() : -1);
+    }
+    std::vector<size_t> Ready;
+    if (!pollReadable(Fds, /*TimeoutMs=*/20, Ready))
+      continue; // poll() failure: retry (Stop still exits the loop).
+    for (size_t Idx : Ready) {
+      std::lock_guard<std::mutex> L(ChannelsMutex);
+      if (Idx >= Channels.size())
+        continue;
+      Channel *C = Channels[Idx].get();
+      if (!C || !C->valid() || C->fd() != Fds[Idx])
+        continue; // The slot changed under us (respawn).
+      // Drain every frame the poll saw; recv with a zero timeout so a
+      // raced-away frame is a clean Timeout, not a stall.
+      for (;;) {
+        Channel::RecvStatus S = C->recvFrame(Frame, /*TimeoutMs=*/0);
+        if (S == Channel::RecvStatus::Timeout)
+          break;
+        if (S != Channel::RecvStatus::Frame) {
+          C->close(); // Dead or hostile peer; the coordinator reaps it.
+          break;
+        }
+        switch (peekKind(Frame)) {
+        case FrameKind::CacheProbe: {
+          CacheProbeFrame P;
+          if (!decodeCacheProbe(Frame, Store.context(), P).Ok)
+            break; // Malformed probe: structured error, frame dropped.
+          if (!C->sendFrame(encodeCacheReply(Store.answerProbe(P))))
+            C->close();
+          break;
+        }
+        case FrameKind::CachePublish: {
+          CachePublishFrame P;
+          if (decodeCachePublish(Frame, Store.context(), P).Ok)
+            Store.applyPublish(P);
+          break;
+        }
+        default:
+          break; // Unknown frame kind on the cache channel: ignored.
+        }
+        if (!C->valid())
+          break;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RemoteCacheCounters
+//===----------------------------------------------------------------------===//
+
+RemoteCacheCounters
+RemoteCacheCounters::operator-(const RemoteCacheCounters &O) const {
+  RemoteCacheCounters D;
+  D.Hits = Hits - O.Hits;
+  D.Misses = Misses - O.Misses;
+  D.Publishes = Publishes - O.Publishes;
+  D.RttSeconds = RttSeconds - O.RttSeconds;
+  for (unsigned I = 0; I < RttBuckets; ++I)
+    D.RttHisto[I] = RttHisto[I] - O.RttHisto[I];
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// RemoteCacheClient
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Set while the client's background thread installs a remote answer
+/// into the local caches, whose insert/publish hooks would otherwise
+/// re-publish the answer right back to the service forever.
+thread_local bool InRemoteInstall = false;
+
+constexpr size_t MaxQueuedMessages = 1024;
+constexpr size_t MaxPendingProbes = 32;
+
+bool isProbe(uint8_t K) {
+  using MK = uint8_t;
+  return K <= static_cast<MK>(2); // ProbeVerdict, ProbeModel, ProbeCore.
+}
+} // namespace
+
+RemoteCacheClient::RemoteCacheClient(Channel Chan) : Chan(std::move(Chan)) {
+  Worker = std::thread([this] { threadMain(); });
+}
+
+RemoteCacheClient::~RemoteCacheClient() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    StopFlag = true;
+  }
+  CV.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+void RemoteCacheClient::attach(SymbolicRunner &R) {
+  std::lock_guard<std::mutex> L(M);
+  Ctx = &R.context();
+  Verdicts = R.verdictCache();
+  Models = R.modelCache();
+  Cores = R.coreCache();
+  NodeCache.clear();
+  if (Verdicts)
+    Verdicts->setRemote(this);
+  if (Models)
+    Models->setRemote(this);
+  if (Cores)
+    Cores->setRemote(this);
+}
+
+void RemoteCacheClient::detach() {
+  std::lock_guard<std::mutex> L(M);
+  if (Verdicts)
+    Verdicts->setRemote(nullptr);
+  if (Models)
+    Models->setRemote(nullptr);
+  if (Cores)
+    Cores->setRemote(nullptr);
+  Verdicts.reset();
+  Models.reset();
+  Cores.reset();
+  Ctx = nullptr;
+  NodeCache.clear();
+  Queue.clear();
+  Pending.clear();
+  ++Epoch; // Any reply still in flight is now stale and gets dropped.
+}
+
+RemoteCacheCounters RemoteCacheClient::counters() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}
+
+void RemoteCacheClient::enqueue(Msg Message) {
+  {
+    std::lock_guard<std::mutex> L(M);
+    if (StopFlag || !Ctx || Queue.size() >= MaxQueuedMessages)
+      return; // Drop-on-full: the remote tier is advisory.
+    Message.Epoch = Epoch;
+    Queue.push_back(std::move(Message));
+  }
+  CV.notify_one();
+}
+
+void RemoteCacheClient::onVerdictMiss(const std::vector<uint64_t> &Key,
+                                      uint64_t Hash) {
+  if (InRemoteInstall || Key.empty())
+    return;
+  Msg Message;
+  Message.K = Msg::Kind::ProbeVerdict;
+  Message.Ids = Key;
+  Message.Hash = Hash;
+  enqueue(std::move(Message));
+}
+
+void RemoteCacheClient::onVerdictInsert(const std::vector<uint64_t> &Key,
+                                        uint64_t Hash, SolverResult R) {
+  if (InRemoteInstall || Key.empty() || R == SolverResult::Unknown)
+    return;
+  Msg Message;
+  Message.K = Msg::Kind::PublishVerdict;
+  Message.Ids = Key;
+  Message.Hash = Hash;
+  Message.R = R;
+  enqueue(std::move(Message));
+}
+
+void RemoteCacheClient::onModelMiss(const std::vector<ExprRef> &Vars) {
+  if (InRemoteInstall || Vars.empty())
+    return;
+  Msg Message;
+  Message.K = Msg::Kind::ProbeModel;
+  Message.Vars = Vars;
+  enqueue(std::move(Message));
+}
+
+void RemoteCacheClient::onModelInsert(const VarAssignment &Model) {
+  if (InRemoteInstall || Model.values().empty())
+    return;
+  Msg Message;
+  Message.K = Msg::Kind::PublishModel;
+  Message.Model = Model;
+  enqueue(std::move(Message));
+}
+
+void RemoteCacheClient::onCoreMiss(const std::vector<uint64_t> &Key) {
+  if (InRemoteInstall || Key.empty())
+    return;
+  Msg Message;
+  Message.K = Msg::Kind::ProbeCore;
+  Message.Ids = Key;
+  enqueue(std::move(Message));
+}
+
+void RemoteCacheClient::onCorePublish(const std::vector<uint64_t> &Ids) {
+  if (InRemoteInstall || Ids.empty())
+    return;
+  Msg Message;
+  Message.K = Msg::Kind::PublishCore;
+  Message.Ids = Ids;
+  enqueue(std::move(Message));
+}
+
+ExprRef RemoteCacheClient::resolveId(uint64_t Id) {
+  if (!Ctx)
+    return nullptr;
+  if (Id < NodeCache.size())
+    return NodeCache[Id];
+  if (Id < Ctx->numNodes()) {
+    // Ids are dense creation order and nodes are never removed, so the
+    // cached prefix stays valid; refresh extends it.
+    NodeCache = Ctx->nodesById();
+    if (Id < NodeCache.size())
+      return NodeCache[Id];
+  }
+  return nullptr;
+}
+
+bool RemoteCacheClient::shipMessage(const Msg &Message) {
+  auto ResolveAll = [&](const std::vector<uint64_t> &Ids,
+                        std::vector<ExprRef> &Out) {
+    Out.reserve(Ids.size());
+    for (uint64_t Id : Ids) {
+      ExprRef E = resolveId(Id);
+      if (!E)
+        return false;
+      Out.push_back(E);
+    }
+    return true;
+  };
+
+  switch (Message.K) {
+  case Msg::Kind::ProbeVerdict:
+  case Msg::Kind::ProbeCore: {
+    CacheProbeFrame P;
+    P.ReqId = NextReqId++;
+    P.Kind = Message.K == Msg::Kind::ProbeVerdict ? CacheKind::Verdict
+                                                  : CacheKind::Core;
+    if (!ResolveAll(Message.Ids, P.Exprs))
+      return true; // Unresolvable id: drop the probe, keep the channel.
+    if (!Chan.sendFrame(encodeCacheProbe(P)))
+      return false;
+    PendingProbe PP;
+    PP.K = Message.K;
+    PP.Epoch = Message.Epoch;
+    PP.Ids = Message.Ids;
+    PP.Hash = Message.Hash;
+    PP.SentAt = std::chrono::steady_clock::now();
+    Pending.emplace(P.ReqId, std::move(PP));
+    return true;
+  }
+  case Msg::Kind::ProbeModel: {
+    CacheProbeFrame P;
+    P.ReqId = NextReqId++;
+    P.Kind = CacheKind::Model;
+    P.Exprs = Message.Vars;
+    if (!Chan.sendFrame(encodeCacheProbe(P)))
+      return false;
+    PendingProbe PP;
+    PP.K = Message.K;
+    PP.Epoch = Message.Epoch;
+    PP.SentAt = std::chrono::steady_clock::now();
+    Pending.emplace(P.ReqId, std::move(PP));
+    return true;
+  }
+  case Msg::Kind::PublishVerdict:
+  case Msg::Kind::PublishCore: {
+    CachePublishFrame P;
+    P.Kind = Message.K == Msg::Kind::PublishVerdict ? CacheKind::Verdict
+                                                    : CacheKind::Core;
+    P.Verdict = Message.R;
+    if (!ResolveAll(Message.Ids, P.Exprs))
+      return true;
+    if (!Chan.sendFrame(encodeCachePublish(P)))
+      return false;
+    ++Stats.Publishes;
+    return true;
+  }
+  case Msg::Kind::PublishModel: {
+    CachePublishFrame P;
+    P.Kind = CacheKind::Model;
+    for (const auto &KV : Message.Model.values()) {
+      WireModelEntry E;
+      E.Name = KV.first->varName();
+      E.Width = KV.first->width();
+      E.Value = KV.second;
+      P.Model.push_back(std::move(E));
+    }
+    std::sort(P.Model.begin(), P.Model.end(),
+              [](const WireModelEntry &A, const WireModelEntry &B) {
+                return A.Name < B.Name;
+              });
+    if (!Chan.sendFrame(encodeCachePublish(P)))
+      return false;
+    ++Stats.Publishes;
+    return true;
+  }
+  }
+  return true;
+}
+
+void RemoteCacheClient::recordRtt(double Seconds) {
+  Stats.RttSeconds += Seconds;
+  double Bound = 1e-4; // Bucket 0: < 0.1ms.
+  unsigned I = 0;
+  while (I + 1 < RttBuckets && Seconds >= Bound) {
+    Bound *= 3;
+    ++I;
+  }
+  ++Stats.RttHisto[I];
+}
+
+void RemoteCacheClient::handleReply(const CacheReplyFrame &Reply,
+                                    const PendingProbe &P) {
+  recordRtt(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          P.SentAt)
+                .count());
+  if (!Reply.Hit) {
+    ++Stats.Misses;
+    return;
+  }
+  ++Stats.Hits;
+
+  InRemoteInstall = true;
+  switch (P.K) {
+  case Msg::Kind::ProbeVerdict:
+    if (Verdicts && Reply.Verdict != SolverResult::Unknown)
+      Verdicts->insert(P.Ids, P.Hash, Reply.Verdict);
+    break;
+  case Msg::Kind::ProbeModel:
+    if (Models && Ctx) {
+      for (const WireModel &WM : Reply.Models) {
+        VarAssignment A;
+        bool Usable = !WM.empty();
+        for (const WireModelEntry &E : WM) {
+          ExprRef V = Ctx->lookupVar(E.Name);
+          if (!V || V->width() != E.Width) {
+            // A variable this process has never seen (or a width clash)
+            // makes the candidate unusable here; skip it.
+            Usable = false;
+            break;
+          }
+          A.set(V, E.Value);
+        }
+        if (Usable)
+          Models->insert(A);
+      }
+    }
+    break;
+  case Msg::Kind::ProbeCore:
+    if (Cores && !Reply.Core.empty())
+      Cores->installVerified(Reply.Core);
+    break;
+  default:
+    break;
+  }
+  InRemoteInstall = false;
+}
+
+void RemoteCacheClient::threadMain() {
+  std::vector<uint8_t> Frame;
+  bool Dead = false;
+  std::unique_lock<std::mutex> L(M);
+  while (!StopFlag) {
+    if (Dead) {
+      // Channel gone: keep absorbing (and dropping) traffic until
+      // destruction so hooks stay cheap no-ops.
+      Queue.clear();
+      Pending.clear();
+      CV.wait_for(L, std::chrono::milliseconds(100));
+      continue;
+    }
+
+    // Ship what's queued, capping in-flight probes so the reply
+    // direction stays shallow (and the socket pair can't deadlock on
+    // two full buffers).
+    while (!Queue.empty()) {
+      if (isProbe(static_cast<uint8_t>(Queue.front().K)) &&
+          Pending.size() >= MaxPendingProbes)
+        break;
+      Msg Message = std::move(Queue.front());
+      Queue.pop_front();
+      if (Message.Epoch != Epoch)
+        continue;
+      if (!shipMessage(Message)) {
+        Dead = true;
+        break;
+      }
+    }
+    if (Dead)
+      continue;
+
+    // Drain any replies that already arrived (zero timeout: never
+    // blocks the hooks contending for the mutex).
+    bool GotReply = false;
+    for (;;) {
+      Channel::RecvStatus S = Chan.recvFrame(Frame, /*TimeoutMs=*/0);
+      if (S == Channel::RecvStatus::Timeout)
+        break;
+      if (S != Channel::RecvStatus::Frame) {
+        Dead = true;
+        break;
+      }
+      GotReply = true;
+      if (peekKind(Frame) != FrameKind::CacheReply || !Ctx)
+        continue;
+      CacheReplyFrame Reply;
+      if (!decodeCacheReply(Frame, *Ctx, Reply).Ok)
+        continue; // Malformed reply: dropped; pending entry ages out
+                  // with the next detach.
+      auto It = Pending.find(Reply.ReqId);
+      if (It == Pending.end())
+        continue;
+      PendingProbe P = std::move(It->second);
+      Pending.erase(It);
+      if (P.Epoch != Epoch)
+        continue;
+      handleReply(Reply, P);
+    }
+    if (Dead || GotReply)
+      continue;
+
+    if (!Queue.empty())
+      continue; // Probe cap hit; replies will free slots.
+    if (Pending.empty()) {
+      CV.wait_for(L, std::chrono::milliseconds(50));
+    } else {
+      // Wait for a reply off-lock so the engine's hooks never stall
+      // behind the socket.
+      L.unlock();
+      Channel::RecvStatus S = Chan.recvFrame(Frame, /*TimeoutMs=*/2);
+      L.lock();
+      if (S == Channel::RecvStatus::Frame) {
+        if (peekKind(Frame) == FrameKind::CacheReply && Ctx) {
+          CacheReplyFrame Reply;
+          if (decodeCacheReply(Frame, *Ctx, Reply).Ok) {
+            auto It = Pending.find(Reply.ReqId);
+            if (It != Pending.end()) {
+              PendingProbe P = std::move(It->second);
+              Pending.erase(It);
+              if (P.Epoch == Epoch)
+                handleReply(Reply, P);
+            }
+          }
+        }
+      } else if (S == Channel::RecvStatus::Eof ||
+                 S == Channel::RecvStatus::Error) {
+        Dead = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,244 @@
+//===- RemoteCache.h - Shared remote solver-cache tier ----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared cache tier of the distributed fabric (--dist-cache): warm
+/// solver state earned by one worker process serves all of them.
+///
+/// Server side, in the coordinator: a CacheStore with its OWN
+/// ExprContext answering verdict/model/core probes. Probe expressions
+/// re-intern into the store's context on decode, so keys are the
+/// store's node ids and structural equality across processes is EXACT
+/// (hash-consing), never probabilistic. Soundness mirrors the local
+/// caches': verdicts are exact by construction, model candidates are
+/// revalidated by concrete evaluation at the client, and cores were
+/// minimize-verified by the publishing process before they ever hit
+/// the wire.
+///
+/// Client side, in each worker: a RemoteCacheClient implementing
+/// RemoteCacheHooks. Local cache misses enqueue asynchronous probes
+/// (bounded queue, drop-on-full — the in-flight check always solves
+/// locally); a background thread ships them, matches replies, and
+/// installs answers into the local caches so FUTURE checks hit
+/// locally. Local inserts/publishes enqueue fire-and-forget
+/// publications. A thread-local suppression flag keeps an install from
+/// re-firing the publish hook (which would ping-pong forever).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_DIST_REMOTECACHE_H
+#define SYMMERGE_DIST_REMOTECACHE_H
+
+#include "dist/Channel.h"
+#include "dist/Wire.h"
+#include "expr/ExprContext.h"
+#include "solver/RemoteHooks.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace symmerge {
+
+class SymbolicRunner;
+class SessionVerdictCache;
+class ModelCache;
+class CoreCache;
+
+namespace dist {
+
+/// Round-trip latency histogram bucket count. Bucket I counts round
+/// trips under 0.1ms * 3^I; the last bucket takes everything slower.
+constexpr unsigned RttBuckets = 8;
+
+struct CacheStoreOptions {
+  size_t MaxVerdicts = 1u << 20;
+  size_t MaxModels = 1u << 12;
+  size_t MaxCores = 1u << 14;
+  /// Candidate models returned per probe (clients revalidate each by
+  /// evaluation, so more candidates cost client CPU, not soundness).
+  unsigned ModelReplyLimit = 4;
+  /// Candidate subset checks per core probe.
+  unsigned CoreProbeLimit = 8;
+};
+
+/// The coordinator-side store. Single-threaded by design: exactly one
+/// service thread owns it (and benchmarks drive it directly).
+class CacheStore {
+public:
+  explicit CacheStore(const CacheStoreOptions &Opts = {});
+
+  ExprContext &context() { return Ctx; }
+
+  /// Answers a decoded probe. Every probe gets a reply (the client's
+  /// pending bookkeeping counts on it).
+  CacheReplyFrame answerProbe(const CacheProbeFrame &P);
+
+  /// Absorbs a decoded publication.
+  void applyPublish(const CachePublishFrame &P);
+
+  size_t verdictCount() const { return Verdicts.size(); }
+  size_t modelCount() const { return Models.size(); }
+  size_t coreCount() const { return Cores.size(); }
+
+private:
+  struct KeyHash {
+    uint64_t operator()(const std::vector<uint64_t> &K) const;
+  };
+  struct StoredModel {
+    /// Sorted (service var id, value) pairs.
+    std::vector<std::pair<uint64_t, uint64_t>> Items;
+    uint64_t Hash = 0;
+    WireModel Wire; ///< Pre-rendered reply payload.
+  };
+
+  std::vector<uint64_t> keyOf(const std::vector<ExprRef> &Exprs) const;
+  void evictVerdicts();
+  void evictModels();
+  void evictCores();
+
+  CacheStoreOptions Opts;
+  ExprContext Ctx;
+
+  std::unordered_map<std::vector<uint64_t>, bool, KeyHash> Verdicts;
+  std::deque<std::vector<uint64_t>> VerdictOrder; ///< FIFO eviction.
+
+  std::vector<std::shared_ptr<StoredModel>> Models; ///< Newest last.
+  /// Service var id -> indices into Models (positions may be stale
+  /// after eviction; lookups validate).
+  std::unordered_map<uint64_t, std::vector<size_t>> ModelIndex;
+  std::unordered_map<uint64_t, size_t> ModelHashes; ///< Hash -> position.
+
+  struct StoredCore {
+    std::vector<ExprRef> Exprs;  ///< For replies (live in Ctx).
+    std::vector<uint64_t> Ids;   ///< Sorted service ids (subset checks).
+    uint64_t Hash = 0;
+  };
+  std::vector<std::shared_ptr<StoredCore>> Cores; ///< Newest last.
+  std::unordered_map<uint64_t, std::vector<size_t>> CoreIndex;
+  std::unordered_map<uint64_t, size_t> CoreHashes; ///< Hash -> position.
+};
+
+/// Runs the coordinator's cache service loop: polls every channel,
+/// answers probes, absorbs publications, drops malformed frames (a
+/// hostile frame is a structured decode error — the service never
+/// crashes, it just ignores the frame). Returns when \p Stop becomes
+/// true. \p ChannelsMutex guards the list, which the coordinator may
+/// grow concurrently (a respawned worker brings a fresh channel);
+/// entries may be null, and entries that EOF or error are closed in
+/// place.
+void serveCacheChannels(CacheStore &Store,
+                        std::vector<std::unique_ptr<Channel>> &Channels,
+                        std::mutex &ChannelsMutex,
+                        const std::atomic<bool> &Stop);
+
+/// Cumulative client-side counters (monotone; workers report per-batch
+/// deltas by differencing two snapshots).
+struct RemoteCacheCounters {
+  uint64_t Hits = 0;      ///< Replies that carried an answer.
+  uint64_t Misses = 0;    ///< Replies that carried none.
+  uint64_t Publishes = 0; ///< Publications shipped.
+  double RttSeconds = 0;  ///< Summed probe round trips.
+  uint64_t RttHisto[RttBuckets] = {};
+
+  RemoteCacheCounters operator-(const RemoteCacheCounters &O) const;
+};
+
+/// Worker-side adapter: receives the local caches' miss/insert hooks,
+/// ships probes/publications over the cache channel on a background
+/// thread, and installs replies into the local caches.
+class RemoteCacheClient : public RemoteCacheHooks {
+public:
+  explicit RemoteCacheClient(Channel Chan);
+  ~RemoteCacheClient() override;
+
+  /// Hooks this client into \p R's caches (setRemote) and binds its
+  /// expression context. Call before the runner starts; the runner must
+  /// outlive the attachment.
+  void attach(SymbolicRunner &R);
+
+  /// Unhooks from the attached runner's caches and drops every queued
+  /// and in-flight message (their keys reference the runner's context,
+  /// which is about to die). Safe to call with no attachment.
+  void detach();
+
+  RemoteCacheCounters counters() const;
+
+  // RemoteCacheHooks — called by the local caches on engine threads.
+  void onVerdictMiss(const std::vector<uint64_t> &Key,
+                     uint64_t Hash) override;
+  void onVerdictInsert(const std::vector<uint64_t> &Key, uint64_t Hash,
+                       SolverResult R) override;
+  void onModelMiss(const std::vector<ExprRef> &Vars) override;
+  void onModelInsert(const VarAssignment &Model) override;
+  void onCoreMiss(const std::vector<uint64_t> &Key) override;
+  void onCorePublish(const std::vector<uint64_t> &Ids) override;
+
+private:
+  struct Msg {
+    enum class Kind : uint8_t {
+      ProbeVerdict,
+      ProbeModel,
+      ProbeCore,
+      PublishVerdict,
+      PublishModel,
+      PublishCore,
+    } K;
+    uint64_t Epoch = 0;
+    std::vector<uint64_t> Ids; ///< Verdict/core key or publish ids.
+    uint64_t Hash = 0;         ///< Verdict key hash.
+    SolverResult R = SolverResult::Unknown;
+    std::vector<ExprRef> Vars; ///< Model probe footprint.
+    VarAssignment Model;       ///< Model publication.
+  };
+  struct PendingProbe {
+    Msg::Kind K;
+    uint64_t Epoch = 0;
+    std::vector<uint64_t> Ids;
+    uint64_t Hash = 0;
+    std::chrono::steady_clock::time_point SentAt;
+  };
+
+  void enqueue(Msg M);
+  void threadMain();
+  /// Resolves a node id against the cached id->node table, refreshing
+  /// from the context when the id is past the cached prefix (ids are
+  /// dense creation order, so the prefix never changes). Caller holds M.
+  ExprRef resolveId(uint64_t Id);
+  bool shipMessage(const Msg &M);
+  void handleReply(const CacheReplyFrame &Reply, const PendingProbe &P);
+  void recordRtt(double Seconds);
+
+  Channel Chan;
+  mutable std::mutex M;
+  std::condition_variable CV;
+  bool StopFlag = false;
+  uint64_t Epoch = 0; ///< Bumped on detach; stale messages are dropped.
+  std::deque<Msg> Queue;
+  std::unordered_map<uint64_t, PendingProbe> Pending;
+  uint64_t NextReqId = 1;
+
+  // Attachment (under M).
+  ExprContext *Ctx = nullptr;
+  std::shared_ptr<SessionVerdictCache> Verdicts;
+  std::shared_ptr<ModelCache> Models;
+  std::shared_ptr<CoreCache> Cores;
+  std::vector<ExprRef> NodeCache; ///< Dense id -> node prefix.
+
+  RemoteCacheCounters Stats; ///< Under M.
+
+  std::thread Worker;
+};
+
+} // namespace dist
+} // namespace symmerge
+
+#endif // SYMMERGE_DIST_REMOTECACHE_H

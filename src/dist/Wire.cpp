@@ -1,0 +1,620 @@
+//===- Wire.cpp - Distributed fabric frame protocol --------------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Wire.h"
+
+#include "expr/ExprContext.h"
+
+using namespace symmerge;
+using namespace symmerge::dist;
+using serialize::Decoder;
+using serialize::Encoder;
+using serialize::ExprTable;
+using serialize::ExprTableBuilder;
+
+namespace {
+
+DecodeStatus statusOf(const Decoder &D, const std::string &Fallback) {
+  DecodeStatus R;
+  R.Ok = false;
+  R.Error = D.failed() ? D.error() : Fallback;
+  R.Offset = D.failed() ? D.errorOffset() : D.position();
+  return R;
+}
+
+bool readKind(Decoder &D, FrameKind Expected) {
+  uint8_t K = D.u8();
+  if (D.failed())
+    return false;
+  if (K != static_cast<uint8_t>(Expected))
+    return D.fail("unexpected frame kind");
+  return true;
+}
+
+bool readBool(Decoder &D, bool &Out, const char *What) {
+  uint8_t V = D.u8();
+  if (D.failed())
+    return false;
+  if (V > 1)
+    return D.fail(std::string("non-boolean ") + What);
+  Out = V == 1;
+  return true;
+}
+
+void writeBlob(Encoder &E, const std::vector<uint8_t> &Blob) {
+  // Reuse the string layout (u32 byte count + raw bytes): the decoder's
+  // str() already validates the count against the remaining input.
+  E.str(std::string(Blob.begin(), Blob.end()));
+}
+
+bool readBlob(Decoder &D, std::vector<uint8_t> &Out) {
+  std::string S = D.str();
+  if (D.failed())
+    return false;
+  Out.assign(S.begin(), S.end());
+  return true;
+}
+
+/// Expression roots ship as a partial table (everything the roots
+/// reach) plus a u32 root-id list.
+void writeExprList(Encoder &E, const std::vector<ExprRef> &Exprs) {
+  ExprTableBuilder Table;
+  for (ExprRef X : Exprs)
+    Table.idOf(X);
+  Table.encode(E);
+  E.u32(static_cast<uint32_t>(Exprs.size()));
+  for (ExprRef X : Exprs)
+    E.u32(Table.idOf(X));
+}
+
+bool readExprList(Decoder &D, ExprContext &Ctx, std::vector<ExprRef> &Out) {
+  ExprTable Table;
+  if (!Table.decode(D, Ctx, /*RequireDenseIds=*/false))
+    return false;
+  uint32_t N = D.count(4);
+  if (D.failed())
+    return false;
+  Out.clear();
+  Out.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    ExprRef X = Table.read(D);
+    if (D.failed())
+      return false;
+    Out.push_back(X);
+  }
+  return true;
+}
+
+void writeWireModel(Encoder &E, const WireModel &M) {
+  E.u32(static_cast<uint32_t>(M.size()));
+  for (const WireModelEntry &Ent : M) {
+    E.str(Ent.Name);
+    E.u32(Ent.Width);
+    E.u64(Ent.Value);
+  }
+}
+
+bool readWireModel(Decoder &D, WireModel &Out) {
+  uint32_t N = D.count(16); // str count + width + value per entry.
+  if (D.failed())
+    return false;
+  Out.clear();
+  Out.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    WireModelEntry Ent;
+    Ent.Name = D.str();
+    Ent.Width = D.u32();
+    Ent.Value = D.u64();
+    if (D.failed())
+      return false;
+    if (Ent.Name.empty())
+      return D.fail("empty variable name in model");
+    if (Ent.Width == 0 || Ent.Width > 64)
+      return D.fail("implausible variable width in model");
+    Out.push_back(std::move(Ent));
+  }
+  return true;
+}
+
+bool readCacheKind(Decoder &D, CacheKind &Out) {
+  uint8_t K = D.u8();
+  if (D.failed())
+    return false;
+  if (K > static_cast<uint8_t>(CacheKind::Core))
+    return D.fail("invalid cache kind");
+  Out = static_cast<CacheKind>(K);
+  return true;
+}
+
+// 0 = Unsat, 1 = Sat on the wire; Unknown never ships (caches only hold
+// exact verdicts).
+void writeVerdict(Encoder &E, SolverResult R) {
+  E.u8(R == SolverResult::Sat ? 1 : 0);
+}
+
+bool readVerdict(Decoder &D, SolverResult &Out) {
+  uint8_t V = D.u8();
+  if (D.failed())
+    return false;
+  if (V > 1)
+    return D.fail("invalid verdict value");
+  Out = V == 1 ? SolverResult::Sat : SolverResult::Unsat;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// SymbolicRunner::Config, field by field
+//===----------------------------------------------------------------------===
+
+void encodeConfig(Encoder &E, const SymbolicRunner::Config &C) {
+  E.u8(static_cast<uint8_t>(C.Merge));
+  E.u8(C.UseDSM ? 1 : 0);
+  E.u8(static_cast<uint8_t>(C.Driving));
+  E.u8(static_cast<uint8_t>(C.Policy));
+  E.u8(static_cast<uint8_t>(C.Predictor));
+  E.u8(C.AdaptiveBudgets ? 1 : 0);
+
+  E.f64(C.QCE.Alpha);
+  E.f64(C.QCE.Beta);
+  E.u32(C.QCE.Kappa);
+  E.u8(C.QCE.CountAsserts ? 1 : 0);
+  E.u8(C.QCE.CountMemOps ? 1 : 0);
+  E.f64(C.QCE.Zeta);
+
+  const EngineOptions &O = C.Engine;
+  E.u64(O.MaxSteps);
+  E.f64(O.MaxSeconds);
+  E.u64(O.MaxTests);
+  E.u32(O.HistoryDelta);
+  E.u8(O.TrackExactPaths ? 1 : 0);
+  E.u8(O.CollectTests ? 1 : 0);
+  E.u8(O.CheckArrayBounds ? 1 : 0);
+  E.u8(O.PerStateSessions ? 1 : 0);
+  E.u32(O.SessionMaxRetiredScopes);
+  E.u64(O.SessionMemoryWatermark);
+  E.u8(O.FeasiblePathConditions ? 1 : 0);
+  E.u32(O.Workers);
+  E.u8(O.AsyncTestGen ? 1 : 0);
+  E.u32(O.TestGenThreads);
+  E.u8(O.LockFreeFrontier ? 1 : 0);
+  E.u8(O.PinWorkers ? 1 : 0);
+  E.u8(O.AdaptiveBudgets ? 1 : 0);
+  E.u64(O.AdaptiveBudgetBase);
+  // EngineOptions::Policy / Predictor (shared_ptrs) deliberately do not
+  // travel: SymbolicRunner rebuilds them from Config::Policy/Predictor.
+
+  E.u64(C.Seed);
+  E.u64(C.SolverConflictBudget);
+  E.u8(C.SolverCache ? 1 : 0);
+  E.u8(C.SolverIndependence ? 1 : 0);
+  E.u8(C.SolverSimplify ? 1 : 0);
+  E.u8(C.SolverIncremental ? 1 : 0);
+  E.u8(C.SolverPerStateSessions ? 1 : 0);
+  E.u8(C.SolverVerdictCache ? 1 : 0);
+  E.u8(C.SolverGroupSessions ? 1 : 0);
+  E.u64(C.VerdictCacheLimit);
+  E.u8(C.SolverModelCache ? 1 : 0);
+  E.u64(C.ModelCacheLimit);
+  E.u8(C.SolverCoreCache ? 1 : 0);
+  E.u64(C.CoreCacheLimit);
+  E.u8(C.SolverSignatureFilters ? 1 : 0);
+  E.u8(C.SolverPoisonCache ? 1 : 0);
+  E.u64(C.PoisonCacheLimit);
+  E.f64(C.SolveBudgetMs);
+  E.u64(C.SolveMemoryDeltaLimit);
+  E.u8(C.AsyncTestGen ? 1 : 0);
+  E.u32(C.TestGenThreads);
+}
+
+bool decodeConfig(Decoder &D, SymbolicRunner::Config &C) {
+  uint8_t Merge = D.u8();
+  if (D.failed())
+    return false;
+  if (Merge > static_cast<uint8_t>(SymbolicRunner::MergeMode::QCEFull))
+    return D.fail("invalid merge mode");
+  C.Merge = static_cast<SymbolicRunner::MergeMode>(Merge);
+  if (!readBool(D, C.UseDSM, "UseDSM"))
+    return false;
+  uint8_t Driving = D.u8();
+  if (D.failed())
+    return false;
+  if (Driving > static_cast<uint8_t>(SymbolicRunner::Strategy::Topological))
+    return D.fail("invalid driving strategy");
+  C.Driving = static_cast<SymbolicRunner::Strategy>(Driving);
+  uint8_t Policy = D.u8();
+  if (D.failed())
+    return false;
+  if (Policy > static_cast<uint8_t>(PolicyKind::Multiplicity))
+    return D.fail("invalid policy kind");
+  C.Policy = static_cast<PolicyKind>(Policy);
+  uint8_t Predictor = D.u8();
+  if (D.failed())
+    return false;
+  if (Predictor > static_cast<uint8_t>(PredictorKind::Structure))
+    return D.fail("invalid predictor kind");
+  C.Predictor = static_cast<PredictorKind>(Predictor);
+  if (!readBool(D, C.AdaptiveBudgets, "AdaptiveBudgets"))
+    return false;
+
+  C.QCE.Alpha = D.f64();
+  C.QCE.Beta = D.f64();
+  C.QCE.Kappa = D.u32();
+  if (!readBool(D, C.QCE.CountAsserts, "CountAsserts") ||
+      !readBool(D, C.QCE.CountMemOps, "CountMemOps"))
+    return false;
+  C.QCE.Zeta = D.f64();
+
+  EngineOptions &O = C.Engine;
+  O.MaxSteps = D.u64();
+  O.MaxSeconds = D.f64();
+  O.MaxTests = D.u64();
+  O.HistoryDelta = D.u32();
+  if (!readBool(D, O.TrackExactPaths, "TrackExactPaths") ||
+      !readBool(D, O.CollectTests, "CollectTests") ||
+      !readBool(D, O.CheckArrayBounds, "CheckArrayBounds") ||
+      !readBool(D, O.PerStateSessions, "PerStateSessions"))
+    return false;
+  O.SessionMaxRetiredScopes = D.u32();
+  O.SessionMemoryWatermark = D.u64();
+  if (!readBool(D, O.FeasiblePathConditions, "FeasiblePathConditions"))
+    return false;
+  O.Workers = D.u32();
+  if (D.failed())
+    return false;
+  if (O.Workers == 0 || O.Workers > 4096)
+    return D.fail("implausible worker count");
+  if (!readBool(D, O.AsyncTestGen, "Engine.AsyncTestGen"))
+    return false;
+  O.TestGenThreads = D.u32();
+  if (D.failed())
+    return false;
+  if (O.TestGenThreads == 0 || O.TestGenThreads > 4096)
+    return D.fail("implausible testgen thread count");
+  if (!readBool(D, O.LockFreeFrontier, "LockFreeFrontier") ||
+      !readBool(D, O.PinWorkers, "PinWorkers") ||
+      !readBool(D, O.AdaptiveBudgets, "Engine.AdaptiveBudgets"))
+    return false;
+  O.AdaptiveBudgetBase = D.u64();
+
+  C.Seed = D.u64();
+  C.SolverConflictBudget = D.u64();
+  if (!readBool(D, C.SolverCache, "SolverCache") ||
+      !readBool(D, C.SolverIndependence, "SolverIndependence") ||
+      !readBool(D, C.SolverSimplify, "SolverSimplify") ||
+      !readBool(D, C.SolverIncremental, "SolverIncremental") ||
+      !readBool(D, C.SolverPerStateSessions, "SolverPerStateSessions") ||
+      !readBool(D, C.SolverVerdictCache, "SolverVerdictCache") ||
+      !readBool(D, C.SolverGroupSessions, "SolverGroupSessions"))
+    return false;
+  C.VerdictCacheLimit = D.u64();
+  if (!readBool(D, C.SolverModelCache, "SolverModelCache"))
+    return false;
+  C.ModelCacheLimit = D.u64();
+  if (!readBool(D, C.SolverCoreCache, "SolverCoreCache"))
+    return false;
+  C.CoreCacheLimit = D.u64();
+  if (!readBool(D, C.SolverSignatureFilters, "SolverSignatureFilters") ||
+      !readBool(D, C.SolverPoisonCache, "SolverPoisonCache"))
+    return false;
+  C.PoisonCacheLimit = D.u64();
+  C.SolveBudgetMs = D.f64();
+  C.SolveMemoryDeltaLimit = D.u64();
+  if (!readBool(D, C.AsyncTestGen, "AsyncTestGen"))
+    return false;
+  C.TestGenThreads = D.u32();
+  if (D.failed())
+    return false;
+  if (C.TestGenThreads == 0 || C.TestGenThreads > 4096)
+    return D.fail("implausible testgen thread count");
+  return true;
+}
+
+} // namespace
+
+FrameKind dist::peekKind(const std::vector<uint8_t> &Frame) {
+  if (Frame.empty() ||
+      Frame[0] > static_cast<uint8_t>(FrameKind::Shutdown))
+    return FrameKind::Invalid;
+  return static_cast<FrameKind>(Frame[0]);
+}
+
+//===----------------------------------------------------------------------===
+// Control frames
+//===----------------------------------------------------------------------===
+
+std::vector<uint8_t> dist::encodeInit(const InitFrame &F) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::Init));
+  E.u32(WireVersion);
+  E.u64(F.ProgramHash);
+  E.str(F.IRText);
+  encodeConfig(E, F.Config);
+  E.u32(F.WorkerIndex);
+  E.u8(F.RemoteCache ? 1 : 0);
+  E.u64(F.LeaseSteps);
+  return E.take();
+}
+
+DecodeStatus dist::decodeInit(const std::vector<uint8_t> &Frame,
+                              InitFrame &Out) {
+  Decoder D(Frame);
+  if (!readKind(D, FrameKind::Init))
+    return statusOf(D, "bad frame kind");
+  uint32_t Version = D.u32();
+  if (D.failed())
+    return statusOf(D, "truncated init frame");
+  if (Version != WireVersion) {
+    D.fail("wire version mismatch");
+    return statusOf(D, "wire version mismatch");
+  }
+  Out.ProgramHash = D.u64();
+  Out.IRText = D.str();
+  if (D.failed())
+    return statusOf(D, "truncated init frame");
+  if (Out.IRText.empty()) {
+    D.fail("empty program text");
+    return statusOf(D, "empty program text");
+  }
+  if (!decodeConfig(D, Out.Config))
+    return statusOf(D, "malformed config");
+  Out.WorkerIndex = D.u32();
+  if (!readBool(D, Out.RemoteCache, "RemoteCache"))
+    return statusOf(D, "truncated init frame");
+  Out.LeaseSteps = D.u64();
+  if (D.failed())
+    return statusOf(D, "truncated init frame");
+  if (Out.LeaseSteps == 0) {
+    D.fail("zero lease steps");
+    return statusOf(D, "zero lease steps");
+  }
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after init frame");
+    return statusOf(D, "trailing bytes after init frame");
+  }
+  return {};
+}
+
+std::vector<uint8_t> dist::encodeInitAck(const InitAckFrame &F) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::InitAck));
+  E.u64(F.ProgramHash);
+  E.u64(F.Pid);
+  return E.take();
+}
+
+DecodeStatus dist::decodeInitAck(const std::vector<uint8_t> &Frame,
+                                 InitAckFrame &Out) {
+  Decoder D(Frame);
+  if (!readKind(D, FrameKind::InitAck))
+    return statusOf(D, "bad frame kind");
+  Out.ProgramHash = D.u64();
+  Out.Pid = D.u64();
+  if (D.failed())
+    return statusOf(D, "truncated init-ack frame");
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after init-ack frame");
+    return statusOf(D, "trailing bytes after init-ack frame");
+  }
+  return {};
+}
+
+std::vector<uint8_t> dist::encodeStateBatch(const StateBatchFrame &F) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::StateBatch));
+  E.u64(F.BatchId);
+  E.u8(F.KillSelf ? 1 : 0);
+  writeBlob(E, F.Blob);
+  return E.take();
+}
+
+DecodeStatus dist::decodeStateBatch(const std::vector<uint8_t> &Frame,
+                                    StateBatchFrame &Out) {
+  Decoder D(Frame);
+  if (!readKind(D, FrameKind::StateBatch))
+    return statusOf(D, "bad frame kind");
+  Out.BatchId = D.u64();
+  if (!readBool(D, Out.KillSelf, "KillSelf"))
+    return statusOf(D, "truncated state-batch frame");
+  if (!readBlob(D, Out.Blob))
+    return statusOf(D, "truncated state-batch frame");
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after state-batch frame");
+    return statusOf(D, "trailing bytes after state-batch frame");
+  }
+  return {};
+}
+
+std::vector<uint8_t> dist::encodeResult(const ResultFrame &F) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::Result));
+  E.u64(F.BatchId);
+  writeBlob(E, F.Blob);
+  return E.take();
+}
+
+DecodeStatus dist::decodeResult(const std::vector<uint8_t> &Frame,
+                                ResultFrame &Out) {
+  Decoder D(Frame);
+  if (!readKind(D, FrameKind::Result))
+    return statusOf(D, "bad frame kind");
+  Out.BatchId = D.u64();
+  if (!readBlob(D, Out.Blob))
+    return statusOf(D, "truncated result frame");
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after result frame");
+    return statusOf(D, "trailing bytes after result frame");
+  }
+  return {};
+}
+
+std::vector<uint8_t> dist::encodeShutdown() {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::Shutdown));
+  return E.take();
+}
+
+//===----------------------------------------------------------------------===
+// Cache frames
+//===----------------------------------------------------------------------===
+
+std::vector<uint8_t> dist::encodeCacheProbe(const CacheProbeFrame &F) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::CacheProbe));
+  E.u64(F.ReqId);
+  E.u8(static_cast<uint8_t>(F.Kind));
+  writeExprList(E, F.Exprs);
+  return E.take();
+}
+
+DecodeStatus dist::decodeCacheProbe(const std::vector<uint8_t> &Frame,
+                                    ExprContext &Ctx, CacheProbeFrame &Out) {
+  Decoder D(Frame);
+  if (!readKind(D, FrameKind::CacheProbe))
+    return statusOf(D, "bad frame kind");
+  Out.ReqId = D.u64();
+  if (!readCacheKind(D, Out.Kind))
+    return statusOf(D, "truncated cache-probe frame");
+  if (!readExprList(D, Ctx, Out.Exprs))
+    return statusOf(D, "malformed cache-probe expressions");
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after cache-probe frame");
+    return statusOf(D, "trailing bytes after cache-probe frame");
+  }
+  return {};
+}
+
+std::vector<uint8_t> dist::encodeCacheReply(const CacheReplyFrame &F) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::CacheReply));
+  E.u64(F.ReqId);
+  E.u8(static_cast<uint8_t>(F.Kind));
+  E.u8(F.Hit ? 1 : 0);
+  switch (F.Kind) {
+  case CacheKind::Verdict:
+    if (F.Hit)
+      writeVerdict(E, F.Verdict);
+    break;
+  case CacheKind::Model:
+    E.u32(static_cast<uint32_t>(F.Models.size()));
+    for (const WireModel &M : F.Models)
+      writeWireModel(E, M);
+    break;
+  case CacheKind::Core:
+    if (F.Hit)
+      writeExprList(E, F.Core);
+    break;
+  }
+  return E.take();
+}
+
+DecodeStatus dist::decodeCacheReply(const std::vector<uint8_t> &Frame,
+                                    ExprContext &Ctx, CacheReplyFrame &Out) {
+  Decoder D(Frame);
+  if (!readKind(D, FrameKind::CacheReply))
+    return statusOf(D, "bad frame kind");
+  Out.ReqId = D.u64();
+  if (!readCacheKind(D, Out.Kind) || !readBool(D, Out.Hit, "Hit"))
+    return statusOf(D, "truncated cache-reply frame");
+  Out.Verdict = SolverResult::Unknown;
+  Out.Models.clear();
+  Out.Core.clear();
+  switch (Out.Kind) {
+  case CacheKind::Verdict:
+    if (Out.Hit && !readVerdict(D, Out.Verdict))
+      return statusOf(D, "malformed verdict reply");
+    break;
+  case CacheKind::Model: {
+    uint32_t N = D.count(4);
+    if (D.failed())
+      return statusOf(D, "malformed model reply");
+    // A model reply's hit flag is redundant with its candidate count;
+    // keep them consistent so downstream counters cannot drift.
+    if (Out.Hit != (N > 0)) {
+      D.fail("model reply hit flag contradicts candidate count");
+      return statusOf(D, "inconsistent model reply");
+    }
+    Out.Models.resize(N);
+    for (WireModel &M : Out.Models)
+      if (!readWireModel(D, M))
+        return statusOf(D, "malformed model reply");
+    break;
+  }
+  case CacheKind::Core:
+    if (Out.Hit && !readExprList(D, Ctx, Out.Core))
+      return statusOf(D, "malformed core reply");
+    break;
+  }
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after cache-reply frame");
+    return statusOf(D, "trailing bytes after cache-reply frame");
+  }
+  return {};
+}
+
+std::vector<uint8_t> dist::encodeCachePublish(const CachePublishFrame &F) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(FrameKind::CachePublish));
+  E.u8(static_cast<uint8_t>(F.Kind));
+  switch (F.Kind) {
+  case CacheKind::Verdict:
+    writeExprList(E, F.Exprs);
+    writeVerdict(E, F.Verdict);
+    break;
+  case CacheKind::Model:
+    writeWireModel(E, F.Model);
+    break;
+  case CacheKind::Core:
+    writeExprList(E, F.Exprs);
+    break;
+  }
+  return E.take();
+}
+
+DecodeStatus dist::decodeCachePublish(const std::vector<uint8_t> &Frame,
+                                      ExprContext &Ctx,
+                                      CachePublishFrame &Out) {
+  Decoder D(Frame);
+  if (!readKind(D, FrameKind::CachePublish))
+    return statusOf(D, "bad frame kind");
+  if (!readCacheKind(D, Out.Kind))
+    return statusOf(D, "truncated cache-publish frame");
+  Out.Exprs.clear();
+  Out.Model.clear();
+  Out.Verdict = SolverResult::Unknown;
+  switch (Out.Kind) {
+  case CacheKind::Verdict:
+    if (!readExprList(D, Ctx, Out.Exprs))
+      return statusOf(D, "malformed verdict publication");
+    if (!readVerdict(D, Out.Verdict))
+      return statusOf(D, "malformed verdict publication");
+    if (Out.Exprs.empty()) {
+      D.fail("empty verdict key");
+      return statusOf(D, "empty verdict key");
+    }
+    break;
+  case CacheKind::Model:
+    if (!readWireModel(D, Out.Model))
+      return statusOf(D, "malformed model publication");
+    if (Out.Model.empty()) {
+      D.fail("empty model publication");
+      return statusOf(D, "empty model publication");
+    }
+    break;
+  case CacheKind::Core:
+    if (!readExprList(D, Ctx, Out.Exprs))
+      return statusOf(D, "malformed core publication");
+    if (Out.Exprs.empty()) {
+      D.fail("empty core publication");
+      return statusOf(D, "empty core publication");
+    }
+    break;
+  }
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after cache-publish frame");
+    return statusOf(D, "trailing bytes after cache-publish frame");
+  }
+  return {};
+}

@@ -1,0 +1,180 @@
+//===- Wire.h - Distributed fabric frame protocol ---------------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message vocabulary of the coordinator/worker fabric. Every frame
+/// is a byte payload carried by dist::Channel (which adds the length
+/// framing) and encoded with serialize::Codec, so the whole protocol
+/// inherits the snapshot codec's deterministic bytes and the Decoder's
+/// sticky-failure, bounds-checked hostility discipline: a malformed or
+/// hostile frame is a structured error, never a crash.
+///
+/// Control channel (coordinator <-> worker):
+///   Init        c->w  program IR + full runner config + lease terms
+///   InitAck     w->c  program-hash echo + pid (config handshake)
+///   StateBatch  c->w  one leased batch of serialized frontier states
+///   Result      w->c  the batch's delta: stats, tests, coverage,
+///                     leftover states
+///   Shutdown    c->w  orderly exit
+///
+/// Cache channel (worker <-> coordinator's cache service, only with
+/// --dist-cache):
+///   CacheProbe    w->c  verdict/model/core lookup, keys shipped as
+///                       expression DAGs through a partial table
+///   CacheReply    c->w  the answer (every probe is answered)
+///   CachePublish  w->c  fire-and-forget warm-state publication
+///
+/// Expression payloads ship as partial expression tables (only what the
+/// frame's roots reach) and re-intern into the receiver's own context on
+/// decode — structural equality across processes is therefore EXACT, by
+/// hash-consing, not probabilistic.
+///
+/// The state-batch and result-delta payloads are opaque byte blobs here
+/// (serialize::encodeStateBatch / encodeResultDelta): the coordinator
+/// retains a dispatched batch's exact bytes so a dead worker's lease can
+/// be re-shipped verbatim — idempotent re-dispatch of immutable bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_DIST_WIRE_H
+#define SYMMERGE_DIST_WIRE_H
+
+#include "core/Driver.h"
+#include "serialize/Snapshot.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+
+class ExprContext;
+
+namespace dist {
+
+constexpr uint32_t WireVersion = 1;
+
+enum class FrameKind : uint8_t {
+  Invalid = 0,
+  Init,
+  InitAck,
+  StateBatch,
+  Result,
+  CacheProbe,
+  CacheReply,
+  CachePublish,
+  Shutdown,
+};
+
+enum class CacheKind : uint8_t { Verdict = 0, Model = 1, Core = 2 };
+
+/// Reuses the snapshot codec's structured decode outcome.
+using DecodeStatus = serialize::SnapshotDecodeResult;
+
+/// First byte of a frame, or Invalid for empty/unknown payloads.
+FrameKind peekKind(const std::vector<uint8_t> &Frame);
+
+//===----------------------------------------------------------------------===
+// Control frames
+//===----------------------------------------------------------------------===
+
+/// Everything a worker needs to reconstruct the run: program identity
+/// travels as IR text (parse/print round-trips exactly, so programHash
+/// matches on both sides) and the full runner configuration rides along
+/// field by field — a worker process is a config clone of the
+/// coordinator, with only the worker-count and lease knobs its own.
+struct InitFrame {
+  uint64_t ProgramHash = 0;
+  std::string IRText;
+  SymbolicRunner::Config Config;
+  uint32_t WorkerIndex = 0;
+  bool RemoteCache = false;
+  uint64_t LeaseSteps = 0; ///< Fresh steps granted per batch lease.
+};
+std::vector<uint8_t> encodeInit(const InitFrame &F);
+DecodeStatus decodeInit(const std::vector<uint8_t> &Frame, InitFrame &Out);
+
+struct InitAckFrame {
+  uint64_t ProgramHash = 0;
+  uint64_t Pid = 0;
+};
+std::vector<uint8_t> encodeInitAck(const InitAckFrame &F);
+DecodeStatus decodeInitAck(const std::vector<uint8_t> &Frame,
+                           InitAckFrame &Out);
+
+struct StateBatchFrame {
+  uint64_t BatchId = 0;
+  /// Test hook: the worker raises SIGKILL on itself instead of running
+  /// the batch — the worker-death robustness path in one flag. Lives
+  /// OUTSIDE the retained batch blob, so the re-shipped copy of the
+  /// same bytes runs normally.
+  bool KillSelf = false;
+  std::vector<uint8_t> Blob; ///< serialize::encodeStateBatch bytes.
+};
+std::vector<uint8_t> encodeStateBatch(const StateBatchFrame &F);
+DecodeStatus decodeStateBatch(const std::vector<uint8_t> &Frame,
+                              StateBatchFrame &Out);
+
+struct ResultFrame {
+  uint64_t BatchId = 0;
+  std::vector<uint8_t> Blob; ///< serialize::encodeResultDelta bytes.
+};
+std::vector<uint8_t> encodeResult(const ResultFrame &F);
+DecodeStatus decodeResult(const std::vector<uint8_t> &Frame, ResultFrame &Out);
+
+std::vector<uint8_t> encodeShutdown();
+
+//===----------------------------------------------------------------------===
+// Cache frames
+//===----------------------------------------------------------------------===
+
+/// One concrete variable assignment on the wire: variables travel by
+/// (name, width) so the receiver resolves them against its OWN context
+/// (lookupVar + width check — never a blind mkVar).
+struct WireModelEntry {
+  std::string Name;
+  uint32_t Width = 0;
+  uint64_t Value = 0;
+};
+using WireModel = std::vector<WireModelEntry>;
+
+/// A verdict/model/core lookup. Verdict and core probes carry the
+/// sliced constraint set; model probes carry the variable footprint.
+struct CacheProbeFrame {
+  uint64_t ReqId = 0;
+  CacheKind Kind = CacheKind::Verdict;
+  std::vector<ExprRef> Exprs;
+};
+std::vector<uint8_t> encodeCacheProbe(const CacheProbeFrame &F);
+DecodeStatus decodeCacheProbe(const std::vector<uint8_t> &Frame,
+                              ExprContext &Ctx, CacheProbeFrame &Out);
+
+struct CacheReplyFrame {
+  uint64_t ReqId = 0;
+  CacheKind Kind = CacheKind::Verdict;
+  bool Hit = false;
+  SolverResult Verdict = SolverResult::Unknown; ///< Verdict hits only.
+  std::vector<WireModel> Models;                ///< Model hits only.
+  std::vector<ExprRef> Core;                    ///< Core hits only.
+};
+std::vector<uint8_t> encodeCacheReply(const CacheReplyFrame &F);
+DecodeStatus decodeCacheReply(const std::vector<uint8_t> &Frame,
+                              ExprContext &Ctx, CacheReplyFrame &Out);
+
+struct CachePublishFrame {
+  CacheKind Kind = CacheKind::Verdict;
+  std::vector<ExprRef> Exprs; ///< Verdict key set / verified core.
+  SolverResult Verdict = SolverResult::Unknown; ///< Verdict kind only.
+  WireModel Model;                              ///< Model kind only.
+};
+std::vector<uint8_t> encodeCachePublish(const CachePublishFrame &F);
+DecodeStatus decodeCachePublish(const std::vector<uint8_t> &Frame,
+                                ExprContext &Ctx, CachePublishFrame &Out);
+
+} // namespace dist
+} // namespace symmerge
+
+#endif // SYMMERGE_DIST_WIRE_H

@@ -1,0 +1,160 @@
+//===- Worker.cpp - Distributed worker process protocol ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Worker.h"
+
+#include "core/Driver.h"
+#include "dist/Channel.h"
+#include "dist/RemoteCache.h"
+#include "dist/Wire.h"
+#include "ir/IRParser.h"
+#include "serialize/Snapshot.h"
+
+#include <csignal>
+#include <memory>
+#include <unistd.h>
+
+using namespace symmerge;
+using namespace symmerge::dist;
+
+namespace {
+
+/// Runs one leased batch in a fresh runner and encodes its result delta.
+/// The delta must be encoded here, while the runner is alive: its tests
+/// and leftover states reference expressions owned by the runner's
+/// context. Returns false when the batch bytes do not decode (protocol
+/// violation: the coordinator produced them).
+bool runBatch(const Module &M, const InitFrame &Init,
+              const std::vector<uint8_t> &Blob, RemoteCacheClient *Cache,
+              std::vector<uint8_t> &OutBlob) {
+  SymbolicRunner::Config Cfg = Init.Config;
+  // The lease grants exactly LeaseSteps fresh steps: resume seeds the
+  // engine's step counter from the snapshot (zeroed below), so the
+  // budget is pure delta.
+  Cfg.Engine.MaxSteps = Init.LeaseSteps;
+
+  SymbolicRunner Runner(M, Cfg);
+
+  serialize::StateBatch Batch;
+  if (!serialize::decodeStateBatch(Blob, M, Runner.context(), Batch).Ok)
+    return false;
+
+  RunSnapshot Snap;
+  Snap.ProgramHash = Batch.ProgramHash;
+  Snap.NextStateId = Batch.NextStateId;
+  Snap.Partitions = 1;
+  for (size_t I = 0; I < Batch.States.size(); ++I) {
+    RunSnapshot::Entry E;
+    E.State = std::move(Batch.States[I]);
+    E.Partition = 0;
+    E.LocationRank = I;
+    Snap.Frontier.push_back(std::move(E));
+  }
+
+  // A budget stop with work left fires the final-snapshot sink
+  // (EverySteps = 0): that is how the unexecuted remainder of the lease
+  // comes back to the coordinator.
+  serialize::StateBatch Remaining;
+  Remaining.ProgramHash = Batch.ProgramHash;
+  CheckpointOptions Chk;
+  Chk.EverySteps = 0;
+  Chk.Sink = [&Remaining](const RunSnapshot &S) {
+    Remaining.NextStateId = S.NextStateId;
+    Remaining.States.clear();
+    for (const RunSnapshot::Entry &E : S.Frontier)
+      Remaining.States.push_back(
+          std::make_unique<ExecutionState>(*E.State));
+  };
+  Runner.setCheckpoint(std::move(Chk));
+
+  RemoteCacheCounters Before;
+  if (Cache) {
+    Before = Cache->counters();
+    Cache->attach(Runner);
+  }
+
+  RunResult R = Runner.resume(std::move(Snap));
+
+  if (Cache) {
+    Cache->detach();
+    RemoteCacheCounters Delta = Cache->counters() - Before;
+    R.Stats.DistRemoteCacheHits = Delta.Hits;
+    R.Stats.DistRemoteCacheMisses = Delta.Misses;
+    R.Stats.DistRemoteCachePublishes = Delta.Publishes;
+    R.Stats.DistRemoteCacheRttSeconds = Delta.RttSeconds;
+    R.Stats.DistRemoteCacheRttHisto.assign(Delta.RttHisto,
+                                           Delta.RttHisto + RttBuckets);
+  }
+
+  serialize::ResultDelta Delta;
+  Delta.Stats = std::move(R.Stats);
+  Delta.Tests = std::move(R.Tests);
+  Delta.Coverage = Runner.coverage().snapshotCounts();
+  Delta.Remaining = std::move(Remaining);
+  Delta.Exhausted = Delta.Stats.Exhausted;
+  OutBlob = serialize::encodeResultDelta(Delta);
+  return true;
+}
+
+} // namespace
+
+int dist::runWorkerProtocol(int CtrlFd, int CacheFd) {
+  Channel Ctrl(CtrlFd);
+  std::vector<uint8_t> Frame;
+
+  if (Ctrl.recvFrame(Frame) != Channel::RecvStatus::Frame)
+    return 0; // Coordinator never spoke: nothing to do.
+  InitFrame Init;
+  if (!decodeInit(Frame, Init).Ok)
+    return 2;
+
+  IRParseResult Parsed = parseIR(Init.IRText);
+  if (!Parsed.ok())
+    return 2;
+  const Module &M = *Parsed.M;
+  if (serialize::programHash(M) != Init.ProgramHash)
+    return 2; // parse(print(M)) round-trips exactly; a mismatch is a bug.
+
+  InitAckFrame Ack;
+  Ack.ProgramHash = Init.ProgramHash;
+  Ack.Pid = static_cast<uint64_t>(::getpid());
+  if (!Ctrl.sendFrame(encodeInitAck(Ack)))
+    return 0;
+
+  std::unique_ptr<RemoteCacheClient> Cache;
+  if (Init.RemoteCache && CacheFd >= 0)
+    Cache = std::make_unique<RemoteCacheClient>(Channel(CacheFd));
+
+  for (;;) {
+    Channel::RecvStatus S = Ctrl.recvFrame(Frame);
+    if (S != Channel::RecvStatus::Frame)
+      return 0; // Coordinator is gone; exit quietly.
+    switch (peekKind(Frame)) {
+    case FrameKind::Shutdown:
+      return 0;
+    case FrameKind::StateBatch: {
+      StateBatchFrame BF;
+      if (!decodeStateBatch(Frame, BF).Ok)
+        return 2;
+      if (BF.KillSelf) {
+        // Worker-death test hook: die exactly as a crashed process
+        // would, with the lease in flight. The flag lives outside the
+        // batch blob, so the coordinator's re-shipped copy runs.
+        ::raise(SIGKILL);
+      }
+      ResultFrame RF;
+      RF.BatchId = BF.BatchId;
+      if (!runBatch(M, Init, BF.Blob, Cache.get(), RF.Blob))
+        return 2;
+      if (!Ctrl.sendFrame(encodeResult(RF)))
+        return 0;
+      break;
+    }
+    default:
+      return 2; // Unexpected frame on the control channel.
+    }
+  }
+}

@@ -1,0 +1,46 @@
+//===- Worker.h - Distributed worker process protocol -----------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker side of the distributed fabric: the protocol loop behind
+/// the `symmerge-workerd` entrypoint. A worker is a config clone of the
+/// coordinator that leases one state batch at a time:
+///
+///   recv Init       parse the shipped IR, verify the program hash,
+///                   reply InitAck
+///   loop:
+///     recv StateBatch   decode into a FRESH SymbolicRunner, resume with
+///                       a zeroed-stats snapshot and MaxSteps = lease
+///                       (so the lease grants exactly that many fresh
+///                       steps), reply Result with the pure delta
+///     recv Shutdown     orderly exit
+///
+/// Each batch runs in its own runner (own ExprContext, own solver
+/// stack), so batch results are a pure function of the batch bytes —
+/// that is what makes the coordinator's re-ship of a dead worker's
+/// retained batch idempotent. With --dist-cache the worker attaches a
+/// RemoteCacheClient around each batch and folds the probe/publish
+/// counter deltas into the reported stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_DIST_WORKER_H
+#define SYMMERGE_DIST_WORKER_H
+
+namespace symmerge {
+namespace dist {
+
+/// Runs the worker protocol over the control fd (and the cache fd when
+/// >= 0, used only if the Init frame enables the remote cache). Returns
+/// the process exit code: 0 for an orderly shutdown or coordinator
+/// disappearance, 2 for a protocol violation (bad Init, wrong program,
+/// undecodable batch).
+int runWorkerProtocol(int CtrlFd, int CacheFd);
+
+} // namespace dist
+} // namespace symmerge
+
+#endif // SYMMERGE_DIST_WORKER_H

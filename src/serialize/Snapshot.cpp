@@ -27,9 +27,7 @@ uint64_t serialize::programHash(const Module &M) {
 // Encoding
 //===----------------------------------------------------------------------===
 
-namespace {
-
-void encodeStats(Encoder &E, const EngineStats &S) {
+void serialize::encodeEngineStats(Encoder &E, const EngineStats &S) {
   // Fixed field order; extending EngineStats means appending here AND
   // bumping SnapshotVersion (the golden test enforces the bump).
   E.u64(S.Steps);
@@ -91,9 +89,25 @@ void encodeStats(Encoder &E, const EngineStats &S) {
   E.u32(static_cast<uint32_t>(S.FrontierDepthHighWater.size()));
   for (uint64_t HW : S.FrontierDepthHighWater)
     E.u64(HW);
+  // v4: the distributed-fabric block.
+  E.u64(S.DistProcesses);
+  E.u64(S.DistBatchesShipped);
+  E.u64(S.DistBatchesReshipped);
+  E.u64(S.DistRebalances);
+  E.u64(S.DistWorkerDeaths);
+  E.u64(S.DistRemoteCacheHits);
+  E.u64(S.DistRemoteCacheMisses);
+  E.u64(S.DistRemoteCachePublishes);
+  E.f64(S.DistRemoteCacheRttSeconds);
+  E.u32(static_cast<uint32_t>(S.DistRemoteCacheRttHisto.size()));
+  for (uint64_t B : S.DistRemoteCacheRttHisto)
+    E.u64(B);
+  E.u32(static_cast<uint32_t>(S.DistProcessStateHighWater.size()));
+  for (uint64_t HW : S.DistProcessStateHighWater)
+    E.u64(HW);
 }
 
-void decodeStats(Decoder &D, EngineStats &S) {
+void serialize::decodeEngineStats(Decoder &D, EngineStats &S) {
   S.Steps = D.u64();
   S.Forks = D.u64();
   S.Merges = D.u64();
@@ -154,7 +168,26 @@ void decodeStats(Decoder &D, EngineStats &S) {
   S.FrontierDepthHighWater.clear();
   for (uint32_t I = 0; I < NumHW && !D.failed(); ++I)
     S.FrontierDepthHighWater.push_back(D.u64());
+  S.DistProcesses = D.u64();
+  S.DistBatchesShipped = D.u64();
+  S.DistBatchesReshipped = D.u64();
+  S.DistRebalances = D.u64();
+  S.DistWorkerDeaths = D.u64();
+  S.DistRemoteCacheHits = D.u64();
+  S.DistRemoteCacheMisses = D.u64();
+  S.DistRemoteCachePublishes = D.u64();
+  S.DistRemoteCacheRttSeconds = D.f64();
+  uint32_t NumRtt = D.count(8);
+  S.DistRemoteCacheRttHisto.clear();
+  for (uint32_t I = 0; I < NumRtt && !D.failed(); ++I)
+    S.DistRemoteCacheRttHisto.push_back(D.u64());
+  uint32_t NumProcHW = D.count(8);
+  S.DistProcessStateHighWater.clear();
+  for (uint32_t I = 0; I < NumProcHW && !D.failed(); ++I)
+    S.DistProcessStateHighWater.push_back(D.u64());
 }
+
+namespace {
 
 void encodeLocation(Encoder &E, const Location &L) {
   E.u8(L.Block ? 1 : 0);
@@ -204,12 +237,16 @@ bool decodeLocation(Decoder &D, const Module &M, Location &L) {
 }
 
 void encodeExprRef(Encoder &E, ExprTableBuilder &Table, ExprRef Ref) {
-  // The builder holds the full context, so idOf is a pure lookup here.
+  // The caller pre-registered every reachable node, so idOf is a pure
+  // lookup here (full-context snapshots register the whole context; the
+  // partial-table batch records register each state's reachable set).
   E.u32(Table.idOf(Ref));
 }
 
-void encodeState(Encoder &E, ExprTableBuilder &Table,
-                 const ExecutionState &S) {
+} // namespace
+
+void serialize::encodeExecutionState(Encoder &E, ExprTableBuilder &Table,
+                                     const ExecutionState &S) {
   E.u64(S.Id);
   E.u8(static_cast<uint8_t>(S.Status));
   E.str(S.Error);
@@ -272,8 +309,9 @@ void encodeState(Encoder &E, ExprTableBuilder &Table,
   }
 }
 
-bool decodeState(Decoder &D, const Module &M, const ExprTable &Table,
-                 ExecutionState &S) {
+bool serialize::decodeExecutionState(Decoder &D, const Module &M,
+                                     const ExprTable &Table,
+                                     ExecutionState &S) {
   S.Id = D.u64();
   uint8_t RawStatus = D.u8();
   if (RawStatus > static_cast<uint8_t>(StateStatus::Dead))
@@ -449,7 +487,8 @@ bool decodeState(Decoder &D, const Module &M, const ExprTable &Table,
   return !D.failed();
 }
 
-void encodeTest(Encoder &E, ExprTableBuilder &Table, const TestCase &T) {
+void serialize::encodeTestCase(Encoder &E, ExprTableBuilder &Table,
+                               const TestCase &T) {
   E.u8(static_cast<uint8_t>(T.Kind));
   E.str(T.Message);
   encodeLocation(E, T.Where);
@@ -468,8 +507,8 @@ void encodeTest(Encoder &E, ExprTableBuilder &Table, const TestCase &T) {
   }
 }
 
-bool decodeTest(Decoder &D, const Module &M, const ExprTable &Table,
-                TestCase &T) {
+bool serialize::decodeTestCase(Decoder &D, const Module &M,
+                               const ExprTable &Table, TestCase &T) {
   uint8_t RawKind = D.u8();
   if (RawKind > static_cast<uint8_t>(TestKind::OutOfBounds))
     return D.fail("invalid test kind");
@@ -493,8 +532,6 @@ bool decodeTest(Decoder &D, const Module &M, const ExprTable &Table,
   return true;
 }
 
-} // namespace
-
 std::vector<uint8_t> serialize::encodeSnapshot(const RunSnapshot &Snap,
                                                const ExprContext &Ctx) {
   Encoder E;
@@ -510,11 +547,11 @@ std::vector<uint8_t> serialize::encodeSnapshot(const RunSnapshot &Snap,
 
   E.u64(Snap.NextStateId);
   E.u32(Snap.Partitions);
-  encodeStats(E, Snap.Stats);
+  encodeEngineStats(E, Snap.Stats);
 
   E.u32(static_cast<uint32_t>(Snap.Tests.size()));
   for (const TestCase &T : Snap.Tests)
-    encodeTest(E, Table, T);
+    encodeTestCase(E, Table, T);
 
   E.u32(static_cast<uint32_t>(Snap.Coverage.size()));
   for (const auto &[BB, Count] : Snap.Coverage) {
@@ -527,7 +564,7 @@ std::vector<uint8_t> serialize::encodeSnapshot(const RunSnapshot &Snap,
   for (const RunSnapshot::Entry &Ent : Snap.Frontier) {
     E.u32(Ent.Partition);
     E.u64(Ent.LocationRank);
-    encodeState(E, Table, *Ent.State);
+    encodeExecutionState(E, Table, *Ent.State);
   }
 
   E.u32(static_cast<uint32_t>(Snap.Cursors.size()));
@@ -585,7 +622,7 @@ SnapshotDecodeResult serialize::decodeSnapshot(
   if (Out.Partitions == 0 || Out.Partitions > 4096)
     return (void)D.fail("implausible partition count"),
            Error("implausible partition count");
-  decodeStats(D, Out.Stats);
+  decodeEngineStats(D, Out.Stats);
   if (D.failed())
     return Error("truncated stats");
 
@@ -594,7 +631,7 @@ SnapshotDecodeResult serialize::decodeSnapshot(
     return Error("malformed test list");
   Out.Tests.resize(NumTests);
   for (TestCase &T : Out.Tests)
-    if (!decodeTest(D, M, Table, T))
+    if (!decodeTestCase(D, M, Table, T))
       return Error("malformed test case");
 
   uint32_t NumCov = D.count(16);
@@ -633,7 +670,7 @@ SnapshotDecodeResult serialize::decodeSnapshot(
       return (void)D.fail("frontier partition out of range"),
              Error("frontier partition out of range");
     Ent.State = std::make_unique<ExecutionState>();
-    if (!decodeState(D, M, Table, *Ent.State))
+    if (!decodeExecutionState(D, M, Table, *Ent.State))
       return Error("malformed frontier state");
     // The engine's Owned map keys on state id, and the id allocator
     // resumes at NextStateId: ids must be unique and strictly below it.
@@ -665,6 +702,247 @@ SnapshotDecodeResult serialize::decodeSnapshot(
   if (!D.atEnd()) {
     D.fail("trailing bytes after snapshot");
     return Error("trailing bytes after snapshot");
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===
+// Distributed-fabric records: state batches and result deltas
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Registers every expression a state reaches so the batch's partial
+/// table is complete before any record encodes (encodeExprRef then only
+/// looks ids up).
+void registerStateExprs(ExprTableBuilder &Table, const ExecutionState &S) {
+  for (const ArrayObject &A : S.Arrays)
+    for (ExprRef Cell : A.Cells)
+      Table.idOf(Cell);
+  for (const StackFrame &F : S.Stack)
+    for (ExprRef Scalar : F.Scalars)
+      if (Scalar)
+        Table.idOf(Scalar);
+  for (ExprRef C : S.PC)
+    Table.idOf(C);
+  for (const auto &Path : S.ShadowPaths)
+    for (ExprRef C : Path)
+      Table.idOf(C);
+}
+
+void registerTestExprs(ExprTableBuilder &Table, const TestCase &T) {
+  for (const auto &[Var, Value] : T.Inputs.values()) {
+    (void)Value;
+    Table.idOf(Var);
+  }
+}
+
+void encodeRecordHeader(Encoder &E, uint32_t Magic, uint64_t ProgramHash) {
+  E.u32(Magic);
+  E.u32(SnapshotVersion);
+  E.u16(0xFEFF);
+  E.u16(0);
+  E.u64(ProgramHash);
+}
+
+/// Shared header validation for the two dist record kinds. On failure the
+/// decoder carries the error; the caller converts it to a
+/// SnapshotDecodeResult.
+bool decodeRecordHeader(Decoder &D, uint32_t Magic, const char *KindName,
+                        const Module &M) {
+  if (D.u32() != Magic || D.failed())
+    return D.fail(std::string("not a SymMerge ") + KindName +
+                  " record (bad magic)");
+  uint32_t Version = D.u32();
+  if (Version != SnapshotVersion || D.failed())
+    return D.fail("unsupported record version " + std::to_string(Version));
+  if (D.u16() != 0xFEFF || D.failed())
+    return D.fail("byte-order mark mismatch");
+  if (D.u16() != 0 || D.failed())
+    return D.fail("reserved header field is nonzero");
+  uint64_t Hash = D.u64();
+  if (D.failed())
+    return false;
+  if (Hash != programHash(M))
+    return D.fail("record was taken against a different program");
+  return true;
+}
+
+/// The state-list payload both record kinds share: allocator watermark
+/// plus a counted list of states with snapshot-grade id validation.
+bool decodeStateList(Decoder &D, const Module &M, const ExprTable &Table,
+                     StateBatch &Out) {
+  Out.NextStateId = D.u64();
+  uint32_t NumStates = D.count(32);
+  if (D.failed())
+    return false;
+  Out.States.clear();
+  Out.States.reserve(NumStates);
+  std::unordered_set<uint64_t> SeenIds;
+  for (uint32_t I = 0; I < NumStates; ++I) {
+    auto S = std::make_unique<ExecutionState>();
+    if (!decodeExecutionState(D, M, Table, *S))
+      return false;
+    if (!SeenIds.insert(S->Id).second)
+      return D.fail("duplicate batch state id");
+    if (S->Id >= Out.NextStateId)
+      return D.fail("batch state id at or above the allocator");
+    Out.States.push_back(std::move(S));
+  }
+  return true;
+}
+
+SnapshotDecodeResult decodeResultOf(const Decoder &D,
+                                    const std::string &Fallback) {
+  SnapshotDecodeResult R;
+  R.Ok = false;
+  R.Error = D.failed() ? D.error() : Fallback;
+  R.Offset = D.failed() ? D.errorOffset() : D.position();
+  return R;
+}
+
+} // namespace
+
+std::vector<uint8_t> serialize::encodeStateBatch(const StateBatch &Batch) {
+  Encoder E;
+  encodeRecordHeader(E, StateBatchMagic, Batch.ProgramHash);
+
+  // Partial table: just what the batch's states reach, registered in
+  // state order so identical batches encode to identical bytes.
+  ExprTableBuilder Table;
+  for (const auto &S : Batch.States)
+    registerStateExprs(Table, *S);
+  Table.encode(E);
+
+  E.u64(Batch.NextStateId);
+  E.u32(static_cast<uint32_t>(Batch.States.size()));
+  for (const auto &S : Batch.States)
+    encodeExecutionState(E, Table, *S);
+  return E.take();
+}
+
+SnapshotDecodeResult serialize::decodeStateBatch(
+    const std::vector<uint8_t> &Bytes, const Module &M, ExprContext &Ctx,
+    StateBatch &Out) {
+  Decoder D(Bytes);
+  if (!decodeRecordHeader(D, StateBatchMagic, "state-batch", M))
+    return decodeResultOf(D, "bad state-batch header");
+  Out.ProgramHash = programHash(M);
+
+  // Batches re-intern into whatever context the receiving runner already
+  // has (a worker that served earlier batches is not fresh), so ids are
+  // local to the record, not dense context ids.
+  ExprTable Table;
+  if (!Table.decode(D, Ctx, /*RequireDenseIds=*/false))
+    return decodeResultOf(D, "malformed expression table");
+
+  if (!decodeStateList(D, M, Table, Out))
+    return decodeResultOf(D, "malformed state list");
+  if (D.failed())
+    return decodeResultOf(D, "truncated state batch");
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after state batch");
+    return decodeResultOf(D, "trailing bytes after state batch");
+  }
+  return {};
+}
+
+std::vector<uint8_t> serialize::encodeResultDelta(const ResultDelta &Delta) {
+  Encoder E;
+  // Remaining.ProgramHash identifies the program for the whole record;
+  // the worker sets it from the Init frame's hash.
+  encodeRecordHeader(E, ResultDeltaMagic, Delta.Remaining.ProgramHash);
+
+  // One shared partial table covers the tests' input variables and the
+  // leftover states.
+  ExprTableBuilder Table;
+  for (const TestCase &T : Delta.Tests)
+    registerTestExprs(Table, T);
+  for (const auto &S : Delta.Remaining.States)
+    registerStateExprs(Table, *S);
+  Table.encode(E);
+
+  encodeEngineStats(E, Delta.Stats);
+
+  E.u32(static_cast<uint32_t>(Delta.Tests.size()));
+  for (const TestCase &T : Delta.Tests)
+    encodeTestCase(E, Table, T);
+
+  E.u32(static_cast<uint32_t>(Delta.Coverage.size()));
+  for (const auto &[BB, Count] : Delta.Coverage) {
+    E.str(BB->parent()->name());
+    E.u32(static_cast<uint32_t>(BB->id()));
+    E.u64(Count);
+  }
+
+  E.u64(Delta.Remaining.NextStateId);
+  E.u32(static_cast<uint32_t>(Delta.Remaining.States.size()));
+  for (const auto &S : Delta.Remaining.States)
+    encodeExecutionState(E, Table, *S);
+
+  E.u8(Delta.Exhausted ? 1 : 0);
+  return E.take();
+}
+
+SnapshotDecodeResult serialize::decodeResultDelta(
+    const std::vector<uint8_t> &Bytes, const Module &M, ExprContext &Ctx,
+    ResultDelta &Out) {
+  Decoder D(Bytes);
+  if (!decodeRecordHeader(D, ResultDeltaMagic, "result-delta", M))
+    return decodeResultOf(D, "bad result-delta header");
+  Out.Remaining.ProgramHash = programHash(M);
+
+  ExprTable Table;
+  if (!Table.decode(D, Ctx, /*RequireDenseIds=*/false))
+    return decodeResultOf(D, "malformed expression table");
+
+  decodeEngineStats(D, Out.Stats);
+  if (D.failed())
+    return decodeResultOf(D, "truncated stats");
+
+  uint32_t NumTests = D.count(22);
+  if (D.failed())
+    return decodeResultOf(D, "malformed test list");
+  Out.Tests.resize(NumTests);
+  for (TestCase &T : Out.Tests)
+    if (!decodeTestCase(D, M, Table, T))
+      return decodeResultOf(D, "malformed test case");
+
+  uint32_t NumCov = D.count(16);
+  if (D.failed())
+    return decodeResultOf(D, "malformed coverage list");
+  Out.Coverage.clear();
+  Out.Coverage.reserve(NumCov);
+  for (uint32_t I = 0; I < NumCov; ++I) {
+    std::string FuncName = D.str();
+    uint32_t BlockId = D.u32();
+    uint64_t Count = D.u64();
+    if (D.failed())
+      return decodeResultOf(D, "malformed coverage entry");
+    const BasicBlock *BB = decodeBlockRef(D, M, FuncName, BlockId);
+    if (!BB)
+      return decodeResultOf(D, "malformed coverage entry");
+    if (Count == 0) {
+      D.fail("zero coverage count");
+      return decodeResultOf(D, "zero coverage count");
+    }
+    Out.Coverage.emplace_back(BB, Count);
+  }
+
+  if (!decodeStateList(D, M, Table, Out.Remaining))
+    return decodeResultOf(D, "malformed remaining-state list");
+
+  uint8_t RawExhausted = D.u8();
+  if (D.failed())
+    return decodeResultOf(D, "truncated result delta");
+  if (RawExhausted > 1) {
+    D.fail("invalid exhausted flag");
+    return decodeResultOf(D, "invalid exhausted flag");
+  }
+  Out.Exhausted = RawExhausted == 1;
+  if (!D.atEnd()) {
+    D.fail("trailing bytes after result delta");
+    return decodeResultOf(D, "trailing bytes after result delta");
   }
   return {};
 }

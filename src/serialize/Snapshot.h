@@ -38,7 +38,9 @@
 #include "serialize/Codec.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace symmerge {
@@ -50,7 +52,12 @@ namespace serialize {
 
 /// "SMSN" as a little-endian u32.
 constexpr uint32_t SnapshotMagic = 0x4E534D53u;
-constexpr uint32_t SnapshotVersion = 3;
+constexpr uint32_t SnapshotVersion = 4;
+
+/// "SMSB" (state batch) and "SMRD" (result delta) as little-endian u32s:
+/// the two record kinds the distributed fabric ships between processes.
+constexpr uint32_t StateBatchMagic = 0x42534D53u;
+constexpr uint32_t ResultDeltaMagic = 0x44524D53u;
 
 /// Canonical program identity: hashString over the module's printed form.
 uint64_t programHash(const Module &M);
@@ -84,6 +91,63 @@ bool writeSnapshotFile(const std::string &Path,
 /// Reads a whole file into \p Out.
 bool readSnapshotFile(const std::string &Path, std::vector<uint8_t> &Out,
                       std::string *ErrorMessage = nullptr);
+
+//===----------------------------------------------------------------------===
+// Record-level codecs, shared with the distributed fabric (src/dist/)
+//===----------------------------------------------------------------------===
+
+/// EngineStats in the fixed v4 field order (append-only; extending
+/// EngineStats means appending here AND bumping SnapshotVersion).
+void encodeEngineStats(Encoder &E, const EngineStats &S);
+void decodeEngineStats(Decoder &D, EngineStats &S);
+
+/// One frontier state / one test case, expressions referenced through the
+/// shared table. The same validation discipline as the whole-run snapshot
+/// applies: a decode failure is a structured Decoder error, never UB.
+void encodeExecutionState(Encoder &E, ExprTableBuilder &Table,
+                          const ExecutionState &S);
+bool decodeExecutionState(Decoder &D, const Module &M, const ExprTable &Table,
+                          ExecutionState &S);
+void encodeTestCase(Encoder &E, ExprTableBuilder &Table, const TestCase &T);
+bool decodeTestCase(Decoder &D, const Module &M, const ExprTable &Table,
+                    TestCase &T);
+
+/// A batch of frontier states shipped to a worker process: the unit of
+/// work the distributed frontier router dispatches. Unlike a whole-run
+/// snapshot, the expression table is PARTIAL (only nodes the batch's
+/// states reach) and decodes by re-interning into a possibly non-fresh
+/// context — exactly a worker-migration restore, so state ids must be
+/// unique and strictly below NextStateId but need not be dense.
+struct StateBatch {
+  uint64_t ProgramHash = 0;
+  uint64_t NextStateId = 1;
+  std::vector<std::unique_ptr<ExecutionState>> States;
+};
+
+std::vector<uint8_t> encodeStateBatch(const StateBatch &Batch);
+
+SnapshotDecodeResult decodeStateBatch(const std::vector<uint8_t> &Bytes,
+                                      const Module &M, ExprContext &Ctx,
+                                      StateBatch &Out);
+
+/// What a worker sends back after a batch lease: counter deltas, the
+/// tests and coverage the batch earned, whether the batch ran to
+/// exhaustion, and the states still pending when the lease expired (the
+/// coordinator re-routes them at the next rebalance round).
+struct ResultDelta {
+  EngineStats Stats;
+  std::vector<TestCase> Tests;
+  /// Nonzero per-block entry-count deltas, deterministic module order.
+  std::vector<std::pair<const BasicBlock *, uint64_t>> Coverage;
+  StateBatch Remaining;
+  bool Exhausted = true;
+};
+
+std::vector<uint8_t> encodeResultDelta(const ResultDelta &Delta);
+
+SnapshotDecodeResult decodeResultDelta(const std::vector<uint8_t> &Bytes,
+                                       const Module &M, ExprContext &Ctx,
+                                       ResultDelta &Out);
 
 } // namespace serialize
 } // namespace symmerge

@@ -135,6 +135,12 @@ bool CoreCache::probeImpl(const std::vector<uint64_t> &Key, uint64_t KeySig,
   }
   if (CountStats)
     ++Stats.CoreCacheMisses;
+  // Outside every shard lock, and only for real (counted) probes: let
+  // the remote tier look for a subsuming core another process already
+  // minimized (installed for future probes; this check solves locally
+  // either way).
+  if (CountStats && Remote)
+    Remote->onCoreMiss(Key);
   return false;
 }
 
@@ -237,6 +243,27 @@ void CoreCache::publish(const std::vector<ExprRef> &Core) {
   for (ExprRef E : Uniq)
     Ids.push_back(E->id());
   std::sort(Ids.begin(), Ids.end());
+  // The minimization solve above re-verified UNSAT (or kept the
+  // session-extracted refutation), so the remote tier may serve this
+  // core to other processes without its own re-solve.
+  if (Remote)
+    Remote->onCorePublish(Ids);
+  insertEntry(std::move(Ids));
+}
+
+void CoreCache::installVerified(const std::vector<ExprRef> &Core) {
+  if (Core.empty())
+    return;
+  std::vector<uint64_t> Ids;
+  {
+    std::unordered_set<uint64_t> Seen;
+    for (ExprRef E : Core)
+      if (Seen.insert(E->id()).second)
+        Ids.push_back(E->id());
+  }
+  std::sort(Ids.begin(), Ids.end());
+  if (probeImpl(Ids, footprintSignature(Ids), /*CountStats=*/false))
+    return; // A resident core already subsumes it.
   insertEntry(std::move(Ids));
 }
 

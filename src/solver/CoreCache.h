@@ -41,6 +41,7 @@
 #define SYMMERGE_SOLVER_CORECACHE_H
 
 #include "expr/ExprContext.h"
+#include "solver/RemoteHooks.h"
 #include "support/Hashing.h"
 
 #include <atomic>
@@ -105,10 +106,23 @@ public:
   /// entry's recency.
   void publish(const std::vector<ExprRef> &Core);
 
+  /// Installs a core that was already minimized and verified by its
+  /// publishing process (the remote cache tier's install path): no
+  /// minimization re-solve, no remote republish hook. The transport is
+  /// trusted — a private in-machine socket pair to a service fed
+  /// exclusively by publish()-verified cores — so soundness rests on
+  /// the original publisher's re-solve, exactly like a local insert.
+  void installVerified(const std::vector<ExprRef> &Core);
+
   /// Total index entries currently held (for tests and statistics).
   size_t size() const;
   /// Index entries dropped by the generation-LRU capacity bound.
   uint64_t evictions() const;
+
+  /// Attaches (or detaches, with null) the remote cache tier. Counted
+  /// probe misses and verified publications notify it outside the shard
+  /// locks; callers must quiesce probes/publishes around the transition.
+  void setRemote(RemoteCacheHooks *R) { Remote = R; }
 
 private:
   /// One published core, immutable after construction; probes read it
@@ -183,6 +197,7 @@ private:
   uint64_t MinimizeConflicts = 2000;
   bool SignatureFilter = true;
   std::atomic<uint64_t> Evictions{0};
+  RemoteCacheHooks *Remote = nullptr;
 };
 
 std::shared_ptr<CoreCache> createCoreCache(const CoreCacheOptions &Opts = {});

@@ -151,6 +151,11 @@ bool ModelCache::probe(const std::vector<ExprRef> &Constraints,
     return true;
   }
   ++Stats.ModelCacheMisses;
+  // Outside every shard lock: let the remote tier probe asynchronously
+  // for a witness another process already solved (installed for future
+  // probes; this check bit-blasts locally either way).
+  if (Remote)
+    Remote->onModelMiss(Vars);
   return false;
 }
 
@@ -208,6 +213,8 @@ void ModelCache::insert(const VarAssignment &Model) {
     Evictions.fetch_add(Evicted, std::memory_order_relaxed);
     solverStats().ModelCacheEvictions += Evicted;
   }
+  if (Remote)
+    Remote->onModelInsert(Model);
 }
 
 uint64_t ModelCache::evictOldHalf(Shard &S) {

@@ -38,6 +38,7 @@
 #define SYMMERGE_SOLVER_MODELCACHE_H
 
 #include "expr/ExprEval.h"
+#include "solver/RemoteHooks.h"
 #include "support/Hashing.h"
 
 #include <atomic>
@@ -113,6 +114,11 @@ public:
   /// Index entries dropped by the generation-LRU capacity bound.
   uint64_t evictions() const;
 
+  /// Attaches (or detaches, with null) the remote cache tier. Probe
+  /// misses and inserts notify it outside the shard locks; callers must
+  /// quiesce probes/inserts around the transition.
+  void setRemote(RemoteCacheHooks *R) { Remote = R; }
+
 private:
   /// One published model, immutable after construction (except the hit
   /// counter, which is atomic); probes read it outside the shard lock
@@ -167,6 +173,7 @@ private:
   unsigned ProbeLimit = 8;
   bool SignatureFilter = true;
   std::atomic<uint64_t> Evictions{0};
+  RemoteCacheHooks *Remote = nullptr;
 };
 
 std::shared_ptr<ModelCache> createModelCache(const ModelCacheOptions &Opts = {});

@@ -1,0 +1,70 @@
+//===- RemoteHooks.h - Remote cache-tier hook interface ---------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between the in-process solver caches and the distributed
+/// remote cache tier (src/dist/RemoteCache.*). Each shared cache
+/// (SessionVerdictCache, ModelCache, CoreCache) optionally carries a
+/// RemoteCacheHooks pointer and notifies it on local misses and on
+/// first-time local inserts/publishes — always OUTSIDE the cache's
+/// shard locks, so an implementation may take its own locks freely.
+///
+/// The contract is strictly advisory: hooks never answer the current
+/// query. A miss hook lets the remote tier probe asynchronously and
+/// install the answer into the local cache for FUTURE queries (local
+/// miss -> remote probe -> local install); the in-flight check proceeds
+/// to solve locally regardless. An insert hook lets warm state earned
+/// here serve other processes. Implementations must suppress the
+/// insert/publish hooks for installs they themselves perform, or a
+/// remote answer would bounce back as a fresh publication forever.
+///
+/// Keys use the caches' native currencies — normalized node-id vectors
+/// for verdicts and cores, ExprRef variable sets and VarAssignments for
+/// models — so a hook costs nothing beyond what the cache already
+/// computed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_SOLVER_REMOTEHOOKS_H
+#define SYMMERGE_SOLVER_REMOTEHOOKS_H
+
+#include "expr/ExprEval.h"
+#include "solver/Solver.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace symmerge {
+
+class RemoteCacheHooks {
+public:
+  virtual ~RemoteCacheHooks() = default;
+
+  /// A verdict lookup missed locally. \p Key is the normalized (sorted,
+  /// deduplicated) constraint-id vector, \p Hash its precomputed hash.
+  virtual void onVerdictMiss(const std::vector<uint64_t> &Key,
+                             uint64_t Hash) = 0;
+  /// A Sat/Unsat verdict was inserted locally for the first time.
+  virtual void onVerdictInsert(const std::vector<uint64_t> &Key,
+                               uint64_t Hash, SolverResult R) = 0;
+
+  /// A model probe found no validating candidate. \p Vars is the probe's
+  /// distinct variable footprint.
+  virtual void onModelMiss(const std::vector<ExprRef> &Vars) = 0;
+  /// A satisfying assignment was published locally.
+  virtual void onModelInsert(const VarAssignment &Model) = 0;
+
+  /// A core probe found no subsuming cached core. \p Key is the
+  /// normalized sliced-constraint-id vector (verdict-key normalization).
+  virtual void onCoreMiss(const std::vector<uint64_t> &Key) = 0;
+  /// A minimized, verified UNSAT core was published locally. \p Ids is
+  /// the core's sorted, deduplicated constraint-id vector.
+  virtual void onCorePublish(const std::vector<uint64_t> &Ids) = 0;
+};
+
+} // namespace symmerge
+
+#endif // SYMMERGE_SOLVER_REMOTEHOOKS_H

@@ -20,6 +20,7 @@
 #define SYMMERGE_SOLVER_SESSIONVERDICTCACHE_H
 
 #include "expr/ExprUtil.h"
+#include "solver/RemoteHooks.h"
 #include "solver/Solver.h"
 #include "support/Hashing.h"
 
@@ -88,15 +89,22 @@ public:
   bool lookup(const std::vector<uint64_t> &Key, uint64_t Hash,
               SolverResult &Out) {
     Shard &S = shardFor(Hash);
-    std::lock_guard<std::mutex> Lock(S.M);
-    auto Range = S.Map.equal_range(Hash);
-    for (auto It = Range.first; It != Range.second; ++It) {
-      if (It->second.Key == Key) {
-        It->second.Generation = ++S.Generation;
-        Out = It->second.Result;
-        return true;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto Range = S.Map.equal_range(Hash);
+      for (auto It = Range.first; It != Range.second; ++It) {
+        if (It->second.Key == Key) {
+          It->second.Generation = ++S.Generation;
+          Out = It->second.Result;
+          return true;
+        }
       }
     }
+    // Outside the shard lock: let the remote tier probe asynchronously
+    // (the answer installs for future lookups; this check solves
+    // locally either way).
+    if (Remote)
+      Remote->onVerdictMiss(Key, Hash);
     return false;
   }
 
@@ -105,6 +113,8 @@ public:
       return;
     Shard &S = shardFor(Hash);
     uint64_t Evicted = 0;
+    bool Inserted = false;
+    std::vector<uint64_t> Publish; // Key copy for the post-lock hook.
     {
       std::lock_guard<std::mutex> Lock(S.M);
       // Two workers can race miss -> solve -> insert on the same key;
@@ -114,6 +124,9 @@ public:
       for (auto It = Range.first; It != Range.second; ++It)
         if (It->second.Key == Key)
           return;
+      if (Remote)
+        Publish = Key;
+      Inserted = true;
       S.Map.emplace(Hash, Entry{std::move(Key), R, ++S.Generation});
       if (MaxPerShard != 0 && S.Map.size() > MaxPerShard)
         Evicted = evictOldHalf(S);
@@ -122,7 +135,15 @@ public:
       S.Evictions.fetch_add(Evicted, std::memory_order_relaxed);
       solverStats().VerdictCacheEvictions += Evicted;
     }
+    if (Remote && Inserted)
+      Remote->onVerdictInsert(Publish, Hash, R);
   }
+
+  /// Attaches (or detaches, with null) the remote cache tier. Callers
+  /// must quiesce lookups/inserts around the transition — the worker
+  /// daemon attaches before a batch's runner starts and detaches after
+  /// it finishes.
+  void setRemote(RemoteCacheHooks *R) { Remote = R; }
 
   size_t size() const {
     size_t N = 0;
@@ -184,6 +205,7 @@ private:
 
   std::vector<Shard> Shards;
   size_t MaxPerShard = 0;
+  RemoteCacheHooks *Remote = nullptr;
 };
 
 namespace session_common {

@@ -1,0 +1,175 @@
+//===- DistRunTest.cpp - Distributed fabric end-to-end differential ----------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end differential rows for the multi-process fabric
+/// (--dist-workers): a distributed exhaustive run must produce the SAME
+/// canonical test, coverage, and error-verdict sets as a local run with
+/// equal total parallelism — across worker counts, across random
+/// programs, through a SIGKILLed worker (the coordinator detects the
+/// death, re-ships the retained batch, and still converges), and with
+/// the shared remote cache tier on (a validated cache hit may only
+/// change HOW an answer is derived, never the answer).
+///
+/// The random-program rows scale with the nightly CI env knobs
+/// SYMMERGE_DIFF_ITERS / SYMMERGE_DIFF_SEED, giving the randomized
+/// differential suite its distributed axis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "dist/Coordinator.h"
+#include "lang/Lower.h"
+#include "workloads/Workloads.h"
+
+#include "TestProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace symmerge;
+using namespace symmerge::dist;
+
+#ifndef SYMMERGE_WORKERD_PATH
+#define SYMMERGE_WORKERD_PATH "symmerge-workerd"
+#endif
+
+namespace {
+
+uint64_t envOr(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  return V && *V ? std::strtoull(V, nullptr, 10) : Default;
+}
+
+/// The observable outcome of a run, canonicalized for set comparison.
+struct Outcome {
+  std::vector<std::string> TestKeys; ///< canonicalTestKey, sorted.
+  std::vector<std::pair<const BasicBlock *, uint64_t>> Coverage;
+  size_t Bugs = 0;
+};
+
+Outcome canonicalize(std::vector<TestCase> Tests,
+                     std::vector<std::pair<const BasicBlock *, uint64_t>> Cov) {
+  Outcome O;
+  sortTestsCanonically(Tests);
+  for (const TestCase &T : Tests) {
+    O.TestKeys.push_back(canonicalTestKey(T));
+    if (T.isBug())
+      ++O.Bugs;
+  }
+  O.Coverage = std::move(Cov);
+  return O;
+}
+
+Outcome runLocal(const Module &M, unsigned Workers) {
+  SymbolicRunner::Config Cfg;
+  Cfg.Engine.Workers = Workers;
+  SymbolicRunner Runner(M, Cfg);
+  RunResult R = Runner.run();
+  return canonicalize(std::move(R.Tests), Runner.coverage().snapshotCounts());
+}
+
+DistResult runDist(const Module &M, unsigned Processes, bool Cache = false,
+                   uint64_t KillBatchId = 0) {
+  SymbolicRunner::Config Cfg;
+  Cfg.Engine.Workers = 1;
+  DistOptions Opts;
+  Opts.Processes = Processes;
+  Opts.RemoteCache = Cache;
+  Opts.WorkerdPath = SYMMERGE_WORKERD_PATH;
+  Opts.KillBatchId = KillBatchId;
+  return runDistributed(M, Cfg, Opts);
+}
+
+void expectSameOutcome(const Outcome &Local, const Outcome &Dist,
+                       const std::string &Label) {
+  EXPECT_EQ(Local.TestKeys, Dist.TestKeys) << Label;
+  EXPECT_EQ(Local.Bugs, Dist.Bugs) << Label;
+  ASSERT_EQ(Local.Coverage.size(), Dist.Coverage.size()) << Label;
+  for (size_t I = 0; I < Local.Coverage.size(); ++I) {
+    EXPECT_EQ(Local.Coverage[I].first, Dist.Coverage[I].first) << Label;
+    EXPECT_EQ(Local.Coverage[I].second, Dist.Coverage[I].second) << Label;
+  }
+}
+
+TEST(DistRunTest, SetIdenticalToLocalAcrossProcessCounts) {
+  CompileResult CR = compileWorkload(*findWorkload("sum"), 3, 4);
+  ASSERT_TRUE(CR.ok());
+  for (unsigned P : {1u, 2u}) {
+    Outcome Local = runLocal(*CR.M, P);
+    DistResult DR = runDist(*CR.M, P);
+    ASSERT_TRUE(DR.Ok) << DR.Error;
+    EXPECT_EQ(DR.Result.Stats.DistProcesses, P);
+    EXPECT_EQ(DR.Result.Stats.DistWorkerDeaths, 0u);
+    expectSameOutcome(Local,
+                      canonicalize(DR.Result.Tests, std::move(DR.Coverage)),
+                      "P=" + std::to_string(P));
+  }
+}
+
+TEST(DistRunTest, SigkilledWorkerConvergesToSameSet) {
+  CompileResult CR = compileWorkload(*findWorkload("sum"), 3, 4);
+  ASSERT_TRUE(CR.ok());
+  Outcome Local = runLocal(*CR.M, 2);
+
+  // Batch 1 (the first dispatched lease) carries the kill-self flag: its
+  // worker SIGKILLs itself mid-lease. The coordinator must notice the
+  // death, respawn the slot, re-ship the retained bytes, and still
+  // finish with the exact local outcome.
+  DistResult DR = runDist(*CR.M, 2, /*Cache=*/false, /*KillBatchId=*/1);
+  ASSERT_TRUE(DR.Ok) << DR.Error;
+  EXPECT_GE(DR.Result.Stats.DistWorkerDeaths, 1u);
+  EXPECT_GE(DR.Result.Stats.DistBatchesReshipped, 1u);
+  expectSameOutcome(Local,
+                    canonicalize(DR.Result.Tests, std::move(DR.Coverage)),
+                    "sigkill row");
+}
+
+TEST(DistRunTest, RemoteCacheTierHitsAndStaysSetIdentical) {
+  CompileResult CR = compileWorkload(*findWorkload("sum"), 4, 4);
+  ASSERT_TRUE(CR.ok());
+  Outcome Local = runLocal(*CR.M, 2);
+
+  DistResult DR = runDist(*CR.M, 2, /*Cache=*/true);
+  ASSERT_TRUE(DR.Ok) << DR.Error;
+  // Two workers exploring sibling subtrees of the same program share
+  // enough solver work that the remote tier must land real hits.
+  EXPECT_GT(DR.Result.Stats.DistRemoteCacheHits, 0u);
+  EXPECT_GT(DR.Result.Stats.DistRemoteCacheMisses +
+                DR.Result.Stats.DistRemoteCacheHits,
+            0u);
+  expectSameOutcome(Local,
+                    canonicalize(DR.Result.Tests, std::move(DR.Coverage)),
+                    "remote cache row");
+}
+
+TEST(DistRunTest, RandomPrograms) {
+  // The distributed axis of the randomized differential suite: random
+  // MiniC programs, local --workers=2 vs --dist-workers=2. Scaled up by
+  // the nightly job via SYMMERGE_DIFF_ITERS / SYMMERGE_DIFF_SEED.
+  const uint64_t Iters = envOr("SYMMERGE_DIFF_ITERS", 1);
+  const uint64_t SeedBase = 7100 + envOr("SYMMERGE_DIFF_SEED", 0) * 1000;
+  const uint64_t Programs = 3 * Iters;
+  for (uint64_t I = 0; I < Programs; ++I) {
+    const uint64_t Seed = SeedBase + I;
+    testgen::ProgramGen Gen(Seed);
+    std::string Source = Gen.generate();
+    CompileResult CR = compileMiniC(Source);
+    ASSERT_TRUE(CR.ok()) << "generator produced invalid MiniC (seed " << Seed
+                         << "):\n"
+                         << Source;
+    Outcome Local = runLocal(*CR.M, 2);
+    DistResult DR = runDist(*CR.M, 2);
+    ASSERT_TRUE(DR.Ok) << DR.Error << " (seed " << Seed << ")";
+    expectSameOutcome(Local,
+                      canonicalize(DR.Result.Tests, std::move(DR.Coverage)),
+                      "seed " + std::to_string(Seed) + ":\n" + Source);
+  }
+}
+
+} // namespace

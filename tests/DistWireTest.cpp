@@ -1,0 +1,620 @@
+//===- DistWireTest.cpp - Distributed wire protocol tests --------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the distributed fabric's transport and message vocabulary:
+///
+///  - DistChannelTest: the length-framed socketpair channel — send/recv
+///    round-trips, zero-length frames, timeouts, orderly EOF, hostile
+///    length prefixes, and a peer that dies mid-frame (must surface as
+///    an error, never a hang),
+///  - DistWireTest: encode/decode round-trips for every control and
+///    cache frame kind, including the cross-context re-intern invariant
+///    (decoding into a fresh context and re-encoding reproduces the
+///    exact bytes),
+///  - DistWireFuzzTest: the hostility suite — truncation at EVERY byte
+///    offset, single-bit flips at every byte, hostile length/count
+///    fields, and seeded random garbage, for every frame kind AND for
+///    the record-level StateBatch/ResultDelta payloads. Every mutation
+///    must produce a structured decode error or a clean success — never
+///    a crash, hang, or sanitizer report. Runs under TSan and the
+///    nightly hostile CI job.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Driver.h"
+#include "dist/Channel.h"
+#include "dist/Wire.h"
+#include "serialize/Snapshot.h"
+#include "support/RNG.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace symmerge;
+using namespace symmerge::dist;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Channel
+//===----------------------------------------------------------------------===
+
+TEST(DistChannelTest, RoundTripFrames) {
+  Channel A, B;
+  ASSERT_TRUE(Channel::createPair(A, B));
+  std::vector<uint8_t> Payload = {1, 2, 3, 250, 251, 252};
+  ASSERT_TRUE(A.sendFrame(Payload));
+  std::vector<uint8_t> Got;
+  ASSERT_EQ(B.recvFrame(Got, 1000), Channel::RecvStatus::Frame);
+  EXPECT_EQ(Got, Payload);
+
+  // Several frames queued stay framed (no coalescing into one read).
+  ASSERT_TRUE(B.sendFrame({9}));
+  ASSERT_TRUE(B.sendFrame({}));
+  ASSERT_TRUE(B.sendFrame({7, 7}));
+  ASSERT_EQ(A.recvFrame(Got, 1000), Channel::RecvStatus::Frame);
+  EXPECT_EQ(Got, std::vector<uint8_t>({9}));
+  ASSERT_EQ(A.recvFrame(Got, 1000), Channel::RecvStatus::Frame);
+  EXPECT_TRUE(Got.empty());
+  ASSERT_EQ(A.recvFrame(Got, 1000), Channel::RecvStatus::Frame);
+  EXPECT_EQ(Got, std::vector<uint8_t>({7, 7}));
+}
+
+TEST(DistChannelTest, TimeoutWhenIdle) {
+  Channel A, B;
+  ASSERT_TRUE(Channel::createPair(A, B));
+  std::vector<uint8_t> Got;
+  EXPECT_EQ(A.recvFrame(Got, 10), Channel::RecvStatus::Timeout);
+}
+
+TEST(DistChannelTest, EofOnOrderlyClose) {
+  Channel A, B;
+  ASSERT_TRUE(Channel::createPair(A, B));
+  B.close();
+  std::vector<uint8_t> Got;
+  EXPECT_EQ(A.recvFrame(Got, 1000), Channel::RecvStatus::Eof);
+  // And sends to a dead peer fail instead of raising SIGPIPE.
+  EXPECT_FALSE(A.sendFrame({1, 2, 3}));
+}
+
+TEST(DistChannelTest, HostileLengthPrefix) {
+  Channel A, B;
+  ASSERT_TRUE(Channel::createPair(A, B));
+  // A length prefix beyond MaxFrameBytes must be rejected before any
+  // allocation is attempted.
+  uint32_t Huge = MaxFrameBytes + 1;
+  uint8_t Raw[4];
+  std::memcpy(Raw, &Huge, 4);
+  ASSERT_EQ(::send(B.fd(), Raw, 4, MSG_NOSIGNAL), 4);
+  std::vector<uint8_t> Got;
+  EXPECT_EQ(A.recvFrame(Got, 1000), Channel::RecvStatus::Error);
+}
+
+TEST(DistChannelTest, PeerDiesMidFrame) {
+  Channel A, B;
+  ASSERT_TRUE(Channel::createPair(A, B));
+  // Announce a 100-byte frame, deliver 3, die. The receiver must error
+  // out, not wait forever for the remainder.
+  uint32_t Len = 100;
+  uint8_t Raw[7];
+  std::memcpy(Raw, &Len, 4);
+  Raw[4] = Raw[5] = Raw[6] = 42;
+  ASSERT_EQ(::send(B.fd(), Raw, 7, MSG_NOSIGNAL), 7);
+  B.close();
+  std::vector<uint8_t> Got;
+  EXPECT_EQ(A.recvFrame(Got, 1000), Channel::RecvStatus::Error);
+}
+
+TEST(DistChannelTest, PollReadable) {
+  Channel A, B, C, D;
+  ASSERT_TRUE(Channel::createPair(A, B));
+  ASSERT_TRUE(Channel::createPair(C, D));
+  ASSERT_TRUE(B.sendFrame({1}));
+  std::vector<size_t> Ready;
+  ASSERT_TRUE(pollReadable({A.fd(), C.fd(), -1}, 100, Ready));
+  ASSERT_EQ(Ready.size(), 1u);
+  EXPECT_EQ(Ready.front(), 0u);
+  // A closed peer also reads as ready (so the caller can reap it).
+  D.close();
+  Ready.clear();
+  ASSERT_TRUE(pollReadable({A.fd(), C.fd()}, 100, Ready));
+  ASSERT_EQ(Ready.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===
+// Frame round-trips
+//===----------------------------------------------------------------------===
+
+SymbolicRunner::Config sampleConfig() {
+  SymbolicRunner::Config C;
+  C.Merge = SymbolicRunner::MergeMode::QCEFull;
+  C.UseDSM = true;
+  C.Engine.MaxSteps = 12345;
+  C.Engine.MaxTests = 99;
+  C.Engine.Workers = 3;
+  C.Seed = 42;
+  C.QCE.Alpha = 1.5;
+  return C;
+}
+
+TEST(DistWireTest, InitRoundTrip) {
+  InitFrame F;
+  F.ProgramHash = 0xDEADBEEFCAFEF00Dull;
+  F.IRText = "void main() {}\n";
+  F.Config = sampleConfig();
+  F.WorkerIndex = 7;
+  F.RemoteCache = true;
+  F.LeaseSteps = 4096;
+
+  std::vector<uint8_t> Bytes = encodeInit(F);
+  EXPECT_EQ(peekKind(Bytes), FrameKind::Init);
+  InitFrame Out;
+  ASSERT_TRUE(decodeInit(Bytes, Out).Ok);
+  EXPECT_EQ(Out.ProgramHash, F.ProgramHash);
+  EXPECT_EQ(Out.IRText, F.IRText);
+  EXPECT_EQ(Out.WorkerIndex, 7u);
+  EXPECT_TRUE(Out.RemoteCache);
+  EXPECT_EQ(Out.LeaseSteps, 4096u);
+  EXPECT_EQ(Out.Config.Merge, SymbolicRunner::MergeMode::QCEFull);
+  EXPECT_TRUE(Out.Config.UseDSM);
+  EXPECT_EQ(Out.Config.Engine.MaxSteps, 12345u);
+  EXPECT_EQ(Out.Config.Engine.MaxTests, 99u);
+  EXPECT_EQ(Out.Config.Engine.Workers, 3u);
+  EXPECT_EQ(Out.Config.Seed, 42u);
+  EXPECT_DOUBLE_EQ(Out.Config.QCE.Alpha, 1.5);
+  // Determinism: encoding the decoded frame reproduces the bytes.
+  EXPECT_EQ(encodeInit(Out), Bytes);
+}
+
+TEST(DistWireTest, InitAckRoundTrip) {
+  InitAckFrame F;
+  F.ProgramHash = 17;
+  F.Pid = 4242;
+  std::vector<uint8_t> Bytes = encodeInitAck(F);
+  EXPECT_EQ(peekKind(Bytes), FrameKind::InitAck);
+  InitAckFrame Out;
+  ASSERT_TRUE(decodeInitAck(Bytes, Out).Ok);
+  EXPECT_EQ(Out.ProgramHash, 17u);
+  EXPECT_EQ(Out.Pid, 4242u);
+}
+
+TEST(DistWireTest, StateBatchFrameRoundTrip) {
+  StateBatchFrame F;
+  F.BatchId = 99;
+  F.KillSelf = true;
+  F.Blob = {0, 1, 2, 3, 4, 255};
+  std::vector<uint8_t> Bytes = encodeStateBatch(F);
+  EXPECT_EQ(peekKind(Bytes), FrameKind::StateBatch);
+  StateBatchFrame Out;
+  ASSERT_TRUE(decodeStateBatch(Bytes, Out).Ok);
+  EXPECT_EQ(Out.BatchId, 99u);
+  EXPECT_TRUE(Out.KillSelf);
+  EXPECT_EQ(Out.Blob, F.Blob);
+}
+
+TEST(DistWireTest, ResultRoundTrip) {
+  ResultFrame F;
+  F.BatchId = 3;
+  F.Blob = {9, 8, 7};
+  std::vector<uint8_t> Bytes = encodeResult(F);
+  EXPECT_EQ(peekKind(Bytes), FrameKind::Result);
+  ResultFrame Out;
+  ASSERT_TRUE(decodeResult(Bytes, Out).Ok);
+  EXPECT_EQ(Out.BatchId, 3u);
+  EXPECT_EQ(Out.Blob, F.Blob);
+}
+
+TEST(DistWireTest, ShutdownAndPeek) {
+  std::vector<uint8_t> Bytes = encodeShutdown();
+  EXPECT_EQ(peekKind(Bytes), FrameKind::Shutdown);
+  EXPECT_EQ(peekKind({}), FrameKind::Invalid);
+  EXPECT_EQ(peekKind({0xEE}), FrameKind::Invalid);
+}
+
+/// A small constraint set over a couple of variables, shared by the
+/// cache-frame tests.
+std::vector<ExprRef> sampleConstraints(ExprContext &Ctx) {
+  ExprRef X = Ctx.mkVar("x", 32);
+  ExprRef Y = Ctx.mkVar("y", 32);
+  return {Ctx.mkUlt(X, Ctx.mkConst(10, 32)),
+          Ctx.mkEq(Ctx.mkAdd(X, Y), Ctx.mkConst(7, 32)),
+          Ctx.mkNot(Ctx.mkEq(Y, Ctx.mkConst(3, 32)))};
+}
+
+TEST(DistWireTest, CacheProbeRoundTrip) {
+  ExprContext Ctx;
+  CacheProbeFrame F;
+  F.ReqId = 11;
+  F.Kind = CacheKind::Core;
+  F.Exprs = sampleConstraints(Ctx);
+
+  std::vector<uint8_t> Bytes = encodeCacheProbe(F);
+  EXPECT_EQ(peekKind(Bytes), FrameKind::CacheProbe);
+
+  // Decode re-interns into a fresh context: structure (and therefore the
+  // canonical bytes) must survive exactly.
+  ExprContext Fresh;
+  CacheProbeFrame Out;
+  ASSERT_TRUE(decodeCacheProbe(Bytes, Fresh, Out).Ok);
+  EXPECT_EQ(Out.ReqId, 11u);
+  EXPECT_EQ(Out.Kind, CacheKind::Core);
+  ASSERT_EQ(Out.Exprs.size(), F.Exprs.size());
+  EXPECT_EQ(encodeCacheProbe(Out), Bytes);
+}
+
+TEST(DistWireTest, CacheReplyRoundTrip) {
+  ExprContext Ctx;
+  CacheReplyFrame F;
+  F.ReqId = 5;
+  F.Kind = CacheKind::Model;
+  F.Hit = true;
+  F.Models.push_back({{"x", 32, 6}, {"y", 32, 1}});
+  F.Models.push_back({{"x", 32, 0}});
+
+  std::vector<uint8_t> Bytes = encodeCacheReply(F);
+  EXPECT_EQ(peekKind(Bytes), FrameKind::CacheReply);
+  ExprContext Fresh;
+  CacheReplyFrame Out;
+  ASSERT_TRUE(decodeCacheReply(Bytes, Fresh, Out).Ok);
+  EXPECT_EQ(Out.ReqId, 5u);
+  EXPECT_TRUE(Out.Hit);
+  ASSERT_EQ(Out.Models.size(), 2u);
+  EXPECT_EQ(Out.Models[0][0].Name, "x");
+  EXPECT_EQ(Out.Models[0][1].Value, 1u);
+
+  // Core replies carry an expression list.
+  CacheReplyFrame G;
+  G.ReqId = 6;
+  G.Kind = CacheKind::Core;
+  G.Hit = true;
+  G.Core = sampleConstraints(Ctx);
+  std::vector<uint8_t> CoreBytes = encodeCacheReply(G);
+  ExprContext Fresh2;
+  CacheReplyFrame OutCore;
+  ASSERT_TRUE(decodeCacheReply(CoreBytes, Fresh2, OutCore).Ok);
+  ASSERT_EQ(OutCore.Core.size(), G.Core.size());
+  EXPECT_EQ(encodeCacheReply(OutCore), CoreBytes);
+
+  // Verdict replies carry only the verdict.
+  CacheReplyFrame V;
+  V.ReqId = 7;
+  V.Kind = CacheKind::Verdict;
+  V.Hit = true;
+  V.Verdict = SolverResult::Unsat;
+  std::vector<uint8_t> VBytes = encodeCacheReply(V);
+  ExprContext Fresh3;
+  CacheReplyFrame OutV;
+  ASSERT_TRUE(decodeCacheReply(VBytes, Fresh3, OutV).Ok);
+  EXPECT_EQ(OutV.Verdict, SolverResult::Unsat);
+}
+
+TEST(DistWireTest, CachePublishRoundTrip) {
+  ExprContext Ctx;
+  CachePublishFrame F;
+  F.Kind = CacheKind::Verdict;
+  F.Exprs = sampleConstraints(Ctx);
+  F.Verdict = SolverResult::Sat;
+  std::vector<uint8_t> Bytes = encodeCachePublish(F);
+  EXPECT_EQ(peekKind(Bytes), FrameKind::CachePublish);
+  ExprContext Fresh;
+  CachePublishFrame Out;
+  ASSERT_TRUE(decodeCachePublish(Bytes, Fresh, Out).Ok);
+  EXPECT_EQ(Out.Kind, CacheKind::Verdict);
+  EXPECT_EQ(Out.Verdict, SolverResult::Sat);
+  EXPECT_EQ(encodeCachePublish(Out), Bytes);
+
+  CachePublishFrame G;
+  G.Kind = CacheKind::Model;
+  G.Model = {{"a", 8, 200}, {"b", 16, 999}};
+  std::vector<uint8_t> MBytes = encodeCachePublish(G);
+  ExprContext Fresh2;
+  CachePublishFrame OutM;
+  ASSERT_TRUE(decodeCachePublish(MBytes, Fresh2, OutM).Ok);
+  ASSERT_EQ(OutM.Model.size(), 2u);
+  EXPECT_EQ(OutM.Model[1].Name, "b");
+  EXPECT_EQ(OutM.Model[1].Width, 16u);
+  EXPECT_EQ(OutM.Model[1].Value, 999u);
+}
+
+//===----------------------------------------------------------------------===
+// Record-level payloads against a real run
+//===----------------------------------------------------------------------===
+
+/// Seeds a short run of the `sum` workload and captures its frontier as
+/// a coordinator would: snapshot at a small step budget, decode, strip
+/// to states.
+struct CapturedBatch {
+  CompileResult CR;
+  serialize::StateBatch Batch;
+  std::vector<uint8_t> Blob;
+  /// Context the batch's states live in (must outlive Batch).
+  std::unique_ptr<ExprContext> Ctx = std::make_unique<ExprContext>();
+};
+
+CapturedBatch captureBatch() {
+  CapturedBatch Out;
+  Out.CR = compileWorkload(*findWorkload("sum"), 3, 4);
+  Module &M = *Out.CR.M;
+  SymbolicRunner::Config Cfg;
+  Cfg.Engine.MaxSteps = 64;
+  SymbolicRunner Seed(M, Cfg);
+  std::vector<uint8_t> SnapBytes;
+  CheckpointOptions Chk;
+  Chk.EverySteps = 0;
+  Chk.Sink = [&](const RunSnapshot &S) {
+    SnapBytes = serialize::encodeSnapshot(S, Seed.context());
+  };
+  Seed.setCheckpoint(std::move(Chk));
+  Seed.run();
+  EXPECT_FALSE(SnapBytes.empty()) << "seed run finished before capturing";
+  if (SnapBytes.empty())
+    return Out;
+  RunSnapshot Snap;
+  EXPECT_TRUE(serialize::decodeSnapshot(SnapBytes, M, *Out.Ctx, Snap).Ok);
+  Out.Batch.ProgramHash = serialize::programHash(M);
+  for (size_t I = 0; I < Snap.Frontier.size(); ++I) {
+    Snap.Frontier[I].State->Id = I + 1;
+    Out.Batch.States.push_back(std::move(Snap.Frontier[I].State));
+  }
+  Out.Batch.NextStateId = Out.Batch.States.size() + 1;
+  Out.Blob = serialize::encodeStateBatch(Out.Batch);
+  return Out;
+}
+
+TEST(DistWireTest, StateBatchRecordRoundTrip) {
+  CapturedBatch C = captureBatch();
+  ASSERT_FALSE(C.Blob.empty());
+  const Module &M = *C.CR.M;
+
+  ExprContext Fresh;
+  serialize::StateBatch Out;
+  auto Dec = serialize::decodeStateBatch(C.Blob, M, Fresh, Out);
+  ASSERT_TRUE(Dec.Ok) << Dec.Error;
+  EXPECT_EQ(Out.ProgramHash, C.Batch.ProgramHash);
+  EXPECT_EQ(Out.NextStateId, C.Batch.NextStateId);
+  ASSERT_EQ(Out.States.size(), C.Batch.States.size());
+  for (size_t I = 0; I < Out.States.size(); ++I)
+    EXPECT_EQ(Out.States[I]->Id, C.Batch.States[I]->Id);
+  // Re-encoding the decoded batch reproduces the exact bytes: the codec
+  // is canonical across contexts.
+  EXPECT_EQ(serialize::encodeStateBatch(Out), C.Blob);
+
+  // A different program must be rejected by the header hash.
+  CompileResult Other = compileWorkload(*findWorkload("sum"), 4, 4);
+  ExprContext Fresh2;
+  serialize::StateBatch Rejected;
+  EXPECT_FALSE(
+      serialize::decodeStateBatch(C.Blob, *Other.M, Fresh2, Rejected).Ok);
+}
+
+TEST(DistWireTest, ResultDeltaRecordRoundTrip) {
+  CapturedBatch C = captureBatch();
+  ASSERT_FALSE(C.Blob.empty());
+  const Module &M = *C.CR.M;
+
+  // Run the batch worker-style to get a real delta.
+  SymbolicRunner::Config Cfg;
+  Cfg.Engine.MaxSteps = 512;
+  SymbolicRunner Runner(M, Cfg);
+  serialize::StateBatch Batch;
+  ASSERT_TRUE(
+      serialize::decodeStateBatch(C.Blob, M, Runner.context(), Batch).Ok);
+  RunSnapshot Snap;
+  Snap.ProgramHash = Batch.ProgramHash;
+  Snap.NextStateId = Batch.NextStateId;
+  Snap.Partitions = 1;
+  for (size_t I = 0; I < Batch.States.size(); ++I) {
+    RunSnapshot::Entry E;
+    E.State = std::move(Batch.States[I]);
+    E.Partition = 0;
+    E.LocationRank = I;
+    Snap.Frontier.push_back(std::move(E));
+  }
+  RunResult R = Runner.resume(std::move(Snap));
+
+  serialize::ResultDelta Delta;
+  Delta.Stats = R.Stats;
+  Delta.Tests = R.Tests;
+  Delta.Coverage = Runner.coverage().snapshotCounts();
+  Delta.Remaining.ProgramHash = Batch.ProgramHash;
+  Delta.Exhausted = R.Stats.Exhausted;
+  std::vector<uint8_t> Blob = serialize::encodeResultDelta(Delta);
+
+  ExprContext Fresh;
+  serialize::ResultDelta Out;
+  auto Dec = serialize::decodeResultDelta(Blob, M, Fresh, Out);
+  ASSERT_TRUE(Dec.Ok) << Dec.Error;
+  EXPECT_EQ(Out.Stats.Steps, Delta.Stats.Steps);
+  EXPECT_EQ(Out.Stats.Forks, Delta.Stats.Forks);
+  ASSERT_EQ(Out.Tests.size(), Delta.Tests.size());
+  for (size_t I = 0; I < Out.Tests.size(); ++I) {
+    EXPECT_EQ(Out.Tests[I].Kind, Delta.Tests[I].Kind);
+    EXPECT_EQ(Out.Tests[I].Message, Delta.Tests[I].Message);
+    EXPECT_EQ(Out.Tests[I].Inputs.values().size(),
+              Delta.Tests[I].Inputs.values().size());
+  }
+  ASSERT_EQ(Out.Coverage.size(), Delta.Coverage.size());
+  for (size_t I = 0; I < Out.Coverage.size(); ++I) {
+    EXPECT_EQ(Out.Coverage[I].first, Delta.Coverage[I].first);
+    EXPECT_EQ(Out.Coverage[I].second, Delta.Coverage[I].second);
+  }
+  EXPECT_EQ(Out.Exhausted, Delta.Exhausted);
+  EXPECT_EQ(serialize::encodeResultDelta(Out), Blob);
+}
+
+//===----------------------------------------------------------------------===
+// Hostility fuzz: every frame kind, every mutation class
+//===----------------------------------------------------------------------===
+
+/// Decodes \p Bytes as every frame kind plus the record-level payloads.
+/// The assertion is implicit: no crash, no hang, no sanitizer report —
+/// a hostile input may only yield a structured error (or a clean decode
+/// when the mutation happens to preserve validity).
+void decodeEverything(const std::vector<uint8_t> &Bytes, const Module &M) {
+  peekKind(Bytes);
+  {
+    InitFrame F;
+    decodeInit(Bytes, F);
+  }
+  {
+    InitAckFrame F;
+    decodeInitAck(Bytes, F);
+  }
+  {
+    StateBatchFrame F;
+    decodeStateBatch(Bytes, F);
+  }
+  {
+    ResultFrame F;
+    decodeResult(Bytes, F);
+  }
+  {
+    ExprContext Ctx;
+    CacheProbeFrame F;
+    decodeCacheProbe(Bytes, Ctx, F);
+  }
+  {
+    ExprContext Ctx;
+    CacheReplyFrame F;
+    decodeCacheReply(Bytes, Ctx, F);
+  }
+  {
+    ExprContext Ctx;
+    CachePublishFrame F;
+    decodeCachePublish(Bytes, Ctx, F);
+  }
+  {
+    ExprContext Ctx;
+    serialize::StateBatch B;
+    serialize::decodeStateBatch(Bytes, M, Ctx, B);
+  }
+  {
+    ExprContext Ctx;
+    serialize::ResultDelta D;
+    serialize::decodeResultDelta(Bytes, M, Ctx, D);
+  }
+}
+
+/// Valid encodings of every frame kind, plus the record-level payloads,
+/// over a real captured batch.
+std::vector<std::vector<uint8_t>> corpusFor(const CapturedBatch &C) {
+  std::vector<std::vector<uint8_t>> Corpus;
+
+  InitFrame Init;
+  Init.ProgramHash = serialize::programHash(*C.CR.M);
+  Init.IRText = C.CR.M->str();
+  Init.Config = sampleConfig();
+  Init.LeaseSteps = 128;
+  Corpus.push_back(encodeInit(Init));
+
+  InitAckFrame Ack;
+  Ack.ProgramHash = Init.ProgramHash;
+  Ack.Pid = 1234;
+  Corpus.push_back(encodeInitAck(Ack));
+
+  StateBatchFrame BF;
+  BF.BatchId = 1;
+  BF.Blob = C.Blob;
+  Corpus.push_back(encodeStateBatch(BF));
+
+  ResultFrame RF;
+  RF.BatchId = 1;
+  RF.Blob = {1, 2, 3};
+  Corpus.push_back(encodeResult(RF));
+
+  Corpus.push_back(encodeShutdown());
+
+  ExprContext Ctx;
+  CacheProbeFrame Probe;
+  Probe.ReqId = 1;
+  Probe.Kind = CacheKind::Verdict;
+  Probe.Exprs = sampleConstraints(Ctx);
+  Corpus.push_back(encodeCacheProbe(Probe));
+
+  CacheReplyFrame Reply;
+  Reply.ReqId = 1;
+  Reply.Kind = CacheKind::Model;
+  Reply.Hit = true;
+  Reply.Models.push_back({{"x", 32, 6}});
+  Corpus.push_back(encodeCacheReply(Reply));
+
+  CachePublishFrame Pub;
+  Pub.Kind = CacheKind::Core;
+  Pub.Exprs = sampleConstraints(Ctx);
+  Corpus.push_back(encodeCachePublish(Pub));
+
+  // Record-level payloads (these travel inside StateBatch/Result frames
+  // but are decoded separately by the worker/coordinator).
+  Corpus.push_back(C.Blob);
+
+  return Corpus;
+}
+
+TEST(DistWireFuzzTest, TruncationAtEveryOffset) {
+  CapturedBatch C = captureBatch();
+  ASSERT_FALSE(C.Blob.empty());
+  for (const std::vector<uint8_t> &Valid : corpusFor(C)) {
+    for (size_t Len = 0; Len < Valid.size(); ++Len) {
+      std::vector<uint8_t> Cut(Valid.begin(), Valid.begin() + Len);
+      decodeEverything(Cut, *C.CR.M);
+    }
+  }
+}
+
+TEST(DistWireFuzzTest, BitFlipAtEveryByte) {
+  CapturedBatch C = captureBatch();
+  ASSERT_FALSE(C.Blob.empty());
+  RNG Rand(0xF1125u);
+  for (const std::vector<uint8_t> &Valid : corpusFor(C)) {
+    for (size_t I = 0; I < Valid.size(); ++I) {
+      std::vector<uint8_t> Bad = Valid;
+      Bad[I] ^= static_cast<uint8_t>(1u << Rand.nextBelow(8));
+      decodeEverything(Bad, *C.CR.M);
+    }
+  }
+}
+
+TEST(DistWireFuzzTest, HostileLengthAndCountFields) {
+  CapturedBatch C = captureBatch();
+  ASSERT_FALSE(C.Blob.empty());
+  // Stomp 4-byte windows with hostile values: huge counts, 0xFFFFFFFF,
+  // and off-by-one-ish lengths, sliding across each valid frame.
+  const uint32_t Hostile[] = {0xFFFFFFFFu, 0x7FFFFFFFu, 1u << 30, 65535u};
+  for (const std::vector<uint8_t> &Valid : corpusFor(C)) {
+    for (size_t I = 0; I + 4 <= Valid.size();
+         I += Valid.size() > 256 ? 7 : 1) {
+      for (uint32_t H : Hostile) {
+        std::vector<uint8_t> Bad = Valid;
+        std::memcpy(&Bad[I], &H, 4);
+        decodeEverything(Bad, *C.CR.M);
+      }
+    }
+  }
+}
+
+TEST(DistWireFuzzTest, SeededGarbage) {
+  CapturedBatch C = captureBatch();
+  ASSERT_FALSE(C.Blob.empty());
+  RNG Rand(0x6A5Bu);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::vector<uint8_t> Junk(Rand.nextBelow(300));
+    for (uint8_t &B : Junk)
+      B = static_cast<uint8_t>(Rand.nextBelow(256));
+    // Half the rounds lead with a plausible frame kind so the garbage
+    // reaches the per-kind decoders instead of dying at peekKind.
+    if (!Junk.empty() && Round % 2 == 0)
+      Junk[0] = static_cast<uint8_t>(1 + Rand.nextBelow(8));
+    decodeEverything(Junk, *C.CR.M);
+  }
+}
+
+} // namespace

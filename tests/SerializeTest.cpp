@@ -25,7 +25,7 @@
 //                       marks, oversized length prefixes, random garbage,
 //                       and trailing bytes are structured errors, never
 //                       crashes.
-//  GoldenSnapshotTest — the checked-in snapshot_v3.bin fixture pins the
+//  GoldenSnapshotTest — the checked-in snapshot_v4.bin fixture pins the
 //                       format byte-for-byte; any drift must bump
 //                       SnapshotVersion.
 //
@@ -686,7 +686,7 @@ TEST(SnapshotFuzzTest, RandomGarbageNeverCrashes) {
 namespace {
 
 std::string goldenPath() {
-  return std::string(SYMMERGE_TEST_DATA_DIR) + "/snapshot_v3.bin";
+  return std::string(SYMMERGE_TEST_DATA_DIR) + "/snapshot_v4.bin";
 }
 
 /// Deterministic golden bytes: a fixed program under a fixed sequential
@@ -743,7 +743,7 @@ bool readAll(const std::string &Path, std::vector<uint8_t> &Out) {
 
 } // namespace
 
-TEST(GoldenSnapshotTest, FormatV3IsBytePinned) {
+TEST(GoldenSnapshotTest, FormatV4IsBytePinned) {
   std::vector<uint8_t> Bytes = goldenBytes();
   ASSERT_FALSE(Bytes.empty());
 
@@ -760,7 +760,7 @@ TEST(GoldenSnapshotTest, FormatV3IsBytePinned) {
       << "; regenerate with SYMMERGE_REGEN_GOLDEN=1";
   EXPECT_EQ(Bytes, Fixture)
       << "the checkpoint byte format drifted from the checked-in "
-         "snapshot_v3.bin fixture. If the change is intentional, bump "
+         "snapshot_v4.bin fixture. If the change is intentional, bump "
          "serialize::SnapshotVersion and regenerate the fixture with "
          "SYMMERGE_REGEN_GOLDEN=1.";
 }

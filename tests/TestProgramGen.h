@@ -1,0 +1,171 @@
+//===- TestProgramGen.h - Random MiniC program generator --------*- C++ -*-===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random MiniC program generator shared by the differential test
+/// suites (solver-mode lifecycle, checkpoint/restore, distributed
+/// fabric). Generates small, always-terminating programs with symbolic
+/// inputs, data-dependent branches, bounded loops, assertions that can
+/// fail, and array accesses that can go out of bounds — enough surface
+/// to exercise forks, merges, feasibility checks, and bug reporting.
+///
+/// Determinism contract: the same seed always yields the same program
+/// text (the generator draws from its own RNG only), so differential
+/// rows across processes and machines agree on the program under test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SYMMERGE_TESTS_TESTPROGRAMGEN_H
+#define SYMMERGE_TESTS_TESTPROGRAMGEN_H
+
+#include "support/RNG.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace symmerge {
+namespace testgen {
+
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : Rand(Seed) {}
+
+  std::string generate() {
+    Out.str("");
+    Out << "void main() {\n";
+    unsigned NumVars = 2 + Rand.nextBelow(2);
+    for (unsigned I = 0; I < NumVars; ++I) {
+      std::string Name(1, static_cast<char>('a' + I));
+      Out << "  int " << Name << " = 0;\n";
+      Out << "  make_symbolic(" << Name << ", \"" << Name << "\");\n";
+      // Small domains keep the path count (and SAT work) bounded.
+      Out << "  assume(" << Name << " >= 0);\n";
+      Out << "  assume(" << Name << " <= " << 7 + Rand.nextBelow(9)
+          << ");\n";
+      Vars.push_back(Name);
+      SymVars.push_back(Name);
+    }
+    UseArray = Rand.nextBool(0.4);
+    if (UseArray)
+      Out << "  int buf[4];\n";
+    Out << "  int s = 0;\n";
+    Vars.push_back("s");
+    Budget = 8 + static_cast<int>(Rand.nextBelow(5));
+    stmts(1, /*IndentLevel=*/1);
+    if (Rand.nextBool(0.7))
+      Out << "  assert(s <= " << 40 + Rand.nextBelow(40) << ", \"final\");\n";
+    Out << "}\n";
+    return Out.str();
+  }
+
+private:
+  void indent(int Level) {
+    for (int I = 0; I < Level; ++I)
+      Out << "  ";
+  }
+
+  const std::string &randomVar() {
+    return Vars[Rand.nextBelow(Vars.size())];
+  }
+
+  std::string atom() {
+    if (Rand.nextBool(0.6))
+      return randomVar();
+    return std::to_string(Rand.nextBelow(16));
+  }
+
+  std::string expr() {
+    static const char *Ops[] = {"+", "-", "*"};
+    std::string E = atom();
+    unsigned Terms = Rand.nextBelow(2);
+    for (unsigned I = 0; I < Terms; ++I)
+      E += std::string(" ") + Ops[Rand.nextBelow(3)] + " " + atom();
+    return E;
+  }
+
+  std::string cond() {
+    // Anchor every comparison on a symbolic input so branch conditions
+    // rarely fold to constants — the differential is vacuous without
+    // real forks.
+    static const char *Cmp[] = {"<", "<=", ">", ">=", "=="};
+    const std::string &Sym = SymVars[Rand.nextBelow(SymVars.size())];
+    std::string C = Sym + " " + Cmp[Rand.nextBelow(5)] + " " + expr();
+    if (Rand.nextBool(0.25))
+      C += std::string(Rand.nextBool(0.5) ? " && " : " || ") +
+           SymVars[Rand.nextBelow(SymVars.size())] + " " +
+           Cmp[Rand.nextBelow(5)] + " " + atom();
+    return C;
+  }
+
+  void stmts(int Depth, int Level) {
+    unsigned Count = 1 + Rand.nextBelow(3);
+    for (unsigned I = 0; I < Count && Budget > 0; ++I)
+      stmt(Depth, Level);
+  }
+
+  void stmt(int Depth, int Level) {
+    --Budget;
+    unsigned Pick = Rand.nextBelow(10);
+    if (Depth >= 3)
+      Pick = Rand.nextBelow(4); // Leaf statements only.
+    if (Pick < 2) { // Assignment.
+      indent(Level);
+      Out << randomVar() << " = " << expr() << ";\n";
+    } else if (Pick < 3) { // Accumulate (keeps `s` interesting).
+      indent(Level);
+      Out << "s = s + " << atom() << ";\n";
+    } else if (Pick < 4) { // Assertion that may fail.
+      indent(Level);
+      Out << "assert(" << cond() << ", \"a" << AssertId++ << "\");\n";
+    } else if (Pick < 7) { // Branch.
+      indent(Level);
+      Out << "if (" << cond() << ") {\n";
+      stmts(Depth + 1, Level + 1);
+      if (Rand.nextBool(0.5)) {
+        indent(Level);
+        Out << "} else {\n";
+        stmts(Depth + 1, Level + 1);
+      }
+      indent(Level);
+      Out << "}\n";
+    } else if (Pick < 8 && UseArray) { // Array traffic, possibly OOB.
+      indent(Level);
+      if (Rand.nextBool(0.5)) {
+        // In-bounds via %, or a raw symbolic index that can be OOB.
+        if (Rand.nextBool(0.5))
+          Out << "buf[" << randomVar() << " % 4] = " << atom() << ";\n";
+        else
+          Out << "buf[" << randomVar() << "] = " << atom() << ";\n";
+      } else {
+        Out << "s = s + buf[" << randomVar() << " % 4];\n";
+      }
+    } else { // Bounded loop.
+      std::string IV = "i" + std::to_string(LoopId++);
+      indent(Level);
+      Out << "for (int " << IV << " = 0; " << IV << " < "
+          << 2 + Rand.nextBelow(2) << "; " << IV << " = " << IV
+          << " + 1) {\n";
+      stmts(Depth + 1, Level + 1);
+      indent(Level);
+      Out << "}\n";
+    }
+  }
+
+  RNG Rand;
+  std::ostringstream Out;
+  std::vector<std::string> Vars;
+  std::vector<std::string> SymVars;
+  bool UseArray = false;
+  int Budget = 0;
+  int AssertId = 0;
+  int LoopId = 0;
+};
+
+} // namespace testgen
+} // namespace symmerge
+
+#endif // SYMMERGE_TESTS_TESTPROGRAMGEN_H

@@ -10,10 +10,18 @@ Two modes, composable in one invocation:
            (bench/BENCH_micro.baseline.json) and fail when any gated
            series regressed by more than --max-ratio in ns/op.
 
+  trajectory  append this run's summary — git sha, UTC date, and every
+           reported series' ns/op — to a committed trajectory file
+           (bench/BENCH_trajectory.json), so perf history travels with
+           the repo instead of living in expiring CI artifacts. Entries
+           for the same sha are replaced, not duplicated, so re-running
+           CI on a commit keeps one row per sha.
+
 Typical CI use (from the build directory):
 
   python3 ../tools/bench_report.py --bench ./bench_micro \
-      --out BENCH_micro.json --baseline ../bench/BENCH_micro.baseline.json
+      --out BENCH_micro.json --baseline ../bench/BENCH_micro.baseline.json \
+      --trajectory ../bench/BENCH_trajectory.json
 
 The gate is deliberately tolerant (default --max-ratio 2.0): CI runners
 are noisy and heterogeneous, so the gate only catches order-of-magnitude
@@ -32,7 +40,9 @@ gate only reads `benchmarks[].name` / `cpu_time`).
 """
 
 import argparse
+import datetime
 import json
+import os
 import subprocess
 import sys
 
@@ -55,6 +65,11 @@ GATED = [
     # branch hint buys, small enough to gate.
     "BM_PolicyPickNext/64",
     "BM_PredictedFork/1",
+    # Distributed fabric: per-lease batch shipping and one remote cache
+    # probe through the wire codec + store (everything but the socket).
+    "BM_DistBatchEncode",
+    "BM_DistBatchDecode",
+    "BM_RemoteCacheProbe/64",
 ]
 
 # The filter passed to the bench binary in report mode: the gated series
@@ -62,7 +77,8 @@ GATED = [
 REPORT_FILTER = (
     "BM_Frontier|BM_CoreCacheProbe|BM_ModelCacheProbe|BM_SolverBranch|"
     "BM_SolverStateLifetime|BM_SolverGroupedLifetime|BM_PoisonedRetry|"
-    "BM_Snapshot|BM_PolicyPickNext|BM_PredictedFork"
+    "BM_Snapshot|BM_PolicyPickNext|BM_PredictedFork|BM_DistBatch|"
+    "BM_RemoteCacheProbe"
 )
 
 
@@ -130,6 +146,49 @@ def run_check(doc, baseline_path, max_ratio):
     return 0
 
 
+def git_sha():
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             stdout=subprocess.PIPE,
+                             stderr=subprocess.DEVNULL, check=True)
+        return out.stdout.decode().strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_trajectory(doc, path, sha):
+    """Appends {sha, date, series} to the committed trajectory file.
+
+    The file is a JSON list, newest last. Rows for the same sha are
+    replaced so a re-run never duplicates history.
+    """
+    history = []
+    if os.path.exists(path):
+        try:
+            with open(path) as f:
+                history = json.load(f)
+            if not isinstance(history, list):
+                raise ValueError("trajectory root is not a list")
+        except (ValueError, OSError) as e:
+            print(f"bench_report: trajectory {path} unreadable ({e}); "
+                  f"starting fresh", file=sys.stderr)
+            history = []
+    entry = {
+        "sha": sha,
+        "date": datetime.datetime.now(datetime.timezone.utc)
+                .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "series": {k: round(v, 2) for k, v in sorted(series(doc).items())},
+    }
+    history = [h for h in history if h.get("sha") != sha]
+    history.append(entry)
+    with open(path, "w") as f:
+        json.dump(history, f, indent=1)
+        f.write("\n")
+    print(f"bench_report: trajectory now {len(history)} entries "
+          f"(appended {sha[:12]}, {len(entry['series'])} series) in {path}",
+          file=sys.stderr)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench", help="bench binary to run (report mode)")
@@ -144,6 +203,11 @@ def main():
     ap.add_argument("--min-time", default="0.05",
                     help="--benchmark_min_time per series (default: "
                          "%(default)s)")
+    ap.add_argument("--trajectory",
+                    help="committed trajectory file to append this run's "
+                         "summary to (bench/BENCH_trajectory.json)")
+    ap.add_argument("--sha", help="git sha to stamp the trajectory entry "
+                                  "with (default: git rev-parse HEAD)")
     args = ap.parse_args()
 
     if not args.bench and not args.json:
@@ -153,6 +217,9 @@ def main():
             doc = json.load(f)
     else:
         doc = run_report(args.bench, args.out, args.min_time)
+
+    if args.trajectory:
+        run_trajectory(doc, args.trajectory, args.sha or git_sha())
 
     if args.baseline:
         return run_check(doc, args.baseline, args.max_ratio)

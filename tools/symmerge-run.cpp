@@ -30,11 +30,16 @@
 #include "analysis/QCE.h"
 #include "core/Driver.h"
 #include "core/Replay.h"
+#include "dist/Coordinator.h"
 #include "expr/ExprUtil.h"
 #include "lang/Lower.h"
 #include "serialize/Snapshot.h"
 #include "support/StringUtils.h"
 #include "workloads/Workloads.h"
+
+#ifndef SYMMERGE_WORKERD_PATH
+#define SYMMERGE_WORKERD_PATH "symmerge-workerd"
+#endif
 
 #include <algorithm>
 #include <cstdio>
@@ -60,6 +65,15 @@ struct CliOptions {
   std::string CheckpointOut;
   uint64_t CheckpointEverySteps = 0;
   std::string ResumePath;
+  /// Distributed fabric (see README "Distributed mode").
+  unsigned DistWorkers = 0; ///< 0 = local run.
+  bool DistCache = false;
+  uint64_t DistLeaseSteps = 2048;
+  uint64_t DistKillBatch = 0;
+  std::string DistWorkerd;
+  /// Whether --workers was given explicitly; distributed runs default
+  /// to one engine thread per worker process otherwise.
+  bool WorkersExplicit = false;
   bool DumpIR = false;
   bool DumpQCE = false;
   bool PrintStats = false;
@@ -135,6 +149,17 @@ void usage(const char *Argv0) {
       "  --checkpoint-every-steps=N  also checkpoint every N steps\n"
       "  --resume=FILE            continue from a snapshot written by\n"
       "                           --checkpoint-out (same program/config)\n"
+      "  --dist-workers=N         distributed mode: route state batches\n"
+      "                           to N spawned symmerge-workerd processes\n"
+      "                           (--workers keeps its per-process\n"
+      "                           meaning; defaults to 1 per process)\n"
+      "  --dist-cache             shared remote solver-cache tier across\n"
+      "                           the worker processes\n"
+      "  --dist-lease-steps=N     execution steps granted per batch lease\n"
+      "  --dist-workerd=PATH      symmerge-workerd binary to spawn\n"
+      "  --dist-kill-batch=N      test hook: SIGKILL the worker holding\n"
+      "                           the Nth dispatched batch (exercises the\n"
+      "                           death/re-ship path)\n"
       "  --exact-paths --no-tests --dump-ir --dump-qce --stats\n",
       Argv0);
 }
@@ -267,6 +292,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
           static_cast<unsigned>(std::strtoull(V, nullptr, 10));
       if (Opts.Config.Engine.Workers == 0)
         Opts.Config.Engine.Workers = 1;
+      Opts.WorkersExplicit = true;
+    } else if (const char *V = Value("--dist-workers=")) {
+      Opts.DistWorkers = static_cast<unsigned>(std::strtoull(V, nullptr, 10));
+    } else if (Arg == "--dist-cache") {
+      Opts.DistCache = true;
+    } else if (const char *V = Value("--dist-lease-steps=")) {
+      Opts.DistLeaseSteps = std::strtoull(V, nullptr, 10);
+      if (Opts.DistLeaseSteps == 0)
+        Opts.DistLeaseSteps = 1;
+    } else if (const char *V = Value("--dist-workerd=")) {
+      Opts.DistWorkerd = V;
+    } else if (const char *V = Value("--dist-kill-batch=")) {
+      Opts.DistKillBatch = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--no-lockfree-frontier") {
       Opts.Config.Engine.LockFreeFrontier = false;
     } else if (Arg == "--pin-workers") {
@@ -346,6 +384,11 @@ const char *testKindName(TestKind K) {
   return "?";
 }
 
+/// Prints the run header, the test cases, and (with --stats) the
+/// statistics block. Shared by the local and distributed paths.
+void printRun(const std::string &DisplayName, const RunResult &R,
+              const CliOptions &Opts, const CoverageTracker &Cov);
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -404,6 +447,40 @@ int main(int Argc, char **Argv) {
   }
 
   Opts.Config.Engine.CollectTests = !Opts.NoTests;
+
+  if (Opts.DistWorkers > 0) {
+    if (!Opts.CheckpointOut.empty() || !Opts.ResumePath.empty() ||
+        Opts.CheckpointEverySteps != 0) {
+      std::fprintf(stderr, "error: --dist-workers is incompatible with "
+                           "--checkpoint-out/--checkpoint-every-steps/"
+                           "--resume (workers lease transient batches, "
+                           "not resumable runs)\n");
+      return 2;
+    }
+    // --workers keeps its per-process meaning; without an explicit value
+    // each worker process runs one engine thread.
+    if (!Opts.WorkersExplicit)
+      Opts.Config.Engine.Workers = 1;
+
+    dist::DistOptions DO;
+    DO.Processes = Opts.DistWorkers;
+    DO.RemoteCache = Opts.DistCache;
+    DO.LeaseSteps = Opts.DistLeaseSteps;
+    DO.KillBatchId = Opts.DistKillBatch;
+    DO.WorkerdPath =
+        Opts.DistWorkerd.empty() ? SYMMERGE_WORKERD_PATH : Opts.DistWorkerd;
+    dist::DistResult DR = dist::runDistributed(*CR.M, Opts.Config, DO);
+    if (!DR.Ok) {
+      std::fprintf(stderr, "error: distributed run failed: %s\n",
+                   DR.Error.c_str());
+      return 1;
+    }
+    CoverageTracker Cov(*CR.M);
+    Cov.restoreCounts(DR.Coverage);
+    printRun(DisplayName, DR.Result, Opts, Cov);
+    return DR.Result.bugCount() ? 3 : 0;
+  }
+
   SymbolicRunner Runner(*CR.M, Opts.Config);
 
   if (!Opts.CheckpointOut.empty()) {
@@ -443,6 +520,14 @@ int main(int Argc, char **Argv) {
     R = Runner.run();
   }
 
+  printRun(DisplayName, R, Opts, Runner.coverage());
+  return R.bugCount() ? 3 : 0;
+}
+
+namespace {
+
+void printRun(const std::string &DisplayName, const RunResult &R,
+              const CliOptions &Opts, const CoverageTracker &Cov) {
   std::printf("SymMerge: %s: %s after %.3fs\n", DisplayName.c_str(),
               R.Stats.Exhausted ? "exploration complete"
                                 : "budget exhausted",
@@ -559,8 +644,39 @@ int main(int Argc, char **Argv) {
         std::printf(" %llu", static_cast<unsigned long long>(D));
       std::printf("\n");
     }
+    if (S.DistProcesses > 0) {
+      std::printf("distributed      %llu processes, %llu batches shipped "
+                  "(+%llu re-shipped), %llu rebalances, %llu worker "
+                  "deaths\n",
+                  static_cast<unsigned long long>(S.DistProcesses),
+                  static_cast<unsigned long long>(S.DistBatchesShipped),
+                  static_cast<unsigned long long>(S.DistBatchesReshipped),
+                  static_cast<unsigned long long>(S.DistRebalances),
+                  static_cast<unsigned long long>(S.DistWorkerDeaths));
+      std::printf("remote cache     %llu hits / %llu misses / %llu "
+                  "publishes (rtt total %.3fs)\n",
+                  static_cast<unsigned long long>(S.DistRemoteCacheHits),
+                  static_cast<unsigned long long>(S.DistRemoteCacheMisses),
+                  static_cast<unsigned long long>(
+                      S.DistRemoteCachePublishes),
+                  S.DistRemoteCacheRttSeconds);
+      if (!S.DistRemoteCacheRttHisto.empty()) {
+        // Bucket I counts probe round trips under 0.1ms * 3^I.
+        std::printf("remote cache rtt histogram:");
+        for (uint64_t B : S.DistRemoteCacheRttHisto)
+          std::printf(" %llu", static_cast<unsigned long long>(B));
+        std::printf("\n");
+      }
+      if (!S.DistProcessStateHighWater.empty()) {
+        std::printf("dist state high water per process:");
+        for (uint64_t D : S.DistProcessStateHighWater)
+          std::printf(" %llu", static_cast<unsigned long long>(D));
+        std::printf("\n");
+      }
+    }
     std::printf("coverage         %.1f%%\n",
-                100 * Runner.coverage().statementCoverage());
+                100 * Cov.statementCoverage());
   }
-  return R.bugCount() ? 3 : 0;
 }
+
+} // namespace

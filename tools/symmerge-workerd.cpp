@@ -1,0 +1,47 @@
+//===- symmerge-workerd.cpp - Distributed worker daemon ----------------------===//
+//
+// Part of SymMerge. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The worker-process entrypoint of the distributed fabric. Not meant to
+// be run by hand: the symmerge-run coordinator spawns it with inherited
+// socketpair fds passed by number:
+//
+//   symmerge-workerd --fd=N [--cache-fd=M]
+//
+// Everything else (program IR, configuration, lease terms) arrives over
+// the control channel as an Init frame. See src/dist/Worker.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Worker.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int main(int argc, char **argv) {
+  int CtrlFd = -1, CacheFd = -1;
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strncmp(A, "--fd=", 5) == 0)
+      CtrlFd = std::atoi(A + 5);
+    else if (std::strncmp(A, "--cache-fd=", 11) == 0)
+      CacheFd = std::atoi(A + 11);
+    else {
+      std::fprintf(stderr,
+                   "symmerge-workerd: unknown argument '%s'\n"
+                   "usage: symmerge-workerd --fd=N [--cache-fd=M]\n"
+                   "(spawned by symmerge-run --dist-workers; not for "
+                   "standalone use)\n",
+                   A);
+      return 2;
+    }
+  }
+  if (CtrlFd < 0) {
+    std::fprintf(stderr, "symmerge-workerd: missing --fd=N\n");
+    return 2;
+  }
+  return symmerge::dist::runWorkerProtocol(CtrlFd, CacheFd);
+}
